@@ -1,0 +1,97 @@
+//! Simulator micro-benchmarks: raw event-loop throughput (simulated warp
+//! instructions per wall second) and packing-policy ablations (guarded vs
+//! paper policy cost on the host SWAR path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vitbit_core::policy::{PackPolicy, PackSpec};
+use vitbit_core::swar::PackedAcc;
+use vitbit_sim::isa::{ICmp, MemWidth, SReg, Src};
+use vitbit_sim::program::ProgramBuilder;
+use vitbit_sim::{Gpu, Kernel, OrinConfig};
+
+/// A math-dense kernel: 64 iterations of 8 independent IMAD chains.
+fn math_kernel(blocks: u32, warps: u32) -> Kernel {
+    let mut p = ProgramBuilder::new("microbench_math");
+    let acc = p.alloc_n(8);
+    let i = p.alloc();
+    let pr = p.alloc_pred();
+    p.mov(i, Src::Imm(0));
+    p.label_here("loop");
+    for r in 0..8u16 {
+        let reg = vitbit_sim::isa::Reg(acc.0 + r as u8);
+        p.imad(reg, reg.into(), Src::Imm(3), Src::Imm(1));
+    }
+    p.iadd(i, i.into(), Src::Imm(1));
+    p.isetp(pr, i.into(), Src::Imm(64), ICmp::Lt);
+    p.bra_if("loop", pr, true);
+    p.exit();
+    Kernel::single("micro_math", p.build().into_arc(), blocks, warps, 0, vec![])
+}
+
+/// A memory-streaming kernel: 64 strided loads per thread.
+fn stream_kernel(gpu: &mut Gpu, blocks: u32) -> Kernel {
+    let buf = gpu.mem.alloc(blocks * 32 * 4 * 64 + 128 * 64);
+    let mut p = ProgramBuilder::new("microbench_stream");
+    let base = p.alloc();
+    let tid = p.alloc();
+    let ctaid = p.alloc();
+    let addr = p.alloc();
+    let v = p.alloc();
+    let i = p.alloc();
+    let pr = p.alloc_pred();
+    p.ldc(base, 0);
+    p.sreg(tid, SReg::Tid);
+    p.sreg(ctaid, SReg::Ctaid);
+    p.imad(addr, ctaid.into(), Src::Imm(32 * 4), base.into());
+    p.imad(addr, tid.into(), Src::Imm(4), addr.into());
+    p.mov(i, Src::Imm(0));
+    p.label_here("loop");
+    p.ldg(v, addr, 0, MemWidth::B32);
+    p.iadd(addr, addr.into(), Src::Imm(128));
+    p.iadd(i, i.into(), Src::Imm(1));
+    p.isetp(pr, i.into(), Src::Imm(64), ICmp::Lt);
+    p.bra_if("loop", pr, true);
+    p.exit();
+    Kernel::single("micro_stream", p.build().into_arc(), blocks, 1, 0, vec![buf.addr])
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    group.bench_function("math_kernel_16_blocks", |b| {
+        let mut gpu = Gpu::new(OrinConfig::test_small(), 16 << 20);
+        let k = math_kernel(16, 8);
+        b.iter(|| black_box(gpu.launch(&k).issued.total()))
+    });
+    group.bench_function("stream_kernel_16_blocks", |b| {
+        let mut gpu = Gpu::new(OrinConfig::test_small(), 64 << 20);
+        let k = stream_kernel(&mut gpu, 16);
+        b.iter(|| black_box(gpu.launch(&k).cycles))
+    });
+    group.finish();
+}
+
+fn bench_packing_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing_policy_ablation");
+    group.sample_size(20);
+    for (name, policy) in [("guarded", PackPolicy::Guarded), ("paper", PackPolicy::Paper)] {
+        group.bench_with_input(BenchmarkId::new("mac_stream", name), &policy, |b, pol| {
+            let spec = match pol {
+                PackPolicy::Guarded => PackSpec::guarded(6, 6).unwrap(),
+                PackPolicy::Paper => PackSpec::paper(6).unwrap(),
+            };
+            b.iter(|| {
+                let mut acc = PackedAcc::new(spec);
+                for i in 0..4096u32 {
+                    acc.mac(black_box(i % 63), black_box(0x003F_003F));
+                }
+                acc.finish()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_throughput, bench_packing_policies);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Regenerates every table and figure of the paper on the simulator.
+//!
+//! ```text
+//! figures [EXPERIMENTS..] [--blocks N] [--full] [--quick] [--bitwidth B]
+//!
+//! EXPERIMENTS: table1 table2 table3 study fig5 fig6 fig7 fig8 fig9 fig10
+//!              accuracy bitwidth ablation  (default: all)
+//! --blocks N   simulate N encoder blocks per strategy (default 1)
+//! --full       simulate all 12 blocks (slow)
+//! --quick      reduced model dims for a fast smoke run
+//! --bitwidth B code bitwidth (default 6)
+//! ```
+
+use vitbit_bench::{experiments, HarnessOpts, VitSuite};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = HarnessOpts::default();
+    let mut picks: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--blocks" => {
+                i += 1;
+                opts.blocks = Some(args[i].parse().expect("--blocks N"));
+            }
+            "--full" => opts.blocks = None,
+            "--quick" => opts.quick = true,
+            "--bitwidth" => {
+                i += 1;
+                opts.bitwidth = args[i].parse().expect("--bitwidth B");
+            }
+            other => picks.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if picks.is_empty() {
+        picks = ["table1", "table2", "table3", "study", "fig5", "fig6", "fig7", "fig8",
+                 "fig9", "fig10", "accuracy", "bitwidth", "ablation"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+
+    let needs_suite = picks.iter().any(|p| p.starts_with("fig"));
+    let suite = if needs_suite {
+        eprintln!("[figures] measuring ViT suite (blocks = {:?}, quick = {}) ...", opts.blocks, opts.quick);
+        Some(VitSuite::measure(&opts))
+    } else {
+        None
+    };
+
+    for p in &picks {
+        let report = match p.as_str() {
+            "table1" => experiments::table1(),
+            "table2" => experiments::table2(&opts),
+            "table3" => experiments::table3(),
+            "study" => experiments::study(&opts),
+            "fig5" => experiments::fig5(suite.as_ref().expect("suite")),
+            "fig6" => experiments::fig6(suite.as_ref().expect("suite")),
+            "fig7" => experiments::fig7(suite.as_ref().expect("suite")),
+            "fig8" => experiments::fig8(suite.as_ref().expect("suite")),
+            "fig9" => experiments::fig9(suite.as_ref().expect("suite")),
+            "fig10" => experiments::fig10(suite.as_ref().expect("suite")),
+            "accuracy" => experiments::accuracy(&opts),
+            "bitwidth" => experiments::bitwidth_sweep(),
+            "ablation" => {
+                let mut s = experiments::ablation_policy();
+                s.push('\n');
+                s.push_str(&experiments::ablation_sched(&opts));
+                s.push('\n');
+                s.push_str(&experiments::ablation_ratio(&opts));
+                s
+            }
+            other => format!("unknown experiment: {other}\n"),
+        };
+        println!("{report}");
+        println!("{}", "-".repeat(72));
+    }
+}

@@ -1,0 +1,502 @@
+//! One function per paper artifact (tables, figures, the Section-3.2 study
+//! and the extension/ablation experiments). Each returns a plain-text
+//! report with the paper's value next to the measured one.
+
+use crate::suite::{HarnessOpts, VitSuite};
+use std::fmt::Write as _;
+use vitbit_core::policy::{PackPolicy, PackSpec};
+use vitbit_core::ratio::CoreRatio;
+use vitbit_exec::{run_initial_study, ExecConfig, Strategy};
+use vitbit_kernels::gemm::{run_fused_with_ratio, run_ic, run_packed, FusedMode};
+use vitbit_sim::config::peak_throughput_table;
+use vitbit_sim::{Gpu, OrinConfig};
+use vitbit_tensor::gen;
+use vitbit_vit::KernelClass;
+
+/// The ViT-Base Linear shape used by single-GEMM experiments.
+pub const LINEAR_SHAPE: (usize, usize, usize) = (197, 768, 768);
+
+const LINEAR_SITES: [&str; 6] = ["qkv", "scores", "attn_v", "proj", "fc1", "fc2"];
+const CUDA_SITES: [&str; 5] = ["softmax", "gelu", "layernorm", "dropout", "residual"];
+
+fn site_cycles(run: &vitbit_vit::VitRun, name: &str) -> u64 {
+    run.timings
+        .iter()
+        .filter(|t| t.name == name)
+        .map(|t| t.stats.cycles)
+        .sum()
+}
+
+fn site_insts(run: &vitbit_vit::VitRun, name: &str) -> u64 {
+    run.timings
+        .iter()
+        .filter(|t| t.name == name)
+        .map(|t| t.stats.issued.total())
+        .sum()
+}
+
+#[allow(dead_code)]
+fn site_ipc(run: &vitbit_vit::VitRun, name: &str) -> f64 {
+    let c = site_cycles(run, name);
+    if c == 0 {
+        return 0.0;
+    }
+    site_insts(run, name) as f64 / c as f64
+}
+
+/// Table 1: peak throughput per numeric format.
+pub fn table1() -> String {
+    let cfg = OrinConfig::jetson_agx_orin();
+    let paper: &[(&str, &str, f64)] = &[
+        ("FP32", "CUDA Core", 4.0),
+        ("FP16", "CUDA Core", 8.0),
+        ("TF32", "Tensor Core", 32.0),
+        ("FP16", "Tensor Core", 65.0),
+        ("BFloat16", "Tensor Core", 65.0),
+        ("INT32", "CUDA Core", 4.0),
+        ("INT8", "Tensor Core", 131.0),
+        ("INT4", "Tensor Core", 262.0),
+    ];
+    let table = peak_throughput_table(&cfg);
+    let mut out = String::from("Table 1 — Peak throughput of NVIDIA Jetson Orin AGX\n");
+    let _ = writeln!(out, "{:<10} {:<12} {:>12} {:>12}", "Format", "Unit", "paper", "model");
+    for (fmt, unit, want) in paper {
+        let got = table
+            .iter()
+            .find(|r| r.format == *fmt && r.unit == *unit)
+            .map_or(f64::NAN, |r| r.tops);
+        let _ = writeln!(out, "{fmt:<10} {unit:<12} {want:>9.0} T {got:>9.1} T");
+    }
+    out
+}
+
+/// Table 2: evaluation configuration.
+pub fn table2(opts: &HarnessOpts) -> String {
+    let cfg = OrinConfig::jetson_agx_orin();
+    let vit = opts.vit_config();
+    let mut out = String::from("Table 2 — Evaluation configuration\n");
+    let _ = writeln!(out, "Platform        : {}", cfg.name);
+    let _ = writeln!(out, "GPU             : Ampere, {} SMs, {} CUDA cores, {} Tensor cores",
+        cfg.num_sms, cfg.cuda_cores(), cfg.tensor_cores());
+    let _ = writeln!(out, "Clock           : {:.2} GHz", cfg.clock_ghz);
+    let _ = writeln!(out, "Memory          : LPDDR5 model, {:.1} GB/s", cfg.dram_gbps);
+    let _ = writeln!(out, "DNN model       : ViT-Base ({} blocks, dim {}, heads {}, MLP {}, {} tokens)",
+        vit.blocks, vit.dim, vit.heads, vit.mlp_dim, vit.tokens);
+    let _ = writeln!(out, "Quantization    : integer-only (I-ViT style), INT{} codes", vit.bitwidth);
+    let _ = writeln!(out, "GEMM MACs/pass  : {:.2} G", vit.gemm_macs() as f64 / 1e9);
+    out
+}
+
+/// Table 3: comparison groups.
+pub fn table3() -> String {
+    let mut out = String::from("Table 3 — Comparison group for evaluation\n");
+    for s in Strategy::ALL {
+        let _ = writeln!(out, "{:<9} {:<4} {}", s.name(), s.applicability(), s.description());
+    }
+    out
+}
+
+/// Section 3.2 initial study: GEMM time per core class, normalized to TC.
+pub fn study(opts: &HarnessOpts) -> String {
+    let mut gpu = Gpu::orin();
+    let (m, n, k) = LINEAR_SHAPE;
+    let r = run_initial_study(&mut gpu, m, n, k, opts.bitwidth);
+    let norm = r.normalized();
+    let paper = [1.0, 7.5, 7.5, 6.5, 4.0];
+    let names = ["TC", "IC", "FC", "IC+FC", "IC+FC+P"];
+    let mut out = format!(
+        "Section 3.2 initial study — GEMM {m}x{n}x{k}, INT{} (times / TC)\n",
+        opts.bitwidth
+    );
+    let _ = writeln!(out, "{:<9} {:>8} {:>9}", "case", "paper", "measured");
+    for i in 0..5 {
+        let _ = writeln!(out, "{:<9} {:>7.1}x {:>8.2}x", names[i], paper[i], norm[i]);
+    }
+    let ratio = r.derived_ratio();
+    let _ = writeln!(out, "derived Tensor:CUDA ratio m = {}:{} (paper: 4:1)", ratio.tc, ratio.cuda);
+    out
+}
+
+/// Figure 5: normalized ViT inference time per simultaneous-execution
+/// method (speedup over TC).
+pub fn fig5(suite: &VitSuite) -> String {
+    let tc = suite.run(Strategy::Tc).total_cycles() as f64;
+    let paper = [(Strategy::Tc, 1.0), (Strategy::Tacker, 1.06), (Strategy::TcIcFc, 1.11), (Strategy::VitBit, 1.22)];
+    let mut out = String::from("Figure 5 — ViT-Base inference speedup over TC\n");
+    let _ = writeln!(out, "{:<9} {:>8} {:>9} {:>14}", "method", "paper", "measured", "cycles");
+    for (s, want) in paper {
+        let cyc = suite.run(s).total_cycles();
+        let got = tc / cyc as f64;
+        let _ = writeln!(out, "{:<9} {:>7.2}x {:>8.2}x {:>14}", s.name(), want, got, cyc);
+    }
+    out
+}
+
+/// Figure 6: Linear-kernel speedups of VitBit over TC, per kernel site.
+pub fn fig6(suite: &VitSuite) -> String {
+    let tc = suite.run(Strategy::Tc);
+    let vb = suite.run(Strategy::VitBit);
+    let mut out = String::from("Figure 6 — Linear (GEMM) kernel speedup, VitBit vs TC\n");
+    let _ = writeln!(out, "{:<8} {:>10} {:>10} {:>9}", "kernel", "TC cyc", "VitBit cyc", "speedup");
+    let mut speedups = Vec::new();
+    for site in LINEAR_SITES {
+        let a = site_cycles(tc, site);
+        let b = site_cycles(vb, site);
+        if a == 0 || b == 0 {
+            continue;
+        }
+        let sp = a as f64 / b as f64;
+        speedups.push(sp);
+        let _ = writeln!(out, "{site:<8} {a:>10} {b:>10} {sp:>8.2}x");
+    }
+    let avg = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
+    let max = speedups.iter().cloned().fold(0.0, f64::max);
+    let _ = writeln!(out, "average {avg:.2}x (paper 1.28x)   max {max:.2}x (paper 1.35x)");
+    out
+}
+
+/// Figure 7: CUDA-core kernel speedups over IC, per kernel.
+pub fn fig7(suite: &VitSuite) -> String {
+    let ic = suite.run(Strategy::Ic);
+    let icfc = suite.run(Strategy::IcFc);
+    let vb = suite.run(Strategy::VitBit);
+    let mut out = String::from("Figure 7 — CUDA-core kernel speedup over IC\n");
+    let _ = writeln!(out, "{:<10} {:>10} {:>9} {:>9}", "kernel", "IC cyc", "IC+FC", "VitBit");
+    let mut sp_icfc = Vec::new();
+    let mut sp_vb = Vec::new();
+    for site in CUDA_SITES {
+        let a = site_cycles(ic, site);
+        let b = site_cycles(icfc, site);
+        let c = site_cycles(vb, site);
+        if a == 0 || b == 0 || c == 0 {
+            continue;
+        }
+        let s1 = a as f64 / b as f64;
+        let s2 = a as f64 / c as f64;
+        sp_icfc.push(s1);
+        sp_vb.push(s2);
+        let _ = writeln!(out, "{site:<10} {a:>10} {s1:>8.2}x {s2:>8.2}x");
+    }
+    let avg1 = sp_icfc.iter().sum::<f64>() / sp_icfc.len().max(1) as f64;
+    let avg2 = sp_vb.iter().sum::<f64>() / sp_vb.len().max(1) as f64;
+    let max2 = sp_vb.iter().cloned().fold(0.0, f64::max);
+    let _ = writeln!(out, "IC+FC avg {avg1:.2}x (paper 1.05x)");
+    let _ = writeln!(out, "VitBit avg {avg2:.2}x (paper 1.14x)  max {max2:.2}x (paper 1.18x)");
+    out
+}
+
+/// Figure 8: arithmetic density (ops/cycle) normalized to TC.
+pub fn fig8(suite: &VitSuite) -> String {
+    let tc = suite.run(Strategy::Tc).aggregate().arith_density();
+    let paper = [(Strategy::Tacker, 1.11), (Strategy::TcIcFc, 1.17), (Strategy::VitBit, 1.28)];
+    let mut out = String::from("Figure 8 — Arithmetic density over TC\n");
+    let _ = writeln!(out, "{:<9} {:>8} {:>9} {:>12}", "method", "paper", "measured", "ops/cycle");
+    let _ = writeln!(out, "{:<9} {:>7.2}x {:>8.2}x {:>12.0}", "TC", 1.0, 1.0, tc);
+    for (s, want) in paper {
+        let d = suite.run(s).aggregate().arith_density();
+        let _ = writeln!(out, "{:<9} {:>7.2}x {:>8.2}x {:>12.0}", s.name(), want, d / tc, d);
+    }
+    out
+}
+
+/// Figure 9: instruction count per kernel site, VitBit vs IC+FC (reduction
+/// factor; paper: up to 1.5x).
+pub fn fig9(suite: &VitSuite) -> String {
+    let icfc = suite.run(Strategy::IcFc);
+    let vb = suite.run(Strategy::VitBit);
+    let mut out = String::from("Figure 9 — Instruction count reduction, VitBit vs IC+FC\n");
+    let _ = writeln!(out, "{:<10} {:>12} {:>12} {:>10}", "kernel", "IC+FC insts", "VitBit insts", "reduction");
+    let mut best: f64 = 0.0;
+    let mut tot_a = 0u64;
+    let mut tot_b = 0u64;
+    for site in LINEAR_SITES.iter().chain(CUDA_SITES.iter()) {
+        let a = site_insts(icfc, site);
+        let b = site_insts(vb, site);
+        if a == 0 || b == 0 {
+            continue;
+        }
+        tot_a += a;
+        tot_b += b;
+        let red = a as f64 / b as f64;
+        best = best.max(red);
+        let _ = writeln!(out, "{site:<10} {a:>12} {b:>12} {red:>9.2}x");
+    }
+    let _ = writeln!(
+        out,
+        "total {:.2}x, best site {:.2}x",
+        tot_a as f64 / tot_b.max(1) as f64,
+        best
+    );
+    let _ = writeln!(
+        out,
+        "(GEMM rows also reflect VitBit's Tensor-core offload; the paper's\n\
+         like-for-like packing claim — INT instructions of the packed vs\n\
+         zero-masked CUDA kernel — is measured below)"
+    );
+    // Apples-to-apples: packed vs zero-masked INT instruction count on the
+    // ViT Linear shape (the Figure 9 "up to 1.5x" claim).
+    let mut gpu = Gpu::orin();
+    let spec = PackSpec::guarded(6, 6).expect("valid");
+    let (m, n, k) = LINEAR_SHAPE;
+    let a = gen::uniform_i8(m, k, -32, 31, 41);
+    let b = gen::uniform_i8(k, n, -32, 31, 42);
+    gpu.cold_caches();
+    let ic = run_ic(&mut gpu, &a, &b).stats.issued.int;
+    gpu.cold_caches();
+    let pk = run_packed(&mut gpu, &a, &b, &spec).stats.issued.int;
+    let _ = writeln!(
+        out,
+        "packed vs zero-masked INT instructions (same GEMM): {:.2}x (paper: up to 1.5x)",
+        ic as f64 / pk as f64
+    );
+    out
+}
+
+/// Figure 10: average IPC per method (dual-pipe vs single-pipe CUDA use).
+pub fn fig10(suite: &VitSuite) -> String {
+    let mut out = String::from("Figure 10 — Average IPC (CUDA-core kernels)\n");
+    let _ = writeln!(out, "{:<9} {:>8} {:>9}", "method", "agg IPC", "cuda-IPC");
+    let mut single: f64 = 0.0;
+    let mut dual = 0.0;
+    for s in [Strategy::Ic, Strategy::Fc, Strategy::IcFc, Strategy::VitBit] {
+        let run = suite.run(s);
+        let agg = run.aggregate();
+        // IPC over the CUDA-kernel sites only (the Figure-10 view).
+        let mut cyc = 0u64;
+        let mut insts = 0u64;
+        for t in run.timings.iter().filter(|t| t.class == KernelClass::Cuda) {
+            cyc += t.stats.cycles;
+            insts += t.stats.issued.total();
+        }
+        let cuda_ipc = insts as f64 / cyc.max(1) as f64;
+        match s {
+            Strategy::Ic | Strategy::Fc => single = single.max(cuda_ipc),
+            Strategy::IcFc => dual = cuda_ipc,
+            _ => {}
+        }
+        let _ = writeln!(out, "{:<9} {:>8.1} {:>9.1}", s.name(), agg.ipc(), cuda_ipc);
+    }
+    let _ = writeln!(
+        out,
+        "dual-pipe over single-pipe: {:.2}x (paper: 1.3x)",
+        dual / single.max(1e-9)
+    );
+    out
+}
+
+/// Accuracy check: the paper's "without compromising inference accuracy"
+/// claim, measured as top-1 agreement and worst-case logit deviation of
+/// every Figure-5 method against the integer reference over an input batch.
+pub fn accuracy(opts: &HarnessOpts) -> String {
+    use vitbit_vit::{run_vit, ViTModel};
+    let mut cfg = *opts;
+    cfg.quick = true; // full functional pass; reduced dims keep this quick
+    let vit_cfg = cfg.vit_config();
+    let model = ViTModel::new(vit_cfg, 99);
+    let exec = ExecConfig::guarded(vit_cfg.bitwidth);
+    let mut gpu = Gpu::orin();
+    let batch = 5u64;
+    let mut out = format!(
+        "Accuracy — top-1 agreement and logit deviation vs integer reference          ({} inputs, reduced dims)
+",
+        batch
+    );
+    let _ = writeln!(out, "{:<9} {:>8} {:>12}", "method", "top-1", "max |dlogit|");
+    let argmax = |m: &vitbit_tensor::Matrix<i32>| {
+        m.row(0).iter().enumerate().max_by_key(|&(_, v)| *v).map(|(i, _)| i).unwrap()
+    };
+    for s in Strategy::FIG5 {
+        let mut agree = 0u64;
+        let mut worst = 0i32;
+        for seed in 0..batch {
+            let x = model.synthetic_input(1000 + seed);
+            let want = vitbit_vit::reference::forward(&model, &x);
+            let run = run_vit(&mut gpu, &model, &x, s, &exec, None);
+            if argmax(&run.logits) == argmax(&want) {
+                agree += 1;
+            }
+            let dev = run
+                .logits
+                .as_slice()
+                .iter()
+                .zip(want.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .max()
+                .unwrap_or(0);
+            worst = worst.max(dev);
+        }
+        let _ = writeln!(out, "{:<9} {:>5}/{:<2} {:>12}", s.name(), agree, batch, worst);
+    }
+    let _ = writeln!(
+        out,
+        "(TC/IC/Tacker are bit-exact by construction; the FP-sharing methods
+         deviate only through the float softmax normalization)"
+    );
+    out
+}
+
+/// Extension X1 (paper future work): packing-factor sweep over bitwidths.
+pub fn bitwidth_sweep() -> String {
+    let mut out = String::from(
+        "Extension X1 — bitwidth sweep (packed vs zero-masked IC GEMM, guarded policy)\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:<4} {:>6} {:>6} {:>8} {:>10} {:>10} {:>9} {:>9}",
+        "bits", "lanes", "chunk", "gain*", "IC cyc", "packed cyc", "speedup", "int red."
+    );
+    let mut gpu = Gpu::orin();
+    let (m, n, k) = (197usize, 768usize, 768usize);
+    for bw in [4u32, 5, 6, 7, 8] {
+        let spec = PackSpec::guarded(bw, bw).expect("valid");
+        let hi = ((1i32 << (bw - 1)) - 1) as i8;
+        let a = gen::uniform_i8(m, k, -hi - 1, hi, 11);
+        let b = gen::uniform_i8(k, n, -hi - 1, hi, 12);
+        gpu.cold_caches();
+        let ic = run_ic(&mut gpu, &a, &b);
+        gpu.cold_caches();
+        let pk = run_packed(&mut gpu, &a, &b, &spec);
+        assert_eq!(ic.c, pk.c, "packed GEMM must stay exact at {bw} bits");
+        let _ = writeln!(
+            out,
+            "{:<4} {:>6} {:>6} {:>7.2}x {:>10} {:>10} {:>8.2}x {:>8.2}x",
+            bw,
+            spec.lanes,
+            spec.chunk_len(),
+            spec.packing_gain(),
+            ic.stats.cycles,
+            pk.stats.cycles,
+            ic.stats.cycles as f64 / pk.stats.cycles as f64,
+            ic.stats.issued.int as f64 / pk.stats.issued.int as f64,
+        );
+    }
+    let _ = writeln!(out, "*gain = theoretical INT-instruction reduction of the guarded policy");
+    out
+}
+
+/// Ablation X2a: guarded vs paper packing policy (exactness and cost).
+pub fn ablation_policy() -> String {
+    let mut out = String::from("Ablation X2a — guarded vs paper packing policy\n");
+    let mut gpu = Gpu::orin();
+    let (m, n, k) = (64usize, 512usize, 512usize);
+    for bw in [6u32, 8] {
+        let hi = ((1i32 << (bw - 1)) - 1) as i8;
+        let a = gen::uniform_i8(m, k, -hi - 1, hi, 21);
+        let b = gen::uniform_i8(k, n, -hi - 1, hi, 22);
+        let reference = run_ic(&mut gpu, &a, &b).c;
+        for policy in [PackPolicy::Guarded, PackPolicy::Paper] {
+            let spec = match policy {
+                PackPolicy::Guarded => PackSpec::guarded(bw, bw).expect("valid"),
+                PackPolicy::Paper => PackSpec::paper(bw).expect("valid"),
+            };
+            gpu.cold_caches();
+            let pk = run_packed(&mut gpu, &a, &b, &spec);
+            let exact = pk.c == reference;
+            let _ = writeln!(
+                out,
+                "INT{bw} {policy:?}: cycles {:>8}, int insts {:>9}, exact: {exact} (safe K = {})",
+                pk.stats.cycles,
+                pk.stats.issued.int,
+                spec.max_safe_k(),
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "(The paper's literal Figure-3 policy wraps lanes for K beyond its safe\n length; the guarded policy spends spill instructions to stay exact.)"
+    );
+    out
+}
+
+/// Ablation X2b: Tensor:CUDA ratio sweep for the VitBit fused GEMM.
+pub fn ablation_ratio(opts: &HarnessOpts) -> String {
+    let exec = ExecConfig::guarded(opts.bitwidth);
+    let mut out = String::from("Ablation X2b — Tensor:CUDA split ratio m for VitBit GEMM\n");
+    let _ = writeln!(out, "{:<6} {:>10} {:>9}", "m : 1", "cycles", "vs TC");
+    let mut gpu = Gpu::orin();
+    let (m, n, k) = LINEAR_SHAPE;
+    let hi = ((1i32 << (opts.bitwidth - 1)) - 1) as i8;
+    let a = gen::uniform_i8(m, k, -hi - 1, hi, 31);
+    let b = gen::uniform_i8(k, n, -hi - 1, hi, 32);
+    gpu.cold_caches();
+    let tc = vitbit_kernels::gemm::run_tc(&mut gpu, &a, &b).stats.cycles as f64;
+    for mr in [1u32, 2, 3, 4, 6, 8] {
+        gpu.cold_caches();
+        let outg = run_fused_with_ratio(
+            &mut gpu,
+            &a,
+            &b,
+            FusedMode::VitBit(exec.spec),
+            CoreRatio { tc: mr, cuda: 1 },
+        );
+        let _ = writeln!(
+            out,
+            "{:<6} {:>10} {:>8.2}x",
+            format!("{mr} : 1"),
+            outg.stats.cycles,
+            tc / outg.stats.cycles as f64
+        );
+    }
+    let _ = writeln!(out, "(paper picks m = 4 from the initial study)");
+    out
+}
+
+/// Ablation X2c: warp-scheduler policy (GTO vs LRR) on the Table-3 kernels.
+///
+/// GTO (the default, what Ampere approximates) keeps issuing from the last
+/// warp until it stalls; LRR rotates the starting candidate every cycle.
+/// The comparison shows how sensitive each kernel class is to intra-SM
+/// scheduling: latency-bound kernels with long dependent chains prefer GTO
+/// (it keeps one warp's operands in flight), while issue-bound kernels with
+/// abundant ready warps are largely indifferent.
+pub fn ablation_sched(opts: &HarnessOpts) -> String {
+    use vitbit_sim::SchedPolicy;
+    let exec = ExecConfig::guarded(opts.bitwidth);
+    let mut out = String::from("Ablation X2c — warp scheduler policy (GTO vs LRR)\n");
+    let _ = writeln!(out, "{:<22} {:>12} {:>12} {:>9}", "kernel", "GTO cycles", "LRR cycles", "LRR/GTO");
+    let (m, n, k) = LINEAR_SHAPE;
+    let hi = ((1i32 << (opts.bitwidth - 1)) - 1) as i8;
+    let a = gen::uniform_i8(m, k, -hi - 1, hi, 41);
+    let b = gen::uniform_i8(k, n, -hi - 1, hi, 42);
+    let run_both = |name: &str, f: &mut dyn FnMut(&mut Gpu) -> u64, out: &mut String| {
+        let mut cycles = [0u64; 2];
+        for (i, sched) in [SchedPolicy::Gto, SchedPolicy::Lrr].into_iter().enumerate() {
+            let mut cfg = OrinConfig::jetson_agx_orin();
+            cfg.sched = sched;
+            let mut gpu = Gpu::new(cfg, 256 << 20);
+            gpu.cold_caches();
+            cycles[i] = f(&mut gpu);
+        }
+        let _ = writeln!(
+            out,
+            "{:<22} {:>12} {:>12} {:>8.2}x",
+            name,
+            cycles[0],
+            cycles[1],
+            cycles[1] as f64 / cycles[0] as f64
+        );
+    };
+    run_both("TC GEMM", &mut |g| vitbit_kernels::gemm::run_tc(g, &a, &b).stats.cycles, &mut out);
+    run_both("IC GEMM", &mut |g| run_ic(g, &a, &b).stats.cycles, &mut out);
+    run_both("packed GEMM (VitBit)", &mut |g| run_packed(g, &a, &b, &exec.spec).stats.cycles, &mut out);
+    let _ = writeln!(
+        out,
+        "(GTO is the simulator default; the ratio quantifies scheduling\n sensitivity of each kernel class in this machine model.)"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_reports_render() {
+        let t1 = table1();
+        assert!(t1.contains("INT8") && t1.contains("131"));
+        let t3 = table3();
+        assert!(t3.contains("VitBit") && t3.contains("T,C"));
+        let t2 = table2(&HarnessOpts::default());
+        assert!(t2.contains("ViT-Base"));
+    }
+}

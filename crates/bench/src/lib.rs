@@ -1,0 +1,10 @@
+//! Experiment harness: every table and figure of the paper, regenerated.
+//!
+//! The `figures` binary drives [`experiments`]; each experiment prints the
+//! paper's reported values next to the values measured on the simulator, so
+//! `EXPERIMENTS.md` can be regenerated from one run.
+
+pub mod experiments;
+pub mod suite;
+
+pub use suite::{HarnessOpts, VitSuite};

@@ -1,0 +1,91 @@
+//! Shared ViT measurement suite: runs the model once per strategy and lets
+//! every figure read from the same measurements.
+
+use vitbit_exec::{ExecConfig, Strategy};
+use vitbit_sim::Gpu;
+use vitbit_vit::{run_vit, ViTConfig, ViTModel, VitRun};
+
+/// Harness options from the `figures` CLI.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOpts {
+    /// Encoder blocks to simulate per strategy (the 12 ViT blocks are
+    /// homogeneous, so one or two representative blocks reproduce every
+    /// normalized figure; `None` simulates all twelve).
+    pub blocks: Option<usize>,
+    /// Use a reduced model (half dims) for quick runs.
+    pub quick: bool,
+    /// Code bitwidth (headline 6; Figure 3(b) covers 6..=8 at two lanes).
+    pub bitwidth: u32,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        Self { blocks: Some(1), quick: false, bitwidth: 6 }
+    }
+}
+
+impl HarnessOpts {
+    /// The model configuration these options select.
+    pub fn vit_config(&self) -> ViTConfig {
+        if self.quick {
+            ViTConfig {
+                blocks: 2,
+                dim: 384,
+                heads: 6,
+                head_dim: 64,
+                mlp_dim: 768,
+                tokens: 64,
+                classes: 50,
+                bitwidth: self.bitwidth,
+            }
+        } else {
+            ViTConfig::base_with_bitwidth(self.bitwidth)
+        }
+    }
+}
+
+/// ViT runs per strategy, measured once and shared across figures.
+pub struct VitSuite {
+    /// The model used.
+    pub model: ViTModel,
+    /// Execution config (packing spec, bitwidth).
+    pub exec: ExecConfig,
+    /// `(strategy, run)` pairs in `Strategy::ALL` order.
+    pub runs: Vec<(Strategy, VitRun)>,
+}
+
+impl VitSuite {
+    /// Measures all seven strategies.
+    pub fn measure(opts: &HarnessOpts) -> Self {
+        Self::measure_strategies(opts, &Strategy::ALL)
+    }
+
+    /// Measures a subset of strategies.
+    pub fn measure_strategies(opts: &HarnessOpts, strategies: &[Strategy]) -> Self {
+        let cfg = opts.vit_config();
+        let model = ViTModel::new(cfg, 2024);
+        let exec = ExecConfig::guarded(cfg.bitwidth);
+        let input = model.synthetic_input(7);
+        let mut gpu = Gpu::orin();
+        let mut runs = Vec::new();
+        for &s in strategies {
+            eprintln!("  [suite] running ViT under {} ...", s.name());
+            let run = run_vit(&mut gpu, &model, &input, s, &exec, opts.blocks);
+            runs.push((s, run));
+        }
+        Self { model, exec, runs }
+    }
+
+    /// The run of one strategy.
+    ///
+    /// # Panics
+    /// Panics if the strategy was not measured.
+    pub fn run(&self, s: Strategy) -> &VitRun {
+        &self
+            .runs
+            .iter()
+            .find(|(x, _)| *x == s)
+            .unwrap_or_else(|| panic!("strategy {} not measured", s.name()))
+            .1
+    }
+}

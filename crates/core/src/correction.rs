@@ -1,0 +1,162 @@
+//! Bias (zero-point) correction for biased-lane SWAR dot products.
+//!
+//! With biased codes `a' = a + Za` and `b' = b + Zb`, a length-`K` dot
+//! product satisfies
+//!
+//! ```text
+//! sum(a' * b') = sum(a*b) + Zb * sum(a) + Za * sum(b) + K * Za * Zb
+//! ```
+//!
+//! so the true signed result is recovered from the biased lane sum with one
+//! constant per (output row, output column) pair:
+//!
+//! ```text
+//! C[i][j] = S[i][j] - Zb * rowsum_A[i] - Za * colsum_B[j] - K * Za * Zb
+//! ```
+//!
+//! `rowsum_A` is computed once per weight matrix (setup time, like the
+//! paper's one-off weight conversion); `colsum_B` is computed during input
+//! preprocessing. Neither touches the GEMM inner loop, preserving the
+//! paper's "a single multiplication completes the packed multiplications"
+//! property.
+
+use crate::policy::PackSpec;
+use vitbit_tensor::Matrix;
+
+/// Precomputed bias-correction context for one GEMM.
+#[derive(Debug, Clone)]
+pub struct BiasCorrection {
+    /// Value-side bias `Zb = 2^(b-1)`.
+    pub zb: i64,
+    /// Weight-side bias `Za = 2^(w-1)`.
+    pub za: i64,
+    /// Dot-product length `K`.
+    pub k: i64,
+    /// Per-row signed sums of the weight matrix A (`M` entries).
+    pub rowsum_a: Vec<i64>,
+    /// Per-column signed sums of the input matrix B (`N` entries).
+    pub colsum_b: Vec<i64>,
+}
+
+impl BiasCorrection {
+    /// Builds the correction for `C = A (MxK) * B (KxN)` under `spec`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn new(spec: &PackSpec, a: &Matrix<i8>, b: &Matrix<i8>) -> Self {
+        assert_eq!(a.cols(), b.rows(), "inner dims of A and B");
+        let rowsum_a = (0..a.rows())
+            .map(|i| a.row(i).iter().map(|&x| i64::from(x)).sum())
+            .collect();
+        let mut colsum_b = vec![0i64; b.cols()];
+        for r in 0..b.rows() {
+            for (j, &x) in b.row(r).iter().enumerate() {
+                colsum_b[j] += i64::from(x);
+            }
+        }
+        Self {
+            zb: i64::from(spec.value_bias()),
+            za: i64::from(spec.weight_bias()),
+            k: a.cols() as i64,
+            rowsum_a,
+            colsum_b,
+        }
+    }
+
+    /// Recovers the signed dot product from a biased lane sum for output
+    /// element `(i, j)`.
+    #[inline]
+    pub fn apply(&self, biased_sum: u64, i: usize, j: usize) -> i64 {
+        biased_sum as i64
+            - self.zb * self.rowsum_a[i]
+            - self.za * self.colsum_b[j]
+            - self.k * self.za * self.zb
+    }
+
+    /// The constant part that does not depend on the output column; useful
+    /// when a kernel folds corrections into a per-row bias register.
+    #[inline]
+    pub fn row_constant(&self, i: usize) -> i64 {
+        -self.zb * self.rowsum_a[i] - self.k * self.za * self.zb
+    }
+
+    /// The per-column part (`-Za * colsum_B[j]`).
+    #[inline]
+    pub fn col_constant(&self, j: usize) -> i64 {
+        -self.za * self.colsum_b[j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::{encode_biased, encode_weight_biased};
+    use crate::policy::PackSpec;
+    use vitbit_tensor::refgemm::gemm_i8_i32;
+
+    fn biased_gemm_sum(
+        spec: &PackSpec,
+        a: &Matrix<i8>,
+        b: &Matrix<i8>,
+        i: usize,
+        j: usize,
+    ) -> u64 {
+        (0..a.cols())
+            .map(|k| {
+                let aw = encode_weight_biased(i32::from(a[(i, k)]), spec).unwrap();
+                let bv = encode_biased(i32::from(b[(k, j)]), spec).unwrap();
+                u64::from(aw) * u64::from(bv)
+            })
+            .sum()
+    }
+
+    #[test]
+    fn correction_recovers_signed_gemm() {
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let a = Matrix::from_fn(3, 7, |r, c| ((r * 7 + c) as i32 % 60 - 30) as i8);
+        let b = Matrix::from_fn(7, 4, |r, c| ((r * 4 + c) as i32 % 55 - 27) as i8);
+        let reference = gemm_i8_i32(&a, &b);
+        let corr = BiasCorrection::new(&spec, &a, &b);
+        for i in 0..3 {
+            for j in 0..4 {
+                let s = biased_gemm_sum(&spec, &a, &b, i, j);
+                assert_eq!(corr.apply(s, i, j), i64::from(reference[(i, j)]));
+            }
+        }
+    }
+
+    #[test]
+    fn row_and_col_constants_compose() {
+        let spec = PackSpec::guarded(4, 4).unwrap();
+        let a = Matrix::from_fn(2, 5, |r, c| ((r + c) as i32 % 15 - 7) as i8);
+        let b = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) as i32 % 14 - 8) as i8);
+        let corr = BiasCorrection::new(&spec, &a, &b);
+        for i in 0..2 {
+            for j in 0..3 {
+                let s = biased_gemm_sum(&spec, &a, &b, i, j);
+                let via_parts = s as i64 + corr.row_constant(i) + corr.col_constant(j);
+                assert_eq!(via_parts, corr.apply(s, i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn correction_handles_extremes() {
+        let spec = PackSpec::guarded(8, 8).unwrap();
+        let a = Matrix::from_fn(1, 4, |_, _| -128i8);
+        let b = Matrix::from_fn(4, 1, |_, _| 127i8);
+        let reference = gemm_i8_i32(&a, &b);
+        let corr = BiasCorrection::new(&spec, &a, &b);
+        let s = biased_gemm_sum(&spec, &a, &b, 0, 0);
+        assert_eq!(corr.apply(s, 0, 0), i64::from(reference[(0, 0)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn mismatched_inner_dims_panic() {
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let a: Matrix<i8> = Matrix::zeros(2, 3);
+        let b: Matrix<i8> = Matrix::zeros(4, 2);
+        let _ = BiasCorrection::new(&spec, &a, &b);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for packing operations.
+
+use std::fmt;
+
+/// Errors raised by packing, preprocessing and SWAR operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackError {
+    /// A code does not fit the signed range of the configured bitwidth.
+    CodeOutOfRange {
+        /// Offending value.
+        value: i32,
+        /// Configured value bitwidth.
+        bitwidth: u32,
+    },
+    /// Requested bitwidth outside the supported `1..=32` range.
+    InvalidBitwidth(u32),
+    /// A slice length is not a multiple of the packing factor.
+    LengthNotLaneMultiple {
+        /// Slice length.
+        len: usize,
+        /// Packing factor (values per register).
+        lanes: u32,
+    },
+    /// No lane configuration satisfies the guard-bit constraint for these
+    /// operand widths (single products would already overflow a lane).
+    NoFeasibleLanes {
+        /// Value bitwidth.
+        bitwidth: u32,
+        /// Weight bitwidth.
+        weight_bitwidth: u32,
+    },
+    /// A matrix split was requested with widths that do not add up.
+    BadSplit(String),
+}
+
+impl fmt::Display for PackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::CodeOutOfRange { value, bitwidth } => {
+                write!(f, "code {value} outside signed {bitwidth}-bit range")
+            }
+            Self::InvalidBitwidth(b) => write!(f, "bitwidth {b} outside 1..=32"),
+            Self::LengthNotLaneMultiple { len, lanes } => {
+                write!(f, "length {len} is not a multiple of {lanes} lanes")
+            }
+            Self::NoFeasibleLanes {
+                bitwidth,
+                weight_bitwidth,
+            } => write!(
+                f,
+                "no multi-lane packing fits {bitwidth}-bit values x {weight_bitwidth}-bit weights"
+            ),
+            Self::BadSplit(msg) => write!(f, "bad matrix split: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = PackError::CodeOutOfRange {
+            value: 200,
+            bitwidth: 8,
+        };
+        assert!(e.to_string().contains("200"));
+        assert!(e.to_string().contains("8-bit"));
+        assert!(PackError::InvalidBitwidth(40).to_string().contains("40"));
+        assert!(PackError::LengthNotLaneMultiple { len: 7, lanes: 2 }
+            .to_string()
+            .contains("7"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Host-side packed GEMM: a real CPU implementation of the VitBit packed
+//! INT-core kernel.
+//!
+//! Two register widths are provided:
+//!
+//! * [`packed_gemm`] works in `u32` registers — the exact functional model
+//!   of the GPU kernel (`vitbit-kernels` validates its simulated packed GEMM
+//!   against this);
+//! * [`packed_gemm_wide`] widens the same lane layout into `u64` host
+//!   registers (twice the lanes per multiply), which is how the technique
+//!   pays off on a 64-bit CPU. The Criterion bench `host_swar` measures its
+//!   genuine speedup over the scalar reference.
+
+use crate::correction::BiasCorrection;
+use crate::error::PackError;
+use crate::pack::{encode_weight_biased, pack_matrix_rows};
+use crate::policy::{PackPolicy, PackSpec};
+use crate::swar::PackedAcc;
+use vitbit_tensor::Matrix;
+
+/// Packed integer GEMM `C = A (MxK) * B (KxN)` using 32-bit SWAR registers.
+///
+/// `B`'s width must be a multiple of `spec.lanes`. Exact for
+/// [`PackPolicy::Guarded`]; under [`PackPolicy::Paper`] exact only when
+/// `K <= spec.max_safe_k()`.
+///
+/// # Errors
+/// Propagates packing errors (lane-multiple width, code range).
+pub fn packed_gemm(
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+    spec: &PackSpec,
+) -> Result<Matrix<i32>, PackError> {
+    assert_eq!(a.cols(), b.rows(), "inner dims of A and B");
+    let packed_b = pack_matrix_rows(b, spec)?;
+    let corr = BiasCorrection::new(spec, a, b);
+    let a_codes = encode_weight_matrix(a, spec)?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let lanes = spec.lanes as usize;
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a_codes.row(i);
+        for jg in 0..packed_b.cols() {
+            let mut acc = PackedAcc::new(*spec);
+            for kk in 0..k {
+                acc.mac(arow[kk], packed_b[(kk, jg)]);
+            }
+            let sums = acc.finish();
+            for (p, &s) in sums.iter().enumerate() {
+                let j = jg * lanes + p;
+                c[(i, j)] = corr.apply(s, i, j) as i32;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// Packed integer GEMM using 64-bit host registers: same lane width as
+/// `spec`, but `64 / lane_bits` lanes per multiply.
+///
+/// # Errors
+/// Propagates packing errors. `B`'s width must be a multiple of the *wide*
+/// lane count.
+pub fn packed_gemm_wide(
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+    spec: &PackSpec,
+) -> Result<Matrix<i32>, PackError> {
+    assert_eq!(a.cols(), b.rows(), "inner dims of A and B");
+    let lane_bits = spec.lane_bits;
+    let wide_lanes = (64 / lane_bits) as usize;
+    if !b.cols().is_multiple_of(wide_lanes) {
+        return Err(PackError::LengthNotLaneMultiple {
+            len: b.cols(),
+            lanes: wide_lanes as u32,
+        });
+    }
+    let corr = BiasCorrection::new(spec, a, b);
+    let a_codes = encode_weight_matrix(a, spec)?;
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let vbias = spec.value_bias();
+
+    // Pack B rows into u64 registers, first element in the highest lane.
+    let packed_cols = n / wide_lanes;
+    let mut packed = vec![0u64; k * packed_cols];
+    for r in 0..k {
+        for jg in 0..packed_cols {
+            let mut reg = 0u64;
+            for p in 0..wide_lanes {
+                let v = i32::from(b[(r, jg * wide_lanes + p)]);
+                if v < -vbias || v > vbias - 1 {
+                    return Err(PackError::CodeOutOfRange {
+                        value: v,
+                        bitwidth: spec.bitwidth,
+                    });
+                }
+                let code = (v + vbias) as u64;
+                reg |= code << (lane_bits as usize * (wide_lanes - 1 - p));
+            }
+            packed[r * packed_cols + jg] = reg;
+        }
+    }
+
+    let chunk = spec.chunk_len().max(1) as usize;
+    let mask = (1u64 << lane_bits) - 1;
+    let mut c = Matrix::zeros(m, n);
+    // k-outer / register-inner loop order: the inner sweep over packed
+    // registers is contiguous (cache- and autovectorizer-friendly), with
+    // one guarded-spill pass over all accumulators every `chunk` steps.
+    let mut accs = vec![0u64; packed_cols];
+    let mut wide_sums = vec![0u64; packed_cols * wide_lanes];
+    for i in 0..m {
+        let arow = a_codes.row(i);
+        accs.iter_mut().for_each(|x| *x = 0);
+        wide_sums.iter_mut().for_each(|x| *x = 0);
+        let mut steps = 0usize;
+        for kk in 0..k {
+            if steps == chunk {
+                for (jg, acc) in accs.iter_mut().enumerate() {
+                    spill_u64(*acc, lane_bits, wide_lanes, mask,
+                        &mut wide_sums[jg * wide_lanes..(jg + 1) * wide_lanes]);
+                    *acc = 0;
+                }
+                steps = 0;
+            }
+            let av = u64::from(arow[kk]);
+            let row = &packed[kk * packed_cols..(kk + 1) * packed_cols];
+            for (acc, &reg) in accs.iter_mut().zip(row) {
+                *acc = acc.wrapping_add(av.wrapping_mul(reg));
+            }
+            steps += 1;
+        }
+        for (jg, acc) in accs.iter_mut().enumerate() {
+            spill_u64(*acc, lane_bits, wide_lanes, mask,
+                &mut wide_sums[jg * wide_lanes..(jg + 1) * wide_lanes]);
+            *acc = 0;
+        }
+        for jg in 0..packed_cols {
+            for p in 0..wide_lanes {
+                let j = jg * wide_lanes + p;
+                c[(i, j)] = corr.apply(wide_sums[jg * wide_lanes + p], i, j) as i32;
+            }
+        }
+    }
+    Ok(c)
+}
+
+#[inline]
+fn spill_u64(acc: u64, lane_bits: u32, wide_lanes: usize, mask: u64, sums: &mut [u64]) {
+    for (p, s) in sums.iter_mut().enumerate() {
+        let shift = lane_bits as usize * (wide_lanes - 1 - p);
+        *s += (acc >> shift) & mask;
+    }
+}
+
+fn encode_weight_matrix(a: &Matrix<i8>, spec: &PackSpec) -> Result<Matrix<u32>, PackError> {
+    let mut data = Vec::with_capacity(a.len());
+    for r in 0..a.rows() {
+        for &w in a.row(r) {
+            data.push(encode_weight_biased(i32::from(w), spec)?);
+        }
+    }
+    Ok(Matrix::from_vec(a.rows(), a.cols(), data))
+}
+
+/// True when the paper (unguarded) policy would be exact for this GEMM's
+/// inner length under worst-case operands.
+pub fn paper_policy_exact_for(spec: &PackSpec, k: usize) -> bool {
+    spec.policy == PackPolicy::Guarded || k as u64 <= u64::from(spec.max_safe_k())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use vitbit_tensor::gen;
+    use vitbit_tensor::refgemm::gemm_i8_i32;
+
+    fn clamp_matrix(m: &Matrix<i8>, bitwidth: u32) -> Matrix<i8> {
+        let hi = (1i32 << (bitwidth - 1)) - 1;
+        m.map(|x| i32::from(x).clamp(-hi - 1, hi) as i8)
+    }
+
+    #[test]
+    fn guarded_u32_matches_reference_int6() {
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let a = clamp_matrix(&gen::uniform_i8(9, 100, -32, 31, 1), 6);
+        let b = clamp_matrix(&gen::uniform_i8(100, 12, -32, 31, 2), 6);
+        let got = packed_gemm(&a, &b, &spec).unwrap();
+        assert_eq!(got, gemm_i8_i32(&a, &b));
+    }
+
+    #[test]
+    fn guarded_u32_matches_reference_int8_split_product() {
+        // chunk_len == 1: every step spills, still exact.
+        let spec = PackSpec::guarded(8, 8).unwrap();
+        let a = gen::uniform_i8(5, 64, -128, 127, 3);
+        let b = gen::uniform_i8(64, 8, -128, 127, 4);
+        let got = packed_gemm(&a, &b, &spec).unwrap();
+        assert_eq!(got, gemm_i8_i32(&a, &b));
+    }
+
+    #[test]
+    fn guarded_u32_matches_reference_int4_four_lanes() {
+        let spec = PackSpec::guarded(4, 4).unwrap();
+        let a = clamp_matrix(&gen::uniform_i8(7, 33, -8, 7, 5), 4);
+        let b = clamp_matrix(&gen::uniform_i8(33, 16, -8, 7, 6), 4);
+        let got = packed_gemm(&a, &b, &spec).unwrap();
+        assert_eq!(got, gemm_i8_i32(&a, &b));
+    }
+
+    #[test]
+    fn paper_policy_wraps_for_long_k_int8() {
+        let spec = PackSpec::paper(8).unwrap();
+        assert!(!paper_policy_exact_for(&spec, 768));
+        let a = Matrix::from_fn(1, 64, |_, _| 127i8);
+        let b = Matrix::from_fn(64, 2, |_, _| 127i8);
+        let got = packed_gemm(&a, &b, &spec).unwrap();
+        assert_ne!(got, gemm_i8_i32(&a, &b), "paper policy must wrap here");
+    }
+
+    #[test]
+    fn paper_policy_exact_for_short_k() {
+        let spec = PackSpec::paper(6).unwrap();
+        assert!(paper_policy_exact_for(&spec, 16));
+        let a = clamp_matrix(&gen::uniform_i8(3, 16, -32, 31, 7), 6);
+        let b = clamp_matrix(&gen::uniform_i8(16, 6, -32, 31, 8), 6);
+        let got = packed_gemm(&a, &b, &spec).unwrap();
+        assert_eq!(got, gemm_i8_i32(&a, &b));
+    }
+
+    #[test]
+    fn wide_u64_matches_reference() {
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        // wide lanes = 64/16 = 4; width must be a multiple of 4.
+        let a = clamp_matrix(&gen::uniform_i8(6, 80, -32, 31, 9), 6);
+        let b = clamp_matrix(&gen::uniform_i8(80, 12, -32, 31, 10), 6);
+        let got = packed_gemm_wide(&a, &b, &spec).unwrap();
+        assert_eq!(got, gemm_i8_i32(&a, &b));
+    }
+
+    #[test]
+    fn wide_rejects_bad_width() {
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let a: Matrix<i8> = Matrix::zeros(2, 4);
+        let b: Matrix<i8> = Matrix::zeros(4, 6); // 6 % 4 != 0
+        assert!(matches!(
+            packed_gemm_wide(&a, &b, &spec),
+            Err(PackError::LengthNotLaneMultiple { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_codes() {
+        let spec = PackSpec::guarded(4, 4).unwrap();
+        let a = Matrix::from_vec(1, 1, vec![3i8]);
+        let b = Matrix::from_vec(1, 4, vec![100i8, 0, 0, 0]);
+        assert!(matches!(
+            packed_gemm(&a, &b, &spec),
+            Err(PackError::CodeOutOfRange { .. })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_guarded_gemm_exact(
+            bitwidth in 4u32..=8,
+            m in 1usize..6,
+            k in 1usize..48,
+            jg in 1usize..5,
+            seed in 0u64..500,
+        ) {
+            let spec = PackSpec::guarded(bitwidth, bitwidth).unwrap();
+            let n = jg * spec.lanes as usize;
+            let hi = (1i32 << (bitwidth - 1)) - 1;
+            let a = clamp_matrix(&gen::uniform_i8(m, k, (-hi - 1) as i8, hi as i8, seed), bitwidth);
+            let b = clamp_matrix(&gen::uniform_i8(k, n, (-hi - 1) as i8, hi as i8, seed + 1), bitwidth);
+            let got = packed_gemm(&a, &b, &spec).unwrap();
+            prop_assert_eq!(got, gemm_i8_i32(&a, &b));
+        }
+
+        #[test]
+        fn prop_wide_gemm_exact(
+            bitwidth in prop::sample::select(vec![4u32, 6, 7, 8]),
+            k in 1usize..40,
+            seed in 0u64..500,
+        ) {
+            let spec = PackSpec::guarded(bitwidth, bitwidth).unwrap();
+            let wide = (64 / spec.lane_bits) as usize;
+            let n = 2 * wide;
+            let hi = (1i32 << (bitwidth - 1)) - 1;
+            let a = clamp_matrix(&gen::uniform_i8(3, k, (-hi - 1) as i8, hi as i8, seed), bitwidth);
+            let b = clamp_matrix(&gen::uniform_i8(k, n, (-hi - 1) as i8, hi as i8, seed + 7), bitwidth);
+            let got = packed_gemm_wide(&a, &b, &spec).unwrap();
+            prop_assert_eq!(got, gemm_i8_i32(&a, &b));
+        }
+    }
+}

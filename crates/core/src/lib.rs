@@ -1,0 +1,56 @@
+//! # VitBit core: register operand packing
+//!
+//! This crate implements the paper's primary contribution — *register operand
+//! packing* — as a host-usable library:
+//!
+//! * [`policy`] — the Figure-3 packing policy (how many `b`-bit values fit a
+//!   32-bit register) plus a guard-bit-aware *guarded* policy that makes
+//!   packed accumulation exact for arbitrarily long dot products;
+//! * [`pack`] — biased-code encoding and lane packing/unpacking;
+//! * [`swar`] — SWAR (SIMD-within-a-register) multiply-accumulate with
+//!   chunked lane spilling;
+//! * [`correction`] — the zero-point-style correction that recovers signed
+//!   results from biased-unsigned lane arithmetic;
+//! * [`preprocess`] — Algorithm 1: splitting the input matrix **B** into
+//!   B1 (packed, INT cores), B2 (converted, FP cores) and B3 (Tensor cores),
+//!   and duplicating the weight matrix **A** into INT/FP copies;
+//! * [`ratio`] — Equation 1 and the Tensor-vs-CUDA split ratio *m* derived
+//!   from measured kernel times (the paper's Section 3.2 initial study);
+//! * [`host`] — a real CPU SWAR GEMM (u32 and u64 registers) used both as an
+//!   executable model of the packed INT-core kernel and as a genuine host
+//!   speedup demonstrated by the Criterion benches.
+//!
+//! ## Why biased encoding?
+//!
+//! The paper packs values "separated by zero-padding" and multiplies the
+//! packed register by a zero-masked operand. With two's-complement lanes a
+//! negative lane would sign-extend into its neighbours, so packed lanes must
+//! be non-negative. We therefore store each `b`-bit signed code `v` as the
+//! biased code `v + 2^(b-1)`, and fold the bias out of the final dot product
+//! exactly like a quantization zero point (see [`correction`]). The
+//! correction is a per-row/per-column constant — the same "no extra work in
+//! the inner loop" property the paper claims.
+//!
+//! ## Exactness
+//!
+//! [`policy::PackPolicy::Paper`] reproduces Figure 3 literally (no guard
+//! bits); its lane accumulators are exact only while the running lane sums
+//! fit, i.e. for dot products no longer than [`policy::PackSpec::max_safe_k`].
+//! [`policy::PackPolicy::Guarded`] spills lanes into wide accumulators every
+//! `chunk_len` steps and is exact for every length — the property tests in
+//! this crate prove both statements.
+
+pub mod correction;
+pub mod error;
+pub mod host;
+pub mod pack;
+pub mod policy;
+pub mod preprocess;
+pub mod ratio;
+pub mod swar;
+
+pub use error::PackError;
+pub use pack::{decode_biased, encode_biased, pack_codes, unpack_codes};
+pub use policy::{PackPolicy, PackSpec};
+pub use preprocess::{preprocess_input, preprocess_weights, Preprocessed, SplitWidths};
+pub use ratio::{determine_core_ratio, CoreRatio};

@@ -1,0 +1,253 @@
+//! Biased-code encoding and lane packing.
+//!
+//! Signed `b`-bit codes are stored in lanes as *biased* (excess-`2^(b-1)`)
+//! unsigned values so that SWAR products never sign-extend across lane
+//! boundaries. Algorithm 1 in the paper packs element `i*n + p` at bit
+//! offset `bitwidth * (n - (p+1))`; equivalently, within one register the
+//! *first* of the `n` consecutive values occupies the most significant lane.
+//! We keep that ordering.
+
+use crate::error::PackError;
+use crate::policy::PackSpec;
+use vitbit_tensor::Matrix;
+
+/// Encodes a signed code into its biased lane representation.
+///
+/// # Errors
+/// [`PackError::CodeOutOfRange`] when `v` exceeds the signed `b`-bit range.
+#[inline]
+pub fn encode_biased(v: i32, spec: &PackSpec) -> Result<u32, PackError> {
+    let bias = spec.value_bias();
+    let lo = -bias;
+    let hi = bias - 1;
+    if v < lo || v > hi {
+        return Err(PackError::CodeOutOfRange {
+            value: v,
+            bitwidth: spec.bitwidth,
+        });
+    }
+    Ok((v + bias) as u32)
+}
+
+/// Inverse of [`encode_biased`].
+#[inline]
+pub fn decode_biased(code: u32, spec: &PackSpec) -> i32 {
+    code as i32 - spec.value_bias()
+}
+
+/// Encodes a signed *weight* code into biased form.
+///
+/// # Errors
+/// [`PackError::CodeOutOfRange`] when `w` exceeds the signed range.
+#[inline]
+pub fn encode_weight_biased(w: i32, spec: &PackSpec) -> Result<u32, PackError> {
+    let bias = spec.weight_bias();
+    if w < -bias || w > bias - 1 {
+        return Err(PackError::CodeOutOfRange {
+            value: w,
+            bitwidth: spec.weight_bitwidth,
+        });
+    }
+    Ok((w + bias) as u32)
+}
+
+/// Packs a slice of signed codes into registers, `spec.lanes` per register.
+///
+/// Element `i*n + p` of the slice lands in the `(n-1-p)`-th lane (most
+/// significant lane first), matching Algorithm 1's shift placement.
+///
+/// # Errors
+/// * [`PackError::LengthNotLaneMultiple`] unless `codes.len() % lanes == 0`;
+/// * [`PackError::CodeOutOfRange`] for any out-of-range code.
+pub fn pack_codes(codes: &[i8], spec: &PackSpec) -> Result<Vec<u32>, PackError> {
+    let n = spec.lanes as usize;
+    if !codes.len().is_multiple_of(n) {
+        return Err(PackError::LengthNotLaneMultiple {
+            len: codes.len(),
+            lanes: spec.lanes,
+        });
+    }
+    let mut out = Vec::with_capacity(codes.len() / n);
+    for group in codes.chunks_exact(n) {
+        let mut reg = 0u32;
+        for (p, &v) in group.iter().enumerate() {
+            let lane = spec.lanes - 1 - p as u32;
+            reg |= encode_biased(i32::from(v), spec)? << spec.lane_shift(lane);
+        }
+        out.push(reg);
+    }
+    Ok(out)
+}
+
+/// Unpacks registers back into signed codes (inverse of [`pack_codes`]).
+pub fn unpack_codes(regs: &[u32], spec: &PackSpec) -> Vec<i8> {
+    let n = spec.lanes as usize;
+    let mut out = Vec::with_capacity(regs.len() * n);
+    for &reg in regs {
+        for p in 0..n {
+            let lane = spec.lanes - 1 - p as u32;
+            let code = (reg >> spec.lane_shift(lane)) & spec.lane_mask();
+            out.push(decode_biased(code, spec) as i8);
+        }
+    }
+    out
+}
+
+/// Extracts the biased lane values of one register, most significant lane
+/// (i.e. first packed element) first.
+pub fn lanes_of(reg: u32, spec: &PackSpec) -> Vec<u32> {
+    (0..spec.lanes)
+        .rev()
+        .map(|lane| (reg >> spec.lane_shift(lane)) & spec.lane_mask())
+        .collect()
+}
+
+/// Packs a `K x N1` signed matrix row-wise into a `K x (N1/lanes)` register
+/// matrix: each row's consecutive `lanes` columns share a register. This is
+/// the layout the packed-INT GEMM consumes (values that multiply the same
+/// weight element sit in one register).
+///
+/// # Errors
+/// Propagates [`pack_codes`] errors (width must be a lane multiple).
+pub fn pack_matrix_rows(b1: &Matrix<i8>, spec: &PackSpec) -> Result<Matrix<u32>, PackError> {
+    let n = spec.lanes as usize;
+    if !b1.cols().is_multiple_of(n) {
+        return Err(PackError::LengthNotLaneMultiple {
+            len: b1.cols(),
+            lanes: spec.lanes,
+        });
+    }
+    let packed_cols = b1.cols() / n;
+    let mut data = Vec::with_capacity(b1.rows() * packed_cols);
+    for r in 0..b1.rows() {
+        data.extend(pack_codes(b1.row(r), spec)?);
+    }
+    Ok(Matrix::from_vec(b1.rows(), packed_cols, data))
+}
+
+/// Inverse of [`pack_matrix_rows`].
+pub fn unpack_matrix_rows(packed: &Matrix<u32>, spec: &PackSpec) -> Matrix<i8> {
+    let n = spec.lanes as usize;
+    let mut data = Vec::with_capacity(packed.len() * n);
+    for r in 0..packed.rows() {
+        data.extend(unpack_codes(packed.row(r), spec));
+    }
+    Matrix::from_vec(packed.rows(), packed.cols() * n, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spec6() -> PackSpec {
+        PackSpec::guarded(6, 6).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_round_trip_all_values() {
+        let spec = spec6();
+        for v in -32..=31 {
+            let code = encode_biased(v, &spec).unwrap();
+            assert!(code <= 63);
+            assert_eq!(decode_biased(code, &spec), v);
+        }
+    }
+
+    #[test]
+    fn encode_rejects_out_of_range() {
+        let spec = spec6();
+        assert!(encode_biased(32, &spec).is_err());
+        assert!(encode_biased(-33, &spec).is_err());
+    }
+
+    #[test]
+    fn pack_places_first_value_in_high_lane() {
+        let spec = PackSpec::paper(8).unwrap(); // 2 lanes of 16 bits
+        // codes 1 and 2 -> biased 129, 130; first element in upper lane.
+        let regs = pack_codes(&[1, 2], &spec).unwrap();
+        assert_eq!(regs, vec![(129 << 16) | 130]);
+    }
+
+    #[test]
+    fn pack_rejects_non_multiple_length() {
+        let spec = spec6();
+        assert_eq!(
+            pack_codes(&[1, 2, 3], &spec).unwrap_err(),
+            PackError::LengthNotLaneMultiple { len: 3, lanes: 2 }
+        );
+    }
+
+    #[test]
+    fn four_lane_packing_layout() {
+        let spec = PackSpec::paper(4).unwrap(); // 4 lanes of 8 bits
+        let regs = pack_codes(&[-8, 0, 3, 7], &spec).unwrap();
+        // biased: 0, 8, 11, 15; first element highest lane.
+        assert_eq!(regs, vec![(11 << 8) | 15 | (8 << 16)]);
+        assert_eq!(unpack_codes(&regs, &spec), vec![-8, 0, 3, 7]);
+    }
+
+    #[test]
+    fn lanes_of_returns_msb_first() {
+        let spec = PackSpec::paper(8).unwrap();
+        let reg = (200u32 << 16) | 7;
+        assert_eq!(lanes_of(reg, &spec), vec![200, 7]);
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let spec = spec6();
+        let m = Matrix::from_fn(5, 8, |r, c| ((r as i32 * 8 + c as i32) % 60 - 30) as i8);
+        let packed = pack_matrix_rows(&m, &spec).unwrap();
+        assert_eq!(packed.shape(), (5, 4));
+        assert_eq!(unpack_matrix_rows(&packed, &spec), m);
+    }
+
+    #[test]
+    fn matrix_pack_needs_lane_multiple_width() {
+        let spec = spec6();
+        let m: Matrix<i8> = Matrix::zeros(3, 5);
+        assert!(pack_matrix_rows(&m, &spec).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pack_unpack_round_trip(
+            bitwidth in 1u32..=8,
+            values in proptest::collection::vec(-128i16..=127, 0..64),
+        ) {
+            let spec = PackSpec::paper(bitwidth).unwrap();
+            let bias = spec.value_bias();
+            // Clamp into range, truncate to a lane multiple.
+            let n = spec.lanes as usize;
+            let len = values.len() / n * n;
+            let codes: Vec<i8> = values[..len]
+                .iter()
+                .map(|&v| (i32::from(v).clamp(-bias, bias - 1)) as i8)
+                .collect();
+            let packed = pack_codes(&codes, &spec).unwrap();
+            prop_assert_eq!(unpack_codes(&packed, &spec), codes);
+        }
+
+        #[test]
+        fn prop_lanes_never_collide(
+            bitwidth in 1u32..=8,
+            seed_vals in proptest::collection::vec(0u32..256, 4),
+        ) {
+            let spec = PackSpec::paper(bitwidth).unwrap();
+            let n = spec.lanes as usize;
+            let codes: Vec<i8> = (0..n)
+                .map(|i| {
+                    let bias = spec.value_bias();
+                    ((seed_vals[i % seed_vals.len()] % (2 * bias as u32)) as i32 - bias) as i8
+                })
+                .collect();
+            let reg = pack_codes(&codes, &spec).unwrap()[0];
+            // Reconstructing lane-by-lane must match the original codes.
+            let lanes = lanes_of(reg, &spec);
+            for (p, &c) in codes.iter().enumerate() {
+                prop_assert_eq!(decode_biased(lanes[p], &spec), i32::from(c));
+            }
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! The VitBit packing policy (paper Figure 3) and its guarded refinement.
+//!
+//! A [`PackSpec`] fixes, for one GEMM-like operation, how many `b`-bit input
+//! values share a 32-bit register, how wide each lane is, and for how many
+//! multiply-accumulate steps the packed accumulator may run before its lanes
+//! must be spilled into full-width accumulators.
+//!
+//! Figure 3 of the paper assigns lane counts purely from the value bitwidth:
+//!
+//! | value bitwidth | values per register | lane width |
+//! |---|---|---|
+//! | 9..=32 | 1 (zero-masking) | 32 |
+//! | 6..=8  | 2 | 16 |
+//! | 5      | 3 | 10 |
+//! | 1..=4  | 4 | 8 |
+//!
+//! The paper's policy reserves exactly `2b` bits per product and no headroom
+//! for accumulation. The **guarded** policy keeps Figure 3's lane count but
+//! computes the number of accumulations that provably fit
+//! ([`PackSpec::chunk_len`]); the packed GEMM kernels spill lanes at that
+//! period, which preserves exactness for any dot-product length.
+
+use crate::error::PackError;
+
+/// Which overflow discipline a [`PackSpec`] follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PackPolicy {
+    /// Figure 3 verbatim: no guard bits, no spilling. Exact only while the
+    /// running lane sums fit (`k <= max_safe_k`); wraps silently beyond,
+    /// like the hardware would.
+    Paper,
+    /// Same lane count, but packed accumulation is broken into chunks of
+    /// `chunk_len` steps with lane spills in between; exact for every `k`.
+    Guarded,
+}
+
+/// A complete packing configuration for one operand pairing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PackSpec {
+    /// Bitwidth of the packed values (the input matrix B side).
+    pub bitwidth: u32,
+    /// Bitwidth of the scalar multiplier (the weight matrix A side).
+    pub weight_bitwidth: u32,
+    /// Values packed per 32-bit register (`n` in the paper).
+    pub lanes: u32,
+    /// Width in bits of each lane.
+    pub lane_bits: u32,
+    /// Overflow discipline.
+    pub policy: PackPolicy,
+}
+
+/// Figure 3 lane count for a value bitwidth.
+///
+/// # Errors
+/// Returns [`PackError::InvalidBitwidth`] outside `1..=32`.
+pub fn lanes_for_bitwidth(bitwidth: u32) -> Result<u32, PackError> {
+    match bitwidth {
+        9..=32 => Ok(1),
+        6..=8 => Ok(2),
+        5 => Ok(3),
+        1..=4 => Ok(4),
+        _ => Err(PackError::InvalidBitwidth(bitwidth)),
+    }
+}
+
+impl PackSpec {
+    /// The paper's Figure-3 policy for `bitwidth`-bit values multiplied by
+    /// weights of the same bitwidth.
+    ///
+    /// # Errors
+    /// Propagates [`PackError::InvalidBitwidth`].
+    pub fn paper(bitwidth: u32) -> Result<Self, PackError> {
+        let lanes = lanes_for_bitwidth(bitwidth)?;
+        Ok(Self {
+            bitwidth,
+            weight_bitwidth: bitwidth,
+            lanes,
+            lane_bits: 32 / lanes,
+            policy: PackPolicy::Paper,
+        })
+    }
+
+    /// Guarded policy: Figure 3's lane count, spilling often enough that
+    /// packed accumulation is exact for any dot-product length.
+    ///
+    /// # Errors
+    /// [`PackError::InvalidBitwidth`] for bad widths, or
+    /// [`PackError::NoFeasibleLanes`] when even a single product of these
+    /// operand widths cannot fit a lane (the kernel must fall back to
+    /// zero-masking, i.e. `lanes == 1`).
+    pub fn guarded(bitwidth: u32, weight_bitwidth: u32) -> Result<Self, PackError> {
+        if !(1..=32).contains(&weight_bitwidth) {
+            return Err(PackError::InvalidBitwidth(weight_bitwidth));
+        }
+        let lanes = lanes_for_bitwidth(bitwidth)?;
+        let spec = Self {
+            bitwidth,
+            weight_bitwidth,
+            lanes,
+            lane_bits: 32 / lanes,
+            policy: PackPolicy::Guarded,
+        };
+        if lanes > 1 && spec.chunk_len() == 0 {
+            return Err(PackError::NoFeasibleLanes {
+                bitwidth,
+                weight_bitwidth,
+            });
+        }
+        Ok(spec)
+    }
+
+    /// Zero-masking fallback: one value per register (used for bitwidths
+    /// of 9 or more, Figure 3(a), and as the non-packed baseline).
+    pub fn masked(bitwidth: u32) -> Self {
+        Self {
+            bitwidth,
+            weight_bitwidth: bitwidth,
+            lanes: 1,
+            lane_bits: 32,
+            policy: PackPolicy::Guarded,
+        }
+    }
+
+    /// Maximum biased (unsigned) code of a packed value: `2^b - 1`.
+    #[inline]
+    pub fn max_value_code(&self) -> u32 {
+        if self.bitwidth >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.bitwidth) - 1
+        }
+    }
+
+    /// Maximum biased (unsigned) code of a weight: `2^w - 1`.
+    #[inline]
+    pub fn max_weight_code(&self) -> u32 {
+        if self.weight_bitwidth >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.weight_bitwidth) - 1
+        }
+    }
+
+    /// Largest single lane product under this spec.
+    #[inline]
+    pub fn max_lane_product(&self) -> u64 {
+        u64::from(self.max_value_code()) * u64::from(self.max_weight_code())
+    }
+
+    /// How many multiply-accumulate steps a packed accumulator can absorb
+    /// before a lane could overflow, assuming worst-case operands.
+    ///
+    /// Returns 0 when a *single* product already overflows the lane (the
+    /// spec is infeasible for multi-lane use); `u32::MAX` for the unpacked
+    /// (`lanes == 1`) case where the 32-bit accumulator discipline of the
+    /// surrounding kernel applies instead.
+    pub fn chunk_len(&self) -> u32 {
+        if self.lanes == 1 {
+            return u32::MAX;
+        }
+        let lane_cap = (1u64 << self.lane_bits) - 1;
+        let per_step = self.max_lane_product();
+        if per_step == 0 {
+            return u32::MAX;
+        }
+        u64::min(lane_cap / per_step, u64::from(u32::MAX)) as u32
+    }
+
+    /// Longest dot product for which the **paper** policy stays exact with
+    /// worst-case operands. Identical to [`Self::chunk_len`]; named for use
+    /// in feasibility reporting.
+    pub fn max_safe_k(&self) -> u32 {
+        self.chunk_len()
+    }
+
+    /// Bit position of lane `lane` (0 = least significant lane).
+    ///
+    /// Algorithm 1 places element `i*n + p` at shift
+    /// `bitwidth * (n - (p+1))`; lane index here counts from the least
+    /// significant lane, so lane `l` sits at `l * lane_bits`.
+    #[inline]
+    pub fn lane_shift(&self, lane: u32) -> u32 {
+        debug_assert!(lane < self.lanes);
+        lane * self.lane_bits
+    }
+
+    /// Mask selecting one lane.
+    #[inline]
+    pub fn lane_mask(&self) -> u32 {
+        if self.lane_bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.lane_bits) - 1
+        }
+    }
+
+    /// Bias added to signed codes to make lanes non-negative: `2^(b-1)`.
+    #[inline]
+    pub fn value_bias(&self) -> i32 {
+        1i32 << (self.bitwidth - 1)
+    }
+
+    /// Bias added to signed weight codes: `2^(w-1)`.
+    #[inline]
+    pub fn weight_bias(&self) -> i32 {
+        1i32 << (self.weight_bitwidth - 1)
+    }
+
+    /// Estimated INT-pipe instructions per multiply-accumulate under this
+    /// spec, modelling `chunk_len` packed IMADs followed by two spill
+    /// instructions per lane (extract + add). The unpacked baseline is 1.
+    ///
+    /// This is the quantity that drives Equation 1's load balance and the
+    /// Figure-9 instruction-count reduction.
+    pub fn inst_per_mac(&self) -> f64 {
+        if self.lanes == 1 {
+            return 1.0;
+        }
+        match self.policy {
+            PackPolicy::Paper => 1.0 / f64::from(self.lanes),
+            PackPolicy::Guarded => {
+                let s = f64::from(self.chunk_len().max(1));
+                let spill = 2.0 * f64::from(self.lanes);
+                (s + spill) / (s * f64::from(self.lanes))
+            }
+        }
+    }
+
+    /// Effective packing speedup on INT math instructions
+    /// (`1 / inst_per_mac`); the paper's idealized value is `lanes`.
+    pub fn packing_gain(&self) -> f64 {
+        1.0 / self.inst_per_mac()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_lane_counts() {
+        assert_eq!(lanes_for_bitwidth(32).unwrap(), 1);
+        assert_eq!(lanes_for_bitwidth(9).unwrap(), 1);
+        assert_eq!(lanes_for_bitwidth(8).unwrap(), 2);
+        assert_eq!(lanes_for_bitwidth(7).unwrap(), 2);
+        assert_eq!(lanes_for_bitwidth(6).unwrap(), 2);
+        assert_eq!(lanes_for_bitwidth(5).unwrap(), 3);
+        assert_eq!(lanes_for_bitwidth(4).unwrap(), 4);
+        assert_eq!(lanes_for_bitwidth(1).unwrap(), 4);
+        assert!(lanes_for_bitwidth(0).is_err());
+        assert!(lanes_for_bitwidth(33).is_err());
+    }
+
+    #[test]
+    fn paper_spec_lane_geometry() {
+        let s8 = PackSpec::paper(8).unwrap();
+        assert_eq!((s8.lanes, s8.lane_bits), (2, 16));
+        let s5 = PackSpec::paper(5).unwrap();
+        assert_eq!((s5.lanes, s5.lane_bits), (3, 10));
+        let s4 = PackSpec::paper(4).unwrap();
+        assert_eq!((s4.lanes, s4.lane_bits), (4, 8));
+        let s16 = PackSpec::paper(16).unwrap();
+        assert_eq!((s16.lanes, s16.lane_bits), (1, 32));
+    }
+
+    #[test]
+    fn chunk_lengths_match_hand_math() {
+        // b=w=8: product up to 255*255=65025, lane 16 bits -> 1 step.
+        assert_eq!(PackSpec::guarded(8, 8).unwrap().chunk_len(), 1);
+        // b=w=6: 63*63=3969, cap 65535 -> 16 steps.
+        assert_eq!(PackSpec::guarded(6, 6).unwrap().chunk_len(), 16);
+        // b=6, w=8: 63*255=16065 -> 4 steps.
+        assert_eq!(PackSpec::guarded(6, 8).unwrap().chunk_len(), 4);
+        // b=w=5: 31*31=961, cap 1023 -> 1 step.
+        assert_eq!(PackSpec::guarded(5, 5).unwrap().chunk_len(), 1);
+        // b=w=4: 15*15=225, cap 255 -> 1 step.
+        assert_eq!(PackSpec::guarded(4, 4).unwrap().chunk_len(), 1);
+        // b=4, w=2: 15*3=45, cap 255 -> 5 steps.
+        assert_eq!(PackSpec::guarded(4, 2).unwrap().chunk_len(), 5);
+    }
+
+    #[test]
+    fn guarded_rejects_overflowing_single_products() {
+        // b=5 (3 lanes of 10 bits), w=8: 31*255=7905 > 1023.
+        assert_eq!(
+            PackSpec::guarded(5, 8).unwrap_err(),
+            PackError::NoFeasibleLanes {
+                bitwidth: 5,
+                weight_bitwidth: 8
+            }
+        );
+    }
+
+    #[test]
+    fn masked_spec_is_single_lane() {
+        let s = PackSpec::masked(8);
+        assert_eq!(s.lanes, 1);
+        assert_eq!(s.chunk_len(), u32::MAX);
+        assert_eq!(s.inst_per_mac(), 1.0);
+    }
+
+    #[test]
+    fn lane_shift_and_mask() {
+        let s = PackSpec::paper(8).unwrap();
+        assert_eq!(s.lane_shift(0), 0);
+        assert_eq!(s.lane_shift(1), 16);
+        assert_eq!(s.lane_mask(), 0xFFFF);
+        let s5 = PackSpec::paper(5).unwrap();
+        assert_eq!(s5.lane_shift(2), 20);
+        assert_eq!(s5.lane_mask(), 0x3FF);
+    }
+
+    #[test]
+    fn biases_are_half_ranges() {
+        let s = PackSpec::guarded(6, 8).unwrap();
+        assert_eq!(s.value_bias(), 32);
+        assert_eq!(s.weight_bias(), 128);
+    }
+
+    #[test]
+    fn paper_policy_inst_per_mac_is_reciprocal_lanes() {
+        assert_eq!(PackSpec::paper(8).unwrap().inst_per_mac(), 0.5);
+        assert_eq!(PackSpec::paper(4).unwrap().inst_per_mac(), 0.25);
+    }
+
+    #[test]
+    fn guarded_gain_for_int6_is_substantial() {
+        // S=16, lanes=2: (16+4)/(16*2) = 0.625 insts/MAC -> 1.6x gain.
+        let s = PackSpec::guarded(6, 6).unwrap();
+        assert!((s.inst_per_mac() - 0.625).abs() < 1e-12);
+        assert!((s.packing_gain() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn guarded_int8_has_no_gain_but_is_exact() {
+        // S=1: (1+4)/2 = 2.5 insts/MAC -- packing INT8 with guards costs
+        // more instructions than zero-masking; the harness reports this.
+        let s = PackSpec::guarded(8, 8).unwrap();
+        assert!(s.inst_per_mac() > 1.0);
+    }
+
+    #[test]
+    fn max_safe_k_equals_chunk_len() {
+        for &(b, w) in &[(6u32, 6u32), (8, 8), (4, 4), (6, 8)] {
+            let s = PackSpec::guarded(b, w).unwrap();
+            assert_eq!(s.max_safe_k(), s.chunk_len());
+        }
+    }
+}

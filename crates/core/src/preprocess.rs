@@ -1,0 +1,250 @@
+//! Algorithm 1: VitBit input and weight preprocessing.
+//!
+//! The input matrix `B` (`K x N`, stored row-major with `K` rows as in a
+//! standard GEMM; the paper writes it `N x K` with `N` the "width") is split
+//! column-wise into three parts:
+//!
+//! * `B1` — columns for the **INT CUDA cores**, packed `lanes` per register;
+//! * `B2` — columns for the **FP CUDA cores**, converted to `f32`;
+//! * `B3` — columns for the **Tensor cores**, kept as zero-masked integers.
+//!
+//! Widths follow the paper: `N3 = N * m/(1+m)` (Tensor share), then the
+//! CUDA remainder is split `N1 : N2 = n : 1` (Equation 1), with `N1` rounded
+//! to whole registers. The weight matrix `A` is duplicated as `A1` (INT) and
+//! `A2` (f32), a one-off setup cost.
+
+use crate::error::PackError;
+use crate::pack::pack_matrix_rows;
+use crate::policy::PackSpec;
+use crate::ratio::{eq1_split, CoreRatio};
+use vitbit_tensor::Matrix;
+
+/// Column widths of the three-way split of the input matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitWidths {
+    /// Columns processed by INT CUDA cores (pre-packing).
+    pub n1: usize,
+    /// Registers per row after packing (`n1 / lanes`).
+    pub n1_packed: usize,
+    /// Columns processed by FP CUDA cores.
+    pub n2: usize,
+    /// Columns processed by Tensor cores.
+    pub n3: usize,
+}
+
+impl SplitWidths {
+    /// Computes the split for a total width `n_total` under core ratio
+    /// `ratio` and packing factor `spec.lanes`, exactly following
+    /// Algorithm 1 lines 3–6 (with `N1` rounded to whole registers).
+    ///
+    /// # Errors
+    /// [`PackError::BadSplit`] when the widths cannot be realized.
+    pub fn compute(n_total: usize, ratio: CoreRatio, spec: &PackSpec) -> Result<Self, PackError> {
+        if ratio.tc == 0 && ratio.cuda == 0 {
+            return Err(PackError::BadSplit("ratio 0:0".into()));
+        }
+        let denom = (ratio.tc + ratio.cuda) as usize;
+        let n3 = if ratio.cuda == 0 {
+            n_total
+        } else {
+            n_total * ratio.tc as usize / denom
+        };
+        let cuda = n_total - n3;
+        let (n1, n2) = eq1_split(cuda, spec.lanes)?;
+        Ok(Self {
+            n1,
+            n1_packed: n1 / spec.lanes as usize,
+            n2,
+            n3,
+        })
+    }
+
+    /// Total width this split covers.
+    pub fn total(&self) -> usize {
+        self.n1 + self.n2 + self.n3
+    }
+}
+
+/// Result of Algorithm 1 on one input matrix.
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    /// Packing configuration used.
+    pub spec: PackSpec,
+    /// Split widths.
+    pub widths: SplitWidths,
+    /// B1 columns before packing (kept for validation and corrections).
+    pub b1_raw: Matrix<i8>,
+    /// B1 packed `lanes` values per `u32` register, `K x n1_packed`.
+    pub b1_packed: Matrix<u32>,
+    /// B2 converted to f32, `K x n2`.
+    pub b2: Matrix<f32>,
+    /// B3 zero-masked integers for the Tensor cores, `K x n3`.
+    pub b3: Matrix<i8>,
+    /// Per-column signed sums of B1 (for the bias correction).
+    pub colsum_b1: Vec<i64>,
+}
+
+/// Runs Algorithm 1 on input matrix `b` (`K x N`).
+///
+/// # Errors
+/// Propagates split and packing failures (width rounding, code range).
+pub fn preprocess_input(
+    b: &Matrix<i8>,
+    spec: &PackSpec,
+    ratio: CoreRatio,
+) -> Result<Preprocessed, PackError> {
+    let widths = SplitWidths::compute(b.cols(), ratio, spec)?;
+    let b1_raw = b.slice_cols(0, widths.n1);
+    let b2_int = b.slice_cols(widths.n1, widths.n2);
+    let b3 = b.slice_cols(widths.n1 + widths.n2, widths.n3);
+    let b1_packed = pack_matrix_rows(&b1_raw, spec)?;
+    let b2 = b2_int.map(|x| x as f32);
+    let mut colsum_b1 = vec![0i64; widths.n1];
+    for r in 0..b1_raw.rows() {
+        for (j, &x) in b1_raw.row(r).iter().enumerate() {
+            colsum_b1[j] += i64::from(x);
+        }
+    }
+    Ok(Preprocessed {
+        spec: *spec,
+        widths,
+        b1_raw,
+        b1_packed,
+        b2,
+        b3,
+        colsum_b1,
+    })
+}
+
+/// Preprocessed weight matrix: the INT original plus its FP32 duplicate and
+/// the per-row sums needed by the bias correction. Built once at model-load
+/// time (the paper's "only required once during the initial setup").
+#[derive(Debug, Clone)]
+pub struct Weights {
+    /// Original integer weights (`M x K`).
+    pub a1: Matrix<i8>,
+    /// f32 duplicate for the FP CUDA cores.
+    pub a2: Matrix<f32>,
+    /// Per-row signed sums of `a1`.
+    pub rowsum: Vec<i64>,
+}
+
+/// Duplicates the weight matrix into INT and FP formats (paper Step 1).
+pub fn preprocess_weights(a: &Matrix<i8>) -> Weights {
+    let a2 = a.map(|x| x as f32);
+    let rowsum = (0..a.rows())
+        .map(|i| a.row(i).iter().map(|&x| i64::from(x)).sum())
+        .collect();
+    Weights {
+        a1: a.clone(),
+        a2,
+        rowsum,
+    }
+}
+
+/// Reassembles the three partial GEMM outputs into the full `M x N` result,
+/// inverting the column split.
+///
+/// # Panics
+/// Panics if row counts disagree.
+pub fn reassemble(c1: &Matrix<i32>, c2: &Matrix<i32>, c3: &Matrix<i32>) -> Matrix<i32> {
+    Matrix::concat_cols(&[c1, c2, c3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vitbit_tensor::gen;
+
+    fn spec6() -> PackSpec {
+        PackSpec::guarded(6, 6).unwrap()
+    }
+
+    #[test]
+    fn widths_follow_algorithm1() {
+        // N=768, m=4:1 -> N3 = 768*4/5 = 614; cuda = 154;
+        // eq1 with lanes=2: ideal 102 -> 102 (multiple of 2), N2 = 52.
+        let w = SplitWidths::compute(768, CoreRatio::PAPER, &spec6()).unwrap();
+        assert_eq!(w.n3, 614);
+        assert_eq!(w.n1, 102);
+        assert_eq!(w.n1_packed, 51);
+        assert_eq!(w.n2, 52);
+        assert_eq!(w.total(), 768);
+    }
+
+    #[test]
+    fn cuda_only_split_has_no_tc_share() {
+        let w = SplitWidths::compute(96, CoreRatio::CUDA_ONLY, &spec6()).unwrap();
+        assert_eq!(w.n3, 0);
+        assert_eq!((w.n1, w.n2), (64, 32));
+    }
+
+    #[test]
+    fn tc_only_split_assigns_everything_to_tc() {
+        let w = SplitWidths::compute(96, CoreRatio::TC_ONLY, &spec6()).unwrap();
+        assert_eq!(w.n3, 96);
+        assert_eq!((w.n1, w.n2), (0, 0));
+    }
+
+    #[test]
+    fn preprocess_partitions_columns_in_order() {
+        let spec = spec6();
+        let b = Matrix::from_fn(4, 20, |r, c| ((r * 20 + c) as i32 % 60 - 30) as i8);
+        let pre = preprocess_input(&b, &spec, CoreRatio { tc: 3, cuda: 1 }).unwrap();
+        // N3 = 15, cuda 5 -> n1 = 2 (lane multiple of ideal 3), n2 = 3.
+        assert_eq!(pre.widths.n3, 15);
+        assert_eq!(pre.widths.n1, 2);
+        assert_eq!(pre.widths.n2, 3);
+        assert_eq!(pre.b1_raw[(1, 0)], b[(1, 0)]);
+        assert_eq!(pre.b2[(2, 0)], f32::from(b[(2, 2)]));
+        assert_eq!(pre.b3[(3, 0)], b[(3, 5)]);
+    }
+
+    #[test]
+    fn preprocess_colsums_match_b1() {
+        let spec = spec6();
+        let b = gen::uniform_i8(6, 12, -30, 30, 77);
+        let pre = preprocess_input(&b, &spec, CoreRatio::CUDA_ONLY).unwrap();
+        for j in 0..pre.widths.n1 {
+            let want: i64 = (0..6).map(|r| i64::from(b[(r, j)])).sum();
+            assert_eq!(pre.colsum_b1[j], want);
+        }
+    }
+
+    #[test]
+    fn packed_matrix_has_register_width() {
+        let spec = spec6();
+        let b = gen::uniform_i8(3, 30, -30, 30, 5);
+        let pre = preprocess_input(&b, &spec, CoreRatio::CUDA_ONLY).unwrap();
+        assert_eq!(pre.b1_packed.shape(), (3, pre.widths.n1_packed));
+    }
+
+    #[test]
+    fn weights_duplicate_and_rowsum() {
+        let a = Matrix::from_vec(2, 3, vec![1i8, -2, 3, 4, 5, -6]);
+        let w = preprocess_weights(&a);
+        assert_eq!(w.a1, a);
+        assert_eq!(w.a2[(1, 2)], -6.0);
+        assert_eq!(w.rowsum, vec![2, 3]);
+    }
+
+    #[test]
+    fn reassemble_inverts_split() {
+        let spec = spec6();
+        let b = gen::uniform_i8(5, 40, -30, 30, 9);
+        let pre = preprocess_input(&b, &spec, CoreRatio::PAPER).unwrap();
+        let c1 = pre.b1_raw.map(i32::from);
+        let c2 = pre.b2.map(|x| x as i32);
+        let c3 = pre.b3.map(i32::from);
+        let full = reassemble(&c1, &c2, &c3);
+        assert_eq!(full, b.map(i32::from));
+    }
+
+    #[test]
+    fn zero_width_input() {
+        let spec = spec6();
+        let b: Matrix<i8> = Matrix::zeros(3, 0);
+        let pre = preprocess_input(&b, &spec, CoreRatio::PAPER).unwrap();
+        assert_eq!(pre.widths.total(), 0);
+    }
+}

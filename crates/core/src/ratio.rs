@@ -1,0 +1,134 @@
+//! Work-splitting ratios: the Tensor-vs-CUDA ratio *m* (Section 3.2) and the
+//! INT-vs-FP ratio *n* (Equation 1).
+//!
+//! The paper measures GEMM time on each core class and assigns matrix
+//! columns proportionally to core *speed*: Tensor cores get `m` shares and
+//! the (packed) CUDA cores one share, where `m` is the packed-CUDA /
+//! Tensor-core time ratio (≈ 4 on Jetson AGX Orin). Within the CUDA share,
+//! Equation 1 gives the INT cores `n` columns for every FP column, where `n`
+//! is the packing factor — equalizing the *instruction* load on the two
+//! pipes, since each packed INT instruction covers `n` values.
+
+use crate::error::PackError;
+
+/// Integer share ratio `tc : cuda` between Tensor cores and CUDA cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoreRatio {
+    /// Shares assigned to Tensor cores (the paper's `m`).
+    pub tc: u32,
+    /// Shares assigned to CUDA cores (always ≥ 1).
+    pub cuda: u32,
+}
+
+impl CoreRatio {
+    /// The paper's measured ratio for Jetson AGX Orin: 4 : 1.
+    pub const PAPER: Self = Self { tc: 4, cuda: 1 };
+
+    /// A CUDA-cores-only ratio (no Tensor-core share).
+    pub const CUDA_ONLY: Self = Self { tc: 0, cuda: 1 };
+
+    /// A Tensor-cores-only ratio.
+    pub const TC_ONLY: Self = Self { tc: 1, cuda: 0 };
+
+    /// Fraction of columns assigned to Tensor cores.
+    pub fn tc_fraction(&self) -> f64 {
+        f64::from(self.tc) / f64::from(self.tc + self.cuda)
+    }
+}
+
+/// Derives the ratio `m : 1` from measured kernel times, as in the paper's
+/// initial study: columns are split proportionally to core speed, so
+/// `m = round(time_cuda / time_tc)`, clamped to at least 1.
+///
+/// # Panics
+/// Panics if either time is non-positive.
+pub fn determine_core_ratio(time_tc: f64, time_cuda: f64) -> CoreRatio {
+    assert!(
+        time_tc > 0.0 && time_cuda > 0.0,
+        "kernel times must be positive: tc={time_tc}, cuda={time_cuda}"
+    );
+    let m = (time_cuda / time_tc).round().max(1.0) as u32;
+    CoreRatio { tc: m, cuda: 1 }
+}
+
+/// Splits a CUDA-core column count between INT and FP cores per Equation 1:
+/// `n1 : n2 = n : 1` with `n1` rounded to a multiple of `lanes` (so that it
+/// packs into whole registers). Returns `(n1, n2)`.
+///
+/// # Errors
+/// [`PackError::BadSplit`] if `lanes == 0`.
+pub fn eq1_split(cuda_cols: usize, lanes: u32) -> Result<(usize, usize), PackError> {
+    if lanes == 0 {
+        return Err(PackError::BadSplit("lanes must be >= 1".into()));
+    }
+    let n = lanes as usize;
+    // Ideal n1 = cuda * n/(n+1); round down to a lane multiple.
+    let ideal = cuda_cols * n / (n + 1);
+    let n1 = ideal / n * n;
+    Ok((n1, cuda_cols - n1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ratio_from_initial_study() {
+        // Section 3.2: packed CUDA GEMM is ~4x the TC time => m = 4.
+        assert_eq!(determine_core_ratio(1.0, 4.0), CoreRatio::PAPER);
+        assert_eq!(determine_core_ratio(1.0, 4.4), CoreRatio { tc: 4, cuda: 1 });
+        assert_eq!(determine_core_ratio(1.0, 6.5), CoreRatio { tc: 7, cuda: 1 });
+    }
+
+    #[test]
+    fn ratio_clamps_to_one() {
+        // A CUDA path faster than TC still gets at least 1:1.
+        assert_eq!(determine_core_ratio(2.0, 1.0), CoreRatio { tc: 1, cuda: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn ratio_rejects_zero_time() {
+        let _ = determine_core_ratio(0.0, 1.0);
+    }
+
+    #[test]
+    fn tc_fraction() {
+        assert!((CoreRatio::PAPER.tc_fraction() - 0.8).abs() < 1e-12);
+        assert_eq!(CoreRatio::CUDA_ONLY.tc_fraction(), 0.0);
+        assert_eq!(CoreRatio::TC_ONLY.tc_fraction(), 1.0);
+    }
+
+    #[test]
+    fn eq1_split_balances_instruction_load() {
+        // n = 2 lanes: 2/3 of columns to INT (each register covers 2), 1/3 FP.
+        let (n1, n2) = eq1_split(96, 2).unwrap();
+        assert_eq!((n1, n2), (64, 32));
+        // INT instructions ~ n1/2 = 32 == FP instructions n2 = 32.
+        assert_eq!(n1 / 2, n2);
+    }
+
+    #[test]
+    fn eq1_split_rounds_to_lane_multiple() {
+        let (n1, n2) = eq1_split(100, 3).unwrap();
+        assert_eq!(n1 % 3, 0);
+        assert_eq!(n1 + n2, 100);
+        // As close to 3:1 as lane rounding allows.
+        assert_eq!(n1, 75);
+    }
+
+    #[test]
+    fn eq1_split_edge_cases() {
+        assert_eq!(eq1_split(0, 2).unwrap(), (0, 0));
+        assert_eq!(eq1_split(1, 2).unwrap(), (0, 1));
+        assert_eq!(eq1_split(3, 2).unwrap(), (2, 1));
+        assert!(eq1_split(10, 0).is_err());
+    }
+
+    #[test]
+    fn eq1_split_single_lane_goes_half() {
+        // Unpacked (lanes=1): 1:1 split.
+        let (n1, n2) = eq1_split(10, 1).unwrap();
+        assert_eq!((n1, n2), (5, 5));
+    }
+}

@@ -1,0 +1,281 @@
+//! SWAR multiply-accumulate over packed registers.
+//!
+//! One 32-bit integer multiply of a biased weight code by a packed register
+//! produces all lane products at once, provided every single product fits
+//! its lane (guaranteed by [`PackSpec`] feasibility):
+//!
+//! ```text
+//! a' * (b1' << s | b0') = (a'*b1') << s  +  a'*b0'
+//! ```
+//!
+//! [`PackedAcc`] accumulates such products, spilling lanes into `u64`
+//! accumulators every `chunk_len` steps under the guarded policy (never,
+//! under the paper policy — reproducing its wraparound behaviour exactly).
+
+use crate::policy::{PackPolicy, PackSpec};
+
+/// Packed multiply: one integer multiplication computing `lanes` products.
+///
+/// Under the feasibility invariant (`a_code <= max_weight_code`, lanes hold
+/// biased values, single products fit lanes) this wrapping multiply is
+/// carry-free between lanes. This helper is also the *functional model* of
+/// the packed `IMAD` the GPU kernels issue.
+#[inline]
+pub fn packed_mul(a_code: u32, packed: u32) -> u32 {
+    a_code.wrapping_mul(packed)
+}
+
+/// A packed accumulator with per-lane wide spill storage.
+///
+/// The in-register accumulator mirrors exactly what a 32-bit GPU register
+/// would hold; `wide` holds the spilled per-lane running totals (most
+/// significant lane — the first packed element — at index 0).
+#[derive(Debug, Clone)]
+pub struct PackedAcc {
+    spec: PackSpec,
+    acc: u32,
+    steps: u32,
+    /// Per-lane spilled totals, first packed element first.
+    wide: Vec<u64>,
+    /// Total MAC steps absorbed (for instrumentation).
+    total_steps: u64,
+    /// Number of spills performed (instrumentation: each spill costs
+    /// ~2 instructions per lane on the INT pipe).
+    spills: u64,
+}
+
+impl PackedAcc {
+    /// Creates an empty accumulator for `spec`.
+    pub fn new(spec: PackSpec) -> Self {
+        Self {
+            spec,
+            acc: 0,
+            steps: 0,
+            wide: vec![0; spec.lanes as usize],
+            total_steps: 0,
+            spills: 0,
+        }
+    }
+
+    /// The spec this accumulator follows.
+    pub fn spec(&self) -> &PackSpec {
+        &self.spec
+    }
+
+    /// Accumulates `a_code * packed` (one packed IMAD).
+    ///
+    /// Under [`PackPolicy::Guarded`] the register is spilled first whenever
+    /// another worst-case step could overflow a lane; under
+    /// [`PackPolicy::Paper`] it never spills mid-stream and lanes may wrap,
+    /// faithfully reproducing the paper's policy.
+    #[inline]
+    pub fn mac(&mut self, a_code: u32, packed: u32) {
+        if self.spec.policy == PackPolicy::Guarded && self.steps >= self.spec.chunk_len() {
+            self.spill();
+        }
+        self.acc = self.acc.wrapping_add(packed_mul(a_code, packed));
+        self.steps += 1;
+        self.total_steps += 1;
+    }
+
+    /// Moves the in-register lane sums into the wide accumulators.
+    pub fn spill(&mut self) {
+        if self.steps == 0 {
+            return;
+        }
+        let mask = u64::from(self.spec.lane_mask());
+        let acc = u64::from(self.acc);
+        for lane in 0..self.spec.lanes {
+            // wide[0] is the most significant lane (first packed element).
+            let idx = lane as usize;
+            let shift = self.spec.lane_shift(self.spec.lanes - 1 - lane);
+            self.wide[idx] += (acc >> shift) & mask;
+        }
+        self.acc = 0;
+        self.steps = 0;
+        self.spills += 1;
+    }
+
+    /// Finishes accumulation and returns per-lane biased sums, first packed
+    /// element first.
+    pub fn finish(mut self) -> Vec<u64> {
+        self.spill();
+        self.wide
+    }
+
+    /// MAC steps absorbed so far.
+    pub fn total_steps(&self) -> u64 {
+        self.total_steps
+    }
+
+    /// Spills performed so far (excluding the final one in [`finish`]).
+    ///
+    /// [`finish`]: PackedAcc::finish
+    pub fn spills(&self) -> u64 {
+        self.spills
+    }
+}
+
+/// Reference (non-SWAR) biased dot product: per-lane sums computed the slow
+/// way. Ground truth for the property tests.
+pub fn reference_lane_sums(spec: &PackSpec, weights: &[u32], packed: &[u32]) -> Vec<u64> {
+    assert_eq!(weights.len(), packed.len());
+    let mask = u64::from(spec.lane_mask());
+    let mut sums = vec![0u64; spec.lanes as usize];
+    for (&a, &reg) in weights.iter().zip(packed) {
+        for lane in 0..spec.lanes {
+            let shift = spec.lane_shift(spec.lanes - 1 - lane);
+            let b = (u64::from(reg) >> shift) & mask;
+            sums[lane as usize] += u64::from(a) * b;
+        }
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::pack_codes;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_packed_mul_separates_lanes() {
+        // a'=3, lanes: hi=100, lo=7 -> product lanes: 300, 21.
+        let packed = (100u32 << 16) | 7;
+        let p = packed_mul(3, packed);
+        assert_eq!(p >> 16, 300);
+        assert_eq!(p & 0xFFFF, 21);
+    }
+
+    #[test]
+    fn guarded_acc_exact_beyond_chunk() {
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        assert_eq!(spec.chunk_len(), 16);
+        // Worst-case operands for 100 steps: must spill and stay exact.
+        let mut acc = PackedAcc::new(spec);
+        let packed = pack_codes(&[31, 31], &spec).unwrap()[0]; // biased 63,63
+        for _ in 0..100 {
+            acc.mac(63, packed);
+        }
+        assert!(acc.spills() >= 6);
+        let sums = acc.finish();
+        assert_eq!(sums, vec![63 * 63 * 100, 63 * 63 * 100]);
+    }
+
+    #[test]
+    fn paper_acc_wraps_beyond_safe_k() {
+        let spec = PackSpec::paper(8).unwrap();
+        assert_eq!(spec.max_safe_k(), 1);
+        let mut acc = PackedAcc::new(spec);
+        let packed = (255u32 << 16) | 255;
+        for _ in 0..3 {
+            acc.mac(255, packed);
+        }
+        assert_eq!(acc.spills(), 0, "paper policy never spills mid-stream");
+        let sums = acc.finish();
+        // 3 * 255 * 255 = 195075 > 65535: low lane wraps, carries pollute
+        // the high lane -- exactly the failure mode DESIGN.md documents.
+        assert_ne!(sums, vec![195075, 195075]);
+        // Low lane is exact modulo 2^16.
+        assert_eq!(sums[1], 195075 % 65536);
+    }
+
+    #[test]
+    fn paper_acc_exact_within_safe_k() {
+        let spec = PackSpec::paper(6).unwrap();
+        // 6-bit values, paper lanes=2, lane 16 bits; safe K = 16.
+        let mut acc = PackedAcc::new(spec);
+        let packed = pack_codes(&[31, -32], &spec).unwrap()[0];
+        for _ in 0..16 {
+            acc.mac(63, packed);
+        }
+        let sums = acc.finish();
+        assert_eq!(sums, vec![63 * 63 * 16, 0]);
+    }
+
+    #[test]
+    fn three_lane_accumulation() {
+        let spec = PackSpec::guarded(5, 5).unwrap();
+        assert_eq!(spec.chunk_len(), 1);
+        let mut acc = PackedAcc::new(spec);
+        let packed = pack_codes(&[10, -5, 0], &spec).unwrap()[0];
+        for _ in 0..40 {
+            acc.mac(31, packed);
+        }
+        let sums = acc.finish();
+        let b = |v: i64| (v + 16) as u64; // biased codes
+        assert_eq!(sums, vec![31 * b(10) * 40, 31 * b(-5) * 40, 31 * b(0) * 40]);
+    }
+
+    #[test]
+    fn spill_on_empty_is_noop() {
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let mut acc = PackedAcc::new(spec);
+        acc.spill();
+        assert_eq!(acc.spills(), 0);
+        assert_eq!(acc.finish(), vec![0, 0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_guarded_matches_reference(
+            bitwidth in 1u32..=8,
+            len in 1usize..200,
+            seed in 0u64..1000,
+        ) {
+            let wb = bitwidth; // same-width weights are always feasible
+            let spec = PackSpec::guarded(bitwidth, wb).unwrap();
+            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut next = move || {
+                x ^= x << 13; x ^= x >> 7; x ^= x << 17; x
+            };
+            let vmax = spec.max_value_code();
+            let wmax = spec.max_weight_code();
+            let weights: Vec<u32> = (0..len).map(|_| (next() as u32) % (wmax + 1)).collect();
+            let packed: Vec<u32> = (0..len)
+                .map(|_| {
+                    let mut reg = 0u32;
+                    for lane in 0..spec.lanes {
+                        reg |= ((next() as u32) % (vmax + 1)) << spec.lane_shift(lane);
+                    }
+                    reg
+                })
+                .collect();
+            let mut acc = PackedAcc::new(spec);
+            for (&a, &p) in weights.iter().zip(&packed) {
+                acc.mac(a, p);
+            }
+            prop_assert_eq!(acc.finish(), reference_lane_sums(&spec, &weights, &packed));
+        }
+
+        #[test]
+        fn prop_paper_exact_within_safe_k(
+            bitwidth in 1u32..=8,
+            seed in 0u64..1000,
+        ) {
+            let spec = PackSpec::paper(bitwidth).unwrap();
+            let k = spec.max_safe_k().min(64) as usize;
+            prop_assume!(k >= 1);
+            let mut x = seed.wrapping_mul(0xD1B54A32D192ED03).wrapping_add(3);
+            let mut next = move || {
+                x ^= x << 13; x ^= x >> 7; x ^= x << 17; x
+            };
+            let vmax = spec.max_value_code();
+            let weights: Vec<u32> = (0..k).map(|_| (next() as u32) % (vmax + 1)).collect();
+            let packed: Vec<u32> = (0..k)
+                .map(|_| {
+                    let mut reg = 0u32;
+                    for lane in 0..spec.lanes {
+                        reg |= ((next() as u32) % (vmax + 1)) << spec.lane_shift(lane);
+                    }
+                    reg
+                })
+                .collect();
+            let mut acc = PackedAcc::new(spec);
+            for (&a, &p) in weights.iter().zip(&packed) {
+                acc.mac(a, p);
+            }
+            prop_assert_eq!(acc.finish(), reference_lane_sums(&spec, &weights, &packed));
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The Section-3.2 "initial study": measure GEMM time on each core class
+//! and derive the Tensor:CUDA assignment ratio *m*.
+
+use vitbit_core::policy::PackSpec;
+use vitbit_core::ratio::{determine_core_ratio, CoreRatio};
+use vitbit_kernels::gemm::{run_fc, run_ic, run_ic_fc, run_ic_fc_packed, run_tc};
+use vitbit_sim::Gpu;
+use vitbit_tensor::gen;
+
+/// Measured cycles for the five cases of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StudyResult {
+    /// Tensor cores only.
+    pub tc: u64,
+    /// INT CUDA cores only.
+    pub ic: u64,
+    /// FP CUDA cores only.
+    pub fc: u64,
+    /// INT + FP concurrently.
+    pub ic_fc: u64,
+    /// INT + FP concurrently with packing.
+    pub ic_fc_p: u64,
+}
+
+impl StudyResult {
+    /// Ratios normalized to the TC time, in the paper's presentation order
+    /// `[TC, IC, FC, IC+FC, IC+FC+P]` (paper: 1, ~7.5, ~7.5, ~6.5, ~4).
+    pub fn normalized(&self) -> [f64; 5] {
+        let t = self.tc as f64;
+        [
+            1.0,
+            self.ic as f64 / t,
+            self.fc as f64 / t,
+            self.ic_fc as f64 / t,
+            self.ic_fc_p as f64 / t,
+        ]
+    }
+
+    /// The derived Tensor:CUDA ratio *m* : 1 (paper: 4 : 1), from the
+    /// packed-CUDA time over the TC time.
+    pub fn derived_ratio(&self) -> CoreRatio {
+        determine_core_ratio(self.tc as f64, self.ic_fc_p as f64)
+    }
+}
+
+/// Runs the study on a GEMM of the given shape with `bitwidth`-bit codes.
+///
+/// # Panics
+/// Panics if the bitwidth has no feasible guarded packing.
+pub fn run_initial_study(
+    gpu: &mut Gpu,
+    m: usize,
+    n: usize,
+    k: usize,
+    bitwidth: u32,
+) -> StudyResult {
+    let spec = PackSpec::guarded(bitwidth, bitwidth).expect("valid bitwidth");
+    let hi = ((1i32 << (bitwidth - 1)) - 1) as i8;
+    let lo = -hi - 1;
+    let a = gen::uniform_i8(m, k, lo, hi, 0xCAB);
+    let b = gen::uniform_i8(k, n, lo, hi, 0xBEE);
+    // Cold caches before each case: the study compares kernels from equal
+    // starting conditions (and stays exactly reproducible).
+    let cold = |gpu: &mut Gpu, f: &dyn Fn(&mut Gpu) -> u64| {
+        gpu.cold_caches();
+        f(gpu)
+    };
+    StudyResult {
+        tc: cold(gpu, &|g| run_tc(g, &a, &b).stats.cycles),
+        ic: cold(gpu, &|g| run_ic(g, &a, &b).stats.cycles),
+        fc: cold(gpu, &|g| run_fc(g, &a, &b).stats.cycles),
+        ic_fc: cold(gpu, &|g| run_ic_fc(g, &a, &b).stats.cycles),
+        ic_fc_p: cold(gpu, &|g| run_ic_fc_packed(g, &a, &b, &spec).stats.cycles),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vitbit_sim::OrinConfig;
+
+    #[test]
+    fn study_derives_a_plausible_ratio() {
+        let mut gpu = Gpu::new(OrinConfig::test_small(), 128 << 20);
+        let r = run_initial_study(&mut gpu, 64, 256, 256, 6);
+        let norm = r.normalized();
+        assert_eq!(norm[0], 1.0);
+        assert!(norm[1] > 2.0, "CUDA cores well behind TC: {norm:?}");
+        let ratio = r.derived_ratio();
+        assert!(ratio.tc >= 2, "m should be at least 2, got {ratio:?}");
+        assert_eq!(ratio.cuda, 1);
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let mut gpu = Gpu::new(OrinConfig::test_small(), 128 << 20);
+        let a = run_initial_study(&mut gpu, 32, 128, 128, 6);
+        let b = run_initial_study(&mut gpu, 32, 128, 128, 6);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,13 @@
+//! # vitbit-exec: Table-3 execution strategies
+//!
+//! One [`Strategy`] value selects, for every kernel kind in a DNN pipeline,
+//! which simulated-GPU implementation runs it — exactly the comparison
+//! groups of the paper's Table 3. The [`calibration`] module reruns the
+//! Section-3.2 "initial study" that determines the Tensor:CUDA split ratio
+//! *m*.
+
+pub mod calibration;
+pub mod strategy;
+
+pub use calibration::{run_initial_study, StudyResult};
+pub use strategy::{ExecConfig, GemmTuner, Strategy};

@@ -1,0 +1,118 @@
+//! Strategy-layer behavioral tests: adaptive dispatch semantics, the
+//! elementwise variant matrix, and cross-bitwidth study behavior.
+
+use vitbit_core::ratio::CoreRatio;
+use vitbit_exec::{run_initial_study, ExecConfig, GemmTuner, Strategy};
+use vitbit_kernels::elementwise::EwVariant;
+use vitbit_sim::{Gpu, OrinConfig};
+use vitbit_tensor::gen;
+use vitbit_tensor::refgemm::gemm_i8_i32;
+
+fn gpu() -> Gpu {
+    Gpu::new(OrinConfig::test_small(), 128 << 20)
+}
+
+#[test]
+fn adaptive_dispatch_never_loses_to_tc() {
+    // Whatever the tuner picks, the result must match and the chosen
+    // launch's cycles must be <= both probes' minimum (it returns the
+    // faster one on the first encounter).
+    let mut g = gpu();
+    let cfg = ExecConfig::int6();
+    let mut tuner = GemmTuner::new();
+    let a = gen::uniform_i8(24, 64, -32, 31, 1);
+    let b = gen::uniform_i8(64, 320, -32, 31, 2);
+    let tuned = Strategy::VitBit.run_gemm_tuned(&mut g, &a, &b, &cfg, &mut tuner);
+    g.cold_caches();
+    let tc = Strategy::Tc.run_gemm(&mut g, &a, &b, &cfg);
+    g.cold_caches();
+    let fused = Strategy::VitBit.run_gemm(&mut g, &a, &b, &cfg);
+    assert_eq!(tuned.c, tc.c);
+    assert!(
+        tuned.stats.cycles <= tc.stats.cycles.max(fused.stats.cycles),
+        "tuned {} vs tc {} / fused {}",
+        tuned.stats.cycles,
+        tc.stats.cycles,
+        fused.stats.cycles
+    );
+}
+
+#[test]
+fn non_fused_strategies_ignore_the_tuner() {
+    let mut g = gpu();
+    let cfg = ExecConfig::int6();
+    let mut tuner = GemmTuner::new();
+    let a = gen::uniform_i8(8, 32, -32, 31, 3);
+    let b = gen::uniform_i8(32, 64, -32, 31, 4);
+    for s in [Strategy::Tc, Strategy::Ic, Strategy::Fc, Strategy::IcFc] {
+        let out = s.run_gemm_tuned(&mut g, &a, &b, &cfg, &mut tuner);
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+    }
+    assert!(tuner.is_empty(), "non-fused strategies never tune");
+}
+
+#[test]
+fn adaptive_off_always_runs_the_fused_kernel() {
+    let mut g = gpu();
+    let mut cfg = ExecConfig::int6();
+    cfg.adaptive = false;
+    let mut tuner = GemmTuner::new();
+    let a = gen::uniform_i8(16, 32, -32, 31, 5);
+    let b = gen::uniform_i8(32, 320, -32, 31, 6);
+    let out = Strategy::VitBit.run_gemm_tuned(&mut g, &a, &b, &cfg, &mut tuner);
+    assert_eq!(out.c, gemm_i8_i32(&a, &b));
+    assert!(tuner.is_empty(), "no tuning when adaptive is off");
+    assert!(out.stats.issued.tensor > 0 && out.stats.int_ops > 0, "fused launch ran");
+}
+
+#[test]
+fn elementwise_variant_matrix() {
+    let cfg = ExecConfig::int6();
+    // Full variant map per strategy.
+    assert_eq!(Strategy::Tc.ew_variant(&cfg), EwVariant::Ic);
+    assert_eq!(Strategy::Ic.ew_variant(&cfg), EwVariant::Ic);
+    assert_eq!(Strategy::Fc.ew_variant(&cfg), EwVariant::Fc);
+    assert_eq!(Strategy::Tacker.ew_variant(&cfg), EwVariant::Ic);
+    assert_eq!(Strategy::IcFc.ew_variant(&cfg), EwVariant::IcFc);
+    assert_eq!(Strategy::TcIcFc.ew_variant(&cfg), EwVariant::IcFc);
+    assert!(matches!(Strategy::VitBit.ew_variant(&cfg), EwVariant::VitBit(_)));
+    // Per-op overrides for VitBit.
+    assert!(matches!(
+        Strategy::VitBit.ew_variant_for(&cfg, true),
+        EwVariant::VitBit(_)
+    ));
+    assert_eq!(Strategy::VitBit.ew_variant_for(&cfg, false), EwVariant::IcFc);
+    assert_eq!(Strategy::VitBit.ew_variant_rows(&cfg), EwVariant::IcFc);
+    // Other strategies are unaffected by the per-op switch.
+    assert_eq!(Strategy::Ic.ew_variant_for(&cfg, false), EwVariant::Ic);
+    assert_eq!(Strategy::TcIcFc.ew_variant_rows(&cfg), EwVariant::IcFc);
+}
+
+#[test]
+fn study_works_across_bitwidths() {
+    let mut g = gpu();
+    for bw in [4u32, 6, 8] {
+        let r = run_initial_study(&mut g, 32, 128, 128, bw);
+        assert!(r.tc > 0 && r.ic > 0 && r.fc > 0 && r.ic_fc > 0 && r.ic_fc_p > 0);
+        let m = r.derived_ratio();
+        assert!(m.tc >= 1 && m.cuda == 1, "bitwidth {bw}: {m:?}");
+    }
+}
+
+#[test]
+fn explicit_ratio_flows_into_fused_launches() {
+    let mut g = gpu();
+    let mut cfg = ExecConfig::int6();
+    cfg.adaptive = false;
+    let a = gen::uniform_i8(16, 16, -32, 31, 7);
+    let b = gen::uniform_i8(16, 512, -32, 31, 8);
+    cfg.ratio = Some(CoreRatio { tc: 9, cuda: 1 });
+    let wide_tc = Strategy::TcIcFc.run_gemm(&mut g, &a, &b, &cfg);
+    cfg.ratio = Some(CoreRatio { tc: 1, cuda: 1 });
+    let narrow_tc = Strategy::TcIcFc.run_gemm(&mut g, &a, &b, &cfg);
+    assert_eq!(wide_tc.c, narrow_tc.c);
+    assert!(
+        wide_tc.stats.issued.tensor > narrow_tc.stats.issued.tensor,
+        "larger m must shift work to the Tensor cores"
+    );
+}

@@ -1,0 +1,29 @@
+//! Machine-model calibration probe: pipe utilization and memory traffic of
+//! the five Section-3.2 study cases on the ViT Linear shape.
+
+use vitbit_kernels::gemm::{run_ic, run_fc, run_ic_fc, run_ic_fc_packed, run_tc};
+use vitbit_core::policy::PackSpec;
+use vitbit_sim::Gpu;
+use vitbit_tensor::gen;
+
+fn main() {
+    let mut gpu = Gpu::orin();
+    let a = gen::uniform_i8(197, 768, -32, 31, 42);
+    let b = gen::uniform_i8(768, 768, -32, 31, 43);
+    let spec = PackSpec::guarded(6, 6).unwrap();
+    for (name, out) in [
+        ("TC", run_tc(&mut gpu, &a, &b)),
+        ("IC", run_ic(&mut gpu, &a, &b)),
+        ("FC", run_fc(&mut gpu, &a, &b)),
+        ("IC+FC", run_ic_fc(&mut gpu, &a, &b)),
+        ("IC+FC+P", run_ic_fc_packed(&mut gpu, &a, &b, &spec)),
+    ] {
+        let s = &out.stats;
+        let cap = s.cycles * 56;
+        println!("{name:6} cyc={:>8} int_busy={:>4.2} fp_busy={:>4.2} lsu_busy={:>4.2} tc_busy={:>4.2} ipc={:>5.2} dram={:.1}MB insts: int={} fp={} lsu={}",
+            s.cycles,
+            s.busy.int as f64/cap as f64, s.busy.fp as f64/cap as f64, s.busy.lsu as f64/cap as f64, s.busy.tensor as f64/cap as f64,
+            s.ipc(), s.dram_bytes as f64/1e6,
+            s.issued.int, s.issued.fp, s.issued.lsu);
+    }
+}

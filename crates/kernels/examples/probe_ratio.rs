@@ -1,0 +1,26 @@
+//! Split-ratio probe: fused VitBit GEMM time across Tensor:CUDA ratios
+//! (the measurement behind ablation X2b and the adaptive dispatcher).
+
+use vitbit_core::policy::PackSpec;
+use vitbit_core::ratio::CoreRatio;
+use vitbit_kernels::gemm::{run_fused_with_ratio, run_tc, FusedMode};
+use vitbit_sim::Gpu;
+use vitbit_tensor::gen;
+
+fn main() {
+    let mut gpu = Gpu::orin();
+    let spec = PackSpec::guarded(6, 6).unwrap();
+    for (m, n, k, tag) in [(197usize, 768usize, 768usize, "qkv"), (197, 3072, 768, "fc1")] {
+        let a = gen::uniform_i8(m, k, -32, 31, 1);
+        let b = gen::uniform_i8(k, n, -32, 31, 2);
+        gpu.cold_caches();
+        let tc = run_tc(&mut gpu, &a, &b).stats.cycles;
+        print!("{tag:4} TC {tc:>7} |");
+        for mr in [4u32, 6, 8, 10, 12, 16] {
+            gpu.cold_caches();
+            let vb = run_fused_with_ratio(&mut gpu, &a, &b, FusedMode::VitBit(spec), CoreRatio { tc: mr, cuda: 1 }).stats.cycles;
+            print!(" m{mr}: {:>6} ({:.2}x)", vb, tc as f64 / vb as f64);
+        }
+        println!();
+    }
+}

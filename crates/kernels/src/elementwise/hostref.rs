@@ -1,0 +1,323 @@
+//! Host reference semantics for the CUDA-core (non-Linear) kernels of the
+//! ViT attention block: ShiftGELU, Shiftmax, I-LayerNorm, dropout and
+//! residual add.
+//!
+//! The integer definitions below are *the* specification: the simulated IC
+//! and packed-INT kernels must match them bit-exactly, and `vitbit-vit`
+//! builds its reference pipeline from them. They follow the I-ViT approach
+//! (shift/add approximations of GELU, softmax and layer norm; no floating
+//! point anywhere). The `*_fp` variants define what the FP-CUDA-core path
+//! computes after type conversion; they agree with the integer versions to
+//! within a couple of codes (floating point rounds where arithmetic shifts
+//! floor), which is the same accuracy statement the paper makes for its FC
+//! baseline.
+
+/// Saturates an `i32` to the signed 8-bit range.
+#[inline]
+pub fn sat_i8(x: i32) -> i8 {
+    x.clamp(-128, 127) as i8
+}
+
+/// Saturates an `i32` to the signed `bitwidth`-bit range, returned as `i8`.
+#[inline]
+pub fn sat_bw(x: i32, bitwidth: u32) -> i8 {
+    let hi = (1i32 << (bitwidth - 1)) - 1;
+    x.clamp(-hi - 1, hi) as i8
+}
+
+/// Integer ShiftGELU: `x * hardsigmoid(1.625 x) >> 8`, everything in
+/// shifts/adds (I-ViT's ShiftGELU structure).
+#[inline]
+pub fn shiftgelu_i(x: i32, bitwidth: u32) -> i8 {
+    let t = x + (x >> 1) + (x >> 3); // ~1.625 x
+    let sig = (128 + (t >> 1)).clamp(0, 256); // Q8 hard sigmoid
+    sat_bw((x * sig) >> 8, bitwidth)
+}
+
+/// FP path of ShiftGELU (after int -> f32 conversion): bit-exact with the
+/// integer body — shifts become multiply + floor-convert (`cvt.rmi`).
+#[inline]
+pub fn shiftgelu_f(x: f32, bitwidth: u32) -> i8 {
+    let xi = x as i32;
+    let t = xi + (0.5 * x).floor() as i32 + (0.125 * x).floor() as i32;
+    let sig = ((0.5 * t as f32).floor() as i32 + 128).clamp(0, 256);
+    sat_bw((x * sig as f32 * (1.0 / 256.0)).floor() as i32, bitwidth)
+}
+
+/// Integer shift-exponential: `~256 * 2^(1.44 d / 16)` for `d <= 0`
+/// (I-ViT's Shiftmax exponent), pure shifts and adds.
+#[inline]
+pub fn shiftexp_q8(d: i32) -> i32 {
+    debug_assert!(d <= 0, "shiftexp domain is d <= 0");
+    let t = -(d + (d >> 1) - (d >> 4)); // ~1.44 |d| >= 0
+    let n = (t >> 4).min(30);
+    let f = t & 15;
+    (256 - 8 * f) >> n
+}
+
+/// Integer Shiftmax over one row of codes. Output codes are in `[0, 127]`
+/// (Q7 probabilities).
+pub fn shiftmax_row_i(row: &[i8], bitwidth: u32) -> Vec<i8> {
+    assert!(!row.is_empty(), "softmax over empty row");
+    let hi = (1i32 << (bitwidth - 1)) - 1;
+    let shift = 15 + 8 - bitwidth;
+    let m = i32::from(*row.iter().max().expect("non-empty"));
+    let e: Vec<i32> = row.iter().map(|&x| shiftexp_q8(i32::from(x) - m)).collect();
+    let sum: i32 = e.iter().sum::<i32>().max(1);
+    let r = (1 << 22) / sum;
+    e.iter().map(|&ei| ((ei * r) >> shift).min(hi) as i8).collect()
+}
+
+/// FP Shiftmax (same exponent scale, float arithmetic).
+pub fn shiftmax_row_f(row: &[i8], bitwidth: u32) -> Vec<i8> {
+    assert!(!row.is_empty(), "softmax over empty row");
+    let hi = (1i32 << (bitwidth - 1)) - 1;
+    let q = (1 << (bitwidth - 1)) as f32;
+    let m = i32::from(*row.iter().max().expect("non-empty"));
+    let e: Vec<f32> = row
+        .iter()
+        .map(|&x| {
+            let d = f32::from(x) - m as f32;
+            256.0 * (d * (1.44 / 16.0)).exp2()
+        })
+        .collect();
+    let sum: f32 = e.iter().sum::<f32>().max(1e-6);
+    let recip = 1.0 / sum;
+    e.iter()
+        .map(|&ef| ((ef * recip * q).round_ties_even() as i32).min(hi) as i8)
+        .collect()
+}
+
+/// Integer square root (Newton iterations, I-LayerNorm style).
+#[inline]
+pub fn isqrt(v: i32) -> i32 {
+    debug_assert!(v >= 0);
+    if v <= 1 {
+        return v;
+    }
+    let mut s = i64::from(v);
+    let v64 = i64::from(v);
+    let mut prev = 0;
+    for _ in 0..24 {
+        let next = (s + v64 / s) >> 1;
+        if next == prev {
+            break;
+        }
+        prev = s;
+        s = next;
+    }
+    while s > 0 && s * s > v64 {
+        s -= 1;
+    }
+    while (s + 1) * (s + 1) <= v64 {
+        s += 1;
+    }
+    s as i32
+}
+
+/// Division magic for the LayerNorm mean: `x / n ~ (x * magic) >> 18`
+/// (arithmetic shift: floors toward negative infinity — part of the spec).
+#[inline]
+pub fn mean_magic(n: usize) -> i32 {
+    ((1i64 << 18) / n as i64) as i32
+}
+
+/// Integer LayerNorm over one row: uniform gamma (Q6) and beta.
+/// `out = clamp(((x - mean) * gamma_q6) / std + beta, -128, 127)` with the
+/// signed division rounding toward zero.
+pub fn ilayernorm_row_i(row: &[i8], gamma_q6: i32, beta: i32, bitwidth: u32) -> Vec<i8> {
+    let n = row.len();
+    assert!(n > 0, "layernorm over empty row");
+    let magic = mean_magic(n);
+    let sum: i32 = row.iter().map(|&x| i32::from(x)).sum();
+    let mean = (sum * magic) >> 18;
+    // vsum fits i32 for n <= 2^15 at 8-bit codes (the kernel accumulates
+    // in 32-bit registers, so the spec does too).
+    let vsum: i32 = row
+        .iter()
+        .map(|&x| {
+            let d = i32::from(x) - mean;
+            d * d
+        })
+        .sum();
+    let var = vsum / n as i32;
+    let std = isqrt(var).max(1);
+    row.iter()
+        .map(|&x| {
+            let num = (i32::from(x) - mean) * gamma_q6;
+            let q = num / std; // truncates toward zero, like the kernel
+            sat_bw(q + beta, bitwidth)
+        })
+        .collect()
+}
+
+/// FP LayerNorm.
+pub fn ilayernorm_row_f(row: &[i8], gamma_q6: i32, beta: i32, bitwidth: u32) -> Vec<i8> {
+    let n = row.len() as f32;
+    let sum: f32 = row.iter().map(|&x| f32::from(x)).sum();
+    let mean = sum / n;
+    let var: f32 = row
+        .iter()
+        .map(|&x| {
+            let d = f32::from(x) - mean;
+            d * d
+        })
+        .sum::<f32>()
+        / n;
+    let std = var.sqrt().max(1.0);
+    row.iter()
+        .map(|&x| {
+            let y = (f32::from(x) - mean) * gamma_q6 as f32 / std;
+            sat_bw((y + beta as f32).round_ties_even() as i32, bitwidth)
+        })
+        .collect()
+}
+
+/// Dropout hash: one 32-bit mix of `seed` and the element index.
+#[inline]
+pub fn dropout_hash(seed: u32, idx: u32) -> u32 {
+    (seed ^ idx)
+        .wrapping_mul(747_796_405)
+        .wrapping_add(2_891_336_453)
+}
+
+/// Integer inference-style dropout: keep with probability
+/// `keep_q8 / 256`, scale kept values by `256/keep_q8` in Q8.
+#[inline]
+pub fn dropout_i(x: i32, idx: u32, seed: u32, keep_q8: u32, bitwidth: u32) -> i8 {
+    let h = dropout_hash(seed, idx) >> 24;
+    if h < keep_q8 {
+        let scale = ((256 << 8) / keep_q8) as i32; // Q8 reciprocal
+        sat_bw((x * scale) >> 8, bitwidth)
+    } else {
+        0
+    }
+}
+
+/// FP dropout (same mask, float scaling): bit-exact with the integer body.
+#[inline]
+pub fn dropout_f(x: f32, idx: u32, seed: u32, keep_q8: u32, bitwidth: u32) -> i8 {
+    let h = dropout_hash(seed, idx) >> 24;
+    if h < keep_q8 {
+        let scale = ((256u32 << 8) / keep_q8) as f32;
+        sat_bw((x * scale * (1.0 / 256.0)).floor() as i32, bitwidth)
+    } else {
+        0
+    }
+}
+
+/// Saturating residual add.
+#[inline]
+pub fn add_i(x: i32, y: i32, bitwidth: u32) -> i8 {
+    sat_bw(x + y, bitwidth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shiftgelu_shape() {
+        // Monotone-ish, ~x for large positive x, ~0 for large negative x.
+        assert!(shiftgelu_i(127, 8) >= 100, "large positive stays large");
+        assert_eq!(shiftgelu_i(0, 8), 0);
+        assert!(shiftgelu_i(-120, 8) >= -20, "strong negatives are squashed");
+        assert!(shiftgelu_i(60, 8) > 40);
+        // Near-linear region keeps sign.
+        assert!(shiftgelu_i(-10, 8) <= 0);
+    }
+
+    #[test]
+    fn shiftgelu_fp_bit_exact_with_int() {
+        for x in -128..=127 {
+            let i = i32::from(shiftgelu_i(x, 8));
+            let f = i32::from(shiftgelu_f(x as f32, 8));
+            assert_eq!(i, f, "x={x}");
+        }
+    }
+
+    #[test]
+    fn shiftexp_monotone_and_bounded() {
+        let mut last = shiftexp_q8(0);
+        assert_eq!(last, 256);
+        for d in 1..=256 {
+            let e = shiftexp_q8(-d);
+            assert!(e <= last, "not monotone at {d}");
+            assert!((0..=256).contains(&e));
+            last = e;
+        }
+        assert_eq!(shiftexp_q8(-400), 0);
+    }
+
+    #[test]
+    fn shiftmax_peaks_at_max_and_sums_sanely() {
+        let mut row = vec![-50i8; 64];
+        row[10] = 90;
+        let out = shiftmax_row_i(&row, 8);
+        assert!(out[10] > 100, "peak should dominate: {}", out[10]);
+        assert!(out.iter().enumerate().all(|(i, &v)| i == 10 || v <= 3));
+        // Uniform row: tiny, equal outputs.
+        let out = shiftmax_row_i(&[5i8; 64], 8);
+        assert!(out.iter().all(|&v| v == out[0]));
+        assert!(out[0] <= 3);
+    }
+
+    #[test]
+    fn shiftmax_fp_close_to_int() {
+        let row: Vec<i8> = (0..64).map(|i| ((i * 7) % 100 - 50) as i8).collect();
+        let oi = shiftmax_row_i(&row, 8);
+        let of = shiftmax_row_f(&row, 8);
+        for (a, b) in oi.iter().zip(&of) {
+            assert!((i32::from(*a) - i32::from(*b)).abs() <= 8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn isqrt_exact() {
+        for v in 0..3000 {
+            let s = isqrt(v);
+            assert!(s * s <= v && (s + 1) * (s + 1) > v, "isqrt({v}) = {s}");
+        }
+        assert_eq!(isqrt(i32::MAX), 46340);
+    }
+
+    #[test]
+    fn layernorm_centers_and_scales() {
+        let row: Vec<i8> = (0..64).map(|i| (i - 32) as i8).collect();
+        let out = ilayernorm_row_i(&row, 64, 0, 8);
+        let mean: f64 = out.iter().map(|&x| f64::from(x)).sum::<f64>() / 64.0;
+        assert!(mean.abs() < 4.0, "normalized mean ~0, got {mean}");
+        // Constant row stays ~0.
+        let out = ilayernorm_row_i(&[17i8; 64], 64, 5, 8);
+        assert!(out.iter().all(|&x| (x - 5).abs() <= 1));
+    }
+
+    #[test]
+    fn layernorm_fp_close_to_int() {
+        let row: Vec<i8> = (0..96).map(|i| ((i * 13) % 200 - 100) as i8).collect();
+        let oi = ilayernorm_row_i(&row, 64, 0, 8);
+        let of = ilayernorm_row_f(&row, 64, 0, 8);
+        for (a, b) in oi.iter().zip(&of) {
+            assert!((i32::from(*a) - i32::from(*b)).abs() <= 4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn dropout_masks_and_scales() {
+        let keep = 204u32; // ~80%
+        let kept: Vec<i8> = (0..1000).map(|i| dropout_i(100, i, 7, keep, 8)).collect();
+        let zeros = kept.iter().filter(|&&v| v == 0).count();
+        assert!((120..=280).contains(&zeros), "~20% dropped, got {zeros}");
+        // Kept values scaled by 1/0.8.
+        assert!(kept.contains(&125));
+        // Deterministic.
+        assert_eq!(dropout_i(100, 3, 7, keep, 8), dropout_i(100, 3, 7, keep, 8));
+    }
+
+    #[test]
+    fn add_saturates() {
+        assert_eq!(add_i(100, 100, 8), 127);
+        assert_eq!(add_i(-100, -100, 8), -128);
+        assert_eq!(add_i(-3, 5, 8), 2);
+    }
+}

@@ -1,0 +1,667 @@
+//! Elementwise "map" kernels: ShiftGELU, dropout and residual add.
+//!
+//! One generator covers three operand domains:
+//!
+//! * `Int` — signed 8-bit codes on the INT pipe (the Figure-7 baseline),
+//! * `Fp` — converted to f32, math on the FP pipe,
+//! * `Packed` — VitBit: two (or more) biased codes per 32-bit register;
+//!   loads/stores move whole registers (halving LSU traffic), lanes are
+//!   unpacked for the non-linear part and repacked before the store, as
+//!   Section 3.3's CUDA-core-kernel policy describes.
+//!
+//! Threads grid-stride over the flat element array, so one program serves
+//! any (padded) length and any per-role share of a fused launch.
+
+use crate::shapes::pad_to;
+use vitbit_core::pack::{pack_codes, unpack_codes};
+use vitbit_core::policy::PackSpec;
+use vitbit_core::ratio::eq1_split;
+use vitbit_sim::isa::{ICmp, MemWidth, Reg, SReg, Src};
+use vitbit_sim::program::{Program, ProgramBuilder};
+use vitbit_sim::{Gpu, Kernel, KernelStats};
+
+use super::hostref;
+
+/// Which elementwise operation a map kernel computes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MapOp {
+    /// Integer ShiftGELU.
+    Gelu,
+    /// Masked dropout with Q8 keep probability.
+    Dropout {
+        /// Hash seed.
+        seed: u32,
+        /// Keep probability in Q8 (e.g. 204 = 80%).
+        keep_q8: u32,
+    },
+    /// Saturating residual add (`in2` operand required).
+    Add,
+}
+
+impl MapOp {
+    /// Kernel name stem.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MapOp::Gelu => "shiftgelu",
+            MapOp::Dropout { .. } => "dropout",
+            MapOp::Add => "residual_add",
+        }
+    }
+}
+
+/// Operand domain of one map role.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MapDomain {
+    /// i8 codes, INT pipe.
+    Int,
+    /// f32 conversion path.
+    Fp,
+    /// VitBit packed registers.
+    Packed(PackSpec),
+}
+
+/// Execution variant for the drivers (Table 3 rows applicable to CUDA-core
+/// kernels).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EwVariant {
+    /// INT cores only (Figure 7 baseline).
+    Ic,
+    /// FP cores only (type-cast inputs).
+    Fc,
+    /// INT and FP cores simultaneously (1:1 split).
+    IcFc,
+    /// VitBit: packed INT + FP, Equation-1 split.
+    VitBit(PackSpec),
+}
+
+/// Arguments per map role:
+/// `[in, in2, out, n_units, stride_units, role_tid_base, idx_base, unused]`.
+pub const MAP_ARGS: u16 = 8;
+
+/// Builds one map-role program. `role_threads` = threads of this role per
+/// block (for the grid stride); `n_units` counts domain units (elements for
+/// Int/Fp, registers for Packed).
+pub fn map_program(op: MapOp, domain: MapDomain, bitwidth: u32, arg_base: u16) -> Program {
+    let name = format!("{}_{}", op.name(), match domain {
+        MapDomain::Int => "ic",
+        MapDomain::Fp => "fc",
+        MapDomain::Packed(_) => "packed",
+    });
+    let mut p = ProgramBuilder::new(name);
+
+    let in_ptr = p.alloc();
+    let in2_ptr = p.alloc();
+    let out_ptr = p.alloc();
+    let n_units = p.alloc();
+    let stride = p.alloc();
+    let tid_base = p.alloc();
+    let idx_base = p.alloc();
+    for (i, r) in [in_ptr, in2_ptr, out_ptr, n_units, stride, tid_base, idx_base]
+        .iter()
+        .enumerate()
+    {
+        p.ldc(*r, arg_base + i as u16);
+    }
+    let ctaid = p.alloc();
+    let tid = p.alloc();
+    p.sreg(ctaid, SReg::Ctaid);
+    p.sreg(tid, SReg::Tid);
+    let ntid = p.alloc();
+    p.sreg(ntid, SReg::Ntid);
+
+    // Global unit index: gidx = ctaid*role_threads + (tid - tid_base).
+    // role_threads is passed via the stride relation: stride = blocks *
+    // role_threads, and per-block role threads = stride / blocks... instead
+    // the launch passes `stride` and the role's thread count is implicit in
+    // tid ordering; we compute gidx = ctaid * role_threads + local via an
+    // explicit role_threads immediate is avoided by passing it in ntid?
+    // Simpler: role_threads is encoded in the stride argument relation and
+    // provided here through `idx_base`'s neighbour... we just pass it as
+    // arg 7.
+    let role_threads = p.alloc();
+    p.ldc(role_threads, arg_base + 7);
+    let local = p.alloc();
+    p.isub(local, tid.into(), tid_base.into());
+    let gidx = p.alloc();
+    p.imad(gidx, ctaid.into(), role_threads.into(), local.into());
+    let _ = ntid;
+
+    let addr = p.alloc();
+    let addr2 = p.alloc();
+    let oaddr = p.alloc();
+    let x = p.alloc();
+    let y = p.alloc();
+    let t = p.alloc();
+    let u = p.alloc();
+    let v = p.alloc();
+    let idx = p.alloc();
+    let p_loop = p.alloc_pred();
+    let p_aux = p.alloc_pred();
+
+    let esz_shift = match domain {
+        MapDomain::Int | MapDomain::Fp => 0u32, // 1 byte per element
+        MapDomain::Packed(_) => 2,              // 4 bytes per register
+    };
+
+    p.label_here("loop");
+    p.isetp(p_loop, gidx.into(), n_units.into(), ICmp::GeU);
+    p.bra_if("end", p_loop, true);
+    // Addresses.
+    if esz_shift == 0 {
+        p.iadd(addr, in_ptr.into(), gidx.into());
+        p.iadd(oaddr, out_ptr.into(), gidx.into());
+        if matches!(op, MapOp::Add) {
+            p.iadd(addr2, in2_ptr.into(), gidx.into());
+        }
+    } else {
+        p.shl(t, gidx.into(), Src::Imm(esz_shift));
+        p.iadd(addr, in_ptr.into(), t.into());
+        p.iadd(oaddr, out_ptr.into(), t.into());
+        if matches!(op, MapOp::Add) {
+            p.iadd(addr2, in2_ptr.into(), t.into());
+        }
+    }
+
+    match domain {
+        MapDomain::Int => {
+            let hi = (1i32 << (bitwidth - 1)) - 1;
+            p.ldg(x, addr, 0, MemWidth::B8S);
+            if matches!(op, MapOp::Add) {
+                p.ldg(y, addr2, 0, MemWidth::B8S);
+            }
+            p.iadd(idx, idx_base.into(), gidx.into());
+            emit_int_body(&mut p, op, x, y, idx, t, u, v, p_aux, -hi - 1, hi);
+            p.stg(oaddr, 0, x.into(), MemWidth::B8S);
+        }
+        MapDomain::Fp => {
+            let hi = (1i32 << (bitwidth - 1)) - 1;
+            p.ldg(x, addr, 0, MemWidth::B8S);
+            if matches!(op, MapOp::Add) {
+                p.ldg(y, addr2, 0, MemWidth::B8S);
+            }
+            p.iadd(idx, idx_base.into(), gidx.into());
+            emit_fp_body(&mut p, op, x, y, idx, t, u, v, p_aux, -hi - 1, hi);
+            p.stg(oaddr, 0, x.into(), MemWidth::B8S);
+        }
+        MapDomain::Packed(spec) => {
+            let bias = spec.value_bias();
+            let lo_bound = -bias;
+            let hi_bound = bias - 1;
+            let xp = p.alloc();
+            let yp = p.alloc();
+            let outp = p.alloc();
+            p.ldg(xp, addr, 0, MemWidth::B32);
+            if matches!(op, MapOp::Add) {
+                p.ldg(yp, addr2, 0, MemWidth::B32);
+            }
+            p.mov(outp, Src::Imm(0));
+            // idx of the first element in this register.
+            p.imul(idx, gidx.into(), Src::Imm(spec.lanes));
+            p.iadd(idx, idx.into(), idx_base.into());
+            for lane in (0..spec.lanes).rev() {
+                // Position order: most significant lane first packed element.
+                let shift = spec.lane_shift(lane);
+                // Unpack to signed code.
+                p.shr(x, xp.into(), Src::Imm(shift));
+                p.and(x, x.into(), Src::Imm(spec.lane_mask()));
+                p.isub(x, x.into(), Src::Imm(bias as u32));
+                if matches!(op, MapOp::Add) {
+                    p.shr(y, yp.into(), Src::Imm(shift));
+                    p.and(y, y.into(), Src::Imm(spec.lane_mask()));
+                    p.isub(y, y.into(), Src::Imm(bias as u32));
+                }
+                emit_int_body(&mut p, op, x, y, idx, t, u, v, p_aux, lo_bound, hi_bound);
+                // Repack.
+                p.iadd(x, x.into(), Src::Imm(bias as u32));
+                p.shl(x, x.into(), Src::Imm(shift));
+                p.or(outp, outp.into(), x.into());
+                if lane > 0 {
+                    p.iadd(idx, idx.into(), Src::Imm(1));
+                }
+            }
+            p.stg(oaddr, 0, outp.into(), MemWidth::B32);
+        }
+    }
+    p.iadd(gidx, gidx.into(), stride.into());
+    p.bra("loop");
+    p.label_here("end");
+    p.exit();
+    p.build()
+}
+
+/// Integer op body: consumes `x` (and `y`/`idx`), leaves the result in `x`,
+/// clamped to `[lo, hi]`.
+#[allow(clippy::too_many_arguments)]
+fn emit_int_body(
+    p: &mut ProgramBuilder,
+    op: MapOp,
+    x: Reg,
+    y: Reg,
+    idx: Reg,
+    t: Reg,
+    u: Reg,
+    v: Reg,
+    p_aux: vitbit_sim::isa::Pred,
+    lo: i32,
+    hi: i32,
+) {
+    match op {
+        MapOp::Gelu => {
+            // t = x + (x>>1) + (x>>3); sig = clamp(128 + (t>>1), 0, 256);
+            // x = clamp((x*sig) >> 8, lo, hi).
+            p.sar(t, x.into(), Src::Imm(1));
+            p.iadd(t, t.into(), x.into());
+            p.sar(u, x.into(), Src::Imm(3));
+            p.iadd(t, t.into(), u.into());
+            p.sar(t, t.into(), Src::Imm(1));
+            p.iadd(t, t.into(), Src::Imm(128));
+            p.imax(t, t.into(), Src::Imm(0));
+            p.imin(t, t.into(), Src::Imm(256));
+            p.imul(x, x.into(), t.into());
+            p.sar(x, x.into(), Src::Imm(8));
+            p.imax(x, x.into(), Src::imm_i32(lo));
+            p.imin(x, x.into(), Src::imm_i32(hi));
+        }
+        MapOp::Dropout { seed, keep_q8 } => {
+            // h = ((seed ^ idx) * M + C) >> 24; keep => x*scale>>8.
+            let scale = (256u32 << 8) / keep_q8;
+            p.push(vitbit_sim::isa::Op::Xor { d: t, a: idx.into(), b: Src::Imm(seed) });
+            p.imul(t, t.into(), Src::Imm(747_796_405));
+            p.iadd(t, t.into(), Src::Imm(2_891_336_453));
+            p.shr(t, t.into(), Src::Imm(24));
+            p.isetp(p_aux, t.into(), Src::Imm(keep_q8), ICmp::LtU);
+            p.imul(u, x.into(), Src::Imm(scale));
+            p.sar(u, u.into(), Src::Imm(8));
+            p.imax(u, u.into(), Src::imm_i32(lo));
+            p.imin(u, u.into(), Src::imm_i32(hi));
+            p.sel(x, p_aux, u.into(), Src::Imm(0));
+            let _ = v;
+        }
+        MapOp::Add => {
+            p.iadd(x, x.into(), y.into());
+            p.imax(x, x.into(), Src::imm_i32(lo));
+            p.imin(x, x.into(), Src::imm_i32(hi));
+        }
+    }
+}
+
+/// FP op body (int8 full range), result back in `x` as an integer code.
+#[allow(clippy::too_many_arguments)]
+fn emit_fp_body(
+    p: &mut ProgramBuilder,
+    op: MapOp,
+    x: Reg,
+    y: Reg,
+    idx: Reg,
+    t: Reg,
+    u: Reg,
+    v: Reg,
+    p_aux: vitbit_sim::isa::Pred,
+    lo: i32,
+    hi: i32,
+) {
+    let (lof, hif) = (lo as f32, hi as f32);
+    let _ = (lof, hif);
+    match op {
+        MapOp::Gelu => {
+            // Bit-exact float twin of the integer body: arithmetic shifts
+            // become multiply-by-2^-k + cvt.rmi (exact: all intermediates
+            // are integers below 2^24).
+            p.i2f(v, x.into()); // xf
+            p.fmul(t, v.into(), Src::imm_f32(0.5));
+            p.f2i_floor(t, t.into()); // x >> 1
+            p.fmul(u, v.into(), Src::imm_f32(0.125));
+            p.f2i_floor(u, u.into()); // x >> 3
+            p.iadd(t, t.into(), u.into());
+            p.iadd(t, t.into(), x.into()); // t = x + (x>>1) + (x>>3)
+            p.i2f(t, t.into());
+            p.fmul(t, t.into(), Src::imm_f32(0.5));
+            p.f2i_floor(t, t.into()); // t >> 1
+            p.iadd(t, t.into(), Src::Imm(128));
+            p.imax(t, t.into(), Src::Imm(0));
+            p.imin(t, t.into(), Src::Imm(256)); // sig
+            p.i2f(t, t.into());
+            p.fmul(t, t.into(), v.into()); // x * sig (exact, < 2^16)
+            p.fmul(t, t.into(), Src::imm_f32(1.0 / 256.0));
+            p.f2i_floor(x, t.into()); // >> 8
+            p.imax(x, x.into(), Src::imm_i32(lo));
+            p.imin(x, x.into(), Src::imm_i32(hi));
+        }
+        MapOp::Dropout { seed, keep_q8 } => {
+            p.push(vitbit_sim::isa::Op::Xor { d: t, a: idx.into(), b: Src::Imm(seed) });
+            p.imul(t, t.into(), Src::Imm(747_796_405));
+            p.iadd(t, t.into(), Src::Imm(2_891_336_453));
+            p.shr(t, t.into(), Src::Imm(24));
+            p.isetp(p_aux, t.into(), Src::Imm(keep_q8), ICmp::LtU);
+            // Exact: x*scale is an integer < 2^18; /256 + cvt.rmi = ">> 8".
+            let scale = (256u32 << 8) / keep_q8;
+            p.i2f(v, x.into());
+            p.fmul(v, v.into(), Src::imm_f32(scale as f32));
+            p.fmul(v, v.into(), Src::imm_f32(1.0 / 256.0));
+            p.f2i_floor(u, v.into());
+            p.imax(u, u.into(), Src::imm_i32(lo));
+            p.imin(u, u.into(), Src::imm_i32(hi));
+            p.sel(x, p_aux, u.into(), Src::Imm(0));
+        }
+        MapOp::Add => {
+            p.i2f(t, x.into());
+            p.i2f(u, y.into());
+            p.fadd(t, t.into(), u.into()); // exact: |sum| <= 2^8
+            p.fmax(t, t.into(), Src::imm_f32(lof));
+            p.fmin(t, t.into(), Src::imm_f32(hif));
+            p.f2i(x, t.into());
+        }
+    }
+}
+
+/// Result of a map-kernel launch.
+#[derive(Debug, Clone)]
+pub struct MapOut {
+    /// Output codes, same length as the input.
+    pub out: Vec<i8>,
+    /// Launch statistics.
+    pub stats: KernelStats,
+}
+
+const ROLE_WARPS: u32 = 4;
+
+/// Runs one elementwise map over `input` (and `input2` for `Add`).
+///
+/// # Panics
+/// Panics if `Add` is launched without a second input or lengths differ.
+pub fn run_map(
+    gpu: &mut Gpu,
+    op: MapOp,
+    variant: EwVariant,
+    bitwidth: u32,
+    input: &[i8],
+    input2: Option<&[i8]>,
+) -> MapOut {
+    if matches!(op, MapOp::Add) {
+        let i2 = input2.expect("Add requires a second input");
+        assert_eq!(i2.len(), input.len(), "operand lengths");
+    }
+    let n = input.len();
+    gpu.mem.reset();
+
+    // Split per variant. For packed roles the element share must be a
+    // multiple of lanes*32; everything is padded with zeros.
+    let (n1, lanes, int_domain) = match variant {
+        EwVariant::Ic => (n, 1usize, Some(MapDomain::Int)),
+        EwVariant::Fc => (0, 1, None),
+        EwVariant::IcFc => (eq1_split(n, 1).expect("lanes >= 1").0, 1, Some(MapDomain::Int)),
+        EwVariant::VitBit(spec) => (
+            eq1_split(n, spec.lanes).expect("lanes >= 1").0,
+            spec.lanes as usize,
+            Some(MapDomain::Packed(spec)),
+        ),
+    };
+    let n1 = n1.min(n);
+    let n2 = n - n1;
+    let n1_pad = pad_to(n1, 32 * lanes);
+    let n2_pad = pad_to(n2, 32);
+
+    let pad_part = |part: &[i8], len: usize| {
+        let mut v = part.to_vec();
+        v.resize(len, 0);
+        v
+    };
+    let in1 = pad_part(&input[..n1], n1_pad);
+    let in2_1 = input2.map(|i2| pad_part(&i2[..n1], n1_pad));
+    let in_2 = pad_part(&input[n1..], n2_pad);
+    let in2_2 = input2.map(|i2| pad_part(&i2[n1..], n2_pad));
+
+    // Upload per-role operands.
+    let mut args = Vec::new();
+    let mut programs = Vec::new();
+    let mut roles: Vec<u8> = Vec::new();
+    let blocks = 32u32;
+    let mut fetch: Vec<(u32, usize, bool)> = Vec::new(); // (ptr, units, packed)
+
+    let push_role = |gpu: &mut Gpu,
+                         args: &mut Vec<u32>,
+                         programs: &mut Vec<std::sync::Arc<vitbit_sim::Program>>,
+                         roles: &mut Vec<u8>,
+                         fetch: &mut Vec<(u32, usize, bool)>,
+                         domain: MapDomain,
+                         data: &[i8],
+                         data2: Option<&[i8]>,
+                         idx_base: u32,
+                         tid_base: u32| {
+        let arg_base = (programs.len() as u16) * MAP_ARGS;
+        let (in_ptr, in2_ptr, out_ptr, units) = match domain {
+            MapDomain::Packed(spec) => {
+                let packed = pack_codes(data, &spec).expect("padded to lane multiple");
+                let ptr = gpu.mem.upload_u32(&packed).addr;
+                let ptr2 = data2.map_or(0, |d| {
+                    let pk = pack_codes(d, &spec).expect("padded");
+                    gpu.mem.upload_u32(&pk).addr
+                });
+                let out = gpu.mem.alloc((packed.len() * 4).max(4) as u32);
+                (ptr, ptr2, out.addr, packed.len())
+            }
+            _ => {
+                let ptr = gpu.mem.upload_i8(data).addr;
+                let ptr2 = data2.map_or(0, |d| gpu.mem.upload_i8(d).addr);
+                let out = gpu.mem.alloc(data.len().max(4) as u32);
+                (ptr, ptr2, out.addr, data.len())
+            }
+        };
+        let role_threads = ROLE_WARPS * 32;
+        args.extend_from_slice(&[
+            in_ptr,
+            in2_ptr,
+            out_ptr,
+            units as u32,
+            blocks * role_threads,
+            tid_base,
+            idx_base,
+            role_threads,
+        ]);
+        programs.push(map_program(op, domain, bitwidth, arg_base).into_arc());
+        roles.extend(std::iter::repeat_n((programs.len() - 1) as u8, ROLE_WARPS as usize));
+        fetch.push((out_ptr, units, matches!(domain, MapDomain::Packed(_))));
+    };
+
+    if let Some(domain) = int_domain {
+        if n1_pad > 0 {
+            push_role(
+                gpu, &mut args, &mut programs, &mut roles, &mut fetch, domain, &in1,
+                in2_1.as_deref(), 0, 0,
+            );
+        }
+    }
+    let fp_needed = matches!(variant, EwVariant::Fc | EwVariant::IcFc | EwVariant::VitBit(_));
+    if fp_needed && n2_pad > 0 {
+        let tid_base = (roles.len() as u32) * 32;
+        push_role(
+            gpu, &mut args, &mut programs, &mut roles, &mut fetch, MapDomain::Fp, &in_2,
+            in2_2.as_deref(), n1 as u32, tid_base,
+        );
+    }
+    assert!(!programs.is_empty(), "nothing to launch");
+
+    let kernel = Kernel::fused(
+        format!("{}_{:?}", op.name(), variant_tag(&variant)),
+        programs,
+        roles,
+        blocks,
+        0,
+        args,
+    );
+    let stats = gpu.launch(&kernel);
+
+    // Reassemble.
+    let mut out = Vec::with_capacity(n);
+    let mut part_iter = fetch.into_iter();
+    if n1 > 0 || matches!(variant, EwVariant::Ic) {
+        let (ptr, units, packed) = part_iter.next().expect("int part present");
+        let dev = vitbit_sim::mem::DevPtr { addr: ptr, len: (units * 4) as u32 };
+        if packed {
+            let spec = match variant {
+                EwVariant::VitBit(s) => s,
+                _ => unreachable!("packed implies VitBit"),
+            };
+            let words = gpu.mem.download_u32(dev, units);
+            let codes = unpack_codes(&words, &spec);
+            out.extend_from_slice(&codes[..n1]);
+        } else {
+            out.extend_from_slice(&gpu.mem.download_i8(dev, units)[..n1]);
+        }
+    }
+    if let Some((ptr, units, _)) = part_iter.next() {
+        let dev = vitbit_sim::mem::DevPtr { addr: ptr, len: units as u32 };
+        out.extend_from_slice(&gpu.mem.download_i8(dev, units)[..n2]);
+    }
+    out.truncate(n);
+    MapOut { out, stats }
+}
+
+fn variant_tag(v: &EwVariant) -> &'static str {
+    match v {
+        EwVariant::Ic => "ic",
+        EwVariant::Fc => "fc",
+        EwVariant::IcFc => "ic_fc",
+        EwVariant::VitBit(_) => "vitbit",
+    }
+}
+
+/// Host reference for one map op in a `bitwidth`-bit domain.
+pub fn map_reference_int(op: MapOp, x: &[i8], y: Option<&[i8]>, bitwidth: u32) -> Vec<i8> {
+    match op {
+        MapOp::Gelu => x
+            .iter()
+            .map(|&v| hostref::shiftgelu_i(i32::from(v), bitwidth))
+            .collect(),
+        MapOp::Dropout { seed, keep_q8 } => x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| hostref::dropout_i(i32::from(v), i as u32, seed, keep_q8, bitwidth))
+            .collect(),
+        MapOp::Add => x
+            .iter()
+            .zip(y.expect("Add needs y"))
+            .map(|(&a, &b)| hostref::add_i(i32::from(a), i32::from(b), bitwidth))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vitbit_sim::OrinConfig;
+    use vitbit_tensor::gen;
+
+    fn gpu() -> Gpu {
+        Gpu::new(OrinConfig::test_small(), 32 << 20)
+    }
+
+    fn codes(n: usize, lo: i8, hi: i8, seed: u64) -> Vec<i8> {
+        gen::uniform_i8(1, n, lo, hi, seed).into_vec()
+    }
+
+    #[test]
+    fn gelu_ic_bit_exact() {
+        let mut g = gpu();
+        let x = codes(1000, -128, 127, 1);
+        let out = run_map(&mut g, MapOp::Gelu, EwVariant::Ic, 8, &x, None);
+        assert_eq!(out.out, map_reference_int(MapOp::Gelu, &x, None, 8));
+        assert!(out.stats.issued.fp == 0);
+    }
+
+    #[test]
+    fn gelu_fc_close_to_int() {
+        let mut g = gpu();
+        let x = codes(500, -128, 127, 2);
+        let out = run_map(&mut g, MapOp::Gelu, EwVariant::Fc, 8, &x, None);
+        let reference = map_reference_int(MapOp::Gelu, &x, None, 8);
+        for (a, b) in out.out.iter().zip(&reference) {
+            assert!((i32::from(*a) - i32::from(*b)).abs() <= 2, "{a} vs {b}");
+        }
+        assert!(out.stats.issued.fp > 0);
+    }
+
+    #[test]
+    fn gelu_vitbit_packed_share_is_exact_in_6bit_domain() {
+        let mut g = gpu();
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let x = codes(1200, -32, 31, 3);
+        let out = run_map(&mut g, MapOp::Gelu, EwVariant::VitBit(spec), 6, &x, None);
+        // The packed (first) share matches the 6-bit-clamped reference
+        // exactly; the FP share is within 2 codes.
+        let (n1, _) = eq1_split(x.len(), 2).unwrap();
+        let ref6 = map_reference_int(MapOp::Gelu, &x, None, 6);
+        assert_eq!(&out.out[..n1], &ref6[..n1], "packed share bit-exact");
+        for (a, b) in out.out[n1..].iter().zip(&ref6[n1..]) {
+            assert!((i32::from(*a) - i32::from(*b)).abs() <= 2);
+        }
+    }
+
+    #[test]
+    fn dropout_ic_bit_exact_and_seeded() {
+        let mut g = gpu();
+        let op = MapOp::Dropout { seed: 99, keep_q8: 204 };
+        let x = codes(2048, -128, 127, 4);
+        let out = run_map(&mut g, op, EwVariant::Ic, 8, &x, None);
+        assert_eq!(out.out, map_reference_int(op, &x, None, 8));
+    }
+
+    #[test]
+    fn dropout_icfc_matches_reference_per_share() {
+        let mut g = gpu();
+        let op = MapOp::Dropout { seed: 5, keep_q8 : 204 };
+        let x = codes(999, -100, 100, 5);
+        let out = run_map(&mut g, op, EwVariant::IcFc, 8, &x, None);
+        let reference = map_reference_int(op, &x, None, 8);
+        let (n1, _) = eq1_split(x.len(), 1).unwrap();
+        assert_eq!(&out.out[..n1], &reference[..n1], "int share exact");
+        for (a, b) in out.out[n1..].iter().zip(&reference[n1..]) {
+            assert!((i32::from(*a) - i32::from(*b)).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn add_ic_bit_exact() {
+        let mut g = gpu();
+        let x = codes(700, -128, 127, 6);
+        let y = codes(700, -128, 127, 7);
+        let out = run_map(&mut g, MapOp::Add, EwVariant::Ic, 8, &x, Some(&y));
+        assert_eq!(out.out, map_reference_int(MapOp::Add, &x, Some(&y), 8));
+    }
+
+    #[test]
+    fn add_vitbit_packed_share_exact() {
+        let mut g = gpu();
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let x = codes(640, -32, 31, 8);
+        let y = codes(640, -32, 31, 9);
+        let out = run_map(&mut g, MapOp::Add, EwVariant::VitBit(spec), 6, &x, Some(&y));
+        let (n1, _) = eq1_split(x.len(), 2).unwrap();
+        let ref6 = map_reference_int(MapOp::Add, &x, Some(&y), 6);
+        assert_eq!(&out.out[..n1], &ref6[..n1]);
+    }
+
+    #[test]
+    fn vitbit_reduces_lsu_traffic() {
+        let mut g = gpu();
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let x = codes(64 * 1024, -32, 31, 10);
+        let ic = run_map(&mut g, MapOp::Gelu, EwVariant::Ic, 6, &x, None);
+        let vb = run_map(&mut g, MapOp::Gelu, EwVariant::VitBit(spec), 6, &x, None);
+        assert!(
+            vb.stats.issued.lsu < ic.stats.issued.lsu,
+            "packed loads should cut LSU instructions: {} vs {}",
+            vb.stats.issued.lsu,
+            ic.stats.issued.lsu
+        );
+    }
+
+    #[test]
+    fn odd_length_handled() {
+        let mut g = gpu();
+        let x = codes(37, -128, 127, 11);
+        let out = run_map(&mut g, MapOp::Gelu, EwVariant::Ic, 8, &x, None);
+        assert_eq!(out.out.len(), 37);
+        assert_eq!(out.out, map_reference_int(MapOp::Gelu, &x, None, 8));
+    }
+}

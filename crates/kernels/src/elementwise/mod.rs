@@ -1,0 +1,9 @@
+//! CUDA-core (non-Linear) kernels of the ViT attention block, in the four
+//! execution variants of Figure 7 (IC baseline, FC, IC+FC, VitBit).
+
+pub mod hostref;
+pub mod map;
+pub mod row;
+
+pub use map::{run_map, EwVariant, MapOp};
+pub use row::{run_layernorm, run_softmax, RowOut};

@@ -1,0 +1,648 @@
+//! Row-wise kernels: Shiftmax (softmax) and I-LayerNorm.
+//!
+//! One warp owns one row (reductions via butterfly shuffles); warps
+//! grid-stride over rows. The IC+FC and VitBit variants split *rows*
+//! between the INT-side and FP-side warp groups (a row-wise work split —
+//! column splitting would break the row reductions); the VitBit INT side
+//! reads and writes packed registers, halving its LSU traffic.
+
+use crate::shapes::pad_to;
+use vitbit_core::pack::{pack_codes, unpack_codes};
+use vitbit_core::policy::PackSpec;
+use vitbit_core::ratio::eq1_split;
+use vitbit_sim::isa::{ICmp, MemWidth, Reg, SReg, Src};
+use vitbit_sim::program::{Program, ProgramBuilder};
+use vitbit_sim::{Gpu, Kernel, KernelStats};
+use vitbit_tensor::Matrix;
+
+use super::hostref;
+use super::map::EwVariant;
+
+/// Which row-wise op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RowOp {
+    /// Integer Shiftmax.
+    Softmax,
+    /// Integer LayerNorm (uniform gamma in Q6 and beta).
+    LayerNorm {
+        /// Gain in Q6 (64 = 1.0).
+        gamma_q6: i32,
+        /// Offset added after normalization.
+        beta: i32,
+    },
+}
+
+impl RowOp {
+    fn name(&self) -> &'static str {
+        match self {
+            RowOp::Softmax => "shiftmax",
+            RowOp::LayerNorm { .. } => "ilayernorm",
+        }
+    }
+}
+
+/// Operand domain of one row role.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RowDomain {
+    Int,
+    Fp,
+    Packed(PackSpec),
+}
+
+/// Args per row role: `[in, out, n_rows, stride_rows, wbase, row_base, 0, 0]`.
+pub const ROW_ARGS: u16 = 8;
+const ROLE_WARPS: u32 = 4;
+
+/// Builds one row-role program for rows of `n_cols` (a multiple of 32, and
+/// of `32*lanes` for the packed domain).
+fn row_program(op: RowOp, domain: RowDomain, n_cols: usize, bitwidth: u32, arg_base: u16) -> Program {
+    assert!(n_cols.is_multiple_of(32), "row length must be a multiple of 32");
+    let lanes = match domain {
+        RowDomain::Packed(spec) => spec.lanes as usize,
+        _ => 1,
+    };
+    assert!(n_cols.is_multiple_of(32 * lanes), "row length must cover whole packed words");
+    let hi = (1i32 << (bitwidth - 1)) - 1;
+
+    let mut p = ProgramBuilder::new(format!(
+        "{}_{}",
+        op.name(),
+        match domain {
+            RowDomain::Int => "ic",
+            RowDomain::Fp => "fc",
+            RowDomain::Packed(_) => "packed",
+        }
+    ));
+    let in_ptr = p.alloc();
+    let out_ptr = p.alloc();
+    let n_rows = p.alloc();
+    let stride_rows = p.alloc();
+    let wbase = p.alloc();
+    let row_base = p.alloc();
+    for (i, r) in [in_ptr, out_ptr, n_rows, stride_rows, wbase, row_base].iter().enumerate() {
+        p.ldc(*r, arg_base + i as u16);
+    }
+    let ctaid = p.alloc();
+    let lane = p.alloc();
+    let warpid = p.alloc();
+    p.sreg(ctaid, SReg::Ctaid);
+    p.sreg(lane, SReg::LaneId);
+    p.sreg(warpid, SReg::WarpId);
+    let row = p.alloc();
+    p.isub(row, warpid.into(), wbase.into());
+    p.imad(row, ctaid.into(), Src::Imm(ROLE_WARPS), row.into());
+
+    // Per-lane element registers (unpacked values).
+    let npl = n_cols / 32; // values per lane
+    let words_pl = npl / lanes; // memory words per lane
+    let x = p.alloc_n(npl as u16);
+    let addr = p.alloc();
+    let t = p.alloc();
+    let u = p.alloc();
+    let v = p.alloc();
+    let m = p.alloc();
+    let sum = p.alloc();
+    let r_reg = p.alloc();
+    let p_loop = p.alloc_pred();
+    let p_aux = p.alloc_pred();
+    let xr = |i: usize| Reg(x.0 + i as u8);
+
+    let row_bytes: u32 = match domain {
+        RowDomain::Packed(_) => (n_cols / lanes * 4) as u32,
+        _ => n_cols as u32,
+    };
+
+    p.label_here("rows");
+    p.isetp(p_loop, row.into(), n_rows.into(), ICmp::GeU);
+    p.bra_if("end", p_loop, true);
+    // addr = in + row*row_bytes + lane*esz
+    p.imul(t, row.into(), Src::Imm(row_bytes));
+    p.iadd(addr, in_ptr.into(), t.into());
+    match domain {
+        RowDomain::Packed(spec) => {
+            p.shl(t, lane.into(), Src::Imm(2));
+            p.iadd(addr, addr.into(), t.into());
+            // Load words and unpack: word w = lane + i*32 holds elements
+            // w*lanes + pos.
+            let bias = spec.value_bias();
+            for i in 0..words_pl {
+                p.ldg(v, addr, (i * 128) as i32, MemWidth::B32);
+                for pos in 0..lanes {
+                    let lane_idx = spec.lanes - 1 - pos as u32;
+                    let dst = xr(i * lanes + pos);
+                    p.shr(dst, v.into(), Src::Imm(spec.lane_shift(lane_idx)));
+                    p.and(dst, dst.into(), Src::Imm(spec.lane_mask()));
+                    p.isub(dst, dst.into(), Src::Imm(bias as u32));
+                }
+            }
+        }
+        _ => {
+            p.iadd(addr, addr.into(), lane.into());
+            for i in 0..npl {
+                p.ldg(xr(i), addr, (i * 32) as i32, MemWidth::B8S);
+            }
+        }
+    }
+
+    match op {
+        RowOp::Softmax => {
+            // Row max (always integer).
+            p.mov(m, xr(0).into());
+            for i in 1..npl {
+                p.imax(m, m.into(), xr(i).into());
+            }
+            for mask in [16u8, 8, 4, 2, 1] {
+                p.shfl(t, m, mask);
+                p.imax(m, m.into(), t.into());
+            }
+            match domain {
+                RowDomain::Fp => {
+                    // The FP path computes the *same* shift-exponent as the
+                    // integer kernel (shifts become multiply + cvt.rmi,
+                    // exact for this domain); only the final normalization
+                    // is floating point, so FP-row results differ from the
+                    // integer rows by at most the normalization rounding.
+                    p.mov(sum, Src::Imm(0));
+                    for i in 0..npl {
+                        let e = xr(i);
+                        p.isub(e, e.into(), m.into()); // d <= 0
+                        p.i2f(v, e.into());
+                        p.fmul(t, v.into(), Src::imm_f32(0.5));
+                        p.f2i_floor(t, t.into()); // d >> 1
+                        p.iadd(t, t.into(), e.into());
+                        p.fmul(u, v.into(), Src::imm_f32(1.0 / 16.0));
+                        p.f2i_floor(u, u.into()); // d >> 4
+                        p.isub(t, t.into(), u.into());
+                        p.isub(t, Src::Imm(0), t.into()); // ~1.44|d|
+                        p.i2f(v, t.into());
+                        p.fmul(u, v.into(), Src::imm_f32(1.0 / 16.0));
+                        p.f2i_floor(u, u.into()); // n = t >> 4
+                        p.imin(u, u.into(), Src::Imm(30));
+                        p.and(t, t.into(), Src::Imm(15));
+                        p.imad(t, t.into(), Src::imm_i32(-8), Src::Imm(256));
+                        p.shr(e, t.into(), u.into()); // e_i (exact)
+                        p.iadd(sum, sum.into(), e.into());
+                    }
+                    for mask in [16u8, 8, 4, 2, 1] {
+                        p.shfl(t, sum, mask);
+                        p.iadd(sum, sum.into(), t.into());
+                    }
+                    p.imax(sum, sum.into(), Src::Imm(1));
+                    // Float normalization: out = floor(e/sum * 2^(22-shift)).
+                    p.i2f(r_reg, sum.into());
+                    p.push(vitbit_sim::isa::Op::Rcp { d: r_reg, a: r_reg.into() });
+                    let shift = 15 + 8 - bitwidth;
+                    let scale = (1u64 << (22 - shift as u64)) as f32;
+                    for i in 0..npl {
+                        let e = xr(i);
+                        p.i2f(e, e.into());
+                        p.fmul(e, e.into(), r_reg.into());
+                        p.fmul(e, e.into(), Src::imm_f32(scale));
+                        p.f2i_floor(e, e.into());
+                        p.imin(e, e.into(), Src::imm_i32(hi));
+                    }
+                }
+                _ => {
+                    // Integer shiftexp per element, sum, divide once.
+                    p.mov(sum, Src::Imm(0));
+                    for i in 0..npl {
+                        let e = xr(i);
+                        p.isub(e, e.into(), m.into()); // d <= 0
+                        // t = -(d + (d>>1) - (d>>4))
+                        p.sar(t, e.into(), Src::Imm(1));
+                        p.iadd(t, t.into(), e.into());
+                        p.sar(u, e.into(), Src::Imm(4));
+                        p.isub(t, t.into(), u.into());
+                        p.isub(t, Src::Imm(0), t.into());
+                        p.shr(u, t.into(), Src::Imm(4));
+                        p.imin(u, u.into(), Src::Imm(30));
+                        p.and(t, t.into(), Src::Imm(15));
+                        p.imad(t, t.into(), Src::imm_i32(-8), Src::Imm(256));
+                        p.shr(e, t.into(), u.into());
+                        p.iadd(sum, sum.into(), e.into());
+                    }
+                    for mask in [16u8, 8, 4, 2, 1] {
+                        p.shfl(t, sum, mask);
+                        p.iadd(sum, sum.into(), t.into());
+                    }
+                    p.imax(sum, sum.into(), Src::Imm(1));
+                    p.idivu(r_reg, Src::Imm(1 << 22), sum.into());
+                    let shift = 15 + 8 - bitwidth;
+                    for i in 0..npl {
+                        let e = xr(i);
+                        p.imul(e, e.into(), r_reg.into());
+                        p.shr(e, e.into(), Src::Imm(shift));
+                        p.imin(e, e.into(), Src::imm_i32(hi));
+                    }
+                }
+            }
+        }
+        RowOp::LayerNorm { gamma_q6, beta } => {
+            let magic = hostref::mean_magic(n_cols) as u32;
+            // sum
+            p.mov(sum, Src::Imm(0));
+            for i in 0..npl {
+                p.iadd(sum, sum.into(), xr(i).into());
+            }
+            for mask in [16u8, 8, 4, 2, 1] {
+                p.shfl(t, sum, mask);
+                p.iadd(sum, sum.into(), t.into());
+            }
+            // mean = (sum * magic) >> 18 (arithmetic)
+            p.imul(m, sum.into(), Src::Imm(magic));
+            p.sar(m, m.into(), Src::Imm(18));
+            match domain {
+                RowDomain::Fp => {
+                    // Bit-exact float twin of the integer LayerNorm: the
+                    // mean comes from the shared integer path (`m`), the
+                    // variance accumulates in integers, the square root is
+                    // float-sqrt + integer floor corrections (exact for
+                    // var <= 2^16), and the signed division rounds toward
+                    // zero via |num|/std + cvt.rmi (exact: the quotient
+                    // gap 1/std far exceeds the f32 ulp at this range).
+                    p.mov(sum, Src::Imm(0));
+                    for i in 0..npl {
+                        p.isub(t, xr(i).into(), m.into());
+                        p.imad(sum, t.into(), t.into(), sum.into());
+                    }
+                    for mask in [16u8, 8, 4, 2, 1] {
+                        p.shfl(t, sum, mask);
+                        p.iadd(sum, sum.into(), t.into());
+                    }
+                    p.idivu(sum, sum.into(), Src::Imm(n_cols as u32)); // var
+                    // std = floor(sqrt(var)) with corrections.
+                    let s_reg = r_reg;
+                    p.i2f(s_reg, sum.into());
+                    p.push(vitbit_sim::isa::Op::Sqrt { d: s_reg, a: s_reg.into() });
+                    p.f2i_floor(s_reg, s_reg.into());
+                    for _ in 0..2 {
+                        p.imul(t, s_reg.into(), s_reg.into());
+                        p.isetp(p_aux, t.into(), sum.into(), ICmp::Gt);
+                        p.isub(u, s_reg.into(), Src::Imm(1));
+                        p.sel(s_reg, p_aux, u.into(), s_reg.into());
+                    }
+                    p.iadd(u, s_reg.into(), Src::Imm(1));
+                    p.imul(t, u.into(), u.into());
+                    p.isetp(p_aux, t.into(), sum.into(), ICmp::Le);
+                    p.sel(s_reg, p_aux, u.into(), s_reg.into());
+                    p.imax(s_reg, s_reg.into(), Src::Imm(1));
+                    let rstd = v;
+                    p.i2f(rstd, s_reg.into());
+                    p.push(vitbit_sim::isa::Op::Rcp { d: rstd, a: rstd.into() });
+                    for i in 0..npl {
+                        let e = xr(i);
+                        p.isub(e, e.into(), m.into());
+                        p.imul(e, e.into(), Src::imm_i32(gamma_q6)); // num
+                        // |num| on the FP pipe, divide, floor, re-sign.
+                        p.isub(t, Src::Imm(0), e.into());
+                        p.imax(u, e.into(), t.into()); // |num|
+                        p.isetp(p_aux, e.into(), Src::Imm(0), ICmp::Lt);
+                        p.i2f(u, u.into());
+                        p.fmul(u, u.into(), rstd.into());
+                        // Rcp-multiply can land a hair below the exact
+                        // quotient when it divides evenly; nudge before the
+                        // floor (quotient gaps are >= 1/std >> 2^-12).
+                        p.fadd(u, u.into(), Src::imm_f32(1.0 / 4096.0));
+                        p.f2i_floor(u, u.into());
+                        p.isub(t, Src::Imm(0), u.into());
+                        p.sel(e, p_aux, t.into(), u.into());
+                        p.iadd(e, e.into(), Src::imm_i32(beta));
+                        p.imax(e, e.into(), Src::imm_i32(-hi - 1));
+                        p.imin(e, e.into(), Src::imm_i32(hi));
+                    }
+                }
+                _ => {
+                    // vsum = sum (x - mean)^2
+                    p.mov(sum, Src::Imm(0));
+                    for i in 0..npl {
+                        p.isub(t, xr(i).into(), m.into());
+                        p.imad(sum, t.into(), t.into(), sum.into());
+                    }
+                    for mask in [16u8, 8, 4, 2, 1] {
+                        p.shfl(t, sum, mask);
+                        p.iadd(sum, sum.into(), t.into());
+                    }
+                    p.idivu(sum, sum.into(), Src::Imm(n_cols as u32)); // var
+                    // Newton isqrt with floor corrections.
+                    let s = r_reg;
+                    p.imax(s, sum.into(), Src::Imm(1));
+                    for _ in 0..12 {
+                        p.idivu(t, sum.into(), s.into());
+                        p.iadd(s, s.into(), t.into());
+                        p.shr(s, s.into(), Src::Imm(1));
+                        p.imax(s, s.into(), Src::Imm(1));
+                    }
+                    for _ in 0..2 {
+                        p.imul(t, s.into(), s.into());
+                        p.isetp(p_aux, t.into(), sum.into(), ICmp::Gt);
+                        p.isub(u, s.into(), Src::Imm(1));
+                        p.sel(s, p_aux, u.into(), s.into());
+                    }
+                    p.iadd(u, s.into(), Src::Imm(1));
+                    p.imul(t, u.into(), u.into());
+                    p.isetp(p_aux, t.into(), sum.into(), ICmp::Le);
+                    p.sel(s, p_aux, u.into(), s.into());
+                    p.imax(s, s.into(), Src::Imm(1));
+                    // out = clamp((x-mean)*gamma / s + beta)
+                    for i in 0..npl {
+                        let e = xr(i);
+                        p.isub(e, e.into(), m.into());
+                        p.imul(e, e.into(), Src::imm_i32(gamma_q6));
+                        // signed division by s (round toward zero)
+                        p.isub(t, Src::Imm(0), e.into());
+                        p.imax(u, e.into(), t.into()); // |num|
+                        p.idivu(u, u.into(), s.into());
+                        p.isetp(p_aux, e.into(), Src::Imm(0), ICmp::Lt);
+                        p.isub(t, Src::Imm(0), u.into());
+                        p.sel(e, p_aux, t.into(), u.into());
+                        p.iadd(e, e.into(), Src::imm_i32(beta));
+                        p.imax(e, e.into(), Src::imm_i32(-hi - 1));
+                        p.imin(e, e.into(), Src::imm_i32(hi));
+                    }
+                }
+            }
+        }
+    }
+
+    // Store the row back.
+    p.imul(t, row.into(), Src::Imm(row_bytes));
+    p.iadd(addr, out_ptr.into(), t.into());
+    match domain {
+        RowDomain::Packed(spec) => {
+            p.shl(t, lane.into(), Src::Imm(2));
+            p.iadd(addr, addr.into(), t.into());
+            let bias = spec.value_bias();
+            for i in 0..words_pl {
+                p.mov(v, Src::Imm(0));
+                for pos in 0..lanes {
+                    let lane_idx = spec.lanes - 1 - pos as u32;
+                    let srcr = xr(i * lanes + pos);
+                    p.iadd(t, srcr.into(), Src::Imm(bias as u32));
+                    p.shl(t, t.into(), Src::Imm(spec.lane_shift(lane_idx)));
+                    p.or(v, v.into(), t.into());
+                }
+                p.stg(addr, (i * 128) as i32, v.into(), MemWidth::B32);
+            }
+        }
+        _ => {
+            p.iadd(addr, addr.into(), lane.into());
+            for i in 0..npl {
+                p.stg(addr, (i * 32) as i32, xr(i).into(), MemWidth::B8S);
+            }
+        }
+    }
+    p.iadd(row, row.into(), stride_rows.into());
+    p.bra("rows");
+    p.label_here("end");
+    p.exit();
+    p.build()
+}
+
+/// Result of a row-kernel launch.
+#[derive(Debug, Clone)]
+pub struct RowOut {
+    /// Output matrix (same shape as the input).
+    pub out: Matrix<i8>,
+    /// Launch statistics.
+    pub stats: KernelStats,
+}
+
+/// Runs Shiftmax rows.
+pub fn run_softmax(gpu: &mut Gpu, x: &Matrix<i8>, variant: EwVariant, bitwidth: u32) -> RowOut {
+    run_row(gpu, RowOp::Softmax, x, variant, bitwidth)
+}
+
+/// Runs I-LayerNorm rows with uniform gamma/beta.
+pub fn run_layernorm(
+    gpu: &mut Gpu,
+    x: &Matrix<i8>,
+    gamma_q6: i32,
+    beta: i32,
+    variant: EwVariant,
+    bitwidth: u32,
+) -> RowOut {
+    run_row(gpu, RowOp::LayerNorm { gamma_q6, beta }, x, variant, bitwidth)
+}
+
+fn run_row(gpu: &mut Gpu, op: RowOp, x: &Matrix<i8>, variant: EwVariant, bitwidth: u32) -> RowOut {
+    let (rows, cols) = x.shape();
+    assert!(rows > 0 && cols > 0, "empty input");
+    let lanes = match variant {
+        EwVariant::VitBit(spec) => spec.lanes as usize,
+        _ => 1,
+    };
+    // Pad columns: softmax pads with a very negative code (so padding never
+    // wins the max and its exponent is 0); layernorm requires exact rows.
+    let cols_p = pad_to(cols, 32 * lanes.max(1));
+    if matches!(op, RowOp::LayerNorm { .. }) {
+        assert_eq!(cols, cols_p, "layernorm rows must already be 32*lanes aligned");
+    }
+    let pad_code: i8 = match op {
+        RowOp::Softmax => -(1 << (bitwidth - 1)) as i8,
+        RowOp::LayerNorm { .. } => 0,
+    };
+    let mut padded = Matrix::from_fn(rows, cols_p, |r, c| if c < cols { x[(r, c)] } else { pad_code });
+
+    // Row split between INT-side and FP-side warps.
+    let (rows1, rows2) = match variant {
+        EwVariant::Ic => (rows, 0),
+        EwVariant::Fc => (0, rows),
+        EwVariant::IcFc => eq1_split(rows, 1).expect("lanes >= 1"),
+        EwVariant::VitBit(spec) => eq1_split(rows, spec.lanes).expect("lanes >= 1"),
+    };
+
+    gpu.mem.reset();
+    let mut args = Vec::new();
+    let mut programs = Vec::new();
+    let mut roles: Vec<u8> = Vec::new();
+    let blocks = 16u32;
+    let mut outs: Vec<(u32, usize, bool)> = Vec::new();
+
+    // INT-side role (plain or packed).
+    if rows1 > 0 {
+        let domain = match variant {
+            EwVariant::VitBit(spec) => RowDomain::Packed(spec),
+            _ => RowDomain::Int,
+        };
+        let (in_ptr, out_ptr, packed) = match domain {
+            RowDomain::Packed(spec) => {
+                let mut words = Vec::with_capacity(rows1 * cols_p / lanes);
+                for r in 0..rows1 {
+                    words.extend(pack_codes(padded.row(r), &spec).expect("aligned"));
+                }
+                let ptr = gpu.mem.upload_u32(&words).addr;
+                let out = gpu.mem.alloc((words.len() * 4) as u32);
+                (ptr, out.addr, true)
+            }
+            _ => {
+                let flat: Vec<i8> = (0..rows1).flat_map(|r| padded.row(r).to_vec()).collect();
+                let ptr = gpu.mem.upload_i8(&flat).addr;
+                let out = gpu.mem.alloc(flat.len() as u32);
+                (ptr, out.addr, false)
+            }
+        };
+        args.extend_from_slice(&[in_ptr, out_ptr, rows1 as u32, blocks * ROLE_WARPS, 0, 0, 0, 0]);
+        programs.push(row_program(op, domain, cols_p, bitwidth, 0).into_arc());
+        roles.extend(std::iter::repeat_n(0u8, ROLE_WARPS as usize));
+        outs.push((out_ptr, rows1, packed));
+    }
+    // FP-side role.
+    if rows2 > 0 {
+        let flat: Vec<i8> = (rows1..rows).flat_map(|r| padded.row(r).to_vec()).collect();
+        let in_ptr = gpu.mem.upload_i8(&flat).addr;
+        let out_dev = gpu.mem.alloc(flat.len() as u32);
+        let wbase = (roles.len() as u32).min(ROLE_WARPS);
+        let arg_base = (programs.len() as u16) * ROW_ARGS;
+        args.resize((programs.len() * ROW_ARGS as usize).max(args.len()), 0);
+        args.extend_from_slice(&[
+            in_ptr,
+            out_dev.addr,
+            rows2 as u32,
+            blocks * ROLE_WARPS,
+            wbase,
+            rows1 as u32,
+            0,
+            0,
+        ]);
+        programs.push(row_program(op, RowDomain::Fp, cols_p, bitwidth, arg_base).into_arc());
+        roles.extend(std::iter::repeat_n((programs.len() - 1) as u8, ROLE_WARPS as usize));
+        outs.push((out_dev.addr, rows2, false));
+    }
+
+    let kernel = Kernel::fused(op.name(), programs, roles, blocks, 0, args);
+    let stats = gpu.launch(&kernel);
+
+    // Collect outputs.
+    let mut row_idx = 0usize;
+    for (ptr, nrows, packed) in outs {
+        for r in 0..nrows {
+            if packed {
+                let spec = match variant {
+                    EwVariant::VitBit(s) => s,
+                    _ => unreachable!(),
+                };
+                let words_per_row = cols_p / lanes;
+                let dev = vitbit_sim::mem::DevPtr {
+                    addr: ptr + (r * words_per_row * 4) as u32,
+                    len: (words_per_row * 4) as u32,
+                };
+                let words = gpu.mem.download_u32(dev, words_per_row);
+                let codes = unpack_codes(&words, &spec);
+                padded.row_mut(row_idx)[..cols_p].copy_from_slice(&codes);
+            } else {
+                let dev = vitbit_sim::mem::DevPtr {
+                    addr: ptr + (r * cols_p) as u32,
+                    len: cols_p as u32,
+                };
+                let codes = gpu.mem.download_i8(dev, cols_p);
+                padded.row_mut(row_idx)[..cols_p].copy_from_slice(&codes);
+            }
+            row_idx += 1;
+        }
+    }
+    let out = Matrix::from_fn(rows, cols, |r, c| padded[(r, c)]);
+    RowOut { out, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vitbit_sim::OrinConfig;
+    use vitbit_tensor::gen;
+
+    fn gpu() -> Gpu {
+        Gpu::new(OrinConfig::test_small(), 32 << 20)
+    }
+
+    #[test]
+    fn softmax_ic_bit_exact() {
+        let mut g = gpu();
+        let x = gen::uniform_i8(10, 96, -128, 127, 1);
+        let out = run_softmax(&mut g, &x, EwVariant::Ic, 8);
+        for r in 0..10 {
+            assert_eq!(out.out.row(r), hostref::shiftmax_row_i(x.row(r), 8).as_slice(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn softmax_handles_unaligned_rows() {
+        let mut g = gpu();
+        // 197-column rows pad to 224 with -128 sentinels.
+        let x = gen::uniform_i8(5, 197, -100, 100, 2);
+        let out = run_softmax(&mut g, &x, EwVariant::Ic, 8);
+        // Padding contributes shiftexp(very negative) = 0 to the sum except
+        // when codes reach the sentinel; compare against a padded host run.
+        for r in 0..5 {
+            let mut padded = x.row(r).to_vec();
+            padded.resize(224, -128);
+            let host = hostref::shiftmax_row_i(&padded, 8);
+            assert_eq!(out.out.row(r), &host[..197], "row {r}");
+        }
+    }
+
+    #[test]
+    fn softmax_fc_close_to_int() {
+        let mut g = gpu();
+        let x = gen::uniform_i8(6, 64, -80, 80, 3);
+        let out = run_softmax(&mut g, &x, EwVariant::Fc, 8);
+        for r in 0..6 {
+            let host = hostref::shiftmax_row_i(x.row(r), 8);
+            for (a, b) in out.out.row(r).iter().zip(&host) {
+                assert!((i32::from(*a) - i32::from(*b)).abs() <= 8, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_vitbit_packed_rows_exact() {
+        let mut g = gpu();
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let x = gen::uniform_i8(9, 64, -32, 31, 4);
+        let out = run_softmax(&mut g, &x, EwVariant::VitBit(spec), 6);
+        let (rows1, _) = eq1_split(9, 2).unwrap();
+        for r in 0..rows1 {
+            assert_eq!(
+                out.out.row(r),
+                hostref::shiftmax_row_i(x.row(r), 6).as_slice(),
+                "packed row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn layernorm_ic_bit_exact() {
+        let mut g = gpu();
+        let x = gen::uniform_i8(8, 128, -128, 127, 5);
+        let out = run_layernorm(&mut g, &x, 64, 3, EwVariant::Ic, 8);
+        for r in 0..8 {
+            assert_eq!(
+                out.out.row(r),
+                hostref::ilayernorm_row_i(x.row(r), 64, 3, 8).as_slice(),
+                "row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn layernorm_icfc_all_rows_bit_exact() {
+        // The FP LayerNorm rows are a bit-exact float twin of the integer
+        // algorithm (cvt.rmi + integer sqrt corrections).
+        let mut g = gpu();
+        let x = gen::uniform_i8(10, 96, -100, 100, 6);
+        let out = run_layernorm(&mut g, &x, 64, 0, EwVariant::IcFc, 8);
+        for r in 0..10 {
+            let host = hostref::ilayernorm_row_i(x.row(r), 64, 0, 8);
+            assert_eq!(out.out.row(r), host.as_slice(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn vitbit_row_kernel_cuts_lsu() {
+        let mut g = gpu();
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let x = gen::uniform_i8(64, 256, -32, 31, 7);
+        let ic = run_softmax(&mut g, &x, EwVariant::Ic, 6);
+        let vb = run_softmax(&mut g, &x, EwVariant::VitBit(spec), 6);
+        assert!(vb.stats.issued.lsu < ic.stats.issued.lsu);
+    }
+}

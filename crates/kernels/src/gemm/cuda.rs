@@ -1,0 +1,908 @@
+//! CUDA-core GEMM kernels: INT (zero-masking), FP32 (converted) and
+//! packed-INT (SWAR) variants, plus the IC+FC and IC+FC+packing fused
+//! CUDA-only kernels of the paper's Section 3.2 study.
+//!
+//! One program generator covers all variants. Warp geometry: each warp owns
+//! a 16-row x 32-column tile of its element type per *chunk*, thread micro
+//! tile 4x4 (lane = `ry*8 + cx`, rows `ry*4..`, cols `cx*4..`), and warps
+//! grid-stride over column chunks so arbitrary (padded) column counts work
+//! for every role. Per k-step a thread issues 4 A-loads, 4 B-loads and 16
+//! MACs — the instruction mix whose INT/LSU balance produces the paper's
+//! measured co-scheduling gains.
+
+use super::GemmOut;
+use crate::shapes::{crop_matrix, pad_matrix, pad_to};
+use vitbit_core::correction::BiasCorrection;
+use vitbit_core::pack::pack_matrix_rows;
+use vitbit_core::policy::{PackPolicy, PackSpec};
+use vitbit_core::ratio::eq1_split;
+use vitbit_sim::isa::{ICmp, MemWidth, Reg, SReg, Src};
+use vitbit_sim::program::{Program, ProgramBuilder};
+use vitbit_sim::{Gpu, Kernel};
+use vitbit_tensor::Matrix;
+
+/// Rows every GEMM driver pads `M` to (covers all kernel row tiles).
+pub const M_PAD: usize = 64;
+/// Columns per warp chunk (in role element units).
+pub const CHUNK_COLS: usize = 32;
+/// K padding unit.
+pub const K_PAD: usize = 16;
+/// Argument slots consumed per CUDA GEMM role.
+pub const ARGS_PER_ROLE: u16 = 13;
+
+/// Element flavor of one CUDA GEMM role.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CudaElem {
+    /// Signed INT8-class codes, zero-masked into 32-bit registers.
+    Int,
+    /// f32 operands (the FC conversion path).
+    Fp,
+    /// Biased codes packed per `PackSpec` (B side packed, A side biased u8).
+    Packed(PackSpec),
+}
+
+impl CudaElem {
+    fn a_bytes(&self) -> u32 {
+        match self {
+            CudaElem::Int | CudaElem::Packed(_) => 1,
+            CudaElem::Fp => 4,
+        }
+    }
+    fn b_bytes(&self) -> u32 {
+        match self {
+            CudaElem::Int => 1,
+            CudaElem::Fp | CudaElem::Packed(_) => 4,
+        }
+    }
+}
+
+/// Geometry of one CUDA GEMM role within its launch.
+#[derive(Debug, Clone, Copy)]
+pub struct RoleGeom {
+    /// Warps of this role per block.
+    pub role_warps: u32,
+    /// Row groups the role's warps split into (a block covers
+    /// `row_groups * 16` rows; 1 standalone, 2 inside 32-row fused blocks).
+    pub row_groups: u32,
+    /// K-split factor: each (chunk, slice) pair is an independent warp task
+    /// over `K / k_splits` of the inner dimension, writing partial sums
+    /// into its own output slice (the driver reduces them on the host, an
+    /// `O(M*N)` epilogue like the bias correction). Spreads narrow column
+    /// shares across many warps.
+    pub k_splits: u32,
+}
+
+impl RoleGeom {
+    /// Standalone launch: 8 warps, one row group, K-split as given.
+    pub fn standalone(k_splits: u32) -> Self {
+        Self { role_warps: 8, row_groups: 1, k_splits }
+    }
+
+    /// Warps per row group.
+    pub fn group_warps(&self) -> u32 {
+        self.role_warps / self.row_groups
+    }
+}
+
+/// Builds one CUDA GEMM role program.
+///
+/// `geom` fixes the warp layout; `arg_base` offsets all `Ldc` indices so
+/// several roles share one kernel argument list. Argument layout:
+/// `[at, b, c, blocks_x, n_tasks, k_slice, row_stride_a, row_stride_b,
+/// c_row_stride, role_warp_base, task_stride, c_slice_stride, ctaid_base]`
+/// (`ctaid_base` rebases block ids inside heterogeneous launches).
+pub fn cuda_gemm_program(elem: CudaElem, geom: RoleGeom, arg_base: u16) -> Program {
+    let role_warps = geom.group_warps();
+    assert!(geom.role_warps.is_multiple_of(geom.row_groups), "warps divide row groups");
+    let name = match elem {
+        CudaElem::Int => "gemm_ic",
+        CudaElem::Fp => "gemm_fc",
+        CudaElem::Packed(_) => "gemm_ic_packed",
+    };
+    let mut p = ProgramBuilder::new(name);
+
+    // Unroll / spill cadence.
+    let (lanes, spill_every) = match elem {
+        CudaElem::Packed(spec) => {
+            let chunk = spec.chunk_len().clamp(1, 16);
+            // Largest power of two <= chunk (divides the K padding of 16).
+            let u = 1u32 << (31 - chunk.leading_zeros());
+            (
+                spec.lanes,
+                if spec.policy == PackPolicy::Paper { None } else { Some(u) },
+            )
+        }
+        _ => (1, None),
+    };
+    let unroll = match elem {
+        CudaElem::Packed(_) => spill_every.unwrap_or(8),
+        _ => 8,
+    };
+
+    // Constants.
+    let at = p.alloc();
+    let b_ptr = p.alloc();
+    let c_ptr = p.alloc();
+    let blocks_x = p.alloc();
+    let n_tasks = p.alloc();
+    let kmax = p.alloc(); // K per slice (the task's loop bound)
+    let rsa = p.alloc();
+    let rsb = p.alloc();
+    let crs = p.alloc();
+    let wbase = p.alloc();
+    let tstride = p.alloc();
+    let c_slice = p.alloc();
+    let ctaid_base = p.alloc();
+    for (i, r) in [
+        at, b_ptr, c_ptr, blocks_x, n_tasks, kmax, rsa, rsb, crs, wbase, tstride, c_slice,
+        ctaid_base,
+    ]
+    .iter()
+    .enumerate()
+    {
+        p.ldc(*r, arg_base + i as u16);
+    }
+
+    // Identity.
+    let ctaid = p.alloc();
+    let lane = p.alloc();
+    let warpid = p.alloc();
+    p.sreg(ctaid, SReg::Ctaid);
+    p.sreg(lane, SReg::LaneId);
+    p.sreg(warpid, SReg::WarpId);
+    p.isub(ctaid, ctaid.into(), ctaid_base.into());
+    let bx = p.alloc();
+    let by = p.alloc();
+    p.iremu(bx, ctaid.into(), blocks_x.into());
+    p.idivu(by, ctaid.into(), blocks_x.into());
+    let cx = p.alloc();
+    let ry = p.alloc();
+    p.and(cx, lane.into(), Src::Imm(7));
+    p.shr(ry, lane.into(), Src::Imm(3));
+    let w_in_role = p.alloc();
+    p.isub(w_in_role, warpid.into(), wbase.into());
+    let task = p.alloc();
+    // The role's warps split into row groups; within a group, warps stride
+    // the (chunk, k-slice) task space. Tasks cluster in low-bx blocks so
+    // co-tasked warps share an SM's L1 (they read the same A rows).
+    // task = bx * Wg + (w_in_role % Wg); row_sub = w_in_role / Wg.
+    let row0 = p.alloc();
+    let t0 = p.alloc();
+    if geom.row_groups > 1 {
+        p.iremu(t0, w_in_role.into(), Src::Imm(role_warps));
+        p.imad(task, bx.into(), Src::Imm(role_warps), t0.into());
+        p.idivu(t0, w_in_role.into(), Src::Imm(role_warps)); // row_sub
+        p.imad(t0, by.into(), Src::Imm(geom.row_groups), t0.into());
+        p.imul(t0, t0.into(), Src::Imm(16));
+    } else {
+        p.imad(task, bx.into(), Src::Imm(role_warps), w_in_role.into());
+        p.imul(t0, by.into(), Src::Imm(16));
+    }
+    p.imad(row0, ry.into(), Src::Imm(4), t0.into());
+    // a base address for this warp's rows (constant across chunks).
+    let a_base = p.alloc();
+    match elem.a_bytes() {
+        1 => p.iadd(a_base, at.into(), row0.into()),
+        _ => {
+            p.shl(t0, row0.into(), Src::Imm(2));
+            p.iadd(a_base, at.into(), t0.into());
+        }
+    }
+    let cx4 = p.alloc();
+    p.imul(cx4, cx.into(), Src::Imm(4));
+
+    // Working registers. The inner loop is software-pipelined with
+    // `unroll/2` stages (loads for step u+depth issue before the MACs of
+    // step u), hiding several hundred cycles of L2/DRAM latency exactly
+    // like deep cp.async pipelines in real kernels. Packed specs with a
+    // 1-step guard chunk degrade to plain load-then-MAC.
+    let depth: u16 = (unroll / 2) as u16;
+    let n_sets: u16 = if depth == 0 { 1 } else { (2 * depth).min(unroll as u16) };
+    let a_addr = p.alloc();
+    let b_addr = p.alloc();
+    let c_addr = p.alloc();
+    let kc = p.alloc();
+    let col0 = p.alloc();
+    let accs = p.alloc_n(16);
+    let a_frag = p.alloc_n(4 * n_sets);
+    let b_frag = p.alloc_n(4 * n_sets);
+    let wides = if lanes > 1 { Some(p.alloc_n(16 * lanes as u16)) } else { None };
+    let tsp = p.alloc();
+    let p_chunk = p.alloc_pred();
+    let p_k = p.alloc_pred();
+
+    let reg = |base: Reg, i: u16| Reg(base.0 + i as u8);
+    let chunk = p.alloc();
+    let slice = p.alloc();
+    let ks = geom.k_splits;
+
+    p.label_here("col_loop");
+    p.isetp(p_chunk, task.into(), n_tasks.into(), ICmp::GeU);
+    p.bra_if("end", p_chunk, true);
+
+    // Decompose the task into (column chunk, K slice).
+    if ks > 1 {
+        p.idivu(chunk, task.into(), Src::Imm(ks));
+        p.iremu(slice, task.into(), Src::Imm(ks));
+    } else {
+        p.mov(chunk, task.into());
+        p.mov(slice, Src::Imm(0));
+    }
+    // col0 = chunk*32 + cx*4 (element units of this role).
+    p.imad(col0, chunk.into(), Src::Imm(CHUNK_COLS as u32), cx4.into());
+    match elem.b_bytes() {
+        1 => p.iadd(b_addr, b_ptr.into(), col0.into()),
+        _ => {
+            p.shl(tsp, col0.into(), Src::Imm(2));
+            p.iadd(b_addr, b_ptr.into(), tsp.into());
+        }
+    }
+    p.mov(a_addr, a_base.into());
+    if ks > 1 {
+        // Advance both operands to the slice's K range.
+        p.imul(tsp, slice.into(), kmax.into()); // k offset in rows
+        let koff = p.alloc();
+        p.imul(koff, tsp.into(), rsa.into());
+        p.iadd(a_addr, a_addr.into(), koff.into());
+        p.imul(koff, tsp.into(), rsb.into());
+        p.iadd(b_addr, b_addr.into(), koff.into());
+    }
+    for i in 0..16 {
+        p.mov(reg(accs, i), Src::Imm(0));
+    }
+    if let Some(w) = wides {
+        for i in 0..16 * lanes as u16 {
+            p.mov(reg(w, i), Src::Imm(0));
+        }
+    }
+    p.mov(kc, Src::Imm(0));
+
+    // Helper closures expressed as small emit functions.
+    let emit_loads = |p: &mut ProgramBuilder, set: u16, a_addr: Reg, b_addr: Reg| {
+        match elem {
+            CudaElem::Int => {
+                for i in 0..4u16 {
+                    p.ldg(reg(a_frag, set * 4 + i), a_addr, i as i32, MemWidth::B8S);
+                }
+            }
+            CudaElem::Packed(_) => {
+                for i in 0..4u16 {
+                    p.ldg(reg(a_frag, set * 4 + i), a_addr, i as i32, MemWidth::B8U);
+                }
+            }
+            // f32 fragment rows are 16-byte aligned: one LDG.128.
+            CudaElem::Fp => p.ldg_v4(reg(a_frag, set * 4), a_addr, 0),
+        }
+        match elem {
+            CudaElem::Int => {
+                for j in 0..4u16 {
+                    p.ldg(reg(b_frag, set * 4 + j), b_addr, j as i32, MemWidth::B8S);
+                }
+            }
+            // A warp consumes a full 128-B line per k-step with no reuse:
+            // one streaming LDG.128 (ld.global.cs) per step, so these
+            // fragments cannot thrash the L1 lines the INT warps and the
+            // A operand rely on.
+            CudaElem::Packed(_) | CudaElem::Fp => {
+                p.ldg_v4_cs(reg(b_frag, set * 4), b_addr, 0);
+            }
+        }
+    };
+    let emit_macs = |p: &mut ProgramBuilder, set: u16| {
+        for i in 0..4u16 {
+            for j in 0..4u16 {
+                let acc = reg(accs, i * 4 + j);
+                let av = reg(a_frag, set * 4 + i);
+                let bv = reg(b_frag, set * 4 + j);
+                match elem {
+                    CudaElem::Fp => p.ffma(acc, av.into(), bv.into(), acc.into()),
+                    _ => p.imad(acc, av.into(), bv.into(), acc.into()),
+                }
+            }
+        }
+    };
+
+    // Prologue: preload `depth` steps.
+    for s in 0..depth {
+        emit_loads(&mut p, s % n_sets, a_addr, b_addr);
+        p.iadd(a_addr, a_addr.into(), rsa.into());
+        p.iadd(b_addr, b_addr.into(), rsb.into());
+    }
+    p.label_here("k_loop");
+    for u in 0..unroll as u16 {
+        if depth > 0 {
+            // Load step u+depth (wraps into the next group; the drivers
+            // over-allocate zero K-rows so trailing prefetches stay
+            // in-bounds), then MAC step u.
+            emit_loads(&mut p, (u + depth) % n_sets, a_addr, b_addr);
+            p.iadd(a_addr, a_addr.into(), rsa.into());
+            p.iadd(b_addr, b_addr.into(), rsb.into());
+            emit_macs(&mut p, u % n_sets);
+        } else {
+            emit_loads(&mut p, 0, a_addr, b_addr);
+            p.iadd(a_addr, a_addr.into(), rsa.into());
+            p.iadd(b_addr, b_addr.into(), rsb.into());
+            emit_macs(&mut p, 0);
+        }
+    }
+    // Packed guarded spill.
+    if let (Some(w), CudaElem::Packed(spec)) = (wides, elem) {
+        if spill_every.is_some() {
+            emit_spill(&mut p, &spec, accs, w, tsp);
+        }
+    }
+    p.iadd(kc, kc.into(), Src::Imm(unroll));
+    p.isetp(p_k, kc.into(), kmax.into(), ICmp::LtU);
+    p.bra_if("k_loop", p_k, true);
+
+    // Paper-policy packed: one final spill so the epilogue reads wides.
+    if let (Some(w), CudaElem::Packed(spec)) = (wides, elem) {
+        if spill_every.is_none() {
+            emit_spill(&mut p, &spec, accs, w, tsp);
+        }
+    }
+
+    // Epilogue: c_addr = c + slice*c_slice_stride + row0 * crs + col_bytes.
+    p.imul(tsp, row0.into(), crs.into());
+    p.iadd(c_addr, c_ptr.into(), tsp.into());
+    if ks > 1 {
+        p.imul(tsp, slice.into(), c_slice.into());
+        p.iadd(c_addr, c_addr.into(), tsp.into());
+    }
+    // Column byte offset: packed outputs expand to `lanes` real columns
+    // (lanes may be 3, so multiply rather than shift).
+    let col_bytes_per_unit = match elem {
+        CudaElem::Packed(spec) => 4 * spec.lanes,
+        _ => 4,
+    };
+    p.imul(tsp, col0.into(), Src::Imm(col_bytes_per_unit));
+    p.iadd(c_addr, c_addr.into(), tsp.into());
+    for i in 0..4u16 {
+        match elem {
+            CudaElem::Packed(_) => {
+                let w = wides.expect("packed has wides");
+                for j in 0..4u16 {
+                    for l in 0..lanes as u16 {
+                        let idx = (i * 4 + j) * lanes as u16 + l;
+                        let off = ((j * lanes as u16 + l) * 4) as i32;
+                        p.stg(c_addr, off, reg(w, idx).into(), MemWidth::B32);
+                    }
+                }
+            }
+            _ => {
+                for j in 0..4u16 {
+                    p.stg(c_addr, (j * 4) as i32, reg(accs, i * 4 + j).into(), MemWidth::B32);
+                }
+            }
+        }
+        if i < 3 {
+            p.iadd(c_addr, c_addr.into(), crs.into());
+        }
+    }
+
+    p.iadd(task, task.into(), tstride.into());
+    p.bra("col_loop");
+    p.label_here("end");
+    p.exit();
+    p.build()
+}
+
+/// Emits lane extraction of all 16 packed accumulators into wide registers
+/// and clears the accumulators.
+fn emit_spill(p: &mut ProgramBuilder, spec: &PackSpec, accs: Reg, wides: Reg, tmp: Reg) {
+    let lanes = spec.lanes as u16;
+    let mask = spec.lane_mask();
+    for idx in 0..16u16 {
+        let acc = Reg(accs.0 + idx as u8);
+        for pos in 0..lanes {
+            // Position 0 is the first packed element = most significant lane.
+            let lane = spec.lanes - 1 - pos as u32;
+            let shift = spec.lane_shift(lane);
+            let wide = Reg(wides.0 + (idx * lanes + pos) as u8);
+            if shift > 0 {
+                p.shr(tmp, acc.into(), Src::Imm(shift));
+                if lane != spec.lanes - 1 {
+                    p.and(tmp, tmp.into(), Src::Imm(mask));
+                }
+                p.iadd(wide, wide.into(), tmp.into());
+            } else {
+                p.and(tmp, acc.into(), Src::Imm(mask));
+                p.iadd(wide, wide.into(), tmp.into());
+            }
+        }
+        p.mov(acc, Src::Imm(0));
+    }
+}
+
+/// Picks a K-split factor: enough (chunk, slice) tasks to feed the machine
+/// (target >= 128 warp tasks), subject to 16-aligned slices.
+pub fn pick_k_splits(chunks: usize, blocks_y: usize, kp: usize) -> u32 {
+    let mut ks = 1u32;
+    while ks < 8
+        && chunks * ks as usize * blocks_y < 128
+        && kp.is_multiple_of(ks as usize * 2 * 16)
+    {
+        ks *= 2;
+    }
+    ks
+}
+
+/// Computes the 12 argument words of one role.
+#[allow(clippy::too_many_arguments)]
+pub fn role_args(
+    at_ptr: u32,
+    b_ptr: u32,
+    c_ptr: u32,
+    blocks_x: u32,
+    n_chunks: u32,
+    kp: u32,
+    elem: &CudaElem,
+    m_padded: u32,
+    b_cols: u32,
+    c_cols_bytes: u32,
+    role_warp_base: u32,
+    geom: &RoleGeom,
+    ctaid_base: u32,
+) -> Vec<u32> {
+    assert_eq!(kp % geom.k_splits, 0, "K must divide into slices");
+    vec![
+        at_ptr,
+        b_ptr,
+        c_ptr,
+        blocks_x,
+        n_chunks * geom.k_splits,
+        kp / geom.k_splits,
+        m_padded * elem.a_bytes(),
+        b_cols * elem.b_bytes(),
+        c_cols_bytes,
+        role_warp_base,
+        blocks_x * geom.group_warps(),
+        m_padded * c_cols_bytes,
+        ctaid_base,
+    ]
+}
+
+/// Sums `k_splits` partial-output slices of `len` words each, wrapping
+/// (exact for biased u32 sums, i32 accumulators, and bit-stored f32 when
+/// interpreted by the caller).
+pub fn reduce_slices_u32(raw: &[u32], len: usize, k_splits: u32) -> Vec<u32> {
+    assert_eq!(raw.len(), len * k_splits as usize);
+    let mut out = raw[..len].to_vec();
+    for s in 1..k_splits as usize {
+        for (o, &v) in out.iter_mut().zip(&raw[s * len..(s + 1) * len]) {
+            *o = o.wrapping_add(v);
+        }
+    }
+    out
+}
+
+/// f32 variant of [`reduce_slices_u32`] (partial sums added in slice order).
+pub fn reduce_slices_f32(raw: &[f32], len: usize, k_splits: u32) -> Vec<f32> {
+    assert_eq!(raw.len(), len * k_splits as usize);
+    let mut out = raw[..len].to_vec();
+    for s in 1..k_splits as usize {
+        for (o, &v) in out.iter_mut().zip(&raw[s * len..(s + 1) * len]) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Operand upload helpers shared with the fused kernels.
+pub mod upload_ops {
+    use super::*;
+
+    /// Uploads `m` transposed (`cols x rows`), as raw `i8`.
+    pub fn transposed_i8(gpu: &mut Gpu, m: &Matrix<i8>) -> u32 {
+        let t = m.transpose();
+        gpu.mem.upload_i8(t.as_slice()).addr
+    }
+
+    /// Uploads `m` transposed as `f32` bit patterns.
+    pub fn transposed_f32(gpu: &mut Gpu, m: &Matrix<f32>) -> u32 {
+        let t = m.transpose();
+        gpu.mem.upload_f32(t.as_slice()).addr
+    }
+
+    /// Biased-code transpose upload for the packed kernel's A operand.
+    pub fn transposed_biased(gpu: &mut Gpu, m: &Matrix<i8>, spec: &PackSpec) -> u32 {
+        let bias = spec.weight_bias();
+        let t = m.transpose();
+        let biased: Vec<i8> = t.as_slice().iter().map(|&x| (i32::from(x) + bias) as i8).collect();
+        gpu.mem.upload_i8(&biased).addr
+    }
+}
+
+struct PaddedProblem {
+    /// Compute-shaped operands (`K = kp`): corrections use these.
+    a: Matrix<i8>,
+    b: Matrix<i8>,
+    /// Upload-shaped operands with one extra zero K-tile so the software
+    /// pipeline's final prefetch stays in bounds.
+    a_up: Matrix<i8>,
+    b_up: Matrix<i8>,
+    m: usize,
+    n: usize,
+    #[allow(dead_code)]
+    k: usize,
+    mp: usize,
+    np: usize,
+    kp: usize,
+}
+
+fn pad_problem(a: &Matrix<i8>, b: &Matrix<i8>, n_unit: usize) -> PaddedProblem {
+    assert_eq!(a.cols(), b.rows(), "GEMM inner dims");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mp = pad_to(m.max(1), M_PAD);
+    let np = pad_to(n.max(1), n_unit);
+    let kp = pad_to(k.max(1), K_PAD);
+    let a_pad = pad_matrix(a, mp, kp);
+    let b_pad = pad_matrix(b, kp, np);
+    let a_up = pad_matrix(&a_pad, mp, kp + K_PAD);
+    let b_up = pad_matrix(&b_pad, kp + K_PAD, np);
+    PaddedProblem {
+        a: a_pad,
+        b: b_pad,
+        a_up,
+        b_up,
+        m,
+        n,
+        k,
+        mp,
+        np,
+        kp,
+    }
+}
+
+fn grid_for(np_chunks: usize, role_warps: u32) -> u32 {
+    (np_chunks as u32).div_ceil(role_warps).max(1)
+}
+
+/// INT-CUDA-core GEMM (zero-masking baseline, Table 3 "IC").
+pub fn run_ic(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
+    let p = pad_problem(a, b, CHUNK_COLS);
+    gpu.mem.reset();
+    let at_ptr = upload_ops::transposed_i8(gpu, &p.a_up);
+    let b_ptr = gpu.mem.upload_i8(p.b_up.as_slice()).addr;
+    let n_chunks = p.np / CHUNK_COLS;
+    let geom = RoleGeom::standalone(pick_k_splits(n_chunks, p.mp / 16, p.kp));
+    let ks = geom.k_splits;
+    let c_dev = gpu.mem.alloc((p.mp * p.np * 4 * ks as usize) as u32);
+    let blocks_x = grid_for(n_chunks * ks as usize, geom.role_warps);
+    let blocks = blocks_x * (p.mp / 16) as u32;
+    let elem = CudaElem::Int;
+    let args = role_args(
+        at_ptr, b_ptr, c_dev.addr, blocks_x, n_chunks as u32, p.kp as u32, &elem,
+        p.mp as u32, p.np as u32, (p.np * 4) as u32, 0, &geom, 0,
+    );
+    let prog = cuda_gemm_program(elem, geom, 0).into_arc();
+    let kernel = Kernel::single("gemm_ic", prog, blocks, geom.role_warps, 0, args);
+    let stats = gpu.launch(&kernel);
+    let raw = gpu.mem.download_u32(c_dev, p.mp * p.np * ks as usize);
+    let summed = reduce_slices_u32(&raw, p.mp * p.np, ks);
+    let c_full = Matrix::from_vec(p.mp, p.np, summed.into_iter().map(|x| x as i32).collect());
+    GemmOut { c: crop_matrix(&c_full, p.m, p.n), stats }
+}
+
+/// FP-CUDA-core GEMM (INT operands converted to f32, Table 3 "FC").
+pub fn run_fc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
+    let p = pad_problem(a, b, CHUNK_COLS);
+    gpu.mem.reset();
+    let af = p.a_up.map(|x| x as f32);
+    let bf = p.b_up.map(|x| x as f32);
+    let at_ptr = upload_ops::transposed_f32(gpu, &af);
+    let b_ptr = gpu.mem.upload_f32(bf.as_slice()).addr;
+    let n_chunks = p.np / CHUNK_COLS;
+    let geom = RoleGeom::standalone(pick_k_splits(n_chunks, p.mp / 16, p.kp));
+    let ks = geom.k_splits;
+    let c_dev = gpu.mem.alloc((p.mp * p.np * 4 * ks as usize) as u32);
+    let blocks_x = grid_for(n_chunks * ks as usize, geom.role_warps);
+    let blocks = blocks_x * (p.mp / 16) as u32;
+    let elem = CudaElem::Fp;
+    let args = role_args(
+        at_ptr, b_ptr, c_dev.addr, blocks_x, n_chunks as u32, p.kp as u32, &elem,
+        p.mp as u32, p.np as u32, (p.np * 4) as u32, 0, &geom, 0,
+    );
+    let prog = cuda_gemm_program(elem, geom, 0).into_arc();
+    let kernel = Kernel::single("gemm_fc", prog, blocks, geom.role_warps, 0, args);
+    let stats = gpu.launch(&kernel);
+    let raw = gpu.mem.download_f32(c_dev, p.mp * p.np * ks as usize);
+    let summed = reduce_slices_f32(&raw, p.mp * p.np, ks);
+    let c_full = Matrix::from_vec(p.mp, p.np, summed.into_iter().map(|x| x.round() as i32).collect());
+    GemmOut { c: crop_matrix(&c_full, p.m, p.n), stats }
+}
+
+/// Packed-INT GEMM: the register-operand-packing kernel on its own.
+///
+/// # Panics
+/// Panics when operand codes exceed the spec's bitwidths.
+pub fn run_packed(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>, spec: &PackSpec) -> GemmOut {
+    let lanes = spec.lanes as usize;
+    let p = pad_problem(a, b, CHUNK_COLS * lanes);
+    gpu.mem.reset();
+    let corr = BiasCorrection::new(spec, &p.a, &p.b);
+    let at_ptr = upload_ops::transposed_biased(gpu, &p.a_up, spec);
+    let packed = pack_matrix_rows(&p.b_up, spec).expect("padded width is a lane multiple");
+    let b_ptr = gpu.mem.upload_u32(packed.as_slice()).addr;
+    let np_packed = p.np / lanes;
+    let n_chunks = np_packed / CHUNK_COLS;
+    let geom = RoleGeom::standalone(pick_k_splits(n_chunks, p.mp / 16, p.kp));
+    let ks = geom.k_splits;
+    let c_dev = gpu.mem.alloc((p.mp * p.np * 4 * ks as usize) as u32);
+    let blocks_x = grid_for(n_chunks * ks as usize, geom.role_warps);
+    let blocks = blocks_x * (p.mp / 16) as u32;
+    let elem = CudaElem::Packed(*spec);
+    let args = role_args(
+        at_ptr, b_ptr, c_dev.addr, blocks_x, n_chunks as u32, p.kp as u32, &elem,
+        p.mp as u32, np_packed as u32, (p.np * 4) as u32, 0, &geom, 0,
+    );
+    let prog = cuda_gemm_program(elem, geom, 0).into_arc();
+    let kernel = Kernel::single("gemm_ic_packed", prog, blocks, geom.role_warps, 0, args);
+    let stats = gpu.launch(&kernel);
+    let raw = gpu.mem.download_u32(c_dev, p.mp * p.np * ks as usize);
+    let summed = reduce_slices_u32(&raw, p.mp * p.np, ks);
+    let mut c_full = Matrix::zeros(p.mp, p.np);
+    for i in 0..p.mp {
+        for j in 0..p.np {
+            c_full[(i, j)] = corr.apply(u64::from(summed[i * p.np + j]), i, j) as i32;
+        }
+    }
+    GemmOut { c: crop_matrix(&c_full, p.m, p.n), stats }
+}
+
+/// Simultaneous INT + FP CUDA-core GEMM (Table 3 "IC+FC"): columns split
+/// 1:1, INT warps and FP warps co-resident in every block.
+pub fn run_ic_fc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
+    run_cuda_fused(gpu, a, b, None)
+}
+
+/// IC+FC with packing on the INT side (the study's "IC+FC+P"): columns
+/// split per Equation 1 (`lanes : 1`).
+pub fn run_ic_fc_packed(
+    gpu: &mut Gpu,
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+    spec: &PackSpec,
+) -> GemmOut {
+    run_cuda_fused(gpu, a, b, Some(*spec))
+}
+
+fn run_cuda_fused(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>, spec: Option<PackSpec>) -> GemmOut {
+    assert_eq!(a.cols(), b.rows(), "GEMM inner dims");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let lanes = spec.map_or(1, |s| s.lanes as usize);
+    // Equation 1 split, each side padded to its chunk granularity.
+    let (n1_raw, _) = eq1_split(n, lanes as u32).expect("lanes >= 1");
+    let n1 = pad_to(n1_raw, CHUNK_COLS * lanes);
+    let n1c = n1_raw.min(n); // real columns the INT side owns
+    let n2_raw = n - n1c;
+    let n2 = pad_to(n2_raw.max(1), CHUNK_COLS);
+    let mp = pad_to(m.max(1), M_PAD);
+    let kp = pad_to(k.max(1), K_PAD);
+
+    let a_pad = pad_matrix(a, mp, kp);
+    let b1 = pad_matrix(&b.slice_cols(0, n1c), kp, n1);
+    let b2 = pad_matrix(&b.slice_cols(n1c, n2_raw), kp, n2);
+    // Upload shapes carry one extra zero K-tile for the pipeline prefetch.
+    let a_up = pad_matrix(&a_pad, mp, kp + K_PAD);
+    let b1_up = pad_matrix(&b1, kp + K_PAD, n1);
+    let b2_up = pad_matrix(&b2, kp + K_PAD, n2);
+
+    gpu.mem.reset();
+    // INT side operands.
+    let (at1_ptr, b1_ptr, corr) = match &spec {
+        Some(s) => {
+            let corr = BiasCorrection::new(s, &a_pad, &b1);
+            let at = upload_ops::transposed_biased(gpu, &a_up, s);
+            let packed = pack_matrix_rows(&b1_up, s).expect("padded to lane multiple");
+            (at, gpu.mem.upload_u32(packed.as_slice()).addr, Some(corr))
+        }
+        None => (
+            upload_ops::transposed_i8(gpu, &a_up),
+            gpu.mem.upload_i8(b1_up.as_slice()).addr,
+            None,
+        ),
+    };
+    // FP side operands.
+    let af = a_up.map(|x| x as f32);
+    let b2f = b2_up.map(|x| x as f32);
+    let at2_ptr = upload_ops::transposed_f32(gpu, &af);
+    let b2_ptr = gpu.mem.upload_f32(b2f.as_slice()).addr;
+
+    let n1_packed_cols = n1 / lanes;
+    let chunks1 = n1_packed_cols / CHUNK_COLS;
+    let chunks2 = n2 / CHUNK_COLS;
+    let ks = pick_k_splits(chunks1.min(chunks2).max(1), mp / 16, kp);
+    let geom = RoleGeom { role_warps: 4, row_groups: 1, k_splits: ks };
+    let c1_dev = gpu.mem.alloc((mp * n1 * 4 * ks as usize) as u32);
+    let c2_dev = gpu.mem.alloc((mp * n2 * 4 * ks as usize) as u32);
+    let blocks_x = grid_for(chunks1.max(chunks2) * ks as usize, geom.role_warps);
+    let blocks = blocks_x * (mp / 16) as u32;
+
+    let int_elem = match &spec {
+        Some(s) => CudaElem::Packed(*s),
+        None => CudaElem::Int,
+    };
+    let mut args = role_args(
+        at1_ptr, b1_ptr, c1_dev.addr, blocks_x, chunks1 as u32, kp as u32, &int_elem,
+        mp as u32, n1_packed_cols as u32, (n1 * 4) as u32, 0, &geom, 0,
+    );
+    args.extend(role_args(
+        at2_ptr, b2_ptr, c2_dev.addr, blocks_x, chunks2 as u32, kp as u32, &CudaElem::Fp,
+        mp as u32, n2 as u32, (n2 * 4) as u32, geom.role_warps, &geom, 0,
+    ));
+
+    let int_prog = cuda_gemm_program(int_elem, geom, 0).into_arc();
+    let fp_prog = cuda_gemm_program(CudaElem::Fp, geom, ARGS_PER_ROLE).into_arc();
+    // Roles alternate at sub-partition stride: warp w runs on sub-partition
+    // w % 4, so [int x4, fp x4] puts one of each on every scheduler.
+    let kernel = Kernel::fused(
+        if spec.is_some() { "gemm_ic_fc_packed" } else { "gemm_ic_fc" },
+        vec![int_prog, fp_prog],
+        vec![0, 0, 0, 0, 1, 1, 1, 1],
+        blocks,
+        0,
+        args,
+    );
+    let stats = gpu.launch(&kernel);
+
+    // Reassemble.
+    let c1_raw = gpu.mem.download_u32(c1_dev, mp * n1 * ks as usize);
+    let c1_sum = reduce_slices_u32(&c1_raw, mp * n1, ks);
+    let mut c1 = Matrix::zeros(mp, n1);
+    match &corr {
+        Some(corr) => {
+            for i in 0..mp {
+                for j in 0..n1 {
+                    c1[(i, j)] = corr.apply(u64::from(c1_sum[i * n1 + j]), i, j) as i32;
+                }
+            }
+        }
+        None => {
+            for i in 0..mp {
+                for j in 0..n1 {
+                    c1[(i, j)] = c1_sum[i * n1 + j] as i32;
+                }
+            }
+        }
+    }
+    let c2_raw = gpu.mem.download_f32(c2_dev, mp * n2 * ks as usize);
+    let c2_sum = reduce_slices_f32(&c2_raw, mp * n2, ks);
+    let c2 = Matrix::from_vec(mp, n2, c2_sum.into_iter().map(|x| x.round() as i32).collect());
+    let c1_crop = crop_matrix(&c1, m, n1c);
+    let c2_crop = crop_matrix(&c2, m, n2_raw);
+    let c = Matrix::concat_cols(&[&c1_crop, &c2_crop]);
+    GemmOut { c, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vitbit_sim::OrinConfig;
+    use vitbit_tensor::gen;
+    use vitbit_tensor::refgemm::gemm_i8_i32;
+
+    fn gpu() -> Gpu {
+        Gpu::new(OrinConfig::test_small(), 64 << 20)
+    }
+
+    fn int6(rows: usize, cols: usize, seed: u64) -> Matrix<i8> {
+        gen::uniform_i8(rows, cols, -32, 31, seed)
+    }
+
+    #[test]
+    fn ic_gemm_matches_reference_small() {
+        let mut g = gpu();
+        let a = gen::uniform_i8(20, 24, -128, 127, 1);
+        let b = gen::uniform_i8(24, 40, -128, 127, 2);
+        let out = run_ic(&mut g, &a, &b);
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+        assert!(out.stats.issued.int > 0);
+        assert_eq!(out.stats.issued.fp, 0);
+        assert_eq!(out.stats.issued.tensor, 0);
+    }
+
+    #[test]
+    fn ic_gemm_exact_tile_boundaries() {
+        let mut g = gpu();
+        // Exactly one block tile (64 rows) and exactly 32 columns.
+        let a = gen::uniform_i8(64, 16, -100, 100, 3);
+        let b = gen::uniform_i8(16, 32, -100, 100, 4);
+        let out = run_ic(&mut g, &a, &b);
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+    }
+
+    #[test]
+    fn fc_gemm_matches_reference() {
+        let mut g = gpu();
+        let a = int6(17, 48, 5);
+        let b = int6(48, 33, 6);
+        let out = run_fc(&mut g, &a, &b);
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+        assert!(out.stats.issued.fp > 0, "FP pipe must carry the math");
+    }
+
+    #[test]
+    fn packed_gemm_guarded_matches_reference_int6() {
+        let mut g = gpu();
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let a = int6(18, 40, 7);
+        let b = int6(40, 70, 8);
+        let out = run_packed(&mut g, &a, &b, &spec);
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+    }
+
+    #[test]
+    fn packed_gemm_guarded_matches_reference_int4() {
+        let mut g = gpu();
+        let spec = PackSpec::guarded(4, 4).unwrap();
+        let a = gen::uniform_i8(9, 25, -8, 7, 9);
+        let b = gen::uniform_i8(25, 130, -8, 7, 10);
+        let out = run_packed(&mut g, &a, &b, &spec);
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+    }
+
+    #[test]
+    fn packed_gemm_reduces_int_instructions() {
+        let mut g = gpu();
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let a = int6(32, 64, 11);
+        let b = int6(64, 128, 12);
+        let plain = run_ic(&mut g, &a, &b);
+        let packed = run_packed(&mut g, &a, &b, &spec);
+        assert_eq!(packed.c, plain.c);
+        let ratio = plain.stats.issued.int as f64 / packed.stats.issued.int as f64;
+        assert!(
+            ratio > 1.3,
+            "packing should cut INT instructions substantially, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn ic_fc_fused_matches_reference_and_uses_both_pipes() {
+        let mut g = gpu();
+        let a = int6(20, 32, 13);
+        let b = int6(32, 96, 14);
+        let out = run_ic_fc(&mut g, &a, &b);
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+        assert!(out.stats.issued.int > 0);
+        assert!(out.stats.issued.fp > 0);
+    }
+
+    #[test]
+    fn ic_fc_packed_matches_reference() {
+        let mut g = gpu();
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let a = int6(16, 48, 15);
+        let b = int6(48, 200, 16);
+        let out = run_ic_fc_packed(&mut g, &a, &b, &spec);
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+    }
+
+    #[test]
+    fn odd_shapes_are_padded_and_cropped() {
+        let mut g = gpu();
+        let a = int6(7, 5, 17);
+        let b = int6(5, 9, 18);
+        for out in [
+            run_ic(&mut g, &a, &b),
+            run_fc(&mut g, &a, &b),
+            run_ic_fc(&mut g, &a, &b),
+        ] {
+            assert_eq!(out.c.shape(), (7, 9));
+            assert_eq!(out.c, gemm_i8_i32(&a, &b));
+        }
+    }
+
+    #[test]
+    fn paper_policy_wraps_on_long_k() {
+        let mut g = gpu();
+        let spec = PackSpec::paper(8).unwrap();
+        let a = Matrix::from_fn(16, 64, |_, _| 127i8);
+        let b = Matrix::from_fn(64, 64, |_, _| 127i8);
+        let out = run_packed(&mut g, &a, &b, &spec);
+        assert_ne!(out.c, gemm_i8_i32(&a, &b), "paper policy must wrap here");
+    }
+}

@@ -1,0 +1,377 @@
+//! Fused GEMM kernels (paper Algorithm 2's co-scheduling).
+//!
+//! One heterogeneous launch carries standalone-shaped Tensor-core blocks
+//! computing the `B3` columns alongside CUDA blocks whose warps compute
+//! `B1` on the INT pipes (optionally packed) and `B2` on the FP pipes; an
+//! interleaved dispatch order keeps both classes co-resident on every SM,
+//! so every sub-partition has Tensor, INT and FP work simultaneously —
+//! the co-scheduling the paper realizes with warp roles inside one block
+//! (and Ho et al. \[15\] realize with block-level offload, which this
+//! machine model's occupancy accounting favors; warp-level role mixing is
+//! still available through [`vitbit_sim::Kernel::fused`] and exercised in
+//! tests). Barriers are per role group (named barriers), so Tensor-core
+//! staging never blocks CUDA warps.
+//!
+//! Three modes reproduce Table 3's fused rows:
+//!
+//! * [`FusedMode::Tacker`] — Tensor cores + INT CUDA cores (no FP path);
+//! * [`FusedMode::TcIcFc`] — all three core kinds, no packing;
+//! * [`FusedMode::VitBit`] — all three plus register operand packing on the
+//!   INT side with the Equation-1 `lanes : 1` INT/FP split.
+
+use super::cuda::{
+    cuda_gemm_program, pick_k_splits, reduce_slices_f32, reduce_slices_u32, role_args,
+    upload_ops, CudaElem, RoleGeom, ARGS_PER_ROLE, CHUNK_COLS,
+};
+use super::tc::{tc_args, tc_gemm_program, TC_ARGS, TC_N_TILE};
+use super::GemmOut;
+use crate::shapes::{crop_matrix, pad_matrix, pad_to};
+use vitbit_core::correction::BiasCorrection;
+use vitbit_core::pack::pack_matrix_rows;
+use vitbit_core::policy::PackSpec;
+use vitbit_core::ratio::{eq1_split, CoreRatio};
+use vitbit_sim::{Gpu, Kernel};
+use vitbit_tensor::Matrix;
+
+/// Which fused-kernel family to launch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FusedMode {
+    /// Tensor cores + INT CUDA cores (the Tacker baseline, adapted to
+    /// single-kernel fusion exactly as the paper does for fairness).
+    Tacker,
+    /// Tensor + INT + FP CUDA cores, no packing.
+    TcIcFc,
+    /// Full VitBit: Tensor + packed INT + FP.
+    VitBit(PackSpec),
+}
+
+impl FusedMode {
+    /// The Tensor:CUDA split ratio the paper's initial study implies for
+    /// each method (CUDA-side GEMM time over TC time, rounded): the CUDA
+    /// share must shrink when the CUDA path is slower.
+    pub fn default_ratio(&self) -> CoreRatio {
+        match self {
+            FusedMode::Tacker => CoreRatio { tc: 8, cuda: 1 },
+            FusedMode::TcIcFc => CoreRatio { tc: 6, cuda: 1 },
+            FusedMode::VitBit(_) => CoreRatio::PAPER,
+        }
+    }
+
+    /// Kernel name for stats.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FusedMode::Tacker => "gemm_tacker",
+            FusedMode::TcIcFc => "gemm_tc_ic_fc",
+            FusedMode::VitBit(_) => "gemm_vitbit",
+        }
+    }
+}
+
+/// Runs a fused GEMM with the mode's default split ratio.
+pub fn run_fused(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>, mode: FusedMode) -> GemmOut {
+    run_fused_with_ratio(gpu, a, b, mode, mode.default_ratio())
+}
+
+/// Runs a fused GEMM with an explicit Tensor:CUDA column ratio.
+///
+/// Small problems degenerate gracefully: when the CUDA share would be
+/// narrower than one warp chunk, the launch falls back to the plain
+/// Tensor-core kernel (the paper's method likewise has nothing to co-run
+/// on tiny GEMMs).
+///
+/// # Panics
+/// Panics unless both ratio shares are at least 1 and shapes agree.
+pub fn run_fused_with_ratio(
+    gpu: &mut Gpu,
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+    mode: FusedMode,
+    ratio: CoreRatio,
+) -> GemmOut {
+    assert_eq!(a.cols(), b.rows(), "GEMM inner dims");
+    assert!(ratio.tc >= 1 && ratio.cuda >= 1, "fused needs both shares");
+    let (m, k) = a.shape();
+    let n = b.cols();
+
+    // Column split: B = [B1 | B2 | B3].
+    let lanes = match mode {
+        FusedMode::VitBit(spec) => spec.lanes as usize,
+        _ => 1,
+    };
+    let n3_raw = n * ratio.tc as usize / (ratio.tc + ratio.cuda) as usize;
+    let cuda_raw = n - n3_raw;
+    if cuda_raw < CHUNK_COLS * 2 {
+        // Nothing meaningful to co-schedule.
+        return super::tc::run_tc(gpu, a, b);
+    }
+    let (n1_raw, n2_raw) = match mode {
+        FusedMode::Tacker => (cuda_raw, 0),
+        _ => eq1_split(cuda_raw, lanes as u32).expect("lanes >= 1"),
+    };
+
+    let mp = pad_to(m.max(1), super::cuda::M_PAD);
+    let kp = pad_to(k.max(1), super::tc::TC_K_UNIT);
+    let n1p = pad_to(n1_raw, CHUNK_COLS * lanes);
+    let n2p = if n2_raw == 0 { 0 } else { pad_to(n2_raw, CHUNK_COLS) };
+    let n3p = pad_to(n3_raw.max(1), TC_N_TILE);
+
+    let a_pad = pad_matrix(a, mp, kp);
+    let b1 = pad_matrix(&b.slice_cols(0, n1_raw), kp, n1p);
+    let b2 = pad_matrix(&b.slice_cols(n1_raw, n2_raw), kp, n2p);
+    let b3 = pad_matrix(&b.slice_cols(n1_raw + n2_raw, n - n1_raw - n2_raw), kp, n3p);
+    // Upload shapes carry extra zero K for pipeline prefetches (the TC
+    // role prefetches up to three 32-deep stages ahead).
+    let a_up = pad_matrix(&a_pad, mp, kp + 128);
+    let b1_up = pad_matrix(&b1, kp + 128, n1p);
+    let b2_up = pad_matrix(&b2, kp + 128, n2p);
+    let b3_up = pad_matrix(&b3, kp + 128, n3p);
+
+    gpu.mem.reset();
+    // TC operands (slab-tiled A, masked-int B3).
+    let a_ptr = gpu.mem.upload_i8(&super::tc::tile_a_for_tc(&a_up)).addr;
+    let b3_ptr = gpu.mem.upload_i8(b3_up.as_slice()).addr;
+    let c3_dev = gpu.mem.alloc((mp * n3p * 4) as u32);
+    // INT-side operands.
+    let (at1_ptr, b1_ptr, corr) = match mode {
+        FusedMode::VitBit(spec) => {
+            let corr = BiasCorrection::new(&spec, &a_pad, &b1);
+            let at = upload_ops::transposed_biased(gpu, &a_up, &spec);
+            let packed = pack_matrix_rows(&b1_up, &spec).expect("lane-multiple width");
+            (at, gpu.mem.upload_u32(packed.as_slice()).addr, Some(corr))
+        }
+        _ => (
+            upload_ops::transposed_i8(gpu, &a_up),
+            gpu.mem.upload_i8(b1_up.as_slice()).addr,
+            None,
+        ),
+    };
+    // FP-side operands.
+    let has_fp = n2p > 0;
+    let (at2_ptr, b2_ptr) = if has_fp {
+        let af = a_up.map(|x| x as f32);
+        let b2f = b2_up.map(|x| x as f32);
+        (
+            upload_ops::transposed_f32(gpu, &af),
+            gpu.mem.upload_f32(b2f.as_slice()).addr,
+        )
+    } else {
+        (0, 0)
+    };
+
+    // Block-level heterogeneous grid: standalone-shaped Tensor-core blocks
+    // (8 warps, 32-row tiles) plus standalone-shaped CUDA blocks (8 warps:
+    // four INT-role + four FP-role, or eight INT for Tacker), interleaved
+    // by dispatch order so both classes run simultaneously. Every SM then
+    // hosts a mix of TC and CUDA blocks, so every sub-partition keeps its
+    // Tensor, INT and FP pipes busy at once — the same co-scheduling effect
+    // as warp-level fusion, at the occupancy granularity the machine model
+    // favors.
+    let tc_blocks = ((n3p / TC_N_TILE) * (mp / 32)) as u32;
+    let tc_blocks_x = (n3p / TC_N_TILE) as u32;
+    let int_elem = match mode {
+        FusedMode::VitBit(spec) => CudaElem::Packed(spec),
+        _ => CudaElem::Int,
+    };
+    let n1_cols_elem = n1p / lanes; // columns in the INT role's element units
+    let chunks1 = n1_cols_elem / CHUNK_COLS;
+    let chunks2 = n2p / CHUNK_COLS;
+    let ks = pick_k_splits(chunks1.min(chunks2.max(1)).max(1), mp / 16, kp);
+    let role_warps: u32 = if has_fp { 4 } else { 8 };
+    let geom = RoleGeom { role_warps, row_groups: 1, k_splits: ks };
+    let cuda_blocks_x = (chunks1.max(chunks2) * ks as usize)
+        .div_ceil(role_warps as usize)
+        .max(1) as u32;
+    let cuda_blocks = cuda_blocks_x * (mp / 16) as u32;
+
+    let c1_dev = gpu.mem.alloc(((mp * n1p * 4 * ks as usize) as u32).max(4));
+    let c2_dev = if has_fp {
+        Some(gpu.mem.alloc((mp * n2p * 4 * ks as usize) as u32))
+    } else {
+        None
+    };
+
+    let mut args = tc_args(
+        a_ptr,
+        b3_ptr,
+        c3_dev.addr,
+        tc_blocks_x,
+        kp as u32,
+        n3p as u32,
+        (mp * 16) as u32,
+    );
+    args.extend(role_args(
+        at1_ptr, b1_ptr, c1_dev.addr, cuda_blocks_x, chunks1 as u32, kp as u32, &int_elem,
+        mp as u32, n1_cols_elem as u32, (n1p * 4) as u32, 0, &geom, tc_blocks,
+    ));
+    let mut programs = vec![
+        tc_gemm_program(2, 0).into_arc(),
+        cuda_gemm_program(int_elem, geom, TC_ARGS).into_arc(),
+    ];
+    let mut cuda_roles: Vec<u8> = vec![1; role_warps as usize];
+    if has_fp {
+        args.extend(role_args(
+            at2_ptr, b2_ptr, c2_dev.expect("fp present").addr, cuda_blocks_x, chunks2 as u32,
+            kp as u32, &CudaElem::Fp, mp as u32, n2p as u32, (n2p * 4) as u32, role_warps,
+            &geom, tc_blocks,
+        ));
+        programs.push(cuda_gemm_program(CudaElem::Fp, geom, TC_ARGS + ARGS_PER_ROLE).into_arc());
+        cuda_roles.extend(std::iter::repeat_n(2u8, role_warps as usize));
+    } else {
+        cuda_roles = vec![1; 8];
+    }
+
+    // Interleave dispatch proportionally so CUDA blocks are co-resident
+    // with TC blocks throughout the launch.
+    let mut order = Vec::with_capacity((tc_blocks + cuda_blocks) as usize);
+    {
+        let (mut ti, mut ci) = (0u32, 0u32);
+        while ti < tc_blocks || ci < cuda_blocks {
+            // Keep the dispatched mix at the same ratio as the totals.
+            let want_tc = (ti + ci + 1) as u64 * tc_blocks as u64
+                / (tc_blocks + cuda_blocks) as u64;
+            if ti < tc_blocks && (ti as u64) < want_tc || ci >= cuda_blocks {
+                order.push(ti);
+                ti += 1;
+            } else {
+                order.push(tc_blocks + ci);
+                ci += 1;
+            }
+        }
+    }
+
+    let kernel = Kernel::heterogeneous(
+        mode.name(),
+        programs,
+        vec![(tc_blocks, vec![0; 8]), (cuda_blocks, cuda_roles)],
+        super::tc::tc_smem_bytes(2),
+        args,
+    )
+    .with_dispatch_order(order);
+    let stats = gpu.launch(&kernel);
+
+    // Downloads + reassembly.
+    let c1 = {
+        let raw = gpu.mem.download_u32(c1_dev, mp * n1p * ks as usize);
+        let summed = reduce_slices_u32(&raw, mp * n1p, ks);
+        let mut c1 = Matrix::zeros(mp, n1p);
+        match &corr {
+            Some(corr) => {
+                for i in 0..mp {
+                    for j in 0..n1p {
+                        c1[(i, j)] = corr.apply(u64::from(summed[i * n1p + j]), i, j) as i32;
+                    }
+                }
+            }
+            None => {
+                for i in 0..mp {
+                    for j in 0..n1p {
+                        c1[(i, j)] = summed[i * n1p + j] as i32;
+                    }
+                }
+            }
+        }
+        c1
+    };
+    let c2 = match c2_dev {
+        Some(dev) => {
+            let raw = gpu.mem.download_f32(dev, mp * n2p * ks as usize);
+            let summed = reduce_slices_f32(&raw, mp * n2p, ks);
+            Matrix::from_vec(mp, n2p, summed.into_iter().map(|x| x.round() as i32).collect())
+        }
+        None => Matrix::zeros(mp, 0),
+    };
+    let c3 = Matrix::from_vec(mp, n3p, gpu.mem.download_i32(c3_dev, mp * n3p));
+    let c1c = crop_matrix(&c1, m, n1_raw);
+    let c2c = crop_matrix(&c2, m, n2_raw);
+    let c3c = crop_matrix(&c3, m, n - n1_raw - n2_raw);
+    GemmOut {
+        c: Matrix::concat_cols(&[&c1c, &c2c, &c3c]),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vitbit_sim::OrinConfig;
+    use vitbit_tensor::gen;
+    use vitbit_tensor::refgemm::gemm_i8_i32;
+
+    fn gpu() -> Gpu {
+        Gpu::new(OrinConfig::test_small(), 64 << 20)
+    }
+
+    fn int6(rows: usize, cols: usize, seed: u64) -> Matrix<i8> {
+        gen::uniform_i8(rows, cols, -32, 31, seed)
+    }
+
+    #[test]
+    fn tacker_matches_reference_and_coschedules() {
+        let mut g = gpu();
+        let a = int6(24, 32, 1);
+        let b = int6(32, 300, 2);
+        let out = run_fused(&mut g, &a, &b, FusedMode::Tacker);
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+        assert!(out.stats.issued.tensor > 0, "TC warps active");
+        assert!(out.stats.int_ops > 0, "IC warps active");
+    }
+
+    #[test]
+    fn tc_ic_fc_matches_reference_and_uses_all_pipes() {
+        let mut g = gpu();
+        let a = int6(20, 48, 3);
+        let b = int6(48, 640, 4);
+        let out = run_fused(&mut g, &a, &b, FusedMode::TcIcFc);
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+        assert!(out.stats.issued.tensor > 0);
+        assert!(out.stats.fp_ops > 0, "FP role must carry real math");
+        assert!(out.stats.tc_ops > 0 && out.stats.int_ops > 0);
+    }
+
+    #[test]
+    fn vitbit_matches_reference_int6() {
+        let mut g = gpu();
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let a = int6(18, 32, 5);
+        let b = int6(32, 500, 6);
+        let out = run_fused(&mut g, &a, &b, FusedMode::VitBit(spec));
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+        assert!(out.stats.issued.tensor > 0);
+    }
+
+    #[test]
+    fn vitbit_matches_reference_int4() {
+        let mut g = gpu();
+        let spec = PackSpec::guarded(4, 4).unwrap();
+        let a = gen::uniform_i8(17, 16, -8, 7, 7);
+        let b = gen::uniform_i8(16, 320, -8, 7, 8);
+        let out = run_fused(&mut g, &a, &b, FusedMode::VitBit(spec));
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+    }
+
+    #[test]
+    fn explicit_ratio_changes_split() {
+        let mut g = gpu();
+        let a = int6(16, 16, 9);
+        let b = int6(16, 256, 10);
+        let r91 =
+            run_fused_with_ratio(&mut g, &a, &b, FusedMode::TcIcFc, CoreRatio { tc: 9, cuda: 1 });
+        let r11 =
+            run_fused_with_ratio(&mut g, &a, &b, FusedMode::TcIcFc, CoreRatio { tc: 1, cuda: 1 });
+        assert_eq!(r91.c, gemm_i8_i32(&a, &b));
+        assert_eq!(r11.c, gemm_i8_i32(&a, &b));
+        // More TC share => more MMAs issued.
+        assert!(r91.stats.issued.tensor > r11.stats.issued.tensor);
+    }
+
+    #[test]
+    fn odd_shape_fused() {
+        let mut g = gpu();
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let a = int6(13, 21, 11);
+        let b = int6(21, 97, 12);
+        let out = run_fused(&mut g, &a, &b, FusedMode::VitBit(spec));
+        assert_eq!(out.c.shape(), (13, 97));
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+    }
+}

@@ -1,0 +1,32 @@
+//! GEMM kernels: the complete Table-3 family.
+//!
+//! Data conventions shared by all GEMM kernels:
+//!
+//! * `A` is uploaded **transposed** (`A^T`, `K x M`) so CUDA-core inner
+//!   loops load it coalesced; the Tensor-core kernel uses row-major `A`.
+//! * All drivers pad operands to kernel tile multiples with zeros and crop
+//!   results; every strategy pads identically (fair normalization).
+//! * The packed kernels consume biased (excess-`2^(b-1)`) codes prepared by
+//!   `vitbit-core` and return biased lane sums; drivers apply the
+//!   [`vitbit_core::correction::BiasCorrection`] on the host — an `O(M*N)`
+//!   epilogue the paper folds into the kernel's bias term.
+
+pub mod cuda;
+pub mod fused;
+pub mod tc;
+
+pub use cuda::{run_fc, run_ic, run_ic_fc, run_ic_fc_packed, run_packed};
+pub use fused::{run_fused, run_fused_with_ratio, FusedMode};
+pub use tc::run_tc;
+
+use vitbit_sim::KernelStats;
+use vitbit_tensor::Matrix;
+
+/// Result of a GEMM driver: the integer output and the launch statistics.
+#[derive(Debug, Clone)]
+pub struct GemmOut {
+    /// `M x N` result (cropped to the caller's shape).
+    pub c: Matrix<i32>,
+    /// Statistics of the kernel launch(es).
+    pub stats: KernelStats,
+}

@@ -1,0 +1,389 @@
+//! Tensor-core GEMM: shared-memory staged, double-buffered, 32-deep K
+//! stages (two 16x16x16 INT8 MMAs per warp per stage).
+//!
+//! Block geometry: `rows_tiles` row-tiles of 16 (1 for the fused role, 2
+//! standalone) by four 16-column tiles, i.e. `rows_tiles * 4` warps per
+//! block, each owning one 16x16 output tile of a `16*rows_tiles x 64`
+//! block tile. The weight matrix arrives *slab-tiled* from the host (a
+//! one-off setup reordering, as real Tensor-core kernels use), so staging
+//! copies are fully coalesced 32-bit words. Staging is software-pipelined
+//! across two shared-memory buffers: loads for the next stage issue, the
+//! current buffer's MMAs run while those loads are in flight, then the
+//! stores retire — one barrier per stage. The kernel ends up bound by
+//! issue/occupancy and L2 behaviour rather than Tensor-core throughput,
+//! which is what compresses the 32x peak-throughput gap over INT32 CUDA
+//! cores down to the paper's measured ~7.5x.
+
+use super::GemmOut;
+use crate::shapes::{crop_matrix, pad_matrix, pad_to};
+use vitbit_sim::isa::{ICmp, MemWidth, MmaKind, Reg, SReg, Src};
+use vitbit_sim::program::{Program, ProgramBuilder};
+use vitbit_sim::{Gpu, Kernel};
+use vitbit_tensor::Matrix;
+
+/// Column tile of the TC kernel's block.
+pub const TC_N_TILE: usize = 64;
+/// Argument slots consumed by a TC role.
+pub const TC_ARGS: u16 = 8;
+/// K covered per staged buffer (two MMA slabs).
+pub const TC_STAGE_K: usize = 32;
+/// K advanced per loop iteration (two stages).
+pub const TC_K_UNIT: usize = 64;
+
+/// Shared-memory bytes a TC (role) block needs (4 staging buffers).
+pub fn tc_smem_bytes(rows_tiles: u16) -> u32 {
+    let a_bytes = rows_tiles as u32 * 256;
+    4 * (2 * a_bytes + 2048)
+}
+
+/// Builds the Tensor-core GEMM program.
+///
+/// Arguments (from `arg_base`): `[a_ptr (slab-tiled A), b_ptr (KxN i8),
+/// c_ptr (i32 MxN), blocks_x, K (multiple of 64), N, c_row_stride_bytes,
+/// a_slab_stride_bytes (= M_padded * 16)]`. `rows_tiles` is 2 standalone
+/// (32-row blocks, 8 warps) or 1 as a fused role (16-row blocks, warps
+/// 0..4 of the block).
+pub fn tc_gemm_program(rows_tiles: u16, arg_base: u16) -> Program {
+    assert!(rows_tiles == 1 || rows_tiles == 2, "rows_tiles in {{1,2}}");
+    let mut p = ProgramBuilder::new(if rows_tiles == 2 { "gemm_tc" } else { "gemm_tc_role" });
+    let threads = rows_tiles as u32 * 4 * 32;
+    let a_bytes = rows_tiles as u32 * 256; // one slab of A tiles
+    let a_words_per_slab = a_bytes / 4;
+    let b_smem_base = 2 * a_bytes;
+    let buf_stride = 2 * a_bytes + 2048;
+    let n_bufs: u16 = 4; // prefetch distance of two stages
+    let b_words: u32 = 512; // two slabs of four 16x16 B tiles
+
+    // Constants.
+    let a_ptr = p.alloc();
+    let b_ptr = p.alloc();
+    let c_ptr = p.alloc();
+    let blocks_x = p.alloc();
+    let kmax = p.alloc();
+    let n_stride = p.alloc();
+    let crs = p.alloc();
+    let a_stride = p.alloc();
+    for (i, r) in [a_ptr, b_ptr, c_ptr, blocks_x, kmax, n_stride, crs, a_stride]
+        .iter()
+        .enumerate()
+    {
+        p.ldc(*r, arg_base + i as u16);
+    }
+
+    let ctaid = p.alloc();
+    let tid = p.alloc();
+    let lane = p.alloc();
+    let warpid = p.alloc();
+    p.sreg(ctaid, SReg::Ctaid);
+    p.sreg(tid, SReg::Tid);
+    p.sreg(lane, SReg::LaneId);
+    p.sreg(warpid, SReg::WarpId);
+    let bx = p.alloc();
+    let by = p.alloc();
+    p.iremu(bx, ctaid.into(), blocks_x.into());
+    p.idivu(by, ctaid.into(), blocks_x.into());
+    let t = p.alloc();
+    let u = p.alloc();
+
+    // --- A staging: exactly one word per thread per stage.
+    // g = tid: slab_sel = g / a_words_per_slab, inner = g % a_words_per_slab;
+    // global = a_ptr + by*rows*16 + slab_sel*a_stride + inner*4; sts = g*4.
+    let a_ldg = p.alloc();
+    let a_sts = p.alloc();
+    {
+        let slab_shift = a_words_per_slab.trailing_zeros();
+        p.shl(a_sts, tid.into(), Src::Imm(2));
+        p.shr(t, tid.into(), Src::Imm(slab_shift)); // slab_sel (0|1)
+        p.imul(t, t.into(), a_stride.into());
+        p.and(u, tid.into(), Src::Imm(a_words_per_slab - 1));
+        p.imad(u, u.into(), Src::Imm(4), t.into());
+        p.imad(t, by.into(), Src::Imm(rows_tiles as u32 * 16 * 16), u.into());
+        p.iadd(a_ldg, a_ptr.into(), t.into());
+    }
+
+    // --- B staging: word w = tid + q*threads: slab_sel = w/256,
+    // inner = w%256, kr = inner/16, cw = inner%16;
+    // global = b_ptr + (slab_sel*16 + kr)*N + bx*64 + cw*4 (coalesced);
+    // sts = b_base + slab_sel*1024 + (cw/4)*256 + kr*16 + (cw%4)*4.
+    let b_per_thread = (b_words / threads).max(1) as u16;
+    let b_ldg = p.alloc_n(b_per_thread);
+    let b_sts = p.alloc_n(b_per_thread);
+    let col_base = p.alloc();
+    p.imul(col_base, bx.into(), Src::Imm(64));
+    for q in 0..b_per_thread {
+        let ldg = Reg(b_ldg.0 + q as u8);
+        let sts = Reg(b_sts.0 + q as u8);
+        let v = p.alloc();
+        let w = p.alloc();
+        p.iadd(w, tid.into(), Src::Imm(q as u32 * threads));
+        p.shr(t, w.into(), Src::Imm(8)); // slab_sel
+        p.and(u, w.into(), Src::Imm(255)); // inner
+        p.shr(v, u.into(), Src::Imm(4)); // kr
+        // global row = slab_sel*16 + kr
+        p.imad(sts, t.into(), Src::Imm(16), v.into());
+        p.imul(sts, sts.into(), n_stride.into());
+        p.iadd(sts, sts.into(), col_base.into());
+        p.and(w, u.into(), Src::Imm(15)); // cw
+        p.imad(sts, w.into(), Src::Imm(4), sts.into());
+        p.iadd(ldg, b_ptr.into(), sts.into());
+        // smem target
+        p.shl(sts, t.into(), Src::Imm(10)); // slab_sel*1024
+        p.shr(t, w.into(), Src::Imm(2));
+        p.imad(sts, t.into(), Src::Imm(256), sts.into());
+        p.imad(sts, v.into(), Src::Imm(16), sts.into());
+        p.and(t, w.into(), Src::Imm(3));
+        p.imad(sts, t.into(), Src::Imm(4), sts.into());
+        p.iadd(sts, sts.into(), Src::Imm(b_smem_base));
+    }
+
+    // MMA smem addresses: per buffer, per K-slab within the stage.
+    // tiles[buf][slab] for A and B.
+    let a_tiles = p.alloc_n(2 * n_bufs);
+    let b_tiles = p.alloc_n(2 * n_bufs);
+    p.shr(t, warpid.into(), Src::Imm(2)); // tile_r
+    p.imul(t, t.into(), Src::Imm(256));
+    p.and(u, warpid.into(), Src::Imm(3)); // tile_c
+    p.imad(u, u.into(), Src::Imm(256), Src::Imm(b_smem_base));
+    for buf in 0..n_bufs {
+        for slab in 0..2u16 {
+            let ar = Reg(a_tiles.0 + (buf * 2 + slab) as u8);
+            let br = Reg(b_tiles.0 + (buf * 2 + slab) as u8);
+            let a_off = buf as u32 * buf_stride + slab as u32 * a_bytes;
+            let b_off = buf as u32 * buf_stride + slab as u32 * 1024;
+            p.iadd(ar, t.into(), Src::Imm(a_off));
+            p.iadd(br, u.into(), Src::Imm(b_off));
+        }
+    }
+
+    // Accumulators.
+    let acc = p.alloc_n(8);
+    for i in 0..8 {
+        p.mov(Reg(acc.0 + i), Src::Imm(0));
+    }
+
+    let kc = p.alloc();
+    // Two in-flight value sets: stage data lives in registers for two
+    // barrier periods before its shared-memory store, so a global-load
+    // latency of several hundred cycles is fully covered (the cp.async
+    // multi-stage pipeline idiom).
+    let a_v = p.alloc_n(2);
+    let b_v = p.alloc_n(2 * b_per_thread);
+    p.mov(kc, Src::Imm(0));
+    let p_k = p.alloc_pred();
+
+    let emit_loads = |p: &mut ProgramBuilder, vset: u16| {
+        p.ldg_cs(Reg(a_v.0 + vset as u8), a_ldg, 0, MemWidth::B32);
+        for q in 0..b_per_thread {
+            let d = Reg(b_v.0 + (vset * b_per_thread + q) as u8);
+            p.ldg_cs(d, Reg(b_ldg.0 + q as u8), 0, MemWidth::B32);
+        }
+        p.iadd(a_ldg, a_ldg.into(), a_stride.into());
+        p.iadd(a_ldg, a_ldg.into(), a_stride.into()); // += 2*a_stride
+        for q in 0..b_per_thread {
+            let ldg = Reg(b_ldg.0 + q as u8);
+            p.imad(ldg, n_stride.into(), Src::Imm(TC_STAGE_K as u32), ldg.into());
+        }
+    };
+    let emit_stores = |p: &mut ProgramBuilder, vset: u16, buf: u32| {
+        let off = (buf * buf_stride) as i32;
+        p.sts(a_sts, off, Reg(a_v.0 + vset as u8).into(), MemWidth::B32);
+        for q in 0..b_per_thread {
+            let v = Reg(b_v.0 + (vset * b_per_thread + q) as u8);
+            p.sts(Reg(b_sts.0 + q as u8), off, v.into(), MemWidth::B32);
+        }
+    };
+    let emit_mmas = |p: &mut ProgramBuilder, buf: u16| {
+        for slab in 0..2u16 {
+            let ar = Reg(a_tiles.0 + (buf * 2 + slab) as u8);
+            let br = Reg(b_tiles.0 + (buf * 2 + slab) as u8);
+            p.mma(MmaKind::I8_16x16x16, acc, ar, br);
+        }
+    };
+
+    // Prologue: stage 0 staged to buffer 0; stages 1 and 2 in flight in the
+    // two value sets.
+    emit_loads(&mut p, 0); // stage 0
+    emit_stores(&mut p, 0, 0);
+    emit_loads(&mut p, 1); // stage 1 (held)
+    emit_loads(&mut p, 0); // stage 2 (held)
+    p.bar();
+
+    // Phase i: store stage i+1's held values into buffer (i+1)%4, run the
+    // MMAs of stage i from buffer i%4, then issue loads for stage i+3.
+    // Four phases unrolled as two alternating 64-K bodies so K only needs
+    // to be a multiple of 64; drivers upload three extra zero stages for
+    // the trailing prefetch.
+    let phase = |p: &mut ProgramBuilder, i: u16| {
+        let vset = (i + 1) % 2;
+        emit_stores(p, vset, ((i + 1) % n_bufs) as u32);
+        emit_mmas(p, i % n_bufs);
+        emit_loads(p, vset); // stage i+3
+        p.bar();
+    };
+    p.label_here("stage_a");
+    phase(&mut p, 0);
+    phase(&mut p, 1);
+    p.iadd(kc, kc.into(), Src::Imm(TC_K_UNIT as u32));
+    p.isetp(p_k, kc.into(), kmax.into(), ICmp::GeU);
+    p.bra_if("end", p_k, true);
+    phase(&mut p, 2);
+    phase(&mut p, 3);
+    p.iadd(kc, kc.into(), Src::Imm(TC_K_UNIT as u32));
+    p.isetp(p_k, kc.into(), kmax.into(), ICmp::LtU);
+    p.bra_if("stage_a", p_k, true);
+    p.label_here("end");
+
+    // Epilogue: element idx = slot*32 + lane; r = slot*2 + lane/16,
+    // c = lane%16; row = by*rows + tile_r*16 + r; col = bx*64 + tile_c*16+c.
+    let c_addr = p.alloc();
+    {
+        p.shr(t, warpid.into(), Src::Imm(2)); // tile_r
+        p.imad(t, by.into(), Src::Imm(rows_tiles as u32), t.into()); // by*rt + tile_r
+        p.imul(t, t.into(), Src::Imm(16));
+        p.shr(u, lane.into(), Src::Imm(4)); // lane/16
+        p.iadd(t, t.into(), u.into()); // row for slot 0
+        p.imul(t, t.into(), crs.into()); // row * row_stride_bytes
+        p.iadd(c_addr, c_ptr.into(), t.into());
+        p.and(u, warpid.into(), Src::Imm(3)); // tile_c
+        p.imad(u, u.into(), Src::Imm(16), col_base.into()); // col tile base
+        let v = p.alloc();
+        p.and(v, lane.into(), Src::Imm(15));
+        p.iadd(u, u.into(), v.into());
+        p.shl(u, u.into(), Src::Imm(2));
+        p.iadd(c_addr, c_addr.into(), u.into());
+    }
+    let crs2 = p.alloc();
+    p.shl(crs2, crs.into(), Src::Imm(1)); // 2 rows per slot step
+    for slot in 0..8u16 {
+        p.stg(c_addr, 0, Reg(acc.0 + slot as u8).into(), MemWidth::B32);
+        if slot < 7 {
+            p.iadd(c_addr, c_addr.into(), crs2.into());
+        }
+    }
+    p.exit();
+    p.build()
+}
+
+/// Reorders a row-major `M x K_alloc` weight matrix into the slab-major
+/// layout the TC kernel stages from: for each 16-wide K-slab, all rows'
+/// 16 bytes contiguously. Done once at weight-setup time, exactly like the
+/// paper's one-off weight preprocessing.
+pub fn tile_a_for_tc(a: &Matrix<i8>) -> Vec<i8> {
+    let (m, k_alloc) = a.shape();
+    assert_eq!(k_alloc % 16, 0, "K allocation must be slab-aligned");
+    let mut out = Vec::with_capacity(m * k_alloc);
+    for s in 0..k_alloc / 16 {
+        for r in 0..m {
+            out.extend_from_slice(&a.row(r)[s * 16..s * 16 + 16]);
+        }
+    }
+    out
+}
+
+/// Argument words for a TC (role) launch. `a_stride` is the byte size of
+/// one slab region of the pre-tiled A (`M_padded * 16`).
+#[allow(clippy::too_many_arguments)]
+pub fn tc_args(
+    a_ptr: u32,
+    b_ptr: u32,
+    c_ptr: u32,
+    blocks_x: u32,
+    k: u32,
+    n: u32,
+    a_stride: u32,
+) -> Vec<u32> {
+    vec![a_ptr, b_ptr, c_ptr, blocks_x, k, n, n * 4, a_stride]
+}
+
+/// Tensor-core-only GEMM (Table 3 baseline "TC").
+pub fn run_tc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
+    assert_eq!(a.cols(), b.rows(), "GEMM inner dims");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mp = pad_to(m.max(1), super::cuda::M_PAD);
+    let np = pad_to(n.max(1), TC_N_TILE);
+    let kp = pad_to(k.max(1), TC_K_UNIT);
+    // Uploads carry extra zero stages for the pipeline prefetch.
+    let a_pad = pad_matrix(a, mp, kp + 2 * TC_K_UNIT);
+    let b_pad = pad_matrix(b, kp + 2 * TC_K_UNIT, np);
+    gpu.mem.reset();
+    let a_ptr = gpu.mem.upload_i8(&tile_a_for_tc(&a_pad)).addr;
+    let b_ptr = gpu.mem.upload_i8(b_pad.as_slice()).addr;
+    let c_dev = gpu.mem.alloc((mp * np * 4) as u32);
+    let blocks_x = (np / TC_N_TILE) as u32;
+    let blocks = blocks_x * (mp / 32) as u32;
+    let prog = tc_gemm_program(2, 0).into_arc();
+    let kernel = Kernel::single(
+        "gemm_tc",
+        prog,
+        blocks,
+        8,
+        tc_smem_bytes(2),
+        tc_args(
+            a_ptr,
+            b_ptr,
+            c_dev.addr,
+            blocks_x,
+            kp as u32,
+            np as u32,
+            (mp * 16) as u32,
+        ),
+    );
+    let stats = gpu.launch(&kernel);
+    let c_full = Matrix::from_vec(mp, np, gpu.mem.download_i32(c_dev, mp * np));
+    GemmOut { c: crop_matrix(&c_full, m, n), stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vitbit_sim::OrinConfig;
+    use vitbit_tensor::gen;
+    use vitbit_tensor::refgemm::gemm_i8_i32;
+
+    fn gpu() -> Gpu {
+        Gpu::new(OrinConfig::test_small(), 64 << 20)
+    }
+
+    #[test]
+    fn tc_gemm_matches_reference() {
+        let mut g = gpu();
+        let a = gen::uniform_i8(30, 20, -128, 127, 1);
+        let b = gen::uniform_i8(20, 70, -128, 127, 2);
+        let out = run_tc(&mut g, &a, &b);
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+        assert!(out.stats.issued.tensor > 0, "must use Tensor cores");
+    }
+
+    #[test]
+    fn tc_gemm_exact_tiles() {
+        let mut g = gpu();
+        let a = gen::uniform_i8(64, 64, -50, 50, 3);
+        let b = gen::uniform_i8(64, 64, -50, 50, 4);
+        let out = run_tc(&mut g, &a, &b);
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+        // 64x64 output of 16x16 tiles over K=64: 2 blocks x 8 warps x
+        // 4 slabs (one K_UNIT iteration).
+        assert_eq!(out.stats.issued.tensor, 64);
+    }
+
+    #[test]
+    fn tc_gemm_odd_k_padding() {
+        let mut g = gpu();
+        let a = gen::uniform_i8(16, 197, -20, 20, 5);
+        let b = gen::uniform_i8(197, 64, -20, 20, 6);
+        let out = run_tc(&mut g, &a, &b);
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+    }
+
+    #[test]
+    fn tc_op_count_matches_shape() {
+        let mut g = gpu();
+        let a = gen::uniform_i8(64, 64, -10, 10, 7);
+        let b = gen::uniform_i8(64, 128, -10, 10, 8);
+        let out = run_tc(&mut g, &a, &b);
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+        let expected_ops = 2 * 64u64 * 64 * 128;
+        assert_eq!(out.stats.tc_ops, expected_ops);
+    }
+}

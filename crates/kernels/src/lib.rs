@@ -1,0 +1,25 @@
+//! # vitbit-kernels: simulated GPU kernels for the VitBit reproduction
+//!
+//! Every kernel exists twice: as a *program builder* that emits the
+//! SASS-like ISA of `vitbit-sim`, and as a *driver* that uploads operands,
+//! launches the kernel on a [`vitbit_sim::Gpu`], and downloads results. The
+//! drivers return both values and [`vitbit_sim::KernelStats`], so tests can
+//! assert bit-exactness against host references while experiments read
+//! cycles, instruction counts, IPC and utilization.
+//!
+//! Kernel families:
+//!
+//! * [`gemm`] — the GEMMs of Table 3: Tensor-core (`tc`), INT-CUDA-core
+//!   (zero-masking), FP-CUDA-core (converted), packed-INT (with a
+//!   [`vitbit_core::PackSpec`]), and the fused warp-role kernels (Tacker,
+//!   TC+IC+FC, VitBit) of Algorithm 2;
+//! * [`elementwise`] — the CUDA-core kernels of the ViT attention block
+//!   (ShiftGELU, Shiftmax, I-LayerNorm, dropout, residual add) in IC / FC /
+//!   IC+FC / VitBit-packed variants, plus their host reference
+//!   implementations (shared with `vitbit-vit`).
+
+pub mod elementwise;
+pub mod gemm;
+pub mod shapes;
+
+pub use shapes::GemmShape;

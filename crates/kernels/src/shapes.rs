@@ -1,0 +1,128 @@
+//! GEMM shapes and the padding conventions shared by every kernel.
+//!
+//! All GEMM kernels tile with fixed block shapes; matrices are padded with
+//! zeros up to tile multiples before upload and results are sliced back.
+//! Every strategy pads the *same* way so normalized comparisons are fair.
+
+use vitbit_tensor::Matrix;
+
+/// Row-granularity all GEMM kernels share (`M` padded to a multiple).
+pub const ROW_TILE: usize = 16;
+/// Column granularity of CUDA-core GEMM warps (columns per warp chunk).
+pub const CUDA_COL_TILE: usize = 64;
+/// Column granularity of the Tensor-core kernel's block tile.
+pub const TC_COL_TILE: usize = 64;
+/// K granularity (Tensor-core MMA depth).
+pub const K_TILE: usize = 16;
+
+/// A GEMM problem size: `C (m x n) = A (m x k) * B (k x n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Rows of A and C.
+    pub m: usize,
+    /// Columns of B and C.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+}
+
+impl GemmShape {
+    /// Creates a shape.
+    pub fn new(m: usize, n: usize, k: usize) -> Self {
+        Self { m, n, k }
+    }
+
+    /// Multiply-accumulate operations (2 ops each).
+    pub fn ops(&self) -> u64 {
+        2 * (self.m as u64) * (self.n as u64) * (self.k as u64)
+    }
+
+    /// Shape padded to kernel granularity.
+    pub fn padded(&self) -> GemmShape {
+        GemmShape {
+            m: pad_to(self.m, ROW_TILE),
+            n: pad_to(self.n, CUDA_COL_TILE),
+            k: pad_to(self.k, K_TILE),
+        }
+    }
+}
+
+/// Rounds `x` up to a multiple of `unit`.
+pub fn pad_to(x: usize, unit: usize) -> usize {
+    assert!(unit > 0, "pad unit must be positive");
+    x.div_ceil(unit) * unit
+}
+
+/// Zero-pads a matrix to `rows x cols` (must be >= the current shape).
+pub fn pad_matrix<T: Copy + Default>(m: &Matrix<T>, rows: usize, cols: usize) -> Matrix<T> {
+    assert!(
+        rows >= m.rows() && cols >= m.cols(),
+        "pad target {rows}x{cols} smaller than {:?}",
+        m.shape()
+    );
+    if (rows, cols) == m.shape() {
+        return m.clone();
+    }
+    let mut out = Matrix::zeros(rows, cols);
+    for r in 0..m.rows() {
+        out.row_mut(r)[..m.cols()].copy_from_slice(m.row(r));
+    }
+    out
+}
+
+/// Crops a matrix back to `rows x cols` (top-left corner).
+pub fn crop_matrix<T: Copy + Default>(m: &Matrix<T>, rows: usize, cols: usize) -> Matrix<T> {
+    assert!(
+        rows <= m.rows() && cols <= m.cols(),
+        "crop target {rows}x{cols} larger than {:?}",
+        m.shape()
+    );
+    Matrix::from_fn(rows, cols, |r, c| m[(r, c)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_to_rounds_up() {
+        assert_eq!(pad_to(197, 16), 208);
+        assert_eq!(pad_to(768, 64), 768);
+        assert_eq!(pad_to(1, 64), 64);
+        assert_eq!(pad_to(0, 16), 0);
+    }
+
+    #[test]
+    fn padded_shape_for_vit_linear() {
+        let s = GemmShape::new(197, 768, 768).padded();
+        assert_eq!((s.m, s.n, s.k), (208, 768, 768));
+    }
+
+    #[test]
+    fn ops_counts_macs_twice() {
+        assert_eq!(GemmShape::new(2, 3, 4).ops(), 48);
+    }
+
+    #[test]
+    fn pad_and_crop_round_trip() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as i32);
+        let p = pad_matrix(&m, 8, 8);
+        assert_eq!(p[(2, 4)], m[(2, 4)]);
+        assert_eq!(p[(3, 0)], 0);
+        assert_eq!(p[(0, 5)], 0);
+        assert_eq!(crop_matrix(&p, 3, 5), m);
+    }
+
+    #[test]
+    fn pad_noop_when_already_sized() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r + c) as i8);
+        assert_eq!(pad_matrix(&m, 4, 4), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than")]
+    fn pad_rejects_shrink() {
+        let m: Matrix<i8> = Matrix::zeros(4, 4);
+        let _ = pad_matrix(&m, 2, 4);
+    }
+}

@@ -1,0 +1,165 @@
+//! Kernel-level properties: static instruction mixes of generated
+//! programs, elementwise edge cases across bitwidths, and GEMM shape
+//! robustness sweeps.
+
+use proptest::prelude::*;
+use vitbit_core::policy::PackSpec;
+use vitbit_kernels::elementwise::{hostref, run_layernorm, run_map, run_softmax, EwVariant, MapOp};
+use vitbit_kernels::gemm::cuda::{cuda_gemm_program, CudaElem, RoleGeom};
+use vitbit_kernels::gemm::tc::tc_gemm_program;
+use vitbit_kernels::gemm::{run_ic, run_tc};
+use vitbit_sim::trace::static_mix;
+use vitbit_sim::{Gpu, OrinConfig};
+use vitbit_tensor::refgemm::gemm_i8_i32;
+use vitbit_tensor::{gen, Matrix};
+
+fn gpu() -> Gpu {
+    Gpu::new(OrinConfig::test_small(), 64 << 20)
+}
+
+#[test]
+fn generated_programs_have_the_documented_pipe_mixes() {
+    let geom = RoleGeom::standalone(1);
+    let int_mix = static_mix(&cuda_gemm_program(CudaElem::Int, geom, 0));
+    assert!(int_mix.fp == 0, "IC GEMM must not touch the FP pipe");
+    assert!(int_mix.int > int_mix.lsu, "IC GEMM is INT-math heavy");
+
+    let fp_mix = static_mix(&cuda_gemm_program(CudaElem::Fp, geom, 0));
+    assert!(fp_mix.fp > 0, "FC GEMM carries FP math");
+    assert!(fp_mix.fp > fp_mix.lsu, "FFMA dominates loads");
+
+    let spec = PackSpec::guarded(6, 6).unwrap();
+    let pk_mix = static_mix(&cuda_gemm_program(CudaElem::Packed(spec), geom, 0));
+    assert!(pk_mix.fp == 0);
+
+    let tc_mix = static_mix(&tc_gemm_program(2, 0));
+    assert!(tc_mix.tensor > 0, "TC GEMM issues MMAs");
+    assert!(tc_mix.lsu > tc_mix.tensor, "staging dominates MMA statically");
+}
+
+#[test]
+fn packed_program_covers_more_macs_per_int_instruction() {
+    // Static check of the Figure-9 mechanism: per inner-loop iteration the
+    // packed kernel's IMAD count covers `lanes`x the columns.
+    let geom = RoleGeom::standalone(1);
+    let spec = PackSpec::guarded(6, 6).unwrap();
+    let int_p = cuda_gemm_program(CudaElem::Int, geom, 0);
+    let pk_p = cuda_gemm_program(CudaElem::Packed(spec), geom, 0);
+    // Both programs' K loops are unrolled differently (8 vs 16); normalize
+    // by unroll via total MACs covered per static IMAD: packed covers
+    // 2x columns per IMAD by construction, so its dynamic INT instruction
+    // count must come out lower — checked dynamically:
+    let mut g = gpu();
+    let a = gen::uniform_i8(32, 64, -32, 31, 1);
+    let b = gen::uniform_i8(64, 128, -32, 31, 2);
+    let ic = run_ic(&mut g, &a, &b);
+    let pk = vitbit_kernels::gemm::run_packed(&mut g, &a, &b, &spec);
+    assert_eq!(ic.c, pk.c);
+    assert!(pk.stats.issued.int * 13 < ic.stats.issued.int * 10,
+        "packed INT insts {} should be well under IC's {}",
+        pk.stats.issued.int, ic.stats.issued.int);
+    let _ = (int_p, pk_p);
+}
+
+#[test]
+fn elementwise_bitwidths_respect_their_ranges() {
+    let mut g = gpu();
+    for bw in [4u32, 6, 8] {
+        let hi = ((1i32 << (bw - 1)) - 1) as i8;
+        let x = gen::uniform_i8(1, 512, -hi - 1, hi, u64::from(bw)).into_vec();
+        let out = run_map(&mut g, MapOp::Gelu, EwVariant::Ic, bw, &x, None);
+        assert!(
+            out.out.iter().all(|&v| v >= -hi - 1 && v <= hi),
+            "bitwidth {bw} output out of range"
+        );
+        assert_eq!(
+            out.out,
+            x.iter()
+                .map(|&v| hostref::shiftgelu_i(i32::from(v), bw))
+                .collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn dropout_keep_everything_and_drop_everything() {
+    let mut g = gpu();
+    let x = gen::uniform_i8(1, 256, -32, 31, 3).into_vec();
+    // keep_q8 = 256: every element kept with unit scale.
+    let all = run_map(&mut g, MapOp::Dropout { seed: 1, keep_q8: 256 }, EwVariant::Ic, 6, &x, None);
+    assert_eq!(all.out, x, "keep=256 must be identity");
+    // keep_q8 = 1: almost everything dropped.
+    let none = run_map(&mut g, MapOp::Dropout { seed: 1, keep_q8: 1 }, EwVariant::Ic, 6, &x, None);
+    let zeros = none.out.iter().filter(|&&v| v == 0).count();
+    assert!(zeros > 240, "keep=1/256 drops almost all: {zeros}");
+}
+
+#[test]
+fn softmax_constant_row_is_uniform_and_peaked_row_is_peaked() {
+    let mut g = gpu();
+    let flat = Matrix::from_fn(2, 64, |_, _| 5i8);
+    let out = run_softmax(&mut g, &flat, EwVariant::Ic, 8);
+    let first = out.out[(0, 0)];
+    assert!(out.out.as_slice().iter().all(|&v| v == first));
+
+    let mut peaked = Matrix::from_fn(1, 64, |_, _| -60i8);
+    peaked[(0, 7)] = 90;
+    let out = run_softmax(&mut g, &peaked, EwVariant::Ic, 8);
+    assert!(out.out[(0, 7)] > 100);
+    assert!(out.out.row(0).iter().enumerate().all(|(i, &v)| i == 7 || v <= 2));
+}
+
+#[test]
+fn layernorm_shifts_do_not_break_saturation() {
+    let mut g = gpu();
+    // Extreme rows: all max codes except one min.
+    let mut x = Matrix::from_fn(4, 64, |_, _| 31i8);
+    for r in 0..4 {
+        x[(r, r)] = -32;
+    }
+    let out = run_layernorm(&mut g, &x, 64, 0, EwVariant::Ic, 6);
+    for r in 0..4 {
+        let host = hostref::ilayernorm_row_i(x.row(r), 64, 0, 6);
+        assert_eq!(out.out.row(r), host.as_slice(), "row {r}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// IC and TC GEMMs agree for arbitrary shapes (padding robustness).
+    #[test]
+    fn prop_gemm_shape_robustness(
+        m in 1usize..40,
+        n in 1usize..70,
+        k in 1usize..50,
+        seed in 0u64..100,
+    ) {
+        let mut g = gpu();
+        let a = gen::uniform_i8(m, k, -32, 31, seed);
+        let b = gen::uniform_i8(k, n, -32, 31, seed + 1);
+        let want = gemm_i8_i32(&a, &b);
+        prop_assert_eq!(run_ic(&mut g, &a, &b).c, want.clone());
+        prop_assert_eq!(run_tc(&mut g, &a, &b).c, want);
+    }
+
+    /// Elementwise map kernels agree with host references for arbitrary
+    /// lengths and variants.
+    #[test]
+    fn prop_map_kernels_match_reference(
+        len in 1usize..700,
+        seed in 0u64..100,
+        variant_ix in 0usize..3,
+    ) {
+        let mut g = gpu();
+        let x = gen::uniform_i8(1, len, -32, 31, seed).into_vec();
+        let y = gen::uniform_i8(1, len, -32, 31, seed + 1).into_vec();
+        let variant = [EwVariant::Ic, EwVariant::Fc, EwVariant::IcFc][variant_ix];
+        for op in [MapOp::Gelu, MapOp::Add, MapOp::Dropout { seed: 5, keep_q8: 204 }] {
+            let y_opt = matches!(op, MapOp::Add).then_some(y.as_slice());
+            let out = run_map(&mut g, op, variant, 6, &x, y_opt);
+            let reference = vitbit_kernels::elementwise::map::map_reference_int(op, &x, y_opt, 6);
+            prop_assert_eq!(&out.out, &reference, "op {:?} variant {:?}", op, variant);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! A set-associative LRU cache model (tags only — data lives in
+//! [`crate::mem::GlobalMem`]; the cache decides *latency*, not values).
+
+/// Set-associative, write-allocate, LRU cache over 128-byte lines.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    line_shift: u32,
+    /// `tags[set * ways + way]`; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps, parallel to `tags`.
+    stamps: Vec<u64>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Builds a cache of `bytes` capacity, `ways` associativity and
+    /// `line_bytes` lines.
+    ///
+    /// # Panics
+    /// Panics unless sizes are powers of two producing at least one set.
+    pub fn new(bytes: u32, ways: u32, line_bytes: u32) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        let lines = bytes / line_bytes;
+        assert!(ways >= 1 && lines >= ways, "cache too small: {lines} lines, {ways} ways");
+        let sets = (lines / ways) as usize;
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        Self {
+            sets,
+            ways: ways as usize,
+            line_shift: line_bytes.trailing_zeros(),
+            tags: vec![u64::MAX; sets * ways as usize],
+            stamps: vec![0; sets * ways as usize],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line as usize) & (self.sets - 1)
+    }
+
+    /// Looks up the line containing byte address `addr`; on miss, allocates
+    /// it (evicting LRU). Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        self.tick += 1;
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        let slots = &mut self.tags[base..base + self.ways];
+        if let Some(way) = slots.iter().position(|&t| t == line) {
+            self.stamps[base + way] = self.tick;
+            self.hits += 1;
+            return true;
+        }
+        // Miss: evict LRU way.
+        let lru = (0..self.ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("ways >= 1");
+        self.tags[base + lru] = line;
+        self.stamps[base + lru] = self.tick;
+        self.misses += 1;
+        false
+    }
+
+    /// Probes without allocating; true when resident.
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = self.set_of(line);
+        let base = set * self.ways;
+        self.tags[base..base + self.ways].contains(&line)
+    }
+
+    /// Invalidates everything (kernel boundary, when desired).
+    pub fn flush(&mut self) {
+        self.tags.fill(u64::MAX);
+        self.stamps.fill(0);
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        1 << self.line_shift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = Cache::new(1024, 2, 128);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(64)); // same line
+        assert!(!c.access(128)); // next line
+        assert_eq!(c.stats(), (2, 2));
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 2 ways, 4 sets of 128B lines: lines 0, 4, 8 map to set 0.
+        let mut c = Cache::new(1024, 2, 128);
+        let line = |i: u64| i * 128 * 4; // stride of set count
+        assert!(!c.access(line(0)));
+        assert!(!c.access(line(1)));
+        assert!(c.access(line(0))); // refresh line 0
+        assert!(!c.access(line(2))); // evicts line 1 (LRU)
+        assert!(c.access(line(0)));
+        assert!(!c.access(line(1))); // line 1 was evicted
+    }
+
+    #[test]
+    fn probe_does_not_allocate() {
+        let mut c = Cache::new(1024, 2, 128);
+        assert!(!c.probe(0));
+        assert!(!c.access(0));
+        assert!(c.probe(0));
+        assert!(!c.probe(512));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut c = Cache::new(1024, 2, 128);
+        c.access(0);
+        c.flush();
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cache too small")]
+    fn rejects_degenerate_geometry() {
+        let _ = Cache::new(128, 4, 128);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_interfere() {
+        let mut c = Cache::new(1024, 2, 128); // 4 sets
+        for i in 0..4u64 {
+            assert!(!c.access(i * 128));
+        }
+        for i in 0..4u64 {
+            assert!(c.access(i * 128), "set {i} should still be resident");
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Machine configuration: the Jetson AGX Orin GPU (paper Table 2) and the
+//! analytic peak-throughput table (paper Table 1).
+
+/// Warp scheduling policy of each sub-partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Greedy-then-oldest: keep issuing from the last warp until it
+    /// stalls, then fall back to the oldest ready warp (the policy real
+    /// Ampere schedulers approximate; the default).
+    #[default]
+    Gto,
+    /// Loose round-robin: rotate the starting candidate every cycle.
+    Lrr,
+}
+
+/// Full machine description used by the simulator.
+///
+/// Defaults model the 32 GB Jetson AGX Orin of the paper's Table 2:
+/// Ampere architecture, 1792 CUDA cores (14 SMs x 128), 56 Tensor cores
+/// (4 per SM), 32 GB LPDDR5 at 204.8 GB/s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrinConfig {
+    /// Human-readable platform name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Sub-partitions (warp schedulers) per SM.
+    pub subpartitions: u32,
+    /// GPU boost clock in GHz (used only to convert cycles to time).
+    pub clock_ghz: f64,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Shared memory bytes per SM.
+    pub smem_per_sm: u32,
+
+    /// INT32 pipe: lanes per sub-partition (32 => one warp inst per cycle).
+    pub int_lanes: u32,
+    /// FP32 pipe lanes per sub-partition.
+    pub fp_lanes: u32,
+    /// ALU result latency in cycles.
+    pub alu_latency: u32,
+    /// Tensor core MMA issue-to-issue occupancy in cycles.
+    pub tc_occupancy: u32,
+    /// Tensor core result latency in cycles.
+    pub tc_latency: u32,
+    /// SFU occupancy in cycles (4 lanes => 8 cycles per warp inst).
+    pub sfu_occupancy: u32,
+    /// SFU result latency.
+    pub sfu_latency: u32,
+    /// LSU occupancy per warp memory instruction (per touched 128-B line).
+    pub lsu_occupancy_per_line: u32,
+    /// Shared-memory access latency.
+    pub smem_latency: u32,
+
+    /// L1 data cache size per SM in bytes.
+    pub l1_bytes: u32,
+    /// L1 associativity.
+    pub l1_ways: u32,
+    /// L1 hit latency.
+    pub l1_latency: u32,
+    /// L2 size in bytes (chip-wide).
+    pub l2_bytes: u32,
+    /// L2 associativity.
+    pub l2_ways: u32,
+    /// L2 hit latency.
+    pub l2_latency: u32,
+    /// L2 service interval per 128-B line, in cycles (bandwidth model).
+    pub l2_line_interval: f64,
+    /// DRAM access latency in cycles.
+    pub dram_latency: u32,
+    /// DRAM bandwidth in GB/s (turned into a line service interval).
+    pub dram_gbps: f64,
+    /// Cache line size in bytes (L1, L2 and DRAM granularity).
+    pub line_bytes: u32,
+
+    /// Safety valve: abort a kernel after this many cycles.
+    pub max_cycles: u64,
+    /// Warp scheduling policy.
+    pub sched: SchedPolicy,
+}
+
+impl OrinConfig {
+    /// The paper's evaluation platform (Table 2).
+    pub fn jetson_agx_orin() -> Self {
+        Self {
+            name: "NVIDIA Jetson AGX Orin (32GB)",
+            num_sms: 14,
+            subpartitions: 4,
+            clock_ghz: 1.12,
+            max_warps_per_sm: 48,
+            max_blocks_per_sm: 16,
+            smem_per_sm: 164 * 1024,
+            int_lanes: 32,
+            fp_lanes: 32,
+            alu_latency: 4,
+            tc_occupancy: 4,
+            tc_latency: 16,
+            sfu_occupancy: 8,
+            sfu_latency: 12,
+            lsu_occupancy_per_line: 2,
+            smem_latency: 24,
+            l1_bytes: 128 * 1024,
+            l1_ways: 4,
+            l1_latency: 28,
+            l2_bytes: 4 * 1024 * 1024,
+            l2_ways: 16,
+            l2_latency: 110,
+            l2_line_interval: 0.18,
+            dram_latency: 280,
+            dram_gbps: 204.8,
+            line_bytes: 128,
+            max_cycles: 2_000_000_000,
+            sched: SchedPolicy::Gto,
+        }
+    }
+
+    /// A scaled-down configuration for fast unit tests: 2 SMs, small caches,
+    /// same per-sub-partition pipe model (ratios are preserved).
+    pub fn test_small() -> Self {
+        Self {
+            name: "test-small",
+            num_sms: 2,
+            l1_bytes: 16 * 1024,
+            l2_bytes: 256 * 1024,
+            max_cycles: 50_000_000,
+            ..Self::jetson_agx_orin()
+        }
+    }
+
+    /// Total CUDA cores (marketing count: FP32 lanes x sub-partitions x SMs).
+    pub fn cuda_cores(&self) -> u32 {
+        self.fp_lanes * self.subpartitions * self.num_sms
+    }
+
+    /// Total Tensor cores (one per sub-partition).
+    pub fn tensor_cores(&self) -> u32 {
+        self.subpartitions * self.num_sms
+    }
+
+    /// DRAM service interval per line in cycles, derived from bandwidth.
+    pub fn dram_line_interval(&self) -> f64 {
+        let bytes_per_cycle = self.dram_gbps * 1e9 / (self.clock_ghz * 1e9);
+        f64::from(self.line_bytes) / bytes_per_cycle
+    }
+
+    /// Cycles to milliseconds.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_ghz * 1e9) * 1e3
+    }
+}
+
+/// One row of the paper's Table 1: peak throughput per numeric format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeakRow {
+    /// Format name as printed in the paper.
+    pub format: &'static str,
+    /// Executing unit ("CUDA Core" / "Tensor Core").
+    pub unit: &'static str,
+    /// Peak throughput in tera-operations (or FLOP) per second.
+    pub tops: f64,
+}
+
+/// Reconstructs Table 1 analytically from the machine description.
+///
+/// CUDA-core peaks are `lanes x subparts x SMs x 2 (FMA) x clock`; FP16 on
+/// CUDA cores is packed-pairs (2x FP32); Tensor-core peaks scale with the
+/// per-format MACs per MMA (TF32 : FP16/BF16 : INT8 : INT4 = 1 : 2 : 4 : 8
+/// relative to the TF32 base). INT8/INT4 *within CUDA cores* saturate at the
+/// INT32 rate, which is the gap VitBit attacks.
+pub fn peak_throughput_table(cfg: &OrinConfig) -> Vec<PeakRow> {
+    let clock = cfg.clock_ghz * 1e9;
+    let cuda_fp32 = f64::from(cfg.cuda_cores()) * 2.0 * clock / 1e12;
+    let cuda_int32 = f64::from(cfg.int_lanes * cfg.subpartitions * cfg.num_sms) * 2.0 * clock / 1e12;
+    // Tensor core: an INT8 MMA of 16x16x16 retires 8192 ops in tc_occupancy
+    // cycles on each of the tensor cores.
+    let tc_int8 = f64::from(cfg.tensor_cores()) * 8192.0 / f64::from(cfg.tc_occupancy) * clock / 1e12;
+    let tc_fp16 = tc_int8 / 2.0;
+    let tc_tf32 = tc_int8 / 4.0;
+    let tc_int4 = tc_int8 * 2.0;
+    vec![
+        PeakRow { format: "FP32", unit: "CUDA Core", tops: cuda_fp32 },
+        PeakRow { format: "FP16", unit: "CUDA Core", tops: cuda_fp32 * 2.0 },
+        PeakRow { format: "TF32", unit: "Tensor Core", tops: tc_tf32 },
+        PeakRow { format: "FP16", unit: "Tensor Core", tops: tc_fp16 },
+        PeakRow { format: "BFloat16", unit: "Tensor Core", tops: tc_fp16 },
+        PeakRow { format: "INT32", unit: "CUDA Core", tops: cuda_int32 },
+        PeakRow { format: "INT8", unit: "Tensor Core", tops: tc_int8 },
+        PeakRow { format: "INT4", unit: "Tensor Core", tops: tc_int4 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orin_matches_table2() {
+        let cfg = OrinConfig::jetson_agx_orin();
+        assert_eq!(cfg.cuda_cores(), 1792);
+        assert_eq!(cfg.tensor_cores(), 56);
+        assert_eq!(cfg.num_sms, 14);
+    }
+
+    #[test]
+    fn table1_shapes_hold() {
+        let cfg = OrinConfig::jetson_agx_orin();
+        let t = peak_throughput_table(&cfg);
+        let get = |fmt: &str, unit: &str| {
+            t.iter()
+                .find(|r| r.format == fmt && r.unit == unit)
+                .unwrap()
+                .tops
+        };
+        // Paper Table 1: FP32 ~4 TFLOPS, INT32 ~4 TOPS, INT8 TC ~131 TOPS,
+        // INT4 TC ~262 TOPS, FP16 TC ~65, TF32 ~32.
+        assert!((get("FP32", "CUDA Core") - 4.0).abs() < 0.15);
+        assert!((get("INT32", "CUDA Core") - 4.0).abs() < 0.15);
+        assert!((get("INT8", "Tensor Core") - 131.0).abs() < 4.0);
+        assert!((get("INT4", "Tensor Core") - 262.0).abs() < 8.0);
+        assert!((get("FP16", "Tensor Core") - 65.0).abs() < 2.0);
+        assert!((get("TF32", "Tensor Core") - 32.0).abs() < 1.5);
+        // The 32x INT8-TC : INT32-CUDA gap motivating the paper.
+        let gap = get("INT8", "Tensor Core") / get("INT32", "CUDA Core");
+        assert!((gap - 32.0).abs() < 1.0, "gap {gap}");
+    }
+
+    #[test]
+    fn dram_interval_matches_bandwidth() {
+        let cfg = OrinConfig::jetson_agx_orin();
+        // 204.8 GB/s at 1.12 GHz = 182.9 B/cycle -> 128B line every 0.7 cy.
+        assert!((cfg.dram_line_interval() - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn cycles_to_ms_conversion() {
+        let cfg = OrinConfig::jetson_agx_orin();
+        let ms = cfg.cycles_to_ms(1_120_000);
+        assert!((ms - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn test_config_is_smaller_but_same_pipes() {
+        let small = OrinConfig::test_small();
+        let full = OrinConfig::jetson_agx_orin();
+        assert!(small.num_sms < full.num_sms);
+        assert_eq!(small.int_lanes, full.int_lanes);
+        assert_eq!(small.tc_occupancy, full.tc_occupancy);
+    }
+}

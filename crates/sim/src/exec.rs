@@ -1,0 +1,761 @@
+//! Functional SIMT execution of one instruction over 32 lanes.
+#![allow(clippy::needless_range_loop)] // lane indices are semantic here
+//!
+//! Executed at issue time; the scoreboard in [`crate::sm`] guarantees that
+//! source values are architecturally ready, so executing eagerly is exact.
+
+use crate::isa::{FCmp, ICmp, MemWidth, Op, Src};
+use crate::mem::GlobalMem;
+use crate::warp::Warp;
+
+/// Control outcome of one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Next {
+    /// Fall through to `pc + 1`.
+    Seq,
+    /// Jump to an instruction index.
+    Jump(usize),
+    /// Warp exits.
+    ExitWarp,
+    /// Warp parks at the block barrier (pc already advanced).
+    Barrier,
+}
+
+/// Side-effect summary the timing model needs.
+#[derive(Debug, Default)]
+pub struct ExecEffects {
+    /// Distinct 128-B global lines touched (loads or stores).
+    pub global_lines: Vec<u64>,
+    /// Whether the access was a store.
+    pub is_store: bool,
+    /// Whether shared memory was accessed.
+    pub shared_access: bool,
+    /// Whether a global load carried the cache-streaming hint.
+    pub stream: bool,
+}
+
+/// Destination registers of an instruction (`(first, count)`).
+pub fn dest_regs(op: &Op) -> Option<(u8, u8)> {
+    use Op::*;
+    match op {
+        IAdd { d, .. } | ISub { d, .. } | IMul { d, .. } | IMad { d, .. } | And { d, .. }
+        | Or { d, .. } | Xor { d, .. } | Shl { d, .. } | Shr { d, .. } | Sar { d, .. }
+        | IMin { d, .. } | IMax { d, .. } | Mov { d, .. } | Sel { d, .. } | Ldc { d, .. }
+        | ReadSr { d, .. } | FAdd { d, .. } | FMul { d, .. } | FFma { d, .. } | FMin { d, .. }
+        | FMax { d, .. } | I2F { d, .. } | F2I { d, .. } | Rcp { d, .. } | Sqrt { d, .. }
+        | Ex2 { d, .. } | Lg2 { d, .. } | Ldg { d, .. } | Lds { d, .. } | IDivU { d, .. }
+        | F2IFloor { d, .. }
+        | IRemU { d, .. } | Shfl { d, .. } => Some((d.0, 1)),
+        LdgV4 { d, .. } => Some((d.0, 4)),
+        Mma { kind, acc, .. } => Some((acc.0, kind.acc_regs())),
+        _ => None,
+    }
+}
+
+/// Source registers of an instruction (for the scoreboard).
+pub fn src_regs(op: &Op, out: &mut Vec<u8>) {
+    use Op::*;
+    out.clear();
+    let push_src = |s: &Src, out: &mut Vec<u8>| {
+        if let Src::R(r) = s {
+            out.push(r.0);
+        }
+    };
+    match op {
+        IAdd { a, b, .. } | ISub { a, b, .. } | IMul { a, b, .. } | And { a, b, .. }
+        | Or { a, b, .. } | Xor { a, b, .. } | Shl { a, b, .. } | Shr { a, b, .. }
+        | Sar { a, b, .. } | IMin { a, b, .. } | IMax { a, b, .. } | IDivU { a, b, .. }
+        | IRemU { a, b, .. } | FAdd { a, b, .. } | FMul { a, b, .. } | FMin { a, b, .. }
+        | FMax { a, b, .. } => {
+            push_src(a, out);
+            push_src(b, out);
+        }
+        Shfl { a, .. } => out.push(a.0),
+        IMad { a, b, c, .. } | FFma { a, b, c, .. } => {
+            push_src(a, out);
+            push_src(b, out);
+            push_src(c, out);
+        }
+        ISetP { a, b, .. } | FSetP { a, b, .. } => {
+            push_src(a, out);
+            push_src(b, out);
+        }
+        Mov { s, .. } => push_src(s, out),
+        Sel { a, b, .. } => {
+            push_src(a, out);
+            push_src(b, out);
+        }
+        I2F { a, .. } | F2I { a, .. } | F2IFloor { a, .. } | Rcp { a, .. } | Sqrt { a, .. } | Ex2 { a, .. }
+        | Lg2 { a, .. } => push_src(a, out),
+        Ldg { addr, .. } | LdgV4 { addr, .. } => out.push(addr.0),
+        Stg { addr, v, .. } => {
+            out.push(addr.0);
+            push_src(v, out);
+        }
+        Lds { addr, .. } => out.push(addr.0),
+        Sts { addr, v, .. } => {
+            out.push(addr.0);
+            push_src(v, out);
+        }
+        Mma { acc, a_addr, b_addr, kind } => {
+            out.push(a_addr.0);
+            out.push(b_addr.0);
+            for i in 0..kind.acc_regs() {
+                out.push(acc.0 + i);
+            }
+        }
+        Ldc { .. } | ReadSr { .. } | Bra { .. } | Bar | Exit | Nop => {}
+    }
+}
+
+/// Predicate registers an instruction reads.
+pub fn src_preds(op: &Op, out: &mut Vec<u8>) {
+    use Op::*;
+    out.clear();
+    match op {
+        Sel { p, .. } => out.push(p.0),
+        Ldg { guard: Some(p), .. } | Stg { guard: Some(p), .. } => out.push(p.0),
+        Bra { pred: Some(p), .. } => out.push(p.0),
+        _ => {}
+    }
+}
+
+/// Predicate register an instruction writes.
+pub fn dest_pred(op: &Op) -> Option<u8> {
+    match op {
+        Op::ISetP { p, .. } | Op::FSetP { p, .. } => Some(p.0),
+        _ => None,
+    }
+}
+
+#[inline]
+fn src_val(w: &Warp, s: Src, lane: usize) -> u32 {
+    match s {
+        Src::R(r) => w.reg(r.0, lane),
+        Src::Imm(v) => v,
+    }
+}
+
+#[inline]
+fn f(v: u32) -> f32 {
+    f32::from_bits(v)
+}
+
+fn collect_lines(addrs: &[u64], mask: u32, lines: &mut Vec<u64>) {
+    lines.clear();
+    for (lane, &a) in addrs.iter().enumerate() {
+        if mask & (1 << lane) == 0 {
+            continue;
+        }
+        let line = a >> 7;
+        if !lines.contains(&line) {
+            lines.push(line);
+        }
+    }
+}
+
+/// Executes `op` for `warp`; updates registers, shared and global memory.
+/// Returns control flow and side effects for the timing model.
+///
+/// # Panics
+/// Panics on divergent branches (this ISA requires warp-uniform control
+/// flow), out-of-bounds shared accesses, or out-of-range argument indices —
+/// all kernel construction bugs.
+pub fn execute(
+    op: &Op,
+    w: &mut Warp,
+    smem: &mut [u8],
+    gmem: &mut GlobalMem,
+    args: &[u32],
+) -> (Next, ExecEffects) {
+    use Op::*;
+    let mut fx = ExecEffects::default();
+    match op {
+        IAdd { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.wrapping_add(y)),
+        ISub { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.wrapping_sub(y)),
+        IMul { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.wrapping_mul(y)),
+        IMad { d, a, b, c } => {
+            for lane in 0..32 {
+                let v = src_val(w, *a, lane)
+                    .wrapping_mul(src_val(w, *b, lane))
+                    .wrapping_add(src_val(w, *c, lane));
+                w.set_reg(d.0, lane, v);
+            }
+        }
+        And { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x & y),
+        Or { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x | y),
+        Xor { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x ^ y),
+        Shl { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.unbounded_shl(y)),
+        Shr { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.unbounded_shr(y)),
+        Sar { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| {
+            ((x as i32).unbounded_shr(y)) as u32
+        }),
+        IMin { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| (x as i32).min(y as i32) as u32),
+        IMax { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| (x as i32).max(y as i32) as u32),
+        IDivU { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.checked_div(y).unwrap_or(0)),
+        IRemU { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.checked_rem(y).unwrap_or(x)),
+        Shfl { d, a, xor_mask } => {
+            let mut vals = [0u32; 32];
+            for (lane, v) in vals.iter_mut().enumerate() {
+                *v = w.reg(a.0, lane ^ (*xor_mask as usize) & 31);
+            }
+            for (lane, v) in vals.iter().enumerate() {
+                w.set_reg(d.0, lane, *v);
+            }
+        }
+        ISetP { p, a, b, cmp } => {
+            let mut mask = 0u32;
+            for lane in 0..32 {
+                let x = src_val(w, *a, lane);
+                let y = src_val(w, *b, lane);
+                let (xs, ys) = (x as i32, y as i32);
+                let t = match cmp {
+                    ICmp::Eq => x == y,
+                    ICmp::Ne => x != y,
+                    ICmp::Lt => xs < ys,
+                    ICmp::Le => xs <= ys,
+                    ICmp::Gt => xs > ys,
+                    ICmp::Ge => xs >= ys,
+                    ICmp::LtU => x < y,
+                    ICmp::GeU => x >= y,
+                };
+                if t {
+                    mask |= 1 << lane;
+                }
+            }
+            w.preds[p.0 as usize] = mask;
+        }
+        Mov { d, s } => {
+            for lane in 0..32 {
+                let v = src_val(w, *s, lane);
+                w.set_reg(d.0, lane, v);
+            }
+        }
+        Sel { d, p, a, b } => {
+            let mask = w.preds[p.0 as usize];
+            for lane in 0..32 {
+                let v = if mask & (1 << lane) != 0 {
+                    src_val(w, *a, lane)
+                } else {
+                    src_val(w, *b, lane)
+                };
+                w.set_reg(d.0, lane, v);
+            }
+        }
+        Ldc { d, idx } => {
+            let v = *args
+                .get(*idx as usize)
+                .unwrap_or_else(|| panic!("kernel arg {idx} out of range ({} args)", args.len()));
+            for lane in 0..32 {
+                w.set_reg(d.0, lane, v);
+            }
+        }
+        ReadSr { d, sr } => {
+            use crate::isa::SReg::*;
+            for lane in 0..32 {
+                let v = match sr {
+                    Tid => w.tid(lane),
+                    Ntid => w.ntid,
+                    Ctaid => w.ctaid,
+                    Nctaid => w.nctaid,
+                    LaneId => lane as u32,
+                    WarpId => w.warp_in_block,
+                };
+                w.set_reg(d.0, lane, v);
+            }
+        }
+        FAdd { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| (f(x) + f(y)).to_bits()),
+        FMul { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| (f(x) * f(y)).to_bits()),
+        FFma { d, a, b, c } => {
+            for lane in 0..32 {
+                let v = f(src_val(w, *a, lane))
+                    .mul_add(f(src_val(w, *b, lane)), f(src_val(w, *c, lane)));
+                w.set_reg(d.0, lane, v.to_bits());
+            }
+        }
+        FMin { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| f(x).min(f(y)).to_bits()),
+        FMax { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| f(x).max(f(y)).to_bits()),
+        FSetP { p, a, b, cmp } => {
+            let mut mask = 0u32;
+            for lane in 0..32 {
+                let x = f(src_val(w, *a, lane));
+                let y = f(src_val(w, *b, lane));
+                let t = match cmp {
+                    FCmp::Eq => x == y,
+                    FCmp::Lt => x < y,
+                    FCmp::Le => x <= y,
+                    FCmp::Gt => x > y,
+                    FCmp::Ge => x >= y,
+                };
+                if t {
+                    mask |= 1 << lane;
+                }
+            }
+            w.preds[p.0 as usize] = mask;
+        }
+        I2F { d, a } => lanewise1(w, *d, *a, |x| (x as i32 as f32).to_bits()),
+        F2I { d, a } => lanewise1(w, *d, *a, |x| (f(x).round_ties_even() as i32) as u32),
+        F2IFloor { d, a } => lanewise1(w, *d, *a, |x| (f(x).floor() as i32) as u32),
+        Rcp { d, a } => lanewise1(w, *d, *a, |x| (1.0 / f(x)).to_bits()),
+        Sqrt { d, a } => lanewise1(w, *d, *a, |x| f(x).sqrt().to_bits()),
+        Ex2 { d, a } => lanewise1(w, *d, *a, |x| f(x).exp2().to_bits()),
+        Lg2 { d, a } => lanewise1(w, *d, *a, |x| f(x).log2().to_bits()),
+        Ldg { d, addr, off, w: width, guard, stream } => {
+            fx.stream = *stream;
+            let mask = guard.map_or(u32::MAX, |p| w.preds[p.0 as usize]);
+            let mut addrs = [0u64; 32];
+            for lane in 0..32 {
+                if mask & (1 << lane) == 0 {
+                    continue;
+                }
+                let a = (w.reg(addr.0, lane) as i64 + i64::from(*off)) as u64;
+                addrs[lane] = a;
+                let v = match width {
+                    MemWidth::B8S => gmem.read_u8(a as u32) as i8 as i32 as u32,
+                    MemWidth::B8U => u32::from(gmem.read_u8(a as u32)),
+                    MemWidth::B32 => gmem.read_u32(a as u32),
+                };
+                w.set_reg(d.0, lane, v);
+            }
+            collect_lines(&addrs, mask, &mut fx.global_lines);
+        }
+        LdgV4 { d, addr, off, stream } => {
+            fx.stream = *stream;
+            let mut addrs = [0u64; 32];
+            for lane in 0..32 {
+                let a = (w.reg(addr.0, lane) as i64 + i64::from(*off)) as u64;
+                debug_assert_eq!(a % 16, 0, "LDG.128 requires 16-byte alignment");
+                addrs[lane] = a;
+                for word in 0..4u32 {
+                    let v = gmem.read_u32(a as u32 + word * 4);
+                    w.set_reg(d.0 + word as u8, lane, v);
+                }
+            }
+            // Each lane touches 16 bytes; collect lines over the whole span.
+            fx.global_lines.clear();
+            for &a in &addrs {
+                for half in [a >> 7, (a + 15) >> 7] {
+                    if !fx.global_lines.contains(&half) {
+                        fx.global_lines.push(half);
+                    }
+                }
+            }
+        }
+        Stg { addr, off, v, w: width, guard, stream } => {
+            let mask = guard.map_or(u32::MAX, |p| w.preds[p.0 as usize]);
+            let mut addrs = [0u64; 32];
+            for lane in 0..32 {
+                if mask & (1 << lane) == 0 {
+                    continue;
+                }
+                let a = (w.reg(addr.0, lane) as i64 + i64::from(*off)) as u64;
+                addrs[lane] = a;
+                let val = src_val(w, *v, lane);
+                match width {
+                    MemWidth::B8S | MemWidth::B8U => gmem.write_u8(a as u32, val as u8),
+                    MemWidth::B32 => gmem.write_u32(a as u32, val),
+                }
+            }
+            collect_lines(&addrs, mask, &mut fx.global_lines);
+            fx.is_store = true;
+            fx.stream = *stream;
+        }
+        Lds { d, addr, off, w: width } => {
+            fx.shared_access = true;
+            for lane in 0..32 {
+                let a = (w.reg(addr.0, lane) as i64 + i64::from(*off)) as usize;
+                let v = match width {
+                    MemWidth::B8S => smem[a] as i8 as i32 as u32,
+                    MemWidth::B8U => u32::from(smem[a]),
+                    MemWidth::B32 => u32::from_le_bytes(smem[a..a + 4].try_into().unwrap()),
+                };
+                w.set_reg(d.0, lane, v);
+            }
+        }
+        Sts { addr, off, v, w: width } => {
+            fx.shared_access = true;
+            for lane in 0..32 {
+                let a = (w.reg(addr.0, lane) as i64 + i64::from(*off)) as usize;
+                let val = src_val(w, *v, lane);
+                match width {
+                    MemWidth::B8S | MemWidth::B8U => smem[a] = val as u8,
+                    MemWidth::B32 => smem[a..a + 4].copy_from_slice(&val.to_le_bytes()),
+                }
+            }
+        }
+        Mma { kind, acc, a_addr, b_addr } => {
+            let (m, n, k) = kind.shape();
+            let a_base = w.reg(a_addr.0, 0) as usize;
+            let b_base = w.reg(b_addr.0, 0) as usize;
+            match kind {
+                crate::isa::MmaKind::I8_16x16x16 => {
+                    for r in 0..m {
+                        for c in 0..n {
+                            let mut sum = 0i32;
+                            for kk in 0..k {
+                                let av = smem[a_base + r * k + kk] as i8;
+                                let bv = smem[b_base + kk * n + c] as i8;
+                                sum = sum.wrapping_add(i32::from(av) * i32::from(bv));
+                            }
+                            let idx = r * n + c;
+                            let lane = idx % 32;
+                            let slot = idx / 32;
+                            let reg = acc.0 + slot as u8;
+                            let old = w.reg(reg, lane) as i32;
+                            w.set_reg(reg, lane, old.wrapping_add(sum) as u32);
+                        }
+                    }
+                }
+                crate::isa::MmaKind::F16_16x16x8 => {
+                    for r in 0..m {
+                        for c in 0..n {
+                            let mut sum = 0f32;
+                            for kk in 0..k {
+                                let av = f32::from_bits(u32::from_le_bytes(
+                                    smem[a_base + (r * k + kk) * 4..][..4].try_into().unwrap(),
+                                ));
+                                let bv = f32::from_bits(u32::from_le_bytes(
+                                    smem[b_base + (kk * n + c) * 4..][..4].try_into().unwrap(),
+                                ));
+                                sum += av * bv;
+                            }
+                            let idx = r * n + c;
+                            let lane = idx % 32;
+                            let slot = idx / 32;
+                            let reg = acc.0 + slot as u8;
+                            let old = f32::from_bits(w.reg(reg, lane));
+                            w.set_reg(reg, lane, (old + sum).to_bits());
+                        }
+                    }
+                }
+            }
+        }
+        Bra { target, pred, sense } => {
+            let taken = match pred {
+                None => true,
+                Some(p) => {
+                    let mask = w.preds[p.0 as usize];
+                    assert!(
+                        mask == 0 || mask == u32::MAX,
+                        "divergent branch in {} at pc {} (mask {mask:#x})",
+                        w.program.name,
+                        w.pc
+                    );
+                    (mask == u32::MAX) == *sense
+                }
+            };
+            if taken {
+                return (Next::Jump(*target), fx);
+            }
+        }
+        Bar => return (Next::Barrier, fx),
+        Exit => return (Next::ExitWarp, fx),
+        Nop => {}
+    }
+    (Next::Seq, fx)
+}
+
+#[inline]
+fn lanewise2(w: &mut Warp, d: crate::isa::Reg, a: Src, b: Src, op: impl Fn(u32, u32) -> u32) {
+    for lane in 0..32 {
+        let v = op(src_val(w, a, lane), src_val(w, b, lane));
+        w.set_reg(d.0, lane, v);
+    }
+}
+
+#[inline]
+fn lanewise1(w: &mut Warp, d: crate::isa::Reg, a: Src, op: impl Fn(u32) -> u32) {
+    for lane in 0..32 {
+        let v = op(src_val(w, a, lane));
+        w.set_reg(d.0, lane, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{MmaKind, Pred, Reg, SReg};
+    use crate::program::ProgramBuilder;
+
+    fn mk_warp(nregs: u16) -> Warp {
+        let mut p = ProgramBuilder::new("t");
+        let _ = p.alloc_n(nregs);
+        let _ = p.alloc_pred();
+        let _ = p.alloc_pred();
+        p.exit();
+        Warp::new(p.build().into_arc(), 0, 1, 3, 64, 7, 0, 0)
+    }
+
+    fn run(op: Op, w: &mut Warp) -> (Next, ExecEffects) {
+        let mut smem = vec![0u8; 4096];
+        let mut gmem = GlobalMem::new(1 << 16);
+        execute(&op, w, &mut smem, &mut gmem, &[])
+    }
+
+    #[test]
+    fn imad_wraps() {
+        let mut w = mk_warp(4);
+        for lane in 0..32 {
+            w.set_reg(0, lane, lane as u32);
+            w.set_reg(1, lane, 3);
+            w.set_reg(2, lane, 10);
+        }
+        let (n, _) = run(
+            Op::IMad { d: Reg(3), a: Reg(0).into(), b: Reg(1).into(), c: Reg(2).into() },
+            &mut w,
+        );
+        assert_eq!(n, Next::Seq);
+        assert_eq!(w.reg(3, 5), 25);
+    }
+
+    #[test]
+    fn unbounded_shifts_zero_out() {
+        let mut w = mk_warp(2);
+        for lane in 0..32 {
+            w.set_reg(0, lane, 0xFFFF_FFFF);
+        }
+        run(Op::Shl { d: Reg(1), a: Reg(0).into(), b: Src::Imm(32) }, &mut w);
+        assert_eq!(w.reg(1, 0), 0);
+        run(Op::Shr { d: Reg(1), a: Reg(0).into(), b: Src::Imm(33) }, &mut w);
+        assert_eq!(w.reg(1, 0), 0);
+        run(Op::Sar { d: Reg(1), a: Reg(0).into(), b: Src::Imm(40) }, &mut w);
+        assert_eq!(w.reg(1, 0), u32::MAX, "sar saturates to sign");
+    }
+
+    #[test]
+    fn isetp_and_sel() {
+        let mut w = mk_warp(3);
+        for lane in 0..32 {
+            w.set_reg(0, lane, lane as u32);
+        }
+        run(Op::ISetP { p: Pred(0), a: Reg(0).into(), b: Src::Imm(16), cmp: ICmp::Lt }, &mut w);
+        assert_eq!(w.preds[0], 0x0000_FFFF);
+        run(
+            Op::Sel { d: Reg(1), p: Pred(0), a: Src::Imm(1), b: Src::Imm(2) },
+            &mut w,
+        );
+        assert_eq!(w.reg(1, 3), 1);
+        assert_eq!(w.reg(1, 20), 2);
+    }
+
+    #[test]
+    fn signed_vs_unsigned_compare() {
+        let mut w = mk_warp(1);
+        for lane in 0..32 {
+            w.set_reg(0, lane, -1i32 as u32);
+        }
+        run(Op::ISetP { p: Pred(0), a: Reg(0).into(), b: Src::Imm(0), cmp: ICmp::Lt }, &mut w);
+        assert_eq!(w.preds[0], u32::MAX, "-1 < 0 signed");
+        run(Op::ISetP { p: Pred(0), a: Reg(0).into(), b: Src::Imm(0), cmp: ICmp::LtU }, &mut w);
+        assert_eq!(w.preds[0], 0, "0xffffffff not < 0 unsigned");
+    }
+
+    #[test]
+    fn float_ops_and_conversions() {
+        let mut w = mk_warp(3);
+        for lane in 0..32 {
+            w.set_reg(0, lane, 2.5f32.to_bits());
+            w.set_reg(1, lane, 4.0f32.to_bits());
+        }
+        run(Op::FFma { d: Reg(2), a: Reg(0).into(), b: Reg(1).into(), c: Src::imm_f32(1.0) }, &mut w);
+        assert_eq!(f32::from_bits(w.reg(2, 0)), 11.0);
+        run(Op::F2I { d: Reg(2), a: Reg(0).into() }, &mut w);
+        assert_eq!(w.reg(2, 0) as i32, 2, "2.5 rounds to even");
+        run(Op::I2F { d: Reg(2), a: Src::imm_i32(-7) }, &mut w);
+        assert_eq!(f32::from_bits(w.reg(2, 0)), -7.0);
+    }
+
+    #[test]
+    fn sreg_values() {
+        let mut w = mk_warp(1);
+        run(Op::ReadSr { d: Reg(0), sr: SReg::Tid }, &mut w);
+        assert_eq!(w.reg(0, 4), 36); // warp 1, lane 4
+        run(Op::ReadSr { d: Reg(0), sr: SReg::Ctaid }, &mut w);
+        assert_eq!(w.reg(0, 0), 3);
+        run(Op::ReadSr { d: Reg(0), sr: SReg::LaneId }, &mut w);
+        assert_eq!(w.reg(0, 9), 9);
+    }
+
+    #[test]
+    fn global_load_store_round_trip() {
+        let mut w = mk_warp(3);
+        let mut smem = vec![0u8; 64];
+        let mut gmem = GlobalMem::new(1 << 16);
+        let buf = gmem.alloc(256);
+        for lane in 0..32 {
+            w.set_reg(0, lane, buf.addr + 4 * lane as u32);
+            w.set_reg(1, lane, 100 + lane as u32);
+        }
+        let (_, fx) = execute(
+            &Op::Stg { addr: Reg(0), off: 0, v: Reg(1).into(), w: MemWidth::B32, guard: None, stream: false },
+            &mut w,
+            &mut smem,
+            &mut gmem,
+            &[],
+        );
+        assert!(fx.is_store);
+        assert_eq!(fx.global_lines.len(), 1, "coalesced to one line");
+        let (_, fx2) = execute(
+            &Op::Ldg { d: Reg(2), addr: Reg(0), off: 0, w: MemWidth::B32, guard: None, stream: false },
+            &mut w,
+            &mut smem,
+            &mut gmem,
+            &[],
+        );
+        assert_eq!(fx2.global_lines.len(), 1);
+        assert_eq!(w.reg(2, 31), 131);
+    }
+
+    #[test]
+    fn strided_access_touches_many_lines() {
+        let mut w = mk_warp(2);
+        let mut smem = vec![0u8; 64];
+        let mut gmem = GlobalMem::new(1 << 20);
+        let buf = gmem.alloc(128 * 64);
+        for lane in 0..32 {
+            w.set_reg(0, lane, buf.addr + 128 * lane as u32);
+        }
+        let (_, fx) = execute(
+            &Op::Ldg { d: Reg(1), addr: Reg(0), off: 0, w: MemWidth::B32, guard: None, stream: false },
+            &mut w,
+            &mut smem,
+            &mut gmem,
+            &[],
+        );
+        assert_eq!(fx.global_lines.len(), 32, "fully uncoalesced");
+    }
+
+    #[test]
+    fn guarded_store_skips_lanes() {
+        let mut w = mk_warp(2);
+        let mut smem = vec![0u8; 64];
+        let mut gmem = GlobalMem::new(1 << 16);
+        let buf = gmem.alloc(256);
+        w.preds[0] = 0x1; // only lane 0
+        for lane in 0..32 {
+            w.set_reg(0, lane, buf.addr + 4 * lane as u32);
+        }
+        execute(
+            &Op::Stg { addr: Reg(0), off: 0, v: Src::Imm(9), w: MemWidth::B32, guard: Some(Pred(0)), stream: false },
+            &mut w,
+            &mut smem,
+            &mut gmem,
+            &[],
+        );
+        assert_eq!(gmem.read_u32(buf.addr), 9);
+        assert_eq!(gmem.read_u32(buf.addr + 4), 0);
+    }
+
+    #[test]
+    fn byte_loads_sign_and_zero_extend() {
+        let mut w = mk_warp(2);
+        let mut smem = vec![0u8; 64];
+        let mut gmem = GlobalMem::new(1 << 16);
+        let buf = gmem.alloc(64);
+        gmem.write_u8(buf.addr, 0xFF);
+        for lane in 0..32 {
+            w.set_reg(0, lane, buf.addr);
+        }
+        execute(&Op::Ldg { d: Reg(1), addr: Reg(0), off: 0, w: MemWidth::B8S, guard: None, stream: false }, &mut w, &mut smem, &mut gmem, &[]);
+        assert_eq!(w.reg(1, 0) as i32, -1);
+        execute(&Op::Ldg { d: Reg(1), addr: Reg(0), off: 0, w: MemWidth::B8U, guard: None, stream: false }, &mut w, &mut smem, &mut gmem, &[]);
+        assert_eq!(w.reg(1, 0), 255);
+    }
+
+    #[test]
+    fn shared_memory_round_trip() {
+        let mut w = mk_warp(3);
+        let mut smem = vec![0u8; 1024];
+        let mut gmem = GlobalMem::new(4096);
+        for lane in 0..32 {
+            w.set_reg(0, lane, 4 * lane as u32);
+            w.set_reg(1, lane, lane as u32 * 11);
+        }
+        execute(&Op::Sts { addr: Reg(0), off: 0, v: Reg(1).into(), w: MemWidth::B32 }, &mut w, &mut smem, &mut gmem, &[]);
+        execute(&Op::Lds { d: Reg(2), addr: Reg(0), off: 0, w: MemWidth::B32 }, &mut w, &mut smem, &mut gmem, &[]);
+        assert_eq!(w.reg(2, 7), 77);
+    }
+
+    #[test]
+    fn mma_int8_accumulates_correctly() {
+        let mut p = ProgramBuilder::new("t");
+        let _ = p.alloc_n(12);
+        p.exit();
+        let mut w = Warp::new(p.build().into_arc(), 0, 0, 0, 32, 1, 0, 0);
+        let mut smem = vec![0u8; 2048];
+        let mut gmem = GlobalMem::new(4096);
+        // A = identity-ish: A[r][k] = (r == k) ? 2 : 0; B[k][c] = k + c.
+        for r in 0..16 {
+            for k in 0..16 {
+                smem[r * 16 + k] = if r == k { 2u8 } else { 0 };
+            }
+        }
+        for k in 0..16 {
+            for c in 0..16 {
+                smem[256 + k * 16 + c] = (k + c) as u8;
+            }
+        }
+        for lane in 0..32 {
+            w.set_reg(0, lane, 0); // a_addr
+            w.set_reg(1, lane, 256); // b_addr
+        }
+        execute(
+            &Op::Mma { kind: MmaKind::I8_16x16x16, acc: Reg(2), a_addr: Reg(0), b_addr: Reg(1) },
+            &mut w,
+            &mut smem,
+            &mut gmem,
+            &[],
+        );
+        // C[r][c] = 2 * (r + c). Element (3, 5): idx 53 -> lane 21, slot 1.
+        assert_eq!(w.reg(3, 21) as i32, 2 * (3 + 5));
+        // Accumulation: run again, doubles.
+        execute(
+            &Op::Mma { kind: MmaKind::I8_16x16x16, acc: Reg(2), a_addr: Reg(0), b_addr: Reg(1) },
+            &mut w,
+            &mut smem,
+            &mut gmem,
+            &[],
+        );
+        assert_eq!(w.reg(3, 21) as i32, 4 * (3 + 5));
+    }
+
+    #[test]
+    fn uniform_branch_taken_and_not() {
+        let mut w = mk_warp(1);
+        w.preds[0] = u32::MAX;
+        let (n, _) = run(Op::Bra { target: 7, pred: Some(Pred(0)), sense: true }, &mut w);
+        assert_eq!(n, Next::Jump(7));
+        w.preds[0] = 0;
+        let (n, _) = run(Op::Bra { target: 7, pred: Some(Pred(0)), sense: true }, &mut w);
+        assert_eq!(n, Next::Seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "divergent branch")]
+    fn divergent_branch_panics() {
+        let mut w = mk_warp(1);
+        w.preds[0] = 0x0000_FFFF;
+        let _ = run(Op::Bra { target: 0, pred: Some(Pred(0)), sense: true }, &mut w);
+    }
+
+    #[test]
+    fn control_outcomes() {
+        let mut w = mk_warp(1);
+        assert_eq!(run(Op::Bar, &mut w).0, Next::Barrier);
+        assert_eq!(run(Op::Exit, &mut w).0, Next::ExitWarp);
+        assert_eq!(run(Op::Nop, &mut w).0, Next::Seq);
+    }
+
+    #[test]
+    fn dest_and_src_reg_extraction() {
+        let op = Op::IMad { d: Reg(5), a: Reg(1).into(), b: Src::Imm(3), c: Reg(2).into() };
+        assert_eq!(dest_regs(&op), Some((5, 1)));
+        let mut srcs = Vec::new();
+        src_regs(&op, &mut srcs);
+        assert_eq!(srcs, vec![1, 2]);
+        let mma = Op::Mma { kind: MmaKind::I8_16x16x16, acc: Reg(10), a_addr: Reg(0), b_addr: Reg(1) };
+        assert_eq!(dest_regs(&mma), Some((10, 8)));
+        src_regs(&mma, &mut srcs);
+        assert!(srcs.contains(&10) && srcs.contains(&17), "acc regs are read too");
+    }
+}

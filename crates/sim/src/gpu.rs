@@ -1,0 +1,394 @@
+//! Top-level GPU: block dispatch across SMs and the global cycle loop.
+
+use crate::config::OrinConfig;
+use crate::launch::Kernel;
+use crate::mem::GlobalMem;
+use crate::memsys::MemSystem;
+use crate::sm::Sm;
+use crate::stats::KernelStats;
+
+/// The simulated GPU.
+#[derive(Debug)]
+pub struct Gpu {
+    cfg: OrinConfig,
+    /// Device memory (public: hosts upload/download through it).
+    pub mem: GlobalMem,
+    memsys: MemSystem,
+    sms: Vec<Sm>,
+}
+
+impl Gpu {
+    /// Builds a GPU with `mem_bytes` of device memory.
+    pub fn new(cfg: OrinConfig, mem_bytes: u32) -> Self {
+        let memsys = MemSystem::new(&cfg);
+        let sms = (0..cfg.num_sms).map(|_| Sm::new(&cfg)).collect();
+        Self {
+            cfg,
+            mem: GlobalMem::new(mem_bytes),
+            memsys,
+            sms,
+        }
+    }
+
+    /// Convenience: full Orin with 256 MiB of device memory.
+    pub fn orin() -> Self {
+        Self::new(OrinConfig::jetson_agx_orin(), 256 << 20)
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &OrinConfig {
+        &self.cfg
+    }
+
+    /// Runs `kernel` to completion, returning its statistics.
+    ///
+    /// Blocks are dispatched round-robin across SMs as capacity allows,
+    /// exactly one new block per SM per cycle (the hardware work
+    /// distributor's throttling).
+    ///
+    /// # Panics
+    /// Panics if the kernel exceeds `cfg.max_cycles` (hang guard) or if a
+    /// block cannot fit any SM.
+    pub fn launch(&mut self, kernel: &Kernel) -> KernelStats {
+        assert!(kernel.blocks > 0, "empty grid");
+        assert!(
+            kernel.warps_per_block > 0 && kernel.warps_per_block <= self.cfg.max_warps_per_sm,
+            "block of {} warps cannot fit an SM ({} max)",
+            kernel.warps_per_block,
+            self.cfg.max_warps_per_sm
+        );
+        assert!(
+            kernel.smem_bytes <= self.cfg.smem_per_sm,
+            "block shared memory {} exceeds SM capacity {}",
+            kernel.smem_bytes,
+            self.cfg.smem_per_sm
+        );
+        self.memsys.new_kernel();
+        for sm in &mut self.sms {
+            sm.new_kernel();
+        }
+        let mut stats = KernelStats {
+            name: kernel.name.clone(),
+            num_sms: self.cfg.num_sms,
+            subparts: self.cfg.subpartitions,
+            blocks: kernel.blocks,
+            ..KernelStats::default()
+        };
+        let mut next_block: u32 = 0;
+        let mut done: u32 = 0;
+        let mut age: u64 = 0;
+        let mut cycle: u64 = 0;
+        while done < kernel.blocks {
+            // Dispatch: one block per SM per cycle, round-robin, in the
+            // kernel's dispatch order.
+            for sm in &mut self.sms {
+                if next_block < kernel.blocks {
+                    let ctaid = kernel
+                        .dispatch_order
+                        .as_ref()
+                        .map_or(next_block, |o| o[next_block as usize]);
+                    if sm.try_launch(kernel, ctaid, &mut age) {
+                        next_block += 1;
+                    }
+                }
+            }
+            for sm in &mut self.sms {
+                done += sm.step(cycle, &mut self.memsys, &mut self.mem, &kernel.args, &mut stats);
+            }
+            cycle += 1;
+            assert!(
+                cycle < self.cfg.max_cycles,
+                "kernel {} exceeded {} cycles (hang?)",
+                kernel.name,
+                self.cfg.max_cycles
+            );
+        }
+        stats.cycles = cycle;
+        stats.dram_bytes = self.memsys.dram_bytes;
+        stats.l2_hit_bytes = self.memsys.l2_hit_bytes;
+        stats
+    }
+
+    /// Flushes the L2 (cold-start experiments between kernels).
+    pub fn cold_caches(&mut self) {
+        self.memsys.cold_reset();
+        for sm in &mut self.sms {
+            sm.new_kernel();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{ICmp, MemWidth, SReg, Src};
+    use crate::program::ProgramBuilder;
+
+    fn gpu() -> Gpu {
+        Gpu::new(OrinConfig::test_small(), 16 << 20)
+    }
+
+    /// out[i] = a[i] + b[i] over one warp per block.
+    fn vec_add_kernel(n_blocks: u32) -> (Kernel, fn(u32, u32) -> u32) {
+        let mut p = ProgramBuilder::new("vec_add");
+        let a_base = p.alloc();
+        let b_base = p.alloc();
+        let o_base = p.alloc();
+        let tid = p.alloc();
+        let ctaid = p.alloc();
+        let gid = p.alloc();
+        let off = p.alloc();
+        let av = p.alloc();
+        let bv = p.alloc();
+        let addr = p.alloc();
+        p.ldc(a_base, 0);
+        p.ldc(b_base, 1);
+        p.ldc(o_base, 2);
+        p.sreg(tid, SReg::Tid);
+        p.sreg(ctaid, SReg::Ctaid);
+        // gid = ctaid * 32 + tid
+        p.imad(gid, ctaid.into(), Src::Imm(32), tid.into());
+        p.shl(off, gid.into(), Src::Imm(2));
+        p.iadd(addr, a_base.into(), off.into());
+        p.ldg(av, addr, 0, MemWidth::B32);
+        p.iadd(addr, b_base.into(), off.into());
+        p.ldg(bv, addr, 0, MemWidth::B32);
+        p.iadd(av, av.into(), bv.into());
+        p.iadd(addr, o_base.into(), off.into());
+        p.stg(addr, 0, av.into(), MemWidth::B32);
+        p.exit();
+        let prog = p.build().into_arc();
+        (
+            Kernel::single("vec_add", prog, n_blocks, 1, 0, vec![]),
+            |a, b| a.wrapping_add(b),
+        )
+    }
+
+    #[test]
+    fn vector_add_end_to_end() {
+        let mut g = gpu();
+        let n = 4 * 32usize;
+        let a: Vec<u32> = (0..n as u32).collect();
+        let b: Vec<u32> = (0..n as u32).map(|x| x * 100).collect();
+        let pa = g.mem.upload_u32(&a);
+        let pb = g.mem.upload_u32(&b);
+        let po = g.mem.alloc((n * 4) as u32);
+        let (mut k, f) = vec_add_kernel(4);
+        k.args = vec![pa.addr, pb.addr, po.addr];
+        let stats = g.launch(&k);
+        let out = g.mem.download_u32(po, n);
+        for i in 0..n {
+            assert_eq!(out[i], f(a[i], b[i]), "element {i}");
+        }
+        assert!(stats.cycles > 0);
+        assert_eq!(stats.blocks, 4);
+        assert!(stats.issued.lsu >= 12, "3 memory ops x 4 blocks");
+        assert!(stats.issued.int > 0);
+    }
+
+    #[test]
+    fn loop_kernel_sums_iota() {
+        // Each thread: sum = 0; for i in 0..10 { sum += i } ; out[tid] = sum.
+        let mut p = ProgramBuilder::new("loop");
+        let o_base = p.alloc();
+        let tid = p.alloc();
+        let i = p.alloc();
+        let sum = p.alloc();
+        let addr = p.alloc();
+        let pr = p.alloc_pred();
+        p.ldc(o_base, 0);
+        p.sreg(tid, SReg::Tid);
+        p.mov(i, Src::Imm(0));
+        p.mov(sum, Src::Imm(0));
+        p.label_here("top");
+        p.iadd(sum, sum.into(), i.into());
+        p.iadd(i, i.into(), Src::Imm(1));
+        p.isetp(pr, i.into(), Src::Imm(10), ICmp::Lt);
+        p.bra_if("top", pr, true);
+        p.imad(addr, tid.into(), Src::Imm(4), o_base.into());
+        p.stg(addr, 0, sum.into(), MemWidth::B32);
+        p.exit();
+        let mut g = gpu();
+        let po = g.mem.alloc(64 * 4);
+        let k = Kernel::single("loop", p.build().into_arc(), 1, 2, 0, vec![po.addr]);
+        let stats = g.launch(&k);
+        let out = g.mem.download_u32(po, 64);
+        assert!(out.iter().all(|&x| x == 45));
+        // 10 iterations x 3 insts + overhead, 2 warps.
+        assert!(stats.issued.total() >= 2 * 30);
+    }
+
+    #[test]
+    fn barrier_orders_shared_memory() {
+        // Warp 0 writes smem, all warps barrier, every warp reads.
+        let mut p = ProgramBuilder::new("bar");
+        let o_base = p.alloc();
+        let wid = p.alloc();
+        let lane = p.alloc();
+        let addr = p.alloc();
+        let v = p.alloc();
+        let tid = p.alloc();
+        let pr = p.alloc_pred();
+        p.ldc(o_base, 0);
+        p.sreg(wid, SReg::WarpId);
+        p.sreg(lane, SReg::LaneId);
+        p.sreg(tid, SReg::Tid);
+        // if warp 0: smem[lane*4] = lane * 7 (guarded store needs predication
+        // per lane; warp-uniform predicate here).
+        p.isetp(pr, wid.into(), Src::Imm(0), ICmp::Eq);
+        p.shl(addr, lane.into(), Src::Imm(2));
+        p.sel(v, pr, Src::Imm(1), Src::Imm(0));
+        // Only warp 0 stores: branch around the store for other warps.
+        p.bra_if("skip_store", pr, false);
+        p.imul(v, lane.into(), Src::Imm(7));
+        p.sts(addr, 0, v.into(), MemWidth::B32);
+        p.label_here("skip_store");
+        p.bar();
+        p.lds(v, addr, 0, MemWidth::B32);
+        p.imad(addr, tid.into(), Src::Imm(4), o_base.into());
+        p.stg(addr, 0, v.into(), MemWidth::B32);
+        p.exit();
+        let mut g = gpu();
+        let warps = 4u32;
+        let po = g.mem.alloc(warps * 32 * 4);
+        let k = Kernel::single("bar", p.build().into_arc(), 1, warps, 128, vec![po.addr]);
+        let _ = g.launch(&k);
+        let out = g.mem.download_u32(po, (warps * 32) as usize);
+        for w in 0..warps as usize {
+            for l in 0..32 {
+                assert_eq!(out[w * 32 + l], (l as u32) * 7, "warp {w} lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_roles_execute_distinct_programs() {
+        // Role 0 writes 111 at out[tid]; role 1 writes 222.
+        let mk = |val: u32, name: &str| {
+            let mut p = ProgramBuilder::new(name);
+            let o = p.alloc();
+            let tid = p.alloc();
+            let addr = p.alloc();
+            p.ldc(o, 0);
+            p.sreg(tid, SReg::Tid);
+            p.imad(addr, tid.into(), Src::Imm(4), o.into());
+            p.stg(addr, 0, Src::Imm(val), MemWidth::B32);
+            p.exit();
+            p.build().into_arc()
+        };
+        let mut g = gpu();
+        let po = g.mem.alloc(4 * 32 * 4);
+        let k = Kernel::fused(
+            "roles",
+            vec![mk(111, "r0"), mk(222, "r1")],
+            vec![0, 1, 1, 0],
+            1,
+            0,
+            vec![po.addr],
+        );
+        let _ = g.launch(&k);
+        let out = g.mem.download_u32(po, 128);
+        assert!(out[0..32].iter().all(|&x| x == 111));
+        assert!(out[32..64].iter().all(|&x| x == 222));
+        assert!(out[64..96].iter().all(|&x| x == 222));
+        assert!(out[96..128].iter().all(|&x| x == 111));
+    }
+
+    #[test]
+    fn more_blocks_than_capacity_drain() {
+        let mut g = gpu();
+        let blocks = 64u32;
+        let n = blocks as usize * 32;
+        let a: Vec<u32> = (0..n as u32).collect();
+        let pa = g.mem.upload_u32(&a);
+        let pb = g.mem.upload_u32(&a);
+        let po = g.mem.alloc((n * 4) as u32);
+        let (mut k, _) = vec_add_kernel(blocks);
+        k.args = vec![pa.addr, pb.addr, po.addr];
+        let stats = g.launch(&k);
+        assert_eq!(stats.blocks, blocks);
+        let out = g.mem.download_u32(po, n);
+        assert!(out.iter().enumerate().all(|(i, &x)| x == 2 * i as u32));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn hang_guard_fires() {
+        let mut p = ProgramBuilder::new("spin");
+        p.label_here("top");
+        p.bra("top");
+        p.exit();
+        let mut cfg = OrinConfig::test_small();
+        cfg.max_cycles = 10_000;
+        let mut g = Gpu::new(cfg, 1 << 20);
+        let k = Kernel::single("spin", p.build().into_arc(), 1, 1, 0, vec![]);
+        let _ = g.launch(&k);
+    }
+
+    #[test]
+    fn dual_issue_beats_single_pipe() {
+        // Two kernels with identical dependency-free instruction counts: one
+        // all-INT, one half-INT half-FP across warps. The mixed version must
+        // be faster because INT and FP issue concurrently.
+        let math = |fp: bool| {
+            let mut p = ProgramBuilder::new(if fp { "fp" } else { "int" });
+            let acc = p.alloc_n(8);
+            for rep in 0..64 {
+                for i in 0..8u8 {
+                    let r = crate::isa::Reg(acc.0 + i);
+                    if fp {
+                        p.ffma(r, r.into(), Src::imm_f32(1.0001), Src::imm_f32(0.5));
+                    } else {
+                        p.imad(r, r.into(), Src::Imm(3), Src::Imm(1));
+                    }
+                }
+                let _ = rep;
+            }
+            p.exit();
+            p.build().into_arc()
+        };
+        let mut g = gpu();
+        let int_only = Kernel::fused(
+            "int_only",
+            vec![math(false)],
+            vec![0; 8],
+            8,
+            0,
+            vec![],
+        );
+        // Warp w maps to sub-partition w % 4, so INT/FP roles must alternate
+        // at sub-partition stride for both pipes to share every scheduler.
+        let mixed = Kernel::fused(
+            "mixed",
+            vec![math(false), math(true)],
+            vec![0, 0, 0, 0, 1, 1, 1, 1],
+            8,
+            0,
+            vec![],
+        );
+        let t_int = g.launch(&int_only).cycles;
+        let t_mixed = g.launch(&mixed).cycles;
+        assert!(
+            (t_mixed as f64) < 0.75 * t_int as f64,
+            "mixed {t_mixed} should be well under int-only {t_int}"
+        );
+    }
+
+    #[test]
+    fn stats_count_ops_by_pipe() {
+        let mut p = ProgramBuilder::new("ops");
+        let r = p.alloc();
+        let s = p.alloc();
+        p.imad(r, r.into(), Src::Imm(2), Src::Imm(1));
+        p.ffma(s, s.into(), Src::imm_f32(2.0), Src::imm_f32(1.0));
+        p.exit();
+        let mut g = gpu();
+        let k = Kernel::single("ops", p.build().into_arc(), 1, 1, 0, vec![]);
+        let stats = g.launch(&k);
+        assert_eq!(stats.issued.int, 1);
+        assert_eq!(stats.issued.fp, 1);
+        assert_eq!(stats.int_ops, 64);
+        assert_eq!(stats.fp_ops, 64);
+        assert_eq!(stats.issued.ctrl, 1);
+    }
+}

@@ -1,0 +1,437 @@
+//! The simulator's SASS-like instruction set.
+//!
+//! Registers are per-thread 32-bit values (`f32` operands are bit-stored).
+//! Predicate registers are per-warp 32-bit lane masks. Branches must be
+//! warp-uniform; divergent control flow is expressed with predication
+//! (`Sel`, guarded loads/stores), which matches how the VitBit kernels are
+//! written.
+
+/// A per-thread 32-bit register id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+/// A per-warp predicate register id (32-bit lane mask).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pred(pub u8);
+
+/// An instruction source: a register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
+    /// Register operand.
+    R(Reg),
+    /// 32-bit immediate (bit pattern; signed/float per consuming op).
+    Imm(u32),
+}
+
+impl From<Reg> for Src {
+    fn from(r: Reg) -> Self {
+        Src::R(r)
+    }
+}
+
+impl Src {
+    /// Immediate from a signed value.
+    pub fn imm_i32(v: i32) -> Self {
+        Src::Imm(v as u32)
+    }
+
+    /// Immediate from a float (bit pattern).
+    pub fn imm_f32(v: f32) -> Self {
+        Src::Imm(v.to_bits())
+    }
+}
+
+/// Integer comparison operators for `ISetP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ICmp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    LtU,
+    /// Unsigned greater-or-equal.
+    GeU,
+}
+
+/// Float comparison operators for `FSetP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FCmp {
+    /// Equal.
+    Eq,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+}
+
+/// Special (read-only) per-thread registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SReg {
+    /// Thread index within the block (x only; blocks are 1-D).
+    Tid,
+    /// Threads per block.
+    Ntid,
+    /// Block index within the grid.
+    Ctaid,
+    /// Blocks in the grid.
+    Nctaid,
+    /// Lane index within the warp (0..32).
+    LaneId,
+    /// Warp index within the block.
+    WarpId,
+}
+
+/// Memory access width for global loads/stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemWidth {
+    /// 8-bit, sign-extended on load.
+    B8S,
+    /// 8-bit, zero-extended on load.
+    B8U,
+    /// 32-bit.
+    B32,
+}
+
+impl MemWidth {
+    /// Bytes moved per lane.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::B8S | MemWidth::B8U => 1,
+            MemWidth::B32 => 4,
+        }
+    }
+}
+
+/// Tensor-core MMA flavor. Shapes are warp-level `M x N x K` tiles staged in
+/// shared memory (the kernel pays the staging LDS/STS explicitly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmaKind {
+    /// INT8 operands, INT32 accumulate, 16x16x16 tile (8192 ops per issue).
+    I8_16x16x16,
+    /// FP16-class operands (modelled at f32 precision), 16x16x8 tile.
+    F16_16x16x8,
+}
+
+impl MmaKind {
+    /// `(m, n, k)` tile shape.
+    pub fn shape(self) -> (usize, usize, usize) {
+        match self {
+            MmaKind::I8_16x16x16 => (16, 16, 16),
+            MmaKind::F16_16x16x8 => (16, 16, 8),
+        }
+    }
+
+    /// Arithmetic operations (multiply + add) per issued MMA.
+    pub fn ops(self) -> u64 {
+        let (m, n, k) = self.shape();
+        (m * n * k * 2) as u64
+    }
+
+    /// Accumulator registers per lane (`m*n / 32`).
+    pub fn acc_regs(self) -> u8 {
+        let (m, n, _) = self.shape();
+        (m * n / 32) as u8
+    }
+}
+
+/// Execution pipe an instruction issues to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipeClass {
+    /// INT32 ALU.
+    Int,
+    /// FP32 ALU.
+    Fp,
+    /// Tensor core.
+    Tensor,
+    /// Special function unit.
+    Sfu,
+    /// Load/store unit (global + shared).
+    Lsu,
+    /// Control (branches, barriers, exit) — consumes an issue slot only.
+    Ctrl,
+}
+
+/// One instruction. `d` is the destination; `a`, `b`, `c` are sources.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    // ---- integer pipe ----
+    /// `d = a + b` (wrapping).
+    IAdd { d: Reg, a: Src, b: Src },
+    /// `d = a - b` (wrapping).
+    ISub { d: Reg, a: Src, b: Src },
+    /// `d = a * b` (wrapping, low 32 bits).
+    IMul { d: Reg, a: Src, b: Src },
+    /// `d = a * b + c` (wrapping) — the packed-SWAR workhorse.
+    IMad { d: Reg, a: Src, b: Src, c: Src },
+    /// Bitwise and.
+    And { d: Reg, a: Src, b: Src },
+    /// Bitwise or.
+    Or { d: Reg, a: Src, b: Src },
+    /// Bitwise xor.
+    Xor { d: Reg, a: Src, b: Src },
+    /// Logical shift left.
+    Shl { d: Reg, a: Src, b: Src },
+    /// Logical shift right.
+    Shr { d: Reg, a: Src, b: Src },
+    /// Arithmetic shift right.
+    Sar { d: Reg, a: Src, b: Src },
+    /// Signed minimum.
+    IMin { d: Reg, a: Src, b: Src },
+    /// Signed maximum.
+    IMax { d: Reg, a: Src, b: Src },
+    /// Unsigned division (`d = a / b`, 0 when `b == 0`). Real GPUs lower
+    /// this to a short IMAD sequence; modelled as one INT-pipe instruction.
+    IDivU { d: Reg, a: Src, b: Src },
+    /// Unsigned remainder (`d = a % b`, `a` when `b == 0`).
+    IRemU { d: Reg, a: Src, b: Src },
+    /// Butterfly shuffle: `d[lane] = a[lane ^ xor_mask]` (warp-wide).
+    Shfl { d: Reg, a: Reg, xor_mask: u8 },
+    /// Set predicate from signed/unsigned integer comparison.
+    ISetP { p: Pred, a: Src, b: Src, cmp: ICmp },
+    /// Register/immediate move (issues on the INT pipe).
+    Mov { d: Reg, s: Src },
+    /// Per-lane select: `d = p ? a : b`.
+    Sel { d: Reg, p: Pred, a: Src, b: Src },
+    /// Load a kernel argument word: `d = args[idx]`.
+    Ldc { d: Reg, idx: u16 },
+    /// Read a special register.
+    ReadSr { d: Reg, sr: SReg },
+
+    // ---- float pipe ----
+    /// `d = a + b` (f32).
+    FAdd { d: Reg, a: Src, b: Src },
+    /// `d = a * b` (f32).
+    FMul { d: Reg, a: Src, b: Src },
+    /// `d = a * b + c` (fused, f32).
+    FFma { d: Reg, a: Src, b: Src, c: Src },
+    /// f32 minimum.
+    FMin { d: Reg, a: Src, b: Src },
+    /// f32 maximum.
+    FMax { d: Reg, a: Src, b: Src },
+    /// Set predicate from f32 comparison.
+    FSetP { p: Pred, a: Src, b: Src, cmp: FCmp },
+    /// Signed i32 -> f32 conversion.
+    I2F { d: Reg, a: Src },
+    /// f32 -> signed i32 conversion (round to nearest even).
+    F2I { d: Reg, a: Src },
+    /// f32 -> signed i32 conversion rounding toward negative infinity
+    /// (`cvt.rmi`): the float twin of an arithmetic shift.
+    F2IFloor { d: Reg, a: Src },
+
+    // ---- SFU ----
+    /// Reciprocal.
+    Rcp { d: Reg, a: Src },
+    /// Square root.
+    Sqrt { d: Reg, a: Src },
+    /// Base-2 exponential.
+    Ex2 { d: Reg, a: Src },
+    /// Base-2 logarithm.
+    Lg2 { d: Reg, a: Src },
+
+    // ---- memory ----
+    /// Global load: `d = [addr + off]`, per lane, optionally guarded.
+    Ldg {
+        /// Destination.
+        d: Reg,
+        /// Per-lane byte address register.
+        addr: Reg,
+        /// Constant byte offset.
+        off: i32,
+        /// Access width.
+        w: MemWidth,
+        /// Optional guard predicate (lane skips when false).
+        guard: Option<Pred>,
+        /// Cache-streaming hint (`ld.global.cs`): bypass the L1 and do not
+        /// allocate there — for data with no reuse.
+        stream: bool,
+    },
+    /// Vector global load (`LDG.128`): `d..d+3 = [addr + off ..]`, four
+    /// little-endian words per lane, 16-byte aligned.
+    LdgV4 {
+        /// First of four consecutive destination registers.
+        d: Reg,
+        /// Per-lane byte address register.
+        addr: Reg,
+        /// Constant byte offset.
+        off: i32,
+        /// Cache-streaming hint.
+        stream: bool,
+    },
+    /// Global store, per lane, optionally guarded.
+    Stg {
+        /// Per-lane byte address register.
+        addr: Reg,
+        /// Constant byte offset.
+        off: i32,
+        /// Value to store.
+        v: Src,
+        /// Access width.
+        w: MemWidth,
+        /// Optional guard predicate.
+        guard: Option<Pred>,
+        /// Streaming store (`st.global.cs`): write-through, does not
+        /// allocate in the caches.
+        stream: bool,
+    },
+    /// Shared-memory load.
+    Lds {
+        /// Destination.
+        d: Reg,
+        /// Per-lane byte address register (within block shared memory).
+        addr: Reg,
+        /// Constant byte offset.
+        off: i32,
+        /// Access width.
+        w: MemWidth,
+    },
+    /// Shared-memory store.
+    Sts {
+        /// Per-lane byte address register.
+        addr: Reg,
+        /// Constant byte offset.
+        off: i32,
+        /// Value to store.
+        v: Src,
+        /// Access width.
+        w: MemWidth,
+    },
+
+    // ---- tensor core ----
+    /// Warp-level MMA: reads an `MxK` A-tile and `KxN` B-tile from shared
+    /// memory (row-major, byte addresses in lane-0's `a_addr`/`b_addr`
+    /// registers) and accumulates into `acc .. acc + acc_regs`.
+    Mma {
+        /// MMA flavor.
+        kind: MmaKind,
+        /// First accumulator register (per-lane).
+        acc: Reg,
+        /// Warp-uniform register holding the A-tile shared-memory address.
+        a_addr: Reg,
+        /// Warp-uniform register holding the B-tile shared-memory address.
+        b_addr: Reg,
+    },
+
+    // ---- control ----
+    /// Branch to an instruction index when the (warp-uniform) predicate
+    /// matches `sense`; unconditional when `pred` is `None`.
+    Bra {
+        /// Target instruction index (resolved by the builder).
+        target: usize,
+        /// Optional predicate.
+        pred: Option<Pred>,
+        /// Branch taken when predicate equals this value.
+        sense: bool,
+    },
+    /// Block-wide barrier.
+    Bar,
+    /// Terminate the warp.
+    Exit,
+    /// No-op (issue slot only).
+    Nop,
+}
+
+impl Op {
+    /// The pipe this instruction issues to.
+    pub fn pipe(&self) -> PipeClass {
+        use Op::*;
+        match self {
+            IAdd { .. } | ISub { .. } | IMul { .. } | IMad { .. } | And { .. } | Or { .. }
+            | Xor { .. } | Shl { .. } | Shr { .. } | Sar { .. } | IMin { .. } | IMax { .. }
+            | IDivU { .. } | IRemU { .. } | Shfl { .. } | ISetP { .. } | Mov { .. }
+            | Sel { .. } | Ldc { .. } | ReadSr { .. } => PipeClass::Int,
+            FAdd { .. } | FMul { .. } | FFma { .. } | FMin { .. } | FMax { .. }
+            | FSetP { .. } | I2F { .. } | F2I { .. } | F2IFloor { .. } => PipeClass::Fp,
+            Rcp { .. } | Sqrt { .. } | Ex2 { .. } | Lg2 { .. } => PipeClass::Sfu,
+            Ldg { .. } | LdgV4 { .. } | Stg { .. } | Lds { .. } | Sts { .. } => PipeClass::Lsu,
+            Mma { .. } => PipeClass::Tensor,
+            Bra { .. } | Bar | Exit | Nop => PipeClass::Ctrl,
+        }
+    }
+
+    /// Arithmetic operations this instruction retires (for the
+    /// arithmetic-density statistic): FMA/IMAD count 2 per lane, other math
+    /// 1 per lane, MMA its tile ops, everything else 0.
+    pub fn arith_ops(&self) -> u64 {
+        use Op::*;
+        match self {
+            IMad { .. } | FFma { .. } => 64,
+            IAdd { .. } | ISub { .. } | IMul { .. } | And { .. } | Or { .. } | Xor { .. }
+            | Shl { .. } | Shr { .. } | Sar { .. } | IMin { .. } | IMax { .. } | IDivU { .. }
+            | IRemU { .. } | FAdd { .. } | FMul { .. } | FMin { .. } | FMax { .. } => 32,
+            Mma { kind, .. } => kind.ops(),
+            Rcp { .. } | Sqrt { .. } | Ex2 { .. } | Lg2 { .. } => 32,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipes_are_classified() {
+        let r = Reg(0);
+        assert_eq!(Op::IMad { d: r, a: r.into(), b: r.into(), c: r.into() }.pipe(), PipeClass::Int);
+        assert_eq!(Op::FFma { d: r, a: r.into(), b: r.into(), c: r.into() }.pipe(), PipeClass::Fp);
+        assert_eq!(Op::Ex2 { d: r, a: r.into() }.pipe(), PipeClass::Sfu);
+        assert_eq!(
+            Op::Ldg { d: r, addr: r, off: 0, w: MemWidth::B32, guard: None, stream: false }.pipe(),
+            PipeClass::Lsu
+        );
+        assert_eq!(
+            Op::Mma { kind: MmaKind::I8_16x16x16, acc: r, a_addr: r, b_addr: r }.pipe(),
+            PipeClass::Tensor
+        );
+        assert_eq!(Op::Bar.pipe(), PipeClass::Ctrl);
+    }
+
+    #[test]
+    fn mma_geometry() {
+        let k = MmaKind::I8_16x16x16;
+        assert_eq!(k.shape(), (16, 16, 16));
+        assert_eq!(k.ops(), 8192);
+        assert_eq!(k.acc_regs(), 8);
+        assert_eq!(MmaKind::F16_16x16x8.ops(), 4096);
+    }
+
+    #[test]
+    fn arith_ops_counting() {
+        let r = Reg(1);
+        assert_eq!(Op::IMad { d: r, a: r.into(), b: r.into(), c: r.into() }.arith_ops(), 64);
+        assert_eq!(Op::IAdd { d: r, a: r.into(), b: r.into() }.arith_ops(), 32);
+        assert_eq!(Op::Mov { d: r, s: Src::Imm(0) }.arith_ops(), 0);
+        assert_eq!(
+            Op::Mma { kind: MmaKind::I8_16x16x16, acc: r, a_addr: r, b_addr: r }.arith_ops(),
+            8192
+        );
+    }
+
+    #[test]
+    fn src_constructors() {
+        assert_eq!(Src::imm_i32(-1), Src::Imm(u32::MAX));
+        assert_eq!(Src::imm_f32(1.0), Src::Imm(1.0f32.to_bits()));
+        let s: Src = Reg(3).into();
+        assert_eq!(s, Src::R(Reg(3)));
+    }
+
+    #[test]
+    fn mem_width_bytes() {
+        assert_eq!(MemWidth::B8S.bytes(), 1);
+        assert_eq!(MemWidth::B8U.bytes(), 1);
+        assert_eq!(MemWidth::B32.bytes(), 4);
+    }
+}

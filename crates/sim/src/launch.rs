@@ -1,0 +1,242 @@
+//! Kernel launch descriptors.
+//!
+//! A kernel is one or more programs plus a mapping from warp index (within a
+//! block) to program — the mechanism behind VitBit's warp-role
+//! co-scheduling: in a fused GEMM, some warps of each block run the
+//! Tensor-core program while others run the INT-core or FP-core program
+//! (paper Algorithm 2).
+
+use crate::program::Program;
+use std::sync::Arc;
+
+/// How warps of a block map onto programs.
+#[derive(Debug, Clone)]
+pub enum RoleMap {
+    /// Every warp runs program 0.
+    Single,
+    /// `roles[w]` is the program index for warp `w` of each block.
+    ByWarp(Vec<u8>),
+    /// Heterogeneous grid: consecutive block ranges with their own warp
+    /// role vectors (all the same length). Used for block-level kernel
+    /// fusion (Tensor-core blocks + CUDA-core blocks in one launch).
+    ByBlock(Vec<(u32, Vec<u8>)>),
+}
+
+/// A launchable kernel.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Debug name.
+    pub name: String,
+    /// Program(s) executed by the block's warps.
+    pub programs: Vec<Arc<Program>>,
+    /// Warp-to-program mapping.
+    pub roles: RoleMap,
+    /// Blocks in the (1-D) grid.
+    pub blocks: u32,
+    /// Warps per block (threads = 32x this).
+    pub warps_per_block: u32,
+    /// Shared memory bytes per block.
+    pub smem_bytes: u32,
+    /// Kernel arguments (32-bit words, read via `Ldc`).
+    pub args: Vec<u32>,
+    /// Optional block dispatch order (a permutation of `0..blocks`); the
+    /// hardware work distributor's order is undefined, so heterogeneous
+    /// launches interleave their block classes here.
+    pub dispatch_order: Option<Vec<u32>>,
+}
+
+impl Kernel {
+    /// Single-program kernel.
+    pub fn single(
+        name: impl Into<String>,
+        program: Arc<Program>,
+        blocks: u32,
+        warps_per_block: u32,
+        smem_bytes: u32,
+        args: Vec<u32>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            programs: vec![program],
+            roles: RoleMap::Single,
+            blocks,
+            warps_per_block,
+            smem_bytes,
+            args,
+            dispatch_order: None,
+        }
+    }
+
+    /// Multi-role kernel: `roles[w]` selects the program of warp `w`.
+    ///
+    /// # Panics
+    /// Panics if `roles.len() != warps_per_block` or a role is out of range.
+    pub fn fused(
+        name: impl Into<String>,
+        programs: Vec<Arc<Program>>,
+        roles: Vec<u8>,
+        blocks: u32,
+        smem_bytes: u32,
+        args: Vec<u32>,
+    ) -> Self {
+        let warps_per_block = roles.len() as u32;
+        assert!(
+            roles.iter().all(|&r| (r as usize) < programs.len()),
+            "role index out of range"
+        );
+        Self {
+            name: name.into(),
+            programs,
+            roles: RoleMap::ByWarp(roles),
+            blocks,
+            warps_per_block,
+            smem_bytes,
+            args,
+            dispatch_order: None,
+        }
+    }
+
+    /// Heterogeneous grid: consecutive block ranges each with their own
+    /// warp-role vector (all the same length). `dispatch_order` may
+    /// interleave the ranges.
+    ///
+    /// # Panics
+    /// Panics if ranges are empty, lengths differ, or roles are out of
+    /// range.
+    pub fn heterogeneous(
+        name: impl Into<String>,
+        programs: Vec<Arc<Program>>,
+        ranges: Vec<(u32, Vec<u8>)>,
+        smem_bytes: u32,
+        args: Vec<u32>,
+    ) -> Self {
+        assert!(!ranges.is_empty(), "need at least one block range");
+        let warps_per_block = ranges[0].1.len() as u32;
+        let blocks = ranges.iter().map(|(n, _)| n).sum();
+        for (_, roles) in &ranges {
+            assert_eq!(roles.len() as u32, warps_per_block, "uniform warps per block");
+            assert!(
+                roles.iter().all(|&r| (r as usize) < programs.len()),
+                "role index out of range"
+            );
+        }
+        Self {
+            name: name.into(),
+            programs,
+            roles: RoleMap::ByBlock(ranges),
+            blocks,
+            warps_per_block,
+            smem_bytes,
+            args,
+            dispatch_order: None,
+        }
+    }
+
+    /// Sets a block dispatch order (must be a permutation of `0..blocks`).
+    pub fn with_dispatch_order(mut self, order: Vec<u32>) -> Self {
+        assert_eq!(order.len() as u32, self.blocks, "order must cover the grid");
+        self.dispatch_order = Some(order);
+        self
+    }
+
+    /// Program for warp `w` of block `ctaid`.
+    pub fn program_of(&self, ctaid: u32, warp_in_block: u32) -> &Arc<Program> {
+        &self.programs[self.group_of(ctaid, warp_in_block) as usize]
+    }
+
+    /// Role group (program index) of warp `w` in block `ctaid`; barriers
+    /// synchronize within a group (named barriers).
+    pub fn group_of(&self, ctaid: u32, warp_in_block: u32) -> u8 {
+        match &self.roles {
+            RoleMap::Single => 0,
+            RoleMap::ByWarp(roles) => roles[warp_in_block as usize],
+            RoleMap::ByBlock(ranges) => {
+                let mut base = 0u32;
+                for (count, roles) in ranges {
+                    if ctaid < base + count {
+                        return roles[warp_in_block as usize];
+                    }
+                    base += count;
+                }
+                panic!("ctaid {ctaid} beyond grid");
+            }
+        }
+    }
+
+    /// Total warps across the grid.
+    pub fn total_warps(&self) -> u64 {
+        u64::from(self.blocks) * u64::from(self.warps_per_block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    fn prog(name: &str) -> Arc<Program> {
+        let mut p = ProgramBuilder::new(name);
+        p.exit();
+        p.build().into_arc()
+    }
+
+    #[test]
+    fn single_kernel_maps_all_warps_to_program_zero() {
+        let k = Kernel::single("k", prog("p0"), 4, 8, 0, vec![]);
+        assert_eq!(k.program_of(0, 0).name, "p0");
+        assert_eq!(k.program_of(3, 7).name, "p0");
+        assert_eq!(k.total_warps(), 32);
+    }
+
+    #[test]
+    fn fused_kernel_role_mapping() {
+        let k = Kernel::fused(
+            "f",
+            vec![prog("tc"), prog("ic"), prog("fc")],
+            vec![0, 0, 1, 2, 1, 2],
+            2,
+            1024,
+            vec![],
+        );
+        assert_eq!(k.warps_per_block, 6);
+        assert_eq!(k.program_of(0, 0).name, "tc");
+        assert_eq!(k.program_of(1, 3).name, "fc");
+        assert_eq!(k.program_of(0, 4).name, "ic");
+    }
+
+    #[test]
+    #[should_panic(expected = "role index out of range")]
+    fn bad_role_panics() {
+        let _ = Kernel::fused("f", vec![prog("a")], vec![0, 1], 1, 0, vec![]);
+    }
+
+    #[test]
+    fn heterogeneous_ranges_and_dispatch_order() {
+        let k = Kernel::heterogeneous(
+            "h",
+            vec![prog("tc"), prog("ic"), prog("fc")],
+            vec![(3, vec![0; 4]), (2, vec![1, 1, 2, 2])],
+            0,
+            vec![],
+        )
+        .with_dispatch_order(vec![0, 3, 1, 4, 2]);
+        assert_eq!(k.blocks, 5);
+        assert_eq!(k.warps_per_block, 4);
+        assert_eq!(k.program_of(2, 0).name, "tc");
+        assert_eq!(k.program_of(3, 0).name, "ic");
+        assert_eq!(k.program_of(4, 3).name, "fc");
+        assert_eq!(k.dispatch_order.as_ref().unwrap()[1], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "uniform warps per block")]
+    fn heterogeneous_rejects_ragged_ranges() {
+        let _ = Kernel::heterogeneous(
+            "h",
+            vec![prog("a")],
+            vec![(1, vec![0; 4]), (1, vec![0; 8])],
+            0,
+            vec![],
+        );
+    }
+}

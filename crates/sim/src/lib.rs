@@ -1,0 +1,48 @@
+//! # vitbit-sim: an embedded-GPU (Jetson AGX Orin) simulator
+//!
+//! A cycle-approximate, *functional plus timing* model of the Ampere GPU in
+//! the NVIDIA Jetson AGX Orin, built as the hardware substrate for the
+//! VitBit reproduction (see DESIGN.md for the substitution argument).
+//!
+//! The model:
+//!
+//! * **SMs** with four sub-partitions. Each sub-partition has a
+//!   greedy-then-oldest (GTO) warp scheduler that can issue up to two
+//!   instructions per cycle *to different pipes* — this is how the Ampere
+//!   "FP32 and INT32 at full throughput, concurrently" property is realized,
+//!   and it is the architectural fact VitBit exploits.
+//! * **Pipes** per sub-partition: INT32 ALU, FP32 ALU, Tensor core, SFU and
+//!   LSU, each with an occupancy (issue-to-issue) and a result latency.
+//! * **Memory**: per-SM shared memory and L1, a chip-wide L2
+//!   (set-associative, LRU) and a DRAM model with latency plus a global
+//!   bandwidth regulator matching the Orin's 204.8 GB/s LPDDR5.
+//! * **SIMT execution**: kernels are programs in a small SASS-like ISA
+//!   ([`isa`]); every instruction is executed functionally over 32 lanes at
+//!   issue time, so kernels produce *real results* that the test suite
+//!   compares against host references. Branches must be warp-uniform
+//!   (divergence is handled with predication, which is how the VitBit
+//!   kernels are written anyway).
+//! * **Statistics**: cycles, per-pipe instruction counts, arithmetic
+//!   operation counts, IPC, pipe utilization, DRAM traffic — the quantities
+//!   behind the paper's Figures 8–10.
+
+pub mod cache;
+pub mod config;
+pub mod exec;
+pub mod gpu;
+pub mod isa;
+pub mod launch;
+pub mod mem;
+pub mod memsys;
+pub mod program;
+pub mod sm;
+pub mod stats;
+pub mod trace;
+pub mod warp;
+
+pub use config::{OrinConfig, SchedPolicy};
+pub use gpu::Gpu;
+pub use isa::{FCmp, ICmp, MemWidth, MmaKind, Op, Pred, Reg, SReg, Src};
+pub use launch::{Kernel, RoleMap};
+pub use program::{Program, ProgramBuilder};
+pub use stats::KernelStats;

@@ -1,0 +1,210 @@
+//! Device global memory: a flat byte array with a bump allocator.
+//!
+//! Addresses are 32-bit (the model exposes at most 4 GiB; the Orin shares
+//! LPDDR5 with the CPU, but kernels here only see what they allocate).
+
+/// Handle to a device allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DevPtr {
+    /// Byte address of the first element.
+    pub addr: u32,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+/// Flat device memory with bump allocation.
+#[derive(Debug)]
+pub struct GlobalMem {
+    bytes: Vec<u8>,
+    next: u32,
+}
+
+impl GlobalMem {
+    /// Creates a device memory of `capacity` bytes.
+    pub fn new(capacity: u32) -> Self {
+        Self {
+            bytes: vec![0; capacity as usize],
+            next: 128, // keep null distinct
+        }
+    }
+
+    /// Allocates `len` bytes aligned to 128 (one cache line).
+    ///
+    /// # Panics
+    /// Panics when out of device memory.
+    pub fn alloc(&mut self, len: u32) -> DevPtr {
+        let addr = (self.next + 127) & !127;
+        let end = addr
+            .checked_add(len)
+            .unwrap_or_else(|| panic!("device OOM: alloc {len} at {addr}"));
+        assert!(
+            (end as usize) <= self.bytes.len(),
+            "device OOM: {end} > {}",
+            self.bytes.len()
+        );
+        self.next = end;
+        DevPtr { addr, len }
+    }
+
+    /// Resets the allocator and zeroes memory (between experiments).
+    pub fn reset(&mut self) {
+        self.bytes.fill(0);
+        self.next = 128;
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u32 {
+        self.next
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        self.bytes[addr as usize]
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u32, v: u8) {
+        self.bytes[addr as usize] = v;
+    }
+
+    /// Reads a little-endian u32 (unaligned allowed).
+    #[inline]
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let i = addr as usize;
+        u32::from_le_bytes([self.bytes[i], self.bytes[i + 1], self.bytes[i + 2], self.bytes[i + 3]])
+    }
+
+    /// Writes a little-endian u32.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u32, v: u32) {
+        self.bytes[addr as usize..addr as usize + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Bulk host-to-device copy.
+    pub fn copy_from_host(&mut self, ptr: DevPtr, data: &[u8]) {
+        assert!(data.len() <= ptr.len as usize, "copy larger than allocation");
+        self.bytes[ptr.addr as usize..ptr.addr as usize + data.len()].copy_from_slice(data);
+    }
+
+    /// Bulk device-to-host copy.
+    pub fn copy_to_host(&self, ptr: DevPtr) -> Vec<u8> {
+        self.bytes[ptr.addr as usize..(ptr.addr + ptr.len) as usize].to_vec()
+    }
+
+    // --- typed helpers used by kernel drivers ---
+
+    /// Uploads a slice of `i8`.
+    pub fn upload_i8(&mut self, data: &[i8]) -> DevPtr {
+        let ptr = self.alloc(data.len() as u32);
+        let bytes: Vec<u8> = data.iter().map(|&x| x as u8).collect();
+        self.copy_from_host(ptr, &bytes);
+        ptr
+    }
+
+    /// Uploads a slice of `u32` (little-endian).
+    pub fn upload_u32(&mut self, data: &[u32]) -> DevPtr {
+        let ptr = self.alloc((data.len() * 4) as u32);
+        let mut bytes = Vec::with_capacity(data.len() * 4);
+        for &x in data {
+            bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        self.copy_from_host(ptr, &bytes);
+        ptr
+    }
+
+    /// Uploads a slice of `f32` (bit patterns).
+    pub fn upload_f32(&mut self, data: &[f32]) -> DevPtr {
+        let as_u32: Vec<u32> = data.iter().map(|x| x.to_bits()).collect();
+        self.upload_u32(&as_u32)
+    }
+
+    /// Uploads a slice of `i32`.
+    pub fn upload_i32(&mut self, data: &[i32]) -> DevPtr {
+        let as_u32: Vec<u32> = data.iter().map(|&x| x as u32).collect();
+        self.upload_u32(&as_u32)
+    }
+
+    /// Downloads `n` little-endian `u32`s from `ptr`.
+    pub fn download_u32(&self, ptr: DevPtr, n: usize) -> Vec<u32> {
+        (0..n).map(|i| self.read_u32(ptr.addr + (i * 4) as u32)).collect()
+    }
+
+    /// Downloads `n` `i32`s.
+    pub fn download_i32(&self, ptr: DevPtr, n: usize) -> Vec<i32> {
+        self.download_u32(ptr, n).into_iter().map(|x| x as i32).collect()
+    }
+
+    /// Downloads `n` `f32`s.
+    pub fn download_f32(&self, ptr: DevPtr, n: usize) -> Vec<f32> {
+        self.download_u32(ptr, n).into_iter().map(f32::from_bits).collect()
+    }
+
+    /// Downloads `n` `i8`s.
+    pub fn download_i8(&self, ptr: DevPtr, n: usize) -> Vec<i8> {
+        (0..n).map(|i| self.read_u8(ptr.addr + i as u32) as i8).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_line_aligned_and_monotonic() {
+        let mut m = GlobalMem::new(1 << 20);
+        let a = m.alloc(100);
+        let b = m.alloc(4);
+        assert_eq!(a.addr % 128, 0);
+        assert_eq!(b.addr % 128, 0);
+        assert!(b.addr >= a.addr + 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "device OOM")]
+    fn oom_panics() {
+        let mut m = GlobalMem::new(1024);
+        let _ = m.alloc(2048);
+    }
+
+    #[test]
+    fn u32_round_trip_little_endian() {
+        let mut m = GlobalMem::new(4096);
+        let p = m.alloc(16);
+        m.write_u32(p.addr, 0xDEADBEEF);
+        assert_eq!(m.read_u32(p.addr), 0xDEADBEEF);
+        assert_eq!(m.read_u8(p.addr), 0xEF);
+        assert_eq!(m.read_u8(p.addr + 3), 0xDE);
+    }
+
+    #[test]
+    fn typed_upload_download() {
+        let mut m = GlobalMem::new(1 << 16);
+        let p8 = m.upload_i8(&[-1, 2, -3]);
+        assert_eq!(m.download_i8(p8, 3), vec![-1, 2, -3]);
+        let p32 = m.upload_i32(&[i32::MIN, 0, 7]);
+        assert_eq!(m.download_i32(p32, 3), vec![i32::MIN, 0, 7]);
+        let pf = m.upload_f32(&[1.5, -0.25]);
+        assert_eq!(m.download_f32(pf, 2), vec![1.5, -0.25]);
+    }
+
+    #[test]
+    fn reset_zeroes_and_reclaims() {
+        let mut m = GlobalMem::new(4096);
+        let p = m.alloc(256);
+        m.write_u32(p.addr, 42);
+        m.reset();
+        assert_eq!(m.used(), 128);
+        let q = m.alloc(4);
+        assert_eq!(m.read_u32(q.addr), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "copy larger")]
+    fn oversized_copy_panics() {
+        let mut m = GlobalMem::new(4096);
+        let p = m.alloc(4);
+        m.copy_from_host(p, &[0u8; 8]);
+    }
+}

@@ -1,0 +1,218 @@
+//! The chip-level memory system: per-SM L1s in front of a shared L2 and a
+//! bandwidth-regulated DRAM.
+//!
+//! Timing-only: data always comes from [`crate::mem::GlobalMem`]; this
+//! module answers "when is the value ready". DRAM and L2 are modelled as
+//! single servers with a deterministic per-line service interval derived
+//! from the configured bandwidth, so concurrent misses from many SMs queue
+//! against each other — the effect that makes Tensor-core GEMM
+//! bandwidth-bound on the Orin while CUDA-core GEMM stays compute-bound,
+//! which in turn produces the paper's ~7.5x TC/CUDA gap instead of the
+//! 32x peak-throughput ratio.
+
+use crate::cache::Cache;
+use crate::config::OrinConfig;
+
+/// Chip-shared memory-system state (L2 + DRAM queue).
+#[derive(Debug)]
+pub struct MemSystem {
+    l2: Cache,
+    l2_latency: u32,
+    l2_interval: f64,
+    l2_next_free: f64,
+    dram_latency: u32,
+    dram_interval: f64,
+    dram_next_free: f64,
+    /// Total bytes fetched from DRAM.
+    pub dram_bytes: u64,
+    /// Total bytes served by L2 (hits).
+    pub l2_hit_bytes: u64,
+    line_bytes: u32,
+}
+
+impl MemSystem {
+    /// Builds the memory system from the machine config.
+    pub fn new(cfg: &OrinConfig) -> Self {
+        Self {
+            l2: Cache::new(cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes),
+            l2_latency: cfg.l2_latency,
+            l2_interval: cfg.l2_line_interval,
+            l2_next_free: 0.0,
+            dram_latency: cfg.dram_latency,
+            dram_interval: cfg.dram_line_interval(),
+            dram_next_free: 0.0,
+            dram_bytes: 0,
+            l2_hit_bytes: 0,
+            line_bytes: cfg.line_bytes,
+        }
+    }
+
+    /// One line request from an SM that missed its L1 at cycle `now`;
+    /// returns the cycle the line arrives at the SM.
+    pub fn line_request(&mut self, now: u64, addr: u64) -> u64 {
+        self.request(now, addr, true)
+    }
+
+    /// A cache-global read (`ld.global.cg`): bypasses the L1 (no per-SM
+    /// reuse) but allocates in the chip-wide L2, where the operand streams
+    /// of GEMM row-block sweeps do get reused.
+    pub fn stream_request(&mut self, now: u64, addr: u64) -> u64 {
+        self.request(now, addr, true)
+    }
+
+    fn request(&mut self, now: u64, addr: u64, allocate: bool) -> u64 {
+        let nowf = now as f64;
+        // L2 bandwidth queue: every request passes through the L2 port.
+        let l2_start = self.l2_next_free.max(nowf);
+        self.l2_next_free = l2_start + self.l2_interval;
+        let hit = if allocate { self.l2.access(addr) } else { self.l2.probe(addr) };
+        if hit {
+            self.l2_hit_bytes += u64::from(self.line_bytes);
+            return (l2_start + f64::from(self.l2_latency)).ceil() as u64;
+        }
+        // DRAM queue behind the L2.
+        let dram_start = self.dram_next_free.max(l2_start);
+        self.dram_next_free = dram_start + self.dram_interval;
+        self.dram_bytes += u64::from(self.line_bytes);
+        (dram_start + f64::from(self.l2_latency) + f64::from(self.dram_latency)).ceil() as u64
+    }
+
+    /// A streaming (write-through, non-allocating) store of one line:
+    /// consumes DRAM bandwidth without touching cache contents.
+    pub fn write_request(&mut self, now: u64) {
+        let start = self.dram_next_free.max(now as f64);
+        self.dram_next_free = start + self.dram_interval;
+        self.dram_bytes += u64::from(self.line_bytes);
+    }
+
+    /// `(l2_hits, l2_misses)`.
+    pub fn l2_stats(&self) -> (u64, u64) {
+        self.l2.stats()
+    }
+
+    /// Clears queues and counters but keeps cache contents (back-to-back
+    /// kernels share the L2, as on hardware).
+    pub fn new_kernel(&mut self) {
+        self.l2_next_free = 0.0;
+        self.dram_next_free = 0.0;
+        self.dram_bytes = 0;
+        self.l2_hit_bytes = 0;
+    }
+
+    /// Also invalidates the L2 (cold-start experiments).
+    pub fn cold_reset(&mut self) {
+        self.new_kernel();
+        self.l2.flush();
+    }
+}
+
+/// Per-SM L1 cache wrapper: classifies a line access and forwards misses.
+#[derive(Debug)]
+pub struct L1 {
+    cache: Cache,
+    latency: u32,
+}
+
+impl L1 {
+    /// Builds an L1 from the machine config.
+    pub fn new(cfg: &OrinConfig) -> Self {
+        Self {
+            cache: Cache::new(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes),
+            latency: cfg.l1_latency,
+        }
+    }
+
+    /// Access one line at cycle `now`; on L1 miss, escalates to `mem`.
+    /// Returns the ready cycle.
+    pub fn access(&mut self, now: u64, addr: u64, mem: &mut MemSystem) -> u64 {
+        if self.cache.access(addr) {
+            now + u64::from(self.latency)
+        } else {
+            mem.line_request(now + u64::from(self.latency), addr)
+        }
+    }
+
+    /// `(hits, misses)`.
+    pub fn stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Invalidates the L1 (kernel boundary).
+    pub fn flush(&mut self) {
+        self.cache.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> OrinConfig {
+        OrinConfig::test_small()
+    }
+
+    #[test]
+    fn l1_hit_is_fast() {
+        let c = cfg();
+        let mut mem = MemSystem::new(&c);
+        let mut l1 = L1::new(&c);
+        let t1 = l1.access(0, 0x1000, &mut mem); // cold miss
+        assert!(t1 > u64::from(c.l1_latency) + u64::from(c.l2_latency));
+        let t2 = l1.access(t1, 0x1000, &mut mem); // L1 hit
+        assert_eq!(t2, t1 + u64::from(c.l1_latency));
+    }
+
+    #[test]
+    fn l2_hit_cheaper_than_dram() {
+        let c = cfg();
+        let mut mem = MemSystem::new(&c);
+        let mut l1a = L1::new(&c);
+        let mut l1b = L1::new(&c);
+        let t_dram = l1a.access(0, 0x2000, &mut mem); // DRAM fill
+        let t_l2 = l1b.access(0, 0x2000, &mut mem); // other SM: L2 hit
+        assert!(t_l2 < t_dram, "L2 hit {t_l2} must beat DRAM {t_dram}");
+        assert_eq!(mem.dram_bytes, u64::from(c.line_bytes));
+    }
+
+    #[test]
+    fn dram_bandwidth_queues_requests() {
+        let c = cfg();
+        let mut mem = MemSystem::new(&c);
+        // Stream of distinct lines all missing L2: service times accumulate.
+        let first = mem.line_request(0, 0);
+        let mut last = first;
+        let n = 10_000u64;
+        for i in 1..n {
+            last = mem.line_request(0, i * u64::from(c.line_bytes) * 64);
+        }
+        let spread = last - first;
+        let expected = (c.dram_line_interval() * (n - 1) as f64) as u64;
+        assert!(
+            spread + 2 >= expected && spread <= expected + 2,
+            "spread {spread} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn l2_keeps_lines_across_kernels() {
+        let c = cfg();
+        let mut mem = MemSystem::new(&c);
+        let _ = mem.line_request(0, 0x4000);
+        mem.new_kernel();
+        let mut l1 = L1::new(&c);
+        let t = l1.access(0, 0x4000, &mut mem);
+        // L1 cold, but L2 still warm: latency ~ l1 + l2.
+        assert!(t <= u64::from(c.l1_latency + c.l2_latency) + 2);
+    }
+
+    #[test]
+    fn cold_reset_flushes_l2() {
+        let c = cfg();
+        let mut mem = MemSystem::new(&c);
+        let _ = mem.line_request(0, 0x4000);
+        mem.cold_reset();
+        let mut l1 = L1::new(&c);
+        let t = l1.access(0, 0x4000, &mut mem);
+        assert!(t > u64::from(c.l1_latency + c.l2_latency + c.dram_latency) - 2);
+    }
+}

@@ -1,0 +1,388 @@
+//! Kernel programs and the builder used by `vitbit-kernels`.
+
+use crate::isa::{ICmp, MemWidth, MmaKind, Op, Pred, Reg, SReg, Src};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A finished kernel program: a flat instruction vector with resolved branch
+/// targets plus the register-file footprint.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Instructions; branch targets index into this vector.
+    pub ops: Vec<Op>,
+    /// Per-thread registers used.
+    pub nregs: u8,
+    /// Predicate registers used.
+    pub npreds: u8,
+    /// Debug name.
+    pub name: String,
+}
+
+impl Program {
+    /// Wraps the program for sharing across warps.
+    pub fn into_arc(self) -> Arc<Program> {
+        Arc::new(self)
+    }
+}
+
+/// Builder with register allocation and labels.
+///
+/// ```
+/// use vitbit_sim::program::ProgramBuilder;
+/// use vitbit_sim::isa::{ICmp, Src};
+///
+/// let mut p = ProgramBuilder::new("count_to_ten");
+/// let i = p.alloc();
+/// p.mov(i, Src::Imm(0));
+/// let top = p.label_here("loop");
+/// p.iadd(i, i.into(), Src::Imm(1));
+/// let pr = p.alloc_pred();
+/// p.isetp(pr, i.into(), Src::Imm(10), ICmp::Lt);
+/// p.bra_if(top, pr, true);
+/// p.exit();
+/// let prog = p.build();
+/// assert!(prog.nregs >= 1);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    ops: Vec<Op>,
+    next_reg: u16,
+    next_pred: u8,
+    labels: HashMap<String, usize>,
+    /// (op index, label) pairs patched at build time.
+    fixups: Vec<(usize, String)>,
+    name: String,
+}
+
+impl ProgramBuilder {
+    /// New empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            ops: Vec::new(),
+            next_reg: 0,
+            next_pred: 0,
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+            name: name.into(),
+        }
+    }
+
+    /// Allocates a fresh register.
+    ///
+    /// # Panics
+    /// Panics past 255 registers (the model's per-thread file).
+    pub fn alloc(&mut self) -> Reg {
+        assert!(self.next_reg < 256, "out of registers in {}", self.name);
+        let r = Reg(self.next_reg as u8);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Allocates `n` consecutive registers, returning the first.
+    pub fn alloc_n(&mut self, n: u16) -> Reg {
+        assert!(self.next_reg + n <= 256, "out of registers in {}", self.name);
+        let r = Reg(self.next_reg as u8);
+        self.next_reg += n;
+        r
+    }
+
+    /// Allocates a predicate register.
+    pub fn alloc_pred(&mut self) -> Pred {
+        assert!(self.next_pred < 8, "out of predicates in {}", self.name);
+        let p = Pred(self.next_pred);
+        self.next_pred += 1;
+        p
+    }
+
+    /// Defines a label at the current position and returns its name.
+    pub fn label_here(&mut self, name: impl Into<String>) -> String {
+        let name = name.into();
+        let prev = self.labels.insert(name.clone(), self.ops.len());
+        assert!(prev.is_none(), "duplicate label {name}");
+        name
+    }
+
+    /// Pushes a raw op.
+    pub fn push(&mut self, op: Op) {
+        self.ops.push(op);
+    }
+
+    // --- thin op helpers (each returns for chaining-by-sequence style) ---
+
+    /// `d = s`.
+    pub fn mov(&mut self, d: Reg, s: Src) {
+        self.ops.push(Op::Mov { d, s });
+    }
+    /// `d = a + b`.
+    pub fn iadd(&mut self, d: Reg, a: Src, b: Src) {
+        self.ops.push(Op::IAdd { d, a, b });
+    }
+    /// `d = a - b`.
+    pub fn isub(&mut self, d: Reg, a: Src, b: Src) {
+        self.ops.push(Op::ISub { d, a, b });
+    }
+    /// `d = a * b`.
+    pub fn imul(&mut self, d: Reg, a: Src, b: Src) {
+        self.ops.push(Op::IMul { d, a, b });
+    }
+    /// `d = a * b + c`.
+    pub fn imad(&mut self, d: Reg, a: Src, b: Src, c: Src) {
+        self.ops.push(Op::IMad { d, a, b, c });
+    }
+    /// Bitwise and.
+    pub fn and(&mut self, d: Reg, a: Src, b: Src) {
+        self.ops.push(Op::And { d, a, b });
+    }
+    /// Logical shift left.
+    pub fn shl(&mut self, d: Reg, a: Src, b: Src) {
+        self.ops.push(Op::Shl { d, a, b });
+    }
+    /// Logical shift right.
+    pub fn shr(&mut self, d: Reg, a: Src, b: Src) {
+        self.ops.push(Op::Shr { d, a, b });
+    }
+    /// Arithmetic shift right.
+    pub fn sar(&mut self, d: Reg, a: Src, b: Src) {
+        self.ops.push(Op::Sar { d, a, b });
+    }
+    /// Signed min / max.
+    pub fn imin(&mut self, d: Reg, a: Src, b: Src) {
+        self.ops.push(Op::IMin { d, a, b });
+    }
+    /// Signed max.
+    pub fn imax(&mut self, d: Reg, a: Src, b: Src) {
+        self.ops.push(Op::IMax { d, a, b });
+    }
+    /// Unsigned division.
+    pub fn idivu(&mut self, d: Reg, a: Src, b: Src) {
+        self.ops.push(Op::IDivU { d, a, b });
+    }
+    /// Unsigned remainder.
+    pub fn iremu(&mut self, d: Reg, a: Src, b: Src) {
+        self.ops.push(Op::IRemU { d, a, b });
+    }
+    /// Butterfly shuffle.
+    pub fn shfl(&mut self, d: Reg, a: Reg, xor_mask: u8) {
+        self.ops.push(Op::Shfl { d, a, xor_mask });
+    }
+    /// Bitwise or.
+    pub fn or(&mut self, d: Reg, a: Src, b: Src) {
+        self.ops.push(Op::Or { d, a, b });
+    }
+    /// Integer compare into predicate.
+    pub fn isetp(&mut self, p: Pred, a: Src, b: Src, cmp: ICmp) {
+        self.ops.push(Op::ISetP { p, a, b, cmp });
+    }
+    /// Per-lane select.
+    pub fn sel(&mut self, d: Reg, p: Pred, a: Src, b: Src) {
+        self.ops.push(Op::Sel { d, p, a, b });
+    }
+    /// Load kernel argument.
+    pub fn ldc(&mut self, d: Reg, idx: u16) {
+        self.ops.push(Op::Ldc { d, idx });
+    }
+    /// Read special register.
+    pub fn sreg(&mut self, d: Reg, sr: SReg) {
+        self.ops.push(Op::ReadSr { d, sr });
+    }
+    /// `d = a + b` (f32).
+    pub fn fadd(&mut self, d: Reg, a: Src, b: Src) {
+        self.ops.push(Op::FAdd { d, a, b });
+    }
+    /// `d = a * b` (f32).
+    pub fn fmul(&mut self, d: Reg, a: Src, b: Src) {
+        self.ops.push(Op::FMul { d, a, b });
+    }
+    /// `d = a * b + c` (f32).
+    pub fn ffma(&mut self, d: Reg, a: Src, b: Src, c: Src) {
+        self.ops.push(Op::FFma { d, a, b, c });
+    }
+    /// f32 minimum.
+    pub fn fmin(&mut self, d: Reg, a: Src, b: Src) {
+        self.ops.push(Op::FMin { d, a, b });
+    }
+    /// f32 maximum.
+    pub fn fmax(&mut self, d: Reg, a: Src, b: Src) {
+        self.ops.push(Op::FMax { d, a, b });
+    }
+    /// i32 -> f32.
+    pub fn i2f(&mut self, d: Reg, a: Src) {
+        self.ops.push(Op::I2F { d, a });
+    }
+    /// f32 -> i32.
+    pub fn f2i(&mut self, d: Reg, a: Src) {
+        self.ops.push(Op::F2I { d, a });
+    }
+    /// f32 -> i32, rounding toward negative infinity (cvt.rmi).
+    pub fn f2i_floor(&mut self, d: Reg, a: Src) {
+        self.ops.push(Op::F2IFloor { d, a });
+    }
+    /// Global load.
+    pub fn ldg(&mut self, d: Reg, addr: Reg, off: i32, w: MemWidth) {
+        self.ops.push(Op::Ldg { d, addr, off, w, guard: None, stream: false });
+    }
+    /// Streaming global load (`ld.global.cs`): bypasses the L1.
+    pub fn ldg_cs(&mut self, d: Reg, addr: Reg, off: i32, w: MemWidth) {
+        self.ops.push(Op::Ldg { d, addr, off, w, guard: None, stream: true });
+    }
+    /// Vector global load (LDG.128) into `d..d+3`.
+    pub fn ldg_v4(&mut self, d: Reg, addr: Reg, off: i32) {
+        self.ops.push(Op::LdgV4 { d, addr, off, stream: false });
+    }
+    /// Streaming vector global load.
+    pub fn ldg_v4_cs(&mut self, d: Reg, addr: Reg, off: i32) {
+        self.ops.push(Op::LdgV4 { d, addr, off, stream: true });
+    }
+    /// Guarded global load.
+    pub fn ldg_if(&mut self, d: Reg, addr: Reg, off: i32, w: MemWidth, guard: Pred) {
+        self.ops.push(Op::Ldg { d, addr, off, w, guard: Some(guard), stream: false });
+    }
+    /// Global store.
+    pub fn stg(&mut self, addr: Reg, off: i32, v: Src, w: MemWidth) {
+        self.ops.push(Op::Stg { addr, off, v, w, guard: None, stream: false });
+    }
+    /// Streaming global store (`st.global.cs`): bypasses cache allocation.
+    pub fn stg_cs(&mut self, addr: Reg, off: i32, v: Src, w: MemWidth) {
+        self.ops.push(Op::Stg { addr, off, v, w, guard: None, stream: true });
+    }
+    /// Guarded global store.
+    pub fn stg_if(&mut self, addr: Reg, off: i32, v: Src, w: MemWidth, guard: Pred) {
+        self.ops.push(Op::Stg { addr, off, v, w, guard: Some(guard), stream: false });
+    }
+    /// Shared load.
+    pub fn lds(&mut self, d: Reg, addr: Reg, off: i32, w: MemWidth) {
+        self.ops.push(Op::Lds { d, addr, off, w });
+    }
+    /// Shared store.
+    pub fn sts(&mut self, addr: Reg, off: i32, v: Src, w: MemWidth) {
+        self.ops.push(Op::Sts { addr, off, v, w });
+    }
+    /// Tensor-core MMA.
+    pub fn mma(&mut self, kind: MmaKind, acc: Reg, a_addr: Reg, b_addr: Reg) {
+        self.ops.push(Op::Mma { kind, acc, a_addr, b_addr });
+    }
+    /// Block barrier.
+    pub fn bar(&mut self) {
+        self.ops.push(Op::Bar);
+    }
+    /// Warp exit.
+    pub fn exit(&mut self) {
+        self.ops.push(Op::Exit);
+    }
+
+    /// Unconditional branch to a label (may be defined later).
+    pub fn bra(&mut self, label: impl Into<String>) {
+        self.fixups.push((self.ops.len(), label.into()));
+        self.ops.push(Op::Bra { target: usize::MAX, pred: None, sense: true });
+    }
+
+    /// Conditional branch: taken when `pred == sense`.
+    pub fn bra_if(&mut self, label: impl Into<String>, pred: Pred, sense: bool) {
+        self.fixups.push((self.ops.len(), label.into()));
+        self.ops.push(Op::Bra { target: usize::MAX, pred: Some(pred), sense });
+    }
+
+    /// Registers allocated so far.
+    pub fn regs_used(&self) -> u16 {
+        self.next_reg
+    }
+
+    /// Resolves labels and returns the program.
+    ///
+    /// # Panics
+    /// Panics on an undefined label or if no `Exit` is present.
+    pub fn build(mut self) -> Program {
+        for (idx, label) in std::mem::take(&mut self.fixups) {
+            let target = *self
+                .labels
+                .get(&label)
+                .unwrap_or_else(|| panic!("undefined label {label} in {}", self.name));
+            if let Op::Bra { target: t, .. } = &mut self.ops[idx] {
+                *t = target;
+            }
+        }
+        assert!(
+            self.ops.iter().any(|op| matches!(op, Op::Exit)),
+            "program {} has no Exit",
+            self.name
+        );
+        Program {
+            ops: self.ops,
+            nregs: self.next_reg.max(1) as u8,
+            npreds: self.next_pred.max(1),
+            name: self.name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut p = ProgramBuilder::new("t");
+        let r = p.alloc();
+        p.label_here("top");
+        p.iadd(r, r.into(), Src::Imm(1));
+        p.bra("end"); // forward
+        p.bra("top"); // backward
+        p.label_here("end");
+        p.exit();
+        let prog = p.build();
+        match prog.ops[1] {
+            Op::Bra { target, .. } => assert_eq!(target, 3),
+            _ => panic!(),
+        }
+        match prog.ops[2] {
+            Op::Bra { target, .. } => assert_eq!(target, 0),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let mut p = ProgramBuilder::new("t");
+        p.bra("nowhere");
+        p.exit();
+        let _ = p.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "no Exit")]
+    fn missing_exit_panics() {
+        let mut p = ProgramBuilder::new("t");
+        let r = p.alloc();
+        p.mov(r, Src::Imm(0));
+        let _ = p.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut p = ProgramBuilder::new("t");
+        p.label_here("x");
+        p.label_here("x");
+    }
+
+    #[test]
+    fn register_allocation_is_sequential() {
+        let mut p = ProgramBuilder::new("t");
+        assert_eq!(p.alloc(), Reg(0));
+        assert_eq!(p.alloc_n(4), Reg(1));
+        assert_eq!(p.alloc(), Reg(5));
+        assert_eq!(p.regs_used(), 6);
+        assert_eq!(p.alloc_pred(), Pred(0));
+        assert_eq!(p.alloc_pred(), Pred(1));
+    }
+
+    #[test]
+    fn nregs_is_at_least_one() {
+        let mut p = ProgramBuilder::new("t");
+        p.exit();
+        let prog = p.build();
+        assert_eq!(prog.nregs, 1);
+        assert_eq!(prog.npreds, 1);
+    }
+}

@@ -1,0 +1,489 @@
+//! Streaming Multiprocessor: warp slots, block slots, four sub-partitions
+//! with GTO scheduling and dual-issue to distinct pipes.
+
+use crate::config::{OrinConfig, SchedPolicy};
+use crate::exec::{self, Next};
+use crate::isa::PipeClass;
+use crate::launch::Kernel;
+use crate::mem::GlobalMem;
+use crate::memsys::{MemSystem, L1};
+use crate::stats::KernelStats;
+use crate::warp::{Warp, WarpState};
+
+/// One warp scheduler plus its private pipes.
+#[derive(Debug)]
+struct SubPart {
+    /// Next cycle each pipe can accept an issue: [int, fp, tensor, sfu, lsu].
+    pipe_free: [u64; 5],
+    /// Warp slot indices assigned here, in age order.
+    warps: Vec<usize>,
+    /// Greedy pointer (GTO): last warp issued from.
+    greedy: Option<usize>,
+    /// Round-robin rotation cursor (LRR).
+    rr_next: usize,
+}
+
+impl SubPart {
+    fn new() -> Self {
+        Self {
+            pipe_free: [0; 5],
+            warps: Vec::new(),
+            greedy: None,
+            rr_next: 0,
+        }
+    }
+}
+
+#[inline]
+fn pipe_idx(p: PipeClass) -> Option<usize> {
+    match p {
+        PipeClass::Int => Some(0),
+        PipeClass::Fp => Some(1),
+        PipeClass::Tensor => Some(2),
+        PipeClass::Sfu => Some(3),
+        PipeClass::Lsu => Some(4),
+        PipeClass::Ctrl => None,
+    }
+}
+
+/// A resident thread block.
+#[derive(Debug)]
+struct BlockSlot {
+    smem: Vec<u8>,
+    active_warps: u32,
+    /// Active (non-exited) warps per role group.
+    active_per_group: Vec<u32>,
+    /// Warps currently parked at the group's named barrier.
+    at_barrier_per_group: Vec<u32>,
+    warp_slots: Vec<usize>,
+}
+
+/// One streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    l1: L1,
+    subparts: Vec<SubPart>,
+    warps: Vec<Option<Warp>>,
+    free_warp_slots: Vec<usize>,
+    blocks: Vec<Option<BlockSlot>>,
+    free_block_slots: Vec<usize>,
+    resident_warps: u32,
+    resident_blocks: u32,
+    resident_smem: u32,
+    // copied config
+    max_warps: u32,
+    max_blocks: u32,
+    smem_capacity: u32,
+    alu_latency: u64,
+    tc_occupancy: u64,
+    tc_latency: u64,
+    sfu_occupancy: u64,
+    sfu_latency: u64,
+    lsu_occ_per_line: u64,
+    smem_latency: u64,
+    sched: SchedPolicy,
+    scratch_srcs: Vec<u8>,
+    scratch_preds: Vec<u8>,
+}
+
+impl Sm {
+    /// Builds an SM from the machine config.
+    pub fn new(cfg: &OrinConfig) -> Self {
+        let max_warps = cfg.max_warps_per_sm;
+        let max_blocks = cfg.max_blocks_per_sm;
+        Self {
+            l1: L1::new(cfg),
+            subparts: (0..cfg.subpartitions).map(|_| SubPart::new()).collect(),
+            warps: (0..max_warps).map(|_| None).collect(),
+            free_warp_slots: (0..max_warps as usize).rev().collect(),
+            blocks: (0..max_blocks).map(|_| None).collect(),
+            free_block_slots: (0..max_blocks as usize).rev().collect(),
+            resident_warps: 0,
+            resident_blocks: 0,
+            resident_smem: 0,
+            max_warps,
+            max_blocks,
+            smem_capacity: cfg.smem_per_sm,
+            alu_latency: u64::from(cfg.alu_latency),
+            tc_occupancy: u64::from(cfg.tc_occupancy),
+            tc_latency: u64::from(cfg.tc_latency),
+            sfu_occupancy: u64::from(cfg.sfu_occupancy),
+            sfu_latency: u64::from(cfg.sfu_latency),
+            lsu_occ_per_line: u64::from(cfg.lsu_occupancy_per_line),
+            smem_latency: u64::from(cfg.smem_latency),
+            sched: cfg.sched,
+            scratch_srcs: Vec::with_capacity(16),
+            scratch_preds: Vec::with_capacity(4),
+        }
+    }
+
+    /// Prepares for a new kernel: L1 invalidated, pipes reset.
+    pub fn new_kernel(&mut self) {
+        self.l1.flush();
+        for sp in &mut self.subparts {
+            sp.pipe_free = [0; 5];
+            sp.greedy = None;
+        }
+    }
+
+    /// True when the SM has any resident work.
+    pub fn busy(&self) -> bool {
+        self.resident_blocks > 0
+    }
+
+    /// Tries to make block `ctaid` resident; returns success.
+    pub fn try_launch(&mut self, kernel: &Kernel, ctaid: u32, age: &mut u64) -> bool {
+        let wpb = kernel.warps_per_block;
+        if self.resident_warps + wpb > self.max_warps
+            || self.resident_blocks + 1 > self.max_blocks
+            || self.resident_smem + kernel.smem_bytes > self.smem_capacity
+            || self.free_warp_slots.len() < wpb as usize
+            || self.free_block_slots.is_empty()
+        {
+            return false;
+        }
+        let block_slot = self.free_block_slots.pop().expect("checked non-empty");
+        let mut warp_slots = Vec::with_capacity(wpb as usize);
+        let n_groups = kernel.programs.len();
+        let mut active_per_group = vec![0u32; n_groups];
+        for w in 0..wpb {
+            let slot = self.free_warp_slots.pop().expect("checked capacity");
+            let group = kernel.group_of(ctaid, w);
+            active_per_group[group as usize] += 1;
+            let warp = Warp::new(
+                kernel.program_of(ctaid, w).clone(),
+                block_slot,
+                w,
+                ctaid,
+                wpb * 32,
+                kernel.blocks,
+                *age,
+                group,
+            );
+            *age += 1;
+            self.warps[slot] = Some(warp);
+            let sp = (w as usize) % self.subparts.len();
+            self.subparts[sp].warps.push(slot);
+            warp_slots.push(slot);
+        }
+        self.blocks[block_slot] = Some(BlockSlot {
+            smem: vec![0; kernel.smem_bytes as usize],
+            active_warps: wpb,
+            active_per_group,
+            at_barrier_per_group: vec![0; n_groups],
+            warp_slots,
+        });
+        self.resident_warps += wpb;
+        self.resident_blocks += 1;
+        self.resident_smem += kernel.smem_bytes;
+        true
+    }
+
+    /// Advances one cycle; returns how many blocks completed this cycle.
+    pub fn step(
+        &mut self,
+        now: u64,
+        memsys: &mut MemSystem,
+        gmem: &mut GlobalMem,
+        args: &[u32],
+        stats: &mut KernelStats,
+    ) -> u32 {
+        let mut blocks_done = 0;
+        for sp_idx in 0..self.subparts.len() {
+            let mut issued: u8 = 0; // bitmask over pipe_idx + ctrl bit 5
+            let mut issues_left = 2;
+            match self.sched {
+                SchedPolicy::Gto => {
+                    // Candidate order: greedy warp first, then age order.
+                    let greedy = self.subparts[sp_idx].greedy;
+                    let n_warps = self.subparts[sp_idx].warps.len();
+                    let mut ci = 0usize;
+                    while issues_left > 0 && ci <= n_warps {
+                        let slot = if ci == 0 {
+                            match greedy {
+                                Some(g) if self.subparts[sp_idx].warps.contains(&g) => g,
+                                _ => {
+                                    ci += 1;
+                                    continue;
+                                }
+                            }
+                        } else {
+                            let idx = ci - 1;
+                            if idx >= self.subparts[sp_idx].warps.len() {
+                                break;
+                            }
+                            let s = self.subparts[sp_idx].warps[idx];
+                            if Some(s) == greedy {
+                                ci += 1;
+                                continue; // already tried as greedy
+                            }
+                            s
+                        };
+                        ci += 1;
+                        if self.try_issue(slot, sp_idx, now, memsys, gmem, args, stats, &mut issued)
+                        {
+                            issues_left -= 1;
+                            self.subparts[sp_idx].greedy = Some(slot);
+                        }
+                    }
+                }
+                SchedPolicy::Lrr => {
+                    // Rotate the starting candidate each cycle.
+                    let n_warps = self.subparts[sp_idx].warps.len();
+                    if n_warps > 0 {
+                        let start = self.subparts[sp_idx].rr_next % n_warps;
+                        let mut ci = 0usize;
+                        while issues_left > 0 && ci < n_warps {
+                            let idx = (start + ci) % self.subparts[sp_idx].warps.len().max(1);
+                            if idx >= self.subparts[sp_idx].warps.len() {
+                                break;
+                            }
+                            let slot = self.subparts[sp_idx].warps[idx];
+                            ci += 1;
+                            if self.try_issue(
+                                slot, sp_idx, now, memsys, gmem, args, stats, &mut issued,
+                            ) {
+                                issues_left -= 1;
+                            }
+                        }
+                        self.subparts[sp_idx].rr_next = start + 1;
+                    }
+                }
+            }
+        }
+        // Reap finished blocks (all warps Done).
+        for b in 0..self.blocks.len() {
+            let finished = match &self.blocks[b] {
+                Some(blk) => blk.active_warps == 0,
+                None => false,
+            };
+            if finished {
+                let blk = self.blocks[b].take().expect("checked above");
+                for &ws in &blk.warp_slots {
+                    self.warps[ws] = None;
+                    self.free_warp_slots.push(ws);
+                    for sp in &mut self.subparts {
+                        if let Some(pos) = sp.warps.iter().position(|&x| x == ws) {
+                            sp.warps.remove(pos);
+                        }
+                        if sp.greedy == Some(ws) {
+                            sp.greedy = None;
+                        }
+                    }
+                }
+                self.resident_warps -= blk.warp_slots.len() as u32;
+                self.resident_blocks -= 1;
+                self.resident_smem -= blk.smem.len() as u32;
+                self.free_block_slots.push(b);
+                blocks_done += 1;
+            }
+        }
+        blocks_done
+    }
+
+    /// Attempts to issue from warp `slot`; returns true on issue.
+    #[allow(clippy::too_many_arguments)]
+    fn try_issue(
+        &mut self,
+        slot: usize,
+        sp_idx: usize,
+        now: u64,
+        memsys: &mut MemSystem,
+        gmem: &mut GlobalMem,
+        args: &[u32],
+        stats: &mut KernelStats,
+        issued: &mut u8,
+    ) -> bool {
+        // Copy timing scalars, then split-borrow the containers.
+        let alu_latency = self.alu_latency;
+        let tc_occupancy = self.tc_occupancy;
+        let tc_latency = self.tc_latency;
+        let sfu_occupancy = self.sfu_occupancy;
+        let sfu_latency = self.sfu_latency;
+        let lsu_occ_per_line = self.lsu_occ_per_line;
+        let smem_latency = self.smem_latency;
+        let Sm {
+            warps,
+            blocks,
+            subparts,
+            l1,
+            scratch_srcs,
+            scratch_preds,
+            ..
+        } = self;
+
+        let w = match warps[slot].as_mut() {
+            Some(w) if w.state == WarpState::Ready => w,
+            _ => return false,
+        };
+        let op = w.program.ops[w.pc].clone();
+        let group = w.group as usize;
+        let pipe = op.pipe();
+        let pbit = pipe_idx(pipe).map_or(5, |i| i as u8);
+        if *issued & (1 << pbit) != 0 {
+            return false; // one issue per pipe per cycle
+        }
+        if let Some(pi) = pipe_idx(pipe) {
+            if subparts[sp_idx].pipe_free[pi] > now {
+                return false;
+            }
+        }
+        // Scoreboard: sources, destinations (WAW) and predicates ready.
+        exec::src_regs(&op, scratch_srcs);
+        for &r in scratch_srcs.iter() {
+            if w.reg_ready[r as usize] > now {
+                return false;
+            }
+        }
+        if let Some((first, count)) = exec::dest_regs(&op) {
+            for r in first..first + count {
+                if w.reg_ready[r as usize] > now {
+                    return false;
+                }
+            }
+        }
+        exec::src_preds(&op, scratch_preds);
+        for &p in scratch_preds.iter() {
+            if w.pred_ready[p as usize] > now {
+                return false;
+            }
+        }
+        if let Some(p) = exec::dest_pred(&op) {
+            if w.pred_ready[p as usize] > now {
+                return false;
+            }
+        }
+
+        // --- issue ---
+        let block_slot = w.block_slot;
+        let block = blocks[block_slot].as_mut().expect("warp's block resident");
+        let (next, fx) = exec::execute(&op, w, &mut block.smem, gmem, args);
+
+        // Timing.
+        let sp = &mut subparts[sp_idx];
+        match pipe {
+            PipeClass::Int | PipeClass::Fp => {
+                let pi = pipe_idx(pipe).expect("math pipe");
+                sp.pipe_free[pi] = now + 1;
+                if let Some((first, count)) = exec::dest_regs(&op) {
+                    for r in first..first + count {
+                        w.reg_ready[r as usize] = now + alu_latency;
+                    }
+                }
+                if let Some(p) = exec::dest_pred(&op) {
+                    w.pred_ready[p as usize] = now + alu_latency;
+                }
+                if pipe == PipeClass::Int {
+                    stats.busy.int += 1;
+                    stats.int_ops += op.arith_ops();
+                } else {
+                    stats.busy.fp += 1;
+                    stats.fp_ops += op.arith_ops();
+                }
+            }
+            PipeClass::Tensor => {
+                sp.pipe_free[2] = now + tc_occupancy;
+                if let Some((first, count)) = exec::dest_regs(&op) {
+                    for r in first..first + count {
+                        w.reg_ready[r as usize] = now + tc_latency;
+                    }
+                }
+                stats.busy.tensor += tc_occupancy;
+                stats.tc_ops += op.arith_ops();
+            }
+            PipeClass::Sfu => {
+                sp.pipe_free[3] = now + sfu_occupancy;
+                if let Some((first, count)) = exec::dest_regs(&op) {
+                    for r in first..first + count {
+                        w.reg_ready[r as usize] = now + sfu_latency;
+                    }
+                }
+                stats.busy.sfu += sfu_occupancy;
+                stats.sfu_ops += op.arith_ops();
+            }
+            PipeClass::Lsu => {
+                let (occ, ready) = if fx.shared_access {
+                    (lsu_occ_per_line, now + smem_latency)
+                } else {
+                    let lines = fx.global_lines.len().max(1) as u64;
+                    let mut ready = now + 1;
+                    for &line in &fx.global_lines {
+                        // Streaming accesses bypass (and do not pollute)
+                        // the caches; streaming stores only consume DRAM
+                        // write bandwidth.
+                        let t = if fx.stream && fx.is_store {
+                            memsys.write_request(now);
+                            now + 1
+                        } else if fx.stream {
+                            memsys.stream_request(now, line << 7)
+                        } else {
+                            l1.access(now, line << 7, memsys)
+                        };
+                        ready = ready.max(t);
+                    }
+                    (lsu_occ_per_line * lines, ready)
+                };
+                sp.pipe_free[4] = now + occ;
+                stats.busy.lsu += occ;
+                if !fx.is_store {
+                    if let Some((first, count)) = exec::dest_regs(&op) {
+                        for r in first..first + count {
+                            w.reg_ready[r as usize] = ready;
+                        }
+                    }
+                }
+            }
+            PipeClass::Ctrl => {}
+        }
+        stats.issued.bump(pipe);
+
+        // Control flow (update the warp, then let its borrow end before the
+        // block-wide barrier release touches other warps).
+        match next {
+            Next::Seq => w.pc += 1,
+            Next::Jump(t) => w.pc = t,
+            Next::ExitWarp => w.state = WarpState::Done,
+            Next::Barrier => {
+                w.pc += 1;
+                w.state = WarpState::AtBarrier;
+            }
+        }
+        match next {
+            Next::ExitWarp => {
+                block.active_warps -= 1;
+                block.active_per_group[group] -= 1;
+                if block.active_per_group[group] > 0
+                    && block.at_barrier_per_group[group] == block.active_per_group[group]
+                {
+                    Self::release_barrier(warps, block, group);
+                }
+            }
+            Next::Barrier => {
+                block.at_barrier_per_group[group] += 1;
+                if block.at_barrier_per_group[group] == block.active_per_group[group] {
+                    Self::release_barrier(warps, block, group);
+                }
+            }
+            _ => {}
+        }
+        *issued |= 1 << pbit;
+        true
+    }
+
+    /// Releases warps of `group` parked at their named barrier.
+    fn release_barrier(warps: &mut [Option<Warp>], block: &mut BlockSlot, group: usize) {
+        for &ws in &block.warp_slots {
+            if let Some(w) = warps[ws].as_mut() {
+                if w.state == WarpState::AtBarrier && w.group as usize == group {
+                    w.state = WarpState::Ready;
+                }
+            }
+        }
+        block.at_barrier_per_group[group] = 0;
+    }
+
+    /// `(hits, misses)` of this SM's L1.
+    pub fn l1_stats(&self) -> (u64, u64) {
+        self.l1.stats()
+    }
+}

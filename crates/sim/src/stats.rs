@@ -1,0 +1,240 @@
+//! Kernel execution statistics — the measurement surface for Figures 8–10.
+
+use crate::config::OrinConfig;
+use crate::isa::PipeClass;
+
+/// Issued-instruction counts per pipe.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipeCounts {
+    /// INT32 ALU instructions.
+    pub int: u64,
+    /// FP32 ALU instructions.
+    pub fp: u64,
+    /// Tensor-core MMA instructions.
+    pub tensor: u64,
+    /// SFU instructions.
+    pub sfu: u64,
+    /// Load/store instructions.
+    pub lsu: u64,
+    /// Control instructions.
+    pub ctrl: u64,
+}
+
+impl PipeCounts {
+    /// Total warp instructions issued.
+    pub fn total(&self) -> u64 {
+        self.int + self.fp + self.tensor + self.sfu + self.lsu + self.ctrl
+    }
+
+    /// Adds one issue to the pipe's counter.
+    pub fn bump(&mut self, pipe: PipeClass) {
+        match pipe {
+            PipeClass::Int => self.int += 1,
+            PipeClass::Fp => self.fp += 1,
+            PipeClass::Tensor => self.tensor += 1,
+            PipeClass::Sfu => self.sfu += 1,
+            PipeClass::Lsu => self.lsu += 1,
+            PipeClass::Ctrl => self.ctrl += 1,
+        }
+    }
+}
+
+/// Busy-cycle accumulators per pipe (summed over all sub-partitions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipeBusy {
+    /// INT pipe busy cycles.
+    pub int: u64,
+    /// FP pipe busy cycles.
+    pub fp: u64,
+    /// Tensor pipe busy cycles.
+    pub tensor: u64,
+    /// SFU busy cycles.
+    pub sfu: u64,
+    /// LSU busy cycles.
+    pub lsu: u64,
+}
+
+/// Everything measured during one kernel launch.
+#[derive(Debug, Clone, Default)]
+pub struct KernelStats {
+    /// Kernel name.
+    pub name: String,
+    /// Total cycles from launch to last warp exit.
+    pub cycles: u64,
+    /// Issued instructions per pipe.
+    pub issued: PipeCounts,
+    /// Busy cycles per pipe.
+    pub busy: PipeBusy,
+    /// Arithmetic operations retired on the INT pipe.
+    pub int_ops: u64,
+    /// Arithmetic operations retired on the FP pipe.
+    pub fp_ops: u64,
+    /// Arithmetic operations retired on Tensor cores.
+    pub tc_ops: u64,
+    /// Arithmetic operations retired on the SFU.
+    pub sfu_ops: u64,
+    /// Bytes fetched from DRAM.
+    pub dram_bytes: u64,
+    /// Bytes served by L2 hits.
+    pub l2_hit_bytes: u64,
+    /// Thread blocks executed.
+    pub blocks: u32,
+    /// Number of SMs in the machine (for per-SM normalization).
+    pub num_sms: u32,
+    /// Sub-partitions per SM.
+    pub subparts: u32,
+}
+
+impl KernelStats {
+    /// Total arithmetic operations.
+    pub fn total_ops(&self) -> u64 {
+        self.int_ops + self.fp_ops + self.tc_ops + self.sfu_ops
+    }
+
+    /// GPU-wide instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.issued.total() as f64 / self.cycles as f64
+    }
+
+    /// Average per-SM IPC (the per-SM quantity in Figure 10).
+    pub fn ipc_per_sm(&self) -> f64 {
+        self.ipc() / f64::from(self.num_sms.max(1))
+    }
+
+    /// Arithmetic operations per cycle — the paper's arithmetic-density
+    /// proxy (ops/s/mm² on fixed silicon reduces to ops per cycle).
+    pub fn arith_density(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.total_ops() as f64 / self.cycles as f64
+    }
+
+    /// Utilization of a pipe: busy cycles over total pipe-cycles available.
+    pub fn utilization(&self, pipe: PipeClass) -> f64 {
+        let busy = match pipe {
+            PipeClass::Int => self.busy.int,
+            PipeClass::Fp => self.busy.fp,
+            PipeClass::Tensor => self.busy.tensor,
+            PipeClass::Sfu => self.busy.sfu,
+            PipeClass::Lsu => self.busy.lsu,
+            PipeClass::Ctrl => return 0.0,
+        };
+        let capacity = self.cycles * u64::from(self.num_sms) * u64::from(self.subparts);
+        if capacity == 0 {
+            return 0.0;
+        }
+        busy as f64 / capacity as f64
+    }
+
+    /// Wall-clock time under the machine's clock.
+    pub fn time_ms(&self, cfg: &OrinConfig) -> f64 {
+        cfg.cycles_to_ms(self.cycles)
+    }
+
+    /// Achieved DRAM bandwidth in GB/s.
+    pub fn dram_gbps(&self, cfg: &OrinConfig) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.dram_bytes as f64 / (self.cycles as f64 / (cfg.clock_ghz * 1e9)) / 1e9
+    }
+
+    /// Merges another kernel's stats into this one (sequential composition:
+    /// cycles add, counters add).
+    pub fn accumulate(&mut self, other: &KernelStats) {
+        self.cycles += other.cycles;
+        self.issued.int += other.issued.int;
+        self.issued.fp += other.issued.fp;
+        self.issued.tensor += other.issued.tensor;
+        self.issued.sfu += other.issued.sfu;
+        self.issued.lsu += other.issued.lsu;
+        self.issued.ctrl += other.issued.ctrl;
+        self.busy.int += other.busy.int;
+        self.busy.fp += other.busy.fp;
+        self.busy.tensor += other.busy.tensor;
+        self.busy.sfu += other.busy.sfu;
+        self.busy.lsu += other.busy.lsu;
+        self.int_ops += other.int_ops;
+        self.fp_ops += other.fp_ops;
+        self.tc_ops += other.tc_ops;
+        self.sfu_ops += other.sfu_ops;
+        self.dram_bytes += other.dram_bytes;
+        self.l2_hit_bytes += other.l2_hit_bytes;
+        self.blocks += other.blocks;
+        self.num_sms = self.num_sms.max(other.num_sms);
+        self.subparts = self.subparts.max(other.subparts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> KernelStats {
+        KernelStats {
+            name: "k".into(),
+            cycles: 1000,
+            issued: PipeCounts { int: 500, fp: 300, tensor: 50, sfu: 10, lsu: 100, ctrl: 40 },
+            busy: PipeBusy { int: 500, fp: 300, tensor: 200, sfu: 80, lsu: 200 },
+            int_ops: 500 * 64,
+            fp_ops: 300 * 64,
+            tc_ops: 50 * 8192,
+            sfu_ops: 320,
+            dram_bytes: 128 * 1000,
+            l2_hit_bytes: 0,
+            blocks: 4,
+            num_sms: 2,
+            subparts: 4,
+        }
+    }
+
+    #[test]
+    fn ipc_and_density() {
+        let s = sample();
+        assert!((s.ipc() - 1.0).abs() < 1e-12);
+        assert!((s.ipc_per_sm() - 0.5).abs() < 1e-12);
+        let density = s.arith_density();
+        assert!((density - s.total_ops() as f64 / 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let s = sample();
+        // capacity = 1000 * 2 * 4 = 8000 pipe-cycles.
+        assert!((s.utilization(PipeClass::Int) - 500.0 / 8000.0).abs() < 1e-12);
+        assert_eq!(s.utilization(PipeClass::Ctrl), 0.0);
+    }
+
+    #[test]
+    fn pipe_counts_bump_and_total() {
+        let mut c = PipeCounts::default();
+        c.bump(PipeClass::Int);
+        c.bump(PipeClass::Int);
+        c.bump(PipeClass::Lsu);
+        assert_eq!(c.int, 2);
+        assert_eq!(c.total(), 3);
+    }
+
+    #[test]
+    fn accumulate_adds_cycles_and_counts() {
+        let mut a = sample();
+        let b = sample();
+        a.accumulate(&b);
+        assert_eq!(a.cycles, 2000);
+        assert_eq!(a.issued.int, 1000);
+        assert_eq!(a.blocks, 8);
+        assert_eq!(a.tc_ops, 2 * 50 * 8192);
+    }
+
+    #[test]
+    fn zero_cycles_degenerate() {
+        let s = KernelStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.arith_density(), 0.0);
+        assert_eq!(s.utilization(PipeClass::Fp), 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Program inspection: disassembly and static instruction statistics.
+//!
+//! Used by the harness and tests to sanity-check generated kernels (mix of
+//! pipes, static size, register pressure) without running them — the
+//! static counterpart of [`crate::stats::KernelStats`].
+
+use crate::isa::{Op, PipeClass, Src};
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Static per-pipe instruction counts of a program (one pass, no loops
+/// unrolled — multiply by trip counts yourself if needed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticMix {
+    /// INT-pipe instructions.
+    pub int: usize,
+    /// FP-pipe instructions.
+    pub fp: usize,
+    /// Tensor-core instructions.
+    pub tensor: usize,
+    /// SFU instructions.
+    pub sfu: usize,
+    /// Memory instructions.
+    pub lsu: usize,
+    /// Control instructions.
+    pub ctrl: usize,
+}
+
+impl StaticMix {
+    /// Total instructions.
+    pub fn total(&self) -> usize {
+        self.int + self.fp + self.tensor + self.sfu + self.lsu + self.ctrl
+    }
+
+    /// Fraction of instructions on a pipe.
+    pub fn fraction(&self, pipe: PipeClass) -> f64 {
+        let n = match pipe {
+            PipeClass::Int => self.int,
+            PipeClass::Fp => self.fp,
+            PipeClass::Tensor => self.tensor,
+            PipeClass::Sfu => self.sfu,
+            PipeClass::Lsu => self.lsu,
+            PipeClass::Ctrl => self.ctrl,
+        };
+        n as f64 / self.total().max(1) as f64
+    }
+}
+
+/// Computes the static instruction mix of a program.
+pub fn static_mix(p: &Program) -> StaticMix {
+    let mut m = StaticMix::default();
+    for op in &p.ops {
+        match op.pipe() {
+            PipeClass::Int => m.int += 1,
+            PipeClass::Fp => m.fp += 1,
+            PipeClass::Tensor => m.tensor += 1,
+            PipeClass::Sfu => m.sfu += 1,
+            PipeClass::Lsu => m.lsu += 1,
+            PipeClass::Ctrl => m.ctrl += 1,
+        }
+    }
+    m
+}
+
+fn src_str(s: &Src) -> String {
+    match s {
+        Src::R(r) => format!("r{}", r.0),
+        Src::Imm(v) => {
+            // Print small signed immediates as decimal, others as hex.
+            let sv = *v as i32;
+            if (-4096..=4096).contains(&sv) {
+                format!("{sv}")
+            } else {
+                format!("{v:#x}")
+            }
+        }
+    }
+}
+
+/// Renders one instruction as readable assembly.
+pub fn disasm_op(op: &Op) -> String {
+    use Op::*;
+    match op {
+        IAdd { d, a, b } => format!("iadd  r{}, {}, {}", d.0, src_str(a), src_str(b)),
+        ISub { d, a, b } => format!("isub  r{}, {}, {}", d.0, src_str(a), src_str(b)),
+        IMul { d, a, b } => format!("imul  r{}, {}, {}", d.0, src_str(a), src_str(b)),
+        IMad { d, a, b, c } => format!(
+            "imad  r{}, {}, {}, {}",
+            d.0,
+            src_str(a),
+            src_str(b),
+            src_str(c)
+        ),
+        And { d, a, b } => format!("and   r{}, {}, {}", d.0, src_str(a), src_str(b)),
+        Or { d, a, b } => format!("or    r{}, {}, {}", d.0, src_str(a), src_str(b)),
+        Xor { d, a, b } => format!("xor   r{}, {}, {}", d.0, src_str(a), src_str(b)),
+        Shl { d, a, b } => format!("shl   r{}, {}, {}", d.0, src_str(a), src_str(b)),
+        Shr { d, a, b } => format!("shr   r{}, {}, {}", d.0, src_str(a), src_str(b)),
+        Sar { d, a, b } => format!("sar   r{}, {}, {}", d.0, src_str(a), src_str(b)),
+        IMin { d, a, b } => format!("imin  r{}, {}, {}", d.0, src_str(a), src_str(b)),
+        IMax { d, a, b } => format!("imax  r{}, {}, {}", d.0, src_str(a), src_str(b)),
+        IDivU { d, a, b } => format!("idivu r{}, {}, {}", d.0, src_str(a), src_str(b)),
+        IRemU { d, a, b } => format!("iremu r{}, {}, {}", d.0, src_str(a), src_str(b)),
+        Shfl { d, a, xor_mask } => format!("shfl  r{}, r{}, bfly {}", d.0, a.0, xor_mask),
+        ISetP { p, a, b, cmp } => {
+            format!("isetp p{}, {} {:?} {}", p.0, src_str(a), cmp, src_str(b))
+        }
+        Mov { d, s } => format!("mov   r{}, {}", d.0, src_str(s)),
+        Sel { d, p, a, b } => format!("sel   r{}, p{}, {}, {}", d.0, p.0, src_str(a), src_str(b)),
+        Ldc { d, idx } => format!("ldc   r{}, c[{}]", d.0, idx),
+        ReadSr { d, sr } => format!("s2r   r{}, {:?}", d.0, sr),
+        FAdd { d, a, b } => format!("fadd  r{}, {}, {}", d.0, src_str(a), src_str(b)),
+        FMul { d, a, b } => format!("fmul  r{}, {}, {}", d.0, src_str(a), src_str(b)),
+        FFma { d, a, b, c } => format!(
+            "ffma  r{}, {}, {}, {}",
+            d.0,
+            src_str(a),
+            src_str(b),
+            src_str(c)
+        ),
+        FMin { d, a, b } => format!("fmin  r{}, {}, {}", d.0, src_str(a), src_str(b)),
+        FMax { d, a, b } => format!("fmax  r{}, {}, {}", d.0, src_str(a), src_str(b)),
+        FSetP { p, a, b, cmp } => {
+            format!("fsetp p{}, {} {:?} {}", p.0, src_str(a), cmp, src_str(b))
+        }
+        I2F { d, a } => format!("i2f   r{}, {}", d.0, src_str(a)),
+        F2I { d, a } => format!("f2i   r{}, {}", d.0, src_str(a)),
+        F2IFloor { d, a } => format!("f2i.rmi r{}, {}", d.0, src_str(a)),
+        Rcp { d, a } => format!("rcp   r{}, {}", d.0, src_str(a)),
+        Sqrt { d, a } => format!("sqrt  r{}, {}", d.0, src_str(a)),
+        Ex2 { d, a } => format!("ex2   r{}, {}", d.0, src_str(a)),
+        Lg2 { d, a } => format!("lg2   r{}, {}", d.0, src_str(a)),
+        Ldg { d, addr, off, w, guard, stream } => format!(
+            "ldg{}{} r{}, [r{}{:+}] {:?}",
+            if *stream { ".cg" } else { "" },
+            guard.map_or(String::new(), |p| format!(" @p{}", p.0)),
+            d.0,
+            addr.0,
+            off,
+            w
+        ),
+        LdgV4 { d, addr, off, stream } => format!(
+            "ldg.128{} r{}..r{}, [r{}{:+}]",
+            if *stream { ".cg" } else { "" },
+            d.0,
+            d.0 + 3,
+            addr.0,
+            off
+        ),
+        Stg { addr, off, v, w, guard, stream } => format!(
+            "stg{}{} [r{}{:+}], {} {:?}",
+            if *stream { ".cs" } else { "" },
+            guard.map_or(String::new(), |p| format!(" @p{}", p.0)),
+            addr.0,
+            off,
+            src_str(v),
+            w
+        ),
+        Lds { d, addr, off, w } => format!("lds   r{}, [r{}{:+}] {:?}", d.0, addr.0, off, w),
+        Sts { addr, off, v, w } => {
+            format!("sts   [r{}{:+}], {} {:?}", addr.0, off, src_str(v), w)
+        }
+        Mma { kind, acc, a_addr, b_addr } => format!(
+            "mma.{:?} r{}.., [r{}], [r{}]",
+            kind, acc.0, a_addr.0, b_addr.0
+        ),
+        Bra { target, pred, sense } => match pred {
+            Some(p) => format!("bra   {} @{}p{}", target, if *sense { "" } else { "!" }, p.0),
+            None => format!("bra   {target}"),
+        },
+        Bar => "bar.sync".into(),
+        Exit => "exit".into(),
+        Nop => "nop".into(),
+    }
+}
+
+/// Full disassembly listing with instruction indices.
+pub fn disasm(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "// {} — {} insts, {} regs, {} preds", p.name, p.ops.len(), p.nregs, p.npreds);
+    for (i, op) in p.ops.iter().enumerate() {
+        let _ = writeln!(out, "{i:>5}: {}", disasm_op(op));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{ICmp, MemWidth, Src};
+    use crate::program::ProgramBuilder;
+
+    fn sample() -> Program {
+        let mut p = ProgramBuilder::new("sample");
+        let a = p.alloc();
+        let b = p.alloc();
+        let pr = p.alloc_pred();
+        p.ldc(a, 0);
+        p.label_here("top");
+        p.imad(b, a.into(), Src::Imm(3), b.into());
+        p.ffma(b, b.into(), Src::imm_f32(1.5), b.into());
+        p.ldg(a, a, 4, MemWidth::B8S);
+        p.stg(b, -8, a.into(), MemWidth::B32);
+        p.isetp(pr, a.into(), Src::Imm(10), ICmp::Lt);
+        p.bra_if("top", pr, true);
+        p.exit();
+        p.build()
+    }
+
+    #[test]
+    fn static_mix_counts_pipes() {
+        let p = sample();
+        let m = static_mix(&p);
+        // ldc + imad + isetp on the INT pipe; ffma on FP; ldg + stg on LSU;
+        // bra + exit control.
+        assert_eq!(m.int, 3);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.lsu, 2);
+        assert_eq!(m.ctrl, 2);
+    }
+
+    #[test]
+    fn static_mix_totals_match_program_len() {
+        let p = sample();
+        let m = static_mix(&p);
+        assert_eq!(m.total(), p.ops.len());
+        assert!(m.fraction(crate::isa::PipeClass::Lsu) > 0.0);
+    }
+
+    #[test]
+    fn disasm_renders_every_instruction() {
+        let p = sample();
+        let text = disasm(&p);
+        assert!(text.contains("imad"));
+        assert!(text.contains("ffma"));
+        assert!(text.contains("ldg"));
+        assert!(text.contains("stg"));
+        assert!(text.contains("bra"));
+        assert!(text.contains("exit"));
+        assert_eq!(text.lines().count(), p.ops.len() + 1);
+    }
+
+    #[test]
+    fn disasm_marks_streaming_and_guards() {
+        use crate::isa::{Op, Pred, Reg};
+        let cs = Op::Ldg {
+            d: Reg(1),
+            addr: Reg(0),
+            off: 0,
+            w: MemWidth::B32,
+            guard: Some(Pred(2)),
+            stream: true,
+        };
+        let s = disasm_op(&cs);
+        assert!(s.contains(".cg") && s.contains("@p2"), "{s}");
+    }
+
+    #[test]
+    fn kernel_programs_have_expected_mixes() {
+        // A generated GEMM program's static mix should be INT/LSU heavy.
+        // (Pulled in via a local rebuild to avoid a circular dev-dependency:
+        // just verify our own sample here; kernel-side mixes are asserted in
+        // vitbit-kernels tests.)
+        let p = sample();
+        let m = static_mix(&p);
+        assert!(m.int >= m.fp);
+    }
+}

@@ -1,0 +1,133 @@
+//! Per-warp architectural state.
+
+use crate::program::Program;
+use std::sync::Arc;
+
+/// Warp scheduling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpState {
+    /// Eligible for issue.
+    Ready,
+    /// Parked at a block barrier.
+    AtBarrier,
+    /// Exited.
+    Done,
+}
+
+/// One resident warp: 32 threads executing a shared program in lockstep.
+#[derive(Debug)]
+pub struct Warp {
+    /// Program this warp executes (per-role in fused kernels).
+    pub program: Arc<Program>,
+    /// Next instruction index.
+    pub pc: usize,
+    /// Register file: register `r`, lane `l` at `regs[r*32 + l]`.
+    pub regs: Vec<u32>,
+    /// Predicate registers (32-bit lane masks).
+    pub preds: Vec<u32>,
+    /// Scoreboard: cycle each register's value is available.
+    pub reg_ready: Vec<u64>,
+    /// Scoreboard for predicate registers.
+    pub pred_ready: Vec<u64>,
+    /// Scheduling state.
+    pub state: WarpState,
+    /// Index of the owning block slot within the SM.
+    pub block_slot: usize,
+    /// Warp index within its block.
+    pub warp_in_block: u32,
+    /// Block index within the grid.
+    pub ctaid: u32,
+    /// Threads per block.
+    pub ntid: u32,
+    /// Blocks in grid.
+    pub nctaid: u32,
+    /// Launch sequence number (GTO "oldest" order).
+    pub age: u64,
+    /// Role group (program index): barriers synchronize within a group,
+    /// modelling CUDA named barriers as used by fused-kernel techniques.
+    pub group: u8,
+}
+
+impl Warp {
+    /// Creates a warp with zeroed registers, ready at cycle 0.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        program: Arc<Program>,
+        block_slot: usize,
+        warp_in_block: u32,
+        ctaid: u32,
+        ntid: u32,
+        nctaid: u32,
+        age: u64,
+        group: u8,
+    ) -> Self {
+        let nregs = program.nregs as usize;
+        let npreds = program.npreds as usize;
+        Self {
+            program,
+            pc: 0,
+            regs: vec![0; nregs * 32],
+            preds: vec![0; npreds],
+            reg_ready: vec![0; nregs],
+            pred_ready: vec![0; npreds],
+            state: WarpState::Ready,
+            block_slot,
+            warp_in_block,
+            ctaid,
+            ntid,
+            nctaid,
+            age,
+            group,
+        }
+    }
+
+    /// Register value of `reg` in `lane`.
+    #[inline]
+    pub fn reg(&self, reg: u8, lane: usize) -> u32 {
+        self.regs[reg as usize * 32 + lane]
+    }
+
+    /// Sets `reg` in `lane`.
+    #[inline]
+    pub fn set_reg(&mut self, reg: u8, lane: usize, v: u32) {
+        self.regs[reg as usize * 32 + lane] = v;
+    }
+
+    /// Global thread index of `lane` (1-D blocks).
+    #[inline]
+    pub fn tid(&self, lane: usize) -> u32 {
+        self.warp_in_block * 32 + lane as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn warp_initial_state() {
+        let mut p = ProgramBuilder::new("t");
+        let _ = p.alloc_n(3);
+        p.exit();
+        let prog = p.build().into_arc();
+        let w = Warp::new(prog, 0, 2, 5, 128, 10, 7, 0);
+        assert_eq!(w.state, WarpState::Ready);
+        assert_eq!(w.pc, 0);
+        assert_eq!(w.regs.len(), 3 * 32);
+        assert_eq!(w.tid(0), 64);
+        assert_eq!(w.tid(31), 95);
+    }
+
+    #[test]
+    fn reg_accessors() {
+        let mut p = ProgramBuilder::new("t");
+        let _ = p.alloc_n(2);
+        p.exit();
+        let prog = p.build().into_arc();
+        let mut w = Warp::new(prog, 0, 0, 0, 32, 1, 0, 0);
+        w.set_reg(1, 7, 0xABCD);
+        assert_eq!(w.reg(1, 7), 0xABCD);
+        assert_eq!(w.reg(1, 8), 0);
+    }
+}

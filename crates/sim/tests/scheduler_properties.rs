@@ -1,0 +1,319 @@
+//! Scheduler and memory-system properties: heterogeneous grids, dispatch
+//! orders, barrier semantics under mixed role groups, and bandwidth
+//! conservation.
+
+use vitbit_sim::isa::{ICmp, MemWidth, SReg, Src};
+use vitbit_sim::program::ProgramBuilder;
+use vitbit_sim::{Gpu, Kernel, OrinConfig};
+
+fn gpu() -> Gpu {
+    Gpu::new(OrinConfig::test_small(), 32 << 20)
+}
+
+/// A kernel whose blocks each write their ctaid at out[ctaid].
+fn ctaid_writer() -> vitbit_sim::Program {
+    let mut p = ProgramBuilder::new("ctaid_writer");
+    let base = p.alloc();
+    let ctaid = p.alloc();
+    let lane = p.alloc();
+    let addr = p.alloc();
+    let pr = p.alloc_pred();
+    p.ldc(base, 0);
+    p.sreg(ctaid, SReg::Ctaid);
+    p.sreg(lane, SReg::LaneId);
+    p.isetp(pr, lane.into(), Src::Imm(0), ICmp::Eq);
+    p.imad(addr, ctaid.into(), Src::Imm(4), base.into());
+    p.stg_if(addr, 0, ctaid.into(), MemWidth::B32, pr);
+    p.exit();
+    p.build()
+}
+
+#[test]
+fn dispatch_order_covers_every_block_exactly_once() {
+    let mut g = gpu();
+    let blocks = 37u32;
+    let out = g.mem.alloc(blocks * 4);
+    // A deliberately scrambled (but valid) permutation.
+    let mut order: Vec<u32> = (0..blocks).collect();
+    order.reverse();
+    order.swap(3, 19);
+    let k = Kernel::single("w", ctaid_writer().into_arc(), blocks, 1, 0, vec![out.addr])
+        .with_dispatch_order(order);
+    g.launch(&k);
+    let got = g.mem.download_u32(out, blocks as usize);
+    for (i, &v) in got.iter().enumerate() {
+        assert_eq!(v as usize, i, "block {i} must have run with its own ctaid");
+    }
+}
+
+#[test]
+#[should_panic(expected = "order must cover")]
+fn short_dispatch_order_is_rejected() {
+    let _ = Kernel::single("w", ctaid_writer().into_arc(), 4, 1, 0, vec![])
+        .with_dispatch_order(vec![0, 1]);
+}
+
+#[test]
+fn heterogeneous_blocks_run_their_own_programs() {
+    // Range 0: writes 100+ctaid; range 1: writes 900+ctaid.
+    let mk = |tag: u32| {
+        let mut p = ProgramBuilder::new(format!("w{tag}"));
+        let base = p.alloc();
+        let ctaid = p.alloc();
+        let lane = p.alloc();
+        let addr = p.alloc();
+        let v = p.alloc();
+        let pr = p.alloc_pred();
+        p.ldc(base, 0);
+        p.sreg(ctaid, SReg::Ctaid);
+        p.sreg(lane, SReg::LaneId);
+        p.isetp(pr, lane.into(), Src::Imm(0), ICmp::Eq);
+        p.iadd(v, ctaid.into(), Src::Imm(tag));
+        p.imad(addr, ctaid.into(), Src::Imm(4), base.into());
+        p.stg_if(addr, 0, v.into(), MemWidth::B32, pr);
+        p.exit();
+        p.build().into_arc()
+    };
+    let mut g = gpu();
+    let out = g.mem.alloc(10 * 4);
+    let k = Kernel::heterogeneous(
+        "het",
+        vec![mk(100), mk(900)],
+        vec![(6, vec![0]), (4, vec![1])],
+        0,
+        vec![out.addr],
+    );
+    g.launch(&k);
+    let got = g.mem.download_u32(out, 10);
+    for (i, &v) in got.iter().enumerate() {
+        let want = if i < 6 { 100 + i as u32 } else { 900 + i as u32 };
+        assert_eq!(v, want, "block {i}");
+    }
+}
+
+#[test]
+fn group_barriers_do_not_cross_role_groups() {
+    // Group 0 barriers twice between shared-memory phases; group 1 never
+    // barriers and spins on plain math. If barriers leaked across groups
+    // the kernel would deadlock (caught by the hang guard).
+    let group0 = {
+        let mut p = ProgramBuilder::new("bar_group");
+        let lane = p.alloc();
+        let addr = p.alloc();
+        let v = p.alloc();
+        p.sreg(lane, SReg::LaneId);
+        p.shl(addr, lane.into(), Src::Imm(2));
+        p.sts(addr, 0, lane.into(), MemWidth::B32);
+        p.bar();
+        p.lds(v, addr, 0, MemWidth::B32);
+        p.bar();
+        p.exit();
+        p.build().into_arc()
+    };
+    let group1 = {
+        let mut p = ProgramBuilder::new("math_group");
+        let acc = p.alloc();
+        let i = p.alloc();
+        let pr = p.alloc_pred();
+        p.mov(i, Src::Imm(0));
+        p.label_here("top");
+        p.imad(acc, acc.into(), Src::Imm(3), Src::Imm(1));
+        p.iadd(i, i.into(), Src::Imm(1));
+        p.isetp(pr, i.into(), Src::Imm(200), ICmp::Lt);
+        p.bra_if("top", pr, true);
+        p.exit();
+        p.build().into_arc()
+    };
+    let mut g = gpu();
+    let k = Kernel::fused("groups", vec![group0, group1], vec![0, 0, 1, 1], 4, 256, vec![]);
+    let stats = g.launch(&k); // would hang if groups shared a barrier
+    assert!(stats.cycles > 0);
+}
+
+#[test]
+fn dram_byte_accounting_is_conserved() {
+    // A kernel that streams N distinct lines must charge exactly N lines of
+    // DRAM on a cold cache.
+    let mut g = gpu();
+    let lines = 256u32;
+    let buf = g.mem.alloc(lines * 128);
+    let mut p = ProgramBuilder::new("stream");
+    let base = p.alloc();
+    let lane = p.alloc();
+    let addr = p.alloc();
+    let v = p.alloc();
+    let i = p.alloc();
+    let pr = p.alloc_pred();
+    p.ldc(base, 0);
+    p.sreg(lane, SReg::LaneId);
+    // One lane per warp reads one word per line; 32 lanes cover 32 lines
+    // per iteration (stride 128 bytes per lane).
+    p.imad(addr, lane.into(), Src::Imm(128), base.into());
+    p.mov(i, Src::Imm(0));
+    p.label_here("top");
+    p.ldg(v, addr, 0, MemWidth::B32);
+    p.iadd(addr, addr.into(), Src::Imm(32 * 128));
+    p.iadd(i, i.into(), Src::Imm(1));
+    p.isetp(pr, i.into(), Src::Imm((lines / 32) as u32), ICmp::Lt);
+    p.bra_if("top", pr, true);
+    p.exit();
+    let k = Kernel::single("stream", p.build().into_arc(), 1, 1, 0, vec![buf.addr]);
+    g.cold_caches();
+    let stats = g.launch(&k);
+    assert_eq!(stats.dram_bytes, u64::from(lines) * 128, "every line fetched once");
+}
+
+#[test]
+fn lrr_and_gto_agree_functionally() {
+    // Same kernel under both scheduling policies: identical memory results,
+    // (generally) different cycle counts. The kernel mixes dependent ALU
+    // chains with strided loads so scheduling order actually matters.
+    use vitbit_sim::SchedPolicy;
+    let run = |sched: SchedPolicy| {
+        let mut cfg = OrinConfig::test_small();
+        cfg.sched = sched;
+        let mut g = Gpu::new(cfg, 32 << 20);
+        let n = 1024u32;
+        let data: Vec<u32> = (0..n).map(|i| i.wrapping_mul(2654435761)).collect();
+        let inp = g.mem.upload_u32(&data);
+        let out = g.mem.alloc(n * 4);
+        let mut p = ProgramBuilder::new("mix");
+        let (ibase, obase) = (p.alloc(), p.alloc());
+        let (ctaid, ntid, tid, gid) = (p.alloc(), p.alloc(), p.alloc(), p.alloc());
+        let addr = p.alloc();
+        let v = p.alloc();
+        p.ldc(ibase, 0);
+        p.ldc(obase, 1);
+        p.sreg(ctaid, SReg::Ctaid);
+        p.sreg(ntid, SReg::Ntid);
+        p.sreg(tid, SReg::Tid);
+        p.imad(gid, ctaid.into(), ntid.into(), tid.into());
+        p.imad(addr, gid.into(), Src::Imm(4), ibase.into());
+        p.ldg(v, addr, 0, MemWidth::B32);
+        // Dependent ALU chain so GTO's greediness and LRR's rotation diverge.
+        for _ in 0..8 {
+            p.imad(v, v.into(), Src::Imm(3), Src::Imm(7));
+        }
+        p.imad(addr, gid.into(), Src::Imm(4), obase.into());
+        p.stg(addr, 0, v.into(), MemWidth::B32);
+        p.exit();
+        let k = Kernel::single("mix", p.build().into_arc(), n / 128, 4, 0, vec![inp.addr, out.addr]);
+        g.cold_caches();
+        let stats = g.launch(&k);
+        (g.mem.download_u32(out, n as usize), stats.cycles)
+    };
+    let (gto_out, gto_cycles) = run(SchedPolicy::Gto);
+    let (lrr_out, lrr_cycles) = run(SchedPolicy::Lrr);
+    assert_eq!(gto_out, lrr_out, "scheduling must not change results");
+    assert!(gto_cycles > 0 && lrr_cycles > 0);
+}
+
+#[test]
+fn lrr_rotates_issue_across_warps() {
+    // Under LRR every warp of a sub-partition makes progress at a similar
+    // rate; a long-running kernel must complete (no starvation).
+    use vitbit_sim::SchedPolicy;
+    let mut cfg = OrinConfig::test_small();
+    cfg.sched = SchedPolicy::Lrr;
+    let mut g = Gpu::new(cfg, 16 << 20);
+    let out = g.mem.alloc(256 * 4);
+    let mut p = ProgramBuilder::new("spin");
+    let (base, gid, addr, acc, i) = (p.alloc(), p.alloc(), p.alloc(), p.alloc(), p.alloc());
+    let (ctaid, ntid, tid) = (p.alloc(), p.alloc(), p.alloc());
+    let pr = p.alloc_pred();
+    p.ldc(base, 0);
+    p.sreg(ctaid, SReg::Ctaid);
+    p.sreg(ntid, SReg::Ntid);
+    p.sreg(tid, SReg::Tid);
+    p.imad(gid, ctaid.into(), ntid.into(), tid.into());
+    p.mov(acc, Src::Imm(1));
+    p.mov(i, Src::Imm(0));
+    p.label_here("top");
+    p.imad(acc, acc.into(), Src::Imm(5), Src::Imm(3));
+    p.iadd(i, i.into(), Src::Imm(1));
+    p.isetp(pr, i.into(), Src::Imm(100), ICmp::Lt);
+    p.bra_if("top", pr, true);
+    p.imad(addr, gid.into(), Src::Imm(4), base.into());
+    p.stg(addr, 0, acc.into(), MemWidth::B32);
+    p.exit();
+    let k = Kernel::single("spin", p.build().into_arc(), 2, 4, 0, vec![out.addr]);
+    let stats = g.launch(&k);
+    assert!(stats.cycles > 100, "kernel ran to completion under LRR");
+    let got = g.mem.download_u32(out, 256);
+    assert!(got.iter().all(|&v| v == got[0]), "every thread computed the same value");
+}
+
+mod sched_equivalence {
+    use super::*;
+    use proptest::prelude::*;
+    use vitbit_sim::isa::Reg;
+    use vitbit_sim::SchedPolicy;
+
+    /// Build a multi-warp kernel from a random straight-line recipe and run
+    /// it under the given policy; return the output buffer.
+    fn run_recipe(ops: &[(u8, u8, u8, u8)], seeds: &[u32; 4], sched: SchedPolicy) -> Vec<u32> {
+        let mut cfg = OrinConfig::test_small();
+        cfg.sched = sched;
+        let mut g = Gpu::new(cfg, 16 << 20);
+        let warps = 8u32;
+        let out = g.mem.alloc(warps * 32 * 4);
+        let mut p = ProgramBuilder::new("recipe");
+        let base = p.alloc();
+        let lane = p.alloc();
+        let wid = p.alloc();
+        let ctaid = p.alloc();
+        let gwid = p.alloc();
+        let regs = p.alloc_n(4);
+        let addr = p.alloc();
+        let rr = |i: u8| Reg(regs.0 + (i % 4));
+        p.ldc(base, 0);
+        p.sreg(lane, SReg::LaneId);
+        p.sreg(wid, SReg::WarpId);
+        p.sreg(ctaid, SReg::Ctaid);
+        // Grid-unique warp id: 4 warps per block.
+        p.imad(gwid, ctaid.into(), Src::Imm(4), wid.into());
+        for i in 0..4u8 {
+            p.mov(rr(i), Src::Imm(seeds[i as usize]));
+            p.imad(rr(i), gwid.into(), Src::Imm(97), rr(i).into());
+            p.iadd(rr(i), rr(i).into(), lane.into());
+        }
+        for &(kind, d, a, b) in ops {
+            let (d, a, b) = (rr(d), rr(a), rr(b));
+            match kind % 5 {
+                0 => p.iadd(d, a.into(), b.into()),
+                1 => p.imul(d, a.into(), b.into()),
+                2 => p.and(d, a.into(), b.into()),
+                3 => p.imad(d, a.into(), b.into(), d.into()),
+                _ => p.shl(d, a.into(), Src::Imm(u32::from(b.0 % 13))),
+            }
+        }
+        // Fold the four registers and store one word per thread.
+        p.iadd(regs, regs.into(), rr(1).into());
+        p.iadd(regs, regs.into(), rr(2).into());
+        p.iadd(regs, regs.into(), rr(3).into());
+        p.imad(addr, gwid.into(), Src::Imm(32), lane.into());
+        p.imad(addr, addr.into(), Src::Imm(4), base.into());
+        p.stg(addr, 0, regs.into(), MemWidth::B32);
+        p.exit();
+        let k = Kernel::single("recipe", p.build().into_arc(), 2, warps / 2, 0, vec![out.addr]);
+        g.launch(&k);
+        g.mem.download_u32(out, (warps * 32) as usize)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Warp scheduling policy must never change functional results:
+        /// random multi-warp programs produce identical memory under GTO
+        /// and LRR.
+        #[test]
+        fn prop_sched_policy_is_functionally_transparent(
+            seeds in [any::<u32>(); 4],
+            ops in proptest::collection::vec((any::<u8>(), 0u8..4, 0u8..4, 0u8..4), 1..40),
+        ) {
+            let gto = run_recipe(&ops, &seeds, SchedPolicy::Gto);
+            let lrr = run_recipe(&ops, &seeds, SchedPolicy::Lrr);
+            prop_assert_eq!(gto, lrr);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Deterministic synthetic data generators.
+//!
+//! The paper evaluates a pretrained, INT8-quantized ViT-Base; we do not ship
+//! ImageNet or HuggingFace weights (see DESIGN.md substitutions), so every
+//! experiment draws reproducible synthetic tensors whose ranges match
+//! quantized-model statistics: weights roughly zero-centered with a bell
+//! shape, activations covering the full signed or unsigned code range.
+
+use crate::matrix::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform `i8` matrix over `[lo, hi]` (inclusive).
+pub fn uniform_i8(rows: usize, cols: usize, lo: i8, hi: i8, seed: u64) -> Matrix<i8> {
+    assert!(lo <= hi, "invalid range [{lo}, {hi}]");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(i16::from(lo)..=i16::from(hi)) as i8)
+}
+
+/// Uniform matrix over the full range of a `bitwidth`-bit *unsigned* code,
+/// i.e. `[0, 2^bitwidth - 1]`, stored in `i8` (requires `bitwidth <= 7` to
+/// fit non-negatively, or exactly 8 for the full unsigned byte stored in
+/// wraparound form).
+pub fn uniform_unsigned_code(rows: usize, cols: usize, bitwidth: u32, seed: u64) -> Matrix<u8> {
+    assert!((1..=8).contains(&bitwidth), "bitwidth {bitwidth} out of [1,8]");
+    let hi: u16 = (1u16 << bitwidth) - 1;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(0..=hi) as u8)
+}
+
+/// Bell-shaped `i8` weights: the sum of four small uniforms, clamped to the
+/// signed range of `bitwidth` bits. Mimics the concentrated distribution of
+/// trained, symmetric-quantized weights.
+pub fn bell_weights_i8(rows: usize, cols: usize, bitwidth: u32, seed: u64) -> Matrix<i8> {
+    assert!((2..=8).contains(&bitwidth), "bitwidth {bitwidth} out of [2,8]");
+    let max = (1i32 << (bitwidth - 1)) - 1;
+    let quarter = (max / 2).max(1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| {
+        let s: i32 = (0..4).map(|_| rng.random_range(-quarter..=quarter)).sum();
+        s.clamp(-max, max) as i8
+    })
+}
+
+/// Uniform `f32` matrix over `[lo, hi)`.
+pub fn uniform_f32(rows: usize, cols: usize, lo: f32, hi: f32, seed: u64) -> Matrix<f32> {
+    assert!(lo < hi, "invalid range [{lo}, {hi})");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.random_range(lo..hi))
+}
+
+/// Synthetic "image" activations for the ViT embedding: signed codes biased
+/// toward small magnitudes, full range reachable.
+pub fn activations_i8(rows: usize, cols: usize, seed: u64) -> Matrix<i8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| {
+        // 75% small values, 25% full-range: heavy center, real tails.
+        if rng.random_range(0u32..4) == 0 {
+            rng.random_range(-128i16..=127) as i8
+        } else {
+            rng.random_range(-32i16..=31) as i8
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_i8_respects_bounds_and_seed() {
+        let a = uniform_i8(10, 10, -5, 5, 42);
+        assert!(a.as_slice().iter().all(|&x| (-5..=5).contains(&x)));
+        let b = uniform_i8(10, 10, -5, 5, 42);
+        assert_eq!(a, b, "same seed must reproduce");
+        let c = uniform_i8(10, 10, -5, 5, 43);
+        assert_ne!(a, c, "different seed should differ");
+    }
+
+    #[test]
+    fn unsigned_code_range() {
+        for bw in 1..=8u32 {
+            let m = uniform_unsigned_code(8, 8, bw, 1);
+            let hi = ((1u16 << bw) - 1) as u8;
+            assert!(m.as_slice().iter().all(|&x| x <= hi), "bitwidth {bw}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [1,8]")]
+    fn unsigned_code_rejects_wide() {
+        let _ = uniform_unsigned_code(1, 1, 9, 0);
+    }
+
+    #[test]
+    fn bell_weights_bounded_and_centered() {
+        let m = bell_weights_i8(50, 50, 8, 3);
+        let max = 127i32;
+        assert!(m.as_slice().iter().all(|&x| (i32::from(x)).abs() <= max));
+        let mean: f64 = m.as_slice().iter().map(|&x| f64::from(x)).sum::<f64>() / m.len() as f64;
+        assert!(mean.abs() < 8.0, "weights should be near zero-mean, mean={mean}");
+    }
+
+    #[test]
+    fn bell_weights_narrow_bitwidth() {
+        let m = bell_weights_i8(30, 30, 4, 9);
+        assert!(m.as_slice().iter().all(|&x| (-7..=7).contains(&x)));
+    }
+
+    #[test]
+    fn activations_cover_tails() {
+        let m = activations_i8(64, 64, 11);
+        assert!(m.as_slice().iter().any(|&x| !(-64..=64).contains(&x)), "tails present");
+        assert!(m.as_slice().iter().filter(|&&x| (-32..=31).contains(&x)).count() > m.len() / 2);
+    }
+
+    #[test]
+    fn uniform_f32_bounds() {
+        let m = uniform_f32(20, 20, -1.0, 1.0, 5);
+        assert!(m.as_slice().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+}

@@ -1,0 +1,25 @@
+//! Dense matrix types, quantization helpers, and reference GEMM kernels.
+//!
+//! This crate is the numeric substrate shared by the whole VitBit
+//! reproduction: every GPU-simulated kernel in `vitbit-kernels` is validated
+//! against the reference implementations here, and the integer ViT model in
+//! `vitbit-vit` builds its layers on these types.
+//!
+//! Design notes:
+//! * Matrices are dense, row-major, and generic over a small closed set of
+//!   element types (`i8`, `i32`, `u32`, `f32`). There is no striding or
+//!   broadcasting — the paper's workloads only need plain GEMM-shaped data.
+//! * Quantization follows the integer-only (I-ViT style) convention: an
+//!   `i8` value `q` with [`QuantParams`] `{scale, zero_point}` represents
+//!   the real number `scale * (q - zero_point)`. Requantization between
+//!   layers uses dyadic (multiplier, shift) arithmetic so that the entire
+//!   inference path stays in integers, matching Section 4.1 of the paper.
+
+pub mod gen;
+pub mod matrix;
+pub mod metrics;
+pub mod quant;
+pub mod refgemm;
+
+pub use matrix::Matrix;
+pub use quant::{DyadicScale, QuantParams};

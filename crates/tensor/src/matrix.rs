@@ -1,0 +1,284 @@
+//! Dense row-major matrix type.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major matrix.
+///
+/// `rows` is the number of rows (the paper's `K` for the input matrix `B`,
+/// which it describes as `N x K` with `N` the width); `cols` is the number of
+/// columns. Element `(r, c)` lives at `data[r * cols + c]`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default> Matrix<T> {
+    /// Creates a `rows x cols` matrix filled with `T::default()`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![T::default(); rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every element.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major element slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable row-major element slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its row-major backing vector.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Borrow of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[T] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [T] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Returns a copy of columns `[start, start + width)` as a new matrix.
+    ///
+    /// This is the primitive behind Algorithm 1's column-wise split of the
+    /// input matrix into the B1/B2/B3 parts.
+    ///
+    /// # Panics
+    /// Panics if the column range is out of bounds.
+    pub fn slice_cols(&self, start: usize, width: usize) -> Self {
+        assert!(
+            start + width <= self.cols,
+            "column slice [{start}, {}) out of bounds for width {}",
+            start + width,
+            self.cols
+        );
+        Self::from_fn(self.rows, width, |r, c| self[(r, start + c)])
+    }
+
+    /// Concatenates matrices left-to-right (all must share `rows`).
+    ///
+    /// Inverse of [`Matrix::slice_cols`]; used to reassemble GEMM outputs
+    /// produced by different cores.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or row counts disagree.
+    pub fn concat_cols(parts: &[&Matrix<T>]) -> Self {
+        assert!(!parts.is_empty(), "concat_cols needs at least one part");
+        let rows = parts[0].rows;
+        assert!(
+            parts.iter().all(|p| p.rows == rows),
+            "concat_cols parts must share the row count"
+        );
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Self::zeros(rows, cols);
+        for r in 0..rows {
+            let mut off = 0;
+            for p in parts {
+                out.row_mut(r)[off..off + p.cols].copy_from_slice(p.row(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element, producing a new matrix of another type.
+    pub fn map<U: Copy + Default>(&self, mut f: impl FnMut(T) -> U) -> Matrix<U> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+}
+
+impl<T> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl<T: fmt::Debug + Copy + Default> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for r in 0..show_rows {
+            let row = self.row(r);
+            let shown = row.len().min(12);
+            write!(f, "  {:?}", &row[..shown])?;
+            if shown < row.len() {
+                write!(f, " ..")?;
+            }
+            writeln!(f)?;
+        }
+        if show_rows < self.rows {
+            writeln!(f, "  ..")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_shape_and_default_values() {
+        let m: Matrix<i32> = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn from_fn_row_major_layout() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as i32);
+        assert_eq!(m.as_slice(), &[0, 1, 2, 10, 11, 12]);
+        assert_eq!(m[(1, 2)], 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_rejects_wrong_length() {
+        let _ = Matrix::from_vec(2, 2, vec![1i32, 2, 3]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as i32);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(t[(4, 2)], m[(2, 4)]);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn slice_and_concat_cols_round_trip() {
+        let m = Matrix::from_fn(4, 10, |r, c| (r * 10 + c) as i32);
+        let a = m.slice_cols(0, 3);
+        let b = m.slice_cols(3, 5);
+        let c = m.slice_cols(8, 2);
+        assert_eq!(a.shape(), (4, 3));
+        assert_eq!(b[(2, 0)], m[(2, 3)]);
+        let back = Matrix::concat_cols(&[&a, &b, &c]);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_cols_checks_bounds() {
+        let m: Matrix<i32> = Matrix::zeros(2, 4);
+        let _ = m.slice_cols(3, 2);
+    }
+
+    #[test]
+    fn zero_width_slice_is_allowed() {
+        let m: Matrix<i32> = Matrix::zeros(2, 4);
+        let s = m.slice_cols(2, 0);
+        assert_eq!(s.shape(), (2, 0));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn map_converts_types() {
+        let m = Matrix::from_fn(2, 2, |r, c| (r + c) as i8);
+        let f = m.map(|x| x as f32 * 2.0);
+        assert_eq!(f[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn row_accessors() {
+        let mut m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as i32);
+        assert_eq!(m.row(1), &[3, 4, 5]);
+        m.row_mut(0)[2] = 99;
+        assert_eq!(m[(0, 2)], 99);
+    }
+}

@@ -1,0 +1,149 @@
+//! Error metrics used to compare kernel outputs against references.
+
+use crate::matrix::Matrix;
+
+/// True when two integer matrices are identical (shape and every element).
+pub fn exact_match(a: &Matrix<i32>, b: &Matrix<i32>) -> bool {
+    a.shape() == b.shape() && a.as_slice() == b.as_slice()
+}
+
+/// Maximum absolute elementwise difference between integer matrices.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn max_abs_diff_i32(a: &Matrix<i32>, b: &Matrix<i32>) -> i64 {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (i64::from(x) - i64::from(y)).abs())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Maximum absolute elementwise difference between f32 matrices.
+pub fn max_abs_diff_f32(a: &Matrix<f32>, b: &Matrix<f32>) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f32::max)
+}
+
+/// Relative Frobenius-norm error `||a - b||_F / ||b||_F` with `b` the
+/// reference; returns 0 for an all-zero reference only if `a` is zero too.
+pub fn rel_frobenius_i32(a: &Matrix<i32>, b: &Matrix<i32>) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+        let d = f64::from(x) - f64::from(y);
+        num += d * d;
+        den += f64::from(y) * f64::from(y);
+    }
+    if den == 0.0 {
+        return if num == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (num / den).sqrt()
+}
+
+/// Fraction of elements where the two matrices disagree.
+pub fn mismatch_rate_i32(a: &Matrix<i32>, b: &Matrix<i32>) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let n = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .filter(|(x, y)| x != y)
+        .count();
+    n as f64 / a.len() as f64
+}
+
+/// Top-1 agreement between two score matrices: fraction of rows whose argmax
+/// matches. This is the paper's "without compromising inference accuracy"
+/// check, applied to classifier logits.
+pub fn top1_agreement(a: &Matrix<i32>, b: &Matrix<i32>) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    if a.rows() == 0 {
+        return 1.0;
+    }
+    let argmax = |row: &[i32]| {
+        row.iter()
+            .enumerate()
+            .max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .unwrap()
+    };
+    let agree = (0..a.rows())
+        .filter(|&r| argmax(a.row(r)) == argmax(b.row(r)))
+        .count();
+    agree as f64 / a.rows() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: Vec<i32>) -> Matrix<i32> {
+        let n = v.len();
+        Matrix::from_vec(1, n, v)
+    }
+
+    #[test]
+    fn exact_match_detects_equality_and_shape() {
+        assert!(exact_match(&m(vec![1, 2]), &m(vec![1, 2])));
+        assert!(!exact_match(&m(vec![1, 2]), &m(vec![1, 3])));
+        let a = Matrix::from_vec(2, 1, vec![1, 2]);
+        assert!(!exact_match(&a, &m(vec![1, 2])));
+    }
+
+    #[test]
+    fn max_abs_diff_basics() {
+        assert_eq!(max_abs_diff_i32(&m(vec![1, -5]), &m(vec![4, 5])), 10);
+        assert_eq!(max_abs_diff_i32(&m(vec![]), &m(vec![])), 0);
+        // Extremes must not overflow.
+        assert_eq!(
+            max_abs_diff_i32(&m(vec![i32::MIN]), &m(vec![i32::MAX])),
+            i64::from(i32::MAX) - i64::from(i32::MIN)
+        );
+    }
+
+    #[test]
+    fn rel_frobenius_zero_and_nonzero() {
+        assert_eq!(rel_frobenius_i32(&m(vec![0, 0]), &m(vec![0, 0])), 0.0);
+        assert!(rel_frobenius_i32(&m(vec![1, 0]), &m(vec![0, 0])).is_infinite());
+        let e = rel_frobenius_i32(&m(vec![3, 4]), &m(vec![3, 0]));
+        assert!((e - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatch_rate_counts() {
+        assert_eq!(mismatch_rate_i32(&m(vec![1, 2, 3, 4]), &m(vec![1, 0, 3, 0])), 0.5);
+    }
+
+    #[test]
+    fn top1_agreement_rows() {
+        let a = Matrix::from_vec(2, 3, vec![1, 9, 2, 7, 1, 1]);
+        let b = Matrix::from_vec(2, 3, vec![0, 5, 1, 1, 8, 1]);
+        // Row 0 agrees (argmax 1), row 1 disagrees (0 vs 1).
+        assert_eq!(top1_agreement(&a, &b), 0.5);
+    }
+
+    #[test]
+    fn top1_ties_break_to_lowest_index() {
+        let a = Matrix::from_vec(1, 3, vec![5, 5, 1]);
+        let b = Matrix::from_vec(1, 3, vec![9, 2, 1]);
+        assert_eq!(top1_agreement(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn max_abs_diff_f32_basics() {
+        let a = Matrix::from_vec(1, 2, vec![1.0f32, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![1.5f32, -1.0]);
+        assert_eq!(max_abs_diff_f32(&a, &b), 3.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Integer quantization in the I-ViT / integer-only convention.
+//!
+//! A quantized tensor stores `i8` codes `q`; with parameters
+//! `{scale, zero_point}` a code represents the real value
+//! `scale * (q - zero_point)`. Between layers, integer accumulators are
+//! rescaled with *dyadic* arithmetic — multiplication by `m / 2^s` where `m`
+//! is an `i32` — so the inference path never touches floating point, which is
+//! the property the paper's INT-core execution relies on.
+
+use crate::matrix::Matrix;
+
+/// Affine quantization parameters for an `i8` tensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Real-valued step between adjacent codes.
+    pub scale: f32,
+    /// Code that represents real zero.
+    pub zero_point: i32,
+}
+
+impl QuantParams {
+    /// Symmetric parameters (zero point 0) covering `[-max_abs, max_abs]`.
+    pub fn symmetric(max_abs: f32) -> Self {
+        let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+        Self {
+            scale,
+            zero_point: 0,
+        }
+    }
+
+    /// Asymmetric parameters covering `[lo, hi]` with the full i8 range.
+    pub fn asymmetric(lo: f32, hi: f32) -> Self {
+        assert!(hi >= lo, "invalid range [{lo}, {hi}]");
+        let span = (hi - lo).max(f32::EPSILON);
+        let scale = span / 255.0;
+        let zero_point = (-128.0 - lo / scale).round().clamp(-128.0, 127.0) as i32;
+        Self { scale, zero_point }
+    }
+
+    /// Quantizes a real value to an `i8` code.
+    #[inline]
+    pub fn quantize(&self, x: f32) -> i8 {
+        let q = (x / self.scale).round() as i32 + self.zero_point;
+        q.clamp(i8::MIN as i32, i8::MAX as i32) as i8
+    }
+
+    /// Dequantizes an `i8` code back to a real value.
+    #[inline]
+    pub fn dequantize(&self, q: i8) -> f32 {
+        (q as i32 - self.zero_point) as f32 * self.scale
+    }
+
+    /// Quantizes a whole `f32` matrix.
+    pub fn quantize_matrix(&self, m: &Matrix<f32>) -> Matrix<i8> {
+        m.map(|x| self.quantize(x))
+    }
+
+    /// Dequantizes a whole `i8` matrix.
+    pub fn dequantize_matrix(&self, m: &Matrix<i8>) -> Matrix<f32> {
+        m.map(|q| self.dequantize(q))
+    }
+}
+
+/// Dyadic rescale factor `multiplier / 2^shift`.
+///
+/// Requantizing an `i32` accumulator `acc` to the next layer's `i8` domain is
+/// `round(acc * multiplier / 2^shift)`, computed entirely in integers with
+/// round-half-away-from-zero, as in integer-only inference stacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DyadicScale {
+    /// Integer multiplier, typically normalized into `[2^30, 2^31)`.
+    pub multiplier: i32,
+    /// Right shift applied after the widening multiply.
+    pub shift: u32,
+}
+
+impl DyadicScale {
+    /// Identity rescale (`x -> x`).
+    pub const IDENTITY: Self = Self {
+        multiplier: 1,
+        shift: 0,
+    };
+
+    /// Approximates a positive real factor as `multiplier / 2^shift` with a
+    /// multiplier normalized into `[2^30, 2^31)` (or exactly for factors that
+    /// are already dyadic).
+    ///
+    /// # Panics
+    /// Panics if `factor` is not finite and positive.
+    pub fn from_real(factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "dyadic factor must be positive and finite, got {factor}"
+        );
+        // Normalize factor = frac * 2^exp with frac in [0.5, 1).
+        let mut shift = 0i32;
+        let mut f = factor;
+        while f >= 1.0 {
+            f /= 2.0;
+            shift -= 1;
+        }
+        while f < 0.5 {
+            f *= 2.0;
+            shift += 1;
+        }
+        // f in [0.5, 1): express as multiplier / 2^31.
+        let mut multiplier = (f * f64::from(1u32 << 31)).round() as i64;
+        if multiplier == 1i64 << 31 {
+            multiplier /= 2;
+            shift -= 1;
+        }
+        let total_shift = 31 + shift;
+        assert!(
+            (0..=62).contains(&total_shift),
+            "factor {factor} out of dyadic range (shift {total_shift})"
+        );
+        Self {
+            multiplier: multiplier as i32,
+            shift: total_shift as u32,
+        }
+    }
+
+    /// Applies the rescale to an `i32` with round-half-away-from-zero.
+    #[inline]
+    pub fn apply(&self, x: i32) -> i32 {
+        let prod = i64::from(x) * i64::from(self.multiplier);
+        if self.shift == 0 {
+            return prod.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+        }
+        let rounding = 1i64 << (self.shift - 1);
+        let rounded = if prod >= 0 {
+            (prod + rounding) >> self.shift
+        } else {
+            -((-prod + rounding) >> self.shift)
+        };
+        rounded.clamp(i32::MIN as i64, i32::MAX as i64) as i32
+    }
+
+    /// Applies the rescale and saturates to `i8`.
+    #[inline]
+    pub fn apply_to_i8(&self, x: i32) -> i8 {
+        self.apply(x).clamp(i8::MIN as i32, i8::MAX as i32) as i8
+    }
+
+    /// The real factor this dyadic scale approximates.
+    pub fn as_real(&self) -> f64 {
+        f64::from(self.multiplier) / (1u64 << self.shift) as f64
+    }
+}
+
+/// Clamps an `i32` matrix into `i8`, the final narrowing step of a
+/// requantized layer.
+pub fn saturate_i8(m: &Matrix<i32>) -> Matrix<i8> {
+    m.map(|x| x.clamp(i8::MIN as i32, i8::MAX as i32) as i8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_round_trip_is_tight() {
+        let qp = QuantParams::symmetric(4.0);
+        assert_eq!(qp.zero_point, 0);
+        for &x in &[-4.0f32, -1.5, 0.0, 0.03, 2.0, 4.0] {
+            let q = qp.quantize(x);
+            let back = qp.dequantize(q);
+            assert!((back - x).abs() <= qp.scale / 2.0 + 1e-6, "{x} -> {q} -> {back}");
+        }
+    }
+
+    #[test]
+    fn symmetric_saturates_out_of_range() {
+        let qp = QuantParams::symmetric(1.0);
+        assert_eq!(qp.quantize(100.0), 127);
+        assert_eq!(qp.quantize(-100.0), -128);
+    }
+
+    #[test]
+    fn asymmetric_covers_range_ends() {
+        let qp = QuantParams::asymmetric(0.0, 6.0);
+        let lo = qp.quantize(0.0);
+        let hi = qp.quantize(6.0);
+        assert_eq!(lo, -128);
+        assert_eq!(hi, 127);
+        assert!((qp.dequantize(lo) - 0.0).abs() < qp.scale);
+        assert!((qp.dequantize(hi) - 6.0).abs() < qp.scale);
+    }
+
+    #[test]
+    fn dyadic_identity() {
+        assert_eq!(DyadicScale::IDENTITY.apply(12345), 12345);
+        assert_eq!(DyadicScale::IDENTITY.apply(-7), -7);
+    }
+
+    #[test]
+    fn dyadic_matches_real_factor() {
+        for &factor in &[0.5f64, 0.1, 0.0173, 1.0, 3.75, 0.0009] {
+            let d = DyadicScale::from_real(factor);
+            assert!((d.as_real() - factor).abs() / factor < 1e-6, "{factor}");
+            for &x in &[-100_000i32, -37, 0, 1, 999, 1_000_000] {
+                let got = d.apply(x);
+                let want = (f64::from(x) * factor).round() as i64;
+                assert!(
+                    (i64::from(got) - want).abs() <= 1,
+                    "factor {factor} x {x}: got {got} want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dyadic_rounds_half_away_from_zero() {
+        let d = DyadicScale {
+            multiplier: 1,
+            shift: 1,
+        }; // x / 2
+        assert_eq!(d.apply(3), 2); // 1.5 -> 2
+        assert_eq!(d.apply(-3), -2); // -1.5 -> -2
+        assert_eq!(d.apply(2), 1);
+        assert_eq!(d.apply(-2), -1);
+    }
+
+    #[test]
+    fn apply_to_i8_saturates() {
+        let d = DyadicScale::IDENTITY;
+        assert_eq!(d.apply_to_i8(1000), 127);
+        assert_eq!(d.apply_to_i8(-1000), -128);
+        assert_eq!(d.apply_to_i8(-5), -5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn dyadic_rejects_nonpositive() {
+        let _ = DyadicScale::from_real(0.0);
+    }
+
+    #[test]
+    fn saturate_i8_matrix() {
+        let m = Matrix::from_vec(1, 4, vec![-300, -12, 80, 300]);
+        let s = saturate_i8(&m);
+        assert_eq!(s.as_slice(), &[-128, -12, 80, 127]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Reference GEMM kernels.
+//!
+//! These are the golden implementations every simulated GPU kernel is checked
+//! against. `A` is `M x K`, `B` is `K x N`, the result `C = A * B (+ bias)`
+//! is `M x N`. Integer GEMM accumulates in `i32` exactly as the paper's
+//! INT-core and Tensor-core paths do.
+
+use crate::matrix::Matrix;
+
+/// Integer GEMM: `C[i][j] = sum_k A[i][k] * B[k][j]`, accumulated in `i32`.
+///
+/// # Panics
+/// Panics on inner-dimension mismatch.
+pub fn gemm_i8_i32(a: &Matrix<i8>, b: &Matrix<i8>) -> Matrix<i32> {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm inner dims: A is {:?}, B is {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (kk, &aik) in arow.iter().enumerate() {
+            let aik = i32::from(aik);
+            if aik == 0 {
+                continue;
+            }
+            let brow = b.row(kk);
+            for j in 0..n {
+                crow[j] += aik * i32::from(brow[j]);
+            }
+        }
+    }
+    let _ = k;
+    c
+}
+
+/// Integer GEMM with a per-output-column `i32` bias added to every row.
+pub fn gemm_i8_i32_bias(a: &Matrix<i8>, b: &Matrix<i8>, bias: &[i32]) -> Matrix<i32> {
+    let mut c = gemm_i8_i32(a, b);
+    assert_eq!(bias.len(), c.cols(), "bias length must equal N");
+    for i in 0..c.rows() {
+        for (x, &bj) in c.row_mut(i).iter_mut().zip(bias) {
+            *x += bj;
+        }
+    }
+    c
+}
+
+/// f32 GEMM, used as the golden model for the FP-CUDA-core path.
+pub fn gemm_f32(a: &Matrix<f32>, b: &Matrix<f32>) -> Matrix<f32> {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm inner dims: A is {:?}, B is {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, _) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (kk, &aik) in arow.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = b.row(kk);
+            for j in 0..n {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+    c
+}
+
+/// Mixed GEMM used by the FC path of VitBit: integer operands converted to
+/// f32 and multiplied on the FP pipe, then rounded back to `i32`.
+///
+/// For `|A| <= 127`, `|B| <= 127` and `K <= 2^15` every product and partial
+/// sum is exactly representable in f32 until the accumulator exceeds 2^24,
+/// which a caller must respect; this mirrors the paper's claim that the FC
+/// conversion path does not lose accuracy for INT8 inference shapes.
+pub fn gemm_i8_via_f32(a: &Matrix<i8>, b: &Matrix<i8>) -> Matrix<i32> {
+    let af = a.map(|x| x as f32);
+    let bf = b.map(|x| x as f32);
+    gemm_f32(&af, &bf).map(|x| x.round() as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn identity_gemm() {
+        let a = Matrix::from_fn(3, 3, |r, c| if r == c { 1i8 } else { 0 });
+        let b = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as i8);
+        let c = gemm_i8_i32(&a, &b);
+        assert_eq!(c, b.map(i32::from));
+    }
+
+    #[test]
+    fn known_small_product() {
+        let a = Matrix::from_vec(2, 2, vec![1i8, 2, 3, 4]);
+        let b = Matrix::from_vec(2, 2, vec![5i8, 6, 7, 8]);
+        let c = gemm_i8_i32(&a, &b);
+        assert_eq!(c.as_slice(), &[19, 22, 43, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn mismatched_dims_panic() {
+        let a: Matrix<i8> = Matrix::zeros(2, 3);
+        let b: Matrix<i8> = Matrix::zeros(4, 2);
+        let _ = gemm_i8_i32(&a, &b);
+    }
+
+    #[test]
+    fn bias_is_per_column() {
+        let a = Matrix::from_vec(1, 1, vec![1i8]);
+        let b = Matrix::from_vec(1, 3, vec![1i8, 2, 3]);
+        let c = gemm_i8_i32_bias(&a, &b, &[10, 20, 30]);
+        assert_eq!(c.as_slice(), &[11, 22, 33]);
+    }
+
+    #[test]
+    fn f32_path_matches_integer_path_for_int8_inputs() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let a = Matrix::from_fn(9, 33, |_, _| rng.random_range(-128i16..=127) as i8);
+        let b = Matrix::from_fn(33, 11, |_, _| rng.random_range(-128i16..=127) as i8);
+        assert_eq!(gemm_i8_via_f32(&a, &b), gemm_i8_i32(&a, &b));
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow_i32() {
+        // 256 accumulations of 127 * -128 stays well inside i32.
+        let a = Matrix::from_fn(1, 256, |_, _| 127i8);
+        let b = Matrix::from_fn(256, 1, |_, _| -128i8);
+        let c = gemm_i8_i32(&a, &b);
+        assert_eq!(c[(0, 0)], 127 * -128 * 256);
+    }
+}

@@ -1,0 +1,135 @@
+//! Model hyperparameters.
+
+/// Vision Transformer dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViTConfig {
+    /// Encoder blocks.
+    pub blocks: usize,
+    /// Model (embedding) dimension.
+    pub dim: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Per-head dimension (`dim / heads`).
+    pub head_dim: usize,
+    /// MLP hidden dimension.
+    pub mlp_dim: usize,
+    /// Sequence length (patches + CLS).
+    pub tokens: usize,
+    /// Classifier classes.
+    pub classes: usize,
+    /// Signed code bitwidth of the quantized model.
+    pub bitwidth: u32,
+}
+
+impl ViTConfig {
+    /// ViT-Base as evaluated in the paper (Table 2), at the headline INT6
+    /// quantization (Figure 3(b): two values per register, guard bits keep
+    /// packed accumulation exact).
+    pub fn base() -> Self {
+        Self {
+            blocks: 12,
+            dim: 768,
+            heads: 12,
+            head_dim: 64,
+            mlp_dim: 3072,
+            tokens: 197,
+            classes: 100,
+            bitwidth: 6,
+        }
+    }
+
+    /// ViT-Base at a different code bitwidth.
+    pub fn base_with_bitwidth(bitwidth: u32) -> Self {
+        Self { bitwidth, ..Self::base() }
+    }
+
+    /// A miniature configuration for fast functional tests: same topology,
+    /// tiny dimensions.
+    pub fn tiny() -> Self {
+        Self {
+            blocks: 2,
+            dim: 64,
+            heads: 2,
+            head_dim: 32,
+            mlp_dim: 128,
+            tokens: 32,
+            classes: 10,
+            bitwidth: 6,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics when `dim != heads * head_dim` or dimensions are zero.
+    pub fn validate(&self) {
+        assert_eq!(self.dim, self.heads * self.head_dim, "dim = heads * head_dim");
+        assert!(self.blocks > 0 && self.tokens > 0 && self.classes > 0);
+        assert!((2..=8).contains(&self.bitwidth), "bitwidth in 2..=8");
+        assert!(self.dim.is_multiple_of(32), "LayerNorm rows need 32-aligned dim");
+    }
+
+    /// Highest positive code value.
+    pub fn code_max(&self) -> i8 {
+        ((1i32 << (self.bitwidth - 1)) - 1) as i8
+    }
+
+    /// Lowest code value.
+    pub fn code_min(&self) -> i8 {
+        (-(1i32 << (self.bitwidth - 1))) as i8
+    }
+
+    /// Total GEMM multiply-accumulate ops per forward pass (rough model
+    /// size indicator).
+    pub fn gemm_macs(&self) -> u64 {
+        let t = self.tokens as u64;
+        let d = self.dim as u64;
+        let m = self.mlp_dim as u64;
+        let h = self.heads as u64;
+        let hd = self.head_dim as u64;
+        let per_block = 3 * t * d * d    // qkv
+            + h * t * t * hd * 2         // scores + attn x V
+            + t * d * d                  // projection
+            + t * d * m * 2; // fc1 + fc2
+        per_block * self.blocks as u64 + t * d * self.classes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_is_vit_base() {
+        let c = ViTConfig::base();
+        c.validate();
+        assert_eq!(c.dim, 768);
+        assert_eq!(c.blocks, 12);
+        assert_eq!(c.heads * c.head_dim, 768);
+        // ~17.5 GMACs for ViT-Base at 197 tokens.
+        let gmacs = c.gemm_macs() as f64 / 1e9;
+        assert!((15.0..25.0).contains(&gmacs), "got {gmacs}");
+    }
+
+    #[test]
+    fn tiny_validates() {
+        ViTConfig::tiny().validate();
+    }
+
+    #[test]
+    fn code_range() {
+        let c = ViTConfig::base();
+        assert_eq!(c.code_max(), 31);
+        assert_eq!(c.code_min(), -32);
+        let c8 = ViTConfig::base_with_bitwidth(8);
+        assert_eq!(c8.code_max(), 127);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim = heads * head_dim")]
+    fn bad_dims_panic() {
+        let mut c = ViTConfig::tiny();
+        c.head_dim = 7;
+        c.validate();
+    }
+}

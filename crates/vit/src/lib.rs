@@ -1,0 +1,28 @@
+//! # vitbit-vit: integer-only ViT-Base on the simulated Orin GPU
+//!
+//! A complete Vision Transformer Base encoder (12 blocks, d=768, 12 heads,
+//! MLP 3072, 197 tokens) in the I-ViT integer-only style: every layer —
+//! Linear GEMMs, Shiftmax attention, ShiftGELU MLP, I-LayerNorm, dropout,
+//! residual adds — operates on signed `bitwidth`-bit codes with dyadic
+//! (shift) requantization between layers. No floating point appears on the
+//! integer path.
+//!
+//! Weights are synthetic (bell-shaped, seeded — see DESIGN.md's
+//! substitution table: the paper's accuracy statement is verified as
+//! bit-exactness/agreement against the CPU reference, not ImageNet top-1),
+//! with requantization shifts frozen by a one-off calibration pass, exactly
+//! like post-training quantization.
+//!
+//! * [`mod@reference`] — the CPU integer reference pipeline (ground truth);
+//! * [`pipeline`] — the same network executed kernel-by-kernel on the
+//!   simulated GPU under any Table-3 [`vitbit_exec::Strategy`], collecting
+//!   per-kernel [`vitbit_sim::KernelStats`] for Figures 5–10.
+
+pub mod config;
+pub mod model;
+pub mod pipeline;
+pub mod reference;
+
+pub use config::ViTConfig;
+pub use model::ViTModel;
+pub use pipeline::{run_vit, KernelClass, LayerTiming, VitRun};

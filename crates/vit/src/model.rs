@@ -1,0 +1,182 @@
+//! Model weights and post-training-quantization shift calibration.
+
+use crate::config::ViTConfig;
+use crate::reference;
+use vitbit_tensor::gen;
+use vitbit_tensor::Matrix;
+
+/// Weights of one encoder block (all `bitwidth`-bit signed codes).
+#[derive(Debug, Clone)]
+pub struct BlockWeights {
+    /// Query projection, `dim x dim`.
+    pub wq: Matrix<i8>,
+    /// Key projection.
+    pub wk: Matrix<i8>,
+    /// Value projection.
+    pub wv: Matrix<i8>,
+    /// Output projection.
+    pub wo: Matrix<i8>,
+    /// MLP expansion, `dim x mlp_dim`.
+    pub fc1: Matrix<i8>,
+    /// MLP contraction, `mlp_dim x dim`.
+    pub fc2: Matrix<i8>,
+}
+
+/// Requantization shifts of one block (frozen at calibration).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockShifts {
+    /// After the QKV projections.
+    pub qkv: u32,
+    /// After the attention-score GEMM.
+    pub score: u32,
+    /// After the attention-times-V GEMM.
+    pub attnv: u32,
+    /// After the output projection.
+    pub proj: u32,
+    /// After the MLP expansion.
+    pub fc1: u32,
+    /// After the MLP contraction.
+    pub fc2: u32,
+}
+
+/// The full quantized model.
+#[derive(Debug, Clone)]
+pub struct ViTModel {
+    /// Hyperparameters.
+    pub cfg: ViTConfig,
+    /// Per-block weights.
+    pub blocks: Vec<BlockWeights>,
+    /// Classifier head, `dim x classes`.
+    pub w_cls: Matrix<i8>,
+    /// Uniform LayerNorm gain in Q6.
+    pub ln_gamma: i32,
+    /// Uniform LayerNorm offset.
+    pub ln_beta: i32,
+    /// Dropout keep probability in Q8.
+    pub keep_q8: u32,
+    /// Per-block requantization shifts (set by [`ViTModel::calibrate`]).
+    pub shifts: Vec<BlockShifts>,
+    /// Index of this model's first block within the original network
+    /// (nonzero only for partial "tail" models; keeps dropout seeds stable).
+    pub block_offset: usize,
+}
+
+impl ViTModel {
+    /// Builds a model with bell-shaped synthetic weights, then calibrates
+    /// its requantization shifts on a seeded synthetic input.
+    pub fn new(cfg: ViTConfig, seed: u64) -> Self {
+        cfg.validate();
+        let bw = cfg.bitwidth;
+        let mut blocks = Vec::with_capacity(cfg.blocks);
+        for b in 0..cfg.blocks as u64 {
+            let s = seed.wrapping_mul(1_000_003).wrapping_add(b * 97);
+            blocks.push(BlockWeights {
+                wq: gen::bell_weights_i8(cfg.dim, cfg.dim, bw, s),
+                wk: gen::bell_weights_i8(cfg.dim, cfg.dim, bw, s + 1),
+                wv: gen::bell_weights_i8(cfg.dim, cfg.dim, bw, s + 2),
+                wo: gen::bell_weights_i8(cfg.dim, cfg.dim, bw, s + 3),
+                fc1: gen::bell_weights_i8(cfg.dim, cfg.mlp_dim, bw, s + 4),
+                fc2: gen::bell_weights_i8(cfg.mlp_dim, cfg.dim, bw, s + 5),
+            });
+        }
+        let w_cls = gen::bell_weights_i8(cfg.dim, cfg.classes, bw, seed + 7777);
+        let mut model = Self {
+            cfg,
+            blocks,
+            w_cls,
+            ln_gamma: 64,
+            ln_beta: 0,
+            keep_q8: 230, // ~90% keep (inference-style dropout)
+            shifts: vec![BlockShifts::default(); cfg.blocks],
+            block_offset: 0,
+        };
+        let calib_input = model.synthetic_input(seed ^ 0xA5A5);
+        model.calibrate(&calib_input);
+        model
+    }
+
+    /// A synthetic embedded-token matrix (`tokens x dim` codes) standing in
+    /// for the patch-embedding output.
+    pub fn synthetic_input(&self, seed: u64) -> Matrix<i8> {
+        let hi = self.cfg.code_max();
+        let lo = self.cfg.code_min();
+        gen::uniform_i8(self.cfg.tokens, self.cfg.dim, lo, hi, seed)
+    }
+
+    /// One-off calibration: runs the reference pipeline recording the
+    /// accumulator ranges at every requantization point and freezes the
+    /// shifts (standard post-training quantization flow).
+    pub fn calibrate(&mut self, input: &Matrix<i8>) {
+        let shifts = reference::calibrate_shifts(self, input);
+        self.shifts = shifts;
+    }
+
+    /// The shift that maps an accumulator with this maximum magnitude into
+    /// the signed `bitwidth`-bit code range.
+    pub fn shift_for(max_abs: i64, bitwidth: u32) -> u32 {
+        let hi = (1i64 << (bitwidth - 1)) - 1;
+        let mut s = 0u32;
+        while (max_abs >> s) > hi {
+            s += 1;
+        }
+        s
+    }
+}
+
+/// Applies a frozen requantization shift: arithmetic shift then saturation
+/// into the code range.
+pub fn requant(acc: &Matrix<i32>, shift: u32, bitwidth: u32) -> Matrix<i8> {
+    let hi = (1i32 << (bitwidth - 1)) - 1;
+    acc.map(|x| (x >> shift).clamp(-hi - 1, hi) as i8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_builds_and_calibrates() {
+        let m = ViTModel::new(ViTConfig::tiny(), 42);
+        assert_eq!(m.blocks.len(), 2);
+        assert_eq!(m.shifts.len(), 2);
+        // Calibration should produce nonzero shifts for GEMM outputs
+        // (accumulators far exceed the code range).
+        assert!(m.shifts[0].qkv > 0);
+        assert!(m.shifts[0].fc1 > 0);
+    }
+
+    #[test]
+    fn model_is_deterministic() {
+        let a = ViTModel::new(ViTConfig::tiny(), 7);
+        let b = ViTModel::new(ViTConfig::tiny(), 7);
+        assert_eq!(a.blocks[0].wq, b.blocks[0].wq);
+        assert_eq!(a.shifts, b.shifts);
+        let c = ViTModel::new(ViTConfig::tiny(), 8);
+        assert_ne!(a.blocks[0].wq, c.blocks[0].wq);
+    }
+
+    #[test]
+    fn weights_respect_bitwidth() {
+        let m = ViTModel::new(ViTConfig::tiny(), 3);
+        let hi = m.cfg.code_max();
+        for b in &m.blocks {
+            assert!(b.wq.as_slice().iter().all(|&x| x.abs() <= hi));
+            assert!(b.fc2.as_slice().iter().all(|&x| x.abs() <= hi));
+        }
+    }
+
+    #[test]
+    fn shift_for_maps_into_range() {
+        assert_eq!(ViTModel::shift_for(31, 6), 0);
+        assert_eq!(ViTModel::shift_for(32, 6), 1);
+        assert_eq!(ViTModel::shift_for(1000, 6), 5);
+        assert_eq!(ViTModel::shift_for(0, 6), 0);
+    }
+
+    #[test]
+    fn requant_saturates_and_shifts() {
+        let acc = Matrix::from_vec(1, 4, vec![1000, -1000, 40, -40]);
+        let q = requant(&acc, 5, 6);
+        assert_eq!(q.as_slice(), &[31, -32, 1, -2]);
+    }
+}

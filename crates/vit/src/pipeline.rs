@@ -1,0 +1,354 @@
+//! The ViT forward pass executed kernel-by-kernel on the simulated GPU.
+//!
+//! Mirrors [`crate::reference`] exactly, but every Linear runs through the
+//! strategy's GEMM kernels and every attention-block operator through the
+//! strategy's CUDA-kernel variant, collecting per-kernel statistics — the
+//! measurement loop behind Figures 5–10.
+//!
+//! Orientation note (see DESIGN.md): GEMMs run as `X x W`, so the *packed*
+//! operand is the stationary weight matrix. The SWAR arithmetic and the
+//! instruction-count effects are identical to the paper's input-side
+//! packing; the packing preprocessing moves to weight-setup time.
+
+use crate::model::{requant, ViTModel};
+use crate::reference;
+use vitbit_exec::{ExecConfig, GemmTuner, Strategy};
+use vitbit_kernels::elementwise::{run_layernorm, run_map, run_softmax, MapOp};
+use vitbit_sim::{Gpu, KernelStats};
+use vitbit_tensor::Matrix;
+
+/// Which figure family a kernel belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelClass {
+    /// GEMM-based Linear kernels (Figure 6).
+    Linear,
+    /// CUDA-core kernels: softmax, GELU, LayerNorm, dropout, add (Figure 7).
+    Cuda,
+}
+
+/// Statistics of one kernel launch within the pipeline.
+#[derive(Debug, Clone)]
+pub struct LayerTiming {
+    /// Kernel site name (`qkv`, `scores`, `softmax`, ...).
+    pub name: &'static str,
+    /// Encoder block index.
+    pub block: usize,
+    /// Figure family.
+    pub class: KernelClass,
+    /// Launch statistics.
+    pub stats: KernelStats,
+}
+
+/// Result of a (partially) simulated forward pass.
+#[derive(Debug, Clone)]
+pub struct VitRun {
+    /// Classifier logits (`1 x classes`).
+    pub logits: Matrix<i32>,
+    /// Per-kernel statistics of the simulated blocks.
+    pub timings: Vec<LayerTiming>,
+    /// Blocks that ran on the simulator (the rest, if any, completed on the
+    /// CPU reference path for functional continuity).
+    pub simulated_blocks: usize,
+}
+
+impl VitRun {
+    /// Total simulated cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.timings.iter().map(|t| t.stats.cycles).sum()
+    }
+
+    /// Total cycles of one kernel class.
+    pub fn cycles_of(&self, class: KernelClass) -> u64 {
+        self.timings
+            .iter()
+            .filter(|t| t.class == class)
+            .map(|t| t.stats.cycles)
+            .sum()
+    }
+
+    /// Aggregated statistics over all simulated kernels.
+    pub fn aggregate(&self) -> KernelStats {
+        let mut total = KernelStats::default();
+        for t in &self.timings {
+            total.accumulate(&t.stats);
+        }
+        total.name = "vit_total".into();
+        total
+    }
+
+    /// Sums cycles per kernel site name (for per-layer figures).
+    pub fn cycles_by_name(&self) -> Vec<(&'static str, u64)> {
+        let mut out: Vec<(&'static str, u64)> = Vec::new();
+        for t in &self.timings {
+            match out.iter_mut().find(|(n, _)| *n == t.name) {
+                Some((_, c)) => *c += t.stats.cycles,
+                None => out.push((t.name, t.stats.cycles)),
+            }
+        }
+        out
+    }
+}
+
+/// Runs the forward pass under `strategy`, simulating the first
+/// `blocks_limit` blocks (all when `None`). The remaining blocks run on the
+/// CPU reference path so the logits stay meaningful.
+pub fn run_vit(
+    gpu: &mut Gpu,
+    model: &ViTModel,
+    input: &Matrix<i8>,
+    strategy: Strategy,
+    exec_cfg: &ExecConfig,
+    blocks_limit: Option<usize>,
+) -> VitRun {
+    let cfg = &model.cfg;
+    assert_eq!(exec_cfg.bitwidth, cfg.bitwidth, "config bitwidths must agree");
+    let bw = cfg.bitwidth;
+    // Non-linear CUDA kernels use the per-op variant (VitBit packs only
+    // where SWAR stays lane-exact without unpacking); the residual add is
+    // fully packable.
+    let ew = strategy.ew_variant_for(exec_cfg, false);
+    // The residual add is LSU-bound: the dual-pipe IC+FC split beats the
+    // packed single-pipe form here too (measured; see EXPERIMENTS.md).
+    let ew_add = strategy.ew_variant_for(exec_cfg, false);
+    let ew_rows = strategy.ew_variant_rows(exec_cfg);
+    let mut tuner = GemmTuner::new();
+    let sim_blocks = blocks_limit.unwrap_or(cfg.blocks).min(cfg.blocks);
+    let mut timings = Vec::new();
+    let mut x = input.clone();
+
+    for b in 0..sim_blocks {
+        let w = &model.blocks[b];
+        let s = &model.shifts[b];
+        let mut record = |name: &'static str, class: KernelClass, stats: KernelStats| {
+            timings.push(LayerTiming { name, block: b, class, stats });
+        };
+
+        // --- attention half ---
+        let ln1 = run_layernorm(gpu, &x, model.ln_gamma, model.ln_beta, ew_rows, bw);
+        record("layernorm", KernelClass::Cuda, ln1.stats.clone());
+        let h = ln1.out;
+
+        let proj3 =
+            |gpu: &mut Gpu, tuner: &mut GemmTuner, wm: &Matrix<i8>| {
+                strategy.run_gemm_tuned(gpu, &h, wm, exec_cfg, tuner)
+            };
+        let qo = proj3(gpu, &mut tuner, &w.wq);
+        let ko = proj3(gpu, &mut tuner, &w.wk);
+        let vo = proj3(gpu, &mut tuner, &w.wv);
+        let mut qkv_stats = qo.stats.clone();
+        qkv_stats.accumulate(&ko.stats);
+        qkv_stats.accumulate(&vo.stats);
+        record("qkv", KernelClass::Linear, qkv_stats);
+        let q = requant(&qo.c, s.qkv, bw);
+        let k = requant(&ko.c, s.qkv, bw);
+        let v = requant(&vo.c, s.qkv, bw);
+
+        // Scores per head, then one stacked softmax over all heads' rows.
+        let mut scores_stats = KernelStats::default();
+        let mut score_mats = Vec::with_capacity(cfg.heads);
+        for hd in 0..cfg.heads {
+            let qh = q.slice_cols(hd * cfg.head_dim, cfg.head_dim);
+            let kh = k.slice_cols(hd * cfg.head_dim, cfg.head_dim);
+            let out = strategy.run_gemm_tuned(gpu, &qh, &kh.transpose(), exec_cfg, &mut tuner);
+            scores_stats.accumulate(&out.stats);
+            score_mats.push(requant(&out.c, s.score, bw));
+        }
+        record("scores", KernelClass::Linear, scores_stats);
+        let stacked = stack_rows(&score_mats);
+        let sm = run_softmax(gpu, &stacked, ew_rows, bw);
+        record("softmax", KernelClass::Cuda, sm.stats.clone());
+        let probs_all = sm.out;
+
+        let mut attn_stats = KernelStats::default();
+        let mut head_outs = Vec::with_capacity(cfg.heads);
+        for hd in 0..cfg.heads {
+            let probs = slice_rows(&probs_all, hd * cfg.tokens, cfg.tokens);
+            let vh = v.slice_cols(hd * cfg.head_dim, cfg.head_dim);
+            let out = strategy.run_gemm_tuned(gpu, &probs, &vh, exec_cfg, &mut tuner);
+            attn_stats.accumulate(&out.stats);
+            head_outs.push(requant(&out.c, s.attnv, bw));
+        }
+        record("attn_v", KernelClass::Linear, attn_stats);
+        let refs: Vec<&Matrix<i8>> = head_outs.iter().collect();
+        let attn = Matrix::concat_cols(&refs);
+
+        let proj = strategy.run_gemm_tuned(gpu, &attn, &w.wo, exec_cfg, &mut tuner);
+        record("proj", KernelClass::Linear, proj.stats.clone());
+        let o = requant(&proj.c, s.proj, bw);
+        let dseed = reference::dropout_seed(b + model.block_offset, 0);
+        let dop = MapOp::Dropout { seed: dseed, keep_q8: model.keep_q8 };
+        let od = run_map(gpu, dop, ew, bw, o.as_slice(), None);
+        record("dropout", KernelClass::Cuda, od.stats.clone());
+        let o = Matrix::from_vec(o.rows(), o.cols(), od.out);
+        let ad = run_map(gpu, MapOp::Add, ew_add, bw, x.as_slice(), Some(o.as_slice()));
+        record("residual", KernelClass::Cuda, ad.stats.clone());
+        x = Matrix::from_vec(x.rows(), x.cols(), ad.out);
+
+        // --- MLP half ---
+        let ln2 = run_layernorm(gpu, &x, model.ln_gamma, model.ln_beta, ew_rows, bw);
+        record("layernorm", KernelClass::Cuda, ln2.stats.clone());
+        let h2 = ln2.out;
+        let f1 = strategy.run_gemm_tuned(gpu, &h2, &w.fc1, exec_cfg, &mut tuner);
+        record("fc1", KernelClass::Linear, f1.stats.clone());
+        let f = requant(&f1.c, s.fc1, bw);
+        let ge = run_map(gpu, MapOp::Gelu, ew, bw, f.as_slice(), None);
+        record("gelu", KernelClass::Cuda, ge.stats.clone());
+        let f = Matrix::from_vec(f.rows(), f.cols(), ge.out);
+        let f2 = strategy.run_gemm_tuned(gpu, &f, &w.fc2, exec_cfg, &mut tuner);
+        record("fc2", KernelClass::Linear, f2.stats.clone());
+        let g = requant(&f2.c, s.fc2, bw);
+        let dseed = reference::dropout_seed(b + model.block_offset, 1);
+        let dop = MapOp::Dropout { seed: dseed, keep_q8: model.keep_q8 };
+        let gd = run_map(gpu, dop, ew, bw, g.as_slice(), None);
+        record("dropout", KernelClass::Cuda, gd.stats.clone());
+        let g = Matrix::from_vec(g.rows(), g.cols(), gd.out);
+        let ad2 = run_map(gpu, MapOp::Add, ew_add, bw, x.as_slice(), Some(g.as_slice()));
+        record("residual", KernelClass::Cuda, ad2.stats.clone());
+        x = Matrix::from_vec(x.rows(), x.cols(), ad2.out);
+    }
+
+    // Finish un-simulated blocks on the CPU reference path.
+    let logits = if sim_blocks == cfg.blocks {
+        let cls = Matrix::from_vec(1, cfg.dim, x.row(0).to_vec());
+        vitbit_tensor::refgemm::gemm_i8_i32(&cls, &model.w_cls)
+    } else {
+        let mut tail = model.clone();
+        tail.blocks = model.blocks[sim_blocks..].to_vec();
+        tail.shifts = model.shifts[sim_blocks..].to_vec();
+        tail.cfg.blocks = cfg.blocks - sim_blocks;
+        tail.block_offset = model.block_offset + sim_blocks;
+        reference::forward(&tail, &x)
+    };
+
+    VitRun { logits, timings, simulated_blocks: sim_blocks }
+}
+
+fn stack_rows(mats: &[Matrix<i8>]) -> Matrix<i8> {
+    let cols = mats[0].cols();
+    let rows: usize = mats.iter().map(|m| m.rows()).sum();
+    let mut out = Matrix::zeros(rows, cols);
+    let mut r0 = 0;
+    for m in mats {
+        assert_eq!(m.cols(), cols);
+        for r in 0..m.rows() {
+            out.row_mut(r0 + r).copy_from_slice(m.row(r));
+        }
+        r0 += m.rows();
+    }
+    out
+}
+
+fn slice_rows(m: &Matrix<i8>, start: usize, count: usize) -> Matrix<i8> {
+    Matrix::from_fn(count, m.cols(), |r, c| m[(start + r, c)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ViTConfig;
+    use vitbit_sim::OrinConfig;
+
+    fn setup() -> (Gpu, ViTModel, ExecConfig) {
+        let gpu = Gpu::new(OrinConfig::test_small(), 128 << 20);
+        let model = ViTModel::new(ViTConfig::tiny(), 11);
+        let cfg = ExecConfig::guarded(model.cfg.bitwidth);
+        (gpu, model, cfg)
+    }
+
+    #[test]
+    fn ic_strategy_matches_reference_bit_exactly() {
+        let (mut gpu, model, cfg) = setup();
+        let x = model.synthetic_input(1);
+        let want = reference::forward(&model, &x);
+        let run = run_vit(&mut gpu, &model, &x, Strategy::Ic, &cfg, None);
+        assert_eq!(run.logits, want, "IC pipeline must be bit-exact");
+        assert!(run.total_cycles() > 0);
+        assert_eq!(run.simulated_blocks, 2);
+    }
+
+    #[test]
+    fn tc_strategy_matches_reference_bit_exactly() {
+        let (mut gpu, model, cfg) = setup();
+        let x = model.synthetic_input(2);
+        let want = reference::forward(&model, &x);
+        let run = run_vit(&mut gpu, &model, &x, Strategy::Tc, &cfg, None);
+        assert_eq!(run.logits, want);
+        let agg = run.aggregate();
+        assert!(agg.tc_ops > 0, "TC strategy must use tensor cores");
+    }
+
+    #[test]
+    fn vitbit_strategy_accuracy_maintained() {
+        // The paper's claim is statistical ("without compromising inference
+        // accuracy"): over several inputs, VitBit's logits must stay close
+        // to the integer reference and the top-1 decision must almost
+        // always agree (the FP-share elementwise kernels may differ by a
+        // couple of codes per layer).
+        let (mut gpu, model, cfg) = setup();
+        let argmax = |m: &Matrix<i32>| {
+            m.row(0)
+                .iter()
+                .enumerate()
+                .max_by_key(|&(i, v)| (*v, std::cmp::Reverse(i)))
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        let mut agree = 0;
+        let n_inputs = 6;
+        let mut saw_all_pipes = false;
+        for seed in 0..n_inputs {
+            let x = model.synthetic_input(100 + seed);
+            let want = reference::forward(&model, &x);
+            let run = run_vit(&mut gpu, &model, &x, Strategy::VitBit, &cfg, None);
+            if argmax(&run.logits) == argmax(&want) {
+                agree += 1;
+            }
+            // The FP map bodies are bit-exact (cvt.rmi); the FP row shares
+            // differ from the integer spec only in the final float
+            // normalization, so logits stay close.
+            let scale = want.as_slice().iter().map(|v| v.abs()).max().unwrap().max(1);
+            let dev = run
+                .logits
+                .as_slice()
+                .iter()
+                .zip(want.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .max()
+                .unwrap();
+            assert!(
+                (dev as f64) < 0.4 * scale as f64,
+                "logit deviation {dev} too large vs scale {scale} (seed {seed})"
+            );
+            let agg = run.aggregate();
+            saw_all_pipes |= agg.tc_ops > 0 && agg.int_ops > 0 && agg.fp_ops > 0;
+        }
+        assert!(agree * 3 >= n_inputs * 2, "top-1 agreement {agree}/{n_inputs}");
+        assert!(saw_all_pipes, "VitBit must use TC, INT and FP pipes");
+    }
+
+    #[test]
+    fn blocks_limit_continues_on_reference() {
+        let (mut gpu, model, cfg) = setup();
+        let x = model.synthetic_input(4);
+        let want = reference::forward(&model, &x);
+        let run = run_vit(&mut gpu, &model, &x, Strategy::Ic, &cfg, Some(1));
+        assert_eq!(run.simulated_blocks, 1);
+        assert_eq!(run.logits, want, "IC + reference tail stays exact");
+        // Only one block's kernels were timed.
+        assert!(run.timings.iter().all(|t| t.block == 0));
+    }
+
+    #[test]
+    fn timings_cover_both_kernel_classes() {
+        let (mut gpu, model, cfg) = setup();
+        let x = model.synthetic_input(5);
+        let run = run_vit(&mut gpu, &model, &x, Strategy::Ic, &cfg, Some(1));
+        assert!(run.cycles_of(KernelClass::Linear) > 0);
+        assert!(run.cycles_of(KernelClass::Cuda) > 0);
+        let names: Vec<_> = run.cycles_by_name().into_iter().map(|(n, _)| n).collect();
+        for expect in ["qkv", "scores", "softmax", "attn_v", "proj", "fc1", "gelu", "fc2",
+                       "layernorm", "dropout", "residual"] {
+            assert!(names.contains(&expect), "missing {expect}");
+        }
+    }
+}

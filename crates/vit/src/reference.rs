@@ -1,0 +1,217 @@
+//! CPU integer reference pipeline — the ground truth every GPU strategy is
+//! validated against, and the recorder used for shift calibration.
+//!
+//! Every operation here has the exact semantics of the corresponding
+//! simulated kernel's integer path (`vitbit_kernels::elementwise::hostref`
+//! and `vitbit_tensor::refgemm`).
+
+use crate::model::{requant, BlockShifts, ViTModel};
+use vitbit_kernels::elementwise::hostref;
+use vitbit_tensor::refgemm::gemm_i8_i32;
+use vitbit_tensor::Matrix;
+
+/// Deterministic dropout seed for (block, site).
+pub fn dropout_seed(block: usize, site: u32) -> u32 {
+    (block as u32) * 16 + site + 0x5EED
+}
+
+/// Applies LayerNorm to every row.
+pub fn ln_rows(x: &Matrix<i8>, gamma_q6: i32, beta: i32, bitwidth: u32) -> Matrix<i8> {
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let row = hostref::ilayernorm_row_i(x.row(r), gamma_q6, beta, bitwidth);
+        out.row_mut(r).copy_from_slice(&row);
+    }
+    out
+}
+
+/// Applies Shiftmax to every row.
+pub fn softmax_rows(x: &Matrix<i8>, bitwidth: u32) -> Matrix<i8> {
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for r in 0..x.rows() {
+        let row = hostref::shiftmax_row_i(x.row(r), bitwidth);
+        out.row_mut(r).copy_from_slice(&row);
+    }
+    out
+}
+
+/// Elementwise ShiftGELU.
+pub fn gelu_mat(x: &Matrix<i8>, bitwidth: u32) -> Matrix<i8> {
+    x.map(|v| hostref::shiftgelu_i(i32::from(v), bitwidth))
+}
+
+/// Elementwise dropout with global element indices.
+pub fn dropout_mat(x: &Matrix<i8>, seed: u32, keep_q8: u32, bitwidth: u32) -> Matrix<i8> {
+    let cols = x.cols();
+    Matrix::from_fn(x.rows(), cols, |r, c| {
+        hostref::dropout_i(i32::from(x[(r, c)]), (r * cols + c) as u32, seed, keep_q8, bitwidth)
+    })
+}
+
+/// Saturating residual add.
+pub fn add_mat(a: &Matrix<i8>, b: &Matrix<i8>, bitwidth: u32) -> Matrix<i8> {
+    assert_eq!(a.shape(), b.shape());
+    Matrix::from_fn(a.rows(), a.cols(), |r, c| {
+        hostref::add_i(i32::from(a[(r, c)]), i32::from(b[(r, c)]), bitwidth)
+    })
+}
+
+fn max_abs(m: &Matrix<i32>) -> i64 {
+    m.as_slice().iter().map(|&x| i64::from(x).abs()).max().unwrap_or(0)
+}
+
+enum Mode<'a> {
+    Frozen,
+    Calibrate(&'a mut Vec<BlockShifts>),
+}
+
+/// Runs the reference forward pass, returning the classifier logits
+/// (`1 x classes`, i32).
+pub fn forward(model: &ViTModel, input: &Matrix<i8>) -> Matrix<i32> {
+    forward_impl(model, input, Mode::Frozen)
+}
+
+/// Calibration pass: records the shift at every requantization point.
+pub fn calibrate_shifts(model: &ViTModel, input: &Matrix<i8>) -> Vec<BlockShifts> {
+    let mut shifts = vec![BlockShifts::default(); model.cfg.blocks];
+    let _ = forward_impl(model, input, Mode::Calibrate(&mut shifts));
+    shifts
+}
+
+fn forward_impl(model: &ViTModel, input: &Matrix<i8>, mut mode: Mode<'_>) -> Matrix<i32> {
+    let cfg = &model.cfg;
+    let bw = cfg.bitwidth;
+    assert_eq!(input.shape(), (cfg.tokens, cfg.dim), "input shape");
+    let mut x = input.clone();
+
+    for b in 0..cfg.blocks {
+        let w = &model.blocks[b];
+        // Resolve the shift for a site: either the frozen value or one
+        // computed (and recorded) from this accumulator.
+        let mut site = |acc: &Matrix<i32>, pick: fn(&BlockShifts) -> u32,
+                        store: fn(&mut BlockShifts, u32)| -> u32 {
+            match &mut mode {
+                Mode::Frozen => pick(&model.shifts[b]),
+                Mode::Calibrate(shifts) => {
+                    let s = ViTModel::shift_for(max_abs(acc), bw).max(pick(&shifts[b]));
+                    store(&mut shifts[b], s);
+                    s
+                }
+            }
+        };
+
+        // Attention half.
+        let h = ln_rows(&x, model.ln_gamma, model.ln_beta, bw);
+        let q_acc = gemm_i8_i32(&h, &w.wq);
+        let k_acc = gemm_i8_i32(&h, &w.wk);
+        let v_acc = gemm_i8_i32(&h, &w.wv);
+        let s_qkv = {
+            let m = max_abs(&q_acc).max(max_abs(&k_acc)).max(max_abs(&v_acc));
+            let probe = Matrix::from_vec(1, 1, vec![m as i32]);
+            site(&probe, |s| s.qkv, |s, v| s.qkv = v)
+        };
+        let q = requant(&q_acc, s_qkv, bw);
+        let k = requant(&k_acc, s_qkv, bw);
+        let v = requant(&v_acc, s_qkv, bw);
+
+        let mut head_outputs = Vec::with_capacity(cfg.heads);
+        let mut s_score = 0;
+        let mut s_attnv = 0;
+        // First pass over heads to settle shared shifts during calibration.
+        for hd in 0..cfg.heads {
+            let qh = q.slice_cols(hd * cfg.head_dim, cfg.head_dim);
+            let kh = k.slice_cols(hd * cfg.head_dim, cfg.head_dim);
+            let scores_acc = gemm_i8_i32(&qh, &kh.transpose());
+            s_score = s_score.max(site(&scores_acc, |s| s.score, |s, v| s.score = v));
+            let _ = hd;
+        }
+        for hd in 0..cfg.heads {
+            let qh = q.slice_cols(hd * cfg.head_dim, cfg.head_dim);
+            let kh = k.slice_cols(hd * cfg.head_dim, cfg.head_dim);
+            let vh = v.slice_cols(hd * cfg.head_dim, cfg.head_dim);
+            let scores_acc = gemm_i8_i32(&qh, &kh.transpose());
+            let scores = requant(&scores_acc, s_score, bw);
+            let probs = softmax_rows(&scores, bw);
+            let attn_acc = gemm_i8_i32(&probs, &vh);
+            s_attnv = s_attnv.max(site(&attn_acc, |s| s.attnv, |s, v| s.attnv = v));
+            head_outputs.push((probs, vh));
+        }
+        let heads_q: Vec<Matrix<i8>> = head_outputs
+            .iter()
+            .map(|(probs, vh)| requant(&gemm_i8_i32(probs, vh), s_attnv, bw))
+            .collect();
+        let refs: Vec<&Matrix<i8>> = heads_q.iter().collect();
+        let attn = Matrix::concat_cols(&refs);
+
+        let proj_acc = gemm_i8_i32(&attn, &w.wo);
+        let s_proj = site(&proj_acc, |s| s.proj, |s, v| s.proj = v);
+        let o = requant(&proj_acc, s_proj, bw);
+        let o = dropout_mat(&o, dropout_seed(b + model.block_offset, 0), model.keep_q8, bw);
+        x = add_mat(&x, &o, bw);
+
+        // MLP half.
+        let h2 = ln_rows(&x, model.ln_gamma, model.ln_beta, bw);
+        let f_acc = gemm_i8_i32(&h2, &w.fc1);
+        let s_fc1 = site(&f_acc, |s| s.fc1, |s, v| s.fc1 = v);
+        let f = gelu_mat(&requant(&f_acc, s_fc1, bw), bw);
+        let g_acc = gemm_i8_i32(&f, &w.fc2);
+        let s_fc2 = site(&g_acc, |s| s.fc2, |s, v| s.fc2 = v);
+        let g = requant(&g_acc, s_fc2, bw);
+        let g = dropout_mat(&g, dropout_seed(b + model.block_offset, 1), model.keep_q8, bw);
+        x = add_mat(&x, &g, bw);
+    }
+
+    // Classifier on the CLS token (row 0).
+    let cls = Matrix::from_vec(1, cfg.dim, x.row(0).to_vec());
+    gemm_i8_i32(&cls, &model.w_cls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ViTConfig;
+
+    #[test]
+    fn forward_is_deterministic_and_shaped() {
+        let m = ViTModel::new(ViTConfig::tiny(), 1);
+        let x = m.synthetic_input(5);
+        let a = forward(&m, &x);
+        let b = forward(&m, &x);
+        assert_eq!(a, b);
+        assert_eq!(a.shape(), (1, 10));
+    }
+
+    #[test]
+    fn different_inputs_give_different_logits() {
+        let m = ViTModel::new(ViTConfig::tiny(), 1);
+        let a = forward(&m, &m.synthetic_input(5));
+        let b = forward(&m, &m.synthetic_input(6));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn calibration_shifts_keep_values_in_range() {
+        let m = ViTModel::new(ViTConfig::tiny(), 2);
+        // After calibration, a frozen run on the calibration input must not
+        // have saturated wildly: spot-check by re-deriving shifts — they
+        // should not need to grow.
+        let again = calibrate_shifts(&m, &m.synthetic_input(2 ^ 0xA5A5));
+        for (a, b) in m.shifts.iter().zip(&again) {
+            assert!(b.qkv <= a.qkv + 1, "{a:?} vs {b:?}");
+            assert!(b.fc2 <= a.fc2 + 1);
+        }
+    }
+
+    #[test]
+    fn intermediate_codes_respect_bitwidth() {
+        let cfg = ViTConfig::tiny();
+        let m = ViTModel::new(cfg, 3);
+        let x = m.synthetic_input(9);
+        // Run one attention half manually and check code ranges.
+        let h = ln_rows(&x, m.ln_gamma, m.ln_beta, cfg.bitwidth);
+        assert!(h.as_slice().iter().all(|&v| v >= cfg.code_min() && v <= cfg.code_max()));
+        let q_acc = gemm_i8_i32(&h, &m.blocks[0].wq);
+        let q = requant(&q_acc, m.shifts[0].qkv, cfg.bitwidth);
+        assert!(q.as_slice().iter().all(|&v| v >= cfg.code_min() && v <= cfg.code_max()));
+    }
+}

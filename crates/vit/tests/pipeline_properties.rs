@@ -1,0 +1,97 @@
+//! ViT pipeline properties: block homogeneity (the justification for the
+//! harness's blocks-limit extrapolation), timing-surface completeness, and
+//! model/weights invariants.
+
+use vitbit_exec::{ExecConfig, Strategy};
+use vitbit_sim::{Gpu, OrinConfig};
+use vitbit_vit::{run_vit, KernelClass, ViTConfig, ViTModel};
+
+fn gpu() -> Gpu {
+    Gpu::new(OrinConfig::test_small(), 128 << 20)
+}
+
+#[test]
+fn encoder_blocks_are_timing_homogeneous() {
+    // The figure harness simulates one representative block per strategy;
+    // that is sound only if blocks cost roughly the same. Verify on the
+    // tiny model: per-block Linear cycles within 20% of each other.
+    let model = ViTModel::new(ViTConfig::tiny(), 21);
+    let cfg = ExecConfig::guarded(model.cfg.bitwidth);
+    let x = model.synthetic_input(4);
+    let mut g = gpu();
+    let run = run_vit(&mut g, &model, &x, Strategy::Ic, &cfg, None);
+    let block_cycles: Vec<u64> = (0..model.cfg.blocks)
+        .map(|b| {
+            run.timings
+                .iter()
+                .filter(|t| t.block == b)
+                .map(|t| t.stats.cycles)
+                .sum()
+        })
+        .collect();
+    let max = *block_cycles.iter().max().unwrap() as f64;
+    let min = *block_cycles.iter().min().unwrap() as f64;
+    assert!(
+        max / min < 1.2,
+        "blocks should cost alike: {block_cycles:?}"
+    );
+}
+
+#[test]
+fn cycles_by_name_partitions_the_total() {
+    let model = ViTModel::new(ViTConfig::tiny(), 22);
+    let cfg = ExecConfig::guarded(model.cfg.bitwidth);
+    let x = model.synthetic_input(5);
+    let mut g = gpu();
+    let run = run_vit(&mut g, &model, &x, Strategy::Tc, &cfg, Some(1));
+    let by_name: u64 = run.cycles_by_name().iter().map(|(_, c)| c).sum();
+    assert_eq!(by_name, run.total_cycles());
+    let by_class =
+        run.cycles_of(KernelClass::Linear) + run.cycles_of(KernelClass::Cuda);
+    assert_eq!(by_class, run.total_cycles());
+}
+
+#[test]
+fn linear_sites_dominate_vit_time_under_tc() {
+    // ViT is GEMM-dominated; the timing split should reflect it even at
+    // tiny dims.
+    let model = ViTModel::new(ViTConfig::tiny(), 23);
+    let cfg = ExecConfig::guarded(model.cfg.bitwidth);
+    let x = model.synthetic_input(6);
+    let mut g = gpu();
+    let run = run_vit(&mut g, &model, &x, Strategy::Ic, &cfg, Some(1));
+    assert!(
+        run.cycles_of(KernelClass::Linear) > run.cycles_of(KernelClass::Cuda) / 4,
+        "Linear share unexpectedly tiny"
+    );
+}
+
+#[test]
+fn bitwidth_variants_of_the_model_run_end_to_end() {
+    for bw in [4u32, 6, 8] {
+        let mut cfg = ViTConfig::tiny();
+        cfg.bitwidth = bw;
+        let model = ViTModel::new(cfg, 30 + u64::from(bw));
+        let x = model.synthetic_input(1);
+        let want = vitbit_vit::reference::forward(&model, &x);
+        let mut g = gpu();
+        let exec = ExecConfig::guarded(bw);
+        let run = run_vit(&mut g, &model, &x, Strategy::Ic, &exec, None);
+        assert_eq!(run.logits, want, "bitwidth {bw}");
+    }
+}
+
+#[test]
+fn weights_and_shifts_survive_cloning_into_tails() {
+    // The blocks-limit tail path must see identical parameters.
+    let model = ViTModel::new(ViTConfig::tiny(), 40);
+    let cfg = ExecConfig::guarded(model.cfg.bitwidth);
+    let x = model.synthetic_input(2);
+    let mut g = gpu();
+    let full = run_vit(&mut g, &model, &x, Strategy::Ic, &cfg, None);
+    for limit in [0usize, 1] {
+        let part = run_vit(&mut g, &model, &x, Strategy::Ic, &cfg, Some(limit));
+        assert_eq!(part.logits, full.logits, "limit {limit}");
+        assert_eq!(part.simulated_blocks, limit);
+    }
+}

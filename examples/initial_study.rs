@@ -1,0 +1,22 @@
+//! Reproduces the paper's Section-3.2 "initial study" that motivates the
+//! 4:1 Tensor:CUDA split — measuring a ViT-sized GEMM on each core class.
+//!
+//! ```text
+//! cargo run --release --example initial_study
+//! ```
+
+use vitbit::exec::run_initial_study;
+use vitbit::sim::Gpu;
+
+fn main() {
+    let mut gpu = Gpu::orin();
+    println!("measuring GEMM 197x768x768 at INT6 on each core class ...");
+    let r = run_initial_study(&mut gpu, 197, 768, 768, 6);
+    let names = ["TC", "IC", "FC", "IC+FC", "IC+FC+P"];
+    let paper = [1.0, 7.5, 7.5, 6.5, 4.0];
+    for (i, x) in r.normalized().iter().enumerate() {
+        println!("{:<9} {:>6.2}x TC   (paper ~{:>3.1}x)", names[i], x, paper[i]);
+    }
+    let m = r.derived_ratio();
+    println!("=> assignment ratio m = {}:{}  (paper: 4:1)", m.tc, m.cuda);
+}

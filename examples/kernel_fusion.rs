@@ -1,0 +1,54 @@
+//! Kernel fusion walkthrough: run one ViT-sized GEMM under every Table-3
+//! strategy on the simulated Orin and print where the cycles and the
+//! arithmetic go — the mechanism behind the paper's Figures 5 and 8.
+//!
+//! ```text
+//! cargo run --release --example kernel_fusion
+//! ```
+
+use vitbit::exec::{ExecConfig, Strategy};
+use vitbit::sim::Gpu;
+use vitbit::tensor::{gen, refgemm};
+
+fn main() {
+    let cfg = ExecConfig::int6();
+    let mut gpu = Gpu::orin();
+    // The ViT-Base Linear shape: (197 tokens x 768) x (768 x 768).
+    let a = gen::uniform_i8(197, 768, -32, 31, 1);
+    let b = gen::uniform_i8(768, 768, -32, 31, 2);
+    let want = refgemm::gemm_i8_i32(&a, &b);
+
+    println!(
+        "{:<9} {:>10} {:>8} {:>9} {:>9} {:>9} {:>10}",
+        "method", "cycles", "vs TC", "TC ops%", "INT ops%", "FP ops%", "exact"
+    );
+    let mut tc_cycles = 0u64;
+    for s in Strategy::ALL {
+        gpu.cold_caches();
+        let out = s.run_gemm(&mut gpu, &a, &b, &cfg);
+        let st = &out.stats;
+        if s == Strategy::Tc {
+            tc_cycles = st.cycles;
+        }
+        let total = st.total_ops().max(1) as f64;
+        println!(
+            "{:<9} {:>10} {:>7.2}x {:>8.1}% {:>8.1}% {:>8.1}% {:>10}",
+            s.name(),
+            st.cycles,
+            tc_cycles as f64 / st.cycles as f64,
+            100.0 * st.tc_ops as f64 / total,
+            100.0 * st.int_ops as f64 / total,
+            100.0 * st.fp_ops as f64 / total,
+            out.c == want,
+        );
+    }
+    println!(
+        "\nEvery method computes the identical integer result; the fused ones\n\
+         (Tacker, TC+IC+FC, VitBit) split the columns of B across Tensor-core\n\
+         blocks and INT/FP CUDA blocks co-resident in one launch (the paper's\n\
+         Algorithm-2 co-scheduling at block granularity). Shown here as raw\n\
+         fused launches; the ViT pipeline dispatches adaptively per shape\n\
+         (ExecConfig::adaptive), keeping the faster of fused and TC — see\n\
+         EXPERIMENTS.md for why fused GEMMs lose to TC in this machine model."
+    );
+}

@@ -1,0 +1,62 @@
+//! Quickstart: pack low-bitwidth integers, multiply them with one
+//! instruction's worth of work, and verify exactness — first on the host
+//! CPU, then on the simulated Jetson Orin GPU.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vitbit::core::host::{packed_gemm, packed_gemm_wide};
+use vitbit::core::pack::{pack_codes, unpack_codes};
+use vitbit::core::policy::PackSpec;
+use vitbit::core::swar::PackedAcc;
+use vitbit::kernels::gemm::run_packed;
+use vitbit::sim::Gpu;
+use vitbit::tensor::{gen, refgemm};
+
+fn main() {
+    // 1. The Figure-3 packing policy: INT6 packs two values per register.
+    let spec = PackSpec::guarded(6, 6).expect("INT6 is packable");
+    println!(
+        "INT6 spec: {} lanes of {} bits, exact for chunks of {} MACs, \
+         theoretical INT-instruction gain {:.2}x",
+        spec.lanes,
+        spec.lane_bits,
+        spec.chunk_len(),
+        spec.packing_gain()
+    );
+
+    // 2. Pack / unpack round trip.
+    let codes: Vec<i8> = vec![-32, 31, 0, -1, 17, -20];
+    let regs = pack_codes(&codes, &spec).expect("length is a lane multiple");
+    println!("packed {:?} into {} registers: {:08x?}", codes, regs.len(), regs);
+    assert_eq!(unpack_codes(&regs, &spec), codes);
+
+    // 3. One packed multiply-accumulate stream: a single IMAD per register
+    //    covers `lanes` multiplications at once.
+    let mut acc = PackedAcc::new(spec);
+    for (i, reg) in regs.iter().enumerate() {
+        acc.mac(7 + i as u32, *reg);
+    }
+    println!("packed accumulator lanes: {:?}", acc.finish());
+
+    // 4. A whole GEMM on the host CPU, exact vs the scalar reference.
+    let a = gen::uniform_i8(32, 96, -32, 31, 1);
+    let b = gen::uniform_i8(96, 64, -32, 31, 2);
+    let reference = refgemm::gemm_i8_i32(&a, &b);
+    assert_eq!(packed_gemm(&a, &b, &spec).unwrap(), reference);
+    assert_eq!(packed_gemm_wide(&a, &b, &spec).unwrap(), reference);
+    println!("host packed GEMM (u32 and u64 registers): exact");
+
+    // 5. The same GEMM on the simulated Jetson Orin GPU's INT CUDA cores.
+    let mut gpu = Gpu::orin();
+    let out = run_packed(&mut gpu, &a, &b, &spec);
+    assert_eq!(out.c, reference);
+    println!(
+        "simulated packed GEMM: exact, {} cycles, {} INT instructions ({:.2} ms at {:.2} GHz)",
+        out.stats.cycles,
+        out.stats.issued.int,
+        out.stats.time_ms(gpu.config()),
+        gpu.config().clock_ghz
+    );
+}

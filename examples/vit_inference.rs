@@ -1,0 +1,65 @@
+//! End-to-end integer ViT inference on the simulated Orin, comparing the
+//! Tensor-core baseline with full VitBit — the headline experiment
+//! (Figure 5) at example scale.
+//!
+//! Runs a reduced ViT (half dims) so the example finishes in seconds; pass
+//! `--base` for the full ViT-Base (several minutes).
+//!
+//! ```text
+//! cargo run --release --example vit_inference [--base]
+//! ```
+
+use vitbit::exec::{ExecConfig, Strategy};
+use vitbit::sim::Gpu;
+use vitbit::vit::{run_vit, ViTConfig, ViTModel};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--base");
+    let cfg = if full {
+        ViTConfig::base()
+    } else {
+        ViTConfig {
+            blocks: 2,
+            dim: 256,
+            heads: 4,
+            head_dim: 64,
+            mlp_dim: 512,
+            tokens: 64,
+            classes: 20,
+            bitwidth: 6,
+        }
+    };
+    println!(
+        "model: {} blocks, dim {}, {} heads, MLP {}, {} tokens, INT{} ({:.2} GMACs)",
+        cfg.blocks, cfg.dim, cfg.heads, cfg.mlp_dim, cfg.tokens, cfg.bitwidth,
+        cfg.gemm_macs() as f64 / 1e9
+    );
+    let model = ViTModel::new(cfg, 42);
+    let exec = ExecConfig::guarded(cfg.bitwidth);
+    let input = model.synthetic_input(7);
+    let reference = vitbit::vit::reference::forward(&model, &input);
+
+    let mut gpu = Gpu::orin();
+    let blocks = if full { Some(1) } else { None };
+    let mut tc_cycles = 0u64;
+    for s in [Strategy::Tc, Strategy::Tacker, Strategy::TcIcFc, Strategy::VitBit] {
+        let run = run_vit(&mut gpu, &model, &input, s, &exec, blocks);
+        let cycles = run.total_cycles();
+        if s == Strategy::Tc {
+            tc_cycles = cycles;
+        }
+        let argmax = |m: &vitbit::tensor::Matrix<i32>| {
+            m.row(0).iter().enumerate().max_by_key(|&(_, v)| *v).map(|(i, _)| i).unwrap()
+        };
+        println!(
+            "{:<9} cycles {:>12} ({:.2} ms model time)  speedup {:>5.2}x  top-1 {} (ref {})",
+            s.name(),
+            cycles,
+            gpu.config().cycles_to_ms(cycles),
+            tc_cycles as f64 / cycles as f64,
+            argmax(&run.logits),
+            argmax(&reference),
+        );
+    }
+    println!("\n(paper Figure 5: Tacker 1.06x, TC+IC+FC 1.11x, VitBit 1.22x over TC)");
+}

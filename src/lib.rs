@@ -1,0 +1,54 @@
+//! # VitBit — register operand packing for embedded GPUs
+//!
+//! A comprehensive Rust reproduction of *"VitBit: Enhancing Embedded GPU
+//! Performance for AI Workloads through Register Operand Packing"*
+//! (Jeon et al., ICPP '24), built on a cycle-approximate functional +
+//! timing simulator of the NVIDIA Jetson AGX Orin GPU.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`core`] ([`vitbit_core`]) — the paper's contribution: the Figure-3
+//!   packing policy, SWAR multiply-accumulate with guard-bit-exact
+//!   accumulation, the bias (zero-point) correction, Algorithm-1 input
+//!   preprocessing and the Equation-1 work-split ratios — plus a real
+//!   host-CPU packed GEMM.
+//! * [`sim`] ([`vitbit_sim`]) — the Orin GPU model: SMs, GTO warp
+//!   schedulers with dual-issue to distinct pipes, INT/FP/Tensor/SFU/LSU
+//!   pipes, shared memory, L1/L2 caches, DRAM bandwidth regulation, and a
+//!   functional SIMT executor over a SASS-like ISA.
+//! * [`kernels`] ([`vitbit_kernels`]) — GEMM kernels (Tensor-core,
+//!   INT-CUDA, FP-CUDA, packed, and the fused warp-role kernels of
+//!   Algorithm 2) and the ViT attention-block CUDA kernels (Shiftmax,
+//!   ShiftGELU, I-LayerNorm, dropout, residual add) in all Table-3
+//!   variants.
+//! * [`exec`] ([`vitbit_exec`]) — the Table-3 strategies and the
+//!   Section-3.2 calibration study.
+//! * [`vit`] ([`vitbit_vit`]) — an integer-only ViT-Base running end to
+//!   end on the simulator under any strategy.
+//! * [`tensor`] ([`vitbit_tensor`]) — matrices, quantization, reference
+//!   GEMMs.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vitbit::core::policy::PackSpec;
+//! use vitbit::core::host::packed_gemm;
+//! use vitbit::tensor::{gen, refgemm};
+//!
+//! // Pack two INT6 values per register; guarded accumulation is exact.
+//! let spec = PackSpec::guarded(6, 6).unwrap();
+//! let a = gen::uniform_i8(16, 64, -32, 31, 1);
+//! let b = gen::uniform_i8(64, 32, -32, 31, 2);
+//! let packed = packed_gemm(&a, &b, &spec).unwrap();
+//! assert_eq!(packed, refgemm::gemm_i8_i32(&a, &b));
+//! ```
+//!
+//! See `examples/` for simulated-GPU runs and DESIGN.md / EXPERIMENTS.md
+//! for the reproduction methodology and results.
+
+pub use vitbit_core as core;
+pub use vitbit_exec as exec;
+pub use vitbit_kernels as kernels;
+pub use vitbit_sim as sim;
+pub use vitbit_tensor as tensor;
+pub use vitbit_vit as vit;

@@ -1,0 +1,104 @@
+//! Simulator-level invariants exercised through the public facade:
+//! determinism, conservation of instruction counts, utilization bounds,
+//! and failure-injection (hang guard, capacity checks).
+
+use vitbit::kernels::gemm::{run_ic, run_tc};
+use vitbit::sim::config::peak_throughput_table;
+use vitbit::sim::isa::PipeClass;
+use vitbit::sim::program::ProgramBuilder;
+use vitbit::sim::{Gpu, Kernel, OrinConfig};
+use vitbit::tensor::gen;
+
+fn gpu() -> Gpu {
+    Gpu::new(OrinConfig::test_small(), 64 << 20)
+}
+
+#[test]
+fn simulation_is_fully_deterministic() {
+    let a = gen::uniform_i8(20, 40, -32, 31, 1);
+    let b = gen::uniform_i8(40, 96, -32, 31, 2);
+    let mut g1 = gpu();
+    let mut g2 = gpu();
+    let r1 = run_ic(&mut g1, &a, &b);
+    let r2 = run_ic(&mut g2, &a, &b);
+    assert_eq!(r1.c, r2.c);
+    assert_eq!(r1.stats.cycles, r2.stats.cycles);
+    assert_eq!(r1.stats.issued.total(), r2.stats.issued.total());
+    assert_eq!(r1.stats.dram_bytes, r2.stats.dram_bytes);
+}
+
+#[test]
+fn utilization_is_bounded_and_ops_match_shape() {
+    let mut g = gpu();
+    let (m, n, k) = (32usize, 128usize, 64usize);
+    let a = gen::uniform_i8(m, k, -32, 31, 3);
+    let b = gen::uniform_i8(k, n, -32, 31, 4);
+    let out = run_tc(&mut g, &a, &b);
+    for pipe in [PipeClass::Int, PipeClass::Fp, PipeClass::Tensor, PipeClass::Sfu, PipeClass::Lsu]
+    {
+        let u = out.stats.utilization(pipe);
+        assert!((0.0..=1.0).contains(&u), "{pipe:?} utilization {u}");
+    }
+    // TC ops == padded shape's MACs x2 (M pads to 64, N to 64, K to 64).
+    assert_eq!(out.stats.tc_ops, 2 * 64 * 128 * 64);
+}
+
+#[test]
+fn warm_l2_speeds_up_second_launch() {
+    let mut g = gpu();
+    let a = gen::uniform_i8(32, 64, -32, 31, 5);
+    let b = gen::uniform_i8(64, 128, -32, 31, 6);
+    g.cold_caches();
+    let cold = run_tc(&mut g, &a, &b).stats.cycles;
+    // Same operands stay resident in the (kept) L2 between launches —
+    // uploads go to fresh addresses, so re-run the identical launch:
+    let warm = run_tc(&mut g, &a, &b).stats.cycles;
+    assert!(warm <= cold, "warm {warm} should not exceed cold {cold}");
+}
+
+#[test]
+#[should_panic(expected = "exceeded")]
+fn hang_guard_catches_infinite_kernels() {
+    let mut p = ProgramBuilder::new("spin");
+    p.label_here("top");
+    p.bra("top");
+    p.exit();
+    let mut cfg = OrinConfig::test_small();
+    cfg.max_cycles = 5_000;
+    let mut g = Gpu::new(cfg, 1 << 20);
+    let k = Kernel::single("spin", p.build().into_arc(), 1, 1, 0, vec![]);
+    let _ = g.launch(&k);
+}
+
+#[test]
+#[should_panic(expected = "cannot fit")]
+fn oversized_blocks_are_rejected() {
+    let mut p = ProgramBuilder::new("big");
+    p.exit();
+    let mut g = gpu();
+    let k = Kernel::single("big", p.build().into_arc(), 1, 1000, 0, vec![]);
+    let _ = g.launch(&k);
+}
+
+#[test]
+#[should_panic(expected = "shared memory")]
+fn oversized_smem_is_rejected() {
+    let mut p = ProgramBuilder::new("smem");
+    p.exit();
+    let mut g = gpu();
+    let k = Kernel::single("smem", p.build().into_arc(), 1, 1, 100 << 20, vec![]);
+    let _ = g.launch(&k);
+}
+
+#[test]
+fn table1_regenerates_from_the_machine_description() {
+    let t = peak_throughput_table(&OrinConfig::jetson_agx_orin());
+    let int8 = t.iter().find(|r| r.format == "INT8").unwrap().tops;
+    let int32 = t
+        .iter()
+        .find(|r| r.format == "INT32" && r.unit == "CUDA Core")
+        .unwrap()
+        .tops;
+    // The 32x gap that motivates the whole paper.
+    assert!((int8 / int32 - 32.0).abs() < 1.5);
+}

@@ -1,0 +1,116 @@
+//! Cross-crate integration: Table-3 strategies over the simulated GPU and
+//! the integer ViT pipeline.
+
+use vitbit::exec::{run_initial_study, ExecConfig, GemmTuner, Strategy};
+use vitbit::sim::{Gpu, OrinConfig};
+use vitbit::tensor::refgemm::gemm_i8_i32;
+use vitbit::tensor::{gen, metrics, Matrix};
+use vitbit::vit::{run_vit, KernelClass, ViTConfig, ViTModel};
+
+fn gpu() -> Gpu {
+    Gpu::new(OrinConfig::test_small(), 128 << 20)
+}
+
+#[test]
+fn all_seven_strategies_agree_on_gemm_results() {
+    let mut g = gpu();
+    let cfg = ExecConfig::int6();
+    let a = gen::uniform_i8(24, 48, -32, 31, 1);
+    let b = gen::uniform_i8(48, 384, -32, 31, 2);
+    let want = gemm_i8_i32(&a, &b);
+    for s in Strategy::ALL {
+        assert_eq!(s.run_gemm(&mut g, &a, &b, &cfg).c, want, "{}", s.name());
+    }
+}
+
+#[test]
+fn tuned_dispatch_caches_per_shape_choices() {
+    let mut g = gpu();
+    let cfg = ExecConfig::int6();
+    let mut tuner = GemmTuner::new();
+    let a = gen::uniform_i8(16, 32, -32, 31, 3);
+    let b = gen::uniform_i8(32, 256, -32, 31, 4);
+    let want = gemm_i8_i32(&a, &b);
+    assert!(tuner.is_empty());
+    let first = Strategy::VitBit.run_gemm_tuned(&mut g, &a, &b, &cfg, &mut tuner);
+    assert_eq!(first.c, want);
+    assert_eq!(tuner.len(), 1, "one shape tuned");
+    let second = Strategy::VitBit.run_gemm_tuned(&mut g, &a, &b, &cfg, &mut tuner);
+    assert_eq!(second.c, want);
+    assert_eq!(tuner.len(), 1, "cache hit, no new entries");
+}
+
+#[test]
+fn initial_study_orders_cases_like_the_paper() {
+    let mut g = gpu();
+    let r = run_initial_study(&mut g, 64, 256, 256, 6);
+    let n = r.normalized();
+    // TC clearly fastest; every CUDA case slower; the derived ratio is a
+    // usable split.
+    assert!(n[1] > 2.0 && n[2] > 2.0 && n[3] > 2.0 && n[4] > 2.0);
+    let m = r.derived_ratio();
+    assert!(m.tc >= 2 && m.cuda == 1);
+}
+
+#[test]
+fn vit_pipeline_exact_strategies_agree_with_reference() {
+    let model = ViTModel::new(ViTConfig::tiny(), 5);
+    let cfg = ExecConfig::guarded(model.cfg.bitwidth);
+    let x = model.synthetic_input(31);
+    let want = vitbit::vit::reference::forward(&model, &x);
+    let mut g = gpu();
+    for s in [Strategy::Tc, Strategy::Ic, Strategy::Tacker] {
+        let run = run_vit(&mut g, &model, &x, s, &cfg, None);
+        assert_eq!(run.logits, want, "{} must be bit-exact", s.name());
+    }
+}
+
+#[test]
+fn vit_accuracy_maintained_across_strategies() {
+    // The paper's Figure-5 methods must preserve the classification
+    // decision (top-1 agreement over a small batch).
+    let model = ViTModel::new(ViTConfig::tiny(), 6);
+    let cfg = ExecConfig::guarded(model.cfg.bitwidth);
+    let mut g = gpu();
+    let argrow = |m: &Matrix<i32>| {
+        m.row(0).iter().enumerate().max_by_key(|&(_, v)| *v).map(|(i, _)| i).unwrap()
+    };
+    for s in Strategy::FIG5 {
+        let mut agree = 0;
+        let trials = 4;
+        for seed in 0..trials {
+            let x = model.synthetic_input(200 + seed);
+            let want = vitbit::vit::reference::forward(&model, &x);
+            let run = run_vit(&mut g, &model, &x, s, &cfg, None);
+            if argrow(&run.logits) == argrow(&want) {
+                agree += 1;
+            }
+        }
+        assert!(agree * 4 >= trials * 3, "{}: top-1 {agree}/{trials}", s.name());
+    }
+}
+
+#[test]
+fn vit_timings_cover_every_kernel_class_per_strategy() {
+    let model = ViTModel::new(ViTConfig::tiny(), 7);
+    let cfg = ExecConfig::guarded(model.cfg.bitwidth);
+    let x = model.synthetic_input(8);
+    let mut g = gpu();
+    for s in [Strategy::Tc, Strategy::IcFc, Strategy::VitBit] {
+        let run = run_vit(&mut g, &model, &x, s, &cfg, Some(1));
+        assert!(run.cycles_of(KernelClass::Linear) > 0, "{}", s.name());
+        assert!(run.cycles_of(KernelClass::Cuda) > 0, "{}", s.name());
+        let agg = run.aggregate();
+        assert!(agg.ipc() > 0.0);
+        assert!(agg.arith_density() > 0.0);
+    }
+}
+
+#[test]
+fn top1_agreement_metric_sanity() {
+    // Tie the tensor metric helpers into the logits workflow.
+    let a = Matrix::from_vec(2, 3, vec![5, 1, 0, 0, 9, 2]);
+    let b = Matrix::from_vec(2, 3, vec![4, 2, 1, 1, 8, 3]);
+    assert_eq!(metrics::top1_agreement(&a, &b), 1.0);
+    assert_eq!(metrics::max_abs_diff_i32(&a, &b), 1);
+}
