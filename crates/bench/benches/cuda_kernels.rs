@@ -1,8 +1,8 @@
 //! Figure-7 micro-benches: the attention block's CUDA-core kernels in their
 //! IC / FC / IC+FC / VitBit variants on the simulated GPU.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use vitbit_bench::timing::bench;
 use vitbit_core::policy::PackSpec;
 use vitbit_kernels::elementwise::{run_layernorm, run_map, run_softmax, EwVariant, MapOp};
 use vitbit_sim::{Gpu, OrinConfig};
@@ -18,35 +18,33 @@ fn variants() -> Vec<(&'static str, EwVariant)> {
     ]
 }
 
-fn bench_cuda_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_cuda_kernels");
-    group.sample_size(10);
+fn main() {
     let x = gen::uniform_i8(1, 16 * 1024, -32, 31, 1).into_vec();
     let y = gen::uniform_i8(1, 16 * 1024, -32, 31, 2).into_vec();
     let rows = gen::uniform_i8(64, 128, -32, 31, 3);
 
     for (name, v) in variants() {
-        group.bench_with_input(BenchmarkId::new("shiftgelu", name), &v, |bch, v| {
-            let mut gpu = Gpu::new(OrinConfig::test_small(), 32 << 20);
-            bch.iter(|| run_map(&mut gpu, MapOp::Gelu, *v, 6, black_box(&x), None).stats.cycles)
+        let mut gpu = Gpu::new(OrinConfig::test_small(), 32 << 20);
+        bench(&format!("sim_cuda_kernels/shiftgelu/{name}"), 10, || {
+            run_map(&mut gpu, MapOp::Gelu, v, 6, black_box(&x), None)
+                .stats
+                .cycles
         });
-        group.bench_with_input(BenchmarkId::new("residual_add", name), &v, |bch, v| {
-            let mut gpu = Gpu::new(OrinConfig::test_small(), 32 << 20);
-            bch.iter(|| {
-                run_map(&mut gpu, MapOp::Add, *v, 6, black_box(&x), Some(&y)).stats.cycles
-            })
+        let mut gpu = Gpu::new(OrinConfig::test_small(), 32 << 20);
+        bench(&format!("sim_cuda_kernels/residual_add/{name}"), 10, || {
+            run_map(&mut gpu, MapOp::Add, v, 6, black_box(&x), Some(&y))
+                .stats
+                .cycles
         });
-        group.bench_with_input(BenchmarkId::new("shiftmax", name), &v, |bch, v| {
-            let mut gpu = Gpu::new(OrinConfig::test_small(), 32 << 20);
-            bch.iter(|| run_softmax(&mut gpu, black_box(&rows), *v, 6).stats.cycles)
+        let mut gpu = Gpu::new(OrinConfig::test_small(), 32 << 20);
+        bench(&format!("sim_cuda_kernels/shiftmax/{name}"), 10, || {
+            run_softmax(&mut gpu, black_box(&rows), v, 6).stats.cycles
         });
-        group.bench_with_input(BenchmarkId::new("ilayernorm", name), &v, |bch, v| {
-            let mut gpu = Gpu::new(OrinConfig::test_small(), 32 << 20);
-            bch.iter(|| run_layernorm(&mut gpu, black_box(&rows), 64, 0, *v, 6).stats.cycles)
+        let mut gpu = Gpu::new(OrinConfig::test_small(), 32 << 20);
+        bench(&format!("sim_cuda_kernels/ilayernorm/{name}"), 10, || {
+            run_layernorm(&mut gpu, black_box(&rows), 64, 0, v, 6)
+                .stats
+                .cycles
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_cuda_kernels);
-criterion_main!(benches);

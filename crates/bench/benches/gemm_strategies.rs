@@ -1,29 +1,29 @@
 //! Simulated-GPU GEMM strategy benches (the Table-3 family at micro
-//! scale): each iteration simulates one kernel launch; Criterion tracks
+//! scale): each iteration simulates one kernel launch; the harness tracks
 //! the wall-clock cost of the simulation while the returned value is the
 //! simulated cycle count the paper's figures are built from.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use vitbit_bench::timing::bench;
 use vitbit_exec::{ExecConfig, Strategy};
 use vitbit_sim::{Gpu, OrinConfig};
 use vitbit_tensor::gen;
 
-fn bench_strategies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_gemm_strategies");
-    group.sample_size(10);
+fn main() {
     let cfg = ExecConfig::int6();
     // A reduced Linear shape keeps each simulated launch fast.
     let a = gen::uniform_i8(64, 256, -32, 31, 1);
     let b = gen::uniform_i8(256, 256, -32, 31, 2);
     for s in Strategy::ALL {
-        group.bench_with_input(BenchmarkId::new("gemm64x256x256", s.name()), &s, |bch, s| {
-            let mut gpu = Gpu::new(OrinConfig::test_small(), 64 << 20);
-            bch.iter(|| s.run_gemm(&mut gpu, black_box(&a), black_box(&b), &cfg).stats.cycles)
-        });
+        let mut gpu = Gpu::new(OrinConfig::test_small(), 64 << 20);
+        bench(
+            &format!("sim_gemm_strategies/gemm64x256x256/{}", s.name()),
+            10,
+            || {
+                s.run_gemm(&mut gpu, black_box(&a), black_box(&b), &cfg)
+                    .stats
+                    .cycles
+            },
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_strategies);
-criterion_main!(benches);

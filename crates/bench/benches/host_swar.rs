@@ -7,33 +7,27 @@
 //! the paper's claim; on scalar ISAs — like the GPU INT pipe the paper
 //! targets — that reduction is the speedup.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use vitbit_bench::timing::bench;
 use vitbit_core::host::{packed_gemm, packed_gemm_wide};
 use vitbit_core::policy::PackSpec;
 use vitbit_tensor::{gen, refgemm};
 
-fn bench_host_swar(c: &mut Criterion) {
-    let mut group = c.benchmark_group("host_swar_gemm");
-    group.sample_size(10);
+fn main() {
     for &bw in &[4u32, 6] {
         let spec = PackSpec::guarded(bw, bw).expect("packable");
         let hi = ((1i32 << (bw - 1)) - 1) as i8;
         let (m, n, k) = (64usize, 256usize, 256usize);
         let a = gen::uniform_i8(m, k, -hi - 1, hi, 1);
         let b = gen::uniform_i8(k, n, -hi - 1, hi, 2);
-        group.bench_with_input(BenchmarkId::new("scalar_reference", bw), &bw, |bch, _| {
-            bch.iter(|| refgemm::gemm_i8_i32(black_box(&a), black_box(&b)))
+        bench(&format!("host_swar_gemm/scalar_reference/{bw}"), 10, || {
+            refgemm::gemm_i8_i32(black_box(&a), black_box(&b))
         });
-        group.bench_with_input(BenchmarkId::new("packed_u32", bw), &bw, |bch, _| {
-            bch.iter(|| packed_gemm(black_box(&a), black_box(&b), &spec).unwrap())
+        bench(&format!("host_swar_gemm/packed_u32/{bw}"), 10, || {
+            packed_gemm(black_box(&a), black_box(&b), &spec).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("packed_u64", bw), &bw, |bch, _| {
-            bch.iter(|| packed_gemm_wide(black_box(&a), black_box(&b), &spec).unwrap())
+        bench(&format!("host_swar_gemm/packed_u64/{bw}"), 10, || {
+            packed_gemm_wide(black_box(&a), black_box(&b), &spec).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_host_swar);
-criterion_main!(benches);

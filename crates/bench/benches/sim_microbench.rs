@@ -2,8 +2,8 @@
 //! instructions per wall second) and packing-policy ablations (guarded vs
 //! paper policy cost on the host SWAR path).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use vitbit_bench::timing::bench;
 use vitbit_core::policy::{PackPolicy, PackSpec};
 use vitbit_core::swar::PackedAcc;
 use vitbit_sim::isa::{ICmp, MemWidth, SReg, Src};
@@ -53,45 +53,53 @@ fn stream_kernel(gpu: &mut Gpu, blocks: u32) -> Kernel {
     p.isetp(pr, i.into(), Src::Imm(64), ICmp::Lt);
     p.bra_if("loop", pr, true);
     p.exit();
-    Kernel::single("micro_stream", p.build().into_arc(), blocks, 1, 0, vec![buf.addr])
+    Kernel::single(
+        "micro_stream",
+        p.build().into_arc(),
+        blocks,
+        1,
+        0,
+        vec![buf.addr],
+    )
 }
 
-fn bench_sim_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_throughput");
-    group.sample_size(10);
-    group.bench_function("math_kernel_16_blocks", |b| {
-        let mut gpu = Gpu::new(OrinConfig::test_small(), 16 << 20);
-        let k = math_kernel(16, 8);
-        b.iter(|| black_box(gpu.launch(&k).issued.total()))
+fn bench_sim_throughput() {
+    let mut gpu = Gpu::new(OrinConfig::test_small(), 16 << 20);
+    let k = math_kernel(16, 8);
+    bench("sim_throughput/math_kernel_16_blocks", 10, || {
+        black_box(gpu.launch(&k).issued.total())
     });
-    group.bench_function("stream_kernel_16_blocks", |b| {
-        let mut gpu = Gpu::new(OrinConfig::test_small(), 64 << 20);
-        let k = stream_kernel(&mut gpu, 16);
-        b.iter(|| black_box(gpu.launch(&k).cycles))
+    let mut gpu = Gpu::new(OrinConfig::test_small(), 64 << 20);
+    let k = stream_kernel(&mut gpu, 16);
+    bench("sim_throughput/stream_kernel_16_blocks", 10, || {
+        black_box(gpu.launch(&k).cycles)
     });
-    group.finish();
 }
 
-fn bench_packing_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("packing_policy_ablation");
-    group.sample_size(20);
-    for (name, policy) in [("guarded", PackPolicy::Guarded), ("paper", PackPolicy::Paper)] {
-        group.bench_with_input(BenchmarkId::new("mac_stream", name), &policy, |b, pol| {
-            let spec = match pol {
-                PackPolicy::Guarded => PackSpec::guarded(6, 6).unwrap(),
-                PackPolicy::Paper => PackSpec::paper(6).unwrap(),
-            };
-            b.iter(|| {
+fn bench_packing_policies() {
+    for (name, policy) in [
+        ("guarded", PackPolicy::Guarded),
+        ("paper", PackPolicy::Paper),
+    ] {
+        let spec = match policy {
+            PackPolicy::Guarded => PackSpec::guarded(6, 6).unwrap(),
+            PackPolicy::Paper => PackSpec::paper(6).unwrap(),
+        };
+        bench(
+            &format!("packing_policy_ablation/mac_stream/{name}"),
+            20,
+            || {
                 let mut acc = PackedAcc::new(spec);
                 for i in 0..4096u32 {
                     acc.mac(black_box(i % 63), black_box(0x003F_003F));
                 }
                 acc.finish()
-            })
-        });
+            },
+        );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_sim_throughput, bench_packing_policies);
-criterion_main!(benches);
+fn main() {
+    bench_sim_throughput();
+    bench_packing_policies();
+}

@@ -1,0 +1,244 @@
+//! Wall-clock throughput of the two-phase parallel simulator and the
+//! packed-weight cache.
+//!
+//! Measures (a) simulated cycles per wall second for `SimMode::Serial` vs
+//! `SimMode::Parallel` — both the inline single-worker loop (the default on
+//! a one-core host) and the pooled loop — on math-dense / memory-streaming
+//! kernels and on one simulated ViT encoder block, and (b) the host-side
+//! preprocessing cost (`pack_matrix_rows` + weight colsum) that the
+//! `PackedWeightCache` eliminates on every forward pass after the first,
+//! timed at ViT-Base weight shapes. Both sim modes are bit-identical
+//! (tests/parallel_determinism.rs); this bench only reports speed. The
+//! report prints the detected core count: on a single-core host the pooled
+//! numbers show timesharing overhead, not scaling, and EXPERIMENTS.md
+//! records them with that caveat.
+
+use std::hint::black_box;
+use std::time::Duration;
+use vitbit_bench::timing::bench;
+use vitbit_core::policy::PackSpec;
+use vitbit_core::ratio::CoreRatio;
+use vitbit_exec::{ExecConfig, PackedWeightCache, Strategy};
+use vitbit_kernels::gemm::{PackedWeight, WeightKey};
+use vitbit_sim::isa::{ICmp, MemWidth, SReg, Src};
+use vitbit_sim::program::ProgramBuilder;
+use vitbit_sim::{Gpu, Kernel, OrinConfig, SimMode};
+use vitbit_tensor::gen;
+use vitbit_vit::{run_vit, run_vit_cached, ViTConfig, ViTModel};
+
+fn gpu_with(mode: SimMode, threads: u32) -> Gpu {
+    let mut cfg = OrinConfig::test_small();
+    cfg.sim_mode = mode;
+    cfg.sim_threads = Some(threads);
+    Gpu::new(cfg, 128 << 20)
+}
+
+/// Math-dense kernel: 256 iterations of 8 independent IMAD chains, enough
+/// blocks to keep every modelled SM busy (the parallel win lives in the
+/// per-SM compute phase).
+fn math_kernel(blocks: u32, warps: u32) -> Kernel {
+    let mut p = ProgramBuilder::new("parbench_math");
+    let acc = p.alloc_n(8);
+    let i = p.alloc();
+    let pr = p.alloc_pred();
+    p.mov(i, Src::Imm(0));
+    p.label_here("loop");
+    for r in 0..8u16 {
+        let reg = vitbit_sim::isa::Reg(acc.0 + r as u8);
+        p.imad(reg, reg.into(), Src::Imm(3), Src::Imm(1));
+    }
+    p.iadd(i, i.into(), Src::Imm(1));
+    p.isetp(pr, i.into(), Src::Imm(256), ICmp::Lt);
+    p.bra_if("loop", pr, true);
+    p.exit();
+    Kernel::single(
+        "parbench_math",
+        p.build().into_arc(),
+        blocks,
+        warps,
+        0,
+        vec![],
+    )
+}
+
+/// Memory-streaming kernel: strided 32-bit loads, stressing the serial
+/// memory-service phase (the Amdahl floor of the parallel mode).
+fn stream_kernel(gpu: &mut Gpu, blocks: u32) -> Kernel {
+    let buf = gpu.mem.alloc(blocks * 32 * 4 * 64 + 128 * 64);
+    let mut p = ProgramBuilder::new("parbench_stream");
+    let base = p.alloc();
+    let tid = p.alloc();
+    let ctaid = p.alloc();
+    let addr = p.alloc();
+    let v = p.alloc();
+    let i = p.alloc();
+    let pr = p.alloc_pred();
+    p.ldc(base, 0);
+    p.sreg(tid, SReg::Tid);
+    p.sreg(ctaid, SReg::Ctaid);
+    p.imad(addr, ctaid.into(), Src::Imm(32 * 4), base.into());
+    p.imad(addr, tid.into(), Src::Imm(4), addr.into());
+    p.mov(i, Src::Imm(0));
+    p.label_here("loop");
+    p.ldg(v, addr, 0, MemWidth::B32);
+    p.iadd(addr, addr.into(), Src::Imm(128));
+    p.iadd(i, i.into(), Src::Imm(1));
+    p.isetp(pr, i.into(), Src::Imm(64), ICmp::Lt);
+    p.bra_if("loop", pr, true);
+    p.exit();
+    Kernel::single(
+        "parbench_stream",
+        p.build().into_arc(),
+        blocks,
+        1,
+        0,
+        vec![buf.addr],
+    )
+}
+
+fn report_rate(name: &str, cycles: u64, wall: Duration) {
+    println!(
+        "{name:<48} {:>10.2} Msim-cycles/s  ({cycles} cycles / {wall:.3?})",
+        cycles as f64 / wall.as_secs_f64() / 1e6
+    );
+}
+
+/// The ViT model used for end-to-end runs: wide enough (dim 128,
+/// CUDA-heavy ratio) that the fused VitBit driver actually packs weights
+/// instead of falling back to pure Tensor-core GEMMs.
+fn bench_model() -> (ViTModel, ExecConfig) {
+    let mut vc = ViTConfig::tiny();
+    vc.blocks = 1;
+    vc.dim = 128;
+    vc.head_dim = 64;
+    vc.mlp_dim = 256;
+    let model = ViTModel::new(vc, 7);
+    let mut cfg = ExecConfig::guarded(model.cfg.bitwidth);
+    cfg.ratio = Some(CoreRatio { tc: 1, cuda: 3 });
+    cfg.adaptive = false;
+    (model, cfg)
+}
+
+fn bench_modes() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get() as u32);
+    println!("-- serial vs parallel ({cores} host cores detected) --");
+    // parallel/1 runs the two-phase loop inline on the calling thread (the
+    // default resolution on a one-core host); parallel/pooled exercises the
+    // scoped-thread pool with at least two workers.
+    for (label, mode, t) in [
+        ("serial", SimMode::Serial, 1),
+        ("parallel-inline", SimMode::Parallel, 1),
+        ("parallel-pooled", SimMode::Parallel, cores.max(2)),
+    ] {
+        let mut gpu = gpu_with(mode, t);
+        let k = math_kernel(28, 8);
+        let mut cycles = 0;
+        let wall = bench(&format!("sim_parallel/math_28_blocks/{label}"), 5, || {
+            cycles = gpu.launch(&k).cycles;
+            black_box(cycles)
+        });
+        report_rate(&format!("  rate/math/{label}"), cycles, wall);
+
+        let mut gpu = gpu_with(mode, t);
+        let k = stream_kernel(&mut gpu, 28);
+        let wall = bench(&format!("sim_parallel/stream_28_blocks/{label}"), 5, || {
+            cycles = gpu.launch(&k).cycles;
+            black_box(cycles)
+        });
+        report_rate(&format!("  rate/stream/{label}"), cycles, wall);
+
+        let (model, cfg) = bench_model();
+        let x = model.synthetic_input(3);
+        let mut gpu = gpu_with(mode, t);
+        let mut cycles = 0;
+        let wall = bench(&format!("sim_parallel/vit_block/{label}"), 3, || {
+            let r = run_vit(&mut gpu, &model, &x, Strategy::VitBit, &cfg, Some(1));
+            cycles = r.timings.iter().map(|t| t.stats.cycles).sum();
+            black_box(r.logits)
+        });
+        report_rate(&format!("  rate/vit_block/{label}"), cycles, wall);
+    }
+}
+
+fn bench_weight_cache() {
+    println!("-- packed-weight cache --");
+    let spec = PackSpec::guarded(6, 6).unwrap();
+
+    // What one Algorithm-1 preprocessing pass (pack + weight colsum) costs
+    // at ViT-Base weight shapes. A ViT-Base forward packs 48 dim x dim
+    // operands (wq/wk/wv/wo x 12 blocks) and 24 MLP operands; the cache
+    // pays this once instead of once per forward pass.
+    let mut per_pass = Duration::ZERO;
+    for (name, k, n, count) in [
+        ("qkv_wo_768x768", 768, 768, 48u32),
+        ("mlp_768x3072", 768, 3072, 24),
+    ] {
+        let b = gen::uniform_i8(k, n, -32, 31, 9);
+        let d = bench(&format!("sim_parallel/pack_vitbase/{name}"), 10, || {
+            black_box(PackedWeight::build(&b, &spec))
+        });
+        per_pass += d * count;
+    }
+    println!("  preprocessing eliminated per cached ViT-Base pass: {per_pass:.3?}");
+
+    // Cost of a cache hit: key hash + two Arc clones.
+    let b = gen::uniform_i8(768, 768, -32, 31, 9);
+    let mut cache = PackedWeightCache::new();
+    let key = WeightKey {
+        weight: 1,
+        spec,
+        col_lo: 0,
+        col_len: 768,
+        up_rows: 768,
+        cols_padded: 768,
+    };
+    cache.get_or_pack(key, || PackedWeight::build(&b, &spec));
+    bench("sim_parallel/pack_vitbase/cache_hit", 10, || {
+        black_box(cache.get_or_pack(key, || unreachable!("entry is warm")))
+    });
+
+    // End-to-end simulated passes: the cycle-level simulator dominates wall
+    // time at this scale, so cached and uncached passes should be equal
+    // within noise — the cache must never cost anything.
+    let (model, cfg) = bench_model();
+    let x = model.synthetic_input(3);
+    let mut gpu = Gpu::new(OrinConfig::test_small(), 128 << 20);
+    let mut warm_cache = PackedWeightCache::new();
+    let _ = run_vit_cached(
+        &mut gpu,
+        &model,
+        &x,
+        Strategy::VitBit,
+        &cfg,
+        Some(1),
+        &mut warm_cache,
+    );
+    bench("sim_parallel/vit_pass/cached_warm", 5, || {
+        black_box(
+            run_vit_cached(
+                &mut gpu,
+                &model,
+                &x,
+                Strategy::VitBit,
+                &cfg,
+                Some(1),
+                &mut warm_cache,
+            )
+            .logits,
+        )
+    });
+    let mut gpu = Gpu::new(OrinConfig::test_small(), 128 << 20);
+    bench("sim_parallel/vit_pass/uncached", 5, || {
+        black_box(run_vit(&mut gpu, &model, &x, Strategy::VitBit, &cfg, Some(1)).logits)
+    });
+    println!(
+        "  cache after timed passes: {} packs, {} hits",
+        warm_cache.misses(),
+        warm_cache.hits()
+    );
+}
+
+fn main() {
+    bench_modes();
+    bench_weight_cache();
+}

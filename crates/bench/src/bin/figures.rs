@@ -35,16 +35,21 @@ fn main() {
         i += 1;
     }
     if picks.is_empty() {
-        picks = ["table1", "table2", "table3", "study", "fig5", "fig6", "fig7", "fig8",
-                 "fig9", "fig10", "accuracy", "bitwidth", "ablation"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        picks = [
+            "table1", "table2", "table3", "study", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "accuracy", "bitwidth", "ablation",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
 
     let needs_suite = picks.iter().any(|p| p.starts_with("fig"));
     let suite = if needs_suite {
-        eprintln!("[figures] measuring ViT suite (blocks = {:?}, quick = {}) ...", opts.blocks, opts.quick);
+        eprintln!(
+            "[figures] measuring ViT suite (blocks = {:?}, quick = {}) ...",
+            opts.blocks, opts.quick
+        );
         Some(VitSuite::measure(&opts))
     } else {
         None

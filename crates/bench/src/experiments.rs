@@ -59,7 +59,11 @@ pub fn table1() -> String {
     ];
     let table = peak_throughput_table(&cfg);
     let mut out = String::from("Table 1 — Peak throughput of NVIDIA Jetson Orin AGX\n");
-    let _ = writeln!(out, "{:<10} {:<12} {:>12} {:>12}", "Format", "Unit", "paper", "model");
+    let _ = writeln!(
+        out,
+        "{:<10} {:<12} {:>12} {:>12}",
+        "Format", "Unit", "paper", "model"
+    );
     for (fmt, unit, want) in paper {
         let got = table
             .iter()
@@ -76,14 +80,34 @@ pub fn table2(opts: &HarnessOpts) -> String {
     let vit = opts.vit_config();
     let mut out = String::from("Table 2 — Evaluation configuration\n");
     let _ = writeln!(out, "Platform        : {}", cfg.name);
-    let _ = writeln!(out, "GPU             : Ampere, {} SMs, {} CUDA cores, {} Tensor cores",
-        cfg.num_sms, cfg.cuda_cores(), cfg.tensor_cores());
+    let _ = writeln!(
+        out,
+        "GPU             : Ampere, {} SMs, {} CUDA cores, {} Tensor cores",
+        cfg.num_sms,
+        cfg.cuda_cores(),
+        cfg.tensor_cores()
+    );
     let _ = writeln!(out, "Clock           : {:.2} GHz", cfg.clock_ghz);
-    let _ = writeln!(out, "Memory          : LPDDR5 model, {:.1} GB/s", cfg.dram_gbps);
-    let _ = writeln!(out, "DNN model       : ViT-Base ({} blocks, dim {}, heads {}, MLP {}, {} tokens)",
-        vit.blocks, vit.dim, vit.heads, vit.mlp_dim, vit.tokens);
-    let _ = writeln!(out, "Quantization    : integer-only (I-ViT style), INT{} codes", vit.bitwidth);
-    let _ = writeln!(out, "GEMM MACs/pass  : {:.2} G", vit.gemm_macs() as f64 / 1e9);
+    let _ = writeln!(
+        out,
+        "Memory          : LPDDR5 model, {:.1} GB/s",
+        cfg.dram_gbps
+    );
+    let _ = writeln!(
+        out,
+        "DNN model       : ViT-Base ({} blocks, dim {}, heads {}, MLP {}, {} tokens)",
+        vit.blocks, vit.dim, vit.heads, vit.mlp_dim, vit.tokens
+    );
+    let _ = writeln!(
+        out,
+        "Quantization    : integer-only (I-ViT style), INT{} codes",
+        vit.bitwidth
+    );
+    let _ = writeln!(
+        out,
+        "GEMM MACs/pass  : {:.2} G",
+        vit.gemm_macs() as f64 / 1e9
+    );
     out
 }
 
@@ -91,7 +115,13 @@ pub fn table2(opts: &HarnessOpts) -> String {
 pub fn table3() -> String {
     let mut out = String::from("Table 3 — Comparison group for evaluation\n");
     for s in Strategy::ALL {
-        let _ = writeln!(out, "{:<9} {:<4} {}", s.name(), s.applicability(), s.description());
+        let _ = writeln!(
+            out,
+            "{:<9} {:<4} {}",
+            s.name(),
+            s.applicability(),
+            s.description()
+        );
     }
     out
 }
@@ -113,7 +143,11 @@ pub fn study(opts: &HarnessOpts) -> String {
         let _ = writeln!(out, "{:<9} {:>7.1}x {:>8.2}x", names[i], paper[i], norm[i]);
     }
     let ratio = r.derived_ratio();
-    let _ = writeln!(out, "derived Tensor:CUDA ratio m = {}:{} (paper: 4:1)", ratio.tc, ratio.cuda);
+    let _ = writeln!(
+        out,
+        "derived Tensor:CUDA ratio m = {}:{} (paper: 4:1)",
+        ratio.tc, ratio.cuda
+    );
     out
 }
 
@@ -121,13 +155,29 @@ pub fn study(opts: &HarnessOpts) -> String {
 /// method (speedup over TC).
 pub fn fig5(suite: &VitSuite) -> String {
     let tc = suite.run(Strategy::Tc).total_cycles() as f64;
-    let paper = [(Strategy::Tc, 1.0), (Strategy::Tacker, 1.06), (Strategy::TcIcFc, 1.11), (Strategy::VitBit, 1.22)];
+    let paper = [
+        (Strategy::Tc, 1.0),
+        (Strategy::Tacker, 1.06),
+        (Strategy::TcIcFc, 1.11),
+        (Strategy::VitBit, 1.22),
+    ];
     let mut out = String::from("Figure 5 — ViT-Base inference speedup over TC\n");
-    let _ = writeln!(out, "{:<9} {:>8} {:>9} {:>14}", "method", "paper", "measured", "cycles");
+    let _ = writeln!(
+        out,
+        "{:<9} {:>8} {:>9} {:>14}",
+        "method", "paper", "measured", "cycles"
+    );
     for (s, want) in paper {
         let cyc = suite.run(s).total_cycles();
         let got = tc / cyc as f64;
-        let _ = writeln!(out, "{:<9} {:>7.2}x {:>8.2}x {:>14}", s.name(), want, got, cyc);
+        let _ = writeln!(
+            out,
+            "{:<9} {:>7.2}x {:>8.2}x {:>14}",
+            s.name(),
+            want,
+            got,
+            cyc
+        );
     }
     out
 }
@@ -137,7 +187,11 @@ pub fn fig6(suite: &VitSuite) -> String {
     let tc = suite.run(Strategy::Tc);
     let vb = suite.run(Strategy::VitBit);
     let mut out = String::from("Figure 6 — Linear (GEMM) kernel speedup, VitBit vs TC\n");
-    let _ = writeln!(out, "{:<8} {:>10} {:>10} {:>9}", "kernel", "TC cyc", "VitBit cyc", "speedup");
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>10} {:>9}",
+        "kernel", "TC cyc", "VitBit cyc", "speedup"
+    );
     let mut speedups = Vec::new();
     for site in LINEAR_SITES {
         let a = site_cycles(tc, site);
@@ -151,7 +205,10 @@ pub fn fig6(suite: &VitSuite) -> String {
     }
     let avg = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
     let max = speedups.iter().cloned().fold(0.0, f64::max);
-    let _ = writeln!(out, "average {avg:.2}x (paper 1.28x)   max {max:.2}x (paper 1.35x)");
+    let _ = writeln!(
+        out,
+        "average {avg:.2}x (paper 1.28x)   max {max:.2}x (paper 1.35x)"
+    );
     out
 }
 
@@ -161,7 +218,11 @@ pub fn fig7(suite: &VitSuite) -> String {
     let icfc = suite.run(Strategy::IcFc);
     let vb = suite.run(Strategy::VitBit);
     let mut out = String::from("Figure 7 — CUDA-core kernel speedup over IC\n");
-    let _ = writeln!(out, "{:<10} {:>10} {:>9} {:>9}", "kernel", "IC cyc", "IC+FC", "VitBit");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>10} {:>9} {:>9}",
+        "kernel", "IC cyc", "IC+FC", "VitBit"
+    );
     let mut sp_icfc = Vec::new();
     let mut sp_vb = Vec::new();
     for site in CUDA_SITES {
@@ -181,20 +242,38 @@ pub fn fig7(suite: &VitSuite) -> String {
     let avg2 = sp_vb.iter().sum::<f64>() / sp_vb.len().max(1) as f64;
     let max2 = sp_vb.iter().cloned().fold(0.0, f64::max);
     let _ = writeln!(out, "IC+FC avg {avg1:.2}x (paper 1.05x)");
-    let _ = writeln!(out, "VitBit avg {avg2:.2}x (paper 1.14x)  max {max2:.2}x (paper 1.18x)");
+    let _ = writeln!(
+        out,
+        "VitBit avg {avg2:.2}x (paper 1.14x)  max {max2:.2}x (paper 1.18x)"
+    );
     out
 }
 
 /// Figure 8: arithmetic density (ops/cycle) normalized to TC.
 pub fn fig8(suite: &VitSuite) -> String {
     let tc = suite.run(Strategy::Tc).aggregate().arith_density();
-    let paper = [(Strategy::Tacker, 1.11), (Strategy::TcIcFc, 1.17), (Strategy::VitBit, 1.28)];
+    let paper = [
+        (Strategy::Tacker, 1.11),
+        (Strategy::TcIcFc, 1.17),
+        (Strategy::VitBit, 1.28),
+    ];
     let mut out = String::from("Figure 8 — Arithmetic density over TC\n");
-    let _ = writeln!(out, "{:<9} {:>8} {:>9} {:>12}", "method", "paper", "measured", "ops/cycle");
+    let _ = writeln!(
+        out,
+        "{:<9} {:>8} {:>9} {:>12}",
+        "method", "paper", "measured", "ops/cycle"
+    );
     let _ = writeln!(out, "{:<9} {:>7.2}x {:>8.2}x {:>12.0}", "TC", 1.0, 1.0, tc);
     for (s, want) in paper {
         let d = suite.run(s).aggregate().arith_density();
-        let _ = writeln!(out, "{:<9} {:>7.2}x {:>8.2}x {:>12.0}", s.name(), want, d / tc, d);
+        let _ = writeln!(
+            out,
+            "{:<9} {:>7.2}x {:>8.2}x {:>12.0}",
+            s.name(),
+            want,
+            d / tc,
+            d
+        );
     }
     out
 }
@@ -205,7 +284,11 @@ pub fn fig9(suite: &VitSuite) -> String {
     let icfc = suite.run(Strategy::IcFc);
     let vb = suite.run(Strategy::VitBit);
     let mut out = String::from("Figure 9 — Instruction count reduction, VitBit vs IC+FC\n");
-    let _ = writeln!(out, "{:<10} {:>12} {:>12} {:>10}", "kernel", "IC+FC insts", "VitBit insts", "reduction");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>12} {:>12} {:>10}",
+        "kernel", "IC+FC insts", "VitBit insts", "reduction"
+    );
     let mut best: f64 = 0.0;
     let mut tot_a = 0u64;
     let mut tot_b = 0u64;
@@ -303,7 +386,12 @@ pub fn accuracy(opts: &HarnessOpts) -> String {
     );
     let _ = writeln!(out, "{:<9} {:>8} {:>12}", "method", "top-1", "max |dlogit|");
     let argmax = |m: &vitbit_tensor::Matrix<i32>| {
-        m.row(0).iter().enumerate().max_by_key(|&(_, v)| *v).map(|(i, _)| i).unwrap()
+        m.row(0)
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, v)| *v)
+            .map(|(i, _)| i)
+            .unwrap()
     };
     for s in Strategy::FIG5 {
         let mut agree = 0u64;
@@ -325,7 +413,14 @@ pub fn accuracy(opts: &HarnessOpts) -> String {
                 .unwrap_or(0);
             worst = worst.max(dev);
         }
-        let _ = writeln!(out, "{:<9} {:>5}/{:<2} {:>12}", s.name(), agree, batch, worst);
+        let _ = writeln!(
+            out,
+            "{:<9} {:>5}/{:<2} {:>12}",
+            s.name(),
+            agree,
+            batch,
+            worst
+        );
     }
     let _ = writeln!(
         out,
@@ -370,7 +465,10 @@ pub fn bitwidth_sweep() -> String {
             ic.stats.issued.int as f64 / pk.stats.issued.int as f64,
         );
     }
-    let _ = writeln!(out, "*gain = theoretical INT-instruction reduction of the guarded policy");
+    let _ = writeln!(
+        out,
+        "*gain = theoretical INT-instruction reduction of the guarded policy"
+    );
     out
 }
 
@@ -453,7 +551,11 @@ pub fn ablation_sched(opts: &HarnessOpts) -> String {
     use vitbit_sim::SchedPolicy;
     let exec = ExecConfig::guarded(opts.bitwidth);
     let mut out = String::from("Ablation X2c — warp scheduler policy (GTO vs LRR)\n");
-    let _ = writeln!(out, "{:<22} {:>12} {:>12} {:>9}", "kernel", "GTO cycles", "LRR cycles", "LRR/GTO");
+    let _ = writeln!(
+        out,
+        "{:<22} {:>12} {:>12} {:>9}",
+        "kernel", "GTO cycles", "LRR cycles", "LRR/GTO"
+    );
     let (m, n, k) = LINEAR_SHAPE;
     let hi = ((1i32 << (opts.bitwidth - 1)) - 1) as i8;
     let a = gen::uniform_i8(m, k, -hi - 1, hi, 41);
@@ -476,9 +578,17 @@ pub fn ablation_sched(opts: &HarnessOpts) -> String {
             cycles[1] as f64 / cycles[0] as f64
         );
     };
-    run_both("TC GEMM", &mut |g| vitbit_kernels::gemm::run_tc(g, &a, &b).stats.cycles, &mut out);
+    run_both(
+        "TC GEMM",
+        &mut |g| vitbit_kernels::gemm::run_tc(g, &a, &b).stats.cycles,
+        &mut out,
+    );
     run_both("IC GEMM", &mut |g| run_ic(g, &a, &b).stats.cycles, &mut out);
-    run_both("packed GEMM (VitBit)", &mut |g| run_packed(g, &a, &b, &exec.spec).stats.cycles, &mut out);
+    run_both(
+        "packed GEMM (VitBit)",
+        &mut |g| run_packed(g, &a, &b, &exec.spec).stats.cycles,
+        &mut out,
+    );
     let _ = writeln!(
         out,
         "(GTO is the simulator default; the ratio quantifies scheduling\n sensitivity of each kernel class in this machine model.)"

@@ -6,5 +6,6 @@
 
 pub mod experiments;
 pub mod suite;
+pub mod timing;
 
 pub use suite::{HarnessOpts, VitSuite};

@@ -20,7 +20,11 @@ pub struct HarnessOpts {
 
 impl Default for HarnessOpts {
     fn default() -> Self {
-        Self { blocks: Some(1), quick: false, bitwidth: 6 }
+        Self {
+            blocks: Some(1),
+            quick: false,
+            bitwidth: 6,
+        }
     }
 }
 

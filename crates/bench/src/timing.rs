@@ -1,0 +1,58 @@
+//! Minimal wall-clock benchmarking harness.
+//!
+//! Replaces the Criterion dependency (unavailable in hermetic builds) with
+//! a warmup + median-of-samples timer. Each `[[bench]]` target declares
+//! `harness = false` and drives this module from a plain `main`.
+
+use std::time::{Duration, Instant};
+
+/// One timed benchmark: `warmup` untimed runs, then `samples` timed runs.
+/// Returns the per-run median and prints a one-line report.
+pub fn bench<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) -> Duration {
+    assert!(samples > 0);
+    std::hint::black_box(f()); // warmup + forces lazy init
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed()
+        })
+        .collect();
+    times.sort();
+    let median = times[times.len() / 2];
+    let (lo, hi) = (times[0], times[times.len() - 1]);
+    println!(
+        "{name:<48} median {:>10.3?}  min {:>10.3?}  max {:>10.3?}  ({samples} samples)",
+        median, lo, hi
+    );
+    median
+}
+
+/// Nanoseconds-per-unit helper for throughput-style reporting.
+pub fn per_unit(total: Duration, units: u64) -> f64 {
+    total.as_nanos() as f64 / units.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_positive_median() {
+        let d = bench("noop_spin", 3, || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn per_unit_divides() {
+        let r = per_unit(Duration::from_nanos(1000), 10);
+        assert!((r - 100.0).abs() < 1e-9);
+        assert_eq!(per_unit(Duration::from_nanos(5), 0), 5.0);
+    }
+}

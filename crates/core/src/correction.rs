@@ -63,6 +63,23 @@ impl BiasCorrection {
         }
     }
 
+    /// Builds the correction from a precomputed weight-side column sum
+    /// (cached at weight-setup time alongside the packed operand); only the
+    /// input-side row sums are recomputed per launch. Equivalent to
+    /// [`BiasCorrection::new`] when `colsum_b` are `b`'s column sums.
+    pub fn from_cached_colsum(spec: &PackSpec, a: &Matrix<i8>, colsum_b: &[i64]) -> Self {
+        let rowsum_a = (0..a.rows())
+            .map(|i| a.row(i).iter().map(|&x| i64::from(x)).sum())
+            .collect();
+        Self {
+            zb: i64::from(spec.value_bias()),
+            za: i64::from(spec.weight_bias()),
+            k: a.cols() as i64,
+            rowsum_a,
+            colsum_b: colsum_b.to_vec(),
+        }
+    }
+
     /// Recovers the signed dot product from a biased lane sum for output
     /// element `(i, j)`.
     #[inline]
@@ -94,13 +111,7 @@ mod tests {
     use crate::policy::PackSpec;
     use vitbit_tensor::refgemm::gemm_i8_i32;
 
-    fn biased_gemm_sum(
-        spec: &PackSpec,
-        a: &Matrix<i8>,
-        b: &Matrix<i8>,
-        i: usize,
-        j: usize,
-    ) -> u64 {
+    fn biased_gemm_sum(spec: &PackSpec, a: &Matrix<i8>, b: &Matrix<i8>, i: usize, j: usize) -> u64 {
         (0..a.cols())
             .map(|k| {
                 let aw = encode_weight_biased(i32::from(a[(i, k)]), spec).unwrap();
@@ -149,6 +160,21 @@ mod tests {
         let corr = BiasCorrection::new(&spec, &a, &b);
         let s = biased_gemm_sum(&spec, &a, &b, 0, 0);
         assert_eq!(corr.apply(s, 0, 0), i64::from(reference[(0, 0)]));
+    }
+
+    #[test]
+    fn cached_colsum_constructor_is_equivalent() {
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let a = Matrix::from_fn(3, 6, |r, c| ((r * 6 + c) as i32 % 50 - 25) as i8);
+        let b = Matrix::from_fn(6, 5, |r, c| ((r * 5 + c) as i32 % 40 - 20) as i8);
+        let full = BiasCorrection::new(&spec, &a, &b);
+        let cached = BiasCorrection::from_cached_colsum(&spec, &a, &full.colsum_b);
+        for i in 0..3 {
+            for j in 0..5 {
+                let s = biased_gemm_sum(&spec, &a, &b, i, j);
+                assert_eq!(full.apply(s, i, j), cached.apply(s, i, j));
+            }
+        }
     }
 
     #[test]

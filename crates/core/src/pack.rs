@@ -138,7 +138,7 @@ pub fn unpack_matrix_rows(packed: &Matrix<u32>, spec: &PackSpec) -> Matrix<i8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use vitbit_tensor::check;
 
     fn spec6() -> PackSpec {
         PackSpec::guarded(6, 6).unwrap()
@@ -164,7 +164,7 @@ mod tests {
     #[test]
     fn pack_places_first_value_in_high_lane() {
         let spec = PackSpec::paper(8).unwrap(); // 2 lanes of 16 bits
-        // codes 1 and 2 -> biased 129, 130; first element in upper lane.
+                                                // codes 1 and 2 -> biased 129, 130; first element in upper lane.
         let regs = pack_codes(&[1, 2], &spec).unwrap();
         assert_eq!(regs, vec![(129 << 16) | 130]);
     }
@@ -210,12 +210,11 @@ mod tests {
         assert!(pack_matrix_rows(&m, &spec).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn prop_pack_unpack_round_trip(
-            bitwidth in 1u32..=8,
-            values in proptest::collection::vec(-128i16..=127, 0..64),
-        ) {
+    #[test]
+    fn prop_pack_unpack_round_trip() {
+        check::cases(0x9ac4_0001, 256, |rng| {
+            let bitwidth = rng.random_range(1u32..=8);
+            let values = check::vec_of(rng, 0..64, |r| r.random_range(-128i16..=127));
             let spec = PackSpec::paper(bitwidth).unwrap();
             let bias = spec.value_bias();
             // Clamp into range, truncate to a lane multiple.
@@ -226,14 +225,15 @@ mod tests {
                 .map(|&v| (i32::from(v).clamp(-bias, bias - 1)) as i8)
                 .collect();
             let packed = pack_codes(&codes, &spec).unwrap();
-            prop_assert_eq!(unpack_codes(&packed, &spec), codes);
-        }
+            assert_eq!(unpack_codes(&packed, &spec), codes);
+        });
+    }
 
-        #[test]
-        fn prop_lanes_never_collide(
-            bitwidth in 1u32..=8,
-            seed_vals in proptest::collection::vec(0u32..256, 4),
-        ) {
+    #[test]
+    fn prop_lanes_never_collide() {
+        check::cases(0x9ac4_0002, 256, |rng| {
+            let bitwidth = rng.random_range(1u32..=8);
+            let seed_vals: Vec<u32> = (0..4).map(|_| rng.random_range(0u32..256)).collect();
             let spec = PackSpec::paper(bitwidth).unwrap();
             let n = spec.lanes as usize;
             let codes: Vec<i8> = (0..n)
@@ -246,8 +246,8 @@ mod tests {
             // Reconstructing lane-by-lane must match the original codes.
             let lanes = lanes_of(reg, &spec);
             for (p, &c) in codes.iter().enumerate() {
-                prop_assert_eq!(decode_biased(lanes[p], &spec), i32::from(c));
+                assert_eq!(decode_biased(lanes[p], &spec), i32::from(c));
             }
-        }
+        });
     }
 }

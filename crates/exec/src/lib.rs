@@ -11,3 +11,4 @@ pub mod strategy;
 
 pub use calibration::{run_initial_study, StudyResult};
 pub use strategy::{ExecConfig, GemmTuner, Strategy};
+pub use vitbit_kernels::gemm::{PackedWeightCache, WeightCtx};

@@ -4,7 +4,7 @@ use vitbit_core::policy::PackSpec;
 use vitbit_core::ratio::CoreRatio;
 use vitbit_kernels::elementwise::EwVariant;
 use vitbit_kernels::gemm::{
-    run_fc, run_fused_with_ratio, run_ic, run_ic_fc, run_tc, FusedMode, GemmOut,
+    run_fc, run_fused_with_ratio_cached, run_ic, run_ic_fc, run_tc, FusedMode, GemmOut, WeightCtx,
 };
 use vitbit_sim::Gpu;
 use vitbit_tensor::Matrix;
@@ -149,19 +149,41 @@ impl ExecConfig {
 
 impl Strategy {
     /// Runs a GEMM under this strategy.
-    pub fn run_gemm(&self, gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>, cfg: &ExecConfig) -> GemmOut {
-        let fused = |gpu: &mut Gpu, mode: FusedMode| {
+    pub fn run_gemm(
+        &self,
+        gpu: &mut Gpu,
+        a: &Matrix<i8>,
+        b: &Matrix<i8>,
+        cfg: &ExecConfig,
+    ) -> GemmOut {
+        self.run_gemm_weighted(gpu, a, b, cfg, None)
+    }
+
+    /// [`Strategy::run_gemm`] with an optional packed-weight cache handle
+    /// for the stationary `B` operand. Only the packing strategies consult
+    /// it (VitBit here; the other Table-3 rows never pack), and only when
+    /// `B` really is a weight — activation-valued `B` operands (attention
+    /// scores, `probs x V`) must pass `None`.
+    pub fn run_gemm_weighted(
+        &self,
+        gpu: &mut Gpu,
+        a: &Matrix<i8>,
+        b: &Matrix<i8>,
+        cfg: &ExecConfig,
+        weight: WeightCtx<'_>,
+    ) -> GemmOut {
+        let fused = |gpu: &mut Gpu, mode: FusedMode, weight: WeightCtx<'_>| {
             let ratio = cfg.ratio.unwrap_or_else(|| mode.default_ratio());
-            run_fused_with_ratio(gpu, a, b, mode, ratio)
+            run_fused_with_ratio_cached(gpu, a, b, mode, ratio, weight)
         };
         match self {
             Strategy::Tc => run_tc(gpu, a, b),
             Strategy::Ic => run_ic(gpu, a, b),
             Strategy::Fc => run_fc(gpu, a, b),
             Strategy::IcFc => run_ic_fc(gpu, a, b),
-            Strategy::Tacker => fused(gpu, FusedMode::Tacker),
-            Strategy::TcIcFc => fused(gpu, FusedMode::TcIcFc),
-            Strategy::VitBit => fused(gpu, FusedMode::VitBit(cfg.spec)),
+            Strategy::Tacker => fused(gpu, FusedMode::Tacker, None),
+            Strategy::TcIcFc => fused(gpu, FusedMode::TcIcFc, None),
+            Strategy::VitBit => fused(gpu, FusedMode::VitBit(cfg.spec), weight),
         }
     }
 
@@ -215,16 +237,30 @@ impl Strategy {
         cfg: &ExecConfig,
         tuner: &mut GemmTuner,
     ) -> GemmOut {
+        self.run_gemm_tuned_weighted(gpu, a, b, cfg, tuner, None)
+    }
+
+    /// [`Strategy::run_gemm_tuned`] with an optional packed-weight cache
+    /// handle (see [`Strategy::run_gemm_weighted`]).
+    pub fn run_gemm_tuned_weighted(
+        &self,
+        gpu: &mut Gpu,
+        a: &Matrix<i8>,
+        b: &Matrix<i8>,
+        cfg: &ExecConfig,
+        tuner: &mut GemmTuner,
+        weight: WeightCtx<'_>,
+    ) -> GemmOut {
         let fusedlike = matches!(self, Strategy::Tacker | Strategy::TcIcFc | Strategy::VitBit);
         if !cfg.adaptive || !fusedlike {
-            return self.run_gemm(gpu, a, b, cfg);
+            return self.run_gemm_weighted(gpu, a, b, cfg, weight);
         }
         let key = (*self, a.rows(), b.cols(), a.cols());
         match tuner.choices.get(&key) {
-            Some(true) => self.run_gemm(gpu, a, b, cfg),
+            Some(true) => self.run_gemm_weighted(gpu, a, b, cfg, weight),
             Some(false) => run_tc(gpu, a, b),
             None => {
-                let fused = self.run_gemm(gpu, a, b, cfg);
+                let fused = self.run_gemm_weighted(gpu, a, b, cfg, weight);
                 let tc = run_tc(gpu, a, b);
                 let use_fused = fused.stats.cycles <= tc.stats.cycles;
                 tuner.choices.insert(key, use_fused);
@@ -283,9 +319,14 @@ mod tests {
         assert_eq!(Strategy::ALL.len(), 7);
         assert_eq!(Strategy::VitBit.applicability(), "T,C");
         assert_eq!(Strategy::Tc.applicability(), "T");
-        assert!(Strategy::Tacker.description().contains("Tensor cores and INT"));
+        assert!(Strategy::Tacker
+            .description()
+            .contains("Tensor cores and INT"));
         let names: Vec<_> = Strategy::ALL.iter().map(|s| s.name()).collect();
-        assert_eq!(names, ["TC", "IC", "FC", "IC+FC", "Tacker", "TC+IC+FC", "VitBit"]);
+        assert_eq!(
+            names,
+            ["TC", "IC", "FC", "IC+FC", "Tacker", "TC+IC+FC", "VitBit"]
+        );
     }
 
     #[test]
@@ -293,6 +334,9 @@ mod tests {
         let cfg = ExecConfig::int6();
         assert_eq!(Strategy::Tc.ew_variant(&cfg), EwVariant::Ic);
         assert_eq!(Strategy::TcIcFc.ew_variant(&cfg), EwVariant::IcFc);
-        assert!(matches!(Strategy::VitBit.ew_variant(&cfg), EwVariant::VitBit(_)));
+        assert!(matches!(
+            Strategy::VitBit.ew_variant(&cfg),
+            EwVariant::VitBit(_)
+        ));
     }
 }

@@ -62,7 +62,10 @@ fn adaptive_off_always_runs_the_fused_kernel() {
     let out = Strategy::VitBit.run_gemm_tuned(&mut g, &a, &b, &cfg, &mut tuner);
     assert_eq!(out.c, gemm_i8_i32(&a, &b));
     assert!(tuner.is_empty(), "no tuning when adaptive is off");
-    assert!(out.stats.issued.tensor > 0 && out.stats.int_ops > 0, "fused launch ran");
+    assert!(
+        out.stats.issued.tensor > 0 && out.stats.int_ops > 0,
+        "fused launch ran"
+    );
 }
 
 #[test]
@@ -75,13 +78,19 @@ fn elementwise_variant_matrix() {
     assert_eq!(Strategy::Tacker.ew_variant(&cfg), EwVariant::Ic);
     assert_eq!(Strategy::IcFc.ew_variant(&cfg), EwVariant::IcFc);
     assert_eq!(Strategy::TcIcFc.ew_variant(&cfg), EwVariant::IcFc);
-    assert!(matches!(Strategy::VitBit.ew_variant(&cfg), EwVariant::VitBit(_)));
+    assert!(matches!(
+        Strategy::VitBit.ew_variant(&cfg),
+        EwVariant::VitBit(_)
+    ));
     // Per-op overrides for VitBit.
     assert!(matches!(
         Strategy::VitBit.ew_variant_for(&cfg, true),
         EwVariant::VitBit(_)
     ));
-    assert_eq!(Strategy::VitBit.ew_variant_for(&cfg, false), EwVariant::IcFc);
+    assert_eq!(
+        Strategy::VitBit.ew_variant_for(&cfg, false),
+        EwVariant::IcFc
+    );
     assert_eq!(Strategy::VitBit.ew_variant_rows(&cfg), EwVariant::IcFc);
     // Other strategies are unaffected by the per-op switch.
     assert_eq!(Strategy::Ic.ew_variant_for(&cfg, false), EwVariant::Ic);

@@ -1,8 +1,8 @@
 //! Machine-model calibration probe: pipe utilization and memory traffic of
 //! the five Section-3.2 study cases on the ViT Linear shape.
 
-use vitbit_kernels::gemm::{run_ic, run_fc, run_ic_fc, run_ic_fc_packed, run_tc};
 use vitbit_core::policy::PackSpec;
+use vitbit_kernels::gemm::{run_fc, run_ic, run_ic_fc, run_ic_fc_packed, run_tc};
 use vitbit_sim::Gpu;
 use vitbit_tensor::gen;
 

@@ -10,13 +10,18 @@ use vitbit_tensor::gen;
 fn main() {
     let mut gpu = Gpu::orin();
     let spec = PackSpec::guarded(6, 6).unwrap();
-    for (m, n, k, tag) in [(197usize, 768usize, 768usize, "qkv"), (197, 64, 197, "attn_v"), (197, 3072, 768, "fc1")] {
+    for (m, n, k, tag) in [
+        (197usize, 768usize, 768usize, "qkv"),
+        (197, 64, 197, "attn_v"),
+        (197, 3072, 768, "fc1"),
+    ] {
         let a = gen::uniform_i8(m, k, -32, 31, 1);
         let b = gen::uniform_i8(k, n, -32, 31, 2);
         gpu.cold_caches();
         let tc = run_tc(&mut gpu, &a, &b).stats;
         gpu.cold_caches();
-        let vb = run_fused_with_ratio(&mut gpu, &a, &b, FusedMode::VitBit(spec), CoreRatio::PAPER).stats;
+        let vb =
+            run_fused_with_ratio(&mut gpu, &a, &b, FusedMode::VitBit(spec), CoreRatio::PAPER).stats;
         println!("{tag:7} {m}x{n}x{k}: TC {:>8} VitBit {:>8} ({:.2}x)  vb busy: tc={:.2} int={:.2} fp={:.2} lsu={:.2}",
             tc.cycles, vb.cycles, tc.cycles as f64 / vb.cycles as f64,
             vb.busy.tensor as f64/(vb.cycles*56) as f64,

@@ -10,7 +10,10 @@ use vitbit_tensor::gen;
 fn main() {
     let mut gpu = Gpu::orin();
     let spec = PackSpec::guarded(6, 6).unwrap();
-    for (m, n, k, tag) in [(197usize, 768usize, 768usize, "qkv"), (197, 3072, 768, "fc1")] {
+    for (m, n, k, tag) in [
+        (197usize, 768usize, 768usize, "qkv"),
+        (197, 3072, 768, "fc1"),
+    ] {
         let a = gen::uniform_i8(m, k, -32, 31, 1);
         let b = gen::uniform_i8(k, n, -32, 31, 2);
         gpu.cold_caches();
@@ -18,7 +21,15 @@ fn main() {
         print!("{tag:4} TC {tc:>7} |");
         for mr in [4u32, 6, 8, 10, 12, 16] {
             gpu.cold_caches();
-            let vb = run_fused_with_ratio(&mut gpu, &a, &b, FusedMode::VitBit(spec), CoreRatio { tc: mr, cuda: 1 }).stats.cycles;
+            let vb = run_fused_with_ratio(
+                &mut gpu,
+                &a,
+                &b,
+                FusedMode::VitBit(spec),
+                CoreRatio { tc: mr, cuda: 1 },
+            )
+            .stats
+            .cycles;
             print!(" m{mr}: {:>6} ({:.2}x)", vb, tc as f64 / vb as f64);
         }
         println!();

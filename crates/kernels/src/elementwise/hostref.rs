@@ -65,7 +65,9 @@ pub fn shiftmax_row_i(row: &[i8], bitwidth: u32) -> Vec<i8> {
     let e: Vec<i32> = row.iter().map(|&x| shiftexp_q8(i32::from(x) - m)).collect();
     let sum: i32 = e.iter().sum::<i32>().max(1);
     let r = (1 << 22) / sum;
-    e.iter().map(|&ei| ((ei * r) >> shift).min(hi) as i8).collect()
+    e.iter()
+        .map(|&ei| ((ei * r) >> shift).min(hi) as i8)
+        .collect()
 }
 
 /// FP Shiftmax (same exponent scale, float arithmetic).

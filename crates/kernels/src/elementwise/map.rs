@@ -82,11 +82,15 @@ pub const MAP_ARGS: u16 = 8;
 /// block (for the grid stride); `n_units` counts domain units (elements for
 /// Int/Fp, registers for Packed).
 pub fn map_program(op: MapOp, domain: MapDomain, bitwidth: u32, arg_base: u16) -> Program {
-    let name = format!("{}_{}", op.name(), match domain {
-        MapDomain::Int => "ic",
-        MapDomain::Fp => "fc",
-        MapDomain::Packed(_) => "packed",
-    });
+    let name = format!(
+        "{}_{}",
+        op.name(),
+        match domain {
+            MapDomain::Int => "ic",
+            MapDomain::Fp => "fc",
+            MapDomain::Packed(_) => "packed",
+        }
+    );
     let mut p = ProgramBuilder::new(name);
 
     let in_ptr = p.alloc();
@@ -96,9 +100,11 @@ pub fn map_program(op: MapOp, domain: MapDomain, bitwidth: u32, arg_base: u16) -
     let stride = p.alloc();
     let tid_base = p.alloc();
     let idx_base = p.alloc();
-    for (i, r) in [in_ptr, in2_ptr, out_ptr, n_units, stride, tid_base, idx_base]
-        .iter()
-        .enumerate()
+    for (i, r) in [
+        in_ptr, in2_ptr, out_ptr, n_units, stride, tid_base, idx_base,
+    ]
+    .iter()
+    .enumerate()
     {
         p.ldc(*r, arg_base + i as u16);
     }
@@ -265,7 +271,11 @@ fn emit_int_body(
         MapOp::Dropout { seed, keep_q8 } => {
             // h = ((seed ^ idx) * M + C) >> 24; keep => x*scale>>8.
             let scale = (256u32 << 8) / keep_q8;
-            p.push(vitbit_sim::isa::Op::Xor { d: t, a: idx.into(), b: Src::Imm(seed) });
+            p.push(vitbit_sim::isa::Op::Xor {
+                d: t,
+                a: idx.into(),
+                b: Src::Imm(seed),
+            });
             p.imul(t, t.into(), Src::Imm(747_796_405));
             p.iadd(t, t.into(), Src::Imm(2_891_336_453));
             p.shr(t, t.into(), Src::Imm(24));
@@ -328,7 +338,11 @@ fn emit_fp_body(
             p.imin(x, x.into(), Src::imm_i32(hi));
         }
         MapOp::Dropout { seed, keep_q8 } => {
-            p.push(vitbit_sim::isa::Op::Xor { d: t, a: idx.into(), b: Src::Imm(seed) });
+            p.push(vitbit_sim::isa::Op::Xor {
+                d: t,
+                a: idx.into(),
+                b: Src::Imm(seed),
+            });
             p.imul(t, t.into(), Src::Imm(747_796_405));
             p.iadd(t, t.into(), Src::Imm(2_891_336_453));
             p.shr(t, t.into(), Src::Imm(24));
@@ -389,7 +403,11 @@ pub fn run_map(
     let (n1, lanes, int_domain) = match variant {
         EwVariant::Ic => (n, 1usize, Some(MapDomain::Int)),
         EwVariant::Fc => (0, 1, None),
-        EwVariant::IcFc => (eq1_split(n, 1).expect("lanes >= 1").0, 1, Some(MapDomain::Int)),
+        EwVariant::IcFc => (
+            eq1_split(n, 1).expect("lanes >= 1").0,
+            1,
+            Some(MapDomain::Int),
+        ),
         EwVariant::VitBit(spec) => (
             eq1_split(n, spec.lanes).expect("lanes >= 1").0,
             spec.lanes as usize,
@@ -419,15 +437,15 @@ pub fn run_map(
     let mut fetch: Vec<(u32, usize, bool)> = Vec::new(); // (ptr, units, packed)
 
     let push_role = |gpu: &mut Gpu,
-                         args: &mut Vec<u32>,
-                         programs: &mut Vec<std::sync::Arc<vitbit_sim::Program>>,
-                         roles: &mut Vec<u8>,
-                         fetch: &mut Vec<(u32, usize, bool)>,
-                         domain: MapDomain,
-                         data: &[i8],
-                         data2: Option<&[i8]>,
-                         idx_base: u32,
-                         tid_base: u32| {
+                     args: &mut Vec<u32>,
+                     programs: &mut Vec<std::sync::Arc<vitbit_sim::Program>>,
+                     roles: &mut Vec<u8>,
+                     fetch: &mut Vec<(u32, usize, bool)>,
+                     domain: MapDomain,
+                     data: &[i8],
+                     data2: Option<&[i8]>,
+                     idx_base: u32,
+                     tid_base: u32| {
         let arg_base = (programs.len() as u16) * MAP_ARGS;
         let (in_ptr, in2_ptr, out_ptr, units) = match domain {
             MapDomain::Packed(spec) => {
@@ -459,24 +477,46 @@ pub fn run_map(
             role_threads,
         ]);
         programs.push(map_program(op, domain, bitwidth, arg_base).into_arc());
-        roles.extend(std::iter::repeat_n((programs.len() - 1) as u8, ROLE_WARPS as usize));
+        roles.extend(std::iter::repeat_n(
+            (programs.len() - 1) as u8,
+            ROLE_WARPS as usize,
+        ));
         fetch.push((out_ptr, units, matches!(domain, MapDomain::Packed(_))));
     };
 
     if let Some(domain) = int_domain {
         if n1_pad > 0 {
             push_role(
-                gpu, &mut args, &mut programs, &mut roles, &mut fetch, domain, &in1,
-                in2_1.as_deref(), 0, 0,
+                gpu,
+                &mut args,
+                &mut programs,
+                &mut roles,
+                &mut fetch,
+                domain,
+                &in1,
+                in2_1.as_deref(),
+                0,
+                0,
             );
         }
     }
-    let fp_needed = matches!(variant, EwVariant::Fc | EwVariant::IcFc | EwVariant::VitBit(_));
+    let fp_needed = matches!(
+        variant,
+        EwVariant::Fc | EwVariant::IcFc | EwVariant::VitBit(_)
+    );
     if fp_needed && n2_pad > 0 {
         let tid_base = (roles.len() as u32) * 32;
         push_role(
-            gpu, &mut args, &mut programs, &mut roles, &mut fetch, MapDomain::Fp, &in_2,
-            in2_2.as_deref(), n1 as u32, tid_base,
+            gpu,
+            &mut args,
+            &mut programs,
+            &mut roles,
+            &mut fetch,
+            MapDomain::Fp,
+            &in_2,
+            in2_2.as_deref(),
+            n1 as u32,
+            tid_base,
         );
     }
     assert!(!programs.is_empty(), "nothing to launch");
@@ -496,7 +536,10 @@ pub fn run_map(
     let mut part_iter = fetch.into_iter();
     if n1 > 0 || matches!(variant, EwVariant::Ic) {
         let (ptr, units, packed) = part_iter.next().expect("int part present");
-        let dev = vitbit_sim::mem::DevPtr { addr: ptr, len: (units * 4) as u32 };
+        let dev = vitbit_sim::mem::DevPtr {
+            addr: ptr,
+            len: (units * 4) as u32,
+        };
         if packed {
             let spec = match variant {
                 EwVariant::VitBit(s) => s,
@@ -510,7 +553,10 @@ pub fn run_map(
         }
     }
     if let Some((ptr, units, _)) = part_iter.next() {
-        let dev = vitbit_sim::mem::DevPtr { addr: ptr, len: units as u32 };
+        let dev = vitbit_sim::mem::DevPtr {
+            addr: ptr,
+            len: units as u32,
+        };
         out.extend_from_slice(&gpu.mem.download_i8(dev, units)[..n2]);
     }
     out.truncate(n);
@@ -600,7 +646,10 @@ mod tests {
     #[test]
     fn dropout_ic_bit_exact_and_seeded() {
         let mut g = gpu();
-        let op = MapOp::Dropout { seed: 99, keep_q8: 204 };
+        let op = MapOp::Dropout {
+            seed: 99,
+            keep_q8: 204,
+        };
         let x = codes(2048, -128, 127, 4);
         let out = run_map(&mut g, op, EwVariant::Ic, 8, &x, None);
         assert_eq!(out.out, map_reference_int(op, &x, None, 8));
@@ -609,7 +658,10 @@ mod tests {
     #[test]
     fn dropout_icfc_matches_reference_per_share() {
         let mut g = gpu();
-        let op = MapOp::Dropout { seed: 5, keep_q8 : 204 };
+        let op = MapOp::Dropout {
+            seed: 5,
+            keep_q8: 204,
+        };
         let x = codes(999, -100, 100, 5);
         let out = run_map(&mut g, op, EwVariant::IcFc, 8, &x, None);
         let reference = map_reference_int(op, &x, None, 8);

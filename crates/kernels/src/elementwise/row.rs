@@ -55,13 +55,25 @@ const ROLE_WARPS: u32 = 4;
 
 /// Builds one row-role program for rows of `n_cols` (a multiple of 32, and
 /// of `32*lanes` for the packed domain).
-fn row_program(op: RowOp, domain: RowDomain, n_cols: usize, bitwidth: u32, arg_base: u16) -> Program {
-    assert!(n_cols.is_multiple_of(32), "row length must be a multiple of 32");
+fn row_program(
+    op: RowOp,
+    domain: RowDomain,
+    n_cols: usize,
+    bitwidth: u32,
+    arg_base: u16,
+) -> Program {
+    assert!(
+        n_cols.is_multiple_of(32),
+        "row length must be a multiple of 32"
+    );
     let lanes = match domain {
         RowDomain::Packed(spec) => spec.lanes as usize,
         _ => 1,
     };
-    assert!(n_cols.is_multiple_of(32 * lanes), "row length must cover whole packed words");
+    assert!(
+        n_cols.is_multiple_of(32 * lanes),
+        "row length must cover whole packed words"
+    );
     let hi = (1i32 << (bitwidth - 1)) - 1;
 
     let mut p = ProgramBuilder::new(format!(
@@ -79,7 +91,10 @@ fn row_program(op: RowOp, domain: RowDomain, n_cols: usize, bitwidth: u32, arg_b
     let stride_rows = p.alloc();
     let wbase = p.alloc();
     let row_base = p.alloc();
-    for (i, r) in [in_ptr, out_ptr, n_rows, stride_rows, wbase, row_base].iter().enumerate() {
+    for (i, r) in [in_ptr, out_ptr, n_rows, stride_rows, wbase, row_base]
+        .iter()
+        .enumerate()
+    {
         p.ldc(*r, arg_base + i as u16);
     }
     let ctaid = p.alloc();
@@ -190,7 +205,10 @@ fn row_program(op: RowOp, domain: RowDomain, n_cols: usize, bitwidth: u32, arg_b
                     p.imax(sum, sum.into(), Src::Imm(1));
                     // Float normalization: out = floor(e/sum * 2^(22-shift)).
                     p.i2f(r_reg, sum.into());
-                    p.push(vitbit_sim::isa::Op::Rcp { d: r_reg, a: r_reg.into() });
+                    p.push(vitbit_sim::isa::Op::Rcp {
+                        d: r_reg,
+                        a: r_reg.into(),
+                    });
                     let shift = 15 + 8 - bitwidth;
                     let scale = (1u64 << (22 - shift as u64)) as f32;
                     for i in 0..npl {
@@ -208,7 +226,7 @@ fn row_program(op: RowOp, domain: RowDomain, n_cols: usize, bitwidth: u32, arg_b
                     for i in 0..npl {
                         let e = xr(i);
                         p.isub(e, e.into(), m.into()); // d <= 0
-                        // t = -(d + (d>>1) - (d>>4))
+                                                       // t = -(d + (d>>1) - (d>>4))
                         p.sar(t, e.into(), Src::Imm(1));
                         p.iadd(t, t.into(), e.into());
                         p.sar(u, e.into(), Src::Imm(4));
@@ -270,10 +288,13 @@ fn row_program(op: RowOp, domain: RowDomain, n_cols: usize, bitwidth: u32, arg_b
                         p.iadd(sum, sum.into(), t.into());
                     }
                     p.idivu(sum, sum.into(), Src::Imm(n_cols as u32)); // var
-                    // std = floor(sqrt(var)) with corrections.
+                                                                       // std = floor(sqrt(var)) with corrections.
                     let s_reg = r_reg;
                     p.i2f(s_reg, sum.into());
-                    p.push(vitbit_sim::isa::Op::Sqrt { d: s_reg, a: s_reg.into() });
+                    p.push(vitbit_sim::isa::Op::Sqrt {
+                        d: s_reg,
+                        a: s_reg.into(),
+                    });
                     p.f2i_floor(s_reg, s_reg.into());
                     for _ in 0..2 {
                         p.imul(t, s_reg.into(), s_reg.into());
@@ -288,12 +309,15 @@ fn row_program(op: RowOp, domain: RowDomain, n_cols: usize, bitwidth: u32, arg_b
                     p.imax(s_reg, s_reg.into(), Src::Imm(1));
                     let rstd = v;
                     p.i2f(rstd, s_reg.into());
-                    p.push(vitbit_sim::isa::Op::Rcp { d: rstd, a: rstd.into() });
+                    p.push(vitbit_sim::isa::Op::Rcp {
+                        d: rstd,
+                        a: rstd.into(),
+                    });
                     for i in 0..npl {
                         let e = xr(i);
                         p.isub(e, e.into(), m.into());
                         p.imul(e, e.into(), Src::imm_i32(gamma_q6)); // num
-                        // |num| on the FP pipe, divide, floor, re-sign.
+                                                                     // |num| on the FP pipe, divide, floor, re-sign.
                         p.isub(t, Src::Imm(0), e.into());
                         p.imax(u, e.into(), t.into()); // |num|
                         p.isetp(p_aux, e.into(), Src::Imm(0), ICmp::Lt);
@@ -323,7 +347,7 @@ fn row_program(op: RowOp, domain: RowDomain, n_cols: usize, bitwidth: u32, arg_b
                         p.iadd(sum, sum.into(), t.into());
                     }
                     p.idivu(sum, sum.into(), Src::Imm(n_cols as u32)); // var
-                    // Newton isqrt with floor corrections.
+                                                                       // Newton isqrt with floor corrections.
                     let s = r_reg;
                     p.imax(s, sum.into(), Src::Imm(1));
                     for _ in 0..12 {
@@ -421,7 +445,13 @@ pub fn run_layernorm(
     variant: EwVariant,
     bitwidth: u32,
 ) -> RowOut {
-    run_row(gpu, RowOp::LayerNorm { gamma_q6, beta }, x, variant, bitwidth)
+    run_row(
+        gpu,
+        RowOp::LayerNorm { gamma_q6, beta },
+        x,
+        variant,
+        bitwidth,
+    )
 }
 
 fn run_row(gpu: &mut Gpu, op: RowOp, x: &Matrix<i8>, variant: EwVariant, bitwidth: u32) -> RowOut {
@@ -435,13 +465,20 @@ fn run_row(gpu: &mut Gpu, op: RowOp, x: &Matrix<i8>, variant: EwVariant, bitwidt
     // wins the max and its exponent is 0); layernorm requires exact rows.
     let cols_p = pad_to(cols, 32 * lanes.max(1));
     if matches!(op, RowOp::LayerNorm { .. }) {
-        assert_eq!(cols, cols_p, "layernorm rows must already be 32*lanes aligned");
+        assert_eq!(
+            cols, cols_p,
+            "layernorm rows must already be 32*lanes aligned"
+        );
     }
     let pad_code: i8 = match op {
         RowOp::Softmax => -(1 << (bitwidth - 1)) as i8,
         RowOp::LayerNorm { .. } => 0,
     };
-    let mut padded = Matrix::from_fn(rows, cols_p, |r, c| if c < cols { x[(r, c)] } else { pad_code });
+    let mut padded = Matrix::from_fn(
+        rows,
+        cols_p,
+        |r, c| if c < cols { x[(r, c)] } else { pad_code },
+    );
 
     // Row split between INT-side and FP-side warps.
     let (rows1, rows2) = match variant {
@@ -481,7 +518,16 @@ fn run_row(gpu: &mut Gpu, op: RowOp, x: &Matrix<i8>, variant: EwVariant, bitwidt
                 (ptr, out.addr, false)
             }
         };
-        args.extend_from_slice(&[in_ptr, out_ptr, rows1 as u32, blocks * ROLE_WARPS, 0, 0, 0, 0]);
+        args.extend_from_slice(&[
+            in_ptr,
+            out_ptr,
+            rows1 as u32,
+            blocks * ROLE_WARPS,
+            0,
+            0,
+            0,
+            0,
+        ]);
         programs.push(row_program(op, domain, cols_p, bitwidth, 0).into_arc());
         roles.extend(std::iter::repeat_n(0u8, ROLE_WARPS as usize));
         outs.push((out_ptr, rows1, packed));
@@ -505,7 +551,10 @@ fn run_row(gpu: &mut Gpu, op: RowOp, x: &Matrix<i8>, variant: EwVariant, bitwidt
             0,
         ]);
         programs.push(row_program(op, RowDomain::Fp, cols_p, bitwidth, arg_base).into_arc());
-        roles.extend(std::iter::repeat_n((programs.len() - 1) as u8, ROLE_WARPS as usize));
+        roles.extend(std::iter::repeat_n(
+            (programs.len() - 1) as u8,
+            ROLE_WARPS as usize,
+        ));
         outs.push((out_dev.addr, rows2, false));
     }
 
@@ -560,7 +609,11 @@ mod tests {
         let x = gen::uniform_i8(10, 96, -128, 127, 1);
         let out = run_softmax(&mut g, &x, EwVariant::Ic, 8);
         for r in 0..10 {
-            assert_eq!(out.out.row(r), hostref::shiftmax_row_i(x.row(r), 8).as_slice(), "row {r}");
+            assert_eq!(
+                out.out.row(r),
+                hostref::shiftmax_row_i(x.row(r), 8).as_slice(),
+                "row {r}"
+            );
         }
     }
 

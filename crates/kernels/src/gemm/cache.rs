@@ -1,0 +1,249 @@
+//! Packed-weight caching for the stationary operand of weight GEMMs.
+//!
+//! GEMMs run as `X x W` (see the orientation note in `vitbit-vit`), so the
+//! *packed* operand of the VitBit kernels is the weight matrix: its
+//! [`pack_matrix_rows`] preprocessing and the weight-side column sums of
+//! the [`BiasCorrection`](vitbit_core::correction::BiasCorrection) depend
+//! only on the weight values, the [`PackSpec`] and the launch geometry —
+//! not on the input. Re-running them on every launch (as the uncached
+//! drivers do) repeats an `O(K*N)` encode per GEMM; with a cache, each
+//! weight is packed once at first use and every later launch reuses the
+//! host-side packed bytes.
+//!
+//! Keying rules (DESIGN.md, "Simulator concurrency model" /
+//! "Packed-weight cache"): an entry is addressed by
+//!
+//! * a caller-assigned **weight identity** (`u64`), unique per distinct
+//!   weight matrix for the lifetime of the cache — the cache never hashes
+//!   weight *values*, so reusing an id for different data returns stale
+//!   packs (callers that mutate weights must [`PackedWeightCache::clear`]
+//!   or retire the id);
+//! * the [`PackSpec`] (different lane geometry packs differently);
+//! * the column slice of the weight the launch consumes (`col_lo`,
+//!   `col_len`) — fused launches pack only the INT share `B1`;
+//! * the padded upload shape (`up_rows`, `cols_padded`) — padding is part
+//!   of the packed bytes.
+//!
+//! Device pointers are *not* cached: `gpu.mem` is reset per launch, so
+//! only host-side artifacts are reusable.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use vitbit_core::pack::pack_matrix_rows;
+use vitbit_core::policy::PackSpec;
+use vitbit_tensor::Matrix;
+
+/// Cache key: weight identity plus everything that shapes the packed bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WeightKey {
+    /// Caller-assigned identity of the weight matrix.
+    pub weight: u64,
+    /// Packing geometry.
+    pub spec: PackSpec,
+    /// First raw weight column this launch packs.
+    pub col_lo: usize,
+    /// Raw column count of the packed share.
+    pub col_len: usize,
+    /// Rows of the upload-shaped (prefetch-padded) operand.
+    pub up_rows: usize,
+    /// Padded column count of the packed share.
+    pub cols_padded: usize,
+}
+
+/// One cached weight: the packed upload-shaped operand and the padded
+/// column sums feeding the bias correction. `Arc`-shared so cache hits
+/// copy pointers, not matrices.
+#[derive(Debug, Clone)]
+pub struct PackedWeight {
+    /// `pack_matrix_rows` of the padded, upload-shaped weight share.
+    pub packed: Arc<Matrix<u32>>,
+    /// Signed column sums of the padded share (zero K-padding rows
+    /// contribute nothing, so compute- and upload-shaped sums agree).
+    pub colsum: Arc<Vec<i64>>,
+}
+
+impl PackedWeight {
+    /// Packs `b_up` (padded, upload-shaped) without touching any cache.
+    ///
+    /// # Panics
+    /// Panics when `b_up`'s width is not a lane multiple (drivers always
+    /// pad to one).
+    pub fn build(b_up: &Matrix<i8>, spec: &PackSpec) -> Self {
+        let packed = pack_matrix_rows(b_up, spec).expect("padded width is a lane multiple");
+        Self {
+            packed: Arc::new(packed),
+            colsum: Arc::new(colsum_i8(b_up)),
+        }
+    }
+}
+
+/// Signed per-column sums of an `i8` matrix.
+pub fn colsum_i8(m: &Matrix<i8>) -> Vec<i64> {
+    let mut out = vec![0i64; m.cols()];
+    for r in 0..m.rows() {
+        for (j, &x) in m.row(r).iter().enumerate() {
+            out[j] += i64::from(x);
+        }
+    }
+    out
+}
+
+/// Host-side cache of packed stationary weights.
+#[derive(Debug, Default)]
+pub struct PackedWeightCache {
+    entries: HashMap<WeightKey, PackedWeight>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PackedWeightCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct (weight, geometry) entries held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been packed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to pack.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every entry (required before reusing weight ids for new data).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Returns the cached pack for `key`, building it with `build` on miss.
+    pub fn get_or_pack(
+        &mut self,
+        key: WeightKey,
+        build: impl FnOnce() -> PackedWeight,
+    ) -> PackedWeight {
+        if let Some(e) = self.entries.get(&key) {
+            self.hits += 1;
+            return e.clone();
+        }
+        self.misses += 1;
+        let e = build();
+        self.entries.insert(key, e.clone());
+        e
+    }
+}
+
+/// Optional cache handle a GEMM driver threads to its packing site: the
+/// cache plus the caller's identity for the weight operand.
+pub type WeightCtx<'a> = Option<(&'a mut PackedWeightCache, u64)>;
+
+/// Packs (or fetches) the weight share `b_up`, which holds raw columns
+/// `col_lo .. col_lo + col_len` of weight `ctx.1` padded to its shape.
+/// With `ctx == None` the pack always runs (the uncached drivers).
+pub fn pack_weight_share(
+    ctx: &mut WeightCtx<'_>,
+    spec: &PackSpec,
+    b_up: &Matrix<i8>,
+    col_lo: usize,
+    col_len: usize,
+) -> PackedWeight {
+    match ctx {
+        Some((cache, weight)) => {
+            let key = WeightKey {
+                weight: *weight,
+                spec: *spec,
+                col_lo,
+                col_len,
+                up_rows: b_up.rows(),
+                cols_padded: b_up.cols(),
+            };
+            cache.get_or_pack(key, || PackedWeight::build(b_up, spec))
+        }
+        None => PackedWeight::build(b_up, spec),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weight(seed: i8) -> Matrix<i8> {
+        Matrix::from_fn(16, 8, |r, c| ((r * 8 + c) as i8).wrapping_mul(seed) % 30)
+    }
+
+    #[test]
+    fn cache_hits_after_first_pack() {
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let w = weight(1);
+        let mut cache = PackedWeightCache::new();
+        let mut ctx: WeightCtx = Some((&mut cache, 7));
+        let first = pack_weight_share(&mut ctx, &spec, &w, 0, 8);
+        let second = pack_weight_share(&mut ctx, &spec, &w, 0, 8);
+        assert!(
+            Arc::ptr_eq(&first.packed, &second.packed),
+            "hit must share the pack"
+        );
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_ids_and_geometries_do_not_collide() {
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let w = weight(1);
+        let mut cache = PackedWeightCache::new();
+        let a = pack_weight_share(&mut Some((&mut cache, 1)), &spec, &w, 0, 8);
+        let b = pack_weight_share(&mut Some((&mut cache, 2)), &spec, &w, 0, 8);
+        assert!(
+            !Arc::ptr_eq(&a.packed, &b.packed),
+            "ids partition the cache"
+        );
+        // Same id, different slice geometry: separate entry.
+        let _ = pack_weight_share(&mut Some((&mut cache, 1)), &spec, &w, 0, 4);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn uncached_path_matches_cached_bytes() {
+        let spec = PackSpec::guarded(4, 4).unwrap();
+        let w = Matrix::from_fn(8, 8, |r, c| ((r + c) % 15) as i8 - 7);
+        let mut cache = PackedWeightCache::new();
+        let cached = pack_weight_share(&mut Some((&mut cache, 3)), &spec, &w, 0, 8);
+        let plain = pack_weight_share(&mut None, &spec, &w, 0, 8);
+        assert_eq!(*cached.packed, *plain.packed);
+        assert_eq!(*cached.colsum, *plain.colsum);
+    }
+
+    #[test]
+    fn clear_forces_repack() {
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let w = weight(2);
+        let mut cache = PackedWeightCache::new();
+        let _ = pack_weight_share(&mut Some((&mut cache, 1)), &spec, &w, 0, 8);
+        cache.clear();
+        assert!(cache.is_empty());
+        let _ = pack_weight_share(&mut Some((&mut cache, 1)), &spec, &w, 0, 8);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn colsum_matches_naive() {
+        let w = weight(3);
+        let naive: Vec<i64> = (0..w.cols())
+            .map(|j| (0..w.rows()).map(|r| i64::from(w[(r, j)])).sum())
+            .collect();
+        assert_eq!(colsum_i8(&w), naive);
+    }
+}

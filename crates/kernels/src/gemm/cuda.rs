@@ -10,10 +10,10 @@
 //! MACs — the instruction mix whose INT/LSU balance produces the paper's
 //! measured co-scheduling gains.
 
+use super::cache::{pack_weight_share, WeightCtx};
 use super::GemmOut;
 use crate::shapes::{crop_matrix, pad_matrix, pad_to};
 use vitbit_core::correction::BiasCorrection;
-use vitbit_core::pack::pack_matrix_rows;
 use vitbit_core::policy::{PackPolicy, PackSpec};
 use vitbit_core::ratio::eq1_split;
 use vitbit_sim::isa::{ICmp, MemWidth, Reg, SReg, Src};
@@ -75,7 +75,11 @@ pub struct RoleGeom {
 impl RoleGeom {
     /// Standalone launch: 8 warps, one row group, K-split as given.
     pub fn standalone(k_splits: u32) -> Self {
-        Self { role_warps: 8, row_groups: 1, k_splits }
+        Self {
+            role_warps: 8,
+            row_groups: 1,
+            k_splits,
+        }
     }
 
     /// Warps per row group.
@@ -93,7 +97,10 @@ impl RoleGeom {
 /// (`ctaid_base` rebases block ids inside heterogeneous launches).
 pub fn cuda_gemm_program(elem: CudaElem, geom: RoleGeom, arg_base: u16) -> Program {
     let role_warps = geom.group_warps();
-    assert!(geom.role_warps.is_multiple_of(geom.row_groups), "warps divide row groups");
+    assert!(
+        geom.role_warps.is_multiple_of(geom.row_groups),
+        "warps divide row groups"
+    );
     let name = match elem {
         CudaElem::Int => "gemm_ic",
         CudaElem::Fp => "gemm_fc",
@@ -109,7 +116,11 @@ pub fn cuda_gemm_program(elem: CudaElem, geom: RoleGeom, arg_base: u16) -> Progr
             let u = 1u32 << (31 - chunk.leading_zeros());
             (
                 spec.lanes,
-                if spec.policy == PackPolicy::Paper { None } else { Some(u) },
+                if spec.policy == PackPolicy::Paper {
+                    None
+                } else {
+                    Some(u)
+                },
             )
         }
         _ => (1, None),
@@ -197,7 +208,11 @@ pub fn cuda_gemm_program(elem: CudaElem, geom: RoleGeom, arg_base: u16) -> Progr
     // like deep cp.async pipelines in real kernels. Packed specs with a
     // 1-step guard chunk degrade to plain load-then-MAC.
     let depth: u16 = (unroll / 2) as u16;
-    let n_sets: u16 = if depth == 0 { 1 } else { (2 * depth).min(unroll as u16) };
+    let n_sets: u16 = if depth == 0 {
+        1
+    } else {
+        (2 * depth).min(unroll as u16)
+    };
     let a_addr = p.alloc();
     let b_addr = p.alloc();
     let c_addr = p.alloc();
@@ -206,7 +221,11 @@ pub fn cuda_gemm_program(elem: CudaElem, geom: RoleGeom, arg_base: u16) -> Progr
     let accs = p.alloc_n(16);
     let a_frag = p.alloc_n(4 * n_sets);
     let b_frag = p.alloc_n(4 * n_sets);
-    let wides = if lanes > 1 { Some(p.alloc_n(16 * lanes as u16)) } else { None };
+    let wides = if lanes > 1 {
+        Some(p.alloc_n(16 * lanes as u16))
+    } else {
+        None
+    };
     let tsp = p.alloc();
     let p_chunk = p.alloc_pred();
     let p_k = p.alloc_pred();
@@ -371,7 +390,12 @@ pub fn cuda_gemm_program(elem: CudaElem, geom: RoleGeom, arg_base: u16) -> Progr
             }
             _ => {
                 for j in 0..4u16 {
-                    p.stg(c_addr, (j * 4) as i32, reg(accs, i * 4 + j).into(), MemWidth::B32);
+                    p.stg(
+                        c_addr,
+                        (j * 4) as i32,
+                        reg(accs, i * 4 + j).into(),
+                        MemWidth::B32,
+                    );
                 }
             }
         }
@@ -418,9 +442,7 @@ fn emit_spill(p: &mut ProgramBuilder, spec: &PackSpec, accs: Reg, wides: Reg, tm
 /// (target >= 128 warp tasks), subject to 16-aligned slices.
 pub fn pick_k_splits(chunks: usize, blocks_y: usize, kp: usize) -> u32 {
     let mut ks = 1u32;
-    while ks < 8
-        && chunks * ks as usize * blocks_y < 128
-        && kp.is_multiple_of(ks as usize * 2 * 16)
+    while ks < 8 && chunks * ks as usize * blocks_y < 128 && kp.is_multiple_of(ks as usize * 2 * 16)
     {
         ks *= 2;
     }
@@ -508,15 +530,19 @@ pub mod upload_ops {
     pub fn transposed_biased(gpu: &mut Gpu, m: &Matrix<i8>, spec: &PackSpec) -> u32 {
         let bias = spec.weight_bias();
         let t = m.transpose();
-        let biased: Vec<i8> = t.as_slice().iter().map(|&x| (i32::from(x) + bias) as i8).collect();
+        let biased: Vec<i8> = t
+            .as_slice()
+            .iter()
+            .map(|&x| (i32::from(x) + bias) as i8)
+            .collect();
         gpu.mem.upload_i8(&biased).addr
     }
 }
 
 struct PaddedProblem {
-    /// Compute-shaped operands (`K = kp`): corrections use these.
+    /// Compute-shaped A operand (`K = kp`): corrections use this (the
+    /// weight-side column sums come from the packed-weight path).
     a: Matrix<i8>,
-    b: Matrix<i8>,
     /// Upload-shaped operands with one extra zero K-tile so the software
     /// pipeline's final prefetch stays in bounds.
     a_up: Matrix<i8>,
@@ -543,7 +569,6 @@ fn pad_problem(a: &Matrix<i8>, b: &Matrix<i8>, n_unit: usize) -> PaddedProblem {
     let b_up = pad_matrix(&b_pad, kp + K_PAD, np);
     PaddedProblem {
         a: a_pad,
-        b: b_pad,
         a_up,
         b_up,
         m,
@@ -573,8 +598,19 @@ pub fn run_ic(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
     let blocks = blocks_x * (p.mp / 16) as u32;
     let elem = CudaElem::Int;
     let args = role_args(
-        at_ptr, b_ptr, c_dev.addr, blocks_x, n_chunks as u32, p.kp as u32, &elem,
-        p.mp as u32, p.np as u32, (p.np * 4) as u32, 0, &geom, 0,
+        at_ptr,
+        b_ptr,
+        c_dev.addr,
+        blocks_x,
+        n_chunks as u32,
+        p.kp as u32,
+        &elem,
+        p.mp as u32,
+        p.np as u32,
+        (p.np * 4) as u32,
+        0,
+        &geom,
+        0,
     );
     let prog = cuda_gemm_program(elem, geom, 0).into_arc();
     let kernel = Kernel::single("gemm_ic", prog, blocks, geom.role_warps, 0, args);
@@ -582,7 +618,10 @@ pub fn run_ic(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
     let raw = gpu.mem.download_u32(c_dev, p.mp * p.np * ks as usize);
     let summed = reduce_slices_u32(&raw, p.mp * p.np, ks);
     let c_full = Matrix::from_vec(p.mp, p.np, summed.into_iter().map(|x| x as i32).collect());
-    GemmOut { c: crop_matrix(&c_full, p.m, p.n), stats }
+    GemmOut {
+        c: crop_matrix(&c_full, p.m, p.n),
+        stats,
+    }
 }
 
 /// FP-CUDA-core GEMM (INT operands converted to f32, Table 3 "FC").
@@ -601,16 +640,34 @@ pub fn run_fc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
     let blocks = blocks_x * (p.mp / 16) as u32;
     let elem = CudaElem::Fp;
     let args = role_args(
-        at_ptr, b_ptr, c_dev.addr, blocks_x, n_chunks as u32, p.kp as u32, &elem,
-        p.mp as u32, p.np as u32, (p.np * 4) as u32, 0, &geom, 0,
+        at_ptr,
+        b_ptr,
+        c_dev.addr,
+        blocks_x,
+        n_chunks as u32,
+        p.kp as u32,
+        &elem,
+        p.mp as u32,
+        p.np as u32,
+        (p.np * 4) as u32,
+        0,
+        &geom,
+        0,
     );
     let prog = cuda_gemm_program(elem, geom, 0).into_arc();
     let kernel = Kernel::single("gemm_fc", prog, blocks, geom.role_warps, 0, args);
     let stats = gpu.launch(&kernel);
     let raw = gpu.mem.download_f32(c_dev, p.mp * p.np * ks as usize);
     let summed = reduce_slices_f32(&raw, p.mp * p.np, ks);
-    let c_full = Matrix::from_vec(p.mp, p.np, summed.into_iter().map(|x| x.round() as i32).collect());
-    GemmOut { c: crop_matrix(&c_full, p.m, p.n), stats }
+    let c_full = Matrix::from_vec(
+        p.mp,
+        p.np,
+        summed.into_iter().map(|x| x.round() as i32).collect(),
+    );
+    GemmOut {
+        c: crop_matrix(&c_full, p.m, p.n),
+        stats,
+    }
 }
 
 /// Packed-INT GEMM: the register-operand-packing kernel on its own.
@@ -618,13 +675,28 @@ pub fn run_fc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
 /// # Panics
 /// Panics when operand codes exceed the spec's bitwidths.
 pub fn run_packed(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>, spec: &PackSpec) -> GemmOut {
+    run_packed_cached(gpu, a, b, spec, None)
+}
+
+/// [`run_packed`] with an optional packed-weight cache handle for the
+/// stationary `B` operand (see [`super::cache`] for the keying rules).
+///
+/// # Panics
+/// Panics when operand codes exceed the spec's bitwidths.
+pub fn run_packed_cached(
+    gpu: &mut Gpu,
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+    spec: &PackSpec,
+    mut weight: WeightCtx<'_>,
+) -> GemmOut {
     let lanes = spec.lanes as usize;
     let p = pad_problem(a, b, CHUNK_COLS * lanes);
     gpu.mem.reset();
-    let corr = BiasCorrection::new(spec, &p.a, &p.b);
+    let pw = pack_weight_share(&mut weight, spec, &p.b_up, 0, b.cols());
+    let corr = BiasCorrection::from_cached_colsum(spec, &p.a, &pw.colsum);
     let at_ptr = upload_ops::transposed_biased(gpu, &p.a_up, spec);
-    let packed = pack_matrix_rows(&p.b_up, spec).expect("padded width is a lane multiple");
-    let b_ptr = gpu.mem.upload_u32(packed.as_slice()).addr;
+    let b_ptr = gpu.mem.upload_u32(pw.packed.as_slice()).addr;
     let np_packed = p.np / lanes;
     let n_chunks = np_packed / CHUNK_COLS;
     let geom = RoleGeom::standalone(pick_k_splits(n_chunks, p.mp / 16, p.kp));
@@ -634,8 +706,19 @@ pub fn run_packed(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>, spec: &PackSpec
     let blocks = blocks_x * (p.mp / 16) as u32;
     let elem = CudaElem::Packed(*spec);
     let args = role_args(
-        at_ptr, b_ptr, c_dev.addr, blocks_x, n_chunks as u32, p.kp as u32, &elem,
-        p.mp as u32, np_packed as u32, (p.np * 4) as u32, 0, &geom, 0,
+        at_ptr,
+        b_ptr,
+        c_dev.addr,
+        blocks_x,
+        n_chunks as u32,
+        p.kp as u32,
+        &elem,
+        p.mp as u32,
+        np_packed as u32,
+        (p.np * 4) as u32,
+        0,
+        &geom,
+        0,
     );
     let prog = cuda_gemm_program(elem, geom, 0).into_arc();
     let kernel = Kernel::single("gemm_ic_packed", prog, blocks, geom.role_warps, 0, args);
@@ -648,27 +731,31 @@ pub fn run_packed(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>, spec: &PackSpec
             c_full[(i, j)] = corr.apply(u64::from(summed[i * p.np + j]), i, j) as i32;
         }
     }
-    GemmOut { c: crop_matrix(&c_full, p.m, p.n), stats }
+    GemmOut {
+        c: crop_matrix(&c_full, p.m, p.n),
+        stats,
+    }
 }
 
 /// Simultaneous INT + FP CUDA-core GEMM (Table 3 "IC+FC"): columns split
 /// 1:1, INT warps and FP warps co-resident in every block.
 pub fn run_ic_fc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
-    run_cuda_fused(gpu, a, b, None)
+    run_cuda_fused(gpu, a, b, None, None)
 }
 
 /// IC+FC with packing on the INT side (the study's "IC+FC+P"): columns
 /// split per Equation 1 (`lanes : 1`).
-pub fn run_ic_fc_packed(
+pub fn run_ic_fc_packed(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>, spec: &PackSpec) -> GemmOut {
+    run_cuda_fused(gpu, a, b, Some(*spec), None)
+}
+
+fn run_cuda_fused(
     gpu: &mut Gpu,
     a: &Matrix<i8>,
     b: &Matrix<i8>,
-    spec: &PackSpec,
+    spec: Option<PackSpec>,
+    mut weight: WeightCtx<'_>,
 ) -> GemmOut {
-    run_cuda_fused(gpu, a, b, Some(*spec))
-}
-
-fn run_cuda_fused(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>, spec: Option<PackSpec>) -> GemmOut {
     assert_eq!(a.cols(), b.rows(), "GEMM inner dims");
     let (m, k) = a.shape();
     let n = b.cols();
@@ -694,10 +781,14 @@ fn run_cuda_fused(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>, spec: Option<Pa
     // INT side operands.
     let (at1_ptr, b1_ptr, corr) = match &spec {
         Some(s) => {
-            let corr = BiasCorrection::new(s, &a_pad, &b1);
+            let pw = pack_weight_share(&mut weight, s, &b1_up, 0, n1c);
+            let corr = BiasCorrection::from_cached_colsum(s, &a_pad, &pw.colsum);
             let at = upload_ops::transposed_biased(gpu, &a_up, s);
-            let packed = pack_matrix_rows(&b1_up, s).expect("padded to lane multiple");
-            (at, gpu.mem.upload_u32(packed.as_slice()).addr, Some(corr))
+            (
+                at,
+                gpu.mem.upload_u32(pw.packed.as_slice()).addr,
+                Some(corr),
+            )
         }
         None => (
             upload_ops::transposed_i8(gpu, &a_up),
@@ -715,7 +806,11 @@ fn run_cuda_fused(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>, spec: Option<Pa
     let chunks1 = n1_packed_cols / CHUNK_COLS;
     let chunks2 = n2 / CHUNK_COLS;
     let ks = pick_k_splits(chunks1.min(chunks2).max(1), mp / 16, kp);
-    let geom = RoleGeom { role_warps: 4, row_groups: 1, k_splits: ks };
+    let geom = RoleGeom {
+        role_warps: 4,
+        row_groups: 1,
+        k_splits: ks,
+    };
     let c1_dev = gpu.mem.alloc((mp * n1 * 4 * ks as usize) as u32);
     let c2_dev = gpu.mem.alloc((mp * n2 * 4 * ks as usize) as u32);
     let blocks_x = grid_for(chunks1.max(chunks2) * ks as usize, geom.role_warps);
@@ -726,12 +821,34 @@ fn run_cuda_fused(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>, spec: Option<Pa
         None => CudaElem::Int,
     };
     let mut args = role_args(
-        at1_ptr, b1_ptr, c1_dev.addr, blocks_x, chunks1 as u32, kp as u32, &int_elem,
-        mp as u32, n1_packed_cols as u32, (n1 * 4) as u32, 0, &geom, 0,
+        at1_ptr,
+        b1_ptr,
+        c1_dev.addr,
+        blocks_x,
+        chunks1 as u32,
+        kp as u32,
+        &int_elem,
+        mp as u32,
+        n1_packed_cols as u32,
+        (n1 * 4) as u32,
+        0,
+        &geom,
+        0,
     );
     args.extend(role_args(
-        at2_ptr, b2_ptr, c2_dev.addr, blocks_x, chunks2 as u32, kp as u32, &CudaElem::Fp,
-        mp as u32, n2 as u32, (n2 * 4) as u32, geom.role_warps, &geom, 0,
+        at2_ptr,
+        b2_ptr,
+        c2_dev.addr,
+        blocks_x,
+        chunks2 as u32,
+        kp as u32,
+        &CudaElem::Fp,
+        mp as u32,
+        n2 as u32,
+        (n2 * 4) as u32,
+        geom.role_warps,
+        &geom,
+        0,
     ));
 
     let int_prog = cuda_gemm_program(int_elem, geom, 0).into_arc();
@@ -739,7 +856,11 @@ fn run_cuda_fused(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>, spec: Option<Pa
     // Roles alternate at sub-partition stride: warp w runs on sub-partition
     // w % 4, so [int x4, fp x4] puts one of each on every scheduler.
     let kernel = Kernel::fused(
-        if spec.is_some() { "gemm_ic_fc_packed" } else { "gemm_ic_fc" },
+        if spec.is_some() {
+            "gemm_ic_fc_packed"
+        } else {
+            "gemm_ic_fc"
+        },
         vec![int_prog, fp_prog],
         vec![0, 0, 0, 0, 1, 1, 1, 1],
         blocks,
@@ -770,7 +891,11 @@ fn run_cuda_fused(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>, spec: Option<Pa
     }
     let c2_raw = gpu.mem.download_f32(c2_dev, mp * n2 * ks as usize);
     let c2_sum = reduce_slices_f32(&c2_raw, mp * n2, ks);
-    let c2 = Matrix::from_vec(mp, n2, c2_sum.into_iter().map(|x| x.round() as i32).collect());
+    let c2 = Matrix::from_vec(
+        mp,
+        n2,
+        c2_sum.into_iter().map(|x| x.round() as i32).collect(),
+    );
     let c1_crop = crop_matrix(&c1, m, n1c);
     let c2_crop = crop_matrix(&c2, m, n2_raw);
     let c = Matrix::concat_cols(&[&c1_crop, &c2_crop]);

@@ -19,15 +19,15 @@
 //! * [`FusedMode::VitBit`] — all three plus register operand packing on the
 //!   INT side with the Equation-1 `lanes : 1` INT/FP split.
 
+use super::cache::{pack_weight_share, WeightCtx};
 use super::cuda::{
-    cuda_gemm_program, pick_k_splits, reduce_slices_f32, reduce_slices_u32, role_args,
-    upload_ops, CudaElem, RoleGeom, ARGS_PER_ROLE, CHUNK_COLS,
+    cuda_gemm_program, pick_k_splits, reduce_slices_f32, reduce_slices_u32, role_args, upload_ops,
+    CudaElem, RoleGeom, ARGS_PER_ROLE, CHUNK_COLS,
 };
 use super::tc::{tc_args, tc_gemm_program, TC_ARGS, TC_N_TILE};
 use super::GemmOut;
 use crate::shapes::{crop_matrix, pad_matrix, pad_to};
 use vitbit_core::correction::BiasCorrection;
-use vitbit_core::pack::pack_matrix_rows;
 use vitbit_core::policy::PackSpec;
 use vitbit_core::ratio::{eq1_split, CoreRatio};
 use vitbit_sim::{Gpu, Kernel};
@@ -88,6 +88,24 @@ pub fn run_fused_with_ratio(
     mode: FusedMode,
     ratio: CoreRatio,
 ) -> GemmOut {
+    run_fused_with_ratio_cached(gpu, a, b, mode, ratio, None)
+}
+
+/// [`run_fused_with_ratio`] with an optional packed-weight cache handle:
+/// under [`FusedMode::VitBit`] the INT share `B1` of the stationary `B`
+/// operand is packed once per (weight, spec, split geometry) and reused
+/// across launches (see [`super::cache`]).
+///
+/// # Panics
+/// Panics unless both ratio shares are at least 1 and shapes agree.
+pub fn run_fused_with_ratio_cached(
+    gpu: &mut Gpu,
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+    mode: FusedMode,
+    ratio: CoreRatio,
+    mut weight: WeightCtx<'_>,
+) -> GemmOut {
     assert_eq!(a.cols(), b.rows(), "GEMM inner dims");
     assert!(ratio.tc >= 1 && ratio.cuda >= 1, "fused needs both shares");
     let (m, k) = a.shape();
@@ -112,7 +130,11 @@ pub fn run_fused_with_ratio(
     let mp = pad_to(m.max(1), super::cuda::M_PAD);
     let kp = pad_to(k.max(1), super::tc::TC_K_UNIT);
     let n1p = pad_to(n1_raw, CHUNK_COLS * lanes);
-    let n2p = if n2_raw == 0 { 0 } else { pad_to(n2_raw, CHUNK_COLS) };
+    let n2p = if n2_raw == 0 {
+        0
+    } else {
+        pad_to(n2_raw, CHUNK_COLS)
+    };
     let n3p = pad_to(n3_raw.max(1), TC_N_TILE);
 
     let a_pad = pad_matrix(a, mp, kp);
@@ -134,10 +156,14 @@ pub fn run_fused_with_ratio(
     // INT-side operands.
     let (at1_ptr, b1_ptr, corr) = match mode {
         FusedMode::VitBit(spec) => {
-            let corr = BiasCorrection::new(&spec, &a_pad, &b1);
+            let pw = pack_weight_share(&mut weight, &spec, &b1_up, 0, n1_raw);
+            let corr = BiasCorrection::from_cached_colsum(&spec, &a_pad, &pw.colsum);
             let at = upload_ops::transposed_biased(gpu, &a_up, &spec);
-            let packed = pack_matrix_rows(&b1_up, &spec).expect("lane-multiple width");
-            (at, gpu.mem.upload_u32(packed.as_slice()).addr, Some(corr))
+            (
+                at,
+                gpu.mem.upload_u32(pw.packed.as_slice()).addr,
+                Some(corr),
+            )
         }
         _ => (
             upload_ops::transposed_i8(gpu, &a_up),
@@ -177,7 +203,11 @@ pub fn run_fused_with_ratio(
     let chunks2 = n2p / CHUNK_COLS;
     let ks = pick_k_splits(chunks1.min(chunks2.max(1)).max(1), mp / 16, kp);
     let role_warps: u32 = if has_fp { 4 } else { 8 };
-    let geom = RoleGeom { role_warps, row_groups: 1, k_splits: ks };
+    let geom = RoleGeom {
+        role_warps,
+        row_groups: 1,
+        k_splits: ks,
+    };
     let cuda_blocks_x = (chunks1.max(chunks2) * ks as usize)
         .div_ceil(role_warps as usize)
         .max(1) as u32;
@@ -200,8 +230,19 @@ pub fn run_fused_with_ratio(
         (mp * 16) as u32,
     );
     args.extend(role_args(
-        at1_ptr, b1_ptr, c1_dev.addr, cuda_blocks_x, chunks1 as u32, kp as u32, &int_elem,
-        mp as u32, n1_cols_elem as u32, (n1p * 4) as u32, 0, &geom, tc_blocks,
+        at1_ptr,
+        b1_ptr,
+        c1_dev.addr,
+        cuda_blocks_x,
+        chunks1 as u32,
+        kp as u32,
+        &int_elem,
+        mp as u32,
+        n1_cols_elem as u32,
+        (n1p * 4) as u32,
+        0,
+        &geom,
+        tc_blocks,
     ));
     let mut programs = vec![
         tc_gemm_program(2, 0).into_arc(),
@@ -210,9 +251,19 @@ pub fn run_fused_with_ratio(
     let mut cuda_roles: Vec<u8> = vec![1; role_warps as usize];
     if has_fp {
         args.extend(role_args(
-            at2_ptr, b2_ptr, c2_dev.expect("fp present").addr, cuda_blocks_x, chunks2 as u32,
-            kp as u32, &CudaElem::Fp, mp as u32, n2p as u32, (n2p * 4) as u32, role_warps,
-            &geom, tc_blocks,
+            at2_ptr,
+            b2_ptr,
+            c2_dev.expect("fp present").addr,
+            cuda_blocks_x,
+            chunks2 as u32,
+            kp as u32,
+            &CudaElem::Fp,
+            mp as u32,
+            n2p as u32,
+            (n2p * 4) as u32,
+            role_warps,
+            &geom,
+            tc_blocks,
         ));
         programs.push(cuda_gemm_program(CudaElem::Fp, geom, TC_ARGS + ARGS_PER_ROLE).into_arc());
         cuda_roles.extend(std::iter::repeat_n(2u8, role_warps as usize));
@@ -227,8 +278,8 @@ pub fn run_fused_with_ratio(
         let (mut ti, mut ci) = (0u32, 0u32);
         while ti < tc_blocks || ci < cuda_blocks {
             // Keep the dispatched mix at the same ratio as the totals.
-            let want_tc = (ti + ci + 1) as u64 * tc_blocks as u64
-                / (tc_blocks + cuda_blocks) as u64;
+            let want_tc =
+                (ti + ci + 1) as u64 * tc_blocks as u64 / (tc_blocks + cuda_blocks) as u64;
             if ti < tc_blocks && (ti as u64) < want_tc || ci >= cuda_blocks {
                 order.push(ti);
                 ti += 1;
@@ -276,7 +327,11 @@ pub fn run_fused_with_ratio(
         Some(dev) => {
             let raw = gpu.mem.download_f32(dev, mp * n2p * ks as usize);
             let summed = reduce_slices_f32(&raw, mp * n2p, ks);
-            Matrix::from_vec(mp, n2p, summed.into_iter().map(|x| x.round() as i32).collect())
+            Matrix::from_vec(
+                mp,
+                n2p,
+                summed.into_iter().map(|x| x.round() as i32).collect(),
+            )
         }
         None => Matrix::zeros(mp, 0),
     };
@@ -354,10 +409,20 @@ mod tests {
         let mut g = gpu();
         let a = int6(16, 16, 9);
         let b = int6(16, 256, 10);
-        let r91 =
-            run_fused_with_ratio(&mut g, &a, &b, FusedMode::TcIcFc, CoreRatio { tc: 9, cuda: 1 });
-        let r11 =
-            run_fused_with_ratio(&mut g, &a, &b, FusedMode::TcIcFc, CoreRatio { tc: 1, cuda: 1 });
+        let r91 = run_fused_with_ratio(
+            &mut g,
+            &a,
+            &b,
+            FusedMode::TcIcFc,
+            CoreRatio { tc: 9, cuda: 1 },
+        );
+        let r11 = run_fused_with_ratio(
+            &mut g,
+            &a,
+            &b,
+            FusedMode::TcIcFc,
+            CoreRatio { tc: 1, cuda: 1 },
+        );
         assert_eq!(r91.c, gemm_i8_i32(&a, &b));
         assert_eq!(r11.c, gemm_i8_i32(&a, &b));
         // More TC share => more MMAs issued.

@@ -11,12 +11,14 @@
 //!   [`vitbit_core::correction::BiasCorrection`] on the host — an `O(M*N)`
 //!   epilogue the paper folds into the kernel's bias term.
 
+pub mod cache;
 pub mod cuda;
 pub mod fused;
 pub mod tc;
 
-pub use cuda::{run_fc, run_ic, run_ic_fc, run_ic_fc_packed, run_packed};
-pub use fused::{run_fused, run_fused_with_ratio, FusedMode};
+pub use cache::{PackedWeight, PackedWeightCache, WeightCtx, WeightKey};
+pub use cuda::{run_fc, run_ic, run_ic_fc, run_ic_fc_packed, run_packed, run_packed_cached};
+pub use fused::{run_fused, run_fused_with_ratio, run_fused_with_ratio_cached, FusedMode};
 pub use tc::run_tc;
 
 use vitbit_sim::KernelStats;

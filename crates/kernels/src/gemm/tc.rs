@@ -45,7 +45,11 @@ pub fn tc_smem_bytes(rows_tiles: u16) -> u32 {
 /// 0..4 of the block).
 pub fn tc_gemm_program(rows_tiles: u16, arg_base: u16) -> Program {
     assert!(rows_tiles == 1 || rows_tiles == 2, "rows_tiles in {{1,2}}");
-    let mut p = ProgramBuilder::new(if rows_tiles == 2 { "gemm_tc" } else { "gemm_tc_role" });
+    let mut p = ProgramBuilder::new(if rows_tiles == 2 {
+        "gemm_tc"
+    } else {
+        "gemm_tc_role"
+    });
     let threads = rows_tiles as u32 * 4 * 32;
     let a_bytes = rows_tiles as u32 * 256; // one slab of A tiles
     let a_words_per_slab = a_bytes / 4;
@@ -97,7 +101,12 @@ pub fn tc_gemm_program(rows_tiles: u16, arg_base: u16) -> Program {
         p.imul(t, t.into(), a_stride.into());
         p.and(u, tid.into(), Src::Imm(a_words_per_slab - 1));
         p.imad(u, u.into(), Src::Imm(4), t.into());
-        p.imad(t, by.into(), Src::Imm(rows_tiles as u32 * 16 * 16), u.into());
+        p.imad(
+            t,
+            by.into(),
+            Src::Imm(rows_tiles as u32 * 16 * 16),
+            u.into(),
+        );
         p.iadd(a_ldg, a_ptr.into(), t.into());
     }
 
@@ -119,7 +128,7 @@ pub fn tc_gemm_program(rows_tiles: u16, arg_base: u16) -> Program {
         p.shr(t, w.into(), Src::Imm(8)); // slab_sel
         p.and(u, w.into(), Src::Imm(255)); // inner
         p.shr(v, u.into(), Src::Imm(4)); // kr
-        // global row = slab_sel*16 + kr
+                                         // global row = slab_sel*16 + kr
         p.imad(sts, t.into(), Src::Imm(16), v.into());
         p.imul(sts, sts.into(), n_stride.into());
         p.iadd(sts, sts.into(), col_base.into());
@@ -181,7 +190,12 @@ pub fn tc_gemm_program(rows_tiles: u16, arg_base: u16) -> Program {
         p.iadd(a_ldg, a_ldg.into(), a_stride.into()); // += 2*a_stride
         for q in 0..b_per_thread {
             let ldg = Reg(b_ldg.0 + q as u8);
-            p.imad(ldg, n_stride.into(), Src::Imm(TC_STAGE_K as u32), ldg.into());
+            p.imad(
+                ldg,
+                n_stride.into(),
+                Src::Imm(TC_STAGE_K as u32),
+                ldg.into(),
+            );
         }
     };
     let emit_stores = |p: &mut ProgramBuilder, vset: u16, buf: u32| {
@@ -331,7 +345,10 @@ pub fn run_tc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
     );
     let stats = gpu.launch(&kernel);
     let c_full = Matrix::from_vec(mp, np, gpu.mem.download_i32(c_dev, mp * np));
-    GemmOut { c: crop_matrix(&c_full, m, n), stats }
+    GemmOut {
+        c: crop_matrix(&c_full, m, n),
+        stats,
+    }
 }
 
 #[cfg(test)]

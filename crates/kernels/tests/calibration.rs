@@ -45,10 +45,19 @@ fn study_ordering_holds_on_small_machine() {
     for (name, cyc) in &r {
         eprintln!("{name:8} {cyc}");
     }
-    assert!(tc * 2.0 < icfcp.min(icfc).min(ic).min(fc), "TC clearly fastest");
-    assert!((ic - fc).abs() / ic < 0.35, "IC and FC in the same ballpark");
+    assert!(
+        tc * 2.0 < icfcp.min(icfc).min(ic).min(fc),
+        "TC clearly fastest"
+    );
+    assert!(
+        (ic - fc).abs() / ic < 0.35,
+        "IC and FC in the same ballpark"
+    );
     assert!(icfc <= ic * 1.05, "co-scheduling no slower than IC");
-    assert!(icfcp <= ic * 1.10, "packing roughly no slower than IC at small scale");
+    assert!(
+        icfcp <= ic * 1.10,
+        "packing roughly no slower than IC at small scale"
+    );
 }
 
 #[test]
@@ -58,7 +67,10 @@ fn study_ordering_full_orin() {
     let r = probe(&mut gpu, 197, 768, 768);
     let get = |name: &str| r.iter().find(|(n, _)| n == name).unwrap().1 as f64;
     assert!(get("TC") < get("IC+FC+P"));
-    assert!(get("IC+FC+P") < get("IC+FC"), "packing beats plain co-scheduling");
+    assert!(
+        get("IC+FC+P") < get("IC+FC"),
+        "packing beats plain co-scheduling"
+    );
     assert!(get("IC+FC") < get("IC"), "co-scheduling beats IC alone");
 }
 

@@ -2,7 +2,6 @@
 //! programs, elementwise edge cases across bitwidths, and GEMM shape
 //! robustness sweeps.
 
-use proptest::prelude::*;
 use vitbit_core::policy::PackSpec;
 use vitbit_kernels::elementwise::{hostref, run_layernorm, run_map, run_softmax, EwVariant, MapOp};
 use vitbit_kernels::gemm::cuda::{cuda_gemm_program, CudaElem, RoleGeom};
@@ -11,7 +10,7 @@ use vitbit_kernels::gemm::{run_ic, run_tc};
 use vitbit_sim::trace::static_mix;
 use vitbit_sim::{Gpu, OrinConfig};
 use vitbit_tensor::refgemm::gemm_i8_i32;
-use vitbit_tensor::{gen, Matrix};
+use vitbit_tensor::{check, gen, Matrix};
 
 fn gpu() -> Gpu {
     Gpu::new(OrinConfig::test_small(), 64 << 20)
@@ -34,7 +33,10 @@ fn generated_programs_have_the_documented_pipe_mixes() {
 
     let tc_mix = static_mix(&tc_gemm_program(2, 0));
     assert!(tc_mix.tensor > 0, "TC GEMM issues MMAs");
-    assert!(tc_mix.lsu > tc_mix.tensor, "staging dominates MMA statically");
+    assert!(
+        tc_mix.lsu > tc_mix.tensor,
+        "staging dominates MMA statically"
+    );
 }
 
 #[test]
@@ -55,9 +57,12 @@ fn packed_program_covers_more_macs_per_int_instruction() {
     let ic = run_ic(&mut g, &a, &b);
     let pk = vitbit_kernels::gemm::run_packed(&mut g, &a, &b, &spec);
     assert_eq!(ic.c, pk.c);
-    assert!(pk.stats.issued.int * 13 < ic.stats.issued.int * 10,
+    assert!(
+        pk.stats.issued.int * 13 < ic.stats.issued.int * 10,
         "packed INT insts {} should be well under IC's {}",
-        pk.stats.issued.int, ic.stats.issued.int);
+        pk.stats.issued.int,
+        ic.stats.issued.int
+    );
     let _ = (int_p, pk_p);
 }
 
@@ -86,10 +91,30 @@ fn dropout_keep_everything_and_drop_everything() {
     let mut g = gpu();
     let x = gen::uniform_i8(1, 256, -32, 31, 3).into_vec();
     // keep_q8 = 256: every element kept with unit scale.
-    let all = run_map(&mut g, MapOp::Dropout { seed: 1, keep_q8: 256 }, EwVariant::Ic, 6, &x, None);
+    let all = run_map(
+        &mut g,
+        MapOp::Dropout {
+            seed: 1,
+            keep_q8: 256,
+        },
+        EwVariant::Ic,
+        6,
+        &x,
+        None,
+    );
     assert_eq!(all.out, x, "keep=256 must be identity");
     // keep_q8 = 1: almost everything dropped.
-    let none = run_map(&mut g, MapOp::Dropout { seed: 1, keep_q8: 1 }, EwVariant::Ic, 6, &x, None);
+    let none = run_map(
+        &mut g,
+        MapOp::Dropout {
+            seed: 1,
+            keep_q8: 1,
+        },
+        EwVariant::Ic,
+        6,
+        &x,
+        None,
+    );
     let zeros = none.out.iter().filter(|&&v| v == 0).count();
     assert!(zeros > 240, "keep=1/256 drops almost all: {zeros}");
 }
@@ -106,7 +131,12 @@ fn softmax_constant_row_is_uniform_and_peaked_row_is_peaked() {
     peaked[(0, 7)] = 90;
     let out = run_softmax(&mut g, &peaked, EwVariant::Ic, 8);
     assert!(out.out[(0, 7)] > 100);
-    assert!(out.out.row(0).iter().enumerate().all(|(i, &v)| i == 7 || v <= 2));
+    assert!(out
+        .out
+        .row(0)
+        .iter()
+        .enumerate()
+        .all(|(i, &v)| i == 7 || v <= 2));
 }
 
 #[test]
@@ -124,42 +154,47 @@ fn layernorm_shifts_do_not_break_saturation() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    /// IC and TC GEMMs agree for arbitrary shapes (padding robustness).
-    #[test]
-    fn prop_gemm_shape_robustness(
-        m in 1usize..40,
-        n in 1usize..70,
-        k in 1usize..50,
-        seed in 0u64..100,
-    ) {
+/// IC and TC GEMMs agree for arbitrary shapes (padding robustness).
+#[test]
+fn prop_gemm_shape_robustness() {
+    check::cases(0x6e1_0001, 10, |rng| {
+        let m = rng.random_range(1usize..40);
+        let n = rng.random_range(1usize..70);
+        let k = rng.random_range(1usize..50);
+        let seed = rng.random_range(0u64..100);
         let mut g = gpu();
         let a = gen::uniform_i8(m, k, -32, 31, seed);
         let b = gen::uniform_i8(k, n, -32, 31, seed + 1);
         let want = gemm_i8_i32(&a, &b);
-        prop_assert_eq!(run_ic(&mut g, &a, &b).c, want.clone());
-        prop_assert_eq!(run_tc(&mut g, &a, &b).c, want);
-    }
+        assert_eq!(run_ic(&mut g, &a, &b).c, want.clone());
+        assert_eq!(run_tc(&mut g, &a, &b).c, want);
+    });
+}
 
-    /// Elementwise map kernels agree with host references for arbitrary
-    /// lengths and variants.
-    #[test]
-    fn prop_map_kernels_match_reference(
-        len in 1usize..700,
-        seed in 0u64..100,
-        variant_ix in 0usize..3,
-    ) {
+/// Elementwise map kernels agree with host references for arbitrary
+/// lengths and variants.
+#[test]
+fn prop_map_kernels_match_reference() {
+    check::cases(0x6e1_0002, 10, |rng| {
+        let len = rng.random_range(1usize..700);
+        let seed = rng.random_range(0u64..100);
+        let variant_ix = rng.random_range(0usize..3);
         let mut g = gpu();
         let x = gen::uniform_i8(1, len, -32, 31, seed).into_vec();
         let y = gen::uniform_i8(1, len, -32, 31, seed + 1).into_vec();
         let variant = [EwVariant::Ic, EwVariant::Fc, EwVariant::IcFc][variant_ix];
-        for op in [MapOp::Gelu, MapOp::Add, MapOp::Dropout { seed: 5, keep_q8: 204 }] {
+        for op in [
+            MapOp::Gelu,
+            MapOp::Add,
+            MapOp::Dropout {
+                seed: 5,
+                keep_q8: 204,
+            },
+        ] {
             let y_opt = matches!(op, MapOp::Add).then_some(y.as_slice());
             let out = run_map(&mut g, op, variant, 6, &x, y_opt);
             let reference = vitbit_kernels::elementwise::map::map_reference_int(op, &x, y_opt, 6);
-            prop_assert_eq!(&out.out, &reference, "op {:?} variant {:?}", op, variant);
+            assert_eq!(&out.out, &reference, "op {op:?} variant {variant:?}");
         }
-    }
+    });
 }

@@ -23,11 +23,20 @@ impl Cache {
     /// # Panics
     /// Panics unless sizes are powers of two producing at least one set.
     pub fn new(bytes: u32, ways: u32, line_bytes: u32) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let lines = bytes / line_bytes;
-        assert!(ways >= 1 && lines >= ways, "cache too small: {lines} lines, {ways} ways");
+        assert!(
+            ways >= 1 && lines >= ways,
+            "cache too small: {lines} lines, {ways} ways"
+        );
         let sets = (lines / ways) as usize;
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
         Self {
             sets,
             ways: ways as usize,

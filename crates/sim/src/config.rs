@@ -13,6 +13,25 @@ pub enum SchedPolicy {
     Lrr,
 }
 
+/// How the cycle loop advances the SMs.
+///
+/// Both modes produce bit-identical [`crate::stats::KernelStats`] and
+/// memory contents for the kernels in this repository (see DESIGN.md,
+/// "Simulator concurrency model"): each parallel cycle splits into an
+/// SM-local compute phase and a serial memory-service phase that drains
+/// per-SM request queues in SM-index order, reproducing the serial mode's
+/// L2/DRAM queueing and LRU state exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimMode {
+    /// One thread steps SMs in index order, servicing memory at issue time
+    /// (the reference semantics).
+    #[default]
+    Serial,
+    /// Two-phase cycles: SM compute runs on a worker pool, memory service
+    /// stays serial. Deterministic; faster on multi-core hosts.
+    Parallel,
+}
+
 /// Full machine description used by the simulator.
 ///
 /// Defaults model the 32 GB Jetson AGX Orin of the paper's Table 2:
@@ -79,6 +98,11 @@ pub struct OrinConfig {
     pub max_cycles: u64,
     /// Warp scheduling policy.
     pub sched: SchedPolicy,
+    /// How the cycle loop advances the SMs.
+    pub sim_mode: SimMode,
+    /// Worker threads for [`SimMode::Parallel`]; `None` uses the host's
+    /// available parallelism. Results are independent of the thread count.
+    pub sim_threads: Option<u32>,
 }
 
 impl OrinConfig {
@@ -113,6 +137,8 @@ impl OrinConfig {
             line_bytes: 128,
             max_cycles: 2_000_000_000,
             sched: SchedPolicy::Gto,
+            sim_mode: SimMode::default(),
+            sim_threads: None,
         }
     }
 
@@ -172,22 +198,56 @@ pub struct PeakRow {
 pub fn peak_throughput_table(cfg: &OrinConfig) -> Vec<PeakRow> {
     let clock = cfg.clock_ghz * 1e9;
     let cuda_fp32 = f64::from(cfg.cuda_cores()) * 2.0 * clock / 1e12;
-    let cuda_int32 = f64::from(cfg.int_lanes * cfg.subpartitions * cfg.num_sms) * 2.0 * clock / 1e12;
+    let cuda_int32 =
+        f64::from(cfg.int_lanes * cfg.subpartitions * cfg.num_sms) * 2.0 * clock / 1e12;
     // Tensor core: an INT8 MMA of 16x16x16 retires 8192 ops in tc_occupancy
     // cycles on each of the tensor cores.
-    let tc_int8 = f64::from(cfg.tensor_cores()) * 8192.0 / f64::from(cfg.tc_occupancy) * clock / 1e12;
+    let tc_int8 =
+        f64::from(cfg.tensor_cores()) * 8192.0 / f64::from(cfg.tc_occupancy) * clock / 1e12;
     let tc_fp16 = tc_int8 / 2.0;
     let tc_tf32 = tc_int8 / 4.0;
     let tc_int4 = tc_int8 * 2.0;
     vec![
-        PeakRow { format: "FP32", unit: "CUDA Core", tops: cuda_fp32 },
-        PeakRow { format: "FP16", unit: "CUDA Core", tops: cuda_fp32 * 2.0 },
-        PeakRow { format: "TF32", unit: "Tensor Core", tops: tc_tf32 },
-        PeakRow { format: "FP16", unit: "Tensor Core", tops: tc_fp16 },
-        PeakRow { format: "BFloat16", unit: "Tensor Core", tops: tc_fp16 },
-        PeakRow { format: "INT32", unit: "CUDA Core", tops: cuda_int32 },
-        PeakRow { format: "INT8", unit: "Tensor Core", tops: tc_int8 },
-        PeakRow { format: "INT4", unit: "Tensor Core", tops: tc_int4 },
+        PeakRow {
+            format: "FP32",
+            unit: "CUDA Core",
+            tops: cuda_fp32,
+        },
+        PeakRow {
+            format: "FP16",
+            unit: "CUDA Core",
+            tops: cuda_fp32 * 2.0,
+        },
+        PeakRow {
+            format: "TF32",
+            unit: "Tensor Core",
+            tops: tc_tf32,
+        },
+        PeakRow {
+            format: "FP16",
+            unit: "Tensor Core",
+            tops: tc_fp16,
+        },
+        PeakRow {
+            format: "BFloat16",
+            unit: "Tensor Core",
+            tops: tc_fp16,
+        },
+        PeakRow {
+            format: "INT32",
+            unit: "CUDA Core",
+            tops: cuda_int32,
+        },
+        PeakRow {
+            format: "INT8",
+            unit: "Tensor Core",
+            tops: tc_int8,
+        },
+        PeakRow {
+            format: "INT4",
+            unit: "Tensor Core",
+            tops: tc_int4,
+        },
     ]
 }
 

@@ -34,18 +34,116 @@ pub struct ExecEffects {
     pub stream: bool,
 }
 
+/// How [`execute`] reaches device global memory.
+///
+/// Serial simulation reads and writes [`GlobalMem`] directly. During the
+/// parallel compute phase every SM sees the memory image from the start of
+/// the cycle plus its *own* earlier stores of that cycle (same-SM
+/// store-to-load forwarding): writes append to an SM-local buffer that the
+/// serial drain applies to device memory in SM-index order.
+#[derive(Debug)]
+pub enum MemCtx<'a> {
+    /// Direct read/write access (serial mode).
+    Direct(&'a mut GlobalMem),
+    /// Cycle-start snapshot plus an SM-local store buffer (parallel phase).
+    Buffered {
+        /// Shared device memory as of the start of the cycle.
+        base: &'a GlobalMem,
+        /// This SM's stores of the current cycle, in program order.
+        writes: &'a mut Vec<(u32, u8)>,
+    },
+}
+
+impl MemCtx<'_> {
+    #[inline]
+    fn read_u8(&self, addr: u32) -> u8 {
+        match self {
+            MemCtx::Direct(g) => g.read_u8(addr),
+            MemCtx::Buffered { base, writes } => writes
+                .iter()
+                .rev()
+                .find(|&&(a, _)| a == addr)
+                .map_or_else(|| base.read_u8(addr), |&(_, v)| v),
+        }
+    }
+
+    #[inline]
+    fn read_u32(&self, addr: u32) -> u32 {
+        match self {
+            MemCtx::Direct(g) => g.read_u32(addr),
+            MemCtx::Buffered { base, writes } => {
+                if writes.is_empty() {
+                    base.read_u32(addr)
+                } else {
+                    u32::from_le_bytes([
+                        self.read_u8(addr),
+                        self.read_u8(addr + 1),
+                        self.read_u8(addr + 2),
+                        self.read_u8(addr + 3),
+                    ])
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, addr: u32, v: u8) {
+        match self {
+            MemCtx::Direct(g) => g.write_u8(addr, v),
+            MemCtx::Buffered { writes, .. } => writes.push((addr, v)),
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, addr: u32, v: u32) {
+        match self {
+            MemCtx::Direct(g) => g.write_u32(addr, v),
+            MemCtx::Buffered { writes, .. } => {
+                for (i, b) in v.to_le_bytes().into_iter().enumerate() {
+                    writes.push((addr + i as u32, b));
+                }
+            }
+        }
+    }
+}
+
 /// Destination registers of an instruction (`(first, count)`).
 pub fn dest_regs(op: &Op) -> Option<(u8, u8)> {
     use Op::*;
     match op {
-        IAdd { d, .. } | ISub { d, .. } | IMul { d, .. } | IMad { d, .. } | And { d, .. }
-        | Or { d, .. } | Xor { d, .. } | Shl { d, .. } | Shr { d, .. } | Sar { d, .. }
-        | IMin { d, .. } | IMax { d, .. } | Mov { d, .. } | Sel { d, .. } | Ldc { d, .. }
-        | ReadSr { d, .. } | FAdd { d, .. } | FMul { d, .. } | FFma { d, .. } | FMin { d, .. }
-        | FMax { d, .. } | I2F { d, .. } | F2I { d, .. } | Rcp { d, .. } | Sqrt { d, .. }
-        | Ex2 { d, .. } | Lg2 { d, .. } | Ldg { d, .. } | Lds { d, .. } | IDivU { d, .. }
+        IAdd { d, .. }
+        | ISub { d, .. }
+        | IMul { d, .. }
+        | IMad { d, .. }
+        | And { d, .. }
+        | Or { d, .. }
+        | Xor { d, .. }
+        | Shl { d, .. }
+        | Shr { d, .. }
+        | Sar { d, .. }
+        | IMin { d, .. }
+        | IMax { d, .. }
+        | Mov { d, .. }
+        | Sel { d, .. }
+        | Ldc { d, .. }
+        | ReadSr { d, .. }
+        | FAdd { d, .. }
+        | FMul { d, .. }
+        | FFma { d, .. }
+        | FMin { d, .. }
+        | FMax { d, .. }
+        | I2F { d, .. }
+        | F2I { d, .. }
+        | Rcp { d, .. }
+        | Sqrt { d, .. }
+        | Ex2 { d, .. }
+        | Lg2 { d, .. }
+        | Ldg { d, .. }
+        | Lds { d, .. }
+        | IDivU { d, .. }
         | F2IFloor { d, .. }
-        | IRemU { d, .. } | Shfl { d, .. } => Some((d.0, 1)),
+        | IRemU { d, .. }
+        | Shfl { d, .. } => Some((d.0, 1)),
         LdgV4 { d, .. } => Some((d.0, 4)),
         Mma { kind, acc, .. } => Some((acc.0, kind.acc_regs())),
         _ => None,
@@ -62,10 +160,22 @@ pub fn src_regs(op: &Op, out: &mut Vec<u8>) {
         }
     };
     match op {
-        IAdd { a, b, .. } | ISub { a, b, .. } | IMul { a, b, .. } | And { a, b, .. }
-        | Or { a, b, .. } | Xor { a, b, .. } | Shl { a, b, .. } | Shr { a, b, .. }
-        | Sar { a, b, .. } | IMin { a, b, .. } | IMax { a, b, .. } | IDivU { a, b, .. }
-        | IRemU { a, b, .. } | FAdd { a, b, .. } | FMul { a, b, .. } | FMin { a, b, .. }
+        IAdd { a, b, .. }
+        | ISub { a, b, .. }
+        | IMul { a, b, .. }
+        | And { a, b, .. }
+        | Or { a, b, .. }
+        | Xor { a, b, .. }
+        | Shl { a, b, .. }
+        | Shr { a, b, .. }
+        | Sar { a, b, .. }
+        | IMin { a, b, .. }
+        | IMax { a, b, .. }
+        | IDivU { a, b, .. }
+        | IRemU { a, b, .. }
+        | FAdd { a, b, .. }
+        | FMul { a, b, .. }
+        | FMin { a, b, .. }
         | FMax { a, b, .. } => {
             push_src(a, out);
             push_src(b, out);
@@ -85,7 +195,12 @@ pub fn src_regs(op: &Op, out: &mut Vec<u8>) {
             push_src(a, out);
             push_src(b, out);
         }
-        I2F { a, .. } | F2I { a, .. } | F2IFloor { a, .. } | Rcp { a, .. } | Sqrt { a, .. } | Ex2 { a, .. }
+        I2F { a, .. }
+        | F2I { a, .. }
+        | F2IFloor { a, .. }
+        | Rcp { a, .. }
+        | Sqrt { a, .. }
+        | Ex2 { a, .. }
         | Lg2 { a, .. } => push_src(a, out),
         Ldg { addr, .. } | LdgV4 { addr, .. } => out.push(addr.0),
         Stg { addr, v, .. } => {
@@ -97,7 +212,12 @@ pub fn src_regs(op: &Op, out: &mut Vec<u8>) {
             out.push(addr.0);
             push_src(v, out);
         }
-        Mma { acc, a_addr, b_addr, kind } => {
+        Mma {
+            acc,
+            a_addr,
+            b_addr,
+            kind,
+        } => {
             out.push(a_addr.0);
             out.push(b_addr.0);
             for i in 0..kind.acc_regs() {
@@ -165,7 +285,7 @@ pub fn execute(
     op: &Op,
     w: &mut Warp,
     smem: &mut [u8],
-    gmem: &mut GlobalMem,
+    gmem: &mut MemCtx<'_>,
     args: &[u32],
 ) -> (Next, ExecEffects) {
     use Op::*;
@@ -187,9 +307,7 @@ pub fn execute(
         Xor { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x ^ y),
         Shl { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.unbounded_shl(y)),
         Shr { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.unbounded_shr(y)),
-        Sar { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| {
-            ((x as i32).unbounded_shr(y)) as u32
-        }),
+        Sar { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| ((x as i32).unbounded_shr(y)) as u32),
         IMin { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| (x as i32).min(y as i32) as u32),
         IMax { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| (x as i32).max(y as i32) as u32),
         IDivU { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.checked_div(y).unwrap_or(0)),
@@ -300,7 +418,14 @@ pub fn execute(
         Sqrt { d, a } => lanewise1(w, *d, *a, |x| f(x).sqrt().to_bits()),
         Ex2 { d, a } => lanewise1(w, *d, *a, |x| f(x).exp2().to_bits()),
         Lg2 { d, a } => lanewise1(w, *d, *a, |x| f(x).log2().to_bits()),
-        Ldg { d, addr, off, w: width, guard, stream } => {
+        Ldg {
+            d,
+            addr,
+            off,
+            w: width,
+            guard,
+            stream,
+        } => {
             fx.stream = *stream;
             let mask = guard.map_or(u32::MAX, |p| w.preds[p.0 as usize]);
             let mut addrs = [0u64; 32];
@@ -319,7 +444,12 @@ pub fn execute(
             }
             collect_lines(&addrs, mask, &mut fx.global_lines);
         }
-        LdgV4 { d, addr, off, stream } => {
+        LdgV4 {
+            d,
+            addr,
+            off,
+            stream,
+        } => {
             fx.stream = *stream;
             let mut addrs = [0u64; 32];
             for lane in 0..32 {
@@ -341,7 +471,14 @@ pub fn execute(
                 }
             }
         }
-        Stg { addr, off, v, w: width, guard, stream } => {
+        Stg {
+            addr,
+            off,
+            v,
+            w: width,
+            guard,
+            stream,
+        } => {
             let mask = guard.map_or(u32::MAX, |p| w.preds[p.0 as usize]);
             let mut addrs = [0u64; 32];
             for lane in 0..32 {
@@ -360,7 +497,12 @@ pub fn execute(
             fx.is_store = true;
             fx.stream = *stream;
         }
-        Lds { d, addr, off, w: width } => {
+        Lds {
+            d,
+            addr,
+            off,
+            w: width,
+        } => {
             fx.shared_access = true;
             for lane in 0..32 {
                 let a = (w.reg(addr.0, lane) as i64 + i64::from(*off)) as usize;
@@ -372,7 +514,12 @@ pub fn execute(
                 w.set_reg(d.0, lane, v);
             }
         }
-        Sts { addr, off, v, w: width } => {
+        Sts {
+            addr,
+            off,
+            v,
+            w: width,
+        } => {
             fx.shared_access = true;
             for lane in 0..32 {
                 let a = (w.reg(addr.0, lane) as i64 + i64::from(*off)) as usize;
@@ -383,7 +530,12 @@ pub fn execute(
                 }
             }
         }
-        Mma { kind, acc, a_addr, b_addr } => {
+        Mma {
+            kind,
+            acc,
+            a_addr,
+            b_addr,
+        } => {
             let (m, n, k) = kind.shape();
             let a_base = w.reg(a_addr.0, 0) as usize;
             let b_base = w.reg(b_addr.0, 0) as usize;
@@ -430,7 +582,11 @@ pub fn execute(
                 }
             }
         }
-        Bra { target, pred, sense } => {
+        Bra {
+            target,
+            pred,
+            sense,
+        } => {
             let taken = match pred {
                 None => true,
                 Some(p) => {
@@ -489,7 +645,7 @@ mod tests {
     fn run(op: Op, w: &mut Warp) -> (Next, ExecEffects) {
         let mut smem = vec![0u8; 4096];
         let mut gmem = GlobalMem::new(1 << 16);
-        execute(&op, w, &mut smem, &mut gmem, &[])
+        execute(&op, w, &mut smem, &mut MemCtx::Direct(&mut gmem), &[])
     }
 
     #[test]
@@ -501,7 +657,12 @@ mod tests {
             w.set_reg(2, lane, 10);
         }
         let (n, _) = run(
-            Op::IMad { d: Reg(3), a: Reg(0).into(), b: Reg(1).into(), c: Reg(2).into() },
+            Op::IMad {
+                d: Reg(3),
+                a: Reg(0).into(),
+                b: Reg(1).into(),
+                c: Reg(2).into(),
+            },
             &mut w,
         );
         assert_eq!(n, Next::Seq);
@@ -514,11 +675,32 @@ mod tests {
         for lane in 0..32 {
             w.set_reg(0, lane, 0xFFFF_FFFF);
         }
-        run(Op::Shl { d: Reg(1), a: Reg(0).into(), b: Src::Imm(32) }, &mut w);
+        run(
+            Op::Shl {
+                d: Reg(1),
+                a: Reg(0).into(),
+                b: Src::Imm(32),
+            },
+            &mut w,
+        );
         assert_eq!(w.reg(1, 0), 0);
-        run(Op::Shr { d: Reg(1), a: Reg(0).into(), b: Src::Imm(33) }, &mut w);
+        run(
+            Op::Shr {
+                d: Reg(1),
+                a: Reg(0).into(),
+                b: Src::Imm(33),
+            },
+            &mut w,
+        );
         assert_eq!(w.reg(1, 0), 0);
-        run(Op::Sar { d: Reg(1), a: Reg(0).into(), b: Src::Imm(40) }, &mut w);
+        run(
+            Op::Sar {
+                d: Reg(1),
+                a: Reg(0).into(),
+                b: Src::Imm(40),
+            },
+            &mut w,
+        );
         assert_eq!(w.reg(1, 0), u32::MAX, "sar saturates to sign");
     }
 
@@ -528,10 +710,23 @@ mod tests {
         for lane in 0..32 {
             w.set_reg(0, lane, lane as u32);
         }
-        run(Op::ISetP { p: Pred(0), a: Reg(0).into(), b: Src::Imm(16), cmp: ICmp::Lt }, &mut w);
+        run(
+            Op::ISetP {
+                p: Pred(0),
+                a: Reg(0).into(),
+                b: Src::Imm(16),
+                cmp: ICmp::Lt,
+            },
+            &mut w,
+        );
         assert_eq!(w.preds[0], 0x0000_FFFF);
         run(
-            Op::Sel { d: Reg(1), p: Pred(0), a: Src::Imm(1), b: Src::Imm(2) },
+            Op::Sel {
+                d: Reg(1),
+                p: Pred(0),
+                a: Src::Imm(1),
+                b: Src::Imm(2),
+            },
             &mut w,
         );
         assert_eq!(w.reg(1, 3), 1);
@@ -544,9 +739,25 @@ mod tests {
         for lane in 0..32 {
             w.set_reg(0, lane, -1i32 as u32);
         }
-        run(Op::ISetP { p: Pred(0), a: Reg(0).into(), b: Src::Imm(0), cmp: ICmp::Lt }, &mut w);
+        run(
+            Op::ISetP {
+                p: Pred(0),
+                a: Reg(0).into(),
+                b: Src::Imm(0),
+                cmp: ICmp::Lt,
+            },
+            &mut w,
+        );
         assert_eq!(w.preds[0], u32::MAX, "-1 < 0 signed");
-        run(Op::ISetP { p: Pred(0), a: Reg(0).into(), b: Src::Imm(0), cmp: ICmp::LtU }, &mut w);
+        run(
+            Op::ISetP {
+                p: Pred(0),
+                a: Reg(0).into(),
+                b: Src::Imm(0),
+                cmp: ICmp::LtU,
+            },
+            &mut w,
+        );
         assert_eq!(w.preds[0], 0, "0xffffffff not < 0 unsigned");
     }
 
@@ -557,22 +768,60 @@ mod tests {
             w.set_reg(0, lane, 2.5f32.to_bits());
             w.set_reg(1, lane, 4.0f32.to_bits());
         }
-        run(Op::FFma { d: Reg(2), a: Reg(0).into(), b: Reg(1).into(), c: Src::imm_f32(1.0) }, &mut w);
+        run(
+            Op::FFma {
+                d: Reg(2),
+                a: Reg(0).into(),
+                b: Reg(1).into(),
+                c: Src::imm_f32(1.0),
+            },
+            &mut w,
+        );
         assert_eq!(f32::from_bits(w.reg(2, 0)), 11.0);
-        run(Op::F2I { d: Reg(2), a: Reg(0).into() }, &mut w);
+        run(
+            Op::F2I {
+                d: Reg(2),
+                a: Reg(0).into(),
+            },
+            &mut w,
+        );
         assert_eq!(w.reg(2, 0) as i32, 2, "2.5 rounds to even");
-        run(Op::I2F { d: Reg(2), a: Src::imm_i32(-7) }, &mut w);
+        run(
+            Op::I2F {
+                d: Reg(2),
+                a: Src::imm_i32(-7),
+            },
+            &mut w,
+        );
         assert_eq!(f32::from_bits(w.reg(2, 0)), -7.0);
     }
 
     #[test]
     fn sreg_values() {
         let mut w = mk_warp(1);
-        run(Op::ReadSr { d: Reg(0), sr: SReg::Tid }, &mut w);
+        run(
+            Op::ReadSr {
+                d: Reg(0),
+                sr: SReg::Tid,
+            },
+            &mut w,
+        );
         assert_eq!(w.reg(0, 4), 36); // warp 1, lane 4
-        run(Op::ReadSr { d: Reg(0), sr: SReg::Ctaid }, &mut w);
+        run(
+            Op::ReadSr {
+                d: Reg(0),
+                sr: SReg::Ctaid,
+            },
+            &mut w,
+        );
         assert_eq!(w.reg(0, 0), 3);
-        run(Op::ReadSr { d: Reg(0), sr: SReg::LaneId }, &mut w);
+        run(
+            Op::ReadSr {
+                d: Reg(0),
+                sr: SReg::LaneId,
+            },
+            &mut w,
+        );
         assert_eq!(w.reg(0, 9), 9);
     }
 
@@ -587,19 +836,33 @@ mod tests {
             w.set_reg(1, lane, 100 + lane as u32);
         }
         let (_, fx) = execute(
-            &Op::Stg { addr: Reg(0), off: 0, v: Reg(1).into(), w: MemWidth::B32, guard: None, stream: false },
+            &Op::Stg {
+                addr: Reg(0),
+                off: 0,
+                v: Reg(1).into(),
+                w: MemWidth::B32,
+                guard: None,
+                stream: false,
+            },
             &mut w,
             &mut smem,
-            &mut gmem,
+            &mut MemCtx::Direct(&mut gmem),
             &[],
         );
         assert!(fx.is_store);
         assert_eq!(fx.global_lines.len(), 1, "coalesced to one line");
         let (_, fx2) = execute(
-            &Op::Ldg { d: Reg(2), addr: Reg(0), off: 0, w: MemWidth::B32, guard: None, stream: false },
+            &Op::Ldg {
+                d: Reg(2),
+                addr: Reg(0),
+                off: 0,
+                w: MemWidth::B32,
+                guard: None,
+                stream: false,
+            },
             &mut w,
             &mut smem,
-            &mut gmem,
+            &mut MemCtx::Direct(&mut gmem),
             &[],
         );
         assert_eq!(fx2.global_lines.len(), 1);
@@ -616,10 +879,17 @@ mod tests {
             w.set_reg(0, lane, buf.addr + 128 * lane as u32);
         }
         let (_, fx) = execute(
-            &Op::Ldg { d: Reg(1), addr: Reg(0), off: 0, w: MemWidth::B32, guard: None, stream: false },
+            &Op::Ldg {
+                d: Reg(1),
+                addr: Reg(0),
+                off: 0,
+                w: MemWidth::B32,
+                guard: None,
+                stream: false,
+            },
             &mut w,
             &mut smem,
-            &mut gmem,
+            &mut MemCtx::Direct(&mut gmem),
             &[],
         );
         assert_eq!(fx.global_lines.len(), 32, "fully uncoalesced");
@@ -636,10 +906,17 @@ mod tests {
             w.set_reg(0, lane, buf.addr + 4 * lane as u32);
         }
         execute(
-            &Op::Stg { addr: Reg(0), off: 0, v: Src::Imm(9), w: MemWidth::B32, guard: Some(Pred(0)), stream: false },
+            &Op::Stg {
+                addr: Reg(0),
+                off: 0,
+                v: Src::Imm(9),
+                w: MemWidth::B32,
+                guard: Some(Pred(0)),
+                stream: false,
+            },
             &mut w,
             &mut smem,
-            &mut gmem,
+            &mut MemCtx::Direct(&mut gmem),
             &[],
         );
         assert_eq!(gmem.read_u32(buf.addr), 9);
@@ -656,9 +933,35 @@ mod tests {
         for lane in 0..32 {
             w.set_reg(0, lane, buf.addr);
         }
-        execute(&Op::Ldg { d: Reg(1), addr: Reg(0), off: 0, w: MemWidth::B8S, guard: None, stream: false }, &mut w, &mut smem, &mut gmem, &[]);
+        execute(
+            &Op::Ldg {
+                d: Reg(1),
+                addr: Reg(0),
+                off: 0,
+                w: MemWidth::B8S,
+                guard: None,
+                stream: false,
+            },
+            &mut w,
+            &mut smem,
+            &mut MemCtx::Direct(&mut gmem),
+            &[],
+        );
         assert_eq!(w.reg(1, 0) as i32, -1);
-        execute(&Op::Ldg { d: Reg(1), addr: Reg(0), off: 0, w: MemWidth::B8U, guard: None, stream: false }, &mut w, &mut smem, &mut gmem, &[]);
+        execute(
+            &Op::Ldg {
+                d: Reg(1),
+                addr: Reg(0),
+                off: 0,
+                w: MemWidth::B8U,
+                guard: None,
+                stream: false,
+            },
+            &mut w,
+            &mut smem,
+            &mut MemCtx::Direct(&mut gmem),
+            &[],
+        );
         assert_eq!(w.reg(1, 0), 255);
     }
 
@@ -671,8 +974,30 @@ mod tests {
             w.set_reg(0, lane, 4 * lane as u32);
             w.set_reg(1, lane, lane as u32 * 11);
         }
-        execute(&Op::Sts { addr: Reg(0), off: 0, v: Reg(1).into(), w: MemWidth::B32 }, &mut w, &mut smem, &mut gmem, &[]);
-        execute(&Op::Lds { d: Reg(2), addr: Reg(0), off: 0, w: MemWidth::B32 }, &mut w, &mut smem, &mut gmem, &[]);
+        execute(
+            &Op::Sts {
+                addr: Reg(0),
+                off: 0,
+                v: Reg(1).into(),
+                w: MemWidth::B32,
+            },
+            &mut w,
+            &mut smem,
+            &mut MemCtx::Direct(&mut gmem),
+            &[],
+        );
+        execute(
+            &Op::Lds {
+                d: Reg(2),
+                addr: Reg(0),
+                off: 0,
+                w: MemWidth::B32,
+            },
+            &mut w,
+            &mut smem,
+            &mut MemCtx::Direct(&mut gmem),
+            &[],
+        );
         assert_eq!(w.reg(2, 7), 77);
     }
 
@@ -700,20 +1025,30 @@ mod tests {
             w.set_reg(1, lane, 256); // b_addr
         }
         execute(
-            &Op::Mma { kind: MmaKind::I8_16x16x16, acc: Reg(2), a_addr: Reg(0), b_addr: Reg(1) },
+            &Op::Mma {
+                kind: MmaKind::I8_16x16x16,
+                acc: Reg(2),
+                a_addr: Reg(0),
+                b_addr: Reg(1),
+            },
             &mut w,
             &mut smem,
-            &mut gmem,
+            &mut MemCtx::Direct(&mut gmem),
             &[],
         );
         // C[r][c] = 2 * (r + c). Element (3, 5): idx 53 -> lane 21, slot 1.
         assert_eq!(w.reg(3, 21) as i32, 2 * (3 + 5));
         // Accumulation: run again, doubles.
         execute(
-            &Op::Mma { kind: MmaKind::I8_16x16x16, acc: Reg(2), a_addr: Reg(0), b_addr: Reg(1) },
+            &Op::Mma {
+                kind: MmaKind::I8_16x16x16,
+                acc: Reg(2),
+                a_addr: Reg(0),
+                b_addr: Reg(1),
+            },
             &mut w,
             &mut smem,
-            &mut gmem,
+            &mut MemCtx::Direct(&mut gmem),
             &[],
         );
         assert_eq!(w.reg(3, 21) as i32, 4 * (3 + 5));
@@ -723,10 +1058,24 @@ mod tests {
     fn uniform_branch_taken_and_not() {
         let mut w = mk_warp(1);
         w.preds[0] = u32::MAX;
-        let (n, _) = run(Op::Bra { target: 7, pred: Some(Pred(0)), sense: true }, &mut w);
+        let (n, _) = run(
+            Op::Bra {
+                target: 7,
+                pred: Some(Pred(0)),
+                sense: true,
+            },
+            &mut w,
+        );
         assert_eq!(n, Next::Jump(7));
         w.preds[0] = 0;
-        let (n, _) = run(Op::Bra { target: 7, pred: Some(Pred(0)), sense: true }, &mut w);
+        let (n, _) = run(
+            Op::Bra {
+                target: 7,
+                pred: Some(Pred(0)),
+                sense: true,
+            },
+            &mut w,
+        );
         assert_eq!(n, Next::Seq);
     }
 
@@ -735,7 +1084,14 @@ mod tests {
     fn divergent_branch_panics() {
         let mut w = mk_warp(1);
         w.preds[0] = 0x0000_FFFF;
-        let _ = run(Op::Bra { target: 0, pred: Some(Pred(0)), sense: true }, &mut w);
+        let _ = run(
+            Op::Bra {
+                target: 0,
+                pred: Some(Pred(0)),
+                sense: true,
+            },
+            &mut w,
+        );
     }
 
     #[test]
@@ -748,14 +1104,27 @@ mod tests {
 
     #[test]
     fn dest_and_src_reg_extraction() {
-        let op = Op::IMad { d: Reg(5), a: Reg(1).into(), b: Src::Imm(3), c: Reg(2).into() };
+        let op = Op::IMad {
+            d: Reg(5),
+            a: Reg(1).into(),
+            b: Src::Imm(3),
+            c: Reg(2).into(),
+        };
         assert_eq!(dest_regs(&op), Some((5, 1)));
         let mut srcs = Vec::new();
         src_regs(&op, &mut srcs);
         assert_eq!(srcs, vec![1, 2]);
-        let mma = Op::Mma { kind: MmaKind::I8_16x16x16, acc: Reg(10), a_addr: Reg(0), b_addr: Reg(1) };
+        let mma = Op::Mma {
+            kind: MmaKind::I8_16x16x16,
+            acc: Reg(10),
+            a_addr: Reg(0),
+            b_addr: Reg(1),
+        };
         assert_eq!(dest_regs(&mma), Some((10, 8)));
         src_regs(&mma, &mut srcs);
-        assert!(srcs.contains(&10) && srcs.contains(&17), "acc regs are read too");
+        assert!(
+            srcs.contains(&10) && srcs.contains(&17),
+            "acc regs are read too"
+        );
     }
 }

@@ -1,11 +1,21 @@
 //! Top-level GPU: block dispatch across SMs and the global cycle loop.
+//!
+//! Two cycle loops share the same SM model (see DESIGN.md, "Simulator
+//! concurrency model"): the serial reference loop steps SMs in index order
+//! servicing memory at issue time, and the parallel loop splits each cycle
+//! into an SM-local compute phase (worker pool) plus a serial drain of the
+//! per-SM memory-request queues in SM-index order. Both produce
+//! bit-identical [`KernelStats`] and memory contents.
 
-use crate::config::OrinConfig;
+use crate::config::{OrinConfig, SimMode};
 use crate::launch::Kernel;
 use crate::mem::GlobalMem;
 use crate::memsys::MemSystem;
 use crate::sm::Sm;
 use crate::stats::KernelStats;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex, RwLock};
 
 /// The simulated GPU.
 #[derive(Debug)]
@@ -74,26 +84,43 @@ impl Gpu {
             blocks: kernel.blocks,
             ..KernelStats::default()
         };
+        match self.cfg.sim_mode {
+            SimMode::Serial => self.run_serial(kernel, &mut stats),
+            SimMode::Parallel => {
+                let workers = self.worker_threads();
+                if workers <= 1 {
+                    self.run_two_phase_single(kernel, &mut stats);
+                } else {
+                    self.run_two_phase_pool(kernel, &mut stats, workers);
+                }
+            }
+        }
+        stats.dram_bytes = self.memsys.dram_bytes;
+        stats.l2_hit_bytes = self.memsys.l2_hit_bytes;
+        stats
+    }
+
+    /// Worker count for parallel mode: the configured override or the
+    /// host's available parallelism, capped at the SM count.
+    fn worker_threads(&self) -> usize {
+        let n = self.cfg.sim_threads.map_or_else(
+            || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            |n| n as usize,
+        );
+        n.clamp(1, self.sms.len())
+    }
+
+    /// The serial reference loop: SMs step in index order, memory serviced
+    /// at issue time.
+    fn run_serial(&mut self, kernel: &Kernel, stats: &mut KernelStats) {
         let mut next_block: u32 = 0;
         let mut done: u32 = 0;
         let mut age: u64 = 0;
         let mut cycle: u64 = 0;
         while done < kernel.blocks {
-            // Dispatch: one block per SM per cycle, round-robin, in the
-            // kernel's dispatch order.
+            dispatch(&mut self.sms, kernel, &mut next_block, &mut age);
             for sm in &mut self.sms {
-                if next_block < kernel.blocks {
-                    let ctaid = kernel
-                        .dispatch_order
-                        .as_ref()
-                        .map_or(next_block, |o| o[next_block as usize]);
-                    if sm.try_launch(kernel, ctaid, &mut age) {
-                        next_block += 1;
-                    }
-                }
-            }
-            for sm in &mut self.sms {
-                done += sm.step(cycle, &mut self.memsys, &mut self.mem, &kernel.args, &mut stats);
+                done += sm.step(cycle, &mut self.memsys, &mut self.mem, &kernel.args, stats);
             }
             cycle += 1;
             assert!(
@@ -104,9 +131,149 @@ impl Gpu {
             );
         }
         stats.cycles = cycle;
-        stats.dram_bytes = self.memsys.dram_bytes;
-        stats.l2_hit_bytes = self.memsys.l2_hit_bytes;
-        stats
+    }
+
+    /// Two-phase loop on the calling thread (single-core hosts): same
+    /// compute/drain split and therefore the same results as the pooled
+    /// loop, without thread hand-off overhead.
+    fn run_two_phase_single(&mut self, kernel: &Kernel, stats: &mut KernelStats) {
+        let Gpu {
+            cfg,
+            mem,
+            memsys,
+            sms,
+        } = self;
+        let mut next_block: u32 = 0;
+        let mut done: u32 = 0;
+        let mut age: u64 = 0;
+        let mut cycle: u64 = 0;
+        while done < kernel.blocks {
+            dispatch(sms, kernel, &mut next_block, &mut age);
+            for sm in sms.iter_mut() {
+                sm.step_compute(cycle, mem, &kernel.args);
+            }
+            for sm in sms.iter_mut() {
+                done += sm.drain_cycle(memsys, mem);
+            }
+            cycle += 1;
+            assert!(
+                cycle < cfg.max_cycles,
+                "kernel {} exceeded {} cycles (hang?)",
+                kernel.name,
+                cfg.max_cycles
+            );
+        }
+        for sm in sms.iter_mut() {
+            sm.merge_stats_into(stats);
+        }
+        stats.cycles = cycle;
+    }
+
+    /// Two-phase loop over a pool of scoped worker threads.
+    ///
+    /// Per cycle: the main thread dispatches blocks, a barrier releases the
+    /// workers to run their SMs' compute phase against a read-locked memory
+    /// image, a second barrier hands control back, and the main thread
+    /// drains every SM's queues in index order. SM ownership is static
+    /// (SM `i` belongs to worker `i % workers`), so the per-SM mutexes are
+    /// never contended; they exist to move `&mut Sm` across threads safely.
+    fn run_two_phase_pool(&mut self, kernel: &Kernel, stats: &mut KernelStats, workers: usize) {
+        let Gpu {
+            cfg,
+            mem,
+            memsys,
+            sms,
+        } = self;
+        let units: Vec<Mutex<&mut Sm>> = sms.iter_mut().map(Mutex::new).collect();
+        let gmem = RwLock::new(&mut *mem);
+        let barrier = Barrier::new(workers + 1);
+        let stop = AtomicBool::new(false);
+        let failed = AtomicBool::new(false);
+        let cycle_now = AtomicU64::new(0);
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let mut next_block: u32 = 0;
+        let mut done: u32 = 0;
+        let mut age: u64 = 0;
+        let mut cycle: u64 = 0;
+        std::thread::scope(|scope| {
+            for wid in 0..workers {
+                let (units, gmem, barrier) = (&units, &gmem, &barrier);
+                let (stop, failed, cycle_now) = (&stop, &failed, &cycle_now);
+                let panic_slot = &panic_slot;
+                let args = &kernel.args;
+                scope.spawn(move || loop {
+                    barrier.wait();
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let now = cycle_now.load(Ordering::Acquire);
+                    // A worker panic (e.g. a kernel-bug assert in exec) is
+                    // parked and re-raised by the main thread after the
+                    // scope unwinds; swallowing it here keeps every thread
+                    // reaching the barriers, which would otherwise deadlock.
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let g = gmem.read().unwrap_or_else(|e| e.into_inner());
+                        for (i, u) in units.iter().enumerate() {
+                            if i % workers == wid {
+                                lock_sm(u).step_compute(now, &g, args);
+                            }
+                        }
+                    }));
+                    if let Err(p) = result {
+                        failed.store(true, Ordering::Release);
+                        let mut slot = panic_slot.lock().unwrap_or_else(|e| e.into_inner());
+                        slot.get_or_insert(p);
+                    }
+                    barrier.wait();
+                });
+            }
+            loop {
+                if done >= kernel.blocks
+                    || cycle >= cfg.max_cycles
+                    || failed.load(Ordering::Acquire)
+                {
+                    stop.store(true, Ordering::Release);
+                    barrier.wait();
+                    break;
+                }
+                for u in &units {
+                    if next_block >= kernel.blocks {
+                        break;
+                    }
+                    let ctaid = kernel
+                        .dispatch_order
+                        .as_ref()
+                        .map_or(next_block, |o| o[next_block as usize]);
+                    if lock_sm(u).try_launch(kernel, ctaid, &mut age) {
+                        next_block += 1;
+                    }
+                }
+                cycle_now.store(cycle, Ordering::Release);
+                barrier.wait(); // compute phase runs
+                barrier.wait(); // compute phase done
+                if !failed.load(Ordering::Acquire) {
+                    let mut g = gmem.write().unwrap_or_else(|e| e.into_inner());
+                    for u in &units {
+                        done += lock_sm(u).drain_cycle(memsys, &mut g);
+                    }
+                    drop(g);
+                }
+                cycle += 1;
+            }
+        });
+        if let Some(p) = panic_slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            resume_unwind(p);
+        }
+        assert!(
+            done >= kernel.blocks,
+            "kernel {} exceeded {} cycles (hang?)",
+            kernel.name,
+            cfg.max_cycles
+        );
+        for u in &units {
+            lock_sm(u).merge_stats_into(stats);
+        }
+        stats.cycles = cycle;
     }
 
     /// Flushes the L2 (cold-start experiments between kernels).
@@ -116,6 +283,30 @@ impl Gpu {
             sm.new_kernel();
         }
     }
+}
+
+/// Dispatch: one block per SM per cycle, round-robin, in the kernel's
+/// dispatch order.
+fn dispatch(sms: &mut [Sm], kernel: &Kernel, next_block: &mut u32, age: &mut u64) {
+    for sm in sms.iter_mut() {
+        if *next_block < kernel.blocks {
+            let ctaid = kernel
+                .dispatch_order
+                .as_ref()
+                .map_or(*next_block, |o| o[*next_block as usize]);
+            if sm.try_launch(kernel, ctaid, age) {
+                *next_block += 1;
+            }
+        }
+    }
+}
+
+/// Locks one SM cell, ignoring poisoning: the per-SM mutexes are never
+/// contended (compute and drain phases are barrier-separated), and a
+/// poisoned lock only reflects a worker panic that the main thread
+/// re-raises after the pool unwinds.
+fn lock_sm<'a, 'b>(u: &'a Mutex<&'b mut Sm>) -> std::sync::MutexGuard<'a, &'b mut Sm> {
+    u.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 #[cfg(test)]
@@ -348,14 +539,7 @@ mod tests {
             p.build().into_arc()
         };
         let mut g = gpu();
-        let int_only = Kernel::fused(
-            "int_only",
-            vec![math(false)],
-            vec![0; 8],
-            8,
-            0,
-            vec![],
-        );
+        let int_only = Kernel::fused("int_only", vec![math(false)], vec![0; 8], 8, 0, vec![]);
         // Warp w maps to sub-partition w % 4, so INT/FP roles must alternate
         // at sub-partition stride for both pipes to share every scheduler.
         let mixed = Kernel::fused(
@@ -372,6 +556,145 @@ mod tests {
             (t_mixed as f64) < 0.75 * t_int as f64,
             "mixed {t_mixed} should be well under int-only {t_int}"
         );
+    }
+
+    /// Runs `build` twice — serial and parallel with `threads` workers —
+    /// and asserts identical stats and identical memory contents.
+    fn assert_modes_agree(
+        threads: u32,
+        build: impl Fn(&mut Gpu) -> (Kernel, Option<(u32, usize)>),
+    ) {
+        let run = |mode: crate::config::SimMode| {
+            let mut cfg = OrinConfig::test_small();
+            cfg.sim_mode = mode;
+            cfg.sim_threads = Some(threads);
+            let mut g = Gpu::new(cfg, 16 << 20);
+            let (k, out) = build(&mut g);
+            let stats = g.launch(&k);
+            let bytes = out.map(|(addr, len)| {
+                let ptr = crate::mem::DevPtr {
+                    addr,
+                    len: (len * 4) as u32,
+                };
+                g.mem.download_u32(ptr, len)
+            });
+            (stats, bytes)
+        };
+        let (s_ser, m_ser) = run(crate::config::SimMode::Serial);
+        let (s_par, m_par) = run(crate::config::SimMode::Parallel);
+        assert_eq!(
+            s_ser.cycles, s_par.cycles,
+            "cycles diverge ({threads} threads)"
+        );
+        assert_eq!(s_ser.issued, s_par.issued);
+        assert_eq!(s_ser.busy, s_par.busy);
+        assert_eq!(s_ser.dram_bytes, s_par.dram_bytes);
+        assert_eq!(s_ser.l2_hit_bytes, s_par.l2_hit_bytes);
+        assert_eq!(s_ser.int_ops, s_par.int_ops);
+        assert_eq!(m_ser, m_par, "memory contents diverge");
+    }
+
+    #[test]
+    fn parallel_mode_matches_serial_vec_add() {
+        for threads in [1, 2, 3] {
+            assert_modes_agree(threads, |g| {
+                let blocks = 16u32;
+                let n = blocks as usize * 32;
+                let a: Vec<u32> = (0..n as u32).collect();
+                let pa = g.mem.upload_u32(&a);
+                let pb = g.mem.upload_u32(&a);
+                let po = g.mem.alloc((n * 4) as u32);
+                let (mut k, _) = vec_add_kernel(blocks);
+                k.args = vec![pa.addr, pb.addr, po.addr];
+                (k, Some((po.addr, n)))
+            });
+        }
+    }
+
+    #[test]
+    fn parallel_mode_matches_serial_smem_barrier() {
+        // Shared memory, barriers and multi-warp blocks under both modes.
+        assert_modes_agree(2, |g| {
+            let mut p = ProgramBuilder::new("bar_par");
+            let o_base = p.alloc();
+            let lane = p.alloc();
+            let addr = p.alloc();
+            let v = p.alloc();
+            let tid = p.alloc();
+            p.ldc(o_base, 0);
+            p.sreg(lane, SReg::LaneId);
+            p.sreg(tid, SReg::Tid);
+            p.shl(addr, lane.into(), Src::Imm(2));
+            p.imul(v, lane.into(), Src::Imm(3));
+            p.sts(addr, 0, v.into(), MemWidth::B32);
+            p.bar();
+            p.lds(v, addr, 0, MemWidth::B32);
+            p.imad(addr, tid.into(), Src::Imm(4), o_base.into());
+            p.stg(addr, 0, v.into(), MemWidth::B32);
+            p.exit();
+            let po = g.mem.alloc(4 * 32 * 4);
+            let k = Kernel::single("bar_par", p.build().into_arc(), 1, 4, 128, vec![po.addr]);
+            (k, Some((po.addr, 128)))
+        });
+    }
+
+    #[test]
+    fn parallel_pool_runs_vector_add_correctly() {
+        let mut cfg = OrinConfig::test_small();
+        cfg.sim_mode = crate::config::SimMode::Parallel;
+        cfg.sim_threads = Some(2);
+        let mut g = Gpu::new(cfg, 16 << 20);
+        let n = 8 * 32usize;
+        let a: Vec<u32> = (0..n as u32).collect();
+        let b: Vec<u32> = (0..n as u32).map(|x| x * 7).collect();
+        let pa = g.mem.upload_u32(&a);
+        let pb = g.mem.upload_u32(&b);
+        let po = g.mem.alloc((n * 4) as u32);
+        let (mut k, f) = vec_add_kernel(8);
+        k.args = vec![pa.addr, pb.addr, po.addr];
+        let stats = g.launch(&k);
+        let out = g.mem.download_u32(po, n);
+        for i in 0..n {
+            assert_eq!(out[i], f(a[i], b[i]), "element {i}");
+        }
+        assert_eq!(stats.blocks, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn parallel_hang_guard_fires() {
+        let mut p = ProgramBuilder::new("spin_par");
+        p.label_here("top");
+        p.bra("top");
+        p.exit();
+        let mut cfg = OrinConfig::test_small();
+        cfg.max_cycles = 10_000;
+        cfg.sim_mode = crate::config::SimMode::Parallel;
+        cfg.sim_threads = Some(2);
+        let mut g = Gpu::new(cfg, 1 << 20);
+        let k = Kernel::single("spin_par", p.build().into_arc(), 1, 1, 0, vec![]);
+        let _ = g.launch(&k);
+    }
+
+    #[test]
+    #[should_panic(expected = "divergent branch")]
+    fn parallel_pool_propagates_worker_panics() {
+        // A divergent branch asserts inside a worker thread; the pool must
+        // surface that panic on the launching thread, not deadlock.
+        let mut p = ProgramBuilder::new("diverge");
+        let lane = p.alloc();
+        let pr = p.alloc_pred();
+        p.sreg(lane, SReg::LaneId);
+        p.isetp(pr, lane.into(), Src::Imm(16), ICmp::Lt);
+        p.label_here("skip");
+        p.bra_if("skip", pr, true);
+        p.exit();
+        let mut cfg = OrinConfig::test_small();
+        cfg.sim_mode = crate::config::SimMode::Parallel;
+        cfg.sim_threads = Some(2);
+        let mut g = Gpu::new(cfg, 1 << 20);
+        let k = Kernel::single("diverge", p.build().into_arc(), 1, 1, 0, vec![]);
+        let _ = g.launch(&k);
     }
 
     #[test]

@@ -348,12 +348,35 @@ impl Op {
     pub fn pipe(&self) -> PipeClass {
         use Op::*;
         match self {
-            IAdd { .. } | ISub { .. } | IMul { .. } | IMad { .. } | And { .. } | Or { .. }
-            | Xor { .. } | Shl { .. } | Shr { .. } | Sar { .. } | IMin { .. } | IMax { .. }
-            | IDivU { .. } | IRemU { .. } | Shfl { .. } | ISetP { .. } | Mov { .. }
-            | Sel { .. } | Ldc { .. } | ReadSr { .. } => PipeClass::Int,
-            FAdd { .. } | FMul { .. } | FFma { .. } | FMin { .. } | FMax { .. }
-            | FSetP { .. } | I2F { .. } | F2I { .. } | F2IFloor { .. } => PipeClass::Fp,
+            IAdd { .. }
+            | ISub { .. }
+            | IMul { .. }
+            | IMad { .. }
+            | And { .. }
+            | Or { .. }
+            | Xor { .. }
+            | Shl { .. }
+            | Shr { .. }
+            | Sar { .. }
+            | IMin { .. }
+            | IMax { .. }
+            | IDivU { .. }
+            | IRemU { .. }
+            | Shfl { .. }
+            | ISetP { .. }
+            | Mov { .. }
+            | Sel { .. }
+            | Ldc { .. }
+            | ReadSr { .. } => PipeClass::Int,
+            FAdd { .. }
+            | FMul { .. }
+            | FFma { .. }
+            | FMin { .. }
+            | FMax { .. }
+            | FSetP { .. }
+            | I2F { .. }
+            | F2I { .. }
+            | F2IFloor { .. } => PipeClass::Fp,
             Rcp { .. } | Sqrt { .. } | Ex2 { .. } | Lg2 { .. } => PipeClass::Sfu,
             Ldg { .. } | LdgV4 { .. } | Stg { .. } | Lds { .. } | Sts { .. } => PipeClass::Lsu,
             Mma { .. } => PipeClass::Tensor,
@@ -368,9 +391,23 @@ impl Op {
         use Op::*;
         match self {
             IMad { .. } | FFma { .. } => 64,
-            IAdd { .. } | ISub { .. } | IMul { .. } | And { .. } | Or { .. } | Xor { .. }
-            | Shl { .. } | Shr { .. } | Sar { .. } | IMin { .. } | IMax { .. } | IDivU { .. }
-            | IRemU { .. } | FAdd { .. } | FMul { .. } | FMin { .. } | FMax { .. } => 32,
+            IAdd { .. }
+            | ISub { .. }
+            | IMul { .. }
+            | And { .. }
+            | Or { .. }
+            | Xor { .. }
+            | Shl { .. }
+            | Shr { .. }
+            | Sar { .. }
+            | IMin { .. }
+            | IMax { .. }
+            | IDivU { .. }
+            | IRemU { .. }
+            | FAdd { .. }
+            | FMul { .. }
+            | FMin { .. }
+            | FMax { .. } => 32,
             Mma { kind, .. } => kind.ops(),
             Rcp { .. } | Sqrt { .. } | Ex2 { .. } | Lg2 { .. } => 32,
             _ => 0,
@@ -385,15 +422,47 @@ mod tests {
     #[test]
     fn pipes_are_classified() {
         let r = Reg(0);
-        assert_eq!(Op::IMad { d: r, a: r.into(), b: r.into(), c: r.into() }.pipe(), PipeClass::Int);
-        assert_eq!(Op::FFma { d: r, a: r.into(), b: r.into(), c: r.into() }.pipe(), PipeClass::Fp);
+        assert_eq!(
+            Op::IMad {
+                d: r,
+                a: r.into(),
+                b: r.into(),
+                c: r.into()
+            }
+            .pipe(),
+            PipeClass::Int
+        );
+        assert_eq!(
+            Op::FFma {
+                d: r,
+                a: r.into(),
+                b: r.into(),
+                c: r.into()
+            }
+            .pipe(),
+            PipeClass::Fp
+        );
         assert_eq!(Op::Ex2 { d: r, a: r.into() }.pipe(), PipeClass::Sfu);
         assert_eq!(
-            Op::Ldg { d: r, addr: r, off: 0, w: MemWidth::B32, guard: None, stream: false }.pipe(),
+            Op::Ldg {
+                d: r,
+                addr: r,
+                off: 0,
+                w: MemWidth::B32,
+                guard: None,
+                stream: false
+            }
+            .pipe(),
             PipeClass::Lsu
         );
         assert_eq!(
-            Op::Mma { kind: MmaKind::I8_16x16x16, acc: r, a_addr: r, b_addr: r }.pipe(),
+            Op::Mma {
+                kind: MmaKind::I8_16x16x16,
+                acc: r,
+                a_addr: r,
+                b_addr: r
+            }
+            .pipe(),
             PipeClass::Tensor
         );
         assert_eq!(Op::Bar.pipe(), PipeClass::Ctrl);
@@ -411,11 +480,41 @@ mod tests {
     #[test]
     fn arith_ops_counting() {
         let r = Reg(1);
-        assert_eq!(Op::IMad { d: r, a: r.into(), b: r.into(), c: r.into() }.arith_ops(), 64);
-        assert_eq!(Op::IAdd { d: r, a: r.into(), b: r.into() }.arith_ops(), 32);
-        assert_eq!(Op::Mov { d: r, s: Src::Imm(0) }.arith_ops(), 0);
         assert_eq!(
-            Op::Mma { kind: MmaKind::I8_16x16x16, acc: r, a_addr: r, b_addr: r }.arith_ops(),
+            Op::IMad {
+                d: r,
+                a: r.into(),
+                b: r.into(),
+                c: r.into()
+            }
+            .arith_ops(),
+            64
+        );
+        assert_eq!(
+            Op::IAdd {
+                d: r,
+                a: r.into(),
+                b: r.into()
+            }
+            .arith_ops(),
+            32
+        );
+        assert_eq!(
+            Op::Mov {
+                d: r,
+                s: Src::Imm(0)
+            }
+            .arith_ops(),
+            0
+        );
+        assert_eq!(
+            Op::Mma {
+                kind: MmaKind::I8_16x16x16,
+                acc: r,
+                a_addr: r,
+                b_addr: r
+            }
+            .arith_ops(),
             8192
         );
     }

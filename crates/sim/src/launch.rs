@@ -114,7 +114,11 @@ impl Kernel {
         let warps_per_block = ranges[0].1.len() as u32;
         let blocks = ranges.iter().map(|(n, _)| n).sum();
         for (_, roles) in &ranges {
-            assert_eq!(roles.len() as u32, warps_per_block, "uniform warps per block");
+            assert_eq!(
+                roles.len() as u32,
+                warps_per_block,
+                "uniform warps per block"
+            );
             assert!(
                 roles.iter().all(|&r| (r as usize) < programs.len()),
                 "role index out of range"

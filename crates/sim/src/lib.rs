@@ -40,7 +40,7 @@ pub mod stats;
 pub mod trace;
 pub mod warp;
 
-pub use config::{OrinConfig, SchedPolicy};
+pub use config::{OrinConfig, SchedPolicy, SimMode};
 pub use gpu::Gpu;
 pub use isa::{FCmp, ICmp, MemWidth, MmaKind, Op, Pred, Reg, SReg, Src};
 pub use launch::{Kernel, RoleMap};

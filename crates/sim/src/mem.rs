@@ -73,7 +73,12 @@ impl GlobalMem {
     #[inline]
     pub fn read_u32(&self, addr: u32) -> u32 {
         let i = addr as usize;
-        u32::from_le_bytes([self.bytes[i], self.bytes[i + 1], self.bytes[i + 2], self.bytes[i + 3]])
+        u32::from_le_bytes([
+            self.bytes[i],
+            self.bytes[i + 1],
+            self.bytes[i + 2],
+            self.bytes[i + 3],
+        ])
     }
 
     /// Writes a little-endian u32.
@@ -84,7 +89,10 @@ impl GlobalMem {
 
     /// Bulk host-to-device copy.
     pub fn copy_from_host(&mut self, ptr: DevPtr, data: &[u8]) {
-        assert!(data.len() <= ptr.len as usize, "copy larger than allocation");
+        assert!(
+            data.len() <= ptr.len as usize,
+            "copy larger than allocation"
+        );
         self.bytes[ptr.addr as usize..ptr.addr as usize + data.len()].copy_from_slice(data);
     }
 
@@ -128,22 +136,32 @@ impl GlobalMem {
 
     /// Downloads `n` little-endian `u32`s from `ptr`.
     pub fn download_u32(&self, ptr: DevPtr, n: usize) -> Vec<u32> {
-        (0..n).map(|i| self.read_u32(ptr.addr + (i * 4) as u32)).collect()
+        (0..n)
+            .map(|i| self.read_u32(ptr.addr + (i * 4) as u32))
+            .collect()
     }
 
     /// Downloads `n` `i32`s.
     pub fn download_i32(&self, ptr: DevPtr, n: usize) -> Vec<i32> {
-        self.download_u32(ptr, n).into_iter().map(|x| x as i32).collect()
+        self.download_u32(ptr, n)
+            .into_iter()
+            .map(|x| x as i32)
+            .collect()
     }
 
     /// Downloads `n` `f32`s.
     pub fn download_f32(&self, ptr: DevPtr, n: usize) -> Vec<f32> {
-        self.download_u32(ptr, n).into_iter().map(f32::from_bits).collect()
+        self.download_u32(ptr, n)
+            .into_iter()
+            .map(f32::from_bits)
+            .collect()
     }
 
     /// Downloads `n` `i8`s.
     pub fn download_i8(&self, ptr: DevPtr, n: usize) -> Vec<i8> {
-        (0..n).map(|i| self.read_u8(ptr.addr + i as u32) as i8).collect()
+        (0..n)
+            .map(|i| self.read_u8(ptr.addr + i as u32) as i8)
+            .collect()
     }
 }
 

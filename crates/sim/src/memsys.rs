@@ -65,7 +65,11 @@ impl MemSystem {
         // L2 bandwidth queue: every request passes through the L2 port.
         let l2_start = self.l2_next_free.max(nowf);
         self.l2_next_free = l2_start + self.l2_interval;
-        let hit = if allocate { self.l2.access(addr) } else { self.l2.probe(addr) };
+        let hit = if allocate {
+            self.l2.access(addr)
+        } else {
+            self.l2.probe(addr)
+        };
         if hit {
             self.l2_hit_bytes += u64::from(self.line_bytes);
             return (l2_start + f64::from(self.l2_latency)).ceil() as u64;
@@ -125,11 +129,25 @@ impl L1 {
     /// Access one line at cycle `now`; on L1 miss, escalates to `mem`.
     /// Returns the ready cycle.
     pub fn access(&mut self, now: u64, addr: u64, mem: &mut MemSystem) -> u64 {
-        if self.cache.access(addr) {
-            now + u64::from(self.latency)
+        if self.classify(addr) {
+            now + self.latency()
         } else {
-            mem.line_request(now + u64::from(self.latency), addr)
+            mem.line_request(now + self.latency(), addr)
         }
+    }
+
+    /// Classifies one line access (`true` = hit), updating LRU state and
+    /// hit statistics exactly as [`L1::access`] would, without escalating a
+    /// miss. The parallel compute phase classifies locally (the L1 is
+    /// SM-private) and replays misses against the shared [`MemSystem`]
+    /// during the serial drain.
+    pub fn classify(&mut self, addr: u64) -> bool {
+        self.cache.access(addr)
+    }
+
+    /// L1 hit latency in cycles.
+    pub fn latency(&self) -> u64 {
+        u64::from(self.latency)
     }
 
     /// `(hits, misses)`.

@@ -80,7 +80,11 @@ impl ProgramBuilder {
 
     /// Allocates `n` consecutive registers, returning the first.
     pub fn alloc_n(&mut self, n: u16) -> Reg {
-        assert!(self.next_reg + n <= 256, "out of registers in {}", self.name);
+        assert!(
+            self.next_reg + n <= 256,
+            "out of registers in {}",
+            self.name
+        );
         let r = Reg(self.next_reg as u8);
         self.next_reg += n;
         r
@@ -219,35 +223,87 @@ impl ProgramBuilder {
     }
     /// Global load.
     pub fn ldg(&mut self, d: Reg, addr: Reg, off: i32, w: MemWidth) {
-        self.ops.push(Op::Ldg { d, addr, off, w, guard: None, stream: false });
+        self.ops.push(Op::Ldg {
+            d,
+            addr,
+            off,
+            w,
+            guard: None,
+            stream: false,
+        });
     }
     /// Streaming global load (`ld.global.cs`): bypasses the L1.
     pub fn ldg_cs(&mut self, d: Reg, addr: Reg, off: i32, w: MemWidth) {
-        self.ops.push(Op::Ldg { d, addr, off, w, guard: None, stream: true });
+        self.ops.push(Op::Ldg {
+            d,
+            addr,
+            off,
+            w,
+            guard: None,
+            stream: true,
+        });
     }
     /// Vector global load (LDG.128) into `d..d+3`.
     pub fn ldg_v4(&mut self, d: Reg, addr: Reg, off: i32) {
-        self.ops.push(Op::LdgV4 { d, addr, off, stream: false });
+        self.ops.push(Op::LdgV4 {
+            d,
+            addr,
+            off,
+            stream: false,
+        });
     }
     /// Streaming vector global load.
     pub fn ldg_v4_cs(&mut self, d: Reg, addr: Reg, off: i32) {
-        self.ops.push(Op::LdgV4 { d, addr, off, stream: true });
+        self.ops.push(Op::LdgV4 {
+            d,
+            addr,
+            off,
+            stream: true,
+        });
     }
     /// Guarded global load.
     pub fn ldg_if(&mut self, d: Reg, addr: Reg, off: i32, w: MemWidth, guard: Pred) {
-        self.ops.push(Op::Ldg { d, addr, off, w, guard: Some(guard), stream: false });
+        self.ops.push(Op::Ldg {
+            d,
+            addr,
+            off,
+            w,
+            guard: Some(guard),
+            stream: false,
+        });
     }
     /// Global store.
     pub fn stg(&mut self, addr: Reg, off: i32, v: Src, w: MemWidth) {
-        self.ops.push(Op::Stg { addr, off, v, w, guard: None, stream: false });
+        self.ops.push(Op::Stg {
+            addr,
+            off,
+            v,
+            w,
+            guard: None,
+            stream: false,
+        });
     }
     /// Streaming global store (`st.global.cs`): bypasses cache allocation.
     pub fn stg_cs(&mut self, addr: Reg, off: i32, v: Src, w: MemWidth) {
-        self.ops.push(Op::Stg { addr, off, v, w, guard: None, stream: true });
+        self.ops.push(Op::Stg {
+            addr,
+            off,
+            v,
+            w,
+            guard: None,
+            stream: true,
+        });
     }
     /// Guarded global store.
     pub fn stg_if(&mut self, addr: Reg, off: i32, v: Src, w: MemWidth, guard: Pred) {
-        self.ops.push(Op::Stg { addr, off, v, w, guard: Some(guard), stream: false });
+        self.ops.push(Op::Stg {
+            addr,
+            off,
+            v,
+            w,
+            guard: Some(guard),
+            stream: false,
+        });
     }
     /// Shared load.
     pub fn lds(&mut self, d: Reg, addr: Reg, off: i32, w: MemWidth) {
@@ -259,7 +315,12 @@ impl ProgramBuilder {
     }
     /// Tensor-core MMA.
     pub fn mma(&mut self, kind: MmaKind, acc: Reg, a_addr: Reg, b_addr: Reg) {
-        self.ops.push(Op::Mma { kind, acc, a_addr, b_addr });
+        self.ops.push(Op::Mma {
+            kind,
+            acc,
+            a_addr,
+            b_addr,
+        });
     }
     /// Block barrier.
     pub fn bar(&mut self) {
@@ -273,13 +334,21 @@ impl ProgramBuilder {
     /// Unconditional branch to a label (may be defined later).
     pub fn bra(&mut self, label: impl Into<String>) {
         self.fixups.push((self.ops.len(), label.into()));
-        self.ops.push(Op::Bra { target: usize::MAX, pred: None, sense: true });
+        self.ops.push(Op::Bra {
+            target: usize::MAX,
+            pred: None,
+            sense: true,
+        });
     }
 
     /// Conditional branch: taken when `pred == sense`.
     pub fn bra_if(&mut self, label: impl Into<String>, pred: Pred, sense: bool) {
         self.fixups.push((self.ops.len(), label.into()));
-        self.ops.push(Op::Bra { target: usize::MAX, pred: Some(pred), sense });
+        self.ops.push(Op::Bra {
+            target: usize::MAX,
+            pred: Some(pred),
+            sense,
+        });
     }
 
     /// Registers allocated so far.

@@ -2,13 +2,60 @@
 //! with GTO scheduling and dual-issue to distinct pipes.
 
 use crate::config::{OrinConfig, SchedPolicy};
-use crate::exec::{self, Next};
+use crate::exec::{self, MemCtx, Next};
 use crate::isa::PipeClass;
 use crate::launch::Kernel;
 use crate::mem::GlobalMem;
 use crate::memsys::{MemSystem, L1};
 use crate::stats::KernelStats;
 use crate::warp::{Warp, WarpState};
+
+/// Memory backend for one SM cycle step.
+///
+/// Serial mode services requests against the shared memory system at issue
+/// time. The parallel compute phase instead sees a read-only device-memory
+/// image, buffers stores into the SM and queues L1 misses; the serial
+/// drain ([`Sm::drain_cycle`]) then replays the queues in SM-index order,
+/// which reproduces serial-mode L2/DRAM queueing bit-exactly because the
+/// serial loop also steps SMs in index order within a cycle.
+#[derive(Debug)]
+pub(crate) enum SmMem<'a> {
+    /// Serial mode: requests reach the shared memory system at issue time.
+    Direct {
+        /// Chip-shared L2/DRAM model.
+        memsys: &'a mut MemSystem,
+        /// Device memory, written in place.
+        gmem: &'a mut GlobalMem,
+    },
+    /// Parallel compute phase: read-only memory image, deferred service.
+    Deferred {
+        /// Device memory as of the start of the cycle.
+        gmem: &'a GlobalMem,
+    },
+}
+
+/// One memory-system call deferred from the parallel compute phase.
+#[derive(Debug)]
+enum PendingLine {
+    /// A line read entering the L2 queue at cycle `at`: an L1 miss arrives
+    /// `l1_latency` after issue, a streaming access at issue time.
+    Read { at: u64, addr: u64 },
+    /// A streaming store consuming DRAM write bandwidth at cycle `at`.
+    Write { at: u64 },
+}
+
+/// A deferred LSU issue whose ready time the serial drain computes.
+#[derive(Debug)]
+struct PendingIssue {
+    /// Warp slot whose scoreboard is patched once the ready time is known.
+    warp_slot: usize,
+    /// Destination registers (`(first, count)`); `None` for stores.
+    dest: Option<(u8, u8)>,
+    /// Ready-time lower bound already known (issue baseline and L1 hits).
+    ready: u64,
+    /// Deferred memory-system calls, in issue order.
+    lines: Vec<PendingLine>,
+}
 
 /// One warp scheduler plus its private pipes.
 #[derive(Debug)]
@@ -84,6 +131,14 @@ pub struct Sm {
     sched: SchedPolicy,
     scratch_srcs: Vec<u8>,
     scratch_preds: Vec<u8>,
+    /// LSU issues of the current cycle awaiting the serial drain.
+    pending: Vec<PendingIssue>,
+    /// Global stores of the current cycle, in program order (parallel mode).
+    store_buf: Vec<(u32, u8)>,
+    /// Per-SM statistics accumulated during parallel compute phases.
+    stats: KernelStats,
+    /// Blocks retired during the current cycle (parallel mode).
+    done_this_cycle: u32,
 }
 
 impl Sm {
@@ -114,6 +169,10 @@ impl Sm {
             sched: cfg.sched,
             scratch_srcs: Vec::with_capacity(16),
             scratch_preds: Vec::with_capacity(4),
+            pending: Vec::new(),
+            store_buf: Vec::new(),
+            stats: KernelStats::default(),
+            done_this_cycle: 0,
         }
     }
 
@@ -124,6 +183,10 @@ impl Sm {
             sp.pipe_free = [0; 5];
             sp.greedy = None;
         }
+        self.pending.clear();
+        self.store_buf.clear();
+        self.stats = KernelStats::default();
+        self.done_this_cycle = 0;
     }
 
     /// True when the SM has any resident work.
@@ -179,12 +242,75 @@ impl Sm {
         true
     }
 
-    /// Advances one cycle; returns how many blocks completed this cycle.
+    /// Advances one cycle in serial mode; returns how many blocks completed
+    /// this cycle.
     pub fn step(
         &mut self,
         now: u64,
         memsys: &mut MemSystem,
         gmem: &mut GlobalMem,
+        args: &[u32],
+        stats: &mut KernelStats,
+    ) -> u32 {
+        self.step_inner(now, &mut SmMem::Direct { memsys, gmem }, args, stats)
+    }
+
+    /// Parallel compute phase: advances one cycle against a read-only
+    /// device-memory image, accumulating counters into this SM's private
+    /// statistics. Stores and L1 misses queue for [`Sm::drain_cycle`].
+    pub(crate) fn step_compute(&mut self, now: u64, gmem: &GlobalMem, args: &[u32]) {
+        let mut stats = std::mem::take(&mut self.stats);
+        let done = self.step_inner(now, &mut SmMem::Deferred { gmem }, args, &mut stats);
+        self.stats = stats;
+        self.done_this_cycle += done;
+    }
+
+    /// Serial memory-service phase: applies this SM's buffered stores to
+    /// device memory, replays its deferred requests against the shared
+    /// memory system (draining SMs in index order reproduces serial-mode
+    /// queueing exactly) and patches the waiting scoreboards. Returns the
+    /// blocks retired by this SM during the cycle.
+    pub(crate) fn drain_cycle(&mut self, memsys: &mut MemSystem, gmem: &mut GlobalMem) -> u32 {
+        for &(addr, v) in &self.store_buf {
+            gmem.write_u8(addr, v);
+        }
+        self.store_buf.clear();
+        let mut pending = std::mem::take(&mut self.pending);
+        for p in pending.drain(..) {
+            let mut ready = p.ready;
+            for line in &p.lines {
+                match *line {
+                    PendingLine::Read { at, addr } => {
+                        ready = ready.max(memsys.line_request(at, addr));
+                    }
+                    PendingLine::Write { at } => memsys.write_request(at),
+                }
+            }
+            if let Some((first, count)) = p.dest {
+                let w = self.warps[p.warp_slot]
+                    .as_mut()
+                    .expect("warp with an in-flight load stays resident");
+                for r in first..first + count {
+                    w.reg_ready[r as usize] = ready;
+                }
+            }
+        }
+        self.pending = pending;
+        std::mem::take(&mut self.done_this_cycle)
+    }
+
+    /// Folds the per-SM counters accumulated by parallel compute phases
+    /// into `stats` (all counters are additive across SMs).
+    pub(crate) fn merge_stats_into(&mut self, stats: &mut KernelStats) {
+        let own = std::mem::take(&mut self.stats);
+        stats.accumulate(&own);
+    }
+
+    /// One cycle of scheduling and issue against `mem`.
+    fn step_inner(
+        &mut self,
+        now: u64,
+        mem: &mut SmMem<'_>,
         args: &[u32],
         stats: &mut KernelStats,
     ) -> u32 {
@@ -220,8 +346,7 @@ impl Sm {
                             s
                         };
                         ci += 1;
-                        if self.try_issue(slot, sp_idx, now, memsys, gmem, args, stats, &mut issued)
-                        {
+                        if self.try_issue(slot, sp_idx, now, mem, args, stats, &mut issued) {
                             issues_left -= 1;
                             self.subparts[sp_idx].greedy = Some(slot);
                         }
@@ -240,9 +365,7 @@ impl Sm {
                             }
                             let slot = self.subparts[sp_idx].warps[idx];
                             ci += 1;
-                            if self.try_issue(
-                                slot, sp_idx, now, memsys, gmem, args, stats, &mut issued,
-                            ) {
+                            if self.try_issue(slot, sp_idx, now, mem, args, stats, &mut issued) {
                                 issues_left -= 1;
                             }
                         }
@@ -288,8 +411,7 @@ impl Sm {
         slot: usize,
         sp_idx: usize,
         now: u64,
-        memsys: &mut MemSystem,
-        gmem: &mut GlobalMem,
+        mem: &mut SmMem<'_>,
         args: &[u32],
         stats: &mut KernelStats,
         issued: &mut u8,
@@ -309,6 +431,8 @@ impl Sm {
             l1,
             scratch_srcs,
             scratch_preds,
+            pending,
+            store_buf,
             ..
         } = self;
 
@@ -357,7 +481,21 @@ impl Sm {
         // --- issue ---
         let block_slot = w.block_slot;
         let block = blocks[block_slot].as_mut().expect("warp's block resident");
-        let (next, fx) = exec::execute(&op, w, &mut block.smem, gmem, args);
+        let (next, fx) = match mem {
+            SmMem::Direct { gmem, .. } => {
+                exec::execute(&op, w, &mut block.smem, &mut MemCtx::Direct(gmem), args)
+            }
+            SmMem::Deferred { gmem } => exec::execute(
+                &op,
+                w,
+                &mut block.smem,
+                &mut MemCtx::Buffered {
+                    base: gmem,
+                    writes: store_buf,
+                },
+                args,
+            ),
+        };
 
         // Timing.
         let sp = &mut subparts[sp_idx];
@@ -402,33 +540,96 @@ impl Sm {
                 stats.sfu_ops += op.arith_ops();
             }
             PipeClass::Lsu => {
-                let (occ, ready) = if fx.shared_access {
-                    (lsu_occ_per_line, now + smem_latency)
-                } else {
-                    let lines = fx.global_lines.len().max(1) as u64;
-                    let mut ready = now + 1;
-                    for &line in &fx.global_lines {
-                        // Streaming accesses bypass (and do not pollute)
-                        // the caches; streaming stores only consume DRAM
-                        // write bandwidth.
-                        let t = if fx.stream && fx.is_store {
-                            memsys.write_request(now);
-                            now + 1
-                        } else if fx.stream {
-                            memsys.stream_request(now, line << 7)
-                        } else {
-                            l1.access(now, line << 7, memsys)
-                        };
-                        ready = ready.max(t);
+                if fx.shared_access {
+                    let occ = lsu_occ_per_line;
+                    sp.pipe_free[4] = now + occ;
+                    stats.busy.lsu += occ;
+                    if !fx.is_store {
+                        if let Some((first, count)) = exec::dest_regs(&op) {
+                            for r in first..first + count {
+                                w.reg_ready[r as usize] = now + smem_latency;
+                            }
+                        }
                     }
-                    (lsu_occ_per_line * lines, ready)
-                };
-                sp.pipe_free[4] = now + occ;
-                stats.busy.lsu += occ;
-                if !fx.is_store {
-                    if let Some((first, count)) = exec::dest_regs(&op) {
-                        for r in first..first + count {
-                            w.reg_ready[r as usize] = ready;
+                } else {
+                    let occ = lsu_occ_per_line * fx.global_lines.len().max(1) as u64;
+                    sp.pipe_free[4] = now + occ;
+                    stats.busy.lsu += occ;
+                    let dest = if fx.is_store {
+                        None
+                    } else {
+                        exec::dest_regs(&op)
+                    };
+                    match mem {
+                        SmMem::Direct { memsys, .. } => {
+                            let mut ready = now + 1;
+                            for &line in &fx.global_lines {
+                                // Streaming accesses bypass (and do not
+                                // pollute) the caches; streaming stores only
+                                // consume DRAM write bandwidth.
+                                let t = if fx.stream && fx.is_store {
+                                    memsys.write_request(now);
+                                    now + 1
+                                } else if fx.stream {
+                                    memsys.stream_request(now, line << 7)
+                                } else {
+                                    l1.access(now, line << 7, memsys)
+                                };
+                                ready = ready.max(t);
+                            }
+                            if let Some((first, count)) = dest {
+                                for r in first..first + count {
+                                    w.reg_ready[r as usize] = ready;
+                                }
+                            }
+                        }
+                        SmMem::Deferred { .. } => {
+                            // Classify against the SM-private L1 now (same
+                            // access order as serial mode, so LRU state and
+                            // hit counts match); defer anything that needs
+                            // the shared memory system to the drain. The
+                            // scoreboard placeholder keeps the load's
+                            // consumers unissuable for the rest of the
+                            // cycle, exactly as any future ready time
+                            // would, and is patched before the next cycle.
+                            let mut ready = now + 1;
+                            let mut lines = Vec::new();
+                            for &line in &fx.global_lines {
+                                if fx.stream && fx.is_store {
+                                    lines.push(PendingLine::Write { at: now });
+                                } else if fx.stream {
+                                    lines.push(PendingLine::Read {
+                                        at: now,
+                                        addr: line << 7,
+                                    });
+                                } else if l1.classify(line << 7) {
+                                    ready = ready.max(now + l1.latency());
+                                } else {
+                                    lines.push(PendingLine::Read {
+                                        at: now + l1.latency(),
+                                        addr: line << 7,
+                                    });
+                                }
+                            }
+                            if lines.is_empty() {
+                                if let Some((first, count)) = dest {
+                                    for r in first..first + count {
+                                        w.reg_ready[r as usize] = ready;
+                                    }
+                                }
+                            } else {
+                                if let Some((first, count)) = dest {
+                                    for r in first..first + count {
+                                        w.reg_ready[r as usize] = u64::MAX;
+                                    }
+                                }
+                                pending.push(PendingIssue {
+                                    warp_slot: slot,
+                                    dest,
+                                    ready,
+                                    lines,
+                                });
+                            }
                         }
                     }
                 }

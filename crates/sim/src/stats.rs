@@ -178,8 +178,21 @@ mod tests {
         KernelStats {
             name: "k".into(),
             cycles: 1000,
-            issued: PipeCounts { int: 500, fp: 300, tensor: 50, sfu: 10, lsu: 100, ctrl: 40 },
-            busy: PipeBusy { int: 500, fp: 300, tensor: 200, sfu: 80, lsu: 200 },
+            issued: PipeCounts {
+                int: 500,
+                fp: 300,
+                tensor: 50,
+                sfu: 10,
+                lsu: 100,
+                ctrl: 40,
+            },
+            busy: PipeBusy {
+                int: 500,
+                fp: 300,
+                tensor: 200,
+                sfu: 80,
+                lsu: 200,
+            },
             int_ops: 500 * 64,
             fp_ops: 300 * 64,
             tc_ops: 50 * 8192,

@@ -130,7 +130,14 @@ pub fn disasm_op(op: &Op) -> String {
         Sqrt { d, a } => format!("sqrt  r{}, {}", d.0, src_str(a)),
         Ex2 { d, a } => format!("ex2   r{}, {}", d.0, src_str(a)),
         Lg2 { d, a } => format!("lg2   r{}, {}", d.0, src_str(a)),
-        Ldg { d, addr, off, w, guard, stream } => format!(
+        Ldg {
+            d,
+            addr,
+            off,
+            w,
+            guard,
+            stream,
+        } => format!(
             "ldg{}{} r{}, [r{}{:+}] {:?}",
             if *stream { ".cg" } else { "" },
             guard.map_or(String::new(), |p| format!(" @p{}", p.0)),
@@ -139,7 +146,12 @@ pub fn disasm_op(op: &Op) -> String {
             off,
             w
         ),
-        LdgV4 { d, addr, off, stream } => format!(
+        LdgV4 {
+            d,
+            addr,
+            off,
+            stream,
+        } => format!(
             "ldg.128{} r{}..r{}, [r{}{:+}]",
             if *stream { ".cg" } else { "" },
             d.0,
@@ -147,7 +159,14 @@ pub fn disasm_op(op: &Op) -> String {
             addr.0,
             off
         ),
-        Stg { addr, off, v, w, guard, stream } => format!(
+        Stg {
+            addr,
+            off,
+            v,
+            w,
+            guard,
+            stream,
+        } => format!(
             "stg{}{} [r{}{:+}], {} {:?}",
             if *stream { ".cs" } else { "" },
             guard.map_or(String::new(), |p| format!(" @p{}", p.0)),
@@ -160,12 +179,26 @@ pub fn disasm_op(op: &Op) -> String {
         Sts { addr, off, v, w } => {
             format!("sts   [r{}{:+}], {} {:?}", addr.0, off, src_str(v), w)
         }
-        Mma { kind, acc, a_addr, b_addr } => format!(
+        Mma {
+            kind,
+            acc,
+            a_addr,
+            b_addr,
+        } => format!(
             "mma.{:?} r{}.., [r{}], [r{}]",
             kind, acc.0, a_addr.0, b_addr.0
         ),
-        Bra { target, pred, sense } => match pred {
-            Some(p) => format!("bra   {} @{}p{}", target, if *sense { "" } else { "!" }, p.0),
+        Bra {
+            target,
+            pred,
+            sense,
+        } => match pred {
+            Some(p) => format!(
+                "bra   {} @{}p{}",
+                target,
+                if *sense { "" } else { "!" },
+                p.0
+            ),
             None => format!("bra   {target}"),
         },
         Bar => "bar.sync".into(),
@@ -177,7 +210,14 @@ pub fn disasm_op(op: &Op) -> String {
 /// Full disassembly listing with instruction indices.
 pub fn disasm(p: &Program) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "// {} — {} insts, {} regs, {} preds", p.name, p.ops.len(), p.nregs, p.npreds);
+    let _ = writeln!(
+        out,
+        "// {} — {} insts, {} regs, {} preds",
+        p.name,
+        p.ops.len(),
+        p.nregs,
+        p.npreds
+    );
     for (i, op) in p.ops.iter().enumerate() {
         let _ = writeln!(out, "{i:>5}: {}", disasm_op(op));
     }

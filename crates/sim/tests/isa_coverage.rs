@@ -4,10 +4,11 @@
 //! integer programs against a direct host evaluation (catches scoreboard,
 //! ordering and functional bugs in one sweep).
 
-use proptest::prelude::*;
 use vitbit_sim::isa::{FCmp, ICmp, MemWidth, Op, Reg, SReg, Src};
 use vitbit_sim::program::ProgramBuilder;
 use vitbit_sim::{Gpu, Kernel, OrinConfig};
+use vitbit_tensor::check;
+use vitbit_tensor::rng::SmallRng;
 
 fn gpu() -> Gpu {
     Gpu::new(OrinConfig::test_small(), 16 << 20)
@@ -36,13 +37,25 @@ fn sfu_ops_compute_f32_functions() {
             let lane = p.alloc();
             p.sreg(lane, SReg::LaneId);
             p.imad(addr, lane.into(), Src::Imm(4), out.into());
-            p.push(Op::Rcp { d: v, a: Src::imm_f32(4.0) });
+            p.push(Op::Rcp {
+                d: v,
+                a: Src::imm_f32(4.0),
+            });
             p.stg(addr, 0, v.into(), MemWidth::B32);
-            p.push(Op::Sqrt { d: v, a: Src::imm_f32(81.0) });
+            p.push(Op::Sqrt {
+                d: v,
+                a: Src::imm_f32(81.0),
+            });
             p.stg(addr, 128, v.into(), MemWidth::B32);
-            p.push(Op::Ex2 { d: v, a: Src::imm_f32(5.0) });
+            p.push(Op::Ex2 {
+                d: v,
+                a: Src::imm_f32(5.0),
+            });
             p.stg(addr, 256, v.into(), MemWidth::B32);
-            p.push(Op::Lg2 { d: v, a: Src::imm_f32(1024.0) });
+            p.push(Op::Lg2 {
+                d: v,
+                a: Src::imm_f32(1024.0),
+            });
             p.stg(addr, 384, v.into(), MemWidth::B32);
         },
         128,
@@ -67,10 +80,20 @@ fn fsetp_and_float_minmax() {
             p.stg(addr, 0, v.into(), MemWidth::B32);
             p.fmax(v, Src::imm_f32(3.0), Src::imm_f32(-2.0));
             p.stg(addr, 128, v.into(), MemWidth::B32);
-            p.push(Op::FSetP { p: pr, a: Src::imm_f32(1.5), b: Src::imm_f32(2.5), cmp: FCmp::Lt });
+            p.push(Op::FSetP {
+                p: pr,
+                a: Src::imm_f32(1.5),
+                b: Src::imm_f32(2.5),
+                cmp: FCmp::Lt,
+            });
             p.sel(v, pr, Src::Imm(1), Src::Imm(0));
             p.stg(addr, 256, v.into(), MemWidth::B32);
-            p.push(Op::FSetP { p: pr, a: Src::imm_f32(1.5), b: Src::imm_f32(1.5), cmp: FCmp::Ge });
+            p.push(Op::FSetP {
+                p: pr,
+                a: Src::imm_f32(1.5),
+                b: Src::imm_f32(1.5),
+                cmp: FCmp::Ge,
+            });
             p.sel(v, pr, Src::Imm(1), Src::Imm(0));
             p.stg(addr, 384, v.into(), MemWidth::B32);
         },
@@ -180,12 +203,23 @@ fn ldg_v4_loads_four_words() {
     p.exit();
     // Only 16 lanes' worth of source data: confine to one warp reading the
     // first 32 * 16 = 512 bytes (we uploaded 256; read lanes 0..16).
-    let k = Kernel::single("v4", p.build().into_arc(), 1, 1, 0, vec![src.addr, dst.addr]);
+    let k = Kernel::single(
+        "v4",
+        p.build().into_arc(),
+        1,
+        1,
+        0,
+        vec![src.addr, dst.addr],
+    );
     g.launch(&k);
     let out = g.mem.download_u32(dst, 4 * 16);
     for lane in 0..16usize {
         for w in 0..4 {
-            assert_eq!(out[lane * 4 + w], data[lane * 4 + w], "lane {lane} word {w}");
+            assert_eq!(
+                out[lane * 4 + w],
+                data[lane * 4 + w],
+                "lane {lane} word {w}"
+            );
         }
     }
 }
@@ -237,35 +271,31 @@ fn host_eval(ops: &[(u8, RandOp)], regs: &mut [u32; 8]) {
     }
 }
 
-fn rand_op_strategy() -> impl Strategy<Value = (u8, RandOp)> {
-    let r = 0u8..8;
-    (
-        r.clone(),
-        prop_oneof![
-            (r.clone(), r.clone()).prop_map(|(a, b)| RandOp::Add(a, b)),
-            (r.clone(), r.clone()).prop_map(|(a, b)| RandOp::Sub(a, b)),
-            (r.clone(), r.clone()).prop_map(|(a, b)| RandOp::Mul(a, b)),
-            (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| RandOp::Mad(a, b, c)),
-            (r.clone(), r.clone()).prop_map(|(a, b)| RandOp::And(a, b)),
-            (r.clone(), r.clone()).prop_map(|(a, b)| RandOp::Xor(a, b)),
-            (r.clone(), 0u32..40).prop_map(|(a, s)| RandOp::Shl(a, s)),
-            (r.clone(), 0u32..40).prop_map(|(a, s)| RandOp::Sar(a, s)),
-            (r.clone(), r.clone()).prop_map(|(a, b)| RandOp::Min(a, b)),
-            (r.clone(), r.clone()).prop_map(|(a, b)| RandOp::Max(a, b)),
-        ],
-    )
+fn rand_op(rng: &mut SmallRng) -> (u8, RandOp) {
+    let d = rng.random_range(0u8..8);
+    let r = |rng: &mut SmallRng| rng.random_range(0u8..8);
+    let op = match rng.random_range(0u32..10) {
+        0 => RandOp::Add(r(rng), r(rng)),
+        1 => RandOp::Sub(r(rng), r(rng)),
+        2 => RandOp::Mul(r(rng), r(rng)),
+        3 => RandOp::Mad(r(rng), r(rng), r(rng)),
+        4 => RandOp::And(r(rng), r(rng)),
+        5 => RandOp::Xor(r(rng), r(rng)),
+        6 => RandOp::Shl(r(rng), rng.random_range(0u32..40)),
+        7 => RandOp::Sar(r(rng), rng.random_range(0u32..40)),
+        8 => RandOp::Min(r(rng), r(rng)),
+        _ => RandOp::Max(r(rng), r(rng)),
+    };
+    (d, op)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Random straight-line integer programs produce identical results on
-    /// the simulator and the host model, in every lane.
-    #[test]
-    fn prop_random_programs_match_host_model(
-        seeds in proptest::collection::vec(any::<u32>(), 8),
-        ops in proptest::collection::vec(rand_op_strategy(), 1..60),
-    ) {
+/// Random straight-line integer programs produce identical results on
+/// the simulator and the host model, in every lane.
+#[test]
+fn prop_random_programs_match_host_model() {
+    check::cases(0x15a_c0de, 24, |rng| {
+        let seeds: Vec<u32> = (0..8).map(|_| rng.next_u32()).collect();
+        let ops = check::vec_of(rng, 1..60, rand_op);
         // Host model per lane: lane l starts with regs[i] = seeds[i] ^ l.
         let mut g = gpu();
         let out = g.mem.alloc(8 * 32 * 4);
@@ -279,7 +309,11 @@ proptest! {
         let rr = |i: u8| Reg(regs.0 + i);
         for i in 0..8u8 {
             p.mov(rr(i), Src::Imm(seeds[i as usize]));
-            p.push(Op::Xor { d: rr(i), a: rr(i).into(), b: lane.into() });
+            p.push(Op::Xor {
+                d: rr(i),
+                a: rr(i).into(),
+                b: lane.into(),
+            });
         }
         for (d, op) in &ops {
             let d = rr(*d);
@@ -289,7 +323,11 @@ proptest! {
                 RandOp::Mul(a, b) => p.imul(d, rr(a).into(), rr(b).into()),
                 RandOp::Mad(a, b, c) => p.imad(d, rr(a).into(), rr(b).into(), rr(c).into()),
                 RandOp::And(a, b) => p.and(d, rr(a).into(), rr(b).into()),
-                RandOp::Xor(a, b) => p.push(Op::Xor { d, a: rr(a).into(), b: rr(b).into() }),
+                RandOp::Xor(a, b) => p.push(Op::Xor {
+                    d,
+                    a: rr(a).into(),
+                    b: rr(b).into(),
+                }),
                 RandOp::Shl(a, s) => p.shl(d, rr(a).into(), Src::Imm(s)),
                 RandOp::Sar(a, s) => p.sar(d, rr(a).into(), Src::Imm(s)),
                 RandOp::Min(a, b) => p.imin(d, rr(a).into(), rr(b).into()),
@@ -312,10 +350,10 @@ proptest! {
             }
             host_eval(&ops, &mut regs);
             for i in 0..8 {
-                prop_assert_eq!(got[i * 32 + l], regs[i], "lane {} reg {}", l, i);
+                assert_eq!(got[i * 32 + l], regs[i], "lane {} reg {}", l, i);
             }
         }
-    }
+    });
 }
 
 #[test]
@@ -341,7 +379,14 @@ fn guarded_loads_skip_disabled_lanes() {
     p.imad(addr, lane.into(), Src::Imm(4), d.into());
     p.stg(addr, 0, v.into(), MemWidth::B32);
     p.exit();
-    let k = Kernel::single("guard", p.build().into_arc(), 1, 1, 0, vec![src.addr, dst.addr]);
+    let k = Kernel::single(
+        "guard",
+        p.build().into_arc(),
+        1,
+        1,
+        0,
+        vec![src.addr, dst.addr],
+    );
     g.launch(&k);
     let out = g.mem.download_u32(dst, 32);
     for l in 0..32 {

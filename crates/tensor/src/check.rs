@@ -1,0 +1,66 @@
+//! Minimal randomized-property harness.
+//!
+//! Replaces the `proptest` dependency (unavailable in hermetic builds) with
+//! a deterministic seeded-case loop: each property runs `cases` times with
+//! an independent, reproducible generator per case. There is no shrinking —
+//! failures report the case seed so the exact inputs can be replayed by
+//! seeding a [`SmallRng`] directly.
+
+use crate::rng::SmallRng;
+
+/// Run `f` for `cases` independent cases derived from `seed`.
+///
+/// Each case receives a fresh generator so property bodies can draw as many
+/// values as they like without coupling cases to each other. Panics inside
+/// `f` are augmented with the replay seed.
+pub fn cases(seed: u64, cases: u32, mut f: impl FnMut(&mut SmallRng)) {
+    for case in 0..cases {
+        let case_seed = seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = SmallRng::seed_from_u64(case_seed);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!("property failed at case {case} (replay seed {case_seed:#x})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Draw a random-length `Vec` with elements produced by `gen`.
+pub fn vec_of<T>(
+    rng: &mut SmallRng,
+    len_range: std::ops::Range<usize>,
+    mut gen: impl FnMut(&mut SmallRng) -> T,
+) -> Vec<T> {
+    let len = rng.random_range(len_range);
+    (0..len).map(|_| gen(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_case_count() {
+        let mut n = 0;
+        cases(1, 17, |_| n += 1);
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        cases(9, 5, |rng| first.push(rng.next_u64()));
+        let mut second = Vec::new();
+        cases(9, 5, |rng| second.push(rng.next_u64()));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn vec_of_respects_length_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v = vec_of(&mut rng, 1..8, |r| r.next_u32());
+            assert!((1..8).contains(&v.len()));
+        }
+    }
+}

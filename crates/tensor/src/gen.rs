@@ -7,14 +7,15 @@
 //! shape, activations covering the full signed or unsigned code range.
 
 use crate::matrix::Matrix;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// Uniform `i8` matrix over `[lo, hi]` (inclusive).
 pub fn uniform_i8(rows: usize, cols: usize, lo: i8, hi: i8, seed: u64) -> Matrix<i8> {
     assert!(lo <= hi, "invalid range [{lo}, {hi}]");
     let mut rng = SmallRng::seed_from_u64(seed);
-    Matrix::from_fn(rows, cols, |_, _| rng.random_range(i16::from(lo)..=i16::from(hi)) as i8)
+    Matrix::from_fn(rows, cols, |_, _| {
+        rng.random_range(i16::from(lo)..=i16::from(hi)) as i8
+    })
 }
 
 /// Uniform matrix over the full range of a `bitwidth`-bit *unsigned* code,
@@ -22,7 +23,10 @@ pub fn uniform_i8(rows: usize, cols: usize, lo: i8, hi: i8, seed: u64) -> Matrix
 /// fit non-negatively, or exactly 8 for the full unsigned byte stored in
 /// wraparound form).
 pub fn uniform_unsigned_code(rows: usize, cols: usize, bitwidth: u32, seed: u64) -> Matrix<u8> {
-    assert!((1..=8).contains(&bitwidth), "bitwidth {bitwidth} out of [1,8]");
+    assert!(
+        (1..=8).contains(&bitwidth),
+        "bitwidth {bitwidth} out of [1,8]"
+    );
     let hi: u16 = (1u16 << bitwidth) - 1;
     let mut rng = SmallRng::seed_from_u64(seed);
     Matrix::from_fn(rows, cols, |_, _| rng.random_range(0..=hi) as u8)
@@ -32,7 +36,10 @@ pub fn uniform_unsigned_code(rows: usize, cols: usize, bitwidth: u32, seed: u64)
 /// signed range of `bitwidth` bits. Mimics the concentrated distribution of
 /// trained, symmetric-quantized weights.
 pub fn bell_weights_i8(rows: usize, cols: usize, bitwidth: u32, seed: u64) -> Matrix<i8> {
-    assert!((2..=8).contains(&bitwidth), "bitwidth {bitwidth} out of [2,8]");
+    assert!(
+        (2..=8).contains(&bitwidth),
+        "bitwidth {bitwidth} out of [2,8]"
+    );
     let max = (1i32 << (bitwidth - 1)) - 1;
     let quarter = (max / 2).max(1);
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -98,7 +105,10 @@ mod tests {
         let max = 127i32;
         assert!(m.as_slice().iter().all(|&x| (i32::from(x)).abs() <= max));
         let mean: f64 = m.as_slice().iter().map(|&x| f64::from(x)).sum::<f64>() / m.len() as f64;
-        assert!(mean.abs() < 8.0, "weights should be near zero-mean, mean={mean}");
+        assert!(
+            mean.abs() < 8.0,
+            "weights should be near zero-mean, mean={mean}"
+        );
     }
 
     #[test]
@@ -110,8 +120,17 @@ mod tests {
     #[test]
     fn activations_cover_tails() {
         let m = activations_i8(64, 64, 11);
-        assert!(m.as_slice().iter().any(|&x| !(-64..=64).contains(&x)), "tails present");
-        assert!(m.as_slice().iter().filter(|&&x| (-32..=31).contains(&x)).count() > m.len() / 2);
+        assert!(
+            m.as_slice().iter().any(|&x| !(-64..=64).contains(&x)),
+            "tails present"
+        );
+        assert!(
+            m.as_slice()
+                .iter()
+                .filter(|&&x| (-32..=31).contains(&x))
+                .count()
+                > m.len() / 2
+        );
     }
 
     #[test]

@@ -15,11 +15,14 @@
 //!   layers uses dyadic (multiplier, shift) arithmetic so that the entire
 //!   inference path stays in integers, matching Section 4.1 of the paper.
 
+pub mod check;
 pub mod gen;
 pub mod matrix;
 pub mod metrics;
 pub mod quant;
 pub mod refgemm;
+pub mod rng;
 
 pub use matrix::Matrix;
 pub use quant::{DyadicScale, QuantParams};
+pub use rng::SmallRng;

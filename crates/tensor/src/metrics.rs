@@ -122,7 +122,10 @@ mod tests {
 
     #[test]
     fn mismatch_rate_counts() {
-        assert_eq!(mismatch_rate_i32(&m(vec![1, 2, 3, 4]), &m(vec![1, 0, 3, 0])), 0.5);
+        assert_eq!(
+            mismatch_rate_i32(&m(vec![1, 2, 3, 4]), &m(vec![1, 0, 3, 0])),
+            0.5
+        );
     }
 
     #[test]

@@ -165,7 +165,10 @@ mod tests {
         for &x in &[-4.0f32, -1.5, 0.0, 0.03, 2.0, 4.0] {
             let q = qp.quantize(x);
             let back = qp.dequantize(q);
-            assert!((back - x).abs() <= qp.scale / 2.0 + 1e-6, "{x} -> {q} -> {back}");
+            assert!(
+                (back - x).abs() <= qp.scale / 2.0 + 1e-6,
+                "{x} -> {q} -> {back}"
+            );
         }
     }
 

@@ -96,8 +96,7 @@ pub fn gemm_i8_via_f32(a: &Matrix<i8>, b: &Matrix<i8>) -> Matrix<i32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use crate::rng::SmallRng;
 
     #[test]
     fn identity_gemm() {

@@ -1,0 +1,190 @@
+//! Self-contained deterministic PRNG.
+//!
+//! The workspace builds in hermetic environments with no access to a crates
+//! registry, so the usual `rand` crate is replaced by this minimal
+//! implementation. It mirrors the small slice of the `rand` API the
+//! reproduction uses (`SmallRng::seed_from_u64` + `random_range`) so call
+//! sites read identically: generators are seeded explicitly and every draw
+//! is reproducible across platforms.
+//!
+//! The generator is xoshiro256++ (public domain, Blackman & Vigna), seeded
+//! through SplitMix64 as its authors recommend.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Small, fast, seedable generator (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Build a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next raw 32-bit output.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw from a half-open (`lo..hi`) or inclusive (`lo..=hi`)
+    /// range, matching `rand::Rng::random_range`.
+    pub fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Uniform draw from `[0, 2^64)` scaled into span `[0, span)` without
+    /// modulo bias (widening-multiply method).
+    fn bounded(&mut self, span: u128) -> u128 {
+        debug_assert!(span > 0 && span <= (1u128 << 64));
+        (u128::from(self.next_u64()) * span) >> 64
+    }
+}
+
+/// Range types accepted by [`SmallRng::random_range`].
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut SmallRng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u128;
+                (self.start as $wide).wrapping_add(rng.bounded(span) as $wide) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u128 + 1;
+                (lo as $wide).wrapping_add(rng.bounded(span) as $wide) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(
+    i8 => i64, u8 => u64, i16 => i64, u16 => u64, i32 => i64, u32 => u64,
+    i64 => i64, u64 => u64, usize => u64, isize => i64,
+);
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample(self, rng: &mut SmallRng) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut SmallRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(SmallRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-5i16..=5);
+            assert!((-5..=5).contains(&v));
+            let u = rng.random_range(0u32..4);
+            assert!(u < 4);
+            let f = rng.random_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let z = rng.random_range(3usize..4);
+            assert_eq!(z, 3);
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..10_000 {
+            match rng.random_range(0u16..=3) {
+                0 => lo_seen = true,
+                3 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn full_i8_range_representable() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen_min = false;
+        let mut seen_max = false;
+        for _ in 0..100_000 {
+            match rng.random_range(-128i16..=127) {
+                -128 => seen_min = true,
+                127 => seen_max = true,
+                _ => {}
+            }
+        }
+        assert!(seen_min && seen_max);
+    }
+
+    #[test]
+    fn roughly_uniform_mean() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.random_range(0.0f64..1.0)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

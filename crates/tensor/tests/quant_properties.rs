@@ -1,46 +1,47 @@
 //! Property tests for the quantization substrate: round-trip error bounds,
 //! dyadic rescale accuracy, and GEMM linearity identities.
 
-use proptest::prelude::*;
+use vitbit_tensor::check;
 use vitbit_tensor::refgemm::{gemm_f32, gemm_i8_i32, gemm_i8_via_f32};
 use vitbit_tensor::{gen, DyadicScale, Matrix, QuantParams};
 
-proptest! {
-    /// Symmetric quantization round-trips within half a step.
-    #[test]
-    fn prop_symmetric_quant_error_bound(
-        max_abs in 0.01f32..100.0,
-        xs in proptest::collection::vec(-1.0f32..1.0, 1..64),
-    ) {
+/// Symmetric quantization round-trips within half a step.
+#[test]
+fn prop_symmetric_quant_error_bound() {
+    check::cases(0x40a7_0001, 256, |rng| {
+        let max_abs = rng.random_range(0.01f32..100.0);
+        let xs = check::vec_of(rng, 1..64, |r| r.random_range(-1.0f32..1.0));
         let qp = QuantParams::symmetric(max_abs);
         for x in xs {
             let v = x * max_abs;
             let back = qp.dequantize(qp.quantize(v));
-            prop_assert!((back - v).abs() <= qp.scale / 2.0 + 1e-5);
+            assert!((back - v).abs() <= qp.scale / 2.0 + 1e-5);
         }
-    }
+    });
+}
 
-    /// Dyadic rescaling tracks the real factor to within one count.
-    #[test]
-    fn prop_dyadic_matches_real(
-        factor in 1e-4f64..50.0,
-        x in -1_000_000i32..1_000_000,
-    ) {
+/// Dyadic rescaling tracks the real factor to within one count.
+#[test]
+fn prop_dyadic_matches_real() {
+    check::cases(0x40a7_0002, 256, |rng| {
+        let factor = rng.random_range(1e-4f64..50.0);
+        let x = rng.random_range(-1_000_000i32..1_000_000);
         let d = DyadicScale::from_real(factor);
         let got = i64::from(d.apply(x));
         let want = (f64::from(x) * factor).round() as i64;
-        prop_assert!((got - want).abs() <= 1, "{x} * {factor}: {got} vs {want}");
-    }
+        assert!((got - want).abs() <= 1, "{x} * {factor}: {got} vs {want}");
+    });
+}
 
-    /// GEMM is linear: (A1 + A2) * B == A1*B + A2*B over i32 accumulators
-    /// (inputs small enough that the sum stays in i8).
-    #[test]
-    fn prop_gemm_linearity(
-        m in 1usize..6,
-        n in 1usize..6,
-        k in 1usize..12,
-        seed in 0u64..500,
-    ) {
+/// GEMM is linear: (A1 + A2) * B == A1*B + A2*B over i32 accumulators
+/// (inputs small enough that the sum stays in i8).
+#[test]
+fn prop_gemm_linearity() {
+    check::cases(0x40a7_0003, 128, |rng| {
+        let m = rng.random_range(1usize..6);
+        let n = rng.random_range(1usize..6);
+        let k = rng.random_range(1usize..12);
+        let seed = rng.random_range(0u64..500);
         let a1 = gen::uniform_i8(m, k, -30, 30, seed);
         let a2 = gen::uniform_i8(m, k, -30, 30, seed + 1);
         let b = gen::uniform_i8(k, n, -64, 63, seed + 2);
@@ -49,40 +50,42 @@ proptest! {
         let c1 = gemm_i8_i32(&a1, &b);
         let c2 = gemm_i8_i32(&a2, &b);
         let rhs = Matrix::from_fn(m, n, |r, c| c1[(r, c)] + c2[(r, c)]);
-        prop_assert_eq!(lhs, rhs);
-    }
+        assert_eq!(lhs, rhs);
+    });
+}
 
-    /// The f32 GEMM path is exact for integer operands with bounded K.
-    #[test]
-    fn prop_f32_path_exact_for_small_k(
-        m in 1usize..5,
-        n in 1usize..5,
-        k in 1usize..64,
-        seed in 0u64..300,
-    ) {
+/// The f32 GEMM path is exact for integer operands with bounded K.
+#[test]
+fn prop_f32_path_exact_for_small_k() {
+    check::cases(0x40a7_0004, 128, |rng| {
+        let m = rng.random_range(1usize..5);
+        let n = rng.random_range(1usize..5);
+        let k = rng.random_range(1usize..64);
+        let seed = rng.random_range(0u64..300);
         let a = gen::uniform_i8(m, k, -128, 127, seed);
         let b = gen::uniform_i8(k, n, -128, 127, seed + 1);
-        prop_assert_eq!(gemm_i8_via_f32(&a, &b), gemm_i8_i32(&a, &b));
-    }
+        assert_eq!(gemm_i8_via_f32(&a, &b), gemm_i8_i32(&a, &b));
+    });
+}
 
-    /// Transposition identity: (A * B)^T == B^T * A^T (f32 path).
-    #[test]
-    fn prop_gemm_transpose_identity(
-        m in 1usize..5,
-        n in 1usize..5,
-        k in 1usize..8,
-        seed in 0u64..200,
-    ) {
+/// Transposition identity: (A * B)^T == B^T * A^T (f32 path).
+#[test]
+fn prop_gemm_transpose_identity() {
+    check::cases(0x40a7_0005, 128, |rng| {
+        let m = rng.random_range(1usize..5);
+        let n = rng.random_range(1usize..5);
+        let k = rng.random_range(1usize..8);
+        let seed = rng.random_range(0u64..200);
         let a = gen::uniform_f32(m, k, -2.0, 2.0, seed);
         let b = gen::uniform_f32(k, n, -2.0, 2.0, seed + 1);
         let lhs = gemm_f32(&a, &b).transpose();
         let rhs = gemm_f32(&b.transpose(), &a.transpose());
         for r in 0..n {
             for c in 0..m {
-                prop_assert!((lhs[(r, c)] - rhs[(r, c)]).abs() < 1e-4);
+                assert!((lhs[(r, c)] - rhs[(r, c)]).abs() < 1e-4);
             }
         }
-    }
+    });
 }
 
 #[test]
@@ -91,6 +94,10 @@ fn asymmetric_quant_represents_relu_ranges() {
     let qp = QuantParams::asymmetric(0.0, 6.0);
     let codes: Vec<i8> = (0..=60).map(|i| qp.quantize(i as f32 * 0.1)).collect();
     let distinct: std::collections::BTreeSet<i8> = codes.iter().copied().collect();
-    assert!(distinct.len() > 40, "fine-grained coverage: {}", distinct.len());
+    assert!(
+        distinct.len() > 40,
+        "fine-grained coverage: {}",
+        distinct.len()
+    );
     assert!((qp.dequantize(qp.quantize(3.0)) - 3.0).abs() < qp.scale);
 }

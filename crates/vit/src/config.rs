@@ -40,7 +40,10 @@ impl ViTConfig {
 
     /// ViT-Base at a different code bitwidth.
     pub fn base_with_bitwidth(bitwidth: u32) -> Self {
-        Self { bitwidth, ..Self::base() }
+        Self {
+            bitwidth,
+            ..Self::base()
+        }
     }
 
     /// A miniature configuration for fast functional tests: same topology,
@@ -63,10 +66,17 @@ impl ViTConfig {
     /// # Panics
     /// Panics when `dim != heads * head_dim` or dimensions are zero.
     pub fn validate(&self) {
-        assert_eq!(self.dim, self.heads * self.head_dim, "dim = heads * head_dim");
+        assert_eq!(
+            self.dim,
+            self.heads * self.head_dim,
+            "dim = heads * head_dim"
+        );
         assert!(self.blocks > 0 && self.tokens > 0 && self.classes > 0);
         assert!((2..=8).contains(&self.bitwidth), "bitwidth in 2..=8");
-        assert!(self.dim.is_multiple_of(32), "LayerNorm rows need 32-aligned dim");
+        assert!(
+            self.dim.is_multiple_of(32),
+            "LayerNorm rows need 32-aligned dim"
+        );
     }
 
     /// Highest positive code value.

@@ -25,4 +25,4 @@ pub mod reference;
 
 pub use config::ViTConfig;
 pub use model::ViTModel;
-pub use pipeline::{run_vit, KernelClass, LayerTiming, VitRun};
+pub use pipeline::{run_vit, run_vit_cached, KernelClass, LayerTiming, VitRun};

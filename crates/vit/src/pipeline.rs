@@ -12,7 +12,7 @@
 
 use crate::model::{requant, ViTModel};
 use crate::reference;
-use vitbit_exec::{ExecConfig, GemmTuner, Strategy};
+use vitbit_exec::{ExecConfig, GemmTuner, PackedWeightCache, Strategy};
 use vitbit_kernels::elementwise::{run_layernorm, run_map, run_softmax, MapOp};
 use vitbit_sim::{Gpu, KernelStats};
 use vitbit_tensor::Matrix;
@@ -89,9 +89,23 @@ impl VitRun {
     }
 }
 
+/// Stable identity of one weight matrix inside a model, for the
+/// packed-weight cache: the global block index tagged with the site.
+/// Ids are unique per distinct weight as long as the same cache is only
+/// reused with the same model (see the keying rules in
+/// `vitbit_kernels::gemm::cache`).
+fn weight_id(global_block: usize, site: u64) -> u64 {
+    debug_assert!(site < 8);
+    ((global_block as u64) << 3) | site
+}
+
 /// Runs the forward pass under `strategy`, simulating the first
 /// `blocks_limit` blocks (all when `None`). The remaining blocks run on the
 /// CPU reference path so the logits stay meaningful.
+///
+/// Packs weights into a fresh per-call cache; to amortize weight packing
+/// across repeated forward passes of the same model, hold a
+/// [`PackedWeightCache`] and call [`run_vit_cached`].
 pub fn run_vit(
     gpu: &mut Gpu,
     model: &ViTModel,
@@ -100,8 +114,41 @@ pub fn run_vit(
     exec_cfg: &ExecConfig,
     blocks_limit: Option<usize>,
 ) -> VitRun {
+    let mut cache = PackedWeightCache::new();
+    run_vit_cached(
+        gpu,
+        model,
+        input,
+        strategy,
+        exec_cfg,
+        blocks_limit,
+        &mut cache,
+    )
+}
+
+/// [`run_vit`] reusing a caller-held packed-weight cache: each encoder
+/// block's stationary weights (`wq`/`wk`/`wv`/`wo`/`fc1`/`fc2`) are packed
+/// once per (weight, spec, split geometry) and served from the cache on
+/// every later launch — including across repeated forward passes. The
+/// activation-valued GEMMs (attention scores, `probs x V`) never cache.
+///
+/// The cache must not be reused across different models (weight ids are
+/// model-relative); clear it when the weights change.
+#[allow(clippy::too_many_arguments)]
+pub fn run_vit_cached(
+    gpu: &mut Gpu,
+    model: &ViTModel,
+    input: &Matrix<i8>,
+    strategy: Strategy,
+    exec_cfg: &ExecConfig,
+    blocks_limit: Option<usize>,
+    cache: &mut PackedWeightCache,
+) -> VitRun {
     let cfg = &model.cfg;
-    assert_eq!(exec_cfg.bitwidth, cfg.bitwidth, "config bitwidths must agree");
+    assert_eq!(
+        exec_cfg.bitwidth, cfg.bitwidth,
+        "config bitwidths must agree"
+    );
     let bw = cfg.bitwidth;
     // Non-linear CUDA kernels use the per-op variant (VitBit packs only
     // where SWAR stays lane-exact without unpacking); the residual add is
@@ -120,7 +167,12 @@ pub fn run_vit(
         let w = &model.blocks[b];
         let s = &model.shifts[b];
         let mut record = |name: &'static str, class: KernelClass, stats: KernelStats| {
-            timings.push(LayerTiming { name, block: b, class, stats });
+            timings.push(LayerTiming {
+                name,
+                block: b,
+                class,
+                stats,
+            });
         };
 
         // --- attention half ---
@@ -128,13 +180,24 @@ pub fn run_vit(
         record("layernorm", KernelClass::Cuda, ln1.stats.clone());
         let h = ln1.out;
 
-        let proj3 =
-            |gpu: &mut Gpu, tuner: &mut GemmTuner, wm: &Matrix<i8>| {
-                strategy.run_gemm_tuned(gpu, &h, wm, exec_cfg, tuner)
-            };
-        let qo = proj3(gpu, &mut tuner, &w.wq);
-        let ko = proj3(gpu, &mut tuner, &w.wk);
-        let vo = proj3(gpu, &mut tuner, &w.wv);
+        let gb = b + model.block_offset;
+        let proj3 = |gpu: &mut Gpu,
+                     tuner: &mut GemmTuner,
+                     cache: &mut PackedWeightCache,
+                     wm: &Matrix<i8>,
+                     site: u64| {
+            strategy.run_gemm_tuned_weighted(
+                gpu,
+                &h,
+                wm,
+                exec_cfg,
+                tuner,
+                Some((cache, weight_id(gb, site))),
+            )
+        };
+        let qo = proj3(gpu, &mut tuner, cache, &w.wq, 0);
+        let ko = proj3(gpu, &mut tuner, cache, &w.wk, 1);
+        let vo = proj3(gpu, &mut tuner, cache, &w.wv, 2);
         let mut qkv_stats = qo.stats.clone();
         qkv_stats.accumulate(&ko.stats);
         qkv_stats.accumulate(&vo.stats);
@@ -172,15 +235,32 @@ pub fn run_vit(
         let refs: Vec<&Matrix<i8>> = head_outs.iter().collect();
         let attn = Matrix::concat_cols(&refs);
 
-        let proj = strategy.run_gemm_tuned(gpu, &attn, &w.wo, exec_cfg, &mut tuner);
+        let proj = strategy.run_gemm_tuned_weighted(
+            gpu,
+            &attn,
+            &w.wo,
+            exec_cfg,
+            &mut tuner,
+            Some((cache, weight_id(gb, 3))),
+        );
         record("proj", KernelClass::Linear, proj.stats.clone());
         let o = requant(&proj.c, s.proj, bw);
         let dseed = reference::dropout_seed(b + model.block_offset, 0);
-        let dop = MapOp::Dropout { seed: dseed, keep_q8: model.keep_q8 };
+        let dop = MapOp::Dropout {
+            seed: dseed,
+            keep_q8: model.keep_q8,
+        };
         let od = run_map(gpu, dop, ew, bw, o.as_slice(), None);
         record("dropout", KernelClass::Cuda, od.stats.clone());
         let o = Matrix::from_vec(o.rows(), o.cols(), od.out);
-        let ad = run_map(gpu, MapOp::Add, ew_add, bw, x.as_slice(), Some(o.as_slice()));
+        let ad = run_map(
+            gpu,
+            MapOp::Add,
+            ew_add,
+            bw,
+            x.as_slice(),
+            Some(o.as_slice()),
+        );
         record("residual", KernelClass::Cuda, ad.stats.clone());
         x = Matrix::from_vec(x.rows(), x.cols(), ad.out);
 
@@ -188,21 +268,45 @@ pub fn run_vit(
         let ln2 = run_layernorm(gpu, &x, model.ln_gamma, model.ln_beta, ew_rows, bw);
         record("layernorm", KernelClass::Cuda, ln2.stats.clone());
         let h2 = ln2.out;
-        let f1 = strategy.run_gemm_tuned(gpu, &h2, &w.fc1, exec_cfg, &mut tuner);
+        let f1 = strategy.run_gemm_tuned_weighted(
+            gpu,
+            &h2,
+            &w.fc1,
+            exec_cfg,
+            &mut tuner,
+            Some((cache, weight_id(gb, 4))),
+        );
         record("fc1", KernelClass::Linear, f1.stats.clone());
         let f = requant(&f1.c, s.fc1, bw);
         let ge = run_map(gpu, MapOp::Gelu, ew, bw, f.as_slice(), None);
         record("gelu", KernelClass::Cuda, ge.stats.clone());
         let f = Matrix::from_vec(f.rows(), f.cols(), ge.out);
-        let f2 = strategy.run_gemm_tuned(gpu, &f, &w.fc2, exec_cfg, &mut tuner);
+        let f2 = strategy.run_gemm_tuned_weighted(
+            gpu,
+            &f,
+            &w.fc2,
+            exec_cfg,
+            &mut tuner,
+            Some((cache, weight_id(gb, 5))),
+        );
         record("fc2", KernelClass::Linear, f2.stats.clone());
         let g = requant(&f2.c, s.fc2, bw);
         let dseed = reference::dropout_seed(b + model.block_offset, 1);
-        let dop = MapOp::Dropout { seed: dseed, keep_q8: model.keep_q8 };
+        let dop = MapOp::Dropout {
+            seed: dseed,
+            keep_q8: model.keep_q8,
+        };
         let gd = run_map(gpu, dop, ew, bw, g.as_slice(), None);
         record("dropout", KernelClass::Cuda, gd.stats.clone());
         let g = Matrix::from_vec(g.rows(), g.cols(), gd.out);
-        let ad2 = run_map(gpu, MapOp::Add, ew_add, bw, x.as_slice(), Some(g.as_slice()));
+        let ad2 = run_map(
+            gpu,
+            MapOp::Add,
+            ew_add,
+            bw,
+            x.as_slice(),
+            Some(g.as_slice()),
+        );
         record("residual", KernelClass::Cuda, ad2.stats.clone());
         x = Matrix::from_vec(x.rows(), x.cols(), ad2.out);
     }
@@ -220,7 +324,11 @@ pub fn run_vit(
         reference::forward(&tail, &x)
     };
 
-    VitRun { logits, timings, simulated_blocks: sim_blocks }
+    VitRun {
+        logits,
+        timings,
+        simulated_blocks: sim_blocks,
+    }
 }
 
 fn stack_rows(mats: &[Matrix<i8>]) -> Matrix<i8> {
@@ -306,7 +414,13 @@ mod tests {
             // The FP map bodies are bit-exact (cvt.rmi); the FP row shares
             // differ from the integer spec only in the final float
             // normalization, so logits stay close.
-            let scale = want.as_slice().iter().map(|v| v.abs()).max().unwrap().max(1);
+            let scale = want
+                .as_slice()
+                .iter()
+                .map(|v| v.abs())
+                .max()
+                .unwrap()
+                .max(1);
             let dev = run
                 .logits
                 .as_slice()
@@ -322,7 +436,10 @@ mod tests {
             let agg = run.aggregate();
             saw_all_pipes |= agg.tc_ops > 0 && agg.int_ops > 0 && agg.fp_ops > 0;
         }
-        assert!(agree * 3 >= n_inputs * 2, "top-1 agreement {agree}/{n_inputs}");
+        assert!(
+            agree * 3 >= n_inputs * 2,
+            "top-1 agreement {agree}/{n_inputs}"
+        );
         assert!(saw_all_pipes, "VitBit must use TC, INT and FP pipes");
     }
 
@@ -346,8 +463,19 @@ mod tests {
         assert!(run.cycles_of(KernelClass::Linear) > 0);
         assert!(run.cycles_of(KernelClass::Cuda) > 0);
         let names: Vec<_> = run.cycles_by_name().into_iter().map(|(n, _)| n).collect();
-        for expect in ["qkv", "scores", "softmax", "attn_v", "proj", "fc1", "gelu", "fc2",
-                       "layernorm", "dropout", "residual"] {
+        for expect in [
+            "qkv",
+            "scores",
+            "softmax",
+            "attn_v",
+            "proj",
+            "fc1",
+            "gelu",
+            "fc2",
+            "layernorm",
+            "dropout",
+            "residual",
+        ] {
             assert!(names.contains(&expect), "missing {expect}");
         }
     }

@@ -44,7 +44,13 @@ pub fn gelu_mat(x: &Matrix<i8>, bitwidth: u32) -> Matrix<i8> {
 pub fn dropout_mat(x: &Matrix<i8>, seed: u32, keep_q8: u32, bitwidth: u32) -> Matrix<i8> {
     let cols = x.cols();
     Matrix::from_fn(x.rows(), cols, |r, c| {
-        hostref::dropout_i(i32::from(x[(r, c)]), (r * cols + c) as u32, seed, keep_q8, bitwidth)
+        hostref::dropout_i(
+            i32::from(x[(r, c)]),
+            (r * cols + c) as u32,
+            seed,
+            keep_q8,
+            bitwidth,
+        )
     })
 }
 
@@ -57,7 +63,11 @@ pub fn add_mat(a: &Matrix<i8>, b: &Matrix<i8>, bitwidth: u32) -> Matrix<i8> {
 }
 
 fn max_abs(m: &Matrix<i32>) -> i64 {
-    m.as_slice().iter().map(|&x| i64::from(x).abs()).max().unwrap_or(0)
+    m.as_slice()
+        .iter()
+        .map(|&x| i64::from(x).abs())
+        .max()
+        .unwrap_or(0)
 }
 
 enum Mode<'a> {
@@ -88,8 +98,10 @@ fn forward_impl(model: &ViTModel, input: &Matrix<i8>, mut mode: Mode<'_>) -> Mat
         let w = &model.blocks[b];
         // Resolve the shift for a site: either the frozen value or one
         // computed (and recorded) from this accumulator.
-        let mut site = |acc: &Matrix<i32>, pick: fn(&BlockShifts) -> u32,
-                        store: fn(&mut BlockShifts, u32)| -> u32 {
+        let mut site = |acc: &Matrix<i32>,
+                        pick: fn(&BlockShifts) -> u32,
+                        store: fn(&mut BlockShifts, u32)|
+         -> u32 {
             match &mut mode {
                 Mode::Frozen => pick(&model.shifts[b]),
                 Mode::Calibrate(shifts) => {
@@ -146,7 +158,12 @@ fn forward_impl(model: &ViTModel, input: &Matrix<i8>, mut mode: Mode<'_>) -> Mat
         let proj_acc = gemm_i8_i32(&attn, &w.wo);
         let s_proj = site(&proj_acc, |s| s.proj, |s, v| s.proj = v);
         let o = requant(&proj_acc, s_proj, bw);
-        let o = dropout_mat(&o, dropout_seed(b + model.block_offset, 0), model.keep_q8, bw);
+        let o = dropout_mat(
+            &o,
+            dropout_seed(b + model.block_offset, 0),
+            model.keep_q8,
+            bw,
+        );
         x = add_mat(&x, &o, bw);
 
         // MLP half.
@@ -157,7 +174,12 @@ fn forward_impl(model: &ViTModel, input: &Matrix<i8>, mut mode: Mode<'_>) -> Mat
         let g_acc = gemm_i8_i32(&f, &w.fc2);
         let s_fc2 = site(&g_acc, |s| s.fc2, |s, v| s.fc2 = v);
         let g = requant(&g_acc, s_fc2, bw);
-        let g = dropout_mat(&g, dropout_seed(b + model.block_offset, 1), model.keep_q8, bw);
+        let g = dropout_mat(
+            &g,
+            dropout_seed(b + model.block_offset, 1),
+            model.keep_q8,
+            bw,
+        );
         x = add_mat(&x, &g, bw);
     }
 
@@ -209,9 +231,15 @@ mod tests {
         let x = m.synthetic_input(9);
         // Run one attention half manually and check code ranges.
         let h = ln_rows(&x, m.ln_gamma, m.ln_beta, cfg.bitwidth);
-        assert!(h.as_slice().iter().all(|&v| v >= cfg.code_min() && v <= cfg.code_max()));
+        assert!(h
+            .as_slice()
+            .iter()
+            .all(|&v| v >= cfg.code_min() && v <= cfg.code_max()));
         let q_acc = gemm_i8_i32(&h, &m.blocks[0].wq);
         let q = requant(&q_acc, m.shifts[0].qkv, cfg.bitwidth);
-        assert!(q.as_slice().iter().all(|&v| v >= cfg.code_min() && v <= cfg.code_max()));
+        assert!(q
+            .as_slice()
+            .iter()
+            .all(|&v| v >= cfg.code_min() && v <= cfg.code_max()));
     }
 }

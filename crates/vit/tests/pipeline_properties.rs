@@ -46,8 +46,7 @@ fn cycles_by_name_partitions_the_total() {
     let run = run_vit(&mut g, &model, &x, Strategy::Tc, &cfg, Some(1));
     let by_name: u64 = run.cycles_by_name().iter().map(|(_, c)| c).sum();
     assert_eq!(by_name, run.total_cycles());
-    let by_class =
-        run.cycles_of(KernelClass::Linear) + run.cycles_of(KernelClass::Cuda);
+    let by_class = run.cycles_of(KernelClass::Linear) + run.cycles_of(KernelClass::Cuda);
     assert_eq!(by_class, run.total_cycles());
 }
 

@@ -17,8 +17,14 @@ fn main() {
     let spec = PackSpec::guarded(6, 6).expect("packable");
     let geom = RoleGeom::standalone(1);
     let programs = [
-        ("INT zero-masking", cuda_gemm_program(CudaElem::Int, geom, 0)),
-        ("INT packed (SWAR)", cuda_gemm_program(CudaElem::Packed(spec), geom, 0)),
+        (
+            "INT zero-masking",
+            cuda_gemm_program(CudaElem::Int, geom, 0),
+        ),
+        (
+            "INT packed (SWAR)",
+            cuda_gemm_program(CudaElem::Packed(spec), geom, 0),
+        ),
         ("FP32 converted", cuda_gemm_program(CudaElem::Fp, geom, 0)),
         ("Tensor core", tc_gemm_program(2, 0)),
     ];

@@ -15,7 +15,10 @@ fn main() {
     let names = ["TC", "IC", "FC", "IC+FC", "IC+FC+P"];
     let paper = [1.0, 7.5, 7.5, 6.5, 4.0];
     for (i, x) in r.normalized().iter().enumerate() {
-        println!("{:<9} {:>6.2}x TC   (paper ~{:>3.1}x)", names[i], x, paper[i]);
+        println!(
+            "{:<9} {:>6.2}x TC   (paper ~{:>3.1}x)",
+            names[i], x, paper[i]
+        );
     }
     let m = r.derived_ratio();
     println!("=> assignment ratio m = {}:{}  (paper: 4:1)", m.tc, m.cuda);

@@ -29,7 +29,12 @@ fn main() {
     // 2. Pack / unpack round trip.
     let codes: Vec<i8> = vec![-32, 31, 0, -1, 17, -20];
     let regs = pack_codes(&codes, &spec).expect("length is a lane multiple");
-    println!("packed {:?} into {} registers: {:08x?}", codes, regs.len(), regs);
+    println!(
+        "packed {:?} into {} registers: {:08x?}",
+        codes,
+        regs.len(),
+        regs
+    );
     assert_eq!(unpack_codes(&regs, &spec), codes);
 
     // 3. One packed multiply-accumulate stream: a single IMAD per register

@@ -31,7 +31,12 @@ fn main() {
     };
     println!(
         "model: {} blocks, dim {}, {} heads, MLP {}, {} tokens, INT{} ({:.2} GMACs)",
-        cfg.blocks, cfg.dim, cfg.heads, cfg.mlp_dim, cfg.tokens, cfg.bitwidth,
+        cfg.blocks,
+        cfg.dim,
+        cfg.heads,
+        cfg.mlp_dim,
+        cfg.tokens,
+        cfg.bitwidth,
         cfg.gemm_macs() as f64 / 1e9
     );
     let model = ViTModel::new(cfg, 42);
@@ -42,14 +47,24 @@ fn main() {
     let mut gpu = Gpu::orin();
     let blocks = if full { Some(1) } else { None };
     let mut tc_cycles = 0u64;
-    for s in [Strategy::Tc, Strategy::Tacker, Strategy::TcIcFc, Strategy::VitBit] {
+    for s in [
+        Strategy::Tc,
+        Strategy::Tacker,
+        Strategy::TcIcFc,
+        Strategy::VitBit,
+    ] {
         let run = run_vit(&mut gpu, &model, &input, s, &exec, blocks);
         let cycles = run.total_cycles();
         if s == Strategy::Tc {
             tc_cycles = cycles;
         }
         let argmax = |m: &vitbit::tensor::Matrix<i32>| {
-            m.row(0).iter().enumerate().max_by_key(|&(_, v)| *v).map(|(i, _)| i).unwrap()
+            m.row(0)
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, v)| *v)
+                .map(|(i, _)| i)
+                .unwrap()
         };
         println!(
             "{:<9} cycles {:>12} ({:.2} ms model time)  speedup {:>5.2}x  top-1 {} (ref {})",

@@ -34,8 +34,13 @@ fn utilization_is_bounded_and_ops_match_shape() {
     let a = gen::uniform_i8(m, k, -32, 31, 3);
     let b = gen::uniform_i8(k, n, -32, 31, 4);
     let out = run_tc(&mut g, &a, &b);
-    for pipe in [PipeClass::Int, PipeClass::Fp, PipeClass::Tensor, PipeClass::Sfu, PipeClass::Lsu]
-    {
+    for pipe in [
+        PipeClass::Int,
+        PipeClass::Fp,
+        PipeClass::Tensor,
+        PipeClass::Sfu,
+        PipeClass::Lsu,
+    ] {
         let u = out.stats.utilization(pipe);
         assert!((0.0..=1.0).contains(&u), "{pipe:?} utilization {u}");
     }

@@ -73,7 +73,12 @@ fn vit_accuracy_maintained_across_strategies() {
     let cfg = ExecConfig::guarded(model.cfg.bitwidth);
     let mut g = gpu();
     let argrow = |m: &Matrix<i32>| {
-        m.row(0).iter().enumerate().max_by_key(|&(_, v)| *v).map(|(i, _)| i).unwrap()
+        m.row(0)
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, v)| *v)
+            .map(|(i, _)| i)
+            .unwrap()
     };
     for s in Strategy::FIG5 {
         let mut agree = 0;
@@ -86,7 +91,11 @@ fn vit_accuracy_maintained_across_strategies() {
                 agree += 1;
             }
         }
-        assert!(agree * 4 >= trials * 3, "{}: top-1 {agree}/{trials}", s.name());
+        assert!(
+            agree * 4 >= trials * 3,
+            "{}: top-1 {agree}/{trials}",
+            s.name()
+        );
     }
 }
 
