@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! figures [EXPERIMENTS..] [--blocks N] [--full] [--quick] [--bitwidth B]
+//!         [--sim-mode serial|parallel] [--threads N] [--fast-forward on|off]
 //!
 //! EXPERIMENTS: table1 table2 table3 study fig5 fig6 fig7 fig8 fig9 fig10
 //!              accuracy bitwidth ablation  (default: all)
@@ -9,9 +10,14 @@
 //! --full       simulate all 12 blocks (slow)
 //! --quick      reduced model dims for a fast smoke run
 //! --bitwidth B code bitwidth (default 6)
+//! --sim-mode   cycle-loop flavour (default from the machine config)
+//! --threads N  worker threads for the parallel loop (default: auto)
+//! --fast-forward on|off  event-horizon cycle skipping (default on; either
+//!              setting yields bit-identical figures — off is the oracle)
 //! ```
 
 use vitbit_bench::{experiments, HarnessOpts, VitSuite};
+use vitbit_sim::SimMode;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +35,26 @@ fn main() {
             "--bitwidth" => {
                 i += 1;
                 opts.bitwidth = args[i].parse().expect("--bitwidth B");
+            }
+            "--sim-mode" => {
+                i += 1;
+                opts.sim_mode = match args[i].as_str() {
+                    "serial" => SimMode::Serial,
+                    "parallel" => SimMode::Parallel,
+                    other => panic!("--sim-mode serial|parallel, got {other}"),
+                };
+            }
+            "--threads" => {
+                i += 1;
+                opts.threads = Some(args[i].parse().expect("--threads N"));
+            }
+            "--fast-forward" => {
+                i += 1;
+                opts.fast_forward = match args[i].as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => panic!("--fast-forward on|off, got {other}"),
+                };
             }
             other => picks.push(other.to_string()),
         }
@@ -65,12 +91,12 @@ fn main() {
             "fig6" => experiments::fig6(suite.as_ref().expect("suite")),
             "fig7" => experiments::fig7(suite.as_ref().expect("suite")),
             "fig8" => experiments::fig8(suite.as_ref().expect("suite")),
-            "fig9" => experiments::fig9(suite.as_ref().expect("suite")),
+            "fig9" => experiments::fig9(suite.as_ref().expect("suite"), &opts),
             "fig10" => experiments::fig10(suite.as_ref().expect("suite")),
             "accuracy" => experiments::accuracy(&opts),
-            "bitwidth" => experiments::bitwidth_sweep(),
+            "bitwidth" => experiments::bitwidth_sweep(&opts),
             "ablation" => {
-                let mut s = experiments::ablation_policy();
+                let mut s = experiments::ablation_policy(&opts);
                 s.push('\n');
                 s.push_str(&experiments::ablation_sched(&opts));
                 s.push('\n');

@@ -128,7 +128,7 @@ pub fn table3() -> String {
 
 /// Section 3.2 initial study: GEMM time per core class, normalized to TC.
 pub fn study(opts: &HarnessOpts) -> String {
-    let mut gpu = Gpu::orin();
+    let mut gpu = opts.gpu();
     let (m, n, k) = LINEAR_SHAPE;
     let r = run_initial_study(&mut gpu, m, n, k, opts.bitwidth);
     let norm = r.normalized();
@@ -280,7 +280,7 @@ pub fn fig8(suite: &VitSuite) -> String {
 
 /// Figure 9: instruction count per kernel site, VitBit vs IC+FC (reduction
 /// factor; paper: up to 1.5x).
-pub fn fig9(suite: &VitSuite) -> String {
+pub fn fig9(suite: &VitSuite, opts: &HarnessOpts) -> String {
     let icfc = suite.run(Strategy::IcFc);
     let vb = suite.run(Strategy::VitBit);
     let mut out = String::from("Figure 9 — Instruction count reduction, VitBit vs IC+FC\n");
@@ -318,7 +318,7 @@ pub fn fig9(suite: &VitSuite) -> String {
     );
     // Apples-to-apples: packed vs zero-masked INT instruction count on the
     // ViT Linear shape (the Figure 9 "up to 1.5x" claim).
-    let mut gpu = Gpu::orin();
+    let mut gpu = opts.gpu();
     let spec = PackSpec::guarded(6, 6).expect("valid");
     let (m, n, k) = LINEAR_SHAPE;
     let a = gen::uniform_i8(m, k, -32, 31, 41);
@@ -377,7 +377,7 @@ pub fn accuracy(opts: &HarnessOpts) -> String {
     let vit_cfg = cfg.vit_config();
     let model = ViTModel::new(vit_cfg, 99);
     let exec = ExecConfig::guarded(vit_cfg.bitwidth);
-    let mut gpu = Gpu::orin();
+    let mut gpu = opts.gpu();
     let batch = 5u64;
     let mut out = format!(
         "Accuracy — top-1 agreement and logit deviation vs integer reference          ({} inputs, reduced dims)
@@ -431,7 +431,7 @@ pub fn accuracy(opts: &HarnessOpts) -> String {
 }
 
 /// Extension X1 (paper future work): packing-factor sweep over bitwidths.
-pub fn bitwidth_sweep() -> String {
+pub fn bitwidth_sweep(opts: &HarnessOpts) -> String {
     let mut out = String::from(
         "Extension X1 — bitwidth sweep (packed vs zero-masked IC GEMM, guarded policy)\n",
     );
@@ -440,7 +440,7 @@ pub fn bitwidth_sweep() -> String {
         "{:<4} {:>6} {:>6} {:>8} {:>10} {:>10} {:>9} {:>9}",
         "bits", "lanes", "chunk", "gain*", "IC cyc", "packed cyc", "speedup", "int red."
     );
-    let mut gpu = Gpu::orin();
+    let mut gpu = opts.gpu();
     let (m, n, k) = (197usize, 768usize, 768usize);
     for bw in [4u32, 5, 6, 7, 8] {
         let spec = PackSpec::guarded(bw, bw).expect("valid");
@@ -473,9 +473,9 @@ pub fn bitwidth_sweep() -> String {
 }
 
 /// Ablation X2a: guarded vs paper packing policy (exactness and cost).
-pub fn ablation_policy() -> String {
+pub fn ablation_policy(opts: &HarnessOpts) -> String {
     let mut out = String::from("Ablation X2a — guarded vs paper packing policy\n");
-    let mut gpu = Gpu::orin();
+    let mut gpu = opts.gpu();
     let (m, n, k) = (64usize, 512usize, 512usize);
     for bw in [6u32, 8] {
         let hi = ((1i32 << (bw - 1)) - 1) as i8;
@@ -511,7 +511,7 @@ pub fn ablation_ratio(opts: &HarnessOpts) -> String {
     let exec = ExecConfig::guarded(opts.bitwidth);
     let mut out = String::from("Ablation X2b — Tensor:CUDA split ratio m for VitBit GEMM\n");
     let _ = writeln!(out, "{:<6} {:>10} {:>9}", "m : 1", "cycles", "vs TC");
-    let mut gpu = Gpu::orin();
+    let mut gpu = opts.gpu();
     let (m, n, k) = LINEAR_SHAPE;
     let hi = ((1i32 << (opts.bitwidth - 1)) - 1) as i8;
     let a = gen::uniform_i8(m, k, -hi - 1, hi, 31);
@@ -563,7 +563,7 @@ pub fn ablation_sched(opts: &HarnessOpts) -> String {
     let run_both = |name: &str, f: &mut dyn FnMut(&mut Gpu) -> u64, out: &mut String| {
         let mut cycles = [0u64; 2];
         for (i, sched) in [SchedPolicy::Gto, SchedPolicy::Lrr].into_iter().enumerate() {
-            let mut cfg = OrinConfig::jetson_agx_orin();
+            let mut cfg = opts.orin_config();
             cfg.sched = sched;
             let mut gpu = Gpu::new(cfg, 256 << 20);
             gpu.cold_caches();

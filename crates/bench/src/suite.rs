@@ -2,7 +2,7 @@
 //! every figure read from the same measurements.
 
 use vitbit_exec::{ExecConfig, Strategy};
-use vitbit_sim::Gpu;
+use vitbit_sim::{Gpu, OrinConfig, SimMode};
 use vitbit_vit::{run_vit, ViTConfig, ViTModel, VitRun};
 
 /// Harness options from the `figures` CLI.
@@ -16,19 +16,44 @@ pub struct HarnessOpts {
     pub quick: bool,
     /// Code bitwidth (headline 6; Figure 3(b) covers 6..=8 at two lanes).
     pub bitwidth: u32,
+    /// Cycle-loop flavour (`--sim-mode serial|parallel`).
+    pub sim_mode: SimMode,
+    /// Worker threads for the parallel loop (`--threads N`; `None` = auto).
+    pub threads: Option<u32>,
+    /// Event-horizon fast-forward (`--fast-forward on|off`). Either setting
+    /// produces bit-identical figures; off is the differential oracle.
+    pub fast_forward: bool,
 }
 
 impl Default for HarnessOpts {
     fn default() -> Self {
+        let cfg = OrinConfig::jetson_agx_orin();
         Self {
             blocks: Some(1),
             quick: false,
             bitwidth: 6,
+            sim_mode: cfg.sim_mode,
+            threads: None,
+            fast_forward: cfg.fast_forward,
         }
     }
 }
 
 impl HarnessOpts {
+    /// The full-Orin machine config with the CLI's simulator knobs applied.
+    pub fn orin_config(&self) -> OrinConfig {
+        let mut cfg = OrinConfig::jetson_agx_orin();
+        cfg.sim_mode = self.sim_mode;
+        cfg.sim_threads = self.threads;
+        cfg.fast_forward = self.fast_forward;
+        cfg
+    }
+
+    /// A full-Orin GPU (256 MiB arena) honouring the simulator knobs.
+    pub fn gpu(&self) -> Gpu {
+        Gpu::new(self.orin_config(), 256 << 20)
+    }
+
     /// The model configuration these options select.
     pub fn vit_config(&self) -> ViTConfig {
         if self.quick {
@@ -70,7 +95,7 @@ impl VitSuite {
         let model = ViTModel::new(cfg, 2024);
         let exec = ExecConfig::guarded(cfg.bitwidth);
         let input = model.synthetic_input(7);
-        let mut gpu = Gpu::orin();
+        let mut gpu = opts.gpu();
         let mut runs = Vec::new();
         for &s in strategies {
             eprintln!("  [suite] running ViT under {} ...", s.name());

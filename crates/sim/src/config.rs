@@ -103,6 +103,15 @@ pub struct OrinConfig {
     /// Worker threads for [`SimMode::Parallel`]; `None` uses the host's
     /// available parallelism. Results are independent of the thread count.
     pub sim_threads: Option<u32>,
+    /// Event-horizon fast-forward: when no SM can issue and no block can
+    /// launch, jump the cycle counter straight to the earliest cycle at
+    /// which any state can change (see DESIGN.md, "Time-warp model").
+    /// Bit-identical to the stepping loop in both [`SimMode`]s; turn off
+    /// to keep the naive loop as a differential oracle. The default from
+    /// [`OrinConfig::jetson_agx_orin`] honours the `VITBIT_FAST_FORWARD`
+    /// environment variable (`0` disables), so CI can run entire suites
+    /// against the stepping oracle without code changes.
+    pub fast_forward: bool,
 }
 
 impl OrinConfig {
@@ -139,6 +148,7 @@ impl OrinConfig {
             sched: SchedPolicy::Gto,
             sim_mode: SimMode::default(),
             sim_threads: None,
+            fast_forward: std::env::var_os("VITBIT_FAST_FORWARD").is_none_or(|v| v != "0"),
         }
     }
 

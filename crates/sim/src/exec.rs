@@ -541,14 +541,22 @@ pub fn execute(
             let b_base = w.reg(b_addr.0, 0) as usize;
             match kind {
                 crate::isa::MmaKind::I8_16x16x16 => {
+                    // One output row of partial sums at a time, walking B
+                    // row-contiguously through slices: the k-major order of
+                    // additions per output element is unchanged, so results
+                    // stay bit-identical while the inner loop vectorizes.
+                    assert!(n <= 16);
                     for r in 0..m {
-                        for c in 0..n {
-                            let mut sum = 0i32;
-                            for kk in 0..k {
-                                let av = smem[a_base + r * k + kk] as i8;
-                                let bv = smem[b_base + kk * n + c] as i8;
-                                sum = sum.wrapping_add(i32::from(av) * i32::from(bv));
+                        let a_row = &smem[a_base + r * k..a_base + r * k + k];
+                        let mut sums = [0i32; 16];
+                        for (kk, &ab) in a_row.iter().enumerate() {
+                            let av = i32::from(ab as i8);
+                            let b_row = &smem[b_base + kk * n..b_base + kk * n + n];
+                            for (c, &bb) in b_row.iter().enumerate() {
+                                sums[c] = sums[c].wrapping_add(av * i32::from(bb as i8));
                             }
+                        }
+                        for (c, &sum) in sums.iter().enumerate().take(n) {
                             let idx = r * n + c;
                             let lane = idx % 32;
                             let slot = idx / 32;
@@ -559,18 +567,23 @@ pub fn execute(
                     }
                 }
                 crate::isa::MmaKind::F16_16x16x8 => {
+                    // Same row-major restructure as the INT8 path. Each
+                    // output's float additions still happen in ascending-k
+                    // order, so the rounding sequence (and thus the bits)
+                    // match the naive triple loop exactly.
+                    assert!(n <= 16);
+                    let word = |base: usize| {
+                        f32::from_bits(u32::from_le_bytes(smem[base..base + 4].try_into().unwrap()))
+                    };
                     for r in 0..m {
-                        for c in 0..n {
-                            let mut sum = 0f32;
-                            for kk in 0..k {
-                                let av = f32::from_bits(u32::from_le_bytes(
-                                    smem[a_base + (r * k + kk) * 4..][..4].try_into().unwrap(),
-                                ));
-                                let bv = f32::from_bits(u32::from_le_bytes(
-                                    smem[b_base + (kk * n + c) * 4..][..4].try_into().unwrap(),
-                                ));
-                                sum += av * bv;
+                        let mut sums = [0f32; 16];
+                        for kk in 0..k {
+                            let av = word(a_base + (r * k + kk) * 4);
+                            for (c, sum) in sums.iter_mut().enumerate().take(n) {
+                                *sum += av * word(b_base + (kk * n + c) * 4);
                             }
+                        }
+                        for (c, &sum) in sums.iter().enumerate().take(n) {
                             let idx = r * n + c;
                             let lane = idx % 32;
                             let slot = idx / 32;

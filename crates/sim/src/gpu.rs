@@ -129,6 +129,24 @@ impl Gpu {
                 kernel.name,
                 self.cfg.max_cycles
             );
+            if done < kernel.blocks && self.sms.iter().all(Sm::is_ff_silent) {
+                let pending =
+                    next_block < kernel.blocks && self.sms.iter().any(|sm| sm.can_accept(kernel));
+                if let Some(t) = ff_target(
+                    &self.cfg,
+                    cycle,
+                    self.sms.iter_mut().map(Sm::ff_horizon),
+                    self.memsys.horizon(cycle),
+                    pending,
+                ) {
+                    stats.skipped_cycles += t - cycle;
+                    stats.fast_forward_jumps += 1;
+                    for sm in &mut self.sms {
+                        sm.fast_forward_by(t - cycle);
+                    }
+                    cycle = t;
+                }
+            }
         }
         stats.cycles = cycle;
     }
@@ -147,6 +165,8 @@ impl Gpu {
         let mut done: u32 = 0;
         let mut age: u64 = 0;
         let mut cycle: u64 = 0;
+        let mut skipped: u64 = 0;
+        let mut jumps: u64 = 0;
         while done < kernel.blocks {
             dispatch(sms, kernel, &mut next_block, &mut age);
             for sm in sms.iter_mut() {
@@ -162,11 +182,31 @@ impl Gpu {
                 kernel.name,
                 cfg.max_cycles
             );
+            if done < kernel.blocks && sms.iter().all(|sm| sm.is_ff_silent()) {
+                let pending =
+                    next_block < kernel.blocks && sms.iter().any(|sm| sm.can_accept(kernel));
+                if let Some(t) = ff_target(
+                    cfg,
+                    cycle,
+                    sms.iter_mut().map(Sm::ff_horizon),
+                    memsys.horizon(cycle),
+                    pending,
+                ) {
+                    skipped += t - cycle;
+                    jumps += 1;
+                    for sm in sms.iter_mut() {
+                        sm.fast_forward_by(t - cycle);
+                    }
+                    cycle = t;
+                }
+            }
         }
         for sm in sms.iter_mut() {
             sm.merge_stats_into(stats);
         }
         stats.cycles = cycle;
+        stats.skipped_cycles += skipped;
+        stats.fast_forward_jumps += jumps;
     }
 
     /// Two-phase loop over a pool of scoped worker threads.
@@ -195,6 +235,8 @@ impl Gpu {
         let mut done: u32 = 0;
         let mut age: u64 = 0;
         let mut cycle: u64 = 0;
+        let mut skipped: u64 = 0;
+        let mut jumps: u64 = 0;
         std::thread::scope(|scope| {
             for wid in 0..workers {
                 let (units, gmem, barrier) = (&units, &gmem, &barrier);
@@ -259,6 +301,27 @@ impl Gpu {
                     drop(g);
                 }
                 cycle += 1;
+                if done < kernel.blocks
+                    && !failed.load(Ordering::Acquire)
+                    && units.iter().all(|u| lock_sm(u).is_ff_silent())
+                {
+                    let pending = next_block < kernel.blocks
+                        && units.iter().any(|u| lock_sm(u).can_accept(kernel));
+                    if let Some(t) = ff_target(
+                        cfg,
+                        cycle,
+                        units.iter().map(|u| lock_sm(u).ff_horizon()),
+                        memsys.horizon(cycle),
+                        pending,
+                    ) {
+                        skipped += t - cycle;
+                        jumps += 1;
+                        for u in &units {
+                            lock_sm(u).fast_forward_by(t - cycle);
+                        }
+                        cycle = t;
+                    }
+                }
             }
         });
         if let Some(p) = panic_slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
@@ -274,6 +337,8 @@ impl Gpu {
             lock_sm(u).merge_stats_into(stats);
         }
         stats.cycles = cycle;
+        stats.skipped_cycles += skipped;
+        stats.fast_forward_jumps += jumps;
     }
 
     /// Flushes the L2 (cold-start experiments between kernels).
@@ -283,6 +348,42 @@ impl Gpu {
             sm.new_kernel();
         }
     }
+}
+
+/// Decides the event-horizon jump from `now` (the next cycle the loop
+/// would step): `None` to step normally, `Some(target)` to move the clock
+/// straight to `target`, skipping `target - now` provably silent cycles.
+///
+/// `horizons` are the per-SM event horizons, queried lazily — the loops
+/// only call this after [`Sm::is_ff_silent`] held for every SM on the
+/// cycle just stepped, so each [`Sm::ff_horizon`] read sees a frozen SM
+/// (a horizon `<= now` still aborts the jump defensively); `mem_horizon`
+/// is [`MemSystem::horizon`]; `dispatch_pending` is true when an
+/// undispatched block could launch at `now`, which is a state change the
+/// SMs cannot see coming. The target is clamped to `max_cycles` so a
+/// fully deadlocked machine (all horizons `u64::MAX`) still trips the
+/// hang guard.
+fn ff_target(
+    cfg: &OrinConfig,
+    now: u64,
+    horizons: impl Iterator<Item = u64>,
+    mem_horizon: u64,
+    dispatch_pending: bool,
+) -> Option<u64> {
+    if !cfg.fast_forward || dispatch_pending {
+        return None;
+    }
+    let mut h = mem_horizon;
+    for x in horizons {
+        if x <= now {
+            return None;
+        }
+        h = h.min(x);
+    }
+    if h <= now {
+        return None;
+    }
+    Some(h.min(cfg.max_cycles))
 }
 
 /// Dispatch: one block per SM per cycle, round-robin, in the kernel's
@@ -713,5 +814,78 @@ mod tests {
         assert_eq!(stats.int_ops, 64);
         assert_eq!(stats.fp_ops, 64);
         assert_eq!(stats.issued.ctrl, 1);
+    }
+
+    /// The fast-forward edge case: a machine whose only runnable warp is
+    /// blocked on one outstanding DRAM-regulated line at a time. A single
+    /// warp chases a pointer chain through distinct cache lines, so between
+    /// consecutive loads every SM is silent and the horizon is set purely
+    /// by the load's ready cycle (DRAM queue + latency). The skip must
+    /// cover most of the kernel and stay invisible in stats and memory.
+    #[test]
+    fn fast_forward_skips_dram_stall_chain() {
+        let hops = 24u32;
+        let stride = 4096u32; // one hop per page: every load is a cold miss
+        let run = |mode: SimMode, ff: bool| {
+            let mut cfg = OrinConfig::test_small();
+            cfg.sim_mode = mode;
+            cfg.sim_threads = Some(2);
+            cfg.fast_forward = ff;
+            let mut g = Gpu::new(cfg, 16 << 20);
+            let chain = g.mem.alloc(hops * stride);
+            for i in 0..hops {
+                let next = if i + 1 < hops {
+                    chain.addr + (i + 1) * stride
+                } else {
+                    0xdead_beef // sentinel loaded by the final hop
+                };
+                g.mem.write_u32(chain.addr + i * stride, next);
+            }
+            let out = g.mem.alloc(4);
+
+            let mut p = ProgramBuilder::new("chase");
+            let addr = p.alloc();
+            let dst = p.alloc();
+            p.ldc(addr, 0);
+            for _ in 0..hops {
+                // Each load's address is the previous load's value: the
+                // warp cannot issue anything until the line lands.
+                p.ldg(addr, addr, 0, MemWidth::B32);
+            }
+            p.ldc(dst, 1);
+            p.stg(dst, 0, addr.into(), MemWidth::B32);
+            p.exit();
+            let k = Kernel::single(
+                "chase",
+                p.build().into_arc(),
+                1,
+                1,
+                0,
+                vec![chain.addr, out.addr],
+            );
+            let stats = g.launch(&k);
+            (stats, g.mem.download_u32(out, 1)[0])
+        };
+
+        for mode in [SimMode::Serial, SimMode::Parallel] {
+            let (s_off, r_off) = run(mode, false);
+            let (s_on, r_on) = run(mode, true);
+            assert_eq!(r_off, 0xdead_beef, "{mode:?}: chain did not complete");
+            assert_eq!(r_on, r_off, "{mode:?}: result diverges");
+            assert_eq!(s_off.cycles, s_on.cycles, "{mode:?}: cycles diverge");
+            assert_eq!(s_off.issued, s_on.issued, "{mode:?}: issue mix diverges");
+            assert_eq!(s_off.dram_bytes, s_on.dram_bytes, "{mode:?}: bytes diverge");
+            assert_eq!(s_off.skipped_cycles, 0, "{mode:?}: oracle must not skip");
+            assert!(
+                s_on.fast_forward_jumps >= u64::from(hops),
+                "{mode:?}: expected a jump per miss, got {}",
+                s_on.fast_forward_jumps
+            );
+            assert!(
+                s_on.skip_ratio() > 0.5,
+                "{mode:?}: skip ratio {:.3} too low for a pure DRAM stall",
+                s_on.skip_ratio()
+            );
+        }
     }
 }

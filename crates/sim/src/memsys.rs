@@ -89,6 +89,26 @@ impl MemSystem {
         self.dram_bytes += u64::from(self.line_bytes);
     }
 
+    /// Earliest future cycle (strictly after `now`) at which a bandwidth
+    /// regulator frees up, or `u64::MAX` if both ports are already free.
+    ///
+    /// The regulators change state only when a request arrives, so this
+    /// bound is never *required* for correctness of the event-horizon
+    /// fast-forward — it only shortens a jump, keeping the skip
+    /// conservative with respect to the `l2_next_free`/`dram_next_free`
+    /// queues (a shorter jump lands on a cycle where nothing issues and
+    /// the loop simply skips again).
+    pub fn horizon(&self, now: u64) -> u64 {
+        let nowf = now as f64;
+        let mut h = u64::MAX;
+        for t in [self.l2_next_free, self.dram_next_free] {
+            if t > nowf {
+                h = h.min(t.ceil() as u64);
+            }
+        }
+        h
+    }
+
     /// `(l2_hits, l2_misses)`.
     pub fn l2_stats(&self) -> (u64, u64) {
         self.l2.stats()

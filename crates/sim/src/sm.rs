@@ -139,6 +139,24 @@ pub struct Sm {
     stats: KernelStats,
     /// Blocks retired during the current cycle (parallel mode).
     done_this_cycle: u32,
+    /// Event-horizon fast-forward enabled (copied config).
+    ff_enabled: bool,
+    /// Horizon cache, valid only while `ff_silent && !ff_dirty`: the
+    /// earliest cycle at which any of this SM's warps could issue
+    /// (`u64::MAX` if none ever can on its own).
+    ff_horizon: u64,
+    /// True when [`Sm::ff_horizon`] must be recomputed before its next
+    /// read. A silent SM is frozen — nothing in the issue conditions can
+    /// change until it issues or receives a block — so the absolute-cycle
+    /// horizon stays exact across consecutive silent cycles and the warp
+    /// scan runs at most once per activity transition, and only on cycles
+    /// where the whole machine went silent (the loops never ask
+    /// otherwise).
+    ff_dirty: bool,
+    /// False on cycles where this SM issued (or fast-forward is off): the
+    /// cheap per-cycle signal the loops AND together before touching any
+    /// horizon.
+    ff_silent: bool,
 }
 
 impl Sm {
@@ -173,6 +191,10 @@ impl Sm {
             store_buf: Vec::new(),
             stats: KernelStats::default(),
             done_this_cycle: 0,
+            ff_enabled: cfg.fast_forward,
+            ff_horizon: 0,
+            ff_dirty: true,
+            ff_silent: false,
         }
     }
 
@@ -187,6 +209,8 @@ impl Sm {
         self.store_buf.clear();
         self.stats = KernelStats::default();
         self.done_this_cycle = 0;
+        self.ff_dirty = true;
+        self.ff_silent = false;
     }
 
     /// True when the SM has any resident work.
@@ -194,17 +218,30 @@ impl Sm {
         self.resident_blocks > 0
     }
 
+    /// Capacity check of [`Sm::try_launch`] without side effects: true when
+    /// a block of `kernel` could be made resident right now. The
+    /// fast-forward loops consult this before skipping — while it is false
+    /// and nothing issues, the work distributor cannot change SM state
+    /// either.
+    pub fn can_accept(&self, kernel: &Kernel) -> bool {
+        let wpb = kernel.warps_per_block;
+        self.resident_warps + wpb <= self.max_warps
+            && self.resident_blocks < self.max_blocks
+            && self.resident_smem + kernel.smem_bytes <= self.smem_capacity
+            && self.free_warp_slots.len() >= wpb as usize
+            && !self.free_block_slots.is_empty()
+    }
+
     /// Tries to make block `ctaid` resident; returns success.
     pub fn try_launch(&mut self, kernel: &Kernel, ctaid: u32, age: &mut u64) -> bool {
-        let wpb = kernel.warps_per_block;
-        if self.resident_warps + wpb > self.max_warps
-            || self.resident_blocks + 1 > self.max_blocks
-            || self.resident_smem + kernel.smem_bytes > self.smem_capacity
-            || self.free_warp_slots.len() < wpb as usize
-            || self.free_block_slots.is_empty()
-        {
+        if !self.can_accept(kernel) {
             return false;
         }
+        // A new block changes the issue picture: recompute the horizon
+        // before the next read (and never skip past this cycle's step).
+        self.ff_dirty = true;
+        self.ff_silent = false;
+        let wpb = kernel.warps_per_block;
         let block_slot = self.free_block_slots.pop().expect("checked non-empty");
         let mut warp_slots = Vec::with_capacity(wpb as usize);
         let n_groups = kernel.programs.len();
@@ -252,17 +289,139 @@ impl Sm {
         args: &[u32],
         stats: &mut KernelStats,
     ) -> u32 {
-        self.step_inner(now, &mut SmMem::Direct { memsys, gmem }, args, stats)
+        let before = stats.issued.total();
+        let done = self.step_inner(now, &mut SmMem::Direct { memsys, gmem }, args, stats);
+        self.note_activity(stats.issued.total() - before);
+        done
     }
 
     /// Parallel compute phase: advances one cycle against a read-only
     /// device-memory image, accumulating counters into this SM's private
     /// statistics. Stores and L1 misses queue for [`Sm::drain_cycle`].
+    /// Also records the silence flag that lets the cycle loop consider an
+    /// event-horizon jump after the serial memory phase.
     pub(crate) fn step_compute(&mut self, now: u64, gmem: &GlobalMem, args: &[u32]) {
         let mut stats = std::mem::take(&mut self.stats);
+        let before = stats.issued.total();
         let done = self.step_inner(now, &mut SmMem::Deferred { gmem }, args, &mut stats);
+        let issued = stats.issued.total() - before;
         self.stats = stats;
         self.done_this_cycle += done;
+        self.note_activity(issued);
+    }
+
+    /// Records whether the cycle just stepped issued anything on this SM.
+    /// An issuing cycle clears `ff_silent` (no skip is possible — and, in
+    /// parallel mode, any `u64::MAX` scoreboard placeholders it created
+    /// are not yet patched, so a horizon computed now would overshoot)
+    /// and marks the cached horizon stale; a silent cycle merely flags
+    /// the SM as skippable. The expensive warp scan is deferred to
+    /// [`Sm::ff_horizon`], which the cycle loops call only when *every*
+    /// SM is silent — so a machine where some SM always issues never
+    /// scans at all.
+    fn note_activity(&mut self, issued: u64) {
+        if !self.ff_enabled || issued > 0 {
+            self.ff_silent = false;
+            self.ff_dirty = true;
+        } else {
+            self.ff_silent = true;
+        }
+    }
+
+    /// True when the last stepped cycle issued nothing on this SM (always
+    /// false with fast-forward disabled). Only then may [`Sm::ff_horizon`]
+    /// be consulted.
+    pub(crate) fn is_ff_silent(&self) -> bool {
+        self.ff_silent
+    }
+
+    /// The event horizon of this (currently silent) SM, computed on first
+    /// read after an activity transition and cached while the SM stays
+    /// frozen. A silent cycle can have left no scoreboard placeholder
+    /// behind, so every ready time the scan reads is final;
+    /// [`Sm::try_launch`] re-dirties the cache when a new block arrives.
+    pub(crate) fn ff_horizon(&mut self) -> u64 {
+        debug_assert!(self.ff_silent, "horizon read on an active SM");
+        if self.ff_dirty {
+            self.ff_horizon = self.compute_horizon();
+            self.ff_dirty = false;
+        }
+        self.ff_horizon
+    }
+
+    /// Earliest cycle at which any resident warp of this SM could issue,
+    /// assuming no external event (a block launch) happens first;
+    /// `u64::MAX` when no warp can ever issue on its own (SM empty, all
+    /// warps exited or parked at a barrier).
+    ///
+    /// This is a sound lower bound on this SM's next state change: every
+    /// per-warp issue constraint — scoreboard ready times, pipe
+    /// busy-until times, warp state — is frozen while nothing issues, so
+    /// if every warp's earliest admissible cycle exceeds `now`, all
+    /// cycles strictly before the minimum are provably silent.
+    fn compute_horizon(&mut self) -> u64 {
+        let Sm {
+            warps,
+            subparts,
+            scratch_srcs,
+            scratch_preds,
+            ..
+        } = self;
+        let mut horizon = u64::MAX;
+        for sp in subparts.iter() {
+            for &slot in &sp.warps {
+                let w = match warps[slot].as_ref() {
+                    Some(w) if w.state == WarpState::Ready => w,
+                    _ => continue,
+                };
+                let op = &w.program.ops[w.pc];
+                let mut e = 0u64;
+                if let Some(pi) = pipe_idx(op.pipe()) {
+                    e = e.max(sp.pipe_free[pi]);
+                }
+                exec::src_regs(op, scratch_srcs);
+                for &r in scratch_srcs.iter() {
+                    e = e.max(w.reg_ready[r as usize]);
+                }
+                if let Some((first, count)) = exec::dest_regs(op) {
+                    for r in first..first + count {
+                        e = e.max(w.reg_ready[r as usize]);
+                    }
+                }
+                exec::src_preds(op, scratch_preds);
+                for &p in scratch_preds.iter() {
+                    e = e.max(w.pred_ready[p as usize]);
+                }
+                if let Some(p) = exec::dest_pred(op) {
+                    e = e.max(w.pred_ready[p as usize]);
+                }
+                horizon = horizon.min(e);
+            }
+        }
+        horizon
+    }
+
+    /// Applies the per-cycle scheduler-state evolution for `delta` skipped
+    /// cycles. Under LRR the rotation cursor advances exactly as `delta`
+    /// stalled stepping cycles would have moved it; GTO state is
+    /// time-invariant while nothing issues, as is everything else in the
+    /// SM (warp membership cannot change during a skip — launches and
+    /// retirements happen only on issuing or dispatching cycles).
+    pub(crate) fn fast_forward_by(&mut self, delta: u64) {
+        if self.sched != SchedPolicy::Lrr || delta == 0 {
+            return;
+        }
+        for sp in &mut self.subparts {
+            let n = sp.warps.len();
+            if n == 0 {
+                continue;
+            }
+            // One stalled cycle maps rr_next to (rr_next % n) + 1, landing
+            // in 1..=n; the remaining delta - 1 steps rotate modulo n.
+            let first = (sp.rr_next % n) + 1;
+            let rest = ((delta - 1) % n as u64) as usize;
+            sp.rr_next = (first - 1 + rest) % n + 1;
+        }
     }
 
     /// Serial memory-service phase: applies this SM's buffered stores to

@@ -77,6 +77,11 @@ pub struct KernelStats {
     pub dram_bytes: u64,
     /// Bytes served by L2 hits.
     pub l2_hit_bytes: u64,
+    /// Cycles the event-horizon fast-forward skipped over (all counted in
+    /// [`KernelStats::cycles`] as if they elapsed; zero with the knob off).
+    pub skipped_cycles: u64,
+    /// Number of fast-forward jumps taken.
+    pub fast_forward_jumps: u64,
     /// Thread blocks executed.
     pub blocks: u32,
     /// Number of SMs in the machine (for per-SM normalization).
@@ -130,9 +135,69 @@ impl KernelStats {
         busy as f64 / capacity as f64
     }
 
+    /// Fraction of simulated cycles the fast-forward skipped over
+    /// (0.0 when the knob is off or the kernel never stalled globally).
+    pub fn skip_ratio(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.skipped_cycles as f64 / self.cycles as f64
+    }
+
     /// Wall-clock time under the machine's clock.
     pub fn time_ms(&self, cfg: &OrinConfig) -> f64 {
         cfg.cycles_to_ms(self.cycles)
+    }
+
+    /// Human-readable multi-line dump of every counter (the stats dump
+    /// printed by the harness and examples).
+    pub fn dump(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "kernel {:?}: {} cycles, {} blocks",
+            self.name, self.cycles, self.blocks
+        );
+        let _ = writeln!(
+            s,
+            "  issued: int {} fp {} tensor {} sfu {} lsu {} ctrl {} (ipc {:.3}, per-SM {:.3})",
+            self.issued.int,
+            self.issued.fp,
+            self.issued.tensor,
+            self.issued.sfu,
+            self.issued.lsu,
+            self.issued.ctrl,
+            self.ipc(),
+            self.ipc_per_sm(),
+        );
+        let _ = writeln!(
+            s,
+            "  busy:   int {} fp {} tensor {} sfu {} lsu {}",
+            self.busy.int, self.busy.fp, self.busy.tensor, self.busy.sfu, self.busy.lsu,
+        );
+        let _ = writeln!(
+            s,
+            "  ops:    int {} fp {} tc {} sfu {} (density {:.2} ops/cy)",
+            self.int_ops,
+            self.fp_ops,
+            self.tc_ops,
+            self.sfu_ops,
+            self.arith_density(),
+        );
+        let _ = writeln!(
+            s,
+            "  memory: dram {} B, l2 hits {} B",
+            self.dram_bytes, self.l2_hit_bytes,
+        );
+        let _ = writeln!(
+            s,
+            "  fast-forward: {} skipped cycles in {} jumps (skip ratio {:.1}%)",
+            self.skipped_cycles,
+            self.fast_forward_jumps,
+            100.0 * self.skip_ratio(),
+        );
+        s
     }
 
     /// Achieved DRAM bandwidth in GB/s.
@@ -164,6 +229,8 @@ impl KernelStats {
         self.sfu_ops += other.sfu_ops;
         self.dram_bytes += other.dram_bytes;
         self.l2_hit_bytes += other.l2_hit_bytes;
+        self.skipped_cycles += other.skipped_cycles;
+        self.fast_forward_jumps += other.fast_forward_jumps;
         self.blocks += other.blocks;
         self.num_sms = self.num_sms.max(other.num_sms);
         self.subparts = self.subparts.max(other.subparts);
@@ -199,6 +266,8 @@ mod tests {
             sfu_ops: 320,
             dram_bytes: 128 * 1000,
             l2_hit_bytes: 0,
+            skipped_cycles: 0,
+            fast_forward_jumps: 0,
             blocks: 4,
             num_sms: 2,
             subparts: 4,

@@ -23,12 +23,16 @@ fn main() {
         "method", "cycles", "vs TC", "TC ops%", "INT ops%", "FP ops%", "exact"
     );
     let mut tc_cycles = 0u64;
+    let mut vitbit_stats = None;
     for s in Strategy::ALL {
         gpu.cold_caches();
         let out = s.run_gemm(&mut gpu, &a, &b, &cfg);
         let st = &out.stats;
         if s == Strategy::Tc {
             tc_cycles = st.cycles;
+        }
+        if s == Strategy::VitBit {
+            vitbit_stats = Some(st.clone());
         }
         let total = st.total_ops().max(1) as f64;
         println!(
@@ -41,6 +45,10 @@ fn main() {
             100.0 * st.fp_ops as f64 / total,
             out.c == want,
         );
+    }
+    if let Some(st) = vitbit_stats {
+        println!("\nFull stats dump of the VitBit launch:");
+        print!("{}", st.dump());
     }
     println!(
         "\nEvery method computes the identical integer result; the fused ones\n\

@@ -1,16 +1,20 @@
-//! Differential tests for the two-phase parallel simulator and the
-//! packed-weight cache: `SimMode::Parallel` must produce bit-identical
-//! `KernelStats` and results to `SimMode::Serial` for every kernel family,
-//! and cached weight packing must be invisible in GEMM outputs.
+//! Differential tests for the two-phase parallel simulator, the
+//! event-horizon fast-forward and the packed-weight cache:
+//! `SimMode::Parallel` must produce bit-identical `KernelStats` and
+//! results to `SimMode::Serial` for every kernel family, fast-forward
+//! must be invisible in everything except wall-clock time and its own
+//! skip counters, and cached weight packing must be invisible in GEMM
+//! outputs.
 
 use vitbit::core::policy::PackSpec;
 use vitbit::core::ratio::CoreRatio;
 use vitbit::exec::{ExecConfig, PackedWeightCache, Strategy};
+use vitbit::kernels::elementwise::{run_layernorm, run_map, run_softmax, EwVariant, MapOp};
 use vitbit::kernels::gemm::{
-    run_fused, run_fused_with_ratio_cached, run_packed, run_packed_cached, run_tc, FusedMode,
-    GemmOut,
+    run_fc, run_fused, run_fused_with_ratio_cached, run_ic, run_packed, run_packed_cached, run_tc,
+    FusedMode, GemmOut,
 };
-use vitbit::sim::{Gpu, KernelStats, OrinConfig, SimMode};
+use vitbit::sim::{Gpu, KernelStats, OrinConfig, SchedPolicy, SimMode};
 use vitbit::tensor::refgemm::gemm_i8_i32;
 use vitbit::tensor::{gen, Matrix};
 use vitbit::vit::{run_vit, run_vit_cached, ViTConfig, ViTModel};
@@ -45,6 +49,152 @@ fn assert_modes_agree(ctx: &str, threads: u32, run: impl Fn(&mut Gpu) -> GemmOut
 
 fn int6(rows: usize, cols: usize, seed: u64) -> Matrix<i8> {
     gen::uniform_i8(rows, cols, -32, 31, seed)
+}
+
+// --- event-horizon fast-forward -----------------------------------------
+
+fn gpu_ff(mode: SimMode, sched: SchedPolicy, fast_forward: bool, threads: u32) -> Gpu {
+    let mut cfg = OrinConfig::test_small();
+    cfg.sim_mode = mode;
+    cfg.sim_threads = Some(threads);
+    cfg.sched = sched;
+    cfg.fast_forward = fast_forward;
+    Gpu::new(cfg, 64 << 20)
+}
+
+/// Runs `run` with fast-forward off (the stepping oracle) and on, under
+/// both [`SimMode`]s and both schedulers, asserting bit-identical
+/// `KernelStats` and results — fast-forward may only be visible in its own
+/// skip counters and in wall-clock time.
+fn assert_ff_invisible<T: PartialEq + std::fmt::Debug>(
+    ctx: &str,
+    run: impl Fn(&mut Gpu) -> (KernelStats, T),
+) {
+    for (mode, threads) in [(SimMode::Serial, 1), (SimMode::Parallel, 2)] {
+        for sched in [SchedPolicy::Gto, SchedPolicy::Lrr] {
+            let c = format!("{ctx}/{mode:?}/{sched:?}");
+            let (s_off, r_off) = run(&mut gpu_ff(mode, sched, false, threads));
+            let (s_on, r_on) = run(&mut gpu_ff(mode, sched, true, threads));
+            assert_eq!(s_off.skipped_cycles, 0, "{c}: oracle must not skip");
+            assert_eq!(s_off.fast_forward_jumps, 0, "{c}: oracle must not jump");
+            assert_stats_identical(&s_off, &s_on, &c);
+            assert_eq!(r_off, r_on, "{c}: results diverge under fast-forward");
+        }
+    }
+}
+
+fn gemm_pair(out: GemmOut) -> (KernelStats, Matrix<i32>) {
+    (out.stats, out.c)
+}
+
+#[test]
+fn fast_forward_invisible_tc_gemm() {
+    let a = int6(32, 64, 41);
+    let b = int6(64, 256, 42);
+    assert_ff_invisible("ff/tc", |g| gemm_pair(run_tc(g, &a, &b)));
+}
+
+#[test]
+fn fast_forward_invisible_ic_gemm() {
+    let a = int6(24, 48, 43);
+    let b = int6(48, 128, 44);
+    assert_ff_invisible("ff/ic", |g| gemm_pair(run_ic(g, &a, &b)));
+}
+
+#[test]
+fn fast_forward_invisible_fc_gemm() {
+    let a = int6(24, 48, 45);
+    let b = int6(48, 128, 46);
+    assert_ff_invisible("ff/fc", |g| gemm_pair(run_fc(g, &a, &b)));
+}
+
+#[test]
+fn fast_forward_invisible_packed_gemm() {
+    let spec = PackSpec::guarded(6, 6).unwrap();
+    let a = int6(24, 48, 47);
+    let b = int6(48, 128, 48);
+    assert_ff_invisible("ff/packed", |g| gemm_pair(run_packed(g, &a, &b, &spec)));
+}
+
+#[test]
+fn fast_forward_invisible_fused_gemms() {
+    let spec = PackSpec::guarded(6, 6).unwrap();
+    let a = int6(20, 32, 49);
+    let b = int6(32, 384, 50);
+    for (name, mode) in [
+        ("ff/tacker", FusedMode::Tacker),
+        ("ff/tc_ic_fc", FusedMode::TcIcFc),
+        ("ff/fused_vitbit", FusedMode::VitBit(spec)),
+    ] {
+        assert_ff_invisible(name, |g| gemm_pair(run_fused(g, &a, &b, mode)));
+    }
+}
+
+#[test]
+fn fast_forward_invisible_elementwise() {
+    let spec = PackSpec::guarded(6, 6).unwrap();
+    let input: Vec<i8> = (0..1024).map(|i| ((i * 37 + 11) % 63 - 31) as i8).collect();
+    let other: Vec<i8> = (0..1024).map(|i| ((i * 53 + 5) % 63 - 31) as i8).collect();
+    assert_ff_invisible("ff/gelu", |g| {
+        let r = run_map(g, MapOp::Gelu, EwVariant::VitBit(spec), 6, &input, None);
+        (r.stats, r.out)
+    });
+    assert_ff_invisible("ff/dropout", |g| {
+        let op = MapOp::Dropout {
+            seed: 9,
+            keep_q8: 204,
+        };
+        let r = run_map(g, op, EwVariant::Ic, 6, &input, None);
+        (r.stats, r.out)
+    });
+    assert_ff_invisible("ff/residual", |g| {
+        let r = run_map(g, MapOp::Add, EwVariant::IcFc, 6, &input, Some(&other));
+        (r.stats, r.out)
+    });
+    let x = int6(24, 64, 51);
+    assert_ff_invisible("ff/softmax", |g| {
+        let r = run_softmax(g, &x, EwVariant::Fc, 6);
+        (r.stats, r.out)
+    });
+    assert_ff_invisible("ff/layernorm", |g| {
+        let r = run_layernorm(g, &x, 64, 3, EwVariant::VitBit(spec), 6);
+        (r.stats, r.out)
+    });
+}
+
+#[test]
+fn fast_forward_invisible_vit_block() {
+    let model = ViTModel::new(ViTConfig::tiny(), 27);
+    let cfg = ExecConfig::guarded(model.cfg.bitwidth);
+    let x = model.synthetic_input(4);
+    assert_ff_invisible("ff/vit", |g| {
+        let r = run_vit(g, &model, &x, Strategy::VitBit, &cfg, Some(1));
+        let stats = r.timings.iter().fold(KernelStats::default(), |mut acc, t| {
+            acc.accumulate(&t.stats);
+            acc
+        });
+        (stats, r.logits)
+    });
+}
+
+#[test]
+fn fast_forward_engages_on_memory_bound_gemm() {
+    // A tall-skinny Tensor-core GEMM on the full 14-SM Orin leaves most
+    // SMs with a single resident block whose warps spend the bulk of the
+    // kernel blocked on L2/DRAM latency (the memory-bound regime of
+    // DESIGN.md §5) — the event horizon must skip a large share of it.
+    let a = int6(16, 768, 52);
+    let b = int6(768, 64, 53);
+    let mut cfg = OrinConfig::jetson_agx_orin();
+    cfg.fast_forward = true;
+    let mut g = Gpu::new(cfg, 32 << 20);
+    let on = run_tc(&mut g, &a, &b).stats;
+    assert!(on.fast_forward_jumps > 0, "no jumps on a memory-bound GEMM");
+    assert!(
+        on.skip_ratio() > 0.4,
+        "skip ratio {:.3} too low for a memory-bound kernel",
+        on.skip_ratio()
+    );
 }
 
 #[test]
