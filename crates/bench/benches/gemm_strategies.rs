@@ -5,7 +5,7 @@
 
 use std::hint::black_box;
 use vitbit_bench::timing::bench;
-use vitbit_exec::{ExecConfig, Strategy};
+use vitbit_exec::{Engine, ExecConfig, GemmDesc, Strategy};
 use vitbit_sim::{Gpu, OrinConfig};
 use vitbit_tensor::gen;
 
@@ -16,11 +16,18 @@ fn main() {
     let b = gen::uniform_i8(256, 256, -32, 31, 2);
     for s in Strategy::ALL {
         let mut gpu = Gpu::new(OrinConfig::test_small(), 64 << 20);
+        // Plan once per strategy; the timed iterations ride the engine's
+        // hot path, which is what a deployed forward pass pays.
+        let mut engine = Engine::new();
+        let mut desc = GemmDesc::from_exec(s, &cfg, &gpu, 64, 256, 256, Some(1));
+        desc.adaptive = false; // always bench the strategy itself
+        let id = engine.prepare(desc);
         bench(
             &format!("sim_gemm_strategies/gemm64x256x256/{}", s.name()),
             10,
             || {
-                s.run_gemm(&mut gpu, black_box(&a), black_box(&b), &cfg)
+                engine
+                    .execute(&mut gpu, id, black_box(&a), black_box(&b))
                     .stats
                     .cycles
             },

@@ -27,9 +27,10 @@ use vitbit_kernels::gemm::tc::{
     tc_args, tc_gemm_program, tc_smem_bytes, tile_a_for_tc, TC_K_UNIT, TC_N_TILE,
 };
 use vitbit_kernels::shapes::{pad_matrix, pad_to};
+use vitbit_plan::{Engine, GemmDesc};
 use vitbit_sim::{Gpu, Kernel, KernelStats, OrinConfig};
 use vitbit_tensor::gen;
-use vitbit_vit::{run_vit, ViTConfig, ViTModel};
+use vitbit_vit::{run_vit_planned, ViTConfig, ViTModel, VitPlan};
 
 fn orin_gpu(fast_forward: bool, mem_bytes: u32) -> Gpu {
     let mut cfg = OrinConfig::jetson_agx_orin();
@@ -44,6 +45,9 @@ struct Family {
     off_wall: Duration,
     on_wall: Duration,
     on: KernelStats,
+    /// Host-side plan-build work (policy resolution + weight staging) the
+    /// engine paid before the timed executes; 0 for direct-launch families.
+    build_units: u64,
 }
 
 impl Family {
@@ -57,10 +61,10 @@ impl Family {
 fn measure(
     name: &'static str,
     workload: String,
-    mut run: impl FnMut(bool) -> (Duration, KernelStats),
+    mut run: impl FnMut(bool) -> (Duration, KernelStats, u64),
 ) -> Family {
-    let (off_wall, off) = run(false);
-    let (on_wall, on) = run(true);
+    let (off_wall, off, _) = run(false);
+    let (on_wall, on, build_units) = run(true);
     assert_eq!(
         off.cycles, on.cycles,
         "{name}: fast-forward changed the simulated cycle count"
@@ -79,6 +83,7 @@ fn measure(
         off_wall,
         on_wall,
         on,
+        build_units,
     }
 }
 
@@ -137,7 +142,7 @@ fn gemm_tc_family(
             stats = gpu.launch(&kernel);
             black_box(stats.cycles)
         });
-        (wall, stats)
+        (wall, stats, 0)
     })
 }
 
@@ -151,17 +156,24 @@ fn fused_vitbit_family() -> Family {
         format!("fused vitbit gemm {m}x{k}x{n}, full driver"),
         |ff| {
             let mut gpu = orin_gpu(ff, 32 << 20);
+            // Plan once, then time the hot-path executes: the launch
+            // sequence (and so the simulated cycles) matches the old
+            // one-shot driver, minus per-sample host re-packing.
+            let mut engine = Engine::new();
+            let mut desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &gpu, m, k, n, Some(1));
+            desc.adaptive = false;
+            let id = engine.prepare(desc);
             let mut stats = KernelStats::default();
             let wall = bench(
                 &format!("sim_fastforward/gemm_fused_vitbit/ff_{ff}"),
                 3,
                 || {
                     gpu.cold_caches();
-                    stats = Strategy::VitBit.run_gemm(&mut gpu, &a, &b, &cfg).stats;
+                    stats = engine.execute(&mut gpu, id, &a, &b).stats;
                     black_box(stats.cycles)
                 },
             );
-            (wall, stats)
+            (wall, stats, engine.stats().plan_build_units)
         },
     )
 }
@@ -194,7 +206,7 @@ fn elementwise_family() -> Family {
                     black_box(stats.cycles)
                 },
             );
-            (wall, stats)
+            (wall, stats, 0)
         },
     )
 }
@@ -208,16 +220,18 @@ fn vit_block_family() -> Family {
         "one tiny ViT encoder block under the VitBit strategy".into(),
         |ff| {
             let mut gpu = orin_gpu(ff, 64 << 20);
+            let mut engine = Engine::new();
+            let plan = VitPlan::build(&mut engine, &gpu, &model, Strategy::VitBit, &cfg, Some(1));
             let mut acc = KernelStats::default();
             let wall = bench(&format!("sim_fastforward/vit_block/ff_{ff}"), 3, || {
-                let r = run_vit(&mut gpu, &model, &x, Strategy::VitBit, &cfg, Some(1));
+                let r = run_vit_planned(&mut gpu, &mut engine, &plan, &model, &x);
                 acc = KernelStats::default();
                 for t in &r.timings {
                     acc.accumulate(&t.stats);
                 }
                 black_box(r.logits)
             });
-            (wall, acc)
+            (wall, acc, engine.stats().plan_build_units)
         },
     )
 }
@@ -228,7 +242,8 @@ fn write_json(families: &[Family]) {
         rows.push(format!(
             "    {{\"family\": \"{}\", \"workload\": \"{}\", \"simulated_cycles\": {}, \
              \"wall_ns_off\": {}, \"wall_ns_on\": {}, \"skipped_cycles\": {}, \
-             \"fast_forward_jumps\": {}, \"skip_ratio\": {:.4}, \"speedup\": {:.3}}}",
+             \"fast_forward_jumps\": {}, \"skip_ratio\": {:.4}, \"speedup\": {:.3}, \
+             \"plan_build_units\": {}, \"execute_cycles\": {}}}",
             f.name,
             f.workload,
             f.on.cycles,
@@ -238,6 +253,8 @@ fn write_json(families: &[Family]) {
             f.on.fast_forward_jumps,
             f.on.skip_ratio(),
             f.speedup(),
+            f.build_units,
+            f.on.cycles,
         ));
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());

@@ -18,13 +18,13 @@ use std::time::Duration;
 use vitbit_bench::timing::bench;
 use vitbit_core::policy::PackSpec;
 use vitbit_core::ratio::CoreRatio;
-use vitbit_exec::{ExecConfig, PackedWeightCache, Strategy};
+use vitbit_exec::{Engine, ExecConfig, PackedWeightCache, Strategy};
 use vitbit_kernels::gemm::{PackedWeight, WeightKey};
 use vitbit_sim::isa::{ICmp, MemWidth, SReg, Src};
 use vitbit_sim::program::ProgramBuilder;
 use vitbit_sim::{Gpu, Kernel, OrinConfig, SimMode};
 use vitbit_tensor::gen;
-use vitbit_vit::{run_vit, run_vit_cached, ViTConfig, ViTModel};
+use vitbit_vit::{run_vit_planned, ViTConfig, ViTModel, VitPlan};
 
 fn gpu_with(mode: SimMode, threads: u32) -> Gpu {
     let mut cfg = OrinConfig::test_small();
@@ -150,9 +150,11 @@ fn bench_modes() {
         let (model, cfg) = bench_model();
         let x = model.synthetic_input(3);
         let mut gpu = gpu_with(mode, t);
+        let mut engine = Engine::new();
+        let plan = VitPlan::build(&mut engine, &gpu, &model, Strategy::VitBit, &cfg, Some(1));
         let mut cycles = 0;
         let wall = bench(&format!("sim_parallel/vit_block/{label}"), 3, || {
-            let r = run_vit(&mut gpu, &model, &x, Strategy::VitBit, &cfg, Some(1));
+            let r = run_vit_planned(&mut gpu, &mut engine, &plan, &model, &x);
             cycles = r.timings.iter().map(|t| t.stats.cycles).sum();
             black_box(r.logits)
         });
@@ -203,38 +205,26 @@ fn bench_weight_cache() {
     let (model, cfg) = bench_model();
     let x = model.synthetic_input(3);
     let mut gpu = Gpu::new(OrinConfig::test_small(), 128 << 20);
-    let mut warm_cache = PackedWeightCache::new();
-    let _ = run_vit_cached(
-        &mut gpu,
-        &model,
-        &x,
-        Strategy::VitBit,
-        &cfg,
-        Some(1),
-        &mut warm_cache,
-    );
+    // Warm path: one engine planned and primed up front, so every timed
+    // pass is the plan-cache hot path (zero re-packing, zero re-planning).
+    let mut engine = Engine::new();
+    let plan = VitPlan::build(&mut engine, &gpu, &model, Strategy::VitBit, &cfg, Some(1));
+    let _ = run_vit_planned(&mut gpu, &mut engine, &plan, &model, &x);
     bench("sim_parallel/vit_pass/cached_warm", 5, || {
-        black_box(
-            run_vit_cached(
-                &mut gpu,
-                &model,
-                &x,
-                Strategy::VitBit,
-                &cfg,
-                Some(1),
-                &mut warm_cache,
-            )
-            .logits,
-        )
+        black_box(run_vit_planned(&mut gpu, &mut engine, &plan, &model, &x).logits)
     });
     let mut gpu = Gpu::new(OrinConfig::test_small(), 128 << 20);
+    // Cold path: a fresh engine per pass re-plans and re-packs everything,
+    // like the historical one-shot driver did.
     bench("sim_parallel/vit_pass/uncached", 5, || {
-        black_box(run_vit(&mut gpu, &model, &x, Strategy::VitBit, &cfg, Some(1)).logits)
+        let mut cold = Engine::new();
+        let plan = VitPlan::build(&mut cold, &gpu, &model, Strategy::VitBit, &cfg, Some(1));
+        black_box(run_vit_planned(&mut gpu, &mut cold, &plan, &model, &x).logits)
     });
     println!(
         "  cache after timed passes: {} packs, {} hits",
-        warm_cache.misses(),
-        warm_cache.hits()
+        engine.weights().misses(),
+        engine.weights().hits()
     );
 }
 

@@ -14,6 +14,8 @@
 //! --threads N  worker threads for the parallel loop (default: auto)
 //! --fast-forward on|off  event-horizon cycle skipping (default on; either
 //!              setting yields bit-identical figures — off is the oracle)
+//! --plan-stats print the plan/execute engine counters (plan-cache hits,
+//!              misses, build work) of each strategy's forward pass
 //! ```
 
 use vitbit_bench::{experiments, HarnessOpts, VitSuite};
@@ -23,6 +25,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = HarnessOpts::default();
     let mut picks: Vec<String> = Vec::new();
+    let mut plan_stats = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -56,6 +59,7 @@ fn main() {
                     other => panic!("--fast-forward on|off, got {other}"),
                 };
             }
+            "--plan-stats" => plan_stats = true,
             other => picks.push(other.to_string()),
         }
         i += 1;
@@ -70,7 +74,7 @@ fn main() {
         .collect();
     }
 
-    let needs_suite = picks.iter().any(|p| p.starts_with("fig"));
+    let needs_suite = plan_stats || picks.iter().any(|p| p.starts_with("fig"));
     let suite = if needs_suite {
         eprintln!(
             "[figures] measuring ViT suite (blocks = {:?}, quick = {}) ...",
@@ -106,6 +110,26 @@ fn main() {
             other => format!("unknown experiment: {other}\n"),
         };
         println!("{report}");
+        println!("{}", "-".repeat(72));
+    }
+
+    if plan_stats {
+        let suite = suite.as_ref().expect("suite");
+        println!("Plan/execute engine counters — one forward pass per strategy");
+        println!(
+            "{:<9} {:>10} {:>10} {:>13} {:>10}",
+            "strategy", "plan hits", "misses", "build units", "executes"
+        );
+        for (s, st) in &suite.plan_stats {
+            println!(
+                "{:<9} {:>10} {:>10} {:>13} {:>10}",
+                s.name(),
+                st.plan_cache_hits,
+                st.plan_cache_misses,
+                st.plan_build_units,
+                st.executes
+            );
+        }
         println!("{}", "-".repeat(72));
     }
 }

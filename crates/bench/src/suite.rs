@@ -1,9 +1,9 @@
 //! Shared ViT measurement suite: runs the model once per strategy and lets
 //! every figure read from the same measurements.
 
-use vitbit_exec::{ExecConfig, Strategy};
+use vitbit_exec::{Engine, EngineStats, ExecConfig, Strategy};
 use vitbit_sim::{Gpu, OrinConfig, SimMode};
-use vitbit_vit::{run_vit, ViTConfig, ViTModel, VitRun};
+use vitbit_vit::{run_vit_planned, ViTConfig, ViTModel, VitPlan, VitRun};
 
 /// Harness options from the `figures` CLI.
 #[derive(Debug, Clone, Copy)]
@@ -81,6 +81,9 @@ pub struct VitSuite {
     pub exec: ExecConfig,
     /// `(strategy, run)` pairs in `Strategy::ALL` order.
     pub runs: Vec<(Strategy, VitRun)>,
+    /// Per-strategy engine counters (`figures --plan-stats`): plan-cache
+    /// hits/misses and build work of the strategy's forward pass.
+    pub plan_stats: Vec<(Strategy, EngineStats)>,
 }
 
 impl VitSuite {
@@ -89,7 +92,9 @@ impl VitSuite {
         Self::measure_strategies(opts, &Strategy::ALL)
     }
 
-    /// Measures a subset of strategies.
+    /// Measures a subset of strategies. Each strategy's forward pass is
+    /// planned on a fresh engine (plan once), then executed — the same
+    /// launch sequence the historical one-shot driver produced.
     pub fn measure_strategies(opts: &HarnessOpts, strategies: &[Strategy]) -> Self {
         let cfg = opts.vit_config();
         let model = ViTModel::new(cfg, 2024);
@@ -97,12 +102,21 @@ impl VitSuite {
         let input = model.synthetic_input(7);
         let mut gpu = opts.gpu();
         let mut runs = Vec::new();
+        let mut plan_stats = Vec::new();
         for &s in strategies {
             eprintln!("  [suite] running ViT under {} ...", s.name());
-            let run = run_vit(&mut gpu, &model, &input, s, &exec, opts.blocks);
+            let mut engine = Engine::new();
+            let plan = VitPlan::build(&mut engine, &gpu, &model, s, &exec, opts.blocks);
+            let run = run_vit_planned(&mut gpu, &mut engine, &plan, &model, &input);
+            plan_stats.push((s, engine.stats()));
             runs.push((s, run));
         }
-        Self { model, exec, runs }
+        Self {
+            model,
+            exec,
+            runs,
+            plan_stats,
+        }
     }
 
     /// The run of one strategy.

@@ -5,6 +5,10 @@
 //! groups of the paper's Table 3. The [`calibration`] module reruns the
 //! Section-3.2 "initial study" that determines the Tensor:CUDA split ratio
 //! *m*.
+//!
+//! The strategy type itself now lives in [`vitbit_plan`] (the plan/execute
+//! engine dispatches on it); this crate re-exports it, together with the
+//! engine types, so `vitbit_exec::Strategy` keeps working.
 
 pub mod calibration;
 pub mod strategy;
@@ -12,3 +16,4 @@ pub mod strategy;
 pub use calibration::{run_initial_study, StudyResult};
 pub use strategy::{ExecConfig, GemmTuner, Strategy};
 pub use vitbit_kernels::gemm::{PackedWeightCache, WeightCtx};
+pub use vitbit_plan::{Engine, EngineStats, GemmDesc, PlanId, SimKnobs};

@@ -1,342 +1,5 @@
-//! The Table-3 comparison groups as an executable strategy.
+//! The Table-3 comparison groups — moved to [`vitbit_plan::strategy`] so
+//! the plan/execute engine can dispatch on them without a dependency
+//! cycle; re-exported here for compatibility.
 
-use vitbit_core::policy::PackSpec;
-use vitbit_core::ratio::CoreRatio;
-use vitbit_kernels::elementwise::EwVariant;
-use vitbit_kernels::gemm::{
-    run_fc, run_fused_with_ratio_cached, run_ic, run_ic_fc, run_tc, FusedMode, GemmOut, WeightCtx,
-};
-use vitbit_sim::Gpu;
-use vitbit_tensor::Matrix;
-
-/// One row of Table 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Strategy {
-    /// Tensor cores only (baseline for Tensor-core kernels).
-    Tc,
-    /// INT CUDA cores only (baseline for CUDA-core kernels).
-    Ic,
-    /// FP CUDA cores only (type-cast inputs).
-    Fc,
-    /// INT + FP CUDA cores simultaneously.
-    IcFc,
-    /// Tacker: Tensor cores + INT CUDA cores fused.
-    Tacker,
-    /// Tensor + INT + FP CUDA cores fused, no packing.
-    TcIcFc,
-    /// VitBit: packing plus full three-way co-scheduling.
-    VitBit,
-}
-
-impl Strategy {
-    /// All strategies in the paper's presentation order.
-    pub const ALL: [Strategy; 7] = [
-        Strategy::Tc,
-        Strategy::Ic,
-        Strategy::Fc,
-        Strategy::IcFc,
-        Strategy::Tacker,
-        Strategy::TcIcFc,
-        Strategy::VitBit,
-    ];
-
-    /// The fused simultaneous-execution methods of Figure 5.
-    pub const FIG5: [Strategy; 4] = [
-        Strategy::Tc,
-        Strategy::Tacker,
-        Strategy::TcIcFc,
-        Strategy::VitBit,
-    ];
-
-    /// Name as printed in the paper.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Strategy::Tc => "TC",
-            Strategy::Ic => "IC",
-            Strategy::Fc => "FC",
-            Strategy::IcFc => "IC+FC",
-            Strategy::Tacker => "Tacker",
-            Strategy::TcIcFc => "TC+IC+FC",
-            Strategy::VitBit => "VitBit",
-        }
-    }
-
-    /// Table-3 description.
-    pub fn description(&self) -> &'static str {
-        match self {
-            Strategy::Tc => "Execution of Tensor cores only (baseline for Tensor core kernels)",
-            Strategy::Ic => "Execution of INT cores only (baseline for CUDA core kernels)",
-            Strategy::Fc => "Execution of FP cores only by converting INT inputs to FP",
-            Strategy::IcFc => "Simultaneous execution of INT and FP CUDA cores",
-            Strategy::Tacker => "Simultaneous execution of Tensor cores and INT CUDA cores",
-            Strategy::TcIcFc => "Simultaneous execution of Tensor cores, INT and FP CUDA cores",
-            Strategy::VitBit => {
-                "INT packing with simultaneous execution of Tensor cores, INT and FP CUDA cores"
-            }
-        }
-    }
-
-    /// Kernel classes this method is evaluated on (Table 3's "T"/"C" tags).
-    pub fn applicability(&self) -> &'static str {
-        match self {
-            Strategy::Tc | Strategy::Tacker | Strategy::TcIcFc => "T",
-            Strategy::Ic | Strategy::Fc | Strategy::IcFc => "C",
-            Strategy::VitBit => "T,C",
-        }
-    }
-}
-
-/// Shared execution parameters: the value bitwidth and the packing spec.
-#[derive(Debug, Clone, Copy)]
-pub struct ExecConfig {
-    /// Signed code bitwidth of the quantized model (headline: 6).
-    pub bitwidth: u32,
-    /// Packing spec used by VitBit paths.
-    pub spec: PackSpec,
-    /// Tensor:CUDA column ratio for the fused methods (`None` = each
-    /// method's default from its measured study value).
-    pub ratio: Option<CoreRatio>,
-    /// Measure-and-choose dispatch: per GEMM shape, fused methods measure
-    /// both the fused kernel and the Tensor-core kernel once and keep the
-    /// faster (the paper's ratio-calibration methodology generalized to
-    /// its limit case m = infinity). Used with a [`GemmTuner`].
-    pub adaptive: bool,
-}
-
-/// Per-shape winner cache for adaptive fused dispatch.
-#[derive(Debug, Default)]
-pub struct GemmTuner {
-    choices: std::collections::HashMap<(Strategy, usize, usize, usize), bool>,
-}
-
-impl GemmTuner {
-    /// Empty tuner.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Shapes tuned so far.
-    pub fn len(&self) -> usize {
-        self.choices.len()
-    }
-
-    /// True when nothing was tuned yet.
-    pub fn is_empty(&self) -> bool {
-        self.choices.is_empty()
-    }
-}
-
-impl ExecConfig {
-    /// Guarded-policy config for a given bitwidth (same-width weights).
-    ///
-    /// # Panics
-    /// Panics for bitwidths the packing policy rejects.
-    pub fn guarded(bitwidth: u32) -> Self {
-        Self {
-            bitwidth,
-            spec: PackSpec::guarded(bitwidth, bitwidth).expect("valid bitwidth"),
-            ratio: None,
-            adaptive: true,
-        }
-    }
-
-    /// The headline configuration: INT6 codes (Figure 3(b) packs two per
-    /// register with guard bits that keep accumulation exact).
-    pub fn int6() -> Self {
-        Self::guarded(6)
-    }
-}
-
-impl Strategy {
-    /// Runs a GEMM under this strategy.
-    pub fn run_gemm(
-        &self,
-        gpu: &mut Gpu,
-        a: &Matrix<i8>,
-        b: &Matrix<i8>,
-        cfg: &ExecConfig,
-    ) -> GemmOut {
-        self.run_gemm_weighted(gpu, a, b, cfg, None)
-    }
-
-    /// [`Strategy::run_gemm`] with an optional packed-weight cache handle
-    /// for the stationary `B` operand. Only the packing strategies consult
-    /// it (VitBit here; the other Table-3 rows never pack), and only when
-    /// `B` really is a weight — activation-valued `B` operands (attention
-    /// scores, `probs x V`) must pass `None`.
-    pub fn run_gemm_weighted(
-        &self,
-        gpu: &mut Gpu,
-        a: &Matrix<i8>,
-        b: &Matrix<i8>,
-        cfg: &ExecConfig,
-        weight: WeightCtx<'_>,
-    ) -> GemmOut {
-        let fused = |gpu: &mut Gpu, mode: FusedMode, weight: WeightCtx<'_>| {
-            let ratio = cfg.ratio.unwrap_or_else(|| mode.default_ratio());
-            run_fused_with_ratio_cached(gpu, a, b, mode, ratio, weight)
-        };
-        match self {
-            Strategy::Tc => run_tc(gpu, a, b),
-            Strategy::Ic => run_ic(gpu, a, b),
-            Strategy::Fc => run_fc(gpu, a, b),
-            Strategy::IcFc => run_ic_fc(gpu, a, b),
-            Strategy::Tacker => fused(gpu, FusedMode::Tacker, None),
-            Strategy::TcIcFc => fused(gpu, FusedMode::TcIcFc, None),
-            Strategy::VitBit => fused(gpu, FusedMode::VitBit(cfg.spec), weight),
-        }
-    }
-
-    /// The elementwise (CUDA-core kernel) variant this strategy implies:
-    /// Tensor-core-only methods still run their CUDA-core kernels on INT
-    /// cores (the paper's baseline pairing), TC+IC+FC runs them IC+FC, and
-    /// VitBit uses packing (Section 3.3, "CUDA Core Kernel").
-    pub fn ew_variant(&self, cfg: &ExecConfig) -> EwVariant {
-        match self {
-            Strategy::Tc | Strategy::Ic | Strategy::Tacker => EwVariant::Ic,
-            Strategy::Fc => EwVariant::Fc,
-            Strategy::IcFc | Strategy::TcIcFc => EwVariant::IcFc,
-            Strategy::VitBit => EwVariant::VitBit(cfg.spec),
-        }
-    }
-
-    /// Per-op elementwise variant: VitBit keeps SWAR packing where it pays
-    /// (linear ops such as the residual add, whose lanes never need
-    /// unpacking) and runs the non-linear CUDA kernels (GELU, softmax,
-    /// LayerNorm, dropout) with plain INT+FP co-scheduling — the measured
-    /// per-lane unpack/repack cost of non-linear bodies exceeds the
-    /// load-halving benefit in this machine model (deviation documented in
-    /// EXPERIMENTS.md).
-    pub fn ew_variant_for(&self, cfg: &ExecConfig, swar_linear: bool) -> EwVariant {
-        match (self, swar_linear) {
-            (Strategy::VitBit, false) => EwVariant::IcFc,
-            _ => self.ew_variant(cfg),
-        }
-    }
-
-    /// Row-kernel (softmax / LayerNorm) variant: VitBit co-schedules INT
-    /// and FP rows exactly like TC+IC+FC (packed rows lose more to
-    /// unpack/repack than they gain; the FP rows differ from the integer
-    /// spec only in the final float normalization — the same statistical
-    /// accuracy contract the paper's own FP-converted paths carry).
-    pub fn ew_variant_rows(&self, cfg: &ExecConfig) -> EwVariant {
-        match self {
-            Strategy::VitBit => EwVariant::IcFc,
-            _ => self.ew_variant(cfg),
-        }
-    }
-
-    /// Adaptive GEMM dispatch: like [`Strategy::run_gemm`], but fused
-    /// methods measure both the fused launch and the Tensor-core launch
-    /// once per shape and reuse the faster choice thereafter.
-    pub fn run_gemm_tuned(
-        &self,
-        gpu: &mut Gpu,
-        a: &Matrix<i8>,
-        b: &Matrix<i8>,
-        cfg: &ExecConfig,
-        tuner: &mut GemmTuner,
-    ) -> GemmOut {
-        self.run_gemm_tuned_weighted(gpu, a, b, cfg, tuner, None)
-    }
-
-    /// [`Strategy::run_gemm_tuned`] with an optional packed-weight cache
-    /// handle (see [`Strategy::run_gemm_weighted`]).
-    pub fn run_gemm_tuned_weighted(
-        &self,
-        gpu: &mut Gpu,
-        a: &Matrix<i8>,
-        b: &Matrix<i8>,
-        cfg: &ExecConfig,
-        tuner: &mut GemmTuner,
-        weight: WeightCtx<'_>,
-    ) -> GemmOut {
-        let fusedlike = matches!(self, Strategy::Tacker | Strategy::TcIcFc | Strategy::VitBit);
-        if !cfg.adaptive || !fusedlike {
-            return self.run_gemm_weighted(gpu, a, b, cfg, weight);
-        }
-        let key = (*self, a.rows(), b.cols(), a.cols());
-        match tuner.choices.get(&key) {
-            Some(true) => self.run_gemm_weighted(gpu, a, b, cfg, weight),
-            Some(false) => run_tc(gpu, a, b),
-            None => {
-                let fused = self.run_gemm_weighted(gpu, a, b, cfg, weight);
-                let tc = run_tc(gpu, a, b);
-                let use_fused = fused.stats.cycles <= tc.stats.cycles;
-                tuner.choices.insert(key, use_fused);
-                if use_fused {
-                    fused
-                } else {
-                    tc
-                }
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use vitbit_sim::OrinConfig;
-    use vitbit_tensor::gen;
-    use vitbit_tensor::refgemm::gemm_i8_i32;
-
-    fn gpu() -> Gpu {
-        Gpu::new(OrinConfig::test_small(), 64 << 20)
-    }
-
-    #[test]
-    fn every_strategy_computes_the_same_gemm() {
-        let mut g = gpu();
-        let cfg = ExecConfig::int6();
-        let a = gen::uniform_i8(20, 32, -32, 31, 1);
-        let b = gen::uniform_i8(32, 320, -32, 31, 2);
-        let want = gemm_i8_i32(&a, &b);
-        for s in Strategy::ALL {
-            let out = s.run_gemm(&mut g, &a, &b, &cfg);
-            assert_eq!(out.c, want, "strategy {}", s.name());
-        }
-    }
-
-    #[test]
-    fn strategy_pipes_match_their_names() {
-        let mut g = gpu();
-        let cfg = ExecConfig::int6();
-        let a = gen::uniform_i8(16, 32, -32, 31, 3);
-        let b = gen::uniform_i8(32, 320, -32, 31, 4);
-        let tc = Strategy::Tc.run_gemm(&mut g, &a, &b, &cfg).stats;
-        assert!(tc.issued.tensor > 0 && tc.fp_ops == 0);
-        let ic = Strategy::Ic.run_gemm(&mut g, &a, &b, &cfg).stats;
-        assert!(ic.issued.tensor == 0 && ic.fp_ops == 0 && ic.int_ops > 0);
-        let vb = Strategy::VitBit.run_gemm(&mut g, &a, &b, &cfg).stats;
-        assert!(vb.issued.tensor > 0 && vb.fp_ops > 0 && vb.int_ops > 0);
-        let tk = Strategy::Tacker.run_gemm(&mut g, &a, &b, &cfg).stats;
-        assert!(tk.issued.tensor > 0 && tk.fp_ops == 0);
-    }
-
-    #[test]
-    fn table3_metadata() {
-        assert_eq!(Strategy::ALL.len(), 7);
-        assert_eq!(Strategy::VitBit.applicability(), "T,C");
-        assert_eq!(Strategy::Tc.applicability(), "T");
-        assert!(Strategy::Tacker
-            .description()
-            .contains("Tensor cores and INT"));
-        let names: Vec<_> = Strategy::ALL.iter().map(|s| s.name()).collect();
-        assert_eq!(
-            names,
-            ["TC", "IC", "FC", "IC+FC", "Tacker", "TC+IC+FC", "VitBit"]
-        );
-    }
-
-    #[test]
-    fn ew_variant_pairing() {
-        let cfg = ExecConfig::int6();
-        assert_eq!(Strategy::Tc.ew_variant(&cfg), EwVariant::Ic);
-        assert_eq!(Strategy::TcIcFc.ew_variant(&cfg), EwVariant::IcFc);
-        assert!(matches!(
-            Strategy::VitBit.ew_variant(&cfg),
-            EwVariant::VitBit(_)
-        ));
-    }
-}
+pub use vitbit_plan::strategy::{ExecConfig, GemmTuner, Strategy};

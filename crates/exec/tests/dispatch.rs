@@ -1,5 +1,11 @@
 //! Strategy-layer behavioral tests: adaptive dispatch semantics, the
 //! elementwise variant matrix, and cross-bitwidth study behavior.
+//!
+//! Deliberately exercises the `#[deprecated]` one-shot `run_gemm*` shims —
+//! this file is the compile-and-behavior check that they keep working for
+//! the one compatibility release (new code goes through
+//! `vitbit_plan::Engine`).
+#![allow(deprecated)]
 
 use vitbit_core::ratio::CoreRatio;
 use vitbit_exec::{run_initial_study, ExecConfig, GemmTuner, Strategy};

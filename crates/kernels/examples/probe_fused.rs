@@ -3,7 +3,7 @@
 
 use vitbit_core::policy::PackSpec;
 use vitbit_core::ratio::CoreRatio;
-use vitbit_kernels::gemm::{run_fused_with_ratio, run_tc, FusedMode};
+use vitbit_kernels::gemm::{execute_fused, plan_fused, prepare_fused_b, run_tc, FusedMode};
 use vitbit_sim::Gpu;
 use vitbit_tensor::gen;
 
@@ -20,8 +20,11 @@ fn main() {
         gpu.cold_caches();
         let tc = run_tc(&mut gpu, &a, &b).stats;
         gpu.cold_caches();
-        let vb =
-            run_fused_with_ratio(&mut gpu, &a, &b, FusedMode::VitBit(spec), CoreRatio::PAPER).stats;
+        // Plan/execute split: resolve the launch geometry once, stage B,
+        // then launch — same cycles as the old one-shot driver.
+        let plan = plan_fused(m, k, n, FusedMode::VitBit(spec), CoreRatio::PAPER);
+        let staged = prepare_fused_b(&plan, &b, None);
+        let vb = execute_fused(&mut gpu, &plan, &a, &b, &staged).stats;
         println!("{tag:7} {m}x{n}x{k}: TC {:>8} VitBit {:>8} ({:.2}x)  vb busy: tc={:.2} int={:.2} fp={:.2} lsu={:.2}",
             tc.cycles, vb.cycles, tc.cycles as f64 / vb.cycles as f64,
             vb.busy.tensor as f64/(vb.cycles*56) as f64,

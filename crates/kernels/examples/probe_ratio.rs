@@ -3,7 +3,7 @@
 
 use vitbit_core::policy::PackSpec;
 use vitbit_core::ratio::CoreRatio;
-use vitbit_kernels::gemm::{run_fused_with_ratio, run_tc, FusedMode};
+use vitbit_kernels::gemm::{execute_fused, plan_fused, prepare_fused_b, run_tc, FusedMode};
 use vitbit_sim::Gpu;
 use vitbit_tensor::gen;
 
@@ -21,15 +21,16 @@ fn main() {
         print!("{tag:4} TC {tc:>7} |");
         for mr in [4u32, 6, 8, 10, 12, 16] {
             gpu.cold_caches();
-            let vb = run_fused_with_ratio(
-                &mut gpu,
-                &a,
-                &b,
+            // Each ratio is its own plan (the split is part of the plan).
+            let plan = plan_fused(
+                m,
+                k,
+                n,
                 FusedMode::VitBit(spec),
                 CoreRatio { tc: mr, cuda: 1 },
-            )
-            .stats
-            .cycles;
+            );
+            let staged = prepare_fused_b(&plan, &b, None);
+            let vb = execute_fused(&mut gpu, &plan, &a, &b, &staged).stats.cycles;
             print!(" m{mr}: {:>6} ({:.2}x)", vb, tc as f64 / vb as f64);
         }
         println!();

@@ -18,7 +18,12 @@ pub mod tc;
 
 pub use cache::{PackedWeight, PackedWeightCache, WeightCtx, WeightKey};
 pub use cuda::{run_fc, run_ic, run_ic_fc, run_ic_fc_packed, run_packed, run_packed_cached};
-pub use fused::{run_fused, run_fused_with_ratio, run_fused_with_ratio_cached, FusedMode};
+pub use fused::{
+    execute_fused, plan_fused, prepare_fused_b, run_fused_one_shot, FusedB, FusedBody, FusedGeom,
+    FusedMode, FusedPlan,
+};
+#[allow(deprecated)]
+pub use fused::{run_fused, run_fused_with_ratio, run_fused_with_ratio_cached};
 pub use tc::run_tc;
 
 use vitbit_sim::KernelStats;

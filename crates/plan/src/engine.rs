@@ -1,0 +1,597 @@
+//! The plan/execute engine: [`Engine::prepare`] resolves a [`GemmDesc`]
+//! into a cached [`GemmPlan`]; [`Engine::execute`] runs it per request.
+
+use crate::strategy::Strategy;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vitbit_core::policy::PackSpec;
+use vitbit_core::ratio::CoreRatio;
+use vitbit_kernels::gemm::{
+    execute_fused, plan_fused, prepare_fused_b, run_fc, run_ic, run_ic_fc, run_tc, FusedB,
+    FusedMode, FusedPlan, GemmOut, PackedWeightCache,
+};
+use vitbit_sim::{Gpu, OrinConfig, SchedPolicy, SimMode};
+use vitbit_tensor::Matrix;
+
+/// The simulator knobs that shape a launch plan's measured behavior.
+/// Part of the plan key: plans built for one machine configuration are
+/// not served to another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimKnobs {
+    /// Warp scheduling policy.
+    pub sched: SchedPolicy,
+    /// Serial or parallel simulation.
+    pub sim_mode: SimMode,
+    /// Event-horizon fast-forward on/off.
+    pub fast_forward: bool,
+}
+
+impl SimKnobs {
+    /// Extracts the knobs from a machine configuration.
+    pub fn from_config(cfg: &OrinConfig) -> Self {
+        Self {
+            sched: cfg.sched,
+            sim_mode: cfg.sim_mode,
+            fast_forward: cfg.fast_forward,
+        }
+    }
+
+    /// Extracts the knobs from a live GPU.
+    pub fn of(gpu: &Gpu) -> Self {
+        Self::from_config(gpu.config())
+    }
+}
+
+/// A complete description of a GEMM the engine may be asked to run: the
+/// plan-cache key. Everything launch-relevant is here; operand *values*
+/// are not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmDesc {
+    /// Output rows.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Table-3 strategy.
+    pub strategy: Strategy,
+    /// Signed code bitwidth of the quantized values.
+    pub bitwidth: u32,
+    /// Packing spec used by the VitBit paths.
+    pub spec: PackSpec,
+    /// Tensor:CUDA column ratio (`None` = the mode's calibrated default).
+    pub ratio: Option<CoreRatio>,
+    /// Measure-and-choose dispatch for the fused methods (see
+    /// [`crate::strategy::ExecConfig::adaptive`]).
+    pub adaptive: bool,
+    /// Identity of the stationary `B` operand when it is a weight: the
+    /// engine stages (packs) it once and reuses the artifacts on every
+    /// execute. `None` marks an activation-valued `B` (attention scores,
+    /// `probs x V`), staged per request.
+    pub weight: Option<u64>,
+    /// Simulator knobs the plan was built for.
+    pub knobs: SimKnobs,
+}
+
+impl GemmDesc {
+    /// Builds a desc from an [`crate::strategy::ExecConfig`] and a live
+    /// GPU (the common construction).
+    pub fn from_exec(
+        strategy: Strategy,
+        cfg: &crate::strategy::ExecConfig,
+        gpu: &Gpu,
+        m: usize,
+        k: usize,
+        n: usize,
+        weight: Option<u64>,
+    ) -> Self {
+        Self {
+            m,
+            k,
+            n,
+            strategy,
+            bitwidth: cfg.bitwidth,
+            spec: cfg.spec,
+            ratio: cfg.ratio,
+            adaptive: cfg.adaptive,
+            weight,
+            knobs: SimKnobs::of(gpu),
+        }
+    }
+
+    /// The fused-kernel mode this desc's strategy maps to, when fused.
+    pub fn fused_mode(&self) -> Option<FusedMode> {
+        match self.strategy {
+            Strategy::Tacker => Some(FusedMode::Tacker),
+            Strategy::TcIcFc => Some(FusedMode::TcIcFc),
+            Strategy::VitBit => Some(FusedMode::VitBit(self.spec)),
+            _ => None,
+        }
+    }
+}
+
+/// Opaque handle to a cached plan, returned by [`Engine::prepare`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanId(u64);
+
+/// Fixed policy-resolution cost of a direct (non-fused) plan, in build
+/// work units.
+const DIRECT_POLICY_UNITS: u64 = 16;
+
+#[derive(Debug, Clone)]
+enum PlanBody {
+    /// Tc / Ic / Fc / IcFc: a single standalone driver, no plan state
+    /// beyond the dispatch decision.
+    Direct,
+    /// A fused launch plan plus (for weight `B`s) its staged operands.
+    Fused {
+        plan: Arc<FusedPlan>,
+        staged: Option<Arc<FusedB>>,
+    },
+}
+
+/// A prepared GEMM: the resolved launch decisions for one [`GemmDesc`].
+#[derive(Debug, Clone)]
+pub struct GemmPlan {
+    /// The desc this plan answers.
+    pub desc: GemmDesc,
+    body: PlanBody,
+    /// Build work performed but not yet attributed to an execute.
+    pending_build: u64,
+    last_use: u64,
+}
+
+impl GemmPlan {
+    /// The fused launch plan, when this strategy fuses.
+    pub fn fused(&self) -> Option<&FusedPlan> {
+        match &self.body {
+            PlanBody::Fused { plan, .. } => Some(plan),
+            PlanBody::Direct => None,
+        }
+    }
+
+    /// Whether the stationary weight operand is already staged (packed
+    /// and upload-shaped). Always `false` for activation-`B` plans.
+    pub fn weight_staged(&self) -> bool {
+        matches!(
+            &self.body,
+            PlanBody::Fused {
+                staged: Some(_),
+                ..
+            }
+        )
+    }
+}
+
+/// LRU cache of prepared plans, keyed by [`GemmDesc`].
+#[derive(Debug)]
+pub struct PlanCache {
+    by_desc: HashMap<GemmDesc, PlanId>,
+    slots: HashMap<PlanId, GemmPlan>,
+    capacity: usize,
+    tick: u64,
+    next_id: u64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanCache {
+    /// Default number of cached plans — generous for a full ViT encoder
+    /// (a dozen distinct shapes per strategy).
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// Empty cache with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Empty cache holding at most `capacity` plans.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            by_desc: HashMap::new(),
+            slots: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Cached plans.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    fn touch(&mut self, id: PlanId) {
+        self.tick += 1;
+        if let Some(p) = self.slots.get_mut(&id) {
+            p.last_use = self.tick;
+        }
+    }
+
+    fn lookup(&mut self, desc: &GemmDesc) -> Option<PlanId> {
+        let id = *self.by_desc.get(desc)?;
+        self.touch(id);
+        Some(id)
+    }
+
+    fn insert(&mut self, plan: GemmPlan) -> PlanId {
+        let id = PlanId(self.next_id);
+        self.next_id += 1;
+        self.by_desc.insert(plan.desc, id);
+        self.slots.insert(id, plan);
+        self.touch(id);
+        if self.slots.len() > self.capacity {
+            // Evict the least-recently-used plan.
+            if let Some((&victim, _)) = self.slots.iter().min_by_key(|(_, p)| p.last_use) {
+                if let Some(p) = self.slots.remove(&victim) {
+                    self.by_desc.remove(&p.desc);
+                }
+            }
+        }
+        id
+    }
+}
+
+/// Cumulative engine-side counters, mirrored per launch into
+/// [`vitbit_sim::KernelStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// `prepare` calls answered from the plan cache.
+    pub plan_cache_hits: u64,
+    /// `prepare` calls that built a new plan.
+    pub plan_cache_misses: u64,
+    /// Total plan-build work units (policy resolution + weight staging).
+    pub plan_build_units: u64,
+    /// `execute` calls served.
+    pub executes: u64,
+}
+
+/// Winner map of the adaptive measure-and-choose dispatch, keyed exactly
+/// like the legacy `GemmTuner`: `(strategy, m, n, k)`, shared engine-wide
+/// so one measurement serves every plan of that shape.
+pub(crate) type AdaptiveChoices = HashMap<(Strategy, usize, usize, usize), bool>;
+
+/// The plan/execute engine: owns the plan cache, the packed-weight cache
+/// and the adaptive winner map.
+///
+/// ```
+/// use vitbit_plan::{Engine, GemmDesc, ExecConfig, Strategy};
+/// use vitbit_sim::{Gpu, OrinConfig};
+/// use vitbit_tensor::gen;
+///
+/// let mut gpu = Gpu::new(OrinConfig::test_small(), 64 << 20);
+/// let mut engine = Engine::new();
+/// let cfg = ExecConfig::int6();
+/// let a = gen::uniform_i8(16, 32, -32, 31, 1);
+/// let b = gen::uniform_i8(32, 320, -32, 31, 2);
+/// let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &gpu, 16, 32, 320, Some(7));
+/// let id = engine.prepare(desc);
+/// let first = engine.execute(&mut gpu, id, &a, &b);
+/// let again = engine.execute(&mut gpu, id, &a, &b);
+/// assert_eq!(first.c, again.c);
+/// assert!(first.stats.plan_build_cycles > 0); // built + staged here
+/// assert_eq!(again.stats.plan_build_cycles, 0); // hot path: no build work
+/// ```
+#[derive(Debug, Default)]
+pub struct Engine {
+    plans: PlanCache,
+    weights: PackedWeightCache,
+    choices: AdaptiveChoices,
+    stats: EngineStats,
+}
+
+impl Engine {
+    /// Engine with the default plan-cache capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine with an explicit plan-cache capacity.
+    pub fn with_plan_capacity(capacity: usize) -> Self {
+        Self {
+            plans: PlanCache::with_capacity(capacity),
+            ..Self::default()
+        }
+    }
+
+    /// Resolves `desc` into a plan, building it on first sight: pack
+    /// policy, Equation-1 split, padded geometry, role programs and the
+    /// dispatch order. Idempotent and cheap on repeat — the LRU cache
+    /// answers.
+    pub fn prepare(&mut self, desc: GemmDesc) -> PlanId {
+        if let Some(id) = self.plans.lookup(&desc) {
+            self.stats.plan_cache_hits += 1;
+            return id;
+        }
+        self.stats.plan_cache_misses += 1;
+        let (body, build) = match desc.fused_mode() {
+            Some(mode) => {
+                let ratio = desc.ratio.unwrap_or_else(|| mode.default_ratio());
+                let plan = plan_fused(desc.m, desc.k, desc.n, mode, ratio);
+                let units = plan.plan_units;
+                (
+                    PlanBody::Fused {
+                        plan: Arc::new(plan),
+                        staged: None,
+                    },
+                    units,
+                )
+            }
+            None => (PlanBody::Direct, DIRECT_POLICY_UNITS),
+        };
+        self.stats.plan_build_units += build;
+        self.plans.insert(GemmPlan {
+            desc,
+            body,
+            pending_build: build,
+            last_use: 0,
+        })
+    }
+
+    /// Executes a prepared plan on concrete operands. The first execute
+    /// of a weight-`B` plan stages (packs) the weight through the engine's
+    /// [`PackedWeightCache`]; every later execute reuses the staged
+    /// artifacts — zero re-packing, zero policy recomputation. The
+    /// returned stats carry the plan counters: `plan_build_cycles` is the
+    /// build work attributed to *this* call (zero on the hot path).
+    ///
+    /// # Panics
+    /// Panics when `id` is unknown (or was evicted), or when operand
+    /// shapes disagree with the plan's desc.
+    pub fn execute(
+        &mut self,
+        gpu: &mut Gpu,
+        id: PlanId,
+        a: &Matrix<i8>,
+        b: &Matrix<i8>,
+    ) -> GemmOut {
+        self.plans.touch(id);
+        let plan = self
+            .plans
+            .slots
+            .get_mut(&id)
+            .expect("unknown or evicted PlanId");
+        let desc = plan.desc;
+        assert_eq!((a.rows(), a.cols()), (desc.m, desc.k), "A shape vs desc");
+        assert_eq!((b.rows(), b.cols()), (desc.k, desc.n), "B shape vs desc");
+
+        let mut build = std::mem::take(&mut plan.pending_build);
+        let out = match &mut plan.body {
+            PlanBody::Direct => match desc.strategy {
+                Strategy::Tc => run_tc(gpu, a, b),
+                Strategy::Ic => run_ic(gpu, a, b),
+                Strategy::Fc => run_fc(gpu, a, b),
+                Strategy::IcFc => run_ic_fc(gpu, a, b),
+                _ => unreachable!("fused strategy with direct plan body"),
+            },
+            PlanBody::Fused {
+                plan: fplan,
+                staged,
+            } => {
+                // Stage B: weights once (through the packed-weight cache),
+                // activations per request (their values change each call —
+                // that staging is execute work, not plan-build work).
+                let run_fused_now = |gpu: &mut Gpu,
+                                     weights: &mut PackedWeightCache,
+                                     staged: &mut Option<Arc<FusedB>>,
+                                     build: &mut u64| {
+                    let staged_b: Arc<FusedB> = match (desc.weight, staged.as_ref()) {
+                        (Some(_), Some(s)) => Arc::clone(s),
+                        (Some(wid), None) => {
+                            let s = Arc::new(prepare_fused_b(fplan, b, Some((weights, wid))));
+                            *build += s.prep_units;
+                            *staged = Some(Arc::clone(&s));
+                            s
+                        }
+                        (None, _) => Arc::new(prepare_fused_b(fplan, b, None)),
+                    };
+                    execute_fused(gpu, fplan, a, b, &staged_b)
+                };
+                let fusedlike = true; // all PlanBody::Fused strategies
+                if desc.adaptive && fusedlike {
+                    // Measure-and-choose, keyed exactly like the legacy
+                    // GemmTuner so launch sequences (and thus L2 state)
+                    // are reproduced verbatim.
+                    let key = (desc.strategy, desc.m, desc.n, desc.k);
+                    match self.choices.get(&key) {
+                        Some(true) => run_fused_now(gpu, &mut self.weights, staged, &mut build),
+                        Some(false) => run_tc(gpu, a, b),
+                        None => {
+                            let fused = run_fused_now(gpu, &mut self.weights, staged, &mut build);
+                            let tc = run_tc(gpu, a, b);
+                            let use_fused = fused.stats.cycles <= tc.stats.cycles;
+                            self.choices.insert(key, use_fused);
+                            if use_fused {
+                                fused
+                            } else {
+                                tc
+                            }
+                        }
+                    }
+                } else {
+                    run_fused_now(gpu, &mut self.weights, staged, &mut build)
+                }
+            }
+        };
+        self.stats.executes += 1;
+        self.stats.plan_build_units += build.saturating_sub(0);
+        let mut out = out;
+        out.stats.plan_build_cycles = build;
+        if build > 0 {
+            out.stats.plan_cache_misses = 1;
+        } else {
+            out.stats.plan_cache_hits = 1;
+        }
+        out
+    }
+
+    /// Prepare + execute in one call (the shape the deprecated one-shot
+    /// shims use).
+    pub fn run(
+        &mut self,
+        gpu: &mut Gpu,
+        desc: GemmDesc,
+        a: &Matrix<i8>,
+        b: &Matrix<i8>,
+    ) -> GemmOut {
+        let id = self.prepare(desc);
+        self.execute(gpu, id, a, b)
+    }
+
+    /// Cumulative engine counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Cached plans.
+    pub fn plan_count(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Read access to a cached plan.
+    pub fn plan(&self, id: PlanId) -> Option<&GemmPlan> {
+        self.plans.slots.get(&id)
+    }
+
+    /// The engine's packed-weight cache.
+    pub fn weights(&self) -> &PackedWeightCache {
+        &self.weights
+    }
+
+    /// Mutable access to the packed-weight cache (the legacy shims swap a
+    /// caller-owned cache in and out here).
+    pub fn weights_mut(&mut self) -> &mut PackedWeightCache {
+        &mut self.weights
+    }
+
+    pub(crate) fn choices_mut(&mut self) -> &mut AdaptiveChoices {
+        &mut self.choices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::ExecConfig;
+    use vitbit_tensor::gen;
+    use vitbit_tensor::refgemm::gemm_i8_i32;
+
+    fn gpu() -> Gpu {
+        Gpu::new(OrinConfig::test_small(), 64 << 20)
+    }
+
+    fn mats(m: usize, k: usize, n: usize, seed: u64) -> (Matrix<i8>, Matrix<i8>) {
+        (
+            gen::uniform_i8(m, k, -32, 31, seed),
+            gen::uniform_i8(k, n, -32, 31, seed + 1),
+        )
+    }
+
+    #[test]
+    fn prepare_hits_cache_on_repeat() {
+        let g = gpu();
+        let mut e = Engine::new();
+        let cfg = ExecConfig::int6();
+        let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 16, 32, 320, Some(1));
+        let id1 = e.prepare(desc);
+        let id2 = e.prepare(desc);
+        assert_eq!(id1, id2);
+        assert_eq!(e.stats().plan_cache_hits, 1);
+        assert_eq!(e.stats().plan_cache_misses, 1);
+        assert_eq!(e.plan_count(), 1);
+    }
+
+    #[test]
+    fn hot_path_does_no_build_work() {
+        let mut g = gpu();
+        let mut e = Engine::new();
+        let mut cfg = ExecConfig::int6();
+        cfg.adaptive = false;
+        let (a, b) = mats(16, 32, 320, 3);
+        let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 16, 32, 320, Some(9));
+        let id = e.prepare(desc);
+        let cold = e.execute(&mut g, id, &a, &b);
+        assert!(cold.stats.plan_build_cycles > 0);
+        assert_eq!(cold.stats.plan_cache_misses, 1);
+        assert!(e.plan(id).unwrap().weight_staged());
+        let weight_misses = e.weights().misses();
+        let hot = e.execute(&mut g, id, &a, &b);
+        assert_eq!(hot.stats.plan_build_cycles, 0, "no build work on reuse");
+        assert_eq!(hot.stats.plan_cache_hits, 1);
+        assert_eq!(e.weights().misses(), weight_misses, "no re-packing");
+        assert_eq!(hot.c, gemm_i8_i32(&a, &b));
+    }
+
+    #[test]
+    fn every_strategy_computes_the_same_gemm_via_engine() {
+        let mut g = gpu();
+        let mut e = Engine::new();
+        let cfg = ExecConfig::int6();
+        let (a, b) = mats(20, 32, 320, 5);
+        let want = gemm_i8_i32(&a, &b);
+        for s in Strategy::ALL {
+            let desc = GemmDesc::from_exec(s, &cfg, &g, 20, 32, 320, None);
+            let out = e.run(&mut g, desc, &a, &b);
+            assert_eq!(out.c, want, "strategy {}", s.name());
+        }
+    }
+
+    #[test]
+    fn lru_evicts_oldest_plan() {
+        let g = gpu();
+        let mut e = Engine::with_plan_capacity(2);
+        let cfg = ExecConfig::int6();
+        let d1 = GemmDesc::from_exec(Strategy::Tc, &cfg, &g, 16, 32, 128, None);
+        let d2 = GemmDesc::from_exec(Strategy::Tc, &cfg, &g, 16, 32, 256, None);
+        let d3 = GemmDesc::from_exec(Strategy::Tc, &cfg, &g, 16, 32, 512, None);
+        let id1 = e.prepare(d1);
+        let _id2 = e.prepare(d2);
+        let _id1_again = e.prepare(d1); // refresh d1
+        let _id3 = e.prepare(d3); // evicts d2, not d1
+        assert_eq!(e.plan_count(), 2);
+        assert_eq!(e.prepare(d1), id1, "d1 survived the eviction");
+        assert_eq!(e.stats().plan_cache_misses, 4 - 1); // d1, d2, d3 built once
+    }
+
+    #[test]
+    fn activation_plans_restage_per_call_but_share_the_plan() {
+        let mut g = gpu();
+        let mut e = Engine::new();
+        let mut cfg = ExecConfig::int6();
+        cfg.adaptive = false;
+        let (a, b) = mats(16, 32, 320, 11);
+        let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 16, 32, 320, None);
+        let id = e.prepare(desc);
+        let first = e.execute(&mut g, id, &a, &b);
+        assert!(!e.plan(id).unwrap().weight_staged());
+        // Different activation values through the same plan.
+        let (_, b2) = mats(16, 32, 320, 13);
+        let second = e.execute(&mut g, id, &a, &b2);
+        assert_eq!(second.c, gemm_i8_i32(&a, &b2));
+        assert_eq!(first.stats.plan_cache_misses, 1);
+        assert_eq!(second.stats.plan_cache_hits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown or evicted PlanId")]
+    fn evicted_plan_panics_clearly() {
+        let mut g = gpu();
+        let mut e = Engine::with_plan_capacity(1);
+        let cfg = ExecConfig::int6();
+        let d1 = GemmDesc::from_exec(Strategy::Tc, &cfg, &g, 16, 32, 128, None);
+        let d2 = GemmDesc::from_exec(Strategy::Tc, &cfg, &g, 16, 32, 256, None);
+        let id1 = e.prepare(d1);
+        let _ = e.prepare(d2); // evicts d1
+        let (a, b) = mats(16, 32, 128, 17);
+        let _ = e.execute(&mut g, id1, &a, &b);
+    }
+}

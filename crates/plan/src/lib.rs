@@ -1,0 +1,34 @@
+//! # vitbit-plan: plan once, execute per request
+//!
+//! VitBit's fused kernel is defined by decisions made *before* launch —
+//! the Figure-3 pack policy, the Equation-1 `n : 1` INT/FP split, the
+//! calibrated `m = 4` Tensor:CUDA ratio, and the packed stationary
+//! weights. This crate separates those decisions from the per-request
+//! work, in the emit-once/execute-many shape APNN-TC demonstrates for
+//! arbitrary-precision kernels:
+//!
+//! * a [`GemmDesc`] names a GEMM: shape, [`Strategy`], bitwidth/spec,
+//!   ratio, adaptivity, optional stationary-weight identity and the
+//!   simulator knobs;
+//! * [`Engine::prepare`] resolves the desc into a [`GemmPlan`] — column
+//!   split, padded geometry, role programs, dispatch order — and caches
+//!   it in an LRU [`PlanCache`] keyed by the desc;
+//! * [`Engine::execute`] runs a prepared plan on concrete operands,
+//!   staging stationary weights exactly once (packing included) and
+//!   stamping the plan-cache counters into the returned
+//!   [`vitbit_sim::KernelStats`].
+//!
+//! Repeated execution of one plan performs **zero** re-packing and
+//! **zero** policy/ratio recomputation: `plan_build_cycles` is zero on
+//! the hot path, which the `figures --plan-stats` dump makes visible.
+//!
+//! The Table-3 [`Strategy`] type (moved here from `vitbit-exec`, which
+//! re-exports it) still carries the legacy one-shot `run_gemm*` entry
+//! points as `#[deprecated]` shims over the engine.
+
+pub mod engine;
+pub mod strategy;
+
+pub use engine::{Engine, EngineStats, GemmDesc, GemmPlan, PlanCache, PlanId, SimKnobs};
+pub use strategy::{ExecConfig, GemmTuner, Strategy};
+pub use vitbit_kernels::gemm::{GemmOut, PackedWeightCache, WeightCtx};

@@ -2,7 +2,7 @@
 //! analytic peak-throughput table (paper Table 1).
 
 /// Warp scheduling policy of each sub-partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SchedPolicy {
     /// Greedy-then-oldest: keep issuing from the last warp until it
     /// stalls, then fall back to the oldest ready warp (the policy real
@@ -21,7 +21,7 @@ pub enum SchedPolicy {
 /// SM-local compute phase and a serial memory-service phase that drains
 /// per-SM request queues in SM-index order, reproducing the serial mode's
 /// L2/DRAM queueing and LRU state exactly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SimMode {
     /// One thread steps SMs in index order, servicing memory at issue time
     /// (the reference semantics).

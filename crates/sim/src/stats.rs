@@ -82,6 +82,16 @@ pub struct KernelStats {
     pub skipped_cycles: u64,
     /// Number of fast-forward jumps taken.
     pub fast_forward_jumps: u64,
+    /// Launch-plan cache hits attributable to this launch (stamped by the
+    /// plan/execute engine; zero for launches driven without a plan).
+    pub plan_cache_hits: u64,
+    /// Launch-plan cache misses attributable to this launch.
+    pub plan_cache_misses: u64,
+    /// Host-side plan-build work performed for this launch, in deterministic
+    /// work units (element visits during weight packing / operand staging
+    /// plus fixed policy-resolution costs). Zero on the hot path: a launch
+    /// that reuses a fully materialized plan does no build work.
+    pub plan_build_cycles: u64,
     /// Thread blocks executed.
     pub blocks: u32,
     /// Number of SMs in the machine (for per-SM normalization).
@@ -197,6 +207,11 @@ impl KernelStats {
             self.fast_forward_jumps,
             100.0 * self.skip_ratio(),
         );
+        let _ = writeln!(
+            s,
+            "  plan:   {} cache hits, {} misses, {} build units",
+            self.plan_cache_hits, self.plan_cache_misses, self.plan_build_cycles,
+        );
         s
     }
 
@@ -231,6 +246,9 @@ impl KernelStats {
         self.l2_hit_bytes += other.l2_hit_bytes;
         self.skipped_cycles += other.skipped_cycles;
         self.fast_forward_jumps += other.fast_forward_jumps;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
+        self.plan_build_cycles += other.plan_build_cycles;
         self.blocks += other.blocks;
         self.num_sms = self.num_sms.max(other.num_sms);
         self.subparts = self.subparts.max(other.subparts);
@@ -268,6 +286,9 @@ mod tests {
             l2_hit_bytes: 0,
             skipped_cycles: 0,
             fast_forward_jumps: 0,
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+            plan_build_cycles: 0,
             blocks: 4,
             num_sms: 2,
             subparts: 4,

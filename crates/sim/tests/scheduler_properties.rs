@@ -165,7 +165,7 @@ fn dram_byte_accounting_is_conserved() {
     p.ldg(v, addr, 0, MemWidth::B32);
     p.iadd(addr, addr.into(), Src::Imm(32 * 128));
     p.iadd(i, i.into(), Src::Imm(1));
-    p.isetp(pr, i.into(), Src::Imm((lines / 32) as u32), ICmp::Lt);
+    p.isetp(pr, i.into(), Src::Imm(lines / 32), ICmp::Lt);
     p.bra_if("top", pr, true);
     p.exit();
     let k = Kernel::single("stream", p.build().into_arc(), 1, 1, 0, vec![buf.addr]);

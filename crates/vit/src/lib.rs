@@ -16,7 +16,9 @@
 //! * [`mod@reference`] — the CPU integer reference pipeline (ground truth);
 //! * [`pipeline`] — the same network executed kernel-by-kernel on the
 //!   simulated GPU under any Table-3 [`vitbit_exec::Strategy`], collecting
-//!   per-kernel [`vitbit_sim::KernelStats`] for Figures 5–10.
+//!   per-kernel [`vitbit_sim::KernelStats`] for Figures 5–10. Forward
+//!   passes are planned once ([`VitPlan`]) and executed per input
+//!   ([`pipeline::run_vit_planned`]) on a shared [`vitbit_plan::Engine`].
 
 pub mod config;
 pub mod model;
@@ -25,4 +27,6 @@ pub mod reference;
 
 pub use config::ViTConfig;
 pub use model::ViTModel;
-pub use pipeline::{run_vit, run_vit_cached, KernelClass, LayerTiming, VitRun};
+#[allow(deprecated)]
+pub use pipeline::{run_vit, run_vit_cached};
+pub use pipeline::{run_vit_planned, KernelClass, LayerTiming, VitPlan, VitRun};

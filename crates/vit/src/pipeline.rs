@@ -5,6 +5,19 @@
 //! strategy's CUDA-kernel variant, collecting per-kernel statistics — the
 //! measurement loop behind Figures 5–10.
 //!
+//! ## Plan/execute shape
+//!
+//! The forward pass is split into two phases. [`VitPlan::build`] resolves
+//! every Linear site of the encoder into a [`vitbit_plan::PlanId`] —
+//! weight GEMMs (`wq`/`wk`/`wv`/`wo`/`fc1`/`fc2`) get one plan per weight,
+//! activation GEMMs (attention scores, `probs x V`) share one plan per
+//! shape across all heads and blocks — and [`run_vit_planned`] executes
+//! the encoder loop against those ids. On a shared [`Engine`], repeated
+//! forward passes re-pack nothing and re-resolve nothing: the second pass
+//! reports `plan_build_cycles == 0` on every Linear launch. The legacy
+//! one-shot drivers ([`run_vit`], [`run_vit_cached`]) remain as
+//! `#[deprecated]` shims over this machinery.
+//!
 //! Orientation note (see DESIGN.md): GEMMs run as `X x W`, so the *packed*
 //! operand is the stationary weight matrix. The SWAR arithmetic and the
 //! instruction-count effects are identical to the paper's input-side
@@ -12,8 +25,9 @@
 
 use crate::model::{requant, ViTModel};
 use crate::reference;
-use vitbit_exec::{ExecConfig, GemmTuner, PackedWeightCache, Strategy};
+use vitbit_exec::{ExecConfig, PackedWeightCache, Strategy};
 use vitbit_kernels::elementwise::{run_layernorm, run_map, run_softmax, MapOp};
+use vitbit_plan::{Engine, GemmDesc, PlanId};
 use vitbit_sim::{Gpu, KernelStats};
 use vitbit_tensor::Matrix;
 
@@ -87,6 +101,12 @@ impl VitRun {
         }
         out
     }
+
+    /// Total plan-build work attributed to this run's launches (zero when
+    /// every plan was already materialized — the engine hot path).
+    pub fn plan_build_cycles(&self) -> u64 {
+        self.timings.iter().map(|t| t.stats.plan_build_cycles).sum()
+    }
 }
 
 /// Stable identity of one weight matrix inside a model, for the
@@ -99,56 +119,107 @@ fn weight_id(global_block: usize, site: u64) -> u64 {
     ((global_block as u64) << 3) | site
 }
 
-/// Runs the forward pass under `strategy`, simulating the first
-/// `blocks_limit` blocks (all when `None`). The remaining blocks run on the
-/// CPU reference path so the logits stay meaningful.
-///
-/// Packs weights into a fresh per-call cache; to amortize weight packing
-/// across repeated forward passes of the same model, hold a
-/// [`PackedWeightCache`] and call [`run_vit_cached`].
-pub fn run_vit(
-    gpu: &mut Gpu,
-    model: &ViTModel,
-    input: &Matrix<i8>,
-    strategy: Strategy,
-    exec_cfg: &ExecConfig,
-    blocks_limit: Option<usize>,
-) -> VitRun {
-    let mut cache = PackedWeightCache::new();
-    run_vit_cached(
-        gpu,
-        model,
-        input,
-        strategy,
-        exec_cfg,
-        blocks_limit,
-        &mut cache,
-    )
+/// The prepared Linear sites of one encoder block.
+#[derive(Debug, Clone, Copy)]
+struct BlockPlans {
+    wq: PlanId,
+    wk: PlanId,
+    wv: PlanId,
+    /// Attention scores `q_h x k_h^T` — activation GEMM, one plan shared
+    /// by every head (same shape, no stationary weight).
+    scores: PlanId,
+    /// `probs_h x v_h` — activation GEMM, likewise shared.
+    attn_v: PlanId,
+    proj: PlanId,
+    fc1: PlanId,
+    fc2: PlanId,
 }
 
-/// [`run_vit`] reusing a caller-held packed-weight cache: each encoder
-/// block's stationary weights (`wq`/`wk`/`wv`/`wo`/`fc1`/`fc2`) are packed
-/// once per (weight, spec, split geometry) and served from the cache on
-/// every later launch — including across repeated forward passes. The
-/// activation-valued GEMMs (attention scores, `probs x V`) never cache.
-///
-/// The cache must not be reused across different models (weight ids are
-/// model-relative); clear it when the weights change.
-#[allow(clippy::too_many_arguments)]
-pub fn run_vit_cached(
+/// A prepared ViT forward pass: one [`PlanId`] per Linear site of every
+/// simulated block. Build once per (model, strategy, config, GPU knobs)
+/// with [`VitPlan::build`], execute per input with [`run_vit_planned`].
+#[derive(Debug, Clone)]
+pub struct VitPlan {
+    /// Strategy the plans were resolved for.
+    pub strategy: Strategy,
+    /// Execution parameters the plans were resolved for.
+    pub cfg: ExecConfig,
+    blocks: Vec<BlockPlans>,
+}
+
+impl VitPlan {
+    /// Resolves every Linear site of the first `blocks_limit` encoder
+    /// blocks (all when `None`) into engine plans. Pure host-side work —
+    /// no GPU launches; weights are staged lazily by the first execute of
+    /// each plan.
+    ///
+    /// # Panics
+    /// Panics when `exec_cfg.bitwidth` disagrees with the model's.
+    pub fn build(
+        engine: &mut Engine,
+        gpu: &Gpu,
+        model: &ViTModel,
+        strategy: Strategy,
+        exec_cfg: &ExecConfig,
+        blocks_limit: Option<usize>,
+    ) -> VitPlan {
+        let cfg = &model.cfg;
+        assert_eq!(
+            exec_cfg.bitwidth, cfg.bitwidth,
+            "config bitwidths must agree"
+        );
+        let sim_blocks = blocks_limit.unwrap_or(cfg.blocks).min(cfg.blocks);
+        let (t, d, hd, mlp) = (cfg.tokens, cfg.dim, cfg.head_dim, cfg.mlp_dim);
+        let weight_desc = |gb: usize, site: u64, m: usize, k: usize, n: usize| {
+            GemmDesc::from_exec(strategy, exec_cfg, gpu, m, k, n, Some(weight_id(gb, site)))
+        };
+        let act_desc = |m: usize, k: usize, n: usize| {
+            GemmDesc::from_exec(strategy, exec_cfg, gpu, m, k, n, None)
+        };
+        let blocks = (0..sim_blocks)
+            .map(|b| {
+                let gb = b + model.block_offset;
+                BlockPlans {
+                    wq: engine.prepare(weight_desc(gb, 0, t, d, d)),
+                    wk: engine.prepare(weight_desc(gb, 1, t, d, d)),
+                    wv: engine.prepare(weight_desc(gb, 2, t, d, d)),
+                    scores: engine.prepare(act_desc(t, hd, t)),
+                    attn_v: engine.prepare(act_desc(t, t, hd)),
+                    proj: engine.prepare(weight_desc(gb, 3, t, d, d)),
+                    fc1: engine.prepare(weight_desc(gb, 4, t, d, mlp)),
+                    fc2: engine.prepare(weight_desc(gb, 5, t, mlp, d)),
+                }
+            })
+            .collect();
+        VitPlan {
+            strategy,
+            cfg: *exec_cfg,
+            blocks,
+        }
+    }
+
+    /// Blocks this plan covers (the rest of the model runs on the CPU
+    /// reference tail).
+    pub fn simulated_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// Executes a prepared forward pass: the encoder loop of
+/// [`crate::reference`], with every Linear going through
+/// [`Engine::execute`] on the plan's ids and every attention-block
+/// operator through the strategy's CUDA-kernel variant. Repeated calls on
+/// the same engine re-pack and re-resolve nothing.
+pub fn run_vit_planned(
     gpu: &mut Gpu,
+    engine: &mut Engine,
+    plan: &VitPlan,
     model: &ViTModel,
     input: &Matrix<i8>,
-    strategy: Strategy,
-    exec_cfg: &ExecConfig,
-    blocks_limit: Option<usize>,
-    cache: &mut PackedWeightCache,
 ) -> VitRun {
     let cfg = &model.cfg;
-    assert_eq!(
-        exec_cfg.bitwidth, cfg.bitwidth,
-        "config bitwidths must agree"
-    );
+    let strategy = plan.strategy;
+    let exec_cfg = &plan.cfg;
     let bw = cfg.bitwidth;
     // Non-linear CUDA kernels use the per-op variant (VitBit packs only
     // where SWAR stays lane-exact without unpacking); the residual add is
@@ -158,14 +229,14 @@ pub fn run_vit_cached(
     // packed single-pipe form here too (measured; see EXPERIMENTS.md).
     let ew_add = strategy.ew_variant_for(exec_cfg, false);
     let ew_rows = strategy.ew_variant_rows(exec_cfg);
-    let mut tuner = GemmTuner::new();
-    let sim_blocks = blocks_limit.unwrap_or(cfg.blocks).min(cfg.blocks);
+    let sim_blocks = plan.simulated_blocks().min(cfg.blocks);
     let mut timings = Vec::new();
     let mut x = input.clone();
 
     for b in 0..sim_blocks {
         let w = &model.blocks[b];
         let s = &model.shifts[b];
+        let p = &plan.blocks[b];
         let mut record = |name: &'static str, class: KernelClass, stats: KernelStats| {
             timings.push(LayerTiming {
                 name,
@@ -180,24 +251,9 @@ pub fn run_vit_cached(
         record("layernorm", KernelClass::Cuda, ln1.stats.clone());
         let h = ln1.out;
 
-        let gb = b + model.block_offset;
-        let proj3 = |gpu: &mut Gpu,
-                     tuner: &mut GemmTuner,
-                     cache: &mut PackedWeightCache,
-                     wm: &Matrix<i8>,
-                     site: u64| {
-            strategy.run_gemm_tuned_weighted(
-                gpu,
-                &h,
-                wm,
-                exec_cfg,
-                tuner,
-                Some((cache, weight_id(gb, site))),
-            )
-        };
-        let qo = proj3(gpu, &mut tuner, cache, &w.wq, 0);
-        let ko = proj3(gpu, &mut tuner, cache, &w.wk, 1);
-        let vo = proj3(gpu, &mut tuner, cache, &w.wv, 2);
+        let qo = engine.execute(gpu, p.wq, &h, &w.wq);
+        let ko = engine.execute(gpu, p.wk, &h, &w.wk);
+        let vo = engine.execute(gpu, p.wv, &h, &w.wv);
         let mut qkv_stats = qo.stats.clone();
         qkv_stats.accumulate(&ko.stats);
         qkv_stats.accumulate(&vo.stats);
@@ -212,7 +268,7 @@ pub fn run_vit_cached(
         for hd in 0..cfg.heads {
             let qh = q.slice_cols(hd * cfg.head_dim, cfg.head_dim);
             let kh = k.slice_cols(hd * cfg.head_dim, cfg.head_dim);
-            let out = strategy.run_gemm_tuned(gpu, &qh, &kh.transpose(), exec_cfg, &mut tuner);
+            let out = engine.execute(gpu, p.scores, &qh, &kh.transpose());
             scores_stats.accumulate(&out.stats);
             score_mats.push(requant(&out.c, s.score, bw));
         }
@@ -227,7 +283,7 @@ pub fn run_vit_cached(
         for hd in 0..cfg.heads {
             let probs = slice_rows(&probs_all, hd * cfg.tokens, cfg.tokens);
             let vh = v.slice_cols(hd * cfg.head_dim, cfg.head_dim);
-            let out = strategy.run_gemm_tuned(gpu, &probs, &vh, exec_cfg, &mut tuner);
+            let out = engine.execute(gpu, p.attn_v, &probs, &vh);
             attn_stats.accumulate(&out.stats);
             head_outs.push(requant(&out.c, s.attnv, bw));
         }
@@ -235,14 +291,7 @@ pub fn run_vit_cached(
         let refs: Vec<&Matrix<i8>> = head_outs.iter().collect();
         let attn = Matrix::concat_cols(&refs);
 
-        let proj = strategy.run_gemm_tuned_weighted(
-            gpu,
-            &attn,
-            &w.wo,
-            exec_cfg,
-            &mut tuner,
-            Some((cache, weight_id(gb, 3))),
-        );
+        let proj = engine.execute(gpu, p.proj, &attn, &w.wo);
         record("proj", KernelClass::Linear, proj.stats.clone());
         let o = requant(&proj.c, s.proj, bw);
         let dseed = reference::dropout_seed(b + model.block_offset, 0);
@@ -268,27 +317,13 @@ pub fn run_vit_cached(
         let ln2 = run_layernorm(gpu, &x, model.ln_gamma, model.ln_beta, ew_rows, bw);
         record("layernorm", KernelClass::Cuda, ln2.stats.clone());
         let h2 = ln2.out;
-        let f1 = strategy.run_gemm_tuned_weighted(
-            gpu,
-            &h2,
-            &w.fc1,
-            exec_cfg,
-            &mut tuner,
-            Some((cache, weight_id(gb, 4))),
-        );
+        let f1 = engine.execute(gpu, p.fc1, &h2, &w.fc1);
         record("fc1", KernelClass::Linear, f1.stats.clone());
         let f = requant(&f1.c, s.fc1, bw);
         let ge = run_map(gpu, MapOp::Gelu, ew, bw, f.as_slice(), None);
         record("gelu", KernelClass::Cuda, ge.stats.clone());
         let f = Matrix::from_vec(f.rows(), f.cols(), ge.out);
-        let f2 = strategy.run_gemm_tuned_weighted(
-            gpu,
-            &f,
-            &w.fc2,
-            exec_cfg,
-            &mut tuner,
-            Some((cache, weight_id(gb, 5))),
-        );
+        let f2 = engine.execute(gpu, p.fc2, &f, &w.fc2);
         record("fc2", KernelClass::Linear, f2.stats.clone());
         let g = requant(&f2.c, s.fc2, bw);
         let dseed = reference::dropout_seed(b + model.block_offset, 1);
@@ -331,6 +366,59 @@ pub fn run_vit_cached(
     }
 }
 
+/// Runs the forward pass under `strategy`, simulating the first
+/// `blocks_limit` blocks (all when `None`). The remaining blocks run on the
+/// CPU reference path so the logits stay meaningful.
+///
+/// Packs weights into a fresh per-call engine; to amortize weight packing
+/// and plan building across repeated forward passes, build a [`VitPlan`]
+/// on a shared [`Engine`] and call [`run_vit_planned`].
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `VitPlan` on a shared `vitbit_plan::Engine` and call `run_vit_planned`"
+)]
+pub fn run_vit(
+    gpu: &mut Gpu,
+    model: &ViTModel,
+    input: &Matrix<i8>,
+    strategy: Strategy,
+    exec_cfg: &ExecConfig,
+    blocks_limit: Option<usize>,
+) -> VitRun {
+    let mut engine = Engine::new();
+    let plan = VitPlan::build(&mut engine, gpu, model, strategy, exec_cfg, blocks_limit);
+    run_vit_planned(gpu, &mut engine, &plan, model, input)
+}
+
+/// [`run_vit`] reusing a caller-held packed-weight cache: each encoder
+/// block's stationary weights (`wq`/`wk`/`wv`/`wo`/`fc1`/`fc2`) are packed
+/// once per (weight, spec, split geometry) and served from the cache on
+/// every later launch — including across repeated forward passes. The
+/// activation-valued GEMMs (attention scores, `probs x V`) never cache.
+///
+/// The cache must not be reused across different models (weight ids are
+/// model-relative); clear it when the weights change.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `VitPlan` on a shared `vitbit_plan::Engine` (which owns the weight cache) and call `run_vit_planned`"
+)]
+pub fn run_vit_cached(
+    gpu: &mut Gpu,
+    model: &ViTModel,
+    input: &Matrix<i8>,
+    strategy: Strategy,
+    exec_cfg: &ExecConfig,
+    blocks_limit: Option<usize>,
+    cache: &mut PackedWeightCache,
+) -> VitRun {
+    let mut engine = Engine::new();
+    std::mem::swap(cache, engine.weights_mut());
+    let plan = VitPlan::build(&mut engine, gpu, model, strategy, exec_cfg, blocks_limit);
+    let run = run_vit_planned(gpu, &mut engine, &plan, model, input);
+    std::mem::swap(cache, engine.weights_mut());
+    run
+}
+
 fn stack_rows(mats: &[Matrix<i8>]) -> Matrix<i8> {
     let cols = mats[0].cols();
     let rows: usize = mats.iter().map(|m| m.rows()).sum();
@@ -351,6 +439,7 @@ fn slice_rows(m: &Matrix<i8>, start: usize, count: usize) -> Matrix<i8> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::config::ViTConfig;
@@ -478,5 +567,49 @@ mod tests {
         ] {
             assert!(names.contains(&expect), "missing {expect}");
         }
+    }
+
+    #[test]
+    fn planned_rerun_does_zero_build_work() {
+        // The tentpole property end to end: the second forward pass over a
+        // shared engine reuses every plan — no packing, no policy work.
+        let (mut gpu, model, cfg) = setup();
+        let x = model.synthetic_input(6);
+        let mut engine = Engine::new();
+        let plan = VitPlan::build(&mut engine, &gpu, &model, Strategy::VitBit, &cfg, Some(1));
+        let first = run_vit_planned(&mut gpu, &mut engine, &plan, &model, &x);
+        assert!(first.plan_build_cycles() > 0, "cold pass builds plans");
+        let weight_misses = engine.weights().misses();
+        let second = run_vit_planned(&mut gpu, &mut engine, &plan, &model, &x);
+        assert_eq!(
+            second.plan_build_cycles(),
+            0,
+            "hot pass must do zero plan-build work"
+        );
+        assert_eq!(
+            engine.weights().misses(),
+            weight_misses,
+            "hot pass must not re-pack any weight"
+        );
+        assert_eq!(first.logits, second.logits);
+        let agg = second.aggregate();
+        assert!(agg.plan_cache_hits > 0 && agg.plan_cache_misses == 0);
+    }
+
+    #[test]
+    fn planned_path_matches_legacy_shim() {
+        // Differential: fresh-engine planned execution must equal the
+        // deprecated one-shot driver launch for launch (same launches,
+        // same L2 evolution, same cycles).
+        let (_, model, cfg) = setup();
+        let x = model.synthetic_input(7);
+        let mut g1 = Gpu::new(OrinConfig::test_small(), 128 << 20);
+        let legacy = run_vit(&mut g1, &model, &x, Strategy::VitBit, &cfg, Some(1));
+        let mut g2 = Gpu::new(OrinConfig::test_small(), 128 << 20);
+        let mut engine = Engine::new();
+        let plan = VitPlan::build(&mut engine, &g2, &model, Strategy::VitBit, &cfg, Some(1));
+        let planned = run_vit_planned(&mut g2, &mut engine, &plan, &model, &x);
+        assert_eq!(legacy.logits, planned.logits);
+        assert_eq!(legacy.total_cycles(), planned.total_cycles());
     }
 }

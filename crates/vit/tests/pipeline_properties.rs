@@ -2,12 +2,27 @@
 //! harness's blocks-limit extrapolation), timing-surface completeness, and
 //! model/weights invariants.
 
-use vitbit_exec::{ExecConfig, Strategy};
+use vitbit_exec::{Engine, ExecConfig, Strategy};
 use vitbit_sim::{Gpu, OrinConfig};
-use vitbit_vit::{run_vit, KernelClass, ViTConfig, ViTModel};
+use vitbit_tensor::Matrix;
+use vitbit_vit::{run_vit_planned, KernelClass, ViTConfig, ViTModel, VitPlan, VitRun};
 
 fn gpu() -> Gpu {
     Gpu::new(OrinConfig::test_small(), 128 << 20)
+}
+
+/// One-shot planned run: the engine-API equivalent of the old `run_vit`.
+fn run_vit(
+    gpu: &mut Gpu,
+    model: &ViTModel,
+    input: &Matrix<i8>,
+    strategy: Strategy,
+    cfg: &ExecConfig,
+    blocks_limit: Option<usize>,
+) -> VitRun {
+    let mut engine = Engine::new();
+    let plan = VitPlan::build(&mut engine, gpu, model, strategy, cfg, blocks_limit);
+    run_vit_planned(gpu, &mut engine, &plan, model, input)
 }
 
 #[test]

@@ -7,12 +7,14 @@
 //! ```
 
 use vitbit::exec::{ExecConfig, Strategy};
+use vitbit::plan::{Engine, GemmDesc};
 use vitbit::sim::Gpu;
 use vitbit::tensor::{gen, refgemm};
 
 fn main() {
     let cfg = ExecConfig::int6();
     let mut gpu = Gpu::orin();
+    let mut engine = Engine::new();
     // The ViT-Base Linear shape: (197 tokens x 768) x (768 x 768).
     let a = gen::uniform_i8(197, 768, -32, 31, 1);
     let b = gen::uniform_i8(768, 768, -32, 31, 2);
@@ -26,7 +28,11 @@ fn main() {
     let mut vitbit_stats = None;
     for s in Strategy::ALL {
         gpu.cold_caches();
-        let out = s.run_gemm(&mut gpu, &a, &b, &cfg);
+        // One plan per strategy; this example shows each raw launch once,
+        // so every execute is the plan's first (cold) run.
+        let mut desc = GemmDesc::from_exec(s, &cfg, &gpu, 197, 768, 768, Some(1));
+        desc.adaptive = false; // show the raw fused launches, no dispatch
+        let out = engine.run(&mut gpu, desc, &a, &b);
         let st = &out.stats;
         if s == Strategy::Tc {
             tc_cycles = st.cycles;

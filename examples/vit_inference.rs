@@ -10,8 +10,9 @@
 //! ```
 
 use vitbit::exec::{ExecConfig, Strategy};
+use vitbit::plan::Engine;
 use vitbit::sim::Gpu;
-use vitbit::vit::{run_vit, ViTConfig, ViTModel};
+use vitbit::vit::{run_vit_planned, ViTConfig, ViTModel, VitPlan};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--base");
@@ -53,7 +54,12 @@ fn main() {
         Strategy::TcIcFc,
         Strategy::VitBit,
     ] {
-        let run = run_vit(&mut gpu, &model, &input, s, &exec, blocks);
+        // Plan the strategy's forward pass once, then execute it — the
+        // engine packs each weight a single time while planning-time work
+        // stays out of the simulated cycle counts.
+        let mut engine = Engine::new();
+        let plan = VitPlan::build(&mut engine, &gpu, &model, s, &exec, blocks);
+        let run = run_vit_planned(&mut gpu, &mut engine, &plan, &model, &input);
         let cycles = run.total_cycles();
         if s == Strategy::Tc {
             tc_cycles = cycles;

@@ -21,6 +21,10 @@
 //!   Algorithm 2) and the ViT attention-block CUDA kernels (Shiftmax,
 //!   ShiftGELU, I-LayerNorm, dropout, residual add) in all Table-3
 //!   variants.
+//! * [`plan`] ([`vitbit_plan`]) — the plan/execute engine: a `GemmDesc`
+//!   resolves once into a cached `GemmPlan` (pack policy, Equation-1
+//!   split, grid geometry, packed weights), then `Engine::execute` runs
+//!   it per request with zero re-packing.
 //! * [`exec`] ([`vitbit_exec`]) — the Table-3 strategies and the
 //!   Section-3.2 calibration study.
 //! * [`vit`] ([`vitbit_vit`]) — an integer-only ViT-Base running end to
@@ -49,6 +53,7 @@
 pub use vitbit_core as core;
 pub use vitbit_exec as exec;
 pub use vitbit_kernels as kernels;
+pub use vitbit_plan as plan;
 pub use vitbit_sim as sim;
 pub use vitbit_tensor as tensor;
 pub use vitbit_vit as vit;

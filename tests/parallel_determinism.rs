@@ -5,6 +5,12 @@
 //! must be invisible in everything except wall-clock time and its own
 //! skip counters, and cached weight packing must be invisible in GEMM
 //! outputs.
+//!
+//! The suite drives the deprecated one-shot `run_*` shims on purpose:
+//! they delegate to the plan/execute engine, so every differential
+//! assertion here also covers the legacy-compatibility surface
+//! (see `tests/plan_equivalence.rs` for engine-vs-shim identity).
+#![allow(deprecated)]
 
 use vitbit::core::policy::PackSpec;
 use vitbit::core::ratio::CoreRatio;

@@ -1,0 +1,99 @@
+//! Plan/execute equivalence: the [`vitbit::plan::Engine`] must be a pure
+//! refactoring of the legacy one-shot `run_*` drivers. For every Table-3
+//! strategy, bitwidth and simulator mode, the engine's output — the result
+//! matrix *and* the simulated cycle count — is bit-identical to the legacy
+//! entry point, and repeated execution of one plan reproduces the same
+//! cycles with zero plan-build work.
+//!
+//! Launch-position discipline: L2 state persists across launches on one
+//! GPU, so every comparison pairs launch #i on one GPU with launch #i on a
+//! second, identically configured GPU — never #1 against #2.
+
+// The legacy entry points are deprecated shims over the engine; exercising
+// them here is the point of the test.
+#![allow(deprecated)]
+
+use vitbit::exec::{ExecConfig, Strategy};
+use vitbit::plan::{Engine, GemmDesc};
+use vitbit::sim::{Gpu, OrinConfig, SimMode};
+use vitbit::tensor::gen;
+
+fn gpu(mode: SimMode) -> Gpu {
+    let mut cfg = OrinConfig::test_small();
+    cfg.sim_mode = mode;
+    Gpu::new(cfg, 64 << 20)
+}
+
+const SHAPE: (usize, usize, usize) = (20, 32, 320);
+
+#[test]
+fn engine_is_bit_identical_to_legacy_for_every_strategy_bitwidth_and_mode() {
+    let (m, k, n) = SHAPE;
+    for mode in [SimMode::Serial, SimMode::Parallel] {
+        for bw in [4u32, 6, 8] {
+            let cfg = ExecConfig::guarded(bw);
+            let hi = ((1i32 << (bw - 1)) - 1) as i8;
+            let a = gen::uniform_i8(m, k, -hi - 1, hi, 100 + u64::from(bw));
+            let b = gen::uniform_i8(k, n, -hi - 1, hi, 200 + u64::from(bw));
+            for s in Strategy::ALL {
+                // Legacy one-shot driver on its own GPU (launch #1)...
+                let mut g_legacy = gpu(mode);
+                let legacy = s.run_gemm(&mut g_legacy, &a, &b, &cfg);
+                // ...vs the engine on a separate GPU (also launch #1).
+                let mut g_engine = gpu(mode);
+                let mut engine = Engine::new();
+                let mut desc = GemmDesc::from_exec(s, &cfg, &g_engine, m, k, n, None);
+                desc.adaptive = false; // matches the untuned legacy path
+                let out = engine.run(&mut g_engine, desc, &a, &b);
+                let tag = format!("{} INT{bw} {mode:?}", s.name());
+                assert_eq!(out.c, legacy.c, "result mismatch: {tag}");
+                assert_eq!(
+                    out.stats.cycles, legacy.stats.cycles,
+                    "cycle mismatch: {tag}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_reuse_reproduces_cycles_with_zero_build_work() {
+    let (m, k, n) = SHAPE;
+    for s in [Strategy::Tacker, Strategy::TcIcFc, Strategy::VitBit] {
+        let cfg = ExecConfig::guarded(6);
+        let a = gen::uniform_i8(m, k, -32, 31, 7);
+        let b = gen::uniform_i8(k, n, -32, 31, 8);
+        // Two executes of one plan on g1; two fresh one-shots on g2.
+        // Position-matched: cold vs #1, hot vs #2.
+        let mut g1 = gpu(SimMode::Serial);
+        let mut engine = Engine::new();
+        let mut desc = GemmDesc::from_exec(s, &cfg, &g1, m, k, n, Some(1));
+        desc.adaptive = false;
+        let id = engine.prepare(desc);
+        let cold = engine.execute(&mut g1, id, &a, &b);
+        let packs_after_cold = engine.weights().misses();
+        let hot = engine.execute(&mut g1, id, &a, &b);
+
+        let mut g2 = gpu(SimMode::Serial);
+        let first = s.run_gemm(&mut g2, &a, &b, &cfg);
+        let second = s.run_gemm(&mut g2, &a, &b, &cfg);
+
+        let tag = s.name();
+        assert_eq!(cold.c, first.c, "{tag}");
+        assert_eq!(hot.c, second.c, "{tag}");
+        assert_eq!(cold.stats.cycles, first.stats.cycles, "{tag} cold");
+        assert_eq!(hot.stats.cycles, second.stats.cycles, "{tag} hot");
+        // The acceptance criterion: repeat execution does no packing and
+        // no policy/ratio recomputation.
+        assert!(cold.stats.plan_build_cycles > 0, "{tag}: cold pays build");
+        assert_eq!(hot.stats.plan_build_cycles, 0, "{tag}: hot is build-free");
+        assert_eq!(hot.stats.plan_cache_hits, 1, "{tag}");
+        // Weight staged at most once (VitBit packs; the others don't),
+        // and never re-packed by the hot execute.
+        assert_eq!(
+            engine.weights().misses(),
+            packs_after_cold,
+            "{tag}: hot execute re-packed a weight"
+        );
+    }
+}

@@ -1,5 +1,10 @@
 //! Cross-crate integration: Table-3 strategies over the simulated GPU and
 //! the integer ViT pipeline.
+//!
+//! Kept on the deprecated one-shot entry points deliberately: they are
+//! thin shims over the plan/execute engine, so this suite doubles as
+//! end-to-end coverage of the legacy-compatibility surface.
+#![allow(deprecated)]
 
 use vitbit::exec::{run_initial_study, ExecConfig, GemmTuner, Strategy};
 use vitbit::sim::{Gpu, OrinConfig};
