@@ -28,6 +28,7 @@ fn main() {
             || {
                 engine
                     .execute(&mut gpu, id, black_box(&a), black_box(&b))
+                    .expect("execute")
                     .stats
                     .cycles
             },

@@ -139,7 +139,7 @@ fn gemm_tc_family(
         let mut stats = KernelStats::default();
         let wall = bench(&format!("sim_fastforward/{name}/ff_{ff}"), samples, || {
             gpu.cold_caches();
-            stats = gpu.launch(&kernel);
+            stats = gpu.launch(&kernel).expect("launch");
             black_box(stats.cycles)
         });
         (wall, stats, 0)
@@ -169,7 +169,7 @@ fn fused_vitbit_family() -> Family {
                 3,
                 || {
                     gpu.cold_caches();
-                    stats = engine.execute(&mut gpu, id, &a, &b).stats;
+                    stats = engine.execute(&mut gpu, id, &a, &b).expect("execute").stats;
                     black_box(stats.cycles)
                 },
             );
@@ -236,7 +236,74 @@ fn vit_block_family() -> Family {
     )
 }
 
-fn write_json(families: &[Family]) {
+/// One ABFT-overhead measurement: a fused INT8 GEMM on a ViT Linear
+/// shape, executed with checksummed verification on, reporting the
+/// modeled check cost as a share of the kernel's simulated cycles.
+struct AbftRow {
+    site: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    cycles: u64,
+    check_cycles: u64,
+}
+
+impl AbftRow {
+    fn overhead_pct(&self) -> f64 {
+        100.0 * self.check_cycles as f64 / (self.cycles as f64).max(1.0)
+    }
+}
+
+/// Measures the steady-state ABFT verification overhead on the fused
+/// VitBit INT8 path over the ViT-Base Linear shapes. The cold execute
+/// stages the weights (and the cached `bsum` checksum vector); the hot
+/// execute is the per-request cost a deployed forward pass pays.
+fn abft_overhead_rows() -> Vec<AbftRow> {
+    let cfg = ExecConfig::guarded(8);
+    let shapes: [(&'static str, usize, usize, usize); 3] = [
+        ("qkv_proj", 197, 768, 768),
+        ("fc1", 197, 768, 3072),
+        ("fc2", 197, 3072, 768),
+    ];
+    let mut rows = Vec::new();
+    for (site, m, k, n) in shapes {
+        let a = gen::uniform_i8(m, k, -128, 127, 21);
+        let b = gen::uniform_i8(k, n, -128, 127, 22);
+        let mut gpu = orin_gpu(true, 96 << 20);
+        let mut engine = Engine::new();
+        let mut desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &gpu, m, k, n, Some(1));
+        desc.adaptive = false;
+        desc.abft = true;
+        let id = engine.prepare(desc);
+        let _cold = engine.execute(&mut gpu, id, &a, &b).expect("execute");
+        gpu.cold_caches();
+        let hot = engine.execute(&mut gpu, id, &a, &b).expect("execute");
+        let row = AbftRow {
+            site,
+            m,
+            k,
+            n,
+            cycles: hot.stats.cycles,
+            check_cycles: hot.stats.abft_check_cycles,
+        };
+        println!(
+            "  abft {site} ({m}x{k}x{n}): {} gemm cycles + {} check cycles ({:.2}% overhead)",
+            row.cycles,
+            row.check_cycles,
+            row.overhead_pct()
+        );
+        assert_eq!(engine.stats().faults_detected, 0, "fault-free run");
+        assert!(
+            row.overhead_pct() <= 10.0,
+            "{site}: ABFT overhead {:.2}% exceeds the 10% budget",
+            row.overhead_pct()
+        );
+        rows.push(row);
+    }
+    rows
+}
+
+fn write_json(families: &[Family], abft: &[AbftRow]) {
     let mut rows = Vec::new();
     for f in families {
         rows.push(format!(
@@ -257,10 +324,19 @@ fn write_json(families: &[Family]) {
             f.on.cycles,
         ));
     }
+    let mut abft_rows = Vec::new();
+    for r in abft {
+        abft_rows.push(format!(
+            "    {{\"site\": \"{}\", \"shape\": \"{}x{}x{}\", \"strategy\": \"vitbit_fused_int8\", \
+             \"gemm_cycles\": {}, \"abft_check_cycles\": {}, \"overhead_pct\": {:.3}}}",
+            r.site, r.m, r.k, r.n, r.cycles, r.check_cycles, r.overhead_pct(),
+        ));
+    }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let json = format!(
-        "{{\n  \"bench\": \"sim_fastforward\",\n  \"host_cores\": {cores},\n  \"families\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+        "{{\n  \"bench\": \"sim_fastforward\",\n  \"host_cores\": {cores},\n  \"families\": [\n{}\n  ],\n  \"abft_overhead\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        abft_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
     std::fs::write(path, &json).expect("write BENCH_sim.json");
@@ -279,7 +355,9 @@ fn main() {
         elementwise_family(),
         vit_block_family(),
     ];
-    write_json(&families);
+    println!("-- ABFT checksum overhead, fused INT8 ViT GEMM shapes --");
+    let abft = abft_overhead_rows();
+    write_json(&families, &abft);
 
     let membound = &families[0];
     println!(

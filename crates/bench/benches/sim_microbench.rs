@@ -67,12 +67,12 @@ fn bench_sim_throughput() {
     let mut gpu = Gpu::new(OrinConfig::test_small(), 16 << 20);
     let k = math_kernel(16, 8);
     bench("sim_throughput/math_kernel_16_blocks", 10, || {
-        black_box(gpu.launch(&k).issued.total())
+        black_box(gpu.launch(&k).expect("launch").issued.total())
     });
     let mut gpu = Gpu::new(OrinConfig::test_small(), 64 << 20);
     let k = stream_kernel(&mut gpu, 16);
     bench("sim_throughput/stream_kernel_16_blocks", 10, || {
-        black_box(gpu.launch(&k).cycles)
+        black_box(gpu.launch(&k).expect("launch").cycles)
     });
 }
 

@@ -134,7 +134,7 @@ fn bench_modes() {
         let k = math_kernel(28, 8);
         let mut cycles = 0;
         let wall = bench(&format!("sim_parallel/math_28_blocks/{label}"), 5, || {
-            cycles = gpu.launch(&k).cycles;
+            cycles = gpu.launch(&k).expect("launch").cycles;
             black_box(cycles)
         });
         report_rate(&format!("  rate/math/{label}"), cycles, wall);
@@ -142,7 +142,7 @@ fn bench_modes() {
         let mut gpu = gpu_with(mode, t);
         let k = stream_kernel(&mut gpu, 28);
         let wall = bench(&format!("sim_parallel/stream_28_blocks/{label}"), 5, || {
-            cycles = gpu.launch(&k).cycles;
+            cycles = gpu.launch(&k).expect("launch").cycles;
             black_box(cycles)
         });
         report_rate(&format!("  rate/stream/{label}"), cycles, wall);

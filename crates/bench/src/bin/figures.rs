@@ -117,17 +117,29 @@ fn main() {
         let suite = suite.as_ref().expect("suite");
         println!("Plan/execute engine counters — one forward pass per strategy");
         println!(
-            "{:<9} {:>10} {:>10} {:>13} {:>10}",
-            "strategy", "plan hits", "misses", "build units", "executes"
+            "{:<9} {:>10} {:>10} {:>13} {:>10} {:>7} {:>8} {:>6} {:>6}",
+            "strategy",
+            "plan hits",
+            "misses",
+            "build units",
+            "executes",
+            "faults",
+            "retries",
+            "fback",
+            "quar"
         );
         for (s, st) in &suite.plan_stats {
             println!(
-                "{:<9} {:>10} {:>10} {:>13} {:>10}",
+                "{:<9} {:>10} {:>10} {:>13} {:>10} {:>7} {:>8} {:>6} {:>6}",
                 s.name(),
                 st.plan_cache_hits,
                 st.plan_cache_misses,
                 st.plan_build_units,
-                st.executes
+                st.executes,
+                st.faults_detected,
+                st.retries,
+                st.fallbacks,
+                st.quarantined_plans
             );
         }
         println!("{}", "-".repeat(72));

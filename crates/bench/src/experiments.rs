@@ -325,9 +325,13 @@ pub fn fig9(suite: &VitSuite, opts: &HarnessOpts) -> String {
     let a = gen::uniform_i8(m, k, -32, 31, 41);
     let b = gen::uniform_i8(k, n, -32, 31, 42);
     gpu.cold_caches();
-    let ic = run_ic(&mut gpu, &a, &b).stats.issued.int;
+    let ic = run_ic(&mut gpu, &a, &b).expect("gemm").stats.issued.int;
     gpu.cold_caches();
-    let pk = run_packed(&mut gpu, &a, &b, &spec).stats.issued.int;
+    let pk = run_packed(&mut gpu, &a, &b, &spec)
+        .expect("gemm")
+        .stats
+        .issued
+        .int;
     let _ = writeln!(
         out,
         "packed vs zero-masked INT instructions (same GEMM): {:.2}x (paper: up to 1.5x)",
@@ -453,9 +457,9 @@ pub fn bitwidth_sweep(opts: &HarnessOpts) -> String {
         let a = gen::uniform_i8(m, k, -hi - 1, hi, 11);
         let b = gen::uniform_i8(k, n, -hi - 1, hi, 12);
         gpu.cold_caches();
-        let ic = run_ic(&mut gpu, &a, &b);
+        let ic = run_ic(&mut gpu, &a, &b).expect("gemm");
         gpu.cold_caches();
-        let pk = run_packed(&mut gpu, &a, &b, &spec);
+        let pk = run_packed(&mut gpu, &a, &b, &spec).expect("gemm");
         assert_eq!(ic.c, pk.c, "packed GEMM must stay exact at {bw} bits");
         let _ = writeln!(
             out,
@@ -486,14 +490,14 @@ pub fn ablation_policy(opts: &HarnessOpts) -> String {
         let hi = ((1i32 << (bw - 1)) - 1) as i8;
         let a = gen::uniform_i8(m, k, -hi - 1, hi, 21);
         let b = gen::uniform_i8(k, n, -hi - 1, hi, 22);
-        let reference = run_ic(&mut gpu, &a, &b).c;
+        let reference = run_ic(&mut gpu, &a, &b).expect("gemm").c;
         for policy in [PackPolicy::Guarded, PackPolicy::Paper] {
             let spec = match policy {
                 PackPolicy::Guarded => PackSpec::guarded(bw, bw).expect("valid"),
                 PackPolicy::Paper => PackSpec::paper(bw).expect("valid"),
             };
             gpu.cold_caches();
-            let pk = run_packed(&mut gpu, &a, &b, &spec);
+            let pk = run_packed(&mut gpu, &a, &b, &spec).expect("gemm");
             let exact = pk.c == reference;
             let _ = writeln!(
                 out,
@@ -522,7 +526,10 @@ pub fn ablation_ratio(opts: &HarnessOpts) -> String {
     let a = gen::uniform_i8(m, k, -hi - 1, hi, 31);
     let b = gen::uniform_i8(k, n, -hi - 1, hi, 32);
     gpu.cold_caches();
-    let tc = vitbit_kernels::gemm::run_tc(&mut gpu, &a, &b).stats.cycles as f64;
+    let tc = vitbit_kernels::gemm::run_tc(&mut gpu, &a, &b)
+        .expect("gemm")
+        .stats
+        .cycles as f64;
     let mut engine = Engine::new();
     for mr in [1u32, 2, 3, 4, 6, 8] {
         gpu.cold_caches();
@@ -532,7 +539,7 @@ pub fn ablation_ratio(opts: &HarnessOpts) -> String {
             GemmDesc::from_exec(Strategy::VitBit, &exec, &gpu, m, k, n, Some(u64::from(mr)));
         desc.ratio = Some(CoreRatio { tc: mr, cuda: 1 });
         desc.adaptive = false; // sweep every point; no measure-and-choose
-        let outg = engine.run(&mut gpu, desc, &a, &b);
+        let outg = engine.run(&mut gpu, desc, &a, &b).expect("run");
         let _ = writeln!(
             out,
             "{:<6} {:>10} {:>8.2}x",
@@ -586,13 +593,27 @@ pub fn ablation_sched(opts: &HarnessOpts) -> String {
     };
     run_both(
         "TC GEMM",
-        &mut |g| vitbit_kernels::gemm::run_tc(g, &a, &b).stats.cycles,
+        &mut |g| {
+            vitbit_kernels::gemm::run_tc(g, &a, &b)
+                .expect("gemm")
+                .stats
+                .cycles
+        },
         &mut out,
     );
-    run_both("IC GEMM", &mut |g| run_ic(g, &a, &b).stats.cycles, &mut out);
+    run_both(
+        "IC GEMM",
+        &mut |g| run_ic(g, &a, &b).expect("gemm").stats.cycles,
+        &mut out,
+    );
     run_both(
         "packed GEMM (VitBit)",
-        &mut |g| run_packed(g, &a, &b, &exec.spec).stats.cycles,
+        &mut |g| {
+            run_packed(g, &a, &b, &exec.spec)
+                .expect("gemm")
+                .stats
+                .cycles
+        },
         &mut out,
     );
     let _ = writeln!(

@@ -66,11 +66,16 @@ pub fn run_initial_study(
         f(gpu)
     };
     StudyResult {
-        tc: cold(gpu, &|g| run_tc(g, &a, &b).stats.cycles),
-        ic: cold(gpu, &|g| run_ic(g, &a, &b).stats.cycles),
-        fc: cold(gpu, &|g| run_fc(g, &a, &b).stats.cycles),
-        ic_fc: cold(gpu, &|g| run_ic_fc(g, &a, &b).stats.cycles),
-        ic_fc_p: cold(gpu, &|g| run_ic_fc_packed(g, &a, &b, &spec).stats.cycles),
+        tc: cold(gpu, &|g| run_tc(g, &a, &b).expect("gemm").stats.cycles),
+        ic: cold(gpu, &|g| run_ic(g, &a, &b).expect("gemm").stats.cycles),
+        fc: cold(gpu, &|g| run_fc(g, &a, &b).expect("gemm").stats.cycles),
+        ic_fc: cold(gpu, &|g| run_ic_fc(g, &a, &b).expect("gemm").stats.cycles),
+        ic_fc_p: cold(gpu, &|g| {
+            run_ic_fc_packed(g, &a, &b, &spec)
+                .expect("gemm")
+                .stats
+                .cycles
+        }),
     }
 }
 

@@ -12,11 +12,14 @@ fn main() {
     let b = gen::uniform_i8(768, 768, -32, 31, 43);
     let spec = PackSpec::guarded(6, 6).unwrap();
     for (name, out) in [
-        ("TC", run_tc(&mut gpu, &a, &b)),
-        ("IC", run_ic(&mut gpu, &a, &b)),
-        ("FC", run_fc(&mut gpu, &a, &b)),
-        ("IC+FC", run_ic_fc(&mut gpu, &a, &b)),
-        ("IC+FC+P", run_ic_fc_packed(&mut gpu, &a, &b, &spec)),
+        ("TC", run_tc(&mut gpu, &a, &b).expect("gemm")),
+        ("IC", run_ic(&mut gpu, &a, &b).expect("gemm")),
+        ("FC", run_fc(&mut gpu, &a, &b).expect("gemm")),
+        ("IC+FC", run_ic_fc(&mut gpu, &a, &b).expect("gemm")),
+        (
+            "IC+FC+P",
+            run_ic_fc_packed(&mut gpu, &a, &b, &spec).expect("gemm"),
+        ),
     ] {
         let s = &out.stats;
         let cap = s.cycles * 56;

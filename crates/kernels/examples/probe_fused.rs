@@ -18,13 +18,15 @@ fn main() {
         let a = gen::uniform_i8(m, k, -32, 31, 1);
         let b = gen::uniform_i8(k, n, -32, 31, 2);
         gpu.cold_caches();
-        let tc = run_tc(&mut gpu, &a, &b).stats;
+        let tc = run_tc(&mut gpu, &a, &b).expect("gemm").stats;
         gpu.cold_caches();
         // Plan/execute split: resolve the launch geometry once, stage B,
         // then launch — same cycles as the old one-shot driver.
         let plan = plan_fused(m, k, n, FusedMode::VitBit(spec), CoreRatio::PAPER);
         let staged = prepare_fused_b(&plan, &b, None);
-        let vb = execute_fused(&mut gpu, &plan, &a, &b, &staged).stats;
+        let vb = execute_fused(&mut gpu, &plan, &a, &b, &staged)
+            .expect("gemm")
+            .stats;
         println!("{tag:7} {m}x{n}x{k}: TC {:>8} VitBit {:>8} ({:.2}x)  vb busy: tc={:.2} int={:.2} fp={:.2} lsu={:.2}",
             tc.cycles, vb.cycles, tc.cycles as f64 / vb.cycles as f64,
             vb.busy.tensor as f64/(vb.cycles*56) as f64,

@@ -17,7 +17,7 @@ fn main() {
         let a = gen::uniform_i8(m, k, -32, 31, 1);
         let b = gen::uniform_i8(k, n, -32, 31, 2);
         gpu.cold_caches();
-        let tc = run_tc(&mut gpu, &a, &b).stats.cycles;
+        let tc = run_tc(&mut gpu, &a, &b).expect("gemm").stats.cycles;
         print!("{tag:4} TC {tc:>7} |");
         for mr in [4u32, 6, 8, 10, 12, 16] {
             gpu.cold_caches();
@@ -30,7 +30,10 @@ fn main() {
                 CoreRatio { tc: mr, cuda: 1 },
             );
             let staged = prepare_fused_b(&plan, &b, None);
-            let vb = execute_fused(&mut gpu, &plan, &a, &b, &staged).stats.cycles;
+            let vb = execute_fused(&mut gpu, &plan, &a, &b, &staged)
+                .expect("gemm")
+                .stats
+                .cycles;
             print!(" m{mr}: {:>6} ({:.2}x)", vb, tc as f64 / vb as f64);
         }
         println!();

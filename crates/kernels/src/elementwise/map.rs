@@ -529,7 +529,7 @@ pub fn run_map(
         0,
         args,
     );
-    let stats = gpu.launch(&kernel);
+    let stats = gpu.launch(&kernel).expect("launch");
 
     // Reassemble.
     let mut out = Vec::with_capacity(n);

@@ -559,7 +559,7 @@ fn run_row(gpu: &mut Gpu, op: RowOp, x: &Matrix<i8>, variant: EwVariant, bitwidt
     }
 
     let kernel = Kernel::fused(op.name(), programs, roles, blocks, 0, args);
-    let stats = gpu.launch(&kernel);
+    let stats = gpu.launch(&kernel).expect("launch");
 
     // Collect outputs.
     let mut row_idx = 0usize;

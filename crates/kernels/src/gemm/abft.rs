@@ -1,0 +1,199 @@
+//! Algorithm-based fault tolerance (ABFT) checksums for GEMM, after
+//! Huang & Abraham.
+//!
+//! For `C = A * B` the row and column sums of `C` are linear in the
+//! operands:
+//!
+//! * row `i`:    `sum_j C[i][j] = (A * bsum)[i]` where `bsum[k] = sum_j B[k][j]`
+//! * column `j`: `sum_i C[i][j] = (asum * B)[j]` where `asum[k] = sum_i A[i][k]`
+//!
+//! so both checks cost `O(MK + KN + MN)` scalar multiply-accumulates
+//! instead of re-running the `O(MKN)` product. All GEMM drivers in this
+//! crate produce bit-exact integer results (the bias correction of the
+//! packed kernels is folded in before the caller sees `C`), so in a
+//! fault-free run both identities hold exactly and any mismatch is a real
+//! corruption. A single corrupted element fails exactly one row and one
+//! column check, which localizes it; the plan/execute engine uses the
+//! check to decide whether a result can be trusted or the recovery ladder
+//! must take over.
+//!
+//! `bsum` is weight-side: for the planned path the engine computes it once
+//! at staging time and caches it alongside the packed weights
+//! ([`super::FusedB::bsum`]), so steady-state verification skips the
+//! `O(KN)` term.
+
+use vitbit_tensor::Matrix;
+
+/// Outcome of one ABFT verification of `C = A * B`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbftCheck {
+    /// Rows of `C` whose checksum disagrees with `A * bsum`.
+    pub bad_rows: Vec<usize>,
+    /// Columns of `C` whose checksum disagrees with `asum * B`.
+    pub bad_cols: Vec<usize>,
+    /// Modeled verification cost in scalar multiply-accumulate units
+    /// (same currency as plan-build units): what the check would cost on
+    /// the INT pipes if it ran on-device.
+    pub units: u64,
+}
+
+impl AbftCheck {
+    /// `true` when every row and column checksum matched.
+    pub fn ok(&self) -> bool {
+        self.bad_rows.is_empty() && self.bad_cols.is_empty()
+    }
+
+    /// Corrupted region as `(rows, cols)`: the cross product of the failed
+    /// checks covers every corrupted element (for a single corrupted
+    /// element this is exactly one cell).
+    pub fn localized(&self) -> (&[usize], &[usize]) {
+        (&self.bad_rows, &self.bad_cols)
+    }
+}
+
+/// Weight-side checksum vector `bsum[k] = sum_j B[k][j]` (length `K`).
+///
+/// Depends only on the weight matrix, so the engine computes it once per
+/// staged weight and reuses it for every execute.
+pub fn weight_row_sums(b: &Matrix<i8>) -> Vec<i64> {
+    let (k, _n) = b.shape();
+    (0..k)
+        .map(|kk| b.row(kk).iter().map(|&x| i64::from(x)).sum())
+        .collect()
+}
+
+/// Verifies `c == a * b` via row and column checksums.
+///
+/// `bsum` is the cached output of [`weight_row_sums`]; pass `None` to have
+/// it computed here (its `O(KN)` cost is then included in `units`).
+pub fn verify_gemm(
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+    c: &Matrix<i32>,
+    bsum: Option<&[i64]>,
+) -> AbftCheck {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    assert_eq!(b.rows(), k, "ABFT inner dims");
+    assert_eq!(c.shape(), (m, n), "ABFT output shape");
+
+    let mut units = 0u64;
+    let owned;
+    let bsum = match bsum {
+        Some(s) => {
+            assert_eq!(s.len(), k, "bsum length");
+            s
+        }
+        None => {
+            owned = weight_row_sums(b);
+            units += (k * n) as u64;
+            &owned
+        }
+    };
+
+    // Row checks: sum_j C[i][j] vs (A * bsum)[i].
+    let mut bad_rows = Vec::new();
+    for i in 0..m {
+        let got: i64 = c.row(i).iter().map(|&x| i64::from(x)).sum();
+        let want: i64 = a
+            .row(i)
+            .iter()
+            .zip(bsum)
+            .map(|(&av, &bs)| i64::from(av) * bs)
+            .sum();
+        if got != want {
+            bad_rows.push(i);
+        }
+    }
+    units += (m * k + m * n) as u64;
+
+    // Column checks: sum_i C[i][j] vs (asum * B)[j].
+    let mut asum = vec![0i64; k];
+    for i in 0..m {
+        for (s, &av) in asum.iter_mut().zip(a.row(i)) {
+            *s += i64::from(av);
+        }
+    }
+    let mut want_cols = vec![0i64; n];
+    for (kk, &s) in asum.iter().enumerate() {
+        if s == 0 {
+            continue;
+        }
+        for (w, &bv) in want_cols.iter_mut().zip(b.row(kk)) {
+            *w += s * i64::from(bv);
+        }
+    }
+    let mut got_cols = vec![0i64; n];
+    for i in 0..m {
+        for (g, &cv) in got_cols.iter_mut().zip(c.row(i)) {
+            *g += i64::from(cv);
+        }
+    }
+    let bad_cols: Vec<usize> = (0..n).filter(|&j| got_cols[j] != want_cols[j]).collect();
+    units += (m * k + k * n + m * n) as u64;
+
+    AbftCheck {
+        bad_rows,
+        bad_cols,
+        units,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vitbit_tensor::gen;
+    use vitbit_tensor::refgemm::gemm_i8_i32;
+
+    #[test]
+    fn clean_result_passes() {
+        let a = gen::uniform_i8(13, 29, -128, 127, 1);
+        let b = gen::uniform_i8(29, 17, -128, 127, 2);
+        let c = gemm_i8_i32(&a, &b);
+        let check = verify_gemm(&a, &b, &c, None);
+        assert!(check.ok(), "clean GEMM must verify: {check:?}");
+        assert!(check.units > 0);
+    }
+
+    #[test]
+    fn cached_bsum_matches_on_the_fly() {
+        let a = gen::uniform_i8(8, 16, -50, 50, 3);
+        let b = gen::uniform_i8(16, 12, -50, 50, 4);
+        let c = gemm_i8_i32(&a, &b);
+        let bsum = weight_row_sums(&b);
+        let cached = verify_gemm(&a, &b, &c, Some(&bsum));
+        let fresh = verify_gemm(&a, &b, &c, None);
+        assert!(cached.ok() && fresh.ok());
+        assert!(
+            cached.units < fresh.units,
+            "cached bsum must skip the O(KN) term"
+        );
+    }
+
+    #[test]
+    fn single_flip_is_localized() {
+        let a = gen::uniform_i8(10, 20, -30, 30, 5);
+        let b = gen::uniform_i8(20, 15, -30, 30, 6);
+        let mut c = gemm_i8_i32(&a, &b);
+        c.row_mut(7)[11] ^= 1 << 13;
+        let check = verify_gemm(&a, &b, &c, None);
+        assert!(!check.ok());
+        assert_eq!(check.bad_rows, vec![7]);
+        assert_eq!(check.bad_cols, vec![11]);
+        let (rows, cols) = check.localized();
+        assert_eq!((rows, cols), (&[7usize][..], &[11usize][..]));
+    }
+
+    #[test]
+    fn multi_flip_covers_all_cells() {
+        let a = gen::uniform_i8(9, 9, -30, 30, 7);
+        let b = gen::uniform_i8(9, 9, -30, 30, 8);
+        let mut c = gemm_i8_i32(&a, &b);
+        for &(r, j) in &[(1usize, 2usize), (4, 6)] {
+            c.row_mut(r)[j] = c.row(r)[j].wrapping_add(1 << 20);
+        }
+        let check = verify_gemm(&a, &b, &c, None);
+        assert!(check.bad_rows.contains(&1) && check.bad_rows.contains(&4));
+        assert!(check.bad_cols.contains(&2) && check.bad_cols.contains(&6));
+    }
+}

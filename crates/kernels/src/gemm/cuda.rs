@@ -11,7 +11,7 @@
 //! measured co-scheduling gains.
 
 use super::cache::{pack_weight_share, WeightCtx};
-use super::GemmOut;
+use super::{GemmError, GemmOut};
 use crate::shapes::{crop_matrix, pad_matrix, pad_to};
 use vitbit_core::correction::BiasCorrection;
 use vitbit_core::policy::{PackPolicy, PackSpec};
@@ -585,7 +585,7 @@ fn grid_for(np_chunks: usize, role_warps: u32) -> u32 {
 }
 
 /// INT-CUDA-core GEMM (zero-masking baseline, Table 3 "IC").
-pub fn run_ic(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
+pub fn run_ic(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> Result<GemmOut, GemmError> {
     let p = pad_problem(a, b, CHUNK_COLS);
     gpu.mem.reset();
     let at_ptr = upload_ops::transposed_i8(gpu, &p.a_up);
@@ -614,18 +614,18 @@ pub fn run_ic(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
     );
     let prog = cuda_gemm_program(elem, geom, 0).into_arc();
     let kernel = Kernel::single("gemm_ic", prog, blocks, geom.role_warps, 0, args);
-    let stats = gpu.launch(&kernel);
+    let stats = gpu.launch(&kernel)?;
     let raw = gpu.mem.download_u32(c_dev, p.mp * p.np * ks as usize);
     let summed = reduce_slices_u32(&raw, p.mp * p.np, ks);
     let c_full = Matrix::from_vec(p.mp, p.np, summed.into_iter().map(|x| x as i32).collect());
-    GemmOut {
+    Ok(GemmOut {
         c: crop_matrix(&c_full, p.m, p.n),
         stats,
-    }
+    })
 }
 
 /// FP-CUDA-core GEMM (INT operands converted to f32, Table 3 "FC").
-pub fn run_fc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
+pub fn run_fc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> Result<GemmOut, GemmError> {
     let p = pad_problem(a, b, CHUNK_COLS);
     gpu.mem.reset();
     let af = p.a_up.map(|x| x as f32);
@@ -656,7 +656,7 @@ pub fn run_fc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
     );
     let prog = cuda_gemm_program(elem, geom, 0).into_arc();
     let kernel = Kernel::single("gemm_fc", prog, blocks, geom.role_warps, 0, args);
-    let stats = gpu.launch(&kernel);
+    let stats = gpu.launch(&kernel)?;
     let raw = gpu.mem.download_f32(c_dev, p.mp * p.np * ks as usize);
     let summed = reduce_slices_f32(&raw, p.mp * p.np, ks);
     let c_full = Matrix::from_vec(
@@ -664,17 +664,22 @@ pub fn run_fc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
         p.np,
         summed.into_iter().map(|x| x.round() as i32).collect(),
     );
-    GemmOut {
+    Ok(GemmOut {
         c: crop_matrix(&c_full, p.m, p.n),
         stats,
-    }
+    })
 }
 
 /// Packed-INT GEMM: the register-operand-packing kernel on its own.
 ///
 /// # Panics
 /// Panics when operand codes exceed the spec's bitwidths.
-pub fn run_packed(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>, spec: &PackSpec) -> GemmOut {
+pub fn run_packed(
+    gpu: &mut Gpu,
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+    spec: &PackSpec,
+) -> Result<GemmOut, GemmError> {
     run_packed_cached(gpu, a, b, spec, None)
 }
 
@@ -689,7 +694,7 @@ pub fn run_packed_cached(
     b: &Matrix<i8>,
     spec: &PackSpec,
     mut weight: WeightCtx<'_>,
-) -> GemmOut {
+) -> Result<GemmOut, GemmError> {
     let lanes = spec.lanes as usize;
     let p = pad_problem(a, b, CHUNK_COLS * lanes);
     gpu.mem.reset();
@@ -722,7 +727,7 @@ pub fn run_packed_cached(
     );
     let prog = cuda_gemm_program(elem, geom, 0).into_arc();
     let kernel = Kernel::single("gemm_ic_packed", prog, blocks, geom.role_warps, 0, args);
-    let stats = gpu.launch(&kernel);
+    let stats = gpu.launch(&kernel)?;
     let raw = gpu.mem.download_u32(c_dev, p.mp * p.np * ks as usize);
     let summed = reduce_slices_u32(&raw, p.mp * p.np, ks);
     let mut c_full = Matrix::zeros(p.mp, p.np);
@@ -731,21 +736,26 @@ pub fn run_packed_cached(
             c_full[(i, j)] = corr.apply(u64::from(summed[i * p.np + j]), i, j) as i32;
         }
     }
-    GemmOut {
+    Ok(GemmOut {
         c: crop_matrix(&c_full, p.m, p.n),
         stats,
-    }
+    })
 }
 
 /// Simultaneous INT + FP CUDA-core GEMM (Table 3 "IC+FC"): columns split
 /// 1:1, INT warps and FP warps co-resident in every block.
-pub fn run_ic_fc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
+pub fn run_ic_fc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> Result<GemmOut, GemmError> {
     run_cuda_fused(gpu, a, b, None, None)
 }
 
 /// IC+FC with packing on the INT side (the study's "IC+FC+P"): columns
 /// split per Equation 1 (`lanes : 1`).
-pub fn run_ic_fc_packed(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>, spec: &PackSpec) -> GemmOut {
+pub fn run_ic_fc_packed(
+    gpu: &mut Gpu,
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+    spec: &PackSpec,
+) -> Result<GemmOut, GemmError> {
     run_cuda_fused(gpu, a, b, Some(*spec), None)
 }
 
@@ -755,7 +765,7 @@ fn run_cuda_fused(
     b: &Matrix<i8>,
     spec: Option<PackSpec>,
     mut weight: WeightCtx<'_>,
-) -> GemmOut {
+) -> Result<GemmOut, GemmError> {
     assert_eq!(a.cols(), b.rows(), "GEMM inner dims");
     let (m, k) = a.shape();
     let n = b.cols();
@@ -867,7 +877,7 @@ fn run_cuda_fused(
         0,
         args,
     );
-    let stats = gpu.launch(&kernel);
+    let stats = gpu.launch(&kernel)?;
 
     // Reassemble.
     let c1_raw = gpu.mem.download_u32(c1_dev, mp * n1 * ks as usize);
@@ -899,7 +909,7 @@ fn run_cuda_fused(
     let c1_crop = crop_matrix(&c1, m, n1c);
     let c2_crop = crop_matrix(&c2, m, n2_raw);
     let c = Matrix::concat_cols(&[&c1_crop, &c2_crop]);
-    GemmOut { c, stats }
+    Ok(GemmOut { c, stats })
 }
 
 #[cfg(test)]
@@ -922,7 +932,7 @@ mod tests {
         let mut g = gpu();
         let a = gen::uniform_i8(20, 24, -128, 127, 1);
         let b = gen::uniform_i8(24, 40, -128, 127, 2);
-        let out = run_ic(&mut g, &a, &b);
+        let out = run_ic(&mut g, &a, &b).expect("gemm");
         assert_eq!(out.c, gemm_i8_i32(&a, &b));
         assert!(out.stats.issued.int > 0);
         assert_eq!(out.stats.issued.fp, 0);
@@ -935,7 +945,7 @@ mod tests {
         // Exactly one block tile (64 rows) and exactly 32 columns.
         let a = gen::uniform_i8(64, 16, -100, 100, 3);
         let b = gen::uniform_i8(16, 32, -100, 100, 4);
-        let out = run_ic(&mut g, &a, &b);
+        let out = run_ic(&mut g, &a, &b).expect("gemm");
         assert_eq!(out.c, gemm_i8_i32(&a, &b));
     }
 
@@ -944,7 +954,7 @@ mod tests {
         let mut g = gpu();
         let a = int6(17, 48, 5);
         let b = int6(48, 33, 6);
-        let out = run_fc(&mut g, &a, &b);
+        let out = run_fc(&mut g, &a, &b).expect("gemm");
         assert_eq!(out.c, gemm_i8_i32(&a, &b));
         assert!(out.stats.issued.fp > 0, "FP pipe must carry the math");
     }
@@ -955,7 +965,7 @@ mod tests {
         let spec = PackSpec::guarded(6, 6).unwrap();
         let a = int6(18, 40, 7);
         let b = int6(40, 70, 8);
-        let out = run_packed(&mut g, &a, &b, &spec);
+        let out = run_packed(&mut g, &a, &b, &spec).expect("gemm");
         assert_eq!(out.c, gemm_i8_i32(&a, &b));
     }
 
@@ -965,7 +975,7 @@ mod tests {
         let spec = PackSpec::guarded(4, 4).unwrap();
         let a = gen::uniform_i8(9, 25, -8, 7, 9);
         let b = gen::uniform_i8(25, 130, -8, 7, 10);
-        let out = run_packed(&mut g, &a, &b, &spec);
+        let out = run_packed(&mut g, &a, &b, &spec).expect("gemm");
         assert_eq!(out.c, gemm_i8_i32(&a, &b));
     }
 
@@ -975,8 +985,8 @@ mod tests {
         let spec = PackSpec::guarded(6, 6).unwrap();
         let a = int6(32, 64, 11);
         let b = int6(64, 128, 12);
-        let plain = run_ic(&mut g, &a, &b);
-        let packed = run_packed(&mut g, &a, &b, &spec);
+        let plain = run_ic(&mut g, &a, &b).expect("gemm");
+        let packed = run_packed(&mut g, &a, &b, &spec).expect("gemm");
         assert_eq!(packed.c, plain.c);
         let ratio = plain.stats.issued.int as f64 / packed.stats.issued.int as f64;
         assert!(
@@ -990,7 +1000,7 @@ mod tests {
         let mut g = gpu();
         let a = int6(20, 32, 13);
         let b = int6(32, 96, 14);
-        let out = run_ic_fc(&mut g, &a, &b);
+        let out = run_ic_fc(&mut g, &a, &b).expect("gemm");
         assert_eq!(out.c, gemm_i8_i32(&a, &b));
         assert!(out.stats.issued.int > 0);
         assert!(out.stats.issued.fp > 0);
@@ -1002,7 +1012,7 @@ mod tests {
         let spec = PackSpec::guarded(6, 6).unwrap();
         let a = int6(16, 48, 15);
         let b = int6(48, 200, 16);
-        let out = run_ic_fc_packed(&mut g, &a, &b, &spec);
+        let out = run_ic_fc_packed(&mut g, &a, &b, &spec).expect("gemm");
         assert_eq!(out.c, gemm_i8_i32(&a, &b));
     }
 
@@ -1012,9 +1022,9 @@ mod tests {
         let a = int6(7, 5, 17);
         let b = int6(5, 9, 18);
         for out in [
-            run_ic(&mut g, &a, &b),
-            run_fc(&mut g, &a, &b),
-            run_ic_fc(&mut g, &a, &b),
+            run_ic(&mut g, &a, &b).expect("gemm"),
+            run_fc(&mut g, &a, &b).expect("gemm"),
+            run_ic_fc(&mut g, &a, &b).expect("gemm"),
         ] {
             assert_eq!(out.c.shape(), (7, 9));
             assert_eq!(out.c, gemm_i8_i32(&a, &b));
@@ -1027,7 +1037,7 @@ mod tests {
         let spec = PackSpec::paper(8).unwrap();
         let a = Matrix::from_fn(16, 64, |_, _| 127i8);
         let b = Matrix::from_fn(64, 64, |_, _| 127i8);
-        let out = run_packed(&mut g, &a, &b, &spec);
+        let out = run_packed(&mut g, &a, &b, &spec).expect("gemm");
         assert_ne!(out.c, gemm_i8_i32(&a, &b), "paper policy must wrap here");
     }
 }

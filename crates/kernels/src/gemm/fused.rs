@@ -46,7 +46,7 @@ use super::cuda::{
     CudaElem, RoleGeom, ARGS_PER_ROLE, CHUNK_COLS,
 };
 use super::tc::{tc_args, tc_gemm_program, TC_ARGS, TC_N_TILE};
-use super::GemmOut;
+use super::{GemmError, GemmOut};
 use crate::shapes::{crop_matrix, pad_matrix, pad_to};
 use std::sync::Arc;
 use vitbit_core::correction::BiasCorrection;
@@ -198,6 +198,11 @@ pub struct FusedB {
     /// Deterministic host-side work spent staging (element visits); packing
     /// served from the weight cache is not re-counted.
     pub prep_units: u64,
+    /// Weight-side ABFT checksum vector (`sum_j B[k][j]`, length `K`),
+    /// filled in by the plan engine when checksummed execution is on. Like
+    /// the packed share, it depends only on the weight, so it is staged
+    /// once and reused across executions.
+    pub bsum: Option<Arc<Vec<i64>>>,
 }
 
 #[derive(Debug, Clone)]
@@ -218,6 +223,7 @@ impl FusedB {
             b2f: None,
             b3_up: Matrix::zeros(0, 0),
             prep_units: 0,
+            bsum: None,
         }
     }
 }
@@ -417,6 +423,7 @@ pub fn prepare_fused_b(plan: &FusedPlan, b: &Matrix<i8>, mut weight: WeightCtx<'
         b2f,
         b3_up,
         prep_units,
+        bsum: None,
     }
 }
 
@@ -431,15 +438,18 @@ pub fn prepare_fused_b(plan: &FusedPlan, b: &Matrix<i8>, mut weight: WeightCtx<'
 /// historical driver did).
 ///
 /// # Panics
-/// Panics when operand shapes disagree with the plan, or when a launch
-/// plan's `B` staging is missing.
+/// Panics when operand shapes disagree with the plan.
+///
+/// # Errors
+/// [`GemmError::MissingStagedB`] when a launch plan's `B` staging is
+/// missing, [`GemmError::Launch`] when the simulated launch fails.
 pub fn execute_fused(
     gpu: &mut Gpu,
     plan: &FusedPlan,
     a: &Matrix<i8>,
     b: &Matrix<i8>,
     staged: &FusedB,
-) -> GemmOut {
+) -> Result<GemmOut, GemmError> {
     assert_eq!((a.rows(), a.cols()), (plan.m, plan.k), "A shape vs plan");
     assert_eq!((b.rows(), b.cols()), (plan.k, plan.n), "B shape vs plan");
     let g = match &plan.body {
@@ -473,7 +483,7 @@ pub fn execute_fused(
             gpu.mem.upload_i8(b1_up.as_slice()).addr,
             None,
         ),
-        _ => panic!("fused plan executed without staged B operands"),
+        _ => return Err(GemmError::MissingStagedB),
     };
     // FP-side operands.
     let (at2_ptr, b2_ptr) = match &staged.b2f {
@@ -548,7 +558,7 @@ pub fn execute_fused(
         args,
     )
     .with_dispatch_order(g.dispatch.clone());
-    let stats = gpu.launch(&kernel);
+    let stats = gpu.launch(&kernel)?;
 
     // Downloads + reassembly.
     let c1 = {
@@ -589,10 +599,10 @@ pub fn execute_fused(
     let c1c = crop_matrix(&c1, m, g.n1_raw);
     let c2c = crop_matrix(&c2, m, g.n2_raw);
     let c3c = crop_matrix(&c3, m, n - g.n1_raw - g.n2_raw);
-    GemmOut {
+    Ok(GemmOut {
         c: Matrix::concat_cols(&[&c1c, &c2c, &c3c]),
         stats,
-    }
+    })
 }
 
 fn g_slice(m: &Matrix<i8>) -> &[i8] {
@@ -605,7 +615,7 @@ fn g_slice(m: &Matrix<i8>) -> &[i8] {
     note = "build a plan with `plan_fused` (or use `vitbit_plan::Engine`) and execute it"
 )]
 pub fn run_fused(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>, mode: FusedMode) -> GemmOut {
-    run_fused_one_shot(gpu, a, b, mode, mode.default_ratio(), None)
+    run_fused_one_shot(gpu, a, b, mode, mode.default_ratio(), None).expect("fused gemm")
 }
 
 /// Runs a fused GEMM with an explicit Tensor:CUDA column ratio.
@@ -628,7 +638,7 @@ pub fn run_fused_with_ratio(
     mode: FusedMode,
     ratio: CoreRatio,
 ) -> GemmOut {
-    run_fused_one_shot(gpu, a, b, mode, ratio, None)
+    run_fused_one_shot(gpu, a, b, mode, ratio, None).expect("fused gemm")
 }
 
 /// [`run_fused_with_ratio`] with an optional packed-weight cache handle:
@@ -650,7 +660,7 @@ pub fn run_fused_with_ratio_cached(
     ratio: CoreRatio,
     weight: WeightCtx<'_>,
 ) -> GemmOut {
-    run_fused_one_shot(gpu, a, b, mode, ratio, weight)
+    run_fused_one_shot(gpu, a, b, mode, ratio, weight).expect("fused gemm")
 }
 
 /// The one-shot composition the deprecated shims share: plan, stage `B`,
@@ -662,7 +672,7 @@ pub fn run_fused_one_shot(
     mode: FusedMode,
     ratio: CoreRatio,
     weight: WeightCtx<'_>,
-) -> GemmOut {
+) -> Result<GemmOut, GemmError> {
     assert_eq!(a.cols(), b.rows(), "GEMM inner dims");
     let plan = plan_fused(a.rows(), a.cols(), b.cols(), mode, ratio);
     let staged = prepare_fused_b(&plan, b, weight);
@@ -685,7 +695,7 @@ mod tests {
     }
 
     fn fused(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>, mode: FusedMode) -> GemmOut {
-        run_fused_one_shot(gpu, a, b, mode, mode.default_ratio(), None)
+        run_fused_one_shot(gpu, a, b, mode, mode.default_ratio(), None).expect("fused gemm")
     }
 
     #[test]
@@ -744,7 +754,8 @@ mod tests {
             FusedMode::TcIcFc,
             CoreRatio { tc: 9, cuda: 1 },
             None,
-        );
+        )
+        .expect("fused gemm");
         let r11 = run_fused_one_shot(
             &mut g,
             &a,
@@ -752,7 +763,8 @@ mod tests {
             FusedMode::TcIcFc,
             CoreRatio { tc: 1, cuda: 1 },
             None,
-        );
+        )
+        .expect("fused gemm");
         assert_eq!(r91.c, gemm_i8_i32(&a, &b));
         assert_eq!(r11.c, gemm_i8_i32(&a, &b));
         // More TC share => more MMAs issued.
@@ -786,8 +798,8 @@ mod tests {
         // meaningful).
         let mut g1 = gpu();
         let planned = [
-            execute_fused(&mut g1, &plan, &a, &b, &staged),
-            execute_fused(&mut g1, &plan, &a, &b, &staged),
+            execute_fused(&mut g1, &plan, &a, &b, &staged).expect("fused gemm"),
+            execute_fused(&mut g1, &plan, &a, &b, &staged).expect("fused gemm"),
         ];
         let mut g2 = gpu();
         let fresh = [fused(&mut g2, &a, &b, mode), fused(&mut g2, &a, &b, mode)];
@@ -807,7 +819,7 @@ mod tests {
         let b = int6(16, 64, 32);
         let mut g = gpu();
         let staged = prepare_fused_b(&plan, &b, None);
-        let out = execute_fused(&mut g, &plan, &a, &b, &staged);
+        let out = execute_fused(&mut g, &plan, &a, &b, &staged).expect("fused gemm");
         assert_eq!(out.c, gemm_i8_i32(&a, &b));
         assert_eq!(out.stats.name, "gemm_tc");
     }

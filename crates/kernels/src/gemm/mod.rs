@@ -11,11 +11,13 @@
 //!   [`vitbit_core::correction::BiasCorrection`] on the host — an `O(M*N)`
 //!   epilogue the paper folds into the kernel's bias term.
 
+pub mod abft;
 pub mod cache;
 pub mod cuda;
 pub mod fused;
 pub mod tc;
 
+pub use abft::{verify_gemm, weight_row_sums, AbftCheck};
 pub use cache::{PackedWeight, PackedWeightCache, WeightCtx, WeightKey};
 pub use cuda::{run_fc, run_ic, run_ic_fc, run_ic_fc_packed, run_packed, run_packed_cached};
 pub use fused::{
@@ -26,7 +28,7 @@ pub use fused::{
 pub use fused::{run_fused, run_fused_with_ratio, run_fused_with_ratio_cached};
 pub use tc::run_tc;
 
-use vitbit_sim::KernelStats;
+use vitbit_sim::{KernelStats, LaunchError};
 use vitbit_tensor::Matrix;
 
 /// Result of a GEMM driver: the integer output and the launch statistics.
@@ -36,4 +38,40 @@ pub struct GemmOut {
     pub c: Matrix<i32>,
     /// Statistics of the kernel launch(es).
     pub stats: KernelStats,
+}
+
+/// Why a GEMM driver failed to produce a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GemmError {
+    /// The simulated launch failed: a watchdog timeout (hung SM) or a
+    /// contained fault (see [`vitbit_sim::LaunchError`]).
+    Launch(LaunchError),
+    /// A fused plan was executed without its staged `B` operands.
+    MissingStagedB,
+}
+
+impl std::fmt::Display for GemmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GemmError::Launch(e) => write!(f, "{e}"),
+            GemmError::MissingStagedB => {
+                write!(f, "fused plan executed without staged B operands")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GemmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GemmError::Launch(e) => Some(e),
+            GemmError::MissingStagedB => None,
+        }
+    }
+}
+
+impl From<LaunchError> for GemmError {
+    fn from(e: LaunchError) -> Self {
+        GemmError::Launch(e)
+    }
 }

@@ -14,7 +14,7 @@
 //! which is what compresses the 32x peak-throughput gap over INT32 CUDA
 //! cores down to the paper's measured ~7.5x.
 
-use super::GemmOut;
+use super::{GemmError, GemmOut};
 use crate::shapes::{crop_matrix, pad_matrix, pad_to};
 use vitbit_sim::isa::{ICmp, MemWidth, MmaKind, Reg, SReg, Src};
 use vitbit_sim::program::{Program, ProgramBuilder};
@@ -310,7 +310,7 @@ pub fn tc_args(
 }
 
 /// Tensor-core-only GEMM (Table 3 baseline "TC").
-pub fn run_tc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
+pub fn run_tc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> Result<GemmOut, GemmError> {
     assert_eq!(a.cols(), b.rows(), "GEMM inner dims");
     let (m, k) = a.shape();
     let n = b.cols();
@@ -343,12 +343,12 @@ pub fn run_tc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
             (mp * 16) as u32,
         ),
     );
-    let stats = gpu.launch(&kernel);
+    let stats = gpu.launch(&kernel)?;
     let c_full = Matrix::from_vec(mp, np, gpu.mem.download_i32(c_dev, mp * np));
-    GemmOut {
+    Ok(GemmOut {
         c: crop_matrix(&c_full, m, n),
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -367,7 +367,7 @@ mod tests {
         let mut g = gpu();
         let a = gen::uniform_i8(30, 20, -128, 127, 1);
         let b = gen::uniform_i8(20, 70, -128, 127, 2);
-        let out = run_tc(&mut g, &a, &b);
+        let out = run_tc(&mut g, &a, &b).expect("gemm");
         assert_eq!(out.c, gemm_i8_i32(&a, &b));
         assert!(out.stats.issued.tensor > 0, "must use Tensor cores");
     }
@@ -377,7 +377,7 @@ mod tests {
         let mut g = gpu();
         let a = gen::uniform_i8(64, 64, -50, 50, 3);
         let b = gen::uniform_i8(64, 64, -50, 50, 4);
-        let out = run_tc(&mut g, &a, &b);
+        let out = run_tc(&mut g, &a, &b).expect("gemm");
         assert_eq!(out.c, gemm_i8_i32(&a, &b));
         // 64x64 output of 16x16 tiles over K=64: 2 blocks x 8 warps x
         // 4 slabs (one K_UNIT iteration).
@@ -389,7 +389,7 @@ mod tests {
         let mut g = gpu();
         let a = gen::uniform_i8(16, 197, -20, 20, 5);
         let b = gen::uniform_i8(197, 64, -20, 20, 6);
-        let out = run_tc(&mut g, &a, &b);
+        let out = run_tc(&mut g, &a, &b).expect("gemm");
         assert_eq!(out.c, gemm_i8_i32(&a, &b));
     }
 
@@ -398,7 +398,7 @@ mod tests {
         let mut g = gpu();
         let a = gen::uniform_i8(64, 64, -10, 10, 7);
         let b = gen::uniform_i8(64, 128, -10, 10, 8);
-        let out = run_tc(&mut g, &a, &b);
+        let out = run_tc(&mut g, &a, &b).expect("gemm");
         assert_eq!(out.c, gemm_i8_i32(&a, &b));
         let expected_ops = 2 * 64u64 * 64 * 128;
         assert_eq!(out.stats.tc_ops, expected_ops);

@@ -15,11 +15,14 @@ fn probe(gpu: &mut Gpu, m: usize, n: usize, k: usize) -> [(String, u64); 5] {
     let a = gen::uniform_i8(m, k, -32, 31, 42);
     let b = gen::uniform_i8(k, n, -32, 31, 43);
     let spec = PackSpec::guarded(6, 6).unwrap();
-    let tc = run_tc(gpu, &a, &b).stats.cycles;
-    let ic = run_ic(gpu, &a, &b).stats.cycles;
-    let fc = run_fc(gpu, &a, &b).stats.cycles;
-    let icfc = run_ic_fc(gpu, &a, &b).stats.cycles;
-    let icfcp = run_ic_fc_packed(gpu, &a, &b, &spec).stats.cycles;
+    let tc = run_tc(gpu, &a, &b).expect("gemm").stats.cycles;
+    let ic = run_ic(gpu, &a, &b).expect("gemm").stats.cycles;
+    let fc = run_fc(gpu, &a, &b).expect("gemm").stats.cycles;
+    let icfc = run_ic_fc(gpu, &a, &b).expect("gemm").stats.cycles;
+    let icfcp = run_ic_fc_packed(gpu, &a, &b, &spec)
+        .expect("gemm")
+        .stats
+        .cycles;
     [
         ("TC".into(), tc),
         ("IC".into(), ic),

@@ -54,8 +54,8 @@ fn packed_program_covers_more_macs_per_int_instruction() {
     let mut g = gpu();
     let a = gen::uniform_i8(32, 64, -32, 31, 1);
     let b = gen::uniform_i8(64, 128, -32, 31, 2);
-    let ic = run_ic(&mut g, &a, &b);
-    let pk = vitbit_kernels::gemm::run_packed(&mut g, &a, &b, &spec);
+    let ic = run_ic(&mut g, &a, &b).expect("gemm");
+    let pk = vitbit_kernels::gemm::run_packed(&mut g, &a, &b, &spec).expect("gemm");
     assert_eq!(ic.c, pk.c);
     assert!(
         pk.stats.issued.int * 13 < ic.stats.issued.int * 10,
@@ -166,8 +166,8 @@ fn prop_gemm_shape_robustness() {
         let a = gen::uniform_i8(m, k, -32, 31, seed);
         let b = gen::uniform_i8(k, n, -32, 31, seed + 1);
         let want = gemm_i8_i32(&a, &b);
-        assert_eq!(run_ic(&mut g, &a, &b).c, want.clone());
-        assert_eq!(run_tc(&mut g, &a, &b).c, want);
+        assert_eq!(run_ic(&mut g, &a, &b).expect("gemm").c, want.clone());
+        assert_eq!(run_tc(&mut g, &a, &b).expect("gemm").c, want);
     });
 }
 

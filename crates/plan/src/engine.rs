@@ -2,15 +2,16 @@
 //! into a cached [`GemmPlan`]; [`Engine::execute`] runs it per request.
 
 use crate::strategy::Strategy;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use vitbit_core::policy::PackSpec;
 use vitbit_core::ratio::CoreRatio;
 use vitbit_kernels::gemm::{
-    execute_fused, plan_fused, prepare_fused_b, run_fc, run_ic, run_ic_fc, run_tc, FusedB,
-    FusedMode, FusedPlan, GemmOut, PackedWeightCache,
+    abft, execute_fused, plan_fused, prepare_fused_b, run_fc, run_ic, run_ic_fc, run_tc,
+    weight_row_sums, FusedB, FusedMode, FusedPlan, GemmError, GemmOut, PackedWeightCache,
 };
-use vitbit_sim::{Gpu, OrinConfig, SchedPolicy, SimMode};
+use vitbit_sim::{Gpu, KernelStats, OrinConfig, SchedPolicy, SimMode};
+use vitbit_tensor::refgemm::gemm_i8_i32;
 use vitbit_tensor::Matrix;
 
 /// The simulator knobs that shape a launch plan's measured behavior.
@@ -69,6 +70,10 @@ pub struct GemmDesc {
     /// execute. `None` marks an activation-valued `B` (attention scores,
     /// `probs x V`), staged per request.
     pub weight: Option<u64>,
+    /// Verify every execute with Huang–Abraham row/column checksums
+    /// (see [`vitbit_kernels::gemm::abft`]); a failed check engages the
+    /// recovery ladder exactly like a launch fault.
+    pub abft: bool,
     /// Simulator knobs the plan was built for.
     pub knobs: SimKnobs,
 }
@@ -95,6 +100,7 @@ impl GemmDesc {
             ratio: cfg.ratio,
             adaptive: cfg.adaptive,
             weight,
+            abft: cfg.abft,
             knobs: SimKnobs::of(gpu),
         }
     }
@@ -253,7 +259,53 @@ pub struct EngineStats {
     pub plan_build_units: u64,
     /// `execute` calls served.
     pub executes: u64,
+    /// Faults the engine observed: failed launches plus ABFT checksum
+    /// mismatches on otherwise-successful launches.
+    pub faults_detected: u64,
+    /// Recovery-ladder re-attempts (plain re-execute and rebuild+retry).
+    pub retries: u64,
+    /// Recovery-ladder strategy fallbacks to the plain Tensor-core driver.
+    pub fallbacks: u64,
+    /// Plans quarantined after exhausting the ladder; their executes are
+    /// served by the host reference GEMM until [`Engine::invalidate`].
+    pub quarantined_plans: u64,
 }
+
+/// Why [`Engine::execute`] refused a request. Faults do **not** surface
+/// here — the recovery ladder absorbs them (worst case: a host-reference
+/// result); these are caller errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// The handle does not name a cached plan: never prepared, evicted by
+    /// the LRU, or removed by [`Engine::invalidate`].
+    UnknownPlan(PlanId),
+    /// Operand shapes disagree with the plan's desc.
+    ShapeMismatch {
+        /// `(m, k, n)` of the plan.
+        expected: (usize, usize, usize),
+        /// `(rows, cols)` of the `A` operand.
+        a: (usize, usize),
+        /// `(rows, cols)` of the `B` operand.
+        b: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownPlan(id) => {
+                write!(f, "unknown or evicted PlanId ({})", id.0)
+            }
+            EngineError::ShapeMismatch { expected, a, b } => write!(
+                f,
+                "operand shapes A{a:?} x B{b:?} do not match the plan's \
+                 (m, k, n) = {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Winner map of the adaptive measure-and-choose dispatch, keyed exactly
 /// like the legacy `GemmTuner`: `(strategy, m, n, k)`, shared engine-wide
@@ -275,8 +327,8 @@ pub(crate) type AdaptiveChoices = HashMap<(Strategy, usize, usize, usize), bool>
 /// let b = gen::uniform_i8(32, 320, -32, 31, 2);
 /// let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &gpu, 16, 32, 320, Some(7));
 /// let id = engine.prepare(desc);
-/// let first = engine.execute(&mut gpu, id, &a, &b);
-/// let again = engine.execute(&mut gpu, id, &a, &b);
+/// let first = engine.execute(&mut gpu, id, &a, &b).expect("execute");
+/// let again = engine.execute(&mut gpu, id, &a, &b).expect("execute");
 /// assert_eq!(first.c, again.c);
 /// assert!(first.stats.plan_build_cycles > 0); // built + staged here
 /// assert_eq!(again.stats.plan_build_cycles, 0); // hot path: no build work
@@ -287,6 +339,13 @@ pub struct Engine {
     weights: PackedWeightCache,
     choices: AdaptiveChoices,
     stats: EngineStats,
+    quarantined: HashSet<PlanId>,
+}
+
+/// Scalar-MAC units to simulated cycles for the modeled ABFT check: the
+/// machine retires one MAC per INT lane per subpartition per SM per cycle.
+fn abft_denom(cfg: &OrinConfig) -> u64 {
+    u64::from(cfg.int_lanes * cfg.subpartitions * cfg.num_sms).max(1)
 }
 
 impl Engine {
@@ -313,7 +372,18 @@ impl Engine {
             return id;
         }
         self.stats.plan_cache_misses += 1;
-        let (body, build) = match desc.fused_mode() {
+        let (body, build) = Self::build_body(&desc);
+        self.stats.plan_build_units += build;
+        self.plans.insert(GemmPlan {
+            desc,
+            body,
+            pending_build: build,
+            last_use: 0,
+        })
+    }
+
+    fn build_body(desc: &GemmDesc) -> (PlanBody, u64) {
+        match desc.fused_mode() {
             Some(mode) => {
                 let ratio = desc.ratio.unwrap_or_else(|| mode.default_ratio());
                 let plan = plan_fused(desc.m, desc.k, desc.n, mode, ratio);
@@ -327,14 +397,21 @@ impl Engine {
                 )
             }
             None => (PlanBody::Direct, DIRECT_POLICY_UNITS),
+        }
+    }
+
+    /// Rebuilds a plan from its desc, dropping every cached artifact it
+    /// could have poisoned: the staged operands, the plan state and the
+    /// engine's packed-weight cache. Returns the build work spent.
+    fn rebuild_plan(&mut self, id: PlanId) -> u64 {
+        self.weights.clear();
+        let Some(plan) = self.plans.slots.get_mut(&id) else {
+            return 0;
         };
-        self.stats.plan_build_units += build;
-        self.plans.insert(GemmPlan {
-            desc,
-            body,
-            pending_build: build,
-            last_use: 0,
-        })
+        let (body, build) = Self::build_body(&plan.desc);
+        plan.body = body;
+        plan.pending_build = 0;
+        build
     }
 
     /// Executes a prepared plan on concrete operands. The first execute
@@ -344,28 +421,136 @@ impl Engine {
     /// returned stats carry the plan counters: `plan_build_cycles` is the
     /// build work attributed to *this* call (zero on the hot path).
     ///
-    /// # Panics
-    /// Panics when `id` is unknown (or was evicted), or when operand
-    /// shapes disagree with the plan's desc.
+    /// Faults never surface as errors. A failed launch — or, with
+    /// [`GemmDesc::abft`] on, an ABFT checksum mismatch — engages the
+    /// recovery ladder:
+    ///
+    /// 1. re-execute the plan as-is (transient fault);
+    /// 2. drop the staged artifacts and packed-weight cache, rebuild the
+    ///    plan, and re-execute (poisoned cache);
+    /// 3. fall back to the plain Tensor-core driver;
+    /// 4. quarantine the plan and compute on the host reference GEMM —
+    ///    later executes of a quarantined plan go straight to the host
+    ///    until [`Engine::invalidate`] clears it.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownPlan`] when `id` was never prepared, was
+    /// evicted, or was invalidated; [`EngineError::ShapeMismatch`] when
+    /// operand shapes disagree with the plan's desc.
     pub fn execute(
         &mut self,
         gpu: &mut Gpu,
         id: PlanId,
         a: &Matrix<i8>,
         b: &Matrix<i8>,
-    ) -> GemmOut {
+    ) -> Result<GemmOut, EngineError> {
         self.plans.touch(id);
+        let Some(plan) = self.plans.slots.get(&id) else {
+            return Err(EngineError::UnknownPlan(id));
+        };
+        let desc = plan.desc;
+        if (a.rows(), a.cols()) != (desc.m, desc.k) || (b.rows(), b.cols()) != (desc.k, desc.n) {
+            return Err(EngineError::ShapeMismatch {
+                expected: (desc.m, desc.k, desc.n),
+                a: (a.rows(), a.cols()),
+                b: (b.rows(), b.cols()),
+            });
+        }
+        self.stats.executes += 1;
+        if self.quarantined.contains(&id) {
+            return Ok(self.host_reference(a, b));
+        }
+
+        let denom = abft_denom(gpu.config());
+        let mut total_build = 0u64;
+        let mut abft_cycles = 0u64;
+        let mut detected = 0u64;
+
+        // Rungs 0..2 of the ladder: the plan itself — as prepared, retried
+        // once, then rebuilt from scratch. With faults off, rung 0 is the
+        // whole function: it issues exactly the pre-ladder launch sequence.
+        for rung in 0..3u32 {
+            match rung {
+                1 => self.stats.retries += 1,
+                2 => {
+                    self.stats.retries += 1;
+                    total_build += self.rebuild_plan(id);
+                }
+                _ => {}
+            }
+            let (res, build) = self.attempt_plan(gpu, id, a, b);
+            total_build += build;
+            match res {
+                Ok(out) => {
+                    if !desc.abft {
+                        return Ok(self.finish(out, total_build, abft_cycles, detected));
+                    }
+                    let bsum = self.staged_bsum(id);
+                    let check = abft::verify_gemm(a, b, &out.c, bsum.as_deref().map(Vec::as_slice));
+                    abft_cycles += check.units.div_ceil(denom);
+                    if check.ok() {
+                        return Ok(self.finish(out, total_build, abft_cycles, detected));
+                    }
+                    detected += 1;
+                    self.stats.faults_detected += 1;
+                }
+                Err(_) => {
+                    detected += 1;
+                    self.stats.faults_detected += 1;
+                }
+            }
+        }
+
+        // Rung 3: strategy fallback — the plain Tensor-core driver shares
+        // nothing with the failing plan except the GPU itself.
+        self.stats.fallbacks += 1;
+        match run_tc(gpu, a, b) {
+            Ok(out) => {
+                let ok = if desc.abft {
+                    let check = abft::verify_gemm(a, b, &out.c, None);
+                    abft_cycles += check.units.div_ceil(denom);
+                    check.ok()
+                } else {
+                    true
+                };
+                if ok {
+                    return Ok(self.finish(out, total_build, abft_cycles, detected));
+                }
+                detected += 1;
+                self.stats.faults_detected += 1;
+            }
+            Err(_) => {
+                detected += 1;
+                self.stats.faults_detected += 1;
+            }
+        }
+
+        // Final rung: the simulated machine is not producing trustworthy
+        // results for this plan. Quarantine it and answer from the host.
+        self.quarantined.insert(id);
+        self.stats.quarantined_plans += 1;
+        let out = self.host_reference(a, b);
+        Ok(self.finish(out, total_build, abft_cycles, detected))
+    }
+
+    /// One attempt at running the plan as prepared. Returns the driver
+    /// result plus the build units accrued (staging can succeed even when
+    /// the launch then faults, and that work must not be lost).
+    fn attempt_plan(
+        &mut self,
+        gpu: &mut Gpu,
+        id: PlanId,
+        a: &Matrix<i8>,
+        b: &Matrix<i8>,
+    ) -> (Result<GemmOut, GemmError>, u64) {
         let plan = self
             .plans
             .slots
             .get_mut(&id)
-            .expect("unknown or evicted PlanId");
+            .expect("plan vetted by execute");
         let desc = plan.desc;
-        assert_eq!((a.rows(), a.cols()), (desc.m, desc.k), "A shape vs desc");
-        assert_eq!((b.rows(), b.cols()), (desc.k, desc.n), "B shape vs desc");
-
         let mut build = std::mem::take(&mut plan.pending_build);
-        let out = match &mut plan.body {
+        let res = match &mut plan.body {
             PlanBody::Direct => match desc.strategy {
                 Strategy::Tc => run_tc(gpu, a, b),
                 Strategy::Ic => run_ic(gpu, a, b),
@@ -380,14 +565,24 @@ impl Engine {
                 // Stage B: weights once (through the packed-weight cache),
                 // activations per request (their values change each call —
                 // that staging is execute work, not plan-build work).
-                let run_fused_now = |gpu: &mut Gpu,
-                                     weights: &mut PackedWeightCache,
-                                     staged: &mut Option<Arc<FusedB>>,
-                                     build: &mut u64| {
+                let weights = &mut self.weights;
+                let choices = &mut self.choices;
+                let mut run_fused_now = |gpu: &mut Gpu,
+                                         staged: &mut Option<Arc<FusedB>>,
+                                         build: &mut u64|
+                 -> Result<GemmOut, GemmError> {
                     let staged_b: Arc<FusedB> = match (desc.weight, staged.as_ref()) {
                         (Some(_), Some(s)) => Arc::clone(s),
                         (Some(wid), None) => {
-                            let s = Arc::new(prepare_fused_b(fplan, b, Some((weights, wid))));
+                            let mut fb = prepare_fused_b(fplan, b, Some((weights, wid)));
+                            if desc.abft {
+                                // The weight-side checksum vector rides the
+                                // staged artifacts so steady-state verifies
+                                // skip its O(KN) cost.
+                                fb.prep_units += (desc.k * desc.n) as u64;
+                                fb.bsum = Some(Arc::new(weight_row_sums(b)));
+                            }
+                            let s = Arc::new(fb);
                             *build += s.prep_units;
                             *staged = Some(Arc::clone(&s));
                             s
@@ -396,55 +591,139 @@ impl Engine {
                     };
                     execute_fused(gpu, fplan, a, b, &staged_b)
                 };
-                let fusedlike = true; // all PlanBody::Fused strategies
-                if desc.adaptive && fusedlike {
+                if desc.adaptive {
                     // Measure-and-choose, keyed exactly like the legacy
                     // GemmTuner so launch sequences (and thus L2 state)
                     // are reproduced verbatim.
                     let key = (desc.strategy, desc.m, desc.n, desc.k);
-                    match self.choices.get(&key) {
-                        Some(true) => run_fused_now(gpu, &mut self.weights, staged, &mut build),
+                    match choices.get(&key).copied() {
+                        Some(true) => run_fused_now(gpu, staged, &mut build),
                         Some(false) => run_tc(gpu, a, b),
                         None => {
-                            let fused = run_fused_now(gpu, &mut self.weights, staged, &mut build);
+                            let fused = run_fused_now(gpu, staged, &mut build);
                             let tc = run_tc(gpu, a, b);
-                            let use_fused = fused.stats.cycles <= tc.stats.cycles;
-                            self.choices.insert(key, use_fused);
-                            if use_fused {
-                                fused
-                            } else {
-                                tc
+                            match (fused, tc) {
+                                (Ok(f), Ok(t)) => {
+                                    let use_fused = f.stats.cycles <= t.stats.cycles;
+                                    choices.insert(key, use_fused);
+                                    Ok(if use_fused { f } else { t })
+                                }
+                                // A measurement taken under fault is not a
+                                // choice: leave the key unset for retry.
+                                (Err(e), _) | (_, Err(e)) => Err(e),
                             }
                         }
                     }
                 } else {
-                    run_fused_now(gpu, &mut self.weights, staged, &mut build)
+                    run_fused_now(gpu, staged, &mut build)
                 }
             }
         };
-        self.stats.executes += 1;
-        self.stats.plan_build_units += build.saturating_sub(0);
-        let mut out = out;
-        out.stats.plan_build_cycles = build;
-        if build > 0 {
+        (res, build)
+    }
+
+    /// The cached weight-side checksum vector of a staged weight plan.
+    fn staged_bsum(&self, id: PlanId) -> Option<Arc<Vec<i64>>> {
+        match &self.plans.slots.get(&id)?.body {
+            PlanBody::Fused {
+                staged: Some(s), ..
+            } => s.bsum.clone(),
+            _ => None,
+        }
+    }
+
+    /// Stamps the engine-side counters of one served execute onto its
+    /// output stats.
+    fn finish(
+        &mut self,
+        mut out: GemmOut,
+        total_build: u64,
+        abft_cycles: u64,
+        detected: u64,
+    ) -> GemmOut {
+        self.stats.plan_build_units += total_build;
+        out.stats.plan_build_cycles = total_build;
+        if total_build > 0 {
             out.stats.plan_cache_misses = 1;
         } else {
             out.stats.plan_cache_hits = 1;
         }
+        out.stats.abft_check_cycles += abft_cycles;
+        out.stats.faults_detected += detected;
         out
+    }
+
+    /// Last rung of the ladder: the host reference GEMM. No launch, no
+    /// cycles — a correct answer from outside the faulting machine.
+    fn host_reference(&self, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
+        let stats = KernelStats {
+            name: "gemm_host_ref".into(),
+            ..KernelStats::default()
+        };
+        GemmOut {
+            c: gemm_i8_i32(a, b),
+            stats,
+        }
+    }
+
+    /// Drops a plan — cached state, quarantine mark and desc mapping — so
+    /// the next [`Engine::prepare`] of its desc rebuilds from scratch.
+    /// Returns whether a cached plan was actually removed.
+    pub fn invalidate(&mut self, id: PlanId) -> bool {
+        self.quarantined.remove(&id);
+        let Some(plan) = self.plans.slots.remove(&id) else {
+            return false;
+        };
+        self.plans.by_desc.remove(&plan.desc);
+        true
+    }
+
+    /// Plans currently quarantined (served by the host reference).
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
     }
 
     /// Prepare + execute in one call (the shape the deprecated one-shot
     /// shims use).
+    ///
+    /// # Errors
+    /// Same contract as [`Engine::execute`]; `UnknownPlan` cannot occur
+    /// here because the plan is prepared in the same call.
     pub fn run(
         &mut self,
         gpu: &mut Gpu,
         desc: GemmDesc,
         a: &Matrix<i8>,
         b: &Matrix<i8>,
-    ) -> GemmOut {
+    ) -> Result<GemmOut, EngineError> {
         let id = self.prepare(desc);
         self.execute(gpu, id, a, b)
+    }
+
+    /// Pre-`Result` shape of [`Engine::execute`], kept for one PR so
+    /// callers can migrate.
+    #[deprecated(since = "0.2.0", note = "use `execute` and handle `EngineError`")]
+    pub fn execute_infallible(
+        &mut self,
+        gpu: &mut Gpu,
+        id: PlanId,
+        a: &Matrix<i8>,
+        b: &Matrix<i8>,
+    ) -> GemmOut {
+        self.execute(gpu, id, a, b).expect("engine execute")
+    }
+
+    /// Pre-`Result` shape of [`Engine::run`], kept for one PR so callers
+    /// can migrate.
+    #[deprecated(since = "0.2.0", note = "use `run` and handle `EngineError`")]
+    pub fn run_infallible(
+        &mut self,
+        gpu: &mut Gpu,
+        desc: GemmDesc,
+        a: &Matrix<i8>,
+        b: &Matrix<i8>,
+    ) -> GemmOut {
+        self.run(gpu, desc, a, b).expect("engine run")
     }
 
     /// Cumulative engine counters.
@@ -479,6 +758,7 @@ impl Engine {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::strategy::ExecConfig;
@@ -519,12 +799,12 @@ mod tests {
         let (a, b) = mats(16, 32, 320, 3);
         let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 16, 32, 320, Some(9));
         let id = e.prepare(desc);
-        let cold = e.execute(&mut g, id, &a, &b);
+        let cold = e.execute(&mut g, id, &a, &b).expect("execute");
         assert!(cold.stats.plan_build_cycles > 0);
         assert_eq!(cold.stats.plan_cache_misses, 1);
-        assert!(e.plan(id).unwrap().weight_staged());
+        assert!(e.plan(id).expect("plan").weight_staged());
         let weight_misses = e.weights().misses();
-        let hot = e.execute(&mut g, id, &a, &b);
+        let hot = e.execute(&mut g, id, &a, &b).expect("execute");
         assert_eq!(hot.stats.plan_build_cycles, 0, "no build work on reuse");
         assert_eq!(hot.stats.plan_cache_hits, 1);
         assert_eq!(e.weights().misses(), weight_misses, "no re-packing");
@@ -540,7 +820,7 @@ mod tests {
         let want = gemm_i8_i32(&a, &b);
         for s in Strategy::ALL {
             let desc = GemmDesc::from_exec(s, &cfg, &g, 20, 32, 320, None);
-            let out = e.run(&mut g, desc, &a, &b);
+            let out = e.run(&mut g, desc, &a, &b).expect("run");
             assert_eq!(out.c, want, "strategy {}", s.name());
         }
     }
@@ -571,19 +851,18 @@ mod tests {
         let (a, b) = mats(16, 32, 320, 11);
         let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 16, 32, 320, None);
         let id = e.prepare(desc);
-        let first = e.execute(&mut g, id, &a, &b);
-        assert!(!e.plan(id).unwrap().weight_staged());
+        let first = e.execute(&mut g, id, &a, &b).expect("execute");
+        assert!(!e.plan(id).expect("plan").weight_staged());
         // Different activation values through the same plan.
         let (_, b2) = mats(16, 32, 320, 13);
-        let second = e.execute(&mut g, id, &a, &b2);
+        let second = e.execute(&mut g, id, &a, &b2).expect("execute");
         assert_eq!(second.c, gemm_i8_i32(&a, &b2));
         assert_eq!(first.stats.plan_cache_misses, 1);
         assert_eq!(second.stats.plan_cache_hits, 1);
     }
 
     #[test]
-    #[should_panic(expected = "unknown or evicted PlanId")]
-    fn evicted_plan_panics_clearly() {
+    fn evicted_plan_is_a_typed_error() {
         let mut g = gpu();
         let mut e = Engine::with_plan_capacity(1);
         let cfg = ExecConfig::int6();
@@ -592,6 +871,148 @@ mod tests {
         let id1 = e.prepare(d1);
         let _ = e.prepare(d2); // evicts d1
         let (a, b) = mats(16, 32, 128, 17);
-        let _ = e.execute(&mut g, id1, &a, &b);
+        let err = e.execute(&mut g, id1, &a, &b).unwrap_err();
+        assert_eq!(err, EngineError::UnknownPlan(id1));
+        assert!(
+            err.to_string().contains("unknown or evicted PlanId"),
+            "diagnostic must keep naming the cause: {err}"
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_typed_error() {
+        let mut g = gpu();
+        let mut e = Engine::new();
+        let cfg = ExecConfig::int6();
+        let desc = GemmDesc::from_exec(Strategy::Tc, &cfg, &g, 16, 32, 128, None);
+        let id = e.prepare(desc);
+        let (a, b) = mats(16, 32, 256, 19); // wrong N
+        let err = e.execute(&mut g, id, &a, &b).unwrap_err();
+        assert!(matches!(err, EngineError::ShapeMismatch { .. }), "{err}");
+        assert_eq!(e.stats().executes, 0, "a refused request is not served");
+    }
+
+    #[test]
+    fn invalidate_forces_a_full_rebuild() {
+        let mut g = gpu();
+        let mut e = Engine::new();
+        let mut cfg = ExecConfig::int6();
+        cfg.adaptive = false;
+        let (a, b) = mats(16, 32, 320, 21);
+        let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 16, 32, 320, Some(4));
+        let id = e.prepare(desc);
+        let first = e.execute(&mut g, id, &a, &b).expect("execute");
+        assert!(e.invalidate(id));
+        assert!(!e.invalidate(id), "second invalidate finds nothing");
+        assert_eq!(e.plan_count(), 0);
+        assert_eq!(
+            e.execute(&mut g, id, &a, &b).unwrap_err(),
+            EngineError::UnknownPlan(id)
+        );
+        // Re-prepare builds a fresh plan under the same desc.
+        let id2 = e.prepare(desc);
+        let again = e.execute(&mut g, id2, &a, &b).expect("execute");
+        assert!(again.stats.plan_build_cycles > 0, "rebuilt from scratch");
+        assert_eq!(again.c, first.c);
+        assert_eq!(e.stats().plan_cache_misses, 2);
+    }
+
+    #[test]
+    fn abft_on_verifies_and_matches_abft_off() {
+        let (a, b) = mats(24, 32, 320, 23);
+        let run = |abft: bool| {
+            let mut g = gpu();
+            let mut e = Engine::new();
+            let mut cfg = ExecConfig::int6();
+            cfg.adaptive = false;
+            cfg.abft = abft;
+            let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 24, 32, 320, Some(8));
+            let id = e.prepare(desc);
+            let cold = e.execute(&mut g, id, &a, &b).expect("execute");
+            let hot = e.execute(&mut g, id, &a, &b).expect("execute");
+            (cold, hot, e.stats())
+        };
+        let (plain_cold, plain_hot, plain_stats) = run(false);
+        let (abft_cold, abft_hot, abft_stats) = run(true);
+        assert_eq!(plain_cold.c, abft_cold.c);
+        assert_eq!(plain_hot.c, abft_hot.c);
+        assert_eq!(plain_cold.stats.abft_check_cycles, 0);
+        assert!(abft_cold.stats.abft_check_cycles > 0, "check is modeled");
+        assert!(abft_hot.stats.abft_check_cycles > 0);
+        // Same simulated launches either way: the check is host-side.
+        assert_eq!(plain_hot.stats.cycles, abft_hot.stats.cycles);
+        assert_eq!(plain_stats.faults_detected, 0);
+        assert_eq!(abft_stats.faults_detected, 0, "fault-free run");
+        // The staged bsum vector rides the plan's artifacts.
+        assert!(abft_cold.stats.plan_build_cycles > plain_cold.stats.plan_build_cycles);
+    }
+
+    #[test]
+    fn ladder_quarantines_a_plan_on_a_dead_machine() {
+        // Hang virtually every launch: the whole ladder fails and the
+        // engine must still answer correctly, from the host.
+        let mut cfg = OrinConfig::test_small();
+        cfg.fast_forward = true;
+        cfg.fault = vitbit_sim::FaultConfig {
+            enabled: true,
+            seed: 7,
+            reg_flip_rate: 0.0,
+            dram_flip_rate: 0.0,
+            hang_rate: 0.9,
+        };
+        let mut g = Gpu::new(cfg, 64 << 20);
+        let mut e = Engine::new();
+        let mut ec = ExecConfig::int6();
+        ec.adaptive = false;
+        let (a, b) = mats(16, 32, 320, 25);
+        let want = gemm_i8_i32(&a, &b);
+        let desc = GemmDesc::from_exec(Strategy::VitBit, &ec, &g, 16, 32, 320, Some(3));
+        let id = e.prepare(desc);
+        let out = e
+            .execute(&mut g, id, &a, &b)
+            .expect("ladder absorbs faults");
+        assert_eq!(out.c, want, "host reference answers correctly");
+        assert_eq!(out.stats.name, "gemm_host_ref");
+        let s = e.stats();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.fallbacks, 1);
+        assert_eq!(s.quarantined_plans, 1);
+        assert!(s.faults_detected >= 4, "every rung failed: {s:?}");
+        assert_eq!(e.quarantined_count(), 1);
+        // A quarantined plan skips the machine entirely.
+        let again = e.execute(&mut g, id, &a, &b).expect("quarantined serve");
+        assert_eq!(again.c, want);
+        assert_eq!(again.stats.name, "gemm_host_ref");
+        assert_eq!(e.stats().retries, 2, "no new ladder walk");
+        // Invalidate clears the quarantine with the plan.
+        assert!(e.invalidate(id));
+        assert_eq!(e.quarantined_count(), 0);
+    }
+
+    #[test]
+    fn abft_recovers_correct_results_under_register_faults() {
+        let (a, b) = mats(16, 32, 320, 27);
+        let want = gemm_i8_i32(&a, &b);
+        for seed in 0..6u64 {
+            let mut cfg = OrinConfig::test_small();
+            cfg.fault = vitbit_sim::FaultConfig {
+                enabled: true,
+                seed: 0xF00D + seed,
+                reg_flip_rate: 2e-4,
+                dram_flip_rate: 0.0,
+                hang_rate: 0.0,
+            };
+            let mut g = Gpu::new(cfg, 64 << 20);
+            let mut e = Engine::new();
+            let mut ec = ExecConfig::int6();
+            ec.adaptive = false;
+            ec.abft = true;
+            let desc = GemmDesc::from_exec(Strategy::VitBit, &ec, &g, 16, 32, 320, Some(5));
+            let id = e.prepare(desc);
+            for _ in 0..4 {
+                let out = e.execute(&mut g, id, &a, &b).expect("execute");
+                assert_eq!(out.c, want, "seed {seed}: checked result is correct");
+            }
+        }
     }
 }

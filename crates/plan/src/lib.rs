@@ -25,10 +25,20 @@
 //! The Table-3 [`Strategy`] type (moved here from `vitbit-exec`, which
 //! re-exports it) still carries the legacy one-shot `run_gemm*` entry
 //! points as `#[deprecated]` shims over the engine.
+//!
+//! Since the fault-injection PR the engine is also the recovery layer:
+//! [`Engine::execute`] returns `Result<GemmOut, EngineError>`, verifies
+//! outputs with ABFT checksums when [`GemmDesc::abft`] asks for it, and
+//! absorbs launch faults through a retry → rebuild → fallback →
+//! quarantine ladder (see `DESIGN.md` §9).
+
+#![warn(clippy::unwrap_used)]
 
 pub mod engine;
 pub mod strategy;
 
-pub use engine::{Engine, EngineStats, GemmDesc, GemmPlan, PlanCache, PlanId, SimKnobs};
+pub use engine::{
+    Engine, EngineError, EngineStats, GemmDesc, GemmPlan, PlanCache, PlanId, SimKnobs,
+};
 pub use strategy::{ExecConfig, GemmTuner, Strategy};
 pub use vitbit_kernels::gemm::{GemmOut, PackedWeightCache, WeightCtx};

@@ -103,6 +103,12 @@ pub struct ExecConfig {
     /// its limit case m = infinity). Honored by [`Engine::execute`] when
     /// the desc asks for it, and by the tuned legacy shims.
     pub adaptive: bool,
+    /// Verify every GEMM output with ABFT row/column checksums and let
+    /// the engine's recovery ladder absorb detected corruption. Off by
+    /// default: the checksums cost simulated cycles
+    /// (`KernelStats::abft_check_cycles`) and the fault-free pipelines
+    /// don't need them.
+    pub abft: bool,
 }
 
 impl ExecConfig {
@@ -116,6 +122,7 @@ impl ExecConfig {
             spec: PackSpec::guarded(bitwidth, bitwidth).expect("valid bitwidth"),
             ratio: None,
             adaptive: true,
+            abft: false,
         }
     }
 
@@ -176,19 +183,25 @@ fn one_shot(
         // config said; only the `_tuned` ones honored `adaptive`.
         adaptive: tuner.is_some() && cfg.adaptive,
         weight: weight.as_ref().map(|(_, id)| *id),
+        abft: cfg.abft,
         knobs: SimKnobs::of(gpu),
     };
     if let Some(t) = tuner.as_deref_mut() {
         std::mem::swap(&mut t.choices, engine.choices_mut());
     }
+    let run = |engine: &mut Engine, gpu: &mut Gpu| {
+        engine
+            .run(gpu, desc, a, b)
+            .expect("one-shot desc is prepared in the same call")
+    };
     let out = match weight.as_mut() {
         Some((cache, _)) => {
             std::mem::swap(*cache, engine.weights_mut());
-            let out = engine.run(gpu, desc, a, b);
+            let out = run(&mut engine, gpu);
             std::mem::swap(*cache, engine.weights_mut());
             out
         }
-        None => engine.run(gpu, desc, a, b),
+        None => run(&mut engine, gpu),
     };
     if let Some(t) = tuner {
         std::mem::swap(&mut t.choices, engine.choices_mut());

@@ -112,6 +112,10 @@ pub struct OrinConfig {
     /// environment variable (`0` disables), so CI can run entire suites
     /// against the stepping oracle without code changes.
     pub fast_forward: bool,
+    /// Seeded deterministic fault injection (default: disabled). With the
+    /// layer disabled every stat and memory byte is identical to a build
+    /// without it; see [`crate::fault::FaultConfig`].
+    pub fault: crate::fault::FaultConfig,
 }
 
 impl OrinConfig {
@@ -149,6 +153,7 @@ impl OrinConfig {
             sim_mode: SimMode::default(),
             sim_threads: None,
             fast_forward: std::env::var_os("VITBIT_FAST_FORWARD").is_none_or(|v| v != "0"),
+            fault: crate::fault::FaultConfig::disabled(),
         }
     }
 

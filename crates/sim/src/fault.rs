@@ -1,0 +1,153 @@
+//! Seeded, deterministic fault injection.
+//!
+//! Faults are decided by a *stateless* counter-based PRNG: every decision
+//! hashes `(seed, salt, sm, counter)` with a splitmix64-style mixer, so the
+//! outcome depends only on the event's identity, never on a shared mutable
+//! stream. Both [`crate::config::SimMode`]s issue the same per-SM
+//! instruction sequence and drain the same per-SM memory-request sequence,
+//! so the injected faults are bit-identical across cycle-loop flavours and
+//! fast-forward settings. Counters live on the SM and are *not* reset
+//! between launches: re-executing a kernel sees fresh decisions, which is
+//! the transient-fault model the recovery ladder in `vitbit-plan` assumes.
+
+/// Fault kinds the simulator can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A single bit flipped in a destination register at issue time.
+    RegisterFlip,
+    /// A single bit flipped in data returned by a DRAM-serviced load.
+    DramFlip,
+    /// A warp that stops issuing forever (its block never retires).
+    HungWarp,
+}
+
+/// Configuration of the fault-injection layer. Default is fully disabled;
+/// with `enabled == false` the simulator is byte-for-byte identical to a
+/// build without the layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Master switch; when false no fault path is ever evaluated.
+    pub enabled: bool,
+    /// Seed mixed into every decision hash.
+    pub seed: u64,
+    /// Probability an issued instruction with a register destination has
+    /// one destination bit flipped.
+    pub reg_flip_rate: f64,
+    /// Probability a DRAM-serviced load line flips one bit of its
+    /// destination register.
+    pub dram_flip_rate: f64,
+    /// Probability a ready warp hangs instead of issuing (checked once per
+    /// issue opportunity).
+    pub hang_rate: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Decision-stream salts: distinct fault kinds must never share a stream.
+pub(crate) const SALT_REG: u64 = 0x9e37_79b9_7f4a_7c15;
+pub(crate) const SALT_DRAM: u64 = 0xbf58_476d_1ce4_e5b9;
+pub(crate) const SALT_HANG: u64 = 0x94d0_49bb_1331_11eb;
+
+impl FaultConfig {
+    /// No faults; the default.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            seed: 0,
+            reg_flip_rate: 0.0,
+            dram_flip_rate: 0.0,
+            hang_rate: 0.0,
+        }
+    }
+
+    /// An enabled config with the given seed and soak-test default rates:
+    /// register flips only. Rates are per *event* (issued instruction),
+    /// tuned so a small GEMM sees a handful of flips.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            enabled: true,
+            seed,
+            reg_flip_rate: 1e-3,
+            dram_flip_rate: 0.0,
+            hang_rate: 0.0,
+        }
+    }
+
+    /// Rolls one decision: returns `Some(entropy)` when the event at
+    /// `(salt, sm, counter)` fires under `rate`, where `entropy` is a
+    /// 64-bit hash usable to pick the fault's target (lane, bit, ...).
+    #[inline]
+    pub(crate) fn roll(&self, salt: u64, sm: u32, counter: u64, rate: f64) -> Option<u64> {
+        if rate <= 0.0 {
+            return None;
+        }
+        let h = mix(self.seed ^ salt ^ (u64::from(sm) << 48) ^ counter);
+        // Top 53 bits as a uniform fraction in [0, 1).
+        let frac = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        (frac < rate).then(|| mix(h))
+    }
+}
+
+/// splitmix64 finalizer: a strong 64-bit mixer, stateless by construction.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default() {
+        let f = FaultConfig::default();
+        assert!(!f.enabled);
+        assert_eq!(f.roll(SALT_REG, 0, 0, f.reg_flip_rate), None);
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let f = FaultConfig::seeded(42);
+        for ctr in 0..1000 {
+            assert_eq!(
+                f.roll(SALT_REG, 1, ctr, 0.5),
+                f.roll(SALT_REG, 1, ctr, 0.5),
+                "same event must decide identically"
+            );
+        }
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let f = FaultConfig::seeded(7);
+        let reg: Vec<bool> = (0..512)
+            .map(|c| f.roll(SALT_REG, 0, c, 0.5).is_some())
+            .collect();
+        let dram: Vec<bool> = (0..512)
+            .map(|c| f.roll(SALT_DRAM, 0, c, 0.5).is_some())
+            .collect();
+        assert_ne!(reg, dram, "salts must decorrelate the streams");
+    }
+
+    #[test]
+    fn rate_is_roughly_honoured() {
+        let f = FaultConfig::seeded(3);
+        let fires = (0..100_000)
+            .filter(|&c| f.roll(SALT_REG, 0, c, 0.01).is_some())
+            .count();
+        assert!((800..1200).contains(&fires), "got {fires} fires at 1%");
+    }
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let f = FaultConfig::seeded(9);
+        assert!((0..10_000).all(|c| f.roll(SALT_HANG, 0, c, 0.0).is_none()));
+    }
+}

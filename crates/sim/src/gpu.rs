@@ -17,6 +17,56 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex, RwLock};
 
+/// Why a launch did not run to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// The cycle-budget watchdog fired: the kernel was still holding
+    /// unretired blocks at `cfg.max_cycles` (a genuine hang, or an
+    /// injected hung-SM fault).
+    Timeout {
+        /// Kernel name.
+        kernel: String,
+        /// The cycle budget that was exhausted.
+        cycles: u64,
+    },
+    /// Fault containment: with fault injection enabled, a corrupted value
+    /// drove execution somewhere a functional invariant tripped (an
+    /// out-of-range address, a divergent branch). Without injection such
+    /// panics stay loud — they are kernel bugs, not faults.
+    Fault {
+        /// Kernel name.
+        kernel: String,
+        /// The contained panic message.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Timeout { kernel, cycles } => {
+                write!(f, "kernel {kernel} exceeded {cycles} cycles (hang?)")
+            }
+            LaunchError::Fault { kernel, what } => {
+                write!(f, "kernel {kernel} faulted: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Best-effort text of a contained panic payload.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The simulated GPU.
 #[derive(Debug)]
 pub struct Gpu {
@@ -31,7 +81,7 @@ impl Gpu {
     /// Builds a GPU with `mem_bytes` of device memory.
     pub fn new(cfg: OrinConfig, mem_bytes: u32) -> Self {
         let memsys = MemSystem::new(&cfg);
-        let sms = (0..cfg.num_sms).map(|_| Sm::new(&cfg)).collect();
+        let sms = (0..cfg.num_sms).map(|i| Sm::new(&cfg, i)).collect();
         Self {
             cfg,
             mem: GlobalMem::new(mem_bytes),
@@ -56,10 +106,17 @@ impl Gpu {
     /// exactly one new block per SM per cycle (the hardware work
     /// distributor's throttling).
     ///
+    /// Returns [`LaunchError::Timeout`] when the kernel is still holding
+    /// unretired blocks at `cfg.max_cycles` (the cycle-budget watchdog),
+    /// and — only with fault injection enabled — [`LaunchError::Fault`]
+    /// when a corrupted value tripped a functional invariant. Either way
+    /// the GPU is hard-reset and immediately reusable for a retry.
+    ///
     /// # Panics
-    /// Panics if the kernel exceeds `cfg.max_cycles` (hang guard) or if a
-    /// block cannot fit any SM.
-    pub fn launch(&mut self, kernel: &Kernel) -> KernelStats {
+    /// Panics if a block cannot fit any SM (a launch-configuration bug,
+    /// not a runtime fault), or — with fault injection disabled — if the
+    /// kernel itself trips a functional invariant (a kernel bug).
+    pub fn launch(&mut self, kernel: &Kernel) -> Result<KernelStats, LaunchError> {
         assert!(kernel.blocks > 0, "empty grid");
         assert!(
             kernel.warps_per_block > 0 && kernel.warps_per_block <= self.cfg.max_warps_per_sm,
@@ -84,20 +141,54 @@ impl Gpu {
             blocks: kernel.blocks,
             ..KernelStats::default()
         };
+        // Fault containment: injected corruption can drive execution into
+        // functional invariants (out-of-range addresses, divergent
+        // branches). With injection on, such panics become a detected
+        // Fault; with it off they stay loud — they are kernel bugs.
+        let res = if self.cfg.fault.enabled {
+            catch_unwind(AssertUnwindSafe(|| self.run_loops(kernel, &mut stats))).unwrap_or_else(
+                |p| {
+                    Err(LaunchError::Fault {
+                        kernel: kernel.name.clone(),
+                        what: panic_message(p.as_ref()),
+                    })
+                },
+            )
+        } else {
+            self.run_loops(kernel, &mut stats)
+        };
+        match res {
+            Ok(()) => {
+                stats.dram_bytes = self.memsys.dram_bytes;
+                stats.l2_hit_bytes = self.memsys.l2_hit_bytes;
+                Ok(stats)
+            }
+            Err(e) => {
+                // Evict all resident state so the GPU is reusable: the
+                // normal path drains residency to zero by itself, the
+                // error path must force it.
+                for sm in &mut self.sms {
+                    sm.hard_reset();
+                }
+                self.memsys.new_kernel();
+                Err(e)
+            }
+        }
+    }
+
+    /// Dispatches to the configured cycle loop.
+    fn run_loops(&mut self, kernel: &Kernel, stats: &mut KernelStats) -> Result<(), LaunchError> {
         match self.cfg.sim_mode {
-            SimMode::Serial => self.run_serial(kernel, &mut stats),
+            SimMode::Serial => self.run_serial(kernel, stats),
             SimMode::Parallel => {
                 let workers = self.worker_threads();
                 if workers <= 1 {
-                    self.run_two_phase_single(kernel, &mut stats);
+                    self.run_two_phase_single(kernel, stats)
                 } else {
-                    self.run_two_phase_pool(kernel, &mut stats, workers);
+                    self.run_two_phase_pool(kernel, stats, workers)
                 }
             }
         }
-        stats.dram_bytes = self.memsys.dram_bytes;
-        stats.l2_hit_bytes = self.memsys.l2_hit_bytes;
-        stats
     }
 
     /// Worker count for parallel mode: the configured override or the
@@ -112,7 +203,7 @@ impl Gpu {
 
     /// The serial reference loop: SMs step in index order, memory serviced
     /// at issue time.
-    fn run_serial(&mut self, kernel: &Kernel, stats: &mut KernelStats) {
+    fn run_serial(&mut self, kernel: &Kernel, stats: &mut KernelStats) -> Result<(), LaunchError> {
         let mut next_block: u32 = 0;
         let mut done: u32 = 0;
         let mut age: u64 = 0;
@@ -123,12 +214,12 @@ impl Gpu {
                 done += sm.step(cycle, &mut self.memsys, &mut self.mem, &kernel.args, stats);
             }
             cycle += 1;
-            assert!(
-                cycle < self.cfg.max_cycles,
-                "kernel {} exceeded {} cycles (hang?)",
-                kernel.name,
-                self.cfg.max_cycles
-            );
+            if cycle >= self.cfg.max_cycles && done < kernel.blocks {
+                return Err(LaunchError::Timeout {
+                    kernel: kernel.name.clone(),
+                    cycles: self.cfg.max_cycles,
+                });
+            }
             if done < kernel.blocks && self.sms.iter().all(Sm::is_ff_silent) {
                 let pending =
                     next_block < kernel.blocks && self.sms.iter().any(|sm| sm.can_accept(kernel));
@@ -149,12 +240,17 @@ impl Gpu {
             }
         }
         stats.cycles = cycle;
+        Ok(())
     }
 
     /// Two-phase loop on the calling thread (single-core hosts): same
     /// compute/drain split and therefore the same results as the pooled
     /// loop, without thread hand-off overhead.
-    fn run_two_phase_single(&mut self, kernel: &Kernel, stats: &mut KernelStats) {
+    fn run_two_phase_single(
+        &mut self,
+        kernel: &Kernel,
+        stats: &mut KernelStats,
+    ) -> Result<(), LaunchError> {
         let Gpu {
             cfg,
             mem,
@@ -176,12 +272,12 @@ impl Gpu {
                 done += sm.drain_cycle(memsys, mem);
             }
             cycle += 1;
-            assert!(
-                cycle < cfg.max_cycles,
-                "kernel {} exceeded {} cycles (hang?)",
-                kernel.name,
-                cfg.max_cycles
-            );
+            if cycle >= cfg.max_cycles && done < kernel.blocks {
+                return Err(LaunchError::Timeout {
+                    kernel: kernel.name.clone(),
+                    cycles: cfg.max_cycles,
+                });
+            }
             if done < kernel.blocks && sms.iter().all(|sm| sm.is_ff_silent()) {
                 let pending =
                     next_block < kernel.blocks && sms.iter().any(|sm| sm.can_accept(kernel));
@@ -207,6 +303,7 @@ impl Gpu {
         stats.cycles = cycle;
         stats.skipped_cycles += skipped;
         stats.fast_forward_jumps += jumps;
+        Ok(())
     }
 
     /// Two-phase loop over a pool of scoped worker threads.
@@ -217,7 +314,12 @@ impl Gpu {
     /// drains every SM's queues in index order. SM ownership is static
     /// (SM `i` belongs to worker `i % workers`), so the per-SM mutexes are
     /// never contended; they exist to move `&mut Sm` across threads safely.
-    fn run_two_phase_pool(&mut self, kernel: &Kernel, stats: &mut KernelStats, workers: usize) {
+    fn run_two_phase_pool(
+        &mut self,
+        kernel: &Kernel,
+        stats: &mut KernelStats,
+        workers: usize,
+    ) -> Result<(), LaunchError> {
         let Gpu {
             cfg,
             mem,
@@ -325,20 +427,23 @@ impl Gpu {
             }
         });
         if let Some(p) = panic_slot.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            // With fault injection on, `launch` converts this into a
+            // contained `LaunchError::Fault`; otherwise it stays loud.
             resume_unwind(p);
         }
-        assert!(
-            done >= kernel.blocks,
-            "kernel {} exceeded {} cycles (hang?)",
-            kernel.name,
-            cfg.max_cycles
-        );
+        if done < kernel.blocks {
+            return Err(LaunchError::Timeout {
+                kernel: kernel.name.clone(),
+                cycles: cfg.max_cycles,
+            });
+        }
         for u in &units {
             lock_sm(u).merge_stats_into(stats);
         }
         stats.cycles = cycle;
         stats.skipped_cycles += skipped;
         stats.fast_forward_jumps += jumps;
+        Ok(())
     }
 
     /// Flushes the L2 (cold-start experiments between kernels).
@@ -467,7 +572,7 @@ mod tests {
         let po = g.mem.alloc((n * 4) as u32);
         let (mut k, f) = vec_add_kernel(4);
         k.args = vec![pa.addr, pb.addr, po.addr];
-        let stats = g.launch(&k);
+        let stats = g.launch(&k).expect("launch");
         let out = g.mem.download_u32(po, n);
         for i in 0..n {
             assert_eq!(out[i], f(a[i], b[i]), "element {i}");
@@ -503,7 +608,7 @@ mod tests {
         let mut g = gpu();
         let po = g.mem.alloc(64 * 4);
         let k = Kernel::single("loop", p.build().into_arc(), 1, 2, 0, vec![po.addr]);
-        let stats = g.launch(&k);
+        let stats = g.launch(&k).expect("launch");
         let out = g.mem.download_u32(po, 64);
         assert!(out.iter().all(|&x| x == 45));
         // 10 iterations x 3 insts + overhead, 2 warps.
@@ -544,7 +649,7 @@ mod tests {
         let warps = 4u32;
         let po = g.mem.alloc(warps * 32 * 4);
         let k = Kernel::single("bar", p.build().into_arc(), 1, warps, 128, vec![po.addr]);
-        let _ = g.launch(&k);
+        g.launch(&k).expect("launch");
         let out = g.mem.download_u32(po, (warps * 32) as usize);
         for w in 0..warps as usize {
             for l in 0..32 {
@@ -578,7 +683,7 @@ mod tests {
             0,
             vec![po.addr],
         );
-        let _ = g.launch(&k);
+        g.launch(&k).expect("launch");
         let out = g.mem.download_u32(po, 128);
         assert!(out[0..32].iter().all(|&x| x == 111));
         assert!(out[32..64].iter().all(|&x| x == 222));
@@ -597,14 +702,13 @@ mod tests {
         let po = g.mem.alloc((n * 4) as u32);
         let (mut k, _) = vec_add_kernel(blocks);
         k.args = vec![pa.addr, pb.addr, po.addr];
-        let stats = g.launch(&k);
+        let stats = g.launch(&k).expect("launch");
         assert_eq!(stats.blocks, blocks);
         let out = g.mem.download_u32(po, n);
         assert!(out.iter().enumerate().all(|(i, &x)| x == 2 * i as u32));
     }
 
     #[test]
-    #[should_panic(expected = "exceeded")]
     fn hang_guard_fires() {
         let mut p = ProgramBuilder::new("spin");
         p.label_here("top");
@@ -614,7 +718,12 @@ mod tests {
         cfg.max_cycles = 10_000;
         let mut g = Gpu::new(cfg, 1 << 20);
         let k = Kernel::single("spin", p.build().into_arc(), 1, 1, 0, vec![]);
-        let _ = g.launch(&k);
+        let err = g.launch(&k).unwrap_err();
+        assert!(
+            matches!(err, LaunchError::Timeout { cycles: 10_000, .. }),
+            "expected timeout, got {err}"
+        );
+        assert!(err.to_string().contains("exceeded"));
     }
 
     #[test]
@@ -651,8 +760,8 @@ mod tests {
             0,
             vec![],
         );
-        let t_int = g.launch(&int_only).cycles;
-        let t_mixed = g.launch(&mixed).cycles;
+        let t_int = g.launch(&int_only).expect("launch").cycles;
+        let t_mixed = g.launch(&mixed).expect("launch").cycles;
         assert!(
             (t_mixed as f64) < 0.75 * t_int as f64,
             "mixed {t_mixed} should be well under int-only {t_int}"
@@ -671,7 +780,7 @@ mod tests {
             cfg.sim_threads = Some(threads);
             let mut g = Gpu::new(cfg, 16 << 20);
             let (k, out) = build(&mut g);
-            let stats = g.launch(&k);
+            let stats = g.launch(&k).expect("launch");
             let bytes = out.map(|(addr, len)| {
                 let ptr = crate::mem::DevPtr {
                     addr,
@@ -753,7 +862,7 @@ mod tests {
         let po = g.mem.alloc((n * 4) as u32);
         let (mut k, f) = vec_add_kernel(8);
         k.args = vec![pa.addr, pb.addr, po.addr];
-        let stats = g.launch(&k);
+        let stats = g.launch(&k).expect("launch");
         let out = g.mem.download_u32(po, n);
         for i in 0..n {
             assert_eq!(out[i], f(a[i], b[i]), "element {i}");
@@ -762,7 +871,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeded")]
     fn parallel_hang_guard_fires() {
         let mut p = ProgramBuilder::new("spin_par");
         p.label_here("top");
@@ -774,7 +882,11 @@ mod tests {
         cfg.sim_threads = Some(2);
         let mut g = Gpu::new(cfg, 1 << 20);
         let k = Kernel::single("spin_par", p.build().into_arc(), 1, 1, 0, vec![]);
-        let _ = g.launch(&k);
+        let err = g.launch(&k).unwrap_err();
+        assert!(
+            matches!(err, LaunchError::Timeout { cycles: 10_000, .. }),
+            "expected timeout, got {err}"
+        );
     }
 
     #[test]
@@ -808,7 +920,7 @@ mod tests {
         p.exit();
         let mut g = gpu();
         let k = Kernel::single("ops", p.build().into_arc(), 1, 1, 0, vec![]);
-        let stats = g.launch(&k);
+        let stats = g.launch(&k).expect("launch");
         assert_eq!(stats.issued.int, 1);
         assert_eq!(stats.issued.fp, 1);
         assert_eq!(stats.int_ops, 64);
@@ -863,7 +975,7 @@ mod tests {
                 0,
                 vec![chain.addr, out.addr],
             );
-            let stats = g.launch(&k);
+            let stats = g.launch(&k).expect("launch");
             (stats, g.mem.download_u32(out, 1)[0])
         };
 
@@ -887,5 +999,115 @@ mod tests {
                 s_on.skip_ratio()
             );
         }
+    }
+
+    /// Runs vec_add under one fault configuration and returns stats + output.
+    fn run_faulted(
+        fault: crate::fault::FaultConfig,
+        mode: SimMode,
+        ff: bool,
+    ) -> (Result<KernelStats, LaunchError>, Vec<u32>) {
+        let mut cfg = OrinConfig::test_small();
+        cfg.fault = fault;
+        cfg.sim_mode = mode;
+        cfg.sim_threads = Some(2);
+        cfg.fast_forward = ff;
+        cfg.max_cycles = 2_000_000;
+        let mut g = Gpu::new(cfg, 16 << 20);
+        let blocks = 8u32;
+        let n = blocks as usize * 32;
+        let a: Vec<u32> = (0..n as u32).collect();
+        let pa = g.mem.upload_u32(&a);
+        let pb = g.mem.upload_u32(&a);
+        let po = g.mem.alloc((n * 4) as u32);
+        let (mut k, _) = vec_add_kernel(blocks);
+        k.args = vec![pa.addr, pb.addr, po.addr];
+        let res = g.launch(&k);
+        (res, g.mem.download_u32(po, n))
+    }
+
+    #[test]
+    fn faults_disabled_is_bit_identical_to_default() {
+        for mode in [SimMode::Serial, SimMode::Parallel] {
+            for ff in [false, true] {
+                let (base, out_base) = run_faulted(crate::fault::FaultConfig::disabled(), mode, ff);
+                let mut off = crate::fault::FaultConfig::seeded(7);
+                off.enabled = false;
+                let (dis, out_dis) = run_faulted(off, mode, ff);
+                let (base, dis) = (base.expect("launch"), dis.expect("launch"));
+                assert_eq!(base, dis, "{mode:?} ff={ff}: stats diverge");
+                assert_eq!(out_base, out_dis, "{mode:?} ff={ff}: memory diverges");
+                assert_eq!(base.faults_injected, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn injected_faults_are_deterministic_across_modes() {
+        let mut fc = crate::fault::FaultConfig::seeded(42);
+        fc.reg_flip_rate = 5e-2;
+        fc.dram_flip_rate = 0.5;
+        let (s_ser, m_ser) = run_faulted(fc, SimMode::Serial, false);
+        let (s_par, m_par) = run_faulted(fc, SimMode::Parallel, false);
+        let (s_ser, s_par) = (s_ser.expect("launch"), s_par.expect("launch"));
+        assert!(s_ser.faults_injected > 0, "seed 42 must inject something");
+        assert_eq!(s_ser.faults_injected, s_par.faults_injected);
+        assert_eq!(s_ser.cycles, s_par.cycles);
+        assert_eq!(m_ser, m_par, "corrupted memory must corrupt identically");
+    }
+
+    #[test]
+    fn hung_warp_times_out_instead_of_hanging() {
+        let mut fc = crate::fault::FaultConfig::seeded(1);
+        fc.reg_flip_rate = 0.0;
+        fc.hang_rate = 0.2; // virtually certain to hang a warp early
+        for ff in [false, true] {
+            let (res, _) = run_faulted(fc, SimMode::Serial, ff);
+            let err = res.expect_err("a hung warp must not complete");
+            assert!(
+                matches!(err, LaunchError::Timeout { .. }),
+                "ff={ff}: expected timeout, got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_is_reusable_after_launch_error() {
+        let mut fc = crate::fault::FaultConfig::seeded(1);
+        fc.reg_flip_rate = 0.0;
+        // Low enough that a launch completes every few attempts, high enough
+        // that some attempts hang.
+        fc.hang_rate = 0.02;
+        let mut cfg = OrinConfig::test_small();
+        cfg.fault = fc;
+        cfg.max_cycles = 500_000;
+        cfg.fast_forward = true; // make each timeout cheap
+        let mut g = Gpu::new(cfg, 16 << 20);
+        let n = 4 * 32usize;
+        let a: Vec<u32> = (0..n as u32).collect();
+        let pa = g.mem.upload_u32(&a);
+        let pb = g.mem.upload_u32(&a);
+        let po = g.mem.alloc((n * 4) as u32);
+        let (mut k, _) = vec_add_kernel(4);
+        k.args = vec![pa.addr, pb.addr, po.addr];
+        let mut saw_err = false;
+        let mut saw_ok = false;
+        // The hang PRNG stream advances across retries, so eventually a
+        // launch goes through; every failed launch must leave the GPU clean
+        // enough for the next attempt.
+        for _ in 0..64 {
+            match g.launch(&k) {
+                Ok(_) => {
+                    saw_ok = true;
+                    break;
+                }
+                Err(LaunchError::Timeout { .. }) => saw_err = true,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(saw_err, "hang rate 0.2 should time out at least once");
+        assert!(saw_ok, "retries must eventually succeed");
+        let out = g.mem.download_u32(po, n);
+        assert!(out.iter().enumerate().all(|(i, &x)| x == 2 * i as u32));
     }
 }

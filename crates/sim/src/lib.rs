@@ -29,6 +29,7 @@
 pub mod cache;
 pub mod config;
 pub mod exec;
+pub mod fault;
 pub mod gpu;
 pub mod isa;
 pub mod launch;
@@ -41,7 +42,8 @@ pub mod trace;
 pub mod warp;
 
 pub use config::{OrinConfig, SchedPolicy, SimMode};
-pub use gpu::Gpu;
+pub use fault::{FaultConfig, FaultKind};
+pub use gpu::{Gpu, LaunchError};
 pub use isa::{FCmp, ICmp, MemWidth, MmaKind, Op, Pred, Reg, SReg, Src};
 pub use launch::{Kernel, RoleMap};
 pub use program::{Program, ProgramBuilder};

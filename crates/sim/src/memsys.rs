@@ -50,6 +50,13 @@ impl MemSystem {
     /// One line request from an SM that missed its L1 at cycle `now`;
     /// returns the cycle the line arrives at the SM.
     pub fn line_request(&mut self, now: u64, addr: u64) -> u64 {
+        self.request(now, addr, true).0
+    }
+
+    /// Like [`MemSystem::line_request`], but also reports whether the line
+    /// was served by DRAM (`true`) or an L2 hit (`false`) — the fault layer
+    /// corrupts only DRAM-served fills.
+    pub fn line_request_traced(&mut self, now: u64, addr: u64) -> (u64, bool) {
         self.request(now, addr, true)
     }
 
@@ -57,10 +64,16 @@ impl MemSystem {
     /// reuse) but allocates in the chip-wide L2, where the operand streams
     /// of GEMM row-block sweeps do get reused.
     pub fn stream_request(&mut self, now: u64, addr: u64) -> u64 {
+        self.request(now, addr, true).0
+    }
+
+    /// [`MemSystem::stream_request`] with the DRAM-served flag (see
+    /// [`MemSystem::line_request_traced`]).
+    pub fn stream_request_traced(&mut self, now: u64, addr: u64) -> (u64, bool) {
         self.request(now, addr, true)
     }
 
-    fn request(&mut self, now: u64, addr: u64, allocate: bool) -> u64 {
+    fn request(&mut self, now: u64, addr: u64, allocate: bool) -> (u64, bool) {
         let nowf = now as f64;
         // L2 bandwidth queue: every request passes through the L2 port.
         let l2_start = self.l2_next_free.max(nowf);
@@ -72,13 +85,16 @@ impl MemSystem {
         };
         if hit {
             self.l2_hit_bytes += u64::from(self.line_bytes);
-            return (l2_start + f64::from(self.l2_latency)).ceil() as u64;
+            return ((l2_start + f64::from(self.l2_latency)).ceil() as u64, false);
         }
         // DRAM queue behind the L2.
         let dram_start = self.dram_next_free.max(l2_start);
         self.dram_next_free = dram_start + self.dram_interval;
         self.dram_bytes += u64::from(self.line_bytes);
-        (dram_start + f64::from(self.l2_latency) + f64::from(self.dram_latency)).ceil() as u64
+        (
+            (dram_start + f64::from(self.l2_latency) + f64::from(self.dram_latency)).ceil() as u64,
+            true,
+        )
     }
 
     /// A streaming (write-through, non-allocating) store of one line:
@@ -149,10 +165,16 @@ impl L1 {
     /// Access one line at cycle `now`; on L1 miss, escalates to `mem`.
     /// Returns the ready cycle.
     pub fn access(&mut self, now: u64, addr: u64, mem: &mut MemSystem) -> u64 {
+        self.access_traced(now, addr, mem).0
+    }
+
+    /// Like [`L1::access`], but also reports whether the line was served by
+    /// DRAM (always `false` on L1/L2 hits).
+    pub fn access_traced(&mut self, now: u64, addr: u64, mem: &mut MemSystem) -> (u64, bool) {
         if self.classify(addr) {
-            now + self.latency()
+            (now + self.latency(), false)
         } else {
-            mem.line_request(now + self.latency(), addr)
+            mem.line_request_traced(now + self.latency(), addr)
         }
     }
 

@@ -3,6 +3,7 @@
 
 use crate::config::{OrinConfig, SchedPolicy};
 use crate::exec::{self, MemCtx, Next};
+use crate::fault::{FaultConfig, SALT_DRAM, SALT_HANG, SALT_REG};
 use crate::isa::PipeClass;
 use crate::launch::Kernel;
 use crate::mem::GlobalMem;
@@ -157,11 +158,23 @@ pub struct Sm {
     /// cheap per-cycle signal the loops AND together before touching any
     /// horizon.
     ff_silent: bool,
+    /// This SM's index in the machine (seeds its fault-decision streams).
+    sm_id: u32,
+    /// Fault-injection configuration (copied from the machine config).
+    fault: FaultConfig,
+    /// Issue-event counter feeding the register-flip and hung-warp
+    /// decision streams. Deliberately *not* reset per kernel: re-executing
+    /// a faulted kernel sees fresh decisions (transient-fault model).
+    fault_issue_ctr: u64,
+    /// DRAM-served-line counter feeding the DRAM-corruption stream. Both
+    /// cycle-loop flavours service the same per-SM line sequence, so the
+    /// stream is identical across [`crate::config::SimMode`]s.
+    fault_mem_ctr: u64,
 }
 
 impl Sm {
-    /// Builds an SM from the machine config.
-    pub fn new(cfg: &OrinConfig) -> Self {
+    /// Builds SM number `sm_id` from the machine config.
+    pub fn new(cfg: &OrinConfig, sm_id: u32) -> Self {
         let max_warps = cfg.max_warps_per_sm;
         let max_blocks = cfg.max_blocks_per_sm;
         Self {
@@ -195,6 +208,10 @@ impl Sm {
             ff_horizon: 0,
             ff_dirty: true,
             ff_silent: false,
+            sm_id,
+            fault: cfg.fault,
+            fault_issue_ctr: 0,
+            fault_mem_ctr: 0,
         }
     }
 
@@ -216,6 +233,29 @@ impl Sm {
     /// True when the SM has any resident work.
     pub fn busy(&self) -> bool {
         self.resident_blocks > 0
+    }
+
+    /// Full reset after an aborted launch (timeout or contained fault):
+    /// evicts every resident warp and block so the SM is immediately
+    /// reusable for a retry. [`Sm::new_kernel`] deliberately does not do
+    /// this — on the normal path residency drains to zero by itself.
+    /// Fault-decision counters survive (retries must see fresh decisions).
+    pub fn hard_reset(&mut self) {
+        let n_warps = self.warps.len();
+        let n_blocks = self.blocks.len();
+        self.warps.iter_mut().for_each(|w| *w = None);
+        self.free_warp_slots = (0..n_warps).rev().collect();
+        self.blocks.iter_mut().for_each(|b| *b = None);
+        self.free_block_slots = (0..n_blocks).rev().collect();
+        for sp in &mut self.subparts {
+            sp.warps.clear();
+            sp.greedy = None;
+            sp.rr_next = 0;
+        }
+        self.resident_warps = 0;
+        self.resident_blocks = 0;
+        self.resident_smem = 0;
+        self.new_kernel();
     }
 
     /// Capacity check of [`Sm::try_launch`] without side effects: true when
@@ -437,10 +477,28 @@ impl Sm {
         let mut pending = std::mem::take(&mut self.pending);
         for p in pending.drain(..) {
             let mut ready = p.ready;
+            let mut flips: Vec<u64> = Vec::new();
             for line in &p.lines {
                 match *line {
                     PendingLine::Read { at, addr } => {
-                        ready = ready.max(memsys.line_request(at, addr));
+                        let (t, from_dram) = memsys.line_request_traced(at, addr);
+                        ready = ready.max(t);
+                        // Same decision stream as serial mode: one event
+                        // per DRAM-served read, in per-SM drain order.
+                        if from_dram && self.fault.enabled {
+                            let ctr = self.fault_mem_ctr;
+                            self.fault_mem_ctr += 1;
+                            if p.dest.is_some() {
+                                if let Some(e) = self.fault.roll(
+                                    SALT_DRAM,
+                                    self.sm_id,
+                                    ctr,
+                                    self.fault.dram_flip_rate,
+                                ) {
+                                    flips.push(e);
+                                }
+                            }
+                        }
                     }
                     PendingLine::Write { at } => memsys.write_request(at),
                 }
@@ -449,6 +507,13 @@ impl Sm {
                 let w = self.warps[p.warp_slot]
                     .as_mut()
                     .expect("warp with an in-flight load stays resident");
+                for e in flips {
+                    let r = first + (e % u64::from(count)) as u8;
+                    let lane = ((e >> 8) % 32) as usize;
+                    let bit = ((e >> 16) % 32) as u32;
+                    w.set_reg(r, lane, w.reg(r, lane) ^ (1 << bit));
+                    self.stats.faults_injected += 1;
+                }
                 for r in first..first + count {
                     w.reg_ready[r as usize] = ready;
                 }
@@ -583,6 +648,8 @@ impl Sm {
         let sfu_latency = self.sfu_latency;
         let lsu_occ_per_line = self.lsu_occ_per_line;
         let smem_latency = self.smem_latency;
+        let fault = self.fault;
+        let sm_id = self.sm_id;
         let Sm {
             warps,
             blocks,
@@ -592,6 +659,8 @@ impl Sm {
             scratch_preds,
             pending,
             store_buf,
+            fault_issue_ctr,
+            fault_mem_ctr,
             ..
         } = self;
 
@@ -637,6 +706,24 @@ impl Sm {
             }
         }
 
+        // Fault injection: this instruction would issue, so it is one
+        // event on the SM's issue stream. A hung-warp fault parks the warp
+        // forever instead of issuing; a register flip corrupts one
+        // destination bit after functional execution below.
+        let mut reg_flip: Option<u64> = None;
+        if fault.enabled {
+            let ctr = *fault_issue_ctr;
+            *fault_issue_ctr += 1;
+            if fault.roll(SALT_HANG, sm_id, ctr, fault.hang_rate).is_some() {
+                w.state = WarpState::Hung;
+                stats.faults_injected += 1;
+                return false;
+            }
+            if exec::dest_regs(&op).is_some() {
+                reg_flip = fault.roll(SALT_REG, sm_id, ctr, fault.reg_flip_rate);
+            }
+        }
+
         // --- issue ---
         let block_slot = w.block_slot;
         let block = blocks[block_slot].as_mut().expect("warp's block resident");
@@ -655,6 +742,13 @@ impl Sm {
                 args,
             ),
         };
+        if let (Some(e), Some((first, count))) = (reg_flip, exec::dest_regs(&op)) {
+            let r = first + (e % u64::from(count)) as u8;
+            let lane = ((e >> 8) % 32) as usize;
+            let bit = ((e >> 16) % 32) as u32;
+            w.set_reg(r, lane, w.reg(r, lane) ^ (1 << bit));
+            stats.faults_injected += 1;
+        }
 
         // Timing.
         let sp = &mut subparts[sp_idx];
@@ -729,10 +823,30 @@ impl Sm {
                                 let t = if fx.stream && fx.is_store {
                                     memsys.write_request(now);
                                     now + 1
-                                } else if fx.stream {
-                                    memsys.stream_request(now, line << 7)
                                 } else {
-                                    l1.access(now, line << 7, memsys)
+                                    let (t, from_dram) = if fx.stream {
+                                        memsys.stream_request_traced(now, line << 7)
+                                    } else {
+                                        l1.access_traced(now, line << 7, memsys)
+                                    };
+                                    // DRAM-served fills are one event each on
+                                    // the SM's memory stream; a firing event
+                                    // flips one destination-register bit.
+                                    if from_dram && fault.enabled {
+                                        let ctr = *fault_mem_ctr;
+                                        *fault_mem_ctr += 1;
+                                        if let (Some((first, count)), Some(e)) = (
+                                            dest,
+                                            fault.roll(SALT_DRAM, sm_id, ctr, fault.dram_flip_rate),
+                                        ) {
+                                            let r = first + (e % u64::from(count)) as u8;
+                                            let lane = ((e >> 8) % 32) as usize;
+                                            let bit = ((e >> 16) % 32) as u32;
+                                            w.set_reg(r, lane, w.reg(r, lane) ^ (1 << bit));
+                                            stats.faults_injected += 1;
+                                        }
+                                    }
+                                    t
                                 };
                                 ready = ready.max(t);
                             }

@@ -55,7 +55,7 @@ pub struct PipeBusy {
 }
 
 /// Everything measured during one kernel launch.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct KernelStats {
     /// Kernel name.
     pub name: String,
@@ -92,6 +92,17 @@ pub struct KernelStats {
     /// plus fixed policy-resolution costs). Zero on the hot path: a launch
     /// that reuses a fully materialized plan does no build work.
     pub plan_build_cycles: u64,
+    /// Faults the simulator injected during this launch (register flips,
+    /// DRAM read corruptions, hung warps). Zero with injection disabled.
+    pub faults_injected: u64,
+    /// Faults detected downstream of this launch (stamped by the ABFT
+    /// verification in the plan/execute engine; the simulator itself only
+    /// injects).
+    pub faults_detected: u64,
+    /// Modeled cost of ABFT checksum verification attributed to this
+    /// launch, in cycles (element visits divided by the machine's INT-lane
+    /// throughput; stamped by the engine, zero when ABFT is off).
+    pub abft_check_cycles: u64,
     /// Thread blocks executed.
     pub blocks: u32,
     /// Number of SMs in the machine (for per-SM normalization).
@@ -212,6 +223,11 @@ impl KernelStats {
             "  plan:   {} cache hits, {} misses, {} build units",
             self.plan_cache_hits, self.plan_cache_misses, self.plan_build_cycles,
         );
+        let _ = writeln!(
+            s,
+            "  faults: {} injected, {} detected, abft check {} cycles",
+            self.faults_injected, self.faults_detected, self.abft_check_cycles,
+        );
         s
     }
 
@@ -249,6 +265,9 @@ impl KernelStats {
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
         self.plan_build_cycles += other.plan_build_cycles;
+        self.faults_injected += other.faults_injected;
+        self.faults_detected += other.faults_detected;
+        self.abft_check_cycles += other.abft_check_cycles;
         self.blocks += other.blocks;
         self.num_sms = self.num_sms.max(other.num_sms);
         self.subparts = self.subparts.max(other.subparts);
@@ -289,6 +308,9 @@ mod tests {
             plan_cache_hits: 0,
             plan_cache_misses: 0,
             plan_build_cycles: 0,
+            faults_injected: 0,
+            faults_detected: 0,
+            abft_check_cycles: 0,
             blocks: 4,
             num_sms: 2,
             subparts: 4,

@@ -12,6 +12,10 @@ pub enum WarpState {
     AtBarrier,
     /// Exited.
     Done,
+    /// Stopped issuing forever: an injected hung-warp fault. Invisible to
+    /// the event-horizon scan, so a hung machine fast-forwards straight to
+    /// the cycle budget and trips the watchdog instead of stepping there.
+    Hung,
 }
 
 /// One resident warp: 32 threads executing a shared program in lockstep.

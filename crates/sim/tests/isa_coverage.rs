@@ -24,7 +24,7 @@ fn run_one_warp(build: impl FnOnce(&mut ProgramBuilder, Reg), n_out: usize) -> V
     build(&mut p, out_base);
     p.exit();
     let k = Kernel::single("t", p.build().into_arc(), 1, 1, 0, vec![out.addr]);
-    g.launch(&k);
+    g.launch(&k).expect("launch");
     g.mem.download_u32(out, n_out)
 }
 
@@ -211,7 +211,7 @@ fn ldg_v4_loads_four_words() {
         0,
         vec![src.addr, dst.addr],
     );
-    g.launch(&k);
+    g.launch(&k).expect("launch");
     let out = g.mem.download_u32(dst, 4 * 16);
     for lane in 0..16usize {
         for w in 0..4 {
@@ -341,7 +341,7 @@ fn prop_random_programs_match_host_model() {
         }
         p.exit();
         let k = Kernel::single("rand", p.build().into_arc(), 1, 1, 0, vec![out.addr]);
-        g.launch(&k);
+        g.launch(&k).expect("launch");
         let got = g.mem.download_u32(out, 8 * 32);
         for l in 0..32usize {
             let mut regs = [0u32; 8];
@@ -387,7 +387,7 @@ fn guarded_loads_skip_disabled_lanes() {
         0,
         vec![src.addr, dst.addr],
     );
-    g.launch(&k);
+    g.launch(&k).expect("launch");
     let out = g.mem.download_u32(dst, 32);
     for l in 0..32 {
         let want = if l < 16 { 1000 + l as u32 } else { 7 };

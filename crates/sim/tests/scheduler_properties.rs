@@ -39,7 +39,7 @@ fn dispatch_order_covers_every_block_exactly_once() {
     order.swap(3, 19);
     let k = Kernel::single("w", ctaid_writer().into_arc(), blocks, 1, 0, vec![out.addr])
         .with_dispatch_order(order);
-    g.launch(&k);
+    g.launch(&k).expect("launch");
     let got = g.mem.download_u32(out, blocks as usize);
     for (i, &v) in got.iter().enumerate() {
         assert_eq!(v as usize, i, "block {i} must have run with its own ctaid");
@@ -83,7 +83,7 @@ fn heterogeneous_blocks_run_their_own_programs() {
         0,
         vec![out.addr],
     );
-    g.launch(&k);
+    g.launch(&k).expect("launch");
     let got = g.mem.download_u32(out, 10);
     for (i, &v) in got.iter().enumerate() {
         let want = if i < 6 {
@@ -137,7 +137,7 @@ fn group_barriers_do_not_cross_role_groups() {
         256,
         vec![],
     );
-    let stats = g.launch(&k); // would hang if groups shared a barrier
+    let stats = g.launch(&k).expect("launch"); // would hang if groups shared a barrier
     assert!(stats.cycles > 0);
 }
 
@@ -170,7 +170,7 @@ fn dram_byte_accounting_is_conserved() {
     p.exit();
     let k = Kernel::single("stream", p.build().into_arc(), 1, 1, 0, vec![buf.addr]);
     g.cold_caches();
-    let stats = g.launch(&k);
+    let stats = g.launch(&k).expect("launch");
     assert_eq!(
         stats.dram_bytes,
         u64::from(lines) * 128,
@@ -221,7 +221,7 @@ fn lrr_and_gto_agree_functionally() {
             vec![inp.addr, out.addr],
         );
         g.cold_caches();
-        let stats = g.launch(&k);
+        let stats = g.launch(&k).expect("launch");
         (g.mem.download_u32(out, n as usize), stats.cycles)
     };
     let (gto_out, gto_cycles) = run(SchedPolicy::Gto);
@@ -259,7 +259,7 @@ fn lrr_rotates_issue_across_warps() {
     p.stg(addr, 0, acc.into(), MemWidth::B32);
     p.exit();
     let k = Kernel::single("spin", p.build().into_arc(), 2, 4, 0, vec![out.addr]);
-    let stats = g.launch(&k);
+    let stats = g.launch(&k).expect("launch");
     assert!(stats.cycles > 100, "kernel ran to completion under LRR");
     let got = g.mem.download_u32(out, 256);
     assert!(
@@ -328,7 +328,7 @@ mod sched_equivalence {
             0,
             vec![out.addr],
         );
-        g.launch(&k);
+        g.launch(&k).expect("launch");
         g.mem.download_u32(out, (warps * 32) as usize)
     }
 

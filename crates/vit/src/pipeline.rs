@@ -119,20 +119,50 @@ fn weight_id(global_block: usize, site: u64) -> u64 {
     ((global_block as u64) << 3) | site
 }
 
+/// One prepared Linear site: the engine handle plus the desc it resolves,
+/// kept so the pipeline can re-prepare when the handle goes stale (LRU
+/// eviction on a small plan cache).
+#[derive(Debug, Clone, Copy)]
+struct Site {
+    id: PlanId,
+    desc: GemmDesc,
+}
+
 /// The prepared Linear sites of one encoder block.
 #[derive(Debug, Clone, Copy)]
 struct BlockPlans {
-    wq: PlanId,
-    wk: PlanId,
-    wv: PlanId,
+    wq: Site,
+    wk: Site,
+    wv: Site,
     /// Attention scores `q_h x k_h^T` — activation GEMM, one plan shared
     /// by every head (same shape, no stationary weight).
-    scores: PlanId,
+    scores: Site,
     /// `probs_h x v_h` — activation GEMM, likewise shared.
-    attn_v: PlanId,
-    proj: PlanId,
-    fc1: PlanId,
-    fc2: PlanId,
+    attn_v: Site,
+    proj: Site,
+    fc1: Site,
+    fc2: Site,
+}
+
+/// Executes one Linear site, absorbing a stale handle: an evicted plan is
+/// re-prepared from its desc and retried once. Engine-level faults never
+/// surface here — [`Engine::execute`] owns that recovery ladder.
+fn exec_site(
+    gpu: &mut Gpu,
+    engine: &mut Engine,
+    site: &Site,
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+) -> vitbit_plan::GemmOut {
+    match engine.execute(gpu, site.id, a, b) {
+        Ok(out) => out,
+        Err(_) => {
+            let id = engine.prepare(site.desc);
+            engine
+                .execute(gpu, id, a, b)
+                .expect("freshly prepared plan with desc-derived shapes")
+        }
+    }
 }
 
 /// A prepared ViT forward pass: one [`PlanId`] per Linear site of every
@@ -179,15 +209,19 @@ impl VitPlan {
         let blocks = (0..sim_blocks)
             .map(|b| {
                 let gb = b + model.block_offset;
+                let mut site = |desc: GemmDesc| Site {
+                    id: engine.prepare(desc),
+                    desc,
+                };
                 BlockPlans {
-                    wq: engine.prepare(weight_desc(gb, 0, t, d, d)),
-                    wk: engine.prepare(weight_desc(gb, 1, t, d, d)),
-                    wv: engine.prepare(weight_desc(gb, 2, t, d, d)),
-                    scores: engine.prepare(act_desc(t, hd, t)),
-                    attn_v: engine.prepare(act_desc(t, t, hd)),
-                    proj: engine.prepare(weight_desc(gb, 3, t, d, d)),
-                    fc1: engine.prepare(weight_desc(gb, 4, t, d, mlp)),
-                    fc2: engine.prepare(weight_desc(gb, 5, t, mlp, d)),
+                    wq: site(weight_desc(gb, 0, t, d, d)),
+                    wk: site(weight_desc(gb, 1, t, d, d)),
+                    wv: site(weight_desc(gb, 2, t, d, d)),
+                    scores: site(act_desc(t, hd, t)),
+                    attn_v: site(act_desc(t, t, hd)),
+                    proj: site(weight_desc(gb, 3, t, d, d)),
+                    fc1: site(weight_desc(gb, 4, t, d, mlp)),
+                    fc2: site(weight_desc(gb, 5, t, mlp, d)),
                 }
             })
             .collect();
@@ -251,9 +285,9 @@ pub fn run_vit_planned(
         record("layernorm", KernelClass::Cuda, ln1.stats.clone());
         let h = ln1.out;
 
-        let qo = engine.execute(gpu, p.wq, &h, &w.wq);
-        let ko = engine.execute(gpu, p.wk, &h, &w.wk);
-        let vo = engine.execute(gpu, p.wv, &h, &w.wv);
+        let qo = exec_site(gpu, engine, &p.wq, &h, &w.wq);
+        let ko = exec_site(gpu, engine, &p.wk, &h, &w.wk);
+        let vo = exec_site(gpu, engine, &p.wv, &h, &w.wv);
         let mut qkv_stats = qo.stats.clone();
         qkv_stats.accumulate(&ko.stats);
         qkv_stats.accumulate(&vo.stats);
@@ -268,7 +302,7 @@ pub fn run_vit_planned(
         for hd in 0..cfg.heads {
             let qh = q.slice_cols(hd * cfg.head_dim, cfg.head_dim);
             let kh = k.slice_cols(hd * cfg.head_dim, cfg.head_dim);
-            let out = engine.execute(gpu, p.scores, &qh, &kh.transpose());
+            let out = exec_site(gpu, engine, &p.scores, &qh, &kh.transpose());
             scores_stats.accumulate(&out.stats);
             score_mats.push(requant(&out.c, s.score, bw));
         }
@@ -283,7 +317,7 @@ pub fn run_vit_planned(
         for hd in 0..cfg.heads {
             let probs = slice_rows(&probs_all, hd * cfg.tokens, cfg.tokens);
             let vh = v.slice_cols(hd * cfg.head_dim, cfg.head_dim);
-            let out = engine.execute(gpu, p.attn_v, &probs, &vh);
+            let out = exec_site(gpu, engine, &p.attn_v, &probs, &vh);
             attn_stats.accumulate(&out.stats);
             head_outs.push(requant(&out.c, s.attnv, bw));
         }
@@ -291,7 +325,7 @@ pub fn run_vit_planned(
         let refs: Vec<&Matrix<i8>> = head_outs.iter().collect();
         let attn = Matrix::concat_cols(&refs);
 
-        let proj = engine.execute(gpu, p.proj, &attn, &w.wo);
+        let proj = exec_site(gpu, engine, &p.proj, &attn, &w.wo);
         record("proj", KernelClass::Linear, proj.stats.clone());
         let o = requant(&proj.c, s.proj, bw);
         let dseed = reference::dropout_seed(b + model.block_offset, 0);
@@ -317,13 +351,13 @@ pub fn run_vit_planned(
         let ln2 = run_layernorm(gpu, &x, model.ln_gamma, model.ln_beta, ew_rows, bw);
         record("layernorm", KernelClass::Cuda, ln2.stats.clone());
         let h2 = ln2.out;
-        let f1 = engine.execute(gpu, p.fc1, &h2, &w.fc1);
+        let f1 = exec_site(gpu, engine, &p.fc1, &h2, &w.fc1);
         record("fc1", KernelClass::Linear, f1.stats.clone());
         let f = requant(&f1.c, s.fc1, bw);
         let ge = run_map(gpu, MapOp::Gelu, ew, bw, f.as_slice(), None);
         record("gelu", KernelClass::Cuda, ge.stats.clone());
         let f = Matrix::from_vec(f.rows(), f.cols(), ge.out);
-        let f2 = engine.execute(gpu, p.fc2, &f, &w.fc2);
+        let f2 = exec_site(gpu, engine, &p.fc2, &f, &w.fc2);
         record("fc2", KernelClass::Linear, f2.stats.clone());
         let g = requant(&f2.c, s.fc2, bw);
         let dseed = reference::dropout_seed(b + model.block_offset, 1);

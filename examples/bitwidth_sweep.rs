@@ -26,9 +26,9 @@ fn main() {
         let b = gen::uniform_i8(k, n, -hi - 1, hi, u64::from(bw) + 9);
         let want = refgemm::gemm_i8_i32(&a, &b);
         gpu.cold_caches();
-        let ic = run_ic(&mut gpu, &a, &b);
+        let ic = run_ic(&mut gpu, &a, &b).expect("gemm");
         gpu.cold_caches();
-        let pk = run_packed(&mut gpu, &a, &b, &spec);
+        let pk = run_packed(&mut gpu, &a, &b, &spec).expect("gemm");
         println!(
             "{:<5} {:>6} {:>10} {:>8} {:>10} {:>10} {:>8.2}x {:>9}",
             bw,

@@ -32,7 +32,7 @@ fn main() {
         // so every execute is the plan's first (cold) run.
         let mut desc = GemmDesc::from_exec(s, &cfg, &gpu, 197, 768, 768, Some(1));
         desc.adaptive = false; // show the raw fused launches, no dispatch
-        let out = engine.run(&mut gpu, desc, &a, &b);
+        let out = engine.run(&mut gpu, desc, &a, &b).expect("run");
         let st = &out.stats;
         if s == Strategy::Tc {
             tc_cycles = st.cycles;

@@ -55,7 +55,7 @@ fn main() {
 
     // 5. The same GEMM on the simulated Jetson Orin GPU's INT CUDA cores.
     let mut gpu = Gpu::orin();
-    let out = run_packed(&mut gpu, &a, &b, &spec);
+    let out = run_packed(&mut gpu, &a, &b, &spec).expect("gemm");
     assert_eq!(out.c, reference);
     println!(
         "simulated packed GEMM: exact, {} cycles, {} INT instructions ({:.2} ms at {:.2} GHz)",

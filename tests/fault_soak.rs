@@ -1,0 +1,163 @@
+//! Seeded fault-injection soak: under injected register flips, DRAM
+//! corruption and hung warps, the plan/execute engine must (a) detect
+//! every injected fault that corrupts a GEMM output — the returned result
+//! always equals the host reference — and (b) recover via the ladder
+//! without hanging or panicking. The checks are exhaustive by
+//! construction: if an output-corrupting fault slipped past ABFT, the
+//! returned matrix would differ from the reference and the equality
+//! assertion would fail.
+//!
+//! The quick smoke versions run in the default test pass; the full
+//! sweep (20+ seeds x strategies x INT{4,6,8}) is `#[ignore]`d and run by
+//! the CI fault-soak job with `--ignored`.
+
+use vitbit::exec::{ExecConfig, Strategy};
+use vitbit::plan::{Engine, GemmDesc};
+use vitbit::sim::{FaultConfig, Gpu, OrinConfig};
+use vitbit::tensor::gen;
+use vitbit::tensor::refgemm::gemm_i8_i32;
+
+const SHAPE: (usize, usize, usize) = (16, 32, 320);
+
+fn faulty_gpu(seed: u64, reg: f64, dram: f64, hang: f64) -> Gpu {
+    let mut cfg = OrinConfig::test_small();
+    cfg.fast_forward = true; // hung-warp timeouts resolve instantly
+    cfg.fault = FaultConfig {
+        enabled: true,
+        seed,
+        reg_flip_rate: reg,
+        dram_flip_rate: dram,
+        hang_rate: hang,
+    };
+    Gpu::new(cfg, 64 << 20)
+}
+
+/// One soak cell: several executes of one strategy/bitwidth plan on a
+/// faulty machine, every returned result checked against the host
+/// reference. Returns the engine fault counters for aggregation.
+fn soak_cell(
+    strategy: Strategy,
+    bitwidth: u32,
+    seed: u64,
+    rates: (f64, f64, f64),
+    executes: usize,
+) -> vitbit::plan::EngineStats {
+    let (m, k, n) = SHAPE;
+    let hi = ((1i32 << (bitwidth - 1)) - 1) as i8;
+    let lo = -hi - 1;
+    let a = gen::uniform_i8(m, k, lo, hi, seed * 2 + 1);
+    let b = gen::uniform_i8(k, n, lo, hi, seed * 2 + 2);
+    let want = gemm_i8_i32(&a, &b);
+    let (reg, dram, hang) = rates;
+    let mut gpu = faulty_gpu(seed, reg, dram, hang);
+    let mut engine = Engine::new();
+    let mut cfg = ExecConfig::guarded(bitwidth);
+    cfg.adaptive = false;
+    cfg.abft = true;
+    let desc = GemmDesc::from_exec(strategy, &cfg, &gpu, m, k, n, Some(seed));
+    let id = engine.prepare(desc);
+    for i in 0..executes {
+        let out = engine
+            .execute(&mut gpu, id, &a, &b)
+            .expect("faults never surface as engine errors");
+        assert_eq!(
+            out.c,
+            want,
+            "{} int{} seed {} execute {}: corrupted result escaped ABFT",
+            strategy.name(),
+            bitwidth,
+            seed,
+            i
+        );
+    }
+    engine.stats()
+}
+
+#[test]
+fn smoke_register_faults_are_detected_and_recovered() {
+    let mut detected = 0;
+    for seed in 0..5 {
+        let s = soak_cell(Strategy::VitBit, 6, seed, (5e-4, 0.0, 0.0), 4);
+        detected += s.faults_detected;
+    }
+    // Non-vacuity: at these rates some launches must actually corrupt.
+    assert!(detected > 0, "soak rates too low to inject anything");
+}
+
+#[test]
+fn smoke_hung_warps_time_out_and_recover() {
+    // Hangs are caught by the watchdog (LaunchError::Timeout, not a wall
+    // hang) and absorbed by the ladder; results stay correct throughout.
+    for seed in 0..3 {
+        let s = soak_cell(Strategy::VitBit, 6, 100 + seed, (0.0, 0.0, 2e-4), 3);
+        // Worst case every rung fails and the host answers — either way
+        // the result assertions inside the cell already passed.
+        assert!(s.executes == 3, "{s:?}");
+    }
+}
+
+#[test]
+fn faults_off_config_is_inert() {
+    // A FaultConfig with enabled=false must behave exactly like the
+    // default machine: same results, same cycles, zero fault counters.
+    let (m, k, n) = SHAPE;
+    let a = gen::uniform_i8(m, k, -32, 31, 51);
+    let b = gen::uniform_i8(k, n, -32, 31, 52);
+    let run = |cfg: OrinConfig| {
+        let mut gpu = Gpu::new(cfg, 64 << 20);
+        let mut engine = Engine::new();
+        let mut ec = ExecConfig::guarded(6);
+        ec.adaptive = false;
+        let desc = GemmDesc::from_exec(Strategy::VitBit, &ec, &gpu, m, k, n, Some(1));
+        let id = engine.prepare(desc);
+        engine.execute(&mut gpu, id, &a, &b).expect("execute")
+    };
+    let base = run(OrinConfig::test_small());
+    let mut off = OrinConfig::test_small();
+    off.fault = FaultConfig {
+        enabled: false,
+        seed: 12345,
+        reg_flip_rate: 0.5,
+        dram_flip_rate: 0.5,
+        hang_rate: 0.5,
+    };
+    let with_disabled = run(off);
+    assert_eq!(base.c, with_disabled.c);
+    assert_eq!(
+        base.stats, with_disabled.stats,
+        "stats must be bit-identical"
+    );
+    assert_eq!(base.stats.faults_injected, 0);
+    assert_eq!(base.stats.faults_detected, 0);
+    assert_eq!(base.stats.abft_check_cycles, 0);
+}
+
+/// The full sweep the CI fault-soak job runs: 20 seeds x 4 strategies x
+/// INT{4,6,8}, mixing register flips, DRAM corruption and rare hangs.
+/// Every cell asserts 100% detection of output-corrupting faults (result
+/// equals host reference on every execute) and 100% recovery (no panics,
+/// no hangs, no surfaced errors).
+#[test]
+#[ignore = "heavy sweep; run with --ignored (CI fault-soak job)"]
+fn full_seeded_soak_across_strategies_and_bitwidths() {
+    let strategies = [
+        Strategy::Tc,
+        Strategy::Tacker,
+        Strategy::TcIcFc,
+        Strategy::VitBit,
+    ];
+    let mut detected = 0u64;
+    let mut retries = 0u64;
+    for seed in 0..20u64 {
+        for &s in &strategies {
+            for bw in [4u32, 6, 8] {
+                let stats = soak_cell(s, bw, seed, (3e-4, 1e-4, 1e-5), 3);
+                detected += stats.faults_detected;
+                retries += stats.retries;
+            }
+        }
+    }
+    println!("soak: {detected} faults detected, {retries} ladder retries");
+    assert!(detected > 0, "sweep must actually inject faults");
+    assert!(retries > 0, "ladder must actually engage");
+}

@@ -31,7 +31,11 @@ fn figure3_policy_drives_every_layer_of_the_stack() {
             "host u32 {bw}-bit"
         );
         let mut gpu = Gpu::new(OrinConfig::test_small(), 64 << 20);
-        assert_eq!(run_packed(&mut gpu, &a, &b, &spec).c, want, "sim {bw}-bit");
+        assert_eq!(
+            run_packed(&mut gpu, &a, &b, &spec).expect("gemm").c,
+            want,
+            "sim {bw}-bit"
+        );
     }
 }
 
@@ -142,8 +146,8 @@ fn simulated_packed_gemm_matches_tc_result() {
     let spec = PackSpec::guarded(6, 6).unwrap();
     let a = codes(24, 48, 6, 77);
     let b = codes(48, 128, 6, 78);
-    let packed = run_packed(&mut gpu, &a, &b, &spec);
-    let tc = run_tc(&mut gpu, &a, &b);
+    let packed = run_packed(&mut gpu, &a, &b, &spec).expect("gemm");
+    let tc = run_tc(&mut gpu, &a, &b).expect("gemm");
     assert_eq!(packed.c, tc.c);
     assert!(packed.stats.issued.int > 0 && tc.stats.issued.tensor > 0);
 }

@@ -97,21 +97,21 @@ fn gemm_pair(out: GemmOut) -> (KernelStats, Matrix<i32>) {
 fn fast_forward_invisible_tc_gemm() {
     let a = int6(32, 64, 41);
     let b = int6(64, 256, 42);
-    assert_ff_invisible("ff/tc", |g| gemm_pair(run_tc(g, &a, &b)));
+    assert_ff_invisible("ff/tc", |g| gemm_pair(run_tc(g, &a, &b).expect("gemm")));
 }
 
 #[test]
 fn fast_forward_invisible_ic_gemm() {
     let a = int6(24, 48, 43);
     let b = int6(48, 128, 44);
-    assert_ff_invisible("ff/ic", |g| gemm_pair(run_ic(g, &a, &b)));
+    assert_ff_invisible("ff/ic", |g| gemm_pair(run_ic(g, &a, &b).expect("gemm")));
 }
 
 #[test]
 fn fast_forward_invisible_fc_gemm() {
     let a = int6(24, 48, 45);
     let b = int6(48, 128, 46);
-    assert_ff_invisible("ff/fc", |g| gemm_pair(run_fc(g, &a, &b)));
+    assert_ff_invisible("ff/fc", |g| gemm_pair(run_fc(g, &a, &b).expect("gemm")));
 }
 
 #[test]
@@ -119,7 +119,9 @@ fn fast_forward_invisible_packed_gemm() {
     let spec = PackSpec::guarded(6, 6).unwrap();
     let a = int6(24, 48, 47);
     let b = int6(48, 128, 48);
-    assert_ff_invisible("ff/packed", |g| gemm_pair(run_packed(g, &a, &b, &spec)));
+    assert_ff_invisible("ff/packed", |g| {
+        gemm_pair(run_packed(g, &a, &b, &spec).expect("gemm"))
+    });
 }
 
 #[test]
@@ -194,7 +196,7 @@ fn fast_forward_engages_on_memory_bound_gemm() {
     let mut cfg = OrinConfig::jetson_agx_orin();
     cfg.fast_forward = true;
     let mut g = Gpu::new(cfg, 32 << 20);
-    let on = run_tc(&mut g, &a, &b).stats;
+    let on = run_tc(&mut g, &a, &b).expect("gemm").stats;
     assert!(on.fast_forward_jumps > 0, "no jumps on a memory-bound GEMM");
     assert!(
         on.skip_ratio() > 0.4,
@@ -207,7 +209,7 @@ fn fast_forward_engages_on_memory_bound_gemm() {
 fn tc_gemm_identical_across_modes() {
     let a = int6(32, 64, 1);
     let b = int6(64, 256, 2);
-    assert_modes_agree("tc", 2, |g| run_tc(g, &a, &b));
+    assert_modes_agree("tc", 2, |g| run_tc(g, &a, &b).expect("gemm"));
 }
 
 #[test]
@@ -215,7 +217,7 @@ fn packed_int_gemm_identical_across_modes() {
     let spec = PackSpec::guarded(6, 6).unwrap();
     let a = int6(24, 48, 3);
     let b = int6(48, 128, 4);
-    assert_modes_agree("packed", 2, |g| run_packed(g, &a, &b, &spec));
+    assert_modes_agree("packed", 2, |g| run_packed(g, &a, &b, &spec).expect("gemm"));
 }
 
 #[test]
@@ -274,9 +276,9 @@ fn packed_weight_cache_is_invisible_in_results() {
     let mut g = Gpu::new(OrinConfig::test_small(), 128 << 20);
     let mut cache = PackedWeightCache::new();
     // Standalone packed kernel: first launch packs, second reuses.
-    let uncached = run_packed(&mut g, &a1, &b, &spec);
-    let c1 = run_packed_cached(&mut g, &a1, &b, &spec, Some((&mut cache, 1)));
-    let c2 = run_packed_cached(&mut g, &a2, &b, &spec, Some((&mut cache, 1)));
+    let uncached = run_packed(&mut g, &a1, &b, &spec).expect("gemm");
+    let c1 = run_packed_cached(&mut g, &a1, &b, &spec, Some((&mut cache, 1))).expect("gemm");
+    let c2 = run_packed_cached(&mut g, &a2, &b, &spec, Some((&mut cache, 1))).expect("gemm");
     assert_eq!(uncached.c, want1);
     assert_eq!(c1.c, want1, "cached first launch");
     assert_eq!(c2.c, want2, "cache-hit launch with a new input");

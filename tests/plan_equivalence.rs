@@ -44,7 +44,7 @@ fn engine_is_bit_identical_to_legacy_for_every_strategy_bitwidth_and_mode() {
                 let mut engine = Engine::new();
                 let mut desc = GemmDesc::from_exec(s, &cfg, &g_engine, m, k, n, None);
                 desc.adaptive = false; // matches the untuned legacy path
-                let out = engine.run(&mut g_engine, desc, &a, &b);
+                let out = engine.run(&mut g_engine, desc, &a, &b).expect("run");
                 let tag = format!("{} INT{bw} {mode:?}", s.name());
                 assert_eq!(out.c, legacy.c, "result mismatch: {tag}");
                 assert_eq!(
@@ -70,9 +70,9 @@ fn plan_reuse_reproduces_cycles_with_zero_build_work() {
         let mut desc = GemmDesc::from_exec(s, &cfg, &g1, m, k, n, Some(1));
         desc.adaptive = false;
         let id = engine.prepare(desc);
-        let cold = engine.execute(&mut g1, id, &a, &b);
+        let cold = engine.execute(&mut g1, id, &a, &b).expect("execute");
         let packs_after_cold = engine.weights().misses();
-        let hot = engine.execute(&mut g1, id, &a, &b);
+        let hot = engine.execute(&mut g1, id, &a, &b).expect("execute");
 
         let mut g2 = gpu(SimMode::Serial);
         let first = s.run_gemm(&mut g2, &a, &b, &cfg);
