@@ -21,7 +21,7 @@ fn main() {
         let mut engine = Engine::new();
         let mut desc = GemmDesc::from_exec(s, &cfg, &gpu, 64, 256, 256, Some(1));
         desc.adaptive = false; // always bench the strategy itself
-        let id = engine.prepare(desc);
+        let id = engine.prepare(desc).expect("prepare");
         bench(
             &format!("sim_gemm_strategies/gemm64x256x256/{}", s.name()),
             10,

@@ -162,7 +162,7 @@ fn fused_vitbit_family() -> Family {
             let mut engine = Engine::new();
             let mut desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &gpu, m, k, n, Some(1));
             desc.adaptive = false;
-            let id = engine.prepare(desc);
+            let id = engine.prepare(desc).expect("prepare");
             let mut stats = KernelStats::default();
             let wall = bench(
                 &format!("sim_fastforward/gemm_fused_vitbit/ff_{ff}"),
@@ -274,7 +274,7 @@ fn abft_overhead_rows() -> Vec<AbftRow> {
         let mut desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &gpu, m, k, n, Some(1));
         desc.adaptive = false;
         desc.abft = true;
-        let id = engine.prepare(desc);
+        let id = engine.prepare(desc).expect("prepare");
         let _cold = engine.execute(&mut gpu, id, &a, &b).expect("execute");
         gpu.cold_caches();
         let hot = engine.execute(&mut gpu, id, &a, &b).expect("execute");

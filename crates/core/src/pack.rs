@@ -210,6 +210,51 @@ mod tests {
         assert!(pack_matrix_rows(&m, &spec).is_err());
     }
 
+    // Figure 3 boundary layouts: the same 4 codes pack into 1 register at
+    // 4 bits (4 lanes), need 3-lane registers at 5 bits, 2-lane registers
+    // at 6 bits, and a full register each on the 9-bit zero-masking path.
+    #[test]
+    fn boundary_4_to_5_bits_changes_register_count() {
+        let s4 = PackSpec::paper(4).unwrap();
+        let s5 = PackSpec::paper(5).unwrap();
+        assert_eq!(pack_codes(&[-8, -1, 0, 7], &s4).unwrap().len(), 1);
+        // 5 bits: 3 lanes — 4 codes is not a lane multiple any more...
+        assert!(pack_codes(&[-8, -1, 0, 7], &s5).is_err());
+        // ...but 6 codes fill exactly 2 registers of 10-bit lanes.
+        let regs = pack_codes(&[-16, -1, 0, 1, 8, 15], &s5).unwrap();
+        assert_eq!(regs.len(), 2);
+        assert_eq!(unpack_codes(&regs, &s5), vec![-16, -1, 0, 1, 8, 15]);
+    }
+
+    #[test]
+    fn boundary_5_to_6_bits_changes_lane_geometry() {
+        let s5 = PackSpec::paper(5).unwrap();
+        let s6 = PackSpec::paper(6).unwrap();
+        // 5-bit: first element in the most significant of 3 ten-bit lanes.
+        let r5 = pack_codes(&[1, 2, 3], &s5).unwrap()[0];
+        assert_eq!(r5, (17 << 20) | (18 << 10) | 19); // biased by 16
+        assert_eq!(lanes_of(r5, &s5), vec![17, 18, 19]);
+        // 6-bit: two 16-bit lanes, biased by 32.
+        let r6 = pack_codes(&[1, 2], &s6).unwrap()[0];
+        assert_eq!(r6, (33 << 16) | 34);
+        assert_eq!(lanes_of(r6, &s6), vec![33, 34]);
+    }
+
+    #[test]
+    fn boundary_9_bit_zero_masking_is_one_code_per_register() {
+        // 9 bits exceeds every packed geometry: one 32-bit lane, biased by
+        // 256, so any i8 code round-trips through a whole register.
+        let s9 = PackSpec::masked(9);
+        assert_eq!(s9.lanes, 1);
+        let codes: Vec<i8> = vec![-128, -1, 0, 1, 127];
+        let regs = pack_codes(&codes, &s9).unwrap();
+        assert_eq!(regs.len(), codes.len());
+        assert_eq!(regs[0], 128); // -128 + bias 256
+        assert_eq!(unpack_codes(&regs, &s9), codes);
+        // The zero-masking spec has no packed depth bound to respect.
+        assert_eq!(s9.max_safe_k(), u32::MAX);
+    }
+
     #[test]
     fn prop_pack_unpack_round_trip() {
         check::cases(0x9ac4_0001, 256, |rng| {

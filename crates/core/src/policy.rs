@@ -346,4 +346,66 @@ mod tests {
             assert_eq!(s.max_safe_k(), s.chunk_len());
         }
     }
+
+    // Figure 3 boundary: 4 bits is the last width with 4 lanes; one more
+    // bit drops to 3 lanes and widens each lane from 8 to 10 bits.
+    #[test]
+    fn figure3_boundary_4_to_5_bits() {
+        let s4 = PackSpec::guarded(4, 4).unwrap();
+        let s5 = PackSpec::guarded(5, 5).unwrap();
+        assert_eq!((s4.lanes, s4.lane_bits), (4, 8));
+        assert_eq!((s5.lanes, s5.lane_bits), (3, 10));
+        // Max-K safe depth on either side: 15^2=225 of cap 255 -> 1 step;
+        // 31^2=961 of cap 1023 -> 1 step. Neither width survives a second
+        // worst-case MAC without a spill.
+        assert_eq!(s4.max_safe_k(), 255 / (15 * 15));
+        assert_eq!(s4.max_safe_k(), 1);
+        assert_eq!(s5.max_safe_k(), 1023 / (31 * 31));
+        assert_eq!(s5.max_safe_k(), 1);
+    }
+
+    // Figure 3 boundary: 5 bits is the only 3-lane width; 6 bits drops to
+    // 2 lanes — and the wider 16-bit lane makes the *deeper* accumulation
+    // safe (guard headroom grows faster than the products).
+    #[test]
+    fn figure3_boundary_5_to_6_bits() {
+        let s5 = PackSpec::guarded(5, 5).unwrap();
+        let s6 = PackSpec::guarded(6, 6).unwrap();
+        assert_eq!((s5.lanes, s5.lane_bits), (3, 10));
+        assert_eq!((s6.lanes, s6.lane_bits), (2, 16));
+        assert_eq!(s5.max_safe_k(), 1);
+        assert_eq!(s6.max_safe_k(), 65535 / (63 * 63));
+        assert_eq!(s6.max_safe_k(), 16);
+    }
+
+    // Figure 3 boundary: 8 bits is the last packed width; 9 bits falls to
+    // a single lane — the zero-masking path, where the 32-bit accumulator
+    // discipline of the surrounding kernel applies and the packed-lane
+    // depth bound disappears.
+    #[test]
+    fn figure3_boundary_8_to_9_bits() {
+        let s8 = PackSpec::guarded(8, 8).unwrap();
+        let s9 = PackSpec::guarded(9, 9).unwrap();
+        assert_eq!((s8.lanes, s8.lane_bits), (2, 16));
+        assert_eq!((s9.lanes, s9.lane_bits), (1, 32));
+        assert_eq!(s8.max_safe_k(), 65535 / (255 * 255));
+        assert_eq!(s8.max_safe_k(), 1);
+        assert_eq!(s9.max_safe_k(), u32::MAX, "single lane: no packed bound");
+        assert_eq!(s9.lane_mask(), u32::MAX);
+        // The masked (explicit zero-masking) spec agrees with the 1-lane
+        // guarded geometry.
+        let m9 = PackSpec::masked(9);
+        assert_eq!((m9.lanes, m9.lane_bits), (1, 32));
+        assert_eq!(m9.max_safe_k(), u32::MAX);
+    }
+
+    // The paper (no-spill) policy shares the lane geometry at every
+    // boundary, so its exactness window is the same chunk length.
+    #[test]
+    fn paper_policy_max_safe_k_at_each_boundary_width() {
+        for (b, want) in [(4u32, 1u32), (5, 1), (6, 16), (8, 1), (9, u32::MAX)] {
+            let s = PackSpec::paper(b).unwrap();
+            assert_eq!(s.max_safe_k(), want, "paper({b})");
+        }
+    }
 }

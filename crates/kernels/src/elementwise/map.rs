@@ -593,6 +593,7 @@ pub fn map_reference_int(op: MapOp, x: &[i8], y: Option<&[i8]>, bitwidth: u32) -
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use vitbit_sim::OrinConfig;

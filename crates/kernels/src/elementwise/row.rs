@@ -594,6 +594,7 @@ fn run_row(gpu: &mut Gpu, op: RowOp, x: &Matrix<i8>, variant: EwVariant, bitwidt
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use vitbit_sim::OrinConfig;

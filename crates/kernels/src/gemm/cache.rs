@@ -176,6 +176,7 @@ pub fn pack_weight_share(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -913,6 +913,7 @@ fn run_cuda_fused(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use vitbit_sim::OrinConfig;

@@ -680,6 +680,7 @@ pub fn run_fused_one_shot(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use vitbit_sim::OrinConfig;

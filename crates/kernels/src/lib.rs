@@ -18,6 +18,8 @@
 //!   IC+FC / VitBit-packed variants, plus their host reference
 //!   implementations (shared with `vitbit-vit`).
 
+#![warn(clippy::unwrap_used)]
+
 pub mod elementwise;
 pub mod gemm;
 pub mod shapes;

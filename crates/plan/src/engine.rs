@@ -74,6 +74,11 @@ pub struct GemmDesc {
     /// (see [`vitbit_kernels::gemm::abft`]); a failed check engages the
     /// recovery ladder exactly like a launch fault.
     pub abft: bool,
+    /// Statically verify this plan's programs (lane safety, hazard
+    /// freedom) at prepare time via the engine's installed
+    /// [`PlanVerifier`]; prepare fails closed with
+    /// [`EngineError::Unverified`] when no verifier is installed.
+    pub verify: bool,
     /// Simulator knobs the plan was built for.
     pub knobs: SimKnobs,
 }
@@ -101,6 +106,7 @@ impl GemmDesc {
             adaptive: cfg.adaptive,
             weight,
             abft: cfg.abft,
+            verify: cfg.verify_plans,
             knobs: SimKnobs::of(gpu),
         }
     }
@@ -274,7 +280,7 @@ pub struct EngineStats {
 /// Why [`Engine::execute`] refused a request. Faults do **not** surface
 /// here — the recovery ladder absorbs them (worst case: a host-reference
 /// result); these are caller errors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
     /// The handle does not name a cached plan: never prepared, evicted by
     /// the LRU, or removed by [`Engine::invalidate`].
@@ -287,6 +293,14 @@ pub enum EngineError {
         a: (usize, usize),
         /// `(rows, cols)` of the `B` operand.
         b: (usize, usize),
+    },
+    /// The desc asked for static verification ([`GemmDesc::verify`]) and
+    /// the plan's programs could not be proven safe — or no verifier is
+    /// installed at all (verification fails closed, never open).
+    Unverified {
+        /// Rendered violations, one string per defect; a single entry
+        /// explaining the absence when no verifier is installed.
+        violations: Vec<String>,
     },
 }
 
@@ -301,11 +315,52 @@ impl std::fmt::Display for EngineError {
                 "operand shapes A{a:?} x B{b:?} do not match the plan's \
                  (m, k, n) = {expected:?}"
             ),
+            EngineError::Unverified { violations } => write!(
+                f,
+                "plan rejected by static verification ({} violation(s)): {}",
+                violations.len(),
+                violations.join("; ")
+            ),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+/// The callback shape a [`PlanVerifier`] wraps: the desc about to be
+/// planned in, rendered violations out on rejection.
+type VerifyFn = dyn Fn(&GemmDesc) -> Result<(), Vec<String>> + Send + Sync;
+
+/// A prepare-time static plan checker. The implementation lives in the
+/// `vitbit-verify` crate (which depends on this one); the engine holds
+/// it as an opaque injected callback so the dependency stays acyclic.
+#[derive(Clone)]
+pub struct PlanVerifier(Arc<VerifyFn>);
+
+impl PlanVerifier {
+    /// Wraps a checking function.
+    pub fn new<F>(f: F) -> Self
+    where
+        F: Fn(&GemmDesc) -> Result<(), Vec<String>> + Send + Sync + 'static,
+    {
+        Self(Arc::new(f))
+    }
+
+    /// Checks one desc.
+    ///
+    /// # Errors
+    /// The rendered violations when the desc's plan cannot be proven
+    /// safe.
+    pub fn check(&self, desc: &GemmDesc) -> Result<(), Vec<String>> {
+        (self.0)(desc)
+    }
+}
+
+impl std::fmt::Debug for PlanVerifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PlanVerifier(..)")
+    }
+}
 
 /// Winner map of the adaptive measure-and-choose dispatch, keyed exactly
 /// like the legacy `GemmTuner`: `(strategy, m, n, k)`, shared engine-wide
@@ -326,7 +381,7 @@ pub(crate) type AdaptiveChoices = HashMap<(Strategy, usize, usize, usize), bool>
 /// let a = gen::uniform_i8(16, 32, -32, 31, 1);
 /// let b = gen::uniform_i8(32, 320, -32, 31, 2);
 /// let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &gpu, 16, 32, 320, Some(7));
-/// let id = engine.prepare(desc);
+/// let id = engine.prepare(desc).expect("prepare");
 /// let first = engine.execute(&mut gpu, id, &a, &b).expect("execute");
 /// let again = engine.execute(&mut gpu, id, &a, &b).expect("execute");
 /// assert_eq!(first.c, again.c);
@@ -340,6 +395,7 @@ pub struct Engine {
     choices: AdaptiveChoices,
     stats: EngineStats,
     quarantined: HashSet<PlanId>,
+    verifier: Option<PlanVerifier>,
 }
 
 /// Scalar-MAC units to simulated cycles for the modeled ABFT check: the
@@ -362,24 +418,57 @@ impl Engine {
         }
     }
 
+    /// Installs a prepare-time static plan checker (see
+    /// [`GemmDesc::verify`]); typically `vitbit_verify::engine_verifier()`.
+    pub fn set_verifier(&mut self, verifier: PlanVerifier) {
+        self.verifier = Some(verifier);
+    }
+
+    /// Builder-style [`Engine::set_verifier`].
+    #[must_use]
+    pub fn with_verifier(mut self, verifier: PlanVerifier) -> Self {
+        self.verifier = Some(verifier);
+        self
+    }
+
     /// Resolves `desc` into a plan, building it on first sight: pack
     /// policy, Equation-1 split, padded geometry, role programs and the
     /// dispatch order. Idempotent and cheap on repeat — the LRU cache
-    /// answers.
-    pub fn prepare(&mut self, desc: GemmDesc) -> PlanId {
+    /// answers (a cached plan already passed verification when it was
+    /// admitted).
+    ///
+    /// # Errors
+    /// [`EngineError::Unverified`] when [`GemmDesc::verify`] is set and
+    /// the installed [`PlanVerifier`] rejects the plan's programs — or
+    /// no verifier is installed (fail closed).
+    pub fn prepare(&mut self, desc: GemmDesc) -> Result<PlanId, EngineError> {
         if let Some(id) = self.plans.lookup(&desc) {
             self.stats.plan_cache_hits += 1;
-            return id;
+            return Ok(id);
+        }
+        if desc.verify {
+            match &self.verifier {
+                Some(v) => v
+                    .check(&desc)
+                    .map_err(|violations| EngineError::Unverified { violations })?,
+                None => {
+                    return Err(EngineError::Unverified {
+                        violations: vec!["desc.verify set but no PlanVerifier installed \
+                             (Engine::set_verifier)"
+                            .into()],
+                    });
+                }
+            }
         }
         self.stats.plan_cache_misses += 1;
         let (body, build) = Self::build_body(&desc);
         self.stats.plan_build_units += build;
-        self.plans.insert(GemmPlan {
+        Ok(self.plans.insert(GemmPlan {
             desc,
             body,
             pending_build: build,
             last_use: 0,
-        })
+        }))
     }
 
     fn build_body(desc: &GemmDesc) -> (PlanBody, u64) {
@@ -683,12 +772,13 @@ impl Engine {
         self.quarantined.len()
     }
 
-    /// Prepare + execute in one call (the shape the deprecated one-shot
-    /// shims use).
+    /// Prepare + execute in one call (the shape the legacy one-shot
+    /// entry points use).
     ///
     /// # Errors
-    /// Same contract as [`Engine::execute`]; `UnknownPlan` cannot occur
-    /// here because the plan is prepared in the same call.
+    /// Same contract as [`Engine::prepare`] and [`Engine::execute`];
+    /// `UnknownPlan` cannot occur here because the plan is prepared in
+    /// the same call.
     pub fn run(
         &mut self,
         gpu: &mut Gpu,
@@ -696,34 +786,8 @@ impl Engine {
         a: &Matrix<i8>,
         b: &Matrix<i8>,
     ) -> Result<GemmOut, EngineError> {
-        let id = self.prepare(desc);
+        let id = self.prepare(desc)?;
         self.execute(gpu, id, a, b)
-    }
-
-    /// Pre-`Result` shape of [`Engine::execute`], kept for one PR so
-    /// callers can migrate.
-    #[deprecated(since = "0.2.0", note = "use `execute` and handle `EngineError`")]
-    pub fn execute_infallible(
-        &mut self,
-        gpu: &mut Gpu,
-        id: PlanId,
-        a: &Matrix<i8>,
-        b: &Matrix<i8>,
-    ) -> GemmOut {
-        self.execute(gpu, id, a, b).expect("engine execute")
-    }
-
-    /// Pre-`Result` shape of [`Engine::run`], kept for one PR so callers
-    /// can migrate.
-    #[deprecated(since = "0.2.0", note = "use `run` and handle `EngineError`")]
-    pub fn run_infallible(
-        &mut self,
-        gpu: &mut Gpu,
-        desc: GemmDesc,
-        a: &Matrix<i8>,
-        b: &Matrix<i8>,
-    ) -> GemmOut {
-        self.run(gpu, desc, a, b).expect("engine run")
     }
 
     /// Cumulative engine counters.
@@ -782,8 +846,8 @@ mod tests {
         let mut e = Engine::new();
         let cfg = ExecConfig::int6();
         let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 16, 32, 320, Some(1));
-        let id1 = e.prepare(desc);
-        let id2 = e.prepare(desc);
+        let id1 = e.prepare(desc).expect("prepare");
+        let id2 = e.prepare(desc).expect("prepare");
         assert_eq!(id1, id2);
         assert_eq!(e.stats().plan_cache_hits, 1);
         assert_eq!(e.stats().plan_cache_misses, 1);
@@ -798,7 +862,7 @@ mod tests {
         cfg.adaptive = false;
         let (a, b) = mats(16, 32, 320, 3);
         let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 16, 32, 320, Some(9));
-        let id = e.prepare(desc);
+        let id = e.prepare(desc).expect("prepare");
         let cold = e.execute(&mut g, id, &a, &b).expect("execute");
         assert!(cold.stats.plan_build_cycles > 0);
         assert_eq!(cold.stats.plan_cache_misses, 1);
@@ -833,12 +897,16 @@ mod tests {
         let d1 = GemmDesc::from_exec(Strategy::Tc, &cfg, &g, 16, 32, 128, None);
         let d2 = GemmDesc::from_exec(Strategy::Tc, &cfg, &g, 16, 32, 256, None);
         let d3 = GemmDesc::from_exec(Strategy::Tc, &cfg, &g, 16, 32, 512, None);
-        let id1 = e.prepare(d1);
-        let _id2 = e.prepare(d2);
-        let _id1_again = e.prepare(d1); // refresh d1
-        let _id3 = e.prepare(d3); // evicts d2, not d1
+        let id1 = e.prepare(d1).expect("prepare");
+        let _id2 = e.prepare(d2).expect("prepare");
+        let _id1_again = e.prepare(d1).expect("prepare"); // refresh d1
+        let _id3 = e.prepare(d3).expect("prepare"); // evicts d2, not d1
         assert_eq!(e.plan_count(), 2);
-        assert_eq!(e.prepare(d1), id1, "d1 survived the eviction");
+        assert_eq!(
+            e.prepare(d1).expect("prepare"),
+            id1,
+            "d1 survived the eviction"
+        );
         assert_eq!(e.stats().plan_cache_misses, 4 - 1); // d1, d2, d3 built once
     }
 
@@ -850,7 +918,7 @@ mod tests {
         cfg.adaptive = false;
         let (a, b) = mats(16, 32, 320, 11);
         let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 16, 32, 320, None);
-        let id = e.prepare(desc);
+        let id = e.prepare(desc).expect("prepare");
         let first = e.execute(&mut g, id, &a, &b).expect("execute");
         assert!(!e.plan(id).expect("plan").weight_staged());
         // Different activation values through the same plan.
@@ -868,8 +936,8 @@ mod tests {
         let cfg = ExecConfig::int6();
         let d1 = GemmDesc::from_exec(Strategy::Tc, &cfg, &g, 16, 32, 128, None);
         let d2 = GemmDesc::from_exec(Strategy::Tc, &cfg, &g, 16, 32, 256, None);
-        let id1 = e.prepare(d1);
-        let _ = e.prepare(d2); // evicts d1
+        let id1 = e.prepare(d1).expect("prepare");
+        let _ = e.prepare(d2).expect("prepare"); // evicts d1
         let (a, b) = mats(16, 32, 128, 17);
         let err = e.execute(&mut g, id1, &a, &b).unwrap_err();
         assert_eq!(err, EngineError::UnknownPlan(id1));
@@ -885,7 +953,7 @@ mod tests {
         let mut e = Engine::new();
         let cfg = ExecConfig::int6();
         let desc = GemmDesc::from_exec(Strategy::Tc, &cfg, &g, 16, 32, 128, None);
-        let id = e.prepare(desc);
+        let id = e.prepare(desc).expect("prepare");
         let (a, b) = mats(16, 32, 256, 19); // wrong N
         let err = e.execute(&mut g, id, &a, &b).unwrap_err();
         assert!(matches!(err, EngineError::ShapeMismatch { .. }), "{err}");
@@ -900,7 +968,7 @@ mod tests {
         cfg.adaptive = false;
         let (a, b) = mats(16, 32, 320, 21);
         let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 16, 32, 320, Some(4));
-        let id = e.prepare(desc);
+        let id = e.prepare(desc).expect("prepare");
         let first = e.execute(&mut g, id, &a, &b).expect("execute");
         assert!(e.invalidate(id));
         assert!(!e.invalidate(id), "second invalidate finds nothing");
@@ -910,7 +978,7 @@ mod tests {
             EngineError::UnknownPlan(id)
         );
         // Re-prepare builds a fresh plan under the same desc.
-        let id2 = e.prepare(desc);
+        let id2 = e.prepare(desc).expect("prepare");
         let again = e.execute(&mut g, id2, &a, &b).expect("execute");
         assert!(again.stats.plan_build_cycles > 0, "rebuilt from scratch");
         assert_eq!(again.c, first.c);
@@ -927,7 +995,7 @@ mod tests {
             cfg.adaptive = false;
             cfg.abft = abft;
             let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 24, 32, 320, Some(8));
-            let id = e.prepare(desc);
+            let id = e.prepare(desc).expect("prepare");
             let cold = e.execute(&mut g, id, &a, &b).expect("execute");
             let hot = e.execute(&mut g, id, &a, &b).expect("execute");
             (cold, hot, e.stats())
@@ -967,7 +1035,7 @@ mod tests {
         let (a, b) = mats(16, 32, 320, 25);
         let want = gemm_i8_i32(&a, &b);
         let desc = GemmDesc::from_exec(Strategy::VitBit, &ec, &g, 16, 32, 320, Some(3));
-        let id = e.prepare(desc);
+        let id = e.prepare(desc).expect("prepare");
         let out = e
             .execute(&mut g, id, &a, &b)
             .expect("ladder absorbs faults");
@@ -1008,11 +1076,71 @@ mod tests {
             ec.adaptive = false;
             ec.abft = true;
             let desc = GemmDesc::from_exec(Strategy::VitBit, &ec, &g, 16, 32, 320, Some(5));
-            let id = e.prepare(desc);
+            let id = e.prepare(desc).expect("prepare");
             for _ in 0..4 {
                 let out = e.execute(&mut g, id, &a, &b).expect("execute");
                 assert_eq!(out.c, want, "seed {seed}: checked result is correct");
             }
         }
+    }
+
+    #[test]
+    fn verify_without_verifier_fails_closed() {
+        let g = gpu();
+        let mut e = Engine::new();
+        let mut cfg = ExecConfig::int6();
+        cfg.verify_plans = true;
+        let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 16, 32, 320, None);
+        assert!(desc.verify);
+        match e.prepare(desc) {
+            Err(EngineError::Unverified { violations }) => {
+                assert_eq!(violations.len(), 1);
+                assert!(violations[0].contains("no PlanVerifier installed"));
+            }
+            other => panic!("expected Unverified, got {other:?}"),
+        }
+        assert_eq!(e.plan_count(), 0, "rejected descs must not be cached");
+    }
+
+    #[test]
+    fn rejecting_verifier_blocks_prepare() {
+        let g = gpu();
+        let mut e = Engine::new().with_verifier(PlanVerifier::new(|d: &GemmDesc| {
+            Err(vec![format!("lane overflow at K={}", d.k)])
+        }));
+        let mut cfg = ExecConfig::int6();
+        cfg.verify_plans = true;
+        let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 16, 32, 320, None);
+        match e.prepare(desc) {
+            Err(EngineError::Unverified { violations }) => {
+                assert_eq!(violations, vec!["lane overflow at K=32".to_string()]);
+            }
+            other => panic!("expected Unverified, got {other:?}"),
+        }
+        assert_eq!(e.plan_count(), 0);
+    }
+
+    #[test]
+    fn accepting_verifier_admits_and_caches_the_plan() {
+        let mut g = gpu();
+        let mut e = Engine::new().with_verifier(PlanVerifier::new(|_: &GemmDesc| Ok(())));
+        let mut cfg = ExecConfig::int6();
+        cfg.verify_plans = true;
+        let (a, b) = mats(16, 32, 320, 31);
+        let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 16, 32, 320, None);
+        let id = e.prepare(desc).expect("verified prepare");
+        let out = e.execute(&mut g, id, &a, &b).expect("execute");
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+        // The cache hit bypasses re-verification: even after swapping in a
+        // rejecting verifier, the already-admitted desc resolves to its plan.
+        e.set_verifier(PlanVerifier::new(|_: &GemmDesc| {
+            Err(vec!["reject everything".into()])
+        }));
+        assert_eq!(e.prepare(desc).expect("cache hit skips verifier"), id);
+        let fresh = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 16, 32, 640, None);
+        assert!(
+            matches!(e.prepare(fresh), Err(EngineError::Unverified { .. })),
+            "a new desc goes through the rejecting verifier"
+        );
     }
 }

@@ -38,7 +38,7 @@ pub mod engine;
 pub mod strategy;
 
 pub use engine::{
-    Engine, EngineError, EngineStats, GemmDesc, GemmPlan, PlanCache, PlanId, SimKnobs,
+    Engine, EngineError, EngineStats, GemmDesc, GemmPlan, PlanCache, PlanId, PlanVerifier, SimKnobs,
 };
 pub use strategy::{ExecConfig, GemmTuner, Strategy};
 pub use vitbit_kernels::gemm::{GemmOut, PackedWeightCache, WeightCtx};

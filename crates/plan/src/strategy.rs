@@ -109,6 +109,12 @@ pub struct ExecConfig {
     /// (`KernelStats::abft_check_cycles`) and the fault-free pipelines
     /// don't need them.
     pub abft: bool,
+    /// Statically verify every plan at [`Engine::prepare`] time: lane
+    /// safety and shared-memory hazard freedom of the emitted programs
+    /// (see the `vitbit-verify` crate). Requires a verifier installed
+    /// with [`Engine::set_verifier`]; prepare fails closed with
+    /// [`crate::EngineError::Unverified`] otherwise. Off by default.
+    pub verify_plans: bool,
 }
 
 impl ExecConfig {
@@ -123,6 +129,7 @@ impl ExecConfig {
             ratio: None,
             adaptive: true,
             abft: false,
+            verify_plans: false,
         }
     }
 
@@ -184,6 +191,9 @@ fn one_shot(
         adaptive: tuner.is_some() && cfg.adaptive,
         weight: weight.as_ref().map(|(_, id)| *id),
         abft: cfg.abft,
+        // The legacy one-shot engine has no verifier installed; honoring
+        // `verify_plans` here would fail every call closed.
+        verify: false,
         knobs: SimKnobs::of(gpu),
     };
     if let Some(t) = tuner.as_deref_mut() {

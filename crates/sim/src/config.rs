@@ -267,6 +267,7 @@ pub fn peak_throughput_table(cfg: &OrinConfig) -> Vec<PeakRow> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -509,7 +509,9 @@ pub fn execute(
                 let v = match width {
                     MemWidth::B8S => smem[a] as i8 as i32 as u32,
                     MemWidth::B8U => u32::from(smem[a]),
-                    MemWidth::B32 => u32::from_le_bytes(smem[a..a + 4].try_into().unwrap()),
+                    MemWidth::B32 => {
+                        u32::from_le_bytes(smem[a..a + 4].try_into().expect("4-byte smem slice"))
+                    }
                 };
                 w.set_reg(d.0, lane, v);
             }
@@ -573,7 +575,9 @@ pub fn execute(
                     // match the naive triple loop exactly.
                     assert!(n <= 16);
                     let word = |base: usize| {
-                        f32::from_bits(u32::from_le_bytes(smem[base..base + 4].try_into().unwrap()))
+                        f32::from_bits(u32::from_le_bytes(
+                            smem[base..base + 4].try_into().expect("4-byte smem slice"),
+                        ))
                     };
                     for r in 0..m {
                         let mut sums = [0f32; 16];

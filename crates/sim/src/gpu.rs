@@ -516,6 +516,7 @@ fn lock_sm<'a, 'b>(u: &'a Mutex<&'b mut Sm>) -> std::sync::MutexGuard<'a, &'b mu
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::isa::{ICmp, MemWidth, SReg, Src};

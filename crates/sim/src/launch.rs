@@ -174,6 +174,7 @@ impl Kernel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::program::ProgramBuilder;

@@ -26,6 +26,8 @@
 //!   operation counts, IPC, pipe utilization, DRAM traffic — the quantities
 //!   behind the paper's Figures 8–10.
 
+#![warn(clippy::unwrap_used)]
+
 pub mod cache;
 pub mod config;
 pub mod exec;

@@ -1,0 +1,726 @@
+//! The lane-safety abstract interpreter: one pass over a kernel
+//! [`Program`] in the domain of `domain::AbsVal`, proving that
+//!
+//! * no SWAR lane ever exceeds its `lane_bits` budget (Eq. 1: the
+//!   spill cadence times the maximal per-step lane product must fit in
+//!   `2^lane_bits - 1`),
+//! * every ALU op that touches a packed register is lane-structure
+//!   preserving (extraction masks match the spec's lane mask, shifts
+//!   land on lane boundaries, accumulation adds packed to packed),
+//! * extracted lane sums never wrap their 32-bit wide accumulators, and
+//! * no packed payload escapes to global memory unextracted.
+//!
+//! Control flow is executed, not joined: the k-loop bound (`kmax`) is
+//! an exact constant derived from the GEMM shape, so counted loops run
+//! for their true trip count and accumulator bounds stay precise.
+//! Branches whose predicate the domain cannot decide follow the
+//! fall-through (loop-entry) path, and backward edges with undecided or
+//! absent predicates are taken a bounded number of times; both choices
+//! are recorded as assumptions, and any instruction the trace never
+//! reaches (other than `Exit`/`Nop`) is reported as uncovered rather
+//! than silently trusted.
+
+use crate::domain::{AbsVal, LaneIv, PtrKind, Tag};
+use crate::{ProgramContext, Violation};
+use vitbit_sim::{ICmp, MemWidth, Op, Pred, Reg, SReg, Src};
+
+/// Hard ceiling on interpreted steps; exceeding it is a violation (the
+/// pass refuses to certify what it could not finish analyzing).
+const STEP_BUDGET: u64 = 8_000_000;
+
+/// Maximum times a backward edge with an undecidable predicate (or no
+/// predicate at all — the outer task loop) is re-taken before the trace
+/// is considered complete.
+const MAX_UNDECIDED_BACK_EDGES: u32 = 2;
+
+/// Everything the lane pass learned on the way to a proof.
+#[derive(Debug, Clone, Default)]
+pub struct LaneFacts {
+    /// Interpreted steps.
+    pub steps: u64,
+    /// Instructions the trace visited at least once.
+    pub visited_ops: usize,
+    /// Worst per-lane occupancy seen at any MAC (mathematical bound).
+    pub max_lane_occupancy: u64,
+    /// The per-lane budget the occupancy was checked against.
+    pub lane_capacity: u64,
+    /// Lane extractions (spill sequences) the trace executed.
+    pub lane_extracts: u64,
+    /// Worst wide-accumulator bound seen.
+    pub max_wide_sum: u64,
+    /// Contract assumptions and path decisions the proof rests on.
+    pub assumptions: Vec<String>,
+}
+
+struct Interp<'a> {
+    ctx: &'a ProgramContext,
+    regs: Vec<AbsVal>,
+    preds: Vec<Option<bool>>,
+    violations: Vec<Violation>,
+    facts: LaneFacts,
+    /// Violation dedupe: one report per (pc, discriminant).
+    seen: std::collections::HashSet<(usize, u8)>,
+}
+
+impl<'a> Interp<'a> {
+    fn new(ctx: &'a ProgramContext, nregs: usize, npreds: usize) -> Self {
+        Interp {
+            ctx,
+            regs: vec![AbsVal::top(); nregs.max(1)],
+            preds: vec![None; npreds.max(1)],
+            violations: Vec::new(),
+            facts: LaneFacts::default(),
+            seen: std::collections::HashSet::new(),
+        }
+    }
+
+    fn flag(&mut self, pc: usize, disc: u8, v: Violation) {
+        if self.seen.insert((pc, disc)) {
+            self.violations.push(v);
+        }
+    }
+
+    fn val(&self, s: &Src) -> AbsVal {
+        match s {
+            Src::R(r) => self.regs[r.0 as usize],
+            Src::Imm(v) => AbsVal::exact(*v),
+        }
+    }
+
+    fn set(&mut self, d: Reg, v: AbsVal) {
+        self.regs[d.0 as usize] = v;
+    }
+
+    /// Interval add of two plain-ish values; pointer taint survives.
+    fn add_vals(&mut self, pc: usize, a: AbsVal, b: AbsVal) -> AbsVal {
+        // Packed + packed: lane-wise (the accumulate shape of a SWAR add).
+        if let (
+            Tag::Packed {
+                n: n1,
+                lane_bits: w1,
+            },
+            Tag::Packed {
+                n: n2,
+                lane_bits: w2,
+            },
+        ) = (a.tag, b.tag)
+        {
+            if n1 == n2 && w1 == w2 {
+                let cap = (1u64 << w1) - 1;
+                let mut lanes = [LaneIv::ZERO; 4];
+                let mut overflow: Option<(u32, u64)> = None;
+                for (l, slot) in lanes.iter_mut().enumerate().take(usize::from(n1)) {
+                    let lo = a.lanes[l].lo + b.lanes[l].lo;
+                    let mut hi = a.lanes[l].hi + b.lanes[l].hi;
+                    if hi > cap {
+                        overflow.get_or_insert((l as u32, hi));
+                        hi = cap;
+                    }
+                    self.facts.max_lane_occupancy = self.facts.max_lane_occupancy.max(hi);
+                    *slot = LaneIv { lo, hi };
+                }
+                if let Some((lane, bound)) = overflow {
+                    self.flag(
+                        pc,
+                        0,
+                        Violation::LaneOverflow {
+                            pc,
+                            lane,
+                            bound,
+                            capacity: cap,
+                        },
+                    );
+                }
+                return AbsVal::packed(n1, w1, lanes);
+            }
+        }
+        // Packed + plain-zero keeps the packed side; anything else mixing
+        // a packed payload into scalar arithmetic clobbers the mask.
+        for (x, y) in [(a, b), (b, a)] {
+            if matches!(x.tag, Tag::Packed { .. }) {
+                if y.as_exact() == Some(0) {
+                    return x;
+                }
+                self.flag(
+                    pc,
+                    1,
+                    Violation::MaskClobbered {
+                        pc,
+                        detail: "integer add mixes a packed payload with a non-packed value"
+                            .to_string(),
+                    },
+                );
+                return AbsVal::top();
+            }
+        }
+        let ptr = match (a.tag, b.tag) {
+            (Tag::Ptr(k), _) | (_, Tag::Ptr(k)) => Some(k),
+            _ => None,
+        };
+        let lo = a.lo.saturating_add(b.lo);
+        let hi = a.hi.saturating_add(b.hi);
+        let ext = a.ext || b.ext;
+        if let Some(k) = ptr {
+            return AbsVal::ptr(k);
+        }
+        if hi > u64::from(u32::MAX) {
+            // A mathematical sum that no longer fits the register: fatal
+            // for lane-extract provenance (wide accumulators must be
+            // exact), merely precision loss elsewhere.
+            if ext {
+                self.flag(pc, 2, Violation::AccumulatorWrap { pc, bound: hi });
+            }
+            let mut t = AbsVal::top();
+            t.ext = ext;
+            return t;
+        }
+        self.facts.max_wide_sum = self.facts.max_wide_sum.max(if ext { hi } else { 0 });
+        let mut v = AbsVal::range(lo, hi);
+        v.ext = ext;
+        v
+    }
+
+    fn mul_vals(&self, a: AbsVal, b: AbsVal) -> AbsVal {
+        if matches!(a.tag, Tag::Packed { .. }) || matches!(b.tag, Tag::Packed { .. }) {
+            // Handled separately in IMad; a bare IMul on packed data is
+            // not emitted by any builder. Degrade to top — the IMad path
+            // flags real misuse.
+            return AbsVal::top();
+        }
+        let hi = a.hi.saturating_mul(b.hi);
+        if hi > u64::from(u32::MAX) {
+            return AbsVal::top();
+        }
+        AbsVal::range(a.lo.saturating_mul(b.lo), hi)
+    }
+
+    /// `d = a * b + c` — the MAC. The packed shape (scalar × packed
+    /// + packed) is where lane-overflow is proven or refuted.
+    fn mad(&mut self, pc: usize, a: AbsVal, b: AbsVal, c: AbsVal) -> AbsVal {
+        let (scalar, packed) = match (a.tag, b.tag) {
+            (Tag::Packed { .. }, Tag::Packed { .. }) => {
+                self.flag(
+                    pc,
+                    3,
+                    Violation::MaskClobbered {
+                        pc,
+                        detail: "MAC multiplies two packed payloads".to_string(),
+                    },
+                );
+                return AbsVal::top();
+            }
+            (_, Tag::Packed { .. }) => (a, b),
+            (Tag::Packed { .. }, _) => (b, a),
+            _ => {
+                let prod = self.mul_vals(a, b);
+                return self.add_vals(pc, prod, c);
+            }
+        };
+        let Tag::Packed { n, lane_bits } = packed.tag else {
+            unreachable!("matched packed above");
+        };
+        let cap = (1u64 << lane_bits) - 1;
+        // Accumulator must be packed with the same layout or exactly zero.
+        let acc_lanes = match c.tag {
+            Tag::Packed {
+                n: na,
+                lane_bits: wa,
+            } if na == n && wa == lane_bits => c.lanes,
+            _ if c.as_exact() == Some(0) => [LaneIv::ZERO; 4],
+            _ => {
+                self.flag(
+                    pc,
+                    4,
+                    Violation::MaskClobbered {
+                        pc,
+                        detail: "MAC accumulates a packed product into a non-packed register"
+                            .to_string(),
+                    },
+                );
+                return AbsVal::top();
+            }
+        };
+        let mut lanes = [LaneIv::ZERO; 4];
+        for l in 0..usize::from(n) {
+            let lo = acc_lanes[l].lo + scalar.lo.saturating_mul(packed.lanes[l].lo);
+            let mut hi = acc_lanes[l].hi + scalar.hi.saturating_mul(packed.lanes[l].hi);
+            if hi > cap {
+                self.flag(
+                    pc,
+                    5,
+                    Violation::LaneOverflow {
+                        pc,
+                        lane: l as u32,
+                        bound: hi,
+                        capacity: cap,
+                    },
+                );
+                hi = cap;
+            }
+            self.facts.max_lane_occupancy = self.facts.max_lane_occupancy.max(hi);
+            lanes[l] = LaneIv {
+                lo: lo.min(cap),
+                hi,
+            };
+        }
+        AbsVal::packed(n, lane_bits, lanes)
+    }
+
+    fn and_vals(&mut self, pc: usize, a: AbsVal, b: AbsVal) -> AbsVal {
+        // Extraction: packed & mask. Only the spec's own lane mask is a
+        // faithful guard-bit extraction; anything else drops or leaks
+        // guard bits.
+        for (x, y) in [(a, b), (b, a)] {
+            if let Tag::Packed { n: _, lane_bits } = x.tag {
+                let lane_mask = ((1u64 << lane_bits) - 1) as u32;
+                match y.as_exact() {
+                    Some(m) if m == lane_mask => {
+                        let mut v = AbsVal::range(x.lanes[0].lo, x.lanes[0].hi);
+                        v.ext = true;
+                        self.facts.lane_extracts += 1;
+                        return v;
+                    }
+                    _ => {
+                        self.flag(
+                            pc,
+                            6,
+                            Violation::MaskClobbered {
+                                pc,
+                                detail: format!(
+                                    "AND mask {:#x?} on a packed register does not match the \
+                                     spec's lane mask {lane_mask:#x}",
+                                    y.as_exact()
+                                ),
+                            },
+                        );
+                        let mut v = AbsVal::range(0, y.hi.min(x.hi));
+                        v.ext = true;
+                        return v;
+                    }
+                }
+            }
+        }
+        let hi = a.hi.min(b.hi).min(u64::from(u32::MAX));
+        let mut v = AbsVal::range(0, hi);
+        v.zeros = a.zeros | b.zeros;
+        v.ext = a.ext || b.ext;
+        v
+    }
+
+    fn shr_vals(&mut self, pc: usize, a: AbsVal, b: AbsVal) -> AbsVal {
+        let Some(sh) = b.as_exact() else {
+            return AbsVal::top();
+        };
+        let sh = sh & 31;
+        if let Tag::Packed { n, lane_bits } = a.tag {
+            if sh % u32::from(lane_bits) != 0 {
+                self.flag(pc, 7, Violation::LaneMisaligned { pc, shift: sh });
+                let mut v = AbsVal::range(a.lo >> sh, a.hi >> sh);
+                v.ext = true;
+                return v;
+            }
+            let drop = (sh / u32::from(lane_bits)) as u8;
+            let live = n.saturating_sub(drop);
+            return match live {
+                0 => AbsVal::exact(0),
+                1 => {
+                    let l = usize::from(drop);
+                    let mut v = AbsVal::range(a.lanes[l].lo, a.lanes[l].hi);
+                    v.ext = true;
+                    self.facts.lane_extracts += 1;
+                    v
+                }
+                _ => {
+                    let mut lanes = [LaneIv::ZERO; 4];
+                    for (l, slot) in lanes.iter_mut().enumerate().take(usize::from(live)) {
+                        *slot = a.lanes[usize::from(drop) + l];
+                    }
+                    AbsVal::packed(live, lane_bits, lanes)
+                }
+            };
+        }
+        let mut v = AbsVal::range(a.lo >> sh, a.hi >> sh);
+        v.zeros |= (a.zeros >> sh) | !(u32::MAX >> sh);
+        v.ext = a.ext;
+        v
+    }
+
+    fn non_preserving(&mut self, pc: usize, opname: &str, srcs: &[&Src]) -> bool {
+        for s in srcs {
+            if let Src::R(r) = s {
+                if matches!(self.regs[r.0 as usize].tag, Tag::Packed { .. }) {
+                    self.flag(
+                        pc,
+                        8,
+                        Violation::MaskClobbered {
+                            pc,
+                            detail: format!(
+                                "{opname} is not lane-structure preserving on a packed register"
+                            ),
+                        },
+                    );
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Value produced by a global load, per the operand contracts.
+    fn load_contract(&mut self, addr: Reg, w: MemWidth) -> AbsVal {
+        let a = self.regs[addr.0 as usize];
+        match (a.tag, w) {
+            // The biased-code operand: bytes hold excess-2^(b-1) codes of
+            // the value bitwidth (upload_ops::transposed_biased).
+            (Tag::Ptr(PtrKind::A), MemWidth::B8U) => {
+                let bound = self
+                    .ctx
+                    .spec
+                    .map_or(255, |s| u64::from(s.max_value_code()).min(255));
+                AbsVal::range(0, bound)
+            }
+            // Packed B words: each lane carries a biased weight code with
+            // its guard bits zero (core::pack::pack_codes).
+            (Tag::Ptr(PtrKind::B), MemWidth::B32) => match self.ctx.spec {
+                Some(s) if s.lanes > 1 => {
+                    let mut lanes = [LaneIv::ZERO; 4];
+                    for l in lanes.iter_mut().take(s.lanes as usize) {
+                        *l = LaneIv {
+                            lo: 0,
+                            hi: u64::from(s.max_weight_code()),
+                        };
+                    }
+                    AbsVal::packed(s.lanes as u8, s.lane_bits as u8, lanes)
+                }
+                _ => AbsVal::top(),
+            },
+            _ => AbsVal::top(),
+        }
+    }
+
+    fn setp(&self, a: AbsVal, b: AbsVal, cmp: ICmp) -> Option<bool> {
+        // Decidable only for exact operands (the loop counters), which is
+        // all the counted-loop handling needs.
+        let (x, y) = (a.as_exact()?, b.as_exact()?);
+        let (sx, sy) = (x as i32, y as i32);
+        Some(match cmp {
+            ICmp::Eq => x == y,
+            ICmp::Ne => x != y,
+            ICmp::Lt => sx < sy,
+            ICmp::Le => sx <= sy,
+            ICmp::Gt => sx > sy,
+            ICmp::Ge => sx >= sy,
+            ICmp::LtU => x < y,
+            ICmp::GeU => x >= y,
+        })
+    }
+}
+
+/// Runs the lane-safety pass over `program` under `ctx`.
+pub fn analyze(program: &vitbit_sim::Program, ctx: &ProgramContext) -> (LaneFacts, Vec<Violation>) {
+    let ops = &program.ops;
+    let mut it = Interp::new(ctx, program.nregs as usize, program.npreds as usize);
+    if let Some(s) = ctx.spec {
+        it.facts.lane_capacity = (1u64 << s.lane_bits) - 1;
+        it.facts.assumptions.push(format!(
+            "operand contract: A bytes are biased codes <= {}, packed B lanes are biased codes \
+             <= {} with guard bits zero (core::pack)",
+            s.max_value_code(),
+            s.max_weight_code()
+        ));
+    }
+    it.facts.assumptions.push(format!(
+        "loop bound kmax = {} (from the GEMM shape)",
+        ctx.kmax
+    ));
+
+    let mut visited = vec![false; ops.len()];
+    let mut back_taken: std::collections::HashMap<usize, u32> = std::collections::HashMap::new();
+    let mut pc = 0usize;
+    loop {
+        if pc >= ops.len() {
+            break;
+        }
+        it.facts.steps += 1;
+        if it.facts.steps > STEP_BUDGET {
+            it.violations.push(Violation::AnalysisLimit {
+                detail: format!("step budget {STEP_BUDGET} exhausted at pc {pc}"),
+            });
+            break;
+        }
+        visited[pc] = true;
+        match &ops[pc] {
+            Op::IAdd { d, a, b } => {
+                let (x, y) = (it.val(a), it.val(b));
+                let v = it.add_vals(pc, x, y);
+                it.set(*d, v);
+            }
+            Op::ISub { d, a, b } => {
+                let (x, y) = (it.val(a), it.val(b));
+                let v = match (x.as_exact(), y.as_exact()) {
+                    _ if it.non_preserving(pc, "ISUB", &[a, b]) => AbsVal::top(),
+                    (Some(p), Some(q)) => AbsVal::exact(p.wrapping_sub(q)),
+                    _ => {
+                        if let Tag::Ptr(k) = x.tag {
+                            AbsVal::ptr(k)
+                        } else if y.as_exact() == Some(0) {
+                            x
+                        } else if y.hi <= x.lo {
+                            AbsVal::range(x.lo - y.hi, x.hi - y.lo)
+                        } else {
+                            AbsVal::top()
+                        }
+                    }
+                };
+                it.set(*d, v);
+            }
+            Op::IMul { d, a, b } => {
+                let v = if it.non_preserving(pc, "IMUL", &[a, b]) {
+                    AbsVal::top()
+                } else {
+                    let (x, y) = (it.val(a), it.val(b));
+                    it.mul_vals(x, y)
+                };
+                it.set(*d, v);
+            }
+            Op::IMad { d, a, b, c } => {
+                let (x, y, z) = (it.val(a), it.val(b), it.val(c));
+                let v = it.mad(pc, x, y, z);
+                it.set(*d, v);
+            }
+            Op::And { d, a, b } => {
+                let (x, y) = (it.val(a), it.val(b));
+                let v = it.and_vals(pc, x, y);
+                it.set(*d, v);
+            }
+            Op::Shr { d, a, b } => {
+                let (x, y) = (it.val(a), it.val(b));
+                let v = it.shr_vals(pc, x, y);
+                it.set(*d, v);
+            }
+            Op::Shl { d, a, b } => {
+                let v = if it.non_preserving(pc, "SHL", &[a, b]) {
+                    AbsVal::top()
+                } else {
+                    let (x, y) = (it.val(a), it.val(b));
+                    match y.as_exact() {
+                        Some(sh) => {
+                            let sh = sh & 31;
+                            let hi = x.hi << sh;
+                            if hi > u64::from(u32::MAX) {
+                                AbsVal::top()
+                            } else {
+                                AbsVal::range(x.lo << sh, hi)
+                            }
+                        }
+                        None => AbsVal::top(),
+                    }
+                };
+                it.set(*d, v);
+            }
+            Op::Or { d, a, b } | Op::Xor { d, a, b } | Op::Sar { d, a, b } => {
+                let name = match &ops[pc] {
+                    Op::Or { .. } => "OR",
+                    Op::Xor { .. } => "XOR",
+                    _ => "SAR",
+                };
+                let _ = it.non_preserving(pc, name, &[a, b]);
+                it.set(*d, AbsVal::top());
+            }
+            Op::IMin { d, a, b } | Op::IMax { d, a, b } => {
+                let _ = it.non_preserving(pc, "IMIN/IMAX", &[a, b]);
+                let (x, y) = (it.val(a), it.val(b));
+                it.set(*d, AbsVal::range(0, x.hi.max(y.hi)));
+            }
+            Op::IDivU { d, a, b } => {
+                let _ = it.non_preserving(pc, "IDIVU", &[a, b]);
+                let (x, y) = (it.val(a), it.val(b));
+                let v = match (x.as_exact(), y.as_exact()) {
+                    (Some(p), Some(q)) if q != 0 => AbsVal::exact(p / q),
+                    _ => AbsVal::range(0, x.hi),
+                };
+                it.set(*d, v);
+            }
+            Op::IRemU { d, a, b } => {
+                let _ = it.non_preserving(pc, "IREMU", &[a, b]);
+                let (x, y) = (it.val(a), it.val(b));
+                let v = match (x.as_exact(), y.as_exact()) {
+                    (Some(p), Some(q)) if q != 0 => AbsVal::exact(p % q),
+                    _ => AbsVal::range(0, x.hi.min(y.hi.saturating_sub(1))),
+                };
+                it.set(*d, v);
+            }
+            Op::Shfl { d, a, .. } => {
+                // The abstract state bounds every thread's value of `a`
+                // simultaneously, so a lane exchange stays in-interval
+                // (and lane structure survives — SHFL moves whole words).
+                let v = it.regs[a.0 as usize];
+                it.set(*d, v);
+            }
+            Op::ISetP { p, a, b, cmp } => {
+                let (x, y) = (it.val(a), it.val(b));
+                it.preds[p.0 as usize] = it.setp(x, y, *cmp);
+            }
+            Op::Mov { d, s } => {
+                let v = it.val(s);
+                it.set(*d, v);
+            }
+            Op::Sel { d, p, a, b } => {
+                let (x, y) = (it.val(a), it.val(b));
+                let v = match it.preds[p.0 as usize] {
+                    Some(true) => x,
+                    Some(false) => y,
+                    None => x.join(&y),
+                };
+                it.set(*d, v);
+            }
+            Op::Ldc { d, idx } => {
+                let v = if *idx == ctx.arg_base {
+                    AbsVal::ptr(PtrKind::A)
+                } else if *idx == ctx.arg_base + 1 {
+                    AbsVal::ptr(PtrKind::B)
+                } else if *idx == ctx.arg_base + 2 {
+                    AbsVal::ptr(PtrKind::C)
+                } else if *idx == ctx.kmax_slot {
+                    AbsVal::exact(ctx.kmax)
+                } else {
+                    AbsVal::top()
+                };
+                it.set(*d, v);
+            }
+            Op::ReadSr { d, sr } => {
+                let v = match sr {
+                    SReg::LaneId => AbsVal::range(0, 31),
+                    SReg::WarpId => AbsVal::range(0, u64::from(ctx.warps.saturating_sub(1))),
+                    SReg::Tid => AbsVal::range(0, u64::from(ctx.warps * 32 - 1)),
+                    SReg::Ntid => AbsVal::exact(ctx.warps * 32),
+                    _ => AbsVal::top(),
+                };
+                it.set(*d, v);
+            }
+            Op::FAdd { d, .. }
+            | Op::FMul { d, .. }
+            | Op::FFma { d, .. }
+            | Op::FMin { d, .. }
+            | Op::FMax { d, .. }
+            | Op::I2F { d, .. }
+            | Op::F2I { d, .. }
+            | Op::F2IFloor { d, .. }
+            | Op::Rcp { d, .. }
+            | Op::Sqrt { d, .. }
+            | Op::Ex2 { d, .. }
+            | Op::Lg2 { d, .. } => {
+                // Float bit patterns carry no SWAR structure.
+                it.set(*d, AbsVal::top());
+            }
+            Op::FSetP { p, .. } => {
+                it.preds[p.0 as usize] = None;
+            }
+            Op::Ldg {
+                d, addr, w, guard, ..
+            } => {
+                let loaded = it.load_contract(*addr, *w);
+                let v = match guard {
+                    // A guarded load may leave the old value in place.
+                    Some(_) => loaded.join(&it.regs[d.0 as usize]),
+                    None => loaded,
+                };
+                it.set(*d, v);
+            }
+            Op::LdgV4 { d, addr, .. } => {
+                for i in 0..4u8 {
+                    let loaded = it.load_contract(*addr, MemWidth::B32);
+                    it.set(Reg(d.0 + i), loaded);
+                }
+            }
+            Op::Stg { addr, v, .. } => {
+                let dest = it.regs[addr.0 as usize];
+                let val = it.val(v);
+                if matches!(dest.tag, Tag::Ptr(PtrKind::C)) && matches!(val.tag, Tag::Packed { .. })
+                {
+                    it.flag(pc, 9, Violation::PackedEscape { pc });
+                }
+            }
+            Op::Lds { d, .. } => {
+                it.set(*d, AbsVal::top());
+            }
+            Op::Sts { v, .. } => {
+                if let Src::R(r) = v {
+                    // Shared-memory staging of raw operand bytes is fine;
+                    // staging a live packed accumulator would launder it
+                    // past the escape check.
+                    if matches!(it.regs[r.0 as usize].tag, Tag::Packed { .. }) {
+                        it.flag(
+                            pc,
+                            10,
+                            Violation::MaskClobbered {
+                                pc,
+                                detail: "packed payload staged to shared memory unextracted"
+                                    .to_string(),
+                            },
+                        );
+                    }
+                }
+            }
+            Op::Mma { kind, acc, .. } => {
+                for i in 0..kind.acc_regs() {
+                    it.set(Reg(acc.0 + i), AbsVal::top());
+                }
+            }
+            Op::Bra {
+                target,
+                pred,
+                sense,
+            } => {
+                let decided = pred.map(|p: Pred| it.preds[p.0 as usize].map(|v| v == *sense));
+                let take = match decided {
+                    None => {
+                        // Unconditional.
+                        if *target <= pc {
+                            let t = back_taken.entry(pc).or_insert(0);
+                            *t += 1;
+                            if *t >= MAX_UNDECIDED_BACK_EDGES {
+                                it.facts.assumptions.push(format!(
+                                    "outer loop at pc {pc} traced {MAX_UNDECIDED_BACK_EDGES} \
+                                     times (body re-establishes its own accumulator state)"
+                                ));
+                                break;
+                            }
+                        }
+                        true
+                    }
+                    Some(Some(v)) => v,
+                    Some(None) => {
+                        // Undecidable predicate.
+                        if *target > pc {
+                            it.facts.assumptions.push(format!(
+                                "undecided forward branch at pc {pc} assumed not taken \
+                                 (loop-entry path analyzed)"
+                            ));
+                            false
+                        } else {
+                            let t = back_taken.entry(pc).or_insert(0);
+                            *t += 1;
+                            *t < MAX_UNDECIDED_BACK_EDGES
+                        }
+                    }
+                };
+                if take {
+                    pc = *target;
+                    continue;
+                }
+            }
+            Op::Bar | Op::Nop => {}
+            Op::Exit => break,
+        }
+        pc += 1;
+    }
+
+    it.facts.visited_ops = visited.iter().filter(|v| **v).count();
+    for (i, op) in ops.iter().enumerate() {
+        if !visited[i] && !matches!(op, Op::Exit | Op::Nop) {
+            it.violations.push(Violation::Uncovered { pc: i });
+        }
+    }
+    (it.facts, it.violations)
+}

@@ -1,0 +1,293 @@
+//! The abstract domain of the lane-safety pass: per-register unsigned
+//! intervals, known-zero bitmasks, and an explicit SWAR lane structure
+//! for values that came from `core::pack`.
+//!
+//! A register is one of:
+//!
+//! * a **plain** scalar — an unsigned interval `[lo, hi]` over the
+//!   mathematical (pre-wraparound) value, plus a mask of bits known to
+//!   be zero;
+//! * a **pointer** derived from one of the kernel's operand base
+//!   addresses (`A`, `B` or `C`) — address arithmetic preserves the
+//!   taint, so loads and stores know which operand contract applies;
+//! * a **packed** SWAR payload — `n` lanes of `lane_bits` bits each,
+//!   every lane carrying its own interval. The whole-register value is
+//!   exactly `Σ lanes[l] << (l * lane_bits)` as long as no lane has
+//!   overflowed its budget, which is precisely the invariant the pass
+//!   proves.
+//!
+//! Intervals are kept in `u64` so a lane or accumulator that exceeds
+//! its budget is *observed* exceeding it instead of silently wrapping.
+
+/// Which operand base pointer an address register descends from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PtrKind {
+    /// The (transposed, biased) `A` operand.
+    A,
+    /// The `B` operand (packed words in the packed kernels).
+    B,
+    /// The output `C`.
+    C,
+}
+
+/// Interval of one SWAR lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneIv {
+    /// Smallest possible mathematical lane value.
+    pub lo: u64,
+    /// Largest possible mathematical lane value.
+    pub hi: u64,
+}
+
+impl LaneIv {
+    /// The constant-zero lane.
+    pub const ZERO: LaneIv = LaneIv { lo: 0, hi: 0 };
+
+    /// Interval join (union hull).
+    pub fn join(self, other: LaneIv) -> LaneIv {
+        LaneIv {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+/// Shape tag of an abstract register value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tag {
+    /// Scalar with no special structure.
+    Plain,
+    /// Address derived from an operand base pointer.
+    Ptr(PtrKind),
+    /// SWAR payload: `n` live lanes of `lane_bits` bits each, lane 0 in
+    /// the low bits. Registers shifted down by whole lanes keep the tag
+    /// with fewer live lanes.
+    Packed {
+        /// Live lane count (1..=4).
+        n: u8,
+        /// Bits per lane.
+        lane_bits: u8,
+    },
+}
+
+/// Abstract value of one register.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbsVal {
+    /// Lower bound of the mathematical (unwrapped) value.
+    pub lo: u64,
+    /// Upper bound of the mathematical (unwrapped) value.
+    pub hi: u64,
+    /// Bits of the 32-bit register known to be zero.
+    pub zeros: u32,
+    /// Structure tag.
+    pub tag: Tag,
+    /// Per-lane intervals; only `lanes[..n]` is live for `Tag::Packed`.
+    pub lanes: [LaneIv; 4],
+    /// True when the value descends from a packed-lane extraction — the
+    /// provenance that turns a 32-bit wraparound into a violation (wide
+    /// accumulators must hold their lane sums exactly).
+    pub ext: bool,
+}
+
+impl AbsVal {
+    /// The unconstrained 32-bit scalar.
+    pub fn top() -> Self {
+        AbsVal {
+            lo: 0,
+            hi: u64::from(u32::MAX),
+            zeros: 0,
+            tag: Tag::Plain,
+            lanes: [LaneIv::ZERO; 4],
+            ext: false,
+        }
+    }
+
+    /// The exact constant `v`.
+    pub fn exact(v: u32) -> Self {
+        AbsVal {
+            lo: u64::from(v),
+            hi: u64::from(v),
+            zeros: !v,
+            tag: Tag::Plain,
+            lanes: [LaneIv::ZERO; 4],
+            ext: false,
+        }
+    }
+
+    /// A plain scalar bounded to `[lo, hi]`.
+    pub fn range(lo: u64, hi: u64) -> Self {
+        let zeros = if hi == 0 {
+            u32::MAX
+        } else if hi <= u64::from(u32::MAX) {
+            // Bits at or above the highest possible set bit are zero.
+            let top = 63 - hi.leading_zeros();
+            if top >= 31 {
+                0
+            } else {
+                !((1u32 << (top + 1)) - 1)
+            }
+        } else {
+            0
+        };
+        AbsVal {
+            lo,
+            hi,
+            zeros,
+            tag: Tag::Plain,
+            lanes: [LaneIv::ZERO; 4],
+            ext: false,
+        }
+    }
+
+    /// An address descending from operand pointer `kind`.
+    pub fn ptr(kind: PtrKind) -> Self {
+        AbsVal {
+            tag: Tag::Ptr(kind),
+            ..AbsVal::top()
+        }
+    }
+
+    /// A packed value with `n` lanes of `lane_bits` bits, each lane
+    /// independently bounded.
+    pub fn packed(n: u8, lane_bits: u8, lanes: [LaneIv; 4]) -> Self {
+        let mut v = AbsVal {
+            lo: 0,
+            hi: 0,
+            zeros: 0,
+            tag: Tag::Packed { n, lane_bits },
+            lanes,
+            ext: false,
+        };
+        v.recompute_packed_whole();
+        v
+    }
+
+    /// Is this value an exact known constant?
+    pub fn as_exact(&self) -> Option<u32> {
+        if self.tag == Tag::Plain && self.lo == self.hi && self.hi <= u64::from(u32::MAX) {
+            Some(self.lo as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Refresh the whole-register interval and known-zero mask of a
+    /// packed value from its lane intervals.
+    pub fn recompute_packed_whole(&mut self) {
+        let Tag::Packed { n, lane_bits } = self.tag else {
+            return;
+        };
+        let mut lo = 0u64;
+        let mut hi = 0u64;
+        let mut zeros = u32::MAX;
+        for l in 0..usize::from(n) {
+            let sh = u32::from(lane_bits) * l as u32;
+            lo = lo.saturating_add(self.lanes[l].lo << sh);
+            hi = hi.saturating_add(self.lanes[l].hi << sh);
+            // A lane whose bound fits in `b` bits pins the bits above it
+            // (within the lane) to zero, as long as no lane overflows.
+            let lane_top = if self.lanes[l].hi == 0 {
+                0
+            } else {
+                64 - self.lanes[l].hi.leading_zeros()
+            };
+            for bit in 0..u32::from(lane_bits) {
+                if bit >= lane_top {
+                    continue;
+                }
+                let abs_bit = sh + bit;
+                if abs_bit < 32 {
+                    zeros &= !(1u32 << abs_bit);
+                }
+            }
+        }
+        // Bits above the top live lane are zero only if the top lane
+        // cannot carry past its budget; conservatively require the whole
+        // value to fit.
+        if hi > u64::from(u32::MAX) {
+            zeros = 0;
+        }
+        self.lo = lo;
+        self.hi = hi;
+        self.zeros = zeros;
+    }
+
+    /// Join (union hull) of two abstract values. Mismatched structure
+    /// degrades to a plain interval.
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        if self == other {
+            return *self;
+        }
+        let lo = self.lo.min(other.lo);
+        let hi = self.hi.max(other.hi);
+        let zeros = self.zeros & other.zeros;
+        match (self.tag, other.tag) {
+            (
+                Tag::Packed {
+                    n: n1,
+                    lane_bits: w1,
+                },
+                Tag::Packed {
+                    n: n2,
+                    lane_bits: w2,
+                },
+            ) if n1 == n2 && w1 == w2 => {
+                let mut lanes = [LaneIv::ZERO; 4];
+                for (l, slot) in lanes.iter_mut().enumerate().take(usize::from(n1)) {
+                    *slot = self.lanes[l].join(other.lanes[l]);
+                }
+                let mut v = AbsVal::packed(n1, w1, lanes);
+                v.ext = self.ext || other.ext;
+                v
+            }
+            (Tag::Ptr(k1), Tag::Ptr(k2)) if k1 == k2 => AbsVal {
+                lo,
+                hi,
+                zeros,
+                tag: Tag::Ptr(k1),
+                lanes: [LaneIv::ZERO; 4],
+                ext: false,
+            },
+            _ => AbsVal {
+                lo,
+                hi,
+                zeros,
+                tag: Tag::Plain,
+                lanes: [LaneIv::ZERO; 4],
+                ext: self.ext || other.ext,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_tracks_zeros() {
+        let v = AbsVal::exact(0b1010);
+        assert_eq!(v.as_exact(), Some(10));
+        assert_eq!(v.zeros & 0b0101, 0b0101);
+    }
+
+    #[test]
+    fn packed_whole_is_lane_sum() {
+        let mut lanes = [LaneIv::ZERO; 4];
+        lanes[0] = LaneIv { lo: 1, hi: 3 };
+        lanes[1] = LaneIv { lo: 0, hi: 63 };
+        let v = AbsVal::packed(2, 16, lanes);
+        assert_eq!(v.lo, 1);
+        assert_eq!(v.hi, 3 + (63 << 16));
+        // Guard bits of lane 0 (bits 6..16) are known zero.
+        assert_eq!(v.zeros & (0x3ff << 6), 0x3ff << 6);
+    }
+
+    #[test]
+    fn join_of_mismatched_structure_is_plain() {
+        let a = AbsVal::ptr(PtrKind::A);
+        let b = AbsVal::exact(4);
+        assert_eq!(a.join(&b).tag, Tag::Plain);
+    }
+}

@@ -1,0 +1,533 @@
+//! The static shared-memory race detector: a whole-block, lockstep,
+//! concrete interpretation of a kernel program that records every
+//! shared-memory access with its byte range, issuing warp/lane and
+//! barrier epoch, then checks the interval between consecutive barriers
+//! for write-write and write-read conflicts.
+//!
+//! Shared-memory addresses in the shipped kernels are functions of the
+//! thread identity and compile-time immediates only — never of loaded
+//! data — so a concrete evaluation per thread *is* a static analysis of
+//! the address expressions (global loads return a placeholder and the
+//! placeholder provably never reaches an `Sts`/`Lds`/`Mma` address;
+//! if it did, the divergence/decidability guards below trip first).
+//! Because the staging addresses are also loop-invariant, the access
+//! pattern is periodic in the K dimension and it suffices to trace a
+//! bounded number of pipeline periods (the caller caps `kmax`).
+//!
+//! The hazard rules between two accesses in the same barrier interval
+//! with overlapping byte ranges:
+//!
+//! * different warps, at least one a write → hazard (no intra-interval
+//!   ordering exists between warps);
+//! * same warp, same instruction, different lanes, both writes →
+//!   hazard (intra-instruction write collision);
+//! * same warp, different instructions → ordered by program order, safe.
+
+use crate::{ProgramContext, Violation};
+use vitbit_sim::{FCmp, ICmp, MmaKind, Op, SReg, Src};
+
+/// One shared-memory access event.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    pc: usize,
+    warp: u32,
+    /// Byte range `[start, end)`.
+    start: u32,
+    end: u32,
+    write: bool,
+}
+
+/// What the hazard pass observed.
+#[derive(Debug, Clone, Default)]
+pub struct HazardFacts {
+    /// Barrier intervals the trace produced.
+    pub barrier_intervals: usize,
+    /// Shared-memory write events recorded.
+    pub smem_writes: usize,
+    /// Shared-memory read events recorded (including MMA tile reads).
+    pub smem_reads: usize,
+}
+
+struct Machine {
+    /// `regs[thread][reg]`.
+    regs: Vec<Vec<u32>>,
+    /// `preds[thread][pred]`.
+    preds: Vec<Vec<bool>>,
+    threads: usize,
+}
+
+impl Machine {
+    fn src(&self, t: usize, s: &Src) -> u32 {
+        match s {
+            Src::R(r) => self.regs[t][r.0 as usize],
+            Src::Imm(v) => *v,
+        }
+    }
+}
+
+fn icmp(x: u32, y: u32, cmp: ICmp) -> bool {
+    let (sx, sy) = (x as i32, y as i32);
+    match cmp {
+        ICmp::Eq => x == y,
+        ICmp::Ne => x != y,
+        ICmp::Lt => sx < sy,
+        ICmp::Le => sx <= sy,
+        ICmp::Gt => sx > sy,
+        ICmp::Ge => sx >= sy,
+        ICmp::LtU => x < y,
+        ICmp::GeU => x >= y,
+    }
+}
+
+fn fcmp(x: f32, y: f32, cmp: FCmp) -> bool {
+    match cmp {
+        FCmp::Eq => x == y,
+        FCmp::Lt => x < y,
+        FCmp::Le => x <= y,
+        FCmp::Gt => x > y,
+        FCmp::Ge => x >= y,
+    }
+}
+
+/// Per-MMA operand tile sizes in bytes: `(a_bytes, b_bytes)`.
+fn mma_tile_bytes(kind: MmaKind) -> (u32, u32) {
+    let (m, n, k) = kind.shape();
+    match kind {
+        MmaKind::I8_16x16x16 => ((m * k) as u32, (k * n) as u32),
+        MmaKind::F16_16x16x8 => ((m * k * 4) as u32, (k * n * 4) as u32),
+    }
+}
+
+/// Step budget: generous for two pipeline periods of any shipped kernel.
+const STEP_BUDGET: u64 = 4_000_000;
+
+/// Runs the hazard pass: concrete lockstep trace of one block, then the
+/// interval conflict check.
+pub fn analyze(
+    program: &vitbit_sim::Program,
+    ctx: &ProgramContext,
+) -> (HazardFacts, Vec<Violation>) {
+    let ops = &program.ops;
+    let mut facts = HazardFacts::default();
+    let mut violations = Vec::new();
+    if !ops
+        .iter()
+        .any(|o| matches!(o, Op::Sts { .. } | Op::Lds { .. } | Op::Mma { .. }))
+    {
+        // No shared-memory traffic: trivially hazard-free.
+        return (facts, violations);
+    }
+
+    let warps = ctx.warps.max(1) as usize;
+    let threads = warps * 32;
+    let nregs = program.nregs as usize;
+    let mut m = Machine {
+        regs: vec![vec![0u32; nregs.max(1)]; threads],
+        preds: vec![vec![false; (program.npreds as usize).max(1)]; threads],
+        threads,
+    };
+
+    // Concrete kernel arguments for the trace: pointers and strides are
+    // placeholders (they never reach a shared-memory address), the loop
+    // bound is the capped kmax, and divisors must be nonzero.
+    let mut args = [1u32; 32];
+    if (ctx.kmax_slot as usize) < args.len() {
+        args[ctx.kmax_slot as usize] = ctx.kmax;
+    }
+
+    // Events per barrier interval.
+    let mut intervals: Vec<Vec<Event>> = vec![Vec::new()];
+    let mut pc = 0usize;
+    let mut steps = 0u64;
+    'trace: loop {
+        if pc >= ops.len() {
+            break;
+        }
+        steps += 1;
+        if steps > STEP_BUDGET {
+            violations.push(Violation::AnalysisLimit {
+                detail: format!("hazard trace step budget {STEP_BUDGET} exhausted at pc {pc}"),
+            });
+            break;
+        }
+        let op = &ops[pc];
+        match op {
+            Op::IAdd { d, a, b } => {
+                for t in 0..threads {
+                    let v = m.src(t, a).wrapping_add(m.src(t, b));
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::ISub { d, a, b } => {
+                for t in 0..threads {
+                    let v = m.src(t, a).wrapping_sub(m.src(t, b));
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::IMul { d, a, b } => {
+                for t in 0..threads {
+                    let v = m.src(t, a).wrapping_mul(m.src(t, b));
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::IMad { d, a, b, c } => {
+                for t in 0..threads {
+                    let v = m
+                        .src(t, a)
+                        .wrapping_mul(m.src(t, b))
+                        .wrapping_add(m.src(t, c));
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::And { d, a, b } => {
+                for t in 0..threads {
+                    let v = m.src(t, a) & m.src(t, b);
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::Or { d, a, b } => {
+                for t in 0..threads {
+                    let v = m.src(t, a) | m.src(t, b);
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::Xor { d, a, b } => {
+                for t in 0..threads {
+                    let v = m.src(t, a) ^ m.src(t, b);
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::Shl { d, a, b } => {
+                for t in 0..threads {
+                    let v = m.src(t, a).unbounded_shl(m.src(t, b));
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::Shr { d, a, b } => {
+                for t in 0..threads {
+                    let v = m.src(t, a).unbounded_shr(m.src(t, b));
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::Sar { d, a, b } => {
+                for t in 0..threads {
+                    let v = (m.src(t, a) as i32).unbounded_shr(m.src(t, b)) as u32;
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::IMin { d, a, b } => {
+                for t in 0..threads {
+                    let v = (m.src(t, a) as i32).min(m.src(t, b) as i32) as u32;
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::IMax { d, a, b } => {
+                for t in 0..threads {
+                    let v = (m.src(t, a) as i32).max(m.src(t, b) as i32) as u32;
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::IDivU { d, a, b } => {
+                for t in 0..threads {
+                    let v = m.src(t, a).checked_div(m.src(t, b)).unwrap_or(0);
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::IRemU { d, a, b } => {
+                for t in 0..threads {
+                    let x = m.src(t, a);
+                    let v = x.checked_rem(m.src(t, b)).unwrap_or(x);
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::Shfl { d, a, xor_mask } => {
+                for w in 0..warps {
+                    let base = w * 32;
+                    let mut vals = [0u32; 32];
+                    for (lane, v) in vals.iter_mut().enumerate() {
+                        *v = m.regs[base + (lane ^ (*xor_mask as usize) & 31)][a.0 as usize];
+                    }
+                    for (lane, v) in vals.iter().enumerate() {
+                        m.regs[base + lane][d.0 as usize] = *v;
+                    }
+                }
+            }
+            Op::ISetP { p, a, b, cmp } => {
+                for t in 0..threads {
+                    let v = icmp(m.src(t, a), m.src(t, b), *cmp);
+                    m.preds[t][p.0 as usize] = v;
+                }
+            }
+            Op::Mov { d, s } => {
+                for t in 0..threads {
+                    let v = m.src(t, s);
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::Sel { d, p, a, b } => {
+                for t in 0..threads {
+                    let v = if m.preds[t][p.0 as usize] {
+                        m.src(t, a)
+                    } else {
+                        m.src(t, b)
+                    };
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::Ldc { d, idx } => {
+                let v = args.get(*idx as usize).copied().unwrap_or(1);
+                for t in 0..threads {
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::ReadSr { d, sr } => {
+                for t in 0..threads {
+                    let v = match sr {
+                        SReg::Tid => t as u32,
+                        SReg::Ntid => threads as u32,
+                        SReg::Ctaid => 0,
+                        SReg::Nctaid => 1,
+                        SReg::LaneId => (t % 32) as u32,
+                        SReg::WarpId => (t / 32) as u32,
+                    };
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::FAdd { d, a, b }
+            | Op::FMul { d, a, b }
+            | Op::FMin { d, a, b }
+            | Op::FMax { d, a, b } => {
+                for t in 0..threads {
+                    let (x, y) = (f32::from_bits(m.src(t, a)), f32::from_bits(m.src(t, b)));
+                    let v = match op {
+                        Op::FAdd { .. } => x + y,
+                        Op::FMul { .. } => x * y,
+                        Op::FMin { .. } => x.min(y),
+                        _ => x.max(y),
+                    };
+                    m.regs[t][d.0 as usize] = v.to_bits();
+                }
+            }
+            Op::FFma { d, a, b, c } => {
+                for t in 0..threads {
+                    let v = f32::from_bits(m.src(t, a)) * f32::from_bits(m.src(t, b))
+                        + f32::from_bits(m.src(t, c));
+                    m.regs[t][d.0 as usize] = v.to_bits();
+                }
+            }
+            Op::FSetP { p, a, b, cmp } => {
+                for t in 0..threads {
+                    let v = fcmp(
+                        f32::from_bits(m.src(t, a)),
+                        f32::from_bits(m.src(t, b)),
+                        *cmp,
+                    );
+                    m.preds[t][p.0 as usize] = v;
+                }
+            }
+            Op::I2F { d, a } => {
+                for t in 0..threads {
+                    let v = (m.src(t, a) as i32) as f32;
+                    m.regs[t][d.0 as usize] = v.to_bits();
+                }
+            }
+            Op::F2I { d, a } | Op::F2IFloor { d, a } => {
+                for t in 0..threads {
+                    let x = f32::from_bits(m.src(t, a));
+                    let v = if matches!(op, Op::F2I { .. }) {
+                        x as i32 as u32
+                    } else {
+                        x.floor() as i32 as u32
+                    };
+                    m.regs[t][d.0 as usize] = v;
+                }
+            }
+            Op::Rcp { d, a } | Op::Sqrt { d, a } | Op::Ex2 { d, a } | Op::Lg2 { d, a } => {
+                for t in 0..threads {
+                    let x = f32::from_bits(m.src(t, a));
+                    let v = match op {
+                        Op::Rcp { .. } => 1.0 / x,
+                        Op::Sqrt { .. } => x.sqrt(),
+                        Op::Ex2 { .. } => x.exp2(),
+                        _ => x.log2(),
+                    };
+                    m.regs[t][d.0 as usize] = v.to_bits();
+                }
+            }
+            Op::Ldg { d, guard, .. } => {
+                // Global data is irrelevant to shared-memory addressing;
+                // the placeholder never reaches an address computation in
+                // the shipped kernels (the divergence guard would trip).
+                for t in 0..threads {
+                    if guard.is_none_or(|p| m.preds[t][p.0 as usize]) {
+                        m.regs[t][d.0 as usize] = 0;
+                    }
+                }
+            }
+            Op::LdgV4 { d, .. } => {
+                for t in 0..threads {
+                    for i in 0..4 {
+                        m.regs[t][d.0 as usize + i] = 0;
+                    }
+                }
+            }
+            Op::Stg { .. } => {}
+            Op::Lds { d, addr, off, w } => {
+                let cur = intervals.len() - 1;
+                for t in 0..threads {
+                    let a = (m.regs[t][addr.0 as usize] as i64 + i64::from(*off)) as u32;
+                    intervals[cur].push(Event {
+                        pc,
+                        warp: (t / 32) as u32,
+                        start: a,
+                        end: a + w.bytes(),
+                        write: false,
+                    });
+                    m.regs[t][d.0 as usize] = 0;
+                }
+            }
+            Op::Sts { addr, off, w, .. } => {
+                let cur = intervals.len() - 1;
+                for t in 0..threads {
+                    let a = (m.regs[t][addr.0 as usize] as i64 + i64::from(*off)) as u32;
+                    intervals[cur].push(Event {
+                        pc,
+                        warp: (t / 32) as u32,
+                        start: a,
+                        end: a + w.bytes(),
+                        write: true,
+                    });
+                }
+            }
+            Op::Mma {
+                kind,
+                a_addr,
+                b_addr,
+                ..
+            } => {
+                let (ab, bb) = mma_tile_bytes(*kind);
+                let cur = intervals.len() - 1;
+                for w in 0..warps {
+                    // MMA operand addresses are warp-uniform; read lane 0.
+                    let t0 = w * 32;
+                    let a = m.regs[t0][a_addr.0 as usize];
+                    let b = m.regs[t0][b_addr.0 as usize];
+                    intervals[cur].push(Event {
+                        pc,
+                        warp: w as u32,
+                        start: a,
+                        end: a + ab,
+                        write: false,
+                    });
+                    intervals[cur].push(Event {
+                        pc,
+                        warp: w as u32,
+                        start: b,
+                        end: b + bb,
+                        write: false,
+                    });
+                }
+            }
+            Op::Bar => {
+                intervals.push(Vec::new());
+            }
+            Op::Bra {
+                target,
+                pred,
+                sense,
+            } => {
+                let take = match pred {
+                    None => true,
+                    Some(p) => {
+                        // Lockstep trace: branch predicates must be
+                        // block-uniform, and in the shipped kernels they
+                        // are (loop counters only).
+                        let first = m.preds[0][p.0 as usize];
+                        if (1..m.threads).any(|t| m.preds[t][p.0 as usize] != first) {
+                            violations.push(Violation::AnalysisLimit {
+                                detail: format!(
+                                    "divergent branch predicate at pc {pc}: the hazard pass \
+                                     only handles block-uniform control flow"
+                                ),
+                            });
+                            break 'trace;
+                        }
+                        first == *sense
+                    }
+                };
+                if take {
+                    pc = *target;
+                    continue;
+                }
+            }
+            Op::Exit => break,
+            Op::Nop => {}
+        }
+        pc += 1;
+    }
+
+    facts.barrier_intervals = intervals.len();
+    for evs in &intervals {
+        facts.smem_writes += evs.iter().filter(|e| e.write).count();
+        facts.smem_reads += evs.iter().filter(|e| !e.write).count();
+    }
+
+    // Conflict check per interval: sort by start byte, sweep overlaps.
+    let mut reported: std::collections::HashSet<(usize, usize, bool)> =
+        std::collections::HashSet::new();
+    for (epoch, evs) in intervals.iter().enumerate() {
+        let mut sorted: Vec<&Event> = evs.iter().collect();
+        sorted.sort_by_key(|e| (e.start, e.end));
+        // Active set sweep: compare each event against overlapping
+        // predecessors only.
+        for i in 0..sorted.len() {
+            for j in (i + 1)..sorted.len() {
+                let (a, b) = (sorted[i], sorted[j]);
+                if b.start >= a.end {
+                    break;
+                }
+                if !(a.write || b.write) {
+                    continue;
+                }
+                let same_warp = a.warp == b.warp;
+                let hazard = if a.write && b.write {
+                    // Same warp is ordered by program order, except two
+                    // lanes colliding within one instruction.
+                    !same_warp || a.pc == b.pc
+                } else {
+                    !same_warp
+                };
+                if !hazard {
+                    continue;
+                }
+                let (wpc, opc, ww) = if a.write && b.write {
+                    (a.pc.min(b.pc), a.pc.max(b.pc), true)
+                } else if a.write {
+                    (a.pc, b.pc, false)
+                } else {
+                    (b.pc, a.pc, false)
+                };
+                if !reported.insert((wpc, opc, ww)) {
+                    continue;
+                }
+                let v = if ww {
+                    Violation::WriteWriteHazard {
+                        pc_a: wpc,
+                        pc_b: opc,
+                        interval: epoch,
+                        addr: a.start.max(b.start),
+                    }
+                } else {
+                    Violation::WriteReadHazard {
+                        write_pc: wpc,
+                        read_pc: opc,
+                        interval: epoch,
+                        addr: a.start.max(b.start),
+                    }
+                };
+                violations.push(v);
+            }
+        }
+    }
+    (facts, violations)
+}

@@ -1,0 +1,651 @@
+//! Static SWAR lane-safety and shared-memory hazard verification for
+//! VitBit kernel programs.
+//!
+//! The packed GEMM kernels bet their correctness on two invariants the
+//! runtime never checks: every packed lane must absorb its worst-case
+//! K-deep accumulation without carrying into the neighbor lane (the
+//! Eq. 1 guard-bit budget, DESIGN.md §10), and every shared-memory
+//! staging buffer must be separated from its consumers by a barrier.
+//! This crate proves both **statically**, per emitted program, before a
+//! plan ever runs:
+//!
+//! * [`absint`] — an abstract interpretation over the simulator ISA
+//!   tracking per-register intervals, known-zero bitmasks and explicit
+//!   SWAR lane structure (domain in [`domain`]). Counted loops execute
+//!   exactly (the K loop bound is a compile-time constant of the plan),
+//!   so the lane-occupancy bound is sharp, not widened.
+//! * [`hazard`] — a lockstep concrete interpretation of one block that
+//!   records every shared-memory access per barrier interval and
+//!   reports write-write / write-read overlaps with no barrier between
+//!   them.
+//!
+//! Entry points: [`verify_program`] for one program against the
+//! [`GemmDesc`] it will run under, [`verify_desc`] for every program a
+//! desc's strategy emits, and [`engine_verifier`] which packages the
+//! latter as a [`vitbit_plan::PlanVerifier`] for
+//! `Engine::prepare`-time rejection. The [`mutate`] module seeds known
+//! violations and asserts the analyzer flags them — the evidence the
+//! pass has teeth.
+
+#![warn(clippy::unwrap_used)]
+
+pub mod absint;
+pub mod domain;
+pub mod hazard;
+pub mod mutate;
+
+use std::sync::Arc;
+use vitbit_core::policy::PackSpec;
+use vitbit_kernels::gemm::cuda::{
+    cuda_gemm_program, pick_k_splits, CudaElem, RoleGeom, ARGS_PER_ROLE, CHUNK_COLS, K_PAD, M_PAD,
+};
+use vitbit_kernels::gemm::fused::{plan_fused, FusedBody};
+use vitbit_kernels::gemm::tc::{tc_gemm_program, TC_ARGS, TC_K_UNIT};
+use vitbit_kernels::shapes::pad_to;
+use vitbit_plan::{GemmDesc, Strategy};
+use vitbit_sim::{Op, Program};
+
+pub use absint::LaneFacts;
+pub use hazard::HazardFacts;
+
+/// K depth the hazard trace is capped at: the staging pipeline rotates
+/// through 4 buffers of 64 K-steps, so 256 covers a full rotation and
+/// every barrier-interval pattern the kernel can produce (addresses are
+/// loop-invariant; see `hazard`).
+const HAZARD_KMAX_CAP: u32 = 256;
+
+/// Everything the analyzer needs to know about the launch a program
+/// will run under: where its kernel arguments sit, the exact K-loop
+/// bound the plan implies, the packing spec of its operands (if any)
+/// and the warp count of its block.
+#[derive(Debug, Clone)]
+pub struct ProgramContext {
+    /// Program name (diagnostics only).
+    pub name: String,
+    /// First kernel-argument slot of this role (`Ldc` index offset).
+    pub arg_base: u16,
+    /// Argument slot holding the K-loop bound.
+    pub kmax_slot: u16,
+    /// Exact K-loop bound the plan will pass in that slot.
+    pub kmax: u32,
+    /// Packing spec of the operands when the program is a packed role.
+    pub spec: Option<PackSpec>,
+    /// Warps of this role in one block.
+    pub warps: u32,
+}
+
+/// One statically-detected defect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A packed lane's worst-case accumulated value exceeds its
+    /// `lane_bits` budget: the carry would corrupt the neighbor lane.
+    LaneOverflow {
+        /// Instruction that pushes the lane past its budget.
+        pc: usize,
+        /// Lane index (0 = least significant).
+        lane: u32,
+        /// Worst-case lane bound the analysis derived.
+        bound: u64,
+        /// Largest value the lane can hold (`2^lane_bits - 1`).
+        capacity: u64,
+    },
+    /// An ALU op destroys the zero-padding mask structure of a packed
+    /// register (an op outside the lane-structure-preserving set, or a
+    /// mask that does not match the spec's lane mask).
+    MaskClobbered {
+        /// Offending instruction.
+        pc: usize,
+        /// What was done to the packed register.
+        detail: String,
+    },
+    /// A shift of a packed register by a non-multiple of the lane
+    /// width: lanes would straddle the extraction mask.
+    LaneMisaligned {
+        /// Offending instruction.
+        pc: usize,
+        /// The shift amount.
+        shift: u32,
+    },
+    /// A packed register is stored to global memory without lane
+    /// extraction — packed payloads must be spilled, never escape raw.
+    PackedEscape {
+        /// The store instruction.
+        pc: usize,
+    },
+    /// A wide (post-extraction) accumulator can exceed 32 bits: its
+    /// lane sums would wrap and the bias correction would be wrong.
+    AccumulatorWrap {
+        /// Instruction whose result can exceed `u32::MAX`.
+        pc: usize,
+        /// Worst-case bound the analysis derived.
+        bound: u64,
+    },
+    /// Two writes to overlapping shared-memory bytes in the same
+    /// barrier interval with no ordering between them.
+    WriteWriteHazard {
+        /// First writing instruction (program order).
+        pc_a: usize,
+        /// Second writing instruction.
+        pc_b: usize,
+        /// Barrier interval index (0 = before the first barrier).
+        interval: usize,
+        /// A byte address inside the overlap.
+        addr: u32,
+    },
+    /// A write and a read of overlapping shared-memory bytes from
+    /// different warps in the same barrier interval.
+    WriteReadHazard {
+        /// The writing instruction.
+        write_pc: usize,
+        /// The reading instruction.
+        read_pc: usize,
+        /// Barrier interval index.
+        interval: usize,
+        /// A byte address inside the overlap.
+        addr: u32,
+    },
+    /// An instruction the abstract trace never reached: the proof does
+    /// not cover it, so the program is rejected rather than assumed
+    /// safe.
+    Uncovered {
+        /// The unreached instruction.
+        pc: usize,
+    },
+    /// The analysis itself gave up (budget, divergence, or a shape it
+    /// cannot handle). Fail closed: an unanalyzable program is not a
+    /// verified program.
+    AnalysisLimit {
+        /// Why.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::LaneOverflow {
+                pc,
+                lane,
+                bound,
+                capacity,
+            } => write!(
+                f,
+                "lane overflow at pc {pc}: lane {lane} worst-case {bound} exceeds capacity {capacity}"
+            ),
+            Violation::MaskClobbered { pc, detail } => {
+                write!(f, "packed mask clobbered at pc {pc}: {detail}")
+            }
+            Violation::LaneMisaligned { pc, shift } => write!(
+                f,
+                "misaligned packed shift at pc {pc}: shift {shift} is not a lane multiple"
+            ),
+            Violation::PackedEscape { pc } => write!(
+                f,
+                "packed register escapes to global memory unextracted at pc {pc}"
+            ),
+            Violation::AccumulatorWrap { pc, bound } => write!(
+                f,
+                "wide accumulator can wrap at pc {pc}: worst-case {bound} exceeds 32 bits"
+            ),
+            Violation::WriteWriteHazard {
+                pc_a,
+                pc_b,
+                interval,
+                addr,
+            } => write!(
+                f,
+                "smem write-write hazard in barrier interval {interval}: pcs {pc_a} and {pc_b} overlap at byte {addr}"
+            ),
+            Violation::WriteReadHazard {
+                write_pc,
+                read_pc,
+                interval,
+                addr,
+            } => write!(
+                f,
+                "smem write-read hazard in barrier interval {interval}: write pc {write_pc} vs read pc {read_pc} at byte {addr}"
+            ),
+            Violation::Uncovered { pc } => {
+                write!(f, "instruction at pc {pc} not covered by the abstract trace")
+            }
+            Violation::AnalysisLimit { detail } => write!(f, "analysis limit: {detail}"),
+        }
+    }
+}
+
+/// The proof record of one program under one context.
+#[derive(Debug, Clone)]
+pub struct ProgramProof {
+    /// Program name.
+    pub name: String,
+    /// Instruction count.
+    pub ops: usize,
+    /// What the lane-safety pass established.
+    pub lane: LaneFacts,
+    /// What the hazard pass established.
+    pub hazard: HazardFacts,
+}
+
+/// A successful verification: every program the desc's strategy emits,
+/// with the facts each proof rests on.
+#[derive(Debug, Clone)]
+pub struct ProofReport {
+    /// Human-readable description of what was verified.
+    pub subject: String,
+    /// Per-program proofs.
+    pub programs: Vec<ProgramProof>,
+}
+
+/// Runs both passes over one program under an explicit context.
+pub fn verify_with_context(
+    program: &Program,
+    ctx: &ProgramContext,
+) -> (ProgramProof, Vec<Violation>) {
+    let (lane, mut violations) = absint::analyze(program, ctx);
+    // The hazard trace is concrete: cap the K depth at a full staging
+    // rotation (the access pattern is K-periodic; see `hazard`).
+    let hz_ctx = ProgramContext {
+        kmax: ctx.kmax.min(HAZARD_KMAX_CAP),
+        ..ctx.clone()
+    };
+    let (hazard, hz_violations) = hazard::analyze(program, &hz_ctx);
+    violations.extend(hz_violations);
+    (
+        ProgramProof {
+            name: ctx.name.clone(),
+            ops: program.ops.len(),
+            lane,
+            hazard,
+        },
+        violations,
+    )
+}
+
+/// Standalone CUDA-role geometry exactly as `run_ic`/`run_fc`/
+/// `run_packed` compute it: `(kmax, role geometry)`.
+fn standalone_cuda_geom(m: usize, k: usize, n: usize, lanes: usize) -> (u32, RoleGeom) {
+    let mp = pad_to(m.max(1), M_PAD);
+    let np = pad_to(n.max(1), CHUNK_COLS * lanes);
+    let kp = pad_to(k.max(1), K_PAD);
+    let n_chunks = (np / lanes) / CHUNK_COLS;
+    let geom = RoleGeom::standalone(pick_k_splits(n_chunks, mp / 16, kp));
+    ((kp as u32) / geom.k_splits, geom)
+}
+
+fn tc_context(k: usize) -> (Arc<Program>, ProgramContext) {
+    let kp = pad_to(k.max(1), TC_K_UNIT);
+    let prog = tc_gemm_program(2, 0).into_arc();
+    let ctx = ProgramContext {
+        name: prog.name.clone(),
+        arg_base: 0,
+        kmax_slot: 4,
+        kmax: kp as u32,
+        spec: None,
+        warps: 8,
+    };
+    (prog, ctx)
+}
+
+/// The standalone Tensor-core kernel with its launch context, for the
+/// mutation suite and builder-direct sweeps.
+pub fn tc_context_for_mutation(k: usize) -> (Arc<Program>, ProgramContext) {
+    tc_context(k)
+}
+
+/// The fused-role variant of the Tensor-core program (16-row blocks,
+/// 4 warps), for builder-direct sweeps.
+pub fn tc_role_context(k: usize) -> (Arc<Program>, ProgramContext) {
+    let kp = pad_to(k.max(1), TC_K_UNIT);
+    let prog = tc_gemm_program(1, 0).into_arc();
+    let ctx = ProgramContext {
+        name: prog.name.clone(),
+        arg_base: 0,
+        kmax_slot: 4,
+        kmax: kp as u32,
+        spec: None,
+        warps: 4,
+    };
+    (prog, ctx)
+}
+
+/// The standalone packed kernel exactly as `run_packed` launches it,
+/// for builder-direct sweeps and the mutation suite.
+pub fn packed_context(
+    m: usize,
+    k: usize,
+    n: usize,
+    spec: PackSpec,
+) -> (Arc<Program>, ProgramContext) {
+    let (kmax, geom) = standalone_cuda_geom(m, k, n, spec.lanes as usize);
+    let prog = cuda_gemm_program(CudaElem::Packed(spec), geom, 0).into_arc();
+    let ctx = ProgramContext {
+        name: prog.name.clone(),
+        arg_base: 0,
+        kmax_slot: 5,
+        kmax,
+        spec: Some(spec),
+        warps: geom.role_warps,
+    };
+    (prog, ctx)
+}
+
+fn cuda_standalone_context(
+    m: usize,
+    k: usize,
+    n: usize,
+    elem: CudaElem,
+) -> (Arc<Program>, ProgramContext) {
+    let (kmax, geom) = standalone_cuda_geom(m, k, n, 1);
+    let prog = cuda_gemm_program(elem, geom, 0).into_arc();
+    let ctx = ProgramContext {
+        name: prog.name.clone(),
+        arg_base: 0,
+        kmax_slot: 5,
+        kmax,
+        spec: None,
+        warps: geom.role_warps,
+    };
+    (prog, ctx)
+}
+
+/// IC+FC co-residency geometry exactly as `run_ic_fc` computes it.
+fn ic_fc_contexts(m: usize, k: usize, n: usize) -> Vec<(Arc<Program>, ProgramContext)> {
+    let (n1_raw, _) = vitbit_core::ratio::eq1_split(n, 1).expect("lanes >= 1");
+    let n1 = pad_to(n1_raw, CHUNK_COLS);
+    let n1c = n1_raw.min(n);
+    let n2 = pad_to((n - n1c).max(1), CHUNK_COLS);
+    let mp = pad_to(m.max(1), M_PAD);
+    let kp = pad_to(k.max(1), K_PAD);
+    let chunks1 = n1 / CHUNK_COLS;
+    let chunks2 = n2 / CHUNK_COLS;
+    let ks = pick_k_splits(chunks1.min(chunks2).max(1), mp / 16, kp);
+    let geom = RoleGeom {
+        role_warps: 4,
+        row_groups: 1,
+        k_splits: ks,
+    };
+    let kmax = (kp as u32) / ks;
+    let int_prog = cuda_gemm_program(CudaElem::Int, geom, 0).into_arc();
+    let fp_prog = cuda_gemm_program(CudaElem::Fp, geom, ARGS_PER_ROLE).into_arc();
+    vec![
+        (
+            Arc::clone(&int_prog),
+            ProgramContext {
+                name: int_prog.name.clone(),
+                arg_base: 0,
+                kmax_slot: 5,
+                kmax,
+                spec: None,
+                warps: geom.role_warps,
+            },
+        ),
+        (
+            Arc::clone(&fp_prog),
+            ProgramContext {
+                name: fp_prog.name.clone(),
+                arg_base: ARGS_PER_ROLE,
+                kmax_slot: ARGS_PER_ROLE + 5,
+                kmax,
+                spec: None,
+                warps: geom.role_warps,
+            },
+        ),
+    ]
+}
+
+/// Every `(program, context)` pair the desc's strategy will launch,
+/// derived by replicating the drivers' pure geometry computations.
+pub fn contexts_for_desc(desc: &GemmDesc) -> Vec<(Arc<Program>, ProgramContext)> {
+    let (m, k, n) = (desc.m, desc.k, desc.n);
+    match desc.strategy {
+        Strategy::Tc => vec![tc_context(k)],
+        Strategy::Ic => vec![cuda_standalone_context(m, k, n, CudaElem::Int)],
+        Strategy::Fc => vec![cuda_standalone_context(m, k, n, CudaElem::Fp)],
+        Strategy::IcFc => ic_fc_contexts(m, k, n),
+        Strategy::Tacker | Strategy::TcIcFc | Strategy::VitBit => {
+            let mode = desc.fused_mode().expect("fused strategy");
+            let ratio = desc.ratio.unwrap_or_else(|| mode.default_ratio());
+            let plan = plan_fused(m, k, n, mode, ratio);
+            match &plan.body {
+                FusedBody::TcFallback => vec![tc_context(k)],
+                FusedBody::Launch(g) => {
+                    let kmax = (g.kp as u32) / g.geom.k_splits;
+                    let mut out = Vec::new();
+                    for prog in &g.programs {
+                        let ctx = if prog.name.starts_with("gemm_tc") {
+                            ProgramContext {
+                                name: prog.name.clone(),
+                                arg_base: 0,
+                                kmax_slot: 4,
+                                kmax: g.kp as u32,
+                                spec: None,
+                                warps: 8,
+                            }
+                        } else {
+                            let arg_base = min_ldc_index(prog).unwrap_or(TC_ARGS);
+                            ProgramContext {
+                                name: prog.name.clone(),
+                                arg_base,
+                                kmax_slot: arg_base + 5,
+                                kmax,
+                                spec: match (prog.name.as_str(), g.int_elem) {
+                                    ("gemm_ic_packed", CudaElem::Packed(s)) => Some(s),
+                                    _ => None,
+                                },
+                                warps: g.geom.role_warps,
+                            }
+                        };
+                        out.push((Arc::clone(prog), ctx));
+                    }
+                    out
+                }
+            }
+        }
+    }
+}
+
+/// Lowest `Ldc` argument index a program reads — its `arg_base`.
+fn min_ldc_index(program: &Program) -> Option<u16> {
+    program
+        .ops
+        .iter()
+        .filter_map(|op| match op {
+            Op::Ldc { idx, .. } => Some(*idx),
+            _ => None,
+        })
+        .min()
+}
+
+fn subject_of(desc: &GemmDesc) -> String {
+    format!(
+        "{} {}x{}x{} int{} (weights int{})",
+        desc.strategy.name(),
+        desc.m,
+        desc.k,
+        desc.n,
+        desc.spec.bitwidth,
+        desc.spec.weight_bitwidth,
+    )
+}
+
+/// Verifies one program against the launch context implied by `desc`.
+///
+/// The context is matched by program name among the programs the desc's
+/// strategy emits; unknown programs are analyzed under an inferred
+/// context (arg base from the lowest `Ldc` slot, geometry from the
+/// desc's shape).
+///
+/// # Errors
+/// Every violation either pass found; empty-violation success carries
+/// the [`ProofReport`].
+pub fn verify_program(program: &Program, desc: &GemmDesc) -> Result<ProofReport, Vec<Violation>> {
+    let ctx = contexts_for_desc(desc)
+        .into_iter()
+        .find(|(p, _)| p.name == program.name && p.ops.len() == program.ops.len())
+        .map(|(_, ctx)| ctx)
+        .unwrap_or_else(|| infer_context(program, desc));
+    let (proof, violations) = verify_with_context(program, &ctx);
+    if violations.is_empty() {
+        Ok(ProofReport {
+            subject: format!("{} :: {}", subject_of(desc), program.name),
+            programs: vec![proof],
+        })
+    } else {
+        Err(violations)
+    }
+}
+
+/// Fallback context for a program the desc's strategy does not emit
+/// (e.g. hand-built or mutated programs).
+fn infer_context(program: &Program, desc: &GemmDesc) -> ProgramContext {
+    let arg_base = min_ldc_index(program).unwrap_or(0);
+    let is_tc = program.ops.iter().any(|op| matches!(op, Op::Mma { .. }));
+    if is_tc {
+        ProgramContext {
+            name: program.name.clone(),
+            arg_base,
+            kmax_slot: arg_base + 4,
+            kmax: pad_to(desc.k.max(1), TC_K_UNIT) as u32,
+            spec: None,
+            warps: 8,
+        }
+    } else {
+        let spec = (program.name == "gemm_ic_packed").then_some(desc.spec);
+        let lanes = spec.map_or(1, |s| s.lanes as usize);
+        let (kmax, geom) = standalone_cuda_geom(desc.m, desc.k, desc.n, lanes);
+        ProgramContext {
+            name: program.name.clone(),
+            arg_base,
+            kmax_slot: arg_base + 5,
+            kmax,
+            spec,
+            warps: geom.role_warps,
+        }
+    }
+}
+
+/// Verifies every program the desc's strategy emits.
+///
+/// # Errors
+/// The union of all violations across the desc's programs.
+pub fn verify_desc(desc: &GemmDesc) -> Result<ProofReport, Vec<Violation>> {
+    let mut programs = Vec::new();
+    let mut violations = Vec::new();
+    for (prog, ctx) in contexts_for_desc(desc) {
+        let (proof, v) = verify_with_context(&prog, &ctx);
+        programs.push(proof);
+        violations.extend(v);
+    }
+    if violations.is_empty() {
+        Ok(ProofReport {
+            subject: subject_of(desc),
+            programs,
+        })
+    } else {
+        Err(violations)
+    }
+}
+
+/// Packages [`verify_desc`] as the plan engine's prepare-time hook.
+pub fn engine_verifier() -> vitbit_plan::PlanVerifier {
+    vitbit_plan::PlanVerifier::new(|desc: &GemmDesc| match verify_desc(desc) {
+        Ok(_) => Ok(()),
+        Err(violations) => Err(violations.iter().map(ToString::to_string).collect()),
+    })
+}
+
+/// A desc for verification sweeps: shape + strategy + spec, with the
+/// engine-irrelevant fields defaulted.
+pub fn sweep_desc(strategy: Strategy, spec: PackSpec, m: usize, k: usize, n: usize) -> GemmDesc {
+    GemmDesc {
+        m,
+        k,
+        n,
+        strategy,
+        bitwidth: spec.bitwidth,
+        spec,
+        ratio: None,
+        adaptive: false,
+        weight: None,
+        abft: false,
+        verify: false,
+        knobs: vitbit_plan::SimKnobs::from_config(&vitbit_sim::OrinConfig::test_small()),
+    }
+}
+
+/// The four ViT-Base encoder linear shapes (tokens x in x out) the
+/// paper's workload sweeps: QKV, attention projection, MLP fc1, fc2.
+pub const VIT_BASE_SHAPES: [(&str, usize, usize, usize); 4] = [
+    ("qkv", 197, 768, 2304),
+    ("proj", 197, 768, 768),
+    ("fc1", 197, 768, 3072),
+    ("fc2", 197, 3072, 768),
+];
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tc_standalone_verifies() {
+        let desc = sweep_desc(Strategy::Tc, PackSpec::guarded(6, 6).unwrap(), 64, 128, 64);
+        let report = verify_desc(&desc).expect("tc proof");
+        assert_eq!(report.programs.len(), 1);
+        assert!(report.programs[0].hazard.barrier_intervals > 1);
+        assert!(report.programs[0].hazard.smem_writes > 0);
+    }
+
+    #[test]
+    fn packed_int6_verifies_with_tight_occupancy() {
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let (prog, ctx) = packed_context(197, 768, 768, spec);
+        let (proof, violations) = verify_with_context(&prog, &ctx);
+        assert_eq!(violations, vec![], "packed int6 must prove clean");
+        // 16 MACs x 63*63 = 63504 of 65535: the proof must be sharp,
+        // not a loose over-approximation.
+        assert_eq!(proof.lane.max_lane_occupancy, 16 * 63 * 63);
+        assert_eq!(proof.lane.lane_capacity, 65535);
+    }
+
+    #[test]
+    fn vitbit_fused_desc_verifies_all_roles() {
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let desc = sweep_desc(Strategy::VitBit, spec, 197, 768, 2304);
+        let report = verify_desc(&desc).expect("vitbit proof");
+        assert!(report.programs.len() >= 2, "tc + int roles at minimum");
+    }
+
+    #[test]
+    fn verify_program_matches_desc_roles() {
+        let spec = PackSpec::guarded(4, 4).unwrap();
+        let desc = sweep_desc(Strategy::VitBit, spec, 197, 768, 768);
+        for (prog, _) in contexts_for_desc(&desc) {
+            verify_program(&prog, &desc).expect("role proof");
+        }
+    }
+
+    #[test]
+    fn deep_k_paper_policy_is_rejected() {
+        let spec = PackSpec::paper(6).unwrap();
+        let (prog, ctx) = packed_context(64, 768, 256, spec);
+        let (_, violations) = verify_with_context(&prog, &ctx);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::LaneOverflow { .. })),
+            "paper policy at K=768 must overflow a lane, got {violations:?}"
+        );
+    }
+
+    #[test]
+    fn engine_verifier_round_trips() {
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let good = sweep_desc(Strategy::VitBit, spec, 197, 768, 768);
+        let verifier = engine_verifier();
+        assert!(verifier.check(&good).is_ok());
+        let bad = sweep_desc(Strategy::VitBit, PackSpec::paper(6).unwrap(), 197, 768, 768);
+        let err = verifier.check(&bad).expect_err("paper at deep K");
+        assert!(!err.is_empty());
+    }
+}

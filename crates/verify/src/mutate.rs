@@ -1,0 +1,286 @@
+//! Mutation self-validation: seed known violations into known-good
+//! programs and assert the analyzer flags every mutant. A static checker
+//! that only ever prints green has no evidence behind it; this module is
+//! the evidence.
+//!
+//! Five mutation classes, each attacking one invariant the verifier
+//! claims to prove:
+//!
+//! * **guard-mask-widen** — widen a lane-extraction `And` mask by one
+//!   bit, letting a guard bit of the neighbor lane leak through;
+//! * **lane-widen** — claim one extra bit of operand width against the
+//!   same lane layout (the Eq. 1 budget no longer holds);
+//! * **barrier-drop** — replace one `Bar` with `Nop`, merging two
+//!   staging intervals into one racy interval;
+//! * **deep-k** — run the paper (no-spill) policy at a K beyond its
+//!   safe accumulation depth;
+//! * **spill-drop** — delete one accumulator-clear after a lane spill,
+//!   so the next chunk accumulates on top of a full lane.
+//!
+//! Mutations replace instructions **in place** (never insert or
+//! delete): branch targets are absolute indices and must stay valid.
+
+use crate::{packed_context, tc_context_for_mutation, verify_with_context, Violation};
+use vitbit_core::policy::PackSpec;
+use vitbit_sim::{Op, Program, Src};
+
+/// Outcome of one mutant.
+#[derive(Debug, Clone)]
+pub struct MutantResult {
+    /// Which program / instruction was perturbed.
+    pub description: String,
+    /// Whether the analyzer flagged the mutant (it must).
+    pub flagged: bool,
+    /// The violations raised (empty iff not flagged).
+    pub violations: Vec<Violation>,
+}
+
+/// Aggregated outcome of one mutation class.
+#[derive(Debug, Clone)]
+pub struct ClassResult {
+    /// Class name (kebab-case, stable for machine consumption).
+    pub class: String,
+    /// All mutants of this class.
+    pub mutants: Vec<MutantResult>,
+}
+
+impl ClassResult {
+    /// Mutants the analyzer flagged.
+    pub fn flagged(&self) -> usize {
+        self.mutants.iter().filter(|m| m.flagged).count()
+    }
+
+    /// True when every mutant of the class was flagged.
+    pub fn all_flagged(&self) -> bool {
+        self.mutants.iter().all(|m| m.flagged)
+    }
+}
+
+/// The full mutation-suite report.
+#[derive(Debug, Clone)]
+pub struct MutationReport {
+    /// Per-class results.
+    pub classes: Vec<ClassResult>,
+}
+
+impl MutationReport {
+    /// Total mutants across classes.
+    pub fn total(&self) -> usize {
+        self.classes.iter().map(|c| c.mutants.len()).sum()
+    }
+
+    /// Total flagged mutants.
+    pub fn flagged(&self) -> usize {
+        self.classes.iter().map(ClassResult::flagged).sum()
+    }
+
+    /// True when the analyzer caught 100% of the seeded violations.
+    pub fn all_flagged(&self) -> bool {
+        self.classes.iter().all(ClassResult::all_flagged)
+    }
+}
+
+fn int6() -> PackSpec {
+    PackSpec::guarded(6, 6).expect("int6 guarded spec")
+}
+
+/// A mutable copy of a program with one op replaced.
+fn with_op_replaced(program: &Program, pc: usize, op: Op) -> Program {
+    let mut p = program.clone();
+    p.ops[pc] = op;
+    p
+}
+
+fn check_flags(
+    program: &Program,
+    ctx: &crate::ProgramContext,
+    description: String,
+) -> MutantResult {
+    let (_, violations) = verify_with_context(program, ctx);
+    MutantResult {
+        description,
+        flagged: !violations.is_empty(),
+        violations,
+    }
+}
+
+/// Widen every lane-extraction mask in the packed kernel by one bit.
+fn guard_mask_widen() -> ClassResult {
+    let spec = int6();
+    let (prog, ctx) = packed_context(197, 768, 768, spec);
+    let mask = spec.lane_mask();
+    let mut mutants = Vec::new();
+    for (pc, op) in prog.ops.iter().enumerate() {
+        if let Op::And {
+            d,
+            a,
+            b: Src::Imm(m),
+        } = op
+        {
+            if *m == mask {
+                let widened = (mask << 1) | 1;
+                let mutant = with_op_replaced(
+                    &prog,
+                    pc,
+                    Op::And {
+                        d: *d,
+                        a: *a,
+                        b: Src::Imm(widened),
+                    },
+                );
+                mutants.push(check_flags(
+                    &mutant,
+                    &ctx,
+                    format!(
+                        "{}: widen And mask {mask:#x} -> {widened:#x} at pc {pc}",
+                        prog.name
+                    ),
+                ));
+            }
+        }
+    }
+    ClassResult {
+        class: "guard-mask-widen".into(),
+        mutants,
+    }
+}
+
+/// Verify the int6 program against a claim of 7-bit operands: same lane
+/// layout, one bit less guard headroom than the accumulation needs.
+fn lane_widen() -> ClassResult {
+    let spec = int6();
+    let (prog, ctx) = packed_context(197, 768, 768, spec);
+    let mut wide = spec;
+    wide.bitwidth += 1;
+    wide.weight_bitwidth += 1;
+    let mut wide_ctx = ctx.clone();
+    wide_ctx.spec = Some(wide);
+    let mutant = check_flags(
+        &prog,
+        &wide_ctx,
+        format!(
+            "{}: widen operands to int{} under the int{} lane layout",
+            prog.name, wide.bitwidth, spec.bitwidth
+        ),
+    );
+    ClassResult {
+        class: "lane-widen".into(),
+        mutants: vec![mutant],
+    }
+}
+
+/// Drop each barrier of the Tensor-core kernel in turn.
+fn barrier_drop() -> ClassResult {
+    let (prog, ctx) = tc_context_for_mutation(768);
+    let mut mutants = Vec::new();
+    for (pc, op) in prog.ops.iter().enumerate() {
+        if matches!(op, Op::Bar) {
+            let mutant = with_op_replaced(&prog, pc, Op::Nop);
+            mutants.push(check_flags(
+                &mutant,
+                &ctx,
+                format!("{}: drop barrier at pc {pc}", prog.name),
+            ));
+        }
+    }
+    ClassResult {
+        class: "barrier-drop".into(),
+        mutants,
+    }
+}
+
+/// Run the paper (no-spill) policy past its safe accumulation depth.
+fn deep_k() -> ClassResult {
+    let spec = PackSpec::paper(6).expect("paper int6 spec");
+    let (prog, ctx) = packed_context(64, 768, 256, spec);
+    debug_assert!(ctx.kmax > spec.max_safe_k());
+    let mutant = check_flags(
+        &prog,
+        &ctx,
+        format!(
+            "{}: paper policy at K={} past safe depth {}",
+            prog.name,
+            ctx.kmax,
+            spec.max_safe_k()
+        ),
+    );
+    ClassResult {
+        class: "deep-k".into(),
+        mutants: vec![mutant],
+    }
+}
+
+/// Delete the accumulator clear that follows a lane spill.
+fn spill_drop() -> ClassResult {
+    let spec = int6();
+    let (prog, ctx) = packed_context(197, 768, 768, spec);
+    // Spill epilogues extract lanes with `and tmp, acc, lane_mask` and
+    // then clear the accumulator with `mov acc, 0`. The lane mask never
+    // appears before the first spill, so the first masked And anchors
+    // past every prologue/task-setup `mov _, 0`.
+    let mask = spec.lane_mask();
+    let first_extract = prog
+        .ops
+        .iter()
+        .position(|op| matches!(op, Op::And { b: Src::Imm(m), .. } if *m == mask))
+        .unwrap_or(0);
+    let mut mutants = Vec::new();
+    for (pc, op) in prog.ops.iter().enumerate() {
+        if pc > first_extract {
+            if let Op::Mov { s: Src::Imm(0), .. } = op {
+                let mutant = with_op_replaced(&prog, pc, Op::Nop);
+                mutants.push(check_flags(
+                    &mutant,
+                    &ctx,
+                    format!("{}: drop spill clear at pc {pc}", prog.name),
+                ));
+                // One representative per program keeps the suite fast;
+                // every spill clear is structurally identical.
+                break;
+            }
+        }
+    }
+    ClassResult {
+        class: "spill-drop".into(),
+        mutants,
+    }
+}
+
+/// Runs every mutation class.
+pub fn run_mutation_suite() -> MutationReport {
+    MutationReport {
+        classes: vec![
+            guard_mask_widen(),
+            lane_widen(),
+            barrier_drop(),
+            deep_k(),
+            spill_drop(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_mutant_is_flagged() {
+        let report = run_mutation_suite();
+        assert!(report.total() >= 5, "suite must seed real mutants");
+        for class in &report.classes {
+            assert!(
+                !class.mutants.is_empty(),
+                "class {} seeded no mutants",
+                class.class
+            );
+            for m in &class.mutants {
+                assert!(
+                    m.flagged,
+                    "undetected mutant [{}]: {}",
+                    class.class, m.description
+                );
+            }
+        }
+        assert!(report.all_flagged());
+    }
+}

@@ -157,7 +157,11 @@ fn exec_site(
     match engine.execute(gpu, site.id, a, b) {
         Ok(out) => out,
         Err(_) => {
-            let id = engine.prepare(site.desc);
+            // A desc that was admitted once re-verifies identically: the
+            // verifier is a pure function of the desc.
+            let id = engine
+                .prepare(site.desc)
+                .expect("re-prepare of a previously admitted desc");
             engine
                 .execute(gpu, id, a, b)
                 .expect("freshly prepared plan with desc-derived shapes")
@@ -184,7 +188,9 @@ impl VitPlan {
     /// each plan.
     ///
     /// # Panics
-    /// Panics when `exec_cfg.bitwidth` disagrees with the model's.
+    /// Panics when `exec_cfg.bitwidth` disagrees with the model's, or
+    /// when `exec_cfg.verify_plans` is set and a site's plan fails
+    /// static verification (an unverifiable pipeline must not be built).
     pub fn build(
         engine: &mut Engine,
         gpu: &Gpu,
@@ -210,7 +216,7 @@ impl VitPlan {
             .map(|b| {
                 let gb = b + model.block_offset;
                 let mut site = |desc: GemmDesc| Site {
-                    id: engine.prepare(desc),
+                    id: engine.prepare(desc).expect("site plan must verify"),
                     desc,
                 };
                 BlockPlans {

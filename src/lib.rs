@@ -31,6 +31,10 @@
 //!   end on the simulator under any strategy.
 //! * [`tensor`] ([`vitbit_tensor`]) — matrices, quantization, reference
 //!   GEMMs.
+//! * [`verify`] ([`vitbit_verify`]) — static lane-safety and
+//!   shared-memory hazard verification over the emitted kernel
+//!   programs, with a mutation-mode self-test and the
+//!   `verify-kernels` sweep CLI.
 //!
 //! ## Quickstart
 //!
@@ -56,4 +60,5 @@ pub use vitbit_kernels as kernels;
 pub use vitbit_plan as plan;
 pub use vitbit_sim as sim;
 pub use vitbit_tensor as tensor;
+pub use vitbit_verify as verify;
 pub use vitbit_vit as vit;

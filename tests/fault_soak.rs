@@ -55,7 +55,7 @@ fn soak_cell(
     cfg.adaptive = false;
     cfg.abft = true;
     let desc = GemmDesc::from_exec(strategy, &cfg, &gpu, m, k, n, Some(seed));
-    let id = engine.prepare(desc);
+    let id = engine.prepare(desc).expect("prepare");
     for i in 0..executes {
         let out = engine
             .execute(&mut gpu, id, &a, &b)
@@ -109,7 +109,7 @@ fn faults_off_config_is_inert() {
         let mut ec = ExecConfig::guarded(6);
         ec.adaptive = false;
         let desc = GemmDesc::from_exec(Strategy::VitBit, &ec, &gpu, m, k, n, Some(1));
-        let id = engine.prepare(desc);
+        let id = engine.prepare(desc).expect("prepare");
         engine.execute(&mut gpu, id, &a, &b).expect("execute")
     };
     let base = run(OrinConfig::test_small());

@@ -69,7 +69,7 @@ fn plan_reuse_reproduces_cycles_with_zero_build_work() {
         let mut engine = Engine::new();
         let mut desc = GemmDesc::from_exec(s, &cfg, &g1, m, k, n, Some(1));
         desc.adaptive = false;
-        let id = engine.prepare(desc);
+        let id = engine.prepare(desc).expect("prepare");
         let cold = engine.execute(&mut g1, id, &a, &b).expect("execute");
         let packs_after_cold = engine.weights().misses();
         let hot = engine.execute(&mut g1, id, &a, &b).expect("execute");
