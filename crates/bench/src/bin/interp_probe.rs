@@ -1,0 +1,67 @@
+//! Issue-mix probe for the interp bench family (debug aid).
+//!
+//! Launches the acceptance workload (full-occupancy 197x768x768 TC GEMM,
+//! the `gemm_tc_linear` family of `benches/sim_interp.rs`) once per rep
+//! under the default interpreter and prints wall time plus the invariant
+//! counters (cycles, per-pipe issue/busy, fast-forward skips). Useful when
+//! profiling interpreter changes: `PROBE_REPS=30 cargo run --release -p
+//! vitbit-bench --bin interp_probe` gives a single-family loop that perf
+//! tools can attach to, without the bench harness's paired reference runs.
+use vitbit_kernels::gemm::cuda::M_PAD;
+use vitbit_kernels::gemm::tc::{
+    tc_args, tc_gemm_program, tc_smem_bytes, tile_a_for_tc, TC_K_UNIT, TC_N_TILE,
+};
+use vitbit_kernels::shapes::{pad_matrix, pad_to};
+use vitbit_sim::{Gpu, Kernel, OrinConfig};
+use vitbit_tensor::gen;
+
+fn main() {
+    let (m, k, n) = (197usize, 768, 768);
+    let mut gpu = Gpu::new(OrinConfig::jetson_agx_orin(), 32 << 20);
+    let a = gen::uniform_i8(m, k, -32, 31, 5);
+    let b = gen::uniform_i8(k, n, -32, 31, 6);
+    let mp = pad_to(m, M_PAD);
+    let np = pad_to(n, TC_N_TILE);
+    let kp = pad_to(k, TC_K_UNIT);
+    let a_pad = pad_matrix(&a, mp, kp + 2 * TC_K_UNIT);
+    let b_pad = pad_matrix(&b, kp + 2 * TC_K_UNIT, np);
+    let a_ptr = gpu.mem.upload_i8(&tile_a_for_tc(&a_pad)).addr;
+    let b_ptr = gpu.mem.upload_i8(b_pad.as_slice()).addr;
+    let c_dev = gpu.mem.alloc((mp * np * 4) as u32);
+    let blocks_x = (np / TC_N_TILE) as u32;
+    let blocks = blocks_x * (mp / 32) as u32;
+    let kernel = Kernel::single(
+        "gemm_tc",
+        tc_gemm_program(2, 0).into_arc(),
+        blocks,
+        8,
+        tc_smem_bytes(2),
+        tc_args(
+            a_ptr,
+            b_ptr,
+            c_dev.addr,
+            blocks_x,
+            kp as u32,
+            np as u32,
+            (mp * 16) as u32,
+        ),
+    );
+    let reps: usize = std::env::var("PROBE_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let t0 = std::time::Instant::now();
+    let mut s = gpu.launch(&kernel).expect("launch");
+    for _ in 1..reps {
+        gpu.cold_caches();
+        s = gpu.launch(&kernel).expect("launch");
+    }
+    println!("wall {:?} ({} reps)", t0.elapsed() / reps as u32, reps);
+    println!("cycles {} blocks {}", s.cycles, s.blocks);
+    println!("issued {:?} total {}", s.issued, s.issued.total());
+    println!("busy {:?}", s.busy);
+    println!(
+        "skipped {} jumps {}",
+        s.skipped_cycles, s.fast_forward_jumps
+    );
+}

@@ -32,6 +32,28 @@ pub enum SimMode {
     Parallel,
 }
 
+/// Which interpreter drives the per-warp issue checks inside each SM.
+///
+/// Both produce bit-identical [`crate::stats::KernelStats`], memory
+/// contents and fault-decision streams — the micro-op path only changes
+/// how fast the host decides that a warp cannot issue. The reference
+/// path is kept as the in-process differential oracle
+/// (`tests/interp_equivalence.rs`) and as the baseline side of the
+/// `sim_interp` bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InterpMode {
+    /// Decoded micro-op fast path (the default): per-program [`MicroOp`]
+    /// cache, per-slot issue gates and pipe mirrors in flat arrays
+    /// (see DESIGN.md §11).
+    ///
+    /// [`MicroOp`]: crate::decoded::MicroOp
+    #[default]
+    Micro,
+    /// The original `Op`-enum scanning interpreter: re-derives operand
+    /// sets via [`crate::exec`] helpers on every issue attempt.
+    Reference,
+}
+
 /// Full machine description used by the simulator.
 ///
 /// Defaults model the 32 GB Jetson AGX Orin of the paper's Table 2:
@@ -112,6 +134,12 @@ pub struct OrinConfig {
     /// environment variable (`0` disables), so CI can run entire suites
     /// against the stepping oracle without code changes.
     pub fast_forward: bool,
+    /// Which warp interpreter the SMs run (default: the decoded micro-op
+    /// fast path). [`OrinConfig::jetson_agx_orin`] honours the
+    /// `VITBIT_INTERP` environment variable (`ref`, `reference` or `0`
+    /// select [`InterpMode::Reference`]) so whole suites can run against
+    /// the scanning oracle without code changes.
+    pub interp: InterpMode,
     /// Seeded deterministic fault injection (default: disabled). With the
     /// layer disabled every stat and memory byte is identical to a build
     /// without it; see [`crate::fault::FaultConfig`].
@@ -153,6 +181,10 @@ impl OrinConfig {
             sim_mode: SimMode::default(),
             sim_threads: None,
             fast_forward: std::env::var_os("VITBIT_FAST_FORWARD").is_none_or(|v| v != "0"),
+            interp: match std::env::var_os("VITBIT_INTERP") {
+                Some(v) if v == "ref" || v == "reference" || v == "0" => InterpMode::Reference,
+                _ => InterpMode::Micro,
+            },
             fault: crate::fault::FaultConfig::disabled(),
         }
     }

@@ -1,0 +1,507 @@
+//! Decoded micro-op cache and basic-block structure.
+//!
+//! Every static [`Op`] of a [`crate::program::Program`] is decoded exactly
+//! once into a flat, branch-light [`MicroOp`]: register indices, the pipe
+//! class, predicate operands and the arithmetic-op weight are pre-resolved
+//! so the per-cycle issue path in [`crate::sm`] never re-matches on the
+//! `Op` enum for a warp that cannot issue anyway. The stream is also split
+//! into straight-line [`BasicBlock`]s (boundaries at branch targets,
+//! branches, barriers and exits) with per-instruction dependency levels —
+//! the VLIW-style grouping that the planned static scheduler will consume
+//! (see DESIGN.md §11).
+//!
+//! Invariant the whole module hangs on: the register/predicate constraint
+//! *set* of a `MicroOp` (sources ∪ destination range ∪ predicates) equals
+//! the set the reference interpreter derives from [`crate::exec::src_regs`]
+//! and friends — the decode below calls those very helpers, so the two
+//! interpreters cannot drift. Sources that fall inside the destination
+//! range are dropped (the WAW check already covers them), which is what
+//! bounds `srcs` at 3 entries even for `Mma` (its accumulator reads are
+//! subsumed by the accumulator destination range).
+
+use crate::exec;
+use crate::isa::{Op, PipeClass};
+
+/// Sentinel for "no predicate operand" in [`MicroOp`].
+pub const NO_PRED: u8 = u8::MAX;
+
+/// Pipe encoding used by [`MicroOp::pipe`]: indices 0–4 match the SM's
+/// `pipe_free` array, [`CTRL_PIPE`] marks control instructions.
+pub const CTRL_PIPE: u8 = 5;
+
+/// One pre-decoded instruction: everything the issue path needs, flat.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroOp {
+    /// Pipe index (0 int, 1 fp, 2 tensor, 3 sfu, 4 lsu, [`CTRL_PIPE`]).
+    pub pipe: u8,
+    /// Number of live entries in [`MicroOp::srcs`].
+    pub n_src: u8,
+    /// Source registers outside the destination range (scoreboard reads).
+    pub srcs: [u8; 3],
+    /// First destination register (valid when `dest_count > 0`).
+    pub dest_first: u8,
+    /// Destination register count (0 = no register destination).
+    pub dest_count: u8,
+    /// Source predicate, or [`NO_PRED`].
+    pub src_pred: u8,
+    /// Destination predicate, or [`NO_PRED`].
+    pub dest_pred: u8,
+    /// Arithmetic operations charged on issue ([`Op::arith_ops`]).
+    pub arith: u32,
+    /// Index of the owning [`BasicBlock`].
+    pub block: u32,
+    /// Dependency level within the block: 0 for instructions with no
+    /// register/predicate producer earlier in the same block, else one
+    /// more than the deepest such producer.
+    pub level: u8,
+}
+
+/// Why a basic block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockEnd {
+    /// The next instruction is a branch target (a label): control merges.
+    FallThrough,
+    /// The block ends in a (conditional) branch.
+    Branch,
+    /// The block ends at a barrier: the warp parks.
+    Barrier,
+    /// The block ends in a warp exit.
+    Exit,
+}
+
+/// A maximal straight-line run of micro-ops.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// First instruction index (inclusive).
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+    /// Dependency depth: `1 + max(level)` over the block's micro-ops —
+    /// the minimum issue-slot count a static scheduler needs for it.
+    pub depth: u32,
+    /// Terminator kind.
+    pub end_kind: BlockEnd,
+}
+
+/// The decoded form of a program, built once per [`crate::program::Program`].
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    /// One micro-op per [`Op`], same indexing as `Program::ops`.
+    pub mops: Vec<MicroOp>,
+    /// Straight-line blocks covering `mops` exactly, in program order.
+    pub blocks: Vec<BasicBlock>,
+}
+
+/// Maps a [`PipeClass`] to the [`MicroOp::pipe`] encoding.
+#[inline]
+pub fn pipe_code(p: PipeClass) -> u8 {
+    match p {
+        PipeClass::Int => 0,
+        PipeClass::Fp => 1,
+        PipeClass::Tensor => 2,
+        PipeClass::Sfu => 3,
+        PipeClass::Lsu => 4,
+        PipeClass::Ctrl => CTRL_PIPE,
+    }
+}
+
+/// Inverse of [`pipe_code`] for pipe indices 0–4; anything else is Ctrl.
+#[inline]
+pub fn pipe_class(code: u8) -> PipeClass {
+    match code {
+        0 => PipeClass::Int,
+        1 => PipeClass::Fp,
+        2 => PipeClass::Tensor,
+        3 => PipeClass::Sfu,
+        4 => PipeClass::Lsu,
+        _ => PipeClass::Ctrl,
+    }
+}
+
+impl DecodedProgram {
+    /// Decodes `ops` (a finished program: branch targets resolved).
+    pub fn decode(ops: &[Op]) -> Self {
+        let mut mops: Vec<MicroOp> = Vec::with_capacity(ops.len());
+        let mut scratch: Vec<u8> = Vec::with_capacity(16);
+        for op in ops {
+            let (dest_first, dest_count) = exec::dest_regs(op).unwrap_or((0, 0));
+            exec::src_regs(op, &mut scratch);
+            let mut srcs = [0u8; 3];
+            let mut n_src = 0u8;
+            for &r in &scratch {
+                // Registers in the destination range are already gated by
+                // the WAW check on `(dest_first, dest_count)`.
+                let in_dest = dest_count > 0
+                    && r >= dest_first
+                    && u16::from(r) < u16::from(dest_first) + u16::from(dest_count);
+                if in_dest {
+                    continue;
+                }
+                assert!(
+                    (n_src as usize) < srcs.len(),
+                    "op with more than 3 independent source registers"
+                );
+                srcs[n_src as usize] = r;
+                n_src += 1;
+            }
+            exec::src_preds(op, &mut scratch);
+            assert!(scratch.len() <= 1, "op with more than one source predicate");
+            let src_pred = scratch.first().copied().unwrap_or(NO_PRED);
+            let dest_pred = exec::dest_pred(op).unwrap_or(NO_PRED);
+            mops.push(MicroOp {
+                pipe: pipe_code(op.pipe()),
+                n_src,
+                srcs,
+                dest_first,
+                dest_count,
+                src_pred,
+                dest_pred,
+                arith: u32::try_from(op.arith_ops()).unwrap_or(u32::MAX),
+                block: 0,
+                level: 0,
+            });
+        }
+        let blocks = split_blocks(ops, &mut mops);
+        DecodedProgram { mops, blocks }
+    }
+}
+
+/// Splits the stream into basic blocks and fills per-block metadata
+/// (`MicroOp::block`, `MicroOp::level`, `BasicBlock::depth`).
+fn split_blocks(ops: &[Op], mops: &mut [MicroOp]) -> Vec<BasicBlock> {
+    // Leaders: instruction 0, every branch target, and the instruction
+    // after each terminator (branch, barrier, exit).
+    let mut leader = vec![false; ops.len()];
+    if !ops.is_empty() {
+        leader[0] = true;
+    }
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Bra { target, .. } => {
+                leader[*target] = true;
+                if i + 1 < ops.len() {
+                    leader[i + 1] = true;
+                }
+            }
+            Op::Bar | Op::Exit if i + 1 < ops.len() => {
+                leader[i + 1] = true;
+            }
+            _ => {}
+        }
+    }
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    while start < ops.len() {
+        let mut end = start + 1;
+        while end < ops.len() && !leader[end] {
+            end += 1;
+        }
+        let end_kind = match &ops[end - 1] {
+            Op::Bra { .. } => BlockEnd::Branch,
+            Op::Bar => BlockEnd::Barrier,
+            Op::Exit => BlockEnd::Exit,
+            _ => BlockEnd::FallThrough,
+        };
+        let bidx = blocks.len() as u32;
+        let depth = assign_levels(&mut mops[start..end], bidx);
+        blocks.push(BasicBlock {
+            start: start as u32,
+            end: end as u32,
+            depth,
+            end_kind,
+        });
+        start = end;
+    }
+    blocks
+}
+
+/// Assigns dependency levels within one straight-line block (the VLIW
+/// grouping idiom): an instruction's level is one more than the deepest
+/// earlier in-block writer of any register or predicate it touches (reads,
+/// WAW destinations, predicates). Returns the block depth.
+fn assign_levels(mops: &mut [MicroOp], block: u32) -> u32 {
+    // Level of the last in-block writer, +1 so 0 means "no writer yet".
+    let mut reg_writer = [0u16; 256];
+    let mut pred_writer = [0u16; 256];
+    let mut depth = 0u32;
+    for m in mops.iter_mut() {
+        m.block = block;
+        let mut lvl = 0u16;
+        for i in 0..m.n_src as usize {
+            lvl = lvl.max(reg_writer[m.srcs[i] as usize]);
+        }
+        for r in u16::from(m.dest_first)..u16::from(m.dest_first) + u16::from(m.dest_count) {
+            lvl = lvl.max(reg_writer[r as usize]);
+        }
+        if m.src_pred != NO_PRED {
+            lvl = lvl.max(pred_writer[m.src_pred as usize]);
+        }
+        if m.dest_pred != NO_PRED {
+            lvl = lvl.max(pred_writer[m.dest_pred as usize]);
+        }
+        m.level = u8::try_from(lvl).unwrap_or(u8::MAX);
+        for r in u16::from(m.dest_first)..u16::from(m.dest_first) + u16::from(m.dest_count) {
+            reg_writer[r as usize] = lvl + 1;
+        }
+        if m.dest_pred != NO_PRED {
+            pred_writer[m.dest_pred as usize] = lvl + 1;
+        }
+        depth = depth.max(u32::from(lvl) + 1);
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{ICmp, MemWidth, MmaKind, Pred, Reg, Src};
+    use crate::program::ProgramBuilder;
+    use std::collections::BTreeSet;
+
+    /// The decoded constraint set must equal the reference interpreter's:
+    /// sources ∪ destination range for registers, exact predicates.
+    fn assert_constraints_match(op: &Op, m: &MicroOp) {
+        let mut scratch = Vec::new();
+        exec::src_regs(op, &mut scratch);
+        let mut reference: BTreeSet<u8> = scratch.iter().copied().collect();
+        if let Some((first, count)) = exec::dest_regs(op) {
+            for r in first..first + count {
+                reference.insert(r);
+            }
+        }
+        let mut decoded: BTreeSet<u8> = (0..m.n_src as usize).map(|i| m.srcs[i]).collect();
+        for r in m.dest_first..m.dest_first + m.dest_count {
+            decoded.insert(r);
+        }
+        assert_eq!(decoded, reference, "register constraint set for {op:?}");
+        exec::src_preds(op, &mut scratch);
+        assert_eq!(
+            scratch.first().copied(),
+            (m.src_pred != NO_PRED).then_some(m.src_pred),
+            "source predicate for {op:?}"
+        );
+        assert_eq!(
+            exec::dest_pred(op),
+            (m.dest_pred != NO_PRED).then_some(m.dest_pred),
+            "dest predicate for {op:?}"
+        );
+        assert_eq!(m.pipe, pipe_code(op.pipe()), "pipe for {op:?}");
+        assert_eq!(u64::from(m.arith), op.arith_ops(), "arith for {op:?}");
+    }
+
+    /// One op of every interesting shape: plain ALU, 3-source, predicate
+    /// producers/consumers, memory, MMA (multi-reg dest subsuming reads),
+    /// control.
+    fn op_zoo() -> Vec<Op> {
+        vec![
+            Op::IAdd {
+                d: Reg(0),
+                a: Reg(0).into(),
+                b: Reg(1).into(),
+            },
+            Op::IMad {
+                d: Reg(3),
+                a: Reg(4).into(),
+                b: Reg(5).into(),
+                c: Reg(6).into(),
+            },
+            Op::FFma {
+                d: Reg(2),
+                a: Reg(2).into(),
+                b: Src::imm_f32(1.5),
+                c: Reg(7).into(),
+            },
+            Op::ISetP {
+                p: Pred(1),
+                a: Reg(3).into(),
+                b: Src::Imm(9),
+                cmp: ICmp::Lt,
+            },
+            Op::Sel {
+                d: Reg(8),
+                p: Pred(1),
+                a: Reg(0).into(),
+                b: Src::Imm(0),
+            },
+            Op::Bra {
+                target: 0,
+                pred: Some(Pred(0)),
+                sense: true,
+            },
+            Op::Ldg {
+                d: Reg(9),
+                addr: Reg(1),
+                off: 4,
+                w: MemWidth::B32,
+                guard: Some(Pred(2)),
+                stream: false,
+            },
+            Op::LdgV4 {
+                d: Reg(10),
+                addr: Reg(2),
+                off: 0,
+                stream: true,
+            },
+            Op::Stg {
+                addr: Reg(1),
+                off: 0,
+                v: Reg(3).into(),
+                w: MemWidth::B8U,
+                guard: None,
+                stream: true,
+            },
+            Op::Lds {
+                d: Reg(4),
+                addr: Reg(5),
+                off: 8,
+                w: MemWidth::B32,
+            },
+            Op::Sts {
+                addr: Reg(5),
+                off: 0,
+                v: Reg(4).into(),
+                w: MemWidth::B32,
+            },
+            Op::Mma {
+                kind: MmaKind::I8_16x16x16,
+                acc: Reg(16),
+                a_addr: Reg(1),
+                b_addr: Reg(2),
+            },
+            Op::Shfl {
+                d: Reg(11),
+                a: Reg(11),
+                xor_mask: 16,
+            },
+            Op::Rcp {
+                d: Reg(12),
+                a: Reg(13).into(),
+            },
+            Op::Ldc { d: Reg(14), idx: 0 },
+            Op::Bar,
+            Op::Nop,
+            Op::Exit,
+        ]
+    }
+
+    #[test]
+    fn micro_op_metadata_matches_reference_helpers() {
+        let ops = op_zoo();
+        let dec = DecodedProgram::decode(&ops);
+        assert_eq!(dec.mops.len(), ops.len());
+        for (op, m) in ops.iter().zip(&dec.mops) {
+            assert_constraints_match(op, m);
+        }
+    }
+
+    #[test]
+    fn mma_sources_stay_within_three_slots() {
+        let ops = vec![Op::Mma {
+            kind: MmaKind::I8_16x16x16,
+            acc: Reg(16),
+            a_addr: Reg(1),
+            b_addr: Reg(2),
+        }];
+        let dec = DecodedProgram::decode(&ops);
+        let m = &dec.mops[0];
+        assert_eq!(m.n_src, 2, "a_addr + b_addr; acc reads subsumed by dest");
+        assert_eq!((m.dest_first, m.dest_count), (16, 8));
+    }
+
+    #[test]
+    fn blocks_split_at_labels_branches_and_barriers() {
+        let mut p = ProgramBuilder::new("t");
+        let i = p.alloc();
+        let pr = p.alloc_pred();
+        p.mov(i, Src::Imm(0)); // block 0 start
+        let top = p.label_here("top"); // label => new leader
+        p.iadd(i, i.into(), Src::Imm(1));
+        p.isetp(pr, i.into(), Src::Imm(10), ICmp::Lt);
+        p.bra_if(top, pr, true); // branch => block ends
+        p.bar(); // own block, Barrier end
+        p.exit();
+        let prog = p.build();
+        let dec = DecodedProgram::decode(&prog.ops);
+        let kinds: Vec<BlockEnd> = dec.blocks.iter().map(|b| b.end_kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                BlockEnd::FallThrough, // mov | label boundary
+                BlockEnd::Branch,      // iadd, isetp, bra
+                BlockEnd::Barrier,     // bar
+                BlockEnd::Exit,        // exit
+            ]
+        );
+        // Blocks tile the program exactly.
+        let mut at = 0u32;
+        for b in &dec.blocks {
+            assert_eq!(b.start, at);
+            assert!(b.end > b.start);
+            at = b.end;
+        }
+        assert_eq!(at as usize, prog.ops.len());
+        for (i, m) in dec.mops.iter().enumerate() {
+            let b = &dec.blocks[m.block as usize];
+            assert!((b.start as usize..b.end as usize).contains(&i));
+        }
+    }
+
+    #[test]
+    fn dependency_levels_follow_raw_chains() {
+        // r0 = imm; r1 = r0 + 1; r2 = r1 * r0; r3 = imm (independent).
+        let r = |n| Reg(n);
+        let ops = vec![
+            Op::Mov {
+                d: r(0),
+                s: Src::Imm(1),
+            },
+            Op::IAdd {
+                d: r(1),
+                a: r(0).into(),
+                b: Src::Imm(1),
+            },
+            Op::IMul {
+                d: r(2),
+                a: r(1).into(),
+                b: r(0).into(),
+            },
+            Op::Mov {
+                d: r(3),
+                s: Src::Imm(7),
+            },
+            Op::Exit,
+        ];
+        let dec = DecodedProgram::decode(&ops);
+        let levels: Vec<u8> = dec.mops.iter().map(|m| m.level).collect();
+        assert_eq!(levels, vec![0, 1, 2, 0, 0]);
+        assert_eq!(dec.blocks[0].depth, 3);
+    }
+
+    #[test]
+    fn waw_and_predicate_dependencies_count() {
+        let ops = vec![
+            Op::ISetP {
+                p: Pred(0),
+                a: Src::Imm(1),
+                b: Src::Imm(2),
+                cmp: ICmp::Lt,
+            },
+            // Reads pred 0 -> level 1.
+            Op::Sel {
+                d: Reg(0),
+                p: Pred(0),
+                a: Src::Imm(1),
+                b: Src::Imm(0),
+            },
+            // WAW on r0 -> level 2.
+            Op::Mov {
+                d: Reg(0),
+                s: Src::Imm(3),
+            },
+            Op::Exit,
+        ];
+        let dec = DecodedProgram::decode(&ops);
+        let levels: Vec<u8> = dec.mops.iter().map(|m| m.level).collect();
+        assert_eq!(levels, vec![0, 1, 2, 0]);
+    }
+}

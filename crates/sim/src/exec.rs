@@ -21,7 +21,9 @@ pub enum Next {
     Barrier,
 }
 
-/// Side-effect summary the timing model needs.
+/// Side-effect summary the timing model needs. One instance lives on each
+/// SM and is reused across issues ([`ExecEffects::reset`]), so the line
+/// vector's allocation is paid once per SM, not once per instruction.
 #[derive(Debug, Default)]
 pub struct ExecEffects {
     /// Distinct 128-B global lines touched (loads or stores).
@@ -32,6 +34,17 @@ pub struct ExecEffects {
     pub shared_access: bool,
     /// Whether a global load carried the cache-streaming hint.
     pub stream: bool,
+}
+
+impl ExecEffects {
+    /// Clears the summary for the next instruction, keeping the line
+    /// vector's capacity.
+    pub fn reset(&mut self) {
+        self.global_lines.clear();
+        self.is_store = false;
+        self.shared_access = false;
+        self.stream = false;
+    }
 }
 
 /// How [`execute`] reaches device global memory.
@@ -261,6 +274,19 @@ fn f(v: u32) -> f32 {
     f32::from_bits(v)
 }
 
+/// Snapshots a 32-lane operand: one `Src` decode for the whole warp
+/// instead of one per lane (lanes are independent, so reads-before-writes
+/// semantics are preserved even when the destination aliases a source).
+#[inline]
+fn src32(w: &Warp, s: Src) -> [u32; 32] {
+    let mut v = [0u32; 32];
+    match s {
+        Src::R(r) => v.copy_from_slice(&w.regs[r.0 as usize * 32..r.0 as usize * 32 + 32]),
+        Src::Imm(x) => v.fill(x),
+    }
+    v
+}
+
 fn collect_lines(addrs: &[u64], mask: u32, lines: &mut Vec<u64>) {
     lines.clear();
     for (lane, &a) in addrs.iter().enumerate() {
@@ -275,7 +301,8 @@ fn collect_lines(addrs: &[u64], mask: u32, lines: &mut Vec<u64>) {
 }
 
 /// Executes `op` for `warp`; updates registers, shared and global memory.
-/// Returns control flow and side effects for the timing model.
+/// Returns control flow; side effects for the timing model land in `fx`
+/// (a reusable scratch, cleared here).
 ///
 /// # Panics
 /// Panics on divergent branches (this ISA requires warp-uniform control
@@ -287,19 +314,22 @@ pub fn execute(
     smem: &mut [u8],
     gmem: &mut MemCtx<'_>,
     args: &[u32],
-) -> (Next, ExecEffects) {
+    fx: &mut ExecEffects,
+) -> Next {
     use Op::*;
-    let mut fx = ExecEffects::default();
+    fx.reset();
     match op {
         IAdd { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.wrapping_add(y)),
         ISub { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.wrapping_sub(y)),
         IMul { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.wrapping_mul(y)),
         IMad { d, a, b, c } => {
+            let av = src32(w, *a);
+            let bv = src32(w, *b);
+            let cv = src32(w, *c);
+            let db = d.0 as usize * 32;
+            let dst = &mut w.regs[db..db + 32];
             for lane in 0..32 {
-                let v = src_val(w, *a, lane)
-                    .wrapping_mul(src_val(w, *b, lane))
-                    .wrapping_add(src_val(w, *c, lane));
-                w.set_reg(d.0, lane, v);
+                dst[lane] = av[lane].wrapping_mul(bv[lane]).wrapping_add(cv[lane]);
             }
         }
         And { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x & y),
@@ -322,10 +352,12 @@ pub fn execute(
             }
         }
         ISetP { p, a, b, cmp } => {
+            let av = src32(w, *a);
+            let bv = src32(w, *b);
             let mut mask = 0u32;
             for lane in 0..32 {
-                let x = src_val(w, *a, lane);
-                let y = src_val(w, *b, lane);
+                let x = av[lane];
+                let y = bv[lane];
                 let (xs, ys) = (x as i32, y as i32);
                 let t = match cmp {
                     ICmp::Eq => x == y,
@@ -344,20 +376,22 @@ pub fn execute(
             w.preds[p.0 as usize] = mask;
         }
         Mov { d, s } => {
-            for lane in 0..32 {
-                let v = src_val(w, *s, lane);
-                w.set_reg(d.0, lane, v);
-            }
+            let sv = src32(w, *s);
+            let db = d.0 as usize * 32;
+            w.regs[db..db + 32].copy_from_slice(&sv);
         }
         Sel { d, p, a, b } => {
             let mask = w.preds[p.0 as usize];
+            let av = src32(w, *a);
+            let bv = src32(w, *b);
+            let db = d.0 as usize * 32;
+            let dst = &mut w.regs[db..db + 32];
             for lane in 0..32 {
-                let v = if mask & (1 << lane) != 0 {
-                    src_val(w, *a, lane)
+                dst[lane] = if mask & (1 << lane) != 0 {
+                    av[lane]
                 } else {
-                    src_val(w, *b, lane)
+                    bv[lane]
                 };
-                w.set_reg(d.0, lane, v);
             }
         }
         Ldc { d, idx } => {
@@ -429,18 +463,49 @@ pub fn execute(
             fx.stream = *stream;
             let mask = guard.map_or(u32::MAX, |p| w.preds[p.0 as usize]);
             let mut addrs = [0u64; 32];
-            for lane in 0..32 {
-                if mask & (1 << lane) == 0 {
-                    continue;
+            if mask == u32::MAX {
+                // Unguarded loads (the common shape): hoist the width
+                // match and run the lanes over plain slices. Copying the
+                // address lanes first keeps `d == addr` aliasing exact.
+                let ab = addr.0 as usize * 32;
+                let mut a_lane = [0u32; 32];
+                a_lane.copy_from_slice(&w.regs[ab..ab + 32]);
+                for (a, &al) in addrs.iter_mut().zip(a_lane.iter()) {
+                    *a = (al as i64 + i64::from(*off)) as u64;
                 }
-                let a = (w.reg(addr.0, lane) as i64 + i64::from(*off)) as u64;
-                addrs[lane] = a;
-                let v = match width {
-                    MemWidth::B8S => gmem.read_u8(a as u32) as i8 as i32 as u32,
-                    MemWidth::B8U => u32::from(gmem.read_u8(a as u32)),
-                    MemWidth::B32 => gmem.read_u32(a as u32),
-                };
-                w.set_reg(d.0, lane, v);
+                let db = d.0 as usize * 32;
+                let dst = &mut w.regs[db..db + 32];
+                match width {
+                    MemWidth::B8S => {
+                        for (v, &a) in dst.iter_mut().zip(addrs.iter()) {
+                            *v = gmem.read_u8(a as u32) as i8 as i32 as u32;
+                        }
+                    }
+                    MemWidth::B8U => {
+                        for (v, &a) in dst.iter_mut().zip(addrs.iter()) {
+                            *v = u32::from(gmem.read_u8(a as u32));
+                        }
+                    }
+                    MemWidth::B32 => {
+                        for (v, &a) in dst.iter_mut().zip(addrs.iter()) {
+                            *v = gmem.read_u32(a as u32);
+                        }
+                    }
+                }
+            } else {
+                for lane in 0..32 {
+                    if mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let a = (w.reg(addr.0, lane) as i64 + i64::from(*off)) as u64;
+                    addrs[lane] = a;
+                    let v = match width {
+                        MemWidth::B8S => gmem.read_u8(a as u32) as i8 as i32 as u32,
+                        MemWidth::B8U => u32::from(gmem.read_u8(a as u32)),
+                        MemWidth::B32 => gmem.read_u32(a as u32),
+                    };
+                    w.set_reg(d.0, lane, v);
+                }
             }
             collect_lines(&addrs, mask, &mut fx.global_lines);
         }
@@ -504,16 +569,35 @@ pub fn execute(
             w: width,
         } => {
             fx.shared_access = true;
-            for lane in 0..32 {
-                let a = (w.reg(addr.0, lane) as i64 + i64::from(*off)) as usize;
-                let v = match width {
-                    MemWidth::B8S => smem[a] as i8 as i32 as u32,
-                    MemWidth::B8U => u32::from(smem[a]),
-                    MemWidth::B32 => {
-                        u32::from_le_bytes(smem[a..a + 4].try_into().expect("4-byte smem slice"))
+            // Copy the address lanes first: identical even when `d`
+            // aliases `addr` (each lane reads its own pre-write value),
+            // and it frees the destination run for a plain slice loop.
+            let ab = addr.0 as usize * 32;
+            let mut a_lane = [0u32; 32];
+            a_lane.copy_from_slice(&w.regs[ab..ab + 32]);
+            let db = d.0 as usize * 32;
+            let dst = &mut w.regs[db..db + 32];
+            match width {
+                MemWidth::B8S => {
+                    for (v, &al) in dst.iter_mut().zip(a_lane.iter()) {
+                        let a = (al as i64 + i64::from(*off)) as usize;
+                        *v = smem[a] as i8 as i32 as u32;
                     }
-                };
-                w.set_reg(d.0, lane, v);
+                }
+                MemWidth::B8U => {
+                    for (v, &al) in dst.iter_mut().zip(a_lane.iter()) {
+                        let a = (al as i64 + i64::from(*off)) as usize;
+                        *v = u32::from(smem[a]);
+                    }
+                }
+                MemWidth::B32 => {
+                    for (v, &al) in dst.iter_mut().zip(a_lane.iter()) {
+                        let a = (al as i64 + i64::from(*off)) as usize;
+                        *v = u32::from_le_bytes(
+                            smem[a..a + 4].try_into().expect("4-byte smem slice"),
+                        );
+                    }
+                }
             }
         }
         Sts {
@@ -523,12 +607,28 @@ pub fn execute(
             w: width,
         } => {
             fx.shared_access = true;
-            for lane in 0..32 {
-                let a = (w.reg(addr.0, lane) as i64 + i64::from(*off)) as usize;
-                let val = src_val(w, *v, lane);
-                match width {
-                    MemWidth::B8S | MemWidth::B8U => smem[a] = val as u8,
-                    MemWidth::B32 => smem[a..a + 4].copy_from_slice(&val.to_le_bytes()),
+            let ab = addr.0 as usize * 32;
+            let mut vals = [0u32; 32];
+            match v {
+                Src::Imm(x) => vals.fill(*x),
+                Src::R(r) => {
+                    let vb = r.0 as usize * 32;
+                    vals.copy_from_slice(&w.regs[vb..vb + 32]);
+                }
+            }
+            let a_lane = &w.regs[ab..ab + 32];
+            match width {
+                MemWidth::B8S | MemWidth::B8U => {
+                    for (&al, &val) in a_lane.iter().zip(vals.iter()) {
+                        let a = (al as i64 + i64::from(*off)) as usize;
+                        smem[a] = val as u8;
+                    }
+                }
+                MemWidth::B32 => {
+                    for (&al, &val) in a_lane.iter().zip(vals.iter()) {
+                        let a = (al as i64 + i64::from(*off)) as usize;
+                        smem[a..a + 4].copy_from_slice(&val.to_le_bytes());
+                    }
                 }
             }
         }
@@ -543,29 +643,18 @@ pub fn execute(
             let b_base = w.reg(b_addr.0, 0) as usize;
             match kind {
                 crate::isa::MmaKind::I8_16x16x16 => {
-                    // One output row of partial sums at a time, walking B
-                    // row-contiguously through slices: the k-major order of
-                    // additions per output element is unchanged, so results
-                    // stay bit-identical while the inner loop vectorizes.
-                    assert!(n <= 16);
-                    for r in 0..m {
-                        let a_row = &smem[a_base + r * k..a_base + r * k + k];
-                        let mut sums = [0i32; 16];
-                        for (kk, &ab) in a_row.iter().enumerate() {
-                            let av = i32::from(ab as i8);
-                            let b_row = &smem[b_base + kk * n..b_base + kk * n + n];
-                            for (c, &bb) in b_row.iter().enumerate() {
-                                sums[c] = sums[c].wrapping_add(av * i32::from(bb as i8));
-                            }
-                        }
-                        for (c, &sum) in sums.iter().enumerate().take(n) {
-                            let idx = r * n + c;
-                            let lane = idx % 32;
-                            let slot = idx / 32;
-                            let reg = acc.0 + slot as u8;
-                            let old = w.reg(reg, lane) as i32;
-                            w.set_reg(reg, lane, old.wrapping_add(sum) as u32);
-                        }
+                    assert!(m * n <= 256 && n <= 16);
+                    let a_tile = &smem[a_base..a_base + m * k];
+                    let b_tile = &smem[b_base..b_base + k * n];
+                    let mut sums = [0i32; 256];
+                    mma_i8_mac(a_tile, b_tile, m, n, k, &mut sums);
+                    // Output element `r*n + c` lives in register
+                    // `acc + idx/32`, lane `idx%32` — with the warp's
+                    // `[reg*32 + lane]` layout that is one contiguous run.
+                    let base = acc.0 as usize * 32;
+                    let dst = &mut w.regs[base..base + m * n];
+                    for (d, &s) in dst.iter_mut().zip(sums[..m * n].iter()) {
+                        *d = (*d as i32).wrapping_add(s) as u32;
                     }
                 }
                 crate::isa::MmaKind::F16_16x16x8 => {
@@ -618,29 +707,151 @@ pub fn execute(
                 }
             };
             if taken {
-                return (Next::Jump(*target), fx);
+                return Next::Jump(*target);
             }
         }
-        Bar => return (Next::Barrier, fx),
-        Exit => return (Next::ExitWarp, fx),
+        Bar => return Next::Barrier,
+        Exit => return Next::ExitWarp,
         Nop => {}
     }
-    (Next::Seq, fx)
+    Next::Seq
+}
+
+/// INT8 MMA partial sums: `sums[r*n + c] = sum_k a[r*k + kk] * b[kk*n + c]`
+/// over sign-extended bytes, accumulated with i32 wrapping adds.
+///
+/// Dispatches to an AVX2-compiled copy of the same loop nest when the CPU
+/// supports it (the detection result is cached by the macro). Integer
+/// wrapping sums are associative and commutative and every i8*i8 product
+/// fits in i16, so evaluation order and SIMD width cannot change the
+/// result: every path is bit-identical by construction.
+fn mma_i8_mac(a_tile: &[u8], b_tile: &[u8], m: usize, n: usize, k: usize, sums: &mut [i32; 256]) {
+    if m == 16 && n == 16 && k == 16 {
+        // The shipped MMA shape: constant trip counts let the whole row
+        // accumulator live in vector registers across the k loop.
+        let a: &[u8; 256] = a_tile.try_into().expect("16x16 A tile");
+        let b: &[u8; 256] = b_tile.try_into().expect("16x16 B tile");
+        #[cfg(target_arch = "x86_64")]
+        if std::is_x86_feature_detected!("avx2") {
+            // SAFETY: the AVX2 requirement of the target_feature function
+            // is established by the runtime check above; its body is the
+            // same safe-Rust loop nest, only compiled at a wider width.
+            unsafe { mma_i8_16_avx2(a, b, sums) };
+            return;
+        }
+        mma_i8_16_body(a, b, sums);
+        return;
+    }
+    mma_i8_mac_body(a_tile, b_tile, m, n, k, sums);
+}
+
+/// Hand-vectorized `vpmaddwd` formulation of [`mma_i8_16_body`], ~10x its
+/// throughput (LLVM lowers the scalar nest to byte-wise `vpinsrb` gathers).
+///
+/// Bit-identical to the scalar loop by construction: every i8*i8 product is
+/// exact in the i16 multiply (|p| <= 16129, no `vpmaddwd` saturation), the
+/// pair-sum is produced directly in i32, and i32 wrapping addition is
+/// associative and commutative, so regrouping k into pairs cannot change
+/// the result.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mma_i8_16_avx2(a: &[u8; 256], b: &[u8; 256], sums: &mut [i32; 256]) {
+    use std::arch::x86_64::*;
+    // SAFETY: all pointer arithmetic stays inside the fixed-size tile and
+    // output arrays (checked by the index bounds below); unaligned
+    // load/store intrinsics have no alignment requirement.
+    unsafe {
+        // Interleave B row pairs once per call: bi[p][h] holds, for output
+        // columns c in [8h, 8h+8), the i16 pairs (b[2p][c], b[2p+1][c]).
+        let mut bi = [[_mm256_setzero_si256(); 2]; 8];
+        for p in 0..8 {
+            let r0 = _mm_loadu_si128(b.as_ptr().add(2 * p * 16).cast());
+            let r1 = _mm_loadu_si128(b.as_ptr().add((2 * p + 1) * 16).cast());
+            bi[p][0] = _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(r0, r1));
+            bi[p][1] = _mm256_cvtepi8_epi16(_mm_unpackhi_epi8(r0, r1));
+        }
+        for r in 0..16 {
+            let mut acc0 = _mm256_setzero_si256();
+            let mut acc1 = _mm256_setzero_si256();
+            for (p, pair) in bi.iter().enumerate() {
+                let a0 = a[r * 16 + 2 * p] as i8 as i16 as u16 as u32;
+                let a1 = a[r * 16 + 2 * p + 1] as i8 as i16 as u16 as u32;
+                let xa = _mm256_set1_epi32((a0 | (a1 << 16)) as i32);
+                acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(xa, pair[0]));
+                acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(xa, pair[1]));
+            }
+            _mm256_storeu_si256(sums.as_mut_ptr().add(r * 16).cast(), acc0);
+            _mm256_storeu_si256(sums.as_mut_ptr().add(r * 16 + 8).cast(), acc1);
+        }
+    }
+}
+
+/// Fixed-shape 16x16x16 INT8 MAC loop nest. All bounds are compile-time
+/// constants: the c loop vectorizes, the kk loop unrolls with the row
+/// accumulator held in registers, and no bounds checks survive.
+#[inline(always)]
+fn mma_i8_16_body(a: &[u8; 256], b: &[u8; 256], sums: &mut [i32; 256]) {
+    for r in 0..16 {
+        let mut acc = [0i32; 16];
+        for kk in 0..16 {
+            let av = i32::from(a[r * 16 + kk] as i8);
+            let b_row = &b[kk * 16..kk * 16 + 16];
+            for c in 0..16 {
+                acc[c] = acc[c].wrapping_add(av.wrapping_mul(i32::from(b_row[c] as i8)));
+            }
+        }
+        sums[r * 16..r * 16 + 16].copy_from_slice(&acc);
+    }
+}
+
+/// The shared loop nest behind [`mma_i8_mac`]: plain slices and fixed-bound
+/// inner loops so the autovectorizer can work at whatever SIMD width the
+/// enclosing function was compiled for. The widened i16 multiply is
+/// value-identical to the i32 product (|i8*i8| <= 16384 fits i16) and lets
+/// even baseline SSE2 use 16-bit vector multiplies.
+#[inline(always)]
+fn mma_i8_mac_body(
+    a_tile: &[u8],
+    b_tile: &[u8],
+    m: usize,
+    n: usize,
+    k: usize,
+    sums: &mut [i32; 256],
+) {
+    for r in 0..m {
+        let a_row = &a_tile[r * k..r * k + k];
+        let row_sums = &mut sums[r * n..r * n + n];
+        for (kk, &ab) in a_row.iter().enumerate() {
+            let av = ab as i8 as i16;
+            let b_row = &b_tile[kk * n..kk * n + n];
+            for (c, &bb) in b_row.iter().enumerate() {
+                row_sums[c] = row_sums[c].wrapping_add(i32::from(av * i16::from(bb as i8)));
+            }
+        }
+    }
 }
 
 #[inline]
 fn lanewise2(w: &mut Warp, d: crate::isa::Reg, a: Src, b: Src, op: impl Fn(u32, u32) -> u32) {
+    // Hoist the operand decode out of the lane loop (lanes are
+    // independent, so snapshotting the sources first is exact even when
+    // `d` aliases `a` or `b`) and hand the compiler contiguous slices.
+    let av = src32(w, a);
+    let bv = src32(w, b);
+    let db = d.0 as usize * 32;
+    let dst = &mut w.regs[db..db + 32];
     for lane in 0..32 {
-        let v = op(src_val(w, a, lane), src_val(w, b, lane));
-        w.set_reg(d.0, lane, v);
+        dst[lane] = op(av[lane], bv[lane]);
     }
 }
 
 #[inline]
 fn lanewise1(w: &mut Warp, d: crate::isa::Reg, a: Src, op: impl Fn(u32) -> u32) {
+    let av = src32(w, a);
+    let db = d.0 as usize * 32;
+    let dst = &mut w.regs[db..db + 32];
     for lane in 0..32 {
-        let v = op(src_val(w, a, lane));
-        w.set_reg(d.0, lane, v);
+        dst[lane] = op(av[lane]);
     }
 }
 
@@ -662,7 +873,16 @@ mod tests {
     fn run(op: Op, w: &mut Warp) -> (Next, ExecEffects) {
         let mut smem = vec![0u8; 4096];
         let mut gmem = GlobalMem::new(1 << 16);
-        execute(&op, w, &mut smem, &mut MemCtx::Direct(&mut gmem), &[])
+        let mut fx = ExecEffects::default();
+        let n = execute(
+            &op,
+            w,
+            &mut smem,
+            &mut MemCtx::Direct(&mut gmem),
+            &[],
+            &mut fx,
+        );
+        (n, fx)
     }
 
     #[test]
@@ -852,7 +1072,8 @@ mod tests {
             w.set_reg(0, lane, buf.addr + 4 * lane as u32);
             w.set_reg(1, lane, 100 + lane as u32);
         }
-        let (_, fx) = execute(
+        let mut fx = ExecEffects::default();
+        execute(
             &Op::Stg {
                 addr: Reg(0),
                 off: 0,
@@ -865,10 +1086,12 @@ mod tests {
             &mut smem,
             &mut MemCtx::Direct(&mut gmem),
             &[],
+            &mut fx,
         );
         assert!(fx.is_store);
         assert_eq!(fx.global_lines.len(), 1, "coalesced to one line");
-        let (_, fx2) = execute(
+        let mut fx2 = ExecEffects::default();
+        execute(
             &Op::Ldg {
                 d: Reg(2),
                 addr: Reg(0),
@@ -881,6 +1104,7 @@ mod tests {
             &mut smem,
             &mut MemCtx::Direct(&mut gmem),
             &[],
+            &mut fx2,
         );
         assert_eq!(fx2.global_lines.len(), 1);
         assert_eq!(w.reg(2, 31), 131);
@@ -895,7 +1119,8 @@ mod tests {
         for lane in 0..32 {
             w.set_reg(0, lane, buf.addr + 128 * lane as u32);
         }
-        let (_, fx) = execute(
+        let mut fx = ExecEffects::default();
+        execute(
             &Op::Ldg {
                 d: Reg(1),
                 addr: Reg(0),
@@ -908,6 +1133,7 @@ mod tests {
             &mut smem,
             &mut MemCtx::Direct(&mut gmem),
             &[],
+            &mut fx,
         );
         assert_eq!(fx.global_lines.len(), 32, "fully uncoalesced");
     }
@@ -935,6 +1161,7 @@ mod tests {
             &mut smem,
             &mut MemCtx::Direct(&mut gmem),
             &[],
+            &mut ExecEffects::default(),
         );
         assert_eq!(gmem.read_u32(buf.addr), 9);
         assert_eq!(gmem.read_u32(buf.addr + 4), 0);
@@ -963,6 +1190,7 @@ mod tests {
             &mut smem,
             &mut MemCtx::Direct(&mut gmem),
             &[],
+            &mut ExecEffects::default(),
         );
         assert_eq!(w.reg(1, 0) as i32, -1);
         execute(
@@ -978,6 +1206,7 @@ mod tests {
             &mut smem,
             &mut MemCtx::Direct(&mut gmem),
             &[],
+            &mut ExecEffects::default(),
         );
         assert_eq!(w.reg(1, 0), 255);
     }
@@ -1002,6 +1231,7 @@ mod tests {
             &mut smem,
             &mut MemCtx::Direct(&mut gmem),
             &[],
+            &mut ExecEffects::default(),
         );
         execute(
             &Op::Lds {
@@ -1014,6 +1244,7 @@ mod tests {
             &mut smem,
             &mut MemCtx::Direct(&mut gmem),
             &[],
+            &mut ExecEffects::default(),
         );
         assert_eq!(w.reg(2, 7), 77);
     }
@@ -1052,6 +1283,7 @@ mod tests {
             &mut smem,
             &mut MemCtx::Direct(&mut gmem),
             &[],
+            &mut ExecEffects::default(),
         );
         // C[r][c] = 2 * (r + c). Element (3, 5): idx 53 -> lane 21, slot 1.
         assert_eq!(w.reg(3, 21) as i32, 2 * (3 + 5));
@@ -1067,6 +1299,7 @@ mod tests {
             &mut smem,
             &mut MemCtx::Direct(&mut gmem),
             &[],
+            &mut ExecEffects::default(),
         );
         assert_eq!(w.reg(3, 21) as i32, 4 * (3 + 5));
     }

@@ -208,6 +208,7 @@ impl Gpu {
         let mut done: u32 = 0;
         let mut age: u64 = 0;
         let mut cycle: u64 = 0;
+        let mut gov = FfGovernor::new();
         while done < kernel.blocks {
             dispatch(&mut self.sms, kernel, &mut next_block, &mut age);
             for sm in &mut self.sms {
@@ -220,7 +221,7 @@ impl Gpu {
                     cycles: self.cfg.max_cycles,
                 });
             }
-            if done < kernel.blocks && self.sms.iter().all(Sm::is_ff_silent) {
+            if gov.live() && done < kernel.blocks && self.sms.iter().all(Sm::is_ff_silent) {
                 let pending =
                     next_block < kernel.blocks && self.sms.iter().any(|sm| sm.can_accept(kernel));
                 if let Some(t) = ff_target(
@@ -232,6 +233,7 @@ impl Gpu {
                 ) {
                     stats.skipped_cycles += t - cycle;
                     stats.fast_forward_jumps += 1;
+                    gov.observe(stats.skipped_cycles, stats.fast_forward_jumps);
                     for sm in &mut self.sms {
                         sm.fast_forward_by(t - cycle);
                     }
@@ -263,6 +265,7 @@ impl Gpu {
         let mut cycle: u64 = 0;
         let mut skipped: u64 = 0;
         let mut jumps: u64 = 0;
+        let mut gov = FfGovernor::new();
         while done < kernel.blocks {
             dispatch(sms, kernel, &mut next_block, &mut age);
             for sm in sms.iter_mut() {
@@ -278,7 +281,7 @@ impl Gpu {
                     cycles: cfg.max_cycles,
                 });
             }
-            if done < kernel.blocks && sms.iter().all(|sm| sm.is_ff_silent()) {
+            if gov.live() && done < kernel.blocks && sms.iter().all(|sm| sm.is_ff_silent()) {
                 let pending =
                     next_block < kernel.blocks && sms.iter().any(|sm| sm.can_accept(kernel));
                 if let Some(t) = ff_target(
@@ -290,6 +293,7 @@ impl Gpu {
                 ) {
                     skipped += t - cycle;
                     jumps += 1;
+                    gov.observe(skipped, jumps);
                     for sm in sms.iter_mut() {
                         sm.fast_forward_by(t - cycle);
                     }
@@ -339,6 +343,7 @@ impl Gpu {
         let mut cycle: u64 = 0;
         let mut skipped: u64 = 0;
         let mut jumps: u64 = 0;
+        let mut gov = FfGovernor::new();
         std::thread::scope(|scope| {
             for wid in 0..workers {
                 let (units, gmem, barrier) = (&units, &gmem, &barrier);
@@ -403,7 +408,8 @@ impl Gpu {
                     drop(g);
                 }
                 cycle += 1;
-                if done < kernel.blocks
+                if gov.live()
+                    && done < kernel.blocks
                     && !failed.load(Ordering::Acquire)
                     && units.iter().all(|u| lock_sm(u).is_ff_silent())
                 {
@@ -418,6 +424,7 @@ impl Gpu {
                     ) {
                         skipped += t - cycle;
                         jumps += 1;
+                        gov.observe(skipped, jumps);
                         for u in &units {
                             lock_sm(u).fast_forward_by(t - cycle);
                         }
@@ -451,6 +458,54 @@ impl Gpu {
         self.memsys.cold_reset();
         for sm in &mut self.sms {
             sm.new_kernel();
+        }
+    }
+}
+
+/// Adaptive payoff governor for the event-horizon scan.
+///
+/// Fast-forward is pure upside on memory- and latency-bound kernels,
+/// where each jump skips tens to thousands of cycles. On issue-bound
+/// kernels the machine goes briefly silent very often, each scan buys
+/// only a handful of cycles, and the horizon computation itself becomes
+/// a net wall-clock loss. The governor watches the *realized* payoff and
+/// permanently disables the scan for the remainder of the launch once a
+/// large sample shows the average skip per jump under threshold.
+///
+/// This is purely a host wall-clock policy: the counters it reads are
+/// bit-identical across [`SimMode`]s (both loops account skips the same
+/// way), so the cutoff cycle — and with it `skipped_cycles` and
+/// `fast_forward_jumps` — is deterministic and mode-independent, and the
+/// simulated timing (`cycles`, issue mix, memory traffic) is untouched
+/// because skipped cycles are provably silent either way.
+#[derive(Debug)]
+struct FfGovernor {
+    live: bool,
+}
+
+impl FfGovernor {
+    /// Jumps observed before the payoff test may fire: large enough that
+    /// burst-silent kernels (a memory-bound tail, a cold start) are never
+    /// cut off by a noisy early sample.
+    const MIN_JUMPS: u64 = 64;
+    /// Minimum average skipped cycles per jump that keeps the scan live;
+    /// below this the scan costs more wall-clock than it saves.
+    const MIN_AVG_SKIP: u64 = 16;
+
+    fn new() -> Self {
+        Self { live: true }
+    }
+
+    /// True while the event-horizon check is still worth running.
+    fn live(&self) -> bool {
+        self.live
+    }
+
+    /// Feeds the launch's realized totals after a jump; disables the scan
+    /// once the sample is large and the payoff is poor.
+    fn observe(&mut self, skipped: u64, jumps: u64) {
+        if self.live && jumps >= Self::MIN_JUMPS && skipped / jumps < Self::MIN_AVG_SKIP {
+            self.live = false;
         }
     }
 }

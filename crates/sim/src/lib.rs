@@ -30,6 +30,7 @@
 
 pub mod cache;
 pub mod config;
+pub mod decoded;
 pub mod exec;
 pub mod fault;
 pub mod gpu;
@@ -43,7 +44,8 @@ pub mod stats;
 pub mod trace;
 pub mod warp;
 
-pub use config::{OrinConfig, SchedPolicy, SimMode};
+pub use config::{InterpMode, OrinConfig, SchedPolicy, SimMode};
+pub use decoded::{BasicBlock, BlockEnd, DecodedProgram, MicroOp};
 pub use fault::{FaultConfig, FaultKind};
 pub use gpu::{Gpu, LaunchError};
 pub use isa::{FCmp, ICmp, MemWidth, MmaKind, Op, Pred, Reg, SReg, Src};

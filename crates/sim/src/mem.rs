@@ -73,12 +73,7 @@ impl GlobalMem {
     #[inline]
     pub fn read_u32(&self, addr: u32) -> u32 {
         let i = addr as usize;
-        u32::from_le_bytes([
-            self.bytes[i],
-            self.bytes[i + 1],
-            self.bytes[i + 2],
-            self.bytes[i + 3],
-        ])
+        u32::from_le_bytes(self.bytes[i..i + 4].try_into().expect("4-byte device read"))
     }
 
     /// Writes a little-endian u32.

@@ -1,8 +1,9 @@
 //! Kernel programs and the builder used by `vitbit-kernels`.
 
+use crate::decoded::DecodedProgram;
 use crate::isa::{ICmp, MemWidth, MmaKind, Op, Pred, Reg, SReg, Src};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A finished kernel program: a flat instruction vector with resolved branch
 /// targets plus the register-file footprint.
@@ -16,12 +17,22 @@ pub struct Program {
     pub npreds: u8,
     /// Debug name.
     pub name: String,
+    /// Decoded micro-op cache, filled once per program (eagerly by
+    /// [`ProgramBuilder::build`]; lazily on first access otherwise).
+    decoded: OnceLock<DecodedProgram>,
 }
 
 impl Program {
     /// Wraps the program for sharing across warps.
     pub fn into_arc(self) -> Arc<Program> {
         Arc::new(self)
+    }
+
+    /// The decoded micro-op/basic-block form of this program. Decoding
+    /// happens at most once; every later call is a cache read.
+    pub fn decoded(&self) -> &DecodedProgram {
+        self.decoded
+            .get_or_init(|| DecodedProgram::decode(&self.ops))
     }
 }
 
@@ -375,12 +386,17 @@ impl ProgramBuilder {
             "program {} has no Exit",
             self.name
         );
-        Program {
+        let program = Program {
             ops: self.ops,
             nregs: self.next_reg.max(1) as u8,
             npreds: self.next_pred.max(1),
             name: self.name,
-        }
+            decoded: OnceLock::new(),
+        };
+        // Decode eagerly: warps share the Arc'd program, so paying the
+        // one-time decode here keeps it off the simulation hot path.
+        let _ = program.decoded();
+        program
     }
 }
 

@@ -1,15 +1,17 @@
 //! Streaming Multiprocessor: warp slots, block slots, four sub-partitions
 //! with GTO scheduling and dual-issue to distinct pipes.
 
-use crate::config::{OrinConfig, SchedPolicy};
-use crate::exec::{self, MemCtx, Next};
+use crate::config::{InterpMode, OrinConfig, SchedPolicy};
+use crate::decoded::{self, MicroOp, CTRL_PIPE, NO_PRED};
+use crate::exec::{self, ExecEffects, MemCtx, Next};
 use crate::fault::{FaultConfig, SALT_DRAM, SALT_HANG, SALT_REG};
-use crate::isa::PipeClass;
+use crate::isa::{Op, PipeClass};
 use crate::launch::Kernel;
 use crate::mem::GlobalMem;
 use crate::memsys::{MemSystem, L1};
 use crate::stats::KernelStats;
 use crate::warp::{Warp, WarpState};
+use std::sync::Arc;
 
 /// Memory backend for one SM cycle step.
 ///
@@ -69,6 +71,25 @@ struct SubPart {
     greedy: Option<usize>,
     /// Round-robin rotation cursor (LRR).
     rr_next: usize,
+    /// Micro-op interpreter only: a proven lower bound on this
+    /// sub-partition's next issue cycle, computed as each candidate scan
+    /// completes. While `wake > now` the whole scan is skipped (batched
+    /// stepping); any event that can lower a warp's gate from outside the
+    /// sub-partition's own scan — barrier release, drain-phase scoreboard
+    /// patches, a block launch — resets it to 0.
+    wake: u64,
+    /// Proven lower bound on the next issue cycle of every candidate
+    /// *except* [`SubPart::wake_slot`]. While `wake2 > now`, at most that
+    /// one warp can issue, so the scan collapses to a single candidate
+    /// check (and dual issue is impossible). Reset to 0 together with
+    /// `wake` by every external gate-lowering event, and by any scan whose
+    /// folded bounds do not cover all candidates (dual-issue cutoff,
+    /// mid-scan barrier release).
+    wake2: u64,
+    /// The candidate achieving the `wake` bound (the only warp that may
+    /// be issuable while `wake2 > now`). May be stale after a reap; the
+    /// frozen gate then rejects it harmlessly.
+    wake_slot: usize,
 }
 
 impl SubPart {
@@ -78,20 +99,35 @@ impl SubPart {
             warps: Vec::new(),
             greedy: None,
             rr_next: 0,
+            wake: 0,
+            wake2: 0,
+            wake_slot: 0,
         }
     }
 }
 
+/// Exact earliest cycle (at least `base`) at which `mop`'s register and
+/// predicate constraints admit issue for `w`: the max over its source
+/// reads, destination range (WAW) and predicate operands of the warp's
+/// scoreboard ready times. This is the micro-op interpreter's gate value;
+/// it mirrors the reference interpreter's per-cycle scoreboard scans,
+/// whose constraint set [`crate::decoded`] proves equal by construction.
 #[inline]
-fn pipe_idx(p: PipeClass) -> Option<usize> {
-    match p {
-        PipeClass::Int => Some(0),
-        PipeClass::Fp => Some(1),
-        PipeClass::Tensor => Some(2),
-        PipeClass::Sfu => Some(3),
-        PipeClass::Lsu => Some(4),
-        PipeClass::Ctrl => None,
+fn mop_earliest(w: &Warp, mop: &MicroOp, base: u64) -> u64 {
+    let mut e = base;
+    for i in 0..mop.n_src as usize {
+        e = e.max(w.reg_ready[mop.srcs[i] as usize]);
     }
+    for r in u16::from(mop.dest_first)..u16::from(mop.dest_first) + u16::from(mop.dest_count) {
+        e = e.max(w.reg_ready[r as usize]);
+    }
+    if mop.src_pred != NO_PRED {
+        e = e.max(w.pred_ready[mop.src_pred as usize]);
+    }
+    if mop.dest_pred != NO_PRED {
+        e = e.max(w.pred_ready[mop.dest_pred as usize]);
+    }
+    e
 }
 
 /// A resident thread block.
@@ -132,6 +168,52 @@ pub struct Sm {
     sched: SchedPolicy,
     scratch_srcs: Vec<u8>,
     scratch_preds: Vec<u8>,
+    /// Micro-op interpreter enabled ([`InterpMode::Micro`]); false selects
+    /// the reference interpreter, which re-derives operands from the `Op`
+    /// enum every cycle and serves as the differential baseline.
+    interp_fast: bool,
+    /// Per-warp-slot issue gate (micro-op interpreter only). Meaning:
+    ///
+    /// * `0` — unknown; run the full pipe and scoreboard checks (set at
+    ///   launch, barrier release, and for a malformed pc past the end).
+    /// * `u64::MAX` — frozen; the warp cannot issue without an external
+    ///   event (slot empty, warp done/hung, parked at a barrier).
+    /// * anything else — the *exact* earliest cycle at which the current
+    ///   instruction's register/predicate constraints admit issue.
+    ///
+    /// Exactness is maintained at every point a constraint value can
+    /// change: the warp's own issue recomputes the gate from the new pc,
+    /// and a drain-phase scoreboard patch refreshes it. Everything the
+    /// gate folds over is otherwise frozen, so `gate > now` rejects
+    /// without touching the `Warp` and `0 < gate <= now` issues without
+    /// re-scanning the scoreboard.
+    warp_gate: Vec<u64>,
+    /// Pipe code ([`crate::decoded::pipe_code`]) of each warp slot's
+    /// current instruction; exact whenever the slot's gate is neither `0`
+    /// nor `u64::MAX`, so the dual-issue mask and pipe-busy rejections
+    /// need no `Warp` dereference either.
+    warp_pipe: Vec<u8>,
+    /// Reusable side-effect summary for [`exec::execute`] (keeps the
+    /// line vector's allocation out of the issue path).
+    scratch_fx: ExecEffects,
+    /// Reusable candidate-slot snapshot for the scheduler scan: warp
+    /// membership cannot change mid-scan, so copying the sub-partition's
+    /// slot list once lets the loop run borrow-free over plain indices.
+    scratch_cand: Vec<usize>,
+    /// Set by [`Sm::try_issue`] when an issue released a barrier, telling
+    /// the in-progress scheduler scan that its folded wake bound is stale.
+    wake_dirty: bool,
+    /// Minimum of the four sub-partition wake bounds, recomputed at the
+    /// end of every stepped cycle (micro-op interpreter only). While it
+    /// lies in the future the whole SM step is skipped — GTO only, since
+    /// LRR must still rotate each sub-partition's cursor every cycle.
+    /// External gate-lowering events (launch, drain patch) reset it to 0
+    /// alongside the per-sub-partition bounds.
+    sm_wake: u64,
+    /// Set when a warp retires ([`Next::ExitWarp`]): blocks can only reach
+    /// zero active warps on such a cycle, so the per-cycle reap pass is
+    /// skipped entirely while this is false.
+    reap_check: bool,
     /// LSU issues of the current cycle awaiting the serial drain.
     pending: Vec<PendingIssue>,
     /// Global stores of the current cycle, in program order (parallel mode).
@@ -200,6 +282,14 @@ impl Sm {
             sched: cfg.sched,
             scratch_srcs: Vec::with_capacity(16),
             scratch_preds: Vec::with_capacity(4),
+            interp_fast: cfg.interp == InterpMode::Micro,
+            warp_gate: vec![u64::MAX; max_warps as usize],
+            warp_pipe: vec![CTRL_PIPE; max_warps as usize],
+            scratch_fx: ExecEffects::default(),
+            scratch_cand: Vec::with_capacity(max_warps as usize),
+            wake_dirty: false,
+            sm_wake: 0,
+            reap_check: false,
             pending: Vec::new(),
             store_buf: Vec::new(),
             stats: KernelStats::default(),
@@ -221,11 +311,20 @@ impl Sm {
         for sp in &mut self.subparts {
             sp.pipe_free = [0; 5];
             sp.greedy = None;
+            sp.wake = 0;
+            sp.wake2 = 0;
         }
         self.pending.clear();
         self.store_buf.clear();
+        // No warps are resident between kernels on the normal path (and
+        // `hard_reset` evicts them first), so every slot is frozen.
+        self.warp_gate.fill(u64::MAX);
+        self.warp_pipe.fill(CTRL_PIPE);
         self.stats = KernelStats::default();
         self.done_this_cycle = 0;
+        self.wake_dirty = false;
+        self.sm_wake = 0;
+        self.reap_check = false;
         self.ff_dirty = true;
         self.ff_silent = false;
     }
@@ -302,6 +401,8 @@ impl Sm {
             );
             *age += 1;
             self.warps[slot] = Some(warp);
+            // Fresh warp: constraints unknown until the first full check.
+            self.warp_gate[slot] = 0;
             let sp = (w as usize) % self.subparts.len();
             self.subparts[sp].warps.push(slot);
             warp_slots.push(slot);
@@ -316,6 +417,13 @@ impl Sm {
         self.resident_warps += wpb;
         self.resident_blocks += 1;
         self.resident_smem += kernel.smem_bytes;
+        // The new warps (gate 0) may land in sub-partitions whose wake
+        // bound was computed without them.
+        for sp in &mut self.subparts {
+            sp.wake = 0;
+            sp.wake2 = 0;
+        }
+        self.sm_wake = 0;
         true
     }
 
@@ -399,41 +507,22 @@ impl Sm {
     /// busy-until times, warp state — is frozen while nothing issues, so
     /// if every warp's earliest admissible cycle exceeds `now`, all
     /// cycles strictly before the minimum are provably silent.
-    fn compute_horizon(&mut self) -> u64 {
-        let Sm {
-            warps,
-            subparts,
-            scratch_srcs,
-            scratch_preds,
-            ..
-        } = self;
+    /// Both interpreter modes use the decoded micro-ops here — the values
+    /// are identical to an `Op`-derived scan by the constraint-set
+    /// invariant of [`crate::decoded`], and the scan runs only on cycles
+    /// where the whole machine went silent.
+    fn compute_horizon(&self) -> u64 {
         let mut horizon = u64::MAX;
-        for sp in subparts.iter() {
+        for sp in self.subparts.iter() {
             for &slot in &sp.warps {
-                let w = match warps[slot].as_ref() {
+                let w = match self.warps[slot].as_ref() {
                     Some(w) if w.state == WarpState::Ready => w,
                     _ => continue,
                 };
-                let op = &w.program.ops[w.pc];
-                let mut e = 0u64;
-                if let Some(pi) = pipe_idx(op.pipe()) {
-                    e = e.max(sp.pipe_free[pi]);
-                }
-                exec::src_regs(op, scratch_srcs);
-                for &r in scratch_srcs.iter() {
-                    e = e.max(w.reg_ready[r as usize]);
-                }
-                if let Some((first, count)) = exec::dest_regs(op) {
-                    for r in first..first + count {
-                        e = e.max(w.reg_ready[r as usize]);
-                    }
-                }
-                exec::src_preds(op, scratch_preds);
-                for &p in scratch_preds.iter() {
-                    e = e.max(w.pred_ready[p as usize]);
-                }
-                if let Some(p) = exec::dest_pred(op) {
-                    e = e.max(w.pred_ready[p as usize]);
+                let mop = &w.program.decoded().mops[w.pc];
+                let mut e = mop_earliest(w, mop, 0);
+                if (mop.pipe as usize) < 5 {
+                    e = e.max(sp.pipe_free[mop.pipe as usize]);
                 }
                 horizon = horizon.min(e);
             }
@@ -475,6 +564,7 @@ impl Sm {
         }
         self.store_buf.clear();
         let mut pending = std::mem::take(&mut self.pending);
+        let mut patched = false;
         for p in pending.drain(..) {
             let mut ready = p.ready;
             let mut flips: Vec<u64> = Vec::new();
@@ -517,7 +607,32 @@ impl Sm {
                 for r in first..first + count {
                     w.reg_ready[r as usize] = ready;
                 }
+                // The patch may have *lowered* ready times the slot's gate
+                // folded over (the `u64::MAX` placeholders): refresh it to
+                // the exact value. A non-Ready warp (exited or parked with
+                // the load still in flight) stays frozen; barrier release
+                // resets its gate separately.
+                if self.interp_fast && w.state == WarpState::Ready {
+                    let dec = w.program.decoded();
+                    if w.pc < dec.mops.len() {
+                        let mop = &dec.mops[w.pc];
+                        self.warp_gate[p.warp_slot] = mop_earliest(w, mop, 0);
+                        self.warp_pipe[p.warp_slot] = mop.pipe;
+                    } else {
+                        self.warp_gate[p.warp_slot] = 0;
+                    }
+                    patched = true;
+                }
             }
+        }
+        if patched {
+            // A patch can lower a gate a sub-partition's wake bound folded
+            // over; rescan everywhere next cycle.
+            for sp in &mut self.subparts {
+                sp.wake = 0;
+                sp.wake2 = 0;
+            }
+            self.sm_wake = 0;
         }
         self.pending = pending;
         std::mem::take(&mut self.done_this_cycle)
@@ -539,30 +654,130 @@ impl Sm {
         stats: &mut KernelStats,
     ) -> u32 {
         let mut blocks_done = 0;
+        let sched = self.sched;
+        // Whole-SM batched skip: the per-cycle work below is a no-op while
+        // every sub-partition's wake bound lies in the future (GTO only;
+        // LRR still needs its per-sub-partition cursor rotation, handled
+        // by the per-sub-partition skip branch).
+        if self.interp_fast && sched == SchedPolicy::Gto && self.sm_wake > now {
+            return 0;
+        }
         for sp_idx in 0..self.subparts.len() {
+            // Batched stepping (micro-op interpreter only): `wake` is a
+            // proven lower bound on this sub-partition's next issue cycle,
+            // so the whole candidate scan is skipped while it lies in the
+            // future. Only LRR's per-cycle rotation must still advance,
+            // exactly as a fully stalled scan would have moved it.
+            if self.interp_fast && self.subparts[sp_idx].wake > now {
+                if sched == SchedPolicy::Lrr {
+                    let sp = &mut self.subparts[sp_idx];
+                    let n = sp.warps.len();
+                    if n > 0 {
+                        sp.rr_next = sp.rr_next % n + 1;
+                    }
+                }
+                continue;
+            }
+            // Single-candidate cycles: while `wake2 > now` every candidate
+            // except `wake_slot` provably cannot issue, so the scan
+            // collapses to one gate check (dual issue needs a second ripe
+            // warp — impossible). Scheduler equivalence: with exactly one
+            // admissible warp, GTO and LRR both select it regardless of
+            // greedy pointer or rotation, the greedy update below matches
+            // what the full scan would set, and LRR's cursor advance is
+            // issue-independent (`start + 1`). Rejections are
+            // side-effect-free, so the fault-decision stream is untouched.
+            //
+            // Control ops are excluded: a `Bar`/`Exit` issue can release
+            // sibling warps that the reference scan would then reach —
+            // and possibly dual-issue — later in the *same* cycle, so any
+            // possibly-releasing candidate (and any warp whose pipe code
+            // is not yet exact, gate 0 or frozen) takes the full scan.
+            if self.interp_fast
+                && self.subparts[sp_idx].wake2 > now
+                && self.warp_gate[self.subparts[sp_idx].wake_slot].wrapping_sub(1) < u64::MAX - 1
+                && self.warp_pipe[self.subparts[sp_idx].wake_slot] != CTRL_PIPE
+            {
+                let slot = self.subparts[sp_idx].wake_slot;
+                self.wake_dirty = false;
+                let mut issued: u8 = 0;
+                let bound = match self.gate_defer(slot, sp_idx, now, 0) {
+                    Some(e) => e,
+                    None => {
+                        if self.try_issue(slot, sp_idx, now, mem, args, stats, &mut issued)
+                            && sched == SchedPolicy::Gto
+                        {
+                            self.subparts[sp_idx].greedy = Some(slot);
+                        }
+                        self.gate_next_bound(slot, sp_idx, now)
+                    }
+                };
+                let dirty = self.wake_dirty;
+                let sp = &mut self.subparts[sp_idx];
+                if sched == SchedPolicy::Lrr {
+                    let n = sp.warps.len();
+                    if n > 0 {
+                        sp.rr_next = sp.rr_next % n + 1;
+                    }
+                }
+                if dirty {
+                    sp.wake = now + 1;
+                    sp.wake2 = 0;
+                } else {
+                    // `wake2` stays a valid bound for the others; the
+                    // refreshed `bound` re-covers `wake_slot`.
+                    sp.wake = bound.min(sp.wake2).max(now + 1);
+                }
+                continue;
+            }
             let mut issued: u8 = 0; // bitmask over pipe_idx + ctrl bit 5
             let mut issues_left = 2;
+            // Two smallest of the scanned warps' provable next-issue cycles
+            // (and the slot achieving the min). An issue mid-scan cannot
+            // invalidate bounds folded before it: other warps' gates are
+            // untouched and pipe reservations only move later, so earlier
+            // folds stay valid *lower* bounds. The issued warp itself folds
+            // its refreshed gate right after the issue. The two stale cases
+            // — a barrier release re-gating warps to the unknown sentinel,
+            // and a scan cut short by dual issue — force a rescan next
+            // cycle instead.
+            let mut min_next = u64::MAX;
+            let mut min2_next = u64::MAX;
+            let mut min_slot = usize::MAX;
+            let mut fold = |e: u64, s: usize| {
+                if e < min_next {
+                    min2_next = min_next;
+                    min_next = e;
+                    min_slot = s;
+                } else if e < min2_next {
+                    min2_next = e;
+                }
+            };
+            self.wake_dirty = false;
+            // Snapshot the candidate slots: warp membership only changes at
+            // launch and reap, never mid-scan, so the copy both matches the
+            // live list exactly and frees the loop from re-borrowing `self`
+            // (and re-checking bounds) around every `try_issue` call.
+            let mut cand = std::mem::take(&mut self.scratch_cand);
+            cand.clear();
+            cand.extend_from_slice(&self.subparts[sp_idx].warps);
+            let n_warps = cand.len();
             match self.sched {
                 SchedPolicy::Gto => {
                     // Candidate order: greedy warp first, then age order.
                     let greedy = self.subparts[sp_idx].greedy;
-                    let n_warps = self.subparts[sp_idx].warps.len();
                     let mut ci = 0usize;
                     while issues_left > 0 && ci <= n_warps {
                         let slot = if ci == 0 {
                             match greedy {
-                                Some(g) if self.subparts[sp_idx].warps.contains(&g) => g,
+                                Some(g) if cand.contains(&g) => g,
                                 _ => {
                                     ci += 1;
                                     continue;
                                 }
                             }
                         } else {
-                            let idx = ci - 1;
-                            if idx >= self.subparts[sp_idx].warps.len() {
-                                break;
-                            }
-                            let s = self.subparts[sp_idx].warps[idx];
+                            let s = cand[ci - 1];
                             if Some(s) == greedy {
                                 ci += 1;
                                 continue; // already tried as greedy
@@ -570,35 +785,90 @@ impl Sm {
                             s
                         };
                         ci += 1;
+                        if self.interp_fast {
+                            if let Some(e) = self.gate_defer(slot, sp_idx, now, issued) {
+                                fold(e, slot);
+                                continue;
+                            }
+                        }
                         if self.try_issue(slot, sp_idx, now, mem, args, stats, &mut issued) {
                             issues_left -= 1;
                             self.subparts[sp_idx].greedy = Some(slot);
+                            if self.interp_fast {
+                                fold(self.gate_next_bound(slot, sp_idx, now), slot);
+                            }
+                        } else if self.interp_fast {
+                            fold(self.gate_next_bound(slot, sp_idx, now), slot);
                         }
                     }
                 }
                 SchedPolicy::Lrr => {
                     // Rotate the starting candidate each cycle.
-                    let n_warps = self.subparts[sp_idx].warps.len();
                     if n_warps > 0 {
                         let start = self.subparts[sp_idx].rr_next % n_warps;
                         let mut ci = 0usize;
                         while issues_left > 0 && ci < n_warps {
-                            let idx = (start + ci) % self.subparts[sp_idx].warps.len().max(1);
-                            if idx >= self.subparts[sp_idx].warps.len() {
-                                break;
-                            }
-                            let slot = self.subparts[sp_idx].warps[idx];
+                            let idx = (start + ci) % n_warps;
+                            let slot = cand[idx];
                             ci += 1;
+                            if self.interp_fast {
+                                if let Some(e) = self.gate_defer(slot, sp_idx, now, issued) {
+                                    fold(e, slot);
+                                    continue;
+                                }
+                            }
                             if self.try_issue(slot, sp_idx, now, mem, args, stats, &mut issued) {
                                 issues_left -= 1;
+                                if self.interp_fast {
+                                    fold(self.gate_next_bound(slot, sp_idx, now), slot);
+                                }
+                            } else if self.interp_fast {
+                                fold(self.gate_next_bound(slot, sp_idx, now), slot);
                             }
                         }
                         self.subparts[sp_idx].rr_next = start + 1;
                     }
                 }
             }
+            if self.interp_fast {
+                // A barrier release re-gated warps to the unknown sentinel
+                // mid-scan, and a dual-issue-exhausted scan left candidates
+                // unexamined: both must rescan next cycle (`wake2` must not
+                // claim coverage it lacks). Otherwise every candidate
+                // (including issuers, post-refresh) was folded. Clamp
+                // `wake` to `now + 1`: one scan per cycle. `wake2` is left
+                // unclamped — it is a proof bound, not a schedule.
+                let sp = &mut self.subparts[sp_idx];
+                if self.wake_dirty || issues_left == 0 {
+                    sp.wake = now + 1;
+                    sp.wake2 = 0;
+                } else {
+                    sp.wake = min_next.max(now + 1);
+                    sp.wake2 = min2_next;
+                    sp.wake_slot = min_slot;
+                }
+            }
+            self.scratch_cand = cand;
         }
-        // Reap finished blocks (all warps Done).
+        if self.interp_fast {
+            // Refresh the whole-SM bound from the per-sub-partition ones
+            // (mid-cycle events — barrier release, a scan's own folds —
+            // are all reflected in `sp.wake` by now).
+            let mut m = u64::MAX;
+            for sp in &self.subparts {
+                m = m.min(sp.wake);
+            }
+            self.sm_wake = m;
+        }
+        // Reap finished blocks (all warps Done). A block can only reach
+        // zero active warps on a cycle some warp retired, so the pass is
+        // skipped unless [`Sm::try_issue`] saw an `ExitWarp` — in either
+        // interpreter mode (the flag is a plain fact about this cycle, not
+        // a fast-path heuristic).
+        if !self.reap_check {
+            return 0;
+        }
+        self.reap_check = false;
         for b in 0..self.blocks.len() {
             let finished = match &self.blocks[b] {
                 Some(blk) => blk.active_warps == 0,
@@ -608,6 +878,7 @@ impl Sm {
                 let blk = self.blocks[b].take().expect("checked above");
                 for &ws in &blk.warp_slots {
                     self.warps[ws] = None;
+                    self.warp_gate[ws] = u64::MAX;
                     self.free_warp_slots.push(ws);
                     for sp in &mut self.subparts {
                         if let Some(pos) = sp.warps.iter().position(|&x| x == ws) {
@@ -628,7 +899,72 @@ impl Sm {
         blocks_done
     }
 
+    /// Batched-stepping pre-check, inlined into the scheduler candidate
+    /// loops: `Some(e)` proves warp `slot` cannot issue before cycle `e`
+    /// (so the scan skips it and folds `e` into the sub-partition's wake
+    /// bound), `None` means a full [`Sm::try_issue`] attempt is required.
+    /// The check is side-effect-free and its reject set mirrors the
+    /// pre-check at the top of `try_issue` exactly, so skipping here
+    /// cannot perturb the fault-decision stream.
+    #[inline(always)]
+    fn gate_defer(&self, slot: usize, sp_idx: usize, now: u64, issued: u8) -> Option<u64> {
+        let gate = self.warp_gate[slot];
+        if gate == 0 {
+            return None; // unknown: must run the full checks
+        }
+        let pbit = self.warp_pipe[slot] as usize;
+        if gate > now {
+            if gate == u64::MAX {
+                return Some(u64::MAX); // frozen: never constrains the wake
+            }
+            let e = if pbit < 5 {
+                gate.max(self.subparts[sp_idx].pipe_free[pbit])
+            } else {
+                gate
+            };
+            return Some(e);
+        }
+        if issued & (1 << pbit) != 0 {
+            // Intra-cycle pipe conflict; implies an issue happened, so the
+            // wake collapses to `now + 1` regardless of this bound.
+            return Some(now + 1);
+        }
+        if pbit < 5 && self.subparts[sp_idx].pipe_free[pbit] > now {
+            return Some(self.subparts[sp_idx].pipe_free[pbit]);
+        }
+        None
+    }
+
+    /// Lower bound on warp `slot`'s next possible issue cycle after a
+    /// rejected `try_issue` at `now` (the attempt may have cached a fresh
+    /// exact gate, or frozen the warp via a hung fault).
+    #[inline(always)]
+    fn gate_next_bound(&self, slot: usize, sp_idx: usize, now: u64) -> u64 {
+        let gate = self.warp_gate[slot];
+        if gate == 0 {
+            return now + 1; // still unknown: rescan next cycle
+        }
+        if gate == u64::MAX {
+            return u64::MAX;
+        }
+        let pbit = self.warp_pipe[slot] as usize;
+        if pbit < 5 {
+            gate.max(self.subparts[sp_idx].pipe_free[pbit])
+        } else {
+            gate
+        }
+    }
+
     /// Attempts to issue from warp `slot`; returns true on issue.
+    ///
+    /// With the micro-op interpreter the overwhelmingly common outcome —
+    /// a stalled warp — is decided by two array loads (`warp_gate`,
+    /// `warp_pipe`) without dereferencing the `Warp` or matching on the
+    /// `Op` enum; the full scoreboard scan runs only when a gate is the
+    /// unknown sentinel `0`. All rejection paths are side-effect-free and
+    /// the accept predicate is identical to the reference interpreter's,
+    /// so the fault-decision stream (rolled only after every pre-issue
+    /// check passes) is preserved bit-exactly.
     #[allow(clippy::too_many_arguments)]
     fn try_issue(
         &mut self,
@@ -640,6 +976,10 @@ impl Sm {
         stats: &mut KernelStats,
         issued: &mut u8,
     ) -> bool {
+        // Callers run [`Sm::gate_defer`] first, so on the fast path a
+        // nonzero gate here is exact and `<= now` with the pipe free: the
+        // scoreboard needs no re-scan. Only the unknown sentinel `0` (a
+        // launch or barrier release) still takes the full checks below.
         // Copy timing scalars, then split-borrow the containers.
         let alu_latency = self.alu_latency;
         let tc_occupancy = self.tc_occupancy;
@@ -650,6 +990,7 @@ impl Sm {
         let smem_latency = self.smem_latency;
         let fault = self.fault;
         let sm_id = self.sm_id;
+        let interp_fast = self.interp_fast;
         let Sm {
             warps,
             blocks,
@@ -661,6 +1002,11 @@ impl Sm {
             store_buf,
             fault_issue_ctr,
             fault_mem_ctr,
+            warp_gate,
+            warp_pipe,
+            scratch_fx,
+            wake_dirty,
+            reap_check,
             ..
         } = self;
 
@@ -668,42 +1014,94 @@ impl Sm {
             Some(w) if w.state == WarpState::Ready => w,
             _ => return false,
         };
-        let op = w.program.ops[w.pc].clone();
+        let pc = w.pc;
         let group = w.group as usize;
-        let pipe = op.pipe();
-        let pbit = pipe_idx(pipe).map_or(5, |i| i as u8);
-        if *issued & (1 << pbit) != 0 {
-            return false; // one issue per pipe per cycle
-        }
-        if let Some(pi) = pipe_idx(pipe) {
-            if subparts[sp_idx].pipe_free[pi] > now {
+
+        // Issue metadata: read from the decoded micro-op (fast) or derived
+        // from the `Op` enum every time (reference). The fast path copies
+        // the flat `MicroOp` and, on acceptance, the `Op` itself — both
+        // plain data — so it never touches the program's `Arc` refcount;
+        // the reference path keeps its original `Arc` clone.
+        let pbit: u8;
+        let dest: Option<(u8, u8)>;
+        let dest_pred: Option<u8>;
+        let arith: u64;
+        let ref_prog: Option<Arc<crate::program::Program>>;
+        if interp_fast {
+            let mop = w.program.decoded().mops[pc];
+            pbit = mop.pipe;
+            dest = (mop.dest_count > 0).then_some((mop.dest_first, mop.dest_count));
+            dest_pred = (mop.dest_pred != NO_PRED).then_some(mop.dest_pred);
+            arith = u64::from(mop.arith);
+            if warp_gate[slot] == 0 {
+                // Unknown gate (a launch, or a barrier release whose
+                // earliest collided with the sentinel): run the full
+                // scoreboard scan once and cache the exact earliest cycle
+                // BEFORE the per-cycle pipe checks, so that even a
+                // same-cycle pipe conflict leaves the gate exact and the
+                // warp re-enters through the cheap pre-check from then on.
+                //
+                // An earliest of 0 (a launched warp whose operands were
+                // never written) is clamped to 1 to stay clear of the
+                // sentinel. The clamp cannot defer a cycle-0 issue: on
+                // the accept path below the gate is refreshed post-issue,
+                // and a rejected warp is not rescanned until cycle >= 1,
+                // where a gate of 1 no longer defers.
+                let e = mop_earliest(w, &mop, 0);
+                warp_gate[slot] = e.max(1);
+                warp_pipe[slot] = pbit;
+                if *issued & (1 << pbit) != 0 {
+                    return false;
+                }
+                if (pbit as usize) < 5 && subparts[sp_idx].pipe_free[pbit as usize] > now {
+                    return false;
+                }
+                if e > now {
+                    return false;
+                }
+            }
+            // A nonzero gate <= now proves the scoreboard ready by
+            // exactness: no re-scan.
+            ref_prog = None;
+        } else {
+            let prog = Arc::clone(&w.program);
+            let op = &prog.ops[pc];
+            pbit = decoded::pipe_code(op.pipe());
+            if *issued & (1 << pbit) != 0 {
+                return false; // one issue per pipe per cycle
+            }
+            if (pbit as usize) < 5 && subparts[sp_idx].pipe_free[pbit as usize] > now {
                 return false;
             }
-        }
-        // Scoreboard: sources, destinations (WAW) and predicates ready.
-        exec::src_regs(&op, scratch_srcs);
-        for &r in scratch_srcs.iter() {
-            if w.reg_ready[r as usize] > now {
-                return false;
-            }
-        }
-        if let Some((first, count)) = exec::dest_regs(&op) {
-            for r in first..first + count {
+            dest = exec::dest_regs(op);
+            dest_pred = exec::dest_pred(op);
+            arith = op.arith_ops();
+            // Scoreboard: sources, destinations (WAW) and predicates ready.
+            exec::src_regs(op, scratch_srcs);
+            for &r in scratch_srcs.iter() {
                 if w.reg_ready[r as usize] > now {
                     return false;
                 }
             }
-        }
-        exec::src_preds(&op, scratch_preds);
-        for &p in scratch_preds.iter() {
-            if w.pred_ready[p as usize] > now {
-                return false;
+            if let Some((first, count)) = dest {
+                for r in first..first + count {
+                    if w.reg_ready[r as usize] > now {
+                        return false;
+                    }
+                }
             }
-        }
-        if let Some(p) = exec::dest_pred(&op) {
-            if w.pred_ready[p as usize] > now {
-                return false;
+            exec::src_preds(op, scratch_preds);
+            for &p in scratch_preds.iter() {
+                if w.pred_ready[p as usize] > now {
+                    return false;
+                }
             }
+            if let Some(p) = dest_pred {
+                if w.pred_ready[p as usize] > now {
+                    return false;
+                }
+            }
+            ref_prog = Some(prog);
         }
 
         // Fault injection: this instruction would issue, so it is one
@@ -717,22 +1115,36 @@ impl Sm {
             if fault.roll(SALT_HANG, sm_id, ctr, fault.hang_rate).is_some() {
                 w.state = WarpState::Hung;
                 stats.faults_injected += 1;
+                warp_gate[slot] = u64::MAX;
                 return false;
             }
-            if exec::dest_regs(&op).is_some() {
+            if dest.is_some() {
                 reg_flip = fault.roll(SALT_REG, sm_id, ctr, fault.reg_flip_rate);
             }
         }
 
         // --- issue ---
+        let op_local;
+        let op: &Op = match &ref_prog {
+            Some(p) => &p.ops[pc],
+            None => {
+                op_local = w.program.ops[pc].clone();
+                &op_local
+            }
+        };
         let block_slot = w.block_slot;
         let block = blocks[block_slot].as_mut().expect("warp's block resident");
-        let (next, fx) = match mem {
-            SmMem::Direct { gmem, .. } => {
-                exec::execute(&op, w, &mut block.smem, &mut MemCtx::Direct(gmem), args)
-            }
+        let next = match mem {
+            SmMem::Direct { gmem, .. } => exec::execute(
+                op,
+                w,
+                &mut block.smem,
+                &mut MemCtx::Direct(gmem),
+                args,
+                scratch_fx,
+            ),
             SmMem::Deferred { gmem } => exec::execute(
-                &op,
+                op,
                 w,
                 &mut block.smem,
                 &mut MemCtx::Buffered {
@@ -740,9 +1152,11 @@ impl Sm {
                     writes: store_buf,
                 },
                 args,
+                scratch_fx,
             ),
         };
-        if let (Some(e), Some((first, count))) = (reg_flip, exec::dest_regs(&op)) {
+        let fx: &ExecEffects = scratch_fx;
+        if let (Some(e), Some((first, count))) = (reg_flip, dest) {
             let r = first + (e % u64::from(count)) as u8;
             let lane = ((e >> 8) % 32) as usize;
             let bit = ((e >> 16) % 32) as u32;
@@ -751,46 +1165,46 @@ impl Sm {
         }
 
         // Timing.
+        let pipe = decoded::pipe_class(pbit);
         let sp = &mut subparts[sp_idx];
         match pipe {
             PipeClass::Int | PipeClass::Fp => {
-                let pi = pipe_idx(pipe).expect("math pipe");
-                sp.pipe_free[pi] = now + 1;
-                if let Some((first, count)) = exec::dest_regs(&op) {
+                sp.pipe_free[pbit as usize] = now + 1;
+                if let Some((first, count)) = dest {
                     for r in first..first + count {
                         w.reg_ready[r as usize] = now + alu_latency;
                     }
                 }
-                if let Some(p) = exec::dest_pred(&op) {
+                if let Some(p) = dest_pred {
                     w.pred_ready[p as usize] = now + alu_latency;
                 }
                 if pipe == PipeClass::Int {
                     stats.busy.int += 1;
-                    stats.int_ops += op.arith_ops();
+                    stats.int_ops += arith;
                 } else {
                     stats.busy.fp += 1;
-                    stats.fp_ops += op.arith_ops();
+                    stats.fp_ops += arith;
                 }
             }
             PipeClass::Tensor => {
                 sp.pipe_free[2] = now + tc_occupancy;
-                if let Some((first, count)) = exec::dest_regs(&op) {
+                if let Some((first, count)) = dest {
                     for r in first..first + count {
                         w.reg_ready[r as usize] = now + tc_latency;
                     }
                 }
                 stats.busy.tensor += tc_occupancy;
-                stats.tc_ops += op.arith_ops();
+                stats.tc_ops += arith;
             }
             PipeClass::Sfu => {
                 sp.pipe_free[3] = now + sfu_occupancy;
-                if let Some((first, count)) = exec::dest_regs(&op) {
+                if let Some((first, count)) = dest {
                     for r in first..first + count {
                         w.reg_ready[r as usize] = now + sfu_latency;
                     }
                 }
                 stats.busy.sfu += sfu_occupancy;
-                stats.sfu_ops += op.arith_ops();
+                stats.sfu_ops += arith;
             }
             PipeClass::Lsu => {
                 if fx.shared_access {
@@ -798,7 +1212,7 @@ impl Sm {
                     sp.pipe_free[4] = now + occ;
                     stats.busy.lsu += occ;
                     if !fx.is_store {
-                        if let Some((first, count)) = exec::dest_regs(&op) {
+                        if let Some((first, count)) = dest {
                             for r in first..first + count {
                                 w.reg_ready[r as usize] = now + smem_latency;
                             }
@@ -808,11 +1222,7 @@ impl Sm {
                     let occ = lsu_occ_per_line * fx.global_lines.len().max(1) as u64;
                     sp.pipe_free[4] = now + occ;
                     stats.busy.lsu += occ;
-                    let dest = if fx.is_store {
-                        None
-                    } else {
-                        exec::dest_regs(&op)
-                    };
+                    let dest = if fx.is_store { None } else { dest };
                     match mem {
                         SmMem::Direct { memsys, .. } => {
                             let mut ready = now + 1;
@@ -922,34 +1332,101 @@ impl Sm {
                 w.state = WarpState::AtBarrier;
             }
         }
+        let mut released = false;
         match next {
             Next::ExitWarp => {
+                *reap_check = true;
                 block.active_warps -= 1;
                 block.active_per_group[group] -= 1;
                 if block.active_per_group[group] > 0
                     && block.at_barrier_per_group[group] == block.active_per_group[group]
                 {
-                    Self::release_barrier(warps, block, group);
+                    Self::release_barrier(warps, warp_gate, warp_pipe, block, group, interp_fast);
+                    released = true;
                 }
             }
             Next::Barrier => {
                 block.at_barrier_per_group[group] += 1;
                 if block.at_barrier_per_group[group] == block.active_per_group[group] {
-                    Self::release_barrier(warps, block, group);
+                    Self::release_barrier(warps, warp_gate, warp_pipe, block, group, interp_fast);
+                    released = true;
                 }
             }
             _ => {}
         }
+        if interp_fast && released {
+            // Woken warps may live in sub-partitions whose wake bound was
+            // computed without them (including ones already scanned or
+            // skipped this cycle): drop every bound so they rescan, and
+            // tell the in-progress scan its folded bound is stale.
+            for sp in subparts.iter_mut() {
+                sp.wake = 0;
+                sp.wake2 = 0;
+            }
+            *wake_dirty = true;
+        }
         *issued |= 1 << pbit;
+
+        // Gate maintenance for the issued warp, after barrier release so a
+        // last-arriving warp that released itself reads its final state.
+        if interp_fast {
+            let w = warps[slot].as_ref().expect("issued warp stays resident");
+            match w.state {
+                WarpState::Ready => {
+                    let dec = w.program.decoded();
+                    if w.pc < dec.mops.len() {
+                        // One issue per warp per cycle bounds the next
+                        // issue at `now + 1`; every constraint value read
+                        // here is final until the warp's own next issue or
+                        // a drain patch, both of which recompute the gate.
+                        let mop = &dec.mops[w.pc];
+                        warp_gate[slot] = mop_earliest(w, mop, now + 1);
+                        warp_pipe[slot] = mop.pipe;
+                    } else {
+                        // pc fell off the end: leave the gate open so the
+                        // slow path faults exactly like the reference.
+                        warp_gate[slot] = 0;
+                    }
+                }
+                // Done, Hung, or parked at the barrier: frozen until an
+                // external event (barrier release resets the gate to 0).
+                _ => warp_gate[slot] = u64::MAX,
+            }
+        }
         true
     }
 
-    /// Releases warps of `group` parked at their named barrier.
-    fn release_barrier(warps: &mut [Option<Warp>], block: &mut BlockSlot, group: usize) {
+    /// Releases warps of `group` parked at their named barrier. Their
+    /// gates drop to the unknown sentinel: registers may still be ready
+    /// only in the future (an in-flight load issued before the barrier),
+    /// so the next attempt must run the full scoreboard check.
+    fn release_barrier(
+        warps: &mut [Option<Warp>],
+        warp_gate: &mut [u64],
+        warp_pipe: &mut [u8],
+        block: &mut BlockSlot,
+        group: usize,
+        interp_fast: bool,
+    ) {
         for &ws in &block.warp_slots {
             if let Some(w) = warps[ws].as_mut() {
                 if w.state == WarpState::AtBarrier && w.group as usize == group {
                     w.state = WarpState::Ready;
+                    if interp_fast {
+                        // Cache the exact gate here instead of the unknown
+                        // sentinel: a parked warp's scoreboard is frozen
+                        // (only its own issues write `reg_ready`), so the
+                        // earliest admissible cycle computed now stays
+                        // exact until the warp issues. This spares every
+                        // released warp one full-check `try_issue` call. An
+                        // earliest of 0 collides with the unknown sentinel
+                        // and simply falls back to the full-check path.
+                        let mop = w.program.decoded().mops[w.pc];
+                        warp_gate[ws] = mop_earliest(w, &mop, 0);
+                        warp_pipe[ws] = mop.pipe;
+                    } else {
+                        warp_gate[ws] = 0;
+                    }
                 }
             }
         }

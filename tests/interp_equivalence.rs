@@ -1,0 +1,290 @@
+//! Interpreter equivalence: the decoded micro-op fast path
+//! ([`InterpMode::Micro`]) must be *invisible* — for every strategy,
+//! bitwidth, simulator mode, scheduler policy and fast-forward setting, it
+//! produces the same result matrix and the same `KernelStats`, field for
+//! field, as the original scanning interpreter ([`InterpMode::Reference`]).
+//! That includes the timing-sensitive counters (cycles, per-pipe issue and
+//! busy counts, `skipped_cycles`, `fast_forward_jumps`) and the fault
+//! counters under seeded injection.
+//!
+//! Launch-position discipline (as in `plan_equivalence.rs`): L2 state
+//! persists across launches on one GPU, so every comparison pairs launch
+//! #i on a Micro-configured GPU against launch #i on a Reference-configured
+//! twin — never #1 against #2.
+
+use vitbit::exec::{ExecConfig, Strategy};
+use vitbit::plan::{Engine, GemmDesc};
+use vitbit::sim::isa::{ICmp, MemWidth, SReg, Src};
+use vitbit::sim::program::ProgramBuilder;
+use vitbit::sim::{
+    FaultConfig, Gpu, InterpMode, Kernel, KernelStats, OrinConfig, SchedPolicy, SimMode,
+};
+use vitbit::tensor::{gen, Matrix};
+
+const SHAPE: (usize, usize, usize) = (20, 32, 320);
+
+fn gpu(mode: SimMode, interp: InterpMode, fast_forward: bool) -> Gpu {
+    let mut cfg = OrinConfig::test_small();
+    cfg.sim_mode = mode;
+    cfg.interp = interp;
+    cfg.fast_forward = fast_forward;
+    Gpu::new(cfg, 64 << 20)
+}
+
+/// Runs one engine GEMM on a fresh GPU and returns (result, stats).
+fn run_engine(
+    s: Strategy,
+    bw: u32,
+    mode: SimMode,
+    interp: InterpMode,
+    ff: bool,
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+) -> (Matrix<i32>, KernelStats) {
+    let (m, k, n) = SHAPE;
+    let cfg = ExecConfig::guarded(bw);
+    let mut g = gpu(mode, interp, ff);
+    let mut engine = Engine::new();
+    let mut desc = GemmDesc::from_exec(s, &cfg, &g, m, k, n, None);
+    desc.adaptive = false;
+    let out = engine.run(&mut g, desc, a, b).expect("run");
+    (out.c, out.stats)
+}
+
+#[test]
+fn micro_interp_is_bit_identical_for_every_strategy_bitwidth_and_mode() {
+    let (m, k, n) = SHAPE;
+    for mode in [SimMode::Serial, SimMode::Parallel] {
+        for bw in [4u32, 6, 8] {
+            let hi = ((1i32 << (bw - 1)) - 1) as i8;
+            let a = gen::uniform_i8(m, k, -hi - 1, hi, 300 + u64::from(bw));
+            let b = gen::uniform_i8(k, n, -hi - 1, hi, 400 + u64::from(bw));
+            for s in Strategy::ALL {
+                let (c_ref, st_ref) = run_engine(s, bw, mode, InterpMode::Reference, true, &a, &b);
+                let (c_mic, st_mic) = run_engine(s, bw, mode, InterpMode::Micro, true, &a, &b);
+                let tag = format!("{} INT{bw} {mode:?}", s.name());
+                assert_eq!(c_mic, c_ref, "result mismatch: {tag}");
+                assert_eq!(st_mic, st_ref, "stats mismatch: {tag}");
+            }
+        }
+    }
+}
+
+#[test]
+fn micro_interp_matches_with_fast_forward_disabled() {
+    // Fast-forward off removes the idle-cycle skip, which stresses the
+    // batched stepping path differently (every cycle is stepped).
+    let (m, k, n) = SHAPE;
+    let a = gen::uniform_i8(m, k, -32, 31, 11);
+    let b = gen::uniform_i8(k, n, -32, 31, 12);
+    for s in [Strategy::Tc, Strategy::VitBit, Strategy::Tacker] {
+        let (c_ref, st_ref) =
+            run_engine(s, 6, SimMode::Serial, InterpMode::Reference, false, &a, &b);
+        let (c_mic, st_mic) = run_engine(s, 6, SimMode::Serial, InterpMode::Micro, false, &a, &b);
+        let tag = s.name();
+        assert_eq!(c_mic, c_ref, "{tag}: result mismatch with FF off");
+        assert_eq!(st_mic, st_ref, "{tag}: stats mismatch with FF off");
+        assert_eq!(st_mic.skipped_cycles, 0, "{tag}: FF off must not skip");
+        assert_eq!(st_mic.fast_forward_jumps, 0, "{tag}: FF off must not jump");
+    }
+}
+
+#[test]
+fn recovery_ladder_walks_identically_under_seeded_faults() {
+    // Under aggressive injection the engine's recovery ladder absorbs
+    // corrupted launches (retry → rebuild → fallback). The ladder's walk is
+    // driven by what the simulator does with each faulty launch, so the two
+    // interpreters must take the same rungs, end with the same result and
+    // report the same engine counters.
+    let (m, k, n) = SHAPE;
+    let a = gen::uniform_i8(m, k, -32, 31, 21);
+    let b = gen::uniform_i8(k, n, -32, 31, 22);
+    for seed in [1u64, 7, 1234] {
+        let run = |interp: InterpMode| {
+            let cfg = ExecConfig::guarded(6);
+            let mut ocfg = OrinConfig::test_small();
+            ocfg.interp = interp;
+            let mut fault = FaultConfig::seeded(seed);
+            // Aggressive rate: flips land often enough to actually trip
+            // the ladder on the test-small shape.
+            fault.reg_flip_rate = 5e-3;
+            ocfg.fault = fault;
+            let mut g = Gpu::new(ocfg, 64 << 20);
+            let mut engine = Engine::new();
+            let mut desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, m, k, n, None);
+            desc.adaptive = false;
+            let out = engine.run(&mut g, desc, &a, &b).expect("run");
+            (out.c, out.stats, engine.stats())
+        };
+        let (c_ref, st_ref, eng_ref) = run(InterpMode::Reference);
+        let (c_mic, st_mic, eng_mic) = run(InterpMode::Micro);
+        assert_eq!(c_mic, c_ref, "seed {seed}: result diverged");
+        assert_eq!(st_mic, st_ref, "seed {seed}: stats diverged");
+        assert_eq!(
+            eng_mic.retries, eng_ref.retries,
+            "seed {seed}: ladder retries diverged"
+        );
+        assert_eq!(
+            eng_mic.fallbacks, eng_ref.fallbacks,
+            "seed {seed}: ladder fallbacks diverged"
+        );
+    }
+}
+
+#[test]
+fn micro_interp_matches_under_seeded_fault_injection() {
+    // Direct launches (no recovery ladder in the way): fault decisions key
+    // off the per-SM issue stream, so an interpreter that issued even one
+    // instruction differently would diverge in faults_injected. A flip
+    // that corrupts control flow aborts the launch with a typed
+    // `LaunchError::Fault` — then both interpreters must fail with the
+    // *same* error, and at least one seed must complete with faults fired.
+    let blocks = 24u32;
+    let warps = 4u32;
+    let run = |interp: InterpMode, seed: u64| -> Result<(Vec<u32>, KernelStats), String> {
+        let mut cfg = OrinConfig::test_small();
+        cfg.interp = interp;
+        let mut fault = FaultConfig::seeded(seed);
+        fault.reg_flip_rate = 2e-4;
+        cfg.fault = fault;
+        let mut g = Gpu::new(cfg, 16 << 20);
+        let out = g.mem.alloc(blocks * 4);
+        let k = Kernel::single(
+            "smem_loop",
+            smem_loop_kernel(9).into_arc(),
+            blocks,
+            warps,
+            warps * 32 * 4 + 4,
+            vec![out.addr],
+        );
+        match g.launch(&k) {
+            Ok(stats) => Ok((g.mem.download_u32(out, blocks as usize), stats)),
+            Err(e) => Err(format!("{e:?}")),
+        }
+    };
+    let mut fired = 0u64;
+    let mut completed = 0u32;
+    for seed in 1u64..=8 {
+        let r = run(InterpMode::Reference, seed);
+        let m = run(InterpMode::Micro, seed);
+        assert_eq!(m, r, "seed {seed}: outcomes diverged");
+        if let Ok((_, stats)) = m {
+            completed += 1;
+            fired += stats.faults_injected;
+        }
+    }
+    assert!(completed > 0, "every seed aborted — lower the flip rate");
+    assert!(
+        fired > 0,
+        "test is vacuous — no completed seed fired a fault"
+    );
+}
+
+/// A control-flow-heavy kernel: each warp loops `iters` times, accumulates
+/// through shared memory with a barrier per iteration (so warps park and
+/// release repeatedly), then lane 0 stores the block's sum. Exercises
+/// branches, predication, barriers and the smem pipe — the paths where the
+/// micro interpreter's issue gates and wake bounds do real work.
+fn smem_loop_kernel(iters: u32) -> vitbit::sim::Program {
+    let mut p = ProgramBuilder::new("smem_loop");
+    let base = p.alloc();
+    let ctaid = p.alloc();
+    let tid = p.alloc();
+    let saddr = p.alloc();
+    let acc = p.alloc();
+    let i = p.alloc();
+    let tmp = p.alloc();
+    let addr = p.alloc();
+    let pr = p.alloc_pred();
+    let plast = p.alloc_pred();
+    p.ldc(base, 0);
+    p.sreg(ctaid, SReg::Ctaid);
+    p.sreg(tid, SReg::Tid);
+    p.imad(saddr, tid.into(), Src::Imm(4), Src::Imm(0));
+    p.mov(acc, Src::Imm(0));
+    p.mov(i, Src::Imm(0));
+    p.label_here("loop");
+    // Each thread publishes tid + i, reads its right-hand neighbour's slot
+    // (off 4), and accumulates — the barrier makes the read well-defined.
+    p.iadd(tmp, tid.into(), i.into());
+    p.sts(saddr, 0, tmp.into(), MemWidth::B32);
+    p.bar();
+    p.lds(tmp, saddr, 4, MemWidth::B32);
+    p.iadd(acc, acc.into(), tmp.into());
+    p.bar();
+    p.iadd(i, i.into(), Src::Imm(1));
+    p.isetp(plast, i.into(), Src::Imm(iters), ICmp::Lt);
+    p.bra_if("loop", plast, true);
+    // Lane 0 of warp 0 stores acc at out[ctaid].
+    p.sreg(tmp, SReg::Tid);
+    p.isetp(pr, tmp.into(), Src::Imm(0), ICmp::Eq);
+    p.imad(addr, ctaid.into(), Src::Imm(4), base.into());
+    p.stg_if(addr, 0, acc.into(), MemWidth::B32, pr);
+    p.exit();
+    p.build()
+}
+
+#[test]
+fn micro_interp_matches_on_control_flow_kernel_under_both_schedulers() {
+    let blocks = 24u32;
+    let warps = 4u32;
+    for sched in [SchedPolicy::Gto, SchedPolicy::Lrr] {
+        for ff in [true, false] {
+            let run = |interp: InterpMode| {
+                let mut cfg = OrinConfig::test_small();
+                cfg.sched = sched;
+                cfg.interp = interp;
+                cfg.fast_forward = ff;
+                let mut g = Gpu::new(cfg, 16 << 20);
+                let out = g.mem.alloc(blocks * 4);
+                let k = Kernel::single(
+                    "smem_loop",
+                    smem_loop_kernel(9).into_arc(),
+                    blocks,
+                    warps,
+                    // +4: the lds at `off 4` reads one slot past the last
+                    // thread's own (the neighbour scheme wraps into it).
+                    warps * 32 * 4 + 4,
+                    vec![out.addr],
+                );
+                let stats = g.launch(&k).expect("launch");
+                (g.mem.download_u32(out, blocks as usize), stats)
+            };
+            let (out_ref, st_ref) = run(InterpMode::Reference);
+            let (out_mic, st_mic) = run(InterpMode::Micro);
+            let tag = format!("{sched:?} ff={ff}");
+            assert_eq!(out_mic, out_ref, "{tag}: kernel output diverged");
+            assert_eq!(st_mic, st_ref, "{tag}: stats diverged");
+        }
+    }
+}
+
+#[test]
+fn micro_interp_matches_across_repeat_launches_with_warm_l2() {
+    // Launch the same kernel three times on each twin and compare
+    // position-for-position: catches any state the micro path would leak
+    // across launches (stale gates, wake bounds, decoded-cache slots).
+    let (m, k, n) = SHAPE;
+    let a = gen::uniform_i8(m, k, -32, 31, 31);
+    let b = gen::uniform_i8(k, n, -32, 31, 32);
+    let cfg = ExecConfig::guarded(8);
+    let run3 = |interp: InterpMode| {
+        let mut g = gpu(SimMode::Serial, interp, true);
+        let mut engine = Engine::new();
+        let mut desc = GemmDesc::from_exec(Strategy::Tc, &cfg, &g, m, k, n, Some(1));
+        desc.adaptive = false;
+        let id = engine.prepare(desc).expect("prepare");
+        (0..3)
+            .map(|_| {
+                let out = engine.execute(&mut g, id, &a, &b).expect("execute");
+                (out.c, out.stats)
+            })
+            .collect::<Vec<_>>()
+    };
+    let r = run3(InterpMode::Reference);
+    let m_ = run3(InterpMode::Micro);
+    for (i, ((c_ref, st_ref), (c_mic, st_mic))) in r.iter().zip(m_.iter()).enumerate() {
+        assert_eq!(c_mic, c_ref, "launch #{i}: result diverged");
+        assert_eq!(st_mic, st_ref, "launch #{i}: stats diverged");
+    }
+}
