@@ -21,6 +21,14 @@
 //! records a reference run. `--smoke` runs the gemm_tc_linear family only
 //! and asserts the acceptance floor — CI uses it as a relative perf guard
 //! that is robust to slow shared runners.
+//!
+//! A second pass re-times every family under the micro-op interpreter with
+//! the lane-plane vector executor forced off and on
+//! ([`vitbit_sim::plane::set_vector`]), asserting identical stats (the
+//! vector bodies must be bit-exact), and attributes execute-body wall to
+//! pipes via [`vitbit_sim::profile`]; this lands as an `"exec_vector"`
+//! section in the same JSON. `--smoke-vector` runs the relative guard CI
+//! uses (vector >= 1.2x scalar on gemm_tc_linear, skipped without SIMD).
 
 use std::hint::black_box;
 use std::time::Duration;
@@ -34,7 +42,7 @@ use vitbit_kernels::gemm::tc::{
 };
 use vitbit_kernels::shapes::{pad_matrix, pad_to};
 use vitbit_plan::{Engine, GemmDesc};
-use vitbit_sim::{Gpu, InterpMode, Kernel, KernelStats, OrinConfig};
+use vitbit_sim::{plane, profile, ExecProfile, Gpu, InterpMode, Kernel, KernelStats, OrinConfig};
 use vitbit_tensor::gen;
 use vitbit_vit::{run_vit_planned, ViTConfig, ViTModel, VitPlan};
 
@@ -232,16 +240,175 @@ fn vit_block_family() -> Family {
     )
 }
 
+/// One family's scalar-vs-vector executor measurement, micro-op
+/// interpreter throughout, plus a per-pipe execute-wall attribution taken
+/// on a separate profiled pass (the timing legs run unprofiled: the two
+/// clock reads per execute would inflate the vector wall).
+struct VectorFamily {
+    name: &'static str,
+    scalar_wall: Duration,
+    vector_wall: Duration,
+    /// False when the host CPU has no AVX2+FMA: the "vector" leg then ran
+    /// the scalar bodies and the speedup is definitionally ~1.
+    simd: bool,
+    profile: ExecProfile,
+}
+
+impl VectorFamily {
+    fn speedup(&self) -> f64 {
+        self.scalar_wall.as_secs_f64() / self.vector_wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Times `run` with the vector executor forced off, then on, asserting
+/// bit-identical stats, then takes one profiled pass for the attribution.
+/// Leaves the process in the default (vector-if-supported) mode.
+fn measure_vector(
+    name: &'static str,
+    samples: usize,
+    mut run: impl FnMut(usize, &str) -> (Duration, KernelStats),
+) -> VectorFamily {
+    let simd = plane::set_vector(true);
+    plane::set_vector(false);
+    let (scalar_wall, scalar_stats) = run(samples, "scalar");
+    plane::set_vector(true);
+    let (vector_wall, vector_stats) = run(samples, "vector");
+    assert_eq!(
+        scalar_stats, vector_stats,
+        "{name}: vector executor changed the simulated statistics"
+    );
+    profile::reset();
+    profile::set_enabled(true);
+    let _ = run(1, "profiled");
+    profile::set_enabled(false);
+    let prof = profile::snapshot();
+    let f = VectorFamily {
+        name,
+        scalar_wall,
+        vector_wall,
+        simd,
+        profile: prof,
+    };
+    let exec_ms = prof.total_ns() as f64 / 1e6;
+    println!(
+        "  {name}: scalar {scalar_wall:?} vector {vector_wall:?} speedup {:.2}x{} \
+         (execute bodies {exec_ms:.1}ms: {})",
+        f.speedup(),
+        if simd { "" } else { " [no SIMD on host]" },
+        (0..6)
+            .filter(|&i| prof.ns[i] > 0)
+            .map(|i| format!("{} {:.1}ms", profile::pipe_name(i), prof.ns[i] as f64 / 1e6))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    f
+}
+
+fn vector_gemm_tc_family(
+    name: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    row_blocks: u32,
+    samples: usize,
+) -> VectorFamily {
+    measure_vector(name, samples, |samples, leg| {
+        let mut gpu = orin_gpu(InterpMode::Micro, 32 << 20);
+        let kernel = tc_launch(&mut gpu, m, k, n, row_blocks);
+        let mut stats = KernelStats::default();
+        let wall = bench(&format!("exec_vector/{name}/{leg}"), samples, || {
+            gpu.cold_caches();
+            stats = gpu.launch(&kernel).expect("launch");
+            black_box(stats.cycles)
+        });
+        (wall, stats)
+    })
+}
+
+fn vector_elementwise_family() -> VectorFamily {
+    let spec = PackSpec::guarded(6, 6).unwrap();
+    let x = gen::uniform_i8(197, 768, -32, 31, 9);
+    measure_vector("elementwise_gelu", 5, |samples, leg| {
+        let mut gpu = orin_gpu(InterpMode::Micro, 16 << 20);
+        let mut stats = KernelStats::default();
+        let wall = bench(
+            &format!("exec_vector/elementwise_gelu/{leg}"),
+            samples,
+            || {
+                gpu.cold_caches();
+                stats = run_map(
+                    &mut gpu,
+                    MapOp::Gelu,
+                    EwVariant::VitBit(spec),
+                    6,
+                    x.as_slice(),
+                    None,
+                )
+                .stats;
+                black_box(stats.cycles)
+            },
+        );
+        (wall, stats)
+    })
+}
+
+fn vector_fused_family() -> VectorFamily {
+    let (m, k, n) = (64usize, 512, 512);
+    let a = gen::uniform_i8(m, k, -32, 31, 7);
+    let b = gen::uniform_i8(k, n, -32, 31, 8);
+    let cfg = ExecConfig::guarded(6);
+    measure_vector("gemm_fused_vitbit", 3, |samples, leg| {
+        let mut gpu = orin_gpu(InterpMode::Micro, 32 << 20);
+        let mut engine = Engine::new();
+        let mut desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &gpu, m, k, n, Some(1));
+        desc.adaptive = false;
+        let id = engine.prepare(desc).expect("prepare");
+        let mut stats = KernelStats::default();
+        let wall = bench(
+            &format!("exec_vector/gemm_fused_vitbit/{leg}"),
+            samples,
+            || {
+                gpu.cold_caches();
+                stats = engine.execute(&mut gpu, id, &a, &b).expect("execute").stats;
+                black_box(stats.cycles)
+            },
+        );
+        (wall, stats)
+    })
+}
+
+fn vector_vit_family() -> VectorFamily {
+    let model = ViTModel::new(ViTConfig::tiny(), 7);
+    let cfg = ExecConfig::guarded(model.cfg.bitwidth);
+    let x = model.synthetic_input(3);
+    measure_vector("vit_block", 3, |samples, leg| {
+        let mut gpu = orin_gpu(InterpMode::Micro, 64 << 20);
+        let mut engine = Engine::new();
+        let plan = VitPlan::build(&mut engine, &gpu, &model, Strategy::VitBit, &cfg, Some(1));
+        let mut acc = KernelStats::default();
+        let wall = bench(&format!("exec_vector/vit_block/{leg}"), samples, || {
+            let r = run_vit_planned(&mut gpu, &mut engine, &plan, &model, &x);
+            acc = KernelStats::default();
+            for t in &r.timings {
+                acc.accumulate(&t.stats);
+            }
+            black_box(r.logits)
+        });
+        (wall, acc)
+    })
+}
+
 /// Splices an `"interp"` section into `BENCH_sim.json`, replacing any
 /// existing one: the file is owned by `sim_fastforward` (which rewrites it
-/// wholesale), so this bench only ever appends its own section before the
+/// wholesale), so this bench only ever appends its own sections before the
 /// closing brace.
-fn write_json(families: &[Family]) {
+fn write_json(families: &[Family], vector: &[VectorFamily]) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
     let base = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
-    // Idempotency: drop a previously spliced section (it is always the
-    // last key before the closing brace).
-    let base = match base.find(",\n  \"interp\":") {
+    // Idempotency: drop previously spliced sections (they are always the
+    // last keys before the closing brace; cut at the earliest marker).
+    let markers = [",\n  \"interp\":", ",\n  \"exec_vector\":"];
+    let base = match markers.iter().filter_map(|m| base.find(m)).min() {
         Some(at) => format!("{}\n}}\n", &base[..at]),
         None => base,
     };
@@ -258,18 +425,75 @@ fn write_json(families: &[Family]) {
             f.speedup(),
         ));
     }
+    let mut vrows = Vec::new();
+    for f in vector {
+        let pipes = |vals: [u64; 6]| {
+            (0..6)
+                .map(|i| format!("\"{}\": {}", profile::pipe_name(i), vals[i]))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        vrows.push(format!(
+            "    {{\"family\": \"{}\", \"simd\": {}, \"wall_ns_scalar\": {}, \
+             \"wall_ns_vector\": {}, \"speedup\": {:.3}, \"exec_ns\": {{{}}}, \
+             \"exec_calls\": {{{}}}}}",
+            f.name,
+            f.simd,
+            f.scalar_wall.as_nanos(),
+            f.vector_wall.as_nanos(),
+            f.speedup(),
+            pipes(f.profile.ns),
+            pipes(f.profile.calls),
+        ));
+    }
     let trimmed = base.trim_end();
     let body = trimmed
         .strip_suffix('}')
         .expect("BENCH_sim.json ends with an object")
         .trim_end();
-    let json = format!("{body},\n  \"interp\": [\n{}\n  ]\n}}\n", rows.join(",\n"));
+    let json = format!(
+        "{body},\n  \"interp\": [\n{}\n  ],\n  \"exec_vector\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        vrows.join(",\n")
+    );
     std::fs::write(path, &json).expect("write BENCH_sim.json");
     println!("wrote {path}");
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke_vector = std::env::args().any(|a| a == "--smoke-vector");
+    if smoke_vector {
+        // CI perf guard for the lane-plane executor: relative (scalar vs
+        // vector in the same process), so it cannot flake on absolute
+        // runner speed. Skipped (with a note) on hosts without AVX2+FMA,
+        // where both legs run the same scalar bodies.
+        //
+        // Floor calibration (EXPERIMENTS.md §exec-vector has the full
+        // attribution): the vector bodies themselves are 2-3x the scalar
+        // ones, but both legs share the scheduler/scoreboard wall, which
+        // caps the end-to-end ratio near ~1.4x on a 1-core cloud host
+        // (measured 1.29-1.46x across runs). The smoke threshold is 1.2x
+        // so a noisy shared runner never false-fails; absolute walls per
+        // family are recorded in BENCH_sim.json `exec_vector` for trend
+        // tracking.
+        println!("-- vector executor smoke (gemm_tc_linear) --");
+        let f = vector_gemm_tc_family("gemm_tc_linear", 197, 768, 768, u32::MAX, 3);
+        if !f.simd {
+            println!("host has no AVX2+FMA: scalar fallback verified, perf floor skipped");
+            return;
+        }
+        println!(
+            "gemm_tc_linear vector speedup: {:.2}x (smoke floor 1.2x)",
+            f.speedup()
+        );
+        assert!(
+            f.speedup() >= 1.2,
+            "vector executor regressed: {:.2}x < 1.2x on gemm_tc_linear",
+            f.speedup()
+        );
+        return;
+    }
     if smoke {
         // CI perf guard: relative (micro vs reference in the same
         // process), so it cannot flake on absolute runner speed. The
@@ -297,7 +521,15 @@ fn main() {
         elementwise_family(),
         vit_block_family(),
     ];
-    write_json(&families);
+    println!("-- lane-plane vector executor vs scalar, per kernel family --");
+    let vector = vec![
+        vector_gemm_tc_family("gemm_tc_membound", 32, 3072, 64, 1, 5),
+        vector_gemm_tc_family("gemm_tc_linear", 197, 768, 768, u32::MAX, 3),
+        vector_fused_family(),
+        vector_elementwise_family(),
+        vector_vit_family(),
+    ];
+    write_json(&families, &vector);
     let linear = &families[1];
     println!(
         "gemm_tc_linear interp speedup: {:.2}x (acceptance floor 5x, target 10x)",

@@ -64,4 +64,28 @@ fn main() {
         "skipped {} jumps {}",
         s.skipped_cycles, s.fast_forward_jumps
     );
+    let prof = vitbit_sim::profile::snapshot();
+    if prof.total_ns() > 0 {
+        println!("exec profile (VITBIT_EXEC_PROFILE=1):");
+        for i in 0..6 {
+            if prof.calls[i] == 0 {
+                continue;
+            }
+            println!(
+                "  {:<6} {:>9.2}ms {:>8} calls {:>6.0}ns/call",
+                vitbit_sim::profile::pipe_name(i),
+                prof.ns[i] as f64 / 1e6,
+                prof.calls[i],
+                prof.ns[i] as f64 / prof.calls[i] as f64,
+            );
+        }
+        let extra = vitbit_sim::profile::extra_ns();
+        for (i, &ns) in extra.iter().enumerate() {
+            println!(
+                "  {:<12} {:>9.2}ms",
+                vitbit_sim::profile::extra_name(i),
+                ns as f64 / 1e6
+            );
+        }
+    }
 }

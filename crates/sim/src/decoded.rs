@@ -20,10 +20,34 @@
 //! subsumed by the accumulator destination range).
 
 use crate::exec;
-use crate::isa::{Op, PipeClass};
+use crate::isa::{MemWidth, Op, PipeClass, SReg, Src};
 
 /// Sentinel for "no predicate operand" in [`MicroOp`].
 pub const NO_PRED: u8 = u8::MAX;
+
+/// Decode-time coalescing class of a memory instruction's 32-lane address
+/// vector, from a lane-affine dataflow analysis over the program
+/// (registers start zeroed, `%tid`/`%laneid` have lane stride 1, immediates
+/// and `Ldc` arguments are warp-uniform, and strides propagate through
+/// add/sub/mul-by-constant/shift-by-constant chains, meeting across branch
+/// joins and loop back-edges).
+///
+/// The class is a *hint*: the executor re-verifies the actual addresses
+/// before taking a bulk path, so a wrong class can cost a probe but never
+/// change an architectural value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrClass {
+    /// Not a memory instruction.
+    NonMem,
+    /// Analysis could not prove an affine lane layout.
+    Unknown,
+    /// All lanes address the same location (lane stride 0).
+    Uniform,
+    /// Byte-contiguous: lane stride 1 on a byte-wide access.
+    Stride1,
+    /// Word-contiguous: lane stride 4 on a 32-bit access.
+    Stride4,
+}
 
 /// Pipe encoding used by [`MicroOp::pipe`]: indices 0–4 match the SM's
 /// `pipe_free` array, [`CTRL_PIPE`] marks control instructions.
@@ -54,6 +78,9 @@ pub struct MicroOp {
     /// register/predicate producer earlier in the same block, else one
     /// more than the deepest such producer.
     pub level: u8,
+    /// Decode-time coalescing class of the address vector (memory ops
+    /// only; [`AddrClass::NonMem`] otherwise).
+    pub addr_class: AddrClass,
 }
 
 /// Why a basic block ends.
@@ -159,10 +186,305 @@ impl DecodedProgram {
                 arith: u32::try_from(op.arith_ops()).unwrap_or(u32::MAX),
                 block: 0,
                 level: 0,
+                addr_class: match op {
+                    Op::Ldg { .. }
+                    | Op::LdgV4 { .. }
+                    | Op::Stg { .. }
+                    | Op::Lds { .. }
+                    | Op::Sts { .. } => AddrClass::Unknown,
+                    _ => AddrClass::NonMem,
+                },
             });
         }
         let blocks = split_blocks(ops, &mut mops);
+        classify_addrs(ops, &blocks, &mut mops);
         DecodedProgram { mops, blocks }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane-affine address classification (fills `MicroOp::addr_class`)
+// ---------------------------------------------------------------------------
+
+/// Abstract per-register lane layout: what a register holds as a function
+/// of the lane index, for one warp, at one program point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbsVal {
+    /// No affine description (lane-dependent in an unknown way).
+    Top,
+    /// `base + stride * lane` with a warp-uniform but unknown base.
+    Affine(i64),
+    /// Known warp-uniform constant (stride 0 with a known base), tracked
+    /// so multiplications and shifts by program constants scale strides.
+    Const(i64),
+}
+
+impl AbsVal {
+    /// Lane stride, when the layout is affine at all.
+    fn stride(self) -> Option<i64> {
+        match self {
+            AbsVal::Top => None,
+            AbsVal::Affine(s) => Some(s),
+            AbsVal::Const(_) => Some(0),
+        }
+    }
+
+    /// Warp-uniform (stride 0)?
+    fn uniform(self) -> bool {
+        self.stride() == Some(0)
+    }
+}
+
+/// Lattice meet at control-flow joins. Only ever moves down (equal ->
+/// same-stride affine -> `Top`), which is what bounds the fixpoint.
+fn meet(a: AbsVal, b: AbsVal) -> AbsVal {
+    if a == b {
+        return a;
+    }
+    match (a.stride(), b.stride()) {
+        (Some(x), Some(y)) if x == y => AbsVal::Affine(x),
+        _ => AbsVal::Top,
+    }
+}
+
+fn eval(s: Src, st: &[AbsVal]) -> AbsVal {
+    match s {
+        Src::R(r) => st[r.0 as usize],
+        Src::Imm(v) => AbsVal::Const(i64::from(v)),
+    }
+}
+
+fn add_vals(a: AbsVal, b: AbsVal) -> AbsVal {
+    match (a, b) {
+        (AbsVal::Const(x), AbsVal::Const(y)) => AbsVal::Const(x.wrapping_add(y)),
+        _ => match (a.stride(), b.stride()) {
+            (Some(x), Some(y)) => AbsVal::Affine(x.wrapping_add(y)),
+            _ => AbsVal::Top,
+        },
+    }
+}
+
+fn sub_vals(a: AbsVal, b: AbsVal) -> AbsVal {
+    match (a, b) {
+        (AbsVal::Const(x), AbsVal::Const(y)) => AbsVal::Const(x.wrapping_sub(y)),
+        _ => match (a.stride(), b.stride()) {
+            (Some(x), Some(y)) => AbsVal::Affine(x.wrapping_sub(y)),
+            _ => AbsVal::Top,
+        },
+    }
+}
+
+/// Multiplication scales a stride only when the other factor is a known
+/// constant; `checked_mul` overflow degrades to `Top` (the runtime probe
+/// makes any imprecision here harmless).
+fn mul_vals(a: AbsVal, b: AbsVal) -> AbsVal {
+    let scaled = |s: i64, c: i64| match s.checked_mul(c) {
+        Some(x) => AbsVal::Affine(x),
+        None => AbsVal::Top,
+    };
+    match (a, b) {
+        (AbsVal::Const(x), AbsVal::Const(y)) => match x.checked_mul(y) {
+            Some(v) => AbsVal::Const(v),
+            None => AbsVal::Top,
+        },
+        (AbsVal::Const(c), v) | (v, AbsVal::Const(c)) => match v.stride() {
+            Some(s) => scaled(s, c),
+            None => AbsVal::Top,
+        },
+        _ => AbsVal::Top,
+    }
+}
+
+/// Left shift by a known in-range constant is a stride scale by `1 << k`.
+fn shl_vals(a: AbsVal, b: AbsVal) -> AbsVal {
+    let AbsVal::Const(k) = b else {
+        return AbsVal::Top;
+    };
+    if !(0..32).contains(&k) {
+        return AbsVal::Top;
+    }
+    mul_vals(a, AbsVal::Const(1i64 << k))
+}
+
+/// Abstract effect of one op on the register state.
+fn transfer(op: &Op, st: &mut [AbsVal]) {
+    let u2 = |a: AbsVal, b: AbsVal| {
+        if a.uniform() && b.uniform() {
+            AbsVal::Affine(0)
+        } else {
+            AbsVal::Top
+        }
+    };
+    match op {
+        Op::IAdd { d, a, b } => st[d.0 as usize] = add_vals(eval(*a, st), eval(*b, st)),
+        Op::ISub { d, a, b } => st[d.0 as usize] = sub_vals(eval(*a, st), eval(*b, st)),
+        Op::IMul { d, a, b } => st[d.0 as usize] = mul_vals(eval(*a, st), eval(*b, st)),
+        Op::IMad { d, a, b, c } => {
+            st[d.0 as usize] = add_vals(mul_vals(eval(*a, st), eval(*b, st)), eval(*c, st));
+        }
+        Op::Shl { d, a, b } => st[d.0 as usize] = shl_vals(eval(*a, st), eval(*b, st)),
+        Op::Mov { d, s } => st[d.0 as usize] = eval(*s, st),
+        Op::Ldc { d, .. } => st[d.0 as usize] = AbsVal::Affine(0),
+        Op::ReadSr { d, sr } => {
+            st[d.0 as usize] = match sr {
+                SReg::Tid | SReg::LaneId => AbsVal::Affine(1),
+                SReg::Ntid | SReg::Ctaid | SReg::Nctaid | SReg::WarpId => AbsVal::Affine(0),
+            };
+        }
+        // Lanewise ops that preserve warp-uniformity but not strides.
+        Op::And { d, a, b }
+        | Op::Or { d, a, b }
+        | Op::Xor { d, a, b }
+        | Op::Shr { d, a, b }
+        | Op::Sar { d, a, b }
+        | Op::IMin { d, a, b }
+        | Op::IMax { d, a, b }
+        | Op::IDivU { d, a, b }
+        | Op::IRemU { d, a, b }
+        | Op::FAdd { d, a, b }
+        | Op::FMul { d, a, b }
+        | Op::FMin { d, a, b }
+        | Op::FMax { d, a, b } => st[d.0 as usize] = u2(eval(*a, st), eval(*b, st)),
+        Op::FFma { d, a, b, c } => {
+            st[d.0 as usize] = u2(u2(eval(*a, st), eval(*b, st)), eval(*c, st));
+        }
+        Op::I2F { d, a }
+        | Op::F2I { d, a }
+        | Op::F2IFloor { d, a }
+        | Op::Rcp { d, a }
+        | Op::Sqrt { d, a }
+        | Op::Ex2 { d, a }
+        | Op::Lg2 { d, a } => {
+            st[d.0 as usize] = if eval(*a, st).uniform() {
+                AbsVal::Affine(0)
+            } else {
+                AbsVal::Top
+            };
+        }
+        // Selects mix two planes per-lane, shuffles permute lanes, and
+        // loads bring in memory contents: no affine claim survives.
+        Op::Sel { d, .. } | Op::Shfl { d, .. } | Op::Ldg { d, .. } | Op::Lds { d, .. } => {
+            st[d.0 as usize] = AbsVal::Top;
+        }
+        Op::LdgV4 { d, .. } => {
+            for r in 0..4usize {
+                st[d.0 as usize + r] = AbsVal::Top;
+            }
+        }
+        Op::Mma { kind, acc, .. } => {
+            for r in 0..kind.acc_regs() as usize {
+                st[acc.0 as usize + r] = AbsVal::Top;
+            }
+        }
+        Op::ISetP { .. }
+        | Op::FSetP { .. }
+        | Op::Stg { .. }
+        | Op::Sts { .. }
+        | Op::Bra { .. }
+        | Op::Bar
+        | Op::Exit
+        | Op::Nop => {}
+    }
+}
+
+/// Classifies the address operand of a memory op under state `st`.
+fn mem_class(op: &Op, st: &[AbsVal]) -> Option<AddrClass> {
+    let cls = |addr: &crate::isa::Reg, w: MemWidth| match (st[addr.0 as usize].stride(), w) {
+        (Some(0), _) => AddrClass::Uniform,
+        (Some(1), MemWidth::B8S | MemWidth::B8U) => AddrClass::Stride1,
+        (Some(4), MemWidth::B32) => AddrClass::Stride4,
+        _ => AddrClass::Unknown,
+    };
+    match op {
+        Op::Ldg { addr, w, .. }
+        | Op::Stg { addr, w, .. }
+        | Op::Lds { addr, w, .. }
+        | Op::Sts { addr, w, .. } => Some(cls(addr, *w)),
+        Op::LdgV4 { .. } => Some(AddrClass::Unknown),
+        _ => None,
+    }
+}
+
+/// CFG successors of block `b` (instruction-level branch targets resolved
+/// to blocks via `MicroOp::block`).
+fn successors(ops: &[Op], blocks: &[BasicBlock], mops: &[MicroOp], b: usize, out: &mut Vec<usize>) {
+    out.clear();
+    let blk = &blocks[b];
+    match blk.end_kind {
+        BlockEnd::Exit => {}
+        BlockEnd::Branch => {
+            if let Op::Bra { target, pred, .. } = &ops[blk.end as usize - 1] {
+                out.push(mops[*target].block as usize);
+                if pred.is_some() && b + 1 < blocks.len() {
+                    out.push(b + 1);
+                }
+            }
+        }
+        BlockEnd::FallThrough | BlockEnd::Barrier => {
+            if b + 1 < blocks.len() {
+                out.push(b + 1);
+            }
+        }
+    }
+}
+
+/// Meets `s` into `e` elementwise; true when anything moved down.
+fn meet_into(e: &mut [AbsVal], s: &[AbsVal]) -> bool {
+    let mut changed = false;
+    for (ev, &sv) in e.iter_mut().zip(s) {
+        let m = meet(*ev, sv);
+        if m != *ev {
+            *ev = m;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Worklist fixpoint over the CFG. Entry state is all-`Const(0)` because
+/// [`crate::warp::Warp::new`] zeroes the register file at launch. Each
+/// state element descends a 3-level lattice at most twice, so the loop
+/// terminates. Unreached (dead) blocks keep the decode-time `Unknown`.
+fn classify_addrs(ops: &[Op], blocks: &[BasicBlock], mops: &mut [MicroOp]) {
+    if blocks.is_empty() {
+        return;
+    }
+    let mut entry: Vec<Option<Vec<AbsVal>>> = vec![None; blocks.len()];
+    entry[0] = Some(vec![AbsVal::Const(0); 256]);
+    let mut work = vec![0usize];
+    let mut succs: Vec<usize> = Vec::with_capacity(2);
+    while let Some(b) = work.pop() {
+        let Some(mut st) = entry[b].clone() else {
+            continue;
+        };
+        let blk = &blocks[b];
+        for op in &ops[blk.start as usize..blk.end as usize] {
+            transfer(op, &mut st);
+        }
+        successors(ops, blocks, mops, b, &mut succs);
+        for &s in &succs {
+            let changed = match &mut entry[s] {
+                e @ None => {
+                    *e = Some(st.clone());
+                    true
+                }
+                Some(e) => meet_into(e, &st),
+            };
+            if changed {
+                work.push(s);
+            }
+        }
+    }
+    for (b, blk) in blocks.iter().enumerate() {
+        let Some(mut st) = entry[b].clone() else {
+            continue;
+        };
+        for i in blk.start as usize..blk.end as usize {
+            if let Some(c) = mem_class(&ops[i], &st) {
+                mops[i].addr_class = c;
+            }
+            transfer(&ops[i], &mut st);
+        }
     }
 }
 
@@ -475,6 +797,117 @@ mod tests {
         let levels: Vec<u8> = dec.mops.iter().map(|m| m.level).collect();
         assert_eq!(levels, vec![0, 1, 2, 0, 0]);
         assert_eq!(dec.blocks[0].depth, 3);
+    }
+
+    /// Helper: the address classes of the memory ops of a program, in
+    /// program order.
+    fn mem_classes(ops: &[Op]) -> Vec<AddrClass> {
+        DecodedProgram::decode(ops)
+            .mops
+            .iter()
+            .filter(|m| m.addr_class != AddrClass::NonMem)
+            .map(|m| m.addr_class)
+            .collect()
+    }
+
+    #[test]
+    fn addr_class_tracks_tid_derived_strides() {
+        use crate::isa::SReg;
+        let mut p = ProgramBuilder::new("t");
+        let tid = p.alloc();
+        let base = p.alloc();
+        let a4 = p.alloc();
+        let v = p.alloc();
+        p.sreg(tid, SReg::Tid);
+        p.ldc(base, 0);
+        // a4 = base + tid*4: the canonical coalesced word address.
+        p.imad(a4, tid.into(), Src::Imm(4), base.into());
+        p.ldg(v, a4, 0, MemWidth::B32); // Stride4
+        p.stg(a4, 0, v.into(), MemWidth::B32); // Stride4
+                                               // Byte-contiguous: base + tid.
+        let a1 = p.alloc();
+        p.iadd(a1, base.into(), tid.into());
+        p.ldg(v, a1, 0, MemWidth::B8U); // Stride1
+                                        // Width mismatch: stride 1 on a 32-bit access is not contiguous.
+        p.ldg(v, a1, 0, MemWidth::B32); // Unknown
+                                        // Warp-uniform address.
+        p.ldg(v, base, 8, MemWidth::B32); // Uniform
+                                          // Loaded values carry no affine claim.
+        p.stg(v, 0, Src::Imm(1), MemWidth::B32); // Unknown
+        p.exit();
+        let prog = p.build();
+        assert_eq!(
+            mem_classes(&prog.ops),
+            vec![
+                AddrClass::Stride4,
+                AddrClass::Stride4,
+                AddrClass::Stride1,
+                AddrClass::Unknown,
+                AddrClass::Uniform,
+                AddrClass::Unknown,
+            ]
+        );
+    }
+
+    #[test]
+    fn addr_class_swizzles_degrade_but_shifts_scale() {
+        use crate::isa::SReg;
+        let mut p = ProgramBuilder::new("t");
+        let tid = p.alloc();
+        let a = p.alloc();
+        let v = p.alloc();
+        p.sreg(tid, SReg::Tid);
+        // Shl by a constant scales the stride: tid << 2 => stride 4.
+        p.shl(a, tid.into(), Src::Imm(2));
+        p.lds(v, a, 0, MemWidth::B32); // Stride4
+                                       // XOR-swizzled banks: no affine layout.
+        let sw = p.alloc();
+        p.push(Op::Xor {
+            d: sw,
+            a: a.into(),
+            b: Src::Imm(0x10),
+        });
+        p.sts(sw, 0, v.into(), MemWidth::B32); // Unknown
+        p.exit();
+        let prog = p.build();
+        assert_eq!(
+            mem_classes(&prog.ops),
+            vec![AddrClass::Stride4, AddrClass::Unknown]
+        );
+    }
+
+    #[test]
+    fn addr_class_survives_loop_back_edges() {
+        use crate::isa::SReg;
+        // A pointer advanced by a uniform step each iteration keeps its
+        // lane stride across the loop join; one advanced by `tid` does
+        // not (its stride differs per trip and must meet to Unknown).
+        let mut p = ProgramBuilder::new("t");
+        let tid = p.alloc();
+        let ptr = p.alloc();
+        let wob = p.alloc();
+        let i = p.alloc();
+        let v = p.alloc();
+        let pr = p.alloc_pred();
+        p.sreg(tid, SReg::Tid);
+        p.ldc(ptr, 0);
+        p.imad(ptr, tid.into(), Src::Imm(4), ptr.into());
+        p.mov(wob, tid.into());
+        p.mov(i, Src::Imm(0));
+        let top = p.label_here("top");
+        p.ldg(v, ptr, 0, MemWidth::B32); // stays Stride4
+        p.stg(wob, 0, v.into(), MemWidth::B8U); // Stride1 first trip, then diverges
+        p.iadd(ptr, ptr.into(), Src::Imm(128)); // uniform step: stride kept
+        p.iadd(wob, wob.into(), tid.into()); // strided step: degrades
+        p.iadd(i, i.into(), Src::Imm(1));
+        p.isetp(pr, i.into(), Src::Imm(4), ICmp::Lt);
+        p.bra_if(top, pr, true);
+        p.exit();
+        let prog = p.build();
+        assert_eq!(
+            mem_classes(&prog.ops),
+            vec![AddrClass::Stride4, AddrClass::Unknown]
+        );
     }
 
     #[test]

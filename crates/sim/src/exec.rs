@@ -4,8 +4,10 @@
 //! Executed at issue time; the scoreboard in [`crate::sm`] guarantees that
 //! source values are architecturally ready, so executing eagerly is exact.
 
+use crate::decoded::AddrClass;
 use crate::isa::{FCmp, ICmp, MemWidth, Op, Src};
-use crate::mem::GlobalMem;
+use crate::mem::{GlobalMem, StoreOverlay};
+use crate::plane;
 use crate::warp::Warp;
 
 /// Control outcome of one instruction.
@@ -58,12 +60,14 @@ impl ExecEffects {
 pub enum MemCtx<'a> {
     /// Direct read/write access (serial mode).
     Direct(&'a mut GlobalMem),
-    /// Cycle-start snapshot plus an SM-local store buffer (parallel phase).
+    /// Cycle-start snapshot plus an SM-local store overlay (parallel
+    /// phase): reads forward from the overlay's hashed index, writes log
+    /// word-granular entries replayed at the serial drain.
     Buffered {
         /// Shared device memory as of the start of the cycle.
         base: &'a GlobalMem,
         /// This SM's stores of the current cycle, in program order.
-        writes: &'a mut Vec<(u32, u8)>,
+        overlay: &'a mut StoreOverlay,
     },
 }
 
@@ -72,11 +76,9 @@ impl MemCtx<'_> {
     fn read_u8(&self, addr: u32) -> u8 {
         match self {
             MemCtx::Direct(g) => g.read_u8(addr),
-            MemCtx::Buffered { base, writes } => writes
-                .iter()
-                .rev()
-                .find(|&&(a, _)| a == addr)
-                .map_or_else(|| base.read_u8(addr), |&(_, v)| v),
+            MemCtx::Buffered { base, overlay } => {
+                overlay.get(addr).unwrap_or_else(|| base.read_u8(addr))
+            }
         }
     }
 
@@ -84,16 +86,16 @@ impl MemCtx<'_> {
     fn read_u32(&self, addr: u32) -> u32 {
         match self {
             MemCtx::Direct(g) => g.read_u32(addr),
-            MemCtx::Buffered { base, writes } => {
-                if writes.is_empty() {
-                    base.read_u32(addr)
-                } else {
+            MemCtx::Buffered { base, overlay } => {
+                if overlay.overlaps(addr, 4) {
                     u32::from_le_bytes([
                         self.read_u8(addr),
                         self.read_u8(addr + 1),
                         self.read_u8(addr + 2),
                         self.read_u8(addr + 3),
                     ])
+                } else {
+                    base.read_u32(addr)
                 }
             }
         }
@@ -103,7 +105,7 @@ impl MemCtx<'_> {
     fn write_u8(&mut self, addr: u32, v: u8) {
         match self {
             MemCtx::Direct(g) => g.write_u8(addr, v),
-            MemCtx::Buffered { writes, .. } => writes.push((addr, v)),
+            MemCtx::Buffered { overlay, .. } => overlay.write_u8(addr, v),
         }
     }
 
@@ -111,9 +113,22 @@ impl MemCtx<'_> {
     fn write_u32(&mut self, addr: u32, v: u32) {
         match self {
             MemCtx::Direct(g) => g.write_u32(addr, v),
-            MemCtx::Buffered { writes, .. } => {
-                for (i, b) in v.to_le_bytes().into_iter().enumerate() {
-                    writes.push((addr + i as u32, b));
+            MemCtx::Buffered { overlay, .. } => overlay.write_u32(addr, v),
+        }
+    }
+
+    /// Contiguous read view for the bulk load paths: `None` when a
+    /// buffered store might overlap the range (the caller then falls back
+    /// to the per-lane path, which forwards through the overlay).
+    #[inline]
+    fn bulk_view(&self, addr: u32, len: u32) -> Option<&[u8]> {
+        match self {
+            MemCtx::Direct(g) => Some(g.slice(addr, len)),
+            MemCtx::Buffered { base, overlay } => {
+                if overlay.overlaps(addr, len) {
+                    None
+                } else {
+                    Some(base.slice(addr, len))
                 }
             }
         }
@@ -300,16 +315,36 @@ fn collect_lines(addrs: &[u64], mask: u32, lines: &mut Vec<u64>) {
     }
 }
 
+/// Executes `op` for `warp` with no decode-time address hint; see
+/// [`execute_hinted`]. Kept as the stable entry point for callers (and
+/// tests) that have no [`crate::decoded::DecodedProgram`] at hand.
+pub fn execute(
+    op: &Op,
+    w: &mut Warp,
+    smem: &mut [u8],
+    gmem: &mut MemCtx<'_>,
+    args: &[u32],
+    fx: &mut ExecEffects,
+) -> Next {
+    execute_hinted(op, AddrClass::Unknown, w, smem, gmem, args, fx)
+}
+
 /// Executes `op` for `warp`; updates registers, shared and global memory.
 /// Returns control flow; side effects for the timing model land in `fx`
 /// (a reusable scratch, cleared here).
+///
+/// `hint` is the decode-time [`AddrClass`] of the op's address vector; it
+/// only picks which coalescing probe runs first on the LSU paths and is
+/// re-verified against the actual addresses, so a stale hint can never
+/// change an architectural value.
 ///
 /// # Panics
 /// Panics on divergent branches (this ISA requires warp-uniform control
 /// flow), out-of-bounds shared accesses, or out-of-range argument indices —
 /// all kernel construction bugs.
-pub fn execute(
+pub fn execute_hinted(
     op: &Op,
+    hint: AddrClass,
     w: &mut Warp,
     smem: &mut [u8],
     gmem: &mut MemCtx<'_>,
@@ -319,29 +354,20 @@ pub fn execute(
     use Op::*;
     fx.reset();
     match op {
-        IAdd { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.wrapping_add(y)),
-        ISub { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.wrapping_sub(y)),
-        IMul { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.wrapping_mul(y)),
-        IMad { d, a, b, c } => {
-            let av = src32(w, *a);
-            let bv = src32(w, *b);
-            let cv = src32(w, *c);
-            let db = d.0 as usize * 32;
-            let dst = &mut w.regs[db..db + 32];
-            for lane in 0..32 {
-                dst[lane] = av[lane].wrapping_mul(bv[lane]).wrapping_add(cv[lane]);
-            }
-        }
-        And { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x & y),
-        Or { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x | y),
-        Xor { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x ^ y),
-        Shl { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.unbounded_shl(y)),
-        Shr { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.unbounded_shr(y)),
-        Sar { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| ((x as i32).unbounded_shr(y)) as u32),
-        IMin { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| (x as i32).min(y as i32) as u32),
-        IMax { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| (x as i32).max(y as i32) as u32),
-        IDivU { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.checked_div(y).unwrap_or(0)),
-        IRemU { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| x.checked_rem(y).unwrap_or(x)),
+        IAdd { d, a, b } => bin(w, *d, *a, *b, plane::iadd),
+        ISub { d, a, b } => bin(w, *d, *a, *b, plane::isub),
+        IMul { d, a, b } => bin(w, *d, *a, *b, plane::imul),
+        IMad { d, a, b, c } => tern(w, *d, *a, *b, *c, plane::imad),
+        And { d, a, b } => bin(w, *d, *a, *b, plane::band),
+        Or { d, a, b } => bin(w, *d, *a, *b, plane::bor),
+        Xor { d, a, b } => bin(w, *d, *a, *b, plane::bxor),
+        Shl { d, a, b } => bin(w, *d, *a, *b, plane::shl),
+        Shr { d, a, b } => bin(w, *d, *a, *b, plane::shr),
+        Sar { d, a, b } => bin(w, *d, *a, *b, plane::sar),
+        IMin { d, a, b } => bin(w, *d, *a, *b, plane::imin),
+        IMax { d, a, b } => bin(w, *d, *a, *b, plane::imax),
+        IDivU { d, a, b } => bin(w, *d, *a, *b, plane::idivu),
+        IRemU { d, a, b } => bin(w, *d, *a, *b, plane::iremu),
         Shfl { d, a, xor_mask } => {
             let mut vals = [0u32; 32];
             for (lane, v) in vals.iter_mut().enumerate() {
@@ -354,26 +380,17 @@ pub fn execute(
         ISetP { p, a, b, cmp } => {
             let av = src32(w, *a);
             let bv = src32(w, *b);
-            let mut mask = 0u32;
-            for lane in 0..32 {
-                let x = av[lane];
-                let y = bv[lane];
-                let (xs, ys) = (x as i32, y as i32);
-                let t = match cmp {
-                    ICmp::Eq => x == y,
-                    ICmp::Ne => x != y,
-                    ICmp::Lt => xs < ys,
-                    ICmp::Le => xs <= ys,
-                    ICmp::Gt => xs > ys,
-                    ICmp::Ge => xs >= ys,
-                    ICmp::LtU => x < y,
-                    ICmp::GeU => x >= y,
-                };
-                if t {
-                    mask |= 1 << lane;
-                }
-            }
-            w.preds[p.0 as usize] = mask;
+            let cmp_fn = match cmp {
+                ICmp::Eq => plane::isetp_eq,
+                ICmp::Ne => plane::isetp_ne,
+                ICmp::Lt => plane::isetp_lt,
+                ICmp::Le => plane::isetp_le,
+                ICmp::Gt => plane::isetp_gt,
+                ICmp::Ge => plane::isetp_ge,
+                ICmp::LtU => plane::isetp_ltu,
+                ICmp::GeU => plane::isetp_geu,
+            };
+            w.preds[p.0 as usize] = cmp_fn(&av, &bv);
         }
         Mov { d, s } => {
             let sv = src32(w, *s);
@@ -384,15 +401,7 @@ pub fn execute(
             let mask = w.preds[p.0 as usize];
             let av = src32(w, *a);
             let bv = src32(w, *b);
-            let db = d.0 as usize * 32;
-            let dst = &mut w.regs[db..db + 32];
-            for lane in 0..32 {
-                dst[lane] = if mask & (1 << lane) != 0 {
-                    av[lane]
-                } else {
-                    bv[lane]
-                };
-            }
+            plane::sel(w.plane_mut(d.0), mask, &av, &bv);
         }
         Ldc { d, idx } => {
             let v = *args
@@ -416,40 +425,28 @@ pub fn execute(
                 w.set_reg(d.0, lane, v);
             }
         }
-        FAdd { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| (f(x) + f(y)).to_bits()),
-        FMul { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| (f(x) * f(y)).to_bits()),
-        FFma { d, a, b, c } => {
-            for lane in 0..32 {
-                let v = f(src_val(w, *a, lane))
-                    .mul_add(f(src_val(w, *b, lane)), f(src_val(w, *c, lane)));
-                w.set_reg(d.0, lane, v.to_bits());
-            }
-        }
-        FMin { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| f(x).min(f(y)).to_bits()),
-        FMax { d, a, b } => lanewise2(w, *d, *a, *b, |x, y| f(x).max(f(y)).to_bits()),
+        FAdd { d, a, b } => bin(w, *d, *a, *b, plane::fadd),
+        FMul { d, a, b } => bin(w, *d, *a, *b, plane::fmul),
+        FFma { d, a, b, c } => tern(w, *d, *a, *b, *c, plane::ffma),
+        FMin { d, a, b } => bin(w, *d, *a, *b, plane::fmin),
+        FMax { d, a, b } => bin(w, *d, *a, *b, plane::fmax),
         FSetP { p, a, b, cmp } => {
-            let mut mask = 0u32;
-            for lane in 0..32 {
-                let x = f(src_val(w, *a, lane));
-                let y = f(src_val(w, *b, lane));
-                let t = match cmp {
-                    FCmp::Eq => x == y,
-                    FCmp::Lt => x < y,
-                    FCmp::Le => x <= y,
-                    FCmp::Gt => x > y,
-                    FCmp::Ge => x >= y,
-                };
-                if t {
-                    mask |= 1 << lane;
-                }
-            }
-            w.preds[p.0 as usize] = mask;
+            let av = src32(w, *a);
+            let bv = src32(w, *b);
+            let cmp_fn = match cmp {
+                FCmp::Eq => plane::fsetp_eq,
+                FCmp::Lt => plane::fsetp_lt,
+                FCmp::Le => plane::fsetp_le,
+                FCmp::Gt => plane::fsetp_gt,
+                FCmp::Ge => plane::fsetp_ge,
+            };
+            w.preds[p.0 as usize] = cmp_fn(&av, &bv);
         }
-        I2F { d, a } => lanewise1(w, *d, *a, |x| (x as i32 as f32).to_bits()),
+        I2F { d, a } => un(w, *d, *a, plane::i2f),
         F2I { d, a } => lanewise1(w, *d, *a, |x| (f(x).round_ties_even() as i32) as u32),
         F2IFloor { d, a } => lanewise1(w, *d, *a, |x| (f(x).floor() as i32) as u32),
-        Rcp { d, a } => lanewise1(w, *d, *a, |x| (1.0 / f(x)).to_bits()),
-        Sqrt { d, a } => lanewise1(w, *d, *a, |x| f(x).sqrt().to_bits()),
+        Rcp { d, a } => un(w, *d, *a, plane::frcp),
+        Sqrt { d, a } => un(w, *d, *a, plane::fsqrt),
         Ex2 { d, a } => lanewise1(w, *d, *a, |x| f(x).exp2().to_bits()),
         Lg2 { d, a } => lanewise1(w, *d, *a, |x| f(x).log2().to_bits()),
         Ldg {
@@ -467,11 +464,12 @@ pub fn execute(
                 // Unguarded loads (the common shape): hoist the width
                 // match and run the lanes over plain slices. Copying the
                 // address lanes first keeps `d == addr` aliasing exact.
-                let ab = addr.0 as usize * 32;
-                let mut a_lane = [0u32; 32];
-                a_lane.copy_from_slice(&w.regs[ab..ab + 32]);
+                let a_lane = *w.plane(addr.0);
                 for (a, &al) in addrs.iter_mut().zip(a_lane.iter()) {
                     *a = (al as i64 + i64::from(*off)) as u64;
+                }
+                if plane::vector_enabled() && ldg_bulk(d.0, &addrs, *width, hint, w, gmem, fx) {
+                    return Next::Seq;
                 }
                 let db = d.0 as usize * 32;
                 let dst = &mut w.regs[db..db + 32];
@@ -546,6 +544,17 @@ pub fn execute(
         } => {
             let mask = guard.map_or(u32::MAX, |p| w.preds[p.0 as usize]);
             let mut addrs = [0u64; 32];
+            if mask == u32::MAX && plane::vector_enabled() {
+                let a_lane = *w.plane(addr.0);
+                for (a, &al) in addrs.iter_mut().zip(a_lane.iter()) {
+                    *a = (al as i64 + i64::from(*off)) as u64;
+                }
+                if stg_bulk(&addrs, *v, *width, hint, w, gmem, fx) {
+                    fx.is_store = true;
+                    fx.stream = *stream;
+                    return Next::Seq;
+                }
+            }
             for lane in 0..32 {
                 if mask & (1 << lane) == 0 {
                     continue;
@@ -572,9 +581,16 @@ pub fn execute(
             // Copy the address lanes first: identical even when `d`
             // aliases `addr` (each lane reads its own pre-write value),
             // and it frees the destination run for a plain slice loop.
-            let ab = addr.0 as usize * 32;
-            let mut a_lane = [0u32; 32];
-            a_lane.copy_from_slice(&w.regs[ab..ab + 32]);
+            let a_lane = *w.plane(addr.0);
+            if plane::vector_enabled() {
+                let mut addrs = [0u64; 32];
+                for (a, &al) in addrs.iter_mut().zip(a_lane.iter()) {
+                    *a = (al as i64 + i64::from(*off)) as u64;
+                }
+                if lds_bulk(d.0, &addrs, *width, hint, w, smem) {
+                    return Next::Seq;
+                }
+            }
             let db = d.0 as usize * 32;
             let dst = &mut w.regs[db..db + 32];
             match width {
@@ -607,16 +623,17 @@ pub fn execute(
             w: width,
         } => {
             fx.shared_access = true;
-            let ab = addr.0 as usize * 32;
-            let mut vals = [0u32; 32];
-            match v {
-                Src::Imm(x) => vals.fill(*x),
-                Src::R(r) => {
-                    let vb = r.0 as usize * 32;
-                    vals.copy_from_slice(&w.regs[vb..vb + 32]);
+            let vals = src32(w, *v);
+            let a_lane = *w.plane(addr.0);
+            if plane::vector_enabled() {
+                let mut addrs = [0u64; 32];
+                for (a, &al) in addrs.iter_mut().zip(a_lane.iter()) {
+                    *a = (al as i64 + i64::from(*off)) as u64;
+                }
+                if sts_bulk(&addrs, &vals, *width, hint, smem) {
+                    return Next::Seq;
                 }
             }
-            let a_lane = &w.regs[ab..ab + 32];
             match width {
                 MemWidth::B8S | MemWidth::B8U => {
                     for (&al, &val) in a_lane.iter().zip(vals.iter()) {
@@ -646,12 +663,25 @@ pub fn execute(
                     assert!(m * n <= 256 && n <= 16);
                     let a_tile = &smem[a_base..a_base + m * k];
                     let b_tile = &smem[b_base..b_base + k * n];
-                    let mut sums = [0i32; 256];
-                    mma_i8_mac(a_tile, b_tile, m, n, k, &mut sums);
                     // Output element `r*n + c` lives in register
                     // `acc + idx/32`, lane `idx%32` — with the warp's
                     // `[reg*32 + lane]` layout that is one contiguous run.
                     let base = acc.0 as usize * 32;
+                    #[cfg(target_arch = "x86_64")]
+                    if m == 16 && plane::vector_enabled() {
+                        let at: &[u8; 256] = a_tile.try_into().expect("16x16 A tile");
+                        let bt: &[u8; 256] = b_tile.try_into().expect("16x16 B tile");
+                        let dst: &mut [u32; 256] = (&mut w.regs[base..base + 256])
+                            .try_into()
+                            .expect("8-plane accumulator run");
+                        // SAFETY: `vector_enabled` only reports true after
+                        // `is_x86_feature_detected!` confirms AVX2(+FMA),
+                        // establishing the target_feature requirement.
+                        unsafe { mma_i8_16_avx2(at, bt, dst) };
+                        return Next::Seq;
+                    }
+                    let mut sums = [0i32; 256];
+                    mma_i8_mac(a_tile, b_tile, m, n, k, &mut sums);
                     let dst = &mut w.regs[base..base + m * n];
                     for (d, &s) in dst.iter_mut().zip(sums[..m * n].iter()) {
                         *d = (*d as i32).wrapping_add(s) as u32;
@@ -718,47 +748,43 @@ pub fn execute(
 }
 
 /// INT8 MMA partial sums: `sums[r*n + c] = sum_k a[r*k + kk] * b[kk*n + c]`
-/// over sign-extended bytes, accumulated with i32 wrapping adds.
-///
-/// Dispatches to an AVX2-compiled copy of the same loop nest when the CPU
-/// supports it (the detection result is cached by the macro). Integer
-/// wrapping sums are associative and commutative and every i8*i8 product
-/// fits in i16, so evaluation order and SIMD width cannot change the
-/// result: every path is bit-identical by construction.
+/// over sign-extended bytes, accumulated with i32 wrapping adds. Scalar
+/// path only — when SIMD execution is on, the `Mma` arm calls
+/// [`mma_i8_16_avx2`] directly so the partial sums land straight in the
+/// accumulator planes without this staging buffer. Integer wrapping sums
+/// are associative and commutative and every i8*i8 product fits in i16,
+/// so evaluation order and SIMD width cannot change the result: every
+/// path is bit-identical by construction.
 fn mma_i8_mac(a_tile: &[u8], b_tile: &[u8], m: usize, n: usize, k: usize, sums: &mut [i32; 256]) {
     if m == 16 && n == 16 && k == 16 {
         // The shipped MMA shape: constant trip counts let the whole row
         // accumulator live in vector registers across the k loop.
         let a: &[u8; 256] = a_tile.try_into().expect("16x16 A tile");
         let b: &[u8; 256] = b_tile.try_into().expect("16x16 B tile");
-        #[cfg(target_arch = "x86_64")]
-        if std::is_x86_feature_detected!("avx2") {
-            // SAFETY: the AVX2 requirement of the target_feature function
-            // is established by the runtime check above; its body is the
-            // same safe-Rust loop nest, only compiled at a wider width.
-            unsafe { mma_i8_16_avx2(a, b, sums) };
-            return;
-        }
         mma_i8_16_body(a, b, sums);
         return;
     }
     mma_i8_mac_body(a_tile, b_tile, m, n, k, sums);
 }
 
-/// Hand-vectorized `vpmaddwd` formulation of [`mma_i8_16_body`], ~10x its
-/// throughput (LLVM lowers the scalar nest to byte-wise `vpinsrb` gathers).
+/// Hand-vectorized `vpmaddwd` formulation of [`mma_i8_16_body`] plus the
+/// accumulator merge, ~10x its throughput (LLVM lowers the scalar nest to
+/// byte-wise `vpinsrb` gathers). Accumulates `acc[r*16+c] +=
+/// sum_k a[r][k]*b[k][c]` in place — `acc` is the 8-plane register run,
+/// so the 1 KiB partial-sum staging buffer of the scalar path disappears.
 ///
-/// Bit-identical to the scalar loop by construction: every i8*i8 product is
-/// exact in the i16 multiply (|p| <= 16129, no `vpmaddwd` saturation), the
-/// pair-sum is produced directly in i32, and i32 wrapping addition is
-/// associative and commutative, so regrouping k into pairs cannot change
-/// the result.
+/// Bit-identical to the scalar loop + merge by construction: every i8*i8
+/// product is exact in the i16 multiply (|p| <= 16129, no `vpmaddwd`
+/// saturation), the pair-sum is produced directly in i32, and i32
+/// wrapping addition is associative and commutative, so regrouping k into
+/// pairs and folding the merge into the row loop cannot change the
+/// result (two's-complement u32/i32 wrapping adds are the same bits).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
-unsafe fn mma_i8_16_avx2(a: &[u8; 256], b: &[u8; 256], sums: &mut [i32; 256]) {
+unsafe fn mma_i8_16_avx2(a: &[u8; 256], b: &[u8; 256], acc: &mut [u32; 256]) {
     use std::arch::x86_64::*;
     // SAFETY: all pointer arithmetic stays inside the fixed-size tile and
-    // output arrays (checked by the index bounds below); unaligned
+    // accumulator arrays (checked by the index bounds below); unaligned
     // load/store intrinsics have no alignment requirement.
     unsafe {
         // Interleave B row pairs once per call: bi[p][h] holds, for output
@@ -770,18 +796,20 @@ unsafe fn mma_i8_16_avx2(a: &[u8; 256], b: &[u8; 256], sums: &mut [i32; 256]) {
             bi[p][0] = _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(r0, r1));
             bi[p][1] = _mm256_cvtepi8_epi16(_mm_unpackhi_epi8(r0, r1));
         }
+        // Broadcast selectors: dword p of a sign-extended A row is the
+        // i16 pair (a[2p], a[2p+1]) — exactly the `vpmaddwd` multiplier.
+        let sel: [__m256i; 8] = std::array::from_fn(|p| _mm256_set1_epi32(p as i32));
         for r in 0..16 {
-            let mut acc0 = _mm256_setzero_si256();
-            let mut acc1 = _mm256_setzero_si256();
+            let arow = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(r * 16).cast()));
+            let mut acc0 = _mm256_loadu_si256(acc.as_ptr().add(r * 16).cast());
+            let mut acc1 = _mm256_loadu_si256(acc.as_ptr().add(r * 16 + 8).cast());
             for (p, pair) in bi.iter().enumerate() {
-                let a0 = a[r * 16 + 2 * p] as i8 as i16 as u16 as u32;
-                let a1 = a[r * 16 + 2 * p + 1] as i8 as i16 as u16 as u32;
-                let xa = _mm256_set1_epi32((a0 | (a1 << 16)) as i32);
+                let xa = _mm256_permutevar8x32_epi32(arow, sel[p]);
                 acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(xa, pair[0]));
                 acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(xa, pair[1]));
             }
-            _mm256_storeu_si256(sums.as_mut_ptr().add(r * 16).cast(), acc0);
-            _mm256_storeu_si256(sums.as_mut_ptr().add(r * 16 + 8).cast(), acc1);
+            _mm256_storeu_si256(acc.as_mut_ptr().add(r * 16).cast(), acc0);
+            _mm256_storeu_si256(acc.as_mut_ptr().add(r * 16 + 8).cast(), acc1);
         }
     }
 }
@@ -831,17 +859,467 @@ fn mma_i8_mac_body(
     }
 }
 
+/// Splats an immediate into a stack plane (the snapshot fallback's source
+/// shape for `Src::Imm`).
 #[inline]
-fn lanewise2(w: &mut Warp, d: crate::isa::Reg, a: Src, b: Src, op: impl Fn(u32, u32) -> u32) {
-    // Hoist the operand decode out of the lane loop (lanes are
-    // independent, so snapshotting the sources first is exact even when
-    // `d` aliases `a` or `b`) and hand the compiler contiguous slices.
+fn splat(x: u32) -> [u32; 32] {
+    [x; 32]
+}
+
+/// Two-operand plane dispatch. Register operands that don't alias the
+/// destination run straight over the register file
+/// ([`Warp::plane_mut_and`]); aliasing or immediate operands fall back to
+/// stack snapshots, which are exact even on alias because lanes are
+/// independent.
+#[inline]
+fn bin(
+    w: &mut Warp,
+    d: crate::isa::Reg,
+    a: Src,
+    b: Src,
+    op: impl Fn(&mut [u32; 32], &[u32; 32], &[u32; 32]),
+) {
+    match (a, b) {
+        (Src::R(ra), Src::R(rb)) => {
+            if let Some((dp, [ap, bp])) = w.plane_mut_and(d.0, [ra.0, rb.0]) {
+                return op(dp, ap, bp);
+            }
+        }
+        (Src::R(ra), Src::Imm(ib)) => {
+            let bv = splat(ib);
+            if let Some((dp, [ap])) = w.plane_mut_and(d.0, [ra.0]) {
+                return op(dp, ap, &bv);
+            }
+        }
+        (Src::Imm(ia), Src::R(rb)) => {
+            let av = splat(ia);
+            if let Some((dp, [bp])) = w.plane_mut_and(d.0, [rb.0]) {
+                return op(dp, &av, bp);
+            }
+        }
+        (Src::Imm(_), Src::Imm(_)) => {}
+    }
     let av = src32(w, a);
     let bv = src32(w, b);
-    let db = d.0 as usize * 32;
-    let dst = &mut w.regs[db..db + 32];
-    for lane in 0..32 {
-        dst[lane] = op(av[lane], bv[lane]);
+    op(w.plane_mut(d.0), &av, &bv);
+}
+
+/// Three-operand plane dispatch (alias-free register operands skip the
+/// snapshots, as in [`bin`]; any immediate operand takes the fallback —
+/// three-source ops are dominated by the all-register form).
+#[inline]
+fn tern(
+    w: &mut Warp,
+    d: crate::isa::Reg,
+    a: Src,
+    b: Src,
+    c: Src,
+    op: impl Fn(&mut [u32; 32], &[u32; 32], &[u32; 32], &[u32; 32]),
+) {
+    if let (Src::R(ra), Src::R(rb), Src::R(rc)) = (a, b, c) {
+        if let Some((dp, [ap, bp, cp])) = w.plane_mut_and(d.0, [ra.0, rb.0, rc.0]) {
+            return op(dp, ap, bp, cp);
+        }
+    }
+    let av = src32(w, a);
+    let bv = src32(w, b);
+    let cv = src32(w, c);
+    op(w.plane_mut(d.0), &av, &bv, &cv);
+}
+
+/// One-operand plane dispatch.
+#[inline]
+fn un(w: &mut Warp, d: crate::isa::Reg, a: Src, op: impl Fn(&mut [u32; 32], &[u32; 32])) {
+    if let Src::R(ra) = a {
+        if let Some((dp, [ap])) = w.plane_mut_and(d.0, [ra.0]) {
+            return op(dp, ap);
+        }
+    }
+    let av = src32(w, a);
+    op(w.plane_mut(d.0), &av);
+}
+
+/// Runtime-verified coalescing class of one 32-lane address vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Coalesce {
+    /// Every lane addresses the same location.
+    Uniform,
+    /// Byte-contiguous ascending run (`addr[l] = addr[0] + l`).
+    Stride1,
+    /// Word-contiguous ascending run (`addr[l] = addr[0] + 4*l`).
+    Stride4,
+    /// Two independent word-contiguous 16-lane runs (lanes 0..16 and
+    /// 16..32 each stride-4 from their own base). This is the shape of
+    /// row-major tile traffic where each half-warp covers one 64-byte row
+    /// segment — e.g. a 16-wide staging copy or a 16-column epilogue.
+    Seg16,
+    /// Eight independent word-contiguous 4-lane runs — the shape of
+    /// bank-conflict-free shared-memory swizzles that permute 16-byte
+    /// groups. Serviced in bulk for shared memory only.
+    Seg4,
+    /// Anything else: the scalar per-lane path handles it.
+    Gather,
+}
+
+#[inline]
+fn is_uniform(addrs: &[u64; 32]) -> bool {
+    let a0 = addrs[0];
+    addrs.iter().all(|&a| a == a0)
+}
+
+#[inline]
+fn is_stride(addrs: &[u64; 32], s: u64) -> bool {
+    // 31 independent compares that autovectorize. Each lane is checked
+    // against its neighbor, so a match proves the whole run is monotonic
+    // ascending with no wrap.
+    (1..32).all(|l| addrs[l] == addrs[l - 1] + s)
+}
+
+#[inline]
+fn is_seg_stride4(addrs: &[u64; 32], seg: usize) -> bool {
+    // Each `seg`-lane group is its own stride-4 run; the bases are
+    // unrelated. Segment-leading lanes are exempt from the check.
+    (1..32).all(|l| l % seg == 0 || addrs[l] == addrs[l - 1] + 4)
+}
+
+/// Resolves the decode-time hint against the actual addresses. The hint
+/// only decides which check runs first; a bulk class is returned only when
+/// the addresses *verify*, so a wrong hint costs a probe, never a value.
+/// Stride classes are additionally gated on the access width matching the
+/// stride (contiguity of the serviced bytes, not just of the addresses).
+#[inline]
+fn resolve_coalesce(hint: AddrClass, addrs: &[u64; 32], width: MemWidth) -> Coalesce {
+    match (hint, width) {
+        (AddrClass::Uniform, _) if is_uniform(addrs) => return Coalesce::Uniform,
+        (AddrClass::Stride4, MemWidth::B32) if is_stride(addrs, 4) => return Coalesce::Stride4,
+        (AddrClass::Stride1, MemWidth::B8S | MemWidth::B8U) if is_stride(addrs, 1) => {
+            return Coalesce::Stride1
+        }
+        _ => {}
+    }
+    match width {
+        MemWidth::B32 if is_stride(addrs, 4) => Coalesce::Stride4,
+        MemWidth::B32 if is_seg_stride4(addrs, 16) => Coalesce::Seg16,
+        MemWidth::B32 if is_seg_stride4(addrs, 4) => Coalesce::Seg4,
+        MemWidth::B8S | MemWidth::B8U if is_stride(addrs, 1) => Coalesce::Stride1,
+        _ if is_uniform(addrs) => Coalesce::Uniform,
+        _ => Coalesce::Gather,
+    }
+}
+
+/// Line list of two verified ascending half-warp runs, in the first-seen
+/// lane order [`collect_lines`] would produce: segment 0's span ascending,
+/// then segment 1's span ascending minus any line already covered by
+/// segment 0.
+#[inline]
+fn lines_for_seg16(addrs: &[u64; 32], lines: &mut Vec<u64>) {
+    let (f0, l0) = (addrs[0] >> 7, addrs[15] >> 7);
+    let (f1, l1) = (addrs[16] >> 7, addrs[31] >> 7);
+    lines.clear();
+    lines.extend(f0..=l0);
+    for line in f1..=l1 {
+        if !(f0..=l0).contains(&line) {
+            lines.push(line);
+        }
+    }
+}
+
+/// Line list of a verified ascending run: identical to what
+/// [`collect_lines`] produces for these addresses, because first-seen
+/// order over a monotonic run is ascending and every line in the span
+/// holds at least one lane's first byte.
+#[inline]
+fn lines_for_span(first: u64, last: u64, lines: &mut Vec<u64>) {
+    lines.clear();
+    for line in first..=last {
+        lines.push(line);
+    }
+}
+
+/// Bulk service of an unguarded global load. Returns false (nothing done)
+/// when the addresses don't verify as coalesced or a buffered store
+/// overlaps the span; the caller then runs the per-lane path.
+fn ldg_bulk(
+    d: u8,
+    addrs: &[u64; 32],
+    width: MemWidth,
+    hint: AddrClass,
+    w: &mut Warp,
+    gmem: &MemCtx<'_>,
+    fx: &mut ExecEffects,
+) -> bool {
+    let a0 = addrs[0];
+    match resolve_coalesce(hint, addrs, width) {
+        Coalesce::Uniform => {
+            let v = match width {
+                MemWidth::B8S => gmem.read_u8(a0 as u32) as i8 as i32 as u32,
+                MemWidth::B8U => u32::from(gmem.read_u8(a0 as u32)),
+                MemWidth::B32 => gmem.read_u32(a0 as u32),
+            };
+            w.plane_mut(d).fill(v);
+            lines_for_span(a0 >> 7, a0 >> 7, &mut fx.global_lines);
+            true
+        }
+        Coalesce::Stride4 => {
+            let Some(src) = gmem.bulk_view(a0 as u32, 128) else {
+                return false;
+            };
+            let dst = w.plane_mut(d);
+            for (v, c) in dst.iter_mut().zip(src.chunks_exact(4)) {
+                *v = u32::from_le_bytes(c.try_into().expect("4-byte chunk"));
+            }
+            lines_for_span(a0 >> 7, addrs[31] >> 7, &mut fx.global_lines);
+            true
+        }
+        Coalesce::Stride1 => {
+            let Some(src) = gmem.bulk_view(a0 as u32, 32) else {
+                return false;
+            };
+            let dst = w.plane_mut(d);
+            match width {
+                MemWidth::B8S => {
+                    for (v, &b) in dst.iter_mut().zip(src.iter()) {
+                        *v = b as i8 as i32 as u32;
+                    }
+                }
+                MemWidth::B8U => {
+                    for (v, &b) in dst.iter_mut().zip(src.iter()) {
+                        *v = u32::from(b);
+                    }
+                }
+                MemWidth::B32 => return false,
+            }
+            lines_for_span(a0 >> 7, addrs[31] >> 7, &mut fx.global_lines);
+            true
+        }
+        Coalesce::Seg16 => {
+            let a1 = addrs[16] as u32;
+            let (Some(s0), Some(s1)) = (gmem.bulk_view(a0 as u32, 64), gmem.bulk_view(a1, 64))
+            else {
+                return false;
+            };
+            let dst = w.plane_mut(d);
+            for (v, c) in dst[..16].iter_mut().zip(s0.chunks_exact(4)) {
+                *v = u32::from_le_bytes(c.try_into().expect("4-byte chunk"));
+            }
+            for (v, c) in dst[16..].iter_mut().zip(s1.chunks_exact(4)) {
+                *v = u32::from_le_bytes(c.try_into().expect("4-byte chunk"));
+            }
+            lines_for_seg16(addrs, &mut fx.global_lines);
+            true
+        }
+        // 4-lane segments would need an 8-run line-list merge; global
+        // traffic with that shape is rare enough to leave scalar.
+        Coalesce::Seg4 | Coalesce::Gather => false,
+    }
+}
+
+/// Bulk service of an unguarded global store over a verified contiguous
+/// run. Uniform stores are left to the scalar path: its lane order decides
+/// which lane's value lands last, and that overwrite sequence must be
+/// byte-exact in the buffered log too.
+fn stg_bulk(
+    addrs: &[u64; 32],
+    v: Src,
+    width: MemWidth,
+    hint: AddrClass,
+    w: &Warp,
+    gmem: &mut MemCtx<'_>,
+    fx: &mut ExecEffects,
+) -> bool {
+    let a0 = addrs[0] as u32;
+    match resolve_coalesce(hint, addrs, width) {
+        Coalesce::Stride4 => {
+            if width != MemWidth::B32 {
+                return false;
+            }
+            let vals = src32(w, v);
+            match gmem {
+                MemCtx::Direct(g) => {
+                    let dst = g.slice_mut(a0, 128);
+                    for (c, val) in dst.chunks_exact_mut(4).zip(vals.iter()) {
+                        c.copy_from_slice(&val.to_le_bytes());
+                    }
+                }
+                MemCtx::Buffered { overlay, .. } => {
+                    // Lane-ascending writes: the same program order the
+                    // scalar loop would have logged.
+                    for (i, &val) in vals.iter().enumerate() {
+                        overlay.write_u32(a0 + 4 * i as u32, val);
+                    }
+                }
+            }
+            lines_for_span(addrs[0] >> 7, addrs[31] >> 7, &mut fx.global_lines);
+            true
+        }
+        Coalesce::Stride1 => {
+            if width == MemWidth::B32 {
+                return false;
+            }
+            let vals = src32(w, v);
+            match gmem {
+                MemCtx::Direct(g) => {
+                    let dst = g.slice_mut(a0, 32);
+                    for (b, &val) in dst.iter_mut().zip(vals.iter()) {
+                        *b = val as u8;
+                    }
+                }
+                MemCtx::Buffered { overlay, .. } => {
+                    for (i, &val) in vals.iter().enumerate() {
+                        overlay.write_u8(a0 + i as u32, val as u8);
+                    }
+                }
+            }
+            lines_for_span(addrs[0] >> 7, addrs[31] >> 7, &mut fx.global_lines);
+            true
+        }
+        Coalesce::Seg16 => {
+            let vals = src32(w, v);
+            match gmem {
+                MemCtx::Direct(g) => {
+                    // Segment 0 lands before segment 1, the same order the
+                    // scalar lane loop writes (matters if the runs overlap).
+                    for (seg, base) in [(&vals[..16], a0), (&vals[16..], addrs[16] as u32)] {
+                        let dst = g.slice_mut(base, 64);
+                        for (c, val) in dst.chunks_exact_mut(4).zip(seg.iter()) {
+                            c.copy_from_slice(&val.to_le_bytes());
+                        }
+                    }
+                }
+                MemCtx::Buffered { overlay, .. } => {
+                    for (i, &val) in vals[..16].iter().enumerate() {
+                        overlay.write_u32(a0 + 4 * i as u32, val);
+                    }
+                    let a1 = addrs[16] as u32;
+                    for (i, &val) in vals[16..].iter().enumerate() {
+                        overlay.write_u32(a1 + 4 * i as u32, val);
+                    }
+                }
+            }
+            lines_for_seg16(addrs, &mut fx.global_lines);
+            true
+        }
+        Coalesce::Seg4 | Coalesce::Uniform | Coalesce::Gather => false,
+    }
+}
+
+/// Bulk service of a shared-memory load over a verified contiguous run.
+fn lds_bulk(
+    d: u8,
+    addrs: &[u64; 32],
+    width: MemWidth,
+    hint: AddrClass,
+    w: &mut Warp,
+    smem: &[u8],
+) -> bool {
+    let a0 = addrs[0] as usize;
+    let c = resolve_coalesce(hint, addrs, width);
+    match c {
+        Coalesce::Uniform => {
+            let v = match width {
+                MemWidth::B8S => smem[a0] as i8 as i32 as u32,
+                MemWidth::B8U => u32::from(smem[a0]),
+                MemWidth::B32 => {
+                    u32::from_le_bytes(smem[a0..a0 + 4].try_into().expect("4-byte smem slice"))
+                }
+            };
+            w.plane_mut(d).fill(v);
+            true
+        }
+        Coalesce::Stride4 => {
+            let src = &smem[a0..a0 + 128];
+            let dst = w.plane_mut(d);
+            for (v, c) in dst.iter_mut().zip(src.chunks_exact(4)) {
+                *v = u32::from_le_bytes(c.try_into().expect("4-byte chunk"));
+            }
+            true
+        }
+        Coalesce::Stride1 => {
+            let src = &smem[a0..a0 + 32];
+            let dst = w.plane_mut(d);
+            match width {
+                MemWidth::B8S => {
+                    for (v, &b) in dst.iter_mut().zip(src.iter()) {
+                        *v = b as i8 as i32 as u32;
+                    }
+                }
+                MemWidth::B8U => {
+                    for (v, &b) in dst.iter_mut().zip(src.iter()) {
+                        *v = u32::from(b);
+                    }
+                }
+                MemWidth::B32 => return false,
+            }
+            true
+        }
+        Coalesce::Seg16 | Coalesce::Seg4 => {
+            let seg = if matches!(c, Coalesce::Seg16) { 16 } else { 4 };
+            let dst = w.plane_mut(d);
+            for s in 0..32 / seg {
+                let base = addrs[s * seg] as usize;
+                let src = &smem[base..base + 4 * seg];
+                for (v, ch) in dst[s * seg..(s + 1) * seg]
+                    .iter_mut()
+                    .zip(src.chunks_exact(4))
+                {
+                    *v = u32::from_le_bytes(ch.try_into().expect("4-byte chunk"));
+                }
+            }
+            true
+        }
+        Coalesce::Gather => false,
+    }
+}
+
+/// Bulk service of a shared-memory store over a verified contiguous run
+/// (uniform falls to the scalar path for its overwrite order, like
+/// [`stg_bulk`]).
+fn sts_bulk(
+    addrs: &[u64; 32],
+    vals: &[u32; 32],
+    width: MemWidth,
+    hint: AddrClass,
+    smem: &mut [u8],
+) -> bool {
+    let a0 = addrs[0] as usize;
+    let c = resolve_coalesce(hint, addrs, width);
+    match c {
+        Coalesce::Stride4 => {
+            if width != MemWidth::B32 {
+                return false;
+            }
+            let dst = &mut smem[a0..a0 + 128];
+            for (c, val) in dst.chunks_exact_mut(4).zip(vals.iter()) {
+                c.copy_from_slice(&val.to_le_bytes());
+            }
+            true
+        }
+        Coalesce::Stride1 => {
+            if width == MemWidth::B32 {
+                return false;
+            }
+            let dst = &mut smem[a0..a0 + 32];
+            for (b, &val) in dst.iter_mut().zip(vals.iter()) {
+                *b = val as u8;
+            }
+            true
+        }
+        Coalesce::Seg16 | Coalesce::Seg4 => {
+            // Segment order matches lane order, as in [`stg_bulk`].
+            let seg = if matches!(c, Coalesce::Seg16) { 16 } else { 4 };
+            for s in 0..32 / seg {
+                let base = addrs[s * seg] as usize;
+                let dst = &mut smem[base..base + 4 * seg];
+                for (ch, val) in dst
+                    .chunks_exact_mut(4)
+                    .zip(vals[s * seg..(s + 1) * seg].iter())
+                {
+                    ch.copy_from_slice(&val.to_le_bytes());
+                }
+            }
+            true
+        }
+        Coalesce::Uniform | Coalesce::Gather => false,
     }
 }
 

@@ -209,10 +209,19 @@ impl Gpu {
         let mut age: u64 = 0;
         let mut cycle: u64 = 0;
         let mut gov = FfGovernor::new();
+        let prof = crate::profile::enabled();
         while done < kernel.blocks {
+            let t0 = prof.then(std::time::Instant::now);
             dispatch(&mut self.sms, kernel, &mut next_block, &mut age);
+            if let Some(t0) = t0 {
+                crate::profile::record_extra(1, t0);
+            }
+            let t0 = prof.then(std::time::Instant::now);
             for sm in &mut self.sms {
                 done += sm.step(cycle, &mut self.memsys, &mut self.mem, &kernel.args, stats);
+            }
+            if let Some(t0) = t0 {
+                crate::profile::record_extra(0, t0);
             }
             cycle += 1;
             if cycle >= self.cfg.max_cycles && done < kernel.blocks {
@@ -221,6 +230,7 @@ impl Gpu {
                     cycles: self.cfg.max_cycles,
                 });
             }
+            let t0 = prof.then(std::time::Instant::now);
             if gov.live() && done < kernel.blocks && self.sms.iter().all(Sm::is_ff_silent) {
                 let pending =
                     next_block < kernel.blocks && self.sms.iter().any(|sm| sm.can_accept(kernel));
@@ -239,6 +249,9 @@ impl Gpu {
                     }
                     cycle = t;
                 }
+            }
+            if let Some(t0) = t0 {
+                crate::profile::record_extra(2, t0);
             }
         }
         stats.cycles = cycle;

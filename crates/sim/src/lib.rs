@@ -38,6 +38,8 @@ pub mod isa;
 pub mod launch;
 pub mod mem;
 pub mod memsys;
+pub mod plane;
+pub mod profile;
 pub mod program;
 pub mod sm;
 pub mod stats;
@@ -45,10 +47,12 @@ pub mod trace;
 pub mod warp;
 
 pub use config::{InterpMode, OrinConfig, SchedPolicy, SimMode};
-pub use decoded::{BasicBlock, BlockEnd, DecodedProgram, MicroOp};
+pub use decoded::{AddrClass, BasicBlock, BlockEnd, DecodedProgram, MicroOp};
 pub use fault::{FaultConfig, FaultKind};
 pub use gpu::{Gpu, LaunchError};
 pub use isa::{FCmp, ICmp, MemWidth, MmaKind, Op, Pred, Reg, SReg, Src};
 pub use launch::{Kernel, RoleMap};
+pub use mem::StoreOverlay;
+pub use profile::ExecProfile;
 pub use program::{Program, ProgramBuilder};
 pub use stats::KernelStats;

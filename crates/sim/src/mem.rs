@@ -82,6 +82,22 @@ impl GlobalMem {
         self.bytes[addr as usize..addr as usize + 4].copy_from_slice(&v.to_le_bytes());
     }
 
+    /// Contiguous read-only view of `len` bytes at `addr` (bulk LSU path).
+    ///
+    /// # Panics
+    /// Panics when the range leaves device memory — the same construction
+    /// bug the per-byte accessors would hit at some lane.
+    #[inline]
+    pub fn slice(&self, addr: u32, len: u32) -> &[u8] {
+        &self.bytes[addr as usize..addr as usize + len as usize]
+    }
+
+    /// Contiguous mutable view of `len` bytes at `addr` (bulk LSU path).
+    #[inline]
+    pub fn slice_mut(&mut self, addr: u32, len: u32) -> &mut [u8] {
+        &mut self.bytes[addr as usize..addr as usize + len as usize]
+    }
+
     /// Bulk host-to-device copy.
     pub fn copy_from_host(&mut self, ptr: DevPtr, data: &[u8]) {
         assert!(
@@ -160,6 +176,126 @@ impl GlobalMem {
     }
 }
 
+/// One buffered store of the parallel compute phase, at its original
+/// granularity (the commit replay preserves width and program order).
+#[derive(Debug, Clone, Copy)]
+enum StoreVal {
+    /// A single byte.
+    Byte(u8),
+    /// A little-endian 32-bit word.
+    Word(u32),
+}
+
+/// Pending-store overlay for the parallel compute phase.
+///
+/// During a parallel cycle every SM executes against the device-memory
+/// image from the start of the cycle plus its *own* stores of that cycle
+/// (same-SM store-to-load forwarding). The overlay keeps those stores
+/// twice: a program-order log, replayed wholesale by [`StoreOverlay::commit`]
+/// during the serial drain (so final device bytes are exactly what
+/// in-order per-byte application would produce), and a byte-granular hash
+/// map giving O(1) read-back — replacing the O(writes) linear scan the
+/// per-byte buffer needed. Stores are logged at their original width
+/// (word stores stay one entry, not four), and a dirty address range lets
+/// the coarsened LSU paths prove non-overlap without touching the map.
+#[derive(Debug)]
+pub struct StoreOverlay {
+    /// `(address, value)` in program order.
+    log: Vec<(u32, StoreVal)>,
+    /// Byte-granular current value, for same-cycle load forwarding.
+    map: std::collections::HashMap<u32, u8>,
+    /// Dirty byte-address range `[lo, hi)` (empty when `lo >= hi`).
+    lo: u32,
+    hi: u32,
+}
+
+impl Default for StoreOverlay {
+    fn default() -> Self {
+        Self {
+            log: Vec::new(),
+            map: std::collections::HashMap::new(),
+            lo: u32::MAX,
+            hi: 0,
+        }
+    }
+}
+
+impl StoreOverlay {
+    /// True when no stores are buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Number of buffered store entries (at original granularity).
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    #[inline]
+    fn widen(&mut self, addr: u32, len: u32) {
+        self.lo = self.lo.min(addr);
+        self.hi = self.hi.max(addr + len);
+    }
+
+    /// Buffers one byte store.
+    #[inline]
+    pub fn write_u8(&mut self, addr: u32, v: u8) {
+        self.log.push((addr, StoreVal::Byte(v)));
+        self.map.insert(addr, v);
+        self.widen(addr, 1);
+    }
+
+    /// Buffers one word store as a single entry.
+    #[inline]
+    pub fn write_u32(&mut self, addr: u32, v: u32) {
+        self.log.push((addr, StoreVal::Word(v)));
+        for (i, b) in v.to_le_bytes().into_iter().enumerate() {
+            self.map.insert(addr + i as u32, b);
+        }
+        self.widen(addr, 4);
+    }
+
+    /// The buffered value of `addr`, if any store covered it.
+    #[inline]
+    pub fn get(&self, addr: u32) -> Option<u8> {
+        if addr < self.lo || addr >= self.hi {
+            return None;
+        }
+        self.map.get(&addr).copied()
+    }
+
+    /// True when `[addr, addr + len)` *may* intersect a buffered store
+    /// (range-conservative: a hit means "fall back to byte reads", never
+    /// "wrong data").
+    #[inline]
+    pub fn overlaps(&self, addr: u32, len: u32) -> bool {
+        self.lo < self.hi && addr < self.hi && addr.saturating_add(len) > self.lo
+    }
+
+    /// Replays the log into `gmem` in program order and clears the
+    /// overlay. Final bytes are identical to applying every store
+    /// byte-by-byte in issue order: entries are replayed in that order and
+    /// each writes exactly the bytes its store wrote.
+    pub fn commit(&mut self, gmem: &mut GlobalMem) {
+        for &(addr, v) in &self.log {
+            match v {
+                StoreVal::Byte(b) => gmem.write_u8(addr, b),
+                StoreVal::Word(wv) => gmem.write_u32(addr, wv),
+            }
+        }
+        self.clear();
+    }
+
+    /// Drops all buffered stores.
+    pub fn clear(&mut self) {
+        self.log.clear();
+        self.map.clear();
+        self.lo = u32::MAX;
+        self.hi = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,5 +355,63 @@ mod tests {
         let mut m = GlobalMem::new(4096);
         let p = m.alloc(4);
         m.copy_from_host(p, &[0u8; 8]);
+    }
+
+    #[test]
+    fn slices_view_the_same_bytes() {
+        let mut m = GlobalMem::new(4096);
+        let p = m.alloc(16);
+        m.write_u32(p.addr + 4, 0x0403_0201);
+        assert_eq!(m.slice(p.addr + 4, 4), &[1, 2, 3, 4]);
+        m.slice_mut(p.addr, 2).copy_from_slice(&[9, 8]);
+        assert_eq!(m.read_u8(p.addr), 9);
+        assert_eq!(m.read_u8(p.addr + 1), 8);
+    }
+
+    #[test]
+    fn overlay_forwards_and_commits_in_order() {
+        let mut m = GlobalMem::new(4096);
+        let p = m.alloc(64);
+        m.write_u32(p.addr, 0xAAAA_AAAA);
+        let mut ov = StoreOverlay::default();
+        assert!(ov.is_empty());
+        ov.write_u32(p.addr, 0x0403_0201);
+        ov.write_u8(p.addr + 1, 0xFF); // later byte store wins over the word
+        assert_eq!(ov.len(), 2, "word store stays a single entry");
+        assert_eq!(ov.get(p.addr), Some(0x01));
+        assert_eq!(ov.get(p.addr + 1), Some(0xFF));
+        assert_eq!(ov.get(p.addr + 4), None);
+        ov.commit(&mut m);
+        assert!(ov.is_empty());
+        assert_eq!(m.read_u32(p.addr), 0x0403_FF01);
+        // Committed overlay forwards nothing.
+        assert_eq!(ov.get(p.addr), None);
+    }
+
+    #[test]
+    fn overlay_write_after_byte_keeps_word_bytes() {
+        // Reverse order: a word store after a byte store overwrites it.
+        let mut m = GlobalMem::new(4096);
+        let p = m.alloc(8);
+        let mut ov = StoreOverlay::default();
+        ov.write_u8(p.addr + 2, 0x7E);
+        ov.write_u32(p.addr, 0x0403_0201);
+        assert_eq!(ov.get(p.addr + 2), Some(0x03));
+        ov.commit(&mut m);
+        assert_eq!(m.read_u32(p.addr), 0x0403_0201);
+    }
+
+    #[test]
+    fn overlay_overlap_is_range_conservative() {
+        let mut ov = StoreOverlay::default();
+        assert!(!ov.overlaps(0, 4096));
+        ov.write_u32(1000, 7);
+        assert!(ov.overlaps(1000, 1));
+        assert!(ov.overlaps(1003, 4));
+        assert!(ov.overlaps(996, 8));
+        assert!(!ov.overlaps(1004, 4));
+        assert!(!ov.overlaps(0, 1000));
+        ov.clear();
+        assert!(!ov.overlaps(1000, 4));
     }
 }

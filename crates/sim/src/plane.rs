@@ -1,0 +1,517 @@
+//! Lane-plane batch ALU bodies with runtime-selected SIMD specialization.
+//!
+//! Every function here operates on whole 32-lane register planes
+//! (`[u32; 32]`, the warp register file's native layout) and exists in two
+//! compilations of the *same* safe-Rust loop nest: the baseline build, and
+//! an AVX2+FMA `#[target_feature]` twin that LLVM autovectorizes at the
+//! wider width — the exact idiom already proven by the `vpmaddwd` MMA path
+//! in [`crate::exec`]. Which copy runs is a process-global mode decided
+//! once at first use:
+//!
+//! * scalar when the CPU lacks AVX2/FMA (the scalar-fallback contract),
+//! * scalar when `VITBIT_EXEC_VECTOR=0` (CI's forced-fallback build and
+//!   the differential suite's in-process baseline),
+//! * vector otherwise.
+//!
+//! Bit-identity across the two copies is by construction, not by test
+//! alone: integer ops are lanewise wrapping arithmetic (evaluation order
+//! cannot change a lanewise result at all), and float ops are lanewise
+//! IEEE single operations (`+`, `*`, `min`, `max`, and the fused
+//! `mul_add`) whose per-lane value is width-independent. Nothing here
+//! reassociates across lanes.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+const MODE_UNSET: u8 = 0;
+const MODE_SCALAR: u8 = 1;
+const MODE_VECTOR: u8 = 2;
+
+/// Process-global execute mode: scalar or vector, decided once.
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+/// True when the vector (AVX2+FMA) copies of the execute bodies — and the
+/// coarsened bulk LSU paths in [`crate::exec`] — are selected.
+#[inline]
+pub fn vector_enabled() -> bool {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_SCALAR => false,
+        MODE_VECTOR => true,
+        _ => init_mode(),
+    }
+}
+
+#[cold]
+fn init_mode() -> bool {
+    let forced_scalar = std::env::var_os("VITBIT_EXEC_VECTOR")
+        .is_some_and(|v| v == "0" || v == "off" || v == "scalar");
+    let on = !forced_scalar && simd_available();
+    MODE.store(
+        if on { MODE_VECTOR } else { MODE_SCALAR },
+        Ordering::Relaxed,
+    );
+    on
+}
+
+/// Whether this CPU can run the vector copies at all (AVX2 and FMA; the
+/// FMA check keeps `mul_add` a single instruction rather than a libm
+/// call inside the wide bodies).
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::is_x86_feature_detected!("avx2") && std::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Overrides the runtime selection in-process (benches and the
+/// differential suite flip modes without re-exec). Requesting vector mode
+/// on a machine without AVX2/FMA stays scalar; returns the mode actually
+/// selected (`true` = vector).
+pub fn set_vector(on: bool) -> bool {
+    let on = on && simd_available();
+    MODE.store(
+        if on { MODE_VECTOR } else { MODE_SCALAR },
+        Ordering::Relaxed,
+    );
+    on
+}
+
+/// Two-source lanewise plane op: one scalar body, one AVX2+FMA-compiled
+/// twin of the same body, runtime-dispatched.
+macro_rules! plane2 {
+    ($(#[$doc:meta])* $name:ident, |$x:ident, $y:ident| $e:expr) => {
+        $(#[$doc])*
+        #[inline]
+        pub fn $name(dst: &mut [u32; 32], a: &[u32; 32], b: &[u32; 32]) {
+            #[inline(always)]
+            fn body(dst: &mut [u32; 32], a: &[u32; 32], b: &[u32; 32]) {
+                for lane in 0..32 {
+                    let ($x, $y) = (a[lane], b[lane]);
+                    dst[lane] = $e;
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx2,fma")]
+            unsafe fn wide(dst: &mut [u32; 32], a: &[u32; 32], b: &[u32; 32]) {
+                body(dst, a, b)
+            }
+            #[cfg(target_arch = "x86_64")]
+            if vector_enabled() {
+                // SAFETY: vector mode only turns on after a successful
+                // AVX2+FMA feature check; the body is safe Rust.
+                return unsafe { wide(dst, a, b) };
+            }
+            body(dst, a, b)
+        }
+    };
+}
+
+/// Three-source lanewise plane op, same dispatch scheme as [`plane2!`].
+macro_rules! plane3 {
+    ($(#[$doc:meta])* $name:ident, |$x:ident, $y:ident, $z:ident| $e:expr) => {
+        $(#[$doc])*
+        #[inline]
+        pub fn $name(dst: &mut [u32; 32], a: &[u32; 32], b: &[u32; 32], c: &[u32; 32]) {
+            #[inline(always)]
+            fn body(dst: &mut [u32; 32], a: &[u32; 32], b: &[u32; 32], c: &[u32; 32]) {
+                for lane in 0..32 {
+                    let ($x, $y, $z) = (a[lane], b[lane], c[lane]);
+                    dst[lane] = $e;
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx2,fma")]
+            unsafe fn wide(dst: &mut [u32; 32], a: &[u32; 32], b: &[u32; 32], c: &[u32; 32]) {
+                body(dst, a, b, c)
+            }
+            #[cfg(target_arch = "x86_64")]
+            if vector_enabled() {
+                // SAFETY: vector mode only turns on after a successful
+                // AVX2+FMA feature check; the body is safe Rust.
+                return unsafe { wide(dst, a, b, c) };
+            }
+            body(dst, a, b, c)
+        }
+    };
+}
+
+/// One-source lanewise plane op, same dispatch scheme as [`plane2!`].
+macro_rules! plane1 {
+    ($(#[$doc:meta])* $name:ident, |$x:ident| $e:expr) => {
+        $(#[$doc])*
+        #[inline]
+        pub fn $name(dst: &mut [u32; 32], a: &[u32; 32]) {
+            #[inline(always)]
+            fn body(dst: &mut [u32; 32], a: &[u32; 32]) {
+                for lane in 0..32 {
+                    let $x = a[lane];
+                    dst[lane] = $e;
+                }
+            }
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx2,fma")]
+            unsafe fn wide(dst: &mut [u32; 32], a: &[u32; 32]) {
+                body(dst, a)
+            }
+            #[cfg(target_arch = "x86_64")]
+            if vector_enabled() {
+                // SAFETY: vector mode only turns on after a successful
+                // AVX2+FMA feature check; the body is safe Rust.
+                return unsafe { wide(dst, a) };
+            }
+            body(dst, a)
+        }
+    };
+}
+
+/// Two-source lanewise compare producing a 32-bit lane mask (bit `l` set
+/// when the predicate holds in lane `l`), same dispatch scheme.
+macro_rules! plane_cmp {
+    ($(#[$doc:meta])* $name:ident, |$x:ident, $y:ident| $e:expr) => {
+        $(#[$doc])*
+        #[inline]
+        pub fn $name(a: &[u32; 32], b: &[u32; 32]) -> u32 {
+            #[inline(always)]
+            fn body(a: &[u32; 32], b: &[u32; 32]) -> u32 {
+                let mut mask = 0u32;
+                for lane in 0..32 {
+                    let ($x, $y) = (a[lane], b[lane]);
+                    mask |= u32::from($e) << lane;
+                }
+                mask
+            }
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx2,fma")]
+            unsafe fn wide(a: &[u32; 32], b: &[u32; 32]) -> u32 {
+                body(a, b)
+            }
+            #[cfg(target_arch = "x86_64")]
+            if vector_enabled() {
+                // SAFETY: vector mode only turns on after a successful
+                // AVX2+FMA feature check; the body is safe Rust.
+                return unsafe { wide(a, b) };
+            }
+            body(a, b)
+        }
+    };
+}
+
+#[inline(always)]
+fn f(v: u32) -> f32 {
+    f32::from_bits(v)
+}
+
+plane2!(
+    /// Lanewise wrapping add.
+    iadd, |x, y| x.wrapping_add(y)
+);
+plane2!(
+    /// Lanewise wrapping subtract.
+    isub, |x, y| x.wrapping_sub(y)
+);
+plane2!(
+    /// Lanewise wrapping multiply.
+    imul, |x, y| x.wrapping_mul(y)
+);
+plane2!(
+    /// Lanewise bitwise and.
+    band, |x, y| x & y
+);
+plane2!(
+    /// Lanewise bitwise or.
+    bor, |x, y| x | y
+);
+plane2!(
+    /// Lanewise bitwise xor.
+    bxor, |x, y| x ^ y
+);
+plane2!(
+    /// Lanewise left shift, zero past 31.
+    shl, |x, y| x.unbounded_shl(y)
+);
+plane2!(
+    /// Lanewise logical right shift, zero past 31.
+    shr, |x, y| x.unbounded_shr(y)
+);
+plane2!(
+    /// Lanewise arithmetic right shift, sign-saturating past 31.
+    sar, |x, y| ((x as i32).unbounded_shr(y)) as u32
+);
+plane2!(
+    /// Lanewise signed minimum.
+    imin, |x, y| (x as i32).min(y as i32) as u32
+);
+plane2!(
+    /// Lanewise signed maximum.
+    imax, |x, y| (x as i32).max(y as i32) as u32
+);
+plane2!(
+    /// Lanewise unsigned divide; division by zero yields 0.
+    idivu, |x, y| x.checked_div(y).unwrap_or(0)
+);
+plane2!(
+    /// Lanewise unsigned remainder; by zero yields the dividend.
+    iremu, |x, y| x.checked_rem(y).unwrap_or(x)
+);
+plane3!(
+    /// Lanewise wrapping multiply-add `a*b + c`.
+    imad, |x, y, z| x.wrapping_mul(y).wrapping_add(z)
+);
+plane2!(
+    /// Lanewise IEEE f32 add on the bit patterns.
+    fadd, |x, y| (f(x) + f(y)).to_bits()
+);
+plane2!(
+    /// Lanewise IEEE f32 multiply.
+    fmul, |x, y| (f(x) * f(y)).to_bits()
+);
+plane2!(
+    /// Lanewise f32 minimum (`f32::min` NaN semantics).
+    fmin, |x, y| f(x).min(f(y)).to_bits()
+);
+plane2!(
+    /// Lanewise f32 maximum (`f32::max` NaN semantics).
+    fmax, |x, y| f(x).max(f(y)).to_bits()
+);
+plane3!(
+    /// Lanewise fused f32 multiply-add `a*b + c` (IEEE fused: one
+    /// rounding, identical bits at every SIMD width).
+    ffma, |x, y, z| f(x).mul_add(f(y), f(z)).to_bits()
+);
+plane1!(
+    /// Lanewise signed int-to-float conversion (input as i32).
+    i2f, |x| (x as i32 as f32).to_bits()
+);
+plane1!(
+    /// Lanewise f32 square root.
+    fsqrt, |x| f(x).sqrt().to_bits()
+);
+plane1!(
+    /// Lanewise f32 reciprocal.
+    frcp, |x| (1.0 / f(x)).to_bits()
+);
+
+plane_cmp!(
+    /// Lanewise equality mask.
+    isetp_eq, |x, y| x == y
+);
+plane_cmp!(
+    /// Lanewise inequality mask.
+    isetp_ne, |x, y| x != y
+);
+plane_cmp!(
+    /// Lanewise signed less-than mask.
+    isetp_lt, |x, y| (x as i32) < (y as i32)
+);
+plane_cmp!(
+    /// Lanewise signed less-or-equal mask.
+    isetp_le, |x, y| (x as i32) <= (y as i32)
+);
+plane_cmp!(
+    /// Lanewise signed greater-than mask.
+    isetp_gt, |x, y| (x as i32) > (y as i32)
+);
+plane_cmp!(
+    /// Lanewise signed greater-or-equal mask.
+    isetp_ge, |x, y| (x as i32) >= (y as i32)
+);
+plane_cmp!(
+    /// Lanewise unsigned less-than mask.
+    isetp_ltu, |x, y| x < y
+);
+plane_cmp!(
+    /// Lanewise unsigned greater-or-equal mask.
+    isetp_geu, |x, y| x >= y
+);
+plane_cmp!(
+    /// Lanewise f32 equality mask.
+    fsetp_eq, |x, y| f(x) == f(y)
+);
+plane_cmp!(
+    /// Lanewise f32 less-than mask.
+    fsetp_lt, |x, y| f(x) < f(y)
+);
+plane_cmp!(
+    /// Lanewise f32 less-or-equal mask.
+    fsetp_le, |x, y| f(x) <= f(y)
+);
+plane_cmp!(
+    /// Lanewise f32 greater-than mask.
+    fsetp_gt, |x, y| f(x) > f(y)
+);
+plane_cmp!(
+    /// Lanewise f32 greater-or-equal mask.
+    fsetp_ge, |x, y| f(x) >= f(y)
+);
+
+/// Lanewise select: `dst[l] = if mask bit l { a[l] } else { b[l] }`.
+#[inline]
+pub fn sel(dst: &mut [u32; 32], mask: u32, a: &[u32; 32], b: &[u32; 32]) {
+    #[inline(always)]
+    fn body(dst: &mut [u32; 32], mask: u32, a: &[u32; 32], b: &[u32; 32]) {
+        for lane in 0..32 {
+            dst[lane] = if mask & (1 << lane) != 0 {
+                a[lane]
+            } else {
+                b[lane]
+            };
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn wide(dst: &mut [u32; 32], mask: u32, a: &[u32; 32], b: &[u32; 32]) {
+        body(dst, mask, a, b)
+    }
+    #[cfg(target_arch = "x86_64")]
+    if vector_enabled() {
+        // SAFETY: vector mode only turns on after a successful AVX2+FMA
+        // feature check; the body is safe Rust.
+        return unsafe { wide(dst, mask, a, b) };
+    }
+    body(dst, mask, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic "interesting" planes: mixes of extremes, sign
+    /// boundaries, NaN-pattern floats and mundane values.
+    fn planes() -> Vec<[u32; 32]> {
+        let mut out = Vec::new();
+        let specials = [
+            0u32,
+            1,
+            u32::MAX,
+            i32::MIN as u32,
+            i32::MAX as u32,
+            0x7FC0_0001, // NaN
+            f32::NEG_INFINITY.to_bits(),
+            (-0.0f32).to_bits(),
+            1.5f32.to_bits(),
+            31,
+            32,
+            40,
+        ];
+        let mut seed = 0x1234_5678u32;
+        for base in 0..4u32 {
+            let mut p = [0u32; 32];
+            for (l, v) in p.iter_mut().enumerate() {
+                seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+                *v = if (l as u32 + base).is_multiple_of(3) {
+                    specials[(seed as usize) % specials.len()]
+                } else {
+                    seed
+                };
+            }
+            out.push(p);
+        }
+        out
+    }
+
+    /// Every plane body must produce identical bits in scalar and vector
+    /// mode (trivially true when the machine has no AVX2 — the test then
+    /// compares scalar against scalar).
+    #[test]
+    fn scalar_and_vector_bodies_agree() {
+        let ps = planes();
+        let a = &ps[0];
+        let b = &ps[1];
+        let c = &ps[2];
+        let mask = 0xA5A5_5A5Au32;
+        let was = vector_enabled();
+
+        macro_rules! check2 {
+            ($($f:ident),*) => {$(
+                let mut s = [0u32; 32];
+                let mut v = [0u32; 32];
+                set_vector(false);
+                $f(&mut s, a, b);
+                set_vector(true);
+                $f(&mut v, a, b);
+                assert_eq!(s, v, concat!(stringify!($f), " diverged"));
+            )*};
+        }
+        macro_rules! check3 {
+            ($($f:ident),*) => {$(
+                let mut s = [0u32; 32];
+                let mut v = [0u32; 32];
+                set_vector(false);
+                $f(&mut s, a, b, c);
+                set_vector(true);
+                $f(&mut v, a, b, c);
+                assert_eq!(s, v, concat!(stringify!($f), " diverged"));
+            )*};
+        }
+        macro_rules! check1 {
+            ($($f:ident),*) => {$(
+                let mut s = [0u32; 32];
+                let mut v = [0u32; 32];
+                set_vector(false);
+                $f(&mut s, a);
+                set_vector(true);
+                $f(&mut v, a);
+                assert_eq!(s, v, concat!(stringify!($f), " diverged"));
+            )*};
+        }
+        macro_rules! checkcmp {
+            ($($f:ident),*) => {$(
+                set_vector(false);
+                let s = $f(a, b);
+                set_vector(true);
+                let v = $f(a, b);
+                assert_eq!(s, v, concat!(stringify!($f), " diverged"));
+            )*};
+        }
+        check2!(iadd, isub, imul, band, bor, bxor, shl, shr, sar, imin, imax, idivu, iremu);
+        check2!(fadd, fmul, fmin, fmax);
+        check1!(i2f, fsqrt, frcp);
+        check3!(imad, ffma);
+        checkcmp!(isetp_eq, isetp_ne, isetp_lt, isetp_le, isetp_gt, isetp_ge, isetp_ltu, isetp_geu);
+        checkcmp!(fsetp_eq, fsetp_lt, fsetp_le, fsetp_gt, fsetp_ge);
+        let mut s = [0u32; 32];
+        let mut v = [0u32; 32];
+        set_vector(false);
+        sel(&mut s, mask, a, b);
+        set_vector(true);
+        sel(&mut v, mask, a, b);
+        assert_eq!(s, v, "sel diverged");
+        set_vector(was);
+    }
+
+    #[test]
+    fn known_values() {
+        let was = vector_enabled();
+        for mode in [false, true] {
+            set_vector(mode);
+            let a = [3u32; 32];
+            let b = [5u32; 32];
+            let c = [7u32; 32];
+            let mut d = [0u32; 32];
+            imad(&mut d, &a, &b, &c);
+            assert_eq!(d[31], 22);
+            let af = [2.0f32.to_bits(); 32];
+            let bf = [4.0f32.to_bits(); 32];
+            let cf = [1.0f32.to_bits(); 32];
+            ffma(&mut d, &af, &bf, &cf);
+            assert_eq!(f32::from_bits(d[0]), 9.0);
+            assert_eq!(isetp_ltu(&a, &b), u32::MAX);
+            assert_eq!(isetp_geu(&a, &b), 0);
+        }
+        set_vector(was);
+    }
+
+    #[test]
+    fn set_vector_respects_cpu() {
+        let was = vector_enabled();
+        assert!(!set_vector(false));
+        assert!(!vector_enabled());
+        let got = set_vector(true);
+        assert_eq!(got, simd_available(), "vector only when the CPU can");
+        assert_eq!(vector_enabled(), got);
+        set_vector(was);
+    }
+}

@@ -1,0 +1,153 @@
+//! Optional wall-clock attribution of the functional execute path.
+//!
+//! When enabled (`VITBIT_EXEC_PROFILE=1`, or [`set_enabled`] in-process)
+//! the SM issue path times every [`crate::exec::execute`] call and charges
+//! the elapsed nanoseconds to the issuing pipe. The counters are process
+//! globals so the bench can read one attribution across all 14 SMs without
+//! threading state through the launch API; when disabled the only cost on
+//! the issue path is a relaxed atomic load and an untaken branch.
+//!
+//! Attribution is *host* wall time of the functional execute body only —
+//! scheduling, scoreboard checks and the timing model are deliberately
+//! excluded, because the per-pipe split exists to answer "where does the
+//! residual simulator wall go: ALU, LSU or tensor bodies?".
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::Instant;
+
+const STATE_UNSET: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNSET);
+/// Per-pipe nanosecond totals, indexed by the [`crate::decoded`] pipe code
+/// (0 int, 1 fp, 2 tensor, 3 sfu, 4 lsu, 5 ctrl).
+static NS: [AtomicU64; 6] = [const { AtomicU64::new(0) }; 6];
+static CALLS: [AtomicU64; 6] = [const { AtomicU64::new(0) }; 6];
+
+/// Human-readable name of pipe code `i` (the snapshot array index).
+pub fn pipe_name(i: usize) -> &'static str {
+    ["int", "fp", "tensor", "sfu", "lsu", "ctrl"][i.min(5)]
+}
+
+/// True when execute-path timing is on.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_OFF => false,
+        STATE_ON => true,
+        _ => init(),
+    }
+}
+
+#[cold]
+fn init() -> bool {
+    let on = std::env::var_os("VITBIT_EXEC_PROFILE").is_some_and(|v| v != "0");
+    set_enabled(on);
+    on
+}
+
+/// Turns execute-path timing on or off in-process.
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+/// Charges the time since `start` to pipe code `pipe`.
+#[inline]
+pub fn record(pipe: u8, start: Instant) {
+    let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let i = (pipe as usize).min(5);
+    NS[i].fetch_add(ns, Ordering::Relaxed);
+    CALLS[i].fetch_add(1, Ordering::Relaxed);
+}
+
+/// Coarse cycle-loop phase totals (outer attribution, indexed by
+/// [`extra_name`]): whole-SM step calls, dispatch, fast-forward checks.
+static EXTRA: [AtomicU64; 3] = [const { AtomicU64::new(0) }; 3];
+
+/// Name of outer-loop phase `i` in [`extra_ns`] order.
+pub fn extra_name(i: usize) -> &'static str {
+    ["sm_step", "dispatch", "fast_forward"][i.min(2)]
+}
+
+/// Charges the time since `start` to outer-loop phase `i`.
+#[inline]
+pub fn record_extra(i: usize, start: Instant) {
+    let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    EXTRA[i.min(2)].fetch_add(ns, Ordering::Relaxed);
+}
+
+/// Outer-loop phase totals accumulated since the last [`reset`].
+pub fn extra_ns() -> [u64; 3] {
+    [0, 1, 2].map(|i| EXTRA[i].load(Ordering::Relaxed))
+}
+
+/// Zeroes the attribution counters.
+pub fn reset() {
+    for i in 0..6 {
+        NS[i].store(0, Ordering::Relaxed);
+        CALLS[i].store(0, Ordering::Relaxed);
+    }
+    for e in &EXTRA {
+        e.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One attribution snapshot: per-pipe execute wall and call counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecProfile {
+    /// Nanoseconds spent inside execute bodies, per pipe code.
+    pub ns: [u64; 6],
+    /// Execute calls, per pipe code.
+    pub calls: [u64; 6],
+}
+
+impl ExecProfile {
+    /// Total nanoseconds across all pipes.
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+}
+
+/// Reads the counters accumulated since the last [`reset`].
+pub fn snapshot() -> ExecProfile {
+    let mut p = ExecProfile::default();
+    for i in 0..6 {
+        p.ns[i] = NS[i].load(Ordering::Relaxed);
+        p.calls[i] = CALLS[i].load(Ordering::Relaxed);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_reset_round_trip() {
+        set_enabled(true);
+        reset();
+        let t0 = Instant::now();
+        record(0, t0);
+        record(4, t0);
+        record(4, t0);
+        let p = snapshot();
+        assert_eq!(p.calls[0], 1);
+        assert_eq!(p.calls[4], 2);
+        assert!(p.total_ns() >= p.ns[4]);
+        reset();
+        assert_eq!(snapshot(), ExecProfile::default());
+        set_enabled(false);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn out_of_range_pipe_clamps_to_ctrl() {
+        set_enabled(true);
+        reset();
+        record(200, Instant::now());
+        assert_eq!(snapshot().calls[5], 1);
+        reset();
+        set_enabled(false);
+    }
+}

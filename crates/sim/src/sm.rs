@@ -2,13 +2,14 @@
 //! with GTO scheduling and dual-issue to distinct pipes.
 
 use crate::config::{InterpMode, OrinConfig, SchedPolicy};
-use crate::decoded::{self, MicroOp, CTRL_PIPE, NO_PRED};
+use crate::decoded::{self, AddrClass, MicroOp, CTRL_PIPE, NO_PRED};
 use crate::exec::{self, ExecEffects, MemCtx, Next};
 use crate::fault::{FaultConfig, SALT_DRAM, SALT_HANG, SALT_REG};
 use crate::isa::{Op, PipeClass};
 use crate::launch::Kernel;
-use crate::mem::GlobalMem;
+use crate::mem::{GlobalMem, StoreOverlay};
 use crate::memsys::{MemSystem, L1};
+use crate::profile;
 use crate::stats::KernelStats;
 use crate::warp::{Warp, WarpState};
 use std::sync::Arc;
@@ -216,8 +217,10 @@ pub struct Sm {
     reap_check: bool,
     /// LSU issues of the current cycle awaiting the serial drain.
     pending: Vec<PendingIssue>,
-    /// Global stores of the current cycle, in program order (parallel mode).
-    store_buf: Vec<(u32, u8)>,
+    /// Global stores of the current cycle (parallel mode): a word-granular
+    /// program-order log plus a hashed read index, committed to device
+    /// memory by [`Sm::drain_cycle`].
+    store_buf: StoreOverlay,
     /// Per-SM statistics accumulated during parallel compute phases.
     stats: KernelStats,
     /// Blocks retired during the current cycle (parallel mode).
@@ -291,7 +294,7 @@ impl Sm {
             sm_wake: 0,
             reap_check: false,
             pending: Vec::new(),
-            store_buf: Vec::new(),
+            store_buf: StoreOverlay::default(),
             stats: KernelStats::default(),
             done_this_cycle: 0,
             ff_enabled: cfg.fast_forward,
@@ -559,10 +562,7 @@ impl Sm {
     /// queueing exactly) and patches the waiting scoreboards. Returns the
     /// blocks retired by this SM during the cycle.
     pub(crate) fn drain_cycle(&mut self, memsys: &mut MemSystem, gmem: &mut GlobalMem) -> u32 {
-        for &(addr, v) in &self.store_buf {
-            gmem.write_u8(addr, v);
-        }
-        self.store_buf.clear();
+        self.store_buf.commit(gmem);
         let mut pending = std::mem::take(&mut self.pending);
         let mut patched = false;
         for p in pending.drain(..) {
@@ -1026,10 +1026,12 @@ impl Sm {
         let dest: Option<(u8, u8)>;
         let dest_pred: Option<u8>;
         let arith: u64;
+        let hint: AddrClass;
         let ref_prog: Option<Arc<crate::program::Program>>;
         if interp_fast {
             let mop = w.program.decoded().mops[pc];
             pbit = mop.pipe;
+            hint = mop.addr_class;
             dest = (mop.dest_count > 0).then_some((mop.dest_first, mop.dest_count));
             dest_pred = (mop.dest_pred != NO_PRED).then_some(mop.dest_pred);
             arith = u64::from(mop.arith);
@@ -1067,6 +1069,11 @@ impl Sm {
             let prog = Arc::clone(&w.program);
             let op = &prog.ops[pc];
             pbit = decoded::pipe_code(op.pipe());
+            // Hints come from the decoded cache in both interpreter modes:
+            // the classes are value-neutral (re-verified at execute time)
+            // and sharing one source keeps the modes bit-identical even if
+            // the analysis changes.
+            hint = prog.decoded().mops[pc].addr_class;
             if *issued & (1 << pbit) != 0 {
                 return false; // one issue per pipe per cycle
             }
@@ -1134,27 +1141,33 @@ impl Sm {
         };
         let block_slot = w.block_slot;
         let block = blocks[block_slot].as_mut().expect("warp's block resident");
+        let prof_t0 = profile::enabled().then(std::time::Instant::now);
         let next = match mem {
-            SmMem::Direct { gmem, .. } => exec::execute(
+            SmMem::Direct { gmem, .. } => exec::execute_hinted(
                 op,
+                hint,
                 w,
                 &mut block.smem,
                 &mut MemCtx::Direct(gmem),
                 args,
                 scratch_fx,
             ),
-            SmMem::Deferred { gmem } => exec::execute(
+            SmMem::Deferred { gmem } => exec::execute_hinted(
                 op,
+                hint,
                 w,
                 &mut block.smem,
                 &mut MemCtx::Buffered {
                     base: gmem,
-                    writes: store_buf,
+                    overlay: store_buf,
                 },
                 args,
                 scratch_fx,
             ),
         };
+        if let Some(t0) = prof_t0 {
+            profile::record(pbit, t0);
+        }
         let fx: &ExecEffects = scratch_fx;
         if let (Some(e), Some((first, count))) = (reg_flip, dest) {
             let r = first + (e % u64::from(count)) as u8;

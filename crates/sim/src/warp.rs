@@ -97,6 +97,56 @@ impl Warp {
         self.regs[reg as usize * 32 + lane] = v;
     }
 
+    /// The 32-lane register plane of `reg` as a fixed-size array view
+    /// (the `[r*32 + l]` layout makes every register one contiguous run;
+    /// the array type lets batch bodies index lanes without bounds
+    /// checks).
+    #[inline]
+    pub fn plane(&self, reg: u8) -> &[u32; 32] {
+        let b = reg as usize * 32;
+        self.regs[b..b + 32]
+            .try_into()
+            .expect("32-lane register plane")
+    }
+
+    /// Mutable 32-lane register plane of `reg`.
+    #[inline]
+    pub fn plane_mut(&mut self, reg: u8) -> &mut [u32; 32] {
+        let b = reg as usize * 32;
+        (&mut self.regs[b..b + 32])
+            .try_into()
+            .expect("32-lane register plane")
+    }
+
+    /// Disjoint plane views: `d` mutable plus `N` shared source planes, or
+    /// `None` when `d` aliases a source (sources may alias each other).
+    /// Lets a plane op run straight over the register file with no
+    /// operand snapshots.
+    #[inline]
+    pub fn plane_mut_and<const N: usize>(
+        &mut self,
+        d: u8,
+        srcs: [u8; N],
+    ) -> Option<(&mut [u32; 32], [&[u32; 32]; N])> {
+        let fits = |r: u8| (r as usize + 1) * 32 <= self.regs.len();
+        if srcs.contains(&d) || !fits(d) || !srcs.iter().all(|&r| fits(r)) {
+            // Alias or out-of-range register: the snapshot path (whose
+            // safe indexing also panics on the latter) handles it.
+            return None;
+        }
+        let base = self.regs.as_mut_ptr();
+        // SAFETY: the bounds check above keeps every 32-element window
+        // inside the one `regs` allocation. `d` aliases no source, so the
+        // mutable view is disjoint from every shared view; sources may
+        // alias each other, which shared references allow. Lifetimes are
+        // tied to `&mut self`, so no other access can overlap.
+        unsafe {
+            let dp = &mut *base.add(d as usize * 32).cast::<[u32; 32]>();
+            let sp = srcs.map(|r| &*base.add(r as usize * 32).cast_const().cast::<[u32; 32]>());
+            Some((dp, sp))
+        }
+    }
+
     /// Global thread index of `lane` (1-D blocks).
     #[inline]
     pub fn tid(&self, lane: usize) -> u32 {
@@ -133,5 +183,18 @@ mod tests {
         w.set_reg(1, 7, 0xABCD);
         assert_eq!(w.reg(1, 7), 0xABCD);
         assert_eq!(w.reg(1, 8), 0);
+    }
+
+    #[test]
+    fn plane_views_alias_the_register_file() {
+        let mut p = ProgramBuilder::new("t");
+        let _ = p.alloc_n(2);
+        p.exit();
+        let prog = p.build().into_arc();
+        let mut w = Warp::new(prog, 0, 0, 0, 32, 1, 0, 0);
+        w.plane_mut(1)[13] = 99;
+        assert_eq!(w.reg(1, 13), 99);
+        assert_eq!(w.plane(1)[13], 99);
+        assert_eq!(w.plane(0)[13], 0);
     }
 }
