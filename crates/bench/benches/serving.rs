@@ -1,0 +1,292 @@
+//! Wall-clock effect of the serving path: batched execution with
+//! steady-state replay vs a sequential `execute` loop, per strategy.
+//!
+//! Each family serves the same `N` requests twice — once through
+//! [`Engine::execute`] one request at a time (replay never engages on the
+//! sequential path), once through [`Engine::execute_batch`] on an identical
+//! machine — and asserts the outputs are bit-identical along the way. The
+//! batch leg's win is the steady-state replay: once the L2 tag state maps
+//! onto itself, every further request is answered with the converged launch
+//! statistics and a host-exact GEMM instead of a full simulation.
+//!
+//! A persistence check then round-trips a warm engine's plan cache through
+//! [`Engine::export_plans`] / [`Engine::import_plans`] and proves the cold
+//! replica boots with zero policy resolution and zero re-verification.
+//!
+//! Results splice a `"serving"` section into `BENCH_sim.json` at the repo
+//! root (idempotently — an existing section is replaced); EXPERIMENTS.md
+//! records a reference run. `--smoke` runs the TC linear family plus the
+//! cold-boot check and asserts the acceptance floor (batched >= 1.3x
+//! sequential) — relative in-process timing, robust to slow CI runners.
+
+use std::hint::black_box;
+use std::time::Duration;
+use vitbit_bench::timing::bench;
+use vitbit_exec::{ExecConfig, Strategy};
+use vitbit_plan::{Engine, GemmDesc};
+use vitbit_sim::{Gpu, OrinConfig};
+use vitbit_tensor::gen;
+use vitbit_tensor::Matrix;
+
+fn orin_gpu(mem_bytes: u32) -> Gpu {
+    Gpu::new(OrinConfig::jetson_agx_orin(), mem_bytes)
+}
+
+/// One strategy's paired measurement (sequential loop vs one batch).
+struct ServingFamily {
+    name: &'static str,
+    workload: String,
+    requests: usize,
+    seq_wall: Duration,
+    batch_wall: Duration,
+    replayed: usize,
+}
+
+impl ServingFamily {
+    fn speedup(&self) -> f64 {
+        self.seq_wall.as_secs_f64() / self.batch_wall.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Serves `nreq` distinct-operand requests of one desc sequentially and
+/// batched, on identical machines, asserting bit-identical outputs.
+fn serving_family(
+    name: &'static str,
+    strategy: Strategy,
+    m: usize,
+    k: usize,
+    n: usize,
+    nreq: usize,
+    samples: usize,
+) -> ServingFamily {
+    let cfg = ExecConfig::guarded(6);
+    let a_mats: Vec<Matrix<i8>> = (0..nreq)
+        .map(|i| gen::uniform_i8(m, k, -32, 31, 40 + i as u64))
+        .collect();
+    let b = gen::uniform_i8(k, n, -32, 31, 9);
+    let desc_for = |gpu: &Gpu| {
+        let mut d = GemmDesc::from_exec(strategy, &cfg, gpu, m, k, n, Some(1));
+        d.adaptive = false;
+        d
+    };
+
+    // Sequential leg: one live launch per request, every sample.
+    let mut gpu = orin_gpu(256 << 20);
+    let mut engine = Engine::new();
+    let id = engine.prepare(desc_for(&gpu)).expect("prepare");
+    let mut seq_outs = Vec::new();
+    let seq_wall = bench(&format!("serving/{name}/sequential"), samples, || {
+        seq_outs = a_mats
+            .iter()
+            .map(|a| engine.execute(&mut gpu, id, a, &b).expect("execute").c)
+            .collect();
+        black_box(seq_outs.len())
+    });
+
+    // Batch leg on an identical machine: the warmup run inside `bench`
+    // converges the L2 fixed point, so measured samples ride the replay.
+    let mut gpu = orin_gpu(256 << 20);
+    let mut engine = Engine::new();
+    let id = engine.prepare(desc_for(&gpu)).expect("prepare");
+    let reqs: Vec<(&Matrix<i8>, &Matrix<i8>)> = a_mats.iter().map(|a| (a, &b)).collect();
+    let mut replayed = 0;
+    let mut batch_outs = Vec::new();
+    let batch_wall = bench(&format!("serving/{name}/batched"), samples, || {
+        let batch = engine.execute_batch(&mut gpu, id, &reqs).expect("batch");
+        replayed = batch.replayed();
+        batch_outs = batch.outcomes.into_iter().map(|o| o.out.c).collect();
+        black_box(batch_outs.len())
+    });
+    assert_eq!(
+        seq_outs, batch_outs,
+        "{name}: batched outputs diverge from sequential"
+    );
+
+    let f = ServingFamily {
+        name,
+        workload: format!("{} gemm {m}x{k}x{n}, {nreq} requests", strategy.name()),
+        requests: nreq,
+        seq_wall,
+        batch_wall,
+        replayed,
+    };
+    println!(
+        "  {name}: sequential {seq_wall:?} batched {batch_wall:?} speedup {:.2}x \
+         ({replayed}/{nreq} replayed)",
+        f.speedup()
+    );
+    f
+}
+
+/// Cold-boot persistence: a replica importing the warm engine's exported
+/// plans prepares every desc with zero build work and zero verifier
+/// invocations, and executes bit-identically.
+struct PersistCheck {
+    plans: u64,
+    bytes: usize,
+    cold_build_units: u64,
+    cold_verifier_invocations: u64,
+    cold_build_cycles: u64,
+}
+
+fn persistence_check() -> PersistCheck {
+    let mut cfg = ExecConfig::guarded(6);
+    cfg.adaptive = false;
+    let gpu_w = Gpu::new(OrinConfig::test_small(), 64 << 20);
+    let mut descs: Vec<GemmDesc> = [Strategy::Tc, Strategy::Tacker, Strategy::VitBit]
+        .iter()
+        .map(|&s| GemmDesc::from_exec(s, &cfg, &gpu_w, 16, 32, 320, None))
+        .collect();
+    // One desc carries a real verification proof across the boot (the ViT
+    // Linear shape the static verifier covers).
+    let mut vcfg = cfg;
+    vcfg.verify_plans = true;
+    descs.push(GemmDesc::from_exec(
+        Strategy::VitBit,
+        &vcfg,
+        &gpu_w,
+        197,
+        768,
+        768,
+        None,
+    ));
+    let a = gen::uniform_i8(16, 32, -32, 31, 1);
+    let b = gen::uniform_i8(32, 320, -32, 31, 2);
+
+    let mut warm = Engine::new().with_verifier(vitbit_verify::engine_verifier());
+    let mut gpu_warm = Gpu::new(OrinConfig::test_small(), 64 << 20);
+    let warm_ids: Vec<_> = descs
+        .iter()
+        .map(|&d| warm.prepare(d).expect("warm prepare"))
+        .collect();
+    let want = warm
+        .execute(&mut gpu_warm, warm_ids[0], &a, &b)
+        .expect("warm execute");
+    let blob = warm.export_plans();
+
+    let mut cold = Engine::new().with_verifier(vitbit_verify::engine_verifier());
+    let mut gpu_cold = Gpu::new(OrinConfig::test_small(), 64 << 20);
+    let summary = cold.import_plans(&blob).expect("import");
+    assert_eq!(
+        summary.imported,
+        descs.len() as u64,
+        "every plan must import"
+    );
+    assert_eq!(summary.rejected, 0);
+    let cold_ids: Vec<_> = descs
+        .iter()
+        .map(|&d| cold.prepare(d).expect("cold prepare"))
+        .collect();
+    let got = cold
+        .execute(&mut gpu_cold, cold_ids[0], &a, &b)
+        .expect("cold execute");
+    assert_eq!(got.c, want.c, "cold replica must serve bit-identically");
+    let st = cold.stats();
+    assert_eq!(st.verifier_invocations, 0, "cold boot must not re-verify");
+    assert_eq!(st.plan_build_units, 0, "cold boot must not re-resolve");
+    assert_eq!(st.plan_cache_misses, 0, "cold prepares must all hit");
+    assert_eq!(got.stats.plan_build_cycles, 0);
+    let check = PersistCheck {
+        plans: summary.imported,
+        bytes: blob.len(),
+        cold_build_units: st.plan_build_units,
+        cold_verifier_invocations: st.verifier_invocations,
+        cold_build_cycles: got.stats.plan_build_cycles,
+    };
+    println!(
+        "  persistence: {} plans, {} bytes; cold boot build_units {} \
+         verifier_invocations {} build_cycles {}",
+        check.plans,
+        check.bytes,
+        check.cold_build_units,
+        check.cold_verifier_invocations,
+        check.cold_build_cycles
+    );
+    check
+}
+
+/// Splices a `"serving"` section into `BENCH_sim.json`, replacing any
+/// existing one (the file is owned by `sim_fastforward`; every splicing
+/// bench appends its own sections before the closing brace and each
+/// removes all spliced sections on rewrite — see `sim_interp.rs`).
+fn write_json(families: &[ServingFamily], persist: &PersistCheck) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    let base = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
+    let markers = [",\n  \"serving\":"];
+    let base = match markers.iter().filter_map(|m| base.find(m)).min() {
+        Some(at) => format!("{}\n}}\n", &base[..at]),
+        None => base,
+    };
+    let rows: Vec<String> = families
+        .iter()
+        .map(|f| {
+            format!(
+                "      {{\"family\": \"{}\", \"workload\": \"{}\", \"requests\": {}, \
+                 \"replayed\": {}, \"wall_ns_sequential\": {}, \"wall_ns_batched\": {}, \
+                 \"speedup\": {:.3}}}",
+                f.name,
+                f.workload,
+                f.requests,
+                f.replayed,
+                f.seq_wall.as_nanos(),
+                f.batch_wall.as_nanos(),
+                f.speedup(),
+            )
+        })
+        .collect();
+    let trimmed = base.trim_end();
+    let body = trimmed
+        .strip_suffix('}')
+        .expect("BENCH_sim.json ends with an object")
+        .trim_end();
+    let json = format!(
+        "{body},\n  \"serving\": {{\n    \"families\": [\n{}\n    ],\n    \
+         \"persistence\": {{\"plans\": {}, \"bytes\": {}, \"cold_build_units\": {}, \
+         \"cold_verifier_invocations\": {}, \"cold_build_cycles\": {}}}\n  }}\n}}\n",
+        rows.join(",\n"),
+        persist.plans,
+        persist.bytes,
+        persist.cold_build_units,
+        persist.cold_verifier_invocations,
+        persist.cold_build_cycles,
+    );
+    std::fs::write(path, &json).expect("write BENCH_sim.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        // CI perf guard: relative (sequential vs batched in the same
+        // process), so it cannot flake on absolute runner speed. The
+        // acceptance floor for the issue is 1.3x on this family; measured
+        // headroom comes from replaying most of the 16 requests.
+        println!("-- serving smoke (gemm_tc_linear batched vs sequential) --");
+        let f = serving_family("gemm_tc_linear", Strategy::Tc, 197, 768, 768, 16, 2);
+        println!(
+            "gemm_tc_linear batched speedup: {:.2}x (smoke floor 1.3x)",
+            f.speedup()
+        );
+        assert!(
+            f.speedup() >= 1.3,
+            "batched serving regressed: {:.2}x < 1.3x on gemm_tc_linear",
+            f.speedup()
+        );
+        println!("-- persisted plan-cache cold boot --");
+        persistence_check();
+        return;
+    }
+    println!("-- batched serving vs sequential execute loop, per strategy --");
+    let families = vec![
+        serving_family("gemm_tc_linear", Strategy::Tc, 197, 768, 768, 16, 3),
+        serving_family("gemm_vitbit_linear", Strategy::VitBit, 197, 768, 768, 16, 3),
+    ];
+    println!("-- persisted plan-cache cold boot --");
+    let persist = persistence_check();
+    write_json(&families, &persist);
+    let linear = &families[0];
+    println!(
+        "gemm_tc_linear batched speedup: {:.2}x (acceptance floor 1.3x)",
+        linear.speedup()
+    );
+}

@@ -407,7 +407,11 @@ fn write_json(families: &[Family], vector: &[VectorFamily]) {
     let base = std::fs::read_to_string(path).unwrap_or_else(|_| "{\n}\n".to_string());
     // Idempotency: drop previously spliced sections (they are always the
     // last keys before the closing brace; cut at the earliest marker).
-    let markers = [",\n  \"interp\":", ",\n  \"exec_vector\":"];
+    let markers = [
+        ",\n  \"interp\":",
+        ",\n  \"exec_vector\":",
+        ",\n  \"serving\":",
+    ];
     let base = match markers.iter().filter_map(|m| base.find(m)).min() {
         Some(at) => format!("{}\n}}\n", &base[..at]),
         None => base,

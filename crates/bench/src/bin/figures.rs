@@ -15,7 +15,11 @@
 //! --fast-forward on|off  event-horizon cycle skipping (default on; either
 //!              setting yields bit-identical figures — off is the oracle)
 //! --plan-stats print the plan/execute engine counters (plan-cache hits,
-//!              misses, build work) of each strategy's forward pass
+//!              misses, build work) of each strategy's forward pass, plus
+//!              the per-device serving counters of a pool run (affinity
+//!              hit rate, replays, recoveries, quarantines per shard)
+//! --devices N  simulated GPUs in the serving pool (default 1; only the
+//!              serving measurement shards — figures never do)
 //! ```
 
 use vitbit_bench::{experiments, HarnessOpts, VitSuite};
@@ -60,6 +64,11 @@ fn main() {
                 };
             }
             "--plan-stats" => plan_stats = true,
+            "--devices" => {
+                i += 1;
+                opts.devices = args[i].parse().expect("--devices N");
+                assert!(opts.devices > 0, "--devices needs at least one device");
+            }
             other => picks.push(other.to_string()),
         }
         i += 1;
@@ -137,6 +146,50 @@ fn main() {
                 st.plan_build_units,
                 st.executes,
                 st.faults_detected,
+                st.retries,
+                st.fallbacks,
+                st.quarantined_plans
+            );
+        }
+        println!("{}", "-".repeat(72));
+
+        let serving = vitbit_bench::measure_serving(&opts);
+        println!(
+            "Serving pool counters — {} device(s), plan-affinity sharding",
+            serving.devices
+        );
+        println!(
+            "{:<7} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6} {:>8} {:>6} {:>6}",
+            "device",
+            "batches",
+            "requests",
+            "executes",
+            "replayed",
+            "aff-hit",
+            "aff-miss",
+            "rate",
+            "retries",
+            "fback",
+            "quar"
+        );
+        let mut rows: Vec<(String, &vitbit_exec::EngineStats)> = serving
+            .per_device
+            .iter()
+            .enumerate()
+            .map(|(d, st)| (format!("gpu{d}"), st))
+            .collect();
+        rows.push(("total".to_string(), &serving.total));
+        for (name, st) in rows {
+            println!(
+                "{:<7} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6.2} {:>8} {:>6} {:>6}",
+                name,
+                st.batches,
+                st.batch_requests,
+                st.executes,
+                st.replayed_executes,
+                st.affinity_hits,
+                st.affinity_misses,
+                st.affinity_hit_rate(),
                 st.retries,
                 st.fallbacks,
                 st.quarantined_plans

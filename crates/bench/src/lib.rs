@@ -8,4 +8,4 @@ pub mod experiments;
 pub mod suite;
 pub mod timing;
 
-pub use suite::{HarnessOpts, VitSuite};
+pub use suite::{measure_serving, HarnessOpts, ServingMeasure, VitSuite};

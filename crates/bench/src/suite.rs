@@ -1,8 +1,9 @@
 //! Shared ViT measurement suite: runs the model once per strategy and lets
 //! every figure read from the same measurements.
 
-use vitbit_exec::{Engine, EngineStats, ExecConfig, Strategy};
+use vitbit_exec::{Engine, EngineStats, ExecConfig, GemmDesc, GpuPool, Strategy};
 use vitbit_sim::{Gpu, OrinConfig, SimMode};
+use vitbit_tensor::Matrix;
 use vitbit_vit::{run_vit_planned, ViTConfig, ViTModel, VitPlan, VitRun};
 
 /// Harness options from the `figures` CLI.
@@ -23,6 +24,10 @@ pub struct HarnessOpts {
     /// Event-horizon fast-forward (`--fast-forward on|off`). Either setting
     /// produces bit-identical figures; off is the differential oracle.
     pub fast_forward: bool,
+    /// Simulated devices in the serving pool (`--devices N`). Only the
+    /// serving measurement shards; the figure measurements always run on
+    /// one machine so historical figures stay bit-identical.
+    pub devices: usize,
 }
 
 impl Default for HarnessOpts {
@@ -35,6 +40,7 @@ impl Default for HarnessOpts {
             sim_mode: cfg.sim_mode,
             threads: None,
             fast_forward: cfg.fast_forward,
+            devices: 1,
         }
     }
 }
@@ -130,5 +136,68 @@ impl VitSuite {
             .find(|(x, _)| *x == s)
             .unwrap_or_else(|| panic!("strategy {} not measured", s.name()))
             .1
+    }
+}
+
+/// Per-device serving counters behind `figures --plan-stats --devices N`.
+pub struct ServingMeasure {
+    /// Devices the pool sharded over.
+    pub devices: usize,
+    /// One [`EngineStats`] per shard, device order.
+    pub per_device: Vec<EngineStats>,
+    /// Field-wise sum over all shards.
+    pub total: EngineStats,
+}
+
+/// A deterministic operand matrix (LCG fill over the full code range).
+fn serving_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<i8> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    Matrix::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) % 15) as i8 - 7
+    })
+}
+
+/// Routes two rounds of batched GEMM requests — the ViT Linear shapes of
+/// the selected model config — through a [`GpuPool`] of `opts.devices`
+/// shards and reports the per-device engine counters. The second round
+/// re-serves every desc, so plan-affinity hits and steady-state replays
+/// show up in the stats.
+pub fn measure_serving(opts: &HarnessOpts) -> ServingMeasure {
+    let cfg = opts.orin_config();
+    let vit = opts.vit_config();
+    let exec = ExecConfig::guarded(vit.bitwidth);
+    let mut pool = GpuPool::new(opts.devices, &cfg, 256 << 20);
+    // Descs capture the simulator knobs from a machine identical to the
+    // pool's shards.
+    let probe = Gpu::new(cfg, 256 << 20);
+    let (t, d, mlp) = (vit.tokens, vit.dim, vit.mlp_dim);
+    let sites: [(usize, usize, usize, Option<u64>); 5] = [
+        (t, d, 3 * d, Some(0)), // fused qkv projection
+        (t, d, d, Some(1)),     // attention out-projection
+        (t, d, mlp, Some(2)),   // fc1
+        (t, mlp, d, Some(3)),   // fc2
+        (t, t, d, None),        // activation GEMM (probs x V, all heads)
+    ];
+    let batch = 3usize;
+    for round in 0..2u64 {
+        for (site, &(m, k, n, weight)) in sites.iter().enumerate() {
+            let desc = GemmDesc::from_exec(Strategy::Tc, &exec, &probe, m, k, n, weight);
+            let a_mats: Vec<Matrix<i8>> = (0..batch)
+                .map(|i| serving_matrix(m, k, 100 * round + 10 * site as u64 + i as u64))
+                .collect();
+            let b_mat = serving_matrix(k, n, 7 + site as u64);
+            let reqs: Vec<(&Matrix<i8>, &Matrix<i8>)> =
+                a_mats.iter().map(|a| (a, &b_mat)).collect();
+            pool.execute_batch(desc, &reqs)
+                .expect("serving batch on an unverified desc cannot fail to prepare");
+        }
+    }
+    ServingMeasure {
+        devices: opts.devices,
+        per_device: pool.device_stats(),
+        total: pool.stats(),
     }
 }

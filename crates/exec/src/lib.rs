@@ -16,4 +16,7 @@ pub mod strategy;
 pub use calibration::{run_initial_study, StudyResult};
 pub use strategy::{ExecConfig, GemmTuner, Strategy};
 pub use vitbit_kernels::gemm::{PackedWeightCache, WeightCtx};
-pub use vitbit_plan::{Engine, EngineStats, GemmDesc, PlanId, SimKnobs};
+pub use vitbit_plan::{
+    BatchResult, Completion, Engine, EngineError, EngineStats, GemmDesc, GpuPool, PlanId,
+    RequestOutcome, ServePath, SimKnobs, Ticket,
+};

@@ -312,24 +312,7 @@ pub fn plan_fused(m: usize, k: usize, n: usize, mode: FusedMode, ratio: CoreRati
         cuda_roles = vec![1; 8];
     }
 
-    // Interleave dispatch proportionally so CUDA blocks are co-resident
-    // with TC blocks throughout the launch.
-    let mut dispatch = Vec::with_capacity((tc_blocks + cuda_blocks) as usize);
-    {
-        let (mut ti, mut ci) = (0u32, 0u32);
-        while ti < tc_blocks || ci < cuda_blocks {
-            // Keep the dispatched mix at the same ratio as the totals.
-            let want_tc =
-                (ti + ci + 1) as u64 * tc_blocks as u64 / (tc_blocks + cuda_blocks) as u64;
-            if ti < tc_blocks && (ti as u64) < want_tc || ci >= cuda_blocks {
-                dispatch.push(ti);
-                ti += 1;
-            } else {
-                dispatch.push(tc_blocks + ci);
-                ci += 1;
-            }
-        }
-    }
+    let dispatch = interleave_dispatch(tc_blocks, cuda_blocks);
 
     let program_units: u64 = programs.iter().map(|p| p.ops.len() as u64).sum();
     FusedPlan {
@@ -364,6 +347,260 @@ pub fn plan_fused(m: usize, k: usize, n: usize, mode: FusedMode, ratio: CoreRati
         })),
         plan_units: PLAN_POLICY_UNITS + program_units + dispatch.len() as u64,
     }
+}
+
+/// Proportionally interleaves `tc_blocks` Tensor-core blocks with
+/// `cuda_blocks` CUDA blocks so both classes stay co-resident on every SM
+/// throughout the launch. Mechanical: shared by [`plan_fused`] and
+/// [`materialize_fused`].
+fn interleave_dispatch(tc_blocks: u32, cuda_blocks: u32) -> Vec<u32> {
+    let mut dispatch = Vec::with_capacity((tc_blocks + cuda_blocks) as usize);
+    let (mut ti, mut ci) = (0u32, 0u32);
+    while ti < tc_blocks || ci < cuda_blocks {
+        // Keep the dispatched mix at the same ratio as the totals.
+        let want_tc = (ti + ci + 1) as u64 * tc_blocks as u64 / (tc_blocks + cuda_blocks) as u64;
+        if ti < tc_blocks && (ti as u64) < want_tc || ci >= cuda_blocks {
+            dispatch.push(ti);
+            ti += 1;
+        } else {
+            dispatch.push(tc_blocks + ci);
+            ci += 1;
+        }
+    }
+    dispatch
+}
+
+/// The persistable scalar snapshot of a [`FusedPlan`]: shape, mode, ratio
+/// and — for real launches — the resolved geometry scalars. Everything a
+/// cold replica needs to rebuild the plan *without re-running any policy*
+/// (ratio resolution, the Equation-1 split, padding arithmetic, grid
+/// sizing): [`materialize_fused`] re-emits programs and the dispatch
+/// interleave mechanically from these numbers and validates their
+/// structural invariants, failing closed on any inconsistency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedPlanSpec {
+    /// Output rows.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Kernel family.
+    pub mode: FusedMode,
+    /// Tensor:CUDA column split in force.
+    pub ratio: CoreRatio,
+    /// Resolved geometry scalars; `None` for Tensor-core fallback plans.
+    pub geom: Option<FusedGeomSpec>,
+}
+
+/// The resolved geometry scalars of a real heterogeneous launch — the
+/// policy *outputs* of [`plan_fused`], without the derived artifacts
+/// (programs, dispatch order, role vectors) that re-emit mechanically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedGeomSpec {
+    /// Packing lanes of the INT share (1 when not packing).
+    pub lanes: u32,
+    /// Raw (uncropped) column count of the INT share `B1`.
+    pub n1_raw: u64,
+    /// Raw column count of the FP share `B2` (0 for Tacker).
+    pub n2_raw: u64,
+    /// Padded row count of `A` / the output.
+    pub mp: u64,
+    /// Padded inner dimension.
+    pub kp: u64,
+    /// Padded `B1` columns.
+    pub n1p: u64,
+    /// Padded `B2` columns (0 when no FP share).
+    pub n2p: u64,
+    /// Padded `B3` (Tensor-core) columns.
+    pub n3p: u64,
+    /// Warps per CUDA role.
+    pub role_warps: u32,
+    /// K-splits of the CUDA roles.
+    pub k_splits: u32,
+}
+
+impl FusedPlan {
+    /// Extracts the persistable scalar snapshot of this plan.
+    pub fn geom_spec(&self) -> FusedPlanSpec {
+        let geom = match &self.body {
+            FusedBody::TcFallback => None,
+            FusedBody::Launch(g) => Some(FusedGeomSpec {
+                lanes: g.lanes as u32,
+                n1_raw: g.n1_raw as u64,
+                n2_raw: g.n2_raw as u64,
+                mp: g.mp as u64,
+                kp: g.kp as u64,
+                n1p: g.n1p as u64,
+                n2p: g.n2p as u64,
+                n3p: g.n3p as u64,
+                role_warps: g.geom.role_warps,
+                k_splits: g.geom.k_splits,
+            }),
+        };
+        FusedPlanSpec {
+            m: self.m,
+            k: self.k,
+            n: self.n,
+            mode: self.mode,
+            ratio: self.ratio,
+            geom,
+        }
+    }
+}
+
+/// Rebuilds a [`FusedPlan`] from a persisted [`FusedPlanSpec`].
+///
+/// Program emission and the dispatch interleave are *mechanical* — pure
+/// functions of the geometry scalars — so a materialized plan performs
+/// zero policy resolution (no ratio table, no Equation-1 split, no padding
+/// arithmetic). Every structural invariant of the scalars is re-checked;
+/// plans rebuilt from valid specs are field-identical to what
+/// [`plan_fused`] produced before persistence.
+///
+/// # Errors
+/// A human-readable description of the first violated invariant — the
+/// caller (the plan-cache import path) must fail closed to a live
+/// [`plan_fused`] on any error.
+pub fn materialize_fused(spec: &FusedPlanSpec) -> Result<FusedPlan, String> {
+    let FusedPlanSpec {
+        m,
+        k,
+        n,
+        mode,
+        ratio,
+        geom,
+    } = spec;
+    let (m, k, n, mode, ratio) = (*m, *k, *n, *mode, *ratio);
+    if ratio.tc < 1 || ratio.cuda < 1 {
+        return Err(format!(
+            "ratio {}:{} has an empty share",
+            ratio.tc, ratio.cuda
+        ));
+    }
+    let Some(s) = geom else {
+        return Ok(FusedPlan {
+            m,
+            k,
+            n,
+            mode,
+            ratio,
+            body: FusedBody::TcFallback,
+            plan_units: PLAN_POLICY_UNITS,
+        });
+    };
+    let fail = |what: &str| Err(format!("geometry spec for {m}x{k}x{n}: {what}"));
+
+    let lanes = s.lanes as usize;
+    let spec_lanes = match mode {
+        FusedMode::VitBit(ps) => ps.lanes as usize,
+        _ => 1,
+    };
+    if lanes != spec_lanes || lanes == 0 {
+        return fail("lane count disagrees with the mode");
+    }
+    let (n1_raw, n2_raw) = (s.n1_raw as usize, s.n2_raw as usize);
+    let (mp, kp) = (s.mp as usize, s.kp as usize);
+    let (n1p, n2p, n3p) = (s.n1p as usize, s.n2p as usize, s.n3p as usize);
+    let n3_raw = n.checked_sub(n1_raw + n2_raw);
+    let Some(n3_raw) = n3_raw else {
+        return fail("column shares exceed N");
+    };
+    if matches!(mode, FusedMode::Tacker) && n2_raw != 0 {
+        return fail("Tacker cannot carry an FP share");
+    }
+    if mp == 0 || !mp.is_multiple_of(super::cuda::M_PAD) || mp < m {
+        return fail("bad padded M");
+    }
+    if kp == 0 || !kp.is_multiple_of(super::tc::TC_K_UNIT) || kp < k {
+        return fail("bad padded K");
+    }
+    if n1p < n1_raw || !n1p.is_multiple_of(CHUNK_COLS * lanes) || n1p == 0 {
+        return fail("bad padded B1 columns");
+    }
+    if n2p < n2_raw || !n2p.is_multiple_of(CHUNK_COLS) {
+        return fail("bad padded B2 columns");
+    }
+    if (n2p == 0) != (n2_raw == 0) {
+        return fail("B2 padding disagrees with its raw share");
+    }
+    if n3p < n3_raw.max(1) || !n3p.is_multiple_of(TC_N_TILE) || n3p == 0 {
+        return fail("bad padded B3 columns");
+    }
+    let has_fp = n2p > 0;
+    if s.role_warps != if has_fp { 4 } else { 8 } {
+        return fail("role warp count disagrees with the FP share");
+    }
+    if s.k_splits == 0 || !kp.is_multiple_of(s.k_splits as usize) {
+        return fail("K-splits must divide padded K");
+    }
+
+    // Mechanical re-derivation from the validated scalars: grid sizes,
+    // programs, role vectors, dispatch order. Mirrors plan_fused exactly.
+    let tc_blocks = ((n3p / TC_N_TILE) * (mp / 32)) as u32;
+    let tc_blocks_x = (n3p / TC_N_TILE) as u32;
+    let int_elem = match mode {
+        FusedMode::VitBit(ps) => CudaElem::Packed(ps),
+        _ => CudaElem::Int,
+    };
+    let n1_cols_elem = n1p / lanes;
+    let chunks1 = n1_cols_elem / CHUNK_COLS;
+    let chunks2 = n2p / CHUNK_COLS;
+    let geom = RoleGeom {
+        role_warps: s.role_warps,
+        row_groups: 1,
+        k_splits: s.k_splits,
+    };
+    let cuda_blocks_x = (chunks1.max(chunks2) * s.k_splits as usize)
+        .div_ceil(s.role_warps as usize)
+        .max(1) as u32;
+    let cuda_blocks = cuda_blocks_x * (mp / 16) as u32;
+
+    let mut programs = vec![
+        tc_gemm_program(2, 0).into_arc(),
+        cuda_gemm_program(int_elem, geom, TC_ARGS).into_arc(),
+    ];
+    let mut cuda_roles: Vec<u8> = vec![1; s.role_warps as usize];
+    if has_fp {
+        programs.push(cuda_gemm_program(CudaElem::Fp, geom, TC_ARGS + ARGS_PER_ROLE).into_arc());
+        cuda_roles.extend(std::iter::repeat_n(2u8, s.role_warps as usize));
+    } else {
+        cuda_roles = vec![1; 8];
+    }
+    let dispatch = interleave_dispatch(tc_blocks, cuda_blocks);
+    let program_units: u64 = programs.iter().map(|p| p.ops.len() as u64).sum();
+    Ok(FusedPlan {
+        m,
+        k,
+        n,
+        mode,
+        ratio,
+        body: FusedBody::Launch(Box::new(FusedGeom {
+            lanes,
+            n1_raw,
+            n2_raw,
+            mp,
+            kp,
+            n1p,
+            n2p,
+            n3p,
+            has_fp,
+            int_elem,
+            n1_cols_elem,
+            chunks1,
+            chunks2,
+            geom,
+            tc_blocks,
+            tc_blocks_x,
+            cuda_blocks_x,
+            cuda_blocks,
+            programs,
+            cuda_roles,
+            dispatch: dispatch.clone(),
+            smem: super::tc::tc_smem_bytes(2),
+        })),
+        plan_units: PLAN_POLICY_UNITS + program_units + dispatch.len() as u64,
+    })
 }
 
 /// Stages the stationary operand `b` for `plan`: slices and pads the three
@@ -809,6 +1046,83 @@ mod tests {
             assert_eq!(p.stats.cycles, f.stats.cycles);
         }
         assert!(plan.plan_units > 0 && staged.prep_units > 0);
+    }
+
+    #[test]
+    fn geom_spec_roundtrip_is_field_identical() {
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        for mode in [
+            FusedMode::Tacker,
+            FusedMode::TcIcFc,
+            FusedMode::VitBit(spec),
+        ] {
+            let plan = plan_fused(197, 768, 768, mode, mode.default_ratio());
+            let rebuilt = materialize_fused(&plan.geom_spec()).expect("materialize");
+            assert_eq!(plan.plan_units, rebuilt.plan_units, "{mode:?}");
+            let (FusedBody::Launch(a), FusedBody::Launch(b)) = (&plan.body, &rebuilt.body) else {
+                panic!("{mode:?}: expected launch bodies");
+            };
+            assert_eq!(a.dispatch, b.dispatch);
+            assert_eq!(a.cuda_roles, b.cuda_roles);
+            assert_eq!(a.programs.len(), b.programs.len());
+            for (pa, pb) in a.programs.iter().zip(&b.programs) {
+                assert_eq!(pa.ops, pb.ops, "{mode:?}: re-emitted program diverges");
+            }
+            assert_eq!(
+                (a.lanes, a.n1_raw, a.n2_raw, a.mp, a.kp, a.n1p, a.n2p, a.n3p),
+                (b.lanes, b.n1_raw, b.n2_raw, b.mp, b.kp, b.n1p, b.n2p, b.n3p)
+            );
+            assert_eq!(
+                (a.tc_blocks, a.cuda_blocks, a.cuda_blocks_x, a.smem),
+                (b.tc_blocks, b.cuda_blocks, b.cuda_blocks_x, b.smem)
+            );
+        }
+        // Fallback plans round-trip too.
+        let plan = plan_fused(16, 16, 64, FusedMode::VitBit(spec), CoreRatio::PAPER);
+        let rebuilt = materialize_fused(&plan.geom_spec()).expect("materialize");
+        assert!(matches!(rebuilt.body, FusedBody::TcFallback));
+    }
+
+    #[test]
+    fn materialize_rejects_tampered_geometry() {
+        let spec = PackSpec::guarded(6, 6).unwrap();
+        let mode = FusedMode::VitBit(spec);
+        let good = plan_fused(197, 768, 768, mode, mode.default_ratio()).geom_spec();
+        let tamper = |f: &mut dyn FnMut(&mut FusedGeomSpec)| {
+            let mut s = good.clone();
+            f(s.geom.as_mut().expect("launch plan"));
+            materialize_fused(&s)
+        };
+        assert!(tamper(&mut |g| g.kp += 1).is_err(), "unpadded K must fail");
+        assert!(tamper(&mut |g| g.mp = 0).is_err(), "zero M must fail");
+        assert!(tamper(&mut |g| g.lanes = 7).is_err(), "lane mismatch");
+        assert!(
+            tamper(&mut |g| g.n1_raw = 10_000).is_err(),
+            "shares past N must fail"
+        );
+        assert!(
+            tamper(&mut |g| g.k_splits = 7).is_err(),
+            "non-dividing k-splits must fail"
+        );
+        assert!(
+            tamper(&mut |g| g.role_warps = 8).is_err(),
+            "role warps vs FP share must fail"
+        );
+        // Executing a valid rebuilt plan gives bit-identical results.
+        let rebuilt = materialize_fused(&good).expect("materialize");
+        let a = int6(24, 32, 41);
+        let b = int6(32, 768, 42);
+        let plan = plan_fused(24, 32, 768, mode, mode.default_ratio());
+        let rb = materialize_fused(&plan.geom_spec()).expect("materialize");
+        let staged = prepare_fused_b(&plan, &b, None);
+        let staged_rb = prepare_fused_b(&rb, &b, None);
+        let mut g1 = gpu();
+        let mut g2 = gpu();
+        let o1 = execute_fused(&mut g1, &plan, &a, &b, &staged).expect("fused gemm");
+        let o2 = execute_fused(&mut g2, &rb, &a, &b, &staged_rb).expect("fused gemm");
+        assert_eq!(o1.c, o2.c);
+        assert_eq!(o1.stats, o2.stats);
+        let _ = rebuilt;
     }
 
     #[test]

@@ -21,8 +21,8 @@ pub use abft::{verify_gemm, weight_row_sums, AbftCheck};
 pub use cache::{PackedWeight, PackedWeightCache, WeightCtx, WeightKey};
 pub use cuda::{run_fc, run_ic, run_ic_fc, run_ic_fc_packed, run_packed, run_packed_cached};
 pub use fused::{
-    execute_fused, plan_fused, prepare_fused_b, run_fused_one_shot, FusedB, FusedBody, FusedGeom,
-    FusedMode, FusedPlan,
+    execute_fused, materialize_fused, plan_fused, prepare_fused_b, run_fused_one_shot, FusedB,
+    FusedBody, FusedGeom, FusedGeomSpec, FusedMode, FusedPlan, FusedPlanSpec,
 };
 #[allow(deprecated)]
 pub use fused::{run_fused, run_fused_with_ratio, run_fused_with_ratio_cached};

@@ -11,7 +11,7 @@ use vitbit_kernels::gemm::{
     weight_row_sums, FusedB, FusedMode, FusedPlan, GemmError, GemmOut, PackedWeightCache,
 };
 use vitbit_sim::{Gpu, KernelStats, OrinConfig, SchedPolicy, SimMode};
-use vitbit_tensor::refgemm::gemm_i8_i32;
+use vitbit_tensor::refgemm::{gemm_i8_i32, gemm_i8_i32_fast};
 use vitbit_tensor::Matrix;
 
 /// The simulator knobs that shape a launch plan's measured behavior.
@@ -131,7 +131,7 @@ pub struct PlanId(u64);
 const DIRECT_POLICY_UNITS: u64 = 16;
 
 #[derive(Debug, Clone)]
-enum PlanBody {
+pub(crate) enum PlanBody {
     /// Tc / Ic / Fc / IcFc: a single standalone driver, no plan state
     /// beyond the dispatch decision.
     Direct,
@@ -147,19 +147,40 @@ enum PlanBody {
 pub struct GemmPlan {
     /// The desc this plan answers.
     pub desc: GemmDesc,
-    body: PlanBody,
+    pub(crate) body: PlanBody,
     /// Build work performed but not yet attributed to an execute.
-    pending_build: u64,
+    pub(crate) pending_build: u64,
+    /// Verification proof attached at prepare (or import) time, when the
+    /// desc asked for verification.
+    pub(crate) proof: Option<PlanProof>,
     last_use: u64,
 }
 
 impl GemmPlan {
+    /// A plan restored from a persisted cache: fully materialized, zero
+    /// pending build work, carrying its persisted proof.
+    pub(crate) fn imported(desc: GemmDesc, body: PlanBody, proof: Option<PlanProof>) -> Self {
+        Self {
+            desc,
+            body,
+            pending_build: 0,
+            proof,
+            last_use: 0,
+        }
+    }
+
     /// The fused launch plan, when this strategy fuses.
     pub fn fused(&self) -> Option<&FusedPlan> {
         match &self.body {
             PlanBody::Fused { plan, .. } => Some(plan),
             PlanBody::Direct => None,
         }
+    }
+
+    /// The verification proof this plan carries, when it was verified
+    /// (live or restored from a persisted cache).
+    pub fn proof(&self) -> Option<&PlanProof> {
+        self.proof.as_ref()
     }
 
     /// Whether the stationary weight operand is already staged (packed
@@ -275,6 +296,43 @@ pub struct EngineStats {
     /// Plans quarantined after exhausting the ladder; their executes are
     /// served by the host reference GEMM until [`Engine::invalidate`].
     pub quarantined_plans: u64,
+    /// Times the installed [`PlanVerifier`] actually ran (cache hits and
+    /// persisted-proof imports skip it — the cold-boot zero-reverification
+    /// claim is asserted on this counter).
+    pub verifier_invocations: u64,
+    /// [`Engine::execute_batch`] calls served.
+    pub batches: u64,
+    /// Requests served through [`Engine::execute_batch`].
+    pub batch_requests: u64,
+    /// Batch requests served by steady-state replay (converged simulated
+    /// stats + host-exact output) instead of a live launch.
+    pub replayed_executes: u64,
+    /// Plans admitted from a persisted plan cache (zero policy resolution,
+    /// zero re-verification).
+    pub plans_imported: u64,
+    /// Persisted entries rejected at import (stale version, checksum
+    /// mismatch, invariant violation) — each fails closed to a live
+    /// `prepare` on next use.
+    pub plans_rejected: u64,
+    /// Pool-routed requests that landed on a shard already holding the
+    /// desc's plan (stamped by `GpuPool`; always zero for a bare engine).
+    pub affinity_hits: u64,
+    /// Pool-routed requests that had to build their plan on the routed
+    /// shard (stamped by `GpuPool`; always zero for a bare engine).
+    pub affinity_misses: u64,
+}
+
+impl EngineStats {
+    /// Fraction of pool-routed requests that found their plan already
+    /// resident on the routed shard; 1.0 when nothing was routed.
+    pub fn affinity_hit_rate(&self) -> f64 {
+        let total = self.affinity_hits + self.affinity_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.affinity_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Why [`Engine::execute`] refused a request. Faults do **not** surface
@@ -327,9 +385,23 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
+/// The serializable summary of a successful static verification: enough
+/// to persist alongside a plan so a cold replica can prove "this desc's
+/// programs were verified" without re-running the analyzer. The full
+/// machine-checkable facts live in `vitbit-verify`'s `ProofReport`; this
+/// is its stable, dependency-free projection.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanProof {
+    /// Human-readable subject line (strategy, shape, spec).
+    pub subject: String,
+    /// Per-program proof summary: `(program name, ops proven safe)`.
+    pub programs: Vec<(String, u64)>,
+}
+
 /// The callback shape a [`PlanVerifier`] wraps: the desc about to be
-/// planned in, rendered violations out on rejection.
-type VerifyFn = dyn Fn(&GemmDesc) -> Result<(), Vec<String>> + Send + Sync;
+/// planned in; a proof summary out on success, rendered violations out
+/// on rejection.
+type VerifyFn = dyn Fn(&GemmDesc) -> Result<PlanProof, Vec<String>> + Send + Sync;
 
 /// A prepare-time static plan checker. The implementation lives in the
 /// `vitbit-verify` crate (which depends on this one); the engine holds
@@ -341,7 +413,7 @@ impl PlanVerifier {
     /// Wraps a checking function.
     pub fn new<F>(f: F) -> Self
     where
-        F: Fn(&GemmDesc) -> Result<(), Vec<String>> + Send + Sync + 'static,
+        F: Fn(&GemmDesc) -> Result<PlanProof, Vec<String>> + Send + Sync + 'static,
     {
         Self(Arc::new(f))
     }
@@ -351,7 +423,7 @@ impl PlanVerifier {
     /// # Errors
     /// The rendered violations when the desc's plan cannot be proven
     /// safe.
-    pub fn check(&self, desc: &GemmDesc) -> Result<(), Vec<String>> {
+    pub fn check(&self, desc: &GemmDesc) -> Result<PlanProof, Vec<String>> {
         (self.0)(desc)
     }
 }
@@ -360,6 +432,101 @@ impl std::fmt::Debug for PlanVerifier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("PlanVerifier(..)")
     }
+}
+
+/// How one request was served (see [`Engine::execute_batch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServePath {
+    /// A live simulated launch — the sequential-path behavior.
+    Launched,
+    /// Steady-state replay: the request was answered with the plan's
+    /// converged launch statistics and a host-exact output, without
+    /// occupying the simulated machine. Bit-identical to a live launch.
+    Replayed,
+    /// The host reference GEMM (quarantined plan, or the recovery ladder
+    /// exhausted on this request).
+    Host,
+}
+
+/// One request's result inside a [`BatchResult`].
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// The GEMM result and its per-request stats — bit-identical to what
+    /// a sequential [`Engine::execute`] of the same request returns.
+    pub out: GemmOut,
+    /// How this request was served.
+    pub served: ServePath,
+    /// Faults the engine observed serving this request (failed launches
+    /// plus ABFT mismatches).
+    pub faults: u64,
+    /// Recovery-ladder re-attempts spent on this request.
+    pub retries: u64,
+}
+
+/// Per-request outcomes of one [`Engine::execute_batch`] call, in
+/// request order.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// One outcome per request.
+    pub outcomes: Vec<RequestOutcome>,
+}
+
+impl BatchResult {
+    /// Requests served by steady-state replay.
+    pub fn replayed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.served == ServePath::Replayed)
+            .count()
+    }
+
+    /// Requests answered by the host reference (quarantine path).
+    pub fn hosted(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.served == ServePath::Host)
+            .count()
+    }
+}
+
+/// A converged launch observation: proof that serving this plan again
+/// from the same timing state reproduces exactly these statistics.
+///
+/// Validity rests on two machine facts: GEMM kernel timing is
+/// value-independent (addresses and schedules depend only on the plan),
+/// and the L2 tag array is the *only* timing state that persists across
+/// launches. A launch observed to map the L2 fingerprint onto itself is
+/// therefore a fixed point — every subsequent launch of the same plan
+/// from that state is cycle-identical.
+#[derive(Debug, Clone)]
+struct ReplayEntry {
+    /// Fingerprint of the machine configuration the entry was recorded
+    /// on; one engine may legally serve differently-configured GPUs.
+    cfg_fp: u64,
+    /// The L2 fixed-point fingerprint (equal before and after the
+    /// recorded launch).
+    fp: u64,
+    /// The launch statistics at the fixed point, pre-attribution (the
+    /// engine counters are stamped per serve, exactly as live).
+    stats: KernelStats,
+}
+
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprints every timing-relevant scalar of a machine configuration.
+/// Hashes the `Debug` rendering: over-sensitive (extra fields only make
+/// replay *less* eager, never wrong) and immune to field additions.
+/// In-memory only — never persisted, so the rendering's stability across
+/// builds is irrelevant.
+fn cfg_fingerprint(cfg: &OrinConfig) -> u64 {
+    fnv1a(format!("{cfg:?}").as_bytes())
 }
 
 /// Winner map of the adaptive measure-and-choose dispatch, keyed exactly
@@ -396,6 +563,13 @@ pub struct Engine {
     stats: EngineStats,
     quarantined: HashSet<PlanId>,
     verifier: Option<PlanVerifier>,
+    /// Converged launch observations, by plan (see [`ReplayEntry`]).
+    replays: HashMap<PlanId, ReplayEntry>,
+    /// Async submission queue (see [`Engine::submit`]), drained in
+    /// ticket order.
+    pub(crate) pending: Vec<crate::serve::PendingRequest>,
+    /// Next ticket id handed out by [`Engine::submit`].
+    pub(crate) next_ticket: u64,
 }
 
 /// Scalar-MAC units to simulated cycles for the modeled ABFT check: the
@@ -446,11 +620,15 @@ impl Engine {
             self.stats.plan_cache_hits += 1;
             return Ok(id);
         }
-        if desc.verify {
+        let proof = if desc.verify {
             match &self.verifier {
-                Some(v) => v
-                    .check(&desc)
-                    .map_err(|violations| EngineError::Unverified { violations })?,
+                Some(v) => {
+                    self.stats.verifier_invocations += 1;
+                    Some(
+                        v.check(&desc)
+                            .map_err(|violations| EngineError::Unverified { violations })?,
+                    )
+                }
                 None => {
                     return Err(EngineError::Unverified {
                         violations: vec!["desc.verify set but no PlanVerifier installed \
@@ -459,7 +637,9 @@ impl Engine {
                     });
                 }
             }
-        }
+        } else {
+            None
+        };
         self.stats.plan_cache_misses += 1;
         let (body, build) = Self::build_body(&desc);
         self.stats.plan_build_units += build;
@@ -467,6 +647,7 @@ impl Engine {
             desc,
             body,
             pending_build: build,
+            proof,
             last_use: 0,
         }))
     }
@@ -494,6 +675,7 @@ impl Engine {
     /// engine's packed-weight cache. Returns the build work spent.
     fn rebuild_plan(&mut self, id: PlanId) -> u64 {
         self.weights.clear();
+        self.replays.remove(&id);
         let Some(plan) = self.plans.slots.get_mut(&id) else {
             return 0;
         };
@@ -533,6 +715,60 @@ impl Engine {
         a: &Matrix<i8>,
         b: &Matrix<i8>,
     ) -> Result<GemmOut, EngineError> {
+        Ok(self.serve_one(gpu, id, a, b, false, None)?.out)
+    }
+
+    /// Serves a queue of requests against one prepared plan. The batched
+    /// path amortizes per-request work: the plan is resolved once, the
+    /// weight stays staged, and once the machine's timing state reaches
+    /// its launch fixed point the remaining requests are served by
+    /// steady-state replay — host-exact outputs stamped with the
+    /// converged launch statistics, no simulator occupancy. Outputs and
+    /// per-request stats are **bit-identical** to a sequential
+    /// [`Engine::execute`] loop over the same requests.
+    ///
+    /// The recovery ladder runs per request: a faulting request walks its
+    /// rungs (and may quarantine the plan) without poisoning its batch
+    /// neighbors — later requests of a quarantined plan are served by the
+    /// host reference, exactly as sequential executes would be.
+    ///
+    /// # Errors
+    /// Same contract as [`Engine::execute`], checked per request; on the
+    /// first refused request the earlier outcomes are discarded with the
+    /// error (the engine state they mutated remains, as with sequential
+    /// calls).
+    pub fn execute_batch(
+        &mut self,
+        gpu: &mut Gpu,
+        id: PlanId,
+        requests: &[(&Matrix<i8>, &Matrix<i8>)],
+    ) -> Result<BatchResult, EngineError> {
+        self.stats.batches += 1;
+        let mut outcomes = Vec::with_capacity(requests.len());
+        for &(a, b) in requests {
+            self.stats.batch_requests += 1;
+            outcomes.push(self.serve_one(gpu, id, a, b, true, None)?);
+        }
+        Ok(BatchResult { outcomes })
+    }
+
+    /// The shared serving path behind [`Engine::execute`] (replay off:
+    /// every request launches, preserving the historical contract) and
+    /// [`Engine::execute_batch`] (replay on). Both paths *record* replay
+    /// entries, so a sequential warm-up arms later batches.
+    ///
+    /// `prestaged` is an activation-`B` staging computed ahead of time
+    /// (the async drain's worker pool) — a pure function of
+    /// `(plan, b)`, so consuming it is bit-identical to staging inline.
+    pub(crate) fn serve_one(
+        &mut self,
+        gpu: &mut Gpu,
+        id: PlanId,
+        a: &Matrix<i8>,
+        b: &Matrix<i8>,
+        allow_replay: bool,
+        mut prestaged: Option<Arc<FusedB>>,
+    ) -> Result<RequestOutcome, EngineError> {
         self.plans.touch(id);
         let Some(plan) = self.plans.slots.get(&id) else {
             return Err(EngineError::UnknownPlan(id));
@@ -547,38 +783,96 @@ impl Engine {
         }
         self.stats.executes += 1;
         if self.quarantined.contains(&id) {
-            return Ok(self.host_reference(a, b));
+            return Ok(RequestOutcome {
+                out: self.host_reference(a, b),
+                served: ServePath::Host,
+                faults: 0,
+                retries: 0,
+            });
         }
 
         let denom = abft_denom(gpu.config());
+
+        if allow_replay {
+            if let Some(out) = self.try_replay(gpu, id, a, b, denom) {
+                return Ok(RequestOutcome {
+                    out,
+                    served: ServePath::Replayed,
+                    faults: 0,
+                    retries: 0,
+                });
+            }
+        }
+
+        // Replay-recording eligibility, judged *before* the launch: the
+        // plan must already be in its steady state (no pending build, the
+        // weight staged, the adaptive choice decided) and the machine
+        // deterministic (no fault injection) — only then can one launch's
+        // statistics stand for every later launch from the same state.
+        let fp_before = if self.replay_recordable(gpu, id, &desc) {
+            Some(gpu.timing_fingerprint())
+        } else {
+            None
+        };
+
         let mut total_build = 0u64;
         let mut abft_cycles = 0u64;
         let mut detected = 0u64;
+        let mut req_retries = 0u64;
 
         // Rungs 0..2 of the ladder: the plan itself — as prepared, retried
         // once, then rebuilt from scratch. With faults off, rung 0 is the
         // whole function: it issues exactly the pre-ladder launch sequence.
         for rung in 0..3u32 {
             match rung {
-                1 => self.stats.retries += 1,
+                1 => {
+                    self.stats.retries += 1;
+                    req_retries += 1;
+                }
                 2 => {
                     self.stats.retries += 1;
+                    req_retries += 1;
                     total_build += self.rebuild_plan(id);
                 }
                 _ => {}
             }
-            let (res, build) = self.attempt_plan(gpu, id, a, b);
+            let (res, build) = self.attempt_plan(gpu, id, a, b, &mut prestaged);
             total_build += build;
             match res {
                 Ok(out) => {
-                    if !desc.abft {
-                        return Ok(self.finish(out, total_build, abft_cycles, detected));
-                    }
-                    let bsum = self.staged_bsum(id);
-                    let check = abft::verify_gemm(a, b, &out.c, bsum.as_deref().map(Vec::as_slice));
-                    abft_cycles += check.units.div_ceil(denom);
-                    if check.ok() {
-                        return Ok(self.finish(out, total_build, abft_cycles, detected));
+                    let ok = if desc.abft {
+                        let bsum = self.staged_bsum(id);
+                        let check =
+                            abft::verify_gemm(a, b, &out.c, bsum.as_deref().map(Vec::as_slice));
+                        abft_cycles += check.units.div_ceil(denom);
+                        check.ok()
+                    } else {
+                        true
+                    };
+                    if ok {
+                        if let Some(fp_before) = fp_before {
+                            if rung == 0 && detected == 0 && total_build == 0 {
+                                let fp_after = gpu.timing_fingerprint();
+                                if fp_before == fp_after {
+                                    // L2 fixed point observed: this launch's
+                                    // stats are the plan's steady state.
+                                    self.replays.insert(
+                                        id,
+                                        ReplayEntry {
+                                            cfg_fp: cfg_fingerprint(gpu.config()),
+                                            fp: fp_after,
+                                            stats: out.stats.clone(),
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                        return Ok(RequestOutcome {
+                            out: self.finish(out, total_build, abft_cycles, detected),
+                            served: ServePath::Launched,
+                            faults: detected,
+                            retries: req_retries,
+                        });
                     }
                     detected += 1;
                     self.stats.faults_detected += 1;
@@ -603,7 +897,12 @@ impl Engine {
                     true
                 };
                 if ok {
-                    return Ok(self.finish(out, total_build, abft_cycles, detected));
+                    return Ok(RequestOutcome {
+                        out: self.finish(out, total_build, abft_cycles, detected),
+                        served: ServePath::Launched,
+                        faults: detected,
+                        retries: req_retries,
+                    });
                 }
                 detected += 1;
                 self.stats.faults_detected += 1;
@@ -617,9 +916,99 @@ impl Engine {
         // Final rung: the simulated machine is not producing trustworthy
         // results for this plan. Quarantine it and answer from the host.
         self.quarantined.insert(id);
+        self.replays.remove(&id);
         self.stats.quarantined_plans += 1;
         let out = self.host_reference(a, b);
-        Ok(self.finish(out, total_build, abft_cycles, detected))
+        Ok(RequestOutcome {
+            out: self.finish(out, total_build, abft_cycles, detected),
+            served: ServePath::Host,
+            faults: detected,
+            retries: req_retries,
+        })
+    }
+
+    /// Whether a successful rung-0 launch of `id`, from the machine's
+    /// current state, would be a valid steady-state observation.
+    fn replay_recordable(&self, gpu: &Gpu, id: PlanId, desc: &GemmDesc) -> bool {
+        if gpu.config().fault.enabled {
+            return false;
+        }
+        let Some(plan) = self.plans.slots.get(&id) else {
+            return false;
+        };
+        if plan.pending_build != 0 {
+            return false;
+        }
+        if desc.weight.is_some() && plan.fused().is_some() && !plan.weight_staged() {
+            // The first fused launch of a weight plan stages (packs) the
+            // stationary operand — build work that is not steady state.
+            // Direct plans stage nothing, so the gate does not apply.
+            return false;
+        }
+        if desc.adaptive
+            && plan.fused().is_some()
+            && !self
+                .choices
+                .contains_key(&(desc.strategy, desc.m, desc.n, desc.k))
+        {
+            // An undecided adaptive fused plan measures (two launches) —
+            // not the steady-state launch sequence. Direct plans run one
+            // fixed kernel; adaptivity never alters their sequence.
+            return false;
+        }
+        true
+    }
+
+    /// Serves one request from the plan's converged observation, when the
+    /// machine is provably at the recorded fixed point. Returns `None`
+    /// (caller falls back to a live launch) on any mismatch — replay
+    /// never guesses.
+    fn try_replay(
+        &mut self,
+        gpu: &Gpu,
+        id: PlanId,
+        a: &Matrix<i8>,
+        b: &Matrix<i8>,
+        denom: u64,
+    ) -> Option<GemmOut> {
+        if gpu.config().fault.enabled {
+            return None;
+        }
+        let entry = self.replays.get(&id)?;
+        if entry.cfg_fp != cfg_fingerprint(gpu.config()) || gpu.timing_fingerprint() != entry.fp {
+            return None;
+        }
+        let stats = entry.stats.clone();
+        let plan = self.plans.slots.get(&id)?;
+        let desc = plan.desc;
+        if plan.pending_build != 0
+            || (desc.weight.is_some() && plan.fused().is_some() && !plan.weight_staged())
+            || (desc.adaptive
+                && plan.fused().is_some()
+                && !self
+                    .choices
+                    .contains_key(&(desc.strategy, desc.m, desc.n, desc.k)))
+        {
+            return None;
+        }
+        // Timing is value-independent; outputs are not. The launch the
+        // stats stand for is bit-exact against the host kernel (the
+        // simulator's golden contract), so the output comes from there.
+        let c = gemm_i8_i32_fast(a, b);
+        let mut abft_cycles = 0u64;
+        if desc.abft {
+            let bsum = self.staged_bsum(id);
+            let check = abft::verify_gemm(a, b, &c, bsum.as_deref().map(Vec::as_slice));
+            abft_cycles = check.units.div_ceil(denom);
+            if !check.ok() {
+                // A host-exact result failing its own checksum means the
+                // staged bsum is stale — fall back to a live launch.
+                return None;
+            }
+        }
+        self.stats.replayed_executes += 1;
+        let out = GemmOut { c, stats };
+        Some(self.finish(out, 0, abft_cycles, 0))
     }
 
     /// One attempt at running the plan as prepared. Returns the driver
@@ -631,6 +1020,7 @@ impl Engine {
         id: PlanId,
         a: &Matrix<i8>,
         b: &Matrix<i8>,
+        prestaged: &mut Option<Arc<FusedB>>,
     ) -> (Result<GemmOut, GemmError>, u64) {
         let plan = self
             .plans
@@ -676,7 +1066,13 @@ impl Engine {
                             *staged = Some(Arc::clone(&s));
                             s
                         }
-                        (None, _) => Arc::new(prepare_fused_b(fplan, b, None)),
+                        // Activation B: consume the pre-staged operands
+                        // when the async drain prepared them (identical
+                        // content — staging is pure in (plan, b)).
+                        (None, _) => match prestaged.take() {
+                            Some(s) => s,
+                            None => Arc::new(prepare_fused_b(fplan, b, None)),
+                        },
                     };
                     execute_fused(gpu, fplan, a, b, &staged_b)
                 };
@@ -760,6 +1156,7 @@ impl Engine {
     /// Returns whether a cached plan was actually removed.
     pub fn invalidate(&mut self, id: PlanId) -> bool {
         self.quarantined.remove(&id);
+        self.replays.remove(&id);
         let Some(plan) = self.plans.slots.remove(&id) else {
             return false;
         };
@@ -803,6 +1200,28 @@ impl Engine {
     /// Read access to a cached plan.
     pub fn plan(&self, id: PlanId) -> Option<&GemmPlan> {
         self.plans.slots.get(&id)
+    }
+
+    /// Whether a plan for `desc` is resident, without perturbing LRU
+    /// recency (the pool's affinity accounting must not age plans).
+    pub fn has_plan(&self, desc: &GemmDesc) -> bool {
+        self.plans.by_desc.contains_key(desc)
+    }
+
+    /// Iterates the resident plans (persistence export).
+    pub(crate) fn plans_iter(&self) -> impl Iterator<Item = &GemmPlan> {
+        self.plans.slots.values()
+    }
+
+    /// Admits an already-materialized plan (persistence import). The
+    /// caller has validated it; it enters with the build work it claims.
+    pub(crate) fn admit_plan(&mut self, plan: GemmPlan) -> PlanId {
+        self.plans.insert(plan)
+    }
+
+    /// Mutable engine counters (pool affinity stamping, import counting).
+    pub(crate) fn stats_mut(&mut self) -> &mut EngineStats {
+        &mut self.stats
     }
 
     /// The engine's packed-weight cache.
@@ -1123,7 +1542,8 @@ mod tests {
     #[test]
     fn accepting_verifier_admits_and_caches_the_plan() {
         let mut g = gpu();
-        let mut e = Engine::new().with_verifier(PlanVerifier::new(|_: &GemmDesc| Ok(())));
+        let mut e =
+            Engine::new().with_verifier(PlanVerifier::new(|_: &GemmDesc| Ok(PlanProof::default())));
         let mut cfg = ExecConfig::int6();
         cfg.verify_plans = true;
         let (a, b) = mats(16, 32, 320, 31);
@@ -1142,5 +1562,101 @@ mod tests {
             matches!(e.prepare(fresh), Err(EngineError::Unverified { .. })),
             "a new desc goes through the rejecting verifier"
         );
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_sequential_and_replays_steady_state() {
+        let (a, b) = mats(16, 32, 320, 33);
+        let mut cfg = ExecConfig::int6();
+        cfg.adaptive = false;
+        let n = 6usize;
+        // Sequential loop on one machine…
+        let mut g1 = gpu();
+        let mut e1 = Engine::new();
+        let d1 = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g1, 16, 32, 320, Some(2));
+        let id1 = e1.prepare(d1).expect("prepare");
+        let seq: Vec<_> = (0..n)
+            .map(|_| e1.execute(&mut g1, id1, &a, &b).expect("execute"))
+            .collect();
+        // …vs one batch on an identical machine.
+        let mut g2 = gpu();
+        let mut e2 = Engine::new();
+        let d2 = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g2, 16, 32, 320, Some(2));
+        let id2 = e2.prepare(d2).expect("prepare");
+        let reqs: Vec<_> = (0..n).map(|_| (&a, &b)).collect();
+        let batch = e2.execute_batch(&mut g2, id2, &reqs).expect("batch");
+        assert_eq!(batch.outcomes.len(), n);
+        for (i, (s, o)) in seq.iter().zip(&batch.outcomes).enumerate() {
+            assert_eq!(o.out.c, s.c, "request {i}: outputs diverge");
+            assert_eq!(o.out.stats, s.stats, "request {i}: stats diverge");
+        }
+        // Cold build + a few convergence launches; the tail replays.
+        assert!(
+            batch.replayed() >= 1,
+            "steady state must replay: {} of {n} replayed",
+            batch.replayed()
+        );
+        assert_eq!(
+            batch.outcomes[n - 1].served,
+            ServePath::Replayed,
+            "the last request rides the fixed point"
+        );
+        let s = e2.stats();
+        assert_eq!(s.replayed_executes as usize, batch.replayed());
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.batch_requests, n as u64);
+        // The machines end in identical timing state: a later sequential
+        // execute on each still agrees bit-for-bit.
+        let t1 = e1.execute(&mut g1, id1, &a, &b).expect("execute");
+        let t2 = e2.execute(&mut g2, id2, &a, &b).expect("execute");
+        assert_eq!(t1.c, t2.c);
+        assert_eq!(t1.stats, t2.stats);
+    }
+
+    #[test]
+    fn replay_is_gated_off_under_fault_injection() {
+        let mut cfg = OrinConfig::test_small();
+        cfg.fault = vitbit_sim::FaultConfig {
+            enabled: true,
+            seed: 3,
+            reg_flip_rate: 0.0,
+            dram_flip_rate: 0.0,
+            hang_rate: 0.0,
+        };
+        let mut g = Gpu::new(cfg, 64 << 20);
+        let mut e = Engine::new();
+        let mut ec = ExecConfig::int6();
+        ec.adaptive = false;
+        let (a, b) = mats(16, 32, 320, 35);
+        let desc = GemmDesc::from_exec(Strategy::VitBit, &ec, &g, 16, 32, 320, Some(6));
+        let id = e.prepare(desc).expect("prepare");
+        let reqs: Vec<_> = (0..5).map(|_| (&a, &b)).collect();
+        let batch = e.execute_batch(&mut g, id, &reqs).expect("batch");
+        assert_eq!(
+            batch.replayed(),
+            0,
+            "a fault-injecting machine is never replayed"
+        );
+        assert_eq!(e.stats().replayed_executes, 0);
+    }
+
+    #[test]
+    fn rebuild_and_invalidate_drop_replay_entries() {
+        let mut g = gpu();
+        let mut e = Engine::new();
+        let mut cfg = ExecConfig::int6();
+        cfg.adaptive = false;
+        let (a, b) = mats(16, 32, 320, 37);
+        let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 16, 32, 320, Some(12));
+        let id = e.prepare(desc).expect("prepare");
+        let reqs: Vec<_> = (0..5).map(|_| (&a, &b)).collect();
+        let warm = e.execute_batch(&mut g, id, &reqs).expect("batch");
+        assert!(warm.replayed() > 0, "entry recorded");
+        assert!(e.invalidate(id));
+        let id2 = e.prepare(desc).expect("prepare");
+        // A fresh plan starts cold: its first request must launch.
+        let again = e.execute_batch(&mut g, id2, &reqs).expect("batch");
+        assert_eq!(again.outcomes[0].served, ServePath::Launched);
+        assert_eq!(again.outcomes[0].out.c, gemm_i8_i32(&a, &b));
     }
 }

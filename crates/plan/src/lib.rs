@@ -31,14 +31,33 @@
 //! outputs with ABFT checksums when [`GemmDesc::abft`] asks for it, and
 //! absorbs launch faults through a retry → rebuild → fallback →
 //! quarantine ladder (see `DESIGN.md` §9).
+//!
+//! The serving PR adds the batched/async/sharded layer on top (see
+//! `DESIGN.md` §13):
+//!
+//! * [`Engine::execute_batch`] serves a request queue against one plan,
+//!   replaying the converged launch once the machine's timing state
+//!   reaches its fixed point — bit-identical to sequential execution;
+//! * [`Engine::submit`] / [`Engine::drain`] accept requests
+//!   asynchronously with deterministic, ticket-ordered completion;
+//! * [`GpuPool`] shards requests across N simulated GPUs by plan
+//!   affinity;
+//! * [`Engine::export_plans`] / [`Engine::import_plans`] persist
+//!   resolved plans (+ verification proofs) so a cold replica boots
+//!   with zero policy resolution and zero re-verification.
 
 #![warn(clippy::unwrap_used)]
 
 pub mod engine;
+pub mod persist;
+pub mod serve;
 pub mod strategy;
 
 pub use engine::{
-    Engine, EngineError, EngineStats, GemmDesc, GemmPlan, PlanCache, PlanId, PlanVerifier, SimKnobs,
+    BatchResult, Engine, EngineError, EngineStats, GemmDesc, GemmPlan, PlanCache, PlanId,
+    PlanProof, PlanVerifier, RequestOutcome, ServePath, SimKnobs,
 };
+pub use persist::{ImportSummary, PersistError};
+pub use serve::{Completion, GpuPool, Ticket};
 pub use strategy::{ExecConfig, GemmTuner, Strategy};
 pub use vitbit_kernels::gemm::{GemmOut, PackedWeightCache, WeightCtx};

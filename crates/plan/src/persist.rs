@@ -1,0 +1,787 @@
+//! Plan-cache persistence: a hermetic binary snapshot of the engine's
+//! resolved plans, so a cold replica boots with **zero policy
+//! resolution and zero re-verification**.
+//!
+//! What is persisted per plan:
+//!
+//! * the full [`GemmDesc`] key;
+//! * the plan body — `Direct`, or the resolved geometry scalars
+//!   ([`FusedPlanSpec`]) of a fused plan. Programs and dispatch order
+//!   are *not* persisted: [`materialize_fused`] re-emits them
+//!   mechanically from the scalars (codegen, not policy resolution);
+//! * the [`PlanProof`] attached at prepare time, when the desc asked
+//!   for verification.
+//!
+//! What is deliberately **not** persisted: staged weight operands (they
+//! are value-dependent — staging is execute work, re-done on first use)
+//! and replay entries (they are machine-state-dependent).
+//!
+//! # Fail-closed rules
+//!
+//! Every entry carries its own FNV-1a checksum. A stale version, a
+//! checksum mismatch, a malformed field, a geometry that fails
+//! [`materialize_fused`]'s invariants, or a verified desc arriving
+//! without its proof — each rejects *that entry* (counted in
+//! [`EngineStats::plans_rejected`]) and the desc falls back to a live
+//! [`Engine::prepare`] on next use. Corruption can cost warm-boot time,
+//! never correctness.
+//!
+//! # Format
+//!
+//! Little-endian throughout.
+//!
+//! ```text
+//! "VBPC" | version: u32 | count: u32 | entry*
+//! entry := len: u32 | fnv1a(payload): u64 | payload[len]
+//! ```
+//!
+//! [`EngineStats::plans_rejected`]: crate::EngineStats::plans_rejected
+
+use crate::engine::{fnv1a, Engine, GemmDesc, GemmPlan, PlanBody, PlanProof, SimKnobs};
+use crate::strategy::Strategy;
+use std::sync::Arc;
+use vitbit_core::policy::{PackPolicy, PackSpec};
+use vitbit_core::ratio::CoreRatio;
+use vitbit_kernels::gemm::{materialize_fused, FusedGeomSpec, FusedMode, FusedPlanSpec};
+use vitbit_sim::{SchedPolicy, SimMode};
+
+/// File magic: "VitBit Plan Cache".
+pub const MAGIC: [u8; 4] = *b"VBPC";
+/// Current format version; older or newer blobs fail closed.
+pub const VERSION: u32 = 1;
+
+/// Outcome of one [`Engine::import_plans`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImportSummary {
+    /// Entries admitted: fully materialized plans with zero pending
+    /// build work.
+    pub imported: u64,
+    /// Entries rejected (checksum, decode, invariant or proof failure);
+    /// each falls back to a live `prepare` on next use.
+    pub rejected: u64,
+    /// Entries skipped because the engine already holds their desc.
+    pub already_resident: u64,
+}
+
+/// Why a persisted blob was rejected wholesale (before any entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistError {
+    /// The blob does not start with [`MAGIC`].
+    BadMagic,
+    /// The blob's version is not [`VERSION`].
+    BadVersion(u32),
+    /// The blob ended mid-structure.
+    Truncated,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::BadMagic => f.write_str("not a plan-cache blob (bad magic)"),
+            PersistError::BadVersion(v) => {
+                write!(f, "unsupported plan-cache version {v} (want {VERSION})")
+            }
+            PersistError::Truncated => f.write_str("plan-cache blob truncated"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+// ---------------------------------------------------------------- writer
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    fn pack_spec(&mut self, s: &PackSpec) {
+        self.u32(s.bitwidth);
+        self.u32(s.weight_bitwidth);
+        self.u32(s.lanes);
+        self.u32(s.lane_bits);
+        self.u8(match s.policy {
+            PackPolicy::Paper => 0,
+            PackPolicy::Guarded => 1,
+        });
+    }
+
+    fn desc(&mut self, d: &GemmDesc) {
+        self.u64(d.m as u64);
+        self.u64(d.k as u64);
+        self.u64(d.n as u64);
+        self.u8(strategy_tag(d.strategy));
+        self.u32(d.bitwidth);
+        self.pack_spec(&d.spec);
+        match d.ratio {
+            None => self.u8(0),
+            Some(r) => {
+                self.u8(1);
+                self.u32(r.tc);
+                self.u32(r.cuda);
+            }
+        }
+        self.bool(d.adaptive);
+        match d.weight {
+            None => self.u8(0),
+            Some(w) => {
+                self.u8(1);
+                self.u64(w);
+            }
+        }
+        self.bool(d.abft);
+        self.bool(d.verify);
+        self.u8(match d.knobs.sched {
+            SchedPolicy::Gto => 0,
+            SchedPolicy::Lrr => 1,
+        });
+        self.u8(match d.knobs.sim_mode {
+            SimMode::Serial => 0,
+            SimMode::Parallel => 1,
+        });
+        self.bool(d.knobs.fast_forward);
+    }
+
+    fn fused_spec(&mut self, s: &FusedPlanSpec) {
+        self.u64(s.m as u64);
+        self.u64(s.k as u64);
+        self.u64(s.n as u64);
+        match s.mode {
+            FusedMode::Tacker => self.u8(0),
+            FusedMode::TcIcFc => self.u8(1),
+            FusedMode::VitBit(spec) => {
+                self.u8(2);
+                self.pack_spec(&spec);
+            }
+        }
+        self.u32(s.ratio.tc);
+        self.u32(s.ratio.cuda);
+        match &s.geom {
+            None => self.u8(0),
+            Some(g) => {
+                self.u8(1);
+                self.u32(g.lanes);
+                self.u64(g.n1_raw);
+                self.u64(g.n2_raw);
+                self.u64(g.mp);
+                self.u64(g.kp);
+                self.u64(g.n1p);
+                self.u64(g.n2p);
+                self.u64(g.n3p);
+                self.u32(g.role_warps);
+                self.u32(g.k_splits);
+            }
+        }
+    }
+
+    fn proof(&mut self, p: Option<&PlanProof>) {
+        match p {
+            None => self.u8(0),
+            Some(p) => {
+                self.u8(1);
+                self.string(&p.subject);
+                self.u32(p.programs.len() as u32);
+                for (name, ops) in &p.programs {
+                    self.string(name);
+                    self.u64(*ops);
+                }
+            }
+        }
+    }
+}
+
+fn strategy_tag(s: Strategy) -> u8 {
+    match s {
+        Strategy::Tc => 0,
+        Strategy::Ic => 1,
+        Strategy::Fc => 2,
+        Strategy::IcFc => 3,
+        Strategy::Tacker => 4,
+        Strategy::TcIcFc => 5,
+        Strategy::VitBit => 6,
+    }
+}
+
+// ---------------------------------------------------------------- reader
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.bytes(1)?[0])
+    }
+
+    fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.bytes(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.bytes(8)?.try_into().ok()?))
+    }
+
+    fn size(&mut self) -> Option<usize> {
+        self.u64()?.try_into().ok()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let s = std::str::from_utf8(self.bytes(len)?).ok()?;
+        Some(s.to_string())
+    }
+
+    fn pack_spec(&mut self) -> Option<PackSpec> {
+        Some(PackSpec {
+            bitwidth: self.u32()?,
+            weight_bitwidth: self.u32()?,
+            lanes: self.u32()?,
+            lane_bits: self.u32()?,
+            policy: match self.u8()? {
+                0 => PackPolicy::Paper,
+                1 => PackPolicy::Guarded,
+                _ => return None,
+            },
+        })
+    }
+
+    fn desc(&mut self) -> Option<GemmDesc> {
+        Some(GemmDesc {
+            m: self.size()?,
+            k: self.size()?,
+            n: self.size()?,
+            strategy: match self.u8()? {
+                0 => Strategy::Tc,
+                1 => Strategy::Ic,
+                2 => Strategy::Fc,
+                3 => Strategy::IcFc,
+                4 => Strategy::Tacker,
+                5 => Strategy::TcIcFc,
+                6 => Strategy::VitBit,
+                _ => return None,
+            },
+            bitwidth: self.u32()?,
+            spec: self.pack_spec()?,
+            ratio: match self.u8()? {
+                0 => None,
+                1 => Some(CoreRatio {
+                    tc: self.u32()?,
+                    cuda: self.u32()?,
+                }),
+                _ => return None,
+            },
+            adaptive: self.bool()?,
+            weight: match self.u8()? {
+                0 => None,
+                1 => Some(self.u64()?),
+                _ => return None,
+            },
+            abft: self.bool()?,
+            verify: self.bool()?,
+            knobs: SimKnobs {
+                sched: match self.u8()? {
+                    0 => SchedPolicy::Gto,
+                    1 => SchedPolicy::Lrr,
+                    _ => return None,
+                },
+                sim_mode: match self.u8()? {
+                    0 => SimMode::Serial,
+                    1 => SimMode::Parallel,
+                    _ => return None,
+                },
+                fast_forward: self.bool()?,
+            },
+        })
+    }
+
+    fn fused_spec(&mut self) -> Option<FusedPlanSpec> {
+        Some(FusedPlanSpec {
+            m: self.size()?,
+            k: self.size()?,
+            n: self.size()?,
+            mode: match self.u8()? {
+                0 => FusedMode::Tacker,
+                1 => FusedMode::TcIcFc,
+                2 => FusedMode::VitBit(self.pack_spec()?),
+                _ => return None,
+            },
+            ratio: CoreRatio {
+                tc: self.u32()?,
+                cuda: self.u32()?,
+            },
+            geom: match self.u8()? {
+                0 => None,
+                1 => Some(FusedGeomSpec {
+                    lanes: self.u32()?,
+                    n1_raw: self.u64()?,
+                    n2_raw: self.u64()?,
+                    mp: self.u64()?,
+                    kp: self.u64()?,
+                    n1p: self.u64()?,
+                    n2p: self.u64()?,
+                    n3p: self.u64()?,
+                    role_warps: self.u32()?,
+                    k_splits: self.u32()?,
+                }),
+                _ => return None,
+            },
+        })
+    }
+
+    fn proof(&mut self) -> Option<Option<PlanProof>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => {
+                let subject = self.string()?;
+                let count = self.u32()? as usize;
+                let mut programs = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    programs.push((self.string()?, self.u64()?));
+                }
+                Some(Some(PlanProof { subject, programs }))
+            }
+            _ => None,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// --------------------------------------------------------- entry payload
+
+/// One decoded entry, pre-validation.
+struct Decoded {
+    desc: GemmDesc,
+    spec: Option<FusedPlanSpec>,
+    proof: Option<PlanProof>,
+}
+
+fn encode_entry(plan: &GemmPlan) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.desc(&plan.desc);
+    match &plan.body {
+        PlanBody::Direct => w.u8(0),
+        PlanBody::Fused { plan: fplan, .. } => {
+            w.u8(1);
+            w.fused_spec(&fplan.geom_spec());
+        }
+    }
+    w.proof(plan.proof.as_ref());
+    w.buf
+}
+
+fn decode_entry(payload: &[u8]) -> Option<Decoded> {
+    let mut r = Reader::new(payload);
+    let desc = r.desc()?;
+    let spec = match r.u8()? {
+        0 => None,
+        1 => Some(r.fused_spec()?),
+        _ => return None,
+    };
+    let proof = r.proof()?;
+    if !r.done() {
+        // Trailing bytes mean the payload is not what the checksum
+        // claims it is structurally — reject.
+        return None;
+    }
+    Some(Decoded { desc, spec, proof })
+}
+
+/// Validates a decoded entry against the engine's own planning policy
+/// and materializes its body. `None` = reject (fail closed).
+fn materialize(d: &Decoded) -> Option<(GemmDesc, PlanBody, Option<PlanProof>)> {
+    // A verified desc must arrive with its proof: admitting it without
+    // one would silently drop the verification guarantee.
+    if d.desc.verify && d.proof.is_none() {
+        return None;
+    }
+    let body = match (d.desc.fused_mode(), &d.spec) {
+        (None, None) => PlanBody::Direct,
+        (Some(mode), Some(spec)) => {
+            // The persisted scalars must answer exactly this desc: same
+            // shape, same kernel family, same ratio the engine would
+            // resolve today.
+            let ratio = d.desc.ratio.unwrap_or_else(|| mode.default_ratio());
+            if spec.m != d.desc.m
+                || spec.k != d.desc.k
+                || spec.n != d.desc.n
+                || spec.mode != mode
+                || spec.ratio != ratio
+            {
+                return None;
+            }
+            let plan = materialize_fused(spec).ok()?;
+            PlanBody::Fused {
+                plan: Arc::new(plan),
+                staged: None,
+            }
+        }
+        // Body family disagrees with the desc's strategy.
+        _ => return None,
+    };
+    Some((d.desc, body, d.proof.clone()))
+}
+
+/// Splits a blob into raw entry slices (`len | checksum | payload`),
+/// validating only the outer structure. Used by the pool to route
+/// entries to shards without fully decoding them here.
+pub(crate) fn split_entries(bytes: &[u8]) -> Result<Vec<&[u8]>, PersistError> {
+    let mut r = Reader::new(bytes);
+    if r.bytes(4) != Some(&MAGIC) {
+        return Err(PersistError::BadMagic);
+    }
+    let version = r.u32().ok_or(PersistError::Truncated)?;
+    if version != VERSION {
+        return Err(PersistError::BadVersion(version));
+    }
+    let count = r.u32().ok_or(PersistError::Truncated)?;
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let start = r.pos;
+        let len = r.u32().ok_or(PersistError::Truncated)? as usize;
+        r.bytes(8).ok_or(PersistError::Truncated)?; // checksum
+        r.bytes(len).ok_or(PersistError::Truncated)?; // payload
+        entries.push(&bytes[start..r.pos]);
+    }
+    Ok(entries)
+}
+
+/// Reassembles raw entry slices into a well-formed blob.
+pub(crate) fn join_entries(entries: &[&[u8]]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        out.extend_from_slice(e);
+    }
+    out
+}
+
+/// The desc of a raw entry slice, when its checksum and encoding hold
+/// (routing only — full validation happens at import).
+pub(crate) fn entry_desc(entry: &[u8]) -> Option<GemmDesc> {
+    let mut r = Reader::new(entry);
+    let len = r.u32()? as usize;
+    let want = r.u64()?;
+    let payload = r.bytes(len)?;
+    if fnv1a(payload) != want {
+        return None;
+    }
+    Reader::new(payload).desc()
+}
+
+impl Engine {
+    /// Serializes every resident plan (desc, resolved geometry, proof)
+    /// into a self-checking binary blob. Staged weights and replay state
+    /// are not included — they are value- and machine-dependent.
+    pub fn export_plans(&self) -> Vec<u8> {
+        let plans: Vec<&GemmPlan> = self.plans_iter().collect();
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(plans.len() as u32).to_le_bytes());
+        for plan in plans {
+            let payload = encode_entry(plan);
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+            out.extend_from_slice(&payload);
+        }
+        out
+    }
+
+    /// Admits plans from a blob produced by [`Engine::export_plans`].
+    /// Imported plans are fully materialized — their next `prepare` is a
+    /// cache hit with **zero** policy resolution and **zero** verifier
+    /// invocations; their first execute does no plan-build work (weight
+    /// staging, being value-dependent, still happens once).
+    ///
+    /// Rejected entries (checksum, decode, invariant, missing proof) are
+    /// counted and skipped — the desc falls back to live `prepare`.
+    ///
+    /// # Errors
+    /// [`PersistError`] when the blob itself is unusable (magic,
+    /// version, truncation). Entries admitted before a truncation point
+    /// remain admitted.
+    pub fn import_plans(&mut self, bytes: &[u8]) -> Result<ImportSummary, PersistError> {
+        let mut r = Reader::new(bytes);
+        if r.bytes(4) != Some(&MAGIC) {
+            return Err(PersistError::BadMagic);
+        }
+        let version = r.u32().ok_or(PersistError::Truncated)?;
+        if version != VERSION {
+            return Err(PersistError::BadVersion(version));
+        }
+        let count = r.u32().ok_or(PersistError::Truncated)?;
+        let mut summary = ImportSummary::default();
+        for _ in 0..count {
+            let len = r.u32().ok_or(PersistError::Truncated)? as usize;
+            let want = r.u64().ok_or(PersistError::Truncated)?;
+            let payload = r.bytes(len).ok_or(PersistError::Truncated)?;
+            if fnv1a(payload) != want {
+                summary.rejected += 1;
+                self.stats_mut().plans_rejected += 1;
+                continue;
+            }
+            let Some(decoded) = decode_entry(payload) else {
+                summary.rejected += 1;
+                self.stats_mut().plans_rejected += 1;
+                continue;
+            };
+            if self.has_plan(&decoded.desc) {
+                summary.already_resident += 1;
+                continue;
+            }
+            let Some((desc, body, proof)) = materialize(&decoded) else {
+                summary.rejected += 1;
+                self.stats_mut().plans_rejected += 1;
+                continue;
+            };
+            self.admit_plan(GemmPlan::imported(desc, body, proof));
+            summary.imported += 1;
+            self.stats_mut().plans_imported += 1;
+        }
+        Ok(summary)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::engine::PlanVerifier;
+    use crate::strategy::ExecConfig;
+    use vitbit_sim::{Gpu, OrinConfig};
+    use vitbit_tensor::refgemm::gemm_i8_i32;
+    use vitbit_tensor::{gen, Matrix};
+
+    fn gpu() -> Gpu {
+        Gpu::new(OrinConfig::test_small(), 64 << 20)
+    }
+
+    fn mats(m: usize, k: usize, n: usize, seed: u64) -> (Matrix<i8>, Matrix<i8>) {
+        (
+            gen::uniform_i8(m, k, -32, 31, seed),
+            gen::uniform_i8(k, n, -32, 31, seed + 1),
+        )
+    }
+
+    /// A warm engine holding one plan per strategy family (direct, fused
+    /// fallback-free, verified).
+    fn warm_engine(g: &Gpu) -> (Engine, Vec<GemmDesc>) {
+        let mut e = Engine::new().with_verifier(PlanVerifier::new(|d: &GemmDesc| {
+            Ok(PlanProof {
+                subject: format!("{:?} {}x{}x{}", d.strategy, d.m, d.k, d.n),
+                programs: vec![("cuda_int".into(), 64)],
+            })
+        }));
+        let mut cfg = ExecConfig::int6();
+        cfg.adaptive = false;
+        let mut descs = Vec::new();
+        for s in [Strategy::Tc, Strategy::Tacker, Strategy::VitBit] {
+            let d = GemmDesc::from_exec(s, &cfg, g, 16, 32, 320, None);
+            e.prepare(d).expect("prepare");
+            descs.push(d);
+        }
+        let mut vcfg = cfg;
+        vcfg.verify_plans = true;
+        let dv = GemmDesc::from_exec(Strategy::VitBit, &vcfg, g, 24, 32, 640, None);
+        e.prepare(dv).expect("verified prepare");
+        descs.push(dv);
+        (e, descs)
+    }
+
+    #[test]
+    fn roundtrip_boots_cold_replica_with_zero_build_and_zero_verification() {
+        let g = gpu();
+        let (warm, descs) = warm_engine(&g);
+        let blob = warm.export_plans();
+
+        // Cold replica: no verifier installed at all — imported proofs
+        // stand on their own.
+        let mut cold = Engine::new();
+        let summary = cold.import_plans(&blob).expect("import");
+        assert_eq!(summary.imported, descs.len() as u64);
+        assert_eq!(summary.rejected, 0);
+        assert_eq!(cold.plan_count(), descs.len());
+        let s = cold.stats();
+        assert_eq!(s.plans_imported, descs.len() as u64);
+        assert_eq!(s.verifier_invocations, 0, "zero re-verification");
+        assert_eq!(s.plan_build_units, 0, "zero policy resolution");
+
+        // Every imported desc is a cache hit; executing does no build
+        // work (activation descs have nothing left to stage as build).
+        let mut gm = gpu();
+        for d in &descs {
+            let id = cold.prepare(*d).expect("warm prepare");
+            let (a, b) = mats(d.m, d.k, d.n, 41);
+            let out = cold.execute(&mut gm, id, &a, &b).expect("execute");
+            assert_eq!(out.c, gemm_i8_i32(&a, &b), "{:?}", d.strategy);
+            assert_eq!(out.stats.plan_build_cycles, 0, "{:?}", d.strategy);
+        }
+        assert_eq!(cold.stats().plan_cache_misses, 0);
+        assert_eq!(cold.stats().plan_cache_hits, descs.len() as u64);
+        // The verified plan carries its proof across the boundary.
+        let dv = descs.last().unwrap();
+        let id = cold.prepare(*dv).expect("prepare");
+        let proof = cold.plan(id).unwrap().proof().expect("proof persisted");
+        assert_eq!(proof.programs, vec![("cuda_int".to_string(), 64)]);
+    }
+
+    #[test]
+    fn corrupt_entries_fail_closed_to_live_prepare() {
+        let g = gpu();
+        let (warm, descs) = warm_engine(&g);
+        let blob = warm.export_plans();
+
+        // Flip one byte in every entry's payload region: all rejected.
+        let mut evil = blob.clone();
+        for i in (16..evil.len()).step_by(7) {
+            evil[i] ^= 0x5a;
+        }
+        let mut cold = Engine::new();
+        let summary = cold.import_plans(&evil);
+        // Either the structure broke (Err) or entries were rejected —
+        // never a silently admitted corrupt plan.
+        if let Ok(s) = summary {
+            assert_eq!(s.imported, 0, "corrupt entries must not be admitted");
+            assert!(s.rejected > 0);
+        }
+
+        // A targeted single-byte flip inside the first entry's payload:
+        // that entry is rejected, the rest import, and the rejected desc
+        // still works through a live prepare.
+        let mut one_bad = blob.clone();
+        one_bad[16] ^= 1; // first byte of the first entry's payload
+        let mut cold2 = Engine::new();
+        let s2 = cold2.import_plans(&one_bad).expect("blob structure intact");
+        assert_eq!(s2.rejected, 1);
+        assert_eq!(s2.imported, descs.len() as u64 - 1);
+        assert_eq!(cold2.stats().plans_rejected, 1);
+        let mut gm = gpu();
+        // descs[0] (Tc) was the rejected entry; live prepare covers it.
+        let id = cold2.prepare(descs[0]).expect("live prepare");
+        let (a, b) = mats(16, 32, 320, 43);
+        let out = cold2.execute(&mut gm, id, &a, &b).expect("execute");
+        assert_eq!(out.c, gemm_i8_i32(&a, &b));
+    }
+
+    #[test]
+    fn blob_level_failures_are_typed() {
+        let g = gpu();
+        let (warm, _) = warm_engine(&g);
+        let blob = warm.export_plans();
+        let mut e = Engine::new();
+        assert_eq!(e.import_plans(b"nope"), Err(PersistError::BadMagic));
+        let mut wrong_ver = blob.clone();
+        wrong_ver[4] = 0xff;
+        assert!(matches!(
+            e.import_plans(&wrong_ver),
+            Err(PersistError::BadVersion(_))
+        ));
+        let truncated = &blob[..blob.len() - 3];
+        assert_eq!(e.import_plans(truncated), Err(PersistError::Truncated));
+        assert_eq!(e.plan_count(), 3, "entries before the cut were admitted");
+    }
+
+    #[test]
+    fn tampered_geometry_is_rejected_by_materialize_invariants() {
+        let g = gpu();
+        let mut e = Engine::new();
+        let mut cfg = ExecConfig::int6();
+        cfg.adaptive = false;
+        let d = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 16, 32, 320, None);
+        e.prepare(d).expect("prepare");
+        let blob = e.export_plans();
+
+        // Walk the payload bytes, flipping one at a time; count how many
+        // flips survive to admission. Structural decoders catch most;
+        // materialize_fused's invariants must catch geometry lies; the
+        // checksum catches everything here because the payload changed.
+        let mut admitted = 0;
+        for i in 16..blob.len() {
+            let mut t = blob.clone();
+            t[i] ^= 0x10;
+            let mut cold = Engine::new();
+            if let Ok(s) = cold.import_plans(&t) {
+                admitted += s.imported;
+            }
+        }
+        assert_eq!(
+            admitted, 0,
+            "no single-byte payload tamper may survive the checksum"
+        );
+    }
+
+    #[test]
+    fn verified_desc_without_proof_is_rejected() {
+        // Hand-build a blob whose entry claims verify but carries no
+        // proof (as if persisted by a tampering writer with a fixed-up
+        // checksum).
+        let g = gpu();
+        let mut cfg = ExecConfig::int6();
+        cfg.adaptive = false;
+        cfg.verify_plans = true;
+        let d = GemmDesc::from_exec(Strategy::Tc, &cfg, &g, 16, 32, 128, None);
+        let plan = GemmPlan::imported(d, PlanBody::Direct, None);
+        let payload = encode_entry(&plan);
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&MAGIC);
+        blob.extend_from_slice(&VERSION.to_le_bytes());
+        blob.extend_from_slice(&1u32.to_le_bytes());
+        blob.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        blob.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        blob.extend_from_slice(&payload);
+        let mut e = Engine::new();
+        let s = e.import_plans(&blob).expect("import");
+        assert_eq!(s.imported, 0);
+        assert_eq!(s.rejected, 1, "verify-without-proof fails closed");
+    }
+}

@@ -1,0 +1,603 @@
+//! The serving layer: asynchronous submission on one engine, and
+//! plan-affinity sharding across a pool of simulated GPUs.
+//!
+//! # Async submission ([`Engine::submit`] / [`Engine::drain`])
+//!
+//! `submit` resolves the plan immediately (verification and shape
+//! errors surface at submission time), parks the request on a queue and
+//! returns a monotonically increasing [`Ticket`]. `drain` serves the
+//! queue: a bounded worker pool (`std::thread::scope`, the same
+//! hermetic shim the parallel simulator uses) pre-stages activation-`B`
+//! operands — a pure function of `(plan, B)` — and the main thread then
+//! executes every request **in ticket order** against the single
+//! simulated GPU. Completions are therefore deterministic: same
+//! submissions, same order, same bits, regardless of worker count.
+//!
+//! # Sharding ([`GpuPool`])
+//!
+//! A pool owns N `(Gpu, Engine)` shards. Requests route by **plan
+//! affinity**: a deterministic hash of the full [`GemmDesc`] picks the
+//! shard, so every request for one desc lands where its plan (and
+//! staged weight, and replay state) already lives. The per-device
+//! [`EngineStats`] carry `affinity_hits`/`affinity_misses`; a
+//! steady-state serving mix approaches a hit rate of 1.0.
+
+use crate::engine::{
+    Engine, EngineError, EngineStats, GemmDesc, PlanId, PlanVerifier, RequestOutcome,
+};
+use crate::persist::{ImportSummary, PersistError};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use vitbit_kernels::gemm::{prepare_fused_b, FusedB, FusedPlan};
+use vitbit_sim::{Gpu, OrinConfig};
+use vitbit_tensor::Matrix;
+
+/// Handle to a submitted request, ordered: completions drain in ticket
+/// order, so two runs that submit identically complete identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ticket(pub(crate) u64);
+
+impl Ticket {
+    /// The ticket's position in the submission order.
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A finished async request.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The ticket [`Engine::submit`] (or [`GpuPool::submit`]) returned.
+    pub ticket: Ticket,
+    /// The served outcome, or the refusal (e.g. the plan was evicted
+    /// between submission and drain).
+    pub result: Result<RequestOutcome, EngineError>,
+}
+
+/// A parked request awaiting [`Engine::drain`].
+#[derive(Debug)]
+pub(crate) struct PendingRequest {
+    pub(crate) ticket: u64,
+    pub(crate) plan: PlanId,
+    pub(crate) a: Matrix<i8>,
+    pub(crate) b: Matrix<i8>,
+}
+
+/// Worker count for the pre-staging pool: enough to cover the host,
+/// never more than the jobs.
+fn stage_workers(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(jobs)
+        .max(1)
+}
+
+impl Engine {
+    /// Accepts a request asynchronously. The plan is resolved (and
+    /// verified, when the desc asks) *now* — submission fails fast; the
+    /// launch happens at [`Engine::drain`].
+    ///
+    /// # Errors
+    /// [`Engine::prepare`]'s contract, plus
+    /// [`EngineError::ShapeMismatch`] checked eagerly against the desc.
+    pub fn submit(
+        &mut self,
+        desc: GemmDesc,
+        a: Matrix<i8>,
+        b: Matrix<i8>,
+    ) -> Result<Ticket, EngineError> {
+        if (a.rows(), a.cols()) != (desc.m, desc.k) || (b.rows(), b.cols()) != (desc.k, desc.n) {
+            return Err(EngineError::ShapeMismatch {
+                expected: (desc.m, desc.k, desc.n),
+                a: (a.rows(), a.cols()),
+                b: (b.rows(), b.cols()),
+            });
+        }
+        let plan = self.prepare(desc)?;
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.pending.push(PendingRequest { ticket, plan, a, b });
+        Ok(Ticket(ticket))
+    }
+
+    /// Requests submitted but not yet drained.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Serves every pending request and returns the completions in
+    /// ticket order.
+    ///
+    /// Activation-`B` stagings are precomputed on a bounded worker pool;
+    /// execution itself is strictly sequential in ticket order on the
+    /// caller's GPU, so results are bit-identical to a sequential
+    /// [`Engine::execute`] loop over the same requests — worker count
+    /// and scheduling never show through.
+    pub fn drain(&mut self, gpu: &mut Gpu) -> Vec<Completion> {
+        let queue = std::mem::take(&mut self.pending);
+        if queue.is_empty() {
+            return Vec::new();
+        }
+
+        // Phase 1: pre-stage activation-B operands in parallel. Only
+        // fused plans with a non-weight B benefit; everything else
+        // stages inline (weights stage once through the shared cache).
+        let jobs: Vec<(usize, Arc<FusedPlan>, &Matrix<i8>)> = queue
+            .iter()
+            .enumerate()
+            .filter_map(|(i, req)| {
+                let plan = self.plan(req.plan)?;
+                if plan.desc.weight.is_some() {
+                    return None;
+                }
+                let fused = plan.fused()?;
+                // An adaptive plan that has not measured yet may launch
+                // run_tc instead; staging is still correct (it is keyed
+                // to the fused plan, consumed only by the fused path).
+                Some((i, Arc::new(fused.clone()), &req.b))
+            })
+            .collect();
+        let mut staged: Vec<Option<Arc<FusedB>>> = (0..queue.len()).map(|_| None).collect();
+        if !jobs.is_empty() {
+            let workers = stage_workers(jobs.len());
+            let mut results: Vec<(usize, Arc<FusedB>)> = Vec::with_capacity(jobs.len());
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for w in 0..workers {
+                    let jobs = &jobs;
+                    handles.push(scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut j = w;
+                        while j < jobs.len() {
+                            let (idx, plan, b) = &jobs[j];
+                            out.push((*idx, Arc::new(prepare_fused_b(plan, b, None))));
+                            j += workers;
+                        }
+                        out
+                    }));
+                }
+                for h in handles {
+                    if let Ok(part) = h.join() {
+                        results.extend(part);
+                    }
+                }
+            });
+            for (idx, fb) in results {
+                staged[idx] = Some(fb);
+            }
+        }
+
+        // Phase 2: execute in ticket order on the single machine.
+        let mut completions = Vec::with_capacity(queue.len());
+        for (i, req) in queue.into_iter().enumerate() {
+            let prestaged = staged[i].take();
+            let result = self.serve_one(gpu, req.plan, &req.a, &req.b, true, prestaged);
+            completions.push(Completion {
+                ticket: Ticket(req.ticket),
+                result,
+            });
+        }
+        completions.sort_by_key(|c| c.ticket);
+        completions
+    }
+}
+
+/// One simulated device and its serving engine.
+struct Shard {
+    gpu: Gpu,
+    engine: Engine,
+}
+
+/// N simulated GPUs behind one serving front door, with plan-affinity
+/// routing: a request's [`GemmDesc`] hashes to its home shard, so plans,
+/// staged weights and replay state never migrate.
+pub struct GpuPool {
+    shards: Vec<Shard>,
+    next_ticket: u64,
+    /// Global ticket -> (shard index, shard-local ticket).
+    routes: HashMap<u64, (usize, Ticket)>,
+}
+
+impl GpuPool {
+    /// A pool of `devices` identical machines.
+    ///
+    /// # Panics
+    /// Panics when `devices` is zero.
+    pub fn new(devices: usize, cfg: &OrinConfig, mem_bytes: u32) -> Self {
+        assert!(devices > 0, "a pool needs at least one device");
+        Self {
+            shards: (0..devices)
+                .map(|_| Shard {
+                    gpu: Gpu::new(cfg.clone(), mem_bytes),
+                    engine: Engine::new(),
+                })
+                .collect(),
+            next_ticket: 0,
+            routes: HashMap::new(),
+        }
+    }
+
+    /// Installs a plan verifier on every shard engine.
+    #[must_use]
+    pub fn with_verifier(mut self, verifier: PlanVerifier) -> Self {
+        for shard in &mut self.shards {
+            shard.engine.set_verifier(verifier.clone());
+        }
+        self
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The home shard of a desc: a deterministic hash of the full plan
+    /// key. `DefaultHasher::new()` is seed-stable within a process, and
+    /// routing is re-derived per process — nothing persisted depends on
+    /// it.
+    pub fn route(&self, desc: &GemmDesc) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        desc.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Stamps the affinity counters for one routed request.
+    fn stamp_affinity(shard: &mut Shard, desc: &GemmDesc) {
+        if shard.engine.has_plan(desc) {
+            shard.engine.stats_mut().affinity_hits += 1;
+        } else {
+            shard.engine.stats_mut().affinity_misses += 1;
+        }
+    }
+
+    /// Prepare + execute on the desc's home shard (the synchronous
+    /// path).
+    ///
+    /// # Errors
+    /// The shard engine's [`Engine::run`] contract.
+    pub fn run(
+        &mut self,
+        desc: GemmDesc,
+        a: &Matrix<i8>,
+        b: &Matrix<i8>,
+    ) -> Result<crate::GemmOut, EngineError> {
+        let s = self.route(&desc);
+        let shard = &mut self.shards[s];
+        Self::stamp_affinity(shard, &desc);
+        let id = shard.engine.prepare(desc)?;
+        shard.engine.execute(&mut shard.gpu, id, a, b)
+    }
+
+    /// Serves a batch of requests for one desc on its home shard via
+    /// [`Engine::execute_batch`].
+    ///
+    /// # Errors
+    /// The shard engine's contract.
+    pub fn execute_batch(
+        &mut self,
+        desc: GemmDesc,
+        requests: &[(&Matrix<i8>, &Matrix<i8>)],
+    ) -> Result<crate::engine::BatchResult, EngineError> {
+        let s = self.route(&desc);
+        let shard = &mut self.shards[s];
+        for _ in requests {
+            Self::stamp_affinity(shard, &desc);
+        }
+        let id = shard.engine.prepare(desc)?;
+        shard.engine.execute_batch(&mut shard.gpu, id, requests)
+    }
+
+    /// Async submission to the desc's home shard. Tickets are global:
+    /// [`GpuPool::drain`] merges shard completions back into one
+    /// deterministic, ticket-ordered stream.
+    ///
+    /// # Errors
+    /// [`Engine::submit`]'s contract.
+    pub fn submit(
+        &mut self,
+        desc: GemmDesc,
+        a: Matrix<i8>,
+        b: Matrix<i8>,
+    ) -> Result<Ticket, EngineError> {
+        let s = self.route(&desc);
+        let shard = &mut self.shards[s];
+        Self::stamp_affinity(shard, &desc);
+        let local = shard.engine.submit(desc, a, b)?;
+        let global = self.next_ticket;
+        self.next_ticket += 1;
+        self.routes.insert(global, (s, local));
+        Ok(Ticket(global))
+    }
+
+    /// Requests submitted but not yet drained, across all shards.
+    pub fn pending_count(&self) -> usize {
+        self.shards.iter().map(|s| s.engine.pending_count()).sum()
+    }
+
+    /// Drains every shard and returns all completions in global ticket
+    /// order, each stamped with its global ticket.
+    pub fn drain(&mut self) -> Vec<Completion> {
+        // Invert the route map: (shard, local) -> global.
+        let mut back: HashMap<(usize, Ticket), u64> = HashMap::new();
+        for (&global, &(s, local)) in &self.routes {
+            back.insert((s, local), global);
+        }
+        let mut all = Vec::new();
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            for mut c in shard.engine.drain(&mut shard.gpu) {
+                if let Some(&global) = back.get(&(s, c.ticket)) {
+                    self.routes.remove(&global);
+                    c.ticket = Ticket(global);
+                    all.push(c);
+                }
+            }
+        }
+        all.sort_by_key(|c| c.ticket);
+        all
+    }
+
+    /// Per-device engine counters, indexed by shard.
+    pub fn device_stats(&self) -> Vec<EngineStats> {
+        self.shards.iter().map(|s| s.engine.stats()).collect()
+    }
+
+    /// Pool-wide counters: the field-wise sum over devices.
+    pub fn stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for s in self.shards.iter().map(|s| s.engine.stats()) {
+            total.plan_cache_hits += s.plan_cache_hits;
+            total.plan_cache_misses += s.plan_cache_misses;
+            total.plan_build_units += s.plan_build_units;
+            total.executes += s.executes;
+            total.faults_detected += s.faults_detected;
+            total.retries += s.retries;
+            total.fallbacks += s.fallbacks;
+            total.quarantined_plans += s.quarantined_plans;
+            total.verifier_invocations += s.verifier_invocations;
+            total.batches += s.batches;
+            total.batch_requests += s.batch_requests;
+            total.replayed_executes += s.replayed_executes;
+            total.plans_imported += s.plans_imported;
+            total.plans_rejected += s.plans_rejected;
+            total.affinity_hits += s.affinity_hits;
+            total.affinity_misses += s.affinity_misses;
+        }
+        total
+    }
+
+    /// Read access to a shard's engine (tests, stats printing).
+    pub fn engine(&self, device: usize) -> &Engine {
+        &self.shards[device].engine
+    }
+
+    /// Serializes every shard's resident plans into one blob (the same
+    /// format as [`Engine::export_plans`]).
+    pub fn export_plans(&self) -> Vec<u8> {
+        let shard_blobs: Vec<Vec<u8>> = self
+            .shards
+            .iter()
+            .map(|s| s.engine.export_plans())
+            .collect();
+        let mut entries: Vec<&[u8]> = Vec::new();
+        for blob in &shard_blobs {
+            // Our own exports always split cleanly.
+            if let Ok(parts) = crate::persist::split_entries(blob) {
+                entries.extend(parts);
+            }
+        }
+        crate::persist::join_entries(&entries)
+    }
+
+    /// Imports a plan blob, routing each entry to its desc's home shard
+    /// — a warm pool boots exactly like N warm engines. Entries whose
+    /// desc cannot be decoded (corruption) go to shard 0, whose import
+    /// rejects and counts them; fail-closed semantics are per entry,
+    /// identical to [`Engine::import_plans`].
+    ///
+    /// # Errors
+    /// [`PersistError`] when the blob structure itself is unusable.
+    pub fn import_plans(&mut self, bytes: &[u8]) -> Result<ImportSummary, PersistError> {
+        let entries = crate::persist::split_entries(bytes)?;
+        let mut per_shard: Vec<Vec<&[u8]>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for entry in entries {
+            let shard = crate::persist::entry_desc(entry)
+                .map(|d| self.route(&d))
+                .unwrap_or(0);
+            per_shard[shard].push(entry);
+        }
+        let mut total = ImportSummary::default();
+        for (s, entries) in per_shard.iter().enumerate() {
+            if entries.is_empty() {
+                continue;
+            }
+            let blob = crate::persist::join_entries(entries);
+            let summary = self.shards[s].engine.import_plans(&blob)?;
+            total.imported += summary.imported;
+            total.rejected += summary.rejected;
+            total.already_resident += summary.already_resident;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::strategy::{ExecConfig, Strategy};
+    use vitbit_tensor::refgemm::gemm_i8_i32;
+    use vitbit_tensor::{gen, Matrix};
+
+    fn gpu() -> Gpu {
+        Gpu::new(OrinConfig::test_small(), 64 << 20)
+    }
+
+    fn mats(m: usize, k: usize, n: usize, seed: u64) -> (Matrix<i8>, Matrix<i8>) {
+        (
+            gen::uniform_i8(m, k, -32, 31, seed),
+            gen::uniform_i8(k, n, -32, 31, seed + 1),
+        )
+    }
+
+    fn desc_for(g: &Gpu, s: Strategy, n: usize, weight: Option<u64>) -> GemmDesc {
+        let mut cfg = ExecConfig::int6();
+        cfg.adaptive = false;
+        GemmDesc::from_exec(s, &cfg, g, 16, 32, n, weight)
+    }
+
+    #[test]
+    fn async_drain_matches_sequential_in_ticket_order() {
+        let (a, b) = mats(16, 32, 320, 51);
+        let (_, b2) = mats(16, 32, 320, 53);
+
+        // Sequential reference.
+        let mut g1 = gpu();
+        let mut e1 = Engine::new();
+        let d = desc_for(&g1, Strategy::VitBit, 320, None);
+        let id = e1.prepare(d).unwrap();
+        let seq: Vec<_> = [&b, &b2, &b, &b2]
+            .iter()
+            .map(|bb| e1.execute(&mut g1, id, &a, bb).unwrap())
+            .collect();
+
+        // Async: same requests, same order.
+        let mut g2 = gpu();
+        let mut e2 = Engine::new();
+        let d2 = desc_for(&g2, Strategy::VitBit, 320, None);
+        let tickets: Vec<_> = [&b, &b2, &b, &b2]
+            .iter()
+            .map(|bb| e2.submit(d2, a.clone(), (*bb).clone()).unwrap())
+            .collect();
+        assert_eq!(e2.pending_count(), 4);
+        let done = e2.drain(&mut g2);
+        assert_eq!(e2.pending_count(), 0);
+        assert_eq!(done.len(), 4);
+        for (i, c) in done.iter().enumerate() {
+            assert_eq!(c.ticket, tickets[i], "ticket order");
+            let out = &c.result.as_ref().unwrap().out;
+            assert_eq!(out.c, seq[i].c, "request {i}: outputs");
+            assert_eq!(out.stats, seq[i].stats, "request {i}: stats");
+        }
+    }
+
+    #[test]
+    fn submit_fails_fast_on_shape_mismatch() {
+        let g = gpu();
+        let mut e = Engine::new();
+        let d = desc_for(&g, Strategy::Tc, 128, None);
+        let (a, b) = mats(16, 32, 256, 55); // wrong N
+        assert!(matches!(
+            e.submit(d, a, b),
+            Err(EngineError::ShapeMismatch { .. })
+        ));
+        assert_eq!(e.pending_count(), 0);
+    }
+
+    #[test]
+    fn pool_routes_by_affinity_and_stays_bit_identical() {
+        let cfg = OrinConfig::test_small();
+        let refgpu = gpu();
+        let descs: Vec<GemmDesc> = [128usize, 320, 640]
+            .iter()
+            .flat_map(|&n| {
+                [Strategy::Tc, Strategy::VitBit]
+                    .into_iter()
+                    .map(move |s| (s, n))
+            })
+            .map(|(s, n)| desc_for(&refgpu, s, n, None))
+            .collect();
+        for devices in [1usize, 2, 4] {
+            let mut pool = GpuPool::new(devices, &cfg, 64 << 20);
+            // Reference: one dedicated sequential machine per shard, fed
+            // exactly the stream the router sends there — sharding must
+            // equal N independent sequential engines, bit for bit.
+            let mut refs: Vec<(Gpu, Engine)> =
+                (0..devices).map(|_| (gpu(), Engine::new())).collect();
+            for pass in 0..2u64 {
+                for d in &descs {
+                    let (aa, bb) = mats(d.m, d.k, d.n, 57 + d.n as u64 + pass);
+                    let home = pool.route(d);
+                    let got = pool.run(*d, &aa, &bb).unwrap();
+                    let (g, e) = &mut refs[home];
+                    let id = e.prepare(*d).unwrap();
+                    let want = e.execute(g, id, &aa, &bb).unwrap();
+                    assert_eq!(got.c, want.c, "{:?} n={} x{}", d.strategy, d.n, devices);
+                    assert_eq!(
+                        got.stats, want.stats,
+                        "{:?} n={} x{}",
+                        d.strategy, d.n, devices
+                    );
+                }
+            }
+            let stats = pool.stats();
+            assert_eq!(stats.affinity_misses, descs.len() as u64);
+            assert_eq!(stats.affinity_hits, descs.len() as u64);
+            assert!((stats.affinity_hit_rate() - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pool_async_merges_ticket_ordered_completions() {
+        let cfg = OrinConfig::test_small();
+        let mut pool = GpuPool::new(2, &cfg, 64 << 20);
+        let refgpu = gpu();
+        let d1 = desc_for(&refgpu, Strategy::Tc, 128, None);
+        let d2 = desc_for(&refgpu, Strategy::VitBit, 320, None);
+        let (a1, b1) = mats(16, 32, 128, 61);
+        let (a2, b2) = mats(16, 32, 320, 63);
+        let mut tickets = Vec::new();
+        for _ in 0..3 {
+            tickets.push(pool.submit(d1, a1.clone(), b1.clone()).unwrap());
+            tickets.push(pool.submit(d2, a2.clone(), b2.clone()).unwrap());
+        }
+        assert_eq!(pool.pending_count(), 6);
+        let done = pool.drain();
+        assert_eq!(pool.pending_count(), 0);
+        assert_eq!(done.len(), 6);
+        for (i, c) in done.iter().enumerate() {
+            assert_eq!(c.ticket, tickets[i], "global ticket order preserved");
+            let out = &c.result.as_ref().unwrap().out;
+            let want = if i % 2 == 0 {
+                gemm_i8_i32(&a1, &b1)
+            } else {
+                gemm_i8_i32(&a2, &b2)
+            };
+            assert_eq!(out.c, want);
+        }
+    }
+
+    #[test]
+    fn pool_persistence_round_trips_to_the_right_shards() {
+        let cfg = OrinConfig::test_small();
+        let mut warm = GpuPool::new(3, &cfg, 64 << 20);
+        let refgpu = gpu();
+        let descs: Vec<GemmDesc> = [128usize, 320, 640, 960]
+            .iter()
+            .map(|&n| desc_for(&refgpu, Strategy::VitBit, n, None))
+            .collect();
+        for d in &descs {
+            let (a, b) = mats(d.m, d.k, d.n, 71);
+            warm.run(*d, &a, &b).unwrap();
+        }
+        let blob = warm.export_plans();
+
+        let mut cold = GpuPool::new(3, &cfg, 64 << 20);
+        let summary = cold.import_plans(&blob).unwrap();
+        assert_eq!(summary.imported, descs.len() as u64);
+        assert_eq!(summary.rejected, 0);
+        // Every desc now affinity-hits its home shard with zero build.
+        for d in &descs {
+            let (a, b) = mats(d.m, d.k, d.n, 73);
+            let out = cold.run(*d, &a, &b).unwrap();
+            assert_eq!(out.c, gemm_i8_i32(&a, &b));
+            assert_eq!(out.stats.plan_build_cycles, 0, "warm boot: no build");
+        }
+        let stats = cold.stats();
+        assert_eq!(stats.affinity_hits, descs.len() as u64);
+        assert_eq!(stats.affinity_misses, 0);
+        assert_eq!(stats.plan_build_units, 0);
+        assert_eq!(stats.verifier_invocations, 0);
+    }
+}

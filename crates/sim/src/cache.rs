@@ -100,6 +100,37 @@ impl Cache {
     pub fn line_bytes(&self) -> u32 {
         1 << self.line_shift
     }
+
+    /// Order-insensitive fingerprint of the *timing-relevant* cache state:
+    /// which lines are resident in each set and their relative LRU order.
+    ///
+    /// Absolute `stamps`/`tick` values keep growing across launches even
+    /// when the resident set has reached a fixed point, so they must not
+    /// feed the hash; what matters for future hit/miss/eviction decisions
+    /// is only the per-set ordering. Ties (all-invalid ways share stamp 0)
+    /// break by way index, matching the `min_by_key` eviction scan. Two
+    /// caches with equal fingerprints respond identically to any future
+    /// access sequence.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(self.sets as u64);
+        mix(self.ways as u64);
+        let mut order: Vec<usize> = (0..self.ways).collect();
+        for set in 0..self.sets {
+            let base = set * self.ways;
+            order.sort_by_key(|&w| (self.stamps[base + w], w));
+            for &w in &order {
+                mix(self.tags[base + w]);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +181,53 @@ mod tests {
     #[should_panic(expected = "cache too small")]
     fn rejects_degenerate_geometry() {
         let _ = Cache::new(128, 4, 128);
+    }
+
+    #[test]
+    fn fingerprint_ignores_absolute_stamps() {
+        // Same resident lines touched in the same relative order, but at
+        // different absolute ticks, must fingerprint identically.
+        let mut a = Cache::new(1024, 2, 128);
+        let mut b = Cache::new(1024, 2, 128);
+        a.access(0);
+        a.access(512);
+        b.access(128); // extra traffic to a *different* set shifts b's tick
+        b.access(128);
+        b.access(128);
+        b.access(0);
+        b.access(512);
+        // Bring set holding line 128 into the same state in `a`.
+        a.access(128);
+        // Now both caches hold lines {0, 512} (set 0, same LRU order) and
+        // {128}, but with different absolute stamps and tick counters.
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_lru_order() {
+        let mut a = Cache::new(1024, 2, 128);
+        let mut b = Cache::new(1024, 2, 128);
+        let line = |i: u64| i * 128 * 4; // all map to set 0
+        a.access(line(0));
+        a.access(line(1)); // a: LRU = line 0
+        b.access(line(1));
+        b.access(line(0)); // b: LRU = line 1
+        assert_ne!(a.state_fingerprint(), b.state_fingerprint());
+        // Touching line 0 in both makes it MRU everywhere: orders realign.
+        a.access(line(0));
+        b.access(line(0));
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_contents() {
+        let mut a = Cache::new(1024, 2, 128);
+        let mut b = Cache::new(1024, 2, 128);
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+        a.access(0);
+        assert_ne!(a.state_fingerprint(), b.state_fingerprint());
+        b.access(0);
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
     }
 
     #[test]

@@ -473,6 +473,25 @@ impl Gpu {
             sm.new_kernel();
         }
     }
+
+    /// Fingerprint of every piece of device state that can influence the
+    /// *timing* of a future launch.
+    ///
+    /// [`Gpu::launch`] resets the per-SM machine state and the memory-system
+    /// queues/counters up front, so the only state that carries over from
+    /// launch to launch is the L2 resident set and its LRU order (L1s are
+    /// flushed per kernel by `Sm::new_kernel`; back-to-back kernels share
+    /// the L2 as on hardware). Two launches of the same kernel against the
+    /// same memory image and equal fingerprints are therefore cycle-exact
+    /// replicas — the invariant behind the engine's steady-state replay.
+    ///
+    /// Fault-injection counters deliberately stay *outside* the
+    /// fingerprint: they live on the SMs precisely so the fault stream
+    /// advances across launches, which is why replay is gated off whenever
+    /// `cfg.fault.enabled` is set.
+    pub fn timing_fingerprint(&self) -> u64 {
+        self.memsys.l2_fingerprint()
+    }
 }
 
 /// Adaptive payoff governor for the event-horizon scan.

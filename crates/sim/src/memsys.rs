@@ -144,6 +144,14 @@ impl MemSystem {
         self.new_kernel();
         self.l2.flush();
     }
+
+    /// Fingerprint of the L2 resident-set + LRU state — the only
+    /// memory-system state that survives [`MemSystem::new_kernel`] and can
+    /// therefore make one launch time differently from the next. See
+    /// [`Cache::state_fingerprint`].
+    pub fn l2_fingerprint(&self) -> u64 {
+        self.l2.state_fingerprint()
+    }
 }
 
 /// Per-SM L1 cache wrapper: classifies a line access and forwards misses.

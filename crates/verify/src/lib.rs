@@ -546,10 +546,26 @@ pub fn verify_desc(desc: &GemmDesc) -> Result<ProofReport, Vec<Violation>> {
     }
 }
 
+/// Projects a full [`ProofReport`] onto the engine's serializable
+/// [`vitbit_plan::PlanProof`]: the subject line plus per-program
+/// `(name, ops-proven-safe)` pairs — enough for a persisted plan cache
+/// to attest "these programs were verified" without carrying the whole
+/// fact base.
+pub fn plan_proof(report: &ProofReport) -> vitbit_plan::PlanProof {
+    vitbit_plan::PlanProof {
+        subject: report.subject.clone(),
+        programs: report
+            .programs
+            .iter()
+            .map(|p| (p.name.clone(), p.ops as u64))
+            .collect(),
+    }
+}
+
 /// Packages [`verify_desc`] as the plan engine's prepare-time hook.
 pub fn engine_verifier() -> vitbit_plan::PlanVerifier {
     vitbit_plan::PlanVerifier::new(|desc: &GemmDesc| match verify_desc(desc) {
-        Ok(_) => Ok(()),
+        Ok(report) => Ok(plan_proof(&report)),
         Err(violations) => Err(violations.iter().map(ToString::to_string).collect()),
     })
 }
@@ -643,7 +659,12 @@ mod tests {
         let spec = PackSpec::guarded(6, 6).unwrap();
         let good = sweep_desc(Strategy::VitBit, spec, 197, 768, 768);
         let verifier = engine_verifier();
-        assert!(verifier.check(&good).is_ok());
+        let proof = verifier.check(&good).expect("good desc proves");
+        assert!(
+            proof.programs.len() >= 2,
+            "proof summarizes every role: {proof:?}"
+        );
+        assert!(proof.programs.iter().all(|(_, ops)| *ops > 0));
         let bad = sweep_desc(Strategy::VitBit, PackSpec::paper(6).unwrap(), 197, 768, 768);
         let err = verifier.check(&bad).expect_err("paper at deep K");
         assert!(!err.is_empty());

@@ -169,6 +169,30 @@ fn exec_site(
     }
 }
 
+/// Executes one Linear site over a whole request batch through
+/// [`Engine::execute_batch`], with the same stale-handle absorption as
+/// [`exec_site`]: an evicted plan is re-prepared from its desc and the
+/// batch retried once.
+fn exec_site_batch(
+    gpu: &mut Gpu,
+    engine: &mut Engine,
+    site: &Site,
+    reqs: &[(&Matrix<i8>, &Matrix<i8>)],
+) -> Vec<vitbit_plan::RequestOutcome> {
+    match engine.execute_batch(gpu, site.id, reqs) {
+        Ok(batch) => batch.outcomes,
+        Err(_) => {
+            let id = engine
+                .prepare(site.desc)
+                .expect("re-prepare of a previously admitted desc");
+            engine
+                .execute_batch(gpu, id, reqs)
+                .expect("freshly prepared plan with desc-derived shapes")
+                .outcomes
+        }
+    }
+}
+
 /// A prepared ViT forward pass: one [`PlanId`] per Linear site of every
 /// simulated block. Build once per (model, strategy, config, GPU knobs)
 /// with [`VitPlan::build`], execute per input with [`run_vit_planned`].
@@ -406,6 +430,287 @@ pub fn run_vit_planned(
     }
 }
 
+/// Executes a prepared forward pass over a whole batch of inputs in
+/// site-major lockstep: all requests advance through the encoder
+/// together, and every Linear site serves the batch with one
+/// [`Engine::execute_batch`] call — weight plans see `inputs.len()`
+/// back-to-back launches, the shared activation plans (`scores`,
+/// `attn_v`) see `inputs.len() x heads`. That request pressure is what
+/// lets the engine's steady-state replay engage within a single batched
+/// forward pass instead of across passes.
+///
+/// Kernel values are order-independent, so each input's logits are
+/// bit-identical to a dedicated [`run_vit_planned`] call; per-launch
+/// *timing* reflects the interleaved L2 history of the batch, which is
+/// the serving-path behavior being measured. Returns one [`VitRun`] per
+/// input, in input order.
+///
+/// # Panics
+/// Panics when `inputs` is empty.
+pub fn run_vit_batch(
+    gpu: &mut Gpu,
+    engine: &mut Engine,
+    plan: &VitPlan,
+    model: &ViTModel,
+    inputs: &[Matrix<i8>],
+) -> Vec<VitRun> {
+    assert!(!inputs.is_empty(), "batch must contain at least one input");
+    let cfg = &model.cfg;
+    let strategy = plan.strategy;
+    let exec_cfg = &plan.cfg;
+    let bw = cfg.bitwidth;
+    let ew = strategy.ew_variant_for(exec_cfg, false);
+    let ew_add = strategy.ew_variant_for(exec_cfg, false);
+    let ew_rows = strategy.ew_variant_rows(exec_cfg);
+    let sim_blocks = plan.simulated_blocks().min(cfg.blocks);
+    let n = inputs.len();
+    let mut xs: Vec<Matrix<i8>> = inputs.to_vec();
+    let mut timings: Vec<Vec<LayerTiming>> = vec![Vec::new(); n];
+
+    for b in 0..sim_blocks {
+        let w = &model.blocks[b];
+        let s = &model.shifts[b];
+        let p = &plan.blocks[b];
+
+        // --- attention half ---
+        let mut hs = Vec::with_capacity(n);
+        for (i, x) in xs.iter().enumerate() {
+            let ln = run_layernorm(gpu, x, model.ln_gamma, model.ln_beta, ew_rows, bw);
+            timings[i].push(LayerTiming {
+                name: "layernorm",
+                block: b,
+                class: KernelClass::Cuda,
+                stats: ln.stats.clone(),
+            });
+            hs.push(ln.out);
+        }
+
+        let reqs: Vec<_> = hs.iter().map(|h| (h, &w.wq)).collect();
+        let qo = exec_site_batch(gpu, engine, &p.wq, &reqs);
+        let reqs: Vec<_> = hs.iter().map(|h| (h, &w.wk)).collect();
+        let ko = exec_site_batch(gpu, engine, &p.wk, &reqs);
+        let reqs: Vec<_> = hs.iter().map(|h| (h, &w.wv)).collect();
+        let vo = exec_site_batch(gpu, engine, &p.wv, &reqs);
+        let mut qs = Vec::with_capacity(n);
+        let mut ks = Vec::with_capacity(n);
+        let mut vs = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut qkv_stats = qo[i].out.stats.clone();
+            qkv_stats.accumulate(&ko[i].out.stats);
+            qkv_stats.accumulate(&vo[i].out.stats);
+            timings[i].push(LayerTiming {
+                name: "qkv",
+                block: b,
+                class: KernelClass::Linear,
+                stats: qkv_stats,
+            });
+            qs.push(requant(&qo[i].out.c, s.qkv, bw));
+            ks.push(requant(&ko[i].out.c, s.qkv, bw));
+            vs.push(requant(&vo[i].out.c, s.qkv, bw));
+        }
+
+        // Scores across the whole batch x heads on the one shared
+        // activation plan, then one stacked softmax per input.
+        let mut score_reqs = Vec::with_capacity(n * cfg.heads);
+        for i in 0..n {
+            for hd in 0..cfg.heads {
+                let qh = qs[i].slice_cols(hd * cfg.head_dim, cfg.head_dim);
+                let kh = ks[i].slice_cols(hd * cfg.head_dim, cfg.head_dim);
+                score_reqs.push((qh, kh.transpose()));
+            }
+        }
+        let refs: Vec<_> = score_reqs.iter().map(|(a, t)| (a, t)).collect();
+        let score_outs = exec_site_batch(gpu, engine, &p.scores, &refs);
+        let mut probs = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut scores_stats = KernelStats::default();
+            let mut score_mats = Vec::with_capacity(cfg.heads);
+            for hd in 0..cfg.heads {
+                let out = &score_outs[i * cfg.heads + hd].out;
+                scores_stats.accumulate(&out.stats);
+                score_mats.push(requant(&out.c, s.score, bw));
+            }
+            timings[i].push(LayerTiming {
+                name: "scores",
+                block: b,
+                class: KernelClass::Linear,
+                stats: scores_stats,
+            });
+            let sm = run_softmax(gpu, &stack_rows(&score_mats), ew_rows, bw);
+            timings[i].push(LayerTiming {
+                name: "softmax",
+                block: b,
+                class: KernelClass::Cuda,
+                stats: sm.stats.clone(),
+            });
+            probs.push(sm.out);
+        }
+
+        let mut attn_reqs = Vec::with_capacity(n * cfg.heads);
+        for i in 0..n {
+            for hd in 0..cfg.heads {
+                let ph = slice_rows(&probs[i], hd * cfg.tokens, cfg.tokens);
+                let vh = vs[i].slice_cols(hd * cfg.head_dim, cfg.head_dim);
+                attn_reqs.push((ph, vh));
+            }
+        }
+        let refs: Vec<_> = attn_reqs.iter().map(|(a, v)| (a, v)).collect();
+        let attn_outs = exec_site_batch(gpu, engine, &p.attn_v, &refs);
+        let mut attns = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut attn_stats = KernelStats::default();
+            let mut head_outs = Vec::with_capacity(cfg.heads);
+            for hd in 0..cfg.heads {
+                let out = &attn_outs[i * cfg.heads + hd].out;
+                attn_stats.accumulate(&out.stats);
+                head_outs.push(requant(&out.c, s.attnv, bw));
+            }
+            timings[i].push(LayerTiming {
+                name: "attn_v",
+                block: b,
+                class: KernelClass::Linear,
+                stats: attn_stats,
+            });
+            let head_refs: Vec<&Matrix<i8>> = head_outs.iter().collect();
+            attns.push(Matrix::concat_cols(&head_refs));
+        }
+
+        let reqs: Vec<_> = attns.iter().map(|a| (a, &w.wo)).collect();
+        let proj_outs = exec_site_batch(gpu, engine, &p.proj, &reqs);
+        for i in 0..n {
+            timings[i].push(LayerTiming {
+                name: "proj",
+                block: b,
+                class: KernelClass::Linear,
+                stats: proj_outs[i].out.stats.clone(),
+            });
+            let o = requant(&proj_outs[i].out.c, s.proj, bw);
+            let dseed = reference::dropout_seed(b + model.block_offset, 0);
+            let dop = MapOp::Dropout {
+                seed: dseed,
+                keep_q8: model.keep_q8,
+            };
+            let od = run_map(gpu, dop, ew, bw, o.as_slice(), None);
+            timings[i].push(LayerTiming {
+                name: "dropout",
+                block: b,
+                class: KernelClass::Cuda,
+                stats: od.stats.clone(),
+            });
+            let o = Matrix::from_vec(o.rows(), o.cols(), od.out);
+            let ad = run_map(
+                gpu,
+                MapOp::Add,
+                ew_add,
+                bw,
+                xs[i].as_slice(),
+                Some(o.as_slice()),
+            );
+            timings[i].push(LayerTiming {
+                name: "residual",
+                block: b,
+                class: KernelClass::Cuda,
+                stats: ad.stats.clone(),
+            });
+            xs[i] = Matrix::from_vec(xs[i].rows(), xs[i].cols(), ad.out);
+        }
+
+        // --- MLP half ---
+        let mut h2s = Vec::with_capacity(n);
+        for (i, x) in xs.iter().enumerate() {
+            let ln = run_layernorm(gpu, x, model.ln_gamma, model.ln_beta, ew_rows, bw);
+            timings[i].push(LayerTiming {
+                name: "layernorm",
+                block: b,
+                class: KernelClass::Cuda,
+                stats: ln.stats.clone(),
+            });
+            h2s.push(ln.out);
+        }
+        let reqs: Vec<_> = h2s.iter().map(|h| (h, &w.fc1)).collect();
+        let f1_outs = exec_site_batch(gpu, engine, &p.fc1, &reqs);
+        let mut fs = Vec::with_capacity(n);
+        for i in 0..n {
+            timings[i].push(LayerTiming {
+                name: "fc1",
+                block: b,
+                class: KernelClass::Linear,
+                stats: f1_outs[i].out.stats.clone(),
+            });
+            let f = requant(&f1_outs[i].out.c, s.fc1, bw);
+            let ge = run_map(gpu, MapOp::Gelu, ew, bw, f.as_slice(), None);
+            timings[i].push(LayerTiming {
+                name: "gelu",
+                block: b,
+                class: KernelClass::Cuda,
+                stats: ge.stats.clone(),
+            });
+            fs.push(Matrix::from_vec(f.rows(), f.cols(), ge.out));
+        }
+        let reqs: Vec<_> = fs.iter().map(|f| (f, &w.fc2)).collect();
+        let f2_outs = exec_site_batch(gpu, engine, &p.fc2, &reqs);
+        for i in 0..n {
+            timings[i].push(LayerTiming {
+                name: "fc2",
+                block: b,
+                class: KernelClass::Linear,
+                stats: f2_outs[i].out.stats.clone(),
+            });
+            let g = requant(&f2_outs[i].out.c, s.fc2, bw);
+            let dseed = reference::dropout_seed(b + model.block_offset, 1);
+            let dop = MapOp::Dropout {
+                seed: dseed,
+                keep_q8: model.keep_q8,
+            };
+            let gd = run_map(gpu, dop, ew, bw, g.as_slice(), None);
+            timings[i].push(LayerTiming {
+                name: "dropout",
+                block: b,
+                class: KernelClass::Cuda,
+                stats: gd.stats.clone(),
+            });
+            let g = Matrix::from_vec(g.rows(), g.cols(), gd.out);
+            let ad = run_map(
+                gpu,
+                MapOp::Add,
+                ew_add,
+                bw,
+                xs[i].as_slice(),
+                Some(g.as_slice()),
+            );
+            timings[i].push(LayerTiming {
+                name: "residual",
+                block: b,
+                class: KernelClass::Cuda,
+                stats: ad.stats.clone(),
+            });
+            xs[i] = Matrix::from_vec(xs[i].rows(), xs[i].cols(), ad.out);
+        }
+    }
+
+    xs.into_iter()
+        .zip(timings)
+        .map(|(x, timings)| {
+            let logits = if sim_blocks == cfg.blocks {
+                let cls = Matrix::from_vec(1, cfg.dim, x.row(0).to_vec());
+                vitbit_tensor::refgemm::gemm_i8_i32(&cls, &model.w_cls)
+            } else {
+                let mut tail = model.clone();
+                tail.blocks = model.blocks[sim_blocks..].to_vec();
+                tail.shifts = model.shifts[sim_blocks..].to_vec();
+                tail.cfg.blocks = cfg.blocks - sim_blocks;
+                tail.block_offset = model.block_offset + sim_blocks;
+                reference::forward(&tail, &x)
+            };
+            VitRun {
+                logits,
+                timings,
+                simulated_blocks: sim_blocks,
+            }
+        })
+        .collect()
+}
+
 /// Runs the forward pass under `strategy`, simulating the first
 /// `blocks_limit` blocks (all when `None`). The remaining blocks run on the
 /// CPU reference path so the logits stay meaningful.
@@ -634,6 +939,59 @@ mod tests {
         assert_eq!(first.logits, second.logits);
         let agg = second.aggregate();
         assert!(agg.plan_cache_hits > 0 && agg.plan_cache_misses == 0);
+    }
+
+    #[test]
+    fn batched_forward_matches_dedicated_runs_bit_exactly() {
+        // Kernel values are order-independent: every input's logits out of
+        // the site-major batched pass must equal a dedicated sequential
+        // planned pass on a fresh machine.
+        let (mut gpu, model, cfg) = setup();
+        let inputs: Vec<_> = (0..3).map(|s| model.synthetic_input(20 + s)).collect();
+        let mut engine = Engine::new();
+        let plan = VitPlan::build(&mut engine, &gpu, &model, Strategy::Ic, &cfg, Some(1));
+        let runs = run_vit_batch(&mut gpu, &mut engine, &plan, &model, &inputs);
+        assert_eq!(runs.len(), inputs.len());
+        assert!(engine.stats().batches > 0, "linear sites must batch");
+        assert_eq!(
+            engine.stats().batch_requests % inputs.len() as u64,
+            0,
+            "every site serves the whole batch"
+        );
+        for (i, (run, x)) in runs.iter().zip(&inputs).enumerate() {
+            let mut g = Gpu::new(OrinConfig::test_small(), 128 << 20);
+            let mut e = Engine::new();
+            let p = VitPlan::build(&mut e, &g, &model, Strategy::Ic, &cfg, Some(1));
+            let solo = run_vit_planned(&mut g, &mut e, &p, &model, x);
+            assert_eq!(run.logits, solo.logits, "input {i} logits must match");
+            assert_eq!(run.simulated_blocks, solo.simulated_blocks);
+            assert!(run.total_cycles() > 0);
+        }
+    }
+
+    #[test]
+    fn batched_forward_reaches_steady_state_replay() {
+        // The shared activation plans (`scores`, `probs x V`) see
+        // heads x batch requests back to back; once the L2 reaches its
+        // fixed point the engine must start replaying instead of
+        // re-simulating, and the logits must not change.
+        let (mut gpu, model, cfg) = setup();
+        let inputs: Vec<_> = (0..4).map(|s| model.synthetic_input(40 + s)).collect();
+        let want: Vec<_> = inputs
+            .iter()
+            .map(|x| reference::forward(&model, x))
+            .collect();
+        let mut engine = Engine::new();
+        let plan = VitPlan::build(&mut engine, &gpu, &model, Strategy::Ic, &cfg, Some(1));
+        let runs = run_vit_batch(&mut gpu, &mut engine, &plan, &model, &inputs);
+        for (run, want) in runs.iter().zip(&want) {
+            assert_eq!(&run.logits, want, "IC batched pipeline stays bit-exact");
+        }
+        assert!(
+            engine.stats().replayed_executes > 0,
+            "batched serving must reach steady-state replay (stats: {:?})",
+            engine.stats()
+        );
     }
 
     #[test]

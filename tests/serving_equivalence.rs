@@ -1,0 +1,310 @@
+//! Serving-path equivalence: batched execution, async submission, and
+//! plan-affinity sharding are pure *scheduling* refactorings — every
+//! request's output matrix and per-request [`KernelStats`] must be
+//! bit-identical to a sequential [`Engine::execute`] loop.
+//!
+//! Launch-position discipline: L2 state persists across launches on one
+//! GPU, so each comparison pairs a request stream on one machine against
+//! the *same* stream on an identically configured machine. For the pool,
+//! the claim is per routed stream: a pool of N shards must equal N
+//! dedicated `(Gpu, Engine)` pairs fed exactly the substreams the pool's
+//! affinity hash routes to each shard — not one global machine, whose L2
+//! would see every desc.
+//!
+//! The persistence tests prove the cold-boot contract: an imported plan
+//! cache serves with zero plan-build work and zero verifier invocations,
+//! and a corrupted blob fails closed per entry — the damaged plan falls
+//! back to a live `prepare` and still serves correctly.
+
+use vitbit::exec::{ExecConfig, Strategy};
+use vitbit::plan::{Completion, Engine, GemmDesc, GpuPool, ServePath};
+use vitbit::sim::{FaultConfig, Gpu, OrinConfig, SimMode};
+use vitbit::tensor::{gen, Matrix};
+
+fn orin(mode: SimMode) -> OrinConfig {
+    let mut cfg = OrinConfig::test_small();
+    cfg.sim_mode = mode;
+    cfg
+}
+
+fn gpu(mode: SimMode) -> Gpu {
+    Gpu::new(orin(mode), 64 << 20)
+}
+
+const SHAPE: (usize, usize, usize) = (16, 32, 320);
+
+/// Distinct operand pairs for one desc (values must not matter to the
+/// serving path; giving every request different operands proves it).
+fn requests(bw: u32, n: usize, seed: u64) -> (Vec<Matrix<i8>>, Matrix<i8>) {
+    let (m, k, nn) = SHAPE;
+    let hi = ((1i32 << (bw - 1)) - 1) as i8;
+    let a_mats = (0..n)
+        .map(|i| gen::uniform_i8(m, k, -hi - 1, hi, seed + i as u64))
+        .collect();
+    let b = gen::uniform_i8(k, nn, -hi - 1, hi, seed + 100);
+    (a_mats, b)
+}
+
+#[test]
+fn batched_is_bit_identical_to_sequential_for_every_strategy_bitwidth_and_mode() {
+    let (m, k, n) = SHAPE;
+    let nreq = 4usize;
+    for mode in [SimMode::Serial, SimMode::Parallel] {
+        for bw in [4u32, 6, 8] {
+            let mut cfg = ExecConfig::guarded(bw);
+            cfg.adaptive = false;
+            let (a_mats, b) = requests(bw, nreq, 300 + u64::from(bw));
+            for s in Strategy::ALL {
+                let tag = format!("{} INT{bw} {mode:?}", s.name());
+                // Sequential loop on one machine...
+                let mut g1 = gpu(mode);
+                let mut e1 = Engine::new();
+                let d1 = GemmDesc::from_exec(s, &cfg, &g1, m, k, n, Some(1));
+                let id1 = e1.prepare(d1).expect("prepare");
+                let seq: Vec<_> = a_mats
+                    .iter()
+                    .map(|a| e1.execute(&mut g1, id1, a, &b).expect("execute"))
+                    .collect();
+                // ...vs one batch on an identical machine.
+                let mut g2 = gpu(mode);
+                let mut e2 = Engine::new();
+                let d2 = GemmDesc::from_exec(s, &cfg, &g2, m, k, n, Some(1));
+                let id2 = e2.prepare(d2).expect("prepare");
+                let reqs: Vec<_> = a_mats.iter().map(|a| (a, &b)).collect();
+                let batch = e2.execute_batch(&mut g2, id2, &reqs).expect("batch");
+                assert_eq!(batch.outcomes.len(), nreq, "{tag}");
+                for (i, (sq, o)) in seq.iter().zip(&batch.outcomes).enumerate() {
+                    assert_eq!(o.out.c, sq.c, "request {i} output: {tag}");
+                    assert_eq!(o.out.stats, sq.stats, "request {i} stats: {tag}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn async_submission_matches_sequential_in_ticket_order() {
+    let (m, k, n) = SHAPE;
+    let mut cfg = ExecConfig::guarded(6);
+    cfg.adaptive = false;
+    let (a_mats, b) = requests(6, 5, 700);
+    for s in [Strategy::Tc, Strategy::IcFc, Strategy::VitBit] {
+        // Sequential reference stream.
+        let mut g1 = gpu(SimMode::Serial);
+        let mut e1 = Engine::new();
+        let d1 = GemmDesc::from_exec(s, &cfg, &g1, m, k, n, Some(2));
+        let id1 = e1.prepare(d1).expect("prepare");
+        let seq: Vec<_> = a_mats
+            .iter()
+            .map(|a| e1.execute(&mut g1, id1, a, &b).expect("execute"))
+            .collect();
+        // Async submit-all-then-drain on an identical machine.
+        let mut g2 = gpu(SimMode::Serial);
+        let mut e2 = Engine::new();
+        let d2 = GemmDesc::from_exec(s, &cfg, &g2, m, k, n, Some(2));
+        let tickets: Vec<_> = a_mats
+            .iter()
+            .map(|a| e2.submit(d2, a.clone(), b.clone()).expect("submit"))
+            .collect();
+        assert_eq!(e2.pending_count(), a_mats.len());
+        let done: Vec<Completion> = e2.drain(&mut g2);
+        assert_eq!(e2.pending_count(), 0);
+        assert_eq!(done.len(), seq.len());
+        for (i, (c, sq)) in done.iter().zip(&seq).enumerate() {
+            assert_eq!(c.ticket, tickets[i], "completions in ticket order");
+            let out = c.result.as_ref().expect("completion");
+            assert_eq!(out.out.c, sq.c, "{} request {i} output", s.name());
+            assert_eq!(out.out.stats, sq.stats, "{} request {i} stats", s.name());
+        }
+    }
+}
+
+#[test]
+fn sharded_pool_is_bit_identical_to_dedicated_machines() {
+    let (m, k, n) = SHAPE;
+    let mut cfg = ExecConfig::guarded(6);
+    cfg.adaptive = false;
+    let machine = orin(SimMode::Serial);
+    let probe = Gpu::new(machine.clone(), 64 << 20);
+    // A request stream over several descs (distinct weights and one
+    // activation GEMM) so multi-device pools actually spread load.
+    let descs: Vec<GemmDesc> = vec![
+        GemmDesc::from_exec(Strategy::Tc, &cfg, &probe, m, k, n, Some(1)),
+        GemmDesc::from_exec(Strategy::VitBit, &cfg, &probe, m, k, n, Some(2)),
+        GemmDesc::from_exec(Strategy::IcFc, &cfg, &probe, m, k, n, None),
+        GemmDesc::from_exec(Strategy::Tacker, &cfg, &probe, m, k, n, Some(3)),
+    ];
+    let (a_mats, b) = requests(6, descs.len() * 2, 900);
+    // Two passes over every desc: the second is the affinity-hit pass.
+    let mut stream: Vec<(GemmDesc, &Matrix<i8>)> = Vec::new();
+    for pass in 0..2 {
+        for (i, d) in descs.iter().enumerate() {
+            stream.push((*d, &a_mats[pass * descs.len() + i]));
+        }
+    }
+    for devices in [1usize, 2, 4] {
+        let mut pool = GpuPool::new(devices, &machine, 64 << 20);
+        // Dedicated reference machines, one per shard, fed exactly the
+        // substream the pool routes to that shard.
+        let mut refs: Vec<(Gpu, Engine)> = (0..devices)
+            .map(|_| (Gpu::new(machine.clone(), 64 << 20), Engine::new()))
+            .collect();
+        for (desc, a) in &stream {
+            let shard = pool.route(desc);
+            let got = pool.run(*desc, a, &b).expect("pool run");
+            let (g, e) = &mut refs[shard];
+            let id = e.prepare(*desc).expect("prepare");
+            let want = e.execute(g, id, a, &b).expect("execute");
+            assert_eq!(got.c, want.c, "{devices} devices, shard {shard}: output");
+            assert_eq!(
+                got.stats, want.stats,
+                "{devices} devices, shard {shard}: stats"
+            );
+        }
+        let total = pool.stats();
+        assert_eq!(
+            total.affinity_hits + total.affinity_misses,
+            stream.len() as u64
+        );
+        assert!(
+            total.affinity_hits >= descs.len() as u64,
+            "second pass must hit plan affinity ({} devices): {total:?}",
+            devices
+        );
+    }
+}
+
+#[test]
+fn batched_stays_identical_under_seeded_fault_injection() {
+    let (m, k, n) = SHAPE;
+    let mut machine = orin(SimMode::Serial);
+    machine.fault = FaultConfig {
+        enabled: true,
+        seed: 11,
+        reg_flip_rate: 1e-6,
+        dram_flip_rate: 1e-7,
+        hang_rate: 0.0,
+    };
+    let mut cfg = ExecConfig::guarded(6);
+    cfg.adaptive = false;
+    cfg.abft = true;
+    let (a_mats, b) = requests(6, 4, 1100);
+    for s in [Strategy::Tc, Strategy::VitBit] {
+        // The fault stream is seeded per machine: identical machines
+        // observe identical faults at identical launch positions, so the
+        // batched path must still be bit-identical — and must never
+        // replay (a faulting machine has no steady state).
+        let mut g1 = Gpu::new(machine.clone(), 64 << 20);
+        let mut e1 = Engine::new();
+        let d1 = GemmDesc::from_exec(s, &cfg, &g1, m, k, n, Some(4));
+        let id1 = e1.prepare(d1).expect("prepare");
+        let seq: Vec<_> = a_mats
+            .iter()
+            .map(|a| e1.execute(&mut g1, id1, a, &b).expect("execute"))
+            .collect();
+        let mut g2 = Gpu::new(machine.clone(), 64 << 20);
+        let mut e2 = Engine::new();
+        let d2 = GemmDesc::from_exec(s, &cfg, &g2, m, k, n, Some(4));
+        let id2 = e2.prepare(d2).expect("prepare");
+        let reqs: Vec<_> = a_mats.iter().map(|a| (a, &b)).collect();
+        let batch = e2.execute_batch(&mut g2, id2, &reqs).expect("batch");
+        assert_eq!(batch.replayed(), 0, "{}: no replay under faults", s.name());
+        for (i, (sq, o)) in seq.iter().zip(&batch.outcomes).enumerate() {
+            assert_eq!(o.out.c, sq.c, "{} request {i} output", s.name());
+            assert_eq!(o.out.stats, sq.stats, "{} request {i} stats", s.name());
+            assert_ne!(o.served, ServePath::Replayed);
+        }
+    }
+}
+
+#[test]
+fn persisted_plan_cache_boots_warm_with_zero_build_and_zero_verification() {
+    let (m, k, n) = SHAPE;
+    let g = gpu(SimMode::Serial);
+    let mut cfg = ExecConfig::guarded(6);
+    cfg.adaptive = false;
+    // Activation descs only: staged weights are per-execution artifacts
+    // and deliberately not persisted.
+    let descs: Vec<GemmDesc> = [Strategy::Tc, Strategy::Tacker, Strategy::VitBit]
+        .iter()
+        .map(|&s| GemmDesc::from_exec(s, &cfg, &g, m, k, n, None))
+        .collect();
+    let (a_mats, b) = requests(6, 1, 1300);
+    let a = &a_mats[0];
+
+    let mut warm = Engine::new().with_verifier(vitbit::verify::engine_verifier());
+    let mut g_warm = gpu(SimMode::Serial);
+    let warm_outs: Vec<_> = descs
+        .iter()
+        .map(|&d| {
+            let id = warm.prepare(d).expect("warm prepare");
+            warm.execute(&mut g_warm, id, a, &b).expect("warm execute")
+        })
+        .collect();
+    let blob = warm.export_plans();
+
+    let mut cold = Engine::new().with_verifier(vitbit::verify::engine_verifier());
+    let mut g_cold = gpu(SimMode::Serial);
+    let summary = cold.import_plans(&blob).expect("import");
+    assert_eq!(summary.imported, descs.len() as u64);
+    assert_eq!(summary.rejected, 0);
+    for (&d, want) in descs.iter().zip(&warm_outs) {
+        let id = cold.prepare(d).expect("cold prepare");
+        let got = cold.execute(&mut g_cold, id, a, &b).expect("cold execute");
+        assert_eq!(got.c, want.c, "cold replica output");
+        assert_eq!(
+            got.stats.plan_build_cycles, 0,
+            "warm boot must carry zero plan-build work"
+        );
+    }
+    let st = cold.stats();
+    assert_eq!(st.verifier_invocations, 0, "cold boot must not re-verify");
+    assert_eq!(st.plan_build_units, 0, "cold boot must not re-resolve");
+    assert_eq!(st.plan_cache_misses, 0, "cold prepares must all hit");
+}
+
+#[test]
+fn corrupted_persisted_entries_fail_closed_to_live_prepare() {
+    let (m, k, n) = SHAPE;
+    let g = gpu(SimMode::Serial);
+    let mut cfg = ExecConfig::guarded(6);
+    cfg.adaptive = false;
+    let descs: Vec<GemmDesc> = [Strategy::Tc, Strategy::VitBit]
+        .iter()
+        .map(|&s| GemmDesc::from_exec(s, &cfg, &g, m, k, n, None))
+        .collect();
+    let (a_mats, b) = requests(6, 1, 1500);
+    let a = &a_mats[0];
+
+    let mut warm = Engine::new();
+    let mut g_warm = gpu(SimMode::Serial);
+    let warm_outs: Vec<_> = descs
+        .iter()
+        .map(|&d| {
+            let id = warm.prepare(d).expect("warm prepare");
+            warm.execute(&mut g_warm, id, a, &b).expect("warm execute")
+        })
+        .collect();
+    let mut blob = warm.export_plans();
+    // Flip one byte inside the first entry's payload: its checksum must
+    // reject it while the rest of the blob imports untouched.
+    blob[30] ^= 0x40;
+
+    let mut cold = Engine::new();
+    let mut g_cold = gpu(SimMode::Serial);
+    let summary = cold.import_plans(&blob).expect("blob frame still parses");
+    assert_eq!(summary.rejected, 1, "the damaged entry fails closed");
+    assert_eq!(summary.imported, descs.len() as u64 - 1);
+    assert_eq!(cold.stats().plans_rejected, 1);
+    // The damaged desc falls back to a live prepare and still serves
+    // correct results.
+    for (&d, want) in descs.iter().zip(&warm_outs) {
+        let id = cold.prepare(d).expect("prepare (live or imported)");
+        let got = cold.execute(&mut g_cold, id, a, &b).expect("execute");
+        assert_eq!(got.c, want.c, "output after fail-closed recovery");
+    }
+    assert!(
+        cold.stats().plan_build_units > 0,
+        "the rejected plan was rebuilt live"
+    );
+}
