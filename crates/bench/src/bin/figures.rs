@@ -159,8 +159,9 @@ fn main() {
             serving.devices
         );
         println!(
-            "{:<7} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6} {:>8} {:>6} {:>6}",
+            "{:<7} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6} {:>8} {:>6} {:>6} {:>7} {:>7}",
             "device",
+            "health",
             "batches",
             "requests",
             "executes",
@@ -170,19 +171,21 @@ fn main() {
             "rate",
             "retries",
             "fback",
-            "quar"
+            "quar",
+            "dl-miss",
+            "ovld"
         );
-        let mut rows: Vec<(String, &vitbit_exec::EngineStats)> = serving
-            .per_device
-            .iter()
-            .enumerate()
-            .map(|(d, st)| (format!("gpu{d}"), st))
-            .collect();
-        rows.push(("total".to_string(), &serving.total));
-        for (name, st) in rows {
+        let health_tag = |h: vitbit_exec::HealthState| match h {
+            vitbit_exec::HealthState::Healthy => "healthy",
+            vitbit_exec::HealthState::Degraded => "degrade",
+            vitbit_exec::HealthState::Evicted => "evicted",
+        };
+        for ds in &serving.status {
+            let st = &ds.stats;
             println!(
-                "{:<7} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6.2} {:>8} {:>6} {:>6}",
-                name,
+                "{:<7} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6.2} {:>8} {:>6} {:>6} {:>7} {:>7}",
+                format!("gpu{}", ds.device),
+                health_tag(ds.health),
                 st.batches,
                 st.batch_requests,
                 st.executes,
@@ -192,9 +195,36 @@ fn main() {
                 st.affinity_hit_rate(),
                 st.retries,
                 st.fallbacks,
-                st.quarantined_plans
+                ds.quarantined_plans,
+                ds.deadline_misses,
+                st.overload_rejections
             );
         }
+        let st = &serving.total;
+        println!(
+            "{:<7} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6.2} {:>8} {:>6} {:>6} {:>7} {:>7}",
+            "total",
+            "-",
+            st.batches,
+            st.batch_requests,
+            st.executes,
+            st.replayed_executes,
+            st.affinity_hits,
+            st.affinity_misses,
+            st.affinity_hit_rate(),
+            st.retries,
+            st.fallbacks,
+            st.quarantined_plans,
+            serving.pool.deadline_misses,
+            st.overload_rejections
+        );
+        println!(
+            "pool: evictions {}  plans-failed-over {}  tickets-failed-over {}  host-answers {}",
+            serving.pool.evictions,
+            serving.pool.plans_failed_over,
+            serving.pool.tickets_failed_over,
+            serving.pool.host_answers
+        );
         println!("{}", "-".repeat(72));
     }
 }

@@ -1,7 +1,9 @@
 //! Shared ViT measurement suite: runs the model once per strategy and lets
 //! every figure read from the same measurements.
 
-use vitbit_exec::{Engine, EngineStats, ExecConfig, GemmDesc, GpuPool, Strategy};
+use vitbit_exec::{
+    DeviceStatus, Engine, EngineStats, ExecConfig, GemmDesc, GpuPool, PoolStats, Strategy,
+};
 use vitbit_sim::{Gpu, OrinConfig, SimMode};
 use vitbit_tensor::Matrix;
 use vitbit_vit::{run_vit_planned, ViTConfig, ViTModel, VitPlan, VitRun};
@@ -147,6 +149,11 @@ pub struct ServingMeasure {
     pub per_device: Vec<EngineStats>,
     /// Field-wise sum over all shards.
     pub total: EngineStats,
+    /// Full per-device status: health state, quarantined plans,
+    /// deadline misses and fault-injection observations.
+    pub status: Vec<DeviceStatus>,
+    /// Pool-level counters (evictions, failover, host answers, drains).
+    pub pool: PoolStats,
 }
 
 /// A deterministic operand matrix (LCG fill over the full code range).
@@ -199,5 +206,7 @@ pub fn measure_serving(opts: &HarnessOpts) -> ServingMeasure {
         devices: opts.devices,
         per_device: pool.device_stats(),
         total: pool.stats(),
+        status: pool.device_status(),
+        pool: pool.pool_stats(),
     }
 }

@@ -320,6 +320,9 @@ pub struct EngineStats {
     /// Pool-routed requests that had to build their plan on the routed
     /// shard (stamped by `GpuPool`; always zero for a bare engine).
     pub affinity_misses: u64,
+    /// `submit` calls refused by admission control: the pending queue was
+    /// at its configured bound (see [`Engine::set_queue_bound`]).
+    pub overload_rejections: u64,
 }
 
 impl EngineStats {
@@ -360,6 +363,15 @@ pub enum EngineError {
         /// explaining the absence when no verifier is installed.
         violations: Vec<String>,
     },
+    /// Backpressure: the submission queue is at its configured bound
+    /// ([`Engine::set_queue_bound`]). The request was **not** enqueued —
+    /// the caller should drain before submitting more.
+    Overloaded {
+        /// Requests already pending on the refusing engine.
+        pending: usize,
+        /// The configured queue bound that was hit.
+        bound: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -378,6 +390,11 @@ impl std::fmt::Display for EngineError {
                 "plan rejected by static verification ({} violation(s)): {}",
                 violations.len(),
                 violations.join("; ")
+            ),
+            EngineError::Overloaded { pending, bound } => write!(
+                f,
+                "submission refused: {pending} request(s) pending at the \
+                 configured queue bound of {bound} — drain before submitting"
             ),
         }
     }
@@ -448,6 +465,42 @@ pub enum ServePath {
     Host,
 }
 
+/// Which rung of the §9 recovery ladder observed a failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderRung {
+    /// Rung 0: the plan exactly as prepared.
+    Initial,
+    /// Rung 1: plain re-execute of the same plan (transient-fault retry).
+    Retry,
+    /// Rung 2: rebuild from the desc, then re-execute (poisoned cache).
+    Rebuild,
+    /// Rung 3: the plain Tensor-core fallback driver.
+    TcFallback,
+}
+
+/// Why one ladder attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultCause {
+    /// The launch itself failed: a watchdog timeout (hung SM) or a
+    /// contained fault — the concrete [`vitbit_sim::LaunchError`] rides
+    /// inside the [`GemmError`].
+    Launch(GemmError),
+    /// The launch completed but the Huang–Abraham checksum rejected its
+    /// output ([`GemmDesc::abft`]).
+    AbftMismatch,
+}
+
+/// One observed failure while walking the recovery ladder: which rung
+/// failed, and the concrete cause. A request that quarantined its plan
+/// carries the full failure trail; a clean serve carries none.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LadderEvent {
+    /// The rung whose attempt failed.
+    pub rung: LadderRung,
+    /// What went wrong on that attempt.
+    pub cause: FaultCause,
+}
+
 /// One request's result inside a [`BatchResult`].
 #[derive(Debug, Clone)]
 pub struct RequestOutcome {
@@ -461,6 +514,18 @@ pub struct RequestOutcome {
     pub faults: u64,
     /// Recovery-ladder re-attempts spent on this request.
     pub retries: u64,
+    /// The concrete failure trail behind `faults`/`retries`: one event
+    /// per failed ladder attempt, in the order they happened. Empty on a
+    /// clean serve (and on the quarantined fast path, where no new
+    /// attempt is made — the plan already exhausted its ladder earlier).
+    pub ladder: Vec<LadderEvent>,
+}
+
+impl RequestOutcome {
+    /// The deepest rung that failed serving this request, when any did.
+    pub fn deepest_rung(&self) -> Option<LadderRung> {
+        self.ladder.last().map(|e| e.rung)
+    }
 }
 
 /// Per-request outcomes of one [`Engine::execute_batch`] call, in
@@ -570,6 +635,9 @@ pub struct Engine {
     pub(crate) pending: Vec<crate::serve::PendingRequest>,
     /// Next ticket id handed out by [`Engine::submit`].
     pub(crate) next_ticket: u64,
+    /// Admission-control bound on the pending queue (`None` =
+    /// unbounded); see [`Engine::set_queue_bound`].
+    pub(crate) queue_bound: Option<usize>,
 }
 
 /// Scalar-MAC units to simulated cycles for the modeled ABFT check: the
@@ -603,6 +671,25 @@ impl Engine {
     pub fn with_verifier(mut self, verifier: PlanVerifier) -> Self {
         self.verifier = Some(verifier);
         self
+    }
+
+    /// Bounds the async submission queue: once `pending_count()` reaches
+    /// `bound`, [`Engine::submit`] refuses with
+    /// [`EngineError::Overloaded`] instead of growing without limit.
+    /// `None` (the default) removes the bound.
+    pub fn set_queue_bound(&mut self, bound: Option<usize>) {
+        self.queue_bound = bound;
+    }
+
+    /// The configured admission-control bound, when one is set.
+    pub fn queue_bound(&self) -> Option<usize> {
+        self.queue_bound
+    }
+
+    /// Whether the next [`Engine::submit`] would be refused by admission
+    /// control.
+    pub fn would_overload(&self) -> bool {
+        self.queue_bound.is_some_and(|b| self.pending.len() >= b)
     }
 
     /// Resolves `desc` into a plan, building it on first sight: pack
@@ -788,6 +875,7 @@ impl Engine {
                 served: ServePath::Host,
                 faults: 0,
                 retries: 0,
+                ladder: Vec::new(),
             });
         }
 
@@ -800,6 +888,7 @@ impl Engine {
                     served: ServePath::Replayed,
                     faults: 0,
                     retries: 0,
+                    ladder: Vec::new(),
                 });
             }
         }
@@ -819,11 +908,17 @@ impl Engine {
         let mut abft_cycles = 0u64;
         let mut detected = 0u64;
         let mut req_retries = 0u64;
+        let mut ladder: Vec<LadderEvent> = Vec::new();
 
         // Rungs 0..2 of the ladder: the plan itself — as prepared, retried
         // once, then rebuilt from scratch. With faults off, rung 0 is the
         // whole function: it issues exactly the pre-ladder launch sequence.
         for rung in 0..3u32 {
+            let rung_name = match rung {
+                0 => LadderRung::Initial,
+                1 => LadderRung::Retry,
+                _ => LadderRung::Rebuild,
+            };
             match rung {
                 1 => {
                     self.stats.retries += 1;
@@ -872,14 +967,23 @@ impl Engine {
                             served: ServePath::Launched,
                             faults: detected,
                             retries: req_retries,
+                            ladder,
                         });
                     }
                     detected += 1;
                     self.stats.faults_detected += 1;
+                    ladder.push(LadderEvent {
+                        rung: rung_name,
+                        cause: FaultCause::AbftMismatch,
+                    });
                 }
-                Err(_) => {
+                Err(e) => {
                     detected += 1;
                     self.stats.faults_detected += 1;
+                    ladder.push(LadderEvent {
+                        rung: rung_name,
+                        cause: FaultCause::Launch(e),
+                    });
                 }
             }
         }
@@ -902,14 +1006,23 @@ impl Engine {
                         served: ServePath::Launched,
                         faults: detected,
                         retries: req_retries,
+                        ladder,
                     });
                 }
                 detected += 1;
                 self.stats.faults_detected += 1;
+                ladder.push(LadderEvent {
+                    rung: LadderRung::TcFallback,
+                    cause: FaultCause::AbftMismatch,
+                });
             }
-            Err(_) => {
+            Err(e) => {
                 detected += 1;
                 self.stats.faults_detected += 1;
+                ladder.push(LadderEvent {
+                    rung: LadderRung::TcFallback,
+                    cause: FaultCause::Launch(e),
+                });
             }
         }
 
@@ -924,6 +1037,7 @@ impl Engine {
             served: ServePath::Host,
             faults: detected,
             retries: req_retries,
+            ladder,
         })
     }
 
@@ -1139,8 +1253,10 @@ impl Engine {
     }
 
     /// Last rung of the ladder: the host reference GEMM. No launch, no
-    /// cycles — a correct answer from outside the faulting machine.
-    fn host_reference(&self, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
+    /// cycles — a correct answer from outside the faulting machine. The
+    /// pool's graceful-degradation path (every device evicted) answers
+    /// from the same function.
+    pub(crate) fn host_reference(&self, a: &Matrix<i8>, b: &Matrix<i8>) -> GemmOut {
         let stats = KernelStats {
             name: "gemm_host_ref".into(),
             ..KernelStats::default()
@@ -1222,6 +1338,12 @@ impl Engine {
     /// Mutable engine counters (pool affinity stamping, import counting).
     pub(crate) fn stats_mut(&mut self) -> &mut EngineStats {
         &mut self.stats
+    }
+
+    /// Takes the whole pending queue (pool ticket failover: the evicted
+    /// shard's queued requests re-home to healthy shards).
+    pub(crate) fn take_pending(&mut self) -> Vec<crate::serve::PendingRequest> {
+        std::mem::take(&mut self.pending)
     }
 
     /// The engine's packed-weight cache.

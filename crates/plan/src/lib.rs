@@ -54,10 +54,12 @@ pub mod serve;
 pub mod strategy;
 
 pub use engine::{
-    BatchResult, Engine, EngineError, EngineStats, GemmDesc, GemmPlan, PlanCache, PlanId,
-    PlanProof, PlanVerifier, RequestOutcome, ServePath, SimKnobs,
+    BatchResult, Engine, EngineError, EngineStats, FaultCause, GemmDesc, GemmPlan, LadderEvent,
+    LadderRung, PlanCache, PlanId, PlanProof, PlanVerifier, RequestOutcome, ServePath, SimKnobs,
 };
 pub use persist::{ImportSummary, PersistError};
-pub use serve::{Completion, GpuPool, Ticket};
+pub use serve::{
+    Completion, DeviceStatus, GpuPool, HealthPolicy, HealthState, PoolStats, Ticket,
+};
 pub use strategy::{ExecConfig, GemmTuner, Strategy};
 pub use vitbit_kernels::gemm::{GemmOut, PackedWeightCache, WeightCtx};

@@ -561,6 +561,10 @@ impl Engine {
         }
         let count = r.u32().ok_or(PersistError::Truncated)?;
         let mut summary = ImportSummary::default();
+        // Descs admitted by *this* call: a well-formed export never
+        // repeats a desc, so a duplicate marks a spliced or replayed
+        // blob — rejected, not silently merged.
+        let mut seen: std::collections::HashSet<GemmDesc> = std::collections::HashSet::new();
         for _ in 0..count {
             let len = r.u32().ok_or(PersistError::Truncated)? as usize;
             let want = r.u64().ok_or(PersistError::Truncated)?;
@@ -575,6 +579,11 @@ impl Engine {
                 self.stats_mut().plans_rejected += 1;
                 continue;
             };
+            if !seen.insert(decoded.desc) {
+                summary.rejected += 1;
+                self.stats_mut().plans_rejected += 1;
+                continue;
+            }
             if self.has_plan(&decoded.desc) {
                 summary.already_resident += 1;
                 continue;

@@ -81,8 +81,29 @@ impl Engine {
     ///
     /// # Errors
     /// [`Engine::prepare`]'s contract, plus
-    /// [`EngineError::ShapeMismatch`] checked eagerly against the desc.
+    /// [`EngineError::ShapeMismatch`] checked eagerly against the desc
+    /// and [`EngineError::Overloaded`] when the pending queue is at its
+    /// configured bound ([`Engine::set_queue_bound`]).
     pub fn submit(
+        &mut self,
+        desc: GemmDesc,
+        a: Matrix<i8>,
+        b: Matrix<i8>,
+    ) -> Result<Ticket, EngineError> {
+        if self.would_overload() {
+            self.stats_mut().overload_rejections += 1;
+            return Err(EngineError::Overloaded {
+                pending: self.pending.len(),
+                bound: self.queue_bound.unwrap_or(0),
+            });
+        }
+        self.submit_unchecked(desc, a, b)
+    }
+
+    /// [`Engine::submit`] minus admission control: the pool's ticket
+    /// failover re-homes already-admitted requests through here — work
+    /// accepted once is never bounced by the target shard's bound.
+    pub(crate) fn submit_unchecked(
         &mut self,
         desc: GemmDesc,
         a: Matrix<i8>,
@@ -184,20 +205,147 @@ impl Engine {
     }
 }
 
+/// Health of one pool shard (one device fault domain). States are
+/// ordered and transitions are monotonic: a shard never recovers on its
+/// own (the counters driving the FSM are cumulative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Serving normally.
+    Healthy,
+    /// Observed faults (failed launches / ABFT mismatches) at or past
+    /// the policy's degrade threshold; still serving — the recovery
+    /// ladder is absorbing the damage.
+    Degraded,
+    /// Out of rotation: quarantined plans or drain-deadline misses
+    /// crossed the eviction threshold (or an operator called
+    /// [`GpuPool::evict_device`]). Its plans and queued tickets have
+    /// failed over to healthy shards.
+    Evicted,
+}
+
+/// Thresholds and limits driving the pool's per-shard health FSM.
+///
+/// Every threshold compares against a **cumulative** per-shard counter,
+/// so the FSM is deterministic given deterministic fault injection;
+/// `u64::MAX` disables a signal. The drain deadline is the only
+/// wall-clock signal — a miss feeds *future* routing (health), never
+/// the completions of the drain that missed, so completion payloads
+/// stay deterministic regardless of host speed.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthPolicy {
+    /// Faults observed on a shard ([`EngineStats::faults_detected`])
+    /// before it is marked [`HealthState::Degraded`].
+    pub degrade_after_faults: u64,
+    /// Quarantined plans on a shard before it is evicted — a quarantine
+    /// means the recovery ladder ran dry, the strongest device-distrust
+    /// signal the engine produces.
+    pub evict_after_quarantines: u64,
+    /// Drain-deadline misses before eviction.
+    pub evict_after_deadline_misses: u64,
+    /// Admission-control bound installed on every shard's pending queue
+    /// (`None` = unbounded): at the bound, [`GpuPool::submit`] refuses
+    /// with [`EngineError::Overloaded`].
+    pub max_pending: Option<usize>,
+    /// Wall-clock budget for one shard's drain; exceeding it counts one
+    /// deadline miss against that shard (`None` = no watchdog).
+    pub drain_deadline: Option<std::time::Duration>,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self {
+            degrade_after_faults: 1,
+            evict_after_quarantines: 2,
+            evict_after_deadline_misses: 2,
+            max_pending: None,
+            drain_deadline: None,
+        }
+    }
+}
+
+/// Pool-level counters (the shard engines keep their own
+/// [`EngineStats`]; these count events only the pool can see).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Shards moved to [`HealthState::Evicted`].
+    pub evictions: u64,
+    /// Plans re-homed from evicted shards via export/import (each
+    /// re-validated fail-closed on its target shard).
+    pub plans_failed_over: u64,
+    /// Queued tickets re-routed off evicted shards.
+    pub tickets_failed_over: u64,
+    /// Requests answered by the pool-level host reference path: every
+    /// device evicted, or a failed-over ticket no healthy shard could
+    /// re-prepare. Graceful degradation, not an error.
+    pub host_answers: u64,
+    /// Shard drains that exceeded the policy's deadline.
+    pub deadline_misses: u64,
+    /// Scoped-thread parallel drains performed.
+    pub parallel_drains: u64,
+    /// Serial (differential-oracle) drains performed.
+    pub serial_drains: u64,
+}
+
+/// One device's full serving status: health, engine counters and the
+/// simulator's per-device fault observations.
+#[derive(Debug, Clone)]
+pub struct DeviceStatus {
+    /// Shard index.
+    pub device: usize,
+    /// Current health state.
+    pub health: HealthState,
+    /// The shard engine's cumulative counters.
+    pub stats: EngineStats,
+    /// Plans currently quarantined on this shard.
+    pub quarantined_plans: usize,
+    /// Drain-deadline misses charged to this shard.
+    pub deadline_misses: u64,
+    /// Requests queued on this shard, not yet drained.
+    pub pending: usize,
+    /// Faults the simulator injected during the device's most recent
+    /// launch (surfaced even for failed launches).
+    pub last_launch_faults: u64,
+    /// Cumulative injected faults across every launch on the device.
+    pub faults_injected_total: u64,
+}
+
 /// One simulated device and its serving engine.
 struct Shard {
     gpu: Gpu,
     engine: Engine,
+    health: HealthState,
+    deadline_misses: u64,
+}
+
+/// A request parked for the pool-level host reference path (graceful
+/// degradation / failover overflow), answered at drain in ticket order.
+struct HostParked {
+    ticket: u64,
+    a: Matrix<i8>,
+    b: Matrix<i8>,
 }
 
 /// N simulated GPUs behind one serving front door, with plan-affinity
 /// routing: a request's [`GemmDesc`] hashes to its home shard, so plans,
 /// staged weights and replay state never migrate.
+///
+/// Since the fault-domain PR each shard carries a [`HealthState`] driven
+/// by the [`HealthPolicy`] thresholds. Routing only considers
+/// non-evicted shards; evicting a shard fails its resident plans and
+/// queued tickets over to the survivors, and with *every* device
+/// evicted the pool still answers from the host reference path
+/// ([`PoolStats::host_answers`]). [`GpuPool::drain`] runs the shards on
+/// scoped threads — legal because the per-shard machines share nothing —
+/// and merges completions back into one global-ticket-ordered stream.
 pub struct GpuPool {
     shards: Vec<Shard>,
     next_ticket: u64,
     /// Global ticket -> (shard index, shard-local ticket).
     routes: HashMap<u64, (usize, Ticket)>,
+    policy: HealthPolicy,
+    pool_stats: PoolStats,
+    /// Requests awaiting a host-reference answer at the next drain.
+    host_queue: Vec<HostParked>,
 }
 
 impl GpuPool {
@@ -207,15 +355,32 @@ impl GpuPool {
     /// Panics when `devices` is zero.
     pub fn new(devices: usize, cfg: &OrinConfig, mem_bytes: u32) -> Self {
         assert!(devices > 0, "a pool needs at least one device");
+        let cfgs: Vec<OrinConfig> = (0..devices).map(|_| cfg.clone()).collect();
+        Self::with_devices(&cfgs, mem_bytes)
+    }
+
+    /// A pool of heterogeneous machines, one per config (chaos testing
+    /// gives individual devices their own fault injection this way).
+    ///
+    /// # Panics
+    /// Panics when `cfgs` is empty.
+    pub fn with_devices(cfgs: &[OrinConfig], mem_bytes: u32) -> Self {
+        assert!(!cfgs.is_empty(), "a pool needs at least one device");
         Self {
-            shards: (0..devices)
-                .map(|_| Shard {
+            shards: cfgs
+                .iter()
+                .map(|cfg| Shard {
                     gpu: Gpu::new(cfg.clone(), mem_bytes),
                     engine: Engine::new(),
+                    health: HealthState::Healthy,
+                    deadline_misses: 0,
                 })
                 .collect(),
             next_ticket: 0,
             routes: HashMap::new(),
+            policy: HealthPolicy::default(),
+            pool_stats: PoolStats::default(),
+            host_queue: Vec::new(),
         }
     }
 
@@ -228,19 +393,60 @@ impl GpuPool {
         self
     }
 
+    /// Installs a health policy, applying its admission-control bound to
+    /// every shard engine.
+    #[must_use]
+    pub fn with_health_policy(mut self, policy: HealthPolicy) -> Self {
+        for shard in &mut self.shards {
+            shard.engine.set_queue_bound(policy.max_pending);
+        }
+        self.policy = policy;
+        self
+    }
+
     /// Number of devices.
     pub fn devices(&self) -> usize {
         self.shards.len()
     }
 
-    /// The home shard of a desc: a deterministic hash of the full plan
-    /// key. `DefaultHasher::new()` is seed-stable within a process, and
-    /// routing is re-derived per process — nothing persisted depends on
-    /// it.
-    pub fn route(&self, desc: &GemmDesc) -> usize {
+    /// Shard indices still in rotation (not evicted).
+    fn healthy_indices(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.health != HealthState::Evicted)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn desc_hash(desc: &GemmDesc) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         desc.hash(&mut h);
-        (h.finish() % self.shards.len() as u64) as usize
+        h.finish()
+    }
+
+    /// The desc's home among the non-evicted shards: hash modulo the
+    /// healthy count, mapped through the sorted healthy indices — so a
+    /// pool that evicted shard `e` routes exactly like a fresh pool of
+    /// the surviving devices (the failover-determinism contract).
+    /// `None` when every device is evicted (the host path answers).
+    fn route_healthy(&self, desc: &GemmDesc) -> Option<usize> {
+        let healthy = self.healthy_indices();
+        if healthy.is_empty() {
+            return None;
+        }
+        Some(healthy[(Self::desc_hash(desc) % healthy.len() as u64) as usize])
+    }
+
+    /// The home shard of a desc: a deterministic hash of the full plan
+    /// key over the non-evicted shards. `DefaultHasher::new()` is
+    /// seed-stable within a process, and routing is re-derived per
+    /// process — nothing persisted depends on it. With every device
+    /// evicted this returns the would-be home in the full pool; requests
+    /// are host-answered in that state.
+    pub fn route(&self, desc: &GemmDesc) -> usize {
+        self.route_healthy(desc)
+            .unwrap_or_else(|| (Self::desc_hash(desc) % self.shards.len() as u64) as usize)
     }
 
     /// Stamps the affinity counters for one routed request.
@@ -252,8 +458,37 @@ impl GpuPool {
         }
     }
 
+    fn shape_check(
+        desc: &GemmDesc,
+        a: &Matrix<i8>,
+        b: &Matrix<i8>,
+    ) -> Result<(), EngineError> {
+        if (a.rows(), a.cols()) != (desc.m, desc.k) || (b.rows(), b.cols()) != (desc.k, desc.n) {
+            return Err(EngineError::ShapeMismatch {
+                expected: (desc.m, desc.k, desc.n),
+                a: (a.rows(), a.cols()),
+                b: (b.rows(), b.cols()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Answers one request from the pool-level host reference path and
+    /// counts it (graceful degradation).
+    fn host_answer(&mut self, a: &Matrix<i8>, b: &Matrix<i8>) -> RequestOutcome {
+        self.pool_stats.host_answers += 1;
+        RequestOutcome {
+            out: self.shards[0].engine.host_reference(a, b),
+            served: crate::engine::ServePath::Host,
+            faults: 0,
+            retries: 0,
+            ladder: Vec::new(),
+        }
+    }
+
     /// Prepare + execute on the desc's home shard (the synchronous
-    /// path).
+    /// path). With every device evicted, the host reference answers
+    /// (counted in [`PoolStats::host_answers`]).
     ///
     /// # Errors
     /// The shard engine's [`Engine::run`] contract.
@@ -263,15 +498,21 @@ impl GpuPool {
         a: &Matrix<i8>,
         b: &Matrix<i8>,
     ) -> Result<crate::GemmOut, EngineError> {
-        let s = self.route(&desc);
+        let Some(s) = self.route_healthy(&desc) else {
+            Self::shape_check(&desc, a, b)?;
+            return Ok(self.host_answer(a, b).out);
+        };
         let shard = &mut self.shards[s];
         Self::stamp_affinity(shard, &desc);
         let id = shard.engine.prepare(desc)?;
-        shard.engine.execute(&mut shard.gpu, id, a, b)
+        let out = shard.engine.execute(&mut shard.gpu, id, a, b);
+        self.refresh_health(s);
+        out
     }
 
     /// Serves a batch of requests for one desc on its home shard via
-    /// [`Engine::execute_batch`].
+    /// [`Engine::execute_batch`]. With every device evicted, the host
+    /// reference answers each request.
     ///
     /// # Errors
     /// The shard engine's contract.
@@ -280,29 +521,61 @@ impl GpuPool {
         desc: GemmDesc,
         requests: &[(&Matrix<i8>, &Matrix<i8>)],
     ) -> Result<crate::engine::BatchResult, EngineError> {
-        let s = self.route(&desc);
+        let Some(s) = self.route_healthy(&desc) else {
+            let mut outcomes = Vec::with_capacity(requests.len());
+            for (a, b) in requests {
+                Self::shape_check(&desc, a, b)?;
+                outcomes.push(self.host_answer(a, b));
+            }
+            return Ok(crate::engine::BatchResult { outcomes });
+        };
         let shard = &mut self.shards[s];
         for _ in requests {
             Self::stamp_affinity(shard, &desc);
         }
         let id = shard.engine.prepare(desc)?;
-        shard.engine.execute_batch(&mut shard.gpu, id, requests)
+        let out = shard.engine.execute_batch(&mut shard.gpu, id, requests);
+        self.refresh_health(s);
+        out
     }
 
     /// Async submission to the desc's home shard. Tickets are global:
     /// [`GpuPool::drain`] merges shard completions back into one
-    /// deterministic, ticket-ordered stream.
+    /// deterministic, ticket-ordered stream. With every device evicted
+    /// the request parks on the pool's host queue and is answered at the
+    /// next drain.
     ///
     /// # Errors
-    /// [`Engine::submit`]'s contract.
+    /// [`Engine::submit`]'s contract, including
+    /// [`EngineError::Overloaded`] when the home shard's pending queue
+    /// is at the policy bound (checked before the affinity counters are
+    /// stamped, so a refused request leaves no trace in the stats).
     pub fn submit(
         &mut self,
         desc: GemmDesc,
         a: Matrix<i8>,
         b: Matrix<i8>,
     ) -> Result<Ticket, EngineError> {
-        let s = self.route(&desc);
+        let Some(s) = self.route_healthy(&desc) else {
+            Self::shape_check(&desc, &a, &b)?;
+            let global = self.next_ticket;
+            self.next_ticket += 1;
+            self.host_queue.push(HostParked {
+                ticket: global,
+                a,
+                b,
+            });
+            return Ok(Ticket(global));
+        };
         let shard = &mut self.shards[s];
+        if shard.engine.would_overload() {
+            let pending = shard.engine.pending_count();
+            shard.engine.stats_mut().overload_rejections += 1;
+            return Err(EngineError::Overloaded {
+                pending,
+                bound: shard.engine.queue_bound().unwrap_or(0),
+            });
+        }
         Self::stamp_affinity(shard, &desc);
         let local = shard.engine.submit(desc, a, b)?;
         let global = self.next_ticket;
@@ -311,22 +584,94 @@ impl GpuPool {
         Ok(Ticket(global))
     }
 
-    /// Requests submitted but not yet drained, across all shards.
+    /// Requests submitted but not yet drained, across all shards (plus
+    /// any parked for the host path).
     pub fn pending_count(&self) -> usize {
-        self.shards.iter().map(|s| s.engine.pending_count()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.engine.pending_count())
+            .sum::<usize>()
+            + self.host_queue.len()
     }
 
-    /// Drains every shard and returns all completions in global ticket
+    /// Drains every shard **in parallel** — one scoped thread per shard
+    /// with pending work — and returns all completions in global ticket
     /// order, each stamped with its global ticket.
+    ///
+    /// Parallelism is sound because shards share nothing: each thread
+    /// owns one `(Gpu, Engine)` pair exclusively for the duration
+    /// (`std::thread::scope` proves it borrow-wise), and each shard's
+    /// completion stream is already deterministic in isolation. The
+    /// global merge sorts by ticket, so interleaving across shards is
+    /// fixed by submission order, not thread scheduling — completions
+    /// (and per-shard stats) are bit-identical to [`GpuPool::drain_serial`].
+    ///
+    /// A [`HealthPolicy::drain_deadline`] watchdog charges a deadline
+    /// miss to any shard whose drain overruns the budget; the miss
+    /// affects *future* routing only, never this drain's payloads.
     pub fn drain(&mut self) -> Vec<Completion> {
+        self.pool_stats.parallel_drains += 1;
+        self.drain_inner(true)
+    }
+
+    /// [`GpuPool::drain`] with the shards drained one after another on
+    /// the calling thread — the differential oracle for the parallel
+    /// path (and the fallback for single-threaded hosts).
+    pub fn drain_serial(&mut self) -> Vec<Completion> {
+        self.pool_stats.serial_drains += 1;
+        self.drain_inner(false)
+    }
+
+    fn drain_inner(&mut self, parallel: bool) -> Vec<Completion> {
         // Invert the route map: (shard, local) -> global.
         let mut back: HashMap<(usize, Ticket), u64> = HashMap::new();
         for (&global, &(s, local)) in &self.routes {
             back.insert((s, local), global);
         }
+
+        let deadline = self.policy.drain_deadline;
+        // Each element: (shard index, completions, missed_deadline).
+        let mut per_shard: Vec<(usize, Vec<Completion>, bool)> = Vec::new();
+        if parallel {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (s, shard) in self.shards.iter_mut().enumerate() {
+                    if shard.engine.pending_count() == 0 {
+                        continue;
+                    }
+                    handles.push(scope.spawn(move || {
+                        let t0 = std::time::Instant::now();
+                        let done = shard.engine.drain(&mut shard.gpu);
+                        let missed = deadline.is_some_and(|d| t0.elapsed() > d);
+                        (s, done, missed)
+                    }));
+                }
+                for h in handles {
+                    match h.join() {
+                        Ok(r) => per_shard.push(r),
+                        Err(p) => std::panic::resume_unwind(p),
+                    }
+                }
+            });
+        } else {
+            for (s, shard) in self.shards.iter_mut().enumerate() {
+                if shard.engine.pending_count() == 0 {
+                    continue;
+                }
+                let t0 = std::time::Instant::now();
+                let done = shard.engine.drain(&mut shard.gpu);
+                let missed = deadline.is_some_and(|d| t0.elapsed() > d);
+                per_shard.push((s, done, missed));
+            }
+        }
+
         let mut all = Vec::new();
-        for (s, shard) in self.shards.iter_mut().enumerate() {
-            for mut c in shard.engine.drain(&mut shard.gpu) {
+        for (s, done, missed) in per_shard {
+            if missed {
+                self.shards[s].deadline_misses += 1;
+                self.pool_stats.deadline_misses += 1;
+            }
+            for mut c in done {
                 if let Some(&global) = back.get(&(s, c.ticket)) {
                     self.routes.remove(&global);
                     c.ticket = Ticket(global);
@@ -334,13 +679,179 @@ impl GpuPool {
                 }
             }
         }
+
+        // Health transitions after the drain settles; an eviction here
+        // fails the (now empty) shard's plans over for future traffic.
+        for s in 0..self.shards.len() {
+            self.refresh_health(s);
+        }
+
+        // Answer anything parked for the host path, in ticket order.
+        for parked in std::mem::take(&mut self.host_queue) {
+            let outcome = self.host_answer(&parked.a, &parked.b);
+            all.push(Completion {
+                ticket: Ticket(parked.ticket),
+                result: Ok(outcome),
+            });
+        }
+
         all.sort_by_key(|c| c.ticket);
         all
+    }
+
+    /// Re-evaluates one shard's health from its cumulative counters.
+    /// Transitions are monotonic (`Healthy → Degraded → Evicted`); an
+    /// upgrade to `Evicted` triggers plan + ticket failover.
+    fn refresh_health(&mut self, s: usize) {
+        if self.shards[s].health == HealthState::Evicted {
+            return;
+        }
+        let p = self.policy;
+        let shard = &self.shards[s];
+        let quarantined = shard.engine.quarantined_count() as u64;
+        let computed = if quarantined >= p.evict_after_quarantines
+            || shard.deadline_misses >= p.evict_after_deadline_misses
+        {
+            HealthState::Evicted
+        } else if shard.engine.stats().faults_detected >= p.degrade_after_faults {
+            HealthState::Degraded
+        } else {
+            HealthState::Healthy
+        };
+        let next = self.shards[s].health.max(computed);
+        if next == HealthState::Evicted {
+            self.transition_to_evicted(s);
+        } else {
+            self.shards[s].health = next;
+        }
+    }
+
+    /// Forces a shard out of rotation (operator eviction / chaos
+    /// testing), failing its plans and queued tickets over to the
+    /// healthy shards. Idempotent.
+    pub fn evict_device(&mut self, device: usize) {
+        if self.shards[device].health != HealthState::Evicted {
+            self.transition_to_evicted(device);
+        }
+    }
+
+    fn transition_to_evicted(&mut self, s: usize) {
+        self.shards[s].health = HealthState::Evicted;
+        self.pool_stats.evictions += 1;
+        self.failover(s);
+    }
+
+    /// Re-homes an evicted shard's state onto the survivors:
+    ///
+    /// 1. **Plans** — the dead shard's exported blob is split and each
+    ///    entry routed to its desc's new healthy home, re-validated
+    ///    fail-closed there (quarantined or checksum-damaged entries
+    ///    never left the export, so only provably servable plans move).
+    /// 2. **Queued tickets** — pending requests re-submit (in local
+    ///    ticket order) to their new homes, keeping their *global*
+    ///    tickets, so the merged completion stream is still exactly
+    ///    submission-ordered. A request whose plan cannot be re-prepared
+    ///    anywhere parks on the host queue — no request is ever dropped.
+    fn failover(&mut self, dead: usize) {
+        // 1. Plans.
+        let blob = self.shards[dead].engine.export_plans();
+        if let Ok(entries) = crate::persist::split_entries(&blob) {
+            let mut per_shard: Vec<Vec<&[u8]>> =
+                (0..self.shards.len()).map(|_| Vec::new()).collect();
+            for entry in entries {
+                if let Some(target) = crate::persist::entry_desc(entry)
+                    .and_then(|d| self.route_healthy(&d))
+                {
+                    per_shard[target].push(entry);
+                }
+            }
+            for (target, entries) in per_shard.iter().enumerate() {
+                if entries.is_empty() {
+                    continue;
+                }
+                let blob = crate::persist::join_entries(entries);
+                if let Ok(summary) = self.shards[target].engine.import_plans(&blob) {
+                    self.pool_stats.plans_failed_over += summary.imported;
+                }
+            }
+        }
+
+        // 2. Queued tickets.
+        let mut queued = self.shards[dead].engine.take_pending();
+        queued.sort_by_key(|req| req.ticket);
+        // Local ticket -> global ticket for the dead shard.
+        let mut local_to_global: HashMap<u64, u64> = HashMap::new();
+        for (&global, &(s, local)) in &self.routes {
+            if s == dead {
+                local_to_global.insert(local.0, global);
+            }
+        }
+        for req in queued {
+            let Some(&global) = local_to_global.get(&req.ticket) else {
+                continue;
+            };
+            self.routes.remove(&global);
+            self.pool_stats.tickets_failed_over += 1;
+            let desc = self.shards[dead].engine.plan(req.plan).map(|p| p.desc);
+            let rehomed = desc.and_then(|d| {
+                let target = self.route_healthy(&d)?;
+                let shard = &mut self.shards[target];
+                Self::stamp_affinity(shard, &d);
+                // Failed-over work was admitted once; it bypasses the
+                // target's admission bound. Operands are cloned so a
+                // refused re-prepare can still fall back to the host.
+                shard
+                    .engine
+                    .submit_unchecked(d, req.a.clone(), req.b.clone())
+                    .ok()
+                    .map(|local| (target, local))
+            });
+            match rehomed {
+                Some((target, local)) => {
+                    self.routes.insert(global, (target, local));
+                }
+                None => self.host_queue.push(HostParked {
+                    ticket: global,
+                    a: req.a,
+                    b: req.b,
+                }),
+            }
+        }
+    }
+
+    /// One shard's health state.
+    pub fn health(&self, device: usize) -> HealthState {
+        self.shards[device].health
+    }
+
+    /// Pool-level counters (evictions, failover, host answers, drains).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool_stats
     }
 
     /// Per-device engine counters, indexed by shard.
     pub fn device_stats(&self) -> Vec<EngineStats> {
         self.shards.iter().map(|s| s.engine.stats()).collect()
+    }
+
+    /// Per-device serving status: health state, engine counters,
+    /// quarantine and fault observations — the `figures --plan-stats`
+    /// health columns read from here.
+    pub fn device_status(&self) -> Vec<DeviceStatus> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| DeviceStatus {
+                device: i,
+                health: s.health,
+                stats: s.engine.stats(),
+                quarantined_plans: s.engine.quarantined_count(),
+                deadline_misses: s.deadline_misses,
+                pending: s.engine.pending_count(),
+                last_launch_faults: s.gpu.last_launch_faults(),
+                faults_injected_total: s.gpu.faults_injected_total(),
+            })
+            .collect()
     }
 
     /// Pool-wide counters: the field-wise sum over devices.
@@ -363,6 +874,7 @@ impl GpuPool {
             total.plans_rejected += s.plans_rejected;
             total.affinity_hits += s.affinity_hits;
             total.affinity_misses += s.affinity_misses;
+            total.overload_rejections += s.overload_rejections;
         }
         total
     }
@@ -392,19 +904,20 @@ impl GpuPool {
 
     /// Imports a plan blob, routing each entry to its desc's home shard
     /// — a warm pool boots exactly like N warm engines. Entries whose
-    /// desc cannot be decoded (corruption) go to shard 0, whose import
-    /// rejects and counts them; fail-closed semantics are per entry,
-    /// identical to [`Engine::import_plans`].
+    /// desc cannot be decoded (corruption) go to the first non-evicted
+    /// shard, whose import rejects and counts them; fail-closed
+    /// semantics are per entry, identical to [`Engine::import_plans`].
     ///
     /// # Errors
     /// [`PersistError`] when the blob structure itself is unusable.
     pub fn import_plans(&mut self, bytes: &[u8]) -> Result<ImportSummary, PersistError> {
         let entries = crate::persist::split_entries(bytes)?;
+        let reject_home = self.healthy_indices().first().copied().unwrap_or(0);
         let mut per_shard: Vec<Vec<&[u8]>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
         for entry in entries {
             let shard = crate::persist::entry_desc(entry)
                 .map(|d| self.route(&d))
-                .unwrap_or(0);
+                .unwrap_or(reject_home);
             per_shard[shard].push(entry);
         }
         let mut total = ImportSummary::default();

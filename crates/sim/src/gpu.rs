@@ -75,6 +75,13 @@ pub struct Gpu {
     pub mem: GlobalMem,
     memsys: MemSystem,
     sms: Vec<Sm>,
+    /// Faults injected during the most recent launch — retained even
+    /// when the launch failed (the error path discards its
+    /// [`KernelStats`], but fault-domain health tracking still needs the
+    /// observation). Zero with injection disabled.
+    last_launch_faults: u64,
+    /// Cumulative injected faults across every launch on this device.
+    faults_injected_total: u64,
 }
 
 impl Gpu {
@@ -87,6 +94,8 @@ impl Gpu {
             mem: GlobalMem::new(mem_bytes),
             memsys,
             sms,
+            last_launch_faults: 0,
+            faults_injected_total: 0,
         }
     }
 
@@ -161,9 +170,20 @@ impl Gpu {
             Ok(()) => {
                 stats.dram_bytes = self.memsys.dram_bytes;
                 stats.l2_hit_bytes = self.memsys.l2_hit_bytes;
+                self.last_launch_faults = stats.faults_injected;
+                self.faults_injected_total += stats.faults_injected;
                 Ok(stats)
             }
             Err(e) => {
+                // Surface this launch's injections before the reset wipes
+                // them: the two-phase loops only merge SM-local counters
+                // on success, so drain them by hand here.
+                let mut injected = stats.faults_injected;
+                for sm in &mut self.sms {
+                    injected += sm.take_faults_injected();
+                }
+                self.last_launch_faults = injected;
+                self.faults_injected_total += injected;
                 // Evict all resident state so the GPU is reusable: the
                 // normal path drains residency to zero by itself, the
                 // error path must force it.
@@ -174,6 +194,20 @@ impl Gpu {
                 Err(e)
             }
         }
+    }
+
+    /// Faults injected during the most recent launch, observable even
+    /// for a launch that failed (whose [`KernelStats`] were discarded).
+    /// A hung-warp injection counts here even though the launch it kills
+    /// only ever reports [`LaunchError::Timeout`].
+    pub fn last_launch_faults(&self) -> u64 {
+        self.last_launch_faults
+    }
+
+    /// Cumulative injected faults across every launch on this device —
+    /// the per-device fault-pressure signal behind pool health tracking.
+    pub fn faults_injected_total(&self) -> u64 {
+        self.faults_injected_total
     }
 
     /// Dispatches to the configured cycle loop.
@@ -271,6 +305,7 @@ impl Gpu {
             mem,
             memsys,
             sms,
+            ..
         } = self;
         let mut next_block: u32 = 0;
         let mut done: u32 = 0;
@@ -342,6 +377,7 @@ impl Gpu {
             mem,
             memsys,
             sms,
+            ..
         } = self;
         let units: Vec<Mutex<&mut Sm>> = sms.iter_mut().map(Mutex::new).collect();
         let gmem = RwLock::new(&mut *mem);

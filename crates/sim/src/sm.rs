@@ -645,6 +645,12 @@ impl Sm {
         stats.accumulate(&own);
     }
 
+    /// Drains this SM's unmerged injected-fault count (the launch error
+    /// path, where [`Sm::merge_stats_into`] never runs).
+    pub(crate) fn take_faults_injected(&mut self) -> u64 {
+        std::mem::take(&mut self.stats.faults_injected)
+    }
+
     /// One cycle of scheduling and issue against `mem`.
     fn step_inner(
         &mut self,

@@ -1,0 +1,230 @@
+//! Persistence fuzz: `import_plans` must be fail-closed at *every* byte
+//! of a blob — truncation at each boundary, a bit flip at each offset,
+//! and spliced/duplicated entries. No input may panic the importer; no
+//! damaged entry may be silently accepted; every rejection must leave
+//! the engine fully able to serve via live prepare.
+
+use vitbit::exec::{ExecConfig, Strategy};
+use vitbit::plan::{Engine, GemmDesc, GpuPool, PersistError};
+use vitbit::sim::{Gpu, OrinConfig, SimMode};
+use vitbit::tensor::{gen, Matrix};
+
+fn machine() -> OrinConfig {
+    let mut cfg = OrinConfig::test_small();
+    cfg.sim_mode = SimMode::Serial;
+    cfg
+}
+
+fn gpu() -> Gpu {
+    Gpu::new(machine(), 64 << 20)
+}
+
+/// A warm corpus: descs, their export blob, one operand pair, and the
+/// reference outputs.
+struct Warm {
+    descs: Vec<GemmDesc>,
+    blob: Vec<u8>,
+    a: Matrix<i8>,
+    b: Matrix<i8>,
+    outs: Vec<Matrix<i32>>,
+}
+
+/// A warm engine with one activation plan per strategy family, its
+/// export blob, and reference outputs for one operand pair.
+fn warm() -> Warm {
+    let g = gpu();
+    let mut cfg = ExecConfig::guarded(6);
+    cfg.adaptive = false;
+    let descs: Vec<GemmDesc> = [Strategy::Tc, Strategy::Tacker, Strategy::VitBit]
+        .iter()
+        .map(|&s| GemmDesc::from_exec(s, &cfg, &g, 16, 32, 320, None))
+        .collect();
+    let a = gen::uniform_i8(16, 32, -32, 31, 4100);
+    let b = gen::uniform_i8(32, 320, -32, 31, 4200);
+    let mut e = Engine::new();
+    let mut gw = gpu();
+    let outs: Vec<Matrix<i32>> = descs
+        .iter()
+        .map(|&d| {
+            let id = e.prepare(d).expect("warm prepare");
+            e.execute(&mut gw, id, &a, &b).expect("warm execute").c
+        })
+        .collect();
+    let blob = e.export_plans();
+    Warm {
+        descs,
+        blob,
+        a,
+        b,
+        outs,
+    }
+}
+
+/// After any import outcome, the engine must still serve every desc
+/// correctly — rejected entries fall back to live prepare.
+fn assert_serves(e: &mut Engine, descs: &[GemmDesc], a: &Matrix<i8>, b: &Matrix<i8>, want: &[Matrix<i32>], tag: &str) {
+    let mut g = gpu();
+    for (&d, w) in descs.iter().zip(want) {
+        let id = e.prepare(d).unwrap_or_else(|err| panic!("{tag}: prepare after import: {err}"));
+        let got = e
+            .execute(&mut g, id, a, b)
+            .unwrap_or_else(|err| panic!("{tag}: execute after import: {err}"));
+        assert_eq!(got.c, *w, "{tag}: payload after fail-closed import");
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_fails_closed() {
+    let Warm { descs, blob, a, b, outs } = warm();
+    let n = descs.len() as u64;
+    for cut in 0..blob.len() {
+        let damaged = &blob[..cut];
+        let mut e = Engine::new();
+        let res = e.import_plans(damaged);
+        // The header promises more entries than a strict prefix can
+        // deliver, so every proper truncation is a structural error
+        // (entries admitted before the cut stay admitted — fail-closed
+        // is per entry).
+        let err = res.expect_err(&format!("cut at {cut} of {} must error", blob.len()));
+        assert!(
+            matches!(err, PersistError::BadMagic | PersistError::Truncated),
+            "cut at {cut}: unexpected {err:?}"
+        );
+        assert!(e.stats().plans_imported < n, "cut at {cut}: a strict prefix never imports all");
+        // Spot-check serving on a handful of cut points (full serving at
+        // every byte would dominate the suite's runtime).
+        if cut % 29 == 0 {
+            assert_serves(&mut e, &descs, &a, &b, &outs, &format!("cut {cut}"));
+        }
+    }
+    // The untruncated blob is the control: it must import whole.
+    let mut e = Engine::new();
+    let summary = e.import_plans(&blob).expect("intact blob");
+    assert_eq!(summary.imported, n);
+    assert_eq!(summary.rejected, 0);
+}
+
+#[test]
+fn single_bit_flip_at_every_byte_is_never_silently_accepted() {
+    let Warm { descs, blob, a, b, outs } = warm();
+    let n = descs.len() as u64;
+    for pos in 0..blob.len() {
+        let mut damaged = blob.clone();
+        damaged[pos] ^= 1 << (pos % 8);
+        let mut e = Engine::new();
+        let res = e.import_plans(&damaged);
+        match pos {
+            0..=3 => {
+                assert_eq!(res, Err(PersistError::BadMagic), "magic flip at {pos}");
+            }
+            4..=7 => {
+                assert!(
+                    matches!(res, Err(PersistError::BadVersion(_))),
+                    "version flip at {pos}: {res:?}"
+                );
+            }
+            _ => {
+                // A count flip shrinks or overruns the entry walk; an
+                // entry flip breaks that entry's checksum (or its
+                // framing). Either way the import must NOT look like a
+                // clean full import.
+                let clean_looking = matches!(
+                    res,
+                    Ok(s) if s.imported == n && s.rejected == 0 && s.already_resident == 0
+                );
+                assert!(
+                    !clean_looking,
+                    "flip at {pos}: damaged blob imported as if intact: {res:?}"
+                );
+            }
+        }
+        if pos % 23 == 0 {
+            assert_serves(&mut e, &descs, &a, &b, &outs, &format!("flip {pos}"));
+        }
+    }
+}
+
+#[test]
+fn duplicate_entries_within_a_blob_are_rejected() {
+    let Warm { descs, blob, a, b, outs } = warm();
+    // Splice the first entry in twice: a well-formed export never
+    // repeats a desc, so the replayed entry must be rejected — not
+    // silently merged, not double-imported.
+    let payload = &blob[12..];
+    let doubled = {
+        let mut out = Vec::new();
+        out.extend_from_slice(&blob[..8]);
+        out.extend_from_slice(&(descs.len() as u32 + 1).to_le_bytes());
+        // First entry duplicated at the end.
+        out.extend_from_slice(payload);
+        let len = u32::from_le_bytes(blob[12..16].try_into().expect("len field")) as usize;
+        out.extend_from_slice(&blob[12..12 + 12 + len]);
+        out
+    };
+    let mut e = Engine::new();
+    let summary = e.import_plans(&doubled).expect("frame parses");
+    assert_eq!(summary.imported, descs.len() as u64, "originals import");
+    assert_eq!(summary.rejected, 1, "the replayed duplicate is rejected");
+    assert_eq!(e.stats().plans_rejected, 1);
+    assert_serves(&mut e, &descs, &a, &b, &outs, "duplicate splice");
+
+    // Same replay against a pool: the duplicate routes to the same
+    // shard as its original (routing is a pure function of the desc)
+    // and is rejected there.
+    let mut pool = GpuPool::new(2, &machine(), 64 << 20);
+    let summary = pool.import_plans(&doubled).expect("pool frame parses");
+    assert_eq!(summary.imported, descs.len() as u64);
+    assert_eq!(summary.rejected, 1);
+}
+
+#[test]
+fn splicing_two_exports_with_distinct_descs_is_legitimate() {
+    // The pool's own export concatenates per-shard entries, so a splice
+    // of *distinct* descs must import cleanly — rejection is reserved
+    // for damage and replays.
+    let g = gpu();
+    let mut cfg = ExecConfig::guarded(6);
+    cfg.adaptive = false;
+    let d1 = GemmDesc::from_exec(Strategy::Tc, &cfg, &g, 16, 32, 128, None);
+    let d2 = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, 16, 32, 320, None);
+    let mut e1 = Engine::new();
+    e1.prepare(d1).expect("prepare d1");
+    let mut e2 = Engine::new();
+    e2.prepare(d2).expect("prepare d2");
+    let (b1, b2) = (e1.export_plans(), e2.export_plans());
+    let spliced = {
+        let mut out = Vec::new();
+        out.extend_from_slice(&b1[..8]);
+        out.extend_from_slice(&2u32.to_le_bytes());
+        out.extend_from_slice(&b1[12..]);
+        out.extend_from_slice(&b2[12..]);
+        out
+    };
+    let mut e = Engine::new();
+    let summary = e.import_plans(&spliced).expect("spliced frame parses");
+    assert_eq!(summary.imported, 2);
+    assert_eq!(summary.rejected, 0);
+}
+
+#[test]
+fn truncated_header_and_empty_inputs_error_cleanly() {
+    for bytes in [&[][..], &b"VB"[..], &b"VBPC"[..], &b"VBPC\x01\x00\x00\x00"[..]] {
+        let mut e = Engine::new();
+        let res = e.import_plans(bytes);
+        assert!(res.is_err(), "{bytes:?} must be refused");
+    }
+    // Wrong version fails wholesale, right version with zero entries is
+    // a valid empty blob.
+    let mut wrong = Vec::new();
+    wrong.extend_from_slice(b"VBPC");
+    wrong.extend_from_slice(&2u32.to_le_bytes());
+    wrong.extend_from_slice(&0u32.to_le_bytes());
+    let mut e = Engine::new();
+    assert_eq!(e.import_plans(&wrong), Err(PersistError::BadVersion(2)));
+    let mut empty = Vec::new();
+    empty.extend_from_slice(b"VBPC");
+    empty.extend_from_slice(&1u32.to_le_bytes());
+    empty.extend_from_slice(&0u32.to_le_bytes());
+    let summary = e.import_plans(&empty).expect("empty blob is valid");
+    assert_eq!(summary.imported, 0);
+}

@@ -1,0 +1,515 @@
+//! Pool-level chaos soak: the serving pool's fault-domain layer must
+//! keep its external contract — every accepted ticket completes, in
+//! global ticket order, with output payloads bit-identical to a
+//! fault-free pool — while individual devices hang, corrupt results, or
+//! are evicted outright between waves.
+//!
+//! The payload oracle is the host reference GEMM: whatever a request's
+//! path through the ladder / failover / host fallback, its `out.c` must
+//! equal `gemm_i8_i32(a, b)`, and therefore equal the fault-free pool's
+//! answer bit for bit. Engine *stats* legitimately differ on a chaotic
+//! pool (retries, fallbacks and host answers are the mechanism, not a
+//! bug) — determinism of those is covered by the replay sweep, which
+//! runs every fifth case twice and demands identical payloads *and*
+//! identical pool counters.
+
+use std::collections::BTreeMap;
+use vitbit::exec::{ExecConfig, Strategy};
+use vitbit::plan::{
+    Completion, GemmDesc, GpuPool, HealthPolicy, HealthState, PoolStats, ServePath,
+};
+use vitbit::sim::{FaultConfig, Gpu, OrinConfig, SimMode};
+use vitbit::tensor::refgemm::gemm_i8_i32;
+use vitbit::tensor::{gen, Matrix};
+
+const DEVICES: usize = 3;
+const MEM: u32 = 64 << 20;
+
+/// Base machine: small topology, cheap timeouts (hung launches cost one
+/// fast-forwarded window, not two billion simulated cycles).
+fn base_machine() -> OrinConfig {
+    let mut cfg = OrinConfig::test_small();
+    cfg.sim_mode = SimMode::Serial;
+    cfg.max_cycles = 200_000;
+    cfg.fast_forward = true;
+    cfg
+}
+
+fn quiet_fault() -> FaultConfig {
+    FaultConfig {
+        enabled: false,
+        seed: 0,
+        reg_flip_rate: 0.0,
+        dram_flip_rate: 0.0,
+        hang_rate: 0.0,
+    }
+}
+
+/// Aggressive eviction thresholds so a 6-request case exercises the
+/// whole FSM: one quarantine (ladder ran dry) takes the device out.
+fn chaos_policy() -> HealthPolicy {
+    HealthPolicy {
+        degrade_after_faults: 1,
+        evict_after_quarantines: 1,
+        evict_after_deadline_misses: u64::MAX,
+        max_pending: None,
+        drain_deadline: None,
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Scenario {
+    /// One device's launches hang (rate swept per seed) and time out.
+    Hung,
+    /// One device flips destination-register bits; ABFT catches it.
+    Corrupting,
+    /// No injected faults; the operator evicts one device between
+    /// submission waves, forcing ticket + plan failover.
+    EvictedMidStream,
+}
+
+/// Device configs for one chaos case: `faulty` gets the scenario's
+/// fault stream, everyone else is clean.
+fn chaos_devices(scenario: Scenario, seed: u64, faulty: usize) -> Vec<OrinConfig> {
+    (0..DEVICES)
+        .map(|i| {
+            let mut cfg = base_machine();
+            cfg.fault = quiet_fault();
+            if i == faulty {
+                match scenario {
+                    Scenario::Hung => {
+                        cfg.fault = FaultConfig {
+                            enabled: true,
+                            seed,
+                            reg_flip_rate: 0.0,
+                            dram_flip_rate: 0.0,
+                            hang_rate: [1.0, 0.25, 0.05][(seed % 3) as usize],
+                        };
+                    }
+                    Scenario::Corrupting => {
+                        cfg.fault = FaultConfig {
+                            enabled: true,
+                            seed,
+                            reg_flip_rate: [2e-2, 5e-3, 1e-3][(seed % 3) as usize],
+                            dram_flip_rate: [0.0, 1e-4, 0.0][(seed % 3) as usize],
+                            hang_rate: 0.0,
+                        };
+                    }
+                    Scenario::EvictedMidStream => {}
+                }
+            }
+            cfg
+        })
+        .collect()
+}
+
+/// The request stream for one case: two descs (one weight GEMM, one
+/// activation GEMM so async pre-staging runs too), three operand pairs
+/// each, ABFT on — corrupted results must be *detected*, never served.
+fn stream(seed: u64) -> Vec<(GemmDesc, Matrix<i8>, Matrix<i8>)> {
+    let probe = Gpu::new(base_machine(), MEM);
+    let mut cfg = ExecConfig::guarded(6);
+    cfg.adaptive = false;
+    cfg.abft = true;
+    let descs = [
+        GemmDesc::from_exec(Strategy::Tc, &cfg, &probe, 16, 32, 128, Some(1)),
+        GemmDesc::from_exec(Strategy::VitBit, &cfg, &probe, 16, 32, 320, None),
+    ];
+    let mut out = Vec::new();
+    for i in 0..3u64 {
+        for d in descs {
+            let a = gen::uniform_i8(d.m, d.k, -32, 31, 9000 + seed * 31 + i);
+            let b = gen::uniform_i8(d.k, d.n, -32, 31, 9100 + seed * 31 + i);
+            out.push((d, a, b));
+        }
+    }
+    out
+}
+
+/// Runs one pool over the case's stream in two submit/drain waves,
+/// optionally evicting `evict` between them. Returns the completions in
+/// drain order plus the pool's final counters.
+fn soak(
+    mut pool: GpuPool,
+    reqs: &[(GemmDesc, Matrix<i8>, Matrix<i8>)],
+    evict: Option<usize>,
+) -> (Vec<Completion>, PoolStats) {
+    let mid = reqs.len() / 2;
+    let mut done = Vec::new();
+    let mut tickets = Vec::new();
+    for (d, a, b) in &reqs[..mid] {
+        tickets.push(pool.submit(*d, a.clone(), b.clone()).expect("submit"));
+    }
+    done.extend(pool.drain());
+    if let Some(dev) = evict {
+        pool.evict_device(dev);
+        assert_eq!(pool.health(dev), HealthState::Evicted);
+    }
+    for (d, a, b) in &reqs[mid..] {
+        tickets.push(pool.submit(*d, a.clone(), b.clone()).expect("submit"));
+    }
+    done.extend(pool.drain());
+    // Contract 1: no accepted ticket is ever dropped, none invented.
+    let got: Vec<_> = done.iter().map(|c| c.ticket).collect();
+    let mut want = tickets.clone();
+    want.sort();
+    let mut got_sorted = got.clone();
+    got_sorted.sort();
+    assert_eq!(got_sorted, want, "every accepted ticket completes exactly once");
+    // Contract 2: completions arrive in global ticket order (each drain
+    // sorts, and the waves submit in ticket order).
+    for w in done.windows(2) {
+        assert!(w[0].ticket < w[1].ticket, "global ticket order");
+    }
+    (done, pool.pool_stats())
+}
+
+/// The home shard of one of the stream's descs in a whole pool —
+/// chaos cases aim their fault at a shard that actually sees traffic.
+fn traffic_home(reqs: &[(GemmDesc, Matrix<i8>, Matrix<i8>)], which: usize) -> usize {
+    let probe_cfgs: Vec<OrinConfig> = (0..DEVICES).map(|_| base_machine()).collect();
+    let probe = GpuPool::with_devices(&probe_cfgs, MEM);
+    probe.route(&reqs[which % reqs.len()].0)
+}
+
+fn run_case(scenario: Scenario, seed: u64) -> (Vec<Completion>, PoolStats) {
+    let reqs = stream(seed);
+    let faulty = traffic_home(&reqs, seed as usize % 2);
+    let chaos = GpuPool::with_devices(&chaos_devices(scenario, seed, faulty), MEM)
+        .with_health_policy(chaos_policy());
+    let evict = (scenario == Scenario::EvictedMidStream).then_some(faulty);
+    soak(chaos, &reqs, evict)
+}
+
+#[test]
+fn chaos_soak_payloads_match_fault_free_pool_across_seeds() {
+    for scenario in [
+        Scenario::Hung,
+        Scenario::Corrupting,
+        Scenario::EvictedMidStream,
+    ] {
+        for seed in 0..20u64 {
+            let reqs = stream(seed);
+            // The oracle pool: identical topology, no faults, no
+            // eviction — plus the host-reference product per request.
+            let clean_cfgs: Vec<OrinConfig> = (0..DEVICES)
+                .map(|_| {
+                    let mut c = base_machine();
+                    c.fault = quiet_fault();
+                    c
+                })
+                .collect();
+            let clean = GpuPool::with_devices(&clean_cfgs, MEM).with_health_policy(chaos_policy());
+            let (clean_done, clean_stats) = soak(clean, &reqs, None);
+            assert_eq!(clean_stats.evictions, 0, "the oracle pool stays whole");
+
+            let (chaos_done, _) = run_case(scenario, seed);
+            assert_eq!(chaos_done.len(), clean_done.len());
+            let by_ticket: BTreeMap<u64, &Completion> =
+                clean_done.iter().map(|c| (c.ticket.id(), c)).collect();
+            for (i, c) in chaos_done.iter().enumerate() {
+                let tag = format!("{scenario:?} seed {seed} req {i}");
+                let out = c.result.as_ref().expect(&tag);
+                let want = by_ticket[&c.ticket.id()].result.as_ref().expect(&tag);
+                assert_eq!(out.out.c, want.out.c, "{tag}: payload vs fault-free pool");
+                let (d, a, b) = &reqs[c.ticket.id() as usize];
+                assert_eq!(out.out.c, gemm_i8_i32(a, b), "{tag}: payload vs host oracle");
+                assert_eq!(
+                    (out.out.c.rows(), out.out.c.cols()),
+                    (d.m, d.n),
+                    "{tag}: shape"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_cases_replay_identically() {
+    // Every fifth case runs twice: the fault-domain layer (health FSM,
+    // failover, host fallback) must be a deterministic function of the
+    // seeded fault stream — payloads, ladder trails and pool counters.
+    for scenario in [Scenario::Hung, Scenario::Corrupting] {
+        for seed in (0..20u64).step_by(5) {
+            let (first, stats1) = run_case(scenario, seed);
+            let (second, stats2) = run_case(scenario, seed);
+            assert_eq!(stats1, stats2, "{scenario:?} seed {seed}: pool counters");
+            assert_eq!(first.len(), second.len());
+            for (x, y) in first.iter().zip(&second) {
+                assert_eq!(x.ticket, y.ticket);
+                let (ox, oy) = (
+                    x.result.as_ref().expect("first"),
+                    y.result.as_ref().expect("second"),
+                );
+                assert_eq!(ox.out.c, oy.out.c, "{scenario:?} seed {seed}: payload");
+                assert_eq!(ox.out.stats, oy.out.stats, "{scenario:?} seed {seed}: stats");
+                assert_eq!(ox.served, oy.served);
+                assert_eq!(ox.faults, oy.faults);
+                assert_eq!(ox.retries, oy.retries);
+            }
+        }
+    }
+}
+
+#[test]
+fn pool_with_evicted_shard_matches_fresh_pool_of_survivors() {
+    // The failover-determinism contract: a pool that evicted shard `e`
+    // before any traffic routes exactly like a fresh pool of the
+    // surviving devices — completions (payloads *and* stats) and
+    // per-shard engine counters are bit-identical.
+    let reqs = stream(77);
+    for evicted in 0..DEVICES {
+        let cfgs: Vec<OrinConfig> = (0..DEVICES).map(|_| base_machine()).collect();
+        let mut pool_a = GpuPool::with_devices(&cfgs, MEM);
+        pool_a.evict_device(evicted);
+
+        let survivor_cfgs: Vec<OrinConfig> = (0..DEVICES - 1).map(|_| base_machine()).collect();
+        let mut pool_b = GpuPool::with_devices(&survivor_cfgs, MEM);
+
+        for (d, a, b) in &reqs {
+            pool_a.submit(*d, a.clone(), b.clone()).expect("A submit");
+            pool_b.submit(*d, a.clone(), b.clone()).expect("B submit");
+        }
+        let done_a = pool_a.drain();
+        let done_b = pool_b.drain();
+        assert_eq!(done_a.len(), done_b.len());
+        for (x, y) in done_a.iter().zip(&done_b) {
+            assert_eq!(x.ticket, y.ticket, "evicted={evicted}: same global stream");
+            let (ox, oy) = (x.result.as_ref().expect("A"), y.result.as_ref().expect("B"));
+            assert_eq!(ox.out.c, oy.out.c, "evicted={evicted}: payload");
+            assert_eq!(ox.out.stats, oy.out.stats, "evicted={evicted}: launch stats");
+        }
+        // Shard healthy[i] of A carried exactly shard i of B's stream.
+        let stats_a = pool_a.device_stats();
+        let stats_b = pool_b.device_stats();
+        let healthy: Vec<usize> = (0..DEVICES).filter(|&i| i != evicted).collect();
+        for (bi, &ai) in healthy.iter().enumerate() {
+            assert_eq!(
+                stats_a[ai], stats_b[bi],
+                "evicted={evicted}: shard {ai} vs fresh shard {bi}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_drain_is_bit_identical_to_serial_drain() {
+    let reqs = stream(31);
+    let cfgs: Vec<OrinConfig> = (0..DEVICES).map(|_| base_machine()).collect();
+    let mut par = GpuPool::with_devices(&cfgs, MEM);
+    let mut ser = GpuPool::with_devices(&cfgs, MEM);
+    for (d, a, b) in &reqs {
+        par.submit(*d, a.clone(), b.clone()).expect("submit");
+        ser.submit(*d, a.clone(), b.clone()).expect("submit");
+    }
+    let done_par = par.drain();
+    let done_ser = ser.drain_serial();
+    assert_eq!(done_par.len(), done_ser.len());
+    for (x, y) in done_par.iter().zip(&done_ser) {
+        assert_eq!(x.ticket, y.ticket);
+        let (ox, oy) = (
+            x.result.as_ref().expect("parallel"),
+            y.result.as_ref().expect("serial"),
+        );
+        assert_eq!(ox.out.c, oy.out.c, "parallel vs serial payload");
+        assert_eq!(ox.out.stats, oy.out.stats, "parallel vs serial stats");
+    }
+    assert_eq!(
+        par.device_stats(),
+        ser.device_stats(),
+        "per-shard engine counters are scheduling-invariant"
+    );
+    assert_eq!(par.pool_stats().parallel_drains, 1);
+    assert_eq!(ser.pool_stats().serial_drains, 1);
+}
+
+#[test]
+fn health_fsm_degrades_on_faults_and_evicts_on_quarantine() {
+    let seed = 1u64;
+    let reqs = stream(seed);
+    let faulty = traffic_home(&reqs, 0);
+    let cfgs = chaos_devices(Scenario::Hung, seed, faulty); // hang_rate 0.25
+    let mut pool = GpuPool::with_devices(&cfgs, MEM).with_health_policy(HealthPolicy {
+        degrade_after_faults: 1,
+        evict_after_quarantines: 1,
+        evict_after_deadline_misses: u64::MAX,
+        max_pending: None,
+        drain_deadline: None,
+    });
+    for s in 0..DEVICES {
+        assert_eq!(pool.health(s), HealthState::Healthy);
+    }
+    // Drive synchronous traffic at the faulty device until its ladder
+    // runs dry and the quarantine evicts it.
+    let mut evicted = false;
+    for _ in 0..6 {
+        for (d, a, b) in &reqs {
+            let out = pool.run(*d, a, b).expect("run");
+            assert_eq!(out.c, gemm_i8_i32(a, b), "payload stays correct throughout");
+        }
+        if pool.health(faulty) == HealthState::Evicted {
+            evicted = true;
+            break;
+        }
+    }
+    assert!(evicted, "a device that hangs at rate 0.25 must evict");
+    let status = pool.device_status();
+    assert_eq!(status[faulty].health, HealthState::Evicted);
+    assert!(status[faulty].quarantined_plans >= 1);
+    assert!(status[faulty].stats.faults_detected >= 1);
+    let ps = pool.pool_stats();
+    assert_eq!(ps.evictions, 1);
+    // Traffic keeps flowing — and no longer routes at the dead shard.
+    let healthy_exec_before: u64 = pool
+        .device_status()
+        .iter()
+        .filter(|s| s.device != faulty)
+        .map(|s| s.stats.executes)
+        .sum();
+    let dead_exec_before = pool.device_status()[faulty].stats.executes;
+    for (d, a, b) in &reqs {
+        pool.run(*d, a, b).expect("run after eviction");
+    }
+    assert_eq!(
+        pool.device_status()[faulty].stats.executes,
+        dead_exec_before,
+        "an evicted shard receives no further traffic"
+    );
+    assert!(
+        pool.device_status()
+            .iter()
+            .filter(|s| s.device != faulty)
+            .map(|s| s.stats.executes)
+            .sum::<u64>()
+            > healthy_exec_before
+    );
+}
+
+#[test]
+fn ticket_failover_rehomes_queued_requests_and_drops_nothing() {
+    let reqs = stream(5);
+    let cfgs: Vec<OrinConfig> = (0..DEVICES).map(|_| base_machine()).collect();
+    let mut pool = GpuPool::with_devices(&cfgs, MEM);
+    let mut tickets = Vec::new();
+    for (d, a, b) in &reqs {
+        tickets.push(pool.submit(*d, a.clone(), b.clone()).expect("submit"));
+    }
+    // Evict the shard holding the first request while it is queued.
+    let victim = pool.route(&reqs[0].0);
+    pool.evict_device(victim);
+    let ps = pool.pool_stats();
+    assert!(ps.tickets_failed_over > 0, "queued tickets must re-home");
+    let done = pool.drain();
+    assert_eq!(done.len(), reqs.len(), "failover drops nothing");
+    for (i, c) in done.iter().enumerate() {
+        assert_eq!(c.ticket, tickets[i], "global order survives failover");
+        let out = c.result.as_ref().expect("completion");
+        let (_, a, b) = &reqs[i];
+        assert_eq!(out.out.c, gemm_i8_i32(a, b), "request {i} payload");
+    }
+    assert_eq!(
+        pool.device_status()[victim].pending,
+        0,
+        "nothing left behind on the dead shard"
+    );
+}
+
+#[test]
+fn admission_control_refuses_at_the_bound_without_polluting_stats() {
+    let reqs = stream(9);
+    let cfgs: Vec<OrinConfig> = (0..1).map(|_| base_machine()).collect();
+    let mut pool = GpuPool::with_devices(&cfgs, MEM).with_health_policy(HealthPolicy {
+        max_pending: Some(2),
+        ..HealthPolicy::default()
+    });
+    let (d, a, b) = &reqs[0];
+    pool.submit(*d, a.clone(), b.clone()).expect("first");
+    pool.submit(*d, a.clone(), b.clone()).expect("second");
+    let before = pool.device_stats()[0];
+    let refused = pool.submit(*d, a.clone(), b.clone());
+    match refused {
+        Err(vitbit::plan::EngineError::Overloaded { pending, bound }) => {
+            assert_eq!((pending, bound), (2, 2));
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    let after = pool.device_stats()[0];
+    assert_eq!(after.overload_rejections, before.overload_rejections + 1);
+    assert_eq!(
+        after.affinity_hits + after.affinity_misses,
+        before.affinity_hits + before.affinity_misses,
+        "a refused submit stamps no affinity"
+    );
+    assert_eq!(pool.pending_count(), 2);
+    // Draining frees the queue; the same submission is welcome again.
+    let done = pool.drain();
+    assert_eq!(done.len(), 2);
+    pool.submit(*d, a.clone(), b.clone()).expect("after drain");
+}
+
+#[test]
+fn fully_evicted_pool_still_answers_from_the_host() {
+    let reqs = stream(13);
+    let cfgs: Vec<OrinConfig> = (0..2).map(|_| base_machine()).collect();
+    let mut pool = GpuPool::with_devices(&cfgs, MEM);
+    pool.evict_device(0);
+    pool.evict_device(1);
+    // Synchronous path.
+    let (d, a, b) = &reqs[0];
+    let out = pool.run(*d, a, b).expect("run on an empty pool");
+    assert_eq!(out.c, gemm_i8_i32(a, b));
+    // Async path: parks on the host queue, answers at drain.
+    let mut tickets = Vec::new();
+    for (d, a, b) in &reqs {
+        tickets.push(pool.submit(*d, a.clone(), b.clone()).expect("submit"));
+    }
+    let done = pool.drain();
+    assert_eq!(done.len(), reqs.len());
+    for (i, c) in done.iter().enumerate() {
+        assert_eq!(c.ticket, tickets[i]);
+        let o = c.result.as_ref().expect("host completion");
+        assert_eq!(o.served, ServePath::Host);
+        let (_, a, b) = &reqs[i];
+        assert_eq!(o.out.c, gemm_i8_i32(a, b), "request {i} host payload");
+    }
+    let ps = pool.pool_stats();
+    assert_eq!(ps.evictions, 2);
+    assert_eq!(ps.host_answers as usize, 1 + reqs.len());
+}
+
+#[test]
+fn drain_deadline_misses_evict_through_the_policy() {
+    let reqs = stream(21);
+    let cfgs: Vec<OrinConfig> = (0..2).map(|_| base_machine()).collect();
+    let mut pool = GpuPool::with_devices(&cfgs, MEM).with_health_policy(HealthPolicy {
+        degrade_after_faults: u64::MAX,
+        evict_after_quarantines: u64::MAX,
+        evict_after_deadline_misses: 1,
+        max_pending: None,
+        // Zero budget: any shard that drains real work misses.
+        drain_deadline: Some(std::time::Duration::ZERO),
+    });
+    for (d, a, b) in &reqs {
+        pool.submit(*d, a.clone(), b.clone()).expect("submit");
+    }
+    let done = pool.drain();
+    assert_eq!(done.len(), reqs.len(), "a missed deadline never drops work");
+    for (i, c) in done.iter().enumerate() {
+        let (_, a, b) = &reqs[i];
+        assert_eq!(
+            c.result.as_ref().expect("completion").out.c,
+            gemm_i8_i32(a, b),
+            "request {i}: deadline misses never change payloads"
+        );
+    }
+    let ps = pool.pool_stats();
+    assert!(ps.deadline_misses >= 1);
+    assert!(
+        pool.device_status().iter().any(|s| s.health == HealthState::Evicted),
+        "deadline misses feed the eviction threshold"
+    );
+    // The pool still serves (surviving shards or the host path).
+    let (d, a, b) = &reqs[0];
+    let out = pool.run(*d, a, b).expect("run after deadline evictions");
+    assert_eq!(out.c, gemm_i8_i32(a, b));
+}
