@@ -244,9 +244,12 @@ fn chaos_availability() -> Vec<ChaosAvailability> {
     };
     let cfg = ExecConfig::guarded(6);
     let mut out = Vec::new();
-    for (scenario, hang, flip) in [("hung_device", 0.25f64, 0.0f64), ("corrupting_device", 0.0, 5e-3)]
-    {
-        let (mut requests, mut completed, mut host_answers, mut evictions) = (0u64, 0u64, 0u64, 0u64);
+    for (scenario, hang, flip) in [
+        ("hung_device", 0.25f64, 0.0f64),
+        ("corrupting_device", 0.0, 5e-3),
+    ] {
+        let (mut requests, mut completed, mut host_answers, mut evictions) =
+            (0u64, 0u64, 0u64, 0u64);
         let seeds = 4u64;
         for seed in 0..seeds {
             let probe_gpu = Gpu::new(cfg_base(), 64 << 20);
@@ -271,11 +274,12 @@ fn chaos_availability() -> Vec<ChaosAvailability> {
                     c
                 })
                 .collect();
-            let mut pool = GpuPool::with_devices(&cfgs, 64 << 20).with_health_policy(HealthPolicy {
-                degrade_after_faults: 1,
-                evict_after_quarantines: 1,
-                ..HealthPolicy::default()
-            });
+            let mut pool =
+                GpuPool::with_devices(&cfgs, 64 << 20).with_health_policy(HealthPolicy {
+                    degrade_after_faults: 1,
+                    evict_after_quarantines: 1,
+                    ..HealthPolicy::default()
+                });
             for r in 0..4u64 {
                 let a = gen::uniform_i8(d.m, d.k, -32, 31, 70 + seed * 10 + r);
                 let b = gen::uniform_i8(d.k, d.n, -32, 31, 80 + seed * 10 + r);

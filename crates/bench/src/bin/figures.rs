@@ -5,7 +5,8 @@
 //!         [--sim-mode serial|parallel] [--threads N] [--fast-forward on|off]
 //!
 //! EXPERIMENTS: table1 table2 table3 study fig5 fig6 fig7 fig8 fig9 fig10
-//!              accuracy bitwidth ablation  (default: all)
+//!              accuracy bitwidth ablation sched_report  (default: all but
+//!              sched_report, which measures every strategy twice)
 //! --blocks N   simulate N encoder blocks per strategy (default 1)
 //! --full       simulate all 12 blocks (slow)
 //! --quick      reduced model dims for a fast smoke run
@@ -20,6 +21,9 @@
 //!              hit rate, replays, recoveries, quarantines per shard)
 //! --devices N  simulated GPUs in the serving pool (default 1; only the
 //!              serving measurement shards — figures never do)
+//! --sched on|off  static instruction scheduling of emitted kernels
+//!              (default off; on installs the verifier's program check so
+//!              every scheduled candidate is re-proved before adoption)
 //! ```
 
 use vitbit_bench::{experiments, HarnessOpts, VitSuite};
@@ -64,6 +68,14 @@ fn main() {
                 };
             }
             "--plan-stats" => plan_stats = true,
+            "--sched" => {
+                i += 1;
+                opts.sched = match args[i].as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => panic!("--sched on|off, got {other}"),
+                };
+            }
             "--devices" => {
                 i += 1;
                 opts.devices = args[i].parse().expect("--devices N");
@@ -108,6 +120,7 @@ fn main() {
             "fig10" => experiments::fig10(suite.as_ref().expect("suite")),
             "accuracy" => experiments::accuracy(&opts),
             "bitwidth" => experiments::bitwidth_sweep(&opts),
+            "sched_report" => experiments::sched_report(&opts),
             "ablation" => {
                 let mut s = experiments::ablation_policy(&opts);
                 s.push('\n');
@@ -126,7 +139,7 @@ fn main() {
         let suite = suite.as_ref().expect("suite");
         println!("Plan/execute engine counters — one forward pass per strategy");
         println!(
-            "{:<9} {:>10} {:>10} {:>13} {:>10} {:>7} {:>8} {:>6} {:>6}",
+            "{:<9} {:>10} {:>10} {:>13} {:>10} {:>7} {:>8} {:>6} {:>6} {:>6} {:>10} {:>6} {:>6}",
             "strategy",
             "plan hits",
             "misses",
@@ -135,11 +148,27 @@ fn main() {
             "faults",
             "retries",
             "fback",
-            "quar"
+            "quar",
+            "dual%",
+            "stall-cy",
+            "sch-a",
+            "sch-r"
         );
         for (s, st) in &suite.plan_stats {
+            let run = suite.run(*s);
+            let (mut dual, mut issued, mut stall) = (0u64, 0u64, 0u64);
+            for t in &run.timings {
+                dual += t.stats.dual_issue_cycles;
+                issued += t.stats.issued.total();
+                stall += t.stats.stall.total();
+            }
+            let dual_pct = if issued == 0 {
+                0.0
+            } else {
+                100.0 * dual as f64 / issued as f64
+            };
             println!(
-                "{:<9} {:>10} {:>10} {:>13} {:>10} {:>7} {:>8} {:>6} {:>6}",
+                "{:<9} {:>10} {:>10} {:>13} {:>10} {:>7} {:>8} {:>6} {:>6} {:>6.2} {:>10} {:>6} {:>6}",
                 s.name(),
                 st.plan_cache_hits,
                 st.plan_cache_misses,
@@ -148,7 +177,11 @@ fn main() {
                 st.faults_detected,
                 st.retries,
                 st.fallbacks,
-                st.quarantined_plans
+                st.quarantined_plans,
+                dual_pct,
+                stall,
+                st.sched_applied,
+                st.sched_rejected
             );
         }
         println!("{}", "-".repeat(72));
@@ -158,72 +191,9 @@ fn main() {
             "Serving pool counters — {} device(s), plan-affinity sharding",
             serving.devices
         );
-        println!(
-            "{:<7} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6} {:>8} {:>6} {:>6} {:>7} {:>7}",
-            "device",
-            "health",
-            "batches",
-            "requests",
-            "executes",
-            "replayed",
-            "aff-hit",
-            "aff-miss",
-            "rate",
-            "retries",
-            "fback",
-            "quar",
-            "dl-miss",
-            "ovld"
-        );
-        let health_tag = |h: vitbit_exec::HealthState| match h {
-            vitbit_exec::HealthState::Healthy => "healthy",
-            vitbit_exec::HealthState::Degraded => "degrade",
-            vitbit_exec::HealthState::Evicted => "evicted",
-        };
-        for ds in &serving.status {
-            let st = &ds.stats;
-            println!(
-                "{:<7} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6.2} {:>8} {:>6} {:>6} {:>7} {:>7}",
-                format!("gpu{}", ds.device),
-                health_tag(ds.health),
-                st.batches,
-                st.batch_requests,
-                st.executes,
-                st.replayed_executes,
-                st.affinity_hits,
-                st.affinity_misses,
-                st.affinity_hit_rate(),
-                st.retries,
-                st.fallbacks,
-                ds.quarantined_plans,
-                ds.deadline_misses,
-                st.overload_rejections
-            );
-        }
-        let st = &serving.total;
-        println!(
-            "{:<7} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6.2} {:>8} {:>6} {:>6} {:>7} {:>7}",
-            "total",
-            "-",
-            st.batches,
-            st.batch_requests,
-            st.executes,
-            st.replayed_executes,
-            st.affinity_hits,
-            st.affinity_misses,
-            st.affinity_hit_rate(),
-            st.retries,
-            st.fallbacks,
-            st.quarantined_plans,
-            serving.pool.deadline_misses,
-            st.overload_rejections
-        );
-        println!(
-            "pool: evictions {}  plans-failed-over {}  tickets-failed-over {}  host-answers {}",
-            serving.pool.evictions,
-            serving.pool.plans_failed_over,
-            serving.pool.tickets_failed_over,
-            serving.pool.host_answers
+        print!(
+            "{}",
+            vitbit_plan::render_serving_table(&serving.status, &serving.pool)
         );
         println!("{}", "-".repeat(72));
     }

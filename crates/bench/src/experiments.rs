@@ -623,6 +623,86 @@ pub fn ablation_sched(opts: &HarnessOpts) -> String {
     out
 }
 
+/// Extension S — the static instruction scheduler, measured end to end:
+/// every Table-3 strategy's forward pass with kernel scheduling off and
+/// on (verify-gated). Scheduling only reorders issue, so logits must be
+/// bit-identical and the issued-instruction count unchanged; cycles,
+/// IPC and the dual-issue ratio quantify the pipe-overlap win.
+pub fn sched_report(opts: &HarnessOpts) -> String {
+    let mut base_opts = *opts;
+    base_opts.sched = false;
+    let mut sched_opts = *opts;
+    sched_opts.sched = true;
+    let base = VitSuite::measure(&base_opts);
+    let sched = VitSuite::measure(&sched_opts);
+
+    let agg = |run: &vitbit_vit::VitRun| {
+        let (mut cycles, mut issued, mut dual) = (0u64, 0u64, 0u64);
+        for t in &run.timings {
+            cycles += t.stats.cycles;
+            issued += t.stats.issued.total();
+            dual += t.stats.dual_issue_cycles;
+        }
+        (cycles, issued, dual)
+    };
+    let pct = |part: u64, whole: u64| {
+        if whole == 0 {
+            0.0
+        } else {
+            100.0 * part as f64 / whole as f64
+        }
+    };
+
+    let mut out = String::from("Extension S — static instruction scheduling of emitted kernels\n");
+    let _ = writeln!(
+        out,
+        "{:<9} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6}",
+        "strategy",
+        "cycles off",
+        "cycles on",
+        "speedup",
+        "ipc off",
+        "ipc on",
+        "dual%off",
+        "dual%on",
+        "sch-a",
+        "sch-r",
+        "bitid"
+    );
+    for (s, run_off) in &base.runs {
+        let run_on = sched.run(*s);
+        let (c0, i0, d0) = agg(run_off);
+        let (c1, i1, d1) = agg(run_on);
+        let st = sched
+            .plan_stats
+            .iter()
+            .find(|(x, _)| x == s)
+            .map(|(_, st)| *st)
+            .unwrap_or_default();
+        let bitid = run_off.logits == run_on.logits && i0 == i1;
+        let _ = writeln!(
+            out,
+            "{:<9} {:>12} {:>12} {:>7.3}x {:>8.3} {:>8.3} {:>8.2} {:>8.2} {:>6} {:>6} {:>6}",
+            s.name(),
+            c0,
+            c1,
+            c0 as f64 / c1.max(1) as f64,
+            i0 as f64 / c0.max(1) as f64,
+            i1 as f64 / c1.max(1) as f64,
+            pct(d0, i0),
+            pct(d1, i1),
+            st.sched_applied,
+            st.sched_rejected,
+            if bitid { "yes" } else { "NO" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(sch-a / sch-r = distinct programs the engine adopted / declined after\n re-verification; \"bitid\" requires identical logits and issue counts.)"
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

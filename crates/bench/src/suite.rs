@@ -30,6 +30,11 @@ pub struct HarnessOpts {
     /// serving measurement shards; the figure measurements always run on
     /// one machine so historical figures stay bit-identical.
     pub devices: usize,
+    /// Run the static instruction scheduler over emitted kernels
+    /// (`--sched on|off`). When on, every engine installs the verifier's
+    /// program check so candidates are re-proved before adoption; off
+    /// reproduces the historical figures bit for bit.
+    pub sched: bool,
 }
 
 impl Default for HarnessOpts {
@@ -43,6 +48,7 @@ impl Default for HarnessOpts {
             threads: None,
             fast_forward: cfg.fast_forward,
             devices: 1,
+            sched: false,
         }
     }
 }
@@ -106,7 +112,8 @@ impl VitSuite {
     pub fn measure_strategies(opts: &HarnessOpts, strategies: &[Strategy]) -> Self {
         let cfg = opts.vit_config();
         let model = ViTModel::new(cfg, 2024);
-        let exec = ExecConfig::guarded(cfg.bitwidth);
+        let mut exec = ExecConfig::guarded(cfg.bitwidth);
+        exec.schedule_kernels = opts.sched;
         let input = model.synthetic_input(7);
         let mut gpu = opts.gpu();
         let mut runs = Vec::new();
@@ -114,6 +121,9 @@ impl VitSuite {
         for &s in strategies {
             eprintln!("  [suite] running ViT under {} ...", s.name());
             let mut engine = Engine::new();
+            if opts.sched {
+                engine.set_program_check(vitbit_verify::program_checker());
+            }
             let plan = VitPlan::build(&mut engine, &gpu, &model, s, &exec, opts.blocks);
             let run = run_vit_planned(&mut gpu, &mut engine, &plan, &model, &input);
             plan_stats.push((s, engine.stats()));
@@ -175,8 +185,12 @@ fn serving_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<i8> {
 pub fn measure_serving(opts: &HarnessOpts) -> ServingMeasure {
     let cfg = opts.orin_config();
     let vit = opts.vit_config();
-    let exec = ExecConfig::guarded(vit.bitwidth);
+    let mut exec = ExecConfig::guarded(vit.bitwidth);
+    exec.schedule_kernels = opts.sched;
     let mut pool = GpuPool::new(opts.devices, &cfg, 256 << 20);
+    if opts.sched {
+        pool = pool.with_program_check(vitbit_verify::program_checker());
+    }
     // Descs capture the simulator knobs from a machine identical to the
     // pool's shards.
     let probe = Gpu::new(cfg, 256 << 20);

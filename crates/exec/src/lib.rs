@@ -17,7 +17,7 @@ pub use calibration::{run_initial_study, StudyResult};
 pub use strategy::{ExecConfig, GemmTuner, Strategy};
 pub use vitbit_kernels::gemm::{PackedWeightCache, WeightCtx};
 pub use vitbit_plan::{
-    BatchResult, Completion, DeviceStatus, Engine, EngineError, EngineStats, FaultCause,
-    GemmDesc, GpuPool, HealthPolicy, HealthState, LadderEvent, LadderRung, PlanId, PoolStats,
-    RequestOutcome, ServePath, SimKnobs, Ticket,
+    BatchResult, Completion, DeviceStatus, Engine, EngineError, EngineStats, FaultCause, GemmDesc,
+    GpuPool, HealthPolicy, HealthState, LadderEvent, LadderRung, PlanId, PoolStats, RequestOutcome,
+    ServePath, SimKnobs, Ticket,
 };

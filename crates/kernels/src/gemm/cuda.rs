@@ -11,7 +11,7 @@
 //! measured co-scheduling gains.
 
 use super::cache::{pack_weight_share, WeightCtx};
-use super::{GemmError, GemmOut};
+use super::{finish_program, GemmError, GemmOut, ProgPass};
 use crate::shapes::{crop_matrix, pad_matrix, pad_to};
 use vitbit_core::correction::BiasCorrection;
 use vitbit_core::policy::{PackPolicy, PackSpec};
@@ -586,6 +586,17 @@ fn grid_for(np_chunks: usize, role_warps: u32) -> u32 {
 
 /// INT-CUDA-core GEMM (zero-masking baseline, Table 3 "IC").
 pub fn run_ic(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> Result<GemmOut, GemmError> {
+    run_ic_with_pass(gpu, a, b, None)
+}
+
+/// [`run_ic`] with an optional program-rewrite pass applied to the emitted
+/// kernel before launch.
+pub fn run_ic_with_pass(
+    gpu: &mut Gpu,
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+    pass: Option<ProgPass<'_>>,
+) -> Result<GemmOut, GemmError> {
     let p = pad_problem(a, b, CHUNK_COLS);
     gpu.mem.reset();
     let at_ptr = upload_ops::transposed_i8(gpu, &p.a_up);
@@ -612,7 +623,7 @@ pub fn run_ic(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> Result<GemmOut, 
         &geom,
         0,
     );
-    let prog = cuda_gemm_program(elem, geom, 0).into_arc();
+    let prog = finish_program(cuda_gemm_program(elem, geom, 0), pass);
     let kernel = Kernel::single("gemm_ic", prog, blocks, geom.role_warps, 0, args);
     let stats = gpu.launch(&kernel)?;
     let raw = gpu.mem.download_u32(c_dev, p.mp * p.np * ks as usize);
@@ -626,6 +637,17 @@ pub fn run_ic(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> Result<GemmOut, 
 
 /// FP-CUDA-core GEMM (INT operands converted to f32, Table 3 "FC").
 pub fn run_fc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> Result<GemmOut, GemmError> {
+    run_fc_with_pass(gpu, a, b, None)
+}
+
+/// [`run_fc`] with an optional program-rewrite pass applied to the emitted
+/// kernel before launch.
+pub fn run_fc_with_pass(
+    gpu: &mut Gpu,
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+    pass: Option<ProgPass<'_>>,
+) -> Result<GemmOut, GemmError> {
     let p = pad_problem(a, b, CHUNK_COLS);
     gpu.mem.reset();
     let af = p.a_up.map(|x| x as f32);
@@ -654,7 +676,7 @@ pub fn run_fc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> Result<GemmOut, 
         &geom,
         0,
     );
-    let prog = cuda_gemm_program(elem, geom, 0).into_arc();
+    let prog = finish_program(cuda_gemm_program(elem, geom, 0), pass);
     let kernel = Kernel::single("gemm_fc", prog, blocks, geom.role_warps, 0, args);
     let stats = gpu.launch(&kernel)?;
     let raw = gpu.mem.download_f32(c_dev, p.mp * p.np * ks as usize);
@@ -745,7 +767,18 @@ pub fn run_packed_cached(
 /// Simultaneous INT + FP CUDA-core GEMM (Table 3 "IC+FC"): columns split
 /// 1:1, INT warps and FP warps co-resident in every block.
 pub fn run_ic_fc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> Result<GemmOut, GemmError> {
-    run_cuda_fused(gpu, a, b, None, None)
+    run_cuda_fused(gpu, a, b, None, None, None)
+}
+
+/// [`run_ic_fc`] with an optional program-rewrite pass applied to both role
+/// programs before launch.
+pub fn run_ic_fc_with_pass(
+    gpu: &mut Gpu,
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+    pass: Option<ProgPass<'_>>,
+) -> Result<GemmOut, GemmError> {
+    run_cuda_fused(gpu, a, b, None, None, pass)
 }
 
 /// IC+FC with packing on the INT side (the study's "IC+FC+P"): columns
@@ -756,7 +789,7 @@ pub fn run_ic_fc_packed(
     b: &Matrix<i8>,
     spec: &PackSpec,
 ) -> Result<GemmOut, GemmError> {
-    run_cuda_fused(gpu, a, b, Some(*spec), None)
+    run_cuda_fused(gpu, a, b, Some(*spec), None, None)
 }
 
 fn run_cuda_fused(
@@ -765,6 +798,7 @@ fn run_cuda_fused(
     b: &Matrix<i8>,
     spec: Option<PackSpec>,
     mut weight: WeightCtx<'_>,
+    pass: Option<ProgPass<'_>>,
 ) -> Result<GemmOut, GemmError> {
     assert_eq!(a.cols(), b.rows(), "GEMM inner dims");
     let (m, k) = a.shape();
@@ -861,8 +895,8 @@ fn run_cuda_fused(
         0,
     ));
 
-    let int_prog = cuda_gemm_program(int_elem, geom, 0).into_arc();
-    let fp_prog = cuda_gemm_program(CudaElem::Fp, geom, ARGS_PER_ROLE).into_arc();
+    let int_prog = finish_program(cuda_gemm_program(int_elem, geom, 0), pass);
+    let fp_prog = finish_program(cuda_gemm_program(CudaElem::Fp, geom, ARGS_PER_ROLE), pass);
     // Roles alternate at sub-partition stride: warp w runs on sub-partition
     // w % 4, so [int x4, fp x4] puts one of each on every scheduler.
     let kernel = Kernel::fused(

@@ -19,17 +19,38 @@ pub mod tc;
 
 pub use abft::{verify_gemm, weight_row_sums, AbftCheck};
 pub use cache::{PackedWeight, PackedWeightCache, WeightCtx, WeightKey};
-pub use cuda::{run_fc, run_ic, run_ic_fc, run_ic_fc_packed, run_packed, run_packed_cached};
+pub use cuda::{
+    run_fc, run_fc_with_pass, run_ic, run_ic_fc, run_ic_fc_packed, run_ic_fc_with_pass,
+    run_ic_with_pass, run_packed, run_packed_cached,
+};
 pub use fused::{
     execute_fused, materialize_fused, plan_fused, prepare_fused_b, run_fused_one_shot, FusedB,
     FusedBody, FusedGeom, FusedGeomSpec, FusedMode, FusedPlan, FusedPlanSpec,
 };
 #[allow(deprecated)]
 pub use fused::{run_fused, run_fused_with_ratio, run_fused_with_ratio_cached};
-pub use tc::run_tc;
+pub use tc::{run_tc, run_tc_with_pass};
 
-use vitbit_sim::{KernelStats, LaunchError};
+use std::sync::Arc;
+use vitbit_sim::{KernelStats, LaunchError, Program};
 use vitbit_tensor::Matrix;
+
+/// Optional per-program rewrite hook the `*_with_pass` drivers apply to
+/// every emitted program before launch (the serving engine threads the
+/// `vitbit-sched` static scheduler through here). Returning `None` keeps
+/// the program exactly as emitted.
+pub type ProgPass<'a> = &'a dyn Fn(&Program) -> Option<Arc<Program>>;
+
+/// Applies `pass` (when present) to `p`; the emitted program is kept
+/// untouched when there is no pass or the pass declines.
+pub(crate) fn finish_program(p: Program, pass: Option<ProgPass<'_>>) -> Arc<Program> {
+    if let Some(f) = pass {
+        if let Some(rewritten) = f(&p) {
+            return rewritten;
+        }
+    }
+    p.into_arc()
+}
 
 /// Result of a GEMM driver: the integer output and the launch statistics.
 #[derive(Debug, Clone)]

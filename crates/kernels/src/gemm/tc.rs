@@ -14,7 +14,7 @@
 //! which is what compresses the 32x peak-throughput gap over INT32 CUDA
 //! cores down to the paper's measured ~7.5x.
 
-use super::{GemmError, GemmOut};
+use super::{finish_program, GemmError, GemmOut, ProgPass};
 use crate::shapes::{crop_matrix, pad_matrix, pad_to};
 use vitbit_sim::isa::{ICmp, MemWidth, MmaKind, Reg, SReg, Src};
 use vitbit_sim::program::{Program, ProgramBuilder};
@@ -311,6 +311,17 @@ pub fn tc_args(
 
 /// Tensor-core-only GEMM (Table 3 baseline "TC").
 pub fn run_tc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> Result<GemmOut, GemmError> {
+    run_tc_with_pass(gpu, a, b, None)
+}
+
+/// [`run_tc`] with an optional program-rewrite pass applied to the emitted
+/// kernel before launch.
+pub fn run_tc_with_pass(
+    gpu: &mut Gpu,
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+    pass: Option<ProgPass<'_>>,
+) -> Result<GemmOut, GemmError> {
     assert_eq!(a.cols(), b.rows(), "GEMM inner dims");
     let (m, k) = a.shape();
     let n = b.cols();
@@ -326,7 +337,7 @@ pub fn run_tc(gpu: &mut Gpu, a: &Matrix<i8>, b: &Matrix<i8>) -> Result<GemmOut, 
     let c_dev = gpu.mem.alloc((mp * np * 4) as u32);
     let blocks_x = (np / TC_N_TILE) as u32;
     let blocks = blocks_x * (mp / 32) as u32;
-    let prog = tc_gemm_program(2, 0).into_arc();
+    let prog = finish_program(tc_gemm_program(2, 0), pass);
     let kernel = Kernel::single(
         "gemm_tc",
         prog,

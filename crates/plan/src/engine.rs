@@ -2,15 +2,17 @@
 //! into a cached [`GemmPlan`]; [`Engine::execute`] runs it per request.
 
 use crate::strategy::Strategy;
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use vitbit_core::policy::PackSpec;
 use vitbit_core::ratio::CoreRatio;
 use vitbit_kernels::gemm::{
-    abft, execute_fused, plan_fused, prepare_fused_b, run_fc, run_ic, run_ic_fc, run_tc,
-    weight_row_sums, FusedB, FusedMode, FusedPlan, GemmError, GemmOut, PackedWeightCache,
+    abft, execute_fused, plan_fused, prepare_fused_b, run_fc_with_pass, run_ic_fc_with_pass,
+    run_ic_with_pass, run_tc, run_tc_with_pass, weight_row_sums, FusedB, FusedBody, FusedMode,
+    FusedPlan, GemmError, GemmOut, PackedWeightCache, ProgPass,
 };
-use vitbit_sim::{Gpu, KernelStats, OrinConfig, SchedPolicy, SimMode};
+use vitbit_sim::{Gpu, KernelStats, OrinConfig, Program, SchedPolicy, SimMode};
 use vitbit_tensor::refgemm::{gemm_i8_i32, gemm_i8_i32_fast};
 use vitbit_tensor::Matrix;
 
@@ -79,6 +81,12 @@ pub struct GemmDesc {
     /// [`PlanVerifier`]; prepare fails closed with
     /// [`EngineError::Unverified`] when no verifier is installed.
     pub verify: bool,
+    /// Statically reschedule this plan's programs with `vitbit-sched`
+    /// before launch. Fail-closed: a scheduled program is adopted only
+    /// when the engine's installed [`ProgramCheck`] re-proves it —
+    /// otherwise (including when no check is installed) the program
+    /// launches exactly as emitted.
+    pub sched: bool,
     /// Simulator knobs the plan was built for.
     pub knobs: SimKnobs,
 }
@@ -107,6 +115,7 @@ impl GemmDesc {
             weight,
             abft: cfg.abft,
             verify: cfg.verify_plans,
+            sched: cfg.schedule_kernels,
             knobs: SimKnobs::of(gpu),
         }
     }
@@ -323,6 +332,12 @@ pub struct EngineStats {
     /// `submit` calls refused by admission control: the pending queue was
     /// at its configured bound (see [`Engine::set_queue_bound`]).
     pub overload_rejections: u64,
+    /// Distinct emitted programs the static scheduler improved *and* the
+    /// installed [`ProgramCheck`] re-proved — these launch rescheduled.
+    pub sched_applied: u64,
+    /// Distinct scheduler candidates discarded by the fail-closed gate:
+    /// the re-proof failed, or no [`ProgramCheck`] was installed.
+    pub sched_rejected: u64,
 }
 
 impl EngineStats {
@@ -449,6 +464,59 @@ impl std::fmt::Debug for PlanVerifier {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("PlanVerifier(..)")
     }
+}
+
+/// The callback shape a [`ProgramCheck`] wraps: one concrete program (the
+/// scheduler's candidate) plus the desc it will serve; `Ok` admits it,
+/// rendered violations reject it.
+type ProgramCheckFn = dyn Fn(&Program, &GemmDesc) -> Result<(), Vec<String>> + Send + Sync;
+
+/// A launch-time static program checker: the second half of the
+/// scheduler's fail-closed gate. `vitbit-sched` proves each candidate is a
+/// dependence-respecting permutation; this check (implemented in
+/// `vitbit-verify`, injected like [`PlanVerifier`] to keep the dependency
+/// acyclic) re-proves lane safety and hazard freedom on the *scheduled*
+/// instruction stream. Candidates failing either layer — or arriving when
+/// no check is installed — are discarded and the unscheduled program
+/// launches.
+#[derive(Clone)]
+pub struct ProgramCheck(Arc<ProgramCheckFn>);
+
+impl ProgramCheck {
+    /// Wraps a checking function.
+    pub fn new<F>(f: F) -> Self
+    where
+        F: Fn(&Program, &GemmDesc) -> Result<(), Vec<String>> + Send + Sync + 'static,
+    {
+        Self(Arc::new(f))
+    }
+
+    /// Checks one scheduled program against the desc it will serve.
+    ///
+    /// # Errors
+    /// The rendered violations when the program cannot be proven safe.
+    pub fn check(&self, program: &Program, desc: &GemmDesc) -> Result<(), Vec<String>> {
+        (self.0)(program, desc)
+    }
+}
+
+impl std::fmt::Debug for ProgramCheck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgramCheck(..)")
+    }
+}
+
+/// Memoized scheduler outcomes, keyed by program identity (name, register
+/// footprint and full instruction stream). One entry per distinct emitted
+/// program: `Some` holds the admitted rescheduled program, `None` records
+/// "leave as emitted" (no improvement found, or the fail-closed gate
+/// rejected the candidate). Interior-mutable so the pass can run from the
+/// `&self` build paths without threading `&mut` through the drivers.
+#[derive(Debug, Default)]
+struct SchedMemo {
+    cache: HashMap<u64, Option<Arc<Program>>>,
+    applied: u64,
+    rejected: u64,
 }
 
 /// How one request was served (see [`Engine::execute_batch`]).
@@ -628,6 +696,9 @@ pub struct Engine {
     stats: EngineStats,
     quarantined: HashSet<PlanId>,
     verifier: Option<PlanVerifier>,
+    program_check: Option<ProgramCheck>,
+    /// Memoized static-scheduler outcomes (see [`SchedMemo`]).
+    sched: RefCell<SchedMemo>,
     /// Converged launch observations, by plan (see [`ReplayEntry`]).
     replays: HashMap<PlanId, ReplayEntry>,
     /// Async submission queue (see [`Engine::submit`]), drained in
@@ -670,6 +741,21 @@ impl Engine {
     #[must_use]
     pub fn with_verifier(mut self, verifier: PlanVerifier) -> Self {
         self.verifier = Some(verifier);
+        self
+    }
+
+    /// Installs the launch-time program checker gating the static
+    /// scheduler (see [`GemmDesc::sched`]); typically
+    /// `vitbit_verify::program_checker()`. Without one installed, every
+    /// scheduler candidate is rejected — fail closed, never open.
+    pub fn set_program_check(&mut self, check: ProgramCheck) {
+        self.program_check = Some(check);
+    }
+
+    /// Builder-style [`Engine::set_program_check`].
+    #[must_use]
+    pub fn with_program_check(mut self, check: ProgramCheck) -> Self {
+        self.program_check = Some(check);
         self
     }
 
@@ -728,7 +814,7 @@ impl Engine {
             None
         };
         self.stats.plan_cache_misses += 1;
-        let (body, build) = Self::build_body(&desc);
+        let (body, build) = self.build_body(&desc);
         self.stats.plan_build_units += build;
         Ok(self.plans.insert(GemmPlan {
             desc,
@@ -739,11 +825,14 @@ impl Engine {
         }))
     }
 
-    fn build_body(desc: &GemmDesc) -> (PlanBody, u64) {
+    fn build_body(&self, desc: &GemmDesc) -> (PlanBody, u64) {
         match desc.fused_mode() {
             Some(mode) => {
                 let ratio = desc.ratio.unwrap_or_else(|| mode.default_ratio());
-                let plan = plan_fused(desc.m, desc.k, desc.n, mode, ratio);
+                let mut plan = plan_fused(desc.m, desc.k, desc.n, mode, ratio);
+                if desc.sched {
+                    self.sched_fused(desc, &mut plan);
+                }
                 let units = plan.plan_units;
                 (
                     PlanBody::Fused {
@@ -757,18 +846,64 @@ impl Engine {
         }
     }
 
+    /// Runs the static scheduler over every role program of a fused plan,
+    /// in place. Each program is independently gated (see
+    /// [`Engine::sched_pass`]); rejected candidates leave their slot
+    /// untouched.
+    pub(crate) fn sched_fused(&self, desc: &GemmDesc, plan: &mut FusedPlan) {
+        if let FusedBody::Launch(geom) = &mut plan.body {
+            for slot in &mut geom.programs {
+                if let Some(scheduled) = self.sched_pass(desc, slot) {
+                    *slot = scheduled;
+                }
+            }
+        }
+    }
+
+    /// The static-scheduler pass over one emitted program: `Some` hands
+    /// back an admitted rescheduled program, `None` keeps the original.
+    /// Fail-closed at two layers — `vitbit-sched` self-validates the
+    /// reorder, then the installed [`ProgramCheck`] re-proves lane safety
+    /// and hazard freedom on the candidate; either failure (or no check
+    /// installed) discards it. Memoized per distinct program, so the
+    /// counters count programs, not launches.
+    fn sched_pass(&self, desc: &GemmDesc, p: &Program) -> Option<Arc<Program>> {
+        let key = fnv1a(format!("{}/{}/{}/{:?}", p.name, p.nregs, p.npreds, p.ops).as_bytes());
+        let mut memo = self.sched.borrow_mut();
+        if let Some(cached) = memo.cache.get(&key) {
+            return cached.clone();
+        }
+        let admitted = vitbit_sched::schedule_program(p).and_then(|out| {
+            let ok = self
+                .program_check
+                .as_ref()
+                .is_some_and(|chk| chk.check(&out.program, desc).is_ok());
+            if ok {
+                memo.applied += 1;
+                Some(Arc::new(out.program))
+            } else {
+                memo.rejected += 1;
+                None
+            }
+        });
+        memo.cache.insert(key, admitted.clone());
+        admitted
+    }
+
     /// Rebuilds a plan from its desc, dropping every cached artifact it
     /// could have poisoned: the staged operands, the plan state and the
     /// engine's packed-weight cache. Returns the build work spent.
     fn rebuild_plan(&mut self, id: PlanId) -> u64 {
         self.weights.clear();
         self.replays.remove(&id);
-        let Some(plan) = self.plans.slots.get_mut(&id) else {
+        let Some(desc) = self.plans.slots.get(&id).map(|p| p.desc) else {
             return 0;
         };
-        let (body, build) = Self::build_body(&plan.desc);
-        plan.body = body;
-        plan.pending_build = 0;
+        let (body, build) = self.build_body(&desc);
+        if let Some(plan) = self.plans.slots.get_mut(&id) {
+            plan.body = body;
+            plan.pending_build = 0;
+        }
         build
     }
 
@@ -1143,14 +1278,28 @@ impl Engine {
             .expect("plan vetted by execute");
         let desc = plan.desc;
         let mut build = std::mem::take(&mut plan.pending_build);
-        let res = match &mut plan.body {
-            PlanBody::Direct => match desc.strategy {
-                Strategy::Tc => run_tc(gpu, a, b),
-                Strategy::Ic => run_ic(gpu, a, b),
-                Strategy::Fc => run_fc(gpu, a, b),
-                Strategy::IcFc => run_ic_fc(gpu, a, b),
+        if matches!(plan.body, PlanBody::Direct) {
+            // Direct drivers emit their program per launch; the scheduler
+            // pass (memoized, fail-closed) threads through the `*_with_pass`
+            // driver variants.
+            let passf = |p: &Program| self.sched_pass(&desc, p);
+            let pass: Option<ProgPass<'_>> = if desc.sched { Some(&passf) } else { None };
+            let res = match desc.strategy {
+                Strategy::Tc => run_tc_with_pass(gpu, a, b, pass),
+                Strategy::Ic => run_ic_with_pass(gpu, a, b, pass),
+                Strategy::Fc => run_fc_with_pass(gpu, a, b, pass),
+                Strategy::IcFc => run_ic_fc_with_pass(gpu, a, b, pass),
                 _ => unreachable!("fused strategy with direct plan body"),
-            },
+            };
+            return (res, build);
+        }
+        let plan = self
+            .plans
+            .slots
+            .get_mut(&id)
+            .expect("plan vetted by execute");
+        let res = match &mut plan.body {
+            PlanBody::Direct => unreachable!("direct body handled above"),
             PlanBody::Fused {
                 plan: fplan,
                 staged,
@@ -1303,9 +1452,14 @@ impl Engine {
         self.execute(gpu, id, a, b)
     }
 
-    /// Cumulative engine counters.
+    /// Cumulative engine counters. The scheduler counters are overlaid
+    /// from the memo here (they count distinct programs, not launches).
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        let mut s = self.stats;
+        let memo = self.sched.borrow();
+        s.sched_applied = memo.applied;
+        s.sched_rejected = memo.rejected;
+        s
     }
 
     /// Cached plans.

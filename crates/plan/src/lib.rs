@@ -55,11 +55,13 @@ pub mod strategy;
 
 pub use engine::{
     BatchResult, Engine, EngineError, EngineStats, FaultCause, GemmDesc, GemmPlan, LadderEvent,
-    LadderRung, PlanCache, PlanId, PlanProof, PlanVerifier, RequestOutcome, ServePath, SimKnobs,
+    LadderRung, PlanCache, PlanId, PlanProof, PlanVerifier, ProgramCheck, RequestOutcome,
+    ServePath, SimKnobs,
 };
 pub use persist::{ImportSummary, PersistError};
 pub use serve::{
-    Completion, DeviceStatus, GpuPool, HealthPolicy, HealthState, PoolStats, Ticket,
+    render_serving_table, Completion, DeviceStatus, GpuPool, HealthPolicy, HealthState, PoolStats,
+    Ticket,
 };
 pub use strategy::{ExecConfig, GemmTuner, Strategy};
 pub use vitbit_kernels::gemm::{GemmOut, PackedWeightCache, WeightCtx};

@@ -48,7 +48,8 @@ use vitbit_sim::{SchedPolicy, SimMode};
 /// File magic: "VitBit Plan Cache".
 pub const MAGIC: [u8; 4] = *b"VBPC";
 /// Current format version; older or newer blobs fail closed.
-pub const VERSION: u32 = 1;
+/// v2 added [`GemmDesc::sched`] to the desc encoding.
+pub const VERSION: u32 = 2;
 
 /// Outcome of one [`Engine::import_plans`] call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -165,6 +166,7 @@ impl Writer {
             SimMode::Parallel => 1,
         });
         self.bool(d.knobs.fast_forward);
+        self.bool(d.sched);
     }
 
     fn fused_spec(&mut self, s: &FusedPlanSpec) {
@@ -336,6 +338,7 @@ impl<'a> Reader<'a> {
                 },
                 fast_forward: self.bool()?,
             },
+            sched: self.bool()?,
         })
     }
 
@@ -588,11 +591,21 @@ impl Engine {
                 summary.already_resident += 1;
                 continue;
             }
-            let Some((desc, body, proof)) = materialize(&decoded) else {
+            let Some((desc, mut body, proof)) = materialize(&decoded) else {
                 summary.rejected += 1;
                 self.stats_mut().plans_rejected += 1;
                 continue;
             };
+            // Scheduling is a deterministic local pass, not persisted
+            // state: re-derive it here so an imported plan launches the
+            // same programs a live `prepare` of its desc would. The
+            // fail-closed gate applies as usual (no installed program
+            // check on this replica = plans serve unscheduled).
+            if desc.sched {
+                if let PlanBody::Fused { plan, .. } = &mut body {
+                    self.sched_fused(&desc, Arc::make_mut(plan));
+                }
+            }
             self.admit_plan(GemmPlan::imported(desc, body, proof));
             summary.imported += 1;
             self.stats_mut().plans_imported += 1;

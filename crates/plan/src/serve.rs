@@ -393,6 +393,16 @@ impl GpuPool {
         self
     }
 
+    /// Installs the scheduler-gating program check on every shard engine
+    /// (see [`Engine::set_program_check`]).
+    #[must_use]
+    pub fn with_program_check(mut self, check: crate::engine::ProgramCheck) -> Self {
+        for shard in &mut self.shards {
+            shard.engine.set_program_check(check.clone());
+        }
+        self
+    }
+
     /// Installs a health policy, applying its admission-control bound to
     /// every shard engine.
     #[must_use]
@@ -458,11 +468,7 @@ impl GpuPool {
         }
     }
 
-    fn shape_check(
-        desc: &GemmDesc,
-        a: &Matrix<i8>,
-        b: &Matrix<i8>,
-    ) -> Result<(), EngineError> {
+    fn shape_check(desc: &GemmDesc, a: &Matrix<i8>, b: &Matrix<i8>) -> Result<(), EngineError> {
         if (a.rows(), a.cols()) != (desc.m, desc.k) || (b.rows(), b.cols()) != (desc.k, desc.n) {
             return Err(EngineError::ShapeMismatch {
                 expected: (desc.m, desc.k, desc.n),
@@ -759,8 +765,8 @@ impl GpuPool {
             let mut per_shard: Vec<Vec<&[u8]>> =
                 (0..self.shards.len()).map(|_| Vec::new()).collect();
             for entry in entries {
-                if let Some(target) = crate::persist::entry_desc(entry)
-                    .and_then(|d| self.route_healthy(&d))
+                if let Some(target) =
+                    crate::persist::entry_desc(entry).and_then(|d| self.route_healthy(&d))
                 {
                     per_shard[target].push(entry);
                 }
@@ -875,6 +881,8 @@ impl GpuPool {
             total.affinity_hits += s.affinity_hits;
             total.affinity_misses += s.affinity_misses;
             total.overload_rejections += s.overload_rejections;
+            total.sched_applied += s.sched_applied;
+            total.sched_rejected += s.sched_rejected;
         }
         total
     }
@@ -882,6 +890,12 @@ impl GpuPool {
     /// Read access to a shard's engine (tests, stats printing).
     pub fn engine(&self, device: usize) -> &Engine {
         &self.shards[device].engine
+    }
+
+    /// Renders the serving table for this pool's current state (see
+    /// [`render_serving_table`]).
+    pub fn render_table(&self) -> String {
+        render_serving_table(&self.device_status(), &self.pool_stats())
     }
 
     /// Serializes every shard's resident plans into one blob (the same
@@ -933,6 +947,103 @@ impl GpuPool {
         }
         Ok(total)
     }
+}
+
+/// Renders the per-device serving table (health, batching, affinity,
+/// recovery columns), its total row and the pool-counter footer. Shared
+/// by the bench CLIs and the serving tests so the two never drift.
+///
+/// Every total-row column — including `quar` and `dl-miss` — is the
+/// column-wise sum of the device rows above it. Summing the engines'
+/// *cumulative* quarantine counters or the pool's own deadline-miss
+/// counter instead diverges from the rows once a shard is evicted
+/// (an evicted shard's current quarantines leave the status rows, and
+/// pool-level misses are charged before eviction removes the shard's).
+pub fn render_serving_table(status: &[DeviceStatus], pool: &PoolStats) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<7} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6} {:>8} {:>6} {:>6} {:>7} {:>7}",
+        "device",
+        "health",
+        "batches",
+        "requests",
+        "executes",
+        "replayed",
+        "aff-hit",
+        "aff-miss",
+        "rate",
+        "retries",
+        "fback",
+        "quar",
+        "dl-miss",
+        "ovld"
+    );
+    let health_tag = |h: HealthState| match h {
+        HealthState::Healthy => "healthy",
+        HealthState::Degraded => "degrade",
+        HealthState::Evicted => "evicted",
+    };
+    let mut total = EngineStats::default();
+    let mut total_quar = 0usize;
+    let mut total_dl = 0u64;
+    for ds in status {
+        let st = &ds.stats;
+        let _ = writeln!(
+            out,
+            "{:<7} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6.2} {:>8} {:>6} {:>6} {:>7} {:>7}",
+            format!("gpu{}", ds.device),
+            health_tag(ds.health),
+            st.batches,
+            st.batch_requests,
+            st.executes,
+            st.replayed_executes,
+            st.affinity_hits,
+            st.affinity_misses,
+            st.affinity_hit_rate(),
+            st.retries,
+            st.fallbacks,
+            ds.quarantined_plans,
+            ds.deadline_misses,
+            st.overload_rejections
+        );
+        total.batches += st.batches;
+        total.batch_requests += st.batch_requests;
+        total.executes += st.executes;
+        total.replayed_executes += st.replayed_executes;
+        total.affinity_hits += st.affinity_hits;
+        total.affinity_misses += st.affinity_misses;
+        total.retries += st.retries;
+        total.fallbacks += st.fallbacks;
+        total.overload_rejections += st.overload_rejections;
+        total_quar += ds.quarantined_plans;
+        total_dl += ds.deadline_misses;
+    }
+    let _ = writeln!(
+        out,
+        "{:<7} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6.2} {:>8} {:>6} {:>6} {:>7} {:>7}",
+        "total",
+        "-",
+        total.batches,
+        total.batch_requests,
+        total.executes,
+        total.replayed_executes,
+        total.affinity_hits,
+        total.affinity_misses,
+        total.affinity_hit_rate(),
+        total.retries,
+        total.fallbacks,
+        total_quar,
+        total_dl,
+        total.overload_rejections
+    );
+    let _ = writeln!(
+        out,
+        "pool: evictions {}  plans-failed-over {}  tickets-failed-over {}  host-answers {}",
+        pool.evictions, pool.plans_failed_over, pool.tickets_failed_over, pool.host_answers
+    );
+    out
 }
 
 #[cfg(test)]

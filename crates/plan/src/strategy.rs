@@ -115,6 +115,13 @@ pub struct ExecConfig {
     /// with [`Engine::set_verifier`]; prepare fails closed with
     /// [`crate::EngineError::Unverified`] otherwise. Off by default.
     pub verify_plans: bool,
+    /// Statically reschedule every emitted kernel program with
+    /// `vitbit-sched` before launch: per-block list scheduling that
+    /// interleaves independent INT/FP/LSU instructions for pipe overlap.
+    /// Fail-closed — a scheduled program is adopted only when the
+    /// engine's installed [`crate::ProgramCheck`] re-proves it; otherwise
+    /// the program launches exactly as emitted. Off by default.
+    pub schedule_kernels: bool,
 }
 
 impl ExecConfig {
@@ -130,6 +137,7 @@ impl ExecConfig {
             adaptive: true,
             abft: false,
             verify_plans: false,
+            schedule_kernels: false,
         }
     }
 
@@ -194,6 +202,9 @@ fn one_shot(
         // The legacy one-shot engine has no verifier installed; honoring
         // `verify_plans` here would fail every call closed.
         verify: false,
+        // Same reasoning: scheduling is fail-closed on a program check the
+        // one-shot engine never installs, so it would always decline.
+        sched: false,
         knobs: SimKnobs::of(gpu),
     };
     if let Some(t) = tuner.as_deref_mut() {

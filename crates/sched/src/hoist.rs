@@ -1,0 +1,278 @@
+//! Loop-invariant load hoisting.
+//!
+//! Moves provably invariant `Ldg`/`Lds` instructions out of single-block
+//! counted loops into the loop preheader, so the load issues once instead of
+//! once per iteration. Legality here is deliberately stricter than the
+//! in-block reorder pass, because a hoisted load crosses iterations *and*
+//! observes memory other warps may write:
+//!
+//! * the loop is a single block whose conditional back edge is the only
+//!   branch targeting its head;
+//! * the address register (and guard predicate, if any) is never written in
+//!   the loop;
+//! * the destination register is written only by the load and never read at
+//!   an earlier position in the loop body (first-iteration reads would
+//!   otherwise see the pre-loop value);
+//! * **no store to the load's memory space anywhere in the program** — every
+//!   warp runs the same program, so this rules out another warp racing the
+//!   loop's loads no matter how warps interleave.
+//!
+//! Hoisting changes the dynamic instruction count (that is the point), so
+//! the serving engine keeps it off; it is exercised by the library tests and
+//! available to offline kernel tuning.
+
+use vitbit_sim::decoded::BlockEnd;
+use vitbit_sim::{exec, Op, Program};
+
+/// Hoists loop-invariant loads; `None` when nothing qualifies.
+///
+/// The returned program has the same instruction *count* (loads move, they
+/// are not duplicated): each hoisted load sits immediately before its loop
+/// head and the back edge is retargeted past it.
+pub fn hoist_invariant_loads(p: &Program) -> Option<Program> {
+    let dec = p.decoded();
+    let any_stg = p.ops.iter().any(|o| matches!(o, Op::Stg { .. }));
+    let any_sts = p.ops.iter().any(|o| matches!(o, Op::Sts { .. }));
+    let mut new_ops = p.ops.clone();
+    let mut hoisted_total = 0usize;
+    let mut scratch: Vec<u8> = Vec::with_capacity(16);
+
+    for blk in &dec.blocks {
+        if blk.end_kind != BlockEnd::Branch {
+            continue;
+        }
+        let s = blk.start as usize;
+        let e = blk.end as usize;
+        let Op::Bra {
+            target,
+            pred: Some(_),
+            ..
+        } = &p.ops[e - 1]
+        else {
+            continue;
+        };
+        if *target != s {
+            continue; // not a self-loop
+        }
+        // The back edge must be the only way into the loop head, otherwise
+        // entries that bypass the preheader would skip the hoisted loads.
+        let other_entry = p
+            .ops
+            .iter()
+            .enumerate()
+            .any(|(i, op)| i != e - 1 && matches!(op, Op::Bra { target: t, .. } if *t == s));
+        if other_entry {
+            continue;
+        }
+
+        // Which registers/predicates does the loop write, and how often?
+        let mut reg_writes = [0u32; 256];
+        let mut pred_written = [false; 256];
+        for op in &p.ops[s..e] {
+            if let Some((first, count)) = exec::dest_regs(op) {
+                for r in first..first.saturating_add(count) {
+                    reg_writes[r as usize] += 1;
+                }
+            }
+            if let Some(pd) = exec::dest_pred(op) {
+                pred_written[pd as usize] = true;
+            }
+        }
+
+        // Earliest read position of each register within the loop body.
+        let mut first_read = [usize::MAX; 256];
+        for q in (s..e).rev() {
+            exec::src_regs(&p.ops[q], &mut scratch);
+            for &r in &scratch {
+                first_read[r as usize] = q;
+            }
+        }
+
+        let mut hoist: Vec<usize> = Vec::new();
+        for q in s..e - 1 {
+            let (d, addr, guard) = match &p.ops[q] {
+                Op::Ldg { d, addr, guard, .. } if !any_stg => (d.0, addr.0, *guard),
+                Op::Lds { d, addr, .. } if !any_sts => (d.0, addr.0, None),
+                _ => continue,
+            };
+            if reg_writes[addr as usize] != 0 {
+                continue; // address recomputed in the loop
+            }
+            if let Some(g) = guard {
+                if pred_written[g.0 as usize] {
+                    continue;
+                }
+            }
+            if reg_writes[d as usize] != 1 {
+                continue; // another writer redefines the destination
+            }
+            if first_read[d as usize] < q {
+                continue; // read before the load: first trip would differ
+            }
+            hoist.push(q);
+        }
+        if hoist.is_empty() {
+            continue;
+        }
+
+        // Rebuild the region: hoisted loads first, the rest in order, and
+        // the back edge retargeted past the hoisted prefix.
+        let k = hoist.len();
+        let mut region: Vec<Op> = Vec::with_capacity(e - s);
+        for &q in &hoist {
+            region.push(p.ops[q].clone());
+        }
+        for q in s..e {
+            if !hoist.contains(&q) {
+                region.push(p.ops[q].clone());
+            }
+        }
+        if let Some(Op::Bra { target, .. }) = region.last_mut() {
+            *target = s + k;
+        }
+        new_ops[s..e].clone_from_slice(&region);
+        hoisted_total += k;
+    }
+
+    if hoisted_total == 0 {
+        return None;
+    }
+    Some(Program::from_raw(
+        new_ops,
+        p.nregs,
+        p.npreds,
+        p.name.clone(),
+    ))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use vitbit_sim::{Gpu, ICmp, Kernel, MemWidth, OrinConfig, ProgramBuilder, SReg, Src};
+
+    /// A loop that re-loads a warp-uniform scale factor every iteration and
+    /// accumulates it; nothing in the program stores, so the load hoists.
+    fn loopy_program() -> Program {
+        let mut b = ProgramBuilder::new("hoist-subject");
+        let base = b.alloc();
+        let scale = b.alloc();
+        let acc = b.alloc();
+        let i = b.alloc();
+        let pr = b.alloc_pred();
+        b.ldc(base, 0);
+        b.mov(acc, Src::Imm(0));
+        b.mov(i, Src::Imm(0));
+        let top = b.label_here("top");
+        b.ldg(scale, base, 0, MemWidth::B32); // invariant: base never changes
+        b.iadd(acc, acc.into(), scale.into());
+        b.iadd(i, i.into(), Src::Imm(1));
+        b.isetp(pr, i.into(), Src::Imm(8), ICmp::Lt);
+        b.bra_if(top, pr, true);
+        // The result stays in the register file: a store would (correctly)
+        // block hoisting, and the assertions below only need timing stats.
+        b.exit();
+        b.build()
+    }
+
+    #[test]
+    fn hoists_invariant_load_and_retargets_back_edge() {
+        let p = loopy_program();
+        let h = hoist_invariant_loads(&p).expect("load should hoist");
+        assert_eq!(h.ops.len(), p.ops.len(), "moved, not duplicated");
+        // The load now sits where the loop head used to start.
+        let loop_start = 3; // ldc, mov, mov
+        assert!(matches!(h.ops[loop_start], Op::Ldg { .. }));
+        // The back edge skips it.
+        let Some(Op::Bra { target, .. }) = h.ops.iter().rev().find(|o| matches!(o, Op::Bra { .. }))
+        else {
+            panic!("loop branch disappeared");
+        };
+        assert_eq!(*target, loop_start + 1);
+    }
+
+    #[test]
+    fn executes_identically_with_fewer_issues() {
+        let p = loopy_program();
+        let h = hoist_invariant_loads(&p).expect("load should hoist");
+        let run = |prog: Program| {
+            let mut gpu = Gpu::new(OrinConfig::test_small(), 1 << 16);
+            let ptr = gpu.mem.upload_u32(&[7]);
+            let k = Kernel::single("k", prog.into_arc(), 1, 1, 0, vec![ptr.addr]);
+            gpu.launch(&k).expect("launch")
+        };
+        let s0 = run(p);
+        let s1 = run(h);
+        assert!(
+            s1.issued.total() < s0.issued.total(),
+            "hoisting must reduce issued instructions ({} !< {})",
+            s1.issued.total(),
+            s0.issued.total()
+        );
+    }
+
+    #[test]
+    fn store_in_program_blocks_global_hoist() {
+        let mut b = ProgramBuilder::new("store-blocks");
+        let base = b.alloc();
+        let v = b.alloc();
+        let i = b.alloc();
+        let pr = b.alloc_pred();
+        b.ldc(base, 0);
+        b.mov(i, Src::Imm(0));
+        let top = b.label_here("top");
+        b.ldg(v, base, 0, MemWidth::B32);
+        b.iadd(i, i.into(), Src::Imm(1));
+        b.isetp(pr, i.into(), Src::Imm(4), ICmp::Lt);
+        b.bra_if(top, pr, true);
+        b.stg(base, 64, v.into(), MemWidth::B32); // any Stg forbids hoisting
+        b.exit();
+        let p = b.build();
+        assert!(hoist_invariant_loads(&p).is_none());
+    }
+
+    #[test]
+    fn variant_address_blocks_hoist() {
+        let mut b = ProgramBuilder::new("variant-addr");
+        let tid = b.alloc();
+        let ptr = b.alloc();
+        let v = b.alloc();
+        let i = b.alloc();
+        let pr = b.alloc_pred();
+        b.sreg(tid, SReg::Tid);
+        b.ldc(ptr, 0);
+        b.mov(i, Src::Imm(0));
+        let top = b.label_here("top");
+        b.ldg(v, ptr, 0, MemWidth::B32);
+        b.iadd(ptr, ptr.into(), Src::Imm(4)); // pointer advances: variant
+        b.iadd(i, i.into(), Src::Imm(1));
+        b.isetp(pr, i.into(), Src::Imm(4), ICmp::Lt);
+        b.bra_if(top, pr, true);
+        b.exit();
+        let p = b.build();
+        assert!(hoist_invariant_loads(&p).is_none());
+    }
+
+    #[test]
+    fn read_before_load_blocks_hoist() {
+        let mut b = ProgramBuilder::new("read-before");
+        let base = b.alloc();
+        let v = b.alloc();
+        let acc = b.alloc();
+        let i = b.alloc();
+        let pr = b.alloc_pred();
+        b.ldc(base, 0);
+        b.mov(v, Src::Imm(1));
+        b.mov(acc, Src::Imm(0));
+        b.mov(i, Src::Imm(0));
+        let top = b.label_here("top");
+        b.iadd(acc, acc.into(), v.into()); // reads v before the load
+        b.ldg(v, base, 0, MemWidth::B32);
+        b.iadd(i, i.into(), Src::Imm(1));
+        b.isetp(pr, i.into(), Src::Imm(4), ICmp::Lt);
+        b.bra_if(top, pr, true);
+        b.exit();
+        let p = b.build();
+        assert!(hoist_invariant_loads(&p).is_none());
+    }
+}

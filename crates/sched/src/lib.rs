@@ -1,0 +1,198 @@
+//! # vitbit-sched: static instruction scheduling over emitted kernels
+//!
+//! The kernel builders in `vitbit-kernels` emit straight-line programs in
+//! whatever order the generator found convenient; the sub-partition issue
+//! slot — the bottleneck the paper co-schedules around — is left to fend for
+//! itself. This crate closes the ROADMAP item: a static analysis and
+//! optimization pass over [`vitbit_sim::Program`] that
+//!
+//! 1. builds a full per-basic-block dependence graph (RAW/WAR/WAW over
+//!    registers and predicates, memory edges refined by the decoder's
+//!    [`vitbit_sim::AddrClass`] hints with a conservative may-alias
+//!    fallback, control instructions as hard fences) — [`deps`];
+//! 2. list-schedules independent INT, FP and LSU instructions against a
+//!    per-warp scoreboard cost model, preferring pipe alternation so
+//!    staggered warps find dual-issue partners — [`list`];
+//! 3. measures liveness and register pressure per program point —
+//!    [`pressure`];
+//! 4. optionally hoists loop-invariant loads out of counted loops —
+//!    [`hoist`] (off in the serving engine: it changes the dynamic
+//!    instruction count).
+//!
+//! The pass is **fail-closed** at two layers. [`validate_reorder`] proves
+//! every emitted schedule is a fence-pinned, dependence-respecting per-block
+//! permutation of the input; the serving engine additionally re-proves
+//! scheduled programs with `vitbit-verify` and falls back to the unscheduled
+//! program on any rejection. [`schedule_program`] itself only returns a
+//! schedule when the cost model predicts a strict cycle improvement — "no
+//! change" is always representable as `None`.
+
+#![warn(clippy::unwrap_used)]
+
+pub mod deps;
+pub mod hoist;
+pub mod list;
+pub mod pressure;
+mod validate;
+
+pub use deps::BlockGraph;
+pub use hoist::hoist_invariant_loads;
+pub use pressure::{pressure_report, PressureReport};
+pub use validate::validate_reorder;
+
+use vitbit_sim::Program;
+
+/// A successful scheduling pass over one program.
+#[derive(Debug, Clone)]
+pub struct SchedOutcome {
+    /// The rescheduled program (same name, length and register footprint).
+    pub program: Program,
+    /// Modelled co-resident issue makespan of the original program
+    /// (summed over blocks; [`list::CO_WARPS`] warps per sub-partition).
+    pub est_before: u64,
+    /// Modelled co-resident issue makespan of the scheduled program.
+    pub est_after: u64,
+    /// Blocks whose order actually changed.
+    pub blocks_changed: usize,
+}
+
+/// Schedules `p`, returning `None` when no block can be strictly improved
+/// under the cost model (callers then keep the original program — the
+/// "never worse" contract is structural, not aspirational).
+///
+/// The returned program is self-validated with [`validate_reorder`] before
+/// it leaves this function; a validation failure — which would indicate a
+/// scheduler bug — also returns `None` rather than a broken program.
+pub fn schedule_program(p: &Program) -> Option<SchedOutcome> {
+    let dec = p.decoded();
+    let mut new_ops = p.ops.clone();
+    let mut est_before = 0u64;
+    let mut est_after = 0u64;
+    let mut blocks_changed = 0usize;
+    for blk in &dec.blocks {
+        let s = blk.start as usize;
+        let e = blk.end as usize;
+        let g = deps::BlockGraph::build(&p.ops[s..e], &dec.mops[s..e]);
+        let orig: Vec<usize> = (0..e - s).collect();
+        let before = list::co_resident_makespan(&g, &orig, list::CO_WARPS);
+        est_before += before;
+        let order = list::schedule(&g);
+        if order.len() != e - s {
+            // Defensive: a truncated schedule means the graph was cyclic,
+            // which cannot happen — keep the original block.
+            est_after += before;
+            continue;
+        }
+        // Adoption is judged under the co-resident model: the list
+        // scheduler optimizes a lone warp's critical path, but a reorder
+        // only goes live if it also wins when [`list::CO_WARPS`] staggered
+        // copies share the sub-partition's dual-issue slot. A schedule
+        // that trades cross-warp pipe overlap for single-warp slack is
+        // declined here.
+        let after = list::co_resident_makespan(&g, &order, list::CO_WARPS);
+        if after < before
+            && list::makespan(&g, &order) <= list::makespan(&g, &orig)
+            && list::co_resident_makespan(&g, &order, 2 * list::CO_WARPS)
+                <= list::co_resident_makespan(&g, &orig, 2 * list::CO_WARPS)
+            && order != orig
+        {
+            for (k, &src) in order.iter().enumerate() {
+                new_ops[s + k] = p.ops[s + src].clone();
+            }
+            est_after += after;
+            blocks_changed += 1;
+        } else {
+            est_after += before;
+        }
+    }
+    if blocks_changed == 0 || est_after >= est_before {
+        return None;
+    }
+    let candidate = Program::from_raw(new_ops, p.nregs, p.npreds, p.name.clone());
+    if validate_reorder(p, &candidate).is_err() {
+        return None;
+    }
+    Some(SchedOutcome {
+        program: candidate,
+        est_before,
+        est_after,
+        blocks_changed,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use vitbit_sim::{Op, ProgramBuilder, Reg, Src};
+
+    /// Two interleavable dependence chains in one block: the pass must find
+    /// an improvement, and the result must round-trip the validator.
+    #[test]
+    fn schedules_interleavable_block() {
+        let r = |n| Reg(n);
+        let mut ops = Vec::new();
+        for base in [0u8, 8, 16] {
+            ops.push(Op::Mov {
+                d: r(base),
+                s: Src::Imm(1),
+            });
+            for k in 0..3u8 {
+                ops.push(Op::IAdd {
+                    d: r(base + k + 1),
+                    a: r(base + k).into(),
+                    b: Src::Imm(1),
+                });
+            }
+        }
+        ops.push(Op::Exit);
+        let p = Program::from_raw(ops, 32, 1, "chains");
+        let out = schedule_program(&p).expect("chains should schedule");
+        assert!(out.est_after < out.est_before);
+        assert_eq!(out.program.ops.len(), p.ops.len());
+        assert_eq!(out.program.name, p.name);
+        assert!(validate_reorder(&p, &out.program).is_ok());
+        // The order really changed.
+        assert_ne!(out.program.ops, p.ops);
+    }
+
+    /// A pure dependence chain has no slack: the pass must decline.
+    #[test]
+    fn declines_unimprovable_program() {
+        let r = |n| Reg(n);
+        let mut b = ProgramBuilder::new("chain");
+        let _ = b.alloc_n(4);
+        b.mov(r(0), Src::Imm(1));
+        b.iadd(r(1), r(0).into(), Src::Imm(1));
+        b.iadd(r(2), r(1).into(), Src::Imm(1));
+        b.iadd(r(3), r(2).into(), Src::Imm(1));
+        b.exit();
+        let p = b.build();
+        assert!(schedule_program(&p).is_none());
+    }
+
+    /// Determinism: scheduling the same program twice yields byte-identical
+    /// instruction streams (the plan cache and persisted plans rely on it).
+    #[test]
+    fn scheduling_is_deterministic() {
+        let r = |n| Reg(n);
+        let mut ops = Vec::new();
+        for base in [0u8, 4, 8, 12] {
+            ops.push(Op::Mov {
+                d: r(base),
+                s: Src::Imm(u32::from(base)),
+            });
+            ops.push(Op::IAdd {
+                d: r(base + 1),
+                a: r(base).into(),
+                b: Src::Imm(1),
+            });
+        }
+        ops.push(Op::Exit);
+        let p = Program::from_raw(ops, 32, 1, "det");
+        let a = schedule_program(&p).expect("schedulable");
+        let b = schedule_program(&p).expect("schedulable");
+        assert_eq!(a.program.ops, b.program.ops);
+        assert_eq!(a.est_after, b.est_after);
+    }
+}

@@ -1,0 +1,377 @@
+//! Liveness and register-pressure analysis over whole programs.
+//!
+//! A classic backward dataflow over the CFG: per-block `use`/`def` summaries,
+//! worklist fixpoint for live-out sets, then an in-block backward walk
+//! recording the live register count at every program point. Guarded loads
+//! (`Ldg` with a guard predicate) define their destination only when the
+//! guard holds, so they never *kill* it; `Mma` reads its accumulators
+//! (`exec::src_regs` reports the full read set, unlike the scoreboard's
+//! subsumed view).
+
+use vitbit_sim::decoded::{BasicBlock, BlockEnd};
+use vitbit_sim::{exec, Op, Program};
+
+/// 256-register live set.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+struct RegSet([u64; 4]);
+
+impl RegSet {
+    fn insert(&mut self, r: u8) {
+        self.0[usize::from(r >> 6)] |= 1u64 << (r & 63);
+    }
+    fn remove(&mut self, r: u8) {
+        self.0[usize::from(r >> 6)] &= !(1u64 << (r & 63));
+    }
+    fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.0.iter_mut().zip(other.0) {
+            let n = *a | b;
+            changed |= n != *a;
+            *a = n;
+        }
+        changed
+    }
+    fn count(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+/// Per-program register-pressure report.
+#[derive(Debug, Clone)]
+pub struct PressureReport {
+    /// Program name.
+    pub name: String,
+    /// Static instruction count.
+    pub ops: usize,
+    /// Declared register footprint (`Program::nregs`).
+    pub nregs: u8,
+    /// Peak simultaneously-live registers over all program points.
+    pub max_live_regs: u32,
+    /// Peak simultaneously-live predicates.
+    pub max_live_preds: u32,
+    /// `histogram[l]` = number of program points with exactly `l` live
+    /// registers. Length is `max_live_regs + 1`.
+    pub histogram: Vec<u64>,
+}
+
+impl PressureReport {
+    /// Mean live registers per program point.
+    pub fn mean_live(&self) -> f64 {
+        let points: u64 = self.histogram.iter().sum();
+        if points == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .histogram
+            .iter()
+            .enumerate()
+            .map(|(l, &c)| l as u64 * c)
+            .sum();
+        weighted as f64 / points as f64
+    }
+
+    /// Compact single-line JSON rendering (`verify-kernels --pressure`).
+    pub fn to_json(&self) -> String {
+        let hist = self
+            .histogram
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"name\":\"{}\",\"ops\":{},\"nregs\":{},\"max_live_regs\":{},\
+             \"max_live_preds\":{},\"mean_live\":{:.2},\"histogram\":[{}]}}",
+            json_escape(&self.name),
+            self.ops,
+            self.nregs,
+            self.max_live_regs,
+            self.max_live_preds,
+            self.mean_live(),
+            hist
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Does `op` unconditionally overwrite its whole destination range? Guarded
+/// loads write only where the guard predicate holds.
+fn kills_dest(op: &Op) -> bool {
+    !matches!(op, Op::Ldg { guard: Some(_), .. })
+}
+
+/// CFG successor blocks of `blocks[b]` (branch targets resolved through the
+/// instruction-to-block map).
+fn successors(p: &Program, blocks: &[BasicBlock], b: usize, out: &mut Vec<usize>) {
+    out.clear();
+    let blk = &blocks[b];
+    match blk.end_kind {
+        BlockEnd::Exit => {}
+        BlockEnd::Branch => {
+            if let Op::Bra { target, pred, .. } = &p.ops[blk.end as usize - 1] {
+                out.push(p.decoded().mops[*target].block as usize);
+                if pred.is_some() && b + 1 < blocks.len() {
+                    out.push(b + 1);
+                }
+            }
+        }
+        BlockEnd::FallThrough | BlockEnd::Barrier => {
+            if b + 1 < blocks.len() {
+                out.push(b + 1);
+            }
+        }
+    }
+}
+
+/// Computes the liveness/register-pressure report for `p`.
+pub fn pressure_report(p: &Program) -> PressureReport {
+    let dec = p.decoded();
+    let nb = dec.blocks.len();
+    let mut scratch: Vec<u8> = Vec::with_capacity(16);
+
+    // Per-block upward-exposed uses and kills, for registers and predicates.
+    let mut uses = vec![RegSet::default(); nb];
+    let mut defs = vec![RegSet::default(); nb];
+    let mut pred_uses = vec![0u32; nb];
+    let mut pred_defs = vec![0u32; nb];
+    for (b, blk) in dec.blocks.iter().enumerate() {
+        for op in p.ops[blk.start as usize..blk.end as usize].iter().rev() {
+            if let Some((first, count)) = exec::dest_regs(op) {
+                if kills_dest(op) {
+                    for r in first..first.saturating_add(count) {
+                        defs[b].insert(r);
+                        uses[b].remove(r);
+                    }
+                }
+            }
+            if let Some(pd) = exec::dest_pred(op) {
+                pred_defs[b] |= 1 << pd;
+                pred_uses[b] &= !(1u32 << pd);
+            }
+            exec::src_regs(op, &mut scratch);
+            for &r in &scratch {
+                uses[b].insert(r);
+            }
+            exec::src_preds(op, &mut scratch);
+            for &pr in &scratch {
+                pred_uses[b] |= 1 << pr;
+            }
+        }
+    }
+
+    // Backward worklist fixpoint: live_in[b] = uses ∪ (live_out \ defs).
+    let mut live_in = vec![RegSet::default(); nb];
+    let mut live_out = vec![RegSet::default(); nb];
+    let mut pred_in = vec![0u32; nb];
+    let mut pred_out = vec![0u32; nb];
+    let mut work: Vec<usize> = (0..nb).rev().collect();
+    let mut succs: Vec<usize> = Vec::with_capacity(2);
+    // Predecessor map for requeueing.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nb];
+    for b in 0..nb {
+        successors(p, &dec.blocks, b, &mut succs);
+        for &s in &succs {
+            preds[s].push(b);
+        }
+    }
+    while let Some(b) = work.pop() {
+        successors(p, &dec.blocks, b, &mut succs);
+        let mut out = RegSet::default();
+        let mut pout = 0u32;
+        for &s in &succs {
+            out.union_with(&live_in[s]);
+            pout |= pred_in[s];
+        }
+        live_out[b] = out;
+        pred_out[b] = pout;
+        let mut inn = out;
+        for w in 0..4 {
+            inn.0[w] &= !defs[b].0[w];
+        }
+        inn.union_with(&uses[b]);
+        let pinn = (pout & !pred_defs[b]) | pred_uses[b];
+        if inn != live_in[b] || pinn != pred_in[b] {
+            live_in[b] = inn;
+            pred_in[b] = pinn;
+            for &q in &preds[b] {
+                if !work.contains(&q) {
+                    work.push(q);
+                }
+            }
+        }
+    }
+
+    // In-block backward walk, recording pressure at every program point.
+    let mut max_regs = 0u32;
+    let mut max_preds = 0u32;
+    let mut counts: Vec<u64> = Vec::new();
+    let mut record = |live: &RegSet, pl: u32, counts: &mut Vec<u64>| {
+        let c = live.count();
+        max_regs = max_regs.max(c);
+        max_preds = max_preds.max(pl.count_ones());
+        if counts.len() <= c as usize {
+            counts.resize(c as usize + 1, 0);
+        }
+        counts[c as usize] += 1;
+    };
+    for (b, blk) in dec.blocks.iter().enumerate() {
+        let mut live = live_out[b];
+        let mut pl = pred_out[b];
+        record(&live, pl, &mut counts);
+        for op in p.ops[blk.start as usize..blk.end as usize].iter().rev() {
+            if let Some((first, count)) = exec::dest_regs(op) {
+                if kills_dest(op) {
+                    for r in first..first.saturating_add(count) {
+                        live.remove(r);
+                    }
+                }
+            }
+            if let Some(pd) = exec::dest_pred(op) {
+                pl &= !(1u32 << pd);
+            }
+            exec::src_regs(op, &mut scratch);
+            for &r in &scratch {
+                live.insert(r);
+            }
+            exec::src_preds(op, &mut scratch);
+            for &pr in &scratch {
+                pl |= 1 << pr;
+            }
+            record(&live, pl, &mut counts);
+        }
+    }
+
+    PressureReport {
+        name: p.name.clone(),
+        ops: p.ops.len(),
+        nregs: p.nregs,
+        max_live_regs: max_regs,
+        max_live_preds: max_preds,
+        histogram: counts,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use vitbit_sim::{ICmp, MemWidth, Op, Reg, Src};
+
+    fn prog(ops: Vec<Op>) -> Program {
+        Program::from_raw(ops, 32, 4, "pressure-test")
+    }
+
+    #[test]
+    fn straight_line_pressure() {
+        let r = |n| Reg(n);
+        // r0 and r1 are simultaneously live between the movs and the add.
+        let p = prog(vec![
+            Op::Mov {
+                d: r(0),
+                s: Src::Imm(1),
+            },
+            Op::Mov {
+                d: r(1),
+                s: Src::Imm(2),
+            },
+            Op::IAdd {
+                d: r(2),
+                a: r(0).into(),
+                b: r(1).into(),
+            },
+            Op::Stg {
+                addr: r(2),
+                off: 0,
+                v: r(2).into(),
+                w: MemWidth::B32,
+                guard: None,
+                stream: false,
+            },
+            Op::Exit,
+        ]);
+        let rep = pressure_report(&p);
+        assert_eq!(rep.max_live_regs, 2);
+        assert_eq!(rep.ops, 5);
+        let points: u64 = rep.histogram.iter().sum();
+        // One point per instruction plus one block-exit point per block.
+        assert_eq!(points as usize, p.ops.len() + p.decoded().blocks.len());
+    }
+
+    #[test]
+    fn loop_keeps_carried_values_live() {
+        let mut b = vitbit_sim::ProgramBuilder::new("loop");
+        let i = b.alloc();
+        let acc = b.alloc();
+        let pr = b.alloc_pred();
+        b.mov(i, Src::Imm(0));
+        b.mov(acc, Src::Imm(0));
+        let top = b.label_here("top");
+        b.iadd(acc, acc.into(), i.into());
+        b.iadd(i, i.into(), Src::Imm(1));
+        b.isetp(pr, i.into(), Src::Imm(10), ICmp::Lt);
+        b.bra_if(top, pr, true);
+        // acc still read after the loop.
+        b.stg(acc, 0, acc.into(), MemWidth::B32);
+        b.exit();
+        let p = b.build();
+        let rep = pressure_report(&p);
+        // i and acc are both live across the back edge.
+        assert!(rep.max_live_regs >= 2, "{rep:?}");
+        assert_eq!(rep.max_live_preds, 1);
+    }
+
+    #[test]
+    fn guarded_load_does_not_kill() {
+        let r = |n| Reg(n);
+        use vitbit_sim::Pred;
+        // r1 holds a value that survives when the guard is false, so it must
+        // stay live above the guarded load.
+        let p = prog(vec![
+            Op::Mov {
+                d: r(1),
+                s: Src::Imm(5),
+            },
+            Op::Ldg {
+                d: r(1),
+                addr: r(0),
+                off: 0,
+                w: MemWidth::B32,
+                guard: Some(Pred(0)),
+                stream: false,
+            },
+            Op::Stg {
+                addr: r(0),
+                off: 0,
+                v: r(1).into(),
+                w: MemWidth::B32,
+                guard: None,
+                stream: false,
+            },
+            Op::Exit,
+        ]);
+        let rep = pressure_report(&p);
+        // r0 and r1 live together above the load (r1 thanks to no-kill).
+        assert!(rep.max_live_regs >= 2, "{rep:?}");
+    }
+
+    #[test]
+    fn json_shape() {
+        let p = prog(vec![Op::Exit]);
+        let rep = pressure_report(&p);
+        let j = rep.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"name\":\"pressure-test\""), "{j}");
+        assert!(j.contains("\"histogram\":["), "{j}");
+    }
+}

@@ -23,6 +23,20 @@ pub struct Program {
 }
 
 impl Program {
+    /// Assembles a program from already-resolved instructions. Branch targets
+    /// in `ops` must be absolute indices into the vector; the caller vouches
+    /// for them (optimization passes that permute an existing program do).
+    /// The decoded form is rebuilt lazily on first access.
+    pub fn from_raw(ops: Vec<Op>, nregs: u8, npreds: u8, name: impl Into<String>) -> Program {
+        Program {
+            ops,
+            nregs,
+            npreds,
+            name: name.into(),
+            decoded: OnceLock::new(),
+        }
+    }
+
     /// Wraps the program for sharing across warps.
     pub fn into_arc(self) -> Arc<Program> {
         Arc::new(self)

@@ -799,6 +799,9 @@ impl Sm {
                         }
                         if self.try_issue(slot, sp_idx, now, mem, args, stats, &mut issued) {
                             issues_left -= 1;
+                            if issues_left == 0 {
+                                stats.dual_issue_cycles += 1;
+                            }
                             self.subparts[sp_idx].greedy = Some(slot);
                             if self.interp_fast {
                                 fold(self.gate_next_bound(slot, sp_idx, now), slot);
@@ -825,6 +828,9 @@ impl Sm {
                             }
                             if self.try_issue(slot, sp_idx, now, mem, args, stats, &mut issued) {
                                 issues_left -= 1;
+                                if issues_left == 0 {
+                                    stats.dual_issue_cycles += 1;
+                                }
                                 if self.interp_fast {
                                     fold(self.gate_next_bound(slot, sp_idx, now), slot);
                                 }
@@ -1133,6 +1139,19 @@ impl Sm {
             }
             if dest.is_some() {
                 reg_flip = fault.roll(SALT_REG, sm_id, ctr, fault.reg_flip_rate);
+            }
+        }
+
+        // Issue-stall accounting: cycles this instruction spent with its
+        // operands ready but the issue withheld (pipe busy, lost slot
+        // arbitration, gate slack). `mop_earliest` is a pure function of the
+        // scoreboard, which both interpreters evolve bit-identically, so the
+        // counters match across `InterpMode`s, `SimMode`s and fast-forward.
+        {
+            let dmop = w.program.decoded().mops[pc];
+            if dmop.pipe != CTRL_PIPE {
+                let earliest = mop_earliest(w, &dmop, 0);
+                stats.stall.add(dmop.pipe, now.saturating_sub(earliest));
             }
         }
 

@@ -54,6 +54,47 @@ pub struct PipeBusy {
     pub lsu: u64,
 }
 
+/// Issue-stall cycles per pipe: for every issued instruction, the cycles
+/// it spent data-ready but un-issued (issue cycle minus the scoreboard's
+/// earliest admissible cycle). High stall with low busy means the pipe
+/// lost the sub-partition's issue slot to a sibling pipe — the
+/// pipe-overlap deficit the static scheduler attacks. The counters are a
+/// pure function of the issue stream and the scoreboard, so they are
+/// bit-identical across `SimMode`s, `InterpMode`s and fast-forward.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipeStall {
+    /// INT-pipe issue-stall cycles.
+    pub int: u64,
+    /// FP-pipe issue-stall cycles.
+    pub fp: u64,
+    /// Tensor-pipe issue-stall cycles.
+    pub tensor: u64,
+    /// SFU issue-stall cycles.
+    pub sfu: u64,
+    /// LSU issue-stall cycles.
+    pub lsu: u64,
+}
+
+impl PipeStall {
+    /// Adds `cycles` of stall to the pipe identified by its decoded pipe
+    /// code (`0 = int .. 4 = lsu`); control instructions carry no stall.
+    pub fn add(&mut self, pipe_code: u8, cycles: u64) {
+        match pipe_code {
+            0 => self.int += cycles,
+            1 => self.fp += cycles,
+            2 => self.tensor += cycles,
+            3 => self.sfu += cycles,
+            4 => self.lsu += cycles,
+            _ => {}
+        }
+    }
+
+    /// Total stall cycles across all pipes.
+    pub fn total(&self) -> u64 {
+        self.int + self.fp + self.tensor + self.sfu + self.lsu
+    }
+}
+
 /// Everything measured during one kernel launch.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct KernelStats {
@@ -65,6 +106,12 @@ pub struct KernelStats {
     pub issued: PipeCounts,
     /// Busy cycles per pipe.
     pub busy: PipeBusy,
+    /// Cycles on which some sub-partition filled both of its issue slots
+    /// (summed over SMs and sub-partitions): the dual-issue/pipe-overlap
+    /// measure behind the Figure-10 IPC claim.
+    pub dual_issue_cycles: u64,
+    /// Issue-stall cycles per pipe (data-ready but un-issued).
+    pub stall: PipeStall,
     /// Arithmetic operations retired on the INT pipe.
     pub int_ops: u64,
     /// Arithmetic operations retired on the FP pipe.
@@ -156,6 +203,18 @@ impl KernelStats {
         busy as f64 / capacity as f64
     }
 
+    /// Fraction of issuing capacity realized as dual issues: dual-issue
+    /// cycles over total issued instructions (0.5 would mean every issue
+    /// happened as half of a pair). A cheap pipe-overlap scalar for the
+    /// Figure-10-style tables.
+    pub fn dual_issue_ratio(&self) -> f64 {
+        let issued = self.issued.total();
+        if issued == 0 {
+            return 0.0;
+        }
+        self.dual_issue_cycles as f64 / issued as f64
+    }
+
     /// Fraction of simulated cycles the fast-forward skipped over
     /// (0.0 when the knob is off or the kernel never stalled globally).
     pub fn skip_ratio(&self) -> f64 {
@@ -196,6 +255,17 @@ impl KernelStats {
             s,
             "  busy:   int {} fp {} tensor {} sfu {} lsu {}",
             self.busy.int, self.busy.fp, self.busy.tensor, self.busy.sfu, self.busy.lsu,
+        );
+        let _ = writeln!(
+            s,
+            "  dual-issue: {} cycles (ratio {:.3})",
+            self.dual_issue_cycles,
+            self.dual_issue_ratio(),
+        );
+        let _ = writeln!(
+            s,
+            "  stall:  int {} fp {} tensor {} sfu {} lsu {}",
+            self.stall.int, self.stall.fp, self.stall.tensor, self.stall.sfu, self.stall.lsu,
         );
         let _ = writeln!(
             s,
@@ -254,6 +324,12 @@ impl KernelStats {
         self.busy.tensor += other.busy.tensor;
         self.busy.sfu += other.busy.sfu;
         self.busy.lsu += other.busy.lsu;
+        self.dual_issue_cycles += other.dual_issue_cycles;
+        self.stall.int += other.stall.int;
+        self.stall.fp += other.stall.fp;
+        self.stall.tensor += other.stall.tensor;
+        self.stall.sfu += other.stall.sfu;
+        self.stall.lsu += other.stall.lsu;
         self.int_ops += other.int_ops;
         self.fp_ops += other.fp_ops;
         self.tc_ops += other.tc_ops;
@@ -296,6 +372,14 @@ mod tests {
                 tensor: 200,
                 sfu: 80,
                 lsu: 200,
+            },
+            dual_issue_cycles: 120,
+            stall: PipeStall {
+                int: 40,
+                fp: 30,
+                tensor: 10,
+                sfu: 5,
+                lsu: 25,
             },
             int_ops: 500 * 64,
             fp_ops: 300 * 64,
@@ -353,6 +437,20 @@ mod tests {
         assert_eq!(a.issued.int, 1000);
         assert_eq!(a.blocks, 8);
         assert_eq!(a.tc_ops, 2 * 50 * 8192);
+        assert_eq!(a.dual_issue_cycles, 240);
+        assert_eq!(a.stall.int, 80);
+        assert_eq!(a.stall.lsu, 50);
+    }
+
+    #[test]
+    fn dual_issue_ratio_and_stall_total() {
+        let s = sample();
+        assert!((s.dual_issue_ratio() - 120.0 / 1000.0).abs() < 1e-12);
+        let mut st = PipeStall::default();
+        st.add(0, 3);
+        st.add(4, 2);
+        st.add(5, 99); // ctrl pipe carries no stall
+        assert_eq!(st.total(), 5);
     }
 
     #[test]

@@ -5,12 +5,17 @@
 //!
 //! Output is a JSON report on stdout; the exit code is nonzero when any
 //! proof fails or any seeded mutant goes undetected.
+//!
+//! `--pressure` switches to the register-pressure reporter: every
+//! distinct program the sweep emits is analyzed with
+//! `vitbit_sched::pressure_report` and dumped as one JSON row
+//! (max-live registers/predicates plus the live-count histogram).
 
 use vitbit_core::policy::PackSpec;
 use vitbit_plan::Strategy;
 use vitbit_verify::{
-    mutate, packed_context, sweep_desc, tc_role_context, verify_desc, verify_with_context,
-    VIT_BASE_SHAPES,
+    contexts_for_desc, mutate, packed_context, sweep_desc, tc_role_context, verify_desc,
+    verify_with_context, VIT_BASE_SHAPES,
 };
 
 /// One sweep row, already rendered to JSON fields.
@@ -80,10 +85,60 @@ fn sweep() -> Vec<Row> {
     rows
 }
 
+/// Register-pressure report over every distinct program the sweep
+/// emits. Dedup is by (name, op count, register-file size, op stream):
+/// most subjects share programs, so the row count stays far below the
+/// subject count.
+fn pressure_report() -> String {
+    use std::collections::HashSet;
+    use std::hash::{DefaultHasher, Hash, Hasher};
+    let mut seen = HashSet::new();
+    let mut rows = Vec::new();
+    let mut subjects = 0usize;
+    let mut max_live = 0u32;
+    let mut analyze = |prog: &vitbit_sim::Program| {
+        let mut h = DefaultHasher::new();
+        prog.name.hash(&mut h);
+        prog.nregs.hash(&mut h);
+        format!("{:?}", prog.ops).hash(&mut h);
+        if seen.insert(h.finish()) {
+            let report = vitbit_sched::pressure_report(prog);
+            max_live = max_live.max(report.max_live_regs);
+            rows.push(format!("    {}", report.to_json()));
+        }
+    };
+    for bits in [4u32, 6, 8] {
+        let spec = PackSpec::guarded(bits, bits).expect("guarded spec for swept bitwidth");
+        for (_, m, k, n) in VIT_BASE_SHAPES {
+            for strategy in Strategy::ALL {
+                subjects += 1;
+                for (prog, _) in contexts_for_desc(&sweep_desc(strategy, spec, m, k, n)) {
+                    analyze(&prog);
+                }
+            }
+            for prog in [packed_context(m, k, n, spec).0, tc_role_context(k).0] {
+                subjects += 1;
+                analyze(&prog);
+            }
+        }
+    }
+    format!(
+        "{{\n  \"subjects\": {},\n  \"programs\": {},\n  \"max_live_regs\": {},\n  \"pressure\": [\n{}\n  ]\n}}",
+        subjects,
+        rows.len(),
+        max_live,
+        rows.join(",\n")
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run_mutation = args.iter().any(|a| a == "--mutate");
     let mutate_only = args.iter().any(|a| a == "--mutate-only");
+    if args.iter().any(|a| a == "--pressure") {
+        println!("{}", pressure_report());
+        return;
+    }
 
     let rows = if mutate_only { Vec::new() } else { sweep() };
     let proved = rows.iter().filter(|r| r.ok).count();

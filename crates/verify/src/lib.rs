@@ -570,6 +570,19 @@ pub fn engine_verifier() -> vitbit_plan::PlanVerifier {
     })
 }
 
+/// Packages [`verify_program`] as the plan engine's per-program
+/// scheduling gate: the static scheduler only adopts a reordered
+/// program when this check re-proves it from scratch. Installing no
+/// check means the engine declines every candidate (fail-closed).
+pub fn program_checker() -> vitbit_plan::ProgramCheck {
+    vitbit_plan::ProgramCheck::new(|program: &Program, desc: &GemmDesc| {
+        match verify_program(program, desc) {
+            Ok(_) => Ok(()),
+            Err(violations) => Err(violations.iter().map(ToString::to_string).collect()),
+        }
+    })
+}
+
 /// A desc for verification sweeps: shape + strategy + spec, with the
 /// engine-irrelevant fields defaulted.
 pub fn sweep_desc(strategy: Strategy, spec: PackSpec, m: usize, k: usize, n: usize) -> GemmDesc {
@@ -585,6 +598,7 @@ pub fn sweep_desc(strategy: Strategy, spec: PackSpec, m: usize, k: usize, n: usi
         weight: None,
         abft: false,
         verify: false,
+        sched: false,
         knobs: vitbit_plan::SimKnobs::from_config(&vitbit_sim::OrinConfig::test_small()),
     }
 }

@@ -3,7 +3,7 @@
 //! that only ever prints green has no evidence behind it; this module is
 //! the evidence.
 //!
-//! Five mutation classes, each attacking one invariant the verifier
+//! Six mutation classes, each attacking one invariant the toolchain
 //! claims to prove:
 //!
 //! * **guard-mask-widen** — widen a lane-extraction `And` mask by one
@@ -15,13 +15,20 @@
 //! * **deep-k** — run the paper (no-spill) policy at a K beyond its
 //!   safe accumulation depth;
 //! * **spill-drop** — delete one accumulator-clear after a lane spill,
-//!   so the next chunk accumulates on top of a full lane.
+//!   so the next chunk accumulates on top of a full lane;
+//! * **illegal-reorder** — swap instruction pairs a static scheduler
+//!   must never swap (a RAW-dependent pair; a memory access across a
+//!   barrier), validated against the scheduler's own legality gate
+//!   rather than the lane/hazard verifier.
 //!
 //! Mutations replace instructions **in place** (never insert or
 //! delete): branch targets are absolute indices and must stay valid.
+//! The reorder class swaps adjacent instructions, which preserves the
+//! same invariant.
 
 use crate::{packed_context, tc_context_for_mutation, verify_with_context, Violation};
 use vitbit_core::policy::PackSpec;
+use vitbit_sim::decoded::{MicroOp, CTRL_PIPE};
 use vitbit_sim::{Op, Program, Src};
 
 /// Outcome of one mutant.
@@ -31,7 +38,9 @@ pub struct MutantResult {
     pub description: String,
     /// Whether the analyzer flagged the mutant (it must).
     pub flagged: bool,
-    /// The violations raised (empty iff not flagged).
+    /// The violations raised. Empty when not flagged, and also for the
+    /// illegal-reorder class, whose flag comes from the scheduler's
+    /// legality gate instead of the verifier's fact base.
     pub violations: Vec<Violation>,
 }
 
@@ -246,6 +255,74 @@ fn spill_drop() -> ClassResult {
     }
 }
 
+/// Seed reorders the static scheduler must reject: an adjacent RAW
+/// swap (wrong value, no lane-safety violation) and a memory access
+/// moved across a barrier (wrong staging interval). These mutants are
+/// judged by [`vitbit_sched::validate_reorder`] — the same legality
+/// gate the plan engine runs on every scheduled candidate — because an
+/// illegal reorder changes *semantics* without necessarily tripping
+/// the lane/hazard verifier.
+fn illegal_reorder() -> ClassResult {
+    let (prog, _ctx) = tc_context_for_mutation(768);
+    let dec = prog.decoded();
+    let swapped = |pc: usize| {
+        let mut p = Program::clone(&prog);
+        p.ops.swap(pc, pc + 1);
+        p
+    };
+    let reads = |mop: &MicroOp, reg: u8| mop.srcs[..mop.n_src as usize].contains(&reg);
+    let mut mutants = Vec::new();
+
+    // RAW pair: both ops in one block, neither control, the later op
+    // reading a register the earlier one writes.
+    let raw_pc = (0..prog.ops.len().saturating_sub(1)).find(|&pc| {
+        let (a, b) = (&dec.mops[pc], &dec.mops[pc + 1]);
+        a.block == b.block
+            && a.pipe != CTRL_PIPE
+            && b.pipe != CTRL_PIPE
+            && a.dest_count > 0
+            && (a.dest_first..a.dest_first + a.dest_count).any(|r| reads(b, r))
+    });
+    if let Some(pc) = raw_pc {
+        let mutant = swapped(pc);
+        mutants.push(MutantResult {
+            description: format!("{}: swap RAW pair at pc {pc},{}", prog.name, pc + 1),
+            flagged: vitbit_sched::validate_reorder(&prog, &mutant).is_err(),
+            violations: Vec::new(),
+        });
+    }
+
+    // Memory access adjacent to a barrier, swapped across it: the
+    // access lands in the other staging interval.
+    let is_mem = |op: &Op| {
+        matches!(
+            op,
+            Op::Lds { .. } | Op::Ldg { .. } | Op::LdgV4 { .. } | Op::Sts { .. } | Op::Stg { .. }
+        )
+    };
+    let bar_pc = (0..prog.ops.len().saturating_sub(1)).find(|&pc| {
+        (matches!(prog.ops[pc], Op::Bar) && is_mem(&prog.ops[pc + 1]))
+            || (is_mem(&prog.ops[pc]) && matches!(prog.ops[pc + 1], Op::Bar))
+    });
+    if let Some(pc) = bar_pc {
+        let mutant = swapped(pc);
+        mutants.push(MutantResult {
+            description: format!(
+                "{}: move memory access across barrier at pc {pc},{}",
+                prog.name,
+                pc + 1
+            ),
+            flagged: vitbit_sched::validate_reorder(&prog, &mutant).is_err(),
+            violations: Vec::new(),
+        });
+    }
+
+    ClassResult {
+        class: "illegal-reorder".into(),
+        mutants,
+    }
+}
+
 /// Runs every mutation class.
 pub fn run_mutation_suite() -> MutationReport {
     MutationReport {
@@ -255,6 +332,7 @@ pub fn run_mutation_suite() -> MutationReport {
             barrier_drop(),
             deep_k(),
             spill_drop(),
+            illegal_reorder(),
         ],
     }
 }
@@ -282,5 +360,16 @@ mod tests {
             }
         }
         assert!(report.all_flagged());
+    }
+
+    #[test]
+    fn reorder_class_seeds_both_shapes() {
+        let class = illegal_reorder();
+        assert_eq!(
+            class.mutants.len(),
+            2,
+            "expected a RAW-swap mutant and a barrier-crossing mutant"
+        );
+        assert!(class.all_flagged());
     }
 }

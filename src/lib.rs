@@ -35,6 +35,11 @@
 //!   shared-memory hazard verification over the emitted kernel
 //!   programs, with a mutation-mode self-test and the
 //!   `verify-kernels` sweep CLI.
+//! * [`sched`] ([`vitbit_sched`]) — static instruction scheduling
+//!   (per-block dependence graphs + list scheduling for pipe overlap)
+//!   and register-pressure analysis over emitted programs; the plan
+//!   engine adopts a scheduled program only after the verifier
+//!   re-proves it (fail-closed).
 //!
 //! ## Quickstart
 //!
@@ -58,6 +63,7 @@ pub use vitbit_core as core;
 pub use vitbit_exec as exec;
 pub use vitbit_kernels as kernels;
 pub use vitbit_plan as plan;
+pub use vitbit_sched as sched;
 pub use vitbit_sim as sim;
 pub use vitbit_tensor as tensor;
 pub use vitbit_verify as verify;

@@ -62,10 +62,19 @@ fn warm() -> Warm {
 
 /// After any import outcome, the engine must still serve every desc
 /// correctly — rejected entries fall back to live prepare.
-fn assert_serves(e: &mut Engine, descs: &[GemmDesc], a: &Matrix<i8>, b: &Matrix<i8>, want: &[Matrix<i32>], tag: &str) {
+fn assert_serves(
+    e: &mut Engine,
+    descs: &[GemmDesc],
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+    want: &[Matrix<i32>],
+    tag: &str,
+) {
     let mut g = gpu();
     for (&d, w) in descs.iter().zip(want) {
-        let id = e.prepare(d).unwrap_or_else(|err| panic!("{tag}: prepare after import: {err}"));
+        let id = e
+            .prepare(d)
+            .unwrap_or_else(|err| panic!("{tag}: prepare after import: {err}"));
         let got = e
             .execute(&mut g, id, a, b)
             .unwrap_or_else(|err| panic!("{tag}: execute after import: {err}"));
@@ -75,7 +84,13 @@ fn assert_serves(e: &mut Engine, descs: &[GemmDesc], a: &Matrix<i8>, b: &Matrix<
 
 #[test]
 fn truncation_at_every_byte_fails_closed() {
-    let Warm { descs, blob, a, b, outs } = warm();
+    let Warm {
+        descs,
+        blob,
+        a,
+        b,
+        outs,
+    } = warm();
     let n = descs.len() as u64;
     for cut in 0..blob.len() {
         let damaged = &blob[..cut];
@@ -90,7 +105,10 @@ fn truncation_at_every_byte_fails_closed() {
             matches!(err, PersistError::BadMagic | PersistError::Truncated),
             "cut at {cut}: unexpected {err:?}"
         );
-        assert!(e.stats().plans_imported < n, "cut at {cut}: a strict prefix never imports all");
+        assert!(
+            e.stats().plans_imported < n,
+            "cut at {cut}: a strict prefix never imports all"
+        );
         // Spot-check serving on a handful of cut points (full serving at
         // every byte would dominate the suite's runtime).
         if cut % 29 == 0 {
@@ -106,7 +124,13 @@ fn truncation_at_every_byte_fails_closed() {
 
 #[test]
 fn single_bit_flip_at_every_byte_is_never_silently_accepted() {
-    let Warm { descs, blob, a, b, outs } = warm();
+    let Warm {
+        descs,
+        blob,
+        a,
+        b,
+        outs,
+    } = warm();
     let n = descs.len() as u64;
     for pos in 0..blob.len() {
         let mut damaged = blob.clone();
@@ -146,7 +170,13 @@ fn single_bit_flip_at_every_byte_is_never_silently_accepted() {
 
 #[test]
 fn duplicate_entries_within_a_blob_are_rejected() {
-    let Warm { descs, blob, a, b, outs } = warm();
+    let Warm {
+        descs,
+        blob,
+        a,
+        b,
+        outs,
+    } = warm();
     // Splice the first entry in twice: a well-formed export never
     // repeats a desc, so the replayed entry must be rejected — not
     // silently merged, not double-imported.
@@ -208,23 +238,32 @@ fn splicing_two_exports_with_distinct_descs_is_legitimate() {
 
 #[test]
 fn truncated_header_and_empty_inputs_error_cleanly() {
-    for bytes in [&[][..], &b"VB"[..], &b"VBPC"[..], &b"VBPC\x01\x00\x00\x00"[..]] {
+    use vitbit::plan::persist::VERSION;
+    for bytes in [
+        &[][..],
+        &b"VB"[..],
+        &b"VBPC"[..],
+        &b"VBPC\x01\x00\x00\x00"[..],
+    ] {
         let mut e = Engine::new();
         let res = e.import_plans(bytes);
         assert!(res.is_err(), "{bytes:?} must be refused");
     }
-    // Wrong version fails wholesale, right version with zero entries is
-    // a valid empty blob.
-    let mut wrong = Vec::new();
-    wrong.extend_from_slice(b"VBPC");
-    wrong.extend_from_slice(&2u32.to_le_bytes());
-    wrong.extend_from_slice(&0u32.to_le_bytes());
-    let mut e = Engine::new();
-    assert_eq!(e.import_plans(&wrong), Err(PersistError::BadVersion(2)));
+    // Any other version (older or newer) fails wholesale; the current
+    // version with zero entries is a valid empty blob.
+    for v in [VERSION - 1, VERSION + 1] {
+        let mut wrong = Vec::new();
+        wrong.extend_from_slice(b"VBPC");
+        wrong.extend_from_slice(&v.to_le_bytes());
+        wrong.extend_from_slice(&0u32.to_le_bytes());
+        let mut e = Engine::new();
+        assert_eq!(e.import_plans(&wrong), Err(PersistError::BadVersion(v)));
+    }
     let mut empty = Vec::new();
     empty.extend_from_slice(b"VBPC");
-    empty.extend_from_slice(&1u32.to_le_bytes());
+    empty.extend_from_slice(&VERSION.to_le_bytes());
     empty.extend_from_slice(&0u32.to_le_bytes());
+    let mut e = Engine::new();
     let summary = e.import_plans(&empty).expect("empty blob is valid");
     assert_eq!(summary.imported, 0);
 }

@@ -155,7 +155,10 @@ fn soak(
     want.sort();
     let mut got_sorted = got.clone();
     got_sorted.sort();
-    assert_eq!(got_sorted, want, "every accepted ticket completes exactly once");
+    assert_eq!(
+        got_sorted, want,
+        "every accepted ticket completes exactly once"
+    );
     // Contract 2: completions arrive in global ticket order (each drain
     // sorts, and the waves submit in ticket order).
     for w in done.windows(2) {
@@ -213,7 +216,11 @@ fn chaos_soak_payloads_match_fault_free_pool_across_seeds() {
                 let want = by_ticket[&c.ticket.id()].result.as_ref().expect(&tag);
                 assert_eq!(out.out.c, want.out.c, "{tag}: payload vs fault-free pool");
                 let (d, a, b) = &reqs[c.ticket.id() as usize];
-                assert_eq!(out.out.c, gemm_i8_i32(a, b), "{tag}: payload vs host oracle");
+                assert_eq!(
+                    out.out.c,
+                    gemm_i8_i32(a, b),
+                    "{tag}: payload vs host oracle"
+                );
                 assert_eq!(
                     (out.out.c.rows(), out.out.c.cols()),
                     (d.m, d.n),
@@ -242,7 +249,10 @@ fn chaos_cases_replay_identically() {
                     y.result.as_ref().expect("second"),
                 );
                 assert_eq!(ox.out.c, oy.out.c, "{scenario:?} seed {seed}: payload");
-                assert_eq!(ox.out.stats, oy.out.stats, "{scenario:?} seed {seed}: stats");
+                assert_eq!(
+                    ox.out.stats, oy.out.stats,
+                    "{scenario:?} seed {seed}: stats"
+                );
                 assert_eq!(ox.served, oy.served);
                 assert_eq!(ox.faults, oy.faults);
                 assert_eq!(ox.retries, oy.retries);
@@ -277,7 +287,10 @@ fn pool_with_evicted_shard_matches_fresh_pool_of_survivors() {
             assert_eq!(x.ticket, y.ticket, "evicted={evicted}: same global stream");
             let (ox, oy) = (x.result.as_ref().expect("A"), y.result.as_ref().expect("B"));
             assert_eq!(ox.out.c, oy.out.c, "evicted={evicted}: payload");
-            assert_eq!(ox.out.stats, oy.out.stats, "evicted={evicted}: launch stats");
+            assert_eq!(
+                ox.out.stats, oy.out.stats,
+                "evicted={evicted}: launch stats"
+            );
         }
         // Shard healthy[i] of A carried exactly shard i of B's stream.
         let stats_a = pool_a.device_stats();
@@ -505,7 +518,9 @@ fn drain_deadline_misses_evict_through_the_policy() {
     let ps = pool.pool_stats();
     assert!(ps.deadline_misses >= 1);
     assert!(
-        pool.device_status().iter().any(|s| s.health == HealthState::Evicted),
+        pool.device_status()
+            .iter()
+            .any(|s| s.health == HealthState::Evicted),
         "deadline misses feed the eviction threshold"
     );
     // The pool still serves (surviving shards or the host path).

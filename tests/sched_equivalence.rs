@@ -1,0 +1,191 @@
+//! Scheduler differential suite: the static instruction scheduler must
+//! be *semantically invisible* and *timing-beneficial*. For every
+//! Table-3 strategy, bitwidth, simulator mode and interpreter mode, an
+//! engine with scheduling on (and the verifier's program check
+//! installed) produces a bit-identical result matrix and issues exactly
+//! the same number of warp instructions. Timing is held to a bounded
+//! contract rather than per-cell monotonicity: any legal reorder
+//! perturbs the phase alignment of co-resident warps, which shifts L1
+//! and dual-issue interleaving by a few cycles in either direction —
+//! chaos no static cost model can predict. Each cell may therefore
+//! drift at most [`TOLERANCE_PCT`] percent, and the *aggregate* cycle
+//! count over the whole sweep must strictly improve.
+//!
+//! The fault arm is weaker by design: injection decisions key off issue
+//! counters, so a reordered issue stream draws a *different* fault
+//! sequence — cycle counts and fault counters legitimately diverge.
+//! What must still hold is recovered correctness: with ABFT on, every
+//! returned result equals the host reference.
+//!
+//! A third test pins down the fail-closed contract: scheduling without
+//! an installed program check must never adopt a candidate.
+
+use vitbit::exec::{ExecConfig, Strategy};
+use vitbit::plan::{Engine, EngineStats, GemmDesc};
+use vitbit::sim::{FaultConfig, Gpu, InterpMode, KernelStats, OrinConfig, SimMode};
+use vitbit::tensor::refgemm::gemm_i8_i32;
+use vitbit::tensor::{gen, Matrix};
+use vitbit::verify::program_checker;
+
+const SHAPE: (usize, usize, usize) = (20, 32, 320);
+
+/// Per-cell cycle-drift bound, in percent. Reordering shifts warp phase
+/// alignment; individual cells wobble within this band while the sweep
+/// total must still strictly improve.
+const TOLERANCE_PCT: u64 = 2;
+
+fn gpu(mode: SimMode, interp: InterpMode) -> Gpu {
+    let mut cfg = OrinConfig::test_small();
+    cfg.sim_mode = mode;
+    cfg.interp = interp;
+    Gpu::new(cfg, 64 << 20)
+}
+
+/// One engine GEMM on a fresh GPU; `sched` toggles kernel scheduling
+/// (with the verifier's program check installed when on).
+fn run_once(
+    s: Strategy,
+    bw: u32,
+    mode: SimMode,
+    interp: InterpMode,
+    sched: bool,
+    a: &Matrix<i8>,
+    b: &Matrix<i8>,
+) -> (Matrix<i32>, KernelStats, EngineStats) {
+    let (m, k, n) = SHAPE;
+    let mut cfg = ExecConfig::guarded(bw);
+    cfg.adaptive = false;
+    cfg.schedule_kernels = sched;
+    let mut g = gpu(mode, interp);
+    let mut engine = Engine::new();
+    if sched {
+        engine.set_program_check(program_checker());
+    }
+    let desc = GemmDesc::from_exec(s, &cfg, &g, m, k, n, None);
+    let out = engine.run(&mut g, desc, a, b).expect("run");
+    (out.c, out.stats, engine.stats())
+}
+
+#[test]
+fn scheduled_is_bit_identical_and_faster_in_aggregate_fault_free() {
+    let (m, k, n) = SHAPE;
+    let mut total_applied = 0u64;
+    let mut cycles_off = 0u64;
+    let mut cycles_on = 0u64;
+    for mode in [SimMode::Serial, SimMode::Parallel] {
+        for interp in [InterpMode::Reference, InterpMode::Micro] {
+            for bw in [4u32, 6, 8] {
+                let hi = ((1i32 << (bw - 1)) - 1) as i8;
+                let a = gen::uniform_i8(m, k, -hi - 1, hi, 500 + u64::from(bw));
+                let b = gen::uniform_i8(k, n, -hi - 1, hi, 600 + u64::from(bw));
+                for s in Strategy::ALL {
+                    let (c_off, st_off, _) = run_once(s, bw, mode, interp, false, &a, &b);
+                    let (c_on, st_on, eng) = run_once(s, bw, mode, interp, true, &a, &b);
+                    let tag = format!("{} INT{bw} {mode:?} {interp:?}", s.name());
+                    assert_eq!(c_on, c_off, "result mismatch: {tag}");
+                    assert_eq!(
+                        st_on.issued.total(),
+                        st_off.issued.total(),
+                        "issue-count drift: {tag}"
+                    );
+                    assert!(
+                        st_on.cycles * 100 <= st_off.cycles * (100 + TOLERANCE_PCT),
+                        "scheduling regressed cycles beyond the phase-noise band: \
+                         {tag} ({} > {} + {TOLERANCE_PCT}%)",
+                        st_on.cycles,
+                        st_off.cycles
+                    );
+                    cycles_off += st_off.cycles;
+                    cycles_on += st_on.cycles;
+                    total_applied += eng.sched_applied;
+                }
+            }
+        }
+    }
+    assert!(
+        total_applied > 0,
+        "the scheduler never adopted a program — the suite is vacuous"
+    );
+    assert!(
+        cycles_on < cycles_off,
+        "no aggregate win: {cycles_on} !< {cycles_off}"
+    );
+}
+
+#[test]
+fn scheduled_results_stay_correct_under_seeded_faults() {
+    // Reordering changes which issues the injector perturbs, so only
+    // recovered correctness is comparable across the two engines.
+    let (m, k, n) = SHAPE;
+    for (seed, s) in [
+        (11u64, Strategy::Tc),
+        (12, Strategy::VitBit),
+        (13, Strategy::Tacker),
+    ] {
+        let hi = 31i8;
+        let a = gen::uniform_i8(m, k, -hi - 1, hi, seed * 2 + 1);
+        let b = gen::uniform_i8(k, n, -hi - 1, hi, seed * 2 + 2);
+        let want = gemm_i8_i32(&a, &b);
+        let mut cfg = ExecConfig::guarded(6);
+        cfg.adaptive = false;
+        cfg.abft = true;
+        cfg.schedule_kernels = true;
+        let mut machine = OrinConfig::test_small();
+        machine.fast_forward = true; // hung-warp timeouts resolve instantly
+        machine.fault = FaultConfig {
+            enabled: true,
+            seed,
+            reg_flip_rate: 2e-5,
+            dram_flip_rate: 1e-6,
+            hang_rate: 1e-6,
+        };
+        let mut g = Gpu::new(machine, 64 << 20);
+        let mut engine = Engine::new();
+        engine.set_program_check(program_checker());
+        let desc = GemmDesc::from_exec(s, &cfg, &g, m, k, n, Some(seed));
+        let id = engine.prepare(desc).expect("prepare");
+        for i in 0..4 {
+            let out = engine
+                .execute(&mut g, id, &a, &b)
+                .expect("faults never surface as engine errors");
+            assert_eq!(
+                out.c,
+                want,
+                "{} seed {seed} execute {i}: corrupted result escaped recovery",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn scheduling_without_a_program_check_is_fail_closed() {
+    let (m, k, n) = SHAPE;
+    let a = gen::uniform_i8(m, k, -32, 31, 21);
+    let b = gen::uniform_i8(k, n, -32, 31, 22);
+    let mut cfg = ExecConfig::guarded(6);
+    cfg.adaptive = false;
+    cfg.schedule_kernels = true;
+    let mut g = gpu(SimMode::Serial, InterpMode::Micro);
+    let mut engine = Engine::new(); // no program check installed
+    let desc = GemmDesc::from_exec(Strategy::VitBit, &cfg, &g, m, k, n, None);
+    let out = engine.run(&mut g, desc, &a, &b).expect("run");
+    let stats = engine.stats();
+    assert_eq!(stats.sched_applied, 0, "adopted a candidate with no check");
+    assert!(
+        stats.sched_rejected > 0,
+        "no candidate even reached the (absent) check"
+    );
+    // And the launch is exactly the unscheduled one.
+    let (c_off, st_off, _) = run_once(
+        Strategy::VitBit,
+        6,
+        SimMode::Serial,
+        InterpMode::Micro,
+        false,
+        &a,
+        &b,
+    );
+    assert_eq!(out.c, c_off);
+    assert_eq!(out.stats.cycles, st_off.cycles);
+}

@@ -308,3 +308,95 @@ fn corrupted_persisted_entries_fail_closed_to_live_prepare() {
         "the rejected plan was rebuilt live"
     );
 }
+
+#[test]
+fn serving_table_total_row_is_the_column_wise_sum_of_device_rows() {
+    use vitbit::plan::{render_serving_table, DeviceStatus, EngineStats, HealthState, PoolStats};
+
+    // Synthetic statuses exercising the drift the old renderer had: the
+    // total row must sum the *rows* — including an evicted shard's quar
+    // and dl-miss columns — not reach for pool-level counters.
+    let dev = |device: usize, health, quar: usize, dl: u64, batches: u64| DeviceStatus {
+        device,
+        health,
+        stats: EngineStats {
+            batches,
+            batch_requests: 3 * batches,
+            executes: 3 * batches,
+            replayed_executes: batches,
+            affinity_hits: 2 * batches,
+            affinity_misses: batches,
+            retries: 1,
+            fallbacks: 0,
+            overload_rejections: device as u64,
+            ..EngineStats::default()
+        },
+        quarantined_plans: quar,
+        deadline_misses: dl,
+        pending: 0,
+        last_launch_faults: 0,
+        faults_injected_total: 0,
+    };
+    let status = vec![
+        dev(0, HealthState::Healthy, 1, 2, 4),
+        dev(1, HealthState::Degraded, 2, 5, 6),
+        dev(2, HealthState::Evicted, 3, 7, 2),
+    ];
+    let pool = PoolStats {
+        evictions: 1,
+        plans_failed_over: 2,
+        tickets_failed_over: 3,
+        host_answers: 4,
+        // Deliberately different from the rows' 2+5+7: the table's
+        // dl-miss total must come from the rows, not this counter.
+        deadline_misses: 99,
+        parallel_drains: 0,
+        serial_drains: 0,
+    };
+    let table = render_serving_table(&status, &pool);
+    let lines: Vec<&str> = table.lines().collect();
+    assert_eq!(lines.len(), 6, "header + 3 devices + total + pool footer");
+
+    let total = lines[4];
+    assert!(total.starts_with("total"), "total row: {total}");
+    let cols: Vec<&str> = total.split_whitespace().collect();
+    // device health batches requests executes replayed aff-hit aff-miss
+    // rate retries fback quar dl-miss ovld
+    assert_eq!(cols[2], "12", "batches 4+6+2: {total}");
+    assert_eq!(cols[3], "36", "requests: {total}");
+    assert_eq!(cols[11], "6", "quar must be 1+2+3 over the rows: {total}");
+    assert_eq!(
+        cols[12], "14",
+        "dl-miss must be 2+5+7 over the rows: {total}"
+    );
+    assert_eq!(cols[13], "3", "ovld 0+1+2: {total}");
+    assert!(
+        lines[5].contains("evictions 1")
+            && lines[5].contains("plans-failed-over 2")
+            && lines[5].contains("host-answers 4"),
+        "pool footer: {}",
+        lines[5]
+    );
+    // Health tags render per state.
+    assert!(lines[1].contains("healthy") && lines[2].contains("degrade"));
+    assert!(lines[3].contains("evicted"));
+}
+
+#[test]
+fn pool_render_table_matches_the_shared_renderer() {
+    use vitbit::plan::render_serving_table;
+    let mut cfg = ExecConfig::guarded(6);
+    cfg.adaptive = false;
+    let (a_mats, b) = requests(6, 3, 900);
+    let mut pool = GpuPool::new(2, &orin(SimMode::Serial), 64 << 20);
+    for s in [Strategy::Tc, Strategy::VitBit] {
+        let probe = gpu(SimMode::Serial);
+        let desc = GemmDesc::from_exec(s, &cfg, &probe, SHAPE.0, SHAPE.1, SHAPE.2, None);
+        let reqs: Vec<(&Matrix<i8>, &Matrix<i8>)> = a_mats.iter().map(|a| (a, &b)).collect();
+        pool.execute_batch(desc, &reqs).expect("batch");
+    }
+    let via_method = pool.render_table();
+    let via_fn = render_serving_table(&pool.device_status(), &pool.pool_stats());
+    assert_eq!(via_method, via_fn);
+    assert!(via_method.lines().count() >= 5);
+}
